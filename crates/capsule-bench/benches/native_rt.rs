@@ -1,0 +1,50 @@
+//! Criterion benches of the native runtime analog: conditional division
+//! (CAPSULE policy) vs always-spawn vs sequential, on sort and reduce.
+
+use capsule_rt::{capsule_sort, capsule_sum, RtConfig};
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+
+fn data(len: usize) -> Vec<i64> {
+    (0..len as i64).map(|i| (i.wrapping_mul(2654435761)) % 1_000_003).collect()
+}
+
+fn bench_sort(c: &mut Criterion) {
+    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).max(2);
+    let mut g = c.benchmark_group("capsule_sort");
+    for len in [50_000usize, 400_000] {
+        let input = data(len);
+        for (name, cfg) in [
+            ("sequential", RtConfig::never()),
+            ("always", RtConfig::always(workers)),
+            ("capsule", RtConfig::somt_like(workers)),
+        ] {
+            g.bench_with_input(BenchmarkId::new(name, len), &input, |b, input| {
+                b.iter_batched(
+                    || input.clone(),
+                    |mut v| capsule_sort(cfg, &mut v),
+                    BatchSize::LargeInput,
+                );
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_sum(c: &mut Criterion) {
+    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).max(2);
+    let mut g = c.benchmark_group("capsule_sum");
+    let input = data(1_000_000);
+    for (name, cfg) in [
+        ("sequential", RtConfig::never()),
+        ("always", RtConfig::always(workers)),
+        ("capsule", RtConfig::somt_like(workers)),
+    ] {
+        g.bench_with_input(BenchmarkId::new(name, input.len()), &input, |b, input| {
+            b.iter(|| capsule_sum(cfg, input));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sort, bench_sum);
+criterion_main!(benches);

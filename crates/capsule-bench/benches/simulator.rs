@@ -1,0 +1,53 @@
+//! Criterion benches of the cycle-level simulator itself: simulation
+//! throughput (host time per simulated workload) on the three machines,
+//! plus the reference interpreter for comparison.
+
+use capsule_core::config::MachineConfig;
+use capsule_sim::machine::Machine;
+use capsule_sim::{Interp, InterpConfig};
+use capsule_workloads::dijkstra::Dijkstra;
+use capsule_workloads::{Variant, Workload};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_machines(c: &mut Criterion) {
+    let w = Dijkstra::figure3(7, 120);
+    let seq = w.program(Variant::Sequential);
+    let comp = w.program(Variant::Component);
+
+    let mut g = c.benchmark_group("simulator");
+    g.sample_size(20);
+    g.bench_function("superscalar_dijkstra", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(MachineConfig::table1_superscalar(), &seq).unwrap();
+            let o = m.run(1_000_000_000).unwrap();
+            w.check(&o.output).unwrap();
+            o.cycles()
+        })
+    });
+    g.bench_function("somt_dijkstra", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(MachineConfig::table1_somt(), &comp).unwrap();
+            let o = m.run(1_000_000_000).unwrap();
+            w.check(&o.output).unwrap();
+            o.cycles()
+        })
+    });
+    g.bench_function("cmp4x2_dijkstra", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(MachineConfig::cmp_somt(4, 2), &comp).unwrap();
+            let o = m.run(1_000_000_000).unwrap();
+            w.check(&o.output).unwrap();
+            o.cycles()
+        })
+    });
+    g.bench_function("interp_dijkstra", |b| {
+        b.iter(|| {
+            let mut i = Interp::new(&comp, InterpConfig::default()).unwrap();
+            i.run(1_000_000_000).unwrap().steps
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_machines);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Ablations of the interpretation choices documented in DESIGN.md:
+//!
+//! 1. `allow_divide_to_stack` — may `nthr` park a child on the context
+//!    stack when no physical context is free?
+//! 2. the death-rate window N (the paper fixes N = 128);
+//! 3. the swap-out counter threshold (the paper fixes 256).
+
+use capsule_bench::{run_checked, scaled};
+use capsule_core::config::MachineConfig;
+use capsule_workloads::dijkstra::Dijkstra;
+use capsule_workloads::lzw::Lzw;
+use capsule_workloads::{Variant, Workload};
+
+fn main() {
+    let dij = Dijkstra::figure3(7, scaled(250, 1000));
+    let lzw = Lzw::figure7(5, scaled(2000, 4096));
+
+    println!("Ablation 1 — divide-to-stack (children born onto the context stack)\n");
+    let pairs: [(&str, &dyn Workload); 2] = [("dijkstra", &dij), ("lzw", &lzw)];
+    for (name, w) in pairs {
+        for allow in [true, false] {
+            let mut cfg = MachineConfig::table1_somt();
+            cfg.allow_divide_to_stack = allow;
+            let o = run_checked(cfg, w, Variant::Component);
+            println!(
+                "  {name:<10} divide_to_stack={allow:<5}  {:>12} cycles, {:>6} granted ({} to stack), {} swap-ins",
+                o.cycles(),
+                o.stats.divisions_granted(),
+                o.stats.divisions_granted_stack,
+                o.stats.swaps_in
+            );
+        }
+    }
+
+    println!("\nAblation 2 — death-rate window N (paper: 128)\n");
+    for window in [32u64, 128, 512, 2048] {
+        let mut cfg = MachineConfig::table1_somt();
+        cfg.death_window = window;
+        let o = run_checked(cfg, &lzw, Variant::Component);
+        println!(
+            "  lzw        N={window:<5} {:>12} cycles, {:>6} granted, {:>6} throttled",
+            o.cycles(),
+            o.stats.divisions_granted(),
+            o.stats.divisions_denied_throttled
+        );
+    }
+
+    println!("\nAblation 3 — swap-out counter threshold (paper: 256)\n");
+    println!("  (vpr's routers stream per-net arrays, so worker load latencies spread;");
+    println!("   swap-outs additionally need parked workers to yield to, which makes");
+    println!("   them rare at these scales — the mechanics test suite exercises the");
+    println!("   heuristic deterministically)\n");
+    let vpr = capsule_workloads::spec::Vpr::standard(19, scaled(12, 20), scaled(8, 12), 2);
+    for thr in [32i64, 256, 1024] {
+        let mut cfg = MachineConfig::table1_somt();
+        cfg.swap_counter_threshold = thr;
+        let o = run_checked(cfg, &vpr, Variant::Component);
+        println!(
+            "  vpr        threshold={thr:<5} {:>12} cycles, {} swap-outs, {} swap-ins",
+            o.cycles(),
+            o.stats.swaps_out,
+            o.stats.swaps_in
+        );
+    }
+}

@@ -1,0 +1,59 @@
+//! Figure 3: distribution of execution time for Dijkstra over random
+//! graphs — superscalar (sequential) vs standard SMT (static) vs SOMT
+//! (component).
+//!
+//! The paper uses 100 graphs of 1000 nodes; the default here runs a
+//! reduced set (pass `--full` for the paper-sized sweep). Besides the
+//! histograms, the binary reports the §5 headline numbers: component
+//! speedup over the static and sequential versions, and the stability
+//! (standard deviation) of each distribution.
+
+use capsule_bench::{full_scale, histogram, run_checked, scaled, series};
+use capsule_core::config::MachineConfig;
+use capsule_workloads::dijkstra::Dijkstra;
+use capsule_workloads::Variant;
+
+fn main() {
+    let graphs = scaled(20, 100);
+    let nodes = scaled(250, 1000);
+    println!(
+        "Figure 3 — Dijkstra execution-time distribution ({graphs} graphs x {nodes} nodes{})\n",
+        if full_scale() { ", paper scale" } else { ", reduced scale; --full for paper scale" }
+    );
+
+    let mut seq = Vec::new();
+    let mut stat = Vec::new();
+    let mut comp = Vec::new();
+    for g in 0..graphs {
+        let w = Dijkstra::figure3(1000 + g as u64, nodes);
+        seq.push(run_checked(MachineConfig::table1_superscalar(), &w, Variant::Sequential).cycles());
+        stat.push(run_checked(MachineConfig::table1_smt(), &w, Variant::Static(8)).cycles());
+        comp.push(run_checked(MachineConfig::table1_somt(), &w, Variant::Component).cycles());
+    }
+
+    if std::env::args().any(|a| a == "--csv") {
+        println!("index\tsuperscalar\tsmt_static\tsomt_component");
+        for i in 0..seq.len() {
+            println!("{i}\t{}\t{}\t{}", seq[i], stat[i], comp[i]);
+        }
+        return;
+    }
+
+    let lo = *comp.iter().min().expect("non-empty");
+    let hi = *seq.iter().max().expect("non-empty");
+    println!("{}", histogram("superscalar (sequential)", &seq, lo, hi, 12));
+    println!("{}", histogram("SMT (statically parallelized)", &stat, lo, hi, 12));
+    println!("{}", histogram("SOMT (component)", &comp, lo, hi, 12));
+
+    let (s, t, c) = (series(&seq), series(&stat), series(&comp));
+    println!("mean cycles: superscalar {:.0}, SMT-static {:.0}, SOMT-component {:.0}", s.mean, t.mean, c.mean);
+    println!("component speedup vs superscalar: {:.2}x   (paper: 2.51x)", s.mean / c.mean);
+    println!("component speedup vs static:      {:.2}x   (paper: 1.23x)", t.mean / c.mean);
+    println!(
+        "stability (stddev/mean): superscalar {:.2}, static {:.2}, component {:.2}",
+        s.stddev / s.mean,
+        t.stddev / t.mean,
+        c.stddev / c.mean
+    );
+    println!("(the paper highlights the component version's tighter distribution)");
+}

@@ -1,0 +1,56 @@
+//! Figure 5: distribution of execution time for QuickSort over lists of
+//! various distributions — superscalar vs static SMT vs component SOMT.
+//!
+//! The paper uses 500 lists; the default here cycles the five input
+//! shapes over a reduced count (`--full` for 500).
+
+use capsule_bench::{full_scale, histogram, run_checked, scaled, series};
+use capsule_core::config::MachineConfig;
+use capsule_workloads::datasets::{random_list, ListShape};
+use capsule_workloads::quicksort::QuickSort;
+use capsule_workloads::Variant;
+
+fn main() {
+    let lists = scaled(25, 500);
+    let len = scaled(800, 4000);
+    println!(
+        "Figure 5 — QuickSort execution-time distribution ({lists} lists x {len} values{})\n",
+        if full_scale() { ", paper scale" } else { ", reduced scale; --full for paper scale" }
+    );
+
+    let mut seq = Vec::new();
+    let mut stat = Vec::new();
+    let mut comp = Vec::new();
+    for i in 0..lists {
+        let shape = ListShape::ALL[i % ListShape::ALL.len()];
+        let w = QuickSort::new(random_list(2000 + i as u64, len, shape));
+        seq.push(run_checked(MachineConfig::table1_superscalar(), &w, Variant::Sequential).cycles());
+        stat.push(run_checked(MachineConfig::table1_smt(), &w, Variant::Static(8)).cycles());
+        comp.push(run_checked(MachineConfig::table1_somt(), &w, Variant::Component).cycles());
+    }
+
+    if std::env::args().any(|a| a == "--csv") {
+        println!("index\tsuperscalar\tsmt_static\tsomt_component");
+        for i in 0..seq.len() {
+            println!("{i}\t{}\t{}\t{}", seq[i], stat[i], comp[i]);
+        }
+        return;
+    }
+
+    let lo = *comp.iter().min().expect("non-empty");
+    let hi = *seq.iter().max().expect("non-empty");
+    println!("{}", histogram("superscalar (sequential)", &seq, lo, hi, 12));
+    println!("{}", histogram("SMT (statically parallelized)", &stat, lo, hi, 12));
+    println!("{}", histogram("SOMT (component)", &comp, lo, hi, 12));
+
+    let (s, t, c) = (series(&seq), series(&stat), series(&comp));
+    println!("mean cycles: superscalar {:.0}, SMT-static {:.0}, SOMT-component {:.0}", s.mean, t.mean, c.mean);
+    println!("component speedup vs superscalar: {:.2}x   (paper: 2.93x)", s.mean / c.mean);
+    println!("component speedup vs static:      {:.2}x   (paper: 2.51x)", t.mean / c.mean);
+    println!(
+        "stability (stddev/mean): superscalar {:.2}, static {:.2}, component {:.2}",
+        s.stddev / s.mean,
+        t.stddev / t.mean,
+        c.stddev / c.mean
+    );
+}

@@ -1,0 +1,25 @@
+//! Figure 6: the irregular division genealogy of a component QuickSort
+//! run, as Graphviz DOT (the paper renders the same structure).
+//!
+//! Usage: `cargo run -p capsule-bench --bin fig6_division_tree [> fig6.dot]`
+
+use capsule_bench::{run_checked, scaled};
+use capsule_core::config::MachineConfig;
+use capsule_workloads::datasets::{random_list, ListShape};
+use capsule_workloads::quicksort::QuickSort;
+use capsule_workloads::Variant;
+
+fn main() {
+    let len = scaled(3000, 12000);
+    let w = QuickSort::new(random_list(4242, len, ListShape::Uniform));
+    let o = run_checked(MachineConfig::table1_somt(), &w, Variant::Component);
+    eprintln!(
+        "// Figure 6 — QuickSort division genealogy: {} workers, depth {}, {} divisions granted of {}",
+        o.tree.len(),
+        o.tree.max_depth(),
+        o.stats.divisions_granted(),
+        o.stats.divisions_requested
+    );
+    eprintln!("// (DOT on stdout; render with `dot -Tsvg`)");
+    print!("{}", o.tree.to_dot());
+}

@@ -1,0 +1,56 @@
+//! Figure 7: division throttling of small parallel sections (LZW and
+//! Perceptron).
+//!
+//! Both programs create very short-lived workers; the paper's death-rate
+//! throttle (deny while ≥ contexts/2 deaths happened in the last 128
+//! cycles) protects them from drowning in division overhead. Each
+//! workload runs under the plain greedy policy and under greedy +
+//! throttle, on the 8-context SOMT.
+
+use capsule_bench::{full_scale, run_checked, scaled};
+use capsule_core::config::{DivisionMode, MachineConfig};
+use capsule_workloads::lzw::Lzw;
+use capsule_workloads::perceptron::Perceptron;
+use capsule_workloads::{Variant, Workload};
+
+fn main() {
+    println!(
+        "Figure 7 — division throttling of small parallel sections{}\n",
+        if full_scale() { " (paper scale)" } else { " (reduced scale; --full for paper scale)" }
+    );
+
+    // LZW: the paper matches N = 4096 characters.
+    let lzw = Lzw::figure7(5, scaled(2000, 4096));
+    // Perceptron: the paper splits a 10000-neuron group.
+    let perc = Perceptron::figure7(3, scaled(10, 12), scaled(2048, 10000), scaled(3, 4))
+        .with_leaf(8);
+
+    let workloads: [(&str, &dyn Workload); 2] = [("LZW", &lzw), ("Perceptron", &perc)];
+    for (name, w) in workloads {
+        let mut cycles = Vec::new();
+        for (policy, mode) in [
+            ("greedy (no throttle)", DivisionMode::Greedy),
+            ("greedy + throttle", DivisionMode::GreedyThrottled),
+        ] {
+            let mut cfg = MachineConfig::table1_somt();
+            cfg.division_mode = mode;
+            let o = run_checked(cfg, w, Variant::Component);
+            println!("{name:<11} {policy:<22} {:>12} cycles", o.cycles());
+            println!(
+                "{:<11} {:<22} {} granted / {} requested, {} denied by throttle, {} deaths",
+                "",
+                "",
+                o.stats.divisions_granted(),
+                o.stats.divisions_requested,
+                o.stats.divisions_denied_throttled,
+                o.stats.deaths
+            );
+            cycles.push(o.cycles());
+        }
+        println!(
+            "{name:<11} throttle benefit: {:.2}x\n",
+            cycles[0] as f64 / cycles[1] as f64
+        );
+    }
+    println!("(the paper's Figure 7 shows both programs benefiting from throttling)");
+}

@@ -1,0 +1,56 @@
+//! Figure 8: overall and componentized-section speedups of the
+//! re-engineered SPEC CINT2000 analogs on the 8-context SOMT versus a
+//! superscalar with the same resources, plus the share of execution
+//! spent in componentized sections (also Table 2's right column).
+
+use capsule_bench::{full_scale, run_checked, scaled};
+use capsule_core::config::MachineConfig;
+use capsule_workloads::spec::{Bzip2, Crafty, Mcf, Vpr, KERNEL_SECTION};
+use capsule_workloads::{Variant, Workload};
+
+fn main() {
+    println!(
+        "Figure 8 — SPEC CINT2000 analog speedups (SOMT vs superscalar){}\n",
+        if full_scale() { " (paper scale)" } else { " (reduced scale; --full for paper scale)" }
+    );
+
+    let mcf = Mcf::standard(scaled(17, 18));
+    let vpr = Vpr::standard(19, scaled(10, 14), scaled(6, 10), 2);
+    let bzip2 = Bzip2::standard(23, scaled(280, 700));
+    let crafty = Crafty::standard(29, 8);
+    let workloads: [(&str, &dyn Workload, &str); 4] = [
+        ("mcf", &mcf, "45%"),
+        ("vpr", &vpr, "93%"),
+        ("bzip2", &bzip2, "20%"),
+        ("crafty", &crafty, "100%"),
+    ];
+
+    println!(
+        "{:<8} {:>14} {:>14} {:>9} {:>9} {:>11} {:>8}",
+        "bench", "scalar cyc", "somt cyc", "overall", "kernel", "%component", "paper %"
+    );
+    for (name, w, paper_pct) in workloads {
+        // crafty has no sequential rewrite in the paper either; its
+        // baseline is the pool-of-one on the superscalar.
+        let seq_variant = Variant::Sequential;
+        let scalar = run_checked(MachineConfig::table1_superscalar(), w, seq_variant);
+        let somt = run_checked(MachineConfig::table1_somt(), w, Variant::Component);
+
+        let overall = scalar.cycles() as f64 / somt.cycles() as f64;
+        // kernel speedup: componentized-section cycles on each machine
+        let k_scalar = scalar.sections.section_cycles(KERNEL_SECTION);
+        let k_somt = somt.sections.section_cycles(KERNEL_SECTION);
+        let kernel = k_scalar as f64 / k_somt.max(1) as f64;
+        let pct = 100.0 * scalar.sections.section_fraction(KERNEL_SECTION, scalar.cycles());
+        println!(
+            "{name:<8} {:>14} {:>14} {:>8.2}x {:>8.2}x {:>10.0}% {:>8}",
+            scalar.cycles(),
+            somt.cycles(),
+            overall,
+            kernel,
+            pct,
+            paper_pct
+        );
+    }
+    println!("\n(paper Figure 8: overall speedups between 1.1 and 3.0; crafty 1.7)");
+}

@@ -1,0 +1,41 @@
+//! §5 crafty context study: the paper's software thread pool makes
+//! *more* contexts worse — "the overall speedup of the same application
+//! on a 4-context SOMT is 2.3 instead of 1.7 for an 8-context SOMT".
+//!
+//! Runs the crafty analog with a pool sized to the context count on 2-,
+//! 4- and 8-context SOMTs, against the pool-of-one superscalar baseline.
+
+use capsule_bench::run_checked;
+use capsule_core::config::MachineConfig;
+use capsule_workloads::spec::Crafty;
+use capsule_workloads::Variant;
+
+fn main() {
+    println!("§5 — crafty: software pool vs context count (paper: 4 ctx 2.3x > 8 ctx 1.7x)\n");
+
+    let baseline = {
+        let w = Crafty::standard(29, 1);
+        run_checked(MachineConfig::table1_superscalar(), &w, Variant::Sequential).cycles()
+    };
+    println!("superscalar pool-of-one baseline: {baseline} cycles\n");
+    println!("{:>9} {:>14} {:>9} {:>12} {:>12}", "contexts", "cycles", "speedup", "grant rate", "lock stalls");
+
+    for contexts in [2usize, 4, 8] {
+        let w = Crafty::standard(29, contexts);
+        let mut cfg = MachineConfig::table1_somt();
+        cfg.contexts = contexts;
+        let o = run_checked(cfg, &w, Variant::Component);
+        println!(
+            "{contexts:>9} {:>14} {:>8.2}x {:>11.0}% {:>12}",
+            o.cycles(),
+            baseline as f64 / o.cycles() as f64,
+            100.0 * o.stats.grant_rate(),
+            o.stats.lock_stalls
+        );
+    }
+    println!("\n(the occupied contexts deny nearly all hardware division probes, and the");
+    println!(" 8-context speedup lands near the paper's 1.7x; the paper's 4>8 inversion does");
+    println!(" not reproduce here — the fast lock table turns the pool's active wait into");
+    println!(" quiet WaitLock stalls instead of pthread-style pipeline pollution, see");
+    println!(" EXPERIMENTS.md)");
+}

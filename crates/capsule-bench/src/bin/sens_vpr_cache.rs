@@ -1,0 +1,45 @@
+//! §5 vpr cache study: "The parallel version is memory bandwidth-limited,
+//! so doubling cache size and cache ports improves the speedup of a
+//! single iteration from 2.47 to 3.5, and the overall speedup to 3.0."
+//!
+//! Runs the vpr analog on the Table 1 SOMT and on a SOMT with doubled
+//! L1-D/L2 capacity and ports, both against the matching superscalar.
+
+use capsule_bench::{run_checked, scaled};
+use capsule_core::config::MachineConfig;
+use capsule_workloads::spec::Vpr;
+use capsule_workloads::Variant;
+
+fn main() {
+    println!("§5 — vpr cache sensitivity (paper: overall speedup 2.47 -> 3.0 with 2x cache)\n");
+    // A larger grid than the Figure 8 default makes vpr properly
+    // cache-hungry.
+    let w = Vpr::standard(19, scaled(16, 24), scaled(8, 12), 2);
+
+    for (name, double) in [("Table 1 caches", false), ("2x size + 2x ports", true)] {
+        let mut scalar_cfg = MachineConfig::table1_superscalar();
+        let mut somt_cfg = MachineConfig::table1_somt();
+        if double {
+            for cfg in [&mut scalar_cfg, &mut somt_cfg] {
+                cfg.l1d = cfg.l1d.doubled();
+                cfg.l2 = cfg.l2.doubled();
+            }
+        }
+        let scalar = run_checked(scalar_cfg, &w, Variant::Sequential);
+        let somt = run_checked(somt_cfg, &w, Variant::Component);
+        println!("{name}:");
+        println!(
+            "  superscalar {:>12} cycles (L1D miss {:.1}%, L2 miss {:.1}%)",
+            scalar.cycles(),
+            100.0 * scalar.l1d.miss_rate(),
+            100.0 * scalar.l2.miss_rate()
+        );
+        println!(
+            "  SOMT        {:>12} cycles (L1D miss {:.1}%, L2 miss {:.1}%)",
+            somt.cycles(),
+            100.0 * somt.l1d.miss_rate(),
+            100.0 * somt.l2.miss_rate()
+        );
+        println!("  speedup     {:>11.2}x\n", scalar.cycles() as f64 / somt.cycles() as f64);
+    }
+}

@@ -1,0 +1,46 @@
+//! Table 1: baseline configuration of the SOMT, SMT and superscalar
+//! processors.
+
+use capsule_bench::row;
+use capsule_core::config::MachineConfig;
+
+fn main() {
+    let c = MachineConfig::table1_somt();
+    println!("Table 1 — baseline configuration (SOMT / SMT / superscalar)\n");
+    row("Fetch width", c.fetch_width);
+    row("Fetch policy", format!("ICount.{}.{}", c.fetch_threads, c.fetch_per_thread));
+    row("Issue / Decode / Commit width", format!("{} / {} / {}", c.issue_width, c.decode_width, c.commit_width));
+    row("RUU size (instruction window)", c.ruu_size);
+    row("LSQ size", c.lsq_size);
+    row(
+        "FUs",
+        format!("{} IALU, {} IMULT, {} FPALU, {} FPMULT", c.fus.ialu, c.fus.imult, c.fus.fpalu, c.fus.fpmult),
+    );
+    row(
+        "Branch prediction",
+        format!(
+            "combined, {} meta, {} bimodal, {} 2-level ({} history bits)",
+            c.predictor.meta_entries,
+            c.predictor.bimodal_entries,
+            c.predictor.twolevel_entries,
+            c.predictor.history_bits
+        ),
+    );
+    row("Memory latency", format!("{} cycles", c.mem_latency));
+    row("L1 DCache", format!("{} kB, {} cycle(s)", c.l1d.size_bytes / 1024, c.l1d.latency));
+    row("L1 ICache", format!("{} kB, {} cycle(s)", c.l1i.size_bytes / 1024, c.l1i.latency));
+    row("L2 unified", format!("{} kB, {} cycles", c.l2.size_bytes / 1024, c.l2.latency));
+    println!("\nCAPSULE extensions (SOMT only):");
+    row("Hardware contexts", c.contexts);
+    row("Division policy", format!("{:?}", c.division_mode));
+    row("Death-rate window / limit", format!("{} cycles / {}", c.death_window, c.throttle_death_limit()));
+    row("Context stack entries", c.context_stack_entries);
+    row("Swap latency", format!("{} cycles", c.swap_latency));
+    row(
+        "Swap heuristic",
+        format!("mean of last {} loads, threshold {}", c.swap_load_window, c.swap_counter_threshold),
+    );
+    row("Lock table entries", c.lock_table_entries);
+    println!("\nBaselines: SMT = same, division disabled; superscalar = 1 context.");
+    c.validate().expect("Table 1 config is self-consistent");
+}

@@ -1,0 +1,39 @@
+//! Table 2: componentization statistics of the SPEC CINT2000 analogs.
+//!
+//! The paper's line/function counts describe their C-source edits; the
+//! reproducible column is the share of total execution time spent in the
+//! componentized subgraph, which this binary measures on the superscalar
+//! baseline (the paper's fractions are properties of the original serial
+//! programs). The source-edit columns are reprinted from the paper for
+//! reference.
+
+use capsule_bench::{run_checked, scaled};
+use capsule_core::config::MachineConfig;
+use capsule_workloads::spec::{Bzip2, Crafty, Mcf, Vpr, KERNEL_SECTION};
+use capsule_workloads::{Variant, Workload};
+
+fn main() {
+    println!("Table 2 — SPEC CINT2000 componentization\n");
+    println!(
+        "{:<12} {:>22} {:>20} {:>12} {:>10}",
+        "benchmark", "paper lines modified", "paper functions", "paper %", "measured %"
+    );
+
+    let mcf = Mcf::standard(scaled(17, 18));
+    let vpr = Vpr::standard(19, scaled(10, 14), scaled(6, 10), 2);
+    let bzip2 = Bzip2::standard(23, scaled(280, 700));
+    let crafty = Crafty::standard(29, 8);
+    let rows: [(&str, &dyn Workload, &str, &str, &str); 4] = [
+        ("181.mcf", &mcf, "174 / 2412", "2", "45%"),
+        ("175.vpr", &vpr, "624 / 17729", "10", "93%"),
+        ("256.bzip2", &bzip2, "317 / 4649", "3", "20%"),
+        ("186.crafty", &crafty, "201 / 45000", "8", "100%"),
+    ];
+
+    for (name, w, lines, funcs, paper) in rows {
+        let o = run_checked(MachineConfig::table1_superscalar(), w, Variant::Sequential);
+        let pct = 100.0 * o.sections.section_fraction(KERNEL_SECTION, o.cycles());
+        println!("{name:<12} {lines:>22} {funcs:>20} {paper:>12} {pct:>9.0}%");
+    }
+    println!("\n(measured % = cycles inside mark.start/mark.end over total, sequential run)");
+}

@@ -1,0 +1,46 @@
+//! §3.2 toolchain overhead: "the measured average programming overhead is
+//! 15 cycles per division".
+//!
+//! Measures the software cost of the Capsule C `coworker` lowering on
+//! this machine: the same loop of worker invocations compiled once with
+//! `coworker` (token take/return + `nthr` probe + branch) and once as a
+//! plain call. On the superscalar every probe is denied, so the cycle
+//! difference divided by the invocation count is the per-probe software
+//! overhead; on the SOMT most probes are granted, giving the per-division
+//! cost including the child's pooled-stack allocation.
+
+use capsule_bench::{run_checked_raw, scaled};
+use capsule_core::config::MachineConfig;
+use capsule_workloads::lang_ports::probe_overhead_program;
+
+fn main() {
+    let n = scaled(1000, 10_000);
+    println!("§3.2 — toolchain software overhead per division (paper: ~15 cycles)\n");
+
+    let plain = probe_overhead_program(n, false);
+    let probed = probe_overhead_program(n, true);
+
+    let p_scalar = run_checked_raw(MachineConfig::table1_superscalar(), &plain);
+    let c_scalar = run_checked_raw(MachineConfig::table1_superscalar(), &probed);
+    assert_eq!(p_scalar.ints(), c_scalar.ints(), "results must agree");
+    println!(
+        "superscalar (all {n} probes denied):   plain {:>9} cy, coworker {:>9} cy -> {:>5.1} cy/probe",
+        p_scalar.cycles(),
+        c_scalar.cycles(),
+        (c_scalar.cycles() as f64 - p_scalar.cycles() as f64) / n as f64
+    );
+
+    let p_somt = run_checked_raw(MachineConfig::table1_somt(), &plain);
+    let c_somt = run_checked_raw(MachineConfig::table1_somt(), &probed);
+    assert_eq!(p_somt.ints(), c_somt.ints(), "results must agree");
+    println!(
+        "SOMT ({} of {n} probes granted):   plain {:>9} cy, coworker {:>9} cy -> {:>5.1} cy/probe",
+        c_somt.stats.divisions_granted(),
+        p_somt.cycles(),
+        c_somt.cycles(),
+        (c_somt.cycles() as f64 - p_somt.cycles() as f64) / n as f64
+    );
+    println!("\n(per-probe cost on the SOMT includes the granted children's pooled-stack");
+    println!(" allocation, register-copy stall and join-token traffic; negative values mean");
+    println!(" the division overhead was hidden by the parallelism it bought)");
+}

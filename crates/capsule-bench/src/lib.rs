@@ -1,0 +1,167 @@
+//! Shared harness for the per-figure/per-table evaluation binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the
+//! paper (see DESIGN.md §3 for the index). They print both the raw series
+//! and a summary, and validate every simulated run against the workload's
+//! host reference before reporting it.
+//!
+//! Scale: the paper's full data-set sizes take minutes; by default the
+//! binaries run a reduced configuration that preserves every qualitative
+//! effect. Pass `--full` (or set `CAPSULE_BENCH_FULL=1`) for the
+//! paper-sized runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use capsule_core::config::MachineConfig;
+use capsule_sim::machine::Machine;
+use capsule_sim::SimOutcome;
+use capsule_workloads::{Variant, Workload};
+
+/// Cycle budget for any single simulated run.
+pub const BUDGET: u64 = 200_000_000_000;
+
+/// Whether the paper-sized configuration was requested.
+pub fn full_scale() -> bool {
+    std::env::args().any(|a| a == "--full")
+        || std::env::var("CAPSULE_BENCH_FULL").is_ok_and(|v| v == "1")
+}
+
+/// Picks `quick` or `full` depending on [`full_scale`].
+pub fn scaled<T>(quick: T, full: T) -> T {
+    if full_scale() {
+        full
+    } else {
+        quick
+    }
+}
+
+/// Runs `workload`'s `variant` on `cfg`, validates the output against the
+/// host reference, and returns the outcome.
+///
+/// # Panics
+///
+/// Panics on simulator errors or a failed correctness check — a bench
+/// must never report numbers from a wrong run.
+pub fn run_checked(cfg: MachineConfig, workload: &dyn Workload, variant: Variant) -> SimOutcome {
+    let program = workload.program(variant);
+    let mut m = Machine::new(cfg, &program)
+        .unwrap_or_else(|e| panic!("{}: machine build failed: {e}", workload.name()));
+    let outcome = m
+        .run(BUDGET)
+        .unwrap_or_else(|e| panic!("{}: simulation failed: {e}", workload.name()));
+    workload
+        .check(&outcome.output)
+        .unwrap_or_else(|e| panic!("{}: wrong result: {e}", workload.name()));
+    outcome
+}
+
+/// Simple statistics over a series.
+#[derive(Debug, Clone, Copy)]
+pub struct Series {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Minimum.
+    pub min: u64,
+    /// Maximum.
+    pub max: u64,
+    /// Population standard deviation.
+    pub stddev: f64,
+}
+
+/// Computes [`Series`] statistics.
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+pub fn series(values: &[u64]) -> Series {
+    assert!(!values.is_empty());
+    let mean = values.iter().sum::<u64>() as f64 / values.len() as f64;
+    let var = values.iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>()
+        / values.len() as f64;
+    Series {
+        mean,
+        min: *values.iter().min().expect("non-empty"),
+        max: *values.iter().max().expect("non-empty"),
+        stddev: var.sqrt(),
+    }
+}
+
+/// Renders an ASCII histogram like the paper's Figures 3 and 5 (x = execution
+/// time, y = number of data sets).
+pub fn histogram(name: &str, values: &[u64], lo: u64, hi: u64, bins: usize) -> String {
+    use std::fmt::Write as _;
+    let mut counts = vec![0usize; bins];
+    let span = (hi - lo).max(1);
+    for &v in values {
+        let b = ((v.saturating_sub(lo)) as u128 * bins as u128 / span as u128) as usize;
+        counts[b.min(bins - 1)] += 1;
+    }
+    let peak = counts.iter().copied().max().unwrap_or(1).max(1);
+    let mut out = String::new();
+    let _ = writeln!(out, "{name}");
+    for (i, &c) in counts.iter().enumerate() {
+        let left = lo + span * i as u64 / bins as u64;
+        let bar = "#".repeat(c * 50 / peak);
+        let _ = writeln!(out, "  {left:>12} | {bar} {c}");
+    }
+    out
+}
+
+/// Prints a two-column aligned row.
+pub fn row(label: &str, value: impl std::fmt::Display) {
+    println!("  {label:<42} {value}");
+}
+
+/// Runs a raw [`capsule_isa::program::Program`] (no workload checker) and
+/// returns the outcome.
+///
+/// # Panics
+///
+/// Panics on simulator errors.
+pub fn run_checked_raw(
+    cfg: MachineConfig,
+    program: &capsule_isa::program::Program,
+) -> SimOutcome {
+    let mut m = Machine::new(cfg, program).expect("machine builds");
+    m.run(BUDGET).expect("program halts")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_statistics() {
+        let s = series(&[2, 4, 6]);
+        assert!((s.mean - 4.0).abs() < 1e-12);
+        assert_eq!(s.min, 2);
+        assert_eq!(s.max, 6);
+        assert!((s.stddev - (8.0f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_places_values() {
+        let h = histogram("test", &[0, 5, 9, 9], 0, 10, 2);
+        assert!(h.contains("test"));
+        // first bin has 2 (0,5 -> bins 0,1? 5*2/10=1) — just check the totals
+        let hashes: usize = h.matches('#').count();
+        assert!(hashes > 0);
+    }
+
+    #[test]
+    fn run_checked_smoke() {
+        use capsule_workloads::dijkstra::Dijkstra;
+        let w = Dijkstra::figure3(3, 40);
+        let o = run_checked(MachineConfig::table1_somt(), &w, Variant::Component);
+        assert!(o.cycles() > 0);
+    }
+
+    #[test]
+    fn scaled_picks_quick_without_flag() {
+        // (tests run without --full)
+        if !full_scale() {
+            assert_eq!(scaled(1, 2), 1);
+        }
+    }
+}

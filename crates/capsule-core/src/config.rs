@@ -1,0 +1,423 @@
+//! Machine configuration, mirroring Table 1 of the paper.
+//!
+//! The paper evaluates three machines sharing one resource budget:
+//!
+//! * an aggressive **superscalar** (one hardware context, no division),
+//! * a standard **SMT** (8 contexts, statically parallelized programs), and
+//! * **SOMT** (8 contexts plus the CAPSULE division/swap/lock support).
+//!
+//! [`MachineConfig::table1_superscalar`], [`MachineConfig::table1_smt`] and
+//! [`MachineConfig::table1_somt`] build those three presets.
+
+/// Geometry and latency of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheParams {
+    /// Total capacity in bytes.
+    pub size_bytes: usize,
+    /// Line size in bytes.
+    pub line_bytes: usize,
+    /// Associativity (ways per set).
+    pub assoc: usize,
+    /// Hit latency in cycles.
+    pub latency: u64,
+    /// Number of accesses the cache accepts per cycle.
+    pub ports: usize,
+}
+
+impl CacheParams {
+    /// Table 1 L1 data cache: 8 kB, 1-cycle.
+    pub fn table1_l1d() -> Self {
+        CacheParams { size_bytes: 8 * 1024, line_bytes: 64, assoc: 2, latency: 1, ports: 2 }
+    }
+
+    /// Table 1 L1 instruction cache: 16 kB, 1-cycle.
+    pub fn table1_l1i() -> Self {
+        CacheParams { size_bytes: 16 * 1024, line_bytes: 64, assoc: 2, latency: 1, ports: 4 }
+    }
+
+    /// Table 1 unified L2: 1 MB, 12-cycle.
+    pub fn table1_l2() -> Self {
+        CacheParams { size_bytes: 1024 * 1024, line_bytes: 64, assoc: 8, latency: 12, ports: 2 }
+    }
+
+    /// Number of sets implied by the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate (zero line size or associativity,
+    /// or a capacity that is not a multiple of `line_bytes * assoc`).
+    pub fn num_sets(&self) -> usize {
+        assert!(self.line_bytes > 0 && self.assoc > 0, "degenerate cache geometry");
+        let set_bytes = self.line_bytes * self.assoc;
+        assert!(
+            self.size_bytes.is_multiple_of(set_bytes) && self.size_bytes > 0,
+            "cache size {} not a multiple of line*assoc {}",
+            self.size_bytes,
+            set_bytes
+        );
+        self.size_bytes / set_bytes
+    }
+
+    /// Returns a copy with doubled capacity and doubled ports, used by the
+    /// paper's vpr sensitivity experiment ("doubling cache size and cache
+    /// ports improves the speedup of a single iteration from 2.47 to 3.5").
+    pub fn doubled(&self) -> Self {
+        CacheParams {
+            size_bytes: self.size_bytes * 2,
+            ports: self.ports * 2,
+            ..*self
+        }
+    }
+}
+
+/// Functional-unit pool sizes (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FuConfig {
+    /// Integer ALUs.
+    pub ialu: usize,
+    /// Integer multiply/divide units.
+    pub imult: usize,
+    /// Floating-point ALUs.
+    pub fpalu: usize,
+    /// Floating-point multiply/divide units.
+    pub fpmult: usize,
+}
+
+impl FuConfig {
+    /// Table 1: 8 IALU, 4 IMULT, 4 FPALU, 4 FPMULT.
+    pub fn table1() -> Self {
+        FuConfig { ialu: 8, imult: 4, fpalu: 4, fpmult: 4 }
+    }
+}
+
+/// Branch predictor configuration (Table 1: combined predictor with a 1K
+/// meta table, a 4K-entry bimodal component and an 8K-entry two-level
+/// component).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PredictorConfig {
+    /// Entries of the meta (chooser) table.
+    pub meta_entries: usize,
+    /// Entries of the bimodal table.
+    pub bimodal_entries: usize,
+    /// Entries of the second-level (history-indexed) table.
+    pub twolevel_entries: usize,
+    /// Global-history bits used by the two-level component.
+    pub history_bits: u32,
+    /// Extra cycles lost on a misprediction beyond pipeline refill.
+    pub mispredict_penalty: u64,
+}
+
+impl PredictorConfig {
+    /// Table 1 combined predictor.
+    pub fn table1() -> Self {
+        PredictorConfig {
+            meta_entries: 1024,
+            bimodal_entries: 4096,
+            twolevel_entries: 8192,
+            history_bits: 12,
+            mispredict_penalty: 3,
+        }
+    }
+}
+
+/// How the machine answers `nthr` division requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DivisionMode {
+    /// Never grant (superscalar and static-SMT baselines).
+    Never,
+    /// Greedy: grant whenever a resource is available, with no death-rate
+    /// throttling. Used by the "no throttle" ablation of Figure 7.
+    Greedy,
+    /// The paper's policy: greedy, but deny while the number of worker
+    /// deaths observed in the last `window` cycles is at least half the
+    /// number of hardware contexts.
+    GreedyThrottled,
+}
+
+/// Full machine configuration.
+///
+/// Field defaults come from Table 1 of the paper; the three presets differ
+/// only in context count and division mode, exactly as in the evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineConfig {
+    /// Number of hardware thread contexts (8 for SMT/SOMT, 1 superscalar).
+    pub contexts: usize,
+    /// Instructions fetched per cycle in total (16).
+    pub fetch_width: usize,
+    /// Threads that may fetch each cycle under ICount (4).
+    pub fetch_threads: usize,
+    /// Instructions fetched per selected thread per cycle (4; a lone thread
+    /// may use up to the line width, see the paper's fetch-buffer note).
+    pub fetch_per_thread: usize,
+    /// Decode/rename width shared by all threads (8).
+    pub decode_width: usize,
+    /// Issue width shared by all threads (8).
+    pub issue_width: usize,
+    /// Commit width shared by all threads (8).
+    pub commit_width: usize,
+    /// Register-update-unit (instruction window) entries (256).
+    pub ruu_size: usize,
+    /// Load/store queue entries (128).
+    pub lsq_size: usize,
+    /// Functional-unit pools.
+    pub fus: FuConfig,
+    /// Branch predictor.
+    pub predictor: PredictorConfig,
+    /// L1 instruction cache.
+    pub l1i: CacheParams,
+    /// L1 data cache.
+    pub l1d: CacheParams,
+    /// Unified L2.
+    pub l2: CacheParams,
+    /// Main-memory latency in cycles (200).
+    pub mem_latency: u64,
+    /// Division handling.
+    pub division_mode: DivisionMode,
+    /// Sliding window, in cycles, for the death-rate throttle (N = 128).
+    pub death_window: u64,
+    /// Extra cycles charged to the child thread for the register copy at
+    /// `nthr` commit. The paper estimates the SMT copy as a pipelined
+    /// register transfer; its CMP sensitivity study sweeps this up to 200.
+    pub division_latency: u64,
+    /// Whether `nthr` may be granted by parking the child on the context
+    /// stack when no physical context is free (interpretation choice
+    /// documented in DESIGN.md).
+    pub allow_divide_to_stack: bool,
+    /// Entries of the LIFO context stack holding swapped-out threads (16).
+    pub context_stack_entries: usize,
+    /// Cycles to swap a thread between a context and the stack (200 for the
+    /// paper's unoptimized 62-register copy).
+    pub swap_latency: u64,
+    /// Number of most-recent loads whose mean latency drives the swap
+    /// heuristic (1000).
+    pub swap_load_window: usize,
+    /// Swap-out threshold for the per-thread slow-load counter (256).
+    pub swap_counter_threshold: i64,
+    /// Entries of the fast lock table.
+    pub lock_table_entries: usize,
+    /// Number of cores (1 = the paper's SMT; >1 = the shared-memory CMP
+    /// extrapolation of §5: per-core pipelines and private L1s over the
+    /// shared L2). `contexts` must be a multiple of `cores`.
+    pub cores: usize,
+    /// Extra register-copy cycles when a division's child lands on a
+    /// different core (the paper sweeps this up to 200 in §5).
+    pub remote_division_latency: u64,
+    /// Cycles charged to a thread when its younger instructions are squashed
+    /// because `mlock` found the lock held.
+    pub lock_squash_penalty: u64,
+}
+
+impl MachineConfig {
+    /// The paper's SOMT: 8 contexts, greedy-throttled division.
+    pub fn table1_somt() -> Self {
+        MachineConfig {
+            contexts: 8,
+            fetch_width: 16,
+            fetch_threads: 4,
+            fetch_per_thread: 4,
+            decode_width: 8,
+            issue_width: 8,
+            commit_width: 8,
+            ruu_size: 256,
+            lsq_size: 128,
+            fus: FuConfig::table1(),
+            predictor: PredictorConfig::table1(),
+            l1i: CacheParams::table1_l1i(),
+            l1d: CacheParams::table1_l1d(),
+            l2: CacheParams::table1_l2(),
+            mem_latency: 200,
+            division_mode: DivisionMode::GreedyThrottled,
+            death_window: 128,
+            division_latency: 4,
+            allow_divide_to_stack: true,
+            context_stack_entries: 16,
+            swap_latency: 200,
+            swap_load_window: 1000,
+            swap_counter_threshold: 256,
+            lock_table_entries: 64,
+            lock_squash_penalty: 3,
+            cores: 1,
+            remote_division_latency: 100,
+        }
+    }
+
+    /// The §5 shared-memory CMP extrapolation: `cores` cores with
+    /// `contexts_per_core` SOMT contexts each, private L1s, shared L2.
+    pub fn cmp_somt(cores: usize, contexts_per_core: usize) -> Self {
+        MachineConfig {
+            cores,
+            contexts: cores * contexts_per_core,
+            ..Self::table1_somt()
+        }
+    }
+
+    /// Standard SMT baseline: identical resources, division disabled
+    /// (programs are statically parallelized by the loader).
+    pub fn table1_smt() -> Self {
+        MachineConfig { division_mode: DivisionMode::Never, ..Self::table1_somt() }
+    }
+
+    /// Aggressive superscalar baseline: one context, division disabled.
+    pub fn table1_superscalar() -> Self {
+        MachineConfig {
+            contexts: 1,
+            division_mode: DivisionMode::Never,
+            ..Self::table1_somt()
+        }
+    }
+
+    /// Maximum worker deaths tolerated inside the death window before the
+    /// throttle closes: half the number of hardware contexts (paper §3.1).
+    pub fn throttle_death_limit(&self) -> usize {
+        self.contexts / 2
+    }
+
+    /// Basic structural validation.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first inconsistency
+    /// found (zero widths, degenerate caches, empty context set, ...).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.contexts == 0 {
+            return Err("machine must have at least one context".into());
+        }
+        if self.fetch_width == 0 || self.decode_width == 0 || self.issue_width == 0 {
+            return Err("pipeline widths must be non-zero".into());
+        }
+        if self.commit_width == 0 {
+            return Err("commit width must be non-zero".into());
+        }
+        if self.ruu_size == 0 || self.lsq_size == 0 {
+            return Err("RUU and LSQ must be non-empty".into());
+        }
+        if self.fus.ialu == 0 {
+            return Err("need at least one integer ALU".into());
+        }
+        for (name, c) in [("l1i", &self.l1i), ("l1d", &self.l1d), ("l2", &self.l2)] {
+            if c.line_bytes == 0 || c.assoc == 0 || c.size_bytes == 0 {
+                return Err(format!("{name}: degenerate cache geometry"));
+            }
+            let set_bytes = c.line_bytes * c.assoc;
+            if c.size_bytes % set_bytes != 0 {
+                return Err(format!("{name}: size not a multiple of line*assoc"));
+            }
+            if c.ports == 0 {
+                return Err(format!("{name}: cache needs at least one port"));
+            }
+        }
+        if self.l1d.line_bytes != self.l2.line_bytes || self.l1i.line_bytes != self.l2.line_bytes {
+            return Err("all cache levels must share one line size".into());
+        }
+        if self.cores == 0 {
+            return Err("machine must have at least one core".into());
+        }
+        if !self.contexts.is_multiple_of(self.cores) {
+            return Err(format!(
+                "contexts ({}) must divide evenly over cores ({})",
+                self.contexts, self.cores
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        Self::table1_somt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_presets_validate() {
+        MachineConfig::table1_somt().validate().unwrap();
+        MachineConfig::table1_smt().validate().unwrap();
+        MachineConfig::table1_superscalar().validate().unwrap();
+    }
+
+    #[test]
+    fn presets_match_paper_numbers() {
+        let c = MachineConfig::table1_somt();
+        assert_eq!(c.contexts, 8);
+        assert_eq!(c.fetch_width, 16);
+        assert_eq!(c.issue_width, 8);
+        assert_eq!(c.ruu_size, 256);
+        assert_eq!(c.lsq_size, 128);
+        assert_eq!(c.fus.ialu, 8);
+        assert_eq!(c.mem_latency, 200);
+        assert_eq!(c.l1d.size_bytes, 8 * 1024);
+        assert_eq!(c.l1i.size_bytes, 16 * 1024);
+        assert_eq!(c.l2.size_bytes, 1024 * 1024);
+        assert_eq!(c.l2.latency, 12);
+        assert_eq!(c.death_window, 128);
+        assert_eq!(c.context_stack_entries, 16);
+        assert_eq!(c.swap_latency, 200);
+        assert_eq!(c.swap_load_window, 1000);
+        assert_eq!(c.swap_counter_threshold, 256);
+    }
+
+    #[test]
+    fn superscalar_has_one_context_no_division() {
+        let c = MachineConfig::table1_superscalar();
+        assert_eq!(c.contexts, 1);
+        assert_eq!(c.division_mode, DivisionMode::Never);
+    }
+
+    #[test]
+    fn throttle_limit_is_half_contexts() {
+        assert_eq!(MachineConfig::table1_somt().throttle_death_limit(), 4);
+        assert_eq!(MachineConfig::table1_superscalar().throttle_death_limit(), 0);
+    }
+
+    #[test]
+    fn num_sets_computation() {
+        let l1d = CacheParams::table1_l1d();
+        assert_eq!(l1d.num_sets(), 8 * 1024 / (64 * 2));
+    }
+
+    #[test]
+    fn doubled_cache_doubles_size_and_ports() {
+        let c = CacheParams::table1_l1d().doubled();
+        assert_eq!(c.size_bytes, 16 * 1024);
+        assert_eq!(c.ports, 4);
+        assert_eq!(c.latency, CacheParams::table1_l1d().latency);
+    }
+
+    #[test]
+    fn cmp_preset_and_validation() {
+        let c = MachineConfig::cmp_somt(4, 2);
+        assert_eq!(c.cores, 4);
+        assert_eq!(c.contexts, 8);
+        c.validate().unwrap();
+
+        let mut bad = MachineConfig::table1_somt();
+        bad.cores = 3; // 8 % 3 != 0
+        assert!(bad.validate().is_err());
+        bad.cores = 0;
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_bad_configs() {
+        let mut c = MachineConfig::table1_somt();
+        c.contexts = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = MachineConfig::table1_somt();
+        c.l1d.line_bytes = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = MachineConfig::table1_somt();
+        c.l1d.size_bytes = 1000; // not a multiple of line*assoc
+        assert!(c.validate().is_err());
+
+        let mut c = MachineConfig::table1_somt();
+        c.l1d.line_bytes = 32; // mismatched line sizes across levels
+        c.l1d.size_bytes = 8 * 1024;
+        assert!(c.validate().is_err());
+    }
+}

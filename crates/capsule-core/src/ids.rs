@@ -1,0 +1,68 @@
+//! Identifier newtypes shared across the simulator and the runtime.
+
+use std::fmt;
+
+/// Identity of a worker (a component instance, in the paper's vocabulary).
+///
+/// Worker ids are assigned in birth order starting at 0 for the ancestor of
+/// each group, and are never reused within one run. They index into the
+/// [`crate::stats::DivisionTree`] genealogy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct WorkerId(pub u32);
+
+impl WorkerId {
+    /// The ancestor worker of a run (the one started by the loader).
+    pub const ANCESTOR: WorkerId = WorkerId(0);
+
+    /// Returns the raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for WorkerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "w{}", self.0)
+    }
+}
+
+/// A physical hardware context slot of the SMT/SOMT processor.
+///
+/// The paper's baseline machine has 8 of these; a superscalar baseline has 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ContextId(pub u8);
+
+impl ContextId {
+    /// Returns the raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ContextId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ctx{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(WorkerId(3).to_string(), "w3");
+        assert_eq!(ContextId(7).to_string(), "ctx7");
+    }
+
+    #[test]
+    fn ancestor_is_zero() {
+        assert_eq!(WorkerId::ANCESTOR.index(), 0);
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(WorkerId(1) < WorkerId(2));
+        assert!(ContextId(0) < ContextId(5));
+    }
+}

@@ -1,0 +1,43 @@
+//! Shared model types for the CAPSULE reproduction.
+//!
+//! This crate holds everything that is common to the cycle-level SOMT
+//! simulator (`capsule-sim`) and the native-thread runtime analog
+//! (`capsule-rt`):
+//!
+//! - the **division policy** of the paper (greedy granting of `nthr`
+//!   requests, throttled by the worker death rate observed over a sliding
+//!   window of cycles), in [`policy`];
+//! - the **machine configuration** of Table 1 of the paper, in [`config`];
+//! - **statistics** counters and the division genealogy used to regenerate
+//!   the paper's figures, in [`stats`];
+//! - small **identifier newtypes** in [`ids`].
+//!
+//! # Example
+//!
+//! ```
+//! use capsule_core::config::MachineConfig;
+//! use capsule_core::policy::{DivisionDecision, DivisionPolicy, DivisionRequest};
+//!
+//! let cfg = MachineConfig::table1_somt();
+//! let mut policy = DivisionPolicy::from_config(&cfg);
+//! let decision = policy.decide(
+//!     100, // current cycle
+//!     DivisionRequest { free_contexts: 3, stack_free_slots: 16 },
+//! );
+//! assert_eq!(decision, DivisionDecision::GrantToContext);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod output;
+pub mod ids;
+pub mod policy;
+pub mod stats;
+
+pub use config::MachineConfig;
+pub use output::OutValue;
+pub use ids::{ContextId, WorkerId};
+pub use policy::{DeathRateWindow, DivisionDecision, DivisionPolicy, DivisionRequest};
+pub use stats::{DivisionTree, SectionTracker, SimStats};

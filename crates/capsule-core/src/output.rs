@@ -1,0 +1,41 @@
+//! Values emitted on a run's output channel (`out`/`outf`).
+
+/// A value emitted by a simulated program or native worker.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum OutValue {
+    /// From `out` (integer channel).
+    Int(i64),
+    /// From `outf` (floating-point channel).
+    Float(f64),
+}
+
+impl OutValue {
+    /// The integer, if this is an [`OutValue::Int`].
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            OutValue::Int(v) => Some(*v),
+            OutValue::Float(_) => None,
+        }
+    }
+
+    /// The float, if this is an [`OutValue::Float`].
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            OutValue::Float(v) => Some(*v),
+            OutValue::Int(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        assert_eq!(OutValue::Int(3).as_int(), Some(3));
+        assert_eq!(OutValue::Int(3).as_float(), None);
+        assert_eq!(OutValue::Float(1.5).as_float(), Some(1.5));
+        assert_eq!(OutValue::Float(1.5).as_int(), None);
+    }
+}

@@ -1,0 +1,281 @@
+//! The CAPSULE division policy.
+//!
+//! The paper (§3.1, "Division strategy"): *"an `nthr` instruction is
+//! executed if there is a free hardware context, and if the number of
+//! threads which died in the past N cycles (N = 128 in our experiments) is
+//! smaller than half the number of hardware contexts."*
+//!
+//! [`DeathRateWindow`] tracks worker deaths over the sliding window;
+//! [`DivisionPolicy`] combines it with resource availability into a
+//! [`DivisionDecision`].
+
+use std::collections::VecDeque;
+
+use crate::config::{DivisionMode, MachineConfig};
+
+/// Sliding-window counter of worker deaths.
+///
+/// Deaths are recorded with the cycle at which the corresponding `kthr`
+/// committed; [`DeathRateWindow::deaths_within`] counts those whose age is
+/// strictly less than the window length.
+#[derive(Debug, Clone, Default)]
+pub struct DeathRateWindow {
+    window: u64,
+    deaths: VecDeque<u64>,
+    total: u64,
+}
+
+impl DeathRateWindow {
+    /// Creates a window of `window` cycles (the paper uses 128).
+    pub fn new(window: u64) -> Self {
+        DeathRateWindow { window, deaths: VecDeque::new(), total: 0 }
+    }
+
+    /// Records one worker death at `cycle`.
+    ///
+    /// Cycles must be non-decreasing across calls; out-of-order records are
+    /// clamped forward to preserve the window invariant.
+    pub fn record_death(&mut self, cycle: u64) {
+        let cycle = self.deaths.back().map_or(cycle, |&last| cycle.max(last));
+        self.deaths.push_back(cycle);
+        self.total += 1;
+    }
+
+    /// Number of deaths in the `window` cycles ending at `now`.
+    pub fn deaths_within(&mut self, now: u64) -> usize {
+        let horizon = now.saturating_sub(self.window);
+        while let Some(&front) = self.deaths.front() {
+            if front < horizon {
+                self.deaths.pop_front();
+            } else {
+                break;
+            }
+        }
+        // Entries recorded "in the future" relative to `now` (possible when
+        // the caller queries mid-cycle) still count: they are within any
+        // window ending at a later observation point.
+        self.deaths.len()
+    }
+
+    /// Total deaths ever recorded.
+    pub fn total_deaths(&self) -> u64 {
+        self.total
+    }
+
+    /// The window length in cycles.
+    pub fn window(&self) -> u64 {
+        self.window
+    }
+}
+
+/// Resource availability snapshot accompanying an `nthr` request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DivisionRequest {
+    /// Physical hardware contexts currently free.
+    pub free_contexts: usize,
+    /// Free slots on the LIFO context stack (0 when the stack is disabled).
+    pub stack_free_slots: usize,
+}
+
+/// Outcome of a division request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DivisionDecision {
+    /// Granted; the child seizes a free physical context.
+    GrantToContext,
+    /// Granted; the child is born suspended on the context stack
+    /// (only with [`MachineConfig::allow_divide_to_stack`]).
+    GrantToStack,
+    /// Denied: no context (and no usable stack slot) available.
+    DenyNoResource,
+    /// Denied: the death-rate throttle is closed (workers dying too fast).
+    DenyThrottled,
+    /// Denied: this machine never divides (superscalar / static SMT).
+    DenyDisabled,
+}
+
+impl DivisionDecision {
+    /// Whether the request was granted.
+    pub fn granted(self) -> bool {
+        matches!(self, DivisionDecision::GrantToContext | DivisionDecision::GrantToStack)
+    }
+}
+
+/// The hardware's division decision logic.
+///
+/// Owns the death-rate window; the host (simulator or runtime) reports
+/// deaths via [`DivisionPolicy::record_death`] and asks for decisions via
+/// [`DivisionPolicy::decide`].
+#[derive(Debug, Clone)]
+pub struct DivisionPolicy {
+    mode: DivisionMode,
+    window: DeathRateWindow,
+    death_limit: usize,
+    allow_divide_to_stack: bool,
+}
+
+impl DivisionPolicy {
+    /// Builds the policy described by `cfg`.
+    pub fn from_config(cfg: &MachineConfig) -> Self {
+        DivisionPolicy {
+            mode: cfg.division_mode,
+            window: DeathRateWindow::new(cfg.death_window),
+            death_limit: cfg.throttle_death_limit(),
+            allow_divide_to_stack: cfg.allow_divide_to_stack,
+        }
+    }
+
+    /// Builds a policy directly from parts (useful for the native runtime
+    /// where there is no full machine config).
+    pub fn new(
+        mode: DivisionMode,
+        death_window: u64,
+        death_limit: usize,
+        allow_divide_to_stack: bool,
+    ) -> Self {
+        DivisionPolicy {
+            mode,
+            window: DeathRateWindow::new(death_window),
+            death_limit,
+            allow_divide_to_stack,
+        }
+    }
+
+    /// Records a worker death (a committed `kthr`) at `cycle`.
+    pub fn record_death(&mut self, cycle: u64) {
+        self.window.record_death(cycle);
+    }
+
+    /// Decides an `nthr` request issued at `cycle` under `req` availability.
+    pub fn decide(&mut self, cycle: u64, req: DivisionRequest) -> DivisionDecision {
+        match self.mode {
+            DivisionMode::Never => DivisionDecision::DenyDisabled,
+            DivisionMode::Greedy => self.decide_resources(req),
+            DivisionMode::GreedyThrottled => {
+                if self.window.deaths_within(cycle) >= self.death_limit.max(1) {
+                    DivisionDecision::DenyThrottled
+                } else {
+                    self.decide_resources(req)
+                }
+            }
+        }
+    }
+
+    fn decide_resources(&self, req: DivisionRequest) -> DivisionDecision {
+        if req.free_contexts > 0 {
+            DivisionDecision::GrantToContext
+        } else if self.allow_divide_to_stack && req.stack_free_slots > 0 {
+            DivisionDecision::GrantToStack
+        } else {
+            DivisionDecision::DenyNoResource
+        }
+    }
+
+    /// Read access to the death window (for stats and tests).
+    pub fn death_window(&self) -> &DeathRateWindow {
+        &self.window
+    }
+
+    /// Current throttle state at `cycle`: `true` when the policy would deny
+    /// for death-rate reasons regardless of resources.
+    pub fn throttled(&mut self, cycle: u64) -> bool {
+        self.mode == DivisionMode::GreedyThrottled
+            && self.window.deaths_within(cycle) >= self.death_limit.max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(free: usize, stack: usize) -> DivisionRequest {
+        DivisionRequest { free_contexts: free, stack_free_slots: stack }
+    }
+
+    #[test]
+    fn never_mode_always_denies() {
+        let mut p = DivisionPolicy::new(DivisionMode::Never, 128, 4, true);
+        assert_eq!(p.decide(0, req(8, 16)), DivisionDecision::DenyDisabled);
+    }
+
+    #[test]
+    fn greedy_grants_on_free_context() {
+        let mut p = DivisionPolicy::new(DivisionMode::Greedy, 128, 4, false);
+        assert_eq!(p.decide(0, req(1, 0)), DivisionDecision::GrantToContext);
+        assert_eq!(p.decide(0, req(0, 5)), DivisionDecision::DenyNoResource);
+    }
+
+    #[test]
+    fn stack_grant_requires_flag() {
+        let mut with = DivisionPolicy::new(DivisionMode::Greedy, 128, 4, true);
+        let mut without = DivisionPolicy::new(DivisionMode::Greedy, 128, 4, false);
+        assert_eq!(with.decide(0, req(0, 3)), DivisionDecision::GrantToStack);
+        assert_eq!(without.decide(0, req(0, 3)), DivisionDecision::DenyNoResource);
+    }
+
+    #[test]
+    fn throttle_closes_after_rapid_deaths() {
+        let cfg = MachineConfig::table1_somt();
+        let mut p = DivisionPolicy::from_config(&cfg);
+        // Limit is contexts/2 = 4 deaths inside 128 cycles.
+        for c in 0..4 {
+            p.record_death(c);
+        }
+        assert_eq!(p.decide(10, req(8, 16)), DivisionDecision::DenyThrottled);
+        assert!(p.throttled(10));
+        // Once the window slides past the burst, it reopens.
+        assert_eq!(p.decide(400, req(8, 16)), DivisionDecision::GrantToContext);
+        assert!(!p.throttled(400));
+    }
+
+    #[test]
+    fn throttle_limit_boundary() {
+        let mut p = DivisionPolicy::new(DivisionMode::GreedyThrottled, 128, 4, false);
+        for c in 0..3 {
+            p.record_death(c);
+        }
+        // 3 < 4: still open.
+        assert!(p.decide(5, req(1, 0)).granted());
+        p.record_death(4);
+        // 4 >= 4: closed.
+        assert_eq!(p.decide(5, req(1, 0)), DivisionDecision::DenyThrottled);
+    }
+
+    #[test]
+    fn zero_limit_behaves_as_limit_one() {
+        // A 1-context machine has limit 0; .max(1) keeps the policy usable
+        // (it throttles only once a death actually happened recently).
+        let mut p = DivisionPolicy::new(DivisionMode::GreedyThrottled, 128, 0, false);
+        assert!(p.decide(0, req(1, 0)).granted());
+        p.record_death(1);
+        assert_eq!(p.decide(2, req(1, 0)), DivisionDecision::DenyThrottled);
+    }
+
+    #[test]
+    fn window_expires_old_deaths() {
+        let mut w = DeathRateWindow::new(128);
+        w.record_death(0);
+        w.record_death(100);
+        assert_eq!(w.deaths_within(100), 2);
+        assert_eq!(w.deaths_within(129), 1); // death at 0 aged out
+        assert_eq!(w.deaths_within(300), 0);
+        assert_eq!(w.total_deaths(), 2);
+    }
+
+    #[test]
+    fn window_clamps_out_of_order_records() {
+        let mut w = DeathRateWindow::new(10);
+        w.record_death(50);
+        w.record_death(20); // clamped to 50
+        assert_eq!(w.deaths_within(55), 2);
+        assert_eq!(w.deaths_within(70), 0);
+    }
+
+    #[test]
+    fn decision_granted_helper() {
+        assert!(DivisionDecision::GrantToContext.granted());
+        assert!(DivisionDecision::GrantToStack.granted());
+        assert!(!DivisionDecision::DenyNoResource.granted());
+        assert!(!DivisionDecision::DenyThrottled.granted());
+        assert!(!DivisionDecision::DenyDisabled.granted());
+    }
+}

@@ -1,0 +1,447 @@
+//! Run statistics: counters, componentized-section tracking, and the
+//! division genealogy used to regenerate Figure 6 and Table 3.
+
+use std::fmt;
+
+use crate::ids::WorkerId;
+
+/// Aggregate counters of one simulated (or native) run.
+///
+/// All counts are totals across threads. The helpers at the bottom compute
+/// the derived quantities the paper reports (IPC, grant rate, instructions
+/// per division — Table 3).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Total cycles elapsed.
+    pub cycles: u64,
+    /// Instructions fetched (including wrong-path).
+    pub fetched: u64,
+    /// Instructions dispatched into the window.
+    pub dispatched: u64,
+    /// Instructions committed (architecturally retired).
+    pub committed: u64,
+    /// Conditional branches executed.
+    pub branches: u64,
+    /// Conditional branches mispredicted.
+    pub branch_mispredicts: u64,
+    /// `nthr` division requests observed.
+    pub divisions_requested: u64,
+    /// Requests granted to a free physical context.
+    pub divisions_granted_context: u64,
+    /// Requests granted by parking the child on the context stack.
+    pub divisions_granted_stack: u64,
+    /// Requests denied for lack of resources.
+    pub divisions_denied_no_resource: u64,
+    /// Requests denied by the death-rate throttle.
+    pub divisions_denied_throttled: u64,
+    /// Requests denied because division is disabled on this machine.
+    pub divisions_denied_disabled: u64,
+    /// Worker deaths (committed `kthr`).
+    pub deaths: u64,
+    /// Threads swapped out to the context stack.
+    pub swaps_out: u64,
+    /// Threads swapped back in from the context stack.
+    pub swaps_in: u64,
+    /// Successful `mlock` acquisitions.
+    pub lock_acquires: u64,
+    /// `mlock` attempts that found the lock held and stalled the thread.
+    pub lock_stalls: u64,
+    /// Total cycles threads spent stalled on locks.
+    pub lock_stall_cycles: u64,
+    /// Cycle-sum of active (fetch-eligible) contexts; divide by `cycles`
+    /// for mean context occupancy.
+    pub active_context_cycles: u64,
+    /// Largest number of live workers observed simultaneously.
+    pub max_live_workers: u64,
+}
+
+impl SimStats {
+    /// Creates zeroed statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total divisions granted (to a context or to the stack).
+    pub fn divisions_granted(&self) -> u64 {
+        self.divisions_granted_context + self.divisions_granted_stack
+    }
+
+    /// Fraction of requests granted, in [0, 1]; 0 when nothing was requested.
+    pub fn grant_rate(&self) -> f64 {
+        if self.divisions_requested == 0 {
+            0.0
+        } else {
+            self.divisions_granted() as f64 / self.divisions_requested as f64
+        }
+    }
+
+    /// Committed instructions per granted division (Table 3's
+    /// "# insts / division allowed"); `None` when no division was granted.
+    pub fn insts_per_division(&self) -> Option<f64> {
+        let g = self.divisions_granted();
+        (g > 0).then(|| self.committed as f64 / g as f64)
+    }
+
+    /// Committed instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed as f64 / self.cycles as f64
+        }
+    }
+
+    /// Conditional-branch misprediction rate in [0, 1].
+    pub fn mispredict_rate(&self) -> f64 {
+        if self.branches == 0 {
+            0.0
+        } else {
+            self.branch_mispredicts as f64 / self.branches as f64
+        }
+    }
+
+    /// Mean number of active contexts per cycle.
+    pub fn mean_active_contexts(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.active_context_cycles as f64 / self.cycles as f64
+        }
+    }
+}
+
+impl fmt::Display for SimStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "cycles                {:>12}", self.cycles)?;
+        writeln!(f, "committed insts       {:>12}", self.committed)?;
+        writeln!(f, "IPC                   {:>12.3}", self.ipc())?;
+        writeln!(f, "branches (mispred)    {:>12} ({:.2}%)", self.branches, 100.0 * self.mispredict_rate())?;
+        writeln!(
+            f,
+            "divisions req/granted {:>12} / {} ({:.1}%)",
+            self.divisions_requested,
+            self.divisions_granted(),
+            100.0 * self.grant_rate()
+        )?;
+        writeln!(f, "deaths                {:>12}", self.deaths)?;
+        writeln!(f, "swaps out/in          {:>12} / {}", self.swaps_out, self.swaps_in)?;
+        writeln!(f, "lock acquires/stalls  {:>12} / {}", self.lock_acquires, self.lock_stalls)?;
+        write!(f, "mean active contexts  {:>12.2}", self.mean_active_contexts())
+    }
+}
+
+/// Tracks the cycles during which "componentized sections" are active.
+///
+/// Programs bracket regions with `mark.start id` / `mark.end id`
+/// instructions (our analog of the paper's instrumentation that measures
+/// the share of execution time spent in componentized subgraphs, Table 2
+/// and Figure 8). A section is *active* while at least one thread is inside
+/// it; nesting and concurrent entries are reference-counted.
+#[derive(Debug, Clone, Default)]
+pub struct SectionTracker {
+    sections: Vec<SectionState>,
+}
+
+#[derive(Debug, Clone, Default)]
+struct SectionState {
+    active: u32,
+    opened_at: u64,
+    total_cycles: u64,
+    entries: u64,
+}
+
+impl SectionTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn slot(&mut self, id: u16) -> &mut SectionState {
+        let idx = id as usize;
+        if self.sections.len() <= idx {
+            self.sections.resize_with(idx + 1, SectionState::default);
+        }
+        &mut self.sections[idx]
+    }
+
+    /// A thread entered section `id` at `cycle`.
+    pub fn enter(&mut self, id: u16, cycle: u64) {
+        let s = self.slot(id);
+        if s.active == 0 {
+            s.opened_at = cycle;
+        }
+        s.active += 1;
+        s.entries += 1;
+    }
+
+    /// A thread left section `id` at `cycle`.
+    ///
+    /// Unbalanced leaves (without a matching enter) are ignored rather than
+    /// corrupting the accounting.
+    pub fn leave(&mut self, id: u16, cycle: u64) {
+        let s = self.slot(id);
+        if s.active == 0 {
+            return;
+        }
+        s.active -= 1;
+        if s.active == 0 {
+            s.total_cycles += cycle.saturating_sub(s.opened_at);
+        }
+    }
+
+    /// Closes any still-open sections at end-of-run `cycle`.
+    pub fn finish(&mut self, cycle: u64) {
+        for s in &mut self.sections {
+            if s.active > 0 {
+                s.total_cycles += cycle.saturating_sub(s.opened_at);
+                s.active = 0;
+            }
+        }
+    }
+
+    /// Active cycles accumulated by section `id`.
+    pub fn section_cycles(&self, id: u16) -> u64 {
+        self.sections.get(id as usize).map_or(0, |s| s.total_cycles)
+    }
+
+    /// Number of times section `id` was entered.
+    pub fn section_entries(&self, id: u16) -> u64 {
+        self.sections.get(id as usize).map_or(0, |s| s.entries)
+    }
+
+    /// Fraction of `total_cycles` spent inside section `id`.
+    pub fn section_fraction(&self, id: u16, total_cycles: u64) -> f64 {
+        if total_cycles == 0 {
+            0.0
+        } else {
+            self.section_cycles(id) as f64 / total_cycles as f64
+        }
+    }
+}
+
+/// Where a granted division placed the child worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BirthPlace {
+    /// Child seized a free physical context.
+    Context,
+    /// Child was born suspended on the context stack.
+    Stack,
+    /// Loader-created thread (static parallel program entry).
+    Loader,
+}
+
+/// One worker in the division genealogy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DivisionNode {
+    /// This worker.
+    pub id: WorkerId,
+    /// Parent worker; `None` for loader-created roots.
+    pub parent: Option<WorkerId>,
+    /// Cycle of birth (grant of the creating `nthr`, or 0 for roots).
+    pub birth_cycle: u64,
+    /// Cycle of death (committed `kthr`), if the worker has died.
+    pub death_cycle: Option<u64>,
+    /// Where the worker was placed at birth.
+    pub place: BirthPlace,
+}
+
+/// The genealogy of worker divisions — the structure visualized by
+/// Figure 6 of the paper ("Irregular divisions in QuickSort").
+#[derive(Debug, Clone, Default)]
+pub struct DivisionTree {
+    nodes: Vec<DivisionNode>,
+}
+
+impl DivisionTree {
+    /// Creates an empty genealogy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a birth; returns the new worker's id.
+    pub fn record_birth(
+        &mut self,
+        parent: Option<WorkerId>,
+        cycle: u64,
+        place: BirthPlace,
+    ) -> WorkerId {
+        let id = WorkerId(self.nodes.len() as u32);
+        if let Some(p) = parent {
+            debug_assert!(p.index() < self.nodes.len(), "parent must exist");
+        }
+        self.nodes.push(DivisionNode { id, parent, birth_cycle: cycle, death_cycle: None, place });
+        id
+    }
+
+    /// Records the death of `id` at `cycle`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was never born (index out of range).
+    pub fn record_death(&mut self, id: WorkerId, cycle: u64) {
+        self.nodes[id.index()].death_cycle = Some(cycle);
+    }
+
+    /// All nodes in birth order.
+    pub fn nodes(&self) -> &[DivisionNode] {
+        &self.nodes
+    }
+
+    /// Number of workers ever born.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when no worker was ever recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Number of workers alive at `cycle` (born, not yet dead).
+    pub fn live_at(&self, cycle: u64) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| n.birth_cycle <= cycle && n.death_cycle.is_none_or(|d| d > cycle))
+            .count()
+    }
+
+    /// Maximum depth of the genealogy (root = depth 0).
+    pub fn max_depth(&self) -> usize {
+        let mut depths = vec![0usize; self.nodes.len()];
+        let mut max = 0;
+        for (i, n) in self.nodes.iter().enumerate() {
+            if let Some(p) = n.parent {
+                depths[i] = depths[p.index()] + 1;
+            }
+            max = max.max(depths[i]);
+        }
+        max
+    }
+
+    /// Renders the genealogy as Graphviz DOT, one node per worker, edges
+    /// parent → child — the same picture as the paper's Figure 6.
+    pub fn to_dot(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("digraph divisions {\n  node [shape=circle, fontsize=8];\n");
+        for n in &self.nodes {
+            let life = match n.death_cycle {
+                Some(d) => format!("{}..{}", n.birth_cycle, d),
+                None => format!("{}..", n.birth_cycle),
+            };
+            let _ = writeln!(out, "  n{} [label=\"{}\\n{}\"];", n.id.0, n.id, life);
+            if let Some(p) = n.parent {
+                let _ = writeln!(out, "  n{} -> n{};", p.0, n.id.0);
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_derived_quantities() {
+        let s = SimStats {
+            cycles: 1000,
+            committed: 2500,
+            divisions_requested: 10,
+            divisions_granted_context: 4,
+            divisions_granted_stack: 1,
+            branches: 100,
+            branch_mispredicts: 7,
+            active_context_cycles: 4000,
+            ..SimStats::default()
+        };
+        assert!((s.ipc() - 2.5).abs() < 1e-12);
+        assert_eq!(s.divisions_granted(), 5);
+        assert!((s.grant_rate() - 0.5).abs() < 1e-12);
+        assert!((s.insts_per_division().unwrap() - 500.0).abs() < 1e-12);
+        assert!((s.mispredict_rate() - 0.07).abs() < 1e-12);
+        assert!((s.mean_active_contexts() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_edge_cases_are_zero() {
+        let s = SimStats::default();
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.grant_rate(), 0.0);
+        assert_eq!(s.insts_per_division(), None);
+        assert_eq!(s.mispredict_rate(), 0.0);
+    }
+
+    #[test]
+    fn stats_display_is_nonempty() {
+        assert!(!SimStats::default().to_string().is_empty());
+    }
+
+    #[test]
+    fn section_tracker_basic_span() {
+        let mut t = SectionTracker::new();
+        t.enter(1, 100);
+        t.leave(1, 250);
+        assert_eq!(t.section_cycles(1), 150);
+        assert_eq!(t.section_entries(1), 1);
+        assert!((t.section_fraction(1, 300) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn section_tracker_overlapping_entries_count_once() {
+        let mut t = SectionTracker::new();
+        // Two threads inside the same section with overlap: wall-clock span
+        // is 100..300, not the sum of both stays.
+        t.enter(0, 100);
+        t.enter(0, 150);
+        t.leave(0, 200);
+        t.leave(0, 300);
+        assert_eq!(t.section_cycles(0), 200);
+        assert_eq!(t.section_entries(0), 2);
+    }
+
+    #[test]
+    fn section_tracker_unbalanced_leave_ignored() {
+        let mut t = SectionTracker::new();
+        t.leave(3, 50);
+        assert_eq!(t.section_cycles(3), 0);
+    }
+
+    #[test]
+    fn section_tracker_finish_closes_open_sections() {
+        let mut t = SectionTracker::new();
+        t.enter(2, 10);
+        t.finish(110);
+        assert_eq!(t.section_cycles(2), 100);
+    }
+
+    #[test]
+    fn division_tree_genealogy() {
+        let mut tree = DivisionTree::new();
+        let root = tree.record_birth(None, 0, BirthPlace::Loader);
+        let a = tree.record_birth(Some(root), 10, BirthPlace::Context);
+        let b = tree.record_birth(Some(a), 20, BirthPlace::Stack);
+        tree.record_death(b, 30);
+        tree.record_death(a, 50);
+
+        assert_eq!(tree.len(), 3);
+        assert_eq!(tree.max_depth(), 2);
+        assert_eq!(tree.live_at(5), 1);
+        assert_eq!(tree.live_at(25), 3);
+        assert_eq!(tree.live_at(40), 2);
+        assert_eq!(tree.live_at(60), 1);
+
+        let dot = tree.to_dot();
+        assert!(dot.contains("n0 -> n1"));
+        assert!(dot.contains("n1 -> n2"));
+        assert!(dot.starts_with("digraph"));
+    }
+
+    #[test]
+    fn division_tree_empty() {
+        let tree = DivisionTree::new();
+        assert!(tree.is_empty());
+        assert_eq!(tree.max_depth(), 0);
+        assert_eq!(tree.live_at(100), 0);
+    }
+}

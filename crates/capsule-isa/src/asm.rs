@@ -1,0 +1,451 @@
+//! Program-builder DSL ("the assembler").
+//!
+//! [`Asm`] plays the role of the paper's assembly-level post-processor: the
+//! workload crates construct worker code with it, including the
+//! probe/divide `switch` lowering around `nthr` (Figure 2 of the paper).
+//!
+//! Labels are bound with [`Asm::bind`] and referenced by name in branch,
+//! jump, and `nthr` emitters; [`Asm::assemble`] resolves all fixups.
+//!
+//! ```
+//! use capsule_isa::asm::Asm;
+//! use capsule_isa::reg::Reg;
+//!
+//! let mut a = Asm::new();
+//! let (r1, r2) = (Reg(1), Reg(2));
+//! a.li(r1, 10);
+//! a.li(r2, 0);
+//! a.bind("loop");
+//! a.add(r2, r2, r1);
+//! a.addi(r1, r1, -1);
+//! a.bne(r1, Reg::ZERO, "loop");
+//! a.out(r2);
+//! a.halt();
+//! let text = a.assemble()?;
+//! assert_eq!(text.len(), 7);
+//! # Ok::<(), capsule_isa::asm::AsmError>(())
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::instr::{AluOp, BrCond, FAluOp, FCmpOp, Instr};
+use crate::reg::{FReg, Reg};
+
+/// Errors produced by [`Asm::assemble`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// A label was bound twice.
+    DuplicateLabel(String),
+    /// A referenced label was never bound.
+    UndefinedLabel(String),
+    /// The program exceeds the 2^24-instruction encoding limit.
+    TooLarge(usize),
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::DuplicateLabel(l) => write!(f, "duplicate label `{l}`"),
+            AsmError::UndefinedLabel(l) => write!(f, "undefined label `{l}`"),
+            AsmError::TooLarge(n) => write!(f, "program too large: {n} instructions"),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// Maximum instructions in one program (24-bit encoded targets).
+pub const MAX_TEXT_LEN: usize = 1 << 24;
+
+/// Incremental program builder with label fixups.
+#[derive(Debug, Clone, Default)]
+pub struct Asm {
+    insns: Vec<Instr>,
+    labels: HashMap<String, u32>,
+    duplicate: Option<String>,
+    fixups: Vec<(usize, String)>,
+}
+
+macro_rules! alu3 {
+    ($($name:ident => $op:ident),* $(,)?) => {
+        $(
+            #[doc = concat!("Emits `", stringify!($name), " rd, rs1, rs2`.")]
+            pub fn $name(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+                self.push(Instr::Alu { op: AluOp::$op, rd, rs1, rs2 });
+            }
+        )*
+    };
+}
+
+macro_rules! alui {
+    ($($name:ident => $op:ident),* $(,)?) => {
+        $(
+            #[doc = concat!("Emits `", stringify!($name), " rd, rs1, imm`.")]
+            pub fn $name(&mut self, rd: Reg, rs1: Reg, imm: i64) {
+                self.push(Instr::AluI { op: AluOp::$op, rd, rs1, imm });
+            }
+        )*
+    };
+}
+
+macro_rules! branches {
+    ($($name:ident => $cond:ident),* $(,)?) => {
+        $(
+            #[doc = concat!("Emits `", stringify!($name), " rs1, rs2, label`.")]
+            pub fn $name(&mut self, rs1: Reg, rs2: Reg, label: &str) {
+                let idx = self.insns.len();
+                self.fixups.push((idx, label.to_string()));
+                self.push(Instr::Br { cond: BrCond::$cond, rs1, rs2, target: u32::MAX });
+            }
+        )*
+    };
+}
+
+macro_rules! falu3 {
+    ($($name:ident => $op:ident),* $(,)?) => {
+        $(
+            #[doc = concat!("Emits `", stringify!($name), " fd, fs1, fs2`.")]
+            pub fn $name(&mut self, fd: FReg, fs1: FReg, fs2: FReg) {
+                self.push(Instr::FAlu { op: FAluOp::$op, fd, fs1, fs2 });
+            }
+        )*
+    };
+}
+
+impl Asm {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Index of the next instruction to be emitted.
+    pub fn here(&self) -> u32 {
+        self.insns.len() as u32
+    }
+
+    /// Number of instructions emitted so far.
+    pub fn len(&self) -> usize {
+        self.insns.len()
+    }
+
+    /// True when nothing has been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.insns.is_empty()
+    }
+
+    /// Binds `label` to the next instruction.
+    ///
+    /// Duplicates are reported by [`Asm::assemble`].
+    pub fn bind(&mut self, label: impl Into<String>) {
+        let label = label.into();
+        if self.labels.insert(label.clone(), self.here()).is_some() && self.duplicate.is_none() {
+            self.duplicate = Some(label);
+        }
+    }
+
+    /// Address of a bound label, if already bound.
+    pub fn label_addr(&self, label: &str) -> Option<u32> {
+        self.labels.get(label).copied()
+    }
+
+    /// Appends a pre-built instruction.
+    pub fn push(&mut self, i: Instr) {
+        self.insns.push(i);
+    }
+
+    alu3! {
+        add => Add, sub => Sub, mul => Mul, div => Div, rem => Rem,
+        and => And, or => Or, xor => Xor, sll => Sll, srl => Srl,
+        sra => Sra, slt => Slt, sltu => Sltu,
+    }
+
+    alui! {
+        addi => Add, subi => Sub, muli => Mul, divi => Div, remi => Rem,
+        andi => And, ori => Or, xori => Xor, slli => Sll, srli => Srl,
+        srai => Sra, slti => Slt, sltui => Sltu,
+    }
+
+    branches! {
+        beq => Eq, bne => Ne, blt => Lt, bge => Ge, bltu => Ltu, bgeu => Geu,
+    }
+
+    falu3! {
+        fadd => Add, fsub => Sub, fmul => Mul, fdiv => Div, fmin => Min, fmax => Max,
+    }
+
+    /// Emits `li rd, imm`.
+    pub fn li(&mut self, rd: Reg, imm: i64) {
+        self.push(Instr::Li { rd, imm });
+    }
+
+    /// Emits `mv rd, rs` (encoded as `addi rd, rs, 0`).
+    pub fn mv(&mut self, rd: Reg, rs: Reg) {
+        self.addi(rd, rs, 0);
+    }
+
+    /// Emits `ld rd, off(base)`.
+    pub fn ld(&mut self, rd: Reg, off: i64, base: Reg) {
+        self.push(Instr::Ld { rd, base, off });
+    }
+
+    /// Emits `st rs, off(base)`.
+    pub fn st(&mut self, rs: Reg, off: i64, base: Reg) {
+        self.push(Instr::St { rs, base, off });
+    }
+
+    /// Emits `ldb rd, off(base)`.
+    pub fn ldb(&mut self, rd: Reg, off: i64, base: Reg) {
+        self.push(Instr::Ldb { rd, base, off });
+    }
+
+    /// Emits `stb rs, off(base)`.
+    pub fn stb(&mut self, rs: Reg, off: i64, base: Reg) {
+        self.push(Instr::Stb { rs, base, off });
+    }
+
+    /// Emits `fld fd, off(base)`.
+    pub fn fld(&mut self, fd: FReg, off: i64, base: Reg) {
+        self.push(Instr::FLd { fd, base, off });
+    }
+
+    /// Emits `fst fs, off(base)`.
+    pub fn fst(&mut self, fs: FReg, off: i64, base: Reg) {
+        self.push(Instr::FSt { fs, base, off });
+    }
+
+    /// Emits `j label`.
+    pub fn j(&mut self, label: &str) {
+        let idx = self.insns.len();
+        self.fixups.push((idx, label.to_string()));
+        self.push(Instr::J { target: u32::MAX });
+    }
+
+    /// Emits `jal rd, label`.
+    pub fn jal(&mut self, rd: Reg, label: &str) {
+        let idx = self.insns.len();
+        self.fixups.push((idx, label.to_string()));
+        self.push(Instr::Jal { rd, target: u32::MAX });
+    }
+
+    /// Emits `call label` — `jal ra, label`.
+    pub fn call(&mut self, label: &str) {
+        self.jal(Reg::RA, label);
+    }
+
+    /// Emits `jr rs`.
+    pub fn jr(&mut self, rs: Reg) {
+        self.push(Instr::Jr { rs });
+    }
+
+    /// Emits `ret` — `jr ra`.
+    pub fn ret(&mut self) {
+        self.jr(Reg::RA);
+    }
+
+    /// Emits `jalr rd, rs`.
+    pub fn jalr(&mut self, rd: Reg, rs: Reg) {
+        self.push(Instr::Jalr { rd, rs });
+    }
+
+    /// Emits `fli fd, imm`.
+    pub fn fli(&mut self, fd: FReg, imm: f64) {
+        self.push(Instr::FLi { fd, imm });
+    }
+
+    /// Emits an FP comparison `flt|fle|feq rd, fs1, fs2`.
+    pub fn fcmp(&mut self, op: FCmpOp, rd: Reg, fs1: FReg, fs2: FReg) {
+        self.push(Instr::FCmp { op, rd, fs1, fs2 });
+    }
+
+    /// Emits `cvtif fd, rs`.
+    pub fn cvtif(&mut self, fd: FReg, rs: Reg) {
+        self.push(Instr::CvtIF { fd, rs });
+    }
+
+    /// Emits `cvtfi rd, fs`.
+    pub fn cvtfi(&mut self, rd: Reg, fs: FReg) {
+        self.push(Instr::CvtFI { rd, fs });
+    }
+
+    /// Emits `nthr rd, label` — the CAPSULE probe + conditional division.
+    pub fn nthr(&mut self, rd: Reg, label: &str) {
+        let idx = self.insns.len();
+        self.fixups.push((idx, label.to_string()));
+        self.push(Instr::Nthr { rd, target: u32::MAX });
+    }
+
+    /// Emits `kthr`.
+    pub fn kthr(&mut self) {
+        self.push(Instr::Kthr);
+    }
+
+    /// Emits `mlock rs`.
+    pub fn mlock(&mut self, rs: Reg) {
+        self.push(Instr::Mlock { rs });
+    }
+
+    /// Emits `munlock rs`.
+    pub fn munlock(&mut self, rs: Reg) {
+        self.push(Instr::Munlock { rs });
+    }
+
+    /// Emits `nctx rd`.
+    pub fn nctx(&mut self, rd: Reg) {
+        self.push(Instr::Nctx { rd });
+    }
+
+    /// Emits `tid rd`.
+    pub fn tid(&mut self, rd: Reg) {
+        self.push(Instr::Tid { rd });
+    }
+
+    /// Emits `mark.start id`.
+    pub fn mark_start(&mut self, id: u16) {
+        self.push(Instr::MarkStart { id });
+    }
+
+    /// Emits `mark.end id`.
+    pub fn mark_end(&mut self, id: u16) {
+        self.push(Instr::MarkEnd { id });
+    }
+
+    /// Emits `out rs`.
+    pub fn out(&mut self, rs: Reg) {
+        self.push(Instr::Out { rs });
+    }
+
+    /// Emits `outf fs`.
+    pub fn outf(&mut self, fs: FReg) {
+        self.push(Instr::OutF { fs });
+    }
+
+    /// Emits `halt`.
+    pub fn halt(&mut self) {
+        self.push(Instr::Halt);
+    }
+
+    /// Emits `nop`.
+    pub fn nop(&mut self) {
+        self.push(Instr::Nop);
+    }
+
+    /// Emits `push rs` — `addi sp, sp, -8; st rs, 0(sp)`.
+    pub fn push_reg(&mut self, rs: Reg) {
+        self.addi(Reg::SP, Reg::SP, -8);
+        self.st(rs, 0, Reg::SP);
+    }
+
+    /// Emits `pop rd` — `ld rd, 0(sp); addi sp, sp, 8`.
+    pub fn pop_reg(&mut self, rd: Reg) {
+        self.ld(rd, 0, Reg::SP);
+        self.addi(Reg::SP, Reg::SP, 8);
+    }
+
+    /// Resolves all fixups and returns the instruction stream.
+    ///
+    /// # Errors
+    ///
+    /// [`AsmError::DuplicateLabel`] if a label was bound twice,
+    /// [`AsmError::UndefinedLabel`] if a referenced label is unbound,
+    /// [`AsmError::TooLarge`] if the text exceeds [`MAX_TEXT_LEN`].
+    pub fn assemble(mut self) -> Result<Vec<Instr>, AsmError> {
+        if let Some(l) = self.duplicate.take() {
+            return Err(AsmError::DuplicateLabel(l));
+        }
+        if self.insns.len() > MAX_TEXT_LEN {
+            return Err(AsmError::TooLarge(self.insns.len()));
+        }
+        for (idx, label) in &self.fixups {
+            let target = *self
+                .labels
+                .get(label)
+                .ok_or_else(|| AsmError::UndefinedLabel(label.clone()))?;
+            self.insns[*idx].set_static_target(target);
+        }
+        Ok(self.insns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_and_backward_labels_resolve() {
+        let mut a = Asm::new();
+        a.j("end"); // forward
+        a.bind("loop");
+        a.nop();
+        a.bne(Reg(1), Reg(0), "loop"); // backward
+        a.bind("end");
+        a.halt();
+        let text = a.assemble().unwrap();
+        assert_eq!(text[0], Instr::J { target: 3 });
+        assert_eq!(
+            text[2],
+            Instr::Br { cond: BrCond::Ne, rs1: Reg(1), rs2: Reg(0), target: 1 }
+        );
+    }
+
+    #[test]
+    fn undefined_label_reported() {
+        let mut a = Asm::new();
+        a.j("nowhere");
+        assert_eq!(a.assemble(), Err(AsmError::UndefinedLabel("nowhere".into())));
+    }
+
+    #[test]
+    fn duplicate_label_reported() {
+        let mut a = Asm::new();
+        a.bind("x");
+        a.nop();
+        a.bind("x");
+        a.halt();
+        assert_eq!(a.assemble(), Err(AsmError::DuplicateLabel("x".into())));
+    }
+
+    #[test]
+    fn nthr_target_resolves() {
+        let mut a = Asm::new();
+        a.nthr(Reg(5), "child");
+        a.halt();
+        a.bind("child");
+        a.kthr();
+        let text = a.assemble().unwrap();
+        assert_eq!(text[0], Instr::Nthr { rd: Reg(5), target: 2 });
+    }
+
+    #[test]
+    fn pseudo_ops_expand() {
+        let mut a = Asm::new();
+        a.mv(Reg(1), Reg(2));
+        a.push_reg(Reg(3));
+        a.pop_reg(Reg(4));
+        a.call("f");
+        a.bind("f");
+        a.ret();
+        let text = a.assemble().unwrap();
+        assert_eq!(text.len(), 7);
+        assert_eq!(text[0], Instr::AluI { op: AluOp::Add, rd: Reg(1), rs1: Reg(2), imm: 0 });
+        assert_eq!(text[5], Instr::Jal { rd: Reg::RA, target: 6 });
+        assert_eq!(text[6], Instr::Jr { rs: Reg::RA });
+    }
+
+    #[test]
+    fn here_and_len_track_position() {
+        let mut a = Asm::new();
+        assert!(a.is_empty());
+        assert_eq!(a.here(), 0);
+        a.nop();
+        a.nop();
+        assert_eq!(a.here(), 2);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(AsmError::UndefinedLabel("z".into()).to_string(), "undefined label `z`");
+        assert_eq!(AsmError::DuplicateLabel("z".into()).to_string(), "duplicate label `z`");
+    }
+}

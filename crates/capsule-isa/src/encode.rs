@@ -1,0 +1,369 @@
+//! Fixed-width binary encoding of CAP64 instructions.
+//!
+//! Each instruction encodes into two 64-bit words:
+//!
+//! ```text
+//! word0: | opcode:8 | subop:8 | rd:8 | rs1:8 | rs2:8 | aux:24 |
+//! word1: | immediate bits (i64 / f64) :64 |
+//! ```
+//!
+//! `aux` carries 24-bit absolute targets (branches, jumps, `nthr`) and
+//! section ids; `word1` carries immediates and memory offsets. The
+//! encoding exists so programs can be persisted and exchanged; the
+//! simulator itself executes the decoded [`Instr`] form.
+
+use std::fmt;
+
+use crate::instr::{AluOp, BrCond, FAluOp, FCmpOp, Instr};
+use crate::reg::{FReg, Reg};
+
+/// Encoding failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EncodeError {
+    /// A branch/jump/`nthr` target exceeds 24 bits.
+    TargetTooLarge(u32),
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodeError::TargetTooLarge(t) => write!(f, "target {t} exceeds 24 bits"),
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+/// Decoding failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Unknown opcode byte.
+    BadOpcode(u8),
+    /// Sub-operation out of range for the opcode.
+    BadSubop(u8),
+    /// Register field out of range.
+    BadRegister(u8),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::BadOpcode(b) => write!(f, "unknown opcode {b:#x}"),
+            DecodeError::BadSubop(b) => write!(f, "bad sub-operation {b:#x}"),
+            DecodeError::BadRegister(b) => write!(f, "register field out of range: {b}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+const OP_NOP: u8 = 0;
+const OP_ALU: u8 = 1;
+const OP_ALUI: u8 = 2;
+const OP_LI: u8 = 3;
+const OP_LD: u8 = 4;
+const OP_ST: u8 = 5;
+const OP_LDB: u8 = 6;
+const OP_STB: u8 = 7;
+const OP_FLD: u8 = 8;
+const OP_FST: u8 = 9;
+const OP_BR: u8 = 10;
+const OP_J: u8 = 11;
+const OP_JAL: u8 = 12;
+const OP_JR: u8 = 13;
+const OP_JALR: u8 = 14;
+const OP_FALU: u8 = 15;
+const OP_FLI: u8 = 16;
+const OP_FCMP: u8 = 17;
+const OP_CVTIF: u8 = 18;
+const OP_CVTFI: u8 = 19;
+const OP_NTHR: u8 = 20;
+const OP_KTHR: u8 = 21;
+const OP_MLOCK: u8 = 22;
+const OP_MUNLOCK: u8 = 23;
+const OP_NCTX: u8 = 24;
+const OP_TID: u8 = 25;
+const OP_MARKSTART: u8 = 26;
+const OP_MARKEND: u8 = 27;
+const OP_OUT: u8 = 28;
+const OP_OUTF: u8 = 29;
+const OP_HALT: u8 = 30;
+
+const AUX_MAX: u32 = (1 << 24) - 1;
+
+fn pack(op: u8, subop: u8, rd: u8, rs1: u8, rs2: u8, aux: u32) -> Result<u64, EncodeError> {
+    if aux > AUX_MAX {
+        return Err(EncodeError::TargetTooLarge(aux));
+    }
+    Ok(op as u64
+        | (subop as u64) << 8
+        | (rd as u64) << 16
+        | (rs1 as u64) << 24
+        | (rs2 as u64) << 32
+        | (aux as u64) << 40)
+}
+
+/// Encodes one instruction into two 64-bit words.
+///
+/// # Errors
+///
+/// [`EncodeError::TargetTooLarge`] when a control target exceeds 24 bits
+/// (programs assembled through [`crate::asm::Asm`] are already bounded).
+pub fn encode(i: &Instr) -> Result<[u64; 2], EncodeError> {
+    let w = |w0: Result<u64, EncodeError>, imm: u64| -> Result<[u64; 2], EncodeError> {
+        Ok([w0?, imm])
+    };
+    let subop_alu = |op: AluOp| AluOp::ALL.iter().position(|&o| o == op).expect("op is in ALL") as u8;
+    let subop_falu = |op: FAluOp| FAluOp::ALL.iter().position(|&o| o == op).expect("op is in ALL") as u8;
+    let subop_fcmp = |op: FCmpOp| FCmpOp::ALL.iter().position(|&o| o == op).expect("op is in ALL") as u8;
+    let subop_br = |c: BrCond| BrCond::ALL.iter().position(|&o| o == c).expect("cond is in ALL") as u8;
+
+    match *i {
+        Instr::Nop => w(pack(OP_NOP, 0, 0, 0, 0, 0), 0),
+        Instr::Alu { op, rd, rs1, rs2 } => {
+            w(pack(OP_ALU, subop_alu(op), rd.0, rs1.0, rs2.0, 0), 0)
+        }
+        Instr::AluI { op, rd, rs1, imm } => {
+            w(pack(OP_ALUI, subop_alu(op), rd.0, rs1.0, 0, 0), imm as u64)
+        }
+        Instr::Li { rd, imm } => w(pack(OP_LI, 0, rd.0, 0, 0, 0), imm as u64),
+        Instr::Ld { rd, base, off } => w(pack(OP_LD, 0, rd.0, base.0, 0, 0), off as u64),
+        Instr::St { rs, base, off } => w(pack(OP_ST, 0, 0, rs.0, base.0, 0), off as u64),
+        Instr::Ldb { rd, base, off } => w(pack(OP_LDB, 0, rd.0, base.0, 0, 0), off as u64),
+        Instr::Stb { rs, base, off } => w(pack(OP_STB, 0, 0, rs.0, base.0, 0), off as u64),
+        Instr::FLd { fd, base, off } => w(pack(OP_FLD, 0, fd.0, base.0, 0, 0), off as u64),
+        Instr::FSt { fs, base, off } => w(pack(OP_FST, 0, 0, fs.0, base.0, 0), off as u64),
+        Instr::Br { cond, rs1, rs2, target } => {
+            w(pack(OP_BR, subop_br(cond), 0, rs1.0, rs2.0, target), 0)
+        }
+        Instr::J { target } => w(pack(OP_J, 0, 0, 0, 0, target), 0),
+        Instr::Jal { rd, target } => w(pack(OP_JAL, 0, rd.0, 0, 0, target), 0),
+        Instr::Jr { rs } => w(pack(OP_JR, 0, 0, rs.0, 0, 0), 0),
+        Instr::Jalr { rd, rs } => w(pack(OP_JALR, 0, rd.0, rs.0, 0, 0), 0),
+        Instr::FAlu { op, fd, fs1, fs2 } => {
+            w(pack(OP_FALU, subop_falu(op), fd.0, fs1.0, fs2.0, 0), 0)
+        }
+        Instr::FLi { fd, imm } => w(pack(OP_FLI, 0, fd.0, 0, 0, 0), imm.to_bits()),
+        Instr::FCmp { op, rd, fs1, fs2 } => {
+            w(pack(OP_FCMP, subop_fcmp(op), rd.0, fs1.0, fs2.0, 0), 0)
+        }
+        Instr::CvtIF { fd, rs } => w(pack(OP_CVTIF, 0, fd.0, rs.0, 0, 0), 0),
+        Instr::CvtFI { rd, fs } => w(pack(OP_CVTFI, 0, rd.0, fs.0, 0, 0), 0),
+        Instr::Nthr { rd, target } => w(pack(OP_NTHR, 0, rd.0, 0, 0, target), 0),
+        Instr::Kthr => w(pack(OP_KTHR, 0, 0, 0, 0, 0), 0),
+        Instr::Mlock { rs } => w(pack(OP_MLOCK, 0, 0, rs.0, 0, 0), 0),
+        Instr::Munlock { rs } => w(pack(OP_MUNLOCK, 0, 0, rs.0, 0, 0), 0),
+        Instr::Nctx { rd } => w(pack(OP_NCTX, 0, rd.0, 0, 0, 0), 0),
+        Instr::Tid { rd } => w(pack(OP_TID, 0, rd.0, 0, 0, 0), 0),
+        Instr::MarkStart { id } => w(pack(OP_MARKSTART, 0, 0, 0, 0, id as u32), 0),
+        Instr::MarkEnd { id } => w(pack(OP_MARKEND, 0, 0, 0, 0, id as u32), 0),
+        Instr::Out { rs } => w(pack(OP_OUT, 0, 0, rs.0, 0, 0), 0),
+        Instr::OutF { fs } => w(pack(OP_OUTF, 0, 0, fs.0, 0, 0), 0),
+        Instr::Halt => w(pack(OP_HALT, 0, 0, 0, 0, 0), 0),
+    }
+}
+
+fn reg(b: u8) -> Result<Reg, DecodeError> {
+    if (b as usize) < Reg::COUNT {
+        Ok(Reg(b))
+    } else {
+        Err(DecodeError::BadRegister(b))
+    }
+}
+
+fn freg(b: u8) -> Result<FReg, DecodeError> {
+    if (b as usize) < FReg::COUNT {
+        Ok(FReg(b))
+    } else {
+        Err(DecodeError::BadRegister(b))
+    }
+}
+
+/// Decodes two words back into an instruction.
+///
+/// # Errors
+///
+/// See [`DecodeError`].
+pub fn decode(words: [u64; 2]) -> Result<Instr, DecodeError> {
+    let w0 = words[0];
+    let imm = words[1];
+    let op = (w0 & 0xff) as u8;
+    let subop = ((w0 >> 8) & 0xff) as u8;
+    let rd = ((w0 >> 16) & 0xff) as u8;
+    let rs1 = ((w0 >> 24) & 0xff) as u8;
+    let rs2 = ((w0 >> 32) & 0xff) as u8;
+    let aux = ((w0 >> 40) & 0xff_ffff) as u32;
+
+    let alu_op = |s: u8| AluOp::ALL.get(s as usize).copied().ok_or(DecodeError::BadSubop(s));
+    let falu_op = |s: u8| FAluOp::ALL.get(s as usize).copied().ok_or(DecodeError::BadSubop(s));
+    let fcmp_op = |s: u8| FCmpOp::ALL.get(s as usize).copied().ok_or(DecodeError::BadSubop(s));
+    let br_cond = |s: u8| BrCond::ALL.get(s as usize).copied().ok_or(DecodeError::BadSubop(s));
+
+    Ok(match op {
+        OP_NOP => Instr::Nop,
+        OP_ALU => Instr::Alu { op: alu_op(subop)?, rd: reg(rd)?, rs1: reg(rs1)?, rs2: reg(rs2)? },
+        OP_ALUI => {
+            Instr::AluI { op: alu_op(subop)?, rd: reg(rd)?, rs1: reg(rs1)?, imm: imm as i64 }
+        }
+        OP_LI => Instr::Li { rd: reg(rd)?, imm: imm as i64 },
+        OP_LD => Instr::Ld { rd: reg(rd)?, base: reg(rs1)?, off: imm as i64 },
+        OP_ST => Instr::St { rs: reg(rs1)?, base: reg(rs2)?, off: imm as i64 },
+        OP_LDB => Instr::Ldb { rd: reg(rd)?, base: reg(rs1)?, off: imm as i64 },
+        OP_STB => Instr::Stb { rs: reg(rs1)?, base: reg(rs2)?, off: imm as i64 },
+        OP_FLD => Instr::FLd { fd: freg(rd)?, base: reg(rs1)?, off: imm as i64 },
+        OP_FST => Instr::FSt { fs: freg(rs1)?, base: reg(rs2)?, off: imm as i64 },
+        OP_BR => Instr::Br { cond: br_cond(subop)?, rs1: reg(rs1)?, rs2: reg(rs2)?, target: aux },
+        OP_J => Instr::J { target: aux },
+        OP_JAL => Instr::Jal { rd: reg(rd)?, target: aux },
+        OP_JR => Instr::Jr { rs: reg(rs1)? },
+        OP_JALR => Instr::Jalr { rd: reg(rd)?, rs: reg(rs1)? },
+        OP_FALU => {
+            Instr::FAlu { op: falu_op(subop)?, fd: freg(rd)?, fs1: freg(rs1)?, fs2: freg(rs2)? }
+        }
+        OP_FLI => Instr::FLi { fd: freg(rd)?, imm: f64::from_bits(imm) },
+        OP_FCMP => {
+            Instr::FCmp { op: fcmp_op(subop)?, rd: reg(rd)?, fs1: freg(rs1)?, fs2: freg(rs2)? }
+        }
+        OP_CVTIF => Instr::CvtIF { fd: freg(rd)?, rs: reg(rs1)? },
+        OP_CVTFI => Instr::CvtFI { rd: reg(rd)?, fs: freg(rs1)? },
+        OP_NTHR => Instr::Nthr { rd: reg(rd)?, target: aux },
+        OP_KTHR => Instr::Kthr,
+        OP_MLOCK => Instr::Mlock { rs: reg(rs1)? },
+        OP_MUNLOCK => Instr::Munlock { rs: reg(rs1)? },
+        OP_NCTX => Instr::Nctx { rd: reg(rd)? },
+        OP_TID => Instr::Tid { rd: reg(rd)? },
+        OP_MARKSTART => Instr::MarkStart { id: aux as u16 },
+        OP_MARKEND => Instr::MarkEnd { id: aux as u16 },
+        OP_OUT => Instr::Out { rs: reg(rs1)? },
+        OP_OUTF => Instr::OutF { fs: freg(rs1)? },
+        OP_HALT => Instr::Halt,
+        other => return Err(DecodeError::BadOpcode(other)),
+    })
+}
+
+/// Encodes a whole program text.
+///
+/// # Errors
+///
+/// Propagates the first [`EncodeError`].
+pub fn encode_all(text: &[Instr]) -> Result<Vec<u64>, EncodeError> {
+    let mut out = Vec::with_capacity(text.len() * 2);
+    for i in text {
+        let [a, b] = encode(i)?;
+        out.push(a);
+        out.push(b);
+    }
+    Ok(out)
+}
+
+/// Decodes a stream produced by [`encode_all`].
+///
+/// # Errors
+///
+/// [`DecodeError::BadOpcode`] on truncated input (odd word count) or any
+/// per-instruction decode failure.
+pub fn decode_all(words: &[u64]) -> Result<Vec<Instr>, DecodeError> {
+    if !words.len().is_multiple_of(2) {
+        return Err(DecodeError::BadOpcode(0xff));
+    }
+    words.chunks_exact(2).map(|c| decode([c[0], c[1]])).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_instrs() -> Vec<Instr> {
+        vec![
+            Instr::Nop,
+            Instr::Alu { op: AluOp::Add, rd: Reg(1), rs1: Reg(2), rs2: Reg(3) },
+            Instr::AluI { op: AluOp::Xor, rd: Reg(4), rs1: Reg(5), imm: -1234567890123 },
+            Instr::Li { rd: Reg(6), imm: i64::MIN },
+            Instr::Ld { rd: Reg(7), base: Reg::SP, off: -16 },
+            Instr::St { rs: Reg(8), base: Reg(9), off: 4096 },
+            Instr::Ldb { rd: Reg(1), base: Reg(2), off: 3 },
+            Instr::Stb { rs: Reg(3), base: Reg(4), off: -3 },
+            Instr::FLd { fd: FReg(1), base: Reg(2), off: 8 },
+            Instr::FSt { fs: FReg(2), base: Reg(3), off: 8 },
+            Instr::Br { cond: BrCond::Ltu, rs1: Reg(1), rs2: Reg(2), target: 12345 },
+            Instr::J { target: 0 },
+            Instr::Jal { rd: Reg::RA, target: AUX_MAX },
+            Instr::Jr { rs: Reg::RA },
+            Instr::Jalr { rd: Reg(1), rs: Reg(2) },
+            Instr::FAlu { op: FAluOp::Div, fd: FReg(3), fs1: FReg(4), fs2: FReg(5) },
+            Instr::FLi { fd: FReg(6), imm: -0.0 },
+            Instr::FCmp { op: FCmpOp::Le, rd: Reg(1), fs1: FReg(2), fs2: FReg(3) },
+            Instr::CvtIF { fd: FReg(7), rs: Reg(8) },
+            Instr::CvtFI { rd: Reg(9), fs: FReg(10) },
+            Instr::Nthr { rd: Reg(5), target: 77 },
+            Instr::Kthr,
+            Instr::Mlock { rs: Reg(11) },
+            Instr::Munlock { rs: Reg(11) },
+            Instr::Nctx { rd: Reg(12) },
+            Instr::Tid { rd: Reg(13) },
+            Instr::MarkStart { id: 65535 },
+            Instr::MarkEnd { id: 0 },
+            Instr::Out { rs: Reg(14) },
+            Instr::OutF { fs: FReg(15) },
+            Instr::Halt,
+        ]
+    }
+
+    #[test]
+    fn roundtrip_every_variant() {
+        for i in sample_instrs() {
+            let enc = encode(&i).unwrap();
+            let dec = decode(enc).unwrap();
+            // Compare via Debug to handle -0.0 bit-exactly.
+            assert_eq!(format!("{i:?}"), format!("{dec:?}"), "variant {i}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_stream() {
+        let text = sample_instrs();
+        let words = encode_all(&text).unwrap();
+        assert_eq!(words.len(), text.len() * 2);
+        let back = decode_all(&words).unwrap();
+        assert_eq!(format!("{text:?}"), format!("{back:?}"));
+    }
+
+    #[test]
+    fn target_too_large_rejected() {
+        let i = Instr::J { target: AUX_MAX + 1 };
+        assert_eq!(encode(&i), Err(EncodeError::TargetTooLarge(AUX_MAX + 1)));
+    }
+
+    #[test]
+    fn bad_opcode_rejected() {
+        assert_eq!(decode([0xfe, 0]), Err(DecodeError::BadOpcode(0xfe)));
+    }
+
+    #[test]
+    fn bad_register_rejected() {
+        // OP_LI with rd = 40.
+        let w0 = OP_LI as u64 | (40u64 << 16);
+        assert_eq!(decode([w0, 0]), Err(DecodeError::BadRegister(40)));
+    }
+
+    #[test]
+    fn bad_subop_rejected() {
+        let w0 = OP_ALU as u64 | (99u64 << 8);
+        assert_eq!(decode([w0, 0]), Err(DecodeError::BadSubop(99)));
+    }
+
+    #[test]
+    fn truncated_stream_rejected() {
+        assert!(decode_all(&[0]).is_err());
+    }
+
+    #[test]
+    fn nan_survives_roundtrip() {
+        let i = Instr::FLi { fd: FReg(0), imm: f64::NAN };
+        let dec = decode(encode(&i).unwrap()).unwrap();
+        match dec {
+            Instr::FLi { imm, .. } => assert!(imm.is_nan()),
+            other => panic!("wrong decode: {other:?}"),
+        }
+    }
+}

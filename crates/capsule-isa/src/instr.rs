@@ -1,0 +1,831 @@
+//! The CAP64 instruction set.
+//!
+//! CAP64 is a 64-bit load/store RISC ISA with the CAPSULE extensions of the
+//! paper:
+//!
+//! - [`Instr::Nthr`] — *New THRead*: probe + conditional division. The
+//!   hardware may grant (writing 0 to `rd` in the parent and 1 in the
+//!   child, which starts at `target` with a copy of the registers) or deny
+//!   (writing −1 and falling through), exactly the `switch` lowering of
+//!   Figure 2 of the paper.
+//! - [`Instr::Kthr`] — *Kill THRead*: worker death; frees the context.
+//! - [`Instr::Mlock`]/[`Instr::Munlock`] — fast lock table on a base
+//!   address.
+//! - [`Instr::MarkStart`]/[`Instr::MarkEnd`] — section instrumentation used
+//!   to measure componentized-section time (Table 2 / Figure 8).
+//!
+//! Branch/jump targets are absolute instruction indices (the program
+//! counter counts instructions, not bytes; the I-cache charges
+//! [`INSTR_BYTES`] bytes per instruction so that a cache line holds 8
+//! instructions as in the paper).
+
+use std::fmt;
+
+use crate::reg::{FReg, Reg};
+
+/// Bytes charged per instruction for I-cache indexing (64-byte lines hold
+/// 8 instructions, the paper's fetch granularity).
+pub const INSTR_BYTES: u64 = 8;
+
+/// Integer ALU operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum AluOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    And,
+    Or,
+    Xor,
+    Sll,
+    Srl,
+    Sra,
+    Slt,
+    Sltu,
+}
+
+impl AluOp {
+    /// All operations, for property tests and the assembler tables.
+    pub const ALL: [AluOp; 13] = [
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::Mul,
+        AluOp::Div,
+        AluOp::Rem,
+        AluOp::And,
+        AluOp::Or,
+        AluOp::Xor,
+        AluOp::Sll,
+        AluOp::Srl,
+        AluOp::Sra,
+        AluOp::Slt,
+        AluOp::Sltu,
+    ];
+
+    /// Mnemonic root (`add`, `sub`, ...).
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::Mul => "mul",
+            AluOp::Div => "div",
+            AluOp::Rem => "rem",
+            AluOp::And => "and",
+            AluOp::Or => "or",
+            AluOp::Xor => "xor",
+            AluOp::Sll => "sll",
+            AluOp::Srl => "srl",
+            AluOp::Sra => "sra",
+            AluOp::Slt => "slt",
+            AluOp::Sltu => "sltu",
+        }
+    }
+
+    /// Applies the operation with CAP64 semantics (wrapping arithmetic,
+    /// shift amounts masked to 6 bits, division by zero yields −1/0 like
+    /// RISC-V rather than trapping).
+    pub fn apply(self, a: i64, b: i64) -> i64 {
+        match self {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::Mul => a.wrapping_mul(b),
+            AluOp::Div => {
+                if b == 0 {
+                    -1
+                } else {
+                    a.wrapping_div(b)
+                }
+            }
+            AluOp::Rem => {
+                if b == 0 {
+                    a
+                } else {
+                    a.wrapping_rem(b)
+                }
+            }
+            AluOp::And => a & b,
+            AluOp::Or => a | b,
+            AluOp::Xor => a ^ b,
+            AluOp::Sll => ((a as u64) << (b as u64 & 63)) as i64,
+            AluOp::Srl => ((a as u64) >> (b as u64 & 63)) as i64,
+            AluOp::Sra => a >> (b as u64 & 63),
+            AluOp::Slt => (a < b) as i64,
+            AluOp::Sltu => ((a as u64) < (b as u64)) as i64,
+        }
+    }
+
+    /// Whether the op uses the integer multiply/divide unit.
+    pub fn is_long(self) -> bool {
+        matches!(self, AluOp::Mul | AluOp::Div | AluOp::Rem)
+    }
+}
+
+/// Floating-point ALU operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum FAluOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Min,
+    Max,
+}
+
+impl FAluOp {
+    /// All operations.
+    pub const ALL: [FAluOp; 6] =
+        [FAluOp::Add, FAluOp::Sub, FAluOp::Mul, FAluOp::Div, FAluOp::Min, FAluOp::Max];
+
+    /// Mnemonic root (printed as `fadd`, `fsub`, ...).
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            FAluOp::Add => "fadd",
+            FAluOp::Sub => "fsub",
+            FAluOp::Mul => "fmul",
+            FAluOp::Div => "fdiv",
+            FAluOp::Min => "fmin",
+            FAluOp::Max => "fmax",
+        }
+    }
+
+    /// Applies the operation.
+    pub fn apply(self, a: f64, b: f64) -> f64 {
+        match self {
+            FAluOp::Add => a + b,
+            FAluOp::Sub => a - b,
+            FAluOp::Mul => a * b,
+            FAluOp::Div => a / b,
+            FAluOp::Min => a.min(b),
+            FAluOp::Max => a.max(b),
+        }
+    }
+
+    /// Whether the op uses the FP multiply/divide unit.
+    pub fn is_long(self) -> bool {
+        matches!(self, FAluOp::Mul | FAluOp::Div)
+    }
+}
+
+/// Floating-point comparisons (result written to an integer register).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum FCmpOp {
+    Lt,
+    Le,
+    Eq,
+}
+
+impl FCmpOp {
+    /// All comparisons.
+    pub const ALL: [FCmpOp; 3] = [FCmpOp::Lt, FCmpOp::Le, FCmpOp::Eq];
+
+    /// Mnemonic (`flt`, `fle`, `feq`).
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            FCmpOp::Lt => "flt",
+            FCmpOp::Le => "fle",
+            FCmpOp::Eq => "feq",
+        }
+    }
+
+    /// Applies the comparison.
+    pub fn apply(self, a: f64, b: f64) -> bool {
+        match self {
+            FCmpOp::Lt => a < b,
+            FCmpOp::Le => a <= b,
+            FCmpOp::Eq => a == b,
+        }
+    }
+}
+
+/// Conditional-branch conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum BrCond {
+    Eq,
+    Ne,
+    Lt,
+    Ge,
+    Ltu,
+    Geu,
+}
+
+impl BrCond {
+    /// All conditions.
+    pub const ALL: [BrCond; 6] =
+        [BrCond::Eq, BrCond::Ne, BrCond::Lt, BrCond::Ge, BrCond::Ltu, BrCond::Geu];
+
+    /// Mnemonic (`beq`, `bne`, ...).
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            BrCond::Eq => "beq",
+            BrCond::Ne => "bne",
+            BrCond::Lt => "blt",
+            BrCond::Ge => "bge",
+            BrCond::Ltu => "bltu",
+            BrCond::Geu => "bgeu",
+        }
+    }
+
+    /// Evaluates the condition.
+    pub fn holds(self, a: i64, b: i64) -> bool {
+        match self {
+            BrCond::Eq => a == b,
+            BrCond::Ne => a != b,
+            BrCond::Lt => a < b,
+            BrCond::Ge => a >= b,
+            BrCond::Ltu => (a as u64) < (b as u64),
+            BrCond::Geu => (a as u64) >= (b as u64),
+        }
+    }
+}
+
+/// Functional-unit classes used by the timing model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FuClass {
+    /// Integer ALU (1 cycle).
+    IntAlu,
+    /// Integer multiply/divide.
+    IntMult,
+    /// FP add/compare/convert.
+    FpAlu,
+    /// FP multiply/divide.
+    FpMult,
+    /// Load/store address+access (uses an integer ALU port for AGEN, then
+    /// the cache).
+    Mem,
+    /// No functional unit (marks, halt, nop, thread control).
+    None,
+}
+
+/// A CAP64 instruction.
+///
+/// Branch and `nthr` targets are absolute instruction indices fixed up by
+/// the assembler.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Instr {
+    /// Integer register-register ALU.
+    Alu {
+        /// Operation.
+        op: AluOp,
+        /// Destination.
+        rd: Reg,
+        /// First source.
+        rs1: Reg,
+        /// Second source.
+        rs2: Reg,
+    },
+    /// Integer register-immediate ALU.
+    AluI {
+        /// Operation.
+        op: AluOp,
+        /// Destination.
+        rd: Reg,
+        /// Source.
+        rs1: Reg,
+        /// Immediate operand.
+        imm: i64,
+    },
+    /// Load immediate.
+    Li {
+        /// Destination.
+        rd: Reg,
+        /// Value.
+        imm: i64,
+    },
+    /// Load 64-bit word: `rd = mem[rs1 + off]`.
+    Ld {
+        /// Destination.
+        rd: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Byte offset.
+        off: i64,
+    },
+    /// Store 64-bit word: `mem[base + off] = rs`.
+    St {
+        /// Value source.
+        rs: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Byte offset.
+        off: i64,
+    },
+    /// Load byte (zero-extended).
+    Ldb {
+        /// Destination.
+        rd: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Byte offset.
+        off: i64,
+    },
+    /// Store low byte.
+    Stb {
+        /// Value source.
+        rs: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Byte offset.
+        off: i64,
+    },
+    /// Load 64-bit float.
+    FLd {
+        /// Destination.
+        fd: FReg,
+        /// Base address register.
+        base: Reg,
+        /// Byte offset.
+        off: i64,
+    },
+    /// Store 64-bit float.
+    FSt {
+        /// Value source.
+        fs: FReg,
+        /// Base address register.
+        base: Reg,
+        /// Byte offset.
+        off: i64,
+    },
+    /// Conditional branch to `target` when `cond(rs1, rs2)`.
+    Br {
+        /// Condition.
+        cond: BrCond,
+        /// First operand.
+        rs1: Reg,
+        /// Second operand.
+        rs2: Reg,
+        /// Absolute instruction index.
+        target: u32,
+    },
+    /// Unconditional jump.
+    J {
+        /// Absolute instruction index.
+        target: u32,
+    },
+    /// Jump and link: `rd = pc + 1; pc = target`.
+    Jal {
+        /// Link register.
+        rd: Reg,
+        /// Absolute instruction index.
+        target: u32,
+    },
+    /// Indirect jump: `pc = rs`.
+    Jr {
+        /// Target address register (instruction index).
+        rs: Reg,
+    },
+    /// Indirect jump and link.
+    Jalr {
+        /// Link register.
+        rd: Reg,
+        /// Target address register.
+        rs: Reg,
+    },
+    /// FP register-register ALU.
+    FAlu {
+        /// Operation.
+        op: FAluOp,
+        /// Destination.
+        fd: FReg,
+        /// First source.
+        fs1: FReg,
+        /// Second source.
+        fs2: FReg,
+    },
+    /// FP load immediate.
+    FLi {
+        /// Destination.
+        fd: FReg,
+        /// Value.
+        imm: f64,
+    },
+    /// FP comparison into an integer register (1 if true).
+    FCmp {
+        /// Comparison.
+        op: FCmpOp,
+        /// Integer destination.
+        rd: Reg,
+        /// First source.
+        fs1: FReg,
+        /// Second source.
+        fs2: FReg,
+    },
+    /// Convert integer to float: `fd = rs as f64`.
+    CvtIF {
+        /// Destination.
+        fd: FReg,
+        /// Source.
+        rs: Reg,
+    },
+    /// Convert float to integer (truncating): `rd = fs as i64`.
+    CvtFI {
+        /// Destination.
+        rd: Reg,
+        /// Source.
+        fs: FReg,
+    },
+    /// CAPSULE probe + conditional division (paper §3.1).
+    ///
+    /// Granted: parent gets `rd = 0` and falls through; the child receives
+    /// a register copy, `rd = 1`, and resumes at `target`.
+    /// Denied: `rd = -1`, fall through (the instruction behaves as a nop
+    /// plus the probe result).
+    Nthr {
+        /// Probe-result destination.
+        rd: Reg,
+        /// Child entry point (absolute instruction index).
+        target: u32,
+    },
+    /// CAPSULE worker death; frees the hardware context at commit.
+    Kthr,
+    /// Acquire the fast lock on the base address in `rs` (paper §3.1).
+    Mlock {
+        /// Register holding the locked address.
+        rs: Reg,
+    },
+    /// Release the fast lock on the base address in `rs`.
+    Munlock {
+        /// Register holding the locked address.
+        rs: Reg,
+    },
+    /// Probe: number of currently free hardware contexts.
+    Nctx {
+        /// Destination.
+        rd: Reg,
+    },
+    /// Current worker id.
+    Tid {
+        /// Destination.
+        rd: Reg,
+    },
+    /// Enter instrumentation section `id`.
+    MarkStart {
+        /// Section id.
+        id: u16,
+    },
+    /// Leave instrumentation section `id`.
+    MarkEnd {
+        /// Section id.
+        id: u16,
+    },
+    /// Append the integer in `rs` to the run's output channel.
+    Out {
+        /// Source.
+        rs: Reg,
+    },
+    /// Append the float in `fs` to the run's output channel.
+    OutF {
+        /// Source.
+        fs: FReg,
+    },
+    /// Stop the machine (all threads) and end the run.
+    Halt,
+    /// No operation.
+    Nop,
+}
+
+impl Instr {
+    /// Functional-unit class for the timing model.
+    pub fn fu_class(&self) -> FuClass {
+        match self {
+            Instr::Alu { op, .. } | Instr::AluI { op, .. } => {
+                if op.is_long() {
+                    FuClass::IntMult
+                } else {
+                    FuClass::IntAlu
+                }
+            }
+            Instr::Li { .. } | Instr::Tid { .. } | Instr::Nctx { .. } => FuClass::IntAlu,
+            Instr::Ld { .. }
+            | Instr::St { .. }
+            | Instr::Ldb { .. }
+            | Instr::Stb { .. }
+            | Instr::FLd { .. }
+            | Instr::FSt { .. } => FuClass::Mem,
+            Instr::Br { .. }
+            | Instr::J { .. }
+            | Instr::Jal { .. }
+            | Instr::Jr { .. }
+            | Instr::Jalr { .. } => FuClass::IntAlu,
+            Instr::FAlu { op, .. } => {
+                if op.is_long() {
+                    FuClass::FpMult
+                } else {
+                    FuClass::FpAlu
+                }
+            }
+            Instr::FLi { .. } | Instr::FCmp { .. } | Instr::CvtIF { .. } | Instr::CvtFI { .. } => {
+                FuClass::FpAlu
+            }
+            Instr::Nthr { .. }
+            | Instr::Kthr
+            | Instr::Mlock { .. }
+            | Instr::Munlock { .. }
+            | Instr::MarkStart { .. }
+            | Instr::MarkEnd { .. }
+            | Instr::Out { .. }
+            | Instr::OutF { .. }
+            | Instr::Halt
+            | Instr::Nop => FuClass::None,
+        }
+    }
+
+    /// Execution latency in cycles, excluding memory (loads add cache
+    /// latency on top of address generation).
+    pub fn latency(&self) -> u64 {
+        match self {
+            Instr::Alu { op, .. } | Instr::AluI { op, .. } => match op {
+                AluOp::Mul => 3,
+                AluOp::Div | AluOp::Rem => 20,
+                _ => 1,
+            },
+            Instr::FAlu { op, .. } => match op {
+                FAluOp::Mul => 4,
+                FAluOp::Div => 12,
+                _ => 2,
+            },
+            Instr::FCmp { .. } | Instr::CvtIF { .. } | Instr::CvtFI { .. } => 2,
+            _ => 1,
+        }
+    }
+
+    /// True for control-transfer instructions (branches and jumps; `nthr`
+    /// is *not* one for the fetch path — the parent always falls through).
+    pub fn is_control(&self) -> bool {
+        matches!(
+            self,
+            Instr::Br { .. } | Instr::J { .. } | Instr::Jal { .. } | Instr::Jr { .. } | Instr::Jalr { .. }
+        )
+    }
+
+    /// True for conditional branches.
+    pub fn is_cond_branch(&self) -> bool {
+        matches!(self, Instr::Br { .. })
+    }
+
+    /// True for memory instructions.
+    pub fn is_mem(&self) -> bool {
+        self.fu_class() == FuClass::Mem
+    }
+
+    /// True for loads.
+    pub fn is_load(&self) -> bool {
+        matches!(self, Instr::Ld { .. } | Instr::Ldb { .. } | Instr::FLd { .. })
+    }
+
+    /// True for stores.
+    pub fn is_store(&self) -> bool {
+        matches!(self, Instr::St { .. } | Instr::Stb { .. } | Instr::FSt { .. })
+    }
+
+    /// Integer destination register, if any (excluding `r0` writes, which
+    /// are architectural no-ops but still reported here).
+    pub fn dest_int(&self) -> Option<Reg> {
+        match *self {
+            Instr::Alu { rd, .. }
+            | Instr::AluI { rd, .. }
+            | Instr::Li { rd, .. }
+            | Instr::Ld { rd, .. }
+            | Instr::Ldb { rd, .. }
+            | Instr::Jal { rd, .. }
+            | Instr::Jalr { rd, .. }
+            | Instr::FCmp { rd, .. }
+            | Instr::CvtFI { rd, .. }
+            | Instr::Nthr { rd, .. }
+            | Instr::Nctx { rd }
+            | Instr::Tid { rd } => Some(rd),
+            _ => None,
+        }
+    }
+
+    /// FP destination register, if any.
+    pub fn dest_fp(&self) -> Option<FReg> {
+        match *self {
+            Instr::FLd { fd, .. }
+            | Instr::FAlu { fd, .. }
+            | Instr::FLi { fd, .. }
+            | Instr::CvtIF { fd, .. } => Some(fd),
+            _ => None,
+        }
+    }
+
+    /// Integer source registers (up to 2 used slots).
+    pub fn sources_int(&self) -> [Option<Reg>; 2] {
+        match *self {
+            Instr::Alu { rs1, rs2, .. } => [Some(rs1), Some(rs2)],
+            Instr::AluI { rs1, .. } => [Some(rs1), None],
+            Instr::Ld { base, .. } | Instr::Ldb { base, .. } | Instr::FLd { base, .. } => {
+                [Some(base), None]
+            }
+            Instr::St { rs, base, .. } | Instr::Stb { rs, base, .. } => [Some(rs), Some(base)],
+            Instr::FSt { base, .. } => [Some(base), None],
+            Instr::Br { rs1, rs2, .. } => [Some(rs1), Some(rs2)],
+            Instr::Jr { rs } | Instr::Jalr { rs, .. } => [Some(rs), None],
+            Instr::CvtIF { rs, .. } => [Some(rs), None],
+            Instr::Mlock { rs } | Instr::Munlock { rs } | Instr::Out { rs } => [Some(rs), None],
+            _ => [None, None],
+        }
+    }
+
+    /// FP source registers (up to 2 used slots).
+    pub fn sources_fp(&self) -> [Option<FReg>; 2] {
+        match *self {
+            Instr::FAlu { fs1, fs2, .. } | Instr::FCmp { fs1, fs2, .. } => [Some(fs1), Some(fs2)],
+            Instr::FSt { fs, .. } | Instr::OutF { fs } => [Some(fs), None],
+            Instr::CvtFI { fs, .. } => [Some(fs), None],
+            _ => [None, None],
+        }
+    }
+
+    /// Statically-known branch/jump/division target, if any.
+    pub fn static_target(&self) -> Option<u32> {
+        match *self {
+            Instr::Br { target, .. }
+            | Instr::J { target }
+            | Instr::Jal { target, .. }
+            | Instr::Nthr { target, .. } => Some(target),
+            _ => None,
+        }
+    }
+
+    /// Rewrites the statically-known target (assembler fixups).
+    pub(crate) fn set_static_target(&mut self, new: u32) {
+        match self {
+            Instr::Br { target, .. }
+            | Instr::J { target }
+            | Instr::Jal { target, .. }
+            | Instr::Nthr { target, .. } => *target = new,
+            _ => panic!("instruction has no static target: {self:?}"),
+        }
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Instr::Alu { op, rd, rs1, rs2 } => {
+                write!(f, "{} {rd}, {rs1}, {rs2}", op.mnemonic())
+            }
+            Instr::AluI { op, rd, rs1, imm } => {
+                write!(f, "{}i {rd}, {rs1}, {imm}", op.mnemonic())
+            }
+            Instr::Li { rd, imm } => write!(f, "li {rd}, {imm}"),
+            Instr::Ld { rd, base, off } => write!(f, "ld {rd}, {off}({base})"),
+            Instr::St { rs, base, off } => write!(f, "st {rs}, {off}({base})"),
+            Instr::Ldb { rd, base, off } => write!(f, "ldb {rd}, {off}({base})"),
+            Instr::Stb { rs, base, off } => write!(f, "stb {rs}, {off}({base})"),
+            Instr::FLd { fd, base, off } => write!(f, "fld {fd}, {off}({base})"),
+            Instr::FSt { fs, base, off } => write!(f, "fst {fs}, {off}({base})"),
+            Instr::Br { cond, rs1, rs2, target } => {
+                write!(f, "{} {rs1}, {rs2}, L{target}", cond.mnemonic())
+            }
+            Instr::J { target } => write!(f, "j L{target}"),
+            Instr::Jal { rd, target } => write!(f, "jal {rd}, L{target}"),
+            Instr::Jr { rs } => write!(f, "jr {rs}"),
+            Instr::Jalr { rd, rs } => write!(f, "jalr {rd}, {rs}"),
+            Instr::FAlu { op, fd, fs1, fs2 } => {
+                write!(f, "{} {fd}, {fs1}, {fs2}", op.mnemonic())
+            }
+            Instr::FLi { fd, imm } => write!(f, "fli {fd}, {imm:?}"),
+            Instr::FCmp { op, rd, fs1, fs2 } => {
+                write!(f, "{} {rd}, {fs1}, {fs2}", op.mnemonic())
+            }
+            Instr::CvtIF { fd, rs } => write!(f, "cvtif {fd}, {rs}"),
+            Instr::CvtFI { rd, fs } => write!(f, "cvtfi {rd}, {fs}"),
+            Instr::Nthr { rd, target } => write!(f, "nthr {rd}, L{target}"),
+            Instr::Kthr => write!(f, "kthr"),
+            Instr::Mlock { rs } => write!(f, "mlock {rs}"),
+            Instr::Munlock { rs } => write!(f, "munlock {rs}"),
+            Instr::Nctx { rd } => write!(f, "nctx {rd}"),
+            Instr::Tid { rd } => write!(f, "tid {rd}"),
+            Instr::MarkStart { id } => write!(f, "mark.start {id}"),
+            Instr::MarkEnd { id } => write!(f, "mark.end {id}"),
+            Instr::Out { rs } => write!(f, "out {rs}"),
+            Instr::OutF { fs } => write!(f, "outf {fs}"),
+            Instr::Halt => write!(f, "halt"),
+            Instr::Nop => write!(f, "nop"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alu_semantics() {
+        assert_eq!(AluOp::Add.apply(2, 3), 5);
+        assert_eq!(AluOp::Sub.apply(2, 3), -1);
+        assert_eq!(AluOp::Mul.apply(-4, 3), -12);
+        assert_eq!(AluOp::Div.apply(7, 2), 3);
+        assert_eq!(AluOp::Div.apply(7, 0), -1);
+        assert_eq!(AluOp::Rem.apply(7, 0), 7);
+        assert_eq!(AluOp::Rem.apply(7, 3), 1);
+        assert_eq!(AluOp::Sll.apply(1, 4), 16);
+        assert_eq!(AluOp::Srl.apply(-1, 60), 15);
+        assert_eq!(AluOp::Sra.apply(-16, 2), -4);
+        assert_eq!(AluOp::Slt.apply(-1, 0), 1);
+        assert_eq!(AluOp::Sltu.apply(-1, 0), 0); // -1 is u64::MAX
+        assert_eq!(AluOp::Add.apply(i64::MAX, 1), i64::MIN); // wrapping
+    }
+
+    #[test]
+    fn shift_amounts_masked() {
+        assert_eq!(AluOp::Sll.apply(1, 64), 1);
+        assert_eq!(AluOp::Sll.apply(1, 65), 2);
+    }
+
+    #[test]
+    fn branch_conditions() {
+        assert!(BrCond::Eq.holds(4, 4));
+        assert!(BrCond::Ne.holds(4, 5));
+        assert!(BrCond::Lt.holds(-1, 0));
+        assert!(!BrCond::Ltu.holds(-1, 0));
+        assert!(BrCond::Ge.holds(0, 0));
+        assert!(BrCond::Geu.holds(-1, 1));
+    }
+
+    #[test]
+    fn fcmp_semantics() {
+        assert!(FCmpOp::Lt.apply(1.0, 2.0));
+        assert!(FCmpOp::Le.apply(2.0, 2.0));
+        assert!(FCmpOp::Eq.apply(2.0, 2.0));
+        assert!(!FCmpOp::Lt.apply(f64::NAN, 0.0));
+    }
+
+    #[test]
+    fn fu_classification() {
+        let r = Reg(1);
+        let f1 = FReg(1);
+        assert_eq!(Instr::Alu { op: AluOp::Add, rd: r, rs1: r, rs2: r }.fu_class(), FuClass::IntAlu);
+        assert_eq!(Instr::Alu { op: AluOp::Mul, rd: r, rs1: r, rs2: r }.fu_class(), FuClass::IntMult);
+        assert_eq!(Instr::Ld { rd: r, base: r, off: 0 }.fu_class(), FuClass::Mem);
+        assert_eq!(
+            Instr::FAlu { op: FAluOp::Div, fd: f1, fs1: f1, fs2: f1 }.fu_class(),
+            FuClass::FpMult
+        );
+        assert_eq!(Instr::Kthr.fu_class(), FuClass::None);
+    }
+
+    #[test]
+    fn dest_and_sources() {
+        let i = Instr::Alu { op: AluOp::Add, rd: Reg(1), rs1: Reg(2), rs2: Reg(3) };
+        assert_eq!(i.dest_int(), Some(Reg(1)));
+        assert_eq!(i.sources_int(), [Some(Reg(2)), Some(Reg(3))]);
+
+        let s = Instr::St { rs: Reg(4), base: Reg(5), off: 8 };
+        assert_eq!(s.dest_int(), None);
+        assert_eq!(s.sources_int(), [Some(Reg(4)), Some(Reg(5))]);
+        assert!(s.is_store() && s.is_mem() && !s.is_load());
+
+        let n = Instr::Nthr { rd: Reg(6), target: 42 };
+        assert_eq!(n.dest_int(), Some(Reg(6)));
+        assert_eq!(n.static_target(), Some(42));
+        assert!(!n.is_control());
+    }
+
+    #[test]
+    fn fp_dest_and_sources() {
+        let i = Instr::FAlu { op: FAluOp::Add, fd: FReg(1), fs1: FReg(2), fs2: FReg(3) };
+        assert_eq!(i.dest_fp(), Some(FReg(1)));
+        assert_eq!(i.sources_fp(), [Some(FReg(2)), Some(FReg(3))]);
+        let c = Instr::CvtIF { fd: FReg(0), rs: Reg(7) };
+        assert_eq!(c.dest_fp(), Some(FReg(0)));
+        assert_eq!(c.sources_int(), [Some(Reg(7)), None]);
+    }
+
+    #[test]
+    fn display_round_trips_visually() {
+        let r1 = Reg(1);
+        let cases = [
+            (Instr::Alu { op: AluOp::Add, rd: r1, rs1: Reg(2), rs2: Reg(3) }, "add r1, r2, r3"),
+            (Instr::AluI { op: AluOp::Add, rd: r1, rs1: Reg(2), imm: -4 }, "addi r1, r2, -4"),
+            (Instr::Ld { rd: r1, base: Reg::SP, off: 16 }, "ld r1, 16(sp)"),
+            (Instr::Br { cond: BrCond::Eq, rs1: r1, rs2: Reg::ZERO, target: 7 }, "beq r1, r0, L7"),
+            (Instr::Nthr { rd: r1, target: 3 }, "nthr r1, L3"),
+            (Instr::MarkStart { id: 2 }, "mark.start 2"),
+            (Instr::Halt, "halt"),
+        ];
+        for (i, s) in cases {
+            assert_eq!(i.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn set_static_target_rewrites() {
+        let mut i = Instr::J { target: 0 };
+        i.set_static_target(9);
+        assert_eq!(i.static_target(), Some(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "no static target")]
+    fn set_static_target_panics_on_non_control() {
+        let mut i = Instr::Nop;
+        i.set_static_target(1);
+    }
+}

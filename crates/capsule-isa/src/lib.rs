@@ -1,0 +1,62 @@
+//! CAP64 — the instruction set of the CAPSULE reproduction.
+//!
+//! CAP64 is a 64-bit load/store RISC ISA carrying the paper's CAPSULE
+//! extensions: `nthr` (probe + conditional thread division), `kthr`
+//! (worker death), `mlock`/`munlock` (fast lock table), plus section
+//! instrumentation (`mark.start`/`mark.end`) used to reproduce the paper's
+//! componentized-section measurements.
+//!
+//! The crate provides:
+//!
+//! - the instruction model ([`instr::Instr`]) and registers ([`reg`]),
+//! - a builder DSL with labels ([`asm::Asm`]) — the programmatic analog of
+//!   the paper's assembly post-processor,
+//! - a text assembler and disassembler ([`text`]),
+//! - a fixed-width binary encoding ([`encode`]),
+//! - loadable programs with initialized data and loader threads
+//!   ([`program`]),
+//! - the component runtime fragments — stack pool, token join, barrier —
+//!   that the paper's toolchain links into post-processed programs
+//!   ([`rtlib`]).
+//!
+//! # Example: a worker that conditionally divides
+//!
+//! ```
+//! use capsule_isa::asm::Asm;
+//! use capsule_isa::program::{DataBuilder, Program, ThreadSpec};
+//! use capsule_isa::reg::Reg;
+//!
+//! let (r_probe, r_lo, r_hi) = (Reg(10), Reg(11), Reg(12));
+//! let mut a = Asm::new();
+//! a.bind("worker");
+//! // probe + conditional division: the switch of Figure 2 in the paper
+//! a.nthr(r_probe, "right_half");
+//! // case -1 (denied) and case 0 (parent / left half) fall through
+//! a.bind("left_half");
+//! // ... work on [lo, mid) ...
+//! a.kthr();
+//! a.bind("right_half");
+//! // ... work on [mid, hi) ...
+//! a.kthr();
+//! let text = a.assemble()?;
+//! let prog = Program::new(text, DataBuilder::new().build(), 4096)
+//!     .with_thread(ThreadSpec::at(0).with_reg(r_lo, 0).with_reg(r_hi, 100));
+//! prog.validate().unwrap();
+//! # Ok::<(), capsule_isa::asm::AsmError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asm;
+pub mod encode;
+pub mod instr;
+pub mod program;
+pub mod rtlib;
+pub mod reg;
+pub mod text;
+
+pub use asm::{Asm, AsmError};
+pub use instr::{AluOp, BrCond, FAluOp, FCmpOp, FuClass, Instr, INSTR_BYTES};
+pub use program::{DataBuilder, DataImage, Program, ProgramError, ThreadSpec, DATA_BASE};
+pub use reg::{FReg, Reg};

@@ -1,0 +1,132 @@
+//! Architectural registers of CAP64.
+//!
+//! The machine has 32 integer registers (`r0` hardwired to zero) and 32
+//! floating-point registers, matching the paper's 31 INT + 31 FP
+//! architected registers (plus PC) that size the 62-register context-swap
+//! cost.
+
+use std::fmt;
+
+/// An integer register `r0`..`r31`. `r0` reads as zero; writes are dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(pub u8);
+
+impl Reg {
+    /// Number of integer registers.
+    pub const COUNT: usize = 32;
+
+    /// Hardwired zero.
+    pub const ZERO: Reg = Reg(0);
+    /// Return address (convention, used by `jal`).
+    pub const RA: Reg = Reg(29);
+    /// Stack pointer (convention).
+    pub const SP: Reg = Reg(30);
+    /// Global/base pointer (convention; the loader parks the data base here).
+    pub const GP: Reg = Reg(31);
+
+    /// First argument register (conventions `A0`..`A5` = `r1`..`r6`).
+    pub const A0: Reg = Reg(1);
+    /// Second argument register.
+    pub const A1: Reg = Reg(2);
+    /// Third argument register.
+    pub const A2: Reg = Reg(3);
+    /// Fourth argument register.
+    pub const A3: Reg = Reg(4);
+    /// Fifth argument register.
+    pub const A4: Reg = Reg(5);
+    /// Sixth argument register.
+    pub const A5: Reg = Reg(6);
+
+    /// Creates a register, checking range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 32`.
+    pub fn new(i: u8) -> Reg {
+        assert!((i as usize) < Reg::COUNT, "integer register out of range: r{i}");
+        Reg(i)
+    }
+
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// True for the hardwired-zero register.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Reg::SP => write!(f, "sp"),
+            Reg::RA => write!(f, "ra"),
+            Reg::GP => write!(f, "gp"),
+            Reg(i) => write!(f, "r{i}"),
+        }
+    }
+}
+
+/// A floating-point register `f0`..`f31`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FReg(pub u8);
+
+impl FReg {
+    /// Number of FP registers.
+    pub const COUNT: usize = 32;
+
+    /// Creates an FP register, checking range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 32`.
+    pub fn new(i: u8) -> FReg {
+        assert!((i as usize) < FReg::COUNT, "fp register out of range: f{i}");
+        FReg(i)
+    }
+
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for FReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_conventions() {
+        assert_eq!(Reg(0).to_string(), "r0");
+        assert_eq!(Reg::SP.to_string(), "sp");
+        assert_eq!(Reg::RA.to_string(), "ra");
+        assert_eq!(Reg::GP.to_string(), "gp");
+        assert_eq!(FReg(4).to_string(), "f4");
+    }
+
+    #[test]
+    fn zero_detection() {
+        assert!(Reg::ZERO.is_zero());
+        assert!(!Reg::A0.is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn reg_range_checked() {
+        let _ = Reg::new(32);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn freg_range_checked() {
+        let _ = FReg::new(99);
+    }
+}

@@ -1,0 +1,339 @@
+//! Reusable assembly fragments — the "binary libraries for component
+//! programming" that the paper's toolchain links into post-processed
+//! programs (§3.2).
+//!
+//! Provided building blocks:
+//!
+//! - a **token counter**: each live worker holds one token (its private
+//!   stack of deferred work is covered by its own token); the ancestor
+//!   joins by spinning until the counter reaches zero;
+//! - a **stack pool**: fixed pre-allocated stacks handed out through a
+//!   locked free list, so a freshly divided worker can obtain a private
+//!   stack (the paper measures ~15 cycles of software overhead per
+//!   division for this);
+//! - a **phase barrier** for statically parallelized variants;
+//! - [`Labels`], a tiny gensym so emitters can be instantiated repeatedly
+//!   without label collisions.
+//!
+//! Register conventions used by every emitter here:
+//!
+//! - `r24`–`r27` are scratch, clobbered freely by emitters;
+//! - `r28` holds the worker's stack-pool slot id from
+//!   [`emit_stack_alloc`] until [`emit_stack_free`];
+//! - `sp` (`r30`) is the private stack pointer.
+
+use std::cell::Cell;
+
+use crate::asm::Asm;
+use crate::program::DataBuilder;
+use crate::reg::Reg;
+
+/// First scratch register reserved for runtime emitters.
+pub const T0: Reg = Reg(24);
+/// Second scratch register reserved for runtime emitters.
+pub const T1: Reg = Reg(25);
+/// Third scratch register reserved for runtime emitters.
+pub const T2: Reg = Reg(26);
+/// Fourth scratch register reserved for runtime emitters.
+pub const T3: Reg = Reg(27);
+/// Holds the stack-pool slot id of the current worker.
+pub const STACK_ID: Reg = Reg(28);
+
+/// Label generator: `Labels::new("qs")` then `l.fresh("loop")` yields
+/// `qs_loop_0`, `qs_loop_1`, ... — unique across emitter instantiations.
+#[derive(Debug)]
+pub struct Labels {
+    prefix: String,
+    n: Cell<u32>,
+}
+
+impl Labels {
+    /// Creates a generator with a distinguishing prefix.
+    pub fn new(prefix: impl Into<String>) -> Self {
+        Labels { prefix: prefix.into(), n: Cell::new(0) }
+    }
+
+    /// Returns a fresh label containing `name`.
+    pub fn fresh(&self, name: &str) -> String {
+        let i = self.n.get();
+        self.n.set(i + 1);
+        format!("{}_{}_{}", self.prefix, name, i)
+    }
+}
+
+/// Addresses of the shared runtime globals laid out by [`init_runtime`].
+#[derive(Debug, Clone, Copy)]
+pub struct Runtime {
+    /// Token counter cell (join).
+    pub tokens: u64,
+    /// Stack pool: free-list head cell (slot id or −1).
+    pub pool_head: u64,
+    /// Stack pool: next-link array base.
+    pub pool_next: u64,
+    /// Stack pool: first stack byte.
+    pub pool_base: u64,
+    /// Bytes per pooled stack.
+    pub stack_bytes: usize,
+    /// Number of pooled stacks.
+    pub pool_slots: usize,
+}
+
+/// Lays out the runtime globals: the token counter (initialized to
+/// `initial_tokens`) and a stack pool of `pool_slots` stacks of
+/// `stack_bytes` each, all slots free.
+pub fn init_runtime(
+    d: &mut DataBuilder,
+    initial_tokens: i64,
+    pool_slots: usize,
+    stack_bytes: usize,
+) -> Runtime {
+    assert!(pool_slots > 0 && stack_bytes.is_multiple_of(16), "stack pool must be 16-aligned");
+    let tokens = d.word(initial_tokens);
+    let pool_head = d.word(0); // slot 0 is the first free slot
+    let next: Vec<i64> =
+        (0..pool_slots).map(|i| if i + 1 < pool_slots { (i + 1) as i64 } else { -1 }).collect();
+    let pool_next = d.words(&next);
+    d.align(16);
+    let pool_base = d.zeros(pool_slots * stack_bytes);
+    Runtime { tokens, pool_head, pool_next, pool_base, stack_bytes, pool_slots }
+}
+
+/// Emits a locked `*addr += delta` on a fixed global cell.
+pub fn emit_locked_add(a: &mut Asm, addr: u64, delta: i64) {
+    a.li(T0, addr as i64);
+    a.mlock(T0);
+    a.ld(T1, 0, T0);
+    a.addi(T1, T1, delta);
+    a.st(T1, 0, T0);
+    a.munlock(T0);
+}
+
+/// Emits the join spin: wait until the token counter reaches zero.
+pub fn emit_join_spin(a: &mut Asm, rt: &Runtime, l: &Labels) {
+    let spin = l.fresh("join");
+    a.li(T0, rt.tokens as i64);
+    a.bind(&spin);
+    a.ld(T1, 0, T0);
+    a.bne(T1, Reg::ZERO, &spin);
+}
+
+/// Emits a stack allocation from the pool: spins until a slot is free,
+/// then sets `sp` to the top of the allocated stack and `STACK_ID` to the
+/// slot id.
+pub fn emit_stack_alloc(a: &mut Asm, rt: &Runtime, l: &Labels) {
+    let retry = l.fresh("stkalloc");
+    a.bind(&retry);
+    a.li(T0, rt.pool_head as i64);
+    a.mlock(T0);
+    a.ld(T1, 0, T0); // head slot id
+    a.li(T2, -1);
+    a.bne(T1, T2, &format!("{retry}_got"));
+    a.munlock(T0);
+    a.j(&retry); // pool exhausted: spin until a death frees one
+    a.bind(format!("{retry}_got"));
+    // head = next[head]
+    a.slli(T2, T1, 3);
+    a.li(T3, rt.pool_next as i64);
+    a.add(T2, T2, T3);
+    a.ld(T2, 0, T2);
+    a.st(T2, 0, T0);
+    a.munlock(T0);
+    a.mv(STACK_ID, T1);
+    // sp = pool_base + (id + 1) * stack_bytes  (top of the slot)
+    a.addi(T1, T1, 1);
+    a.li(T2, rt.stack_bytes as i64);
+    a.mul(T1, T1, T2);
+    a.li(T2, rt.pool_base as i64);
+    a.add(Reg::SP, T1, T2);
+}
+
+/// Emits the matching stack free: returns `STACK_ID` to the pool.
+pub fn emit_stack_free(a: &mut Asm, rt: &Runtime) {
+    a.li(T0, rt.pool_head as i64);
+    a.mlock(T0);
+    a.ld(T1, 0, T0); // old head
+    a.slli(T2, STACK_ID, 3);
+    a.li(T3, rt.pool_next as i64);
+    a.add(T2, T2, T3);
+    a.st(T1, 0, T2); // next[id] = old head
+    a.st(STACK_ID, 0, T0); // head = id
+    a.munlock(T0);
+}
+
+/// Addresses of a phase barrier laid out by [`init_barrier`].
+#[derive(Debug, Clone, Copy)]
+pub struct Barrier {
+    /// Arrived-count cell.
+    pub count: u64,
+    /// Phase-number cell.
+    pub phase: u64,
+    /// Number of participating threads.
+    pub parties: usize,
+}
+
+/// Lays out a phase barrier for `parties` threads.
+pub fn init_barrier(d: &mut DataBuilder, parties: usize) -> Barrier {
+    let count = d.word(0);
+    let phase = d.word(0);
+    Barrier { count, phase, parties }
+}
+
+/// Emits a barrier wait. All `parties` threads must call it; the last
+/// arriver advances the phase and releases the rest.
+pub fn emit_barrier_wait(a: &mut Asm, b: &Barrier, l: &Labels) {
+    let spin = l.fresh("bar");
+    a.li(T0, b.count as i64);
+    a.mlock(T0);
+    // my_phase = *phase — read under the count lock so a racing last
+    // arriver cannot advance the phase between our read and our arrival.
+    a.li(T2, b.phase as i64);
+    a.ld(T3, 0, T2);
+    a.ld(T1, 0, T0);
+    a.addi(T1, T1, 1);
+    a.li(T2, b.parties as i64);
+    a.bne(T1, T2, &format!("{spin}_notlast"));
+    // last arriver: reset count and bump phase before releasing the lock
+    a.st(Reg::ZERO, 0, T0);
+    a.li(T2, b.phase as i64);
+    a.addi(T1, T3, 1);
+    a.st(T1, 0, T2);
+    a.munlock(T0);
+    a.j(&format!("{spin}_done"));
+    a.bind(format!("{spin}_notlast"));
+    a.st(T1, 0, T0);
+    a.munlock(T0);
+    // spin until phase changes
+    a.li(T0, b.phase as i64);
+    a.bind(&spin);
+    a.ld(T1, 0, T0);
+    a.beq(T1, T3, &spin);
+    a.bind(format!("{spin}_done"));
+}
+
+/// Emits `push rs` onto the private stack (16-byte slots are the caller's
+/// business; this pushes one 8-byte word).
+pub fn emit_push(a: &mut Asm, rs: Reg) {
+    a.push_reg(rs);
+}
+
+/// Emits `pop rd` from the private stack.
+pub fn emit_pop(a: &mut Asm, rd: Reg) {
+    a.pop_reg(rd);
+}
+
+/// Emits a generic *divide-in-half range worker* — the paper's canonical
+/// component shape (Perceptron splits its neuron group, LZW splits its
+/// dictionary search range this way).
+///
+/// Control enters at `{p}_work` with the range in `A0`/`A1` and leaves to
+/// `{p}_finish` (bound by the caller) once the worker's range and private
+/// stack are exhausted. Ranges of at most `leaf` elements are handed to
+/// `emit_leaf`, which must process `[A0, A1)` and may clobber `r7`–`r11`,
+/// `r14`–`r20` and FP registers, but must preserve `A0`, `A1`, `r13`,
+/// `r21`–`r23` and the `T*`/`STACK_ID` conventions.
+///
+/// When `allow_divide` is false the probe is compiled out and the worker
+/// degenerates to an explicit-stack traversal (used by sequential
+/// variants).
+pub fn emit_split_range_worker(
+    a: &mut Asm,
+    p: &str,
+    rt: &Runtime,
+    leaf: i64,
+    allow_divide: bool,
+    emit_leaf: impl FnOnce(&mut Asm),
+) {
+    use crate::reg::Reg;
+    let lo = Reg::A0;
+    let hi = Reg::A1;
+    let cv = Reg::A2;
+    let cp = Reg::A3;
+    let pending = Reg(13);
+    let r5 = Reg(5);
+    let r6 = Reg(6);
+    let probe = Reg(12);
+
+    a.bind(format!("{p}_work"));
+    a.sub(r5, hi, lo);
+    a.li(r6, leaf);
+    a.bge(r6, r5, &format!("{p}_leaf"));
+    // mid = lo + len/2; stage the right half for a child
+    a.srai(r5, r5, 1);
+    a.add(cv, lo, r5);
+    a.mv(cp, hi);
+    if allow_divide {
+        // one token for the child worker, counted before it can exist
+        emit_locked_add(a, rt.tokens, 1);
+        a.nthr(probe, &format!("{p}_child"));
+        a.li(r6, -1);
+        a.bne(probe, r6, &format!("{p}_keep_left"));
+        // denied: no child was born — return its token
+        emit_locked_add(a, rt.tokens, -1);
+    }
+    // the worker's own token covers its pending stack
+    a.push_reg(cv);
+    a.push_reg(cp);
+    a.addi(pending, pending, 1);
+    a.bind(format!("{p}_keep_left"));
+    a.mv(hi, cv);
+    a.j(&format!("{p}_work"));
+    a.bind(format!("{p}_leaf"));
+    emit_leaf(a);
+    a.bne(pending, Reg::ZERO, &format!("{p}_resume"));
+    // worker exhausted: release its token and finish
+    emit_locked_add(a, rt.tokens, -1);
+    a.j(&format!("{p}_finish"));
+    a.bind(format!("{p}_resume"));
+    a.pop_reg(hi);
+    a.pop_reg(lo);
+    a.addi(pending, pending, -1);
+    a.j(&format!("{p}_work"));
+    a.bind(format!("{p}_child"));
+    a.mv(lo, cv);
+    a.mv(hi, cp);
+    a.li(pending, 0);
+    let l = Labels::new(format!("{p}_c"));
+    emit_stack_alloc(a, rt, &l);
+    a.j(&format!("{p}_work"));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_unique() {
+        let l = Labels::new("x");
+        assert_ne!(l.fresh("a"), l.fresh("a"));
+        assert!(l.fresh("loop").starts_with("x_loop_"));
+    }
+
+    #[test]
+    fn runtime_layout_is_disjoint() {
+        let mut d = DataBuilder::new();
+        let rt = init_runtime(&mut d, 1, 4, 256);
+        assert!(rt.tokens < rt.pool_head);
+        assert!(rt.pool_head < rt.pool_next);
+        assert!(rt.pool_next < rt.pool_base);
+        assert_eq!(rt.pool_slots, 4);
+    }
+
+    #[test]
+    fn emitters_produce_assemblable_code() {
+        let mut d = DataBuilder::new();
+        let rt = init_runtime(&mut d, 1, 4, 256);
+        let b = init_barrier(&mut d, 2);
+        let l = Labels::new("t");
+        let mut a = Asm::new();
+        emit_locked_add(&mut a, rt.tokens, 1);
+        emit_stack_alloc(&mut a, &rt, &l);
+        emit_stack_free(&mut a, &rt);
+        emit_barrier_wait(&mut a, &b, &l);
+        emit_join_spin(&mut a, &rt, &l);
+        a.bind("w_finish");
+        a.halt();
+        emit_split_range_worker(&mut a, "w", &rt, 4, true, |a| a.nop());
+        let text = a.assemble().expect("all emitters assemble");
+        assert!(text.len() > 40);
+    }
+}

@@ -1,0 +1,507 @@
+//! Textual assembly: parser and disassembler.
+//!
+//! The text format is the one produced by [`Instr`]'s `Display` impl, one
+//! instruction per line, with `name:` labels and `#`/`;` comments:
+//!
+//! ```text
+//! # sum 1..10
+//!     li r1, 10
+//!     li r2, 0
+//! loop:
+//!     add r2, r2, r1
+//!     addi r1, r1, -1
+//!     bne r1, r0, loop
+//!     out r2
+//!     halt
+//! ```
+//!
+//! [`parse`] turns a listing into instructions; [`disassemble`] renders
+//! instructions back into a listing (labels named `L<index>`), such that
+//! `parse(disassemble(p)) == p`.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::asm::{Asm, AsmError};
+use crate::instr::{AluOp, BrCond, FAluOp, FCmpOp, Instr};
+use crate::reg::{FReg, Reg};
+
+/// A parse failure with its 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Description of the problem.
+    pub msg: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<AsmError> for ParseError {
+    fn from(e: AsmError) -> Self {
+        ParseError { line: 0, msg: e.to_string() }
+    }
+}
+
+fn parse_reg(tok: &str) -> Result<Reg, String> {
+    match tok {
+        "sp" => return Ok(Reg::SP),
+        "ra" => return Ok(Reg::RA),
+        "gp" => return Ok(Reg::GP),
+        "zero" => return Ok(Reg::ZERO),
+        _ => {}
+    }
+    let n: u8 = tok
+        .strip_prefix('r')
+        .ok_or_else(|| format!("expected integer register, got `{tok}`"))?
+        .parse()
+        .map_err(|_| format!("bad register `{tok}`"))?;
+    if (n as usize) < Reg::COUNT {
+        Ok(Reg(n))
+    } else {
+        Err(format!("register out of range `{tok}`"))
+    }
+}
+
+fn parse_freg(tok: &str) -> Result<FReg, String> {
+    let n: u8 = tok
+        .strip_prefix('f')
+        .ok_or_else(|| format!("expected fp register, got `{tok}`"))?
+        .parse()
+        .map_err(|_| format!("bad fp register `{tok}`"))?;
+    if (n as usize) < FReg::COUNT {
+        Ok(FReg(n))
+    } else {
+        Err(format!("fp register out of range `{tok}`"))
+    }
+}
+
+fn parse_imm(tok: &str) -> Result<i64, String> {
+    let (neg, body) = match tok.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, tok),
+    };
+    let v = if let Some(hex) = body.strip_prefix("0x") {
+        i64::from_str_radix(hex, 16)
+    } else {
+        body.parse()
+    }
+    .map_err(|_| format!("bad immediate `{tok}`"))?;
+    Ok(if neg { -v } else { v })
+}
+
+/// Memory operand `off(base)`.
+fn parse_mem(tok: &str) -> Result<(i64, Reg), String> {
+    let open = tok.find('(').ok_or_else(|| format!("expected off(base), got `{tok}`"))?;
+    let close = tok.rfind(')').ok_or_else(|| format!("missing `)` in `{tok}`"))?;
+    let off_str = &tok[..open];
+    let off = if off_str.is_empty() { 0 } else { parse_imm(off_str)? };
+    let base = parse_reg(&tok[open + 1..close])?;
+    Ok((off, base))
+}
+
+fn split_operands(rest: &str) -> Vec<String> {
+    rest.split(',').map(|s| s.trim().to_string()).filter(|s| !s.is_empty()).collect()
+}
+
+/// Parses a listing into an instruction stream.
+///
+/// # Errors
+///
+/// Returns the first syntax error with its line number, or a label
+/// resolution error (line 0) from the underlying assembler.
+pub fn parse(src: &str) -> Result<Vec<Instr>, ParseError> {
+    let mut a = Asm::new();
+    for (idx, raw_line) in src.lines().enumerate() {
+        let line_no = idx + 1;
+        let mut line = raw_line;
+        if let Some(p) = line.find(['#', ';']) {
+            line = &line[..p];
+        }
+        let mut line = line.trim();
+        // Labels (possibly several on one line).
+        while let Some(colon) = line.find(':') {
+            let label = line[..colon].trim();
+            if label.is_empty() || label.contains(char::is_whitespace) {
+                break;
+            }
+            a.bind(label);
+            line = line[colon + 1..].trim();
+        }
+        if line.is_empty() {
+            continue;
+        }
+        let (mn, rest) = match line.find(char::is_whitespace) {
+            Some(p) => (&line[..p], line[p..].trim()),
+            None => (line, ""),
+        };
+        let ops = split_operands(rest);
+        parse_one(&mut a, mn, &ops)
+            .map_err(|msg| ParseError { line: line_no, msg })?;
+    }
+    a.assemble().map_err(ParseError::from)
+}
+
+fn parse_one(a: &mut Asm, mn: &str, ops: &[String]) -> Result<(), String> {
+    let argc = |n: usize| -> Result<(), String> {
+        if ops.len() == n {
+            Ok(())
+        } else {
+            Err(format!("`{mn}` expects {n} operands, got {}", ops.len()))
+        }
+    };
+
+    // Integer ALU register and immediate forms.
+    for op in AluOp::ALL {
+        if mn == op.mnemonic() {
+            argc(3)?;
+            let (rd, rs1, rs2) = (parse_reg(&ops[0])?, parse_reg(&ops[1])?, parse_reg(&ops[2])?);
+            a.push(Instr::Alu { op, rd, rs1, rs2 });
+            return Ok(());
+        }
+        if mn == format!("{}i", op.mnemonic()) {
+            argc(3)?;
+            let (rd, rs1) = (parse_reg(&ops[0])?, parse_reg(&ops[1])?);
+            let imm = parse_imm(&ops[2])?;
+            a.push(Instr::AluI { op, rd, rs1, imm });
+            return Ok(());
+        }
+    }
+    for op in FAluOp::ALL {
+        if mn == op.mnemonic() {
+            argc(3)?;
+            let (fd, fs1, fs2) =
+                (parse_freg(&ops[0])?, parse_freg(&ops[1])?, parse_freg(&ops[2])?);
+            a.push(Instr::FAlu { op, fd, fs1, fs2 });
+            return Ok(());
+        }
+    }
+    for op in FCmpOp::ALL {
+        if mn == op.mnemonic() {
+            argc(3)?;
+            let rd = parse_reg(&ops[0])?;
+            let (fs1, fs2) = (parse_freg(&ops[1])?, parse_freg(&ops[2])?);
+            a.push(Instr::FCmp { op, rd, fs1, fs2 });
+            return Ok(());
+        }
+    }
+    for cond in BrCond::ALL {
+        if mn == cond.mnemonic() {
+            argc(3)?;
+            let (rs1, rs2) = (parse_reg(&ops[0])?, parse_reg(&ops[1])?);
+            emit_branch(a, cond, rs1, rs2, &ops[2]);
+            return Ok(());
+        }
+    }
+
+    match mn {
+        "li" => {
+            argc(2)?;
+            let rd = parse_reg(&ops[0])?;
+            a.li(rd, parse_imm(&ops[1])?);
+        }
+        "mv" => {
+            argc(2)?;
+            a.mv(parse_reg(&ops[0])?, parse_reg(&ops[1])?);
+        }
+        "fli" => {
+            argc(2)?;
+            let fd = parse_freg(&ops[0])?;
+            let imm: f64 =
+                ops[1].parse().map_err(|_| format!("bad float `{}`", ops[1]))?;
+            a.fli(fd, imm);
+        }
+        "ld" | "ldb" => {
+            argc(2)?;
+            let rd = parse_reg(&ops[0])?;
+            let (off, base) = parse_mem(&ops[1])?;
+            a.push(if mn == "ld" {
+                Instr::Ld { rd, base, off }
+            } else {
+                Instr::Ldb { rd, base, off }
+            });
+        }
+        "st" | "stb" => {
+            argc(2)?;
+            let rs = parse_reg(&ops[0])?;
+            let (off, base) = parse_mem(&ops[1])?;
+            a.push(if mn == "st" {
+                Instr::St { rs, base, off }
+            } else {
+                Instr::Stb { rs, base, off }
+            });
+        }
+        "fld" => {
+            argc(2)?;
+            let fd = parse_freg(&ops[0])?;
+            let (off, base) = parse_mem(&ops[1])?;
+            a.push(Instr::FLd { fd, base, off });
+        }
+        "fst" => {
+            argc(2)?;
+            let fs = parse_freg(&ops[0])?;
+            let (off, base) = parse_mem(&ops[1])?;
+            a.push(Instr::FSt { fs, base, off });
+        }
+        "j" => {
+            argc(1)?;
+            a.j(&ops[0]);
+        }
+        "jal" => {
+            argc(2)?;
+            let rd = parse_reg(&ops[0])?;
+            a.jal(rd, &ops[1]);
+        }
+        "call" => {
+            argc(1)?;
+            a.call(&ops[0]);
+        }
+        "jr" => {
+            argc(1)?;
+            a.jr(parse_reg(&ops[0])?);
+        }
+        "ret" => {
+            argc(0)?;
+            a.ret();
+        }
+        "jalr" => {
+            argc(2)?;
+            a.jalr(parse_reg(&ops[0])?, parse_reg(&ops[1])?);
+        }
+        "cvtif" => {
+            argc(2)?;
+            a.cvtif(parse_freg(&ops[0])?, parse_reg(&ops[1])?);
+        }
+        "cvtfi" => {
+            argc(2)?;
+            a.cvtfi(parse_reg(&ops[0])?, parse_freg(&ops[1])?);
+        }
+        "nthr" => {
+            argc(2)?;
+            let rd = parse_reg(&ops[0])?;
+            a.nthr(rd, &ops[1]);
+        }
+        "kthr" => {
+            argc(0)?;
+            a.kthr();
+        }
+        "mlock" => {
+            argc(1)?;
+            a.mlock(parse_reg(&ops[0])?);
+        }
+        "munlock" => {
+            argc(1)?;
+            a.munlock(parse_reg(&ops[0])?);
+        }
+        "nctx" => {
+            argc(1)?;
+            a.nctx(parse_reg(&ops[0])?);
+        }
+        "tid" => {
+            argc(1)?;
+            a.tid(parse_reg(&ops[0])?);
+        }
+        "mark.start" => {
+            argc(1)?;
+            let id: u16 = ops[0].parse().map_err(|_| format!("bad section id `{}`", ops[0]))?;
+            a.mark_start(id);
+        }
+        "mark.end" => {
+            argc(1)?;
+            let id: u16 = ops[0].parse().map_err(|_| format!("bad section id `{}`", ops[0]))?;
+            a.mark_end(id);
+        }
+        "out" => {
+            argc(1)?;
+            a.out(parse_reg(&ops[0])?);
+        }
+        "outf" => {
+            argc(1)?;
+            a.outf(parse_freg(&ops[0])?);
+        }
+        "halt" => {
+            argc(0)?;
+            a.halt();
+        }
+        "nop" => {
+            argc(0)?;
+            a.nop();
+        }
+        _ => return Err(format!("unknown mnemonic `{mn}`")),
+    }
+    Ok(())
+}
+
+/// Emits a branch whose target may be a label or a literal index.
+fn emit_branch(a: &mut Asm, cond: BrCond, rs1: Reg, rs2: Reg, target: &str) {
+    if let Ok(idx) = target.parse::<u32>() {
+        a.push(Instr::Br { cond, rs1, rs2, target: idx });
+    } else {
+        match cond {
+            BrCond::Eq => a.beq(rs1, rs2, target),
+            BrCond::Ne => a.bne(rs1, rs2, target),
+            BrCond::Lt => a.blt(rs1, rs2, target),
+            BrCond::Ge => a.bge(rs1, rs2, target),
+            BrCond::Ltu => a.bltu(rs1, rs2, target),
+            BrCond::Geu => a.bgeu(rs1, rs2, target),
+        }
+    }
+}
+
+/// Renders instructions as a parseable listing.
+///
+/// Every instruction index referenced by a branch, jump, or `nthr` gets a
+/// `L<index>:` label, matching the `L<index>` operands printed by
+/// [`Instr`]'s `Display`.
+pub fn disassemble(text: &[Instr]) -> String {
+    let targets: BTreeSet<u32> = text.iter().filter_map(Instr::static_target).collect();
+    let mut out = String::new();
+    for (i, insn) in text.iter().enumerate() {
+        if targets.contains(&(i as u32)) {
+            out.push_str(&format!("L{i}:\n"));
+        }
+        out.push_str(&format!("    {insn}\n"));
+    }
+    // A trailing label (branch to one-past-the-end is invalid, but targets
+    // equal to len() can't occur in validated programs).
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_basic_listing() {
+        let src = r"
+# sum the numbers 10..1
+    li r1, 10
+    li r2, 0
+loop:
+    add r2, r2, r1   ; accumulate
+    addi r1, r1, -1
+    bne r1, r0, loop
+    out r2
+    halt
+";
+        let text = parse(src).unwrap();
+        assert_eq!(text.len(), 7);
+        assert_eq!(text[4], Instr::Br { cond: BrCond::Ne, rs1: Reg(1), rs2: Reg(0), target: 2 });
+    }
+
+    #[test]
+    fn parse_memory_operands() {
+        let text = parse("    ld r1, 16(sp)\n    st r2, -8(r3)\n    fld f1, (gp)\n").unwrap();
+        assert_eq!(text[0], Instr::Ld { rd: Reg(1), base: Reg::SP, off: 16 });
+        assert_eq!(text[1], Instr::St { rs: Reg(2), base: Reg(3), off: -8 });
+        assert_eq!(text[2], Instr::FLd { fd: FReg(1), base: Reg::GP, off: 0 });
+    }
+
+    #[test]
+    fn parse_capsule_instructions() {
+        let src = "start:\n    nthr r5, child\n    kthr\nchild:\n    mlock r1\n    munlock r1\n    kthr\n";
+        let text = parse(src).unwrap();
+        assert_eq!(text[0], Instr::Nthr { rd: Reg(5), target: 2 });
+        assert_eq!(text[2], Instr::Mlock { rs: Reg(1) });
+    }
+
+    #[test]
+    fn parse_hex_and_negative_immediates() {
+        let text = parse("    li r1, 0x10\n    li r2, -0x10\n    addi r3, r1, -5\n").unwrap();
+        assert_eq!(text[0], Instr::Li { rd: Reg(1), imm: 16 });
+        assert_eq!(text[1], Instr::Li { rd: Reg(2), imm: -16 });
+        assert_eq!(text[2], Instr::AluI { op: AluOp::Add, rd: Reg(3), rs1: Reg(1), imm: -5 });
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let err = parse("    nop\n    bogus r1\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.msg.contains("bogus"));
+
+        let err = parse("    add r1, r2\n").unwrap_err();
+        assert!(err.msg.contains("expects 3 operands"));
+
+        let err = parse("    li r99, 1\n").unwrap_err();
+        assert!(err.msg.contains("out of range"));
+    }
+
+    #[test]
+    fn parse_undefined_label_reported() {
+        let err = parse("    j nowhere\n").unwrap_err();
+        assert!(err.msg.contains("undefined label"));
+    }
+
+    #[test]
+    fn disassemble_then_parse_roundtrip() {
+        let src = r"
+    li r1, 5
+    li r2, 0
+loop:
+    add r2, r2, r1
+    addi r1, r1, -1
+    bne r1, r0, loop
+    nthr r3, worker
+    j done
+worker:
+    fadd f1, f2, f3
+    flt r4, f1, f2
+    kthr
+done:
+    mark.start 1
+    out r2
+    mark.end 1
+    halt
+";
+        let text = parse(src).unwrap();
+        let dis = disassemble(&text);
+        let re = parse(&dis).unwrap();
+        assert_eq!(text, re);
+    }
+
+    #[test]
+    fn numeric_branch_targets_accepted() {
+        let text = parse("    beq r0, r0, 0\n").unwrap();
+        assert_eq!(text[0], Instr::Br { cond: BrCond::Eq, rs1: Reg(0), rs2: Reg(0), target: 0 });
+    }
+
+    #[test]
+    fn float_immediates_roundtrip() {
+        let text = parse("    fli f1, 1.5\n    fli f2, -0.25\n").unwrap();
+        assert_eq!(text[0], Instr::FLi { fd: FReg(1), imm: 1.5 });
+        let dis = disassemble(&text);
+        assert_eq!(parse(&dis).unwrap(), text);
+    }
+}
+
+#[cfg(test)]
+mod special_float_tests {
+    use super::*;
+    use crate::instr::Instr;
+    use crate::reg::FReg;
+
+    #[test]
+    fn special_float_immediates_roundtrip_through_text() {
+        for v in [f64::INFINITY, f64::NEG_INFINITY, f64::NAN, -0.0] {
+            let text = vec![Instr::FLi { fd: FReg(1), imm: v }];
+            let listing = disassemble(&text);
+            let back = parse(&listing).unwrap();
+            match back[0] {
+                Instr::FLi { imm, .. } => {
+                    assert_eq!(imm.to_bits().is_power_of_two(), v.to_bits().is_power_of_two());
+                    assert_eq!(imm.is_nan(), v.is_nan());
+                    if !v.is_nan() {
+                        assert_eq!(imm, v, "listing: {listing}");
+                    }
+                }
+                ref other => panic!("wrong decode: {other:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Property tests: arbitrary instructions survive the binary encoding and
+//! the text assembler round-trips.
+
+use capsule_isa::instr::{AluOp, BrCond, FAluOp, FCmpOp, Instr};
+use capsule_isa::reg::{FReg, Reg};
+use capsule_isa::{encode, text};
+use proptest::prelude::*;
+
+fn reg_strategy() -> impl Strategy<Value = Reg> {
+    (0u8..32).prop_map(Reg)
+}
+
+fn freg_strategy() -> impl Strategy<Value = FReg> {
+    (0u8..32).prop_map(FReg)
+}
+
+fn alu_op() -> impl Strategy<Value = AluOp> {
+    prop::sample::select(AluOp::ALL.to_vec())
+}
+
+fn falu_op() -> impl Strategy<Value = FAluOp> {
+    prop::sample::select(FAluOp::ALL.to_vec())
+}
+
+fn fcmp_op() -> impl Strategy<Value = FCmpOp> {
+    prop::sample::select(FCmpOp::ALL.to_vec())
+}
+
+fn br_cond() -> impl Strategy<Value = BrCond> {
+    prop::sample::select(BrCond::ALL.to_vec())
+}
+
+fn target() -> impl Strategy<Value = u32> {
+    0u32..(1 << 24)
+}
+
+/// Any encodable instruction. Floats are restricted to finite values so
+/// text round-trips compare cleanly (NaN is covered by a unit test).
+fn instr_strategy() -> impl Strategy<Value = Instr> {
+    let r = reg_strategy;
+    let f = freg_strategy;
+    prop_oneof![
+        Just(Instr::Nop),
+        Just(Instr::Halt),
+        Just(Instr::Kthr),
+        (alu_op(), r(), r(), r()).prop_map(|(op, rd, rs1, rs2)| Instr::Alu { op, rd, rs1, rs2 }),
+        (alu_op(), r(), r(), any::<i64>())
+            .prop_map(|(op, rd, rs1, imm)| Instr::AluI { op, rd, rs1, imm }),
+        (r(), any::<i64>()).prop_map(|(rd, imm)| Instr::Li { rd, imm }),
+        (r(), r(), -4096i64..4096).prop_map(|(rd, base, off)| Instr::Ld { rd, base, off }),
+        (r(), r(), -4096i64..4096).prop_map(|(rs, base, off)| Instr::St { rs, base, off }),
+        (r(), r(), -4096i64..4096).prop_map(|(rd, base, off)| Instr::Ldb { rd, base, off }),
+        (r(), r(), -4096i64..4096).prop_map(|(rs, base, off)| Instr::Stb { rs, base, off }),
+        (f(), r(), -4096i64..4096).prop_map(|(fd, base, off)| Instr::FLd { fd, base, off }),
+        (f(), r(), -4096i64..4096).prop_map(|(fs, base, off)| Instr::FSt { fs, base, off }),
+        (br_cond(), r(), r(), target())
+            .prop_map(|(cond, rs1, rs2, target)| Instr::Br { cond, rs1, rs2, target }),
+        target().prop_map(|target| Instr::J { target }),
+        (r(), target()).prop_map(|(rd, target)| Instr::Jal { rd, target }),
+        r().prop_map(|rs| Instr::Jr { rs }),
+        (r(), r()).prop_map(|(rd, rs)| Instr::Jalr { rd, rs }),
+        (falu_op(), f(), f(), f())
+            .prop_map(|(op, fd, fs1, fs2)| Instr::FAlu { op, fd, fs1, fs2 }),
+        (f(), -1e100f64..1e100).prop_map(|(fd, imm)| Instr::FLi { fd, imm }),
+        (fcmp_op(), r(), f(), f())
+            .prop_map(|(op, rd, fs1, fs2)| Instr::FCmp { op, rd, fs1, fs2 }),
+        (f(), r()).prop_map(|(fd, rs)| Instr::CvtIF { fd, rs }),
+        (r(), f()).prop_map(|(rd, fs)| Instr::CvtFI { rd, fs }),
+        (r(), target()).prop_map(|(rd, target)| Instr::Nthr { rd, target }),
+        r().prop_map(|rs| Instr::Mlock { rs }),
+        r().prop_map(|rs| Instr::Munlock { rs }),
+        r().prop_map(|rd| Instr::Nctx { rd }),
+        r().prop_map(|rd| Instr::Tid { rd }),
+        any::<u16>().prop_map(|id| Instr::MarkStart { id }),
+        any::<u16>().prop_map(|id| Instr::MarkEnd { id }),
+        r().prop_map(|rs| Instr::Out { rs }),
+        f().prop_map(|fs| Instr::OutF { fs }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn binary_encoding_roundtrips(i in instr_strategy()) {
+        let enc = encode::encode(&i).unwrap();
+        let dec = encode::decode(enc).unwrap();
+        prop_assert_eq!(format!("{:?}", i), format!("{:?}", dec));
+    }
+
+    #[test]
+    fn binary_stream_roundtrips(is in prop::collection::vec(instr_strategy(), 0..64)) {
+        let words = encode::encode_all(&is).unwrap();
+        let back = encode::decode_all(&words).unwrap();
+        prop_assert_eq!(format!("{:?}", is), format!("{:?}", back));
+    }
+
+    /// Disassembling a program whose targets are all in range, then
+    /// reparsing, reproduces the same instruction stream.
+    #[test]
+    fn text_roundtrips(is in prop::collection::vec(instr_strategy(), 1..64)) {
+        // Clamp targets into range so the listing is self-consistent.
+        let len = is.len() as u32;
+        let fixed: Vec<Instr> = is
+            .into_iter()
+            .map(|mut i| {
+                if let Some(t) = i.static_target() {
+                    let t = t % len;
+                    match &mut i {
+                        Instr::Br { target, .. }
+                        | Instr::J { target }
+                        | Instr::Jal { target, .. }
+                        | Instr::Nthr { target, .. } => *target = t,
+                        _ => unreachable!(),
+                    }
+                }
+                i
+            })
+            .collect();
+        let listing = text::disassemble(&fixed);
+        let back = text::parse(&listing).unwrap();
+        prop_assert_eq!(format!("{:?}", fixed), format!("{:?}", back));
+    }
+}

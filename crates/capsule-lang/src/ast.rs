@@ -1,0 +1,137 @@
+//! Abstract syntax of Capsule C.
+
+use crate::token::Pos;
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Shl,
+    Shr,
+    BitAnd,
+    BitOr,
+    BitXor,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And, // short-circuit
+    Or,  // short-circuit
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum UnOp {
+    Neg,
+    Not,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Variable (parameter, local, or global scalar).
+    Var(String, Pos),
+    /// Global array element `name[index]`.
+    Index(String, Box<Expr>, Pos),
+    /// Address of a global scalar or array element: `&name` / `&name[e]`.
+    AddrOf(String, Option<Box<Expr>>, Pos),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Unary operation.
+    Un(UnOp, Box<Expr>),
+    /// Call `f(args)`.
+    Call(String, Vec<Expr>, Pos),
+    /// `tid()` — the current worker id.
+    Tid,
+    /// `nctx()` — free hardware contexts.
+    Nctx,
+}
+
+/// Assignment targets.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Place {
+    /// Parameter/local/global scalar.
+    Var(String, Pos),
+    /// Global array element.
+    Index(String, Box<Expr>, Pos),
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `let name = expr;` — declares a local.
+    Let(String, Expr, Pos),
+    /// `place = expr;`
+    Assign(Place, Expr),
+    /// `if (cond) {..} [else {..}]`
+    If(Expr, Vec<Stmt>, Vec<Stmt>),
+    /// `while (cond) {..}`
+    While(Expr, Vec<Stmt>),
+    /// `return [expr];`
+    Return(Option<Expr>, Pos),
+    /// `out(expr);`
+    Out(Expr),
+    /// `halt;`
+    Halt,
+    /// `join;` — wait until all divided workers have died.
+    Join,
+    /// `lock (addr) {..}` — `mlock`/`munlock` around the block.
+    Lock(Expr, Vec<Stmt>),
+    /// `mark N {..}` — instrumentation section N around the block
+    /// (`mark.start`/`mark.end`, feeding the Table 2 / Figure 8 section
+    /// statistics).
+    Mark(u16, Vec<Stmt>),
+    /// `coworker f(args);` — probe + divide; sequential call when denied.
+    Coworker(String, Vec<Expr>, Pos),
+    /// `break;` — leave the innermost `while`.
+    Break(Pos),
+    /// `continue;` — next iteration of the innermost `while`.
+    Continue(Pos),
+    /// Expression statement (a call evaluated for its effects).
+    Expr(Expr),
+}
+
+/// A worker (function) definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerDef {
+    /// Name.
+    pub name: String,
+    /// Parameter names.
+    pub params: Vec<String>,
+    /// Body.
+    pub body: Vec<Stmt>,
+    /// Definition site.
+    pub pos: Pos,
+}
+
+/// A global declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GlobalDef {
+    /// Name.
+    pub name: String,
+    /// `Some(n)` for an array of `n` words, `None` for a scalar.
+    pub len: Option<usize>,
+    /// Initial value for scalars (arrays are zeroed).
+    pub init: i64,
+    /// Definition site.
+    pub pos: Pos,
+}
+
+/// A parsed program: globals plus workers, one of which must be `main`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Ast {
+    /// Global variables and arrays.
+    pub globals: Vec<GlobalDef>,
+    /// Worker definitions.
+    pub workers: Vec<WorkerDef>,
+}

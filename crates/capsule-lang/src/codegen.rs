@@ -1,0 +1,725 @@
+//! Code generation: Capsule C → CAP64.
+//!
+//! The `coworker` statement compiles to exactly the paper's Figure 2
+//! lowering: stage the arguments, take one join token, issue `nthr`, and
+//! branch on the probe result — the child (a hardware register copy)
+//! allocates a pooled stack, runs the worker and dies; a denied probe
+//! returns the token and makes a plain sequential call instead.
+//!
+//! Calling convention: up to 6 arguments in `A0`–`A5`, return value in
+//! `A0`, return address in `ra`, frame on the worker's private pooled
+//! stack (`sp`). Expression temporaries live in `r7`–`r19`; `r20`/`r21`
+//! are address scratch; `r24`–`r28` belong to the runtime fragments.
+
+use std::collections::HashMap;
+
+use capsule_isa::asm::Asm;
+use capsule_isa::program::{DataBuilder, Program, ThreadSpec};
+use capsule_isa::reg::Reg;
+use capsule_isa::rtlib::{
+    emit_join_spin, emit_locked_add, emit_stack_alloc, emit_stack_free, init_runtime, Labels,
+    Runtime,
+};
+
+use crate::ast::*;
+use crate::parser::parse;
+use crate::token::{LangError, Pos};
+
+/// Expression temporaries.
+const EXPR_REGS: [Reg; 8] =
+    [Reg(7), Reg(8), Reg(9), Reg(10), Reg(11), Reg(12), Reg(13), Reg(14)];
+/// Registers used for parameters/locals of small functions (register
+/// frames); spilled around calls.
+const LOCAL_REGS: [Reg; 8] =
+    [Reg(15), Reg(16), Reg(17), Reg(18), Reg(19), Reg(21), Reg(23), Reg(31)];
+const SCRATCH_A: Reg = Reg(20);
+const PROBE: Reg = Reg(22);
+const ARG_REGS: [Reg; 6] = [Reg::A0, Reg::A1, Reg::A2, Reg::A3, Reg::A4, Reg::A5];
+
+/// Compilation knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct Options {
+    /// Pooled worker stacks (live workers on an 8-context machine with a
+    /// 16-entry context stack never exceed 24).
+    pub pool_slots: usize,
+    /// Bytes per pooled stack.
+    pub stack_bytes: usize,
+    /// Heap headroom beyond globals and stacks.
+    pub heap_bytes: usize,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options { pool_slots: 32, stack_bytes: 8192, heap_bytes: 1 << 16 }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum GlobalKind {
+    Scalar(u64),
+    /// Base address; element count is only needed at declaration time.
+    Array(u64),
+}
+
+struct FnSig {
+    params: usize,
+    label: String,
+}
+
+struct Cg<'a> {
+    a: Asm,
+    labels: Labels,
+    rt: Runtime,
+    globals: HashMap<String, GlobalKind>,
+    fns: HashMap<String, FnSig>,
+    // per-function state
+    scopes: Vec<HashMap<String, usize>>, // name -> frame slot
+    next_slot: usize,
+    /// (continue-target, break-target, lock depth at entry) of enclosing
+    /// `while`s.
+    loop_labels: Vec<(String, String, usize)>,
+    /// Number of enclosing `lock` blocks (guards against control flow
+    /// skipping a `munlock`).
+    lock_depth: usize,
+    /// Slots live in registers instead of the frame when the function is
+    /// small enough (8 or fewer params + locals + lock temporaries).
+    reg_frame: bool,
+    epilogue: String,
+    ast: &'a Ast,
+}
+
+/// Number of `let` statements in a body (slots are never reused, so the
+/// frame size is params + total lets).
+fn count_lets(body: &[Stmt]) -> usize {
+    body.iter()
+        .map(|s| match s {
+            Stmt::Let(..) => 1,
+            Stmt::If(_, t, e) => count_lets(t) + count_lets(e),
+            Stmt::While(_, b) | Stmt::Lock(_, b) => count_lets(b),
+            _ => 0,
+        })
+        .sum()
+}
+
+impl Cg<'_> {
+    fn err(pos: Pos, msg: impl Into<String>) -> LangError {
+        LangError::new(pos, msg)
+    }
+
+    fn lookup_slot(&self, name: &str) -> Option<usize> {
+        self.scopes.iter().rev().find_map(|s| s.get(name).copied())
+    }
+
+    fn temp(&self, depth: usize, pos: Pos) -> Result<Reg, LangError> {
+        EXPR_REGS
+            .get(depth)
+            .copied()
+            .ok_or_else(|| Self::err(pos, format!("expression too deeply nested (max {} temporaries)", EXPR_REGS.len())))
+    }
+
+    /// Loads the frame slot address offset for `slot`.
+    fn slot_off(slot: usize) -> i64 {
+        8 * slot as i64
+    }
+
+    /// Reads slot `slot` into `d`.
+    fn load_slot(&mut self, d: Reg, slot: usize) {
+        if self.reg_frame {
+            self.a.mv(d, LOCAL_REGS[slot]);
+        } else {
+            self.a.ld(d, Self::slot_off(slot), Reg::SP);
+        }
+    }
+
+    /// Writes `s` into slot `slot`.
+    fn store_slot(&mut self, s: Reg, slot: usize) {
+        if self.reg_frame {
+            self.a.mv(LOCAL_REGS[slot], s);
+        } else {
+            self.a.st(s, Self::slot_off(slot), Reg::SP);
+        }
+    }
+
+    /// Spills the register frame around a nested call.
+    fn save_locals(&mut self) {
+        if self.reg_frame {
+            for &r in &LOCAL_REGS[..self.next_slot] {
+                self.a.push_reg(r);
+            }
+        }
+    }
+
+    fn restore_locals(&mut self) {
+        if self.reg_frame {
+            for &r in LOCAL_REGS[..self.next_slot].iter().rev() {
+                self.a.pop_reg(r);
+            }
+        }
+    }
+
+    // ---------------- expressions ----------------
+
+    /// Evaluates `e` into `EXPR_REGS[depth]`.
+    fn expr(&mut self, e: &Expr, depth: usize) -> Result<(), LangError> {
+        match e {
+            Expr::Int(v) => {
+                let d = self.temp(depth, Pos { line: 0, col: 0 })?;
+                self.a.li(d, *v);
+            }
+            Expr::Var(name, pos) => {
+                let d = self.temp(depth, *pos)?;
+                if let Some(slot) = self.lookup_slot(name) {
+                    self.load_slot(d, slot);
+                } else {
+                    match self.globals.get(name) {
+                        Some(GlobalKind::Scalar(addr)) => {
+                            self.a.li(SCRATCH_A, *addr as i64);
+                            self.a.ld(d, 0, SCRATCH_A);
+                        }
+                        Some(GlobalKind::Array(_)) => {
+                            return Err(Self::err(
+                                *pos,
+                                format!("array `{name}` needs an index (or use `&{name}`)"),
+                            ))
+                        }
+                        None => {
+                            return Err(Self::err(*pos, format!("undeclared variable `{name}`")))
+                        }
+                    }
+                }
+            }
+            Expr::Index(name, idx, pos) => {
+                let base = match self.globals.get(name) {
+                    Some(GlobalKind::Array(addr)) => *addr,
+                    Some(GlobalKind::Scalar(_)) => {
+                        return Err(Self::err(*pos, format!("`{name}` is a scalar, not an array")))
+                    }
+                    None => {
+                        return Err(Self::err(*pos, format!("undeclared array `{name}`")))
+                    }
+                };
+                self.expr(idx, depth)?;
+                let d = self.temp(depth, *pos)?;
+                self.a.slli(d, d, 3);
+                self.a.li(SCRATCH_A, base as i64);
+                self.a.add(d, d, SCRATCH_A);
+                self.a.ld(d, 0, d);
+            }
+            Expr::AddrOf(name, idx, pos) => {
+                let (base, is_array) = match self.globals.get(name) {
+                    Some(GlobalKind::Scalar(a)) => (*a, false),
+                    Some(GlobalKind::Array(a)) => (*a, true),
+                    None => {
+                        return Err(Self::err(
+                            *pos,
+                            format!("`&` needs a global; `{name}` is not one"),
+                        ))
+                    }
+                };
+                match idx {
+                    None => {
+                        let d = self.temp(depth, *pos)?;
+                        let _ = is_array;
+                        self.a.li(d, base as i64);
+                    }
+                    Some(idx) => {
+                        if !is_array {
+                            return Err(Self::err(
+                                *pos,
+                                format!("`{name}` is a scalar; `&{name}[..]` is invalid"),
+                            ));
+                        }
+                        self.expr(idx, depth)?;
+                        let d = self.temp(depth, *pos)?;
+                        self.a.slli(d, d, 3);
+                        self.a.li(SCRATCH_A, base as i64);
+                        self.a.add(d, d, SCRATCH_A);
+                    }
+                }
+            }
+            Expr::Un(op, inner) => {
+                self.expr(inner, depth)?;
+                let d = self.temp(depth, Pos { line: 0, col: 0 })?;
+                match op {
+                    UnOp::Neg => self.a.sub(d, Reg::ZERO, d),
+                    UnOp::Not => {
+                        self.a.sltu(d, Reg::ZERO, d);
+                        self.a.xori(d, d, 1);
+                    }
+                }
+            }
+            Expr::Bin(BinOp::And, l, r) => {
+                let d = self.temp(depth, Pos { line: 0, col: 0 })?;
+                let end = self.labels.fresh("and_end");
+                self.expr(l, depth)?;
+                self.a.sltu(d, Reg::ZERO, d);
+                self.a.beq(d, Reg::ZERO, &end);
+                self.expr(r, depth)?;
+                self.a.sltu(d, Reg::ZERO, d);
+                self.a.bind(&end);
+            }
+            Expr::Bin(BinOp::Or, l, r) => {
+                let d = self.temp(depth, Pos { line: 0, col: 0 })?;
+                let end = self.labels.fresh("or_end");
+                self.expr(l, depth)?;
+                self.a.sltu(d, Reg::ZERO, d);
+                self.a.bne(d, Reg::ZERO, &end);
+                self.expr(r, depth)?;
+                self.a.sltu(d, Reg::ZERO, d);
+                self.a.bind(&end);
+            }
+            Expr::Bin(op, l, r) => {
+                self.expr(l, depth)?;
+                self.expr(r, depth + 1)?;
+                let d = self.temp(depth, Pos { line: 0, col: 0 })?;
+                let s = self.temp(depth + 1, Pos { line: 0, col: 0 })?;
+                match op {
+                    BinOp::Add => self.a.add(d, d, s),
+                    BinOp::Sub => self.a.sub(d, d, s),
+                    BinOp::Mul => self.a.mul(d, d, s),
+                    BinOp::Div => self.a.div(d, d, s),
+                    BinOp::Rem => self.a.rem(d, d, s),
+                    BinOp::Shl => self.a.sll(d, d, s),
+                    BinOp::Shr => self.a.sra(d, d, s),
+                    BinOp::BitAnd => self.a.and(d, d, s),
+                    BinOp::BitOr => self.a.or(d, d, s),
+                    BinOp::BitXor => self.a.xor(d, d, s),
+                    BinOp::Lt => self.a.slt(d, d, s),
+                    BinOp::Gt => self.a.slt(d, s, d),
+                    BinOp::Le => {
+                        self.a.slt(d, s, d);
+                        self.a.xori(d, d, 1);
+                    }
+                    BinOp::Ge => {
+                        self.a.slt(d, d, s);
+                        self.a.xori(d, d, 1);
+                    }
+                    BinOp::Eq => {
+                        self.a.sub(d, d, s);
+                        self.a.sltu(d, Reg::ZERO, d);
+                        self.a.xori(d, d, 1);
+                    }
+                    BinOp::Ne => {
+                        self.a.sub(d, d, s);
+                        self.a.sltu(d, Reg::ZERO, d);
+                    }
+                    BinOp::And | BinOp::Or => unreachable!("handled above"),
+                }
+            }
+            Expr::Call(name, args, pos) => {
+                self.call(name, args, *pos, depth)?;
+                let d = self.temp(depth, *pos)?;
+                self.a.mv(d, Reg::A0);
+            }
+            Expr::Tid => {
+                let d = self.temp(depth, Pos { line: 0, col: 0 })?;
+                self.a.tid(d);
+            }
+            Expr::Nctx => {
+                let d = self.temp(depth, Pos { line: 0, col: 0 })?;
+                self.a.nctx(d);
+            }
+        }
+        Ok(())
+    }
+
+    /// Emits a call with `args`; result left in `A0`. Live expression
+    /// temporaries below `depth` are saved around the call.
+    fn call(&mut self, name: &str, args: &[Expr], pos: Pos, depth: usize) -> Result<(), LangError> {
+        let label = {
+            let sig = self
+                .fns
+                .get(name)
+                .ok_or_else(|| Self::err(pos, format!("unknown worker `{name}`")))?;
+            if sig.params != args.len() {
+                return Err(Self::err(
+                    pos,
+                    format!("`{name}` takes {} argument(s), got {}", sig.params, args.len()),
+                ));
+            }
+            sig.label.clone()
+        };
+        for (i, arg) in args.iter().enumerate() {
+            self.expr(arg, depth + i)?;
+        }
+        // save the register frame and live outer temporaries
+        self.save_locals();
+        for &r in &EXPR_REGS[..depth] {
+            self.a.push_reg(r);
+        }
+        for (i, _) in args.iter().enumerate() {
+            self.a.mv(ARG_REGS[i], self.temp(depth + i, pos)?);
+        }
+        self.a.call(&label);
+        for &r in EXPR_REGS[..depth].iter().rev() {
+            self.a.pop_reg(r);
+        }
+        self.restore_locals();
+        Ok(())
+    }
+
+    // ---------------- statements ----------------
+
+    fn block(&mut self, body: &[Stmt]) -> Result<(), LangError> {
+        self.scopes.push(HashMap::new());
+        for s in body {
+            self.stmt(s)?;
+        }
+        self.scopes.pop();
+        Ok(())
+    }
+
+    fn stmt(&mut self, s: &Stmt) -> Result<(), LangError> {
+        match s {
+            Stmt::Let(name, e, pos) => {
+                if self.scopes.last().expect("scope").contains_key(name) {
+                    return Err(Self::err(*pos, format!("`{name}` already defined in this scope")));
+                }
+                if self.globals.contains_key(name) {
+                    return Err(Self::err(*pos, format!("`{name}` shadows a global")));
+                }
+                self.expr(e, 0)?;
+                let slot = self.next_slot;
+                self.next_slot += 1;
+                self.scopes.last_mut().expect("scope").insert(name.clone(), slot);
+                self.store_slot(EXPR_REGS[0], slot);
+            }
+            Stmt::Assign(place, e) => {
+                self.expr(e, 0)?;
+                match place {
+                    Place::Var(name, pos) => {
+                        if let Some(slot) = self.lookup_slot(name) {
+                            self.store_slot(EXPR_REGS[0], slot);
+                        } else {
+                            match self.globals.get(name) {
+                                Some(GlobalKind::Scalar(addr)) => {
+                                    self.a.li(SCRATCH_A, *addr as i64);
+                                    self.a.st(EXPR_REGS[0], 0, SCRATCH_A);
+                                }
+                                Some(GlobalKind::Array(_)) => {
+                                    return Err(Self::err(
+                                        *pos,
+                                        format!("array `{name}` needs an index"),
+                                    ))
+                                }
+                                None => {
+                                    return Err(Self::err(
+                                        *pos,
+                                        format!("undeclared variable `{name}`"),
+                                    ))
+                                }
+                            }
+                        }
+                    }
+                    Place::Index(name, idx, pos) => {
+                        let base = match self.globals.get(name) {
+                            Some(GlobalKind::Array(addr)) => *addr,
+                            _ => {
+                                return Err(Self::err(
+                                    *pos,
+                                    format!("`{name}` is not a global array"),
+                                ))
+                            }
+                        };
+                        self.expr(idx, 1)?;
+                        self.a.slli(EXPR_REGS[1], EXPR_REGS[1], 3);
+                        self.a.li(SCRATCH_A, base as i64);
+                        self.a.add(EXPR_REGS[1], EXPR_REGS[1], SCRATCH_A);
+                        self.a.st(EXPR_REGS[0], 0, EXPR_REGS[1]);
+                    }
+                }
+            }
+            Stmt::If(cond, then, els) => {
+                let l_else = self.labels.fresh("else");
+                let l_end = self.labels.fresh("endif");
+                self.expr(cond, 0)?;
+                self.a.beq(EXPR_REGS[0], Reg::ZERO, &l_else);
+                self.block(then)?;
+                self.a.j(&l_end);
+                self.a.bind(&l_else);
+                self.block(els)?;
+                self.a.bind(&l_end);
+            }
+            Stmt::While(cond, body) => {
+                let l_top = self.labels.fresh("while");
+                let l_end = self.labels.fresh("endwhile");
+                self.a.bind(&l_top);
+                self.expr(cond, 0)?;
+                self.a.beq(EXPR_REGS[0], Reg::ZERO, &l_end);
+                self.loop_labels.push((l_top.clone(), l_end.clone(), self.lock_depth));
+                self.block(body)?;
+                self.loop_labels.pop();
+                self.a.j(&l_top);
+                self.a.bind(&l_end);
+            }
+            Stmt::Break(pos) => {
+                let (_, brk, depth) = self
+                    .loop_labels
+                    .last()
+                    .ok_or_else(|| Self::err(*pos, "`break` outside of a loop"))?
+                    .clone();
+                if self.lock_depth != depth {
+                    return Err(Self::err(
+                        *pos,
+                        "`break` would jump out of a `lock` block, skipping its release",
+                    ));
+                }
+                self.a.j(&brk);
+            }
+            Stmt::Continue(pos) => {
+                let (cont, _, depth) = self
+                    .loop_labels
+                    .last()
+                    .ok_or_else(|| Self::err(*pos, "`continue` outside of a loop"))?
+                    .clone();
+                if self.lock_depth != depth {
+                    return Err(Self::err(
+                        *pos,
+                        "`continue` would jump out of a `lock` block, skipping its release",
+                    ));
+                }
+                self.a.j(&cont);
+            }
+            Stmt::Return(e, pos) => {
+                if self.lock_depth > 0 {
+                    return Err(Self::err(
+                        *pos,
+                        "`return` inside a `lock` block would skip its release",
+                    ));
+                }
+                if let Some(e) = e {
+                    self.expr(e, 0)?;
+                    self.a.mv(Reg::A0, EXPR_REGS[0]);
+                } else {
+                    self.a.li(Reg::A0, 0);
+                }
+                let ep = self.epilogue.clone();
+                self.a.j(&ep);
+            }
+            Stmt::Out(e) => {
+                self.expr(e, 0)?;
+                self.a.out(EXPR_REGS[0]);
+            }
+            Stmt::Halt => self.a.halt(),
+            Stmt::Join => {
+                let rt = self.rt;
+                emit_join_spin(&mut self.a, &rt, &self.labels);
+            }
+            Stmt::Lock(addr, body) => {
+                // Keep the locked address in a frame slot so nested
+                // expressions and calls cannot clobber it.
+                self.expr(addr, 0)?;
+                let slot = self.next_slot;
+                self.next_slot += 1;
+                self.store_slot(EXPR_REGS[0], slot);
+                self.a.mlock(EXPR_REGS[0]);
+                self.lock_depth += 1;
+                self.block(body)?;
+                self.lock_depth -= 1;
+                self.load_slot(SCRATCH_A, slot);
+                self.a.munlock(SCRATCH_A);
+            }
+            Stmt::Mark(id, body) => {
+                self.a.mark_start(*id);
+                self.block(body)?;
+                self.a.mark_end(*id);
+            }
+            Stmt::Coworker(name, args, pos) => {
+                let label = {
+                    let sig = self
+                        .fns
+                        .get(name)
+                        .ok_or_else(|| Self::err(*pos, format!("unknown worker `{name}`")))?;
+                    if sig.params != args.len() {
+                        return Err(Self::err(
+                            *pos,
+                            format!("`{name}` takes {} argument(s), got {}", sig.params, args.len()),
+                        ));
+                    }
+                    sig.label.clone()
+                };
+                // stage the arguments in A0..A5 so the child's register
+                // copy carries them (Figure 2's pre-processed form)
+                for (i, arg) in args.iter().enumerate() {
+                    self.expr(arg, i)?;
+                }
+                for i in 0..args.len() {
+                    self.a.mv(ARG_REGS[i], EXPR_REGS[i]);
+                }
+                let l_child = self.labels.fresh("cw_child");
+                let l_after = self.labels.fresh("cw_after");
+                let rt = self.rt;
+                // one token for the child worker, counted before it exists
+                emit_locked_add(&mut self.a, rt.tokens, 1);
+                self.a.nthr(PROBE, &l_child);
+                self.a.li(SCRATCH_A, -1);
+                self.a.bne(PROBE, SCRATCH_A, &l_after); // granted: parent moves on
+                // denied (case -1): return the token, call sequentially
+                emit_locked_add(&mut self.a, rt.tokens, -1);
+                self.save_locals();
+                self.a.call(&label);
+                self.restore_locals();
+                self.a.j(&l_after);
+                // the divided child (case 1): new stack, run, merge, die
+                self.a.bind(&l_child);
+                emit_stack_alloc(&mut self.a, &rt, &self.labels);
+                self.a.call(&label);
+                emit_locked_add(&mut self.a, rt.tokens, -1);
+                emit_stack_free(&mut self.a, &rt);
+                self.a.kthr();
+                self.a.bind(&l_after);
+            }
+            Stmt::Expr(e) => {
+                self.expr(e, 0)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn function(&mut self, w: &WorkerDef) -> Result<(), LangError> {
+        if w.params.len() > ARG_REGS.len() {
+            return Err(Self::err(w.pos, format!("at most {} parameters", ARG_REGS.len())));
+        }
+        // frame: params + lets + lock slots + ra
+        let lock_slots = count_locks(&w.body);
+        let slots = w.params.len() + count_lets(&w.body) + lock_slots;
+        self.reg_frame = slots <= LOCAL_REGS.len();
+        // a register frame still needs a 16-byte frame for ra
+        let frame = if self.reg_frame { 16 } else { ((slots as i64 + 1) * 8 + 15) & !15 };
+        self.next_slot = w.params.len();
+        self.epilogue = format!("fn_{}_epilogue", w.name);
+        self.scopes = vec![HashMap::new()];
+        self.loop_labels.clear();
+        self.lock_depth = 0;
+        for (i, p) in w.params.iter().enumerate() {
+            if self.scopes[0].insert(p.clone(), i).is_some() {
+                return Err(Self::err(w.pos, format!("duplicate parameter `{p}`")));
+            }
+            if self.globals.contains_key(p) {
+                return Err(Self::err(w.pos, format!("parameter `{p}` shadows a global")));
+            }
+        }
+
+        self.a.bind(format!("fn_{}", w.name));
+        self.a.addi(Reg::SP, Reg::SP, -frame);
+        self.a.st(Reg::RA, frame - 8, Reg::SP);
+        for (i, _) in w.params.iter().enumerate() {
+            if self.reg_frame {
+                self.a.mv(LOCAL_REGS[i], ARG_REGS[i]);
+            } else {
+                self.a.st(ARG_REGS[i], Self::slot_off(i), Reg::SP);
+            }
+        }
+        self.block(&w.body)?;
+        self.a.li(Reg::A0, 0); // implicit `return 0`
+        self.a.bind(self.epilogue.clone());
+        self.a.ld(Reg::RA, frame - 8, Reg::SP);
+        self.a.addi(Reg::SP, Reg::SP, frame);
+        self.a.ret();
+        debug_assert!(self.next_slot <= slots, "slot accounting");
+        Ok(())
+    }
+}
+
+fn count_locks(body: &[Stmt]) -> usize {
+    body.iter()
+        .map(|s| match s {
+            Stmt::Lock(_, b) => 1 + count_locks(b),
+            Stmt::If(_, t, e) => count_locks(t) + count_locks(e),
+            Stmt::While(_, b) => count_locks(b),
+            _ => 0,
+        })
+        .sum()
+}
+
+/// Compiles Capsule C source to a loadable CAP64 [`Program`].
+///
+/// # Errors
+///
+/// Returns the first lexical, syntactic, or semantic error with its
+/// source position.
+pub fn compile(src: &str) -> Result<Program, LangError> {
+    compile_with(src, &Options::default())
+}
+
+/// [`compile`] with explicit [`Options`].
+///
+/// # Errors
+///
+/// See [`compile`].
+pub fn compile_with(src: &str, opts: &Options) -> Result<Program, LangError> {
+    let ast = parse(src)?;
+    let origin = Pos { line: 1, col: 1 };
+
+    // ---- globals ----
+    let mut d = DataBuilder::new();
+    let mut globals = HashMap::new();
+    for g in &ast.globals {
+        if globals.contains_key(&g.name) {
+            return Err(LangError::new(g.pos, format!("duplicate global `{}`", g.name)));
+        }
+        d.label(&g.name);
+        let kind = match g.len {
+            None => GlobalKind::Scalar(d.word(g.init)),
+            Some(n) => GlobalKind::Array(d.zeros(n * 8)),
+        };
+        globals.insert(g.name.clone(), kind);
+    }
+    let rt = init_runtime(&mut d, 0, opts.pool_slots, opts.stack_bytes);
+
+    // ---- signatures ----
+    let mut fns = HashMap::new();
+    for w in &ast.workers {
+        if fns.contains_key(&w.name) {
+            return Err(LangError::new(w.pos, format!("duplicate worker `{}`", w.name)));
+        }
+        if globals.contains_key(&w.name) {
+            return Err(LangError::new(
+                w.pos,
+                format!("worker `{}` collides with a global", w.name),
+            ));
+        }
+        fns.insert(
+            w.name.clone(),
+            FnSig { params: w.params.len(), label: format!("fn_{}", w.name) },
+        );
+    }
+    match fns.get("main") {
+        Some(sig) if sig.params == 0 => {}
+        Some(_) => return Err(LangError::new(origin, "`main` must take no parameters")),
+        None => return Err(LangError::new(origin, "no `worker main()` defined")),
+    }
+
+    // ---- code ----
+    let mut cg = Cg {
+        a: Asm::new(),
+        labels: Labels::new("cc"),
+        rt,
+        globals,
+        fns,
+        scopes: Vec::new(),
+        next_slot: 0,
+        loop_labels: Vec::new(),
+        lock_depth: 0,
+        reg_frame: false,
+        epilogue: String::new(),
+        ast: &ast,
+    };
+    // entry: the ancestor takes a pooled stack, runs main, halts
+    emit_stack_alloc(&mut cg.a, &rt, &cg.labels);
+    cg.a.call("fn_main");
+    cg.a.halt();
+    for w in &cg.ast.workers.to_vec() {
+        cg.function(w)?;
+    }
+
+    let text = cg
+        .a
+        .assemble()
+        .map_err(|e| LangError::new(origin, format!("internal assembly error: {e}")))?;
+    let program = Program::new(text, d.build(), opts.heap_bytes).with_thread(ThreadSpec::at(0));
+    program
+        .validate()
+        .map_err(|e| LangError::new(origin, format!("internal program error: {e}")))?;
+    Ok(program)
+}

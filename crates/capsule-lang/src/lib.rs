@@ -1,0 +1,68 @@
+//! Capsule C — the paper's source-level component toolchain (§3.2).
+//!
+//! The paper extends C/C++ with `worker` and `coworker` constructs and
+//! lowers them with a source pre-processor + assembly post-processor.
+//! This crate is that toolchain for CAP64: a small C-like language whose
+//! `coworker f(args);` statement compiles to exactly the probe/divide
+//! `switch` of the paper's Figure 2 — a denied probe falls back to a
+//! plain sequential call; a granted probe lets the hardware-copied child
+//! take the call on a pooled stack and die into the join counter.
+//!
+//! ```text
+//! global total;
+//! global arr[256];
+//!
+//! worker sum(lo, hi) {
+//!     while (hi - lo > 32) {
+//!         let mid = lo + (hi - lo) / 2;
+//!         coworker sum(mid, hi);   // the architecture decides!
+//!         hi = mid;
+//!     }
+//!     let acc = 0;
+//!     while (lo < hi) { acc = acc + arr[lo]; lo = lo + 1; }
+//!     lock (&total) { total = total + acc; }
+//! }
+//!
+//! worker main() {
+//!     let i = 0;
+//!     while (i < 256) { arr[i] = i; i = i + 1; }
+//!     coworker sum(0, 256);
+//!     join;
+//!     out(total);
+//! }
+//! ```
+//!
+//! # Example
+//!
+//! ```
+//! let program = capsule_lang::compile(
+//!     "worker main() { out(6 * 7); }",
+//! )?;
+//! assert!(program.text.len() > 4);
+//! # Ok::<(), capsule_lang::LangError>(())
+//! ```
+//!
+//! Language reference:
+//!
+//! - all values are 64-bit integers;
+//! - `global g;` / `global g = init;` / `global a[N];` declare globals
+//!   (zero/`init`-filled), addressable with `&g` / `&a[i]`;
+//! - `worker f(a, b) { ... }` defines a worker (≤ 6 parameters, return
+//!   with `return e;`);
+//! - statements: `let`, assignment, `if`/`else`, `while`, `lock (addr)
+//!   { ... }` (hardware `mlock`/`munlock`), `coworker f(args);`, `join;`,
+//!   `out(e);`, `halt;`;
+//! - builtins: `tid()` (worker id), `nctx()` (free hardware contexts);
+//! - `main` is the ancestor; the program halts when it returns.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod codegen;
+pub mod parser;
+pub mod token;
+
+pub use codegen::{compile, compile_with, Options};
+pub use parser::parse;
+pub use token::{lex, LangError, Pos};

@@ -1,0 +1,586 @@
+//! Recursive-descent parser for Capsule C.
+
+use crate::ast::*;
+use crate::token::{lex, LangError, Pos, Spanned, Tok};
+
+struct Parser {
+    toks: Vec<Spanned>,
+    at: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.at].tok
+    }
+
+    fn pos(&self) -> Pos {
+        self.toks[self.at].pos
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.at].tok.clone();
+        if self.at + 1 < self.toks.len() {
+            self.at += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, want: Tok) -> Result<(), LangError> {
+        if *self.peek() == want {
+            self.bump();
+            Ok(())
+        } else {
+            Err(LangError::new(self.pos(), format!("expected {want}, found {}", self.peek())))
+        }
+    }
+
+    fn ident(&mut self) -> Result<(String, Pos), LangError> {
+        let pos = self.pos();
+        match self.bump() {
+            Tok::Ident(s) => Ok((s, pos)),
+            other => Err(LangError::new(pos, format!("expected identifier, found {other}"))),
+        }
+    }
+
+    fn program(&mut self) -> Result<Ast, LangError> {
+        let mut ast = Ast::default();
+        loop {
+            match self.peek() {
+                Tok::Eof => return Ok(ast),
+                Tok::Global => {
+                    self.bump();
+                    let (name, pos) = self.ident()?;
+                    let mut len = None;
+                    let mut init = 0;
+                    if *self.peek() == Tok::LBracket {
+                        self.bump();
+                        let n = match self.bump() {
+                            Tok::Int(v) if v > 0 => v as usize,
+                            other => {
+                                return Err(LangError::new(
+                                    pos,
+                                    format!("array length must be a positive literal, found {other}"),
+                                ))
+                            }
+                        };
+                        self.expect(Tok::RBracket)?;
+                        len = Some(n);
+                    } else if *self.peek() == Tok::Assign {
+                        self.bump();
+                        let neg = if *self.peek() == Tok::Minus {
+                            self.bump();
+                            true
+                        } else {
+                            false
+                        };
+                        init = match self.bump() {
+                            Tok::Int(v) => {
+                                if neg {
+                                    -v
+                                } else {
+                                    v
+                                }
+                            }
+                            other => {
+                                return Err(LangError::new(
+                                    pos,
+                                    format!("global initializer must be a literal, found {other}"),
+                                ))
+                            }
+                        };
+                    }
+                    self.expect(Tok::Semi)?;
+                    ast.globals.push(GlobalDef { name, len, init, pos });
+                }
+                Tok::Worker => {
+                    self.bump();
+                    let (name, pos) = self.ident()?;
+                    self.expect(Tok::LParen)?;
+                    let mut params = Vec::new();
+                    if *self.peek() != Tok::RParen {
+                        loop {
+                            let (p, _) = self.ident()?;
+                            params.push(p);
+                            if *self.peek() == Tok::Comma {
+                                self.bump();
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(Tok::RParen)?;
+                    let body = self.block()?;
+                    ast.workers.push(WorkerDef { name, params, body, pos });
+                }
+                other => {
+                    return Err(LangError::new(
+                        self.pos(),
+                        format!("expected `global` or `worker` at top level, found {other}"),
+                    ))
+                }
+            }
+        }
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, LangError> {
+        self.expect(Tok::LBrace)?;
+        let mut out = Vec::new();
+        while *self.peek() != Tok::RBrace {
+            if *self.peek() == Tok::Eof {
+                return Err(LangError::new(self.pos(), "unterminated block".to_string()));
+            }
+            out.push(self.stmt()?);
+        }
+        self.bump();
+        Ok(out)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, LangError> {
+        match self.peek().clone() {
+            Tok::Let => {
+                self.bump();
+                let (name, pos) = self.ident()?;
+                self.expect(Tok::Assign)?;
+                let e = self.expr()?;
+                self.expect(Tok::Semi)?;
+                Ok(Stmt::Let(name, e, pos))
+            }
+            Tok::If => {
+                self.bump();
+                self.expect(Tok::LParen)?;
+                let c = self.expr()?;
+                self.expect(Tok::RParen)?;
+                let then = self.block()?;
+                let els = if *self.peek() == Tok::Else {
+                    self.bump();
+                    if *self.peek() == Tok::If {
+                        vec![self.stmt()?]
+                    } else {
+                        self.block()?
+                    }
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::If(c, then, els))
+            }
+            Tok::While => {
+                self.bump();
+                self.expect(Tok::LParen)?;
+                let c = self.expr()?;
+                self.expect(Tok::RParen)?;
+                Ok(Stmt::While(c, self.block()?))
+            }
+            Tok::Return => {
+                let pos = self.pos();
+                self.bump();
+                let e = if *self.peek() == Tok::Semi { None } else { Some(self.expr()?) };
+                self.expect(Tok::Semi)?;
+                Ok(Stmt::Return(e, pos))
+            }
+            Tok::Out => {
+                self.bump();
+                self.expect(Tok::LParen)?;
+                let e = self.expr()?;
+                self.expect(Tok::RParen)?;
+                self.expect(Tok::Semi)?;
+                Ok(Stmt::Out(e))
+            }
+            Tok::Halt => {
+                self.bump();
+                self.expect(Tok::Semi)?;
+                Ok(Stmt::Halt)
+            }
+            Tok::Join => {
+                self.bump();
+                self.expect(Tok::Semi)?;
+                Ok(Stmt::Join)
+            }
+            Tok::Lock => {
+                self.bump();
+                self.expect(Tok::LParen)?;
+                let e = self.expr()?;
+                self.expect(Tok::RParen)?;
+                Ok(Stmt::Lock(e, self.block()?))
+            }
+            Tok::Break => {
+                let pos = self.pos();
+                self.bump();
+                self.expect(Tok::Semi)?;
+                Ok(Stmt::Break(pos))
+            }
+            Tok::Continue => {
+                let pos = self.pos();
+                self.bump();
+                self.expect(Tok::Semi)?;
+                Ok(Stmt::Continue(pos))
+            }
+            Tok::Mark => {
+                let pos = self.pos();
+                self.bump();
+                let id = match self.bump() {
+                    Tok::Int(v) if (0..=u16::MAX as i64).contains(&v) => v as u16,
+                    other => {
+                        return Err(LangError::new(
+                            pos,
+                            format!("`mark` needs a literal section id 0..65535, found {other}"),
+                        ))
+                    }
+                };
+                Ok(Stmt::Mark(id, self.block()?))
+            }
+            Tok::Coworker => {
+                let pos = self.pos();
+                self.bump();
+                let (name, _) = self.ident()?;
+                self.expect(Tok::LParen)?;
+                let args = self.args()?;
+                self.expect(Tok::Semi)?;
+                Ok(Stmt::Coworker(name, args, pos))
+            }
+            Tok::Ident(name) => {
+                let pos = self.pos();
+                // lookahead: assignment or expression statement
+                self.bump();
+                match self.peek().clone() {
+                    Tok::Assign => {
+                        self.bump();
+                        let e = self.expr()?;
+                        self.expect(Tok::Semi)?;
+                        Ok(Stmt::Assign(Place::Var(name, pos), e))
+                    }
+                    Tok::LBracket => {
+                        self.bump();
+                        let idx = self.expr()?;
+                        self.expect(Tok::RBracket)?;
+                        if *self.peek() == Tok::Assign {
+                            self.bump();
+                            let e = self.expr()?;
+                            self.expect(Tok::Semi)?;
+                            Ok(Stmt::Assign(Place::Index(name, Box::new(idx), pos), e))
+                        } else {
+                            Err(LangError::new(
+                                self.pos(),
+                                "array element may only appear here as an assignment target"
+                                    .to_string(),
+                            ))
+                        }
+                    }
+                    Tok::LParen => {
+                        self.bump();
+                        let args = self.args()?;
+                        self.expect(Tok::Semi)?;
+                        Ok(Stmt::Expr(Expr::Call(name, args, pos)))
+                    }
+                    other => Err(LangError::new(
+                        self.pos(),
+                        format!("expected `=`, `[` or `(` after identifier, found {other}"),
+                    )),
+                }
+            }
+            other => {
+                Err(LangError::new(self.pos(), format!("expected a statement, found {other}")))
+            }
+        }
+    }
+
+    /// Argument list up to and including the closing `)`.
+    fn args(&mut self) -> Result<Vec<Expr>, LangError> {
+        let mut out = Vec::new();
+        if *self.peek() != Tok::RParen {
+            loop {
+                out.push(self.expr()?);
+                if *self.peek() == Tok::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(Tok::RParen)?;
+        Ok(out)
+    }
+
+    fn expr(&mut self) -> Result<Expr, LangError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, LangError> {
+        let mut e = self.and_expr()?;
+        while *self.peek() == Tok::OrOr {
+            self.bump();
+            let r = self.and_expr()?;
+            e = Expr::Bin(BinOp::Or, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, LangError> {
+        let mut e = self.cmp_expr()?;
+        while *self.peek() == Tok::AndAnd {
+            self.bump();
+            let r = self.cmp_expr()?;
+            e = Expr::Bin(BinOp::And, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, LangError> {
+        let mut e = self.bitor_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Eq => BinOp::Eq,
+                Tok::Ne => BinOp::Ne,
+                Tok::Lt => BinOp::Lt,
+                Tok::Le => BinOp::Le,
+                Tok::Gt => BinOp::Gt,
+                Tok::Ge => BinOp::Ge,
+                _ => return Ok(e),
+            };
+            self.bump();
+            let r = self.bitor_expr()?;
+            e = Expr::Bin(op, Box::new(e), Box::new(r));
+        }
+    }
+
+    fn bitor_expr(&mut self) -> Result<Expr, LangError> {
+        let mut e = self.bitxor_expr()?;
+        while *self.peek() == Tok::Pipe {
+            self.bump();
+            let r = self.bitxor_expr()?;
+            e = Expr::Bin(BinOp::BitOr, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn bitxor_expr(&mut self) -> Result<Expr, LangError> {
+        let mut e = self.bitand_expr()?;
+        while *self.peek() == Tok::Caret {
+            self.bump();
+            let r = self.bitand_expr()?;
+            e = Expr::Bin(BinOp::BitXor, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn bitand_expr(&mut self) -> Result<Expr, LangError> {
+        let mut e = self.shift_expr()?;
+        while *self.peek() == Tok::Amp {
+            self.bump();
+            let r = self.shift_expr()?;
+            e = Expr::Bin(BinOp::BitAnd, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn shift_expr(&mut self) -> Result<Expr, LangError> {
+        let mut e = self.add_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Shl => BinOp::Shl,
+                Tok::Shr => BinOp::Shr,
+                _ => return Ok(e),
+            };
+            self.bump();
+            let r = self.add_expr()?;
+            e = Expr::Bin(op, Box::new(e), Box::new(r));
+        }
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, LangError> {
+        let mut e = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => BinOp::Add,
+                Tok::Minus => BinOp::Sub,
+                _ => return Ok(e),
+            };
+            self.bump();
+            let r = self.mul_expr()?;
+            e = Expr::Bin(op, Box::new(e), Box::new(r));
+        }
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, LangError> {
+        let mut e = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Star => BinOp::Mul,
+                Tok::Slash => BinOp::Div,
+                Tok::Percent => BinOp::Rem,
+                _ => return Ok(e),
+            };
+            self.bump();
+            let r = self.unary_expr()?;
+            e = Expr::Bin(op, Box::new(e), Box::new(r));
+        }
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, LangError> {
+        match self.peek().clone() {
+            Tok::Minus => {
+                self.bump();
+                Ok(Expr::Un(UnOp::Neg, Box::new(self.unary_expr()?)))
+            }
+            Tok::Bang => {
+                self.bump();
+                Ok(Expr::Un(UnOp::Not, Box::new(self.unary_expr()?)))
+            }
+            Tok::Amp => {
+                let pos = self.pos();
+                self.bump();
+                let (name, _) = self.ident()?;
+                if *self.peek() == Tok::LBracket {
+                    self.bump();
+                    let idx = self.expr()?;
+                    self.expect(Tok::RBracket)?;
+                    Ok(Expr::AddrOf(name, Some(Box::new(idx)), pos))
+                } else {
+                    Ok(Expr::AddrOf(name, None, pos))
+                }
+            }
+            _ => self.primary(),
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr, LangError> {
+        let pos = self.pos();
+        match self.bump() {
+            Tok::Int(v) => Ok(Expr::Int(v)),
+            Tok::LParen => {
+                let e = self.expr()?;
+                self.expect(Tok::RParen)?;
+                Ok(e)
+            }
+            Tok::Ident(name) => match self.peek() {
+                Tok::LParen => {
+                    self.bump();
+                    let args = self.args()?;
+                    match name.as_str() {
+                        "tid" if args.is_empty() => Ok(Expr::Tid),
+                        "nctx" if args.is_empty() => Ok(Expr::Nctx),
+                        _ => Ok(Expr::Call(name, args, pos)),
+                    }
+                }
+                Tok::LBracket => {
+                    self.bump();
+                    let idx = self.expr()?;
+                    self.expect(Tok::RBracket)?;
+                    Ok(Expr::Index(name, Box::new(idx), pos))
+                }
+                _ => Ok(Expr::Var(name, pos)),
+            },
+            other => Err(LangError::new(pos, format!("expected an expression, found {other}"))),
+        }
+    }
+}
+
+/// Parses Capsule C source into an [`Ast`].
+///
+/// # Errors
+///
+/// Returns the first lexical or syntactic error, with its position.
+pub fn parse(src: &str) -> Result<Ast, LangError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, at: 0 };
+    p.program()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_globals_and_workers() {
+        let ast = parse(
+            "global total;\nglobal big = -5;\nglobal arr[64];\nworker main() { out(1); }",
+        )
+        .unwrap();
+        assert_eq!(ast.globals.len(), 3);
+        assert_eq!(ast.globals[0].name, "total");
+        assert_eq!(ast.globals[1].init, -5);
+        assert_eq!(ast.globals[2].len, Some(64));
+        assert_eq!(ast.workers.len(), 1);
+    }
+
+    #[test]
+    fn parses_precedence() {
+        let ast = parse("worker main() { let x = 1 + 2 * 3 < 4 << 1; }").unwrap();
+        let Stmt::Let(_, e, _) = &ast.workers[0].body[0] else { panic!() };
+        // (1 + (2*3)) < (4 << 1)
+        let Expr::Bin(BinOp::Lt, l, r) = e else { panic!("{e:?}") };
+        assert!(matches!(**l, Expr::Bin(BinOp::Add, _, _)));
+        assert!(matches!(**r, Expr::Bin(BinOp::Shl, _, _)));
+    }
+
+    #[test]
+    fn parses_control_flow_and_calls() {
+        let ast = parse(
+            r"
+worker fib(n) {
+    if (n < 2) { return n; }
+    return fib(n - 1) + fib(n - 2);
+}
+worker main() { out(fib(10)); }
+",
+        )
+        .unwrap();
+        assert_eq!(ast.workers[0].params, vec!["n"]);
+        assert!(matches!(ast.workers[0].body[0], Stmt::If(..)));
+    }
+
+    #[test]
+    fn parses_capsule_statements() {
+        let ast = parse(
+            r"
+global total;
+worker w(lo, hi) {
+    lock (&total) { total = total + lo; }
+}
+worker main() {
+    coworker w(0, 10);
+    join;
+    halt;
+}
+",
+        )
+        .unwrap();
+        assert!(matches!(ast.workers[0].body[0], Stmt::Lock(..)));
+        assert!(matches!(ast.workers[1].body[0], Stmt::Coworker(..)));
+        assert!(matches!(ast.workers[1].body[1], Stmt::Join));
+        assert!(matches!(ast.workers[1].body[2], Stmt::Halt));
+    }
+
+    #[test]
+    fn parses_else_if_chains() {
+        let ast =
+            parse("worker main() { if (1) { } else if (2) { out(2); } else { out(3); } }")
+                .unwrap();
+        let Stmt::If(_, _, els) = &ast.workers[0].body[0] else { panic!() };
+        assert!(matches!(els[0], Stmt::If(..)));
+    }
+
+    #[test]
+    fn parses_addr_of() {
+        let ast = parse("global a[4]; worker main() { lock (&a[2]) { } lock (&a) { } }").unwrap();
+        let Stmt::Lock(e, _) = &ast.workers[0].body[0] else { panic!() };
+        assert!(matches!(e, Expr::AddrOf(_, Some(_), _)));
+    }
+
+    #[test]
+    fn error_positions_are_reported() {
+        let e = parse("worker main() {\n  let = 3;\n}").unwrap_err();
+        assert_eq!(e.pos.line, 2);
+        assert!(e.msg.contains("identifier"));
+
+        let e = parse("worker main() { out(1) }").unwrap_err();
+        assert!(e.msg.contains("`;`"));
+
+        let e = parse("fn main() {}").unwrap_err();
+        assert!(e.msg.contains("top level"));
+    }
+
+    #[test]
+    fn rejects_unterminated_block() {
+        assert!(parse("worker main() { out(1);").unwrap_err().msg.contains("unterminated"));
+    }
+}

@@ -1,0 +1,475 @@
+//! Tokens and the lexer of Capsule C.
+
+use std::fmt;
+
+/// A source position (1-based line and column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pos {
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Integer literal.
+    Int(i64),
+    /// Identifier.
+    Ident(String),
+    // keywords
+    /// `worker`
+    Worker,
+    /// `coworker`
+    Coworker,
+    /// `global`
+    Global,
+    /// `let`
+    Let,
+    /// `if`
+    If,
+    /// `else`
+    Else,
+    /// `while`
+    While,
+    /// `return`
+    Return,
+    /// `lock`
+    Lock,
+    /// `join`
+    Join,
+    /// `out`
+    Out,
+    /// `halt`
+    Halt,
+    /// `mark`
+    Mark,
+    /// `break`
+    Break,
+    /// `continue`
+    Continue,
+    // punctuation
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `=`
+    Assign,
+    // operators
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `&`
+    Amp,
+    /// `|`
+    Pipe,
+    /// `^`
+    Caret,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Bang,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Int(v) => write!(f, "{v}"),
+            Tok::Ident(s) => write!(f, "`{s}`"),
+            Tok::Worker => write!(f, "`worker`"),
+            Tok::Coworker => write!(f, "`coworker`"),
+            Tok::Global => write!(f, "`global`"),
+            Tok::Let => write!(f, "`let`"),
+            Tok::If => write!(f, "`if`"),
+            Tok::Else => write!(f, "`else`"),
+            Tok::While => write!(f, "`while`"),
+            Tok::Return => write!(f, "`return`"),
+            Tok::Lock => write!(f, "`lock`"),
+            Tok::Join => write!(f, "`join`"),
+            Tok::Out => write!(f, "`out`"),
+            Tok::Halt => write!(f, "`halt`"),
+            Tok::Mark => write!(f, "`mark`"),
+            Tok::Break => write!(f, "`break`"),
+            Tok::Continue => write!(f, "`continue`"),
+            Tok::LParen => write!(f, "`(`"),
+            Tok::RParen => write!(f, "`)`"),
+            Tok::LBrace => write!(f, "`{{`"),
+            Tok::RBrace => write!(f, "`}}`"),
+            Tok::LBracket => write!(f, "`[`"),
+            Tok::RBracket => write!(f, "`]`"),
+            Tok::Comma => write!(f, "`,`"),
+            Tok::Semi => write!(f, "`;`"),
+            Tok::Assign => write!(f, "`=`"),
+            Tok::Plus => write!(f, "`+`"),
+            Tok::Minus => write!(f, "`-`"),
+            Tok::Star => write!(f, "`*`"),
+            Tok::Slash => write!(f, "`/`"),
+            Tok::Percent => write!(f, "`%`"),
+            Tok::Shl => write!(f, "`<<`"),
+            Tok::Shr => write!(f, "`>>`"),
+            Tok::Amp => write!(f, "`&`"),
+            Tok::Pipe => write!(f, "`|`"),
+            Tok::Caret => write!(f, "`^`"),
+            Tok::Eq => write!(f, "`==`"),
+            Tok::Ne => write!(f, "`!=`"),
+            Tok::Lt => write!(f, "`<`"),
+            Tok::Le => write!(f, "`<=`"),
+            Tok::Gt => write!(f, "`>`"),
+            Tok::Ge => write!(f, "`>=`"),
+            Tok::AndAnd => write!(f, "`&&`"),
+            Tok::OrOr => write!(f, "`||`"),
+            Tok::Bang => write!(f, "`!`"),
+            Tok::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// Where it starts.
+    pub pos: Pos,
+}
+
+/// Lexing / parsing / checking / code-generation errors, with a position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LangError {
+    /// Where the problem is.
+    pub pos: Pos,
+    /// Description.
+    pub msg: String,
+}
+
+impl LangError {
+    pub(crate) fn new(pos: Pos, msg: impl Into<String>) -> Self {
+        LangError { pos, msg: msg.into() }
+    }
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.pos, self.msg)
+    }
+}
+
+impl std::error::Error for LangError {}
+
+/// Lexes a source string.
+///
+/// # Errors
+///
+/// Returns a [`LangError`] on an unknown character or malformed literal.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, LangError> {
+    let mut out = Vec::new();
+    let mut chars = src.chars().peekable();
+    let mut line = 1usize;
+    let mut col = 1usize;
+
+    macro_rules! bump {
+        () => {{
+            let c = chars.next();
+            if c == Some('\n') {
+                line += 1;
+                col = 1;
+            } else if c.is_some() {
+                col += 1;
+            }
+            c
+        }};
+    }
+
+    loop {
+        // skip whitespace and comments
+        loop {
+            match chars.peek() {
+                Some(c) if c.is_whitespace() => {
+                    bump!();
+                }
+                Some('/') => {
+                    let mut la = chars.clone();
+                    la.next();
+                    match la.peek() {
+                        Some('/') => {
+                            while let Some(&c) = chars.peek() {
+                                if c == '\n' {
+                                    break;
+                                }
+                                bump!();
+                            }
+                        }
+                        _ => break,
+                    }
+                }
+                _ => break,
+            }
+        }
+        let pos = Pos { line, col };
+        let Some(&c) = chars.peek() else {
+            out.push(Spanned { tok: Tok::Eof, pos });
+            return Ok(out);
+        };
+        let tok = match c {
+            '0'..='9' => {
+                let mut s = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_alphanumeric() || c == '_' {
+                        s.push(c);
+                        bump!();
+                    } else {
+                        break;
+                    }
+                }
+                let v = if let Some(hex) = s.strip_prefix("0x") {
+                    i64::from_str_radix(&hex.replace('_', ""), 16)
+                } else {
+                    s.replace('_', "").parse()
+                }
+                .map_err(|_| LangError::new(pos, format!("bad integer literal `{s}`")))?;
+                Tok::Int(v)
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_alphanumeric() || c == '_' {
+                        s.push(c);
+                        bump!();
+                    } else {
+                        break;
+                    }
+                }
+                match s.as_str() {
+                    "worker" => Tok::Worker,
+                    "coworker" => Tok::Coworker,
+                    "global" => Tok::Global,
+                    "let" => Tok::Let,
+                    "if" => Tok::If,
+                    "else" => Tok::Else,
+                    "while" => Tok::While,
+                    "return" => Tok::Return,
+                    "lock" => Tok::Lock,
+                    "join" => Tok::Join,
+                    "out" => Tok::Out,
+                    "halt" => Tok::Halt,
+                    "mark" => Tok::Mark,
+                    "break" => Tok::Break,
+                    "continue" => Tok::Continue,
+                    _ => Tok::Ident(s),
+                }
+            }
+            _ => {
+                bump!();
+                let two = |chars: &mut std::iter::Peekable<std::str::Chars>, want: char| {
+                    if chars.peek() == Some(&want) {
+                        chars.next();
+                        true
+                    } else {
+                        false
+                    }
+                };
+                let t = match c {
+                    '(' => Tok::LParen,
+                    ')' => Tok::RParen,
+                    '{' => Tok::LBrace,
+                    '}' => Tok::RBrace,
+                    '[' => Tok::LBracket,
+                    ']' => Tok::RBracket,
+                    ',' => Tok::Comma,
+                    ';' => Tok::Semi,
+                    '+' => Tok::Plus,
+                    '-' => Tok::Minus,
+                    '*' => Tok::Star,
+                    '/' => Tok::Slash,
+                    '%' => Tok::Percent,
+                    '^' => Tok::Caret,
+                    '=' => {
+                        if two(&mut chars, '=') {
+                            col += 1;
+                            Tok::Eq
+                        } else {
+                            Tok::Assign
+                        }
+                    }
+                    '!' => {
+                        if two(&mut chars, '=') {
+                            col += 1;
+                            Tok::Ne
+                        } else {
+                            Tok::Bang
+                        }
+                    }
+                    '<' => {
+                        if two(&mut chars, '=') {
+                            col += 1;
+                            Tok::Le
+                        } else if two(&mut chars, '<') {
+                            col += 1;
+                            Tok::Shl
+                        } else {
+                            Tok::Lt
+                        }
+                    }
+                    '>' => {
+                        if two(&mut chars, '=') {
+                            col += 1;
+                            Tok::Ge
+                        } else if two(&mut chars, '>') {
+                            col += 1;
+                            Tok::Shr
+                        } else {
+                            Tok::Gt
+                        }
+                    }
+                    '&' => {
+                        if two(&mut chars, '&') {
+                            col += 1;
+                            Tok::AndAnd
+                        } else {
+                            Tok::Amp
+                        }
+                    }
+                    '|' => {
+                        if two(&mut chars, '|') {
+                            col += 1;
+                            Tok::OrOr
+                        } else {
+                            Tok::Pipe
+                        }
+                    }
+                    other => {
+                        return Err(LangError::new(pos, format!("unexpected character `{other}`")))
+                    }
+                };
+                t
+            }
+        };
+        out.push(Spanned { tok, pos });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn lexes_keywords_and_idents() {
+        assert_eq!(
+            toks("worker main() { let x = 3; }"),
+            vec![
+                Tok::Worker,
+                Tok::Ident("main".into()),
+                Tok::LParen,
+                Tok::RParen,
+                Tok::LBrace,
+                Tok::Let,
+                Tok::Ident("x".into()),
+                Tok::Assign,
+                Tok::Int(3),
+                Tok::Semi,
+                Tok::RBrace,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_two_char_operators() {
+        assert_eq!(
+            toks("== != <= >= << >> && || < >"),
+            vec![
+                Tok::Eq,
+                Tok::Ne,
+                Tok::Le,
+                Tok::Ge,
+                Tok::Shl,
+                Tok::Shr,
+                Tok::AndAnd,
+                Tok::OrOr,
+                Tok::Lt,
+                Tok::Gt,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_hex_and_underscores() {
+        assert_eq!(toks("0x10 1_000"), vec![Tok::Int(16), Tok::Int(1000), Tok::Eof]);
+    }
+
+    #[test]
+    fn skips_comments() {
+        assert_eq!(toks("1 // comment\n2"), vec![Tok::Int(1), Tok::Int(2), Tok::Eof]);
+    }
+
+    #[test]
+    fn tracks_positions() {
+        let ts = lex("a\n  b").unwrap();
+        assert_eq!(ts[0].pos, Pos { line: 1, col: 1 });
+        assert_eq!(ts[1].pos, Pos { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn rejects_unknown_chars() {
+        let e = lex("a @ b").unwrap_err();
+        assert!(e.msg.contains('@'));
+        assert_eq!(e.pos.line, 1);
+    }
+
+    #[test]
+    fn rejects_bad_literal() {
+        assert!(lex("0x").is_err());
+        assert!(lex("99999999999999999999999").is_err());
+    }
+}

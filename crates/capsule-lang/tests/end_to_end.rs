@@ -1,0 +1,434 @@
+//! End-to-end: Capsule C source → CAP64 → executed on the reference
+//! interpreter and the cycle-level SOMT machine.
+
+use capsule_core::config::MachineConfig;
+use capsule_lang::compile;
+use capsule_sim::machine::Machine;
+use capsule_sim::{Interp, InterpConfig};
+
+/// Compile and run on the interpreter; return the integer outputs.
+fn run_interp(src: &str) -> Vec<i64> {
+    let p = compile(src).expect("compiles");
+    let out = Interp::new(&p, InterpConfig::default())
+        .expect("loads")
+        .run(500_000_000)
+        .expect("halts");
+    out.output.iter().filter_map(|v| v.as_int()).collect()
+}
+
+/// Compile and run on the SOMT machine; return (outputs, outcome).
+fn run_somt(src: &str) -> (Vec<i64>, capsule_sim::SimOutcome) {
+    let p = compile(src).expect("compiles");
+    let mut m = Machine::new(MachineConfig::table1_somt(), &p).expect("loads");
+    let o = m.run(10_000_000_000).expect("halts");
+    (o.ints(), o)
+}
+
+#[test]
+fn arithmetic_and_precedence() {
+    assert_eq!(run_interp("worker main() { out(2 + 3 * 4); }"), vec![14]);
+    assert_eq!(run_interp("worker main() { out((2 + 3) * 4); }"), vec![20]);
+    assert_eq!(run_interp("worker main() { out(7 / 2); out(7 % 3); out(-5); }"), vec![3, 1, -5]);
+    assert_eq!(run_interp("worker main() { out(1 << 10); out(-16 >> 2); }"), vec![1024, -4]);
+    assert_eq!(run_interp("worker main() { out(12 & 10); out(12 | 3); out(12 ^ 10); }"), vec![8, 15, 6]);
+}
+
+#[test]
+fn comparisons_and_logic() {
+    assert_eq!(
+        run_interp("worker main() { out(3 < 4); out(4 <= 4); out(5 > 4); out(3 >= 4); }"),
+        vec![1, 1, 1, 0]
+    );
+    assert_eq!(run_interp("worker main() { out(3 == 3); out(3 != 3); }"), vec![1, 0]);
+    assert_eq!(
+        run_interp("worker main() { out(1 && 2); out(0 && 2); out(0 || 5); out(0 || 0); out(!3); out(!0); }"),
+        vec![1, 0, 1, 0, 0, 1]
+    );
+}
+
+#[test]
+fn short_circuit_skips_side_effects() {
+    // The right operand would trap (division by... no traps for div — use
+    // an out() side effect inside a called worker instead).
+    let src = r"
+global hits;
+worker bump() { hits = hits + 1; return 1; }
+worker main() {
+    let a = 0 && bump();
+    let b = 1 || bump();
+    out(hits);
+    out(a + b);
+}
+";
+    assert_eq!(run_interp(src), vec![0, 1]);
+}
+
+#[test]
+fn control_flow() {
+    let src = r"
+worker main() {
+    let i = 0;
+    let sum = 0;
+    while (i < 10) {
+        if (i % 2 == 0) { sum = sum + i; } else { sum = sum - 1; }
+        i = i + 1;
+    }
+    out(sum); // 0+2+4+6+8 - 5
+}
+";
+    assert_eq!(run_interp(src), vec![15]);
+}
+
+#[test]
+fn recursion_fibonacci() {
+    let src = r"
+worker fib(n) {
+    if (n < 2) { return n; }
+    return fib(n - 1) + fib(n - 2);
+}
+worker main() { out(fib(15)); }
+";
+    assert_eq!(run_interp(src), vec![610]);
+}
+
+#[test]
+fn globals_and_arrays() {
+    let src = r"
+global total = 5;
+global arr[16];
+worker main() {
+    let i = 0;
+    while (i < 16) { arr[i] = i * i; i = i + 1; }
+    total = total + arr[3] + arr[15];
+    out(total);
+}
+";
+    assert_eq!(run_interp(src), vec![5 + 9 + 225]);
+}
+
+#[test]
+fn coworker_divide_and_conquer_sum() {
+    let src = r"
+global total;
+global arr[512];
+
+worker sum(lo, hi) {
+    while (hi - lo > 32) {
+        let mid = lo + (hi - lo) / 2;
+        coworker sum(mid, hi);
+        hi = mid;
+    }
+    let acc = 0;
+    while (lo < hi) { acc = acc + arr[lo]; lo = lo + 1; }
+    lock (&total) { total = total + acc; }
+}
+
+worker main() {
+    let i = 0;
+    while (i < 512) { arr[i] = i * 3 - 100; i = i + 1; }
+    coworker sum(0, 512);
+    join;
+    out(total);
+}
+";
+    let expected: i64 = (0..512).map(|i| i * 3 - 100).sum();
+    // Functional check on the interpreter.
+    assert_eq!(run_interp(src), vec![expected]);
+    // The machine divides for real and still gets the same answer.
+    let (ints, o) = run_somt(src);
+    assert_eq!(ints, vec![expected]);
+    assert!(o.stats.divisions_requested > 0, "coworker must probe");
+    assert!(o.stats.divisions_granted() > 0, "SOMT must grant some");
+}
+
+#[test]
+fn coworker_is_sequential_on_superscalar() {
+    let src = r"
+global total;
+worker add(v) { lock (&total) { total = total + v; } }
+worker main() {
+    let i = 0;
+    while (i < 10) { coworker add(i); i = i + 1; }
+    join;
+    out(total);
+}
+";
+    let p = compile(src).expect("compiles");
+    let mut m = Machine::new(MachineConfig::table1_superscalar(), &p).expect("loads");
+    let o = m.run(1_000_000_000).expect("halts");
+    assert_eq!(o.ints(), vec![45]);
+    assert_eq!(o.stats.divisions_granted(), 0);
+    assert_eq!(o.stats.divisions_denied_disabled, 10);
+}
+
+#[test]
+fn tid_and_nctx_builtins() {
+    assert_eq!(run_interp("worker main() { out(tid()); }"), vec![0]);
+    let (ints, _) = run_somt("worker main() { out(nctx()); }");
+    assert_eq!(ints, vec![7]); // 8 contexts, the ancestor holds one
+}
+
+#[test]
+fn locks_serialize_coworkers() {
+    let src = r"
+global counter;
+worker bump(n) {
+    while (n > 0) {
+        lock (&counter) { counter = counter + 1; }
+        n = n - 1;
+    }
+}
+worker main() {
+    let k = 0;
+    while (k < 6) { coworker bump(50); k = k + 1; }
+    join;
+    out(counter);
+}
+";
+    let (ints, o) = run_somt(src);
+    assert_eq!(ints, vec![300]);
+    assert!(o.stats.lock_acquires >= 300);
+}
+
+#[test]
+fn nested_calls_preserve_temporaries() {
+    let src = r"
+worker add(a, b) { return a + b; }
+worker main() {
+    // deliberately deep expression with calls at interior positions
+    out(add(1, 2) * add(add(3, 4), 5) + add(6, add(7, 8)));
+}
+";
+    assert_eq!(run_interp(src), vec![3 * 12 + 21]);
+}
+
+#[test]
+fn figure2_dijkstra_in_capsule_c() {
+    // The paper's running example, written in the source language: a
+    // component walk over a small fixed graph with per-node locks and
+    // division at the branch points. CSR graph in globals.
+    let src = r"
+// graph: 0->1(2), 0->2(7), 1->2(1), 1->3(6), 2->3(3), 3: none
+global idx[5];
+global dest[5];
+global weight[5];
+global dist[4];
+
+worker walk(node, plen) {
+    let dead = 0;
+    lock (&dist[node]) {
+        if (plen >= dist[node]) { dead = 1; }
+        if (dead == 0) { dist[node] = plen; }
+    }
+    if (dead) { return 0; }
+    let e = idx[node];
+    let end = idx[node + 1];
+    while (e < end - 1) {
+        coworker walk(dest[e], plen + weight[e]);
+        e = e + 1;
+    }
+    if (e < end) {
+        walk(dest[e], plen + weight[e]);
+    }
+    return 0;
+}
+
+worker main() {
+    idx[0] = 0; idx[1] = 2; idx[2] = 4; idx[3] = 5; idx[4] = 5;
+    dest[0] = 1; weight[0] = 2;
+    dest[1] = 2; weight[1] = 7;
+    dest[2] = 2; weight[2] = 1;
+    dest[3] = 3; weight[3] = 6;
+    dest[4] = 3; weight[4] = 3;
+    let i = 0;
+    while (i < 4) { dist[i] = 1000000; i = i + 1; }
+    coworker walk(0, 0);
+    join;
+    out(dist[0]); out(dist[1]); out(dist[2]); out(dist[3]);
+}
+";
+    // shortest: 0 -> 0; 1 -> 2; 2 -> 3 (0,1,2); 3 -> 6 (0,1,2,3)
+    assert_eq!(run_interp(src), vec![0, 2, 3, 6]);
+    let (ints, _) = run_somt(src);
+    assert_eq!(ints, vec![0, 2, 3, 6]);
+}
+
+#[test]
+fn semantic_errors_are_positioned() {
+    let e = compile("worker main() { out(x); }").unwrap_err();
+    assert!(e.msg.contains("undeclared"));
+
+    let e = compile("worker f(a) {} worker main() { f(1, 2); }").unwrap_err();
+    assert!(e.msg.contains("takes 1 argument"));
+
+    let e = compile("worker main() { g(); }").unwrap_err();
+    assert!(e.msg.contains("unknown worker"));
+
+    let e = compile("worker f() {}").unwrap_err();
+    assert!(e.msg.contains("no `worker main()`"));
+
+    let e = compile("worker main(x) {}").unwrap_err();
+    assert!(e.msg.contains("no parameters"));
+
+    let e = compile("global g; worker main() { let g = 1; }").unwrap_err();
+    assert!(e.msg.contains("shadows"));
+
+    let e = compile("worker main() { let a = 1; let a = 2; }").unwrap_err();
+    assert!(e.msg.contains("already defined"));
+
+    let e = compile("global a; global a; worker main() {}").unwrap_err();
+    assert!(e.msg.contains("duplicate global"));
+
+    let e = compile("worker main() {} worker main() {}").unwrap_err();
+    assert!(e.msg.contains("duplicate worker"));
+
+    let e = compile("global arr[4]; worker main() { out(arr); }").unwrap_err();
+    assert!(e.msg.contains("needs an index"));
+
+    let e = compile("global s; worker main() { out(s[0]); }").unwrap_err();
+    assert!(e.msg.contains("scalar"));
+
+    let e = compile("worker f(a,b,c,d,e,f,g) {} worker main() {}").unwrap_err();
+    assert!(e.msg.contains("at most 6"));
+}
+
+#[test]
+fn block_scoping_works() {
+    let src = r"
+worker main() {
+    let x = 1;
+    if (1) {
+        let y = 10;
+        x = x + y;
+    }
+    if (1) {
+        let y = 100; // distinct slot, scoped
+        x = x + y;
+    }
+    out(x);
+}
+";
+    assert_eq!(run_interp(src), vec![111]);
+}
+
+#[test]
+fn early_return_restores_stack() {
+    let src = r"
+worker pick(n) {
+    if (n > 5) { return 100; }
+    return n;
+}
+worker main() {
+    out(pick(3) + pick(9));
+}
+";
+    assert_eq!(run_interp(src), vec![103]);
+}
+
+#[test]
+fn mark_sections_feed_statistics() {
+    let src = r"
+worker main() {
+    let i = 0;
+    mark 3 {
+        while (i < 200) { i = i + 1; }
+    }
+    out(i);
+}
+";
+    let p = compile(src).expect("compiles");
+    let mut m = Machine::new(MachineConfig::table1_somt(), &p).expect("loads");
+    let o = m.run(10_000_000).expect("halts");
+    assert_eq!(o.ints(), vec![200]);
+    assert!(o.sections.section_cycles(3) > 0);
+    assert_eq!(o.sections.section_entries(3), 1);
+}
+
+#[test]
+fn nqueens_counts_solutions() {
+    // The repository's showcase program (examples/programs/nqueens.cap),
+    // at sizes with well-known solution counts.
+    let template = std::fs::read_to_string(
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples/programs/nqueens.cap"),
+    )
+    .expect("nqueens.cap exists");
+    for (n, expected) in [(6i64, 4i64), (8, 92)] {
+        let src = template.replace("global n = 10;", &format!("global n = {n};"));
+        assert_eq!(run_interp(&src), vec![expected], "N={n}");
+        let (ints, o) = run_somt(&src);
+        assert_eq!(ints, vec![expected], "N={n} on SOMT");
+        if n == 8 {
+            assert!(o.stats.divisions_granted() > 0, "the search must divide");
+        }
+    }
+}
+
+#[test]
+fn break_and_continue() {
+    let src = r"
+worker main() {
+    let i = 0;
+    let sum = 0;
+    while (1) {
+        i = i + 1;
+        if (i > 20) { break; }
+        if (i % 2 == 0) { continue; }
+        sum = sum + i;   // odd numbers 1..19
+    }
+    out(sum);
+}
+";
+    assert_eq!(run_interp(src), vec![100]);
+
+    // nested: break leaves only the inner loop
+    let src = r"
+worker main() {
+    let total = 0;
+    let i = 0;
+    while (i < 3) {
+        let j = 0;
+        while (1) {
+            if (j == 4) { break; }
+            total = total + 1;
+            j = j + 1;
+        }
+        i = i + 1;
+    }
+    out(total);
+}
+";
+    assert_eq!(run_interp(src), vec![12]);
+
+    let e = capsule_lang::compile("worker main() { break; }").unwrap_err();
+    assert!(e.msg.contains("outside of a loop"));
+    let e = capsule_lang::compile("worker main() { continue; }").unwrap_err();
+    assert!(e.msg.contains("outside of a loop"));
+}
+
+#[test]
+fn control_flow_cannot_skip_lock_releases() {
+    use capsule_lang::compile;
+    let e = compile(
+        "global g; worker f() { lock (&g) { return 1; } } worker main() { f(); }",
+    )
+    .unwrap_err();
+    assert!(e.msg.contains("skip its release"), "{e}");
+
+    let e = compile(
+        "global g; worker main() { while (1) { lock (&g) { break; } } }",
+    )
+    .unwrap_err();
+    assert!(e.msg.contains("skipping its release"), "{e}");
+
+    let e = compile(
+        "global g; worker main() { while (1) { lock (&g) { continue; } } }",
+    )
+    .unwrap_err();
+    assert!(e.msg.contains("skipping its release"), "{e}");
+
+    // Loops fully inside the lock are fine.
+    let ok = compile(
+        "global g; worker main() { lock (&g) { let i = 0; while (i < 3) { if (i == 1) { break; } i = i + 1; } } }",
+    );
+    assert!(ok.is_ok(), "{ok:?}");
+}

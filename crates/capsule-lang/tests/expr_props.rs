@@ -1,0 +1,82 @@
+//! Differential property test for the compiler: random expression trees
+//! are rendered to Capsule C, compiled, executed on the reference
+//! interpreter, and compared against a host-side evaluator that uses the
+//! ISA's own operator semantics (`AluOp::apply`).
+
+use capsule_isa::instr::AluOp;
+use capsule_lang::compile;
+use capsule_sim::{Interp, InterpConfig};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum E {
+    Lit(i64),
+    Bin(&'static str, Box<E>, Box<E>),
+    Neg(Box<E>),
+}
+
+const OPS: [&str; 13] =
+    ["+", "-", "*", "/", "%", "<<", ">>", "&", "|", "^", "<", "==", "!="];
+
+fn expr_strategy() -> impl Strategy<Value = E> {
+    let leaf = (-1000i64..1000).prop_map(E::Lit);
+    leaf.prop_recursive(4, 32, 4, |inner| {
+        prop_oneof![
+            (prop::sample::select(OPS.to_vec()), inner.clone(), inner.clone())
+                .prop_map(|(op, l, r)| E::Bin(op, Box::new(l), Box::new(r))),
+            inner.prop_map(|e| E::Neg(Box::new(e))),
+        ]
+    })
+}
+
+fn render(e: &E) -> String {
+    match e {
+        E::Lit(v) if *v < 0 => format!("(0 - {})", -v),
+        E::Lit(v) => format!("{v}"),
+        E::Bin(op, l, r) => format!("({} {op} {})", render(l), render(r)),
+        E::Neg(i) => format!("(-{})", render(i)),
+    }
+}
+
+fn eval(e: &E) -> i64 {
+    match e {
+        E::Lit(v) => *v,
+        E::Neg(i) => 0i64.wrapping_sub(eval(i)),
+        E::Bin(op, l, r) => {
+            let (a, b) = (eval(l), eval(r));
+            match *op {
+                "+" => AluOp::Add.apply(a, b),
+                "-" => AluOp::Sub.apply(a, b),
+                "*" => AluOp::Mul.apply(a, b),
+                "/" => AluOp::Div.apply(a, b),
+                "%" => AluOp::Rem.apply(a, b),
+                "<<" => AluOp::Sll.apply(a, b),
+                ">>" => AluOp::Sra.apply(a, b),
+                "&" => AluOp::And.apply(a, b),
+                "|" => AluOp::Or.apply(a, b),
+                "^" => AluOp::Xor.apply(a, b),
+                "<" => AluOp::Slt.apply(a, b),
+                "==" => (a == b) as i64,
+                "!=" => (a != b) as i64,
+                _ => unreachable!(),
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn compiled_expressions_match_host_semantics(e in expr_strategy()) {
+        let src = format!("worker main() {{ out({}); }}", render(&e));
+        let expected = eval(&e);
+        let p = compile(&src).expect("generated source must compile");
+        let out = Interp::new(&p, InterpConfig::default())
+            .expect("loads")
+            .run(10_000_000)
+            .expect("halts");
+        let got: Vec<i64> = out.output.iter().filter_map(|v| v.as_int()).collect();
+        prop_assert_eq!(got, vec![expected], "source: {}", src);
+    }
+}

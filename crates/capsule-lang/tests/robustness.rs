@@ -1,0 +1,57 @@
+//! Robustness: the compiler must never panic on arbitrary input — it
+//! either compiles or returns a positioned error.
+
+use capsule_lang::compile;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary byte soup (printable-ish) never panics the pipeline.
+    #[test]
+    fn arbitrary_text_never_panics(src in "[ -~\n]{0,200}") {
+        let _ = compile(&src);
+    }
+
+    /// Structured-looking but randomly mangled programs never panic.
+    #[test]
+    fn mangled_programs_never_panic(
+        kw in prop::sample::select(vec![
+            "worker", "global", "let", "if", "while", "coworker", "lock",
+            "join", "out", "mark", "return",
+        ]),
+        ident in "[a-z]{1,8}",
+        num in any::<i64>(),
+        junk in "[(){};=<>+*,&|!\\[\\]-]{0,40}",
+    ) {
+        let src = format!("worker main() {{ {kw} {ident} {num} {junk} }}");
+        let _ = compile(&src);
+    }
+
+    /// Deeply nested expressions fail gracefully (depth error), never
+    /// overflow the stack or panic.
+    #[test]
+    fn deep_nesting_is_rejected_gracefully(depth in 1usize..60) {
+        let open = "(1 + ".repeat(depth);
+        let close = ")".repeat(depth);
+        let src = format!("worker main() {{ out({open}1{close}); }}");
+        let _ = compile(&src);
+    }
+}
+
+#[test]
+fn error_positions_point_into_the_source() {
+    let cases = [
+        "worker main() { @ }",
+        "worker main() { let 5 = 3; }",
+        "global a[0]; worker main() {}",
+        "worker main() { out(1 + ); }",
+        "worker main() { if 1 { } }",
+        "worker main() { mark x { } }",
+    ];
+    for src in cases {
+        let e = compile(src).expect_err(src);
+        assert!(e.pos.line >= 1, "{src}: {e}");
+        assert!(!e.msg.is_empty(), "{src}");
+    }
+}

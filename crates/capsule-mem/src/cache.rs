@@ -1,0 +1,256 @@
+//! A set-associative cache with true-LRU replacement and a simple port
+//! model.
+//!
+//! The timing model is intentionally SimpleScalar-like: an access pays the
+//! level's hit latency, plus a port-queuing delay when more than `ports`
+//! accesses arrive in one cycle, plus the lower level's latency on a miss.
+//! Lines are allocated on both read and write misses (write-allocate);
+//! write-back traffic is not separately charged (documented simplification
+//! in DESIGN.md).
+
+use capsule_core::config::CacheParams;
+
+/// Hit/miss counters of one cache level.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Total accesses.
+    pub accesses: u64,
+    /// Hits.
+    pub hits: u64,
+    /// Misses.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Miss ratio in [0, 1].
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    valid: bool,
+    tag: u64,
+    last_use: u64,
+}
+
+/// One cache level.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    params: CacheParams,
+    sets: Vec<Vec<Line>>,
+    stats: CacheStats,
+    use_clock: u64,
+    // Port accounting for the current cycle.
+    port_cycle: u64,
+    port_used: usize,
+}
+
+impl Cache {
+    /// Builds a cache from its parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate geometry (see [`CacheParams::num_sets`]).
+    pub fn new(params: CacheParams) -> Self {
+        let sets = vec![vec![Line::default(); params.assoc]; params.num_sets()];
+        Cache { params, sets, stats: CacheStats::default(), use_clock: 0, port_cycle: 0, port_used: 0 }
+    }
+
+    /// The geometry this cache was built with.
+    pub fn params(&self) -> &CacheParams {
+        &self.params
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    fn set_index(&self, addr: u64) -> (usize, u64) {
+        let line = addr / self.params.line_bytes as u64;
+        let n = self.sets.len() as u64;
+        ((line % n) as usize, line / n)
+    }
+
+    /// Looks up `addr`, allocating the line on a miss. Returns `true` on a
+    /// hit. Does not include port accounting; see [`Cache::port_delay`].
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.use_clock += 1;
+        self.stats.accesses += 1;
+        let (set, tag) = self.set_index(addr);
+        let lines = &mut self.sets[set];
+        if let Some(l) = lines.iter_mut().find(|l| l.valid && l.tag == tag) {
+            l.last_use = self.use_clock;
+            self.stats.hits += 1;
+            return true;
+        }
+        self.stats.misses += 1;
+        // Choose the invalid way, else true-LRU victim.
+        let victim = match lines.iter().position(|l| !l.valid) {
+            Some(i) => i,
+            None => {
+                let (i, _) = lines
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, l)| l.last_use)
+                    .expect("assoc > 0");
+                i
+            }
+        };
+        lines[victim] = Line { valid: true, tag, last_use: self.use_clock };
+        false
+    }
+
+    /// Non-allocating probe: would `addr` hit right now?
+    pub fn probe(&self, addr: u64) -> bool {
+        let (set, tag) = self.set_index(addr);
+        self.sets[set].iter().any(|l| l.valid && l.tag == tag)
+    }
+
+    /// Extra cycles an access starting at `now` waits for a free port.
+    ///
+    /// With `p` ports, the `k`-th access of one cycle waits `k / p` cycles.
+    pub fn port_delay(&mut self, now: u64) -> u64 {
+        if self.port_cycle != now {
+            self.port_cycle = now;
+            self.port_used = 0;
+        }
+        let delay = (self.port_used / self.params.ports) as u64;
+        self.port_used += 1;
+        delay
+    }
+
+    /// Hit latency of this level.
+    pub fn latency(&self) -> u64 {
+        self.params.latency
+    }
+
+    /// Number of currently valid lines (for invariants/tests).
+    pub fn valid_lines(&self) -> usize {
+        self.sets.iter().flatten().filter(|l| l.valid).count()
+    }
+
+    /// Total line capacity.
+    pub fn capacity_lines(&self) -> usize {
+        self.sets.len() * self.params.assoc
+    }
+
+    /// Drops all contents and statistics.
+    pub fn reset(&mut self) {
+        for set in &mut self.sets {
+            for l in set {
+                *l = Line::default();
+            }
+        }
+        self.stats = CacheStats::default();
+        self.use_clock = 0;
+        self.port_cycle = 0;
+        self.port_used = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 4 sets x 2 ways x 64B lines = 512 B.
+        Cache::new(CacheParams { size_bytes: 512, line_bytes: 64, assoc: 2, latency: 1, ports: 1 })
+    }
+
+    #[test]
+    fn first_access_misses_second_hits() {
+        let mut c = tiny();
+        assert!(!c.access(0x100));
+        assert!(c.access(0x100));
+        assert!(c.access(0x13f)); // same 64B line
+        assert!(!c.access(0x140)); // next line
+        assert_eq!(c.stats().accesses, 4);
+        assert_eq!(c.stats().hits, 2);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = tiny();
+        // Three lines mapping to the same set (stride = sets * line = 256).
+        let (a, b, d) = (0x000, 0x100, 0x200);
+        c.access(a);
+        c.access(b);
+        c.access(a); // a is now MRU
+        assert!(!c.access(d)); // evicts b
+        assert!(c.access(a));
+        assert!(!c.access(b)); // b was the victim
+    }
+
+    #[test]
+    fn probe_does_not_allocate() {
+        let mut c = tiny();
+        assert!(!c.probe(0x40));
+        assert!(!c.access(0x40));
+        assert!(c.probe(0x40));
+        assert_eq!(c.stats().accesses, 1);
+    }
+
+    #[test]
+    fn capacity_never_exceeded() {
+        let mut c = tiny();
+        for i in 0..1000 {
+            c.access(i * 64);
+        }
+        assert!(c.valid_lines() <= c.capacity_lines());
+        assert_eq!(c.valid_lines(), c.capacity_lines()); // fully warm
+    }
+
+    #[test]
+    fn working_set_within_capacity_always_hits_after_warmup() {
+        let mut c = tiny();
+        let lines: Vec<u64> = (0..8).map(|i| i * 64).collect(); // exactly capacity
+        for &a in &lines {
+            c.access(a);
+        }
+        for _ in 0..3 {
+            for &a in &lines {
+                assert!(c.access(a));
+            }
+        }
+    }
+
+    #[test]
+    fn port_delay_queues_oversubscription() {
+        let mut c = Cache::new(CacheParams {
+            size_bytes: 512,
+            line_bytes: 64,
+            assoc: 2,
+            latency: 1,
+            ports: 2,
+        });
+        assert_eq!(c.port_delay(10), 0);
+        assert_eq!(c.port_delay(10), 0);
+        assert_eq!(c.port_delay(10), 1); // third access in one cycle waits
+        assert_eq!(c.port_delay(10), 1);
+        assert_eq!(c.port_delay(10), 2);
+        assert_eq!(c.port_delay(11), 0); // new cycle resets
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut c = tiny();
+        c.access(0);
+        c.reset();
+        assert_eq!(c.stats(), CacheStats::default());
+        assert_eq!(c.valid_lines(), 0);
+    }
+
+    #[test]
+    fn miss_rate_math() {
+        let s = CacheStats { accesses: 10, hits: 7, misses: 3 };
+        assert!((s.miss_rate() - 0.3).abs() < 1e-12);
+        assert_eq!(CacheStats::default().miss_rate(), 0.0);
+    }
+}

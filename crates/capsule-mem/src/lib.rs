@@ -1,0 +1,27 @@
+//! Memory hierarchy of the CAPSULE reproduction.
+//!
+//! Implements the Table 1 hierarchy of the paper: split 8 kB L1-D / 16 kB
+//! L1-I (1 cycle), unified 1 MB L2 (12 cycles), and 200-cycle main memory,
+//! as set-associative LRU caches with a per-cycle port model.
+//!
+//! # Example
+//!
+//! ```
+//! use capsule_core::config::MachineConfig;
+//! use capsule_mem::{Hierarchy, ServedBy};
+//!
+//! let mut mem = Hierarchy::new(&MachineConfig::table1_somt());
+//! let cold = mem.access_data(0x8000, 0);
+//! assert_eq!(cold.served_by, ServedBy::Memory);
+//! let warm = mem.access_data(0x8000, 1);
+//! assert_eq!(warm.served_by, ServedBy::L1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod hierarchy;
+
+pub use cache::{Cache, CacheStats};
+pub use hierarchy::{Access, Hierarchy, ServedBy};

@@ -1,0 +1,73 @@
+//! Property tests of the cache model.
+
+use capsule_core::config::CacheParams;
+use capsule_mem::Cache;
+use proptest::prelude::*;
+
+fn params() -> impl Strategy<Value = CacheParams> {
+    // line 16..=128 (pow2), assoc 1..=8, sets 2..=64 (pow2)
+    (4u32..8, 0u32..4, 1u32..7).prop_map(|(line_log, assoc_log, sets_log)| {
+        let line_bytes = 1usize << line_log;
+        let assoc = 1usize << assoc_log;
+        let sets = 1usize << sets_log;
+        CacheParams { size_bytes: line_bytes * assoc * sets, line_bytes, assoc, latency: 1, ports: 1 }
+    })
+}
+
+proptest! {
+    /// The number of valid lines never exceeds the capacity.
+    #[test]
+    fn capacity_is_never_exceeded(
+        p in params(),
+        addrs in prop::collection::vec(0u64..1 << 20, 1..2000),
+    ) {
+        let mut c = Cache::new(p);
+        for a in addrs {
+            c.access(a);
+            prop_assert!(c.valid_lines() <= c.capacity_lines());
+        }
+    }
+
+    /// An access to a line always hits immediately afterwards.
+    #[test]
+    fn immediate_reuse_hits(p in params(), addrs in prop::collection::vec(0u64..1 << 20, 1..500)) {
+        let mut c = Cache::new(p);
+        for a in addrs {
+            c.access(a);
+            prop_assert!(c.probe(a), "line {a:#x} must be resident right after access");
+        }
+    }
+
+    /// Hits + misses always equals accesses.
+    #[test]
+    fn stats_balance(p in params(), addrs in prop::collection::vec(0u64..1 << 16, 0..1000)) {
+        let mut c = Cache::new(p);
+        for a in addrs {
+            c.access(a);
+        }
+        let s = c.stats();
+        prop_assert_eq!(s.hits + s.misses, s.accesses);
+    }
+
+    /// A working set no larger than one set's associativity never misses
+    /// after the first touch (true LRU has no pathological interference
+    /// within a set).
+    #[test]
+    fn lru_retains_small_working_sets(p in params(), seed in 0u64..1000) {
+        let mut c = Cache::new(p);
+        // Pick `assoc` lines that all map to the same set.
+        let sets = p.num_sets() as u64;
+        let set = seed % sets;
+        let lines: Vec<u64> = (0..p.assoc as u64)
+            .map(|way| (way * sets + set) * p.line_bytes as u64)
+            .collect();
+        for &a in &lines {
+            c.access(a);
+        }
+        for _ in 0..3 {
+            for &a in &lines {
+                prop_assert!(c.access(a), "working set within assoc must keep hitting");
+            }
+        }
+    }
+}

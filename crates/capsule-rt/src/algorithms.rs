@@ -1,0 +1,164 @@
+//! Ready-made component algorithms on the native runtime: the paper's
+//! core workloads expressed with probe + divide on real threads.
+
+use crate::runtime::{run, Ctx, RtConfig, RtStats};
+
+/// Minimum slice length worth dividing for.
+const SORT_LEAF: usize = 512;
+const SUM_LEAF: usize = 4096;
+
+fn sort_worker<'env, T: Ord + Send>(ctx: &Ctx<'env, '_>, mut data: &'env mut [T]) {
+    loop {
+        if data.len() <= SORT_LEAF {
+            data.sort_unstable();
+            return;
+        }
+        // probe first (try_claim), so the slot decision precedes the
+        // partition — like nthr's probe preceding the split
+        match ctx.try_claim() {
+            Some(claim) => {
+                let p = partition(data);
+                let (left, rest) = data.split_at_mut(p);
+                let right = &mut rest[1..];
+                claim.spawn(move |c| sort_worker(c, right));
+                data = left;
+            }
+            None => {
+                // denied: recurse on the smaller half (bounded stack),
+                // loop on the larger — probing again next iteration
+                let p = partition(data);
+                let (left, rest) = data.split_at_mut(p);
+                let right = &mut rest[1..];
+                if left.len() < right.len() {
+                    sort_worker(ctx, left);
+                    data = right;
+                } else {
+                    sort_worker(ctx, right);
+                    data = left;
+                }
+            }
+        }
+    }
+}
+
+/// Component quicksort: at every partition the worker probes the runtime
+/// and hands the right half to a divided worker when granted; otherwise it
+/// recurses sequentially — probing again at the next partition, the
+/// paper's "constantly probe the architecture" behaviour.
+pub fn capsule_sort<T: Ord + Send>(cfg: RtConfig, data: &mut [T]) -> RtStats {
+    let (_, stats) = run(cfg, |ctx| sort_worker(ctx, data));
+    stats
+}
+
+/// Lomuto partition with a median-of-three pivot; returns the pivot index.
+fn partition<T: Ord>(data: &mut [T]) -> usize {
+    let len = data.len();
+    let mid = len / 2;
+    if data[0] > data[mid] {
+        data.swap(0, mid);
+    }
+    if data[0] > data[len - 1] {
+        data.swap(0, len - 1);
+    }
+    if data[mid] > data[len - 1] {
+        data.swap(mid, len - 1);
+    }
+    data.swap(mid, len - 1);
+    let mut store = 0;
+    for i in 0..len - 1 {
+        if data[i] <= data[len - 1] {
+            data.swap(i, store);
+            store += 1;
+        }
+    }
+    data.swap(store, len - 1);
+    store
+}
+
+fn sum_worker<'env>(
+    ctx: &Ctx<'env, '_>,
+    mut data: &'env [i64],
+    total: &'env std::sync::atomic::AtomicI64,
+) {
+    use std::sync::atomic::Ordering;
+    let mut local = 0i64;
+    loop {
+        if data.len() <= SUM_LEAF {
+            local += data.iter().sum::<i64>();
+            break;
+        }
+        let (left, right) = data.split_at(data.len() / 2);
+        if ctx.try_divide(move |c| sum_worker(c, right, total)) {
+            data = left;
+        } else {
+            local += right.iter().sum::<i64>();
+            data = left;
+        }
+    }
+    total.fetch_add(local, Ordering::Relaxed);
+}
+
+/// Component reduction: sums a slice by dividing in half while the
+/// architecture grants probes, merging partial results on worker death
+/// ("progressively combining local results", paper §3.2).
+pub fn capsule_sum(cfg: RtConfig, data: &[i64]) -> (i64, RtStats) {
+    use std::sync::atomic::{AtomicI64, Ordering};
+    let total = AtomicI64::new(0);
+    let (_, stats) = run(cfg, |ctx| sum_worker(ctx, data, &total));
+    (total.load(Ordering::Relaxed), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sort_matches_std_sort() {
+        let mut data: Vec<i64> =
+            (0..20_000).map(|i| (i * 2654435761u64 as i64) % 10_007).collect();
+        let mut expected = data.clone();
+        expected.sort_unstable();
+        let stats = capsule_sort(RtConfig::somt_like(8), &mut data);
+        assert_eq!(data, expected);
+        assert!(stats.divisions_requested > 0);
+    }
+
+    #[test]
+    fn sort_sequential_mode_still_sorts() {
+        let mut data: Vec<i64> = (0..5000).rev().collect();
+        let stats = capsule_sort(RtConfig::never(), &mut data);
+        assert!(data.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(stats.divisions_granted, 0);
+    }
+
+    #[test]
+    fn sort_always_mode_sorts() {
+        let mut data: Vec<i64> = (0..30_000).map(|i| (i * 7919) % 1000).collect();
+        let stats = capsule_sort(RtConfig::always(8), &mut data);
+        assert!(data.windows(2).all(|w| w[0] <= w[1]));
+        assert!(stats.max_live <= 8);
+    }
+
+    #[test]
+    fn sum_is_exact_in_all_modes() {
+        let data: Vec<i64> = (0..100_000).map(|i| (i % 1000) - 500).collect();
+        let expected: i64 = data.iter().sum();
+        for cfg in [RtConfig::never(), RtConfig::always(8), RtConfig::somt_like(8)] {
+            let (got, _) = capsule_sum(cfg, &data);
+            assert_eq!(got, expected);
+        }
+    }
+
+    #[test]
+    fn partition_places_pivot() {
+        let mut v = vec![5, 3, 8, 1, 9, 2, 7];
+        let p = partition(&mut v);
+        for (i, x) in v.iter().enumerate() {
+            if i < p {
+                assert!(x <= &v[p]);
+            } else if i > p {
+                assert!(x >= &v[p]);
+            }
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! Native-thread analog of the CAPSULE runtime.
+//!
+//! The paper's contribution is hardware-assisted *conditional division*:
+//! a worker constantly probes the architecture and divides in half only
+//! when resources are free and workers are not dying too fast. This crate
+//! reproduces that policy on ordinary OS threads so the algorithmic
+//! behaviour can be studied at native speed, next to the cycle-level
+//! model in `capsule-sim`:
+//!
+//! - [`runtime::run`] / [`runtime::Ctx::try_divide`] — probe + divide
+//!   with the greedy, death-rate-throttled policy of `capsule-core`;
+//! - [`algorithms`] — component quicksort and reduction built on it;
+//! - baselines: [`runtime::RtConfig::always`] (Cilk-like unconditional
+//!   spawning) and [`runtime::RtConfig::never`] (sequential);
+//! - [`protected::Protected`] — the paper's §3.2 protected objects
+//!   (Ada-style monitors) for data-centric synchronization.
+//!
+//! # Example
+//!
+//! ```
+//! use capsule_rt::{capsule_sort, RtConfig};
+//!
+//! let mut data: Vec<u64> = (0..10_000).rev().collect();
+//! let stats = capsule_sort(RtConfig::somt_like(4), &mut data);
+//! assert!(data.windows(2).all(|w| w[0] <= w[1]));
+//! assert!(stats.max_live <= 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algorithms;
+pub mod protected;
+pub mod runtime;
+
+pub use algorithms::{capsule_sort, capsule_sum};
+pub use protected::Protected;
+pub use runtime::{run, Ctx, RtConfig, RtStats};

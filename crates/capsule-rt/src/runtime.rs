@@ -1,0 +1,449 @@
+//! The conditional-division runtime on native threads.
+//!
+//! [`run`] executes a root worker and hands it a [`Ctx`] through which it
+//! can *probe + divide* ([`Ctx::try_divide`]) exactly like the paper's
+//! `nthr`: the request is granted only when a worker slot ("hardware
+//! context") is free **and** the death-rate throttle is open. A denied
+//! probe returns `false` and the worker simply continues sequentially —
+//! the `case -1` of Figure 2.
+//!
+//! For workers that need to prepare data between the grant and the spawn
+//! (e.g. partitioning an array they still own), [`Ctx::try_claim`] splits
+//! the decision from the spawn: the returned [`Claim`] holds the slot and
+//! either spawns the child or releases the slot on drop.
+//!
+//! Spawning an OS thread costs microseconds where the paper's hardware
+//! division costs ~15 cycles; the analog therefore demonstrates the
+//! *policy* (conditional division, death-rate throttling, probe-on-every-
+//! iteration adaptivity), not the hardware's latency numbers (DESIGN.md).
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use capsule_core::config::DivisionMode;
+use parking_lot::Mutex;
+
+/// Runtime configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct RtConfig {
+    /// Worker slots — the analog of hardware contexts (8 in the paper).
+    pub max_workers: usize,
+    /// Division policy.
+    pub mode: DivisionMode,
+    /// Sliding window for the death-rate throttle (the analog of the
+    /// paper's 128 cycles).
+    pub death_window: Duration,
+    /// Deaths inside the window that close the throttle; the paper uses
+    /// half the context count.
+    pub death_limit: usize,
+}
+
+impl RtConfig {
+    /// The paper's policy with `workers` slots: greedy + throttle at
+    /// `workers / 2` deaths.
+    pub fn somt_like(workers: usize) -> Self {
+        RtConfig {
+            max_workers: workers,
+            mode: DivisionMode::GreedyThrottled,
+            death_window: Duration::from_micros(200),
+            death_limit: (workers / 2).max(1),
+        }
+    }
+
+    /// Cilk-like baseline: every division request is granted while a slot
+    /// is free, with no throttle.
+    pub fn always(workers: usize) -> Self {
+        RtConfig { mode: DivisionMode::Greedy, ..Self::somt_like(workers) }
+    }
+
+    /// Sequential baseline: every probe fails.
+    pub fn never() -> Self {
+        RtConfig { mode: DivisionMode::Never, ..Self::somt_like(1) }
+    }
+}
+
+/// Counters of one run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RtStats {
+    /// Probes issued.
+    pub divisions_requested: u64,
+    /// Probes granted.
+    pub divisions_granted: u64,
+    /// Probes denied because every slot was busy.
+    pub denied_no_resource: u64,
+    /// Probes denied by the death-rate throttle.
+    pub denied_throttled: u64,
+    /// Probes denied because division is disabled.
+    pub denied_disabled: u64,
+    /// Worker deaths.
+    pub deaths: u64,
+    /// Largest simultaneous worker count.
+    pub max_live: u64,
+}
+
+impl RtStats {
+    /// Fraction of probes granted, in [0, 1].
+    pub fn grant_rate(&self) -> f64 {
+        if self.divisions_requested == 0 {
+            0.0
+        } else {
+            self.divisions_granted as f64 / self.divisions_requested as f64
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Inner {
+    cfg: RtConfig,
+    live: AtomicUsize,
+    deaths: Mutex<VecDeque<Instant>>,
+    requested: AtomicU64,
+    granted: AtomicU64,
+    denied_no_resource: AtomicU64,
+    denied_throttled: AtomicU64,
+    denied_disabled: AtomicU64,
+    death_count: AtomicU64,
+    max_live: AtomicU64,
+}
+
+impl Inner {
+    fn throttled(&self) -> bool {
+        let now = Instant::now();
+        let mut deaths = self.deaths.lock();
+        while let Some(&front) = deaths.front() {
+            if now.duration_since(front) > self.cfg.death_window {
+                deaths.pop_front();
+            } else {
+                break;
+            }
+        }
+        deaths.len() >= self.cfg.death_limit
+    }
+
+    fn record_death(&self) {
+        self.death_count.fetch_add(1, Ordering::Relaxed);
+        self.deaths.lock().push_back(Instant::now());
+    }
+
+    /// Attempts to claim a worker slot under the division policy.
+    fn try_grant(&self) -> bool {
+        self.requested.fetch_add(1, Ordering::Relaxed);
+        match self.cfg.mode {
+            DivisionMode::Never => {
+                self.denied_disabled.fetch_add(1, Ordering::Relaxed);
+                return false;
+            }
+            DivisionMode::GreedyThrottled => {
+                if self.throttled() {
+                    self.denied_throttled.fetch_add(1, Ordering::Relaxed);
+                    return false;
+                }
+            }
+            DivisionMode::Greedy => {}
+        }
+        // claim a slot (CAS loop so we never exceed max_workers)
+        let mut cur = self.live.load(Ordering::Relaxed);
+        loop {
+            if cur >= self.cfg.max_workers {
+                self.denied_no_resource.fetch_add(1, Ordering::Relaxed);
+                return false;
+            }
+            match self.live.compare_exchange_weak(cur, cur + 1, Ordering::AcqRel, Ordering::Relaxed)
+            {
+                Ok(_) => break,
+                Err(c) => cur = c,
+            }
+        }
+        self.granted.fetch_add(1, Ordering::Relaxed);
+        self.max_live.fetch_max(cur as u64 + 1, Ordering::Relaxed);
+        true
+    }
+
+    fn release_slot_as_death(&self) {
+        self.live.fetch_sub(1, Ordering::AcqRel);
+        self.record_death();
+    }
+
+    fn release_slot_cancelled(&self) {
+        self.live.fetch_sub(1, Ordering::AcqRel);
+        // a cancelled claim never became a worker: no death is recorded
+    }
+}
+
+/// Worker context: the program's window onto the "architecture".
+#[derive(Debug)]
+pub struct Ctx<'env, 'scope> {
+    inner: Arc<Inner>,
+    scope: &'scope crossbeam::thread::Scope<'env>,
+}
+
+/// A granted-but-not-yet-spawned division (see [`Ctx::try_claim`]).
+///
+/// Dropping the claim without spawning releases the slot without counting
+/// a worker death.
+#[derive(Debug)]
+pub struct Claim<'ctx, 'env, 'scope> {
+    ctx: &'ctx Ctx<'env, 'scope>,
+    spawned: bool,
+}
+
+impl<'ctx, 'env, 'scope> Claim<'ctx, 'env, 'scope> {
+    /// Spawns the child worker on the claimed slot.
+    pub fn spawn<F>(mut self, child: F)
+    where
+        F: FnOnce(&Ctx<'env, '_>) + Send + 'env,
+    {
+        self.spawned = true;
+        let inner = Arc::clone(&self.ctx.inner);
+        self.ctx.scope.spawn(move |scope| {
+            let ctx = Ctx { inner: Arc::clone(&inner), scope };
+            child(&ctx);
+            inner.release_slot_as_death();
+        });
+    }
+}
+
+impl Drop for Claim<'_, '_, '_> {
+    fn drop(&mut self) {
+        if !self.spawned {
+            self.ctx.inner.release_slot_cancelled();
+        }
+    }
+}
+
+impl<'env, 'scope> Ctx<'env, 'scope> {
+    /// Non-binding probe: would a division be granted right now?
+    ///
+    /// Like the paper's resource probing this is only a hint — the
+    /// binding decision is made inside [`Ctx::try_divide`] /
+    /// [`Ctx::try_claim`].
+    pub fn probe(&self) -> bool {
+        let free = self.inner.live.load(Ordering::Relaxed) < self.inner.cfg.max_workers;
+        match self.inner.cfg.mode {
+            DivisionMode::Never => false,
+            DivisionMode::Greedy => free,
+            DivisionMode::GreedyThrottled => free && !self.inner.throttled(),
+        }
+    }
+
+    /// The probe half of `nthr`: on grant, returns a [`Claim`] holding the
+    /// worker slot, letting the caller split its data before spawning.
+    pub fn try_claim(&self) -> Option<Claim<'_, 'env, 'scope>> {
+        if self.inner.try_grant() {
+            Some(Claim { ctx: self, spawned: false })
+        } else {
+            None
+        }
+    }
+
+    /// The probe + conditional division (`nthr`), one-shot form.
+    ///
+    /// On grant, `child` runs concurrently on a new worker and `true` is
+    /// returned; on denial nothing is spawned and `false` is returned —
+    /// the caller carries on sequentially (the `case -1` of Figure 2).
+    pub fn try_divide<F>(&self, child: F) -> bool
+    where
+        F: FnOnce(&Ctx<'env, '_>) + Send + 'env,
+    {
+        match self.try_claim() {
+            Some(claim) => {
+                claim.spawn(child);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Number of free worker slots (the `nctx` instruction).
+    pub fn free_slots(&self) -> usize {
+        self.inner.cfg.max_workers.saturating_sub(self.inner.live.load(Ordering::Relaxed))
+    }
+}
+
+/// Runs `root` as the ancestor worker and joins every divided worker
+/// before returning.
+///
+/// # Panics
+///
+/// Panics if a worker panics, and if `cfg.max_workers` is zero.
+pub fn run<'env, R, F>(cfg: RtConfig, root: F) -> (R, RtStats)
+where
+    R: Send,
+    F: FnOnce(&Ctx<'env, '_>) -> R + Send + 'env,
+{
+    assert!(cfg.max_workers >= 1, "need at least the ancestor's slot");
+    let inner = Arc::new(Inner {
+        cfg,
+        live: AtomicUsize::new(1), // the ancestor occupies a slot
+        deaths: Mutex::new(VecDeque::new()),
+        requested: AtomicU64::new(0),
+        granted: AtomicU64::new(0),
+        denied_no_resource: AtomicU64::new(0),
+        denied_throttled: AtomicU64::new(0),
+        denied_disabled: AtomicU64::new(0),
+        death_count: AtomicU64::new(0),
+        max_live: AtomicU64::new(1),
+    });
+    let inner2 = Arc::clone(&inner);
+    let result = crossbeam::thread::scope(move |scope| {
+        let ctx = Ctx { inner: inner2, scope };
+        root(&ctx)
+    })
+    .expect("worker panicked");
+    let stats = RtStats {
+        divisions_requested: inner.requested.load(Ordering::Relaxed),
+        divisions_granted: inner.granted.load(Ordering::Relaxed),
+        denied_no_resource: inner.denied_no_resource.load(Ordering::Relaxed),
+        denied_throttled: inner.denied_throttled.load(Ordering::Relaxed),
+        denied_disabled: inner.denied_disabled.load(Ordering::Relaxed),
+        deaths: inner.death_count.load(Ordering::Relaxed),
+        max_live: inner.max_live.load(Ordering::Relaxed),
+    };
+    (result, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_mode_denies_everything() {
+        let (v, stats) = run(RtConfig::never(), |ctx| {
+            assert!(!ctx.probe());
+            assert!(!ctx.try_divide(|_| {}));
+            42
+        });
+        assert_eq!(v, 42);
+        assert_eq!(stats.divisions_requested, 1);
+        assert_eq!(stats.denied_disabled, 1);
+        assert_eq!(stats.divisions_granted, 0);
+    }
+
+    #[test]
+    fn divisions_run_concurrently_and_join() {
+        use std::sync::atomic::AtomicI64;
+        let total = AtomicI64::new(0);
+        let ((), stats) = run(RtConfig::somt_like(4), |ctx| {
+            for _ in 0..3 {
+                let granted = ctx.try_divide(|_| {
+                    total.fetch_add(10, Ordering::Relaxed);
+                });
+                if !granted {
+                    total.fetch_add(10, Ordering::Relaxed);
+                }
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 30);
+        assert_eq!(stats.divisions_requested, 3);
+        assert!(stats.max_live <= 4);
+    }
+
+    #[test]
+    fn cancelled_claim_releases_slot_without_death() {
+        let ((), stats) = run(RtConfig::always(2), |ctx| {
+            {
+                let claim = ctx.try_claim();
+                assert!(claim.is_some());
+                assert_eq!(ctx.free_slots(), 0);
+                drop(claim);
+            }
+            assert_eq!(ctx.free_slots(), 1);
+        });
+        assert_eq!(stats.divisions_granted, 1);
+        assert_eq!(stats.deaths, 0);
+    }
+
+    #[test]
+    fn slot_cap_is_respected() {
+        use std::sync::atomic::AtomicU64 as A;
+        let peak = A::new(0);
+        let live = A::new(1);
+        fn fanout<'env>(ctx: &Ctx<'env, '_>, depth: usize, live: &'env A, peak: &'env A) {
+            if depth == 0 {
+                return;
+            }
+            for _ in 0..2 {
+                ctx.try_divide(move |c| {
+                    let l = live.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(l, Ordering::SeqCst);
+                    fanout(c, depth - 1, live, peak);
+                    std::thread::sleep(Duration::from_millis(1));
+                    live.fetch_sub(1, Ordering::SeqCst);
+                });
+            }
+        }
+        let ((), stats) = run(RtConfig::always(4), |ctx| fanout(ctx, 4, &live, &peak));
+        assert!(stats.max_live <= 4, "max_live {}", stats.max_live);
+        assert!(peak.load(Ordering::SeqCst) <= 4);
+    }
+
+    #[test]
+    fn throttle_closes_under_death_churn() {
+        let cfg = RtConfig {
+            max_workers: 8,
+            mode: DivisionMode::GreedyThrottled,
+            death_window: Duration::from_secs(3600), // effectively permanent
+            death_limit: 4,
+        };
+        let ((), stats) = run(cfg, |ctx| {
+            // burn through short-lived workers; after 4 deaths the
+            // throttle must close for the rest of the run
+            let mut denied = false;
+            for _ in 0..64 {
+                if !ctx.try_divide(|_| {}) {
+                    denied = true;
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            assert!(denied);
+        });
+        assert!(stats.denied_throttled > 0, "stats: {stats:?}");
+        assert!(stats.deaths >= 4);
+    }
+
+    #[test]
+    fn grant_rate_math() {
+        let s = RtStats { divisions_requested: 10, divisions_granted: 4, ..Default::default() };
+        assert!((s.grant_rate() - 0.4).abs() < 1e-12);
+        assert_eq!(RtStats::default().grant_rate(), 0.0);
+    }
+}
+
+impl std::fmt::Display for RtStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} probes: {} granted ({:.0}%), {} no-resource, {} throttled, {} disabled; \
+             {} deaths, peak {} workers",
+            self.divisions_requested,
+            self.divisions_granted,
+            100.0 * self.grant_rate(),
+            self.denied_no_resource,
+            self.denied_throttled,
+            self.denied_disabled,
+            self.deaths,
+            self.max_live
+        )
+    }
+}
+
+#[cfg(test)]
+mod display_tests {
+    use super::*;
+
+    #[test]
+    fn stats_display_is_informative() {
+        let s = RtStats {
+            divisions_requested: 10,
+            divisions_granted: 5,
+            denied_throttled: 2,
+            ..Default::default()
+        };
+        let text = s.to_string();
+        assert!(text.contains("10 probes"));
+        assert!(text.contains("5 granted (50%)"));
+        assert!(text.contains("2 throttled"));
+    }
+}

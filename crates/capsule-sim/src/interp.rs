@@ -1,0 +1,456 @@
+//! Functional reference interpreter.
+//!
+//! Executes a program architecturally with round-robin thread scheduling
+//! and a configurable worker cap, but **no timing model**. It shares the
+//! instruction semantics of [`crate::exec`] with the cycle-level machine,
+//! so it serves as the golden reference for differential tests: a correct
+//! component program must produce the same output on both (the component
+//! contract makes results schedule-independent).
+
+use std::collections::{HashMap, VecDeque};
+
+use capsule_core::ids::WorkerId;
+use capsule_isa::program::{Program, ProgramError};
+
+use crate::exec::{step, ArchState, Effect, Memory, OutValue, TrapKind};
+
+/// Interpreter knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct InterpConfig {
+    /// `nthr` is granted while fewer than this many workers are live.
+    pub max_workers: usize,
+    /// When false, every `nthr` is denied (sequential-semantics check).
+    pub allow_division: bool,
+}
+
+impl Default for InterpConfig {
+    fn default() -> Self {
+        InterpConfig { max_workers: 8, allow_division: true }
+    }
+}
+
+/// How an interpreter run ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InterpError {
+    /// The program failed validation.
+    Program(ProgramError),
+    /// A thread trapped.
+    Trap {
+        /// Thread index.
+        thread: usize,
+        /// PC of the faulting instruction.
+        pc: u32,
+        /// Trap cause.
+        kind: TrapKind,
+    },
+    /// `max_steps` elapsed without a `halt`.
+    Timeout,
+    /// Every thread died or blocked with no `halt` (deadlock or missing
+    /// join).
+    NoRunnableThreads,
+}
+
+impl std::fmt::Display for InterpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InterpError::Program(e) => write!(f, "invalid program: {e}"),
+            InterpError::Trap { thread, pc, kind } => {
+                write!(f, "thread {thread} trapped at pc {pc}: {kind}")
+            }
+            InterpError::Timeout => write!(f, "interpreter step budget exhausted"),
+            InterpError::NoRunnableThreads => write!(f, "all threads dead or blocked"),
+        }
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+impl From<ProgramError> for InterpError {
+    fn from(e: ProgramError) -> Self {
+        InterpError::Program(e)
+    }
+}
+
+/// Result of a completed (halted) run.
+#[derive(Debug, Clone)]
+pub struct InterpOutcome {
+    /// Values emitted by `out`/`outf`, in execution order.
+    pub output: Vec<OutValue>,
+    /// Instructions executed.
+    pub steps: u64,
+    /// Division requests observed.
+    pub divisions_requested: u64,
+    /// Division requests granted.
+    pub divisions_granted: u64,
+    /// Largest number of simultaneously live workers.
+    pub max_live_workers: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TState {
+    Runnable,
+    Blocked,
+    Dead,
+}
+
+#[derive(Debug)]
+struct IThread {
+    arch: ArchState,
+    state: TState,
+}
+
+/// The interpreter.
+#[derive(Debug)]
+pub struct Interp {
+    text: Vec<capsule_isa::instr::Instr>,
+    mem: Memory,
+    threads: Vec<IThread>,
+    locks: HashMap<u64, (usize, VecDeque<usize>)>,
+    output: Vec<OutValue>,
+    cfg: InterpConfig,
+    steps: u64,
+    divisions_requested: u64,
+    divisions_granted: u64,
+    next_worker: u32,
+    max_live: usize,
+}
+
+impl Interp {
+    /// Loads `program`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ProgramError`] from validation.
+    pub fn new(program: &Program, cfg: InterpConfig) -> Result<Self, InterpError> {
+        program.validate()?;
+        let mem = Memory::new(program.mem_size, capsule_isa::DATA_BASE, &program.data);
+        let mut threads = Vec::new();
+        for (i, t) in program.threads.iter().enumerate() {
+            let mut arch = ArchState::new(t.pc, WorkerId(i as u32));
+            for &(r, v) in &t.int_regs {
+                arch.set(r, v);
+            }
+            for &(f, v) in &t.fp_regs {
+                arch.setf(f, v);
+            }
+            threads.push(IThread { arch, state: TState::Runnable });
+        }
+        let n = threads.len();
+        Ok(Interp {
+            text: program.text.clone(),
+            mem,
+            threads,
+            locks: HashMap::new(),
+            output: Vec::new(),
+            cfg,
+            steps: 0,
+            divisions_requested: 0,
+            divisions_granted: 0,
+            next_worker: n as u32,
+            max_live: n,
+        })
+    }
+
+    fn live(&self) -> usize {
+        self.threads.iter().filter(|t| t.state != TState::Dead).count()
+    }
+
+    /// Runs until `halt`, a trap, deadlock, or `max_steps`.
+    ///
+    /// # Errors
+    ///
+    /// See [`InterpError`].
+    pub fn run(&mut self, max_steps: u64) -> Result<InterpOutcome, InterpError> {
+        loop {
+            let mut progressed = false;
+            for idx in 0..self.threads.len() {
+                if self.threads[idx].state != TState::Runnable {
+                    continue;
+                }
+                progressed = true;
+                if self.steps >= max_steps {
+                    return Err(InterpError::Timeout);
+                }
+                self.steps += 1;
+                let pc = self.threads[idx].arch.pc;
+                let instr = *self
+                    .text
+                    .get(pc as usize)
+                    .ok_or(InterpError::Trap { thread: idx, pc, kind: TrapKind::BadPc(pc) })?;
+                let out = step(&mut self.threads[idx].arch, &instr, &mut self.mem)
+                    .map_err(|kind| InterpError::Trap { thread: idx, pc, kind })?;
+                match out.effect {
+                    Effect::None => {}
+                    Effect::Out(v) => self.output.push(v),
+                    Effect::Halt => {
+                        return Ok(InterpOutcome {
+                            output: std::mem::take(&mut self.output),
+                            steps: self.steps,
+                            divisions_requested: self.divisions_requested,
+                            divisions_granted: self.divisions_granted,
+                            max_live_workers: self.max_live,
+                        });
+                    }
+                    Effect::Kthr => {
+                        self.threads[idx].state = TState::Dead;
+                    }
+                    Effect::Nthr { rd, target } => {
+                        self.divisions_requested += 1;
+                        let grant = self.cfg.allow_division && self.live() < self.cfg.max_workers;
+                        if grant {
+                            self.divisions_granted += 1;
+                            let mut child = self.threads[idx].arch.clone();
+                            child.pc = target;
+                            child.set(rd, 1);
+                            child.worker = WorkerId(self.next_worker);
+                            self.next_worker += 1;
+                            self.threads[idx].arch.set(rd, 0);
+                            self.threads.push(IThread { arch: child, state: TState::Runnable });
+                            self.max_live = self.max_live.max(self.live());
+                        } else {
+                            self.threads[idx].arch.set(rd, -1);
+                        }
+                    }
+                    Effect::Mlock(addr) => match self.locks.get_mut(&addr) {
+                        None => {
+                            self.locks.insert(addr, (idx, VecDeque::new()));
+                        }
+                        Some((owner, waiters)) => {
+                            if *owner == idx {
+                                return Err(InterpError::Trap {
+                                    thread: idx,
+                                    pc,
+                                    kind: TrapKind::RelockOwned(addr),
+                                });
+                            }
+                            waiters.push_back(idx);
+                            self.threads[idx].state = TState::Blocked;
+                        }
+                    },
+                    Effect::Munlock(addr) => {
+                        match self.locks.get_mut(&addr) {
+                            Some((owner, waiters)) if *owner == idx => {
+                                if let Some(next) = waiters.pop_front() {
+                                    *owner = next;
+                                    self.threads[next].state = TState::Runnable;
+                                } else {
+                                    self.locks.remove(&addr);
+                                }
+                            }
+                            _ => {
+                                return Err(InterpError::Trap {
+                                    thread: idx,
+                                    pc,
+                                    kind: TrapKind::BadUnlock(addr),
+                                });
+                            }
+                        }
+                    }
+                    Effect::Nctx(rd) => {
+                        let free = self.cfg.max_workers.saturating_sub(self.live());
+                        self.threads[idx].arch.set(rd, free as i64);
+                    }
+                    Effect::MarkStart(_) | Effect::MarkEnd(_) => {}
+                }
+            }
+            if !progressed {
+                return Err(InterpError::NoRunnableThreads);
+            }
+        }
+    }
+
+    /// Read access to data memory (result checking).
+    pub fn memory(&self) -> &Memory {
+        &self.mem
+    }
+
+    /// Instructions executed so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capsule_isa::asm::Asm;
+    use capsule_isa::program::{DataBuilder, ThreadSpec};
+    use capsule_isa::reg::Reg;
+
+    fn prog(build: impl FnOnce(&mut Asm), threads: Vec<ThreadSpec>) -> Program {
+        let mut a = Asm::new();
+        build(&mut a);
+        let mut p = Program::new(a.assemble().unwrap(), DataBuilder::new().build(), 1 << 16);
+        p.threads = threads;
+        p
+    }
+
+    #[test]
+    fn loop_sums_correctly() {
+        let p = prog(
+            |a| {
+                a.li(Reg(1), 10);
+                a.li(Reg(2), 0);
+                a.bind("loop");
+                a.add(Reg(2), Reg(2), Reg(1));
+                a.addi(Reg(1), Reg(1), -1);
+                a.bne(Reg(1), Reg::ZERO, "loop");
+                a.out(Reg(2));
+                a.halt();
+            },
+            vec![ThreadSpec::at(0)],
+        );
+        let out = Interp::new(&p, InterpConfig::default()).unwrap().run(10_000).unwrap();
+        assert_eq!(out.output, vec![OutValue::Int(55)]);
+    }
+
+    #[test]
+    fn division_grants_until_cap() {
+        // Each worker divides once; with cap 4 we should see 3 grants
+        // (1 -> 2 -> 3 -> 4 live).
+        let p = prog(
+            |a| {
+                a.bind("worker");
+                a.nthr(Reg(9), "worker");
+                // Fall through for parent/denied; child re-enters worker and
+                // immediately tries to divide again.
+                a.li(Reg(1), 0);
+                a.bind("spin");
+                a.addi(Reg(1), Reg(1), 1);
+                a.slti(Reg(2), Reg(1), 50);
+                a.bne(Reg(2), Reg::ZERO, "spin");
+                a.halt();
+            },
+            vec![ThreadSpec::at(0)],
+        );
+        let mut i = Interp::new(&p, InterpConfig { max_workers: 4, allow_division: true }).unwrap();
+        let out = i.run(100_000).unwrap();
+        assert_eq!(out.divisions_granted, 3);
+        assert_eq!(out.max_live_workers, 4);
+    }
+
+    #[test]
+    fn division_denied_writes_minus_one() {
+        let p = prog(
+            |a| {
+                a.nthr(Reg(5), "child");
+                a.out(Reg(5));
+                a.halt();
+                a.bind("child");
+                a.kthr();
+            },
+            vec![ThreadSpec::at(0)],
+        );
+        let mut i = Interp::new(&p, InterpConfig { max_workers: 8, allow_division: false }).unwrap();
+        let out = i.run(1000).unwrap();
+        assert_eq!(out.output, vec![OutValue::Int(-1)]);
+        assert_eq!(out.divisions_requested, 1);
+        assert_eq!(out.divisions_granted, 0);
+    }
+
+    #[test]
+    fn locks_serialize_increments() {
+        // Two loader threads each add 1 to a counter 100 times under a lock.
+        let mut d = DataBuilder::new();
+        let counter = d.word(0);
+        let done = d.word(0);
+        let mut a = Asm::new();
+        let (rc, rv, ri, rd_, r_done) = (Reg(1), Reg(2), Reg(3), Reg(4), Reg(5));
+        a.bind("worker");
+        a.li(rc, counter as i64);
+        a.li(ri, 100);
+        a.bind("loop");
+        a.mlock(rc);
+        a.ld(rv, 0, rc);
+        a.addi(rv, rv, 1);
+        a.st(rv, 0, rc);
+        a.munlock(rc);
+        a.addi(ri, ri, -1);
+        a.bne(ri, Reg::ZERO, "loop");
+        // Signal completion.
+        a.li(rd_, done as i64);
+        a.mlock(rd_);
+        a.ld(r_done, 0, rd_);
+        a.addi(r_done, r_done, 1);
+        a.st(r_done, 0, rd_);
+        a.munlock(rd_);
+        // First finisher spins; thread 0 waits for done == 2 then halts.
+        a.tid(Reg(6));
+        a.bne(Reg(6), Reg::ZERO, "park");
+        a.bind("wait");
+        a.ld(r_done, 0, rd_);
+        a.li(Reg(7), 2);
+        a.bne(r_done, Reg(7), "wait");
+        a.ld(rv, 0, rc);
+        a.out(rv);
+        a.halt();
+        a.bind("park");
+        a.kthr();
+        let mut p = Program::new(a.assemble().unwrap(), d.build(), 1 << 16);
+        p.threads = vec![ThreadSpec::at(0), ThreadSpec::at(0)];
+
+        let out = Interp::new(&p, InterpConfig::default()).unwrap().run(1_000_000).unwrap();
+        assert_eq!(out.output, vec![OutValue::Int(200)]);
+    }
+
+    #[test]
+    fn deadlock_detected() {
+        let p = prog(
+            |a| {
+                a.kthr();
+            },
+            vec![ThreadSpec::at(0)],
+        );
+        let e = Interp::new(&p, InterpConfig::default()).unwrap().run(1000);
+        assert_eq!(e.unwrap_err(), InterpError::NoRunnableThreads);
+    }
+
+    #[test]
+    fn timeout_detected() {
+        let p = prog(
+            |a| {
+                a.bind("x");
+                a.j("x");
+            },
+            vec![ThreadSpec::at(0)],
+        );
+        let e = Interp::new(&p, InterpConfig::default()).unwrap().run(100);
+        assert_eq!(e.unwrap_err(), InterpError::Timeout);
+    }
+
+    #[test]
+    fn trap_reports_pc() {
+        let p = prog(
+            |a| {
+                a.li(Reg(1), 0);
+                a.ld(Reg(2), 0, Reg(1));
+                a.halt();
+            },
+            vec![ThreadSpec::at(0)],
+        );
+        match Interp::new(&p, InterpConfig::default()).unwrap().run(100) {
+            Err(InterpError::Trap { pc: 1, kind: TrapKind::BadAddress(0), .. }) => {}
+            other => panic!("expected trap, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn relock_is_a_trap() {
+        let mut d = DataBuilder::new();
+        let x = d.word(0);
+        let p = {
+            let mut a = Asm::new();
+            a.li(Reg(1), x as i64);
+            a.mlock(Reg(1));
+            a.mlock(Reg(1));
+            a.halt();
+            let mut p = Program::new(a.assemble().unwrap(), d.build(), 1 << 16);
+            p.threads = vec![ThreadSpec::at(0)];
+            p
+        };
+        match Interp::new(&p, InterpConfig::default()).unwrap().run(100) {
+            Err(InterpError::Trap { kind: TrapKind::RelockOwned(_), .. }) => {}
+            other => panic!("expected relock trap, got {other:?}"),
+        }
+    }
+}

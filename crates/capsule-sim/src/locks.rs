@@ -1,0 +1,189 @@
+//! The fast lock table (paper §3.1, "Fast thread synchronization").
+//!
+//! `mlock` acquires a lock on a base address; when the lock is held by
+//! another thread, the requester stalls and is queued. `munlock` hands the
+//! lock to the **oldest** waiter, as in the paper ("when the locking thread
+//! releases the lock, the oldest waiting thread becomes the new owner").
+
+use std::collections::{HashMap, VecDeque};
+
+/// Result of an acquisition attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AcquireResult {
+    /// Lock acquired immediately.
+    Acquired,
+    /// Lock held by another thread; the requester is queued and must stall.
+    Queued,
+    /// The requester already owns this lock (a program bug — the paper's
+    /// workers never re-lock).
+    AlreadyOwner,
+    /// The table is full; the paper's table is fixed-size, so this is a
+    /// structural trap.
+    TableFull,
+}
+
+/// Result of a release.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReleaseResult {
+    /// Released; nobody was waiting.
+    Released,
+    /// Released and ownership transferred to the oldest waiter (context
+    /// slot returned).
+    Transferred(usize),
+    /// The releaser does not own this lock (program bug).
+    NotOwner,
+}
+
+#[derive(Debug, Clone)]
+struct LockEntry {
+    owner: usize,
+    waiters: VecDeque<usize>,
+}
+
+/// The fixed-capacity lock table.
+#[derive(Debug, Clone)]
+pub struct LockTable {
+    entries: HashMap<u64, LockEntry>,
+    capacity: usize,
+}
+
+impl LockTable {
+    /// Builds a table with room for `capacity` simultaneously-locked
+    /// addresses.
+    pub fn new(capacity: usize) -> Self {
+        LockTable { entries: HashMap::new(), capacity }
+    }
+
+    /// Attempts to acquire the lock on `addr` for thread `slot`.
+    pub fn acquire(&mut self, addr: u64, slot: usize) -> AcquireResult {
+        if let Some(e) = self.entries.get_mut(&addr) {
+            if e.owner == slot {
+                return AcquireResult::AlreadyOwner;
+            }
+            e.waiters.push_back(slot);
+            return AcquireResult::Queued;
+        }
+        if self.entries.len() >= self.capacity {
+            return AcquireResult::TableFull;
+        }
+        self.entries.insert(addr, LockEntry { owner: slot, waiters: VecDeque::new() });
+        AcquireResult::Acquired
+    }
+
+    /// Releases the lock on `addr` held by `slot`.
+    pub fn release(&mut self, addr: u64, slot: usize) -> ReleaseResult {
+        match self.entries.get_mut(&addr) {
+            None => ReleaseResult::NotOwner,
+            Some(e) if e.owner != slot => ReleaseResult::NotOwner,
+            Some(e) => match e.waiters.pop_front() {
+                Some(next) => {
+                    e.owner = next;
+                    ReleaseResult::Transferred(next)
+                }
+                None => {
+                    self.entries.remove(&addr);
+                    ReleaseResult::Released
+                }
+            },
+        }
+    }
+
+    /// Current owner of the lock on `addr`.
+    pub fn owner(&self, addr: u64) -> Option<usize> {
+        self.entries.get(&addr).map(|e| e.owner)
+    }
+
+    /// Number of addresses currently locked.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no lock is held.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total threads queued across all locks (for invariants).
+    pub fn waiting(&self) -> usize {
+        self.entries.values().map(|e| e.waiters.len()).sum()
+    }
+
+    /// Removes a thread from every waiter queue (used when a waiter is
+    /// killed externally; does not affect owned locks).
+    pub fn cancel_waiter(&mut self, slot: usize) {
+        for e in self.entries.values_mut() {
+            e.waiters.retain(|&w| w != slot);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_release_cycle() {
+        let mut t = LockTable::new(4);
+        assert_eq!(t.acquire(0x100, 0), AcquireResult::Acquired);
+        assert_eq!(t.owner(0x100), Some(0));
+        assert_eq!(t.release(0x100, 0), ReleaseResult::Released);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn contention_queues_and_transfers_fifo() {
+        let mut t = LockTable::new(4);
+        t.acquire(0x100, 0);
+        assert_eq!(t.acquire(0x100, 1), AcquireResult::Queued);
+        assert_eq!(t.acquire(0x100, 2), AcquireResult::Queued);
+        // Oldest waiter (1) becomes the new owner.
+        assert_eq!(t.release(0x100, 0), ReleaseResult::Transferred(1));
+        assert_eq!(t.owner(0x100), Some(1));
+        assert_eq!(t.release(0x100, 1), ReleaseResult::Transferred(2));
+        assert_eq!(t.release(0x100, 2), ReleaseResult::Released);
+    }
+
+    #[test]
+    fn reacquire_by_owner_detected() {
+        let mut t = LockTable::new(4);
+        t.acquire(0x100, 0);
+        assert_eq!(t.acquire(0x100, 0), AcquireResult::AlreadyOwner);
+    }
+
+    #[test]
+    fn release_by_non_owner_detected() {
+        let mut t = LockTable::new(4);
+        t.acquire(0x100, 0);
+        assert_eq!(t.release(0x100, 1), ReleaseResult::NotOwner);
+        assert_eq!(t.release(0x200, 0), ReleaseResult::NotOwner);
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut t = LockTable::new(2);
+        assert_eq!(t.acquire(1, 0), AcquireResult::Acquired);
+        assert_eq!(t.acquire(2, 1), AcquireResult::Acquired);
+        assert_eq!(t.acquire(3, 2), AcquireResult::TableFull);
+        // Queuing on an existing lock is still possible when full.
+        assert_eq!(t.acquire(1, 3), AcquireResult::Queued);
+    }
+
+    #[test]
+    fn distinct_addresses_do_not_contend() {
+        let mut t = LockTable::new(4);
+        assert_eq!(t.acquire(0x100, 0), AcquireResult::Acquired);
+        assert_eq!(t.acquire(0x108, 1), AcquireResult::Acquired);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn cancel_waiter_removes_from_queues() {
+        let mut t = LockTable::new(4);
+        t.acquire(0x100, 0);
+        t.acquire(0x100, 1);
+        t.acquire(0x100, 2);
+        t.cancel_waiter(1);
+        assert_eq!(t.waiting(), 1);
+        assert_eq!(t.release(0x100, 0), ReleaseResult::Transferred(2));
+    }
+}

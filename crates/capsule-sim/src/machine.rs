@@ -1,0 +1,1265 @@
+//! The cycle-level SOMT/SMT/superscalar machine.
+//!
+//! Timing follows the SimpleScalar `sim-outorder` discipline the paper
+//! built on: instructions execute **functionally at dispatch, in program
+//! order per thread**, while a register-update-unit (RUU) and load/store
+//! queue model issue, execution and commit timing. See DESIGN.md for the
+//! documented simplifications (wrong-path instructions are fetched but not
+//! dispatched; lock stalls halt dispatch instead of replaying squashed
+//! instructions).
+//!
+//! CAPSULE behaviour implemented here:
+//!
+//! - `nthr` consults the [`DivisionPolicy`] at dispatch. A granted request
+//!   seizes a free hardware context (child stalls for the register-copy
+//!   latency; parent stalls one cycle) or, when enabled, parks the child on
+//!   the LIFO context stack. A denied request writes −1 and falls through.
+//! - `kthr` drains the thread and frees its context; deaths feed the
+//!   division throttle (deaths within 128 cycles ≥ contexts/2 ⇒ deny).
+//! - Threads whose loads run slower than the moving average of the last
+//!   1000 loads accumulate a counter; past the threshold they are swapped
+//!   out to the context stack (when contexts are contended), as in §3.1.
+//! - `mlock`/`munlock` drive the fast lock table; a blocked thread stops
+//!   dispatching and pays a squash penalty when ownership arrives.
+
+use std::collections::VecDeque;
+
+use capsule_core::config::MachineConfig;
+use capsule_core::policy::{DivisionDecision, DivisionPolicy, DivisionRequest};
+use capsule_core::stats::{BirthPlace, DivisionTree, SectionTracker, SimStats};
+use capsule_isa::instr::{FuClass, Instr, INSTR_BYTES};
+use capsule_isa::program::Program;
+use capsule_mem::{Hierarchy, ServedBy};
+
+use crate::exec::{step, ArchState, Effect, Memory, OutValue};
+use crate::locks::{AcquireResult, LockTable, ReleaseResult};
+use crate::outcome::{SimError, SimOutcome};
+use crate::pipeline::{
+    AfterDrain, ContextStack, Entry, Fetched, SavedThread, SlotState, Thread, FETCH_QUEUE_CAP,
+};
+use crate::predictor::Predictor;
+use crate::trace::{Trace, TraceKind};
+
+/// Maximum memory instructions issued per cycle (per L1-D port).
+const MEM_ISSUE_PER_PORT: usize = 1;
+
+#[derive(Debug)]
+struct Slot {
+    state: SlotState,
+    thread: Option<Thread>,
+}
+
+/// The machine.
+#[derive(Debug)]
+pub struct Machine {
+    cfg: MachineConfig,
+    text: Vec<Instr>,
+    mem: Memory,
+    hier: Hierarchy,
+    pred: Predictor,
+    slots: Vec<Slot>,
+    stack: ContextStack,
+    locks: LockTable,
+    policy: DivisionPolicy,
+
+    cycle: u64,
+    seq: u64,
+    halted: bool,
+
+    /// Per-core RUU / LSQ occupancy (a CMP core owns its own window).
+    ruu_used: Vec<usize>,
+    lsq_used: Vec<usize>,
+
+    output: Vec<OutValue>,
+    stats: SimStats,
+    sections: SectionTracker,
+    tree: DivisionTree,
+    live_workers: u64,
+
+    load_lat_window: VecDeque<u64>,
+    load_lat_sum: u64,
+
+    trace: Option<Trace>,
+}
+
+impl Machine {
+    /// Loads `program` onto a machine configured by `cfg`.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Config`] / [`SimError::Program`] on validation failures,
+    /// [`SimError::TooManyThreads`] when the program asks for more loader
+    /// threads than the machine has contexts.
+    pub fn new(cfg: MachineConfig, program: &Program) -> Result<Self, SimError> {
+        cfg.validate().map_err(SimError::Config)?;
+        program.validate()?;
+        if program.threads.len() > cfg.contexts {
+            return Err(SimError::TooManyThreads {
+                requested: program.threads.len(),
+                contexts: cfg.contexts,
+            });
+        }
+
+        let mem = Memory::new(program.mem_size, capsule_isa::DATA_BASE, &program.data);
+        let hier = Hierarchy::new_cmp(&cfg, cfg.cores);
+        let pred = Predictor::new(cfg.predictor);
+        let policy = DivisionPolicy::from_config(&cfg);
+        let stack = ContextStack::new(cfg.context_stack_entries);
+        let locks = LockTable::new(cfg.lock_table_entries);
+
+        let mut slots: Vec<Slot> =
+            (0..cfg.contexts).map(|_| Slot { state: SlotState::Free, thread: None }).collect();
+        let mut tree = DivisionTree::new();
+        for (i, t) in program.threads.iter().enumerate() {
+            let worker = tree.record_birth(None, 0, BirthPlace::Loader);
+            let mut arch = ArchState::new(t.pc, worker);
+            for &(r, v) in &t.int_regs {
+                arch.set(r, v);
+            }
+            for &(f, v) in &t.fp_regs {
+                arch.setf(f, v);
+            }
+            slots[i] = Slot { state: SlotState::Active, thread: Some(Thread::new(arch)) };
+        }
+        let live = program.threads.len() as u64;
+
+        let mut stats = SimStats::new();
+        stats.max_live_workers = live;
+        let cores = cfg.cores;
+
+        Ok(Machine {
+            cfg,
+            text: program.text.clone(),
+            mem,
+            hier,
+            pred,
+            slots,
+            stack,
+            locks,
+            policy,
+            cycle: 0,
+            seq: 0,
+            halted: false,
+            ruu_used: vec![0; cores],
+            lsq_used: vec![0; cores],
+            output: Vec::new(),
+            stats,
+            sections: SectionTracker::new(),
+            tree,
+            live_workers: live,
+            load_lat_window: VecDeque::new(),
+            load_lat_sum: 0,
+            trace: None,
+        })
+    }
+
+    /// Current cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// True once `halt` has executed.
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Read access to data memory (result extraction).
+    pub fn memory(&self) -> &Memory {
+        &self.mem
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// Division genealogy so far.
+    pub fn tree(&self) -> &DivisionTree {
+        &self.tree
+    }
+
+    /// Enables CAPSULE-event tracing (divisions, deaths, swaps, locks,
+    /// sections), retaining at most `limit` events. Call before `run`.
+    pub fn enable_trace(&mut self, limit: usize) {
+        self.trace = Some(Trace::new(limit));
+    }
+
+    /// The event trace, if enabled.
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
+    }
+
+    fn trace_event(&mut self, kind: TraceKind) {
+        if let Some(tr) = self.trace.as_mut() {
+            tr.push(self.cycle, kind);
+        }
+    }
+
+    /// Runs until `halt` or until `max_cycles` have elapsed.
+    ///
+    /// # Errors
+    ///
+    /// See [`SimError`]; on error the machine state is left at the failing
+    /// cycle for inspection.
+    pub fn run(&mut self, max_cycles: u64) -> Result<SimOutcome, SimError> {
+        while !self.halted {
+            if self.cycle >= max_cycles {
+                return Err(SimError::Timeout { cycles: max_cycles });
+            }
+            self.step_cycle()?;
+            if !self.halted && self.machine_empty() {
+                return Err(SimError::AllThreadsDead { cycle: self.cycle });
+            }
+        }
+        Ok(self.outcome())
+    }
+
+    /// Advances the machine by one cycle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates traps from dispatch.
+    pub fn step_cycle(&mut self) -> Result<(), SimError> {
+        self.expire_states();
+        self.complete_stage();
+        self.commit_stage();
+        self.issue_stage();
+        self.dispatch_stage()?;
+        if self.halted {
+            return Ok(());
+        }
+        self.fetch_stage();
+        self.swap_check();
+
+        self.stats.active_context_cycles +=
+            self.slots.iter().filter(|s| s.state == SlotState::Active).count() as u64;
+        self.cycle += 1;
+        self.stats.cycles = self.cycle;
+        Ok(())
+    }
+
+    fn per_core(&self) -> usize {
+        self.cfg.contexts / self.cfg.cores
+    }
+
+    fn machine_empty(&self) -> bool {
+        self.stack.is_empty() && self.slots.iter().all(|s| s.state == SlotState::Free)
+    }
+
+    fn free_slot_count(&self) -> usize {
+        self.slots.iter().filter(|s| s.state == SlotState::Free).count()
+    }
+
+    fn outcome(&self) -> SimOutcome {
+        SimOutcome {
+            stats: self.stats.clone(),
+            output: self.output.clone(),
+            sections: self.sections.clone(),
+            tree: self.tree.clone(),
+            l1i: self.hier.l1i_stats(),
+            l1d: self.hier.l1d_stats(),
+            l2: self.hier.l2_stats(),
+            mem_accesses: self.hier.mem_accesses(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // cycle stages
+    // ------------------------------------------------------------------
+
+    fn expire_states(&mut self) {
+        for slot in &mut self.slots {
+            match slot.state {
+                SlotState::WaitCopy { until } | SlotState::SwapIn { until }
+                    if until <= self.cycle => {
+                        slot.state = SlotState::Active;
+                    }
+                _ => {}
+            }
+        }
+    }
+
+    fn complete_stage(&mut self) {
+        let now = self.cycle;
+        for slot in &mut self.slots {
+            let Some(t) = slot.thread.as_mut() else { continue };
+            for e in &mut t.in_flight {
+                if e.issued && !e.completed && e.complete_at <= now {
+                    e.completed = true;
+                }
+            }
+            if let SlotState::WaitBranch { seq, resume_pc } = slot.state {
+                if t.dep_done(seq) {
+                    slot.state = SlotState::Active;
+                    t.fetch_pc = Some(resume_pc);
+                    t.fetch_block_until =
+                        t.fetch_block_until.max(now + self.pred.mispredict_penalty());
+                }
+            }
+        }
+    }
+
+    fn commit_stage(&mut self) {
+        // Per-core commit bandwidth (a CMP commits on every core).
+        let n = self.slots.len();
+        let per_core = self.per_core();
+        let mut budgets = vec![self.cfg.commit_width; self.cfg.cores];
+        let start = (self.cycle as usize) % n.max(1);
+        let mut drained: Vec<usize> = Vec::new();
+        for k in 0..n {
+            let i = (start + k) % n;
+            let core = i / per_core;
+            let budget = &mut budgets[core];
+            let slot = &mut self.slots[i];
+            let Some(t) = slot.thread.as_mut() else { continue };
+            while *budget > 0 {
+                match t.in_flight.front() {
+                    Some(e) if e.completed => {
+                        let e = t.in_flight.pop_front().expect("checked front");
+                        *budget -= 1;
+                        self.stats.committed += 1;
+                        self.ruu_used[core] -= 1;
+                        if e.is_mem {
+                            self.lsq_used[core] -= 1;
+                        }
+                    }
+                    _ => break,
+                }
+            }
+            if matches!(slot.state, SlotState::Draining(_)) && t.in_flight.is_empty() {
+                drained.push(i);
+            }
+        }
+        for i in drained {
+            self.finalize_drain(i);
+        }
+    }
+
+    fn finalize_drain(&mut self, i: usize) {
+        let SlotState::Draining(action) = self.slots[i].state else { return };
+        match action {
+            AfterDrain::Die => {
+                let t = self.slots[i].thread.take().expect("draining slot has thread");
+                self.policy.record_death(self.cycle);
+                self.stats.deaths += 1;
+                self.tree.record_death(t.arch.worker, self.cycle);
+                self.trace_event(TraceKind::Death { worker: t.arch.worker, slot: i });
+                self.live_workers -= 1;
+                self.refill_slot(i);
+            }
+            AfterDrain::SwapOut => {
+                if let Some(incoming) = self.stack.pop() {
+                    let outgoing = self.slots[i].thread.take().expect("draining slot has thread");
+                    self.trace_event(TraceKind::SwapOut { worker: outgoing.arch.worker, slot: i });
+                    self.trace_event(TraceKind::SwapIn { worker: incoming.arch.worker, slot: i });
+                    self.stack.push(SavedThread { arch: outgoing.arch });
+                    self.stats.swaps_out += 1;
+                    self.stats.swaps_in += 1;
+                    self.install(i, incoming.arch, SlotState::SwapIn {
+                        until: self.cycle + self.cfg.swap_latency,
+                    });
+                } else {
+                    // Nobody to exchange with: resume in place.
+                    let t = self.slots[i].thread.as_mut().expect("draining slot has thread");
+                    t.fetch_pc = Some(t.arch.pc);
+                    self.slots[i].state = SlotState::Active;
+                }
+            }
+        }
+    }
+
+    /// A context slot just became empty; pull a parked thread in, else
+    /// mark it free.
+    fn refill_slot(&mut self, i: usize) {
+        if let Some(saved) = self.stack.pop() {
+            self.stats.swaps_in += 1;
+            self.trace_event(TraceKind::SwapIn { worker: saved.arch.worker, slot: i });
+            self.install(i, saved.arch, SlotState::SwapIn {
+                until: self.cycle + self.cfg.swap_latency,
+            });
+        } else {
+            self.slots[i] = Slot { state: SlotState::Free, thread: None };
+        }
+    }
+
+    fn install(&mut self, i: usize, arch: ArchState, state: SlotState) {
+        self.slots[i] = Slot { state, thread: Some(Thread::new(arch)) };
+    }
+
+    fn issue_stage(&mut self) {
+        // Gather ready candidates.
+        let mut candidates: Vec<(u64, usize)> = Vec::new();
+        for (i, slot) in self.slots.iter().enumerate() {
+            let Some(t) = slot.thread.as_ref() else { continue };
+            for e in &t.in_flight {
+                if e.issued || e.completed || e.fu == FuClass::None {
+                    continue;
+                }
+                let ready = e.deps.iter().flatten().all(|&d| t.dep_done(d));
+                if ready {
+                    candidates.push((e.seq, i));
+                }
+            }
+        }
+        candidates.sort_unstable();
+
+        // Per-core issue bandwidth and functional-unit pools.
+        let cores = self.cfg.cores;
+        let per_core = self.per_core();
+        let mut budget = vec![self.cfg.issue_width; cores];
+        let mut ialu = vec![self.cfg.fus.ialu; cores];
+        let mut imult = vec![self.cfg.fus.imult; cores];
+        let mut fpalu = vec![self.cfg.fus.fpalu; cores];
+        let mut fpmult = vec![self.cfg.fus.fpmult; cores];
+        let mut mem_issues = vec![self.cfg.l1d.ports * MEM_ISSUE_PER_PORT; cores];
+
+        for (seqno, i) in candidates {
+            let core = i / per_core;
+            if budget[core] == 0 {
+                continue;
+            }
+            // Re-find the entry (indices are stable within the cycle).
+            let t = self.slots[i].thread.as_mut().expect("candidate slot has thread");
+            let Ok(idx) = t.in_flight.binary_search_by_key(&seqno, |e| e.seq) else { continue };
+            let fu = t.in_flight[idx].fu;
+            let unit = match fu {
+                FuClass::IntAlu => &mut ialu[core],
+                FuClass::IntMult => &mut imult[core],
+                FuClass::FpAlu => &mut fpalu[core],
+                FuClass::FpMult => &mut fpmult[core],
+                FuClass::Mem => &mut mem_issues[core],
+                FuClass::None => unreachable!("filtered above"),
+            };
+            if *unit == 0 {
+                continue;
+            }
+            *unit -= 1;
+            budget[core] -= 1;
+
+            let (is_load, addr, lat) = {
+                let e = &t.in_flight[idx];
+                (e.is_load, e.mem_addr, e.latency)
+            };
+            let complete_at = if fu == FuClass::Mem {
+                let addr = addr.expect("mem entry has address");
+                let access = self.hier.access_data_on(core, addr, self.cycle);
+                if is_load {
+                    self.observe_load_latency(i, access.latency);
+                    self.cycle + access.latency
+                } else {
+                    // Stores retire from the store buffer; dependents do
+                    // not wait for the miss (the line fill is charged to
+                    // the cache state only).
+                    self.cycle + 1
+                }
+            } else {
+                self.cycle + lat
+            };
+            let t = self.slots[i].thread.as_mut().expect("candidate slot has thread");
+            let e = &mut t.in_flight[idx];
+            e.issued = true;
+            e.complete_at = complete_at;
+        }
+    }
+
+    fn observe_load_latency(&mut self, slot_idx: usize, lat: u64) {
+        let window = self.cfg.swap_load_window;
+        self.load_lat_window.push_back(lat);
+        self.load_lat_sum += lat;
+        if self.load_lat_window.len() > window {
+            let old = self.load_lat_window.pop_front().expect("non-empty");
+            self.load_lat_sum -= old;
+        }
+        let avg = self.load_lat_sum as f64 / self.load_lat_window.len() as f64;
+        let t = self.slots[slot_idx].thread.as_mut().expect("issuing slot has thread");
+        if (lat as f64) > avg {
+            t.slow_counter += 1;
+        } else {
+            t.slow_counter = (t.slow_counter - 1).max(-self.cfg.swap_counter_threshold);
+        }
+    }
+
+    fn swap_check(&mut self) {
+        if self.stack.is_empty() || self.free_slot_count() > 0 {
+            return;
+        }
+        let threshold = self.cfg.swap_counter_threshold;
+        for slot in &mut self.slots {
+            if slot.state != SlotState::Active {
+                continue;
+            }
+            let Some(t) = slot.thread.as_mut() else { continue };
+            // A lock holder must not migrate: lock ownership is per slot.
+            if t.slow_counter >= threshold && t.locks_held == 0 {
+                t.slow_counter = 0;
+                t.flush_frontend();
+                slot.state = SlotState::Draining(AfterDrain::SwapOut);
+            }
+        }
+    }
+
+    fn dispatch_stage(&mut self) -> Result<(), SimError> {
+        let n = self.slots.len();
+        let per_core = self.per_core();
+        let start = (self.cycle as usize) % n.max(1);
+        let mut budgets = vec![self.cfg.decode_width; self.cfg.cores];
+        let mut progressed = true;
+        while progressed && !self.halted {
+            progressed = false;
+            for k in 0..n {
+                if self.halted {
+                    break;
+                }
+                let i = (start + k) % n;
+                let core = i / per_core;
+                if budgets[core] == 0 {
+                    continue;
+                }
+                if self.try_dispatch_one(i)? {
+                    budgets[core] -= 1;
+                    progressed = true;
+                }
+            }
+            if budgets.iter().all(|&b| b == 0) {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    /// Attempts to dispatch one instruction from slot `i`; returns whether
+    /// one was dispatched.
+    fn try_dispatch_one(&mut self, i: usize) -> Result<bool, SimError> {
+        if self.slots[i].state != SlotState::Active {
+            return Ok(false);
+        }
+        let now = self.cycle;
+        {
+            let t = self.slots[i].thread.as_ref().expect("active slot has thread");
+            if t.dispatch_block_until > now || t.fetch_queue.is_empty() {
+                return Ok(false);
+            }
+        }
+        // Peek resource needs.
+        let (fetched, instr) = {
+            let t = self.slots[i].thread.as_ref().expect("active slot has thread");
+            let f = *t.fetch_queue.front().expect("checked non-empty");
+            let instr = self.text[f.pc as usize];
+            (f, instr)
+        };
+        let is_mem = instr.is_mem();
+        let core = i / self.per_core();
+        if self.ruu_used[core] >= self.cfg.ruu_size
+            || (is_mem && self.lsq_used[core] >= self.cfg.lsq_size)
+        {
+            return Ok(false);
+        }
+
+        let t = self.slots[i].thread.as_mut().expect("active slot has thread");
+        t.fetch_queue.pop_front();
+
+        // Defensive: fetch should always track the architectural path.
+        if fetched.pc != t.arch.pc {
+            t.flush_frontend();
+            t.fetch_pc = Some(t.arch.pc);
+            return Ok(false);
+        }
+
+        // Capture dependencies before renaming the destination.
+        let mut deps: [Option<u64>; 4] = [None; 4];
+        let srcs_i = instr.sources_int();
+        let srcs_f = instr.sources_fp();
+        let mut d = 0;
+        for r in srcs_i.into_iter().flatten() {
+            deps[d] = t.last_writer_int[r.index()];
+            d += 1;
+        }
+        for f in srcs_f.into_iter().flatten() {
+            deps[d] = t.last_writer_fp[f.index()];
+            d += 1;
+        }
+
+        // Functional execution (in program order).
+        let pc = fetched.pc;
+        let out = step(&mut t.arch, &instr, &mut self.mem).map_err(|kind| SimError::Trap {
+            cycle: now,
+            slot: i,
+            pc,
+            kind,
+        })?;
+
+        // Create the window entry.
+        let seqno = self.seq;
+        self.seq += 1;
+        let fu = instr.fu_class();
+        let entry = Entry {
+            seq: seqno,
+            fu,
+            latency: instr.latency(),
+            deps,
+            issued: fu == FuClass::None,
+            completed: fu == FuClass::None,
+            complete_at: now,
+            mem_addr: out.mem_addr,
+            is_load: instr.is_load(),
+            is_mem,
+        };
+        if let Some(rd) = instr.dest_int() {
+            if !rd.is_zero() {
+                t.last_writer_int[rd.index()] = Some(seqno);
+            }
+        }
+        if let Some(fd) = instr.dest_fp() {
+            t.last_writer_fp[fd.index()] = Some(seqno);
+        }
+        t.in_flight.push_back(entry);
+        self.ruu_used[core] += 1;
+        if is_mem {
+            self.lsq_used[core] += 1;
+        }
+        self.stats.dispatched += 1;
+
+        // Control flow bookkeeping.
+        if let Some(b) = out.branch {
+            if b.conditional {
+                self.stats.branches += 1;
+                let t = self.slots[i].thread.as_mut().expect("active slot has thread");
+                t.bp_history = self.pred.update(pc, t.bp_history, b.taken);
+                if fetched.predicted_taken != b.taken {
+                    self.stats.branch_mispredicts += 1;
+                    t.flush_frontend();
+                    self.slots[i].state =
+                        SlotState::WaitBranch { seq: seqno, resume_pc: b.next_pc };
+                }
+            } else if instr.static_target().is_none() {
+                // Indirect jump: fetch stalled at it; redirect now.
+                let t = self.slots[i].thread.as_mut().expect("active slot has thread");
+                t.fetch_pc = Some(b.next_pc);
+                t.fetch_block_until = t.fetch_block_until.max(now + 1);
+            }
+        }
+
+        // Host-side effects.
+        match out.effect {
+            Effect::None => {}
+            Effect::Out(v) => self.output.push(v),
+            Effect::Halt => {
+                self.halted = true;
+                self.cycle += 1;
+                self.stats.cycles = self.cycle;
+                self.sections.finish(self.cycle);
+                // In-flight instructions were architecturally executed at
+                // dispatch; count them as committed so instruction totals
+                // (e.g. Table 3's insts-per-division) reflect real work.
+                let in_flight: u64 = self
+                    .slots
+                    .iter()
+                    .filter_map(|s| s.thread.as_ref())
+                    .map(|t| t.in_flight.len() as u64)
+                    .sum();
+                self.stats.committed += in_flight;
+                self.trace_event(TraceKind::Halt);
+            }
+            Effect::Kthr => {
+                let t = self.slots[i].thread.as_mut().expect("active slot has thread");
+                t.flush_frontend();
+                self.slots[i].state = SlotState::Draining(AfterDrain::Die);
+            }
+            Effect::Nthr { rd, target } => self.handle_nthr(i, rd, target),
+            Effect::Mlock(addr) => {
+                match self.locks.acquire(addr, i) {
+                    AcquireResult::Acquired => {
+                        self.stats.lock_acquires += 1;
+                        let t = self.slots[i].thread.as_mut().expect("active slot has thread");
+                        t.locks_held += 1;
+                        self.trace_event(TraceKind::LockAcquire { slot: i, addr });
+                    }
+                    AcquireResult::Queued => {
+                        self.stats.lock_stalls += 1;
+                        self.slots[i].state = SlotState::WaitLock { since: now };
+                        self.trace_event(TraceKind::LockBlock { slot: i, addr });
+                    }
+                    AcquireResult::AlreadyOwner => {
+                        return Err(SimError::Trap {
+                            cycle: now,
+                            slot: i,
+                            pc,
+                            kind: crate::exec::TrapKind::RelockOwned(addr),
+                        });
+                    }
+                    AcquireResult::TableFull => {
+                        return Err(SimError::Trap {
+                            cycle: now,
+                            slot: i,
+                            pc,
+                            kind: crate::exec::TrapKind::LockTableFull(addr),
+                        });
+                    }
+                }
+            }
+            Effect::Munlock(addr) => match self.locks.release(addr, i) {
+                ReleaseResult::Released => {
+                    let t = self.slots[i].thread.as_mut().expect("active slot has thread");
+                    t.locks_held = t.locks_held.saturating_sub(1);
+                }
+                ReleaseResult::Transferred(next) => {
+                    self.stats.lock_acquires += 1;
+                    let t = self.slots[i].thread.as_mut().expect("active slot has thread");
+                    t.locks_held = t.locks_held.saturating_sub(1);
+                    if let SlotState::WaitLock { since } = self.slots[next].state {
+                        self.stats.lock_stall_cycles += now.saturating_sub(since);
+                        self.slots[next].state = SlotState::Active;
+                        let nt =
+                            self.slots[next].thread.as_mut().expect("waiting slot has thread");
+                        nt.dispatch_block_until = now + 1 + self.cfg.lock_squash_penalty;
+                        nt.locks_held += 1;
+                        self.trace_event(TraceKind::LockTransfer { to: next, addr });
+                    }
+                }
+                ReleaseResult::NotOwner => {
+                    return Err(SimError::Trap {
+                        cycle: now,
+                        slot: i,
+                        pc,
+                        kind: crate::exec::TrapKind::BadUnlock(addr),
+                    });
+                }
+            },
+            Effect::Nctx(rd) => {
+                let free = self.free_slot_count() as i64;
+                let t = self.slots[i].thread.as_mut().expect("active slot has thread");
+                t.arch.set(rd, free);
+            }
+            Effect::MarkStart(id) => {
+                self.sections.enter(id, now);
+                self.trace_event(TraceKind::Mark { id, enter: true });
+            }
+            Effect::MarkEnd(id) => {
+                self.sections.leave(id, now);
+                self.trace_event(TraceKind::Mark { id, enter: false });
+            }
+        }
+        Ok(true)
+    }
+
+    fn handle_nthr(&mut self, parent: usize, rd: capsule_isa::reg::Reg, target: u32) {
+        self.stats.divisions_requested += 1;
+        let req = DivisionRequest {
+            free_contexts: self.free_slot_count(),
+            stack_free_slots: self.stack.free_slots(),
+        };
+        let decision = self.policy.decide(self.cycle, req);
+        match decision {
+            DivisionDecision::GrantToContext | DivisionDecision::GrantToStack => {
+                let place = if decision == DivisionDecision::GrantToContext {
+                    self.stats.divisions_granted_context += 1;
+                    BirthPlace::Context
+                } else {
+                    self.stats.divisions_granted_stack += 1;
+                    BirthPlace::Stack
+                };
+                let parent_worker = {
+                    let t = self.slots[parent].thread.as_mut().expect("parent thread");
+                    t.arch.set(rd, 0);
+                    // Paper: the parent stalls one cycle for the copy.
+                    t.dispatch_block_until = self.cycle + 1;
+                    t.arch.worker
+                };
+                let child_worker =
+                    self.tree.record_birth(Some(parent_worker), self.cycle, place);
+                let mut child_arch =
+                    self.slots[parent].thread.as_ref().expect("parent thread").arch.clone();
+                child_arch.pc = target;
+                child_arch.set(rd, 1);
+                child_arch.worker = child_worker;
+                self.live_workers += 1;
+                self.stats.max_live_workers = self.stats.max_live_workers.max(self.live_workers);
+
+                self.trace_event(TraceKind::Division {
+                    parent: parent_worker,
+                    child: Some(child_worker),
+                    outcome: if place == BirthPlace::Context { "context" } else { "stack" },
+                });
+                if place == BirthPlace::Context {
+                    // Prefer a context on the requester's core; a remote
+                    // child pays the cross-core register-copy latency the
+                    // paper's §5 CMP study sweeps.
+                    let per_core = self.per_core();
+                    let my_core = parent / per_core;
+                    let local = self
+                        .slots
+                        .iter()
+                        .enumerate()
+                        .position(|(j, s)| s.state == SlotState::Free && j / per_core == my_core);
+                    let (free, extra) = match local {
+                        Some(j) => (j, 0),
+                        None => (
+                            self.slots
+                                .iter()
+                                .position(|s| s.state == SlotState::Free)
+                                .expect("grant implies a free slot"),
+                            self.cfg.remote_division_latency,
+                        ),
+                    };
+                    // Child waits for the register copy (commit-time copy
+                    // in the paper, approximated from dispatch).
+                    self.install(free, child_arch, SlotState::WaitCopy {
+                        until: self.cycle + 1 + self.cfg.division_latency + extra,
+                    });
+                } else {
+                    self.stack.push(SavedThread { arch: child_arch });
+                }
+            }
+            DivisionDecision::DenyNoResource
+            | DivisionDecision::DenyThrottled
+            | DivisionDecision::DenyDisabled => {
+                let outcome = match decision {
+                    DivisionDecision::DenyNoResource => {
+                        self.stats.divisions_denied_no_resource += 1;
+                        "deny:resource"
+                    }
+                    DivisionDecision::DenyThrottled => {
+                        self.stats.divisions_denied_throttled += 1;
+                        "deny:throttle"
+                    }
+                    _ => {
+                        self.stats.divisions_denied_disabled += 1;
+                        "deny:disabled"
+                    }
+                };
+                let t = self.slots[parent].thread.as_mut().expect("parent thread");
+                t.arch.set(rd, -1);
+                let parent_worker = t.arch.worker;
+                self.trace_event(TraceKind::Division {
+                    parent: parent_worker,
+                    child: None,
+                    outcome,
+                });
+            }
+        }
+    }
+
+    fn fetch_stage(&mut self) {
+        let now = self.cycle;
+        let per_core = self.per_core();
+        for core in 0..self.cfg.cores {
+            self.fetch_core(core * per_core, (core + 1) * per_core, now);
+        }
+    }
+
+    /// ICount.4.4 fetch for the slots of one core.
+    fn fetch_core(&mut self, lo: usize, hi: usize, now: u64) {
+        // Pick the fetch_threads least-occupied eligible threads.
+        let mut eligible: Vec<(usize, usize)> = self.slots[lo..hi]
+            .iter()
+            .enumerate()
+            .filter_map(|(k, s)| {
+                if s.state != SlotState::Active {
+                    return None;
+                }
+                let t = s.thread.as_ref()?;
+                (t.fetch_pc.is_some()
+                    && t.fetch_block_until <= now
+                    && t.fetch_queue.len() < FETCH_QUEUE_CAP)
+                    .then(|| (t.icount(), lo + k))
+            })
+            .collect();
+        eligible.sort_unstable();
+        eligible.truncate(self.cfg.fetch_threads);
+
+        let core = lo / self.per_core();
+        let mut total_budget = self.cfg.fetch_width;
+        let line_bytes = self.hier.line_bytes();
+        let l1i_latency = self.cfg.l1i.latency;
+        for (_, i) in eligible {
+            if total_budget == 0 {
+                break;
+            }
+            let mut last_line = u64::MAX;
+            for _ in 0..self.cfg.fetch_per_thread {
+                if total_budget == 0 {
+                    break;
+                }
+                let t = self.slots[i].thread.as_mut().expect("eligible slot has thread");
+                if t.fetch_queue.len() >= FETCH_QUEUE_CAP {
+                    break;
+                }
+                let Some(pc) = t.fetch_pc else { break };
+                if pc as usize >= self.text.len() {
+                    // Speculative fetch ran off the text section; stall
+                    // until dispatch redirects.
+                    t.fetch_pc = None;
+                    break;
+                }
+                let byte_addr = pc as u64 * INSTR_BYTES;
+                let line = byte_addr / line_bytes;
+                if line != last_line {
+                    let access = self.hier.access_instr_on(core, byte_addr, now);
+                    if access.served_by != ServedBy::L1 {
+                        let t = self.slots[i].thread.as_mut().expect("eligible slot");
+                        t.fetch_block_until = now + access.latency;
+                        break;
+                    }
+                    let _ = l1i_latency;
+                    last_line = line;
+                }
+                let instr = self.text[pc as usize];
+                let t = self.slots[i].thread.as_mut().expect("eligible slot has thread");
+                let mut predicted_taken = false;
+                let mut stop = false;
+                match instr {
+                    Instr::Br { target, .. } => {
+                        predicted_taken = self.pred.predict(pc, t.bp_history);
+                        if predicted_taken {
+                            t.fetch_pc = Some(target);
+                            stop = true; // one taken transfer per thread-cycle
+                        } else {
+                            t.fetch_pc = Some(pc + 1);
+                        }
+                    }
+                    Instr::J { target } | Instr::Jal { target, .. } => {
+                        t.fetch_pc = Some(target);
+                        stop = true;
+                    }
+                    Instr::Jr { .. } | Instr::Jalr { .. } => {
+                        // Target unknown until dispatch.
+                        t.fetch_pc = None;
+                        stop = true;
+                    }
+                    Instr::Kthr | Instr::Halt => {
+                        t.fetch_pc = None;
+                        stop = true;
+                    }
+                    _ => {
+                        t.fetch_pc = Some(pc + 1);
+                    }
+                }
+                t.fetch_queue.push_back(Fetched { pc, predicted_taken });
+                self.stats.fetched += 1;
+                total_budget -= 1;
+                if stop {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capsule_isa::asm::Asm;
+    use capsule_isa::program::{DataBuilder, ThreadSpec};
+    use capsule_isa::reg::Reg;
+
+    fn somt() -> MachineConfig {
+        MachineConfig::table1_somt()
+    }
+
+    fn build(f: impl FnOnce(&mut Asm, &mut DataBuilder), threads: Vec<ThreadSpec>) -> Program {
+        let mut a = Asm::new();
+        let mut d = DataBuilder::new();
+        f(&mut a, &mut d);
+        let mut p = Program::new(a.assemble().unwrap(), d.build(), 1 << 16);
+        p.threads = threads;
+        p
+    }
+
+    #[test]
+    fn straight_line_program_halts() {
+        let p = build(
+            |a, _| {
+                a.li(Reg(1), 7);
+                a.addi(Reg(1), Reg(1), 35);
+                a.out(Reg(1));
+                a.halt();
+            },
+            vec![ThreadSpec::at(0)],
+        );
+        let mut m = Machine::new(somt(), &p).unwrap();
+        let o = m.run(10_000).unwrap();
+        assert_eq!(o.ints(), vec![42]);
+        assert!(o.stats.cycles > 0);
+        assert_eq!(o.stats.committed, 4); // all four, including halt
+    }
+
+    #[test]
+    fn loop_result_matches_reference() {
+        let p = build(
+            |a, _| {
+                a.li(Reg(1), 100);
+                a.li(Reg(2), 0);
+                a.bind("loop");
+                a.add(Reg(2), Reg(2), Reg(1));
+                a.addi(Reg(1), Reg(1), -1);
+                a.bne(Reg(1), Reg::ZERO, "loop");
+                a.out(Reg(2));
+                a.halt();
+            },
+            vec![ThreadSpec::at(0)],
+        );
+        let mut m = Machine::new(somt(), &p).unwrap();
+        let o = m.run(100_000).unwrap();
+        assert_eq!(o.ints(), vec![5050]);
+        assert!(o.stats.branches >= 99);
+    }
+
+    #[test]
+    fn memory_program_works() {
+        let p = build(
+            |a, d| {
+                let arr = d.words(&[5, 3, 9, 1]);
+                a.li(Reg(1), arr as i64);
+                a.li(Reg(2), 0); // sum
+                a.li(Reg(3), 4); // count
+                a.bind("loop");
+                a.ld(Reg(4), 0, Reg(1));
+                a.add(Reg(2), Reg(2), Reg(4));
+                a.addi(Reg(1), Reg(1), 8);
+                a.addi(Reg(3), Reg(3), -1);
+                a.bne(Reg(3), Reg::ZERO, "loop");
+                a.out(Reg(2));
+                a.halt();
+            },
+            vec![ThreadSpec::at(0)],
+        );
+        let o = Machine::new(somt(), &p).unwrap().run(100_000).unwrap();
+        assert_eq!(o.ints(), vec![18]);
+        assert!(o.l1d.accesses >= 4);
+    }
+
+    #[test]
+    fn division_splits_work() {
+        // Parent computes sum of 1..=50, child of 51..=100, into separate
+        // memory cells; parent joins by polling a done flag.
+        let p = build(
+            |a, d| {
+                let cell_a = d.word(0);
+                let cell_b = d.word(0);
+                let done = d.word(0);
+                let sum = |a: &mut Asm, lo: Reg, hi: Reg, acc: Reg| {
+                    // acc = lo + (lo+1) + ... + hi  (hi inclusive)
+                    a.li(acc, 0);
+                    a.bind("sl");
+                    a.add(acc, acc, lo);
+                    a.addi(lo, lo, 1);
+                    a.bge(hi, lo, "sl");
+                };
+                let (lo, hi, acc, tmp) = (Reg(1), Reg(2), Reg(3), Reg(4));
+                a.nthr(Reg(10), "child");
+                // parent (0) or denied (-1): sum 1..=50
+                a.li(lo, 1);
+                a.li(hi, 50);
+                // if denied, sum the whole range sequentially
+                a.li(tmp, -1);
+                a.bne(Reg(10), tmp, "parent_go");
+                a.li(hi, 100);
+                a.bind("parent_go");
+                sum(a, lo, hi, acc);
+                a.li(tmp, cell_a as i64);
+                a.st(acc, 0, tmp);
+                // wait for child if we divided
+                a.beq(Reg(10), Reg::ZERO, "join");
+                a.j("report_seq");
+                a.bind("join");
+                a.li(tmp, done as i64);
+                a.bind("wait");
+                a.ld(Reg(5), 0, tmp);
+                a.beq(Reg(5), Reg::ZERO, "wait");
+                a.li(tmp, cell_b as i64);
+                a.ld(Reg(6), 0, tmp);
+                a.li(tmp, cell_a as i64);
+                a.ld(Reg(7), 0, tmp);
+                a.add(Reg(8), Reg(6), Reg(7));
+                a.out(Reg(8));
+                a.halt();
+                a.bind("report_seq");
+                a.li(tmp, cell_a as i64);
+                a.ld(Reg(7), 0, tmp);
+                a.out(Reg(7));
+                a.halt();
+                // child: sum 51..=100, set done
+                a.bind("child");
+                a.li(lo, 51);
+                a.li(hi, 100);
+                a.li(acc, 0);
+                a.bind("cl");
+                a.add(acc, acc, lo);
+                a.addi(lo, lo, 1);
+                a.bge(hi, lo, "cl");
+                a.li(tmp, cell_b as i64);
+                a.st(acc, 0, tmp);
+                a.li(Reg(5), 1);
+                a.li(tmp, done as i64);
+                a.st(Reg(5), 0, tmp);
+                a.kthr();
+            },
+            vec![ThreadSpec::at(0)],
+        );
+        let mut m = Machine::new(somt(), &p).unwrap();
+        let o = m.run(1_000_000).unwrap();
+        assert_eq!(o.ints(), vec![5050]);
+        assert_eq!(o.stats.divisions_requested, 1);
+        assert_eq!(o.stats.divisions_granted(), 1);
+        assert_eq!(o.stats.deaths, 1);
+        assert_eq!(o.tree.len(), 2);
+    }
+
+    #[test]
+    fn division_denied_on_superscalar() {
+        let p = build(
+            |a, _| {
+                a.nthr(Reg(1), "child");
+                a.out(Reg(1));
+                a.halt();
+                a.bind("child");
+                a.kthr();
+            },
+            vec![ThreadSpec::at(0)],
+        );
+        let o = Machine::new(MachineConfig::table1_superscalar(), &p)
+            .unwrap()
+            .run(10_000)
+            .unwrap();
+        assert_eq!(o.ints(), vec![-1]);
+        assert_eq!(o.stats.divisions_denied_disabled, 1);
+    }
+
+    #[test]
+    fn locks_hand_off_between_threads() {
+        // Two loader threads increment a shared counter 50 times each.
+        let p = build(
+            |a, d| {
+                let counter = d.word(0);
+                let done = d.word(0);
+                let (rc, rv, ri, rdn) = (Reg(1), Reg(2), Reg(3), Reg(4));
+                a.li(rc, counter as i64);
+                a.li(ri, 50);
+                a.bind("loop");
+                a.mlock(rc);
+                a.ld(rv, 0, rc);
+                a.addi(rv, rv, 1);
+                a.st(rv, 0, rc);
+                a.munlock(rc);
+                a.addi(ri, ri, -1);
+                a.bne(ri, Reg::ZERO, "loop");
+                a.li(rdn, done as i64);
+                a.mlock(rdn);
+                a.ld(rv, 0, rdn);
+                a.addi(rv, rv, 1);
+                a.st(rv, 0, rdn);
+                a.munlock(rdn);
+                a.tid(Reg(5));
+                a.bne(Reg(5), Reg::ZERO, "park");
+                a.bind("wait");
+                a.ld(rv, 0, rdn);
+                a.li(Reg(6), 2);
+                a.bne(rv, Reg(6), "wait");
+                a.ld(rv, 0, rc);
+                a.out(rv);
+                a.halt();
+                a.bind("park");
+                a.kthr();
+            },
+            vec![ThreadSpec::at(0), ThreadSpec::at(0)],
+        );
+        let o = Machine::new(somt(), &p).unwrap().run(5_000_000).unwrap();
+        assert_eq!(o.ints(), vec![100]);
+        assert!(o.stats.lock_acquires >= 100);
+    }
+
+    #[test]
+    fn timeout_reported() {
+        let p = build(
+            |a, _| {
+                a.bind("x");
+                a.j("x");
+            },
+            vec![ThreadSpec::at(0)],
+        );
+        let e = Machine::new(somt(), &p).unwrap().run(1000);
+        assert_eq!(e.unwrap_err(), SimError::Timeout { cycles: 1000 });
+    }
+
+    #[test]
+    fn all_dead_reported() {
+        let p = build(
+            |a, _| {
+                a.kthr();
+            },
+            vec![ThreadSpec::at(0)],
+        );
+        let e = Machine::new(somt(), &p).unwrap().run(10_000);
+        assert!(matches!(e.unwrap_err(), SimError::AllThreadsDead { .. }));
+    }
+
+    #[test]
+    fn trap_reports_location() {
+        let p = build(
+            |a, _| {
+                a.li(Reg(1), 0);
+                a.ld(Reg(2), 0, Reg(1));
+                a.halt();
+            },
+            vec![ThreadSpec::at(0)],
+        );
+        match Machine::new(somt(), &p).unwrap().run(10_000) {
+            Err(SimError::Trap { pc: 1, slot: 0, .. }) => {}
+            other => panic!("expected trap, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn too_many_loader_threads_rejected() {
+        let p = build(
+            |a, _| {
+                a.halt();
+            },
+            (0..3).map(|_| ThreadSpec::at(0)).collect(),
+        );
+        let e = Machine::new(MachineConfig::table1_superscalar(), &p);
+        assert!(matches!(e.unwrap_err(), SimError::TooManyThreads { requested: 3, contexts: 1 }));
+    }
+
+    #[test]
+    fn sections_are_tracked() {
+        let p = build(
+            |a, _| {
+                a.li(Reg(1), 20);
+                a.mark_start(1);
+                a.bind("l");
+                a.addi(Reg(1), Reg(1), -1);
+                a.bne(Reg(1), Reg::ZERO, "l");
+                a.mark_end(1);
+                a.halt();
+            },
+            vec![ThreadSpec::at(0)],
+        );
+        let o = Machine::new(somt(), &p).unwrap().run(100_000).unwrap();
+        assert!(o.sections.section_cycles(1) > 0);
+        assert_eq!(o.sections.section_entries(1), 1);
+        assert!(o.sections.section_cycles(1) <= o.stats.cycles);
+    }
+
+    #[test]
+    fn superscalar_and_somt_agree_functionally() {
+        let mk = || {
+            build(
+                |a, _| {
+                    a.li(Reg(1), 37);
+                    a.li(Reg(2), 11);
+                    a.mul(Reg(3), Reg(1), Reg(2));
+                    a.out(Reg(3));
+                    a.halt();
+                },
+                vec![ThreadSpec::at(0)],
+            )
+        };
+        let o1 = Machine::new(somt(), &mk()).unwrap().run(10_000).unwrap();
+        let o2 = Machine::new(MachineConfig::table1_superscalar(), &mk())
+            .unwrap()
+            .run(10_000)
+            .unwrap();
+        assert_eq!(o1.ints(), o2.ints());
+    }
+}

@@ -1,0 +1,109 @@
+//! Run results and errors of the cycle-level machine.
+
+use capsule_core::stats::{DivisionTree, SectionTracker, SimStats};
+use capsule_isa::program::ProgramError;
+use capsule_mem::CacheStats;
+
+use crate::exec::{OutValue, TrapKind};
+
+/// Why a simulation ended abnormally.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The program failed validation.
+    Program(ProgramError),
+    /// The machine configuration failed validation.
+    Config(String),
+    /// More loader threads than hardware contexts.
+    TooManyThreads {
+        /// Threads requested by the program.
+        requested: usize,
+        /// Hardware contexts available.
+        contexts: usize,
+    },
+    /// A thread trapped.
+    Trap {
+        /// Cycle of the trap.
+        cycle: u64,
+        /// Hardware context slot.
+        slot: usize,
+        /// PC of the faulting instruction.
+        pc: u32,
+        /// Cause.
+        kind: TrapKind,
+    },
+    /// The cycle budget elapsed without `halt`.
+    Timeout {
+        /// Budget that elapsed.
+        cycles: u64,
+    },
+    /// Every worker died with no `halt` (missing join or deadlock).
+    AllThreadsDead {
+        /// Cycle at which the machine emptied.
+        cycle: u64,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Program(e) => write!(f, "invalid program: {e}"),
+            SimError::Config(e) => write!(f, "invalid machine config: {e}"),
+            SimError::TooManyThreads { requested, contexts } => {
+                write!(f, "program wants {requested} loader threads, machine has {contexts} contexts")
+            }
+            SimError::Trap { cycle, slot, pc, kind } => {
+                write!(f, "cycle {cycle}: context {slot} trapped at pc {pc}: {kind}")
+            }
+            SimError::Timeout { cycles } => write!(f, "no halt within {cycles} cycles"),
+            SimError::AllThreadsDead { cycle } => {
+                write!(f, "all workers dead at cycle {cycle} without halt")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<ProgramError> for SimError {
+    fn from(e: ProgramError) -> Self {
+        SimError::Program(e)
+    }
+}
+
+/// Everything a completed (halted) run reports.
+#[derive(Debug, Clone)]
+pub struct SimOutcome {
+    /// Pipeline and CAPSULE counters.
+    pub stats: SimStats,
+    /// Values emitted by `out`/`outf` in dispatch order.
+    pub output: Vec<OutValue>,
+    /// Componentized-section accounting (`mark.*`).
+    pub sections: SectionTracker,
+    /// Worker division genealogy (Figure 6).
+    pub tree: DivisionTree,
+    /// L1 instruction cache statistics.
+    pub l1i: CacheStats,
+    /// L1 data cache statistics.
+    pub l1d: CacheStats,
+    /// Unified L2 statistics.
+    pub l2: CacheStats,
+    /// Main-memory accesses.
+    pub mem_accesses: u64,
+}
+
+impl SimOutcome {
+    /// Total cycles of the run.
+    pub fn cycles(&self) -> u64 {
+        self.stats.cycles
+    }
+
+    /// Integer output values, ignoring floats.
+    pub fn ints(&self) -> Vec<i64> {
+        self.output.iter().filter_map(OutValue::as_int).collect()
+    }
+
+    /// Float output values, ignoring ints.
+    pub fn floats(&self) -> Vec<f64> {
+        self.output.iter().filter_map(OutValue::as_float).collect()
+    }
+}

@@ -1,0 +1,269 @@
+//! Internal pipeline structures of the SOMT machine: hardware-context
+//! slots, in-flight instruction entries, and the LIFO context stack.
+
+use std::collections::VecDeque;
+
+use capsule_isa::instr::FuClass;
+
+use crate::exec::ArchState;
+
+/// Capacity of one thread's fetch queue (the paper uses a double
+/// 16-instruction buffer shared by 4 fetching threads).
+pub(crate) const FETCH_QUEUE_CAP: usize = 16;
+
+/// What a draining thread does once its in-flight instructions retire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum AfterDrain {
+    /// `kthr`: free the context, record the death.
+    Die,
+    /// Swap policy: exchange this thread with the top of the context stack.
+    SwapOut,
+}
+
+/// State of one hardware context slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SlotState {
+    /// No thread resident.
+    Free,
+    /// Fetching and dispatching.
+    Active,
+    /// Dispatch stalled until the mispredicted branch entry `seq`
+    /// completes; fetch is flushed and resumes at `resume_pc`.
+    WaitBranch {
+        /// Sequence number of the mispredicted branch entry.
+        seq: u64,
+        /// Correct continuation pc.
+        resume_pc: u32,
+    },
+    /// Blocked in the lock table; woken by an ownership transfer.
+    WaitLock {
+        /// Cycle at which the stall began (for stall-cycle accounting).
+        since: u64,
+    },
+    /// Child thread waiting for the division register copy.
+    WaitCopy {
+        /// First cycle at which the thread may fetch.
+        until: u64,
+    },
+    /// Thread being restored from the context stack.
+    SwapIn {
+        /// First cycle at which the thread may fetch.
+        until: u64,
+    },
+    /// No longer fetching; when the last in-flight entry retires the
+    /// action is taken.
+    Draining(AfterDrain),
+}
+
+/// One instruction fetched but not yet dispatched.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Fetched {
+    pub pc: u32,
+    /// For conditional branches: the direction fetch predicted.
+    pub predicted_taken: bool,
+}
+
+/// One dispatched, in-flight instruction (RUU/LSQ entry).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Entry {
+    /// Global age.
+    pub seq: u64,
+    pub fu: FuClass,
+    /// Execution latency excluding memory.
+    pub latency: u64,
+    /// Producer entries (same thread) this instruction waits on.
+    pub deps: [Option<u64>; 4],
+    pub issued: bool,
+    pub completed: bool,
+    /// Valid once issued (or immediately for `FuClass::None`).
+    pub complete_at: u64,
+    /// Data address for loads/stores.
+    pub mem_addr: Option<u64>,
+    pub is_load: bool,
+    /// Occupies an LSQ slot instead of counting against nothing extra.
+    pub is_mem: bool,
+}
+
+/// A thread resident in a hardware context slot.
+#[derive(Debug, Clone)]
+pub(crate) struct Thread {
+    pub arch: ArchState,
+    /// Next pc to fetch; `None` while fetch is stalled (indirect jump,
+    /// mispredict flush, death).
+    pub fetch_pc: Option<u32>,
+    pub fetch_queue: VecDeque<Fetched>,
+    /// Global branch history for the predictor.
+    pub bp_history: u64,
+    /// In-flight entries in program order.
+    pub in_flight: VecDeque<Entry>,
+    /// Per-register last-writer sequence numbers (renaming).
+    pub last_writer_int: [Option<u64>; 32],
+    pub last_writer_fp: [Option<u64>; 32],
+    /// Dispatch suppressed until this cycle (division copy stall, lock
+    /// squash penalty).
+    pub dispatch_block_until: u64,
+    /// Fetch suppressed until this cycle (I-cache miss, redirect penalty).
+    pub fetch_block_until: u64,
+    /// Slow-load counter of the swap heuristic.
+    pub slow_counter: i64,
+    /// Locks currently owned by this thread. A thread holding hardware
+    /// locks is not eligible for swap-out: ownership lives in the lock
+    /// table per context slot, and the slot is about to be handed to
+    /// another thread.
+    pub locks_held: u32,
+}
+
+impl Thread {
+    pub fn new(arch: ArchState) -> Self {
+        let pc = arch.pc;
+        Thread {
+            arch,
+            fetch_pc: Some(pc),
+            fetch_queue: VecDeque::new(),
+            bp_history: 0,
+            in_flight: VecDeque::new(),
+            last_writer_int: [None; 32],
+            last_writer_fp: [None; 32],
+            dispatch_block_until: 0,
+            fetch_block_until: 0,
+            slow_counter: 0,
+            locks_held: 0,
+        }
+    }
+
+    /// Front-end occupancy used by the ICount fetch policy.
+    pub fn icount(&self) -> usize {
+        self.fetch_queue.len() + self.in_flight.len()
+    }
+
+    /// Whether the producer entry `seq` has completed (or already retired).
+    pub fn dep_done(&self, seq: u64) -> bool {
+        match self.in_flight.binary_search_by_key(&seq, |e| e.seq) {
+            Ok(i) => self.in_flight[i].completed,
+            Err(_) => true, // retired
+        }
+    }
+
+    /// Flushes the fetch queue (mispredict recovery, death).
+    pub fn flush_frontend(&mut self) {
+        self.fetch_queue.clear();
+        self.fetch_pc = None;
+    }
+}
+
+/// A thread image parked on the LIFO context stack.
+#[derive(Debug, Clone)]
+pub(crate) struct SavedThread {
+    pub arch: ArchState,
+}
+
+/// The LIFO context stack of the paper (16 entries, ~4 kB).
+#[derive(Debug, Clone)]
+pub(crate) struct ContextStack {
+    entries: Vec<SavedThread>,
+    capacity: usize,
+}
+
+impl ContextStack {
+    pub fn new(capacity: usize) -> Self {
+        ContextStack { entries: Vec::new(), capacity }
+    }
+
+    pub fn free_slots(&self) -> usize {
+        self.capacity - self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Pushes a saved thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stack is full; callers must check [`free_slots`]
+    /// first (the paper notes a full design would trap to memory).
+    ///
+    /// [`free_slots`]: ContextStack::free_slots
+    pub fn push(&mut self, t: SavedThread) {
+        assert!(self.entries.len() < self.capacity, "context stack overflow");
+        self.entries.push(t);
+    }
+
+    /// Pops the most recently pushed thread (LIFO).
+    pub fn pop(&mut self) -> Option<SavedThread> {
+        self.entries.pop()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capsule_core::ids::WorkerId;
+    use capsule_isa::instr::FuClass;
+
+    fn entry(seq: u64) -> Entry {
+        Entry {
+            seq,
+            fu: FuClass::IntAlu,
+            latency: 1,
+            deps: [None; 4],
+            issued: false,
+            completed: false,
+            complete_at: 0,
+            mem_addr: None,
+            is_load: false,
+            is_mem: false,
+        }
+    }
+
+    #[test]
+    fn dep_done_for_retired_and_inflight() {
+        let mut t = Thread::new(ArchState::new(0, WorkerId(0)));
+        t.in_flight.push_back(entry(10));
+        t.in_flight.push_back(entry(12));
+        assert!(t.dep_done(5)); // retired long ago
+        assert!(!t.dep_done(10));
+        t.in_flight[0].completed = true;
+        assert!(t.dep_done(10));
+        assert!(t.dep_done(11)); // never dispatched here => treated retired
+        assert!(!t.dep_done(12));
+    }
+
+    #[test]
+    fn icount_counts_frontend_and_window() {
+        let mut t = Thread::new(ArchState::new(0, WorkerId(0)));
+        t.fetch_queue.push_back(Fetched { pc: 0, predicted_taken: false });
+        t.in_flight.push_back(entry(1));
+        assert_eq!(t.icount(), 2);
+    }
+
+    #[test]
+    fn context_stack_is_lifo_and_bounded() {
+        let mut s = ContextStack::new(2);
+        assert_eq!(s.free_slots(), 2);
+        s.push(SavedThread { arch: ArchState::new(1, WorkerId(1)) });
+        s.push(SavedThread { arch: ArchState::new(2, WorkerId(2)) });
+        assert_eq!(s.free_slots(), 0);
+        assert_eq!(s.pop().unwrap().arch.pc, 2);
+        assert_eq!(s.pop().unwrap().arch.pc, 1);
+        assert!(s.pop().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn context_stack_overflow_panics() {
+        let mut s = ContextStack::new(1);
+        s.push(SavedThread { arch: ArchState::new(0, WorkerId(0)) });
+        s.push(SavedThread { arch: ArchState::new(1, WorkerId(1)) });
+    }
+
+    #[test]
+    fn flush_frontend_clears_queue_and_pc() {
+        let mut t = Thread::new(ArchState::new(0, WorkerId(0)));
+        t.fetch_queue.push_back(Fetched { pc: 0, predicted_taken: true });
+        t.flush_frontend();
+        assert!(t.fetch_queue.is_empty());
+        assert_eq!(t.fetch_pc, None);
+    }
+}

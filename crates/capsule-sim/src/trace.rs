@@ -1,0 +1,210 @@
+//! Selective event tracing: the machine's CAPSULE-level decisions
+//! (divisions, deaths, swaps, locks, sections) as a readable timeline —
+//! the Figure 1 narrative ("on step 1, the architecture lets the first
+//! component replicate ... on step 2, the architecture denies the
+//! replication") reconstructed from a real run.
+//!
+//! Tracing is off by default; enable it with
+//! [`crate::machine::Machine::enable_trace`] before running.
+
+use std::fmt;
+
+use capsule_core::ids::WorkerId;
+
+/// One traced event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Cycle at which the event happened.
+    pub cycle: u64,
+    /// What happened.
+    pub kind: TraceKind,
+}
+
+/// Event kinds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceKind {
+    /// An `nthr` request and its outcome.
+    Division {
+        /// Requesting worker.
+        parent: WorkerId,
+        /// The child, when granted.
+        child: Option<WorkerId>,
+        /// `"context"`, `"stack"`, `"deny:resource"`, `"deny:throttle"`,
+        /// or `"deny:disabled"`.
+        outcome: &'static str,
+    },
+    /// A worker's `kthr` completed.
+    Death {
+        /// The worker.
+        worker: WorkerId,
+        /// Its context slot.
+        slot: usize,
+    },
+    /// A thread left its context for the stack.
+    SwapOut {
+        /// The worker.
+        worker: WorkerId,
+        /// The vacated slot.
+        slot: usize,
+    },
+    /// A parked thread took a context.
+    SwapIn {
+        /// The worker.
+        worker: WorkerId,
+        /// The slot it received.
+        slot: usize,
+    },
+    /// A lock was acquired immediately.
+    LockAcquire {
+        /// Acquiring slot.
+        slot: usize,
+        /// Locked address.
+        addr: u64,
+    },
+    /// A lock attempt blocked.
+    LockBlock {
+        /// Blocked slot.
+        slot: usize,
+        /// Contended address.
+        addr: u64,
+    },
+    /// Ownership moved to the oldest waiter.
+    LockTransfer {
+        /// New owner slot.
+        to: usize,
+        /// Address.
+        addr: u64,
+    },
+    /// Section instrumentation.
+    Mark {
+        /// Section id.
+        id: u16,
+        /// Enter (true) or leave.
+        enter: bool,
+    },
+    /// The machine halted.
+    Halt,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:>10}  ", self.cycle)?;
+        match &self.kind {
+            TraceKind::Division { parent, child: Some(c), outcome } => {
+                write!(f, "{parent} divides -> {c} ({outcome})")
+            }
+            TraceKind::Division { parent, child: None, outcome } => {
+                write!(f, "{parent} probe denied ({outcome})")
+            }
+            TraceKind::Death { worker, slot } => write!(f, "{worker} dies (ctx{slot})"),
+            TraceKind::SwapOut { worker, slot } => {
+                write!(f, "{worker} swapped out of ctx{slot}")
+            }
+            TraceKind::SwapIn { worker, slot } => write!(f, "{worker} swapped into ctx{slot}"),
+            TraceKind::LockAcquire { slot, addr } => {
+                write!(f, "ctx{slot} locks {addr:#x}")
+            }
+            TraceKind::LockBlock { slot, addr } => {
+                write!(f, "ctx{slot} blocks on {addr:#x}")
+            }
+            TraceKind::LockTransfer { to, addr } => {
+                write!(f, "lock {addr:#x} handed to ctx{to}")
+            }
+            TraceKind::Mark { id, enter: true } => write!(f, "section {id} enter"),
+            TraceKind::Mark { id, enter: false } => write!(f, "section {id} leave"),
+            TraceKind::Halt => write!(f, "halt"),
+        }
+    }
+}
+
+/// A bounded event log.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+    limit: usize,
+    dropped: u64,
+}
+
+impl Trace {
+    /// Creates a log retaining at most `limit` events.
+    pub fn new(limit: usize) -> Self {
+        Trace { events: Vec::new(), limit, dropped: 0 }
+    }
+
+    /// Records an event (dropped silently past the limit, counted).
+    pub fn push(&mut self, cycle: u64, kind: TraceKind) {
+        if self.events.len() < self.limit {
+            self.events.push(TraceEvent { cycle, kind });
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// The retained events, in order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Events dropped because the limit was reached.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Renders the timeline.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "{:>10}  event", "cycle");
+        for e in &self.events {
+            let _ = writeln!(out, "{e}");
+        }
+        if self.dropped > 0 {
+            let _ = writeln!(out, "... {} further events dropped (limit {})", self.dropped, self.limit);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_render_and_limit() {
+        let mut t = Trace::new(2);
+        t.push(1, TraceKind::Halt);
+        t.push(2, TraceKind::Mark { id: 3, enter: true });
+        t.push(3, TraceKind::Halt);
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.dropped(), 1);
+        let r = t.render();
+        assert!(r.contains("halt"));
+        assert!(r.contains("section 3 enter"));
+        assert!(r.contains("dropped"));
+    }
+
+    #[test]
+    fn event_display_forms() {
+        let cases: Vec<(TraceKind, &str)> = vec![
+            (
+                TraceKind::Division {
+                    parent: WorkerId(0),
+                    child: Some(WorkerId(1)),
+                    outcome: "context",
+                },
+                "w0 divides -> w1 (context)",
+            ),
+            (
+                TraceKind::Division { parent: WorkerId(2), child: None, outcome: "deny:throttle" },
+                "w2 probe denied (deny:throttle)",
+            ),
+            (TraceKind::Death { worker: WorkerId(1), slot: 3 }, "w1 dies (ctx3)"),
+            (TraceKind::SwapOut { worker: WorkerId(4), slot: 0 }, "w4 swapped out of ctx0"),
+            (TraceKind::LockBlock { slot: 2, addr: 0x1000 }, "ctx2 blocks on 0x1000"),
+        ];
+        for (kind, want) in cases {
+            let e = TraceEvent { cycle: 7, kind };
+            assert!(e.to_string().contains(want), "{e}");
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! CMP-mode tests: the §5 shared-memory CMP extrapolation — per-core
+//! pipelines and private L1s over a shared L2, with cross-core division
+//! paying a remote register-copy latency.
+
+use capsule_core::config::MachineConfig;
+use capsule_isa::asm::Asm;
+use capsule_isa::program::{DataBuilder, Program, ThreadSpec};
+use capsule_isa::reg::Reg;
+use capsule_sim::machine::Machine;
+
+/// Divide-and-conquer token-counted sum (same skeleton as the divide_sum
+/// integration test, compact version): returns the program and expected
+/// output.
+fn sum_program(n: i64) -> (Program, i64) {
+    let mut d = DataBuilder::new();
+    let total = d.word(0);
+    let tokens = d.word(1);
+    let (lo, hi) = (Reg::A0, Reg::A1);
+    let (mid, local, probe, t0, t1) = (Reg(10), Reg(11), Reg(12), Reg(13), Reg(14));
+    let mut a = Asm::new();
+    a.bind("worker");
+    a.li(local, 0);
+    a.bind("loop");
+    a.sub(t0, hi, lo);
+    a.slti(t1, t0, 65);
+    a.bne(t1, Reg::ZERO, "leaf");
+    a.srai(t0, t0, 1);
+    a.add(mid, lo, t0);
+    a.li(t0, tokens as i64);
+    a.mlock(t0);
+    a.ld(t1, 0, t0);
+    a.addi(t1, t1, 1);
+    a.st(t1, 0, t0);
+    a.munlock(t0);
+    a.nthr(probe, "child");
+    a.li(t0, -1);
+    a.bne(probe, t0, "granted");
+    a.li(t0, tokens as i64);
+    a.mlock(t0);
+    a.ld(t1, 0, t0);
+    a.addi(t1, t1, -1);
+    a.st(t1, 0, t0);
+    a.munlock(t0);
+    a.j("leaf");
+    a.bind("granted");
+    a.mv(hi, mid);
+    a.j("loop");
+    a.bind("child");
+    a.mv(lo, mid);
+    a.li(local, 0);
+    a.j("loop");
+    a.bind("leaf");
+    a.bind("leaf_loop");
+    a.bge(lo, hi, "merge");
+    a.add(local, local, lo);
+    a.addi(lo, lo, 1);
+    a.j("leaf_loop");
+    a.bind("merge");
+    a.li(t0, total as i64);
+    a.mlock(t0);
+    a.ld(t1, 0, t0);
+    a.add(t1, t1, local);
+    a.st(t1, 0, t0);
+    a.munlock(t0);
+    a.li(t0, tokens as i64);
+    a.mlock(t0);
+    a.ld(t1, 0, t0);
+    a.addi(t1, t1, -1);
+    a.st(t1, 0, t0);
+    a.munlock(t0);
+    a.tid(t1);
+    a.bne(t1, Reg::ZERO, "die");
+    a.li(t0, tokens as i64);
+    a.bind("join");
+    a.ld(t1, 0, t0);
+    a.bne(t1, Reg::ZERO, "join");
+    a.li(t0, total as i64);
+    a.ld(t1, 0, t0);
+    a.out(t1);
+    a.halt();
+    a.bind("die");
+    a.kthr();
+    let p = Program::new(a.assemble().unwrap(), d.build(), 1 << 18)
+        .with_thread(ThreadSpec::at(0).with_reg(Reg::A0, 1).with_reg(Reg::A1, n + 1));
+    (p, n * (n + 1) / 2)
+}
+
+#[test]
+fn cmp_configurations_compute_the_same_result() {
+    let (p, expected) = sum_program(30_000);
+    for (cores, per_core) in [(1, 8), (2, 4), (4, 2), (8, 1)] {
+        let cfg = MachineConfig::cmp_somt(cores, per_core);
+        let mut m = Machine::new(cfg, &p).expect("machine");
+        let o = m.run(10_000_000_000).expect("halts");
+        assert_eq!(o.ints(), vec![expected], "{cores}x{per_core}");
+        assert!(o.stats.divisions_granted() > 0, "{cores}x{per_core} must divide");
+    }
+}
+
+#[test]
+fn cmp_beats_single_core_smt_on_issue_bound_work() {
+    // 8 contexts as 1×8 (shared 8-wide issue) vs 4×2 (4 × 8-wide issue):
+    // the CMP has four times the aggregate issue bandwidth and private
+    // L1s, so compute-bound parallel work must not get slower.
+    let (p, expected) = sum_program(60_000);
+    let smt = {
+        let mut m = Machine::new(MachineConfig::cmp_somt(1, 8), &p).expect("machine");
+        m.run(10_000_000_000).expect("halts")
+    };
+    let cmp = {
+        let mut m = Machine::new(MachineConfig::cmp_somt(4, 2), &p).expect("machine");
+        m.run(10_000_000_000).expect("halts")
+    };
+    assert_eq!(smt.ints(), vec![expected]);
+    assert_eq!(cmp.ints(), vec![expected]);
+    assert!(
+        (cmp.cycles() as f64) < smt.cycles() as f64 * 1.05,
+        "4x2 CMP ({}) should not lose to 1x8 SMT ({})",
+        cmp.cycles(),
+        smt.cycles()
+    );
+}
+
+#[test]
+fn remote_division_latency_is_charged() {
+    // A 2×1 CMP: the ancestor occupies core 0's only context, so every
+    // granted division is remote. Sweep the remote latency and observe
+    // the handoff slow down.
+    let mk = || {
+        let mut a = Asm::new();
+        a.nthr(Reg(1), "child");
+        a.bind("spin");
+        a.j("spin");
+        a.bind("child");
+        a.li(Reg(2), 9);
+        a.out(Reg(2));
+        a.halt();
+        Program::new(a.assemble().unwrap(), DataBuilder::new().build(), 4096)
+            .with_thread(ThreadSpec::at(0))
+    };
+    let mut cycles = Vec::new();
+    for remote in [0u64, 300] {
+        let mut cfg = MachineConfig::cmp_somt(2, 1);
+        cfg.remote_division_latency = remote;
+        let mut m = Machine::new(cfg, &mk()).expect("machine");
+        let o = m.run(1_000_000).expect("halts");
+        assert_eq!(o.ints(), vec![9]);
+        cycles.push(o.cycles());
+    }
+    assert!(
+        cycles[1] >= cycles[0] + 250,
+        "remote copy latency must delay the child: {} vs {}",
+        cycles[1],
+        cycles[0]
+    );
+}
+
+#[test]
+fn local_division_does_not_pay_remote_latency() {
+    // 2 cores × 4 contexts: the first child lands on the parent's core.
+    let mk = || {
+        let mut a = Asm::new();
+        a.nthr(Reg(1), "child");
+        a.bind("spin");
+        a.j("spin");
+        a.bind("child");
+        a.out(Reg(1));
+        a.halt();
+        Program::new(a.assemble().unwrap(), DataBuilder::new().build(), 4096)
+            .with_thread(ThreadSpec::at(0))
+    };
+    let mut cycles = Vec::new();
+    for remote in [0u64, 500] {
+        let mut cfg = MachineConfig::cmp_somt(2, 4);
+        cfg.remote_division_latency = remote;
+        let mut m = Machine::new(cfg, &mk()).expect("machine");
+        let o = m.run(1_000_000).expect("halts");
+        cycles.push(o.cycles());
+    }
+    assert_eq!(cycles[0], cycles[1], "a local child must not pay the remote latency");
+}
+
+#[test]
+fn per_core_l1_contention_differs_from_shared() {
+    // Two loader threads each stream a 6 kB region: together they thrash
+    // a single shared 8 kB L1D, but each fits one private L1D.
+    let mk = || {
+        let mut d = DataBuilder::new();
+        d.align(8192);
+        let region = d.zeros(2 * 8 * 1024);
+        let mut a = Asm::new();
+        let (addr, v, i, base) = (Reg(1), Reg(2), Reg(3), Reg(4));
+        // base = region + tid * 8k (regions page-aligned and disjoint)
+        a.tid(base);
+        a.slli(base, base, 13);
+        a.li(addr, region as i64);
+        a.add(base, base, addr);
+        a.li(i, 3000);
+        a.mv(addr, base);
+        a.bind("loop");
+        a.ld(v, 0, addr);
+        a.addi(addr, addr, 64);
+        a.sub(v, addr, base);
+        a.li(Reg(5), 6 * 1024);
+        a.blt(v, Reg(5), "nowrap");
+        a.mv(addr, base);
+        a.bind("nowrap");
+        a.addi(i, i, -1);
+        a.bne(i, Reg::ZERO, "loop");
+        a.tid(v);
+        a.bne(v, Reg::ZERO, "park");
+        a.out(i);
+        a.halt();
+        a.bind("park");
+        a.kthr();
+        let mut p = Program::new(a.assemble().unwrap(), d.build(), 1 << 18);
+        p.threads = vec![ThreadSpec::at(0), ThreadSpec::at(0)];
+        p
+    };
+    let shared = {
+        let mut m = Machine::new(MachineConfig::cmp_somt(1, 2), &mk()).expect("machine");
+        m.run(100_000_000).expect("halts")
+    };
+    let private = {
+        let mut m = Machine::new(MachineConfig::cmp_somt(2, 1), &mk()).expect("machine");
+        m.run(100_000_000).expect("halts")
+    };
+    assert!(
+        private.l1d.miss_rate() < shared.l1d.miss_rate(),
+        "private L1s must thrash less: {:.3} vs {:.3}",
+        private.l1d.miss_rate(),
+        shared.l1d.miss_rate()
+    );
+}

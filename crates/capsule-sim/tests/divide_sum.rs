@@ -1,0 +1,228 @@
+//! End-to-end exercise of the CAPSULE execution model: a worker sums an
+//! array by dividing itself in half whenever the architecture grants a
+//! probe, with a lock-protected token counter as the join — the same
+//! skeleton the paper's componentized workloads use.
+
+use capsule_core::config::{DivisionMode, MachineConfig};
+use capsule_isa::asm::Asm;
+use capsule_isa::program::{DataBuilder, Program, ThreadSpec};
+use capsule_isa::reg::Reg;
+use capsule_sim::machine::Machine;
+use capsule_sim::{Interp, InterpConfig};
+
+const LEAF: i64 = 32;
+
+/// Real program builder.
+fn build_sum(values: &[i64]) -> Program {
+    let mut d = DataBuilder::new();
+    let arr = d.words(values);
+    let global = d.word(0);
+    let outstanding = d.word(1);
+
+    let (lo, hi) = (Reg::A0, Reg::A1);
+    let local = Reg(10);
+    let mid = Reg(11);
+    let probe = Reg(12);
+    let t0 = Reg(13);
+    let t1 = Reg(14);
+    let addr = Reg(15);
+    let end = Reg(16);
+    let minus1 = Reg(17);
+
+    let mut a = Asm::new();
+    a.bind("worker");
+    a.li(local, 0);
+    a.li(minus1, -1);
+    a.bind("loop");
+    a.sub(t0, hi, lo);
+    a.slti(t1, t0, LEAF + 1);
+    a.bne(t1, Reg::ZERO, "chunk");
+    // mid = lo + len/2
+    a.srai(t0, t0, 1);
+    a.add(mid, lo, t0);
+    // outstanding += 1 under lock, before the probe
+    a.li(addr, outstanding as i64);
+    a.mlock(addr);
+    a.ld(t0, 0, addr);
+    a.addi(t0, t0, 1);
+    a.st(t0, 0, addr);
+    a.munlock(addr);
+    // the probe itself (Figure 2's switch)
+    a.nthr(probe, "child");
+    a.bne(probe, minus1, "granted_parent");
+    // denied: give the token back, fall through to sequential work
+    a.li(addr, outstanding as i64);
+    a.mlock(addr);
+    a.ld(t0, 0, addr);
+    a.addi(t0, t0, -1);
+    a.st(t0, 0, addr);
+    a.munlock(addr);
+    a.j("chunk");
+    a.bind("granted_parent");
+    a.mv(hi, mid); // keep the left half
+    a.j("loop");
+    a.bind("child");
+    a.mv(lo, mid); // take the right half
+    a.li(local, 0);
+    a.li(minus1, -1);
+    a.j("loop");
+    // sequential leaf work: sum [lo, min(lo+LEAF, hi))
+    a.bind("chunk");
+    a.addi(end, lo, LEAF);
+    a.bge(hi, end, "have_end");
+    a.mv(end, hi);
+    a.bind("have_end");
+    a.bind("chunk_loop");
+    a.bge(lo, end, "chunk_done");
+    a.slli(t0, lo, 3);
+    a.li(t1, arr as i64);
+    a.add(t1, t1, t0);
+    a.ld(t0, 0, t1);
+    a.add(local, local, t0);
+    a.addi(lo, lo, 1);
+    a.j("chunk_loop");
+    a.bind("chunk_done");
+    a.blt(lo, hi, "loop"); // more range left: probe again
+    // finished my range: merge and release my token
+    a.li(addr, global as i64);
+    a.mlock(addr);
+    a.ld(t0, 0, addr);
+    a.add(t0, t0, local);
+    a.st(t0, 0, addr);
+    a.munlock(addr);
+    a.li(addr, outstanding as i64);
+    a.mlock(addr);
+    a.ld(t0, 0, addr);
+    a.addi(t0, t0, -1);
+    a.st(t0, 0, addr);
+    a.munlock(addr);
+    // ancestor joins; every other worker dies
+    a.tid(t0);
+    a.bne(t0, Reg::ZERO, "die");
+    a.li(addr, outstanding as i64);
+    a.bind("join");
+    a.ld(t0, 0, addr);
+    a.bne(t0, Reg::ZERO, "join");
+    a.li(addr, global as i64);
+    a.ld(t0, 0, addr);
+    a.out(t0);
+    a.halt();
+    a.bind("die");
+    a.kthr();
+
+    Program::new(a.assemble().unwrap(), d.build(), 1 << 20)
+        .with_thread(ThreadSpec::at(0).with_reg(Reg::A0, 0).with_reg(Reg::A1, values.len() as i64))
+}
+
+fn values(n: usize) -> Vec<i64> {
+    (0..n as i64).map(|i| (i * 7919) % 1000 - 500).collect()
+}
+
+#[test]
+fn somt_computes_correct_sum_with_divisions() {
+    let vs = values(2000);
+    let expected: i64 = vs.iter().sum();
+    let p = build_sum(&vs);
+    let mut m = Machine::new(MachineConfig::table1_somt(), &p).unwrap();
+    let o = m.run(50_000_000).unwrap();
+    assert_eq!(o.ints(), vec![expected]);
+    assert!(o.stats.divisions_requested > 0, "no probes happened");
+    assert!(o.stats.divisions_granted() > 0, "no division granted on SOMT");
+    // Children still draining their `kthr` when the ancestor halts are not
+    // finalized, so deaths may lag granted divisions by the few workers in
+    // flight at the end of the run.
+    assert!(o.stats.deaths <= o.stats.divisions_granted());
+    assert!(o.stats.divisions_granted() - o.stats.deaths <= 8);
+    assert_eq!(o.tree.len() as u64, 1 + o.stats.divisions_granted());
+}
+
+#[test]
+fn superscalar_computes_same_sum_sequentially() {
+    let vs = values(2000);
+    let expected: i64 = vs.iter().sum();
+    let p = build_sum(&vs);
+    let mut m = Machine::new(MachineConfig::table1_superscalar(), &p).unwrap();
+    let o = m.run(100_000_000).unwrap();
+    assert_eq!(o.ints(), vec![expected]);
+    assert_eq!(o.stats.divisions_granted(), 0);
+    assert_eq!(o.stats.deaths, 0);
+}
+
+#[test]
+fn somt_is_faster_than_superscalar() {
+    let vs = values(4000);
+    let p = build_sum(&vs);
+    let somt = Machine::new(MachineConfig::table1_somt(), &p)
+        .unwrap()
+        .run(100_000_000)
+        .unwrap();
+    let scalar = Machine::new(MachineConfig::table1_superscalar(), &p)
+        .unwrap()
+        .run(200_000_000)
+        .unwrap();
+    assert_eq!(somt.ints(), scalar.ints());
+    let speedup = scalar.cycles() as f64 / somt.cycles() as f64;
+    assert!(
+        speedup > 1.5,
+        "expected parallel speedup, got {speedup:.2} (somt {} vs scalar {})",
+        somt.cycles(),
+        scalar.cycles()
+    );
+}
+
+#[test]
+fn smt_never_mode_denies_all_divisions() {
+    let vs = values(500);
+    let expected: i64 = vs.iter().sum();
+    let p = build_sum(&vs);
+    let mut cfg = MachineConfig::table1_smt();
+    assert_eq!(cfg.division_mode, DivisionMode::Never);
+    cfg.contexts = 8;
+    let o = Machine::new(cfg, &p).unwrap().run(100_000_000).unwrap();
+    assert_eq!(o.ints(), vec![expected]);
+    assert_eq!(o.stats.divisions_granted(), 0);
+    assert!(o.stats.divisions_denied_disabled > 0);
+}
+
+#[test]
+fn interpreter_agrees_with_machine() {
+    let vs = values(1000);
+    let p = build_sum(&vs);
+    let machine_out = Machine::new(MachineConfig::table1_somt(), &p)
+        .unwrap()
+        .run(100_000_000)
+        .unwrap();
+    let interp_out =
+        Interp::new(&p, InterpConfig::default()).unwrap().run(100_000_000).unwrap();
+    assert_eq!(machine_out.ints().len(), 1);
+    assert_eq!(
+        machine_out.ints()[0],
+        interp_out.output[0].as_int().unwrap(),
+        "timing machine and reference interpreter disagree"
+    );
+}
+
+#[test]
+fn genealogy_is_consistent() {
+    let vs = values(3000);
+    let p = build_sum(&vs);
+    let o = Machine::new(MachineConfig::table1_somt(), &p)
+        .unwrap()
+        .run(100_000_000)
+        .unwrap();
+    // Every non-root node has a parent born earlier.
+    for n in o.tree.nodes() {
+        if let Some(parent) = n.parent {
+            let p = &o.tree.nodes()[parent.index()];
+            assert!(p.birth_cycle <= n.birth_cycle);
+        }
+        if let Some(d) = n.death_cycle {
+            assert!(d >= n.birth_cycle);
+        }
+    }
+    // The dot rendering mentions every worker.
+    let dot = o.tree.to_dot();
+    for n in o.tree.nodes() {
+        assert!(dot.contains(&format!("n{}", n.id.0)));
+    }
+}

@@ -1,0 +1,301 @@
+//! Targeted tests of individual machine mechanisms: branch-misprediction
+//! cost, I-cache behaviour, lock-contention stalls, divide-to-stack
+//! births, and the load-latency swap heuristic.
+
+use capsule_core::config::MachineConfig;
+use capsule_isa::asm::Asm;
+use capsule_isa::program::{DataBuilder, Program, ThreadSpec};
+use capsule_isa::reg::Reg;
+use capsule_sim::machine::Machine;
+
+fn run(cfg: MachineConfig, p: &Program, budget: u64) -> capsule_sim::SimOutcome {
+    Machine::new(cfg, p).expect("machine builds").run(budget).expect("halts")
+}
+
+/// A loop whose branch alternates per iteration is predictable by the
+/// two-level component; a data-dependent pseudo-random branch is not.
+/// Both loops execute the same instruction mix.
+#[test]
+fn mispredictions_cost_cycles() {
+    let build = |random: bool| {
+        let mut a = Asm::new();
+        let (i, x, t, acc) = (Reg(1), Reg(2), Reg(3), Reg(4));
+        a.li(i, 4000);
+        a.li(x, 12345);
+        a.li(acc, 0);
+        a.bind("loop");
+        if random {
+            // x = x * 1103515245 + 12345 (LCG); branch on bit 13
+            a.muli(x, x, 1103515245);
+            a.addi(x, x, 12345);
+            a.srli(t, x, 13);
+        } else {
+            // x alternates 0/1
+            a.addi(x, x, 1);
+            a.mv(t, x);
+        }
+        a.andi(t, t, 1);
+        a.beq(t, Reg::ZERO, "skip");
+        a.addi(acc, acc, 1);
+        a.bind("skip");
+        a.addi(i, i, -1);
+        a.bne(i, Reg::ZERO, "loop");
+        a.out(acc);
+        a.halt();
+        Program::new(a.assemble().unwrap(), DataBuilder::new().build(), 4096)
+            .with_thread(ThreadSpec::at(0))
+    };
+    let regular = run(MachineConfig::table1_superscalar(), &build(false), 10_000_000);
+    let random = run(MachineConfig::table1_superscalar(), &build(true), 10_000_000);
+    assert!(
+        random.stats.mispredict_rate() > regular.stats.mispredict_rate() + 0.1,
+        "random branches must mispredict more: {:.3} vs {:.3}",
+        random.stats.mispredict_rate(),
+        regular.stats.mispredict_rate()
+    );
+}
+
+/// Lock contention shows up in the stall statistics.
+#[test]
+fn lock_contention_is_visible() {
+    let mut d = DataBuilder::new();
+    let cell = d.word(0);
+    let done = d.word(0);
+    let mut a = Asm::new();
+    let (addr, v, i, dn) = (Reg(1), Reg(2), Reg(3), Reg(4));
+    a.li(addr, cell as i64);
+    a.li(i, 200);
+    a.bind("loop");
+    a.mlock(addr);
+    a.ld(v, 0, addr);
+    a.addi(v, v, 1);
+    a.st(v, 0, addr);
+    a.munlock(addr);
+    a.addi(i, i, -1);
+    a.bne(i, Reg::ZERO, "loop");
+    a.li(dn, done as i64);
+    a.mlock(dn);
+    a.ld(v, 0, dn);
+    a.addi(v, v, 1);
+    a.st(v, 0, dn);
+    a.munlock(dn);
+    a.tid(v);
+    a.bne(v, Reg::ZERO, "park");
+    a.bind("wait");
+    a.ld(v, 0, dn);
+    a.li(i, 4);
+    a.bne(v, i, "wait");
+    a.ld(v, 0, addr);
+    a.out(v);
+    a.halt();
+    a.bind("park");
+    a.kthr();
+    let mut p = Program::new(a.assemble().unwrap(), d.build(), 1 << 16);
+    for _ in 0..4 {
+        p.threads.push(ThreadSpec::at(0));
+    }
+    let o = run(MachineConfig::table1_smt(), &p, 50_000_000);
+    assert_eq!(o.ints(), vec![800]);
+    assert!(o.stats.lock_stalls > 0, "4 threads on one lock must contend");
+    assert!(o.stats.lock_stall_cycles > 0);
+}
+
+/// With every context busy, granted divisions go to the context stack and
+/// the children still complete after swapping in.
+#[test]
+fn divide_to_stack_children_complete() {
+    let mut d = DataBuilder::new();
+    let counter = d.word(0);
+    let mut a = Asm::new();
+    let (addr, v, i, probe) = (Reg(1), Reg(2), Reg(3), Reg(4));
+    const KIDS: i64 = 12; // more than the 7 free contexts
+    a.li(i, KIDS);
+    a.bind("spawn");
+    a.nthr(probe, "child");
+    a.li(v, -1);
+    a.beq(probe, v, "spawn"); // insist until granted
+    a.addi(i, i, -1);
+    a.bne(i, Reg::ZERO, "spawn");
+    // wait for all children
+    a.li(addr, counter as i64);
+    a.bind("wait");
+    a.ld(v, 0, addr);
+    a.li(i, KIDS);
+    a.bne(v, i, "wait");
+    a.out(v);
+    a.halt();
+    a.bind("child");
+    a.li(addr, counter as i64);
+    a.mlock(addr);
+    a.ld(v, 0, addr);
+    a.addi(v, v, 1);
+    a.st(v, 0, addr);
+    a.munlock(addr);
+    a.kthr();
+    let p = Program::new(a.assemble().unwrap(), d.build(), 1 << 16)
+        .with_thread(ThreadSpec::at(0));
+    let o = run(MachineConfig::table1_somt(), &p, 50_000_000);
+    assert_eq!(o.ints(), vec![KIDS]);
+    assert!(o.stats.divisions_granted_stack > 0, "some children must be born on the stack");
+    assert!(o.stats.swaps_in > 0, "stack-born children must be swapped in");
+}
+
+/// A memory-bound thread crossing the slow-load threshold is swapped out
+/// in favour of a parked thread when no context is free. The heuristic
+/// compares each load against the global average of the last 1000 loads,
+/// so a cache-hot sibling thread is needed to keep that average low.
+#[test]
+fn slow_thread_is_swapped_out() {
+    let mut cfg = MachineConfig::table1_somt();
+    cfg.contexts = 2;
+    cfg.swap_counter_threshold = 8; // swap quickly for the test
+    let mut d = DataBuilder::new();
+    let flag = d.word(0);
+    let hot = d.word(7);
+    d.label("big");
+    let big = d.zeros(512 * 1024); // strides far past L1 and half of L2
+    let mut a = Asm::new();
+    let (addr, v, i, probe) = (Reg(1), Reg(2), Reg(3), Reg(4));
+    // worker B occupies the second context with cache-hot loads
+    a.nthr(probe, "hot_worker");
+    // child C is born onto the stack (no context left)
+    a.nthr(probe, "parked_child");
+    // ancestor A: cold striding loads, every one far above the global
+    // average that B's cache-hot loads keep low (no fast loads in this
+    // loop, or they would decrement the slow counter again)
+    a.li(i, 1500);
+    a.li(addr, big as i64);
+    a.bind("loop");
+    a.ld(v, 0, addr);
+    a.addi(addr, addr, 4096);
+    a.li(v, (big + 500 * 1024) as i64);
+    a.blt(addr, v, "no_wrap");
+    a.li(addr, big as i64);
+    a.bind("no_wrap");
+    a.addi(i, i, -1);
+    a.bne(i, Reg::ZERO, "loop");
+    a.li(addr, flag as i64);
+    a.ld(v, 0, addr);
+    a.out(v);
+    a.halt();
+    a.bind("hot_worker");
+    a.li(i, 60_000);
+    a.li(addr, hot as i64);
+    a.bind("hot_loop");
+    a.ld(v, 0, addr);
+    a.addi(i, i, -1);
+    a.bne(i, Reg::ZERO, "hot_loop");
+    a.kthr();
+    a.bind("parked_child");
+    a.li(addr, flag as i64);
+    a.li(v, 1);
+    a.st(v, 0, addr);
+    a.kthr();
+    let p = Program::new(a.assemble().unwrap(), d.build(), 1 << 20)
+        .with_thread(ThreadSpec::at(0));
+    let o = run(cfg, &p, 100_000_000);
+    assert_eq!(o.ints(), vec![1], "the parked child must have executed");
+    assert!(o.stats.swaps_out >= 1, "the slow ancestor must be swapped out: {:?}", o.stats);
+    assert_eq!(o.stats.divisions_granted_stack, 1);
+}
+
+/// The I-cache misses on cold code and warms up.
+#[test]
+fn icache_warms_up() {
+    let mut a = Asm::new();
+    a.li(Reg(1), 50);
+    a.bind("loop");
+    a.addi(Reg(1), Reg(1), -1);
+    a.bne(Reg(1), Reg::ZERO, "loop");
+    a.out(Reg(1));
+    a.halt();
+    let p = Program::new(a.assemble().unwrap(), DataBuilder::new().build(), 4096)
+        .with_thread(ThreadSpec::at(0));
+    let o = run(MachineConfig::table1_superscalar(), &p, 1_000_000);
+    assert!(o.l1i.misses >= 1, "first line fetch must miss");
+    assert!(o.l1i.hits > o.l1i.misses, "loop body must hit after warm-up");
+}
+
+/// Division latency delays the child observably on a dependent handoff.
+#[test]
+fn division_latency_delays_child() {
+    let build = || {
+        let mut a = Asm::new();
+        a.nthr(Reg(1), "child");
+        a.bind("wait");
+        a.j("wait"); // parent spins forever; child halts the machine
+        a.bind("child");
+        a.li(Reg(2), 7);
+        a.out(Reg(2));
+        a.halt();
+        Program::new(a.assemble().unwrap(), DataBuilder::new().build(), 4096)
+            .with_thread(ThreadSpec::at(0))
+    };
+    let mut fast = MachineConfig::table1_somt();
+    fast.division_latency = 0;
+    let mut slow = MachineConfig::table1_somt();
+    slow.division_latency = 150;
+    let f = run(fast, &build(), 1_000_000);
+    let s = run(slow, &build(), 1_000_000);
+    assert_eq!(f.ints(), vec![7]);
+    assert_eq!(s.ints(), vec![7]);
+    assert!(
+        s.cycles() >= f.cycles() + 100,
+        "150-cycle copy must delay the halt: {} vs {}",
+        s.cycles(),
+        f.cycles()
+    );
+}
+
+/// The event trace captures the CAPSULE decisions of a run.
+#[test]
+fn trace_records_division_lifecycle() {
+    let mut d = DataBuilder::new();
+    let flag = d.word(0);
+    let mut a = Asm::new();
+    a.mark_start(1);
+    a.nthr(Reg(1), "child");
+    a.li(Reg(2), flag as i64);
+    a.bind("wait");
+    a.ld(Reg(3), 0, Reg(2));
+    a.beq(Reg(3), Reg::ZERO, "wait");
+    a.mark_end(1);
+    a.out(Reg(3));
+    a.halt();
+    a.bind("child");
+    a.li(Reg(2), flag as i64);
+    a.li(Reg(3), 1);
+    a.st(Reg(3), 0, Reg(2));
+    a.kthr();
+    let p = Program::new(a.assemble().unwrap(), d.build(), 4096)
+        .with_thread(ThreadSpec::at(0));
+    let mut m = Machine::new(MachineConfig::table1_somt(), &p).expect("machine");
+    m.enable_trace(64);
+    let o = m.run(1_000_000).expect("halts");
+    assert_eq!(o.ints(), vec![1]);
+    let rendered = m.trace().expect("trace enabled").render();
+    assert!(rendered.contains("w0 divides -> w1 (context)"), "{rendered}");
+    assert!(rendered.contains("w1 dies"), "{rendered}");
+    assert!(rendered.contains("section 1 enter"), "{rendered}");
+    assert!(rendered.contains("halt"), "{rendered}");
+    assert_eq!(m.trace().unwrap().dropped(), 0);
+}
+
+/// Error types render useful messages (C-GOOD-ERR).
+#[test]
+fn sim_error_messages_are_informative() {
+    use capsule_sim::{SimError, TrapKind};
+    let cases: Vec<(SimError, &str)> = vec![
+        (SimError::Timeout { cycles: 10 }, "no halt within 10 cycles"),
+        (SimError::AllThreadsDead { cycle: 5 }, "all workers dead"),
+        (SimError::TooManyThreads { requested: 9, contexts: 8 }, "9 loader threads"),
+        (SimError::Config("bad".into()), "invalid machine config"),
+        (
+            SimError::Trap { cycle: 1, slot: 2, pc: 3, kind: TrapKind::BadAddress(0) },
+            "context 2 trapped at pc 3",
+        ),
+    ];
+    for (e, want) in cases {
+        assert!(e.to_string().contains(want), "{e}");
+    }
+}

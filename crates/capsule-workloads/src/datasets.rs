@@ -1,0 +1,545 @@
+//! Seeded dataset generators and host reference implementations.
+//!
+//! Every workload draws its inputs from here so that runs are reproducible
+//! (the paper evaluates 100 random Dijkstra graphs and 500 QuickSort lists;
+//! the bench harness regenerates them from fixed seeds), and every
+//! generator has a matching host-side reference algorithm used by the test
+//! suite to validate simulator results.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A directed graph with weighted edges, in adjacency-list form.
+#[derive(Debug, Clone)]
+pub struct Graph {
+    /// Adjacency lists: `adj[u]` = (destination, weight) pairs.
+    pub adj: Vec<Vec<(u32, i64)>>,
+}
+
+impl Graph {
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// True for the empty graph.
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// Total number of edges.
+    pub fn edges(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum()
+    }
+
+    /// Random connected-ish digraph of `n` nodes: node `i > 0` gets one
+    /// incoming edge from a lower-numbered node (so everything is
+    /// reachable from 0), plus extra random edges up to `avg_degree`.
+    pub fn random(seed: u64, n: usize, avg_degree: usize, max_weight: i64) -> Graph {
+        assert!(n > 0 && max_weight > 0);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut adj = vec![Vec::new(); n];
+        for v in 1..n {
+            let u = rng.gen_range(0..v);
+            let w = rng.gen_range(1..=max_weight);
+            adj[u].push((v as u32, w));
+        }
+        let extra = n * avg_degree.saturating_sub(1);
+        for _ in 0..extra {
+            let u = rng.gen_range(0..n);
+            let v = rng.gen_range(0..n);
+            if u == v {
+                continue;
+            }
+            let w = rng.gen_range(1..=max_weight);
+            adj[u].push((v as u32, w));
+        }
+        Graph { adj }
+    }
+
+    /// A 4-connected grid graph of `side`×`side` cells with random
+    /// per-cell base costs — the routing substrate of the vpr analog.
+    pub fn grid(seed: u64, side: usize, max_weight: i64) -> Graph {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let n = side * side;
+        let cost: Vec<i64> = (0..n).map(|_| rng.gen_range(1..=max_weight)).collect();
+        let mut adj = vec![Vec::new(); n];
+        let idx = |r: usize, c: usize| r * side + c;
+        for r in 0..side {
+            for c in 0..side {
+                let u = idx(r, c);
+                let mut push = |v: usize| adj[u].push((v as u32, cost[v]));
+                if r > 0 {
+                    push(idx(r - 1, c));
+                }
+                if r + 1 < side {
+                    push(idx(r + 1, c));
+                }
+                if c > 0 {
+                    push(idx(r, c - 1));
+                }
+                if c + 1 < side {
+                    push(idx(r, c + 1));
+                }
+            }
+        }
+        Graph { adj }
+    }
+
+    /// Host reference: single-source shortest distances from `src`
+    /// (Dijkstra with a binary heap); unreachable nodes get `i64::MAX`.
+    pub fn shortest_distances(&self, src: usize) -> Vec<i64> {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        let mut dist = vec![i64::MAX; self.len()];
+        let mut heap = BinaryHeap::new();
+        dist[src] = 0;
+        heap.push(Reverse((0i64, src)));
+        while let Some(Reverse((d, u))) = heap.pop() {
+            if d > dist[u] {
+                continue;
+            }
+            for &(v, w) in &self.adj[u] {
+                let nd = d + w;
+                if nd < dist[v as usize] {
+                    dist[v as usize] = nd;
+                    heap.push(Reverse((nd, v as usize)));
+                }
+            }
+        }
+        dist
+    }
+}
+
+/// Input distributions for QuickSort lists (Figure 5 uses "500 lists of
+/// various distributions").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ListShape {
+    /// Uniformly random values.
+    Uniform,
+    /// Already sorted (worst case for naive pivots).
+    Sorted,
+    /// Reverse sorted.
+    Reversed,
+    /// Random with many duplicate values.
+    FewDistinct,
+    /// Sorted runs of random length ("organ pipe"-ish).
+    Runs,
+}
+
+impl ListShape {
+    /// All shapes, cycled by the Figure 5 harness.
+    pub const ALL: [ListShape; 5] = [
+        ListShape::Uniform,
+        ListShape::Sorted,
+        ListShape::Reversed,
+        ListShape::FewDistinct,
+        ListShape::Runs,
+    ];
+}
+
+/// Generates a list of `n` values with the given shape.
+pub fn random_list(seed: u64, n: usize, shape: ListShape) -> Vec<i64> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    match shape {
+        ListShape::Uniform => (0..n).map(|_| rng.gen_range(-1_000_000..1_000_000)).collect(),
+        ListShape::Sorted => {
+            let mut v: Vec<i64> =
+                (0..n).map(|_| rng.gen_range(-1_000_000..1_000_000)).collect();
+            v.sort_unstable();
+            v
+        }
+        ListShape::Reversed => {
+            let mut v: Vec<i64> =
+                (0..n).map(|_| rng.gen_range(-1_000_000..1_000_000)).collect();
+            v.sort_unstable_by(|a, b| b.cmp(a));
+            v
+        }
+        ListShape::FewDistinct => (0..n).map(|_| rng.gen_range(0..8)).collect(),
+        ListShape::Runs => {
+            let mut v = Vec::with_capacity(n);
+            let mut base = 0i64;
+            while v.len() < n {
+                let run = rng.gen_range(4..64).min(n - v.len());
+                for i in 0..run {
+                    v.push(base + i as i64);
+                }
+                base = rng.gen_range(-1000..1000);
+            }
+            v
+        }
+    }
+}
+
+/// Generates LZW input text of `n` bytes over a small alphabet (small
+/// alphabets create long dictionary matches, like the paper's 4096-char
+/// sequences drawn from gzip's workload).
+pub fn lzw_text(seed: u64, n: usize, alphabet: u8) -> Vec<u8> {
+    assert!(alphabet >= 2);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(n);
+    // Markov-ish: repeat recent substrings often to exercise the dictionary.
+    while out.len() < n {
+        if out.len() > 16 && rng.gen_bool(0.5) {
+            let start = rng.gen_range(0..out.len() - 8);
+            let len = rng.gen_range(4..16).min(n - out.len());
+            for i in 0..len {
+                let b = out[start + i];
+                out.push(b);
+            }
+        } else {
+            out.push(rng.gen_range(0..alphabet));
+        }
+    }
+    out
+}
+
+/// Host reference LZW compressor: returns the emitted code stream.
+///
+/// Dictionary entries are (prefix code, byte) pairs; codes `0..alphabet`
+/// are the single bytes, new entries are appended on each miss. Search is
+/// linear, matching the simulated implementation.
+pub fn lzw_compress(input: &[u8], alphabet: u16) -> Vec<i64> {
+    let mut dict: Vec<(i64, u8)> = Vec::new();
+    let mut out = Vec::new();
+    if input.is_empty() {
+        return out;
+    }
+    let mut cur: i64 = input[0] as i64;
+    for &b in &input[1..] {
+        // find (cur, b) in dict
+        let found = dict.iter().position(|&(p, c)| p == cur && c == b);
+        match found {
+            Some(i) => cur = alphabet as i64 + i as i64,
+            None => {
+                out.push(cur);
+                dict.push((cur, b));
+                cur = b as i64;
+            }
+        }
+    }
+    out.push(cur);
+    out
+}
+
+/// Host reference LZW decompressor (validates compressor round-trips).
+pub fn lzw_decompress(codes: &[i64], alphabet: u16) -> Vec<u8> {
+    fn expand(dict: &[(i64, u8)], alphabet: u16, code: i64, out: &mut Vec<u8>) {
+        if code < alphabet as i64 {
+            out.push(code as u8);
+        } else {
+            let (p, c) = dict[(code - alphabet as i64) as usize];
+            expand(dict, alphabet, p, out);
+            out.push(c);
+        }
+    }
+    let mut dict: Vec<(i64, u8)> = Vec::new();
+    let mut out = Vec::new();
+    let mut prev: Option<i64> = None;
+    for &code in codes {
+        let mut cur = Vec::new();
+        if code < alphabet as i64 + dict.len() as i64 {
+            expand(&dict, alphabet, code, &mut cur);
+        } else {
+            // KwKwK case: code being defined right now.
+            let p = prev.expect("first code cannot be novel");
+            expand(&dict, alphabet, p, &mut cur);
+            cur.push(cur[0]);
+        }
+        if let Some(p) = prev {
+            dict.push((p, cur[0]));
+        }
+        out.extend_from_slice(&cur);
+        prev = Some(code);
+    }
+    out
+}
+
+/// A random search tree for the mcf/crafty analogs: nodes have a cost and
+/// children; laid out level by level.
+#[derive(Debug, Clone)]
+pub struct Tree {
+    /// Per-node edge cost from its parent (root cost is 0).
+    pub cost: Vec<i64>,
+    /// Children index lists.
+    pub children: Vec<Vec<u32>>,
+}
+
+impl Tree {
+    /// Random tree with `depth` levels and per-node fanout in
+    /// `fanout_min..=fanout_max`, truncated at roughly `max_nodes`.
+    pub fn random(
+        seed: u64,
+        depth: usize,
+        fanout_min: usize,
+        fanout_max: usize,
+        max_nodes: usize,
+        max_cost: i64,
+    ) -> Tree {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut cost = vec![0i64];
+        let mut children: Vec<Vec<u32>> = vec![Vec::new()];
+        let mut frontier = vec![0usize];
+        for _ in 1..depth {
+            let mut next = Vec::new();
+            for &u in &frontier {
+                let fan = rng.gen_range(fanout_min..=fanout_max);
+                for _ in 0..fan {
+                    if cost.len() >= max_nodes {
+                        break;
+                    }
+                    let id = cost.len();
+                    cost.push(rng.gen_range(1..=max_cost));
+                    children.push(Vec::new());
+                    children[u].push(id as u32);
+                    next.push(id);
+                }
+            }
+            frontier = next;
+            if frontier.is_empty() || cost.len() >= max_nodes {
+                break;
+            }
+        }
+        Tree { cost, children }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.cost.len()
+    }
+
+    /// True for a single-node tree.
+    pub fn is_empty(&self) -> bool {
+        self.cost.is_empty()
+    }
+
+    /// Host reference: minimum root-to-leaf path cost (the mcf route
+    /// planner's objective).
+    pub fn min_leaf_cost(&self) -> i64 {
+        fn go(t: &Tree, u: usize, acc: i64) -> i64 {
+            if t.children[u].is_empty() {
+                return acc;
+            }
+            t.children[u].iter().map(|&c| go(t, c as usize, acc + t.cost[c as usize])).min().expect("interior node has children")
+        }
+        go(self, 0, 0)
+    }
+
+    /// Host reference: negamax value with leaf score = accumulated cost
+    /// (the crafty analog's objective — max at even depth, min at odd).
+    pub fn minimax(&self) -> i64 {
+        fn go(t: &Tree, u: usize, acc: i64, maximize: bool) -> i64 {
+            if t.children[u].is_empty() {
+                return acc;
+            }
+            let vals =
+                t.children[u].iter().map(|&c| go(t, c as usize, acc + t.cost[c as usize], !maximize));
+            if maximize {
+                vals.max().expect("interior node has children")
+            } else {
+                vals.min().expect("interior node has children")
+            }
+        }
+        go(self, 0, 0, true)
+    }
+}
+
+/// A linearly separable training set for the Perceptron analog.
+#[derive(Debug, Clone)]
+pub struct PerceptronData {
+    /// Sample feature vectors.
+    pub samples: Vec<Vec<f64>>,
+    /// ±1 labels.
+    pub labels: Vec<f64>,
+    /// Features per sample ("neurons" in the paper's 10000-neuron group).
+    pub features: usize,
+}
+
+impl PerceptronData {
+    /// Generates `samples` points of `features` dimensions labeled by a
+    /// random ground-truth hyperplane (guaranteed separable).
+    pub fn random(seed: u64, samples: usize, features: usize) -> PerceptronData {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let truth: Vec<f64> = (0..features).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut xs = Vec::with_capacity(samples);
+        let mut ys = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let x: Vec<f64> = (0..features).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let dot: f64 = x.iter().zip(&truth).map(|(a, b)| a * b).sum();
+            ys.push(if dot >= 0.0 { 1.0 } else { -1.0 });
+            xs.push(x);
+        }
+        PerceptronData { samples: xs, labels: ys, features }
+    }
+
+    /// Host reference: trains `epochs` epochs of the perceptron rule from
+    /// zero weights, returning the final weights.
+    pub fn train_reference(&self, epochs: usize, lr: f64) -> Vec<f64> {
+        let mut w = vec![0.0f64; self.features];
+        for _ in 0..epochs {
+            for (x, &y) in self.samples.iter().zip(&self.labels) {
+                let dot: f64 = x.iter().zip(&w).map(|(a, b)| a * b).sum();
+                let pred = if dot >= 0.0 { 1.0 } else { -1.0 };
+                if pred != y {
+                    for (wi, xi) in w.iter_mut().zip(x) {
+                        *wi += lr * y * xi;
+                    }
+                }
+            }
+        }
+        w
+    }
+}
+
+/// Suffix-sort host reference for the bzip2 analog: indices of all
+/// suffixes of `block`, sorted lexicographically.
+pub fn suffix_sort_reference(block: &[u8]) -> Vec<i64> {
+    let mut idx: Vec<i64> = (0..block.len() as i64).collect();
+    idx.sort_by(|&a, &b| block[a as usize..].cmp(&block[b as usize..]));
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn graphs_are_reachable_and_deterministic() {
+        let g1 = Graph::random(7, 100, 4, 50);
+        let g2 = Graph::random(7, 100, 4, 50);
+        assert_eq!(g1.adj, g2.adj);
+        let dist = g1.shortest_distances(0);
+        assert!(dist.iter().all(|&d| d < i64::MAX), "all nodes reachable from 0");
+        assert_eq!(dist[0], 0);
+    }
+
+    #[test]
+    fn grid_graph_shape() {
+        let g = Graph::grid(1, 5, 9);
+        assert_eq!(g.len(), 25);
+        // Corner has 2 neighbours, center has 4.
+        assert_eq!(g.adj[0].len(), 2);
+        assert_eq!(g.adj[12].len(), 4);
+    }
+
+    #[test]
+    fn shortest_distances_match_bruteforce_on_tiny_graph() {
+        let g = Graph { adj: vec![vec![(1, 5), (2, 1)], vec![], vec![(1, 2)]] };
+        let d = g.shortest_distances(0);
+        assert_eq!(d, vec![0, 3, 1]);
+    }
+
+    #[test]
+    fn list_shapes() {
+        let n = 200;
+        for shape in ListShape::ALL {
+            let v = random_list(3, n, shape);
+            assert_eq!(v.len(), n);
+        }
+        let s = random_list(3, n, ListShape::Sorted);
+        assert!(s.windows(2).all(|w| w[0] <= w[1]));
+        let r = random_list(3, n, ListShape::Reversed);
+        assert!(r.windows(2).all(|w| w[0] >= w[1]));
+        let f = random_list(3, n, ListShape::FewDistinct);
+        assert!(f.iter().all(|&x| (0..8).contains(&x)));
+    }
+
+    #[test]
+    fn lzw_roundtrips() {
+        for seed in 0..5 {
+            let text = lzw_text(seed, 1000, 6);
+            let codes = lzw_compress(&text, 256);
+            let back = lzw_decompress(&codes, 256);
+            assert_eq!(back, text, "seed {seed}");
+            assert!(codes.len() < text.len(), "compression must shrink repetitive text");
+        }
+    }
+
+    #[test]
+    fn lzw_empty_input() {
+        assert!(lzw_compress(&[], 256).is_empty());
+    }
+
+    #[test]
+    fn tree_construction_and_min_path() {
+        let t = Tree::random(5, 8, 2, 3, 2000, 10);
+        assert!(t.len() > 50);
+        let m = t.min_leaf_cost();
+        assert!(m >= 0);
+        // Exhaustive check on a small fixed tree.
+        let t = Tree {
+            cost: vec![0, 3, 1, 5, 2],
+            children: vec![vec![1, 2], vec![3], vec![4], vec![], vec![]],
+        };
+        assert_eq!(t.min_leaf_cost(), 3); // 0 -> 2(1) -> 4(2)
+        assert_eq!(t.minimax(), 8); // max(min{8}, min{3}) over the root's children
+    }
+
+    #[test]
+    fn perceptron_reference_converges() {
+        let d = PerceptronData::random(11, 60, 16);
+        let w = d.train_reference(20, 0.1);
+        let mut errors = 0;
+        for (x, &y) in d.samples.iter().zip(&d.labels) {
+            let dot: f64 = x.iter().zip(&w).map(|(a, b)| a * b).sum();
+            let pred = if dot >= 0.0 { 1.0 } else { -1.0 };
+            if pred != y {
+                errors += 1;
+            }
+        }
+        assert!(errors <= 3, "perceptron failed to converge: {errors} errors");
+    }
+
+    #[test]
+    fn suffix_sort_reference_is_sorted() {
+        let block = b"banana_bandana";
+        let idx = suffix_sort_reference(block);
+        for w in idx.windows(2) {
+            assert!(block[w[0] as usize..] <= block[w[1] as usize..]);
+        }
+        assert_eq!(idx.len(), block.len());
+    }
+}
+
+impl Tree {
+    /// Grafts `subtrees` under a fresh root: each entry is the edge cost
+    /// to the subtree's root. Gives precise control over the root fanout
+    /// (the crafty analog's task count).
+    pub fn graft(subtrees: Vec<(i64, Tree)>) -> Tree {
+        assert!(!subtrees.is_empty());
+        let mut cost = vec![0i64];
+        let mut children: Vec<Vec<u32>> = vec![Vec::new()];
+        for (edge_cost, sub) in subtrees {
+            let offset = cost.len() as u32;
+            children[0].push(offset);
+            for (i, (&c, kids)) in sub.cost.iter().zip(&sub.children).enumerate() {
+                cost.push(if i == 0 { edge_cost } else { c });
+                children.push(kids.iter().map(|&k| k + offset).collect());
+            }
+        }
+        Tree { cost, children }
+    }
+}
+
+#[cfg(test)]
+mod graft_tests {
+    use super::*;
+
+    #[test]
+    fn graft_preserves_subtree_structure() {
+        let a = Tree::random(1, 4, 2, 2, 50, 10);
+        let b = Tree::random(2, 4, 2, 2, 50, 10);
+        let (amin, bmin) = (a.min_leaf_cost(), b.min_leaf_cost());
+        let t = Tree::graft(vec![(5, a), (7, b)]);
+        assert_eq!(t.children[0].len(), 2);
+        assert_eq!(t.min_leaf_cost(), (5 + amin).min(7 + bmin));
+    }
+
+    #[test]
+    fn graft_wide_root() {
+        let subs: Vec<(i64, Tree)> =
+            (0..24).map(|i| (i as i64 + 1, Tree::random(i, 3, 2, 2, 20, 5))).collect();
+        let t = Tree::graft(subs);
+        assert_eq!(t.children[0].len(), 24);
+    }
+}

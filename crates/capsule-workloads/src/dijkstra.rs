@@ -1,0 +1,536 @@
+//! Dijkstra — the paper's running example (§2, Figures 1–3).
+//!
+//! Three variants:
+//!
+//! - **Sequential**: the classic imperative algorithm with the central
+//!   tagged-node list the paper's §2 describes ("Normal") — a linear scan
+//!   selects the next node each iteration.
+//! - **Component**: the paper's component walk. A worker stands on a node
+//!   with its accumulated path length; it dies when the node already has a
+//!   shorter recorded path, updates the node otherwise (under a per-node
+//!   `mlock`), and explores child edges by *dividing itself* via `nthr` —
+//!   denied probes push the edge onto the worker's private pooled stack
+//!   instead. A token counter joins the group.
+//! - **Static**: the same walk with division replaced by static ownership:
+//!   `k` loader threads round-robin the root's edges and never divide (the
+//!   paper derives its static version from a profile of the component run;
+//!   a fixed edge partition is that distribution at t = 0).
+//!
+//! All variants emit one checksum: the sum of the final distance array.
+
+use capsule_isa::asm::Asm;
+use capsule_isa::program::{DataBuilder, Program, ThreadSpec};
+use capsule_isa::reg::Reg;
+use capsule_core::OutValue;
+
+use crate::datasets::Graph;
+use crate::rt::{
+    emit_join_spin, emit_locked_add, emit_stack_alloc, emit_stack_free, init_runtime, Labels,
+    Runtime,
+};
+use crate::{expect_ints, Variant, Workload};
+
+/// "Infinity" marker for unvisited nodes (large enough that path sums
+/// never reach it, small enough that additions cannot overflow).
+pub const UNREACHED: i64 = 1 << 60;
+
+/// Addresses of the graph image in data memory.
+#[derive(Debug, Clone, Copy)]
+pub struct GraphLayout {
+    /// Distance array base (n words).
+    pub dist: u64,
+    /// CSR index array base (n+1 words).
+    pub idx: u64,
+    /// Edge array base (pairs of words: destination, weight).
+    pub edges: u64,
+    /// Node count.
+    pub n: usize,
+}
+
+/// Lays the graph out in CSR form. `dist0` seeds `dist[0]` (0 for the
+/// static variant whose workers never visit the root, [`UNREACHED`] for
+/// the component walk which records it itself).
+pub fn layout_graph(d: &mut DataBuilder, g: &Graph, dist0: i64) -> GraphLayout {
+    let n = g.len();
+    let mut dist_init = vec![UNREACHED; n];
+    dist_init[0] = dist0;
+    d.label("dist");
+    let dist = d.words(&dist_init);
+
+    let mut idx = Vec::with_capacity(n + 1);
+    let mut edges = Vec::new();
+    let mut acc = 0i64;
+    for u in 0..n {
+        idx.push(acc);
+        for &(v, w) in &g.adj[u] {
+            edges.push(v as i64);
+            edges.push(w);
+            acc += 1;
+        }
+    }
+    idx.push(acc);
+    d.label("idx");
+    let idx_addr = d.words(&idx);
+    d.label("edges");
+    let edges_addr = d.words(&edges);
+    GraphLayout { dist, idx: idx_addr, edges: edges_addr, n }
+}
+
+// Worker registers (see rt.rs for the reserved ranges).
+const U: Reg = Reg::A0; // current node
+const PLEN: Reg = Reg::A1; // accumulated path length
+const CV: Reg = Reg::A2; // staged child node
+const CP: Reg = Reg::A3; // staged child path length
+const PENDING: Reg = Reg(13); // private-stack entry count
+const R5: Reg = Reg(5);
+const R6: Reg = Reg(6);
+const R7: Reg = Reg(7);
+const R8: Reg = Reg(8);
+const R9: Reg = Reg(9);
+const R10: Reg = Reg(10);
+const R11: Reg = Reg(11);
+const R12: Reg = Reg(12);
+
+/// Emits the shared walk body. Control enters at `{p}_node_check` with
+/// `U`/`PLEN` set and leaves to `{p}_finish` (bound by the caller) when
+/// the worker's private work is exhausted. With `allow_divide`, edges are
+/// offered to the architecture through `nthr` before falling back to the
+/// private stack.
+pub fn emit_walk_body(a: &mut Asm, p: &str, g: &GraphLayout, rt: &Runtime, allow_divide: bool) {
+    a.bind(format!("{p}_node_check"));
+    // r5 = &dist[u]
+    a.slli(R5, U, 3);
+    a.li(R6, g.dist as i64);
+    a.add(R5, R5, R6);
+    a.mlock(R5);
+    a.ld(R6, 0, R5);
+    a.bge(PLEN, R6, &format!("{p}_dead_unlock"));
+    a.st(PLEN, 0, R5);
+    a.munlock(R5);
+    // r7 = idx[u], r8 = idx[u+1]
+    a.slli(R9, U, 3);
+    a.li(R6, g.idx as i64);
+    a.add(R9, R9, R6);
+    a.ld(R7, 0, R9);
+    a.ld(R8, 8, R9);
+    a.bind(format!("{p}_edges"));
+    a.sub(R9, R8, R7);
+    a.beq(R9, Reg::ZERO, &format!("{p}_path_done"));
+    a.li(R6, 1);
+    a.beq(R9, R6, &format!("{p}_tail"));
+    // Load edge r7 and stage the child's arguments.
+    a.slli(R9, R7, 4);
+    a.li(R6, g.edges as i64);
+    a.add(R9, R9, R6);
+    a.ld(R10, 0, R9); // v
+    a.ld(R11, 8, R9); // w
+    a.mv(CV, R10);
+    a.add(CP, PLEN, R11);
+    if allow_divide {
+        // One token for the child worker, counted before it can exist.
+        emit_locked_add(a, rt.tokens, 1);
+        // The probe of Figure 2: granted → the child (a register copy
+        // starting at {p}_child) owns the edge; denied (−1) → keep it.
+        a.nthr(R12, &format!("{p}_child"));
+        a.li(R6, -1);
+        a.bne(R12, R6, &format!("{p}_advance"));
+        // denied: no child was born — return its token
+        emit_locked_add(a, rt.tokens, -1);
+    }
+    // Denied (or never dividing): defer the edge to the private stack.
+    // The worker's own token covers everything it has pending.
+    a.push_reg(CV);
+    a.push_reg(CP);
+    a.addi(PENDING, PENDING, 1);
+    a.bind(format!("{p}_advance"));
+    a.addi(R7, R7, 1);
+    a.j(&format!("{p}_edges"));
+    // Last edge: move along it instead of spawning (tail call).
+    a.bind(format!("{p}_tail"));
+    a.slli(R9, R7, 4);
+    a.li(R6, g.edges as i64);
+    a.add(R9, R9, R6);
+    a.ld(R10, 0, R9);
+    a.ld(R11, 8, R9);
+    a.mv(U, R10);
+    a.add(PLEN, PLEN, R11);
+    a.j(&format!("{p}_node_check"));
+    // Sub-optimal path: the worker's current walk dies (Figure 1, A.C.E).
+    a.bind(format!("{p}_dead_unlock"));
+    a.munlock(R5);
+    a.bind(format!("{p}_path_done"));
+    a.bne(PENDING, Reg::ZERO, &format!("{p}_resume"));
+    // worker exhausted: release its token and finish
+    emit_locked_add(a, rt.tokens, -1);
+    a.j(&format!("{p}_finish"));
+    a.bind(format!("{p}_resume"));
+    a.pop_reg(PLEN);
+    a.pop_reg(U);
+    a.addi(PENDING, PENDING, -1);
+    a.j(&format!("{p}_node_check"));
+    // Child entry: adopt the staged edge, grab a pooled stack, walk.
+    a.bind(format!("{p}_child"));
+    a.mv(U, CV);
+    a.mv(PLEN, CP);
+    a.li(PENDING, 0);
+    let l = Labels::new(format!("{p}_c"));
+    emit_stack_alloc(a, rt, &l);
+    a.j(&format!("{p}_node_check"));
+}
+
+/// Emits the post-join checksum: sum of `dist[0..n]` → `out`, `halt`.
+pub fn emit_checksum_and_halt(a: &mut Asm, g: &GraphLayout) {
+    a.li(R5, g.dist as i64);
+    a.li(R6, g.n as i64);
+    a.li(R7, 0);
+    a.bind("checksum_loop");
+    a.ld(R9, 0, R5);
+    a.add(R7, R7, R9);
+    a.addi(R5, R5, 8);
+    a.addi(R6, R6, -1);
+    a.bne(R6, Reg::ZERO, "checksum_loop");
+    a.out(R7);
+    a.halt();
+}
+
+/// The Dijkstra workload over one random graph.
+#[derive(Debug, Clone)]
+pub struct Dijkstra {
+    graph: Graph,
+    /// Componentized-section mark id used by the component variant.
+    pub section: u16,
+}
+
+impl Dijkstra {
+    /// Builds the workload for `graph`.
+    pub fn new(graph: Graph) -> Self {
+        Dijkstra { graph, section: 1 }
+    }
+
+    /// The paper's Figure 3 data sets: 1000-node random graphs.
+    pub fn figure3(seed: u64, n: usize) -> Self {
+        Dijkstra::new(Graph::random(seed, n, 3, 64))
+    }
+
+    /// Host-reference checksum (sum of shortest distances).
+    pub fn expected_checksum(&self) -> i64 {
+        self.graph.shortest_distances(0).iter().sum()
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    fn component_program(&self) -> Program {
+        let mut d = DataBuilder::new();
+        let g = layout_graph(&mut d, &self.graph, UNREACHED);
+        let rt = init_runtime(&mut d, 1, 32, 4096);
+        let mut a = Asm::new();
+        let l = Labels::new("dij");
+
+        // Ancestor entry.
+        a.mark_start(self.section);
+        a.li(PENDING, 0);
+        a.li(U, 0);
+        a.li(PLEN, 0);
+        emit_stack_alloc(&mut a, &rt, &l);
+        a.j("w_node_check");
+        a.bind("w_finish");
+        a.tid(R5);
+        a.bne(R5, Reg::ZERO, "w_die");
+        emit_join_spin(&mut a, &rt, &l);
+        a.mark_end(self.section);
+        emit_checksum_and_halt(&mut a, &g);
+        a.bind("w_die");
+        emit_stack_free(&mut a, &rt);
+        a.kthr();
+        emit_walk_body(&mut a, "w", &g, &rt, true);
+
+        Program::new(a.assemble().expect("dijkstra component assembles"), d.build(), 1 << 16)
+            .with_thread(ThreadSpec::at(0))
+    }
+
+    fn static_program(&self, threads: usize) -> Program {
+        assert!(threads >= 1);
+        let mut d = DataBuilder::new();
+        let g = layout_graph(&mut d, &self.graph, 0);
+        let rt = init_runtime(&mut d, threads as i64, threads + 2, 4096);
+        let root_edges = self.graph.adj[0].len() as i64;
+        let mut a = Asm::new();
+        let l = Labels::new("dijs");
+        let my = Reg(21);
+
+        // Each thread claims root edges my, my+k, my+2k, ...
+        a.li(PENDING, 0);
+        emit_stack_alloc(&mut a, &rt, &l);
+        a.mv(R5, my);
+        a.bind("assign");
+        a.li(R6, root_edges);
+        a.bge(R5, R6, "assigned");
+        a.slli(R9, R5, 4);
+        a.li(R6, g.edges as i64);
+        a.add(R9, R9, R6);
+        a.ld(CV, 0, R9);
+        a.ld(CP, 8, R9);
+        a.push_reg(CV);
+        a.push_reg(CP);
+        a.addi(PENDING, PENDING, 1);
+        a.addi(R5, R5, threads as i64);
+        a.j("assign");
+        a.bind("assigned");
+        // The thread's own "assignment" work item is done: release its
+        // token and start draining the pending edges.
+        a.j("w_path_done");
+        a.bind("w_finish");
+        a.tid(R5);
+        a.bne(R5, Reg::ZERO, "w_die");
+        emit_join_spin(&mut a, &rt, &l);
+        emit_checksum_and_halt(&mut a, &g);
+        a.bind("w_die");
+        emit_stack_free(&mut a, &rt);
+        a.kthr();
+        emit_walk_body(&mut a, "w", &g, &rt, false);
+
+        let mut p =
+            Program::new(a.assemble().expect("dijkstra static assembles"), d.build(), 1 << 16);
+        for t in 0..threads {
+            p.threads.push(ThreadSpec::at(0).with_reg(my, t as i64));
+        }
+        p
+    }
+
+    fn sequential_program(&self) -> Program {
+        let mut d = DataBuilder::new();
+        let g = layout_graph(&mut d, &self.graph, UNREACHED);
+        d.label("list");
+        let list = d.zeros(g.n * 8);
+        d.label("inlist");
+        let inlist = d.zeros(g.n * 8);
+        let mut a = Asm::new();
+        a.li(Reg::A0, 0); // source node
+        a.li(ROUTER_DIST_BASE, g.dist as i64);
+        a.li(ROUTER_LIST_BASE, list as i64);
+        a.li(ROUTER_INLIST_BASE, inlist as i64);
+        a.j("sq_route");
+        a.bind("sq_route_done");
+        emit_checksum_and_halt(&mut a, &g);
+        emit_central_list_router(&mut a, "sq", &g);
+
+        Program::new(a.assemble().expect("dijkstra sequential assembles"), d.build(), 1 << 17)
+            .with_thread(ThreadSpec::at(0))
+    }
+}
+
+/// Base registers used by [`emit_central_list_router`]: the caller loads
+/// the distance, list, and in-list array base addresses here so several
+/// router instances (e.g. one per routed net) can share one emitted body.
+pub const ROUTER_DIST_BASE: Reg = Reg(20);
+/// List-array base register (see [`ROUTER_DIST_BASE`]).
+pub const ROUTER_LIST_BASE: Reg = Reg(22);
+/// In-list-array base register (see [`ROUTER_DIST_BASE`]).
+pub const ROUTER_INLIST_BASE: Reg = Reg(23);
+
+/// Emits the classic imperative Dijkstra of §2 ("Normal"): a central list
+/// holds the tagged nodes; each step scans it for the closest one. Enter
+/// at `{p}_route` with the source node in `A0`, the scratch-array bases in
+/// [`ROUTER_DIST_BASE`]/[`ROUTER_LIST_BASE`]/[`ROUTER_INLIST_BASE`], and
+/// the distance array initialized to [`UNREACHED`]; control leaves to
+/// `{p}_route_done` (bound by the caller) with the distances filled.
+/// Clobbers `r5`–`r18`; preserves `r19`–`r23` and `A1`–`A5`. The in-list
+/// array must be all-zero on entry and is left all-zero on exit.
+pub fn emit_central_list_router(a: &mut Asm, p: &str, g: &GraphLayout) {
+    let (count, besti, bestd, i, tmp, addr, di) =
+        (Reg(5), Reg(6), Reg(7), Reg(8), Reg(9), Reg(10), Reg(11));
+    let (u, eidx, eend, v, w, nd) = (Reg(12), Reg(14), Reg(15), Reg(16), Reg(17), Reg(18));
+
+    a.bind(format!("{p}_route"));
+    // dist[src] = 0; list = [src]; inlist[src] = 1
+    a.slli(tmp, Reg::A0, 3);
+    a.add(addr, ROUTER_DIST_BASE, tmp);
+    a.st(Reg::ZERO, 0, addr);
+    a.add(addr, ROUTER_INLIST_BASE, tmp);
+    a.li(di, 1);
+    a.st(di, 0, addr);
+    a.st(Reg::A0, 0, ROUTER_LIST_BASE);
+    a.li(count, 1);
+    a.bind(format!("{p}_select"));
+    a.beq(count, Reg::ZERO, &format!("{p}_route_done"));
+    // scan the central list for the closest tagged node
+    a.li(besti, 0);
+    a.li(bestd, UNREACHED);
+    a.li(i, 0);
+    a.bind(format!("{p}_scan"));
+    a.bge(i, count, &format!("{p}_scanned"));
+    a.slli(tmp, i, 3);
+    a.add(addr, ROUTER_LIST_BASE, tmp);
+    a.ld(u, 0, addr);
+    a.slli(tmp, u, 3);
+    a.add(addr, ROUTER_DIST_BASE, tmp);
+    a.ld(di, 0, addr);
+    a.bge(di, bestd, &format!("{p}_scan_next"));
+    a.mv(bestd, di);
+    a.mv(besti, i);
+    a.bind(format!("{p}_scan_next"));
+    a.addi(i, i, 1);
+    a.j(&format!("{p}_scan"));
+    a.bind(format!("{p}_scanned"));
+    // u = list[besti]; swap-remove with the last entry
+    a.slli(tmp, besti, 3);
+    a.add(addr, ROUTER_LIST_BASE, tmp);
+    a.ld(u, 0, addr);
+    a.addi(count, count, -1);
+    a.slli(tmp, count, 3);
+    a.add(tmp, ROUTER_LIST_BASE, tmp);
+    a.ld(tmp, 0, tmp);
+    a.st(tmp, 0, addr);
+    a.slli(tmp, u, 3);
+    a.add(addr, ROUTER_INLIST_BASE, tmp);
+    a.st(Reg::ZERO, 0, addr);
+    // relax u's edges
+    a.slli(tmp, u, 3);
+    a.li(addr, g.idx as i64);
+    a.add(addr, addr, tmp);
+    a.ld(eidx, 0, addr);
+    a.ld(eend, 8, addr);
+    a.bind(format!("{p}_relax"));
+    a.bge(eidx, eend, &format!("{p}_select"));
+    a.slli(tmp, eidx, 4);
+    a.li(addr, g.edges as i64);
+    a.add(addr, addr, tmp);
+    a.ld(v, 0, addr);
+    a.ld(w, 8, addr);
+    a.add(nd, bestd, w);
+    a.slli(tmp, v, 3);
+    a.add(addr, ROUTER_DIST_BASE, tmp);
+    a.ld(di, 0, addr);
+    a.bge(nd, di, &format!("{p}_relax_next"));
+    a.st(nd, 0, addr);
+    // tag v in the central list if it is not there yet
+    a.add(addr, ROUTER_INLIST_BASE, tmp);
+    a.ld(di, 0, addr);
+    a.bne(di, Reg::ZERO, &format!("{p}_relax_next"));
+    a.li(di, 1);
+    a.st(di, 0, addr);
+    a.slli(addr, count, 3);
+    a.add(addr, ROUTER_LIST_BASE, addr);
+    a.st(v, 0, addr);
+    a.addi(count, count, 1);
+    a.bind(format!("{p}_relax_next"));
+    a.addi(eidx, eidx, 1);
+    a.j(&format!("{p}_relax"));
+}
+
+impl Workload for Dijkstra {
+    fn name(&self) -> &'static str {
+        "dijkstra"
+    }
+
+    fn supports(&self, _variant: Variant) -> bool {
+        true
+    }
+
+    fn program(&self, variant: Variant) -> Program {
+        match variant {
+            Variant::Sequential => self.sequential_program(),
+            Variant::Static(k) => self.static_program(k),
+            Variant::Component => self.component_program(),
+        }
+    }
+
+    fn check(&self, output: &[OutValue]) -> Result<(), String> {
+        expect_ints(output, &[self.expected_checksum()])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capsule_core::config::MachineConfig;
+    use capsule_sim::machine::Machine;
+    use capsule_sim::{Interp, InterpConfig};
+
+    fn small() -> Dijkstra {
+        Dijkstra::figure3(42, 60)
+    }
+
+    #[test]
+    fn component_matches_reference_on_interp() {
+        let w = small();
+        let p = w.program(Variant::Component);
+        let mut i = Interp::new(&p, InterpConfig::default()).unwrap();
+        let out = i.run(50_000_000).unwrap();
+        w.check(&out.output).unwrap();
+        // Stronger: every per-node distance matches the host Dijkstra.
+        let dist_base = p.symbol("dist");
+        let expected = w.graph().shortest_distances(0);
+        for (k, &e) in expected.iter().enumerate() {
+            let got = i.memory().read_i64(dist_base + 8 * k as u64).unwrap();
+            assert_eq!(got, e, "dist[{k}]");
+        }
+    }
+
+    #[test]
+    fn component_runs_on_somt_machine() {
+        let w = small();
+        let p = w.program(Variant::Component);
+        let mut m = Machine::new(MachineConfig::table1_somt(), &p).unwrap();
+        let o = m.run(200_000_000).unwrap();
+        w.check(&o.output).unwrap();
+        assert!(o.stats.divisions_requested > 0);
+        assert!(o.stats.divisions_granted() > 0);
+        assert!(o.sections.section_cycles(1) > 0);
+    }
+
+    #[test]
+    fn component_runs_sequentially_when_denied() {
+        let w = small();
+        let p = w.program(Variant::Component);
+        let mut m = Machine::new(MachineConfig::table1_superscalar(), &p).unwrap();
+        let o = m.run(400_000_000).unwrap();
+        w.check(&o.output).unwrap();
+        assert_eq!(o.stats.divisions_granted(), 0);
+    }
+
+    #[test]
+    fn static_variant_matches_reference() {
+        let w = small();
+        let p = w.program(Variant::Static(8));
+        assert_eq!(p.threads.len(), 8);
+        let mut m = Machine::new(MachineConfig::table1_smt(), &p).unwrap();
+        let o = m.run(400_000_000).unwrap();
+        w.check(&o.output).unwrap();
+        assert_eq!(o.stats.divisions_requested, 0, "static version never probes");
+    }
+
+    #[test]
+    fn sequential_variant_matches_reference() {
+        let w = small();
+        let p = w.program(Variant::Sequential);
+        let mut m = Machine::new(MachineConfig::table1_superscalar(), &p).unwrap();
+        let o = m.run(400_000_000).unwrap();
+        w.check(&o.output).unwrap();
+    }
+
+    #[test]
+    fn component_beats_sequential_on_somt() {
+        let w = Dijkstra::figure3(7, 120);
+        let comp = Machine::new(MachineConfig::table1_somt(), &w.program(Variant::Component))
+            .unwrap()
+            .run(500_000_000)
+            .unwrap();
+        let seq =
+            Machine::new(MachineConfig::table1_superscalar(), &w.program(Variant::Sequential))
+                .unwrap()
+                .run(500_000_000)
+                .unwrap();
+        w.check(&comp.output).unwrap();
+        w.check(&seq.output).unwrap();
+        assert!(
+            comp.cycles() < seq.cycles(),
+            "component SOMT ({}) should beat sequential superscalar ({})",
+            comp.cycles(),
+            seq.cycles()
+        );
+    }
+}

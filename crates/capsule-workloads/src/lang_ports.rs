@@ -1,0 +1,234 @@
+//! Workloads written in Capsule C — the paper's intended programming
+//! model, end to end: source → toolchain → SOMT.
+//!
+//! These ports exist next to the hand-emitted CAP64 versions so the
+//! toolchain can be validated against them (same results) and its
+//! overhead quantified (the paper reports ~15 cycles of software overhead
+//! per division for its pre-processor output; see
+//! [`probe_overhead_program`] and the `toolchain_overhead` bench).
+
+use capsule_isa::program::Program;
+use capsule_lang::compile;
+
+/// Component sum over `values`, in Capsule C. Output: one total.
+pub fn sum_source(values: &[i64], leaf: usize) -> String {
+    let n = values.len();
+    let init: String = values
+        .iter()
+        .enumerate()
+        .map(|(i, v)| format!("    arr[{i}] = {v};\n"))
+        .collect();
+    format!(
+        r"
+global total;
+global arr[{n}];
+
+worker sum(lo, hi) {{
+    while (hi - lo > {leaf}) {{
+        let mid = lo + (hi - lo) / 2;
+        coworker sum(mid, hi);
+        hi = mid;
+    }}
+    let acc = 0;
+    while (lo < hi) {{ acc = acc + arr[lo]; lo = lo + 1; }}
+    lock (&total) {{ total = total + acc; }}
+}}
+
+worker main() {{
+{init}
+    coworker sum(0, {n});
+    join;
+    out(total);
+}}
+"
+    )
+}
+
+/// Compiles the component sum.
+///
+/// # Panics
+///
+/// Panics if the generated source fails to compile (a bug in the
+/// generator, not in user input).
+pub fn sum_program(values: &[i64], leaf: usize) -> Program {
+    compile(&sum_source(values, leaf)).expect("generated sum source compiles")
+}
+
+/// Component QuickSort in Capsule C over a global array; after the join
+/// the ancestor emits `[sorted_flag, sum]` like the hand-written
+/// [`crate::quicksort::QuickSort`] workload.
+pub fn quicksort_source(values: &[i64], leaf: usize) -> String {
+    let n = values.len();
+    let init: String = values
+        .iter()
+        .enumerate()
+        .map(|(i, v)| format!("    arr[{i}] = {v};\n"))
+        .collect();
+    format!(
+        r"
+global arr[{n}];
+
+worker qsort(lo, hi) {{
+    while (hi - lo > {leaf}) {{
+        // middle-element pivot to the end, then Lomuto partition
+        let mid = (lo + hi) / 2;
+        let tmp = arr[mid];
+        arr[mid] = arr[hi - 1];
+        arr[hi - 1] = tmp;
+        let pivot = arr[hi - 1];
+        let store = lo;
+        let k = lo;
+        while (k < hi - 1) {{
+            if (arr[k] <= pivot) {{
+                tmp = arr[k];
+                arr[k] = arr[store];
+                arr[store] = tmp;
+                store = store + 1;
+            }}
+            k = k + 1;
+        }}
+        tmp = arr[store];
+        arr[store] = arr[hi - 1];
+        arr[hi - 1] = tmp;
+        // offer the smaller half to the architecture, keep the larger
+        if (store - lo < hi - store - 1) {{
+            coworker qsort(lo, store);
+            lo = store + 1;
+        }} else {{
+            coworker qsort(store + 1, hi);
+            hi = store;
+        }}
+    }}
+    // insertion sort of the leaf
+    let i = lo + 1;
+    while (i < hi) {{
+        let x = arr[i];
+        let j = i - 1;
+        while (j >= lo && arr[j] > x) {{
+            arr[j + 1] = arr[j];
+            j = j - 1;
+        }}
+        arr[j + 1] = x;
+        i = i + 1;
+    }}
+}}
+
+worker main() {{
+{init}
+    coworker qsort(0, {n});
+    join;
+    let sorted = 1;
+    let sum = arr[0];
+    let i = 1;
+    while (i < {n}) {{
+        sum = sum + arr[i];
+        if (arr[i - 1] > arr[i]) {{ sorted = 0; }}
+        i = i + 1;
+    }}
+    out(sorted);
+    out(sum);
+}}
+"
+    )
+}
+
+/// Compiles the component QuickSort.
+///
+/// # Panics
+///
+/// Panics if the generated source fails to compile.
+pub fn quicksort_program(values: &[i64], leaf: usize) -> Program {
+    compile(&quicksort_source(values, leaf)).expect("generated quicksort source compiles")
+}
+
+/// A microbenchmark pair quantifying the toolchain's per-probe software
+/// overhead (the paper: "the measured average programming overhead is 15
+/// cycles per division"): the same loop of `n` worker invocations, once
+/// through `coworker` (probe + token bookkeeping + call on denial) and
+/// once as a plain call. Run both on the superscalar (every probe denied)
+/// and divide the cycle difference by `n`.
+pub fn probe_overhead_program(n: usize, coworker: bool) -> Program {
+    let invoke = if coworker { "coworker nopwork(i);" } else { "nopwork(i);" };
+    let src = format!(
+        r"
+global sink;
+worker nopwork(v) {{ lock (&sink) {{ sink = sink + v; }} }}
+worker main() {{
+    let i = 0;
+    while (i < {n}) {{
+        {invoke}
+        i = i + 1;
+    }}
+    join;
+    out(sink);
+}}
+"
+    );
+    compile(&src).expect("overhead source compiles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capsule_core::config::MachineConfig;
+    use capsule_sim::machine::Machine;
+
+    use crate::datasets::{random_list, ListShape};
+
+    fn run(cfg: MachineConfig, p: &Program) -> capsule_sim::SimOutcome {
+        Machine::new(cfg, p).expect("loads").run(50_000_000_000).expect("halts")
+    }
+
+    #[test]
+    fn compiled_sum_matches_expected() {
+        let values = random_list(5, 600, ListShape::Uniform);
+        let expected: i64 = values.iter().sum();
+        let p = sum_program(&values, 32);
+        let o = run(MachineConfig::table1_somt(), &p);
+        assert_eq!(o.ints(), vec![expected]);
+        assert!(o.stats.divisions_granted() > 0);
+    }
+
+    #[test]
+    fn compiled_quicksort_sorts_and_matches_hand_written() {
+        let values = random_list(6, 500, ListShape::Uniform);
+        let expected_sum: i64 = values.iter().sum();
+        let p = quicksort_program(&values, 24);
+        let o = run(MachineConfig::table1_somt(), &p);
+        assert_eq!(o.ints(), vec![1, expected_sum], "compiled version must sort");
+
+        // The hand-emitted workload answers the same on the same machine.
+        let hand = crate::quicksort::QuickSort::new(values);
+        let hp = crate::Workload::program(&hand, crate::Variant::Component);
+        let ho = run(MachineConfig::table1_somt(), &hp);
+        assert_eq!(o.ints(), ho.ints());
+    }
+
+    #[test]
+    fn compiled_quicksort_handles_adversarial_shapes() {
+        for shape in [ListShape::Sorted, ListShape::Reversed, ListShape::FewDistinct] {
+            let values = random_list(7, 300, shape);
+            let expected_sum: i64 = values.iter().sum();
+            let p = quicksort_program(&values, 24);
+            let o = run(MachineConfig::table1_somt(), &p);
+            assert_eq!(o.ints(), vec![1, expected_sum], "{shape:?}");
+        }
+    }
+
+    #[test]
+    fn probe_overhead_is_bounded_on_denial() {
+        // On the superscalar every coworker probe is denied: the extra
+        // cost over a plain call is the token take/return plus the nthr —
+        // the toolchain's software overhead per division attempt.
+        let n = 400;
+        let plain = run(MachineConfig::table1_superscalar(), &probe_overhead_program(n, false));
+        let probed = run(MachineConfig::table1_superscalar(), &probe_overhead_program(n, true));
+        assert_eq!(plain.ints(), probed.ints());
+        let per_probe = (probed.cycles() as f64 - plain.cycles() as f64) / n as f64;
+        assert!(
+            per_probe < 60.0,
+            "per-probe software overhead too high: {per_probe:.1} cycles (paper: ~15)"
+        );
+        assert!(per_probe > 0.0, "probing cannot be free: {per_probe:.1}");
+    }
+}

@@ -1,0 +1,88 @@
+//! The paper's benchmark suite, rebuilt for CAP64.
+//!
+//! Four core algorithms — [`dijkstra`], [`quicksort`], [`lzw`],
+//! [`perceptron`] — and four SPEC CINT2000 analogs ([`spec`]: mcf, vpr,
+//! bzip2, crafty), each available in up to three variants:
+//!
+//! - [`Variant::Sequential`] — the imperative baseline run on the
+//!   superscalar machine;
+//! - [`Variant::Static`] — a statically parallelized version using loader
+//!   threads on a standard SMT (fixed 8-way data decomposition, the
+//!   paper's profile-derived static parallelization);
+//! - [`Variant::Component`] — the CAPSULE component version that probes
+//!   and conditionally divides via `nthr`.
+//!
+//! Every workload ships a host-side reference ([`datasets`]) and a
+//! [`Workload::check`] that validates simulator output against it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod datasets;
+pub mod lang_ports;
+pub mod dijkstra;
+pub mod lzw;
+pub mod perceptron;
+pub mod quicksort;
+pub mod rt;
+pub mod spec;
+
+use capsule_isa::program::Program;
+use capsule_core::OutValue;
+
+/// Which implementation of a workload to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    /// Imperative sequential baseline.
+    Sequential,
+    /// Statically parallelized with this many loader threads.
+    Static(usize),
+    /// CAPSULE component version (conditional division).
+    Component,
+}
+
+/// A benchmark that can build programs and validate their output.
+pub trait Workload {
+    /// Short name used in reports ("dijkstra", "mcf", ...).
+    fn name(&self) -> &'static str;
+
+    /// Whether the variant is available (crafty, for example, has no
+    /// plain sequential rewrite in the paper either).
+    fn supports(&self, variant: Variant) -> bool;
+
+    /// Builds the program for a variant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variant is unsupported; call [`Workload::supports`]
+    /// first.
+    fn program(&self, variant: Variant) -> Program;
+
+    /// Validates a run's output channel against the host reference.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first mismatch.
+    fn check(&self, output: &[OutValue]) -> Result<(), String>;
+}
+
+/// Convenience: extract the integer outputs.
+pub fn ints(output: &[OutValue]) -> Vec<i64> {
+    output.iter().filter_map(OutValue::as_int).collect()
+}
+
+/// Convenience: compare integer outputs against expectation.
+pub fn expect_ints(output: &[OutValue], expected: &[i64]) -> Result<(), String> {
+    let got = ints(output);
+    if got == expected {
+        Ok(())
+    } else {
+        Err(format!(
+            "output mismatch: expected {} values {:?}…, got {} values {:?}…",
+            expected.len(),
+            &expected[..expected.len().min(8)],
+            got.len(),
+            &got[..got.len().min(8)],
+        ))
+    }
+}

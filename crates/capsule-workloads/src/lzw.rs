@@ -1,0 +1,278 @@
+//! LZW compression (the 164.gzip core algorithm; Figure 7's throttling
+//! workload).
+//!
+//! The paper: *"The LZW component version recursively splits the initial
+//! sequence of N = 4096 characters it must match into two sequences of
+//! N/2 characters in order to parallelize the search"* — and because the
+//! per-worker processing is tiny, LZW benefits from the death-rate
+//! division throttle.
+//!
+//! Our component version parallelizes the dictionary search of each step:
+//! the ancestor runs the classic LZW outer loop; for every input byte it
+//! launches a divide-in-half component search over the current dictionary
+//! (entries are `(prefix code, byte)` pairs, matching the host reference
+//! in [`crate::datasets::lzw_compress`]). Workers are short-lived by
+//! construction, which is precisely what makes the throttle matter.
+//!
+//! Output: the emitted code stream, checked verbatim against the host
+//! compressor (and, transitively, against the host decompressor's
+//! round-trip test).
+
+use capsule_core::OutValue;
+use capsule_isa::asm::Asm;
+use capsule_isa::program::{DataBuilder, Program, ThreadSpec};
+use capsule_isa::reg::Reg;
+
+use crate::datasets::lzw_compress;
+use crate::rt::{
+    emit_join_spin, emit_split_range_worker, emit_stack_alloc, emit_stack_free, init_runtime,
+    Labels, T0, T1,
+};
+use crate::{expect_ints, Variant, Workload};
+
+/// Dictionary ranges at or below this size are scanned by one worker.
+pub const SEARCH_LEAF: i64 = 16;
+
+const PENDING: Reg = Reg(13);
+const POS: Reg = Reg(21); // outer-loop position (preserved by the splitter)
+const CUR: Reg = Reg(22); // current code / search target prefix
+const CH: Reg = Reg(23); // next byte / search target char
+const R5: Reg = Reg(5);
+const R7: Reg = Reg(7);
+const R8: Reg = Reg(8);
+const R9: Reg = Reg(9);
+const R10: Reg = Reg(10);
+
+/// The LZW workload over one input text.
+#[derive(Debug, Clone)]
+pub struct Lzw {
+    input: Vec<u8>,
+    /// Componentized-section mark id.
+    pub section: u16,
+}
+
+impl Lzw {
+    /// Builds the workload for `input`.
+    pub fn new(input: Vec<u8>) -> Self {
+        assert!(!input.is_empty(), "LZW input must be non-empty");
+        Lzw { input, section: 1 }
+    }
+
+    /// The paper's Figure 7 configuration: N input characters from a
+    /// small alphabet.
+    pub fn figure7(seed: u64, n: usize) -> Self {
+        Lzw::new(crate::datasets::lzw_text(seed, n, 8))
+    }
+
+    /// Host-reference code stream.
+    pub fn expected_codes(&self) -> Vec<i64> {
+        lzw_compress(&self.input, 256)
+    }
+
+    /// The input text.
+    pub fn input(&self) -> &[u8] {
+        &self.input
+    }
+
+    fn build(&self, allow_divide: bool) -> Program {
+        let n = self.input.len();
+        let mut d = DataBuilder::new();
+        d.label("input");
+        let input = d.raw(&self.input);
+        d.align(8);
+        d.label("dict_prefix");
+        let dict_prefix = d.zeros(n * 8);
+        d.label("dict_char");
+        let dict_char = d.zeros(n * 8);
+        let dict_len = d.word(0);
+        let found = d.word(-1);
+        let rt = init_runtime(&mut d, 1, 32, 2048);
+
+        let mut a = Asm::new();
+        let l = Labels::new("lzw");
+
+        // ---- ancestor outer loop ----
+        a.mark_start(self.section);
+        a.li(R5, input as i64);
+        a.ldb(CUR, 0, R5); // cur = input[0]
+        a.li(POS, 1);
+        emit_stack_alloc(&mut a, &rt, &l);
+        a.bind("outer");
+        a.li(R5, n as i64);
+        a.bge(POS, R5, "emit_last");
+        a.li(R5, input as i64);
+        a.add(R5, R5, POS);
+        a.ldb(CH, 0, R5);
+        // found = -1; tokens = 1 (no other worker is alive here)
+        a.li(R5, found as i64);
+        a.li(R7, -1);
+        a.st(R7, 0, R5);
+        a.li(T0, rt.tokens as i64);
+        a.li(T1, 1);
+        a.st(T1, 0, T0);
+        // component search over the dictionary [0, dict_len)
+        a.li(R5, dict_len as i64);
+        a.ld(Reg::A1, 0, R5);
+        a.li(Reg::A0, 0);
+        a.li(PENDING, 0);
+        a.j("lz_work");
+        a.bind("lz_finish");
+        a.tid(R5);
+        a.bne(R5, Reg::ZERO, "lz_die");
+        emit_join_spin(&mut a, &rt, &l);
+        // consume the search result
+        a.li(R5, found as i64);
+        a.ld(R7, 0, R5);
+        a.blt(R7, Reg::ZERO, "miss");
+        a.addi(CUR, R7, 256);
+        a.j("next");
+        a.bind("miss");
+        a.out(CUR);
+        // append (cur, ch) to the dictionary
+        a.li(R5, dict_len as i64);
+        a.ld(R8, 0, R5);
+        a.slli(R9, R8, 3);
+        a.li(R10, dict_prefix as i64);
+        a.add(R10, R10, R9);
+        a.st(CUR, 0, R10);
+        a.li(R10, dict_char as i64);
+        a.add(R10, R10, R9);
+        a.st(CH, 0, R10);
+        a.addi(R8, R8, 1);
+        a.st(R8, 0, R5);
+        a.mv(CUR, CH);
+        a.bind("next");
+        a.addi(POS, POS, 1);
+        a.j("outer");
+        a.bind("emit_last");
+        a.out(CUR);
+        a.mark_end(self.section);
+        a.halt();
+        a.bind("lz_die");
+        emit_stack_free(&mut a, &rt);
+        a.kthr();
+
+        // ---- the component search body ----
+        emit_split_range_worker(&mut a, "lz", &rt, SEARCH_LEAF, allow_divide, |a| {
+            // scan dict[lo, hi) for (CUR, CH)
+            a.mv(R7, Reg::A0);
+            a.bind("leaf_loop");
+            a.bge(R7, Reg::A1, "leaf_done");
+            a.slli(R8, R7, 3);
+            a.li(R9, dict_prefix as i64);
+            a.add(R9, R9, R8);
+            a.ld(R10, 0, R9);
+            a.bne(R10, CUR, "leaf_next");
+            a.li(R9, dict_char as i64);
+            a.add(R9, R9, R8);
+            a.ld(R10, 0, R9);
+            a.bne(R10, CH, "leaf_next");
+            // unique match: plain store is race-free
+            a.li(R9, found as i64);
+            a.st(R7, 0, R9);
+            a.j("leaf_done");
+            a.bind("leaf_next");
+            a.addi(R7, R7, 1);
+            a.j("leaf_loop");
+            a.bind("leaf_done");
+        });
+
+        Program::new(a.assemble().expect("lzw assembles"), d.build(), 1 << 16)
+            .with_thread(ThreadSpec::at(0))
+    }
+}
+
+impl Workload for Lzw {
+    fn name(&self) -> &'static str {
+        "lzw"
+    }
+
+    fn supports(&self, variant: Variant) -> bool {
+        !matches!(variant, Variant::Static(_))
+    }
+
+    fn program(&self, variant: Variant) -> Program {
+        match variant {
+            Variant::Sequential => self.build(false),
+            Variant::Component => self.build(true),
+            Variant::Static(_) => panic!("lzw has no static variant (see paper §4)"),
+        }
+    }
+
+    fn check(&self, output: &[OutValue]) -> Result<(), String> {
+        expect_ints(output, &self.expected_codes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::lzw_decompress;
+    use capsule_core::config::{DivisionMode, MachineConfig};
+    use capsule_sim::machine::Machine;
+    use capsule_sim::{Interp, InterpConfig};
+
+    fn small() -> Lzw {
+        Lzw::figure7(5, 300)
+    }
+
+    #[test]
+    fn component_compresses_correctly_on_interp() {
+        let w = small();
+        let p = w.program(Variant::Component);
+        let out = Interp::new(&p, InterpConfig::default()).unwrap().run(200_000_000).unwrap();
+        w.check(&out.output).unwrap();
+        // Round-trip sanity through the host decompressor.
+        let codes: Vec<i64> = out.output.iter().filter_map(|v| v.as_int()).collect();
+        assert_eq!(lzw_decompress(&codes, 256), w.input());
+    }
+
+    #[test]
+    fn component_runs_on_somt() {
+        let w = small();
+        let p = w.program(Variant::Component);
+        let o = Machine::new(MachineConfig::table1_somt(), &p)
+            .unwrap()
+            .run(500_000_000)
+            .unwrap();
+        w.check(&o.output).unwrap();
+        assert!(o.stats.divisions_requested > 0);
+    }
+
+    #[test]
+    fn sequential_matches_on_superscalar() {
+        let w = small();
+        let p = w.program(Variant::Sequential);
+        let o = Machine::new(MachineConfig::table1_superscalar(), &p)
+            .unwrap()
+            .run(500_000_000)
+            .unwrap();
+        w.check(&o.output).unwrap();
+        assert_eq!(o.stats.divisions_requested, 0);
+    }
+
+    #[test]
+    fn throttle_reduces_deaths() {
+        // Figure 7's mechanism: with throttling the machine denies
+        // divisions while workers die quickly, so fewer (tiny) workers are
+        // created than with the plain greedy policy.
+        let w = Lzw::figure7(9, 500);
+        let p = w.program(Variant::Component);
+        let throttled = Machine::new(MachineConfig::table1_somt(), &p)
+            .unwrap()
+            .run(1_000_000_000)
+            .unwrap();
+        let mut greedy_cfg = MachineConfig::table1_somt();
+        greedy_cfg.division_mode = DivisionMode::Greedy;
+        let greedy = Machine::new(greedy_cfg, &p).unwrap().run(1_000_000_000).unwrap();
+        w.check(&throttled.output).unwrap();
+        w.check(&greedy.output).unwrap();
+        assert!(
+            throttled.stats.divisions_granted() < greedy.stats.divisions_granted(),
+            "throttle should suppress some divisions: {} vs {}",
+            throttled.stats.divisions_granted(),
+            greedy.stats.divisions_granted()
+        );
+        assert!(throttled.stats.divisions_denied_throttled > 0);
+    }
+}

@@ -1,0 +1,591 @@
+//! Perceptron training (the 179.art core algorithm; Figure 7's second
+//! throttling workload).
+//!
+//! The paper: *"The Perceptron component version constantly attempts to
+//! split its initial group of 10000 neurons into two child components
+//! with half the number of neurons"* — per-step work is small, so the
+//! death-rate throttle is what keeps division profitable.
+//!
+//! The ancestor runs the training loop (epochs × samples); the dot
+//! product and the weight update of each step are divide-in-half
+//! component phases over the feature ("neuron") range. The dot product
+//! merges worker partial sums into a lock-protected global accumulator —
+//! the paper's "progressively combining local results from co-workers
+//! rather than updating a central variable".
+//!
+//! Output: the number of misclassified training samples under the final
+//! weights. Parallel FP reduction order differs between runs, so the
+//! check is a convergence bound rather than bit-exactness (documented in
+//! DESIGN.md).
+
+use capsule_core::OutValue;
+use capsule_isa::asm::Asm;
+use capsule_isa::program::{DataBuilder, Program, ThreadSpec};
+use capsule_isa::reg::{FReg, Reg};
+
+use crate::datasets::PerceptronData;
+use crate::rt::{
+    emit_barrier_wait, emit_join_spin, emit_split_range_worker, emit_stack_alloc,
+    emit_stack_free, init_barrier, init_runtime, Labels, T0, T1,
+};
+use crate::{ints, Variant, Workload};
+
+/// Neuron ranges at or below this size are processed by one worker.
+pub const NEURON_LEAF: i64 = 64;
+
+const PENDING: Reg = Reg(13);
+const EPOCH: Reg = Reg(21);
+const SAMPLE: Reg = Reg(22);
+const SBASE: Reg = Reg(23); // current sample's feature base address
+const R5: Reg = Reg(5);
+const R7: Reg = Reg(7);
+const R8: Reg = Reg(8);
+const R9: Reg = Reg(9);
+
+const F_SUM: FReg = FReg(1);
+const F_A: FReg = FReg(2);
+const F_B: FReg = FReg(3);
+const F_Y: FReg = FReg(4);
+const F_PRED: FReg = FReg(5);
+const F_ZERO: FReg = FReg(6);
+const F_LRY: FReg = FReg(10); // lr * y, staged for the update phase
+
+/// The Perceptron workload.
+#[derive(Debug, Clone)]
+pub struct Perceptron {
+    data: PerceptronData,
+    epochs: usize,
+    lr: f64,
+    leaf: i64,
+    /// Componentized-section mark id.
+    pub section: u16,
+}
+
+impl Perceptron {
+    /// Builds the workload.
+    pub fn new(data: PerceptronData, epochs: usize, lr: f64) -> Self {
+        Perceptron { data, epochs, lr, leaf: NEURON_LEAF, section: 1 }
+    }
+
+    /// Overrides the leaf size (smaller leaves mean smaller, shorter-lived
+    /// workers — the regime where Figure 7's throttle matters most).
+    pub fn with_leaf(mut self, leaf: i64) -> Self {
+        assert!(leaf >= 1);
+        self.leaf = leaf;
+        self
+    }
+
+    /// A Figure 7-style configuration: one neuron group of `features`
+    /// neurons (the paper uses 10000).
+    pub fn figure7(seed: u64, samples: usize, features: usize, epochs: usize) -> Self {
+        Perceptron::new(PerceptronData::random(seed, samples, features), epochs, 0.1)
+    }
+
+    /// Host-reference error count after training (same rule, sequential
+    /// summation order).
+    pub fn reference_errors(&self) -> usize {
+        let w = self.data.train_reference(self.epochs, self.lr);
+        self.data
+            .samples
+            .iter()
+            .zip(&self.data.labels)
+            .filter(|(x, &y)| {
+                let dot: f64 = x.iter().zip(&w).map(|(a, b)| a * b).sum();
+                let pred = if dot >= 0.0 { 1.0 } else { -1.0 };
+                pred != y
+            })
+            .count()
+    }
+
+    /// Loose acceptance bound for the simulated error count.
+    pub fn error_bound(&self) -> i64 {
+        (self.reference_errors() as i64 + self.data.samples.len() as i64 / 10).max(2)
+    }
+
+    fn build(&self, allow_divide: bool) -> Program {
+        let f = self.data.features;
+        let m = self.data.samples.len();
+        let mut d = DataBuilder::new();
+        d.label("weights");
+        let weights = d.zeros(f * 8);
+        let flat: Vec<f64> = self.data.samples.iter().flatten().copied().collect();
+        d.label("samples");
+        let samples = d.f64s(&flat);
+        d.label("labels");
+        let labels = d.f64s(&self.data.labels);
+        let dot_cell = d.word(0);
+        let rt = init_runtime(&mut d, 1, 32, 2048);
+
+        let mut a = Asm::new();
+        let l = Labels::new("pc");
+
+        a.mark_start(self.section);
+        emit_stack_alloc(&mut a, &rt, &l);
+        a.fli(F_ZERO, 0.0);
+        a.li(EPOCH, 0);
+        a.bind("epoch_loop");
+        a.li(R5, self.epochs as i64);
+        a.bge(EPOCH, R5, "evaluate");
+        a.li(SAMPLE, 0);
+        a.bind("sample_loop");
+        a.li(R5, m as i64);
+        a.bge(SAMPLE, R5, "sample_done");
+        // SBASE = samples + SAMPLE * f * 8
+        a.li(R5, (f * 8) as i64);
+        a.mul(SBASE, SAMPLE, R5);
+        a.li(R5, samples as i64);
+        a.add(SBASE, SBASE, R5);
+        // dot = 0.0; tokens = 1
+        a.li(R5, dot_cell as i64);
+        a.st(Reg::ZERO, 0, R5);
+        a.li(T0, rt.tokens as i64);
+        a.li(T1, 1);
+        a.st(T1, 0, T0);
+        // --- component dot product over [0, f) ---
+        a.li(Reg::A0, 0);
+        a.li(Reg::A1, f as i64);
+        a.li(PENDING, 0);
+        a.j("pd_work");
+        a.bind("pd_finish");
+        a.tid(R5);
+        a.bne(R5, Reg::ZERO, "pd_die");
+        emit_join_spin(&mut a, &rt, &l);
+        // pred = sign(dot); y = labels[SAMPLE]
+        a.li(R5, dot_cell as i64);
+        a.fld(F_SUM, 0, R5);
+        a.slli(R5, SAMPLE, 3);
+        a.li(R7, labels as i64);
+        a.add(R5, R5, R7);
+        a.fld(F_Y, 0, R5);
+        a.fli(F_PRED, 1.0);
+        a.fcmp(capsule_isa::instr::FCmpOp::Lt, R7, F_SUM, F_ZERO);
+        a.beq(R7, Reg::ZERO, "have_pred");
+        a.fli(F_PRED, -1.0);
+        a.bind("have_pred");
+        a.fcmp(capsule_isa::instr::FCmpOp::Eq, R7, F_PRED, F_Y);
+        a.bne(R7, Reg::ZERO, "next_sample"); // correct: no update
+        // stage lr*y and run the component weight update
+        a.fli(F_A, self.lr);
+        a.fmul(F_LRY, F_A, F_Y);
+        a.li(T0, rt.tokens as i64);
+        a.li(T1, 1);
+        a.st(T1, 0, T0);
+        a.li(Reg::A0, 0);
+        a.li(Reg::A1, f as i64);
+        a.li(PENDING, 0);
+        a.j("pu_work");
+        a.bind("pu_finish");
+        a.tid(R5);
+        a.bne(R5, Reg::ZERO, "pu_die");
+        emit_join_spin(&mut a, &rt, &l);
+        a.bind("next_sample");
+        a.addi(SAMPLE, SAMPLE, 1);
+        a.j("sample_loop");
+        a.bind("sample_done");
+        a.addi(EPOCH, EPOCH, 1);
+        a.j("epoch_loop");
+        // --- final evaluation (sequential, by the ancestor) ---
+        a.bind("evaluate");
+        a.mark_end(self.section);
+        a.li(EPOCH, 0); // errors
+        a.li(SAMPLE, 0);
+        a.bind("ev_loop");
+        a.li(R5, m as i64);
+        a.bge(SAMPLE, R5, "ev_done");
+        a.li(R5, (f * 8) as i64);
+        a.mul(SBASE, SAMPLE, R5);
+        a.li(R5, samples as i64);
+        a.add(SBASE, SBASE, R5);
+        a.fli(F_SUM, 0.0);
+        a.li(R7, 0);
+        a.bind("ev_dot");
+        a.li(R5, f as i64);
+        a.bge(R7, R5, "ev_pred");
+        a.slli(R8, R7, 3);
+        a.li(R9, weights as i64);
+        a.add(R9, R9, R8);
+        a.fld(F_A, 0, R9);
+        a.add(R9, SBASE, R8);
+        a.fld(F_B, 0, R9);
+        a.fmul(F_A, F_A, F_B);
+        a.fadd(F_SUM, F_SUM, F_A);
+        a.addi(R7, R7, 1);
+        a.j("ev_dot");
+        a.bind("ev_pred");
+        a.slli(R5, SAMPLE, 3);
+        a.li(R7, labels as i64);
+        a.add(R5, R5, R7);
+        a.fld(F_Y, 0, R5);
+        a.fli(F_PRED, 1.0);
+        a.fcmp(capsule_isa::instr::FCmpOp::Lt, R7, F_SUM, F_ZERO);
+        a.beq(R7, Reg::ZERO, "ev_have");
+        a.fli(F_PRED, -1.0);
+        a.bind("ev_have");
+        a.fcmp(capsule_isa::instr::FCmpOp::Eq, R7, F_PRED, F_Y);
+        a.bne(R7, Reg::ZERO, "ev_next");
+        a.addi(EPOCH, EPOCH, 1);
+        a.bind("ev_next");
+        a.addi(SAMPLE, SAMPLE, 1);
+        a.j("ev_loop");
+        a.bind("ev_done");
+        a.out(EPOCH);
+        a.halt();
+        a.bind("pd_die");
+        emit_stack_free(&mut a, &rt);
+        a.kthr();
+        a.bind("pu_die");
+        emit_stack_free(&mut a, &rt);
+        a.kthr();
+
+        // --- dot-product worker ---
+        emit_split_range_worker(&mut a, "pd", &rt, self.leaf, allow_divide, |a| {
+            a.fli(F_SUM, 0.0);
+            a.mv(R7, Reg::A0);
+            a.bind("pdl_loop");
+            a.bge(R7, Reg::A1, "pdl_done");
+            a.slli(R8, R7, 3);
+            a.li(R9, weights as i64);
+            a.add(R9, R9, R8);
+            a.fld(F_A, 0, R9);
+            a.add(R9, SBASE, R8);
+            a.fld(F_B, 0, R9);
+            a.fmul(F_A, F_A, F_B);
+            a.fadd(F_SUM, F_SUM, F_A);
+            a.addi(R7, R7, 1);
+            a.j("pdl_loop");
+            a.bind("pdl_done");
+            // merge under the dot-cell lock
+            a.li(R9, dot_cell as i64);
+            a.mlock(R9);
+            a.fld(F_A, 0, R9);
+            a.fadd(F_A, F_A, F_SUM);
+            a.fst(F_A, 0, R9);
+            a.munlock(R9);
+        });
+
+        // --- weight-update worker (disjoint ranges: no lock needed) ---
+        emit_split_range_worker(&mut a, "pu", &rt, self.leaf, allow_divide, |a| {
+            a.mv(R7, Reg::A0);
+            a.bind("pul_loop");
+            a.bge(R7, Reg::A1, "pul_done");
+            a.slli(R8, R7, 3);
+            a.add(R9, SBASE, R8);
+            a.fld(F_A, 0, R9);
+            a.fmul(F_A, F_A, F_LRY);
+            a.li(R9, weights as i64);
+            a.add(R9, R9, R8);
+            a.fld(F_B, 0, R9);
+            a.fadd(F_B, F_B, F_A);
+            a.fst(F_B, 0, R9);
+            a.addi(R7, R7, 1);
+            a.j("pul_loop");
+            a.bind("pul_done");
+        });
+
+        Program::new(a.assemble().expect("perceptron assembles"), d.build(), 1 << 16)
+            .with_thread(ThreadSpec::at(0))
+    }
+
+    /// Statically parallelized variant (the paper's §4 method applied to
+    /// Perceptron): `k` loader threads each own a fixed `features/k`
+    /// slice; dot products and updates proceed in barrier-separated
+    /// phases (the phase barrier of `rtlib`).
+    fn build_static(&self, k: usize) -> Program {
+        let f = self.data.features;
+        assert!(k >= 1 && f % k == 0, "features must divide over threads");
+        let fk = (f / k) as i64;
+        let m = self.data.samples.len();
+        let mut d = DataBuilder::new();
+        d.label("weights");
+        let weights = d.zeros(f * 8);
+        let flat: Vec<f64> = self.data.samples.iter().flatten().copied().collect();
+        d.label("samples");
+        let samples = d.f64s(&flat);
+        d.label("labels");
+        let labels = d.f64s(&self.data.labels);
+        let dot_cell = d.word(0);
+        let upd_flag = d.word(0); // holds lr*y when an update is due, else 0.0
+        let bar = init_barrier(&mut d, k);
+
+        let my = Reg(20);
+        let (lo, hi) = (Reg(18), Reg(19));
+        let mut a = Asm::new();
+        let l = Labels::new("ps");
+
+        // slice bounds: [my*fk, my*fk + fk)
+        a.li(R5, fk);
+        a.mul(lo, my, R5);
+        a.addi(hi, lo, 0);
+        a.addi(hi, hi, fk);
+        a.fli(F_ZERO, 0.0);
+        a.li(EPOCH, 0);
+        a.bind("epoch_loop");
+        a.li(R5, self.epochs as i64);
+        a.bge(EPOCH, R5, "after_train");
+        a.li(SAMPLE, 0);
+        a.bind("sample_loop");
+        a.li(R5, m as i64);
+        a.bge(SAMPLE, R5, "sample_done");
+        a.li(R5, (f * 8) as i64);
+        a.mul(SBASE, SAMPLE, R5);
+        a.li(R5, samples as i64);
+        a.add(SBASE, SBASE, R5);
+        // phase A: thread 0 clears the accumulator and the update flag
+        emit_barrier_wait(&mut a, &bar, &l);
+        a.bne(my, Reg::ZERO, "cleared");
+        a.li(R5, dot_cell as i64);
+        a.st(Reg::ZERO, 0, R5);
+        a.li(R5, upd_flag as i64);
+        a.st(Reg::ZERO, 0, R5);
+        a.bind("cleared");
+        emit_barrier_wait(&mut a, &bar, &l);
+        // phase B: partial dot over [lo, hi), merged under the cell lock
+        a.fli(F_SUM, 0.0);
+        a.mv(R7, lo);
+        a.bind("dot_loop");
+        a.bge(R7, hi, "dot_done");
+        a.slli(R8, R7, 3);
+        a.li(R9, weights as i64);
+        a.add(R9, R9, R8);
+        a.fld(F_A, 0, R9);
+        a.add(R9, SBASE, R8);
+        a.fld(F_B, 0, R9);
+        a.fmul(F_A, F_A, F_B);
+        a.fadd(F_SUM, F_SUM, F_A);
+        a.addi(R7, R7, 1);
+        a.j("dot_loop");
+        a.bind("dot_done");
+        a.li(R9, dot_cell as i64);
+        a.mlock(R9);
+        a.fld(F_A, 0, R9);
+        a.fadd(F_A, F_A, F_SUM);
+        a.fst(F_A, 0, R9);
+        a.munlock(R9);
+        emit_barrier_wait(&mut a, &bar, &l);
+        // phase C: thread 0 decides whether to update
+        a.bne(my, Reg::ZERO, "decided");
+        a.li(R5, dot_cell as i64);
+        a.fld(F_SUM, 0, R5);
+        a.slli(R5, SAMPLE, 3);
+        a.li(R7, labels as i64);
+        a.add(R5, R5, R7);
+        a.fld(F_Y, 0, R5);
+        a.fli(F_PRED, 1.0);
+        a.fcmp(capsule_isa::instr::FCmpOp::Lt, R7, F_SUM, F_ZERO);
+        a.beq(R7, Reg::ZERO, "have_pred_s");
+        a.fli(F_PRED, -1.0);
+        a.bind("have_pred_s");
+        a.fcmp(capsule_isa::instr::FCmpOp::Eq, R7, F_PRED, F_Y);
+        a.bne(R7, Reg::ZERO, "decided");
+        a.fli(F_A, self.lr);
+        a.fmul(F_A, F_A, F_Y);
+        a.li(R5, upd_flag as i64);
+        a.fst(F_A, 0, R5);
+        a.bind("decided");
+        emit_barrier_wait(&mut a, &bar, &l);
+        // phase D: everyone updates its own slice when flagged
+        a.li(R5, upd_flag as i64);
+        a.fld(F_LRY, 0, R5);
+        a.fcmp(capsule_isa::instr::FCmpOp::Eq, R7, F_LRY, F_ZERO);
+        a.bne(R7, Reg::ZERO, "no_update");
+        a.mv(R7, lo);
+        a.bind("upd_loop");
+        a.bge(R7, hi, "no_update");
+        a.slli(R8, R7, 3);
+        a.add(R9, SBASE, R8);
+        a.fld(F_A, 0, R9);
+        a.fmul(F_A, F_A, F_LRY);
+        a.li(R9, weights as i64);
+        a.add(R9, R9, R8);
+        a.fld(F_B, 0, R9);
+        a.fadd(F_B, F_B, F_A);
+        a.fst(F_B, 0, R9);
+        a.addi(R7, R7, 1);
+        a.j("upd_loop");
+        a.bind("no_update");
+        emit_barrier_wait(&mut a, &bar, &l);
+        a.addi(SAMPLE, SAMPLE, 1);
+        a.j("sample_loop");
+        a.bind("sample_done");
+        a.addi(EPOCH, EPOCH, 1);
+        a.j("epoch_loop");
+        // training done: workers die, thread 0 evaluates sequentially
+        a.bind("after_train");
+        a.bne(my, Reg::ZERO, "park");
+        a.li(EPOCH, 0); // errors
+        a.li(SAMPLE, 0);
+        a.bind("ev_loop");
+        a.li(R5, m as i64);
+        a.bge(SAMPLE, R5, "ev_done");
+        a.li(R5, (f * 8) as i64);
+        a.mul(SBASE, SAMPLE, R5);
+        a.li(R5, samples as i64);
+        a.add(SBASE, SBASE, R5);
+        a.fli(F_SUM, 0.0);
+        a.li(R7, 0);
+        a.bind("ev_dot");
+        a.li(R5, f as i64);
+        a.bge(R7, R5, "ev_pred");
+        a.slli(R8, R7, 3);
+        a.li(R9, weights as i64);
+        a.add(R9, R9, R8);
+        a.fld(F_A, 0, R9);
+        a.add(R9, SBASE, R8);
+        a.fld(F_B, 0, R9);
+        a.fmul(F_A, F_A, F_B);
+        a.fadd(F_SUM, F_SUM, F_A);
+        a.addi(R7, R7, 1);
+        a.j("ev_dot");
+        a.bind("ev_pred");
+        a.slli(R5, SAMPLE, 3);
+        a.li(R7, labels as i64);
+        a.add(R5, R5, R7);
+        a.fld(F_Y, 0, R5);
+        a.fli(F_PRED, 1.0);
+        a.fcmp(capsule_isa::instr::FCmpOp::Lt, R7, F_SUM, F_ZERO);
+        a.beq(R7, Reg::ZERO, "ev_have");
+        a.fli(F_PRED, -1.0);
+        a.bind("ev_have");
+        a.fcmp(capsule_isa::instr::FCmpOp::Eq, R7, F_PRED, F_Y);
+        a.bne(R7, Reg::ZERO, "ev_next");
+        a.addi(EPOCH, EPOCH, 1);
+        a.bind("ev_next");
+        a.addi(SAMPLE, SAMPLE, 1);
+        a.j("ev_loop");
+        a.bind("ev_done");
+        a.out(EPOCH);
+        a.halt();
+        a.bind("park");
+        a.kthr();
+
+        let mut p =
+            Program::new(a.assemble().expect("perceptron static assembles"), d.build(), 1 << 16);
+        for t in 0..k {
+            p.threads.push(ThreadSpec::at(0).with_reg(my, t as i64));
+        }
+        p
+    }
+}
+
+impl Workload for Perceptron {
+    fn name(&self) -> &'static str {
+        "perceptron"
+    }
+
+    fn supports(&self, variant: Variant) -> bool {
+        if let Variant::Static(k) = variant {
+            return k >= 1 && self.data.features % k == 0;
+        }
+        true
+    }
+
+    fn program(&self, variant: Variant) -> Program {
+        match variant {
+            Variant::Sequential => self.build(false),
+            Variant::Component => self.build(true),
+            Variant::Static(k) => self.build_static(k),
+        }
+    }
+
+    fn check(&self, output: &[OutValue]) -> Result<(), String> {
+        let got = ints(output);
+        if got.len() != 1 {
+            return Err(format!("expected one error count, got {got:?}"));
+        }
+        let bound = self.error_bound();
+        if got[0] <= bound {
+            Ok(())
+        } else {
+            Err(format!("perceptron failed to converge: {} errors (bound {bound})", got[0]))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capsule_core::config::{DivisionMode, MachineConfig};
+    use capsule_sim::machine::Machine;
+    use capsule_sim::{Interp, InterpConfig};
+
+    fn small() -> Perceptron {
+        Perceptron::figure7(3, 16, 128, 6)
+    }
+
+    #[test]
+    fn component_converges_on_interp() {
+        let w = small();
+        let p = w.program(Variant::Component);
+        let out = Interp::new(&p, InterpConfig::default()).unwrap().run(500_000_000).unwrap();
+        w.check(&out.output).unwrap();
+    }
+
+    #[test]
+    fn component_converges_on_somt() {
+        let w = small();
+        let p = w.program(Variant::Component);
+        let o = Machine::new(MachineConfig::table1_somt(), &p)
+            .unwrap()
+            .run(1_000_000_000)
+            .unwrap();
+        w.check(&o.output).unwrap();
+        assert!(o.stats.divisions_granted() > 0);
+    }
+
+    #[test]
+    fn sequential_converges_and_never_divides() {
+        let w = small();
+        let p = w.program(Variant::Sequential);
+        let o = Machine::new(MachineConfig::table1_superscalar(), &p)
+            .unwrap()
+            .run(2_000_000_000)
+            .unwrap();
+        w.check(&o.output).unwrap();
+        assert_eq!(o.stats.divisions_requested, 0);
+    }
+
+    #[test]
+    fn throttle_engages_on_tiny_workers() {
+        let w = Perceptron::figure7(4, 12, 512, 4).with_leaf(8);
+        let p = w.program(Variant::Component);
+        let throttled = Machine::new(MachineConfig::table1_somt(), &p)
+            .unwrap()
+            .run(2_000_000_000)
+            .unwrap();
+        let mut greedy = MachineConfig::table1_somt();
+        greedy.division_mode = DivisionMode::Greedy;
+        let unthrottled = Machine::new(greedy, &p).unwrap().run(2_000_000_000).unwrap();
+        w.check(&throttled.output).unwrap();
+        w.check(&unthrottled.output).unwrap();
+        assert!(throttled.stats.divisions_denied_throttled > 0);
+    }
+}
+
+#[cfg(test)]
+mod static_tests {
+    use super::*;
+    use capsule_core::config::MachineConfig;
+    use capsule_sim::machine::Machine;
+
+    #[test]
+    fn static_variant_converges_on_smt() {
+        let w = Perceptron::figure7(3, 16, 128, 6);
+        assert!(w.supports(Variant::Static(8)));
+        let p = w.program(Variant::Static(8));
+        assert_eq!(p.threads.len(), 8);
+        let o = Machine::new(MachineConfig::table1_smt(), &p)
+            .unwrap()
+            .run(5_000_000_000)
+            .unwrap();
+        w.check(&o.output).unwrap();
+        assert_eq!(o.stats.divisions_requested, 0, "static version never probes");
+        assert!(o.stats.lock_acquires > 0, "barriers and dot merges take locks");
+    }
+
+    #[test]
+    fn static_requires_divisible_features() {
+        let w = Perceptron::figure7(3, 8, 100, 2);
+        assert!(!w.supports(Variant::Static(8))); // 100 % 8 != 0
+        assert!(w.supports(Variant::Static(4)));
+    }
+}

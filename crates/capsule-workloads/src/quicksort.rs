@@ -1,0 +1,625 @@
+//! QuickSort (Figures 5 and 6 of the paper).
+//!
+//! The component worker partitions its range, then *probes* the
+//! architecture: a granted `nthr` hands the right half to a freshly
+//! divided worker; a denied probe defers the right half to the worker's
+//! private pooled stack. Pivot quality decides how irregular the division
+//! tree is — exactly the effect Figure 6 visualizes.
+//!
+//! - **Sequential**: the same algorithm with the probe compiled out
+//!   (explicit-stack quicksort).
+//! - **Static**: thread 0 first partitions the array into `k` ranges
+//!   (repeatedly splitting the largest), then `k` loader threads each
+//!   sort one range — a fixed decomposition whose balance depends on the
+//!   pivots, reproducing the static version's variance in Figure 5.
+//!
+//! After the join, the ancestor scans the array and emits
+//! `[sorted_flag, sum]`.
+
+use capsule_core::OutValue;
+use capsule_isa::asm::Asm;
+use capsule_isa::program::{DataBuilder, Program, ThreadSpec};
+use capsule_isa::reg::Reg;
+
+use crate::rt::{
+    emit_join_spin, emit_locked_add, emit_stack_alloc, emit_stack_free, init_runtime, Labels,
+    Runtime,
+};
+use crate::{expect_ints, Variant, Workload};
+
+/// Ranges at or below this length are insertion-sorted.
+pub const LEAF: i64 = 24;
+
+const LO: Reg = Reg::A0;
+const HI: Reg = Reg::A1;
+const CV: Reg = Reg::A2; // staged child lo
+const CP: Reg = Reg::A3; // staged child hi
+const PENDING: Reg = Reg(13);
+const R5: Reg = Reg(5);
+const R6: Reg = Reg(6);
+const R7: Reg = Reg(7);
+const R8: Reg = Reg(8);
+const R9: Reg = Reg(9);
+const R10: Reg = Reg(10);
+const R12: Reg = Reg(12);
+// Subroutine interface registers.
+const SLO: Reg = Reg(14);
+const SHI: Reg = Reg(15);
+const SOUT: Reg = Reg(16);
+const R17: Reg = Reg(17);
+
+/// Addresses of the array image.
+#[derive(Debug, Clone, Copy)]
+pub struct ArrayLayout {
+    /// Element 0 address.
+    pub base: u64,
+    /// Element count.
+    pub n: usize,
+}
+
+/// Lays out the value array under the symbol `arr`.
+pub fn layout_array(d: &mut DataBuilder, values: &[i64]) -> ArrayLayout {
+    d.label("arr");
+    let base = d.words(values);
+    ArrayLayout { base, n: values.len() }
+}
+
+/// How array elements are ordered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeyKind {
+    /// Elements are signed 64-bit values.
+    Value,
+    /// Elements are suffix indices into a byte block; ordering is the
+    /// lexicographic order of the suffixes (the bzip2 analog's
+    /// block-sorting comparator).
+    Suffix {
+        /// Block base address.
+        block: u64,
+        /// Block length in bytes.
+        len: usize,
+    },
+}
+
+/// Emits `flag = (key(x) <= key(y))` into `flag` (1 or 0).
+/// Clobbers `R17`, `Reg(18)`, `Reg(19)`, `Reg(20)` in suffix mode.
+fn emit_cmp_le(a: &mut Asm, kk: KeyKind, l: &Labels, x: Reg, y: Reg, flag: Reg) {
+    match kk {
+        KeyKind::Value => {
+            // flag = !(y < x)
+            a.slt(flag, y, x);
+            a.xori(flag, flag, 1);
+        }
+        KeyKind::Suffix { block, len } => {
+            let (pi, pj, bi, bj) = (R17, Reg(18), Reg(19), Reg(20));
+            let done = l.fresh("cmp_done");
+            let loop_ = l.fresh("cmp_loop");
+            let le = l.fresh("cmp_le");
+            let gt = l.fresh("cmp_gt");
+            a.mv(pi, x);
+            a.mv(pj, y);
+            a.bind(&loop_);
+            a.li(flag, len as i64);
+            a.bge(pi, flag, &le); // suffix x exhausted: x <= y
+            a.bge(pj, flag, &gt); // suffix y exhausted: x > y
+            a.li(flag, block as i64);
+            a.add(bi, flag, pi);
+            a.ldb(bi, 0, bi);
+            a.add(bj, flag, pj);
+            a.ldb(bj, 0, bj);
+            a.blt(bi, bj, &le);
+            a.blt(bj, bi, &gt);
+            a.addi(pi, pi, 1);
+            a.addi(pj, pj, 1);
+            a.j(&loop_);
+            a.bind(&le);
+            a.li(flag, 1);
+            a.j(&done);
+            a.bind(&gt);
+            a.li(flag, 0);
+            a.bind(&done);
+        }
+    }
+}
+
+/// Emits `qs_partition`: Lomuto partition of `[SLO, SHI)` with the last
+/// element as pivot; returns the pivot's final index in `SOUT`.
+/// Clobbers `R5`–`R10` (and `R17`–`Reg(20)` in suffix mode).
+/// Call with `call("qs_partition")`.
+pub(crate) fn emit_partition(a: &mut Asm, arr: &ArrayLayout, kk: KeyKind, l: &Labels) {
+    a.bind("qs_partition");
+    // middle-element pivot: swap arr[(lo+hi)/2] to arr[hi-1] so sorted and
+    // reversed inputs do not degenerate
+    a.add(R5, SLO, SHI);
+    a.srai(R5, R5, 1);
+    a.slli(R5, R5, 3);
+    a.li(R6, arr.base as i64);
+    a.add(R5, R5, R6); // &arr[mid]
+    a.addi(R7, SHI, -1);
+    a.slli(R7, R7, 3);
+    a.add(R7, R7, R6); // &arr[hi-1]
+    a.ld(R8, 0, R5);
+    a.ld(R9, 0, R7);
+    a.st(R9, 0, R5);
+    a.st(R8, 0, R7);
+    // r5 = &arr[hi-1]; r6 = pivot value
+    a.addi(R5, SHI, -1);
+    a.slli(R5, R5, 3);
+    a.li(R6, arr.base as i64);
+    a.add(R5, R5, R6);
+    a.ld(R6, 0, R5); // pivot
+    a.mv(SOUT, SLO); // store index i
+    a.mv(R7, SLO); // scan index k
+    a.bind("qsp_loop");
+    a.addi(R8, SHI, -1);
+    a.bge(R7, R8, "qsp_done");
+    // r8 = arr[k]
+    a.slli(R8, R7, 3);
+    a.li(R9, arr.base as i64);
+    a.add(R8, R8, R9);
+    a.ld(R9, 0, R8);
+    // skip unless key(arr[k]) <= key(pivot)
+    emit_cmp_le(a, kk, l, R9, R6, R12);
+    a.beq(R12, Reg::ZERO, "qsp_next");
+    // swap arr[i], arr[k]
+    a.slli(R10, SOUT, 3);
+    a.li(R12, arr.base as i64);
+    a.add(R10, R10, R12);
+    a.ld(R12, 0, R10);
+    a.st(R9, 0, R10);
+    a.st(R12, 0, R8);
+    a.addi(SOUT, SOUT, 1);
+    a.bind("qsp_next");
+    a.addi(R7, R7, 1);
+    a.j("qsp_loop");
+    a.bind("qsp_done");
+    // swap arr[i], arr[hi-1] (pivot into place)
+    a.slli(R10, SOUT, 3);
+    a.li(R12, arr.base as i64);
+    a.add(R10, R10, R12);
+    a.ld(R9, 0, R10);
+    a.ld(R12, 0, R5);
+    a.st(R12, 0, R10);
+    a.st(R9, 0, R5);
+    a.ret();
+}
+
+/// Emits `qs_insertion`: insertion sort of `[SLO, SHI)`.
+/// Clobbers `R5`–`R10`, `R12`, `R17` (and `Reg(18)`–`Reg(20)` in suffix
+/// mode).
+pub(crate) fn emit_insertion(a: &mut Asm, arr: &ArrayLayout, kk: KeyKind, l: &Labels) {
+    a.bind("qs_insertion");
+    a.addi(R5, SLO, 1); // i
+    a.bind("qsi_outer");
+    a.bge(R5, SHI, "qsi_done");
+    // x = arr[i]
+    a.slli(R6, R5, 3);
+    a.li(R7, arr.base as i64);
+    a.add(R6, R6, R7);
+    a.ld(R8, 0, R6); // x
+    a.addi(R9, R5, -1); // j
+    a.bind("qsi_inner");
+    a.blt(R9, SLO, "qsi_place");
+    a.slli(R10, R9, 3);
+    a.li(R7, arr.base as i64);
+    a.add(R10, R10, R7);
+    a.ld(R6, 0, R10); // arr[j]
+    // place once key(arr[j]) <= key(x)
+    emit_cmp_le(a, kk, l, R6, R8, R12);
+    a.bne(R12, Reg::ZERO, "qsi_place");
+    a.st(R6, 8, R10); // arr[j+1] = arr[j]
+    a.addi(R9, R9, -1);
+    a.j("qsi_inner");
+    a.bind("qsi_place");
+    // arr[j+1] = x
+    a.addi(R10, R9, 1);
+    a.slli(R10, R10, 3);
+    a.li(R7, arr.base as i64);
+    a.add(R10, R10, R7);
+    a.st(R8, 0, R10);
+    a.addi(R5, R5, 1);
+    a.j("qsi_outer");
+    a.bind("qsi_done");
+    a.ret();
+}
+
+/// Emits the sort body. Enter at `{p}_sort` with `LO`/`HI`; exits to
+/// `{p}_finish` (bound by the caller). `allow_divide` compiles the probe
+/// in or out.
+pub fn emit_sort_body(a: &mut Asm, p: &str, arr: &ArrayLayout, rt: &Runtime, allow_divide: bool) {
+    let _ = arr; // geometry is baked into the partition/insertion bodies
+    a.bind(format!("{p}_sort"));
+    a.sub(R5, HI, LO);
+    a.li(R6, LEAF);
+    a.bge(R6, R5, &format!("{p}_leaf"));
+    // partition
+    a.mv(SLO, LO);
+    a.mv(SHI, HI);
+    a.call("qs_partition");
+    // stage the SMALLER half for the child / pending stack (bounds the
+    // pending depth at log2 n even on degenerate pivots); continue with
+    // the larger half
+    a.sub(R5, SOUT, LO); // left size
+    a.sub(R6, HI, SOUT);
+    a.addi(R6, R6, -1); // right size
+    a.bge(R6, R5, &format!("{p}_stage_left"));
+    // right is smaller: child takes [pivot+1, hi); keep [lo, pivot)
+    a.addi(CV, SOUT, 1);
+    a.mv(CP, HI);
+    a.mv(HI, SOUT);
+    a.j(&format!("{p}_staged"));
+    a.bind(format!("{p}_stage_left"));
+    // left is smaller: child takes [lo, pivot); keep [pivot+1, hi)
+    a.mv(CV, LO);
+    a.mv(CP, SOUT);
+    a.addi(LO, SOUT, 1);
+    a.bind(format!("{p}_staged"));
+    if allow_divide {
+        // one token for the child worker, counted before it can exist
+        emit_locked_add(a, rt.tokens, 1);
+        a.nthr(R12, &format!("{p}_child"));
+        a.li(R6, -1);
+        a.bne(R12, R6, &format!("{p}_keep_left"));
+        // denied: no child was born — return its token
+        emit_locked_add(a, rt.tokens, -1);
+    }
+    // denied or never dividing: defer the half to the private stack; the
+    // worker's own token covers its pending work
+    a.push_reg(CV);
+    a.push_reg(CP);
+    a.addi(PENDING, PENDING, 1);
+    a.bind(format!("{p}_keep_left"));
+    a.j(&format!("{p}_sort"));
+    a.bind(format!("{p}_leaf"));
+    a.mv(SLO, LO);
+    a.mv(SHI, HI);
+    a.call("qs_insertion");
+    a.bne(PENDING, Reg::ZERO, &format!("{p}_resume"));
+    // worker exhausted: release its token and finish
+    emit_locked_add(a, rt.tokens, -1);
+    a.j(&format!("{p}_finish"));
+    a.bind(format!("{p}_resume"));
+    a.pop_reg(HI);
+    a.pop_reg(LO);
+    a.addi(PENDING, PENDING, -1);
+    a.j(&format!("{p}_sort"));
+    a.bind(format!("{p}_child"));
+    a.mv(LO, CV);
+    a.mv(HI, CP);
+    a.li(PENDING, 0);
+    let l = Labels::new(format!("{p}_c"));
+    emit_stack_alloc(a, rt, &l);
+    a.j(&format!("{p}_sort"));
+}
+
+/// Emits the post-join verification: `out sorted_flag; out sum; halt`.
+pub fn emit_verify_and_halt(a: &mut Asm, arr: &ArrayLayout) {
+    let (i, sum, sorted, prev, cur, addr) = (R5, R6, R7, R8, R9, R10);
+    a.li(sorted, 1);
+    a.li(sum, 0);
+    a.li(prev, i64::MIN);
+    a.li(i, 0);
+    a.bind("ver_loop");
+    a.li(addr, arr.n as i64);
+    a.bge(i, addr, "ver_done");
+    a.slli(addr, i, 3);
+    a.li(cur, arr.base as i64);
+    a.add(addr, addr, cur);
+    a.ld(cur, 0, addr);
+    a.add(sum, sum, cur);
+    a.bge(cur, prev, "ver_ok");
+    a.li(sorted, 0);
+    a.bind("ver_ok");
+    a.mv(prev, cur);
+    a.addi(i, i, 1);
+    a.j("ver_loop");
+    a.bind("ver_done");
+    a.out(sorted);
+    a.out(sum);
+    a.halt();
+}
+
+/// The QuickSort workload over one list.
+#[derive(Debug, Clone)]
+pub struct QuickSort {
+    values: Vec<i64>,
+    /// Componentized-section mark id.
+    pub section: u16,
+}
+
+impl QuickSort {
+    /// Builds the workload for `values`.
+    pub fn new(values: Vec<i64>) -> Self {
+        QuickSort { values, section: 1 }
+    }
+
+    /// The input values.
+    pub fn values(&self) -> &[i64] {
+        &self.values
+    }
+
+    /// Host-reference output: `[1, sum]`.
+    pub fn expected(&self) -> Vec<i64> {
+        vec![1, self.values.iter().sum()]
+    }
+
+    fn common_tail(&self, a: &mut Asm, rt: &Runtime, arr: &ArrayLayout, l: &Labels) {
+        a.bind("w_finish");
+        a.tid(R5);
+        a.bne(R5, Reg::ZERO, "w_die");
+        emit_join_spin(a, rt, l);
+        a.mark_end(self.section);
+        emit_verify_and_halt(a, arr);
+        a.bind("w_die");
+        emit_stack_free(a, rt);
+        a.kthr();
+    }
+
+    fn component_program(&self) -> Program {
+        let mut d = DataBuilder::new();
+        let arr = layout_array(&mut d, &self.values);
+        let rt = init_runtime(&mut d, 1, 32, 8192);
+        let mut a = Asm::new();
+        let l = Labels::new("qs");
+
+        a.mark_start(self.section);
+        a.li(PENDING, 0);
+        a.li(LO, 0);
+        a.li(HI, arr.n as i64);
+        emit_stack_alloc(&mut a, &rt, &l);
+        a.j("w_sort");
+        self.common_tail(&mut a, &rt, &arr, &l);
+        emit_sort_body(&mut a, "w", &arr, &rt, true);
+        emit_partition(&mut a, &arr, KeyKind::Value, &l);
+        emit_insertion(&mut a, &arr, KeyKind::Value, &l);
+
+        Program::new(a.assemble().expect("quicksort component assembles"), d.build(), 1 << 16)
+            .with_thread(ThreadSpec::at(0))
+    }
+
+    fn sequential_program(&self) -> Program {
+        let mut d = DataBuilder::new();
+        let arr = layout_array(&mut d, &self.values);
+        let rt = init_runtime(&mut d, 1, 2, 8192);
+        let mut a = Asm::new();
+        let l = Labels::new("qs");
+
+        a.li(PENDING, 0);
+        a.li(LO, 0);
+        a.li(HI, arr.n as i64);
+        emit_stack_alloc(&mut a, &rt, &l);
+        a.j("w_sort");
+        self.common_tail(&mut a, &rt, &arr, &l);
+        emit_sort_body(&mut a, "w", &arr, &rt, false);
+        emit_partition(&mut a, &arr, KeyKind::Value, &l);
+        emit_insertion(&mut a, &arr, KeyKind::Value, &l);
+
+        Program::new(a.assemble().expect("quicksort sequential assembles"), d.build(), 1 << 16)
+            .with_thread(ThreadSpec::at(0))
+    }
+
+    /// Static program: thread 0 splits the array into `k` ranges by
+    /// repeatedly partitioning the largest one, then all `k` threads sort
+    /// their assigned range.
+    fn static_program(&self, k: usize) -> Program {
+        assert!(k >= 1);
+        let mut d = DataBuilder::new();
+        let arr = layout_array(&mut d, &self.values);
+        let rt = init_runtime(&mut d, k as i64, k + 2, 8192);
+        // Range table: k (lo, hi) pairs + a published count + a go flag.
+        d.label("ranges");
+        let ranges = d.zeros(k * 16);
+        let go = d.word(0);
+        let mut a = Asm::new();
+        let l = Labels::new("qss");
+        let my = Reg(21);
+        let (cnt, best, bi, tmp, addr, len2) = (Reg(18), Reg(19), Reg(20), R9, R10, R17);
+
+        // Everyone grabs a pooled stack first; thread 0 needs one for the
+        // split phase (qs_partition uses the call/push discipline).
+        a.li(PENDING, 0);
+        emit_stack_alloc(&mut a, &rt, &l);
+        a.bne(my, Reg::ZERO, "wait_go");
+        // --- thread 0: build the range table ---
+        // ranges[0] = (0, n); cnt = 1
+        a.li(addr, ranges as i64);
+        a.st(Reg::ZERO, 0, addr);
+        a.li(tmp, arr.n as i64);
+        a.st(tmp, 8, addr);
+        a.li(cnt, 1);
+        a.bind("split_loop");
+        a.li(tmp, k as i64);
+        a.bge(cnt, tmp, "publish");
+        // find the longest range
+        a.li(best, -1);
+        a.li(bi, -1);
+        a.li(R5, 0); // index
+        a.bind("find_loop");
+        a.bge(R5, cnt, "found");
+        a.slli(addr, R5, 4);
+        a.li(tmp, ranges as i64);
+        a.add(addr, addr, tmp);
+        a.ld(R6, 0, addr); // lo
+        a.ld(R7, 8, addr); // hi
+        a.sub(len2, R7, R6);
+        a.bge(best, len2, "find_next");
+        a.mv(best, len2);
+        a.mv(bi, R5);
+        a.bind("find_next");
+        a.addi(R5, R5, 1);
+        a.j("find_loop");
+        a.bind("found");
+        // partition the longest range (if it is still splittable)
+        a.slli(addr, bi, 4);
+        a.li(tmp, ranges as i64);
+        a.add(addr, addr, tmp);
+        a.ld(SLO, 0, addr);
+        a.ld(SHI, 8, addr);
+        a.sub(len2, SHI, SLO);
+        a.li(tmp, 3);
+        a.blt(len2, tmp, "publish"); // nothing splittable left
+        a.push_reg(addr);
+        a.call("qs_partition");
+        a.pop_reg(addr);
+        // ranges[bi] = (lo, pivot); ranges[cnt] = (pivot+1, hi); cnt += 1
+        a.st(SOUT, 8, addr);
+        a.slli(addr, cnt, 4);
+        a.li(tmp, ranges as i64);
+        a.add(addr, addr, tmp);
+        a.addi(R5, SOUT, 1);
+        a.st(R5, 0, addr);
+        a.st(SHI, 8, addr);
+        a.addi(cnt, cnt, 1);
+        a.j("split_loop");
+        a.bind("publish");
+        // unfilled entries stay (0,0): empty ranges
+        a.li(addr, go as i64);
+        a.li(tmp, 1);
+        a.st(tmp, 0, addr);
+        a.j("sort_mine");
+        // --- all threads: wait for the table, then sort range `my` ---
+        a.bind("wait_go");
+        a.li(addr, go as i64);
+        a.bind("spin_go");
+        a.ld(tmp, 0, addr);
+        a.beq(tmp, Reg::ZERO, "spin_go");
+        a.bind("sort_mine");
+        a.slli(addr, my, 4);
+        a.li(tmp, ranges as i64);
+        a.add(addr, addr, tmp);
+        a.ld(LO, 0, addr);
+        a.ld(HI, 8, addr);
+        a.bge(LO, HI, "w_empty");
+        a.j("w_sort");
+        a.bind("w_empty");
+        emit_locked_add(&mut a, rt.tokens, -1);
+        a.j("w_finish");
+        self.common_tail(&mut a, &rt, &arr, &l);
+        emit_sort_body(&mut a, "w", &arr, &rt, false);
+        emit_partition(&mut a, &arr, KeyKind::Value, &l);
+        emit_insertion(&mut a, &arr, KeyKind::Value, &l);
+
+        let mut p =
+            Program::new(a.assemble().expect("quicksort static assembles"), d.build(), 1 << 16);
+        for t in 0..k {
+            p.threads.push(ThreadSpec::at(0).with_reg(my, t as i64));
+        }
+        p
+    }
+}
+
+impl Workload for QuickSort {
+    fn name(&self) -> &'static str {
+        "quicksort"
+    }
+
+    fn supports(&self, _variant: Variant) -> bool {
+        true
+    }
+
+    fn program(&self, variant: Variant) -> Program {
+        match variant {
+            Variant::Sequential => self.sequential_program(),
+            Variant::Static(k) => self.static_program(k),
+            Variant::Component => self.component_program(),
+        }
+    }
+
+    fn check(&self, output: &[OutValue]) -> Result<(), String> {
+        expect_ints(output, &self.expected())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::{random_list, ListShape};
+    use capsule_core::config::MachineConfig;
+    use capsule_sim::machine::Machine;
+    use capsule_sim::{Interp, InterpConfig};
+
+    fn list(n: usize, shape: ListShape) -> QuickSort {
+        QuickSort::new(random_list(99, n, shape))
+    }
+
+    #[test]
+    fn component_sorts_on_interp_and_memory_is_sorted() {
+        let w = list(500, ListShape::Uniform);
+        let p = w.program(Variant::Component);
+        let mut i = Interp::new(&p, InterpConfig::default()).unwrap();
+        let out = i.run(100_000_000).unwrap();
+        w.check(&out.output).unwrap();
+        // Read back the whole array: must equal the host-sorted input.
+        let base = p.symbol("arr");
+        let mut expected = w.values().to_vec();
+        expected.sort_unstable();
+        for (k, &e) in expected.iter().enumerate() {
+            assert_eq!(i.memory().read_i64(base + 8 * k as u64).unwrap(), e, "arr[{k}]");
+        }
+    }
+
+    #[test]
+    fn component_sorts_every_shape_on_somt() {
+        for shape in ListShape::ALL {
+            let w = list(300, shape);
+            let p = w.program(Variant::Component);
+            let o = Machine::new(MachineConfig::table1_somt(), &p)
+                .unwrap()
+                .run(500_000_000)
+                .unwrap();
+            w.check(&o.output).unwrap_or_else(|e| panic!("{shape:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn sequential_sorts_on_superscalar() {
+        let w = list(400, ListShape::Uniform);
+        let p = w.program(Variant::Sequential);
+        let o = Machine::new(MachineConfig::table1_superscalar(), &p)
+            .unwrap()
+            .run(500_000_000)
+            .unwrap();
+        w.check(&o.output).unwrap();
+        assert_eq!(o.stats.divisions_requested, 0);
+    }
+
+    #[test]
+    fn static_sorts_on_smt() {
+        let w = list(600, ListShape::Uniform);
+        let p = w.program(Variant::Static(8));
+        assert_eq!(p.threads.len(), 8);
+        let o = Machine::new(MachineConfig::table1_smt(), &p)
+            .unwrap()
+            .run(500_000_000)
+            .unwrap();
+        w.check(&o.output).unwrap();
+    }
+
+    #[test]
+    fn component_beats_sequential() {
+        let w = list(1500, ListShape::Uniform);
+        let comp = Machine::new(MachineConfig::table1_somt(), &w.program(Variant::Component))
+            .unwrap()
+            .run(1_000_000_000)
+            .unwrap();
+        let seq =
+            Machine::new(MachineConfig::table1_superscalar(), &w.program(Variant::Sequential))
+                .unwrap()
+                .run(1_000_000_000)
+                .unwrap();
+        w.check(&comp.output).unwrap();
+        w.check(&seq.output).unwrap();
+        let speedup = seq.cycles() as f64 / comp.cycles() as f64;
+        assert!(speedup > 1.3, "speedup {speedup:.2}");
+    }
+
+    #[test]
+    fn division_tree_is_irregular_like_figure6() {
+        let w = list(2000, ListShape::Uniform);
+        let o = Machine::new(MachineConfig::table1_somt(), &w.program(Variant::Component))
+            .unwrap()
+            .run(1_000_000_000)
+            .unwrap();
+        assert!(o.tree.len() > 4, "expected several divisions");
+        assert!(o.tree.max_depth() >= 2, "division genealogy should nest");
+    }
+}

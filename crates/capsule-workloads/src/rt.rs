@@ -1,0 +1,160 @@
+//! Re-export of the component runtime fragments
+//! ([`capsule_isa::rtlib`]): token-counter join, pooled worker stacks,
+//! phase barrier, and the generic divide-in-half range worker. They live
+//! in the ISA crate (the toolchain links them into post-processed
+//! programs, paper §3.2); the semantic tests below exercise them on the
+//! reference interpreter, which the ISA crate cannot depend on.
+
+pub use capsule_isa::rtlib::*;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capsule_isa::asm::Asm;
+    use capsule_isa::program::{DataBuilder, Program, ThreadSpec};
+    use capsule_isa::reg::Reg;
+    use capsule_sim::{Interp, InterpConfig};
+
+    #[test]
+    fn labels_are_unique() {
+        let l = Labels::new("x");
+        assert_ne!(l.fresh("a"), l.fresh("a"));
+        assert!(l.fresh("loop").starts_with("x_loop_"));
+    }
+
+    #[test]
+    fn runtime_layout_is_disjoint() {
+        let mut d = DataBuilder::new();
+        let rt = init_runtime(&mut d, 1, 4, 256);
+        assert!(rt.tokens < rt.pool_head);
+        assert!(rt.pool_head < rt.pool_next);
+        assert!(rt.pool_next < rt.pool_base);
+        assert_eq!(rt.pool_slots, 4);
+    }
+
+    /// Run a tiny program through the interpreter to validate the emitted
+    /// fragments semantically.
+    fn run(
+        f: impl FnOnce(&mut Asm, &mut DataBuilder) -> Vec<ThreadSpec>,
+        max_workers: usize,
+    ) -> Vec<i64> {
+        let mut a = Asm::new();
+        let mut d = DataBuilder::new();
+        let threads = f(&mut a, &mut d);
+        let mut p = Program::new(a.assemble().unwrap(), d.build(), 1 << 18);
+        p.threads = threads;
+        let mut i =
+            Interp::new(&p, InterpConfig { max_workers, allow_division: true }).unwrap();
+        let out = i.run(10_000_000).unwrap();
+        out.output.iter().filter_map(|v| v.as_int()).collect()
+    }
+
+    #[test]
+    fn locked_add_and_join() {
+        let out = run(
+            |a, d| {
+                let rt = init_runtime(d, 1, 2, 256);
+                let l = Labels::new("t");
+                emit_locked_add(a, rt.tokens, 5);
+                emit_locked_add(a, rt.tokens, -6);
+                emit_join_spin(a, &rt, &l); // 0 immediately
+                a.li(Reg(1), 77);
+                a.out(Reg(1));
+                a.halt();
+                vec![ThreadSpec::at(0)]
+            },
+            4,
+        );
+        assert_eq!(out, vec![77]);
+    }
+
+    #[test]
+    fn stack_pool_alloc_free_roundtrip() {
+        let out = run(
+            |a, d| {
+                let rt = init_runtime(d, 1, 2, 256);
+                let l = Labels::new("t");
+                emit_stack_alloc(a, &rt, &l);
+                a.out(STACK_ID);
+                // push/pop through the allocated stack
+                a.li(Reg(1), 41);
+                emit_push(a, Reg(1));
+                a.li(Reg(1), 0);
+                emit_pop(a, Reg(2));
+                a.addi(Reg(2), Reg(2), 1);
+                a.out(Reg(2));
+                emit_stack_free(a, &rt);
+                // allocate again: same slot comes back (LIFO free list)
+                emit_stack_alloc(a, &rt, &l);
+                a.out(STACK_ID);
+                a.halt();
+                vec![ThreadSpec::at(0)]
+            },
+            4,
+        );
+        assert_eq!(out, vec![0, 42, 0]);
+    }
+
+    #[test]
+    fn distinct_workers_get_distinct_stacks() {
+        let out = run(
+            |a, d| {
+                let rt = init_runtime(d, 2, 4, 256);
+                let l = Labels::new("t");
+                let sum = d.word(0);
+                // two loader threads allocate a stack each and write its id
+                // into a locked accumulator (ids 0 and 1 in some order).
+                emit_stack_alloc(a, &rt, &l);
+                a.li(Reg(1), sum as i64);
+                a.mlock(Reg(1));
+                a.ld(Reg(2), 0, Reg(1));
+                a.slli(Reg(3), STACK_ID, 4);
+                a.addi(Reg(3), Reg(3), 1); // encode presence
+                a.add(Reg(2), Reg(2), Reg(3));
+                a.st(Reg(2), 0, Reg(1));
+                a.munlock(Reg(1));
+                emit_locked_add(a, rt.tokens, -1);
+                a.tid(Reg(4));
+                a.bne(Reg(4), Reg::ZERO, "park");
+                emit_join_spin(a, &rt, &l);
+                a.li(Reg(1), sum as i64);
+                a.ld(Reg(2), 0, Reg(1));
+                a.out(Reg(2));
+                a.halt();
+                a.bind("park");
+                a.kthr();
+                vec![ThreadSpec::at(0), ThreadSpec::at(0)]
+            },
+            4,
+        );
+        // ids {0,1}: encoded contributions 1 and 17 in some order = 18.
+        assert_eq!(out, vec![18]);
+    }
+
+    #[test]
+    fn barrier_releases_all_parties() {
+        let out = run(
+            |a, d| {
+                let b = init_barrier(d, 2);
+                let rt = init_runtime(d, 2, 2, 256);
+                let l = Labels::new("t");
+                let cell = d.word(0);
+                // Phase 1: both threads add 1; barrier; thread 0 reads.
+                emit_locked_add(a, cell, 1);
+                emit_barrier_wait(a, &b, &l);
+                a.tid(Reg(1));
+                a.bne(Reg(1), Reg::ZERO, "park");
+                a.li(Reg(2), cell as i64);
+                a.ld(Reg(3), 0, Reg(2));
+                a.out(Reg(3)); // must be 2: barrier ordered the adds
+                a.halt();
+                a.bind("park");
+                a.kthr();
+                let _ = rt;
+                vec![ThreadSpec::at(0), ThreadSpec::at(0)]
+            },
+            4,
+        );
+        assert_eq!(out, vec![2]);
+    }
+}

@@ -1,0 +1,248 @@
+//! 256.bzip2 analog: block-sorting compression's string sort.
+//!
+//! Paper §5: *"In 256.bzip2, a block-sorting compression algorithm, the
+//! component targets the string sorting process."* The kernel here is a
+//! component quicksort over the suffix array of a text block with a
+//! lexicographic suffix comparator — the heart of the Burrows–Wheeler
+//! block sort. Serial phases around it (run-length counting before, a
+//! BWT-style last-column checksum after) stand in for the ~80 % of bzip2
+//! the paper leaves untouched (Table 2 reports 20 % componentized).
+
+use capsule_core::OutValue;
+use capsule_isa::asm::Asm;
+use capsule_isa::program::{DataBuilder, Program, ThreadSpec};
+use capsule_isa::reg::Reg;
+
+use crate::datasets::suffix_sort_reference;
+use crate::quicksort::{
+    emit_insertion, emit_partition, emit_sort_body, layout_array, ArrayLayout, KeyKind,
+};
+use crate::rt::{emit_join_spin, emit_stack_alloc, emit_stack_free, init_runtime, Labels};
+use crate::spec::KERNEL_SECTION;
+use crate::{expect_ints, Variant, Workload};
+
+const PENDING: Reg = Reg(13);
+const ACC: Reg = Reg(21); // serial-phase accumulator (walk-safe)
+const R5: Reg = Reg(5);
+const R6: Reg = Reg(6);
+const R7: Reg = Reg(7);
+const R8: Reg = Reg(8);
+const R9: Reg = Reg(9);
+
+/// The bzip2 analog over one text block.
+#[derive(Debug, Clone)]
+pub struct Bzip2 {
+    block: Vec<u8>,
+    /// Serial passes before/after the sort (sizes the non-kernel share).
+    pub serial_passes: usize,
+}
+
+impl Bzip2 {
+    /// Builds the analog for `block`.
+    pub fn new(block: Vec<u8>, serial_passes: usize) -> Self {
+        assert!(!block.is_empty());
+        Bzip2 { block, serial_passes }
+    }
+
+    /// Default evaluation instance over repetitive text.
+    pub fn standard(seed: u64, n: usize) -> Self {
+        Bzip2::new(crate::datasets::lzw_text(seed, n, 16), 18)
+    }
+
+    /// The block being sorted.
+    pub fn block(&self) -> &[u8] {
+        &self.block
+    }
+
+    /// Host-reference outputs: `[rle_acc, sa_checksum]`.
+    pub fn expected(&self) -> Vec<i64> {
+        let n = self.block.len() as i64;
+        // RLE pass accumulator (one pass), repeated serial_passes*2 times.
+        let mut acc = 0i64;
+        for _ in 0..self.serial_passes * 2 {
+            let mut prev = -1i64;
+            for &b in &self.block {
+                if b as i64 != prev {
+                    acc = acc.wrapping_add(b as i64 + 1);
+                    prev = b as i64;
+                }
+                acc = acc.wrapping_mul(3).wrapping_add(1) % 1_000_003;
+            }
+        }
+        let sa = suffix_sort_reference(&self.block);
+        let mut ck = 0i64;
+        for (i, &s) in sa.iter().enumerate() {
+            // BWT last column: block[(s + n - 1) % n]
+            let last = self.block[((s + n - 1) % n) as usize] as i64;
+            ck = ck.wrapping_add((i as i64 + 1).wrapping_mul(s + 1)).wrapping_add(last);
+        }
+        vec![acc, ck]
+    }
+
+    fn emit_serial_pass(&self, a: &mut Asm, block: u64, l: &Labels) {
+        let lp = l.fresh("rle");
+        let skip = l.fresh("rle_skip");
+        let n = self.block.len() as i64;
+        a.li(R5, 0); // i
+        a.li(R6, -1); // prev
+        a.bind(&lp);
+        a.li(R7, block as i64);
+        a.add(R7, R7, R5);
+        a.ldb(R8, 0, R7);
+        a.beq(R8, R6, &skip);
+        a.addi(R9, R8, 1);
+        a.add(ACC, ACC, R9);
+        a.mv(R6, R8);
+        a.bind(&skip);
+        a.muli(ACC, ACC, 3);
+        a.addi(ACC, ACC, 1);
+        a.remi(ACC, ACC, 1_000_003);
+        a.addi(R5, R5, 1);
+        a.li(R7, n);
+        a.blt(R5, R7, &lp);
+    }
+
+    fn build(&self, allow_divide: bool) -> Program {
+        let n = self.block.len();
+        let mut d = DataBuilder::new();
+        d.label("block");
+        let block = d.raw(&self.block);
+        d.align(8);
+        let sa_init: Vec<i64> = (0..n as i64).collect();
+        let arr: ArrayLayout = layout_array(&mut d, &sa_init);
+        let rt = init_runtime(&mut d, 1, 32, 8192);
+        let kk = KeyKind::Suffix { block, len: n };
+
+        let mut a = Asm::new();
+        let l = Labels::new("bz");
+
+        emit_stack_alloc(&mut a, &rt, &l);
+        a.li(ACC, 0);
+        for _ in 0..self.serial_passes {
+            self.emit_serial_pass(&mut a, block, &l);
+        }
+        // ---- componentized kernel: suffix quicksort ----
+        a.mark_start(KERNEL_SECTION);
+        a.li(PENDING, 0);
+        a.li(Reg::A0, 0);
+        a.li(Reg::A1, n as i64);
+        a.j("w_sort");
+        a.bind("w_finish");
+        a.tid(R5);
+        a.bne(R5, Reg::ZERO, "w_die");
+        emit_join_spin(&mut a, &rt, &l);
+        a.mark_end(KERNEL_SECTION);
+        // ---- serial post: RLE passes + BWT-checksum ----
+        for _ in 0..self.serial_passes {
+            self.emit_serial_pass(&mut a, block, &l);
+        }
+        a.out(ACC);
+        let (i, ck, s, t, u) = (R5, R6, R7, R8, R9);
+        a.li(i, 0);
+        a.li(ck, 0);
+        a.bind("ck_loop");
+        a.li(t, n as i64);
+        a.bge(i, t, "ck_done");
+        a.slli(t, i, 3);
+        a.li(u, arr.base as i64);
+        a.add(t, t, u);
+        a.ld(s, 0, t); // sa[i]
+        // last = block[(s + n - 1) % n]
+        a.addi(t, s, n as i64 - 1);
+        a.remi(t, t, n as i64);
+        a.li(u, block as i64);
+        a.add(t, t, u);
+        a.ldb(t, 0, t);
+        a.addi(u, i, 1);
+        a.addi(s, s, 1);
+        a.mul(u, u, s);
+        a.add(ck, ck, u);
+        a.add(ck, ck, t);
+        a.addi(i, i, 1);
+        a.j("ck_loop");
+        a.bind("ck_done");
+        a.out(ck);
+        a.halt();
+        a.bind("w_die");
+        emit_stack_free(&mut a, &rt);
+        a.kthr();
+        emit_sort_body(&mut a, "w", &arr, &rt, allow_divide);
+        emit_partition(&mut a, &arr, kk, &l);
+        emit_insertion(&mut a, &arr, kk, &l);
+
+        Program::new(a.assemble().expect("bzip2 assembles"), d.build(), 1 << 17)
+            .with_thread(ThreadSpec::at(0))
+    }
+}
+
+impl Workload for Bzip2 {
+    fn name(&self) -> &'static str {
+        "bzip2"
+    }
+
+    fn supports(&self, variant: Variant) -> bool {
+        !matches!(variant, Variant::Static(_))
+    }
+
+    fn program(&self, variant: Variant) -> Program {
+        match variant {
+            Variant::Sequential => self.build(false),
+            Variant::Component => self.build(true),
+            Variant::Static(_) => panic!("bzip2 has no static variant"),
+        }
+    }
+
+    fn check(&self, output: &[OutValue]) -> Result<(), String> {
+        expect_ints(output, &self.expected())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capsule_core::config::MachineConfig;
+    use capsule_sim::machine::Machine;
+    use capsule_sim::{Interp, InterpConfig};
+
+    fn small() -> Bzip2 {
+        Bzip2::new(crate::datasets::lzw_text(21, 160, 6), 2)
+    }
+
+    #[test]
+    fn component_suffix_sort_on_interp() {
+        let w = small();
+        let p = w.program(Variant::Component);
+        let mut i = Interp::new(&p, InterpConfig::default()).unwrap();
+        let out = i.run(1_000_000_000).unwrap();
+        w.check(&out.output).unwrap();
+        // Stronger: the suffix array in memory equals the host reference.
+        let base = p.symbol("arr");
+        let expected = suffix_sort_reference(w.block());
+        for (k, &e) in expected.iter().enumerate() {
+            assert_eq!(i.memory().read_i64(base + 8 * k as u64).unwrap(), e, "sa[{k}]");
+        }
+    }
+
+    #[test]
+    fn component_on_somt() {
+        let w = small();
+        let p = w.program(Variant::Component);
+        let o = Machine::new(MachineConfig::table1_somt(), &p)
+            .unwrap()
+            .run(2_000_000_000)
+            .unwrap();
+        w.check(&o.output).unwrap();
+        assert!(o.stats.divisions_requested > 0);
+    }
+
+    #[test]
+    fn sequential_matches() {
+        let w = small();
+        let p = w.program(Variant::Sequential);
+        let o = Machine::new(MachineConfig::table1_superscalar(), &p)
+            .unwrap()
+            .run(2_000_000_000)
+            .unwrap();
+        w.check(&o.output).unwrap();
+    }
+}

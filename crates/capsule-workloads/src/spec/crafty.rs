@@ -1,0 +1,454 @@
+//! 186.crafty analog: game-tree search driven by a software thread pool.
+//!
+//! Paper §5: the crafty component version is derived from an existing
+//! pthread-based parallel implementation that *"maintains a pool of
+//! threads in active wait and, in some sense, manages thread contexts by
+//! software, and mostly inhibits dynamic component division"* — and the
+//! pool overhead makes a 4-context machine (2.3×) beat an 8-context one
+//! (1.7×).
+//!
+//! The analog searches a random game tree two-ply style: every root child
+//! defines a task (evaluate `cost[child] + min` leaf cost of its subtree);
+//! the final answer is the maximum over tasks. Tasks are distributed
+//! through a lock-protected software work queue served by `P` loader
+//! threads (the pool). The component variant additionally probes `nthr`
+//! at every interior subtree node — probes that mostly fail while the
+//! pool occupies the contexts, exactly the paper's observation.
+
+use capsule_core::OutValue;
+use capsule_isa::asm::Asm;
+use capsule_isa::program::{DataBuilder, Program, ThreadSpec};
+use capsule_isa::reg::Reg;
+
+use crate::datasets::Tree;
+use crate::rt::{
+    emit_join_spin, emit_locked_add, emit_stack_alloc, emit_stack_free, init_runtime, Labels,
+};
+use crate::spec::KERNEL_SECTION;
+use crate::{expect_ints, Variant, Workload};
+
+/// "Infinity" for subtree minima.
+const BIG: i64 = 1 << 60;
+
+const PENDING: Reg = Reg(13);
+const NODE: Reg = Reg::A0;
+const ACCC: Reg = Reg::A1; // accumulated path cost
+const CV: Reg = Reg::A2; // staged child node
+const CP: Reg = Reg::A3; // staged child path cost
+const TASK: Reg = Reg(22); // current task id (inherited by divided children)
+const LMIN: Reg = Reg(21); // worker-local minimum
+const R5: Reg = Reg(5);
+const R6: Reg = Reg(6);
+const R7: Reg = Reg(7);
+const R8: Reg = Reg(8);
+const R9: Reg = Reg(9);
+const R10: Reg = Reg(10);
+const R12: Reg = Reg(12);
+
+/// The crafty analog.
+#[derive(Debug, Clone)]
+pub struct Crafty {
+    tree: Tree,
+    /// Software pool size (the pthread count of the original).
+    pub pool_threads: usize,
+    /// Tasks published per wave: the pool consumes the search in waves
+    /// (like crafty's per-ply splits) and idle threads *actively wait*
+    /// between waves — the software overhead the paper blames for the
+    /// 4-context > 8-context anomaly.
+    pub wave_size: usize,
+}
+
+impl Crafty {
+    /// Builds the analog; the tree's root children become the task list.
+    pub fn new(tree: Tree, pool_threads: usize) -> Self {
+        assert!(pool_threads >= 1);
+        assert!(!tree.children[0].is_empty(), "root must have children");
+        Crafty { tree, pool_threads, wave_size: 6 }
+    }
+
+    /// Overrides the wave size (builder style).
+    pub fn with_wave(mut self, wave_size: usize) -> Self {
+        assert!(wave_size >= 1);
+        self.wave_size = wave_size;
+        self
+    }
+
+    /// Default evaluation instance: a wide root (24 tasks, consumed in
+    /// waves) over uneven subtrees.
+    pub fn standard(seed: u64, pool_threads: usize) -> Self {
+        let subs: Vec<(i64, Tree)> = (0..24)
+            .map(|i| {
+                let edge = (i * 13) % 50 + 1;
+                (edge, Tree::random(seed * 100 + i as u64, 7, 2, 3, 160, 60))
+            })
+            .collect();
+        Crafty::new(Tree::graft(subs), pool_threads)
+    }
+
+    /// Host-reference value: max over root children of
+    /// `cost[c] + min leaf cost below c`.
+    pub fn expected_value(&self) -> i64 {
+        fn min_below(t: &Tree, u: usize, acc: i64) -> i64 {
+            if t.children[u].is_empty() {
+                return acc;
+            }
+            t.children[u]
+                .iter()
+                .map(|&c| min_below(t, c as usize, acc + t.cost[c as usize]))
+                .min()
+                .expect("non-empty")
+        }
+        self.tree.children[0]
+            .iter()
+            .map(|&c| min_below(&self.tree, c as usize, self.tree.cost[c as usize]))
+            .max()
+            .expect("root has children")
+    }
+
+    /// The game tree.
+    pub fn tree(&self) -> &Tree {
+        &self.tree
+    }
+
+    fn build(&self, pool: usize, allow_divide: bool) -> Program {
+        let t = &self.tree;
+        let n = t.len();
+        let ntasks = t.children[0].len();
+        let mut d = DataBuilder::new();
+        // Tree CSR: idx, child array, cost array.
+        let mut idx = Vec::with_capacity(n + 1);
+        let mut childs = Vec::new();
+        let mut acc = 0i64;
+        for u in 0..n {
+            idx.push(acc);
+            for &c in &t.children[u] {
+                childs.push(c as i64);
+                acc += 1;
+            }
+        }
+        idx.push(acc);
+        d.label("idx");
+        let idx_a = d.words(&idx);
+        d.label("childs");
+        let childs_a = d.words(&childs);
+        d.label("cost");
+        let cost_a = d.words(&t.cost);
+        // Task list = root children; per-task minima; queue head.
+        let roots: Vec<i64> = t.children[0].iter().map(|&c| c as i64).collect();
+        d.label("tasks");
+        let tasks_a = d.words(&roots);
+        d.label("task_min");
+        let task_min = d.words(&vec![BIG; ntasks]);
+        let qhead = d.word(0);
+        let wave = self.wave_size.min(ntasks);
+        let published = d.word(wave as i64);
+        let done_c = d.word(0);
+        let finished = d.word(0);
+        let rt = init_runtime(&mut d, pool as i64, pool + 26, 4096);
+
+        let mut a = Asm::new();
+        let l = Labels::new("cr");
+
+        // ---- pool thread entry ----
+        a.mark_start(KERNEL_SECTION);
+        emit_stack_alloc(&mut a, &rt, &l);
+        a.bind("task_loop");
+        // test-and-test-and-set: peek without the lock first (the
+        // pthread-style busy wait keeps the thread fetching and issuing,
+        // polluting the shared pipeline — the pool's software overhead)
+        a.li(R5, qhead as i64);
+        a.ld(TASK, 0, R5);
+        a.li(R6, published as i64);
+        a.ld(R7, 0, R6);
+        a.blt(TASK, R7, "try_take");
+        // wave exhausted: ACTIVE WAIT on plain loads
+        a.tid(R6);
+        a.bne(R6, Reg::ZERO, "check_finished");
+        // thread 0 doubles as the coordinator: publish the next wave once
+        // every task of the current one has completed
+        a.li(R6, done_c as i64);
+        a.ld(R7, 0, R6);
+        a.li(R6, published as i64);
+        a.ld(R8, 0, R6);
+        a.bne(R7, R8, "check_finished");
+        a.li(R6, ntasks as i64);
+        a.bge(R8, R6, "set_finished");
+        a.addi(R8, R8, wave as i64);
+        a.li(R6, ntasks as i64);
+        a.bge(R6, R8, "store_pub");
+        a.mv(R8, R6);
+        a.bind("store_pub");
+        a.li(R6, published as i64);
+        a.st(R8, 0, R6);
+        a.j("task_loop");
+        a.bind("set_finished");
+        a.li(R6, finished as i64);
+        a.li(R7, 1);
+        a.st(R7, 0, R6);
+        a.bind("check_finished");
+        a.li(R6, finished as i64);
+        a.ld(R7, 0, R6);
+        a.beq(R7, Reg::ZERO, "task_loop");
+        a.j("pool_done");
+        a.bind("try_take");
+        // confirm under the lock
+        a.li(R5, qhead as i64);
+        a.mlock(R5);
+        a.ld(TASK, 0, R5);
+        a.li(R6, published as i64);
+        a.ld(R7, 0, R6);
+        a.blt(TASK, R7, "take_task");
+        a.munlock(R5);
+        a.j("task_loop");
+        a.bind("take_task");
+        a.addi(R6, TASK, 1);
+        a.st(R6, 0, R5);
+        a.munlock(R5);
+        // current work item: the task's root child
+        a.slli(R5, TASK, 3);
+        a.li(R6, tasks_a as i64);
+        a.add(R5, R5, R6);
+        a.ld(NODE, 0, R5);
+        a.slli(R5, NODE, 3);
+        a.li(R6, cost_a as i64);
+        a.add(R5, R5, R6);
+        a.ld(ACCC, 0, R5);
+        a.li(LMIN, BIG);
+        a.li(PENDING, 0);
+        a.j("dfs");
+        // ---- subtree DFS with optional division probing ----
+        a.bind("dfs");
+        // kids of NODE
+        a.slli(R5, NODE, 3);
+        a.li(R6, idx_a as i64);
+        a.add(R5, R5, R6);
+        a.ld(R7, 0, R5); // e
+        a.ld(R8, 8, R5); // end
+        a.bne(R7, R8, "interior");
+        // leaf: fold into the local minimum
+        a.bge(ACCC, LMIN, "dfs_next");
+        a.mv(LMIN, ACCC);
+        a.j("dfs_next");
+        a.bind("interior");
+        a.sub(R9, R8, R7);
+        a.li(R6, 1);
+        a.beq(R9, R6, "tail");
+        // stage child edge; probe or defer
+        a.slli(R9, R7, 3);
+        a.li(R6, childs_a as i64);
+        a.add(R9, R9, R6);
+        a.ld(CV, 0, R9);
+        a.slli(R10, CV, 3);
+        a.li(R6, cost_a as i64);
+        a.add(R10, R10, R6);
+        a.ld(R10, 0, R10);
+        a.add(CP, ACCC, R10);
+        if allow_divide {
+            emit_locked_add(&mut a, rt.tokens, 1);
+            a.nthr(R12, "division_child");
+            a.li(R6, -1);
+            a.bne(R12, R6, "advance");
+            emit_locked_add(&mut a, rt.tokens, -1);
+        }
+        a.push_reg(CV);
+        a.push_reg(CP);
+        a.addi(PENDING, PENDING, 1);
+        a.bind("advance");
+        a.addi(R7, R7, 1);
+        // loop over remaining edges of this node
+        a.bne(R7, R8, "interior_more");
+        a.j("dfs_next");
+        a.bind("interior_more");
+        a.sub(R9, R8, R7);
+        a.li(R6, 1);
+        a.bne(R9, R6, "stage_again");
+        a.bind("tail");
+        // last child: walk down without spawning
+        a.slli(R9, R7, 3);
+        a.li(R6, childs_a as i64);
+        a.add(R9, R9, R6);
+        a.ld(NODE, 0, R9);
+        a.slli(R9, NODE, 3);
+        a.li(R6, cost_a as i64);
+        a.add(R9, R9, R6);
+        a.ld(R9, 0, R9);
+        a.add(ACCC, ACCC, R9);
+        a.j("dfs");
+        a.bind("stage_again");
+        a.slli(R9, R7, 3);
+        a.li(R6, childs_a as i64);
+        a.add(R9, R9, R6);
+        a.ld(CV, 0, R9);
+        a.slli(R10, CV, 3);
+        a.li(R6, cost_a as i64);
+        a.add(R10, R10, R6);
+        a.ld(R10, 0, R10);
+        a.add(CP, ACCC, R10);
+        if allow_divide {
+            emit_locked_add(&mut a, rt.tokens, 1);
+            a.nthr(R12, "division_child");
+            a.li(R6, -1);
+            a.bne(R12, R6, "advance");
+            emit_locked_add(&mut a, rt.tokens, -1);
+        }
+        a.push_reg(CV);
+        a.push_reg(CP);
+        a.addi(PENDING, PENDING, 1);
+        a.j("advance");
+        a.bind("dfs_next");
+        a.beq(PENDING, Reg::ZERO, "subtree_done");
+        a.pop_reg(ACCC);
+        a.pop_reg(NODE);
+        a.addi(PENDING, PENDING, -1);
+        a.j("dfs");
+        a.bind("subtree_done");
+        // merge the local minimum into task_min[TASK]
+        a.slli(R5, TASK, 3);
+        a.li(R6, task_min as i64);
+        a.add(R5, R5, R6);
+        a.mlock(R5);
+        a.ld(R7, 0, R5);
+        a.bge(LMIN, R7, "merged");
+        a.st(LMIN, 0, R5);
+        a.bind("merged");
+        a.munlock(R5);
+        // pool thread: count the task done, fetch the next; divided
+        // children die instead
+        a.tid(R5);
+        a.li(R6, pool as i64);
+        a.bge(R5, R6, "division_die");
+        a.li(R5, done_c as i64);
+        a.mlock(R5);
+        a.ld(R6, 0, R5);
+        a.addi(R6, R6, 1);
+        a.st(R6, 0, R5);
+        a.munlock(R5);
+        a.j("task_loop");
+        a.bind("pool_done");
+        emit_locked_add(&mut a, rt.tokens, -1);
+        a.tid(R5);
+        a.bne(R5, Reg::ZERO, "pool_die");
+        // thread 0: join, then max over the task minima
+        emit_join_spin(&mut a, &rt, &l);
+        a.mark_end(KERNEL_SECTION);
+        a.li(R5, 0);
+        a.li(R6, -BIG);
+        a.bind("max_loop");
+        a.li(R7, ntasks as i64);
+        a.bge(R5, R7, "max_done");
+        a.slli(R7, R5, 3);
+        a.li(R8, task_min as i64);
+        a.add(R7, R7, R8);
+        a.ld(R9, 0, R7);
+        a.bge(R6, R9, "max_next");
+        a.mv(R6, R9);
+        a.bind("max_next");
+        a.addi(R5, R5, 1);
+        a.j("max_loop");
+        a.bind("max_done");
+        a.out(R6);
+        a.halt();
+        a.bind("pool_die");
+        emit_stack_free(&mut a, &rt);
+        a.kthr();
+        // ---- divided child workers ----
+        a.bind("division_child");
+        a.mv(NODE, CV);
+        a.mv(ACCC, CP);
+        a.li(LMIN, BIG);
+        a.li(PENDING, 0);
+        emit_stack_alloc(&mut a, &rt, &l);
+        a.j("dfs");
+        a.bind("division_die");
+        emit_locked_add(&mut a, rt.tokens, -1);
+        emit_stack_free(&mut a, &rt);
+        a.kthr();
+
+        let mut p = Program::new(a.assemble().expect("crafty assembles"), d.build(), 1 << 17);
+        for _ in 0..pool {
+            p.threads.push(ThreadSpec::at(0));
+        }
+        p
+    }
+}
+
+impl Workload for Crafty {
+    fn name(&self) -> &'static str {
+        "crafty"
+    }
+
+    fn supports(&self, _variant: Variant) -> bool {
+        true
+    }
+
+    fn program(&self, variant: Variant) -> Program {
+        match variant {
+            Variant::Sequential => self.build(1, false),
+            Variant::Static(p) => self.build(p, false),
+            Variant::Component => self.build(self.pool_threads, true),
+        }
+    }
+
+    fn check(&self, output: &[OutValue]) -> Result<(), String> {
+        expect_ints(output, &[self.expected_value()])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capsule_core::config::MachineConfig;
+    use capsule_sim::machine::Machine;
+    use capsule_sim::{Interp, InterpConfig};
+
+    fn small() -> Crafty {
+        Crafty::new(Tree::random(31, 6, 2, 3, 150, 40), 4)
+    }
+
+    #[test]
+    fn pool_version_computes_value_on_interp() {
+        let w = small();
+        let p = w.program(Variant::Static(4));
+        let out = Interp::new(&p, InterpConfig::default()).unwrap().run(200_000_000).unwrap();
+        w.check(&out.output).unwrap();
+    }
+
+    #[test]
+    fn sequential_pool_of_one_matches() {
+        let w = small();
+        let p = w.program(Variant::Sequential);
+        let o = Machine::new(MachineConfig::table1_superscalar(), &p)
+            .unwrap()
+            .run(2_000_000_000)
+            .unwrap();
+        w.check(&o.output).unwrap();
+    }
+
+    #[test]
+    fn pool_on_smt_matches() {
+        let w = small();
+        let p = w.program(Variant::Static(8));
+        let o = Machine::new(MachineConfig::table1_smt(), &p)
+            .unwrap()
+            .run(2_000_000_000)
+            .unwrap();
+        w.check(&o.output).unwrap();
+    }
+
+    #[test]
+    fn component_with_pool_mostly_inhibits_division() {
+        let w = Crafty::standard(33, 8);
+        let p = w.program(Variant::Component);
+        let o = Machine::new(MachineConfig::table1_somt(), &p)
+            .unwrap()
+            .run(2_000_000_000)
+            .unwrap();
+        w.check(&o.output).unwrap();
+        // The pool occupies all 8 contexts, so probes can almost never
+        // seize one (grants to the context stack remain possible).
+        assert!(o.stats.divisions_requested > 0);
+        let ctx_rate =
+            o.stats.divisions_granted_context as f64 / o.stats.divisions_requested as f64;
+        assert!(ctx_rate < 0.25, "expected mostly-denied context grants, rate {ctx_rate:.2}");
+    }
+}

@@ -1,0 +1,251 @@
+//! 181.mcf analog: route planning as a parallel tree search.
+//!
+//! Paper §5: *"In 181.mcf, the component replaces a sequential tree
+//! traversal (for route planning) with a parallel tree search ... we
+//! chose to test division at every tree node, and ... the code only
+//! performs an elementary task at each node"* — hence mcf's very high
+//! division-request rate in Table 3.
+//!
+//! The kernel searches a random cost tree for the cheapest root-to-leaf
+//! route, reusing the Dijkstra component walk (a tree is a graph where no
+//! path ever dies by pruning, so every node is visited and `nthr` is
+//! probed at every interior node). Serial pre/post passes over the tree
+//! arrays approximate the 55 % of 181.mcf the paper leaves untouched.
+
+use capsule_core::OutValue;
+use capsule_isa::asm::Asm;
+use capsule_isa::program::{DataBuilder, Program, ThreadSpec};
+use capsule_isa::reg::Reg;
+
+use crate::datasets::{Graph, Tree};
+use crate::dijkstra::{emit_walk_body, layout_graph, GraphLayout, UNREACHED};
+use crate::rt::{emit_join_spin, emit_stack_alloc, emit_stack_free, init_runtime, Labels};
+use crate::spec::KERNEL_SECTION;
+use crate::{expect_ints, Variant, Workload};
+
+const R5: Reg = Reg(5);
+const R6: Reg = Reg(6);
+const R7: Reg = Reg(7);
+const R8: Reg = Reg(8);
+const R9: Reg = Reg(9);
+const PENDING: Reg = Reg(13);
+
+/// The mcf analog over one random cost tree.
+#[derive(Debug, Clone)]
+pub struct Mcf {
+    tree: Tree,
+    graph: Graph,
+    /// Serial pre/post passes over the tree arrays (sizes the
+    /// non-componentized fraction; Table 2 reports ~55 % serial).
+    pub serial_passes: usize,
+}
+
+impl Mcf {
+    /// Builds the analog for `tree`.
+    pub fn new(tree: Tree, serial_passes: usize) -> Self {
+        let adj: Vec<Vec<(u32, i64)>> = tree
+            .children
+            .iter()
+            .map(|kids| kids.iter().map(|&c| (c, tree.cost[c as usize])).collect())
+            .collect();
+        Mcf { tree, graph: Graph { adj }, serial_passes }
+    }
+
+    /// Default evaluation instance.
+    pub fn standard(seed: u64) -> Self {
+        Mcf::new(Tree::random(seed, 12, 2, 3, 4000, 100), 8)
+    }
+
+    /// Host-reference cheapest route cost.
+    pub fn expected_min(&self) -> i64 {
+        self.tree.min_leaf_cost()
+    }
+
+    /// The underlying tree.
+    pub fn tree(&self) -> &Tree {
+        &self.tree
+    }
+
+    /// Emits one serial pass: a checksum walk over the dist/cost arrays
+    /// (memory-touching serial work, like mcf's untouched phases).
+    fn emit_serial_pass(&self, a: &mut Asm, g: &GraphLayout, l: &Labels, acc: Reg) {
+        let lp = l.fresh("serial");
+        a.li(R5, g.idx as i64);
+        a.li(R6, g.n as i64);
+        a.bind(&lp);
+        a.ld(R7, 0, R5);
+        a.add(acc, acc, R7);
+        a.xori(acc, acc, 0x5a);
+        a.addi(R5, R5, 8);
+        a.addi(R6, R6, -1);
+        a.bne(R6, Reg::ZERO, &lp);
+    }
+
+    fn build(&self, allow_divide: bool) -> Program {
+        let mut d = DataBuilder::new();
+        let g = layout_graph(&mut d, &self.graph, UNREACHED);
+        let rt = init_runtime(&mut d, 1, 32, 4096);
+        let mut a = Asm::new();
+        let l = Labels::new("mcf");
+        let acc = Reg(21); // serial checksum accumulator (survives the walk)
+
+        // ---- serial pre-phase ----
+        a.li(acc, 0);
+        for _ in 0..self.serial_passes {
+            self.emit_serial_pass(&mut a, &g, &l, acc);
+        }
+        // ---- componentized kernel: the tree search ----
+        a.mark_start(KERNEL_SECTION);
+        a.li(PENDING, 0);
+        a.li(Reg::A0, 0);
+        a.li(Reg::A1, 0);
+        emit_stack_alloc(&mut a, &rt, &l);
+        a.j("w_node_check");
+        a.bind("w_finish");
+        a.tid(R5);
+        a.bne(R5, Reg::ZERO, "w_die");
+        emit_join_spin(&mut a, &rt, &l);
+        a.mark_end(KERNEL_SECTION);
+        // min over the leaves (serial post-scan)
+        a.li(R5, 0); // node index
+        a.li(R6, UNREACHED); // best
+        a.bind("min_loop");
+        a.li(R7, g.n as i64);
+        a.bge(R5, R7, "min_done");
+        a.slli(R7, R5, 3);
+        a.li(R8, g.idx as i64);
+        a.add(R8, R8, R7);
+        a.ld(R9, 0, R8); // idx[u]
+        a.ld(R8, 8, R8); // idx[u+1]
+        a.bne(R9, R8, "min_next"); // interior node
+        a.li(R8, g.dist as i64);
+        a.add(R8, R8, R7);
+        a.ld(R9, 0, R8);
+        a.bge(R9, R6, "min_next");
+        a.mv(R6, R9);
+        a.bind("min_next");
+        a.addi(R5, R5, 1);
+        a.j("min_loop");
+        a.bind("min_done");
+        a.mv(Reg(22), R6); // stash best across the serial post-phase
+        // ---- serial post-phase ----
+        for _ in 0..self.serial_passes {
+            self.emit_serial_pass(&mut a, &g, &l, acc);
+        }
+        // fold the serial checksum into a second output so it cannot be
+        // skipped, then report the route cost
+        a.out(Reg(22));
+        a.out(acc);
+        a.halt();
+        a.bind("w_die");
+        emit_stack_free(&mut a, &rt);
+        a.kthr();
+        emit_walk_body(&mut a, "w", &g, &rt, allow_divide);
+
+        Program::new(a.assemble().expect("mcf assembles"), d.build(), 1 << 17)
+            .with_thread(ThreadSpec::at(0))
+    }
+
+    /// Host-side mirror of the serial checksum.
+    fn expected_serial_acc(&self) -> i64 {
+        let n = self.graph.len();
+        let mut idx = Vec::with_capacity(n + 1);
+        let mut acc_count = 0i64;
+        for u in 0..n {
+            idx.push(acc_count);
+            acc_count += self.graph.adj[u].len() as i64;
+        }
+        // The pass reads idx[0..n] (not the n+1-th entry).
+        let mut acc = 0i64;
+        for _ in 0..self.serial_passes * 2 {
+            for &v in idx.iter().take(n) {
+                acc = acc.wrapping_add(v) ^ 0x5a;
+            }
+        }
+        acc
+    }
+}
+
+impl Workload for Mcf {
+    fn name(&self) -> &'static str {
+        "mcf"
+    }
+
+    fn supports(&self, variant: Variant) -> bool {
+        !matches!(variant, Variant::Static(_))
+    }
+
+    fn program(&self, variant: Variant) -> Program {
+        match variant {
+            Variant::Sequential => self.build(false),
+            Variant::Component => self.build(true),
+            Variant::Static(_) => panic!("mcf has no static variant (see paper §5)"),
+        }
+    }
+
+    fn check(&self, output: &[OutValue]) -> Result<(), String> {
+        expect_ints(output, &[self.expected_min(), self.expected_serial_acc()])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capsule_core::config::MachineConfig;
+    use capsule_sim::machine::Machine;
+    use capsule_sim::{Interp, InterpConfig};
+
+    fn small() -> Mcf {
+        Mcf::new(Tree::random(11, 7, 2, 3, 200, 50), 2)
+    }
+
+    #[test]
+    fn component_finds_min_route_on_interp() {
+        let w = small();
+        let p = w.program(Variant::Component);
+        let out = Interp::new(&p, InterpConfig::default()).unwrap().run(100_000_000).unwrap();
+        w.check(&out.output).unwrap();
+    }
+
+    #[test]
+    fn component_probes_at_every_interior_node() {
+        let w = small();
+        let p = w.program(Variant::Component);
+        let o = Machine::new(MachineConfig::table1_somt(), &p)
+            .unwrap()
+            .run(500_000_000)
+            .unwrap();
+        w.check(&o.output).unwrap();
+        // Every interior node with k children issues k-1 probes.
+        let expected_probes: u64 = w
+            .tree()
+            .children
+            .iter()
+            .map(|k| k.len().saturating_sub(1) as u64)
+            .sum();
+        assert_eq!(o.stats.divisions_requested, expected_probes);
+    }
+
+    #[test]
+    fn sequential_matches() {
+        let w = small();
+        let p = w.program(Variant::Sequential);
+        let o = Machine::new(MachineConfig::table1_superscalar(), &p)
+            .unwrap()
+            .run(500_000_000)
+            .unwrap();
+        w.check(&o.output).unwrap();
+    }
+
+    #[test]
+    fn kernel_section_is_tracked() {
+        let w = small();
+        let p = w.program(Variant::Component);
+        let o = Machine::new(MachineConfig::table1_somt(), &p)
+            .unwrap()
+            .run(500_000_000)
+            .unwrap();
+        let frac = o.sections.section_fraction(KERNEL_SECTION, o.stats.cycles);
+        assert!(frac > 0.0 && frac < 1.0, "kernel fraction {frac}");
+    }
+}

@@ -1,0 +1,32 @@
+//! Re-engineered SPEC CINT2000 analogs (paper §4, Table 2, Figure 8,
+//! Table 3).
+//!
+//! The paper componentizes a kernel of each program and embeds it in the
+//! untouched serial remainder; Table 2 reports how much of the execution
+//! the componentized subgraph covers (mcf 45 %, vpr 93 %, bzip2 20 %,
+//! crafty 100 %). Each analog here implements the kernel the paper names
+//! and wraps it in serial pre/post phases sized to approximate those
+//! fractions:
+//!
+//! - [`mcf`] — route planning as a parallel tree search (division tested
+//!   at **every** node, giving the high division rate of Table 3);
+//! - [`vpr`] — FPGA routing: negotiated multi-path maze routing over a
+//!   grid, one component shortest-path exploration per net per iteration;
+//! - [`bzip2`] — block-sorting compression: component quicksort over the
+//!   block's suffix array;
+//! - [`crafty`] — game-tree search driven by a *software* thread pool,
+//!   reproducing the paper's finding that software-managed contexts
+//!   inhibit hardware division.
+
+pub mod bzip2;
+pub mod crafty;
+pub mod mcf;
+pub mod vpr;
+
+pub use bzip2::Bzip2;
+pub use crafty::Crafty;
+pub use mcf::Mcf;
+pub use vpr::Vpr;
+
+/// Section id used by all SPEC analogs for their componentized kernel.
+pub const KERNEL_SECTION: u16 = 1;

@@ -1,0 +1,50 @@
+//! The CAP64 toolchain in action: assemble a textual listing, disassemble
+//! it back, encode it to binary, and run it on the SOMT machine.
+//!
+//! ```text
+//! cargo run --release --example assembler
+//! ```
+
+use capsule::isa::program::{DataBuilder, Program, ThreadSpec};
+use capsule::isa::{encode, text};
+use capsule::model::config::MachineConfig;
+use capsule::sim::machine::Machine;
+
+const LISTING: &str = r"
+# factorial(10) on CAP64
+    li r1, 10        # n
+    li r2, 1         # acc
+loop:
+    mul r2, r2, r1
+    addi r1, r1, -1
+    bne r1, r0, loop
+    out r2
+    halt
+";
+
+fn main() {
+    println!("--- source listing ---{LISTING}");
+
+    let program_text = text::parse(LISTING).expect("listing parses");
+    println!("--- disassembly ({} instructions) ---", program_text.len());
+    print!("{}", text::disassemble(&program_text));
+
+    let words = encode::encode_all(&program_text).expect("encodes");
+    println!("\n--- binary encoding ---");
+    for (i, pair) in words.chunks(2).enumerate() {
+        println!("{i:4}: {:016x} {:016x}", pair[0], pair[1]);
+    }
+    let decoded = encode::decode_all(&words).expect("decodes");
+    assert_eq!(format!("{decoded:?}"), format!("{program_text:?}"));
+    println!("(decode round-trip verified)");
+
+    let program = Program::new(program_text, DataBuilder::new().build(), 4096)
+        .with_thread(ThreadSpec::at(0));
+    let mut m =
+        Machine::new(MachineConfig::table1_somt(), &program).expect("machine builds");
+    let o = m.run(100_000).expect("runs to halt");
+    println!("\n--- execution ---");
+    println!("output: {:?}", o.ints());
+    println!("cycles: {}", o.cycles());
+    assert_eq!(o.ints(), vec![3_628_800]);
+}

@@ -1,0 +1,125 @@
+//! Quickstart: write a component worker by hand, watch the architecture
+//! steer its divisions.
+//!
+//! The program is the minimal CAPSULE shape (paper §2, Figure 2): a worker
+//! sums a range of numbers; at every iteration it *probes* the
+//! architecture with `nthr` and, when granted, divides in half. Run it on
+//! the paper's three machines and compare.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use capsule::isa::asm::Asm;
+use capsule::isa::program::{DataBuilder, Program, ThreadSpec};
+use capsule::isa::reg::Reg;
+use capsule::model::config::MachineConfig;
+use capsule::sim::machine::Machine;
+
+/// Sum `1..=n` with a divide-in-half component worker.
+fn build_program(n: i64) -> Program {
+    let mut d = DataBuilder::new();
+    let total = d.word(0); // lock-protected global accumulator
+    let tokens = d.word(1); // join counter: one token per live worker
+
+    let (lo, hi) = (Reg::A0, Reg::A1);
+    let (mid, local, probe, t0, t1) = (Reg(10), Reg(11), Reg(12), Reg(13), Reg(14));
+
+    let mut a = Asm::new();
+    a.bind("worker");
+    a.li(local, 0);
+    a.bind("loop");
+    // small ranges are computed directly
+    a.sub(t0, hi, lo);
+    a.slti(t1, t0, 64);
+    a.bne(t1, Reg::ZERO, "leaf");
+    // probe + divide: child takes [mid, hi), parent keeps [lo, mid)
+    a.srai(t0, t0, 1);
+    a.add(mid, lo, t0);
+    // count the child's token before it can exist
+    a.li(t0, tokens as i64);
+    a.mlock(t0);
+    a.ld(t1, 0, t0);
+    a.addi(t1, t1, 1);
+    a.st(t1, 0, t0);
+    a.munlock(t0);
+    a.nthr(probe, "child"); // the architecture decides!
+    a.li(t0, -1);
+    a.bne(probe, t0, "granted");
+    // denied: give the token back and carry on sequentially (case -1)
+    a.li(t0, tokens as i64);
+    a.mlock(t0);
+    a.ld(t1, 0, t0);
+    a.addi(t1, t1, -1);
+    a.st(t1, 0, t0);
+    a.munlock(t0);
+    a.j("leaf");
+    a.bind("granted");
+    a.mv(hi, mid);
+    a.j("loop");
+    a.bind("child");
+    a.mv(lo, mid);
+    a.li(local, 0);
+    a.j("loop");
+    // leaf: sum [lo, hi) sequentially
+    a.bind("leaf");
+    a.bind("leaf_loop");
+    a.bge(lo, hi, "merge");
+    a.add(local, local, lo);
+    a.addi(lo, lo, 1);
+    a.j("leaf_loop");
+    // merge on death: fold the local sum into the global, release a token
+    a.bind("merge");
+    a.li(t0, total as i64);
+    a.mlock(t0);
+    a.ld(t1, 0, t0);
+    a.add(t1, t1, local);
+    a.st(t1, 0, t0);
+    a.munlock(t0);
+    a.li(t0, tokens as i64);
+    a.mlock(t0);
+    a.ld(t1, 0, t0);
+    a.addi(t1, t1, -1);
+    a.st(t1, 0, t0);
+    a.munlock(t0);
+    // the ancestor joins; divided workers die
+    a.tid(t1);
+    a.bne(t1, Reg::ZERO, "die");
+    a.li(t0, tokens as i64);
+    a.bind("join");
+    a.ld(t1, 0, t0);
+    a.bne(t1, Reg::ZERO, "join");
+    a.li(t0, total as i64);
+    a.ld(t1, 0, t0);
+    a.out(t1);
+    a.halt();
+    a.bind("die");
+    a.kthr();
+
+    Program::new(a.assemble().expect("assembles"), d.build(), 1 << 16)
+        .with_thread(ThreadSpec::at(0).with_reg(Reg::A0, 1).with_reg(Reg::A1, n + 1))
+}
+
+fn main() {
+    let n = 20_000;
+    let program = build_program(n);
+    println!("component sum of 1..={n} — expected {}\n", n * (n + 1) / 2);
+
+    for (name, cfg) in [
+        ("superscalar (1 context, divisions denied)", MachineConfig::table1_superscalar()),
+        ("SOMT (8 contexts, hardware-steered divisions)", MachineConfig::table1_somt()),
+    ] {
+        let mut m = Machine::new(cfg, &program).expect("valid machine + program");
+        let o = m.run(1_000_000_000).expect("runs to halt");
+        println!("{name}:");
+        println!("  result            {}", o.ints()[0]);
+        println!("  cycles            {}", o.cycles());
+        println!(
+            "  divisions         {} requested, {} granted",
+            o.stats.divisions_requested,
+            o.stats.divisions_granted()
+        );
+        println!("  IPC               {:.2}", o.stats.ipc());
+        println!("  workers ever      {}\n", o.tree.len());
+    }
+}

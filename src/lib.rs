@@ -1,0 +1,50 @@
+//! CAPSULE — a reproduction of *"CAPSULE: Hardware-Assisted Parallel
+//! Execution of Component-Based Programs"* (Palatin, Lhuillier, Temam,
+//! MICRO-39, 2006).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! - [`model`] (`capsule-core`): division policy, machine configuration
+//!   (Table 1), statistics;
+//! - [`isa`] (`capsule-isa`): the CAP64 instruction set with the
+//!   `nthr`/`kthr`/`mlock`/`munlock` extensions, builder DSL, assembler;
+//! - [`lang`] (`capsule-lang`): the Capsule C source language — `worker`/
+//!   `coworker` extensions compiled to CAP64, the paper's §3.2 toolchain;
+//! - [`mem`] (`capsule-mem`): the cache hierarchy;
+//! - [`sim`] (`capsule-sim`): the cycle-level SOMT/SMT/superscalar
+//!   machine and the functional reference interpreter;
+//! - [`workloads`] (`capsule-workloads`): the paper's benchmark suite
+//!   (Dijkstra, QuickSort, LZW, Perceptron, and the mcf/vpr/bzip2/crafty
+//!   SPEC analogs);
+//! - [`rt`] (`capsule-rt`): the conditional-division policy on native
+//!   threads.
+//!
+//! See `examples/` for runnable entry points and `capsule-bench` for the
+//! binaries that regenerate every figure and table of the paper.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use capsule::model::config::MachineConfig;
+//! use capsule::sim::machine::Machine;
+//! use capsule::workloads::dijkstra::Dijkstra;
+//! use capsule::workloads::{Variant, Workload};
+//!
+//! let w = Dijkstra::figure3(1, 50);
+//! let program = w.program(Variant::Component);
+//! let mut m = Machine::new(MachineConfig::table1_somt(), &program).unwrap();
+//! let outcome = m.run(100_000_000).unwrap();
+//! w.check(&outcome.output).unwrap();
+//! println!("{} cycles, {} divisions", outcome.cycles(), outcome.stats.divisions_granted());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use capsule_core as model;
+pub use capsule_isa as isa;
+pub use capsule_lang as lang;
+pub use capsule_mem as mem;
+pub use capsule_rt as rt;
+pub use capsule_sim as sim;
+pub use capsule_workloads as workloads;

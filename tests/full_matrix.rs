@@ -1,0 +1,158 @@
+//! Workspace-level integration: every workload × variant runs end-to-end
+//! on the appropriate machine, produces the host-reference result, and
+//! keeps the machine's bookkeeping invariants intact.
+
+use capsule::model::config::MachineConfig;
+use capsule::sim::machine::Machine;
+use capsule::sim::{Interp, InterpConfig, SimOutcome};
+use capsule::workloads::datasets::{random_list, ListShape, Tree};
+use capsule::workloads::dijkstra::Dijkstra;
+use capsule::workloads::lzw::Lzw;
+use capsule::workloads::perceptron::Perceptron;
+use capsule::workloads::quicksort::QuickSort;
+use capsule::workloads::spec::{Bzip2, Crafty, Mcf, Vpr};
+use capsule::workloads::{Variant, Workload};
+
+const BUDGET: u64 = 20_000_000_000;
+
+fn workloads() -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(Dijkstra::figure3(77, 80)),
+        Box::new(QuickSort::new(random_list(78, 400, ListShape::Uniform))),
+        Box::new(Lzw::figure7(79, 250)),
+        Box::new(Perceptron::figure7(80, 10, 96, 4)),
+        Box::new(Mcf::new(Tree::random(81, 7, 2, 3, 180, 40), 2)),
+        Box::new(Vpr::standard(82, 7, 3, 2)),
+        Box::new(Bzip2::new(capsule::workloads::datasets::lzw_text(83, 120, 6), 2)),
+        Box::new(Crafty::new(Tree::random(84, 6, 2, 3, 120, 30), 4)),
+    ]
+}
+
+fn machine_for(variant: Variant) -> MachineConfig {
+    match variant {
+        Variant::Sequential => MachineConfig::table1_superscalar(),
+        Variant::Static(_) => MachineConfig::table1_smt(),
+        Variant::Component => MachineConfig::table1_somt(),
+    }
+}
+
+fn assert_invariants(name: &str, o: &SimOutcome) {
+    let s = &o.stats;
+    assert_eq!(
+        s.divisions_requested,
+        s.divisions_granted()
+            + s.divisions_denied_no_resource
+            + s.divisions_denied_throttled
+            + s.divisions_denied_disabled,
+        "{name}: division accounting must balance"
+    );
+    assert!(s.deaths <= s.divisions_granted() + o.tree.len() as u64, "{name}: deaths bounded");
+    assert!(s.committed <= s.dispatched, "{name}: committed cannot exceed dispatched");
+    assert!(s.cycles > 0 && s.committed > 0, "{name}: ran for real");
+    assert!(
+        s.max_live_workers <= 1 + 8 + 16 + s.divisions_requested,
+        "{name}: live workers bounded by contexts + stack"
+    );
+    // Genealogy: births precede deaths, parents precede children.
+    for node in o.tree.nodes() {
+        if let Some(d) = node.death_cycle {
+            assert!(d >= node.birth_cycle, "{name}: death before birth");
+        }
+        if let Some(p) = node.parent {
+            assert!(
+                o.tree.nodes()[p.index()].birth_cycle <= node.birth_cycle,
+                "{name}: child born before parent"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_workload_every_variant_is_correct() {
+    for w in workloads() {
+        for variant in [Variant::Sequential, Variant::Static(8), Variant::Component] {
+            if !w.supports(variant) {
+                continue;
+            }
+            let program = w.program(variant);
+            program.validate().unwrap_or_else(|e| panic!("{} {variant:?}: {e}", w.name()));
+            let cfg = machine_for(variant);
+            let mut m = Machine::new(cfg, &program)
+                .unwrap_or_else(|e| panic!("{} {variant:?}: {e}", w.name()));
+            let o = m.run(BUDGET).unwrap_or_else(|e| panic!("{} {variant:?}: {e}", w.name()));
+            w.check(&o.output).unwrap_or_else(|e| panic!("{} {variant:?}: {e}", w.name()));
+            assert_invariants(w.name(), &o);
+        }
+    }
+}
+
+#[test]
+fn component_variants_agree_with_reference_interpreter() {
+    for w in workloads() {
+        if w.name() == "perceptron" {
+            // FP reduction order differs between schedules; covered by the
+            // convergence-bound check in the matrix test above.
+            continue;
+        }
+        let program = w.program(Variant::Component);
+        let mut m = Machine::new(MachineConfig::table1_somt(), &program).expect("machine");
+        let machine_out = m.run(BUDGET).expect("machine run");
+        let interp_out = Interp::new(&program, InterpConfig::default())
+            .expect("interp")
+            .run(BUDGET)
+            .expect("interp run");
+        let mi: Vec<i64> = machine_out.ints();
+        let ii: Vec<i64> = interp_out.output.iter().filter_map(|v| v.as_int()).collect();
+        assert_eq!(mi, ii, "{}: timing machine and interpreter disagree", w.name());
+    }
+}
+
+#[test]
+fn superscalar_smt_somt_form_a_speedup_ladder_on_dijkstra() {
+    let w = Dijkstra::figure3(5, 200);
+    let seq = {
+        let mut m =
+            Machine::new(MachineConfig::table1_superscalar(), &w.program(Variant::Sequential))
+                .expect("machine");
+        m.run(BUDGET).expect("runs").cycles()
+    };
+    let comp = {
+        let mut m = Machine::new(MachineConfig::table1_somt(), &w.program(Variant::Component))
+            .expect("machine");
+        m.run(BUDGET).expect("runs").cycles()
+    };
+    assert!(comp < seq, "SOMT ({comp}) must beat superscalar ({seq})");
+}
+
+#[test]
+fn division_latency_has_modest_impact() {
+    // The paper's §5 sensitivity result: up to 200 cycles of division
+    // latency changes performance by very little.
+    let w = Dijkstra::figure3(9, 150);
+    let p = w.program(Variant::Component);
+    let mut cycles = Vec::new();
+    for lat in [0u64, 200] {
+        let mut cfg = MachineConfig::table1_somt();
+        cfg.division_latency = lat;
+        let mut m = Machine::new(cfg, &p).expect("machine");
+        let o = m.run(BUDGET).expect("runs");
+        w.check(&o.output).expect("correct");
+        cycles.push(o.cycles());
+    }
+    let ratio = cycles[1] as f64 / cycles[0] as f64;
+    assert!(ratio < 1.25, "200-cycle division latency cost {ratio:.2}x, expected small");
+}
+
+#[test]
+fn component_variants_are_correct_on_the_cmp() {
+    // The §5 CMP extrapolation must preserve every workload's result.
+    let cfg = MachineConfig::cmp_somt(4, 2);
+    for w in workloads() {
+        let program = w.program(Variant::Component);
+        let mut m =
+            Machine::new(cfg.clone(), &program).unwrap_or_else(|e| panic!("{}: {e}", w.name()));
+        let o = m.run(BUDGET).unwrap_or_else(|e| panic!("{}: {e}", w.name()));
+        w.check(&o.output).unwrap_or_else(|e| panic!("{} on CMP: {e}", w.name()));
+        assert_invariants(w.name(), &o);
+    }
+}

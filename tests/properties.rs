@@ -1,0 +1,108 @@
+//! Workspace property tests: arbitrary inputs through the full stack
+//! (workload builder → CAP64 program → cycle-level machine) must match
+//! the host reference, and the native runtime must match std.
+
+use capsule::model::config::MachineConfig;
+use capsule::rt::{capsule_sort, capsule_sum, RtConfig};
+use capsule::sim::machine::Machine;
+use capsule::workloads::datasets::Graph;
+use capsule::workloads::dijkstra::Dijkstra;
+use capsule::workloads::quicksort::QuickSort;
+use capsule::workloads::{Variant, Workload};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The component QuickSort sorts arbitrary lists on the SOMT machine.
+    #[test]
+    fn simulated_quicksort_sorts_anything(
+        values in prop::collection::vec(-1_000_000i64..1_000_000, 1..250),
+    ) {
+        let w = QuickSort::new(values);
+        let p = w.program(Variant::Component);
+        let mut m = Machine::new(MachineConfig::table1_somt(), &p).expect("machine");
+        let o = m.run(10_000_000_000).expect("halts");
+        prop_assert!(w.check(&o.output).is_ok());
+    }
+
+    /// Component Dijkstra matches the host shortest-path algorithm on
+    /// arbitrary random graphs.
+    #[test]
+    fn simulated_dijkstra_matches_host(seed in 0u64..10_000, n in 10usize..80) {
+        let w = Dijkstra::new(Graph::random(seed, n, 3, 32));
+        let p = w.program(Variant::Component);
+        let mut m = Machine::new(MachineConfig::table1_somt(), &p).expect("machine");
+        let o = m.run(10_000_000_000).expect("halts");
+        prop_assert!(w.check(&o.output).is_ok());
+    }
+
+    /// The native runtime's sort equals std's sort for any input and any
+    /// policy.
+    #[test]
+    fn native_sort_matches_std(
+        mut values in prop::collection::vec(any::<i32>(), 0..5_000),
+        workers in 1usize..6,
+        mode in 0u8..3,
+    ) {
+        let cfg = match mode {
+            0 => RtConfig::never(),
+            1 => RtConfig::always(workers),
+            _ => RtConfig::somt_like(workers),
+        };
+        let mut expected = values.clone();
+        expected.sort_unstable();
+        capsule_sort(cfg, &mut values);
+        prop_assert_eq!(values, expected);
+    }
+
+    /// The native reduction is exact for any input and any policy.
+    #[test]
+    fn native_sum_is_exact(
+        values in prop::collection::vec(-1_000_000i64..1_000_000, 0..20_000),
+        workers in 1usize..6,
+    ) {
+        let expected: i64 = values.iter().sum();
+        for cfg in [RtConfig::never(), RtConfig::always(workers), RtConfig::somt_like(workers)] {
+            let (got, stats) = capsule_sum(cfg, &values);
+            prop_assert_eq!(got, expected);
+            prop_assert!(stats.max_live as usize <= workers.max(1));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The same component program produces the same answer under any
+    /// division behaviour (the component contract: results are
+    /// schedule-independent). Exercises Never / Greedy / GreedyThrottled
+    /// and a 1-context machine.
+    #[test]
+    fn division_policy_never_changes_results(seed in 0u64..1000) {
+        use capsule::model::config::DivisionMode;
+        let w = Dijkstra::new(Graph::random(seed, 40, 3, 16));
+        let p = w.program(Variant::Component);
+        let mut reference: Option<Vec<i64>> = None;
+        for (contexts, cores, mode) in [
+            (1, 1, DivisionMode::Never),
+            (8, 1, DivisionMode::Greedy),
+            (8, 1, DivisionMode::GreedyThrottled),
+            (3, 1, DivisionMode::GreedyThrottled),
+            (8, 4, DivisionMode::GreedyThrottled), // CMP organisation
+            (8, 8, DivisionMode::Greedy),
+        ] {
+            let mut cfg = MachineConfig::table1_somt();
+            cfg.contexts = contexts;
+            cfg.cores = cores;
+            cfg.division_mode = mode;
+            let mut m = Machine::new(cfg, &p).expect("machine");
+            let o = m.run(10_000_000_000).expect("halts");
+            let ints = o.ints();
+            match &reference {
+                None => reference = Some(ints),
+                Some(r) => prop_assert_eq!(r, &ints),
+            }
+        }
+    }
+}
