@@ -1,16 +1,37 @@
-//! Criterion benches of the native runtime analog: conditional division
-//! (CAPSULE policy) vs always-spawn vs sequential, on sort and reduce.
+//! Benches of the native runtime analog: conditional division (CAPSULE
+//! policy) vs always-spawn vs sequential, on sort and reduce.
+//!
+//! Std-only manual timing harness (no criterion). Gated behind the
+//! `criterion-bench` feature so the default build stays hermetic:
+//!
+//! ```text
+//! cargo bench -p capsule-bench --features criterion-bench
+//! ```
 
 use capsule_rt::{capsule_sort, capsule_sum, RtConfig};
-use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use std::time::Instant;
 
 fn data(len: usize) -> Vec<i64> {
     (0..len as i64).map(|i| (i.wrapping_mul(2654435761)) % 1_000_003).collect()
 }
 
-fn bench_sort(c: &mut Criterion) {
-    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).max(2);
-    let mut g = c.benchmark_group("capsule_sort");
+/// Run `f` repeatedly for ~`budget_ms`, reporting the best iteration.
+fn measure(name: &str, budget_ms: u64, mut f: impl FnMut()) {
+    // Warm-up.
+    f();
+    let deadline = Instant::now() + std::time::Duration::from_millis(budget_ms);
+    let mut best = std::time::Duration::MAX;
+    let mut iters = 0u64;
+    while Instant::now() < deadline || iters == 0 {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed());
+        iters += 1;
+    }
+    println!("{name:<40} best {best:>12?}  ({iters} iters)");
+}
+
+fn bench_sort(workers: usize) {
     for len in [50_000usize, 400_000] {
         let input = data(len);
         for (name, cfg) in [
@@ -18,33 +39,30 @@ fn bench_sort(c: &mut Criterion) {
             ("always", RtConfig::always(workers)),
             ("capsule", RtConfig::somt_like(workers)),
         ] {
-            g.bench_with_input(BenchmarkId::new(name, len), &input, |b, input| {
-                b.iter_batched(
-                    || input.clone(),
-                    |mut v| capsule_sort(cfg, &mut v),
-                    BatchSize::LargeInput,
-                );
+            measure(&format!("capsule_sort/{name}/{len}"), 1500, || {
+                let mut v = input.clone();
+                capsule_sort(cfg, &mut v);
             });
         }
     }
-    g.finish();
 }
 
-fn bench_sum(c: &mut Criterion) {
-    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).max(2);
-    let mut g = c.benchmark_group("capsule_sum");
+fn bench_sum(workers: usize) {
     let input = data(1_000_000);
     for (name, cfg) in [
         ("sequential", RtConfig::never()),
         ("always", RtConfig::always(workers)),
         ("capsule", RtConfig::somt_like(workers)),
     ] {
-        g.bench_with_input(BenchmarkId::new(name, input.len()), &input, |b, input| {
-            b.iter(|| capsule_sum(cfg, input));
+        measure(&format!("capsule_sum/{name}/{}", input.len()), 1000, || {
+            std::hint::black_box(capsule_sum(cfg, &input));
         });
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_sort, bench_sum);
-criterion_main!(benches);
+fn main() {
+    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).max(2);
+    println!("native_rt bench, {workers} workers");
+    bench_sort(workers);
+    bench_sum(workers);
+}

@@ -1,53 +1,61 @@
-//! Criterion benches of the cycle-level simulator itself: simulation
-//! throughput (host time per simulated workload) on the three machines,
-//! plus the reference interpreter for comparison.
+//! Benches of the cycle-level simulator itself: simulation throughput
+//! (host time per simulated workload) on the three machines, plus the
+//! reference interpreter for comparison.
+//!
+//! Std-only manual timing harness (no criterion). Gated behind the
+//! `criterion-bench` feature so the default build stays hermetic:
+//!
+//! ```text
+//! cargo bench -p capsule-bench --features criterion-bench
+//! ```
 
 use capsule_core::config::MachineConfig;
 use capsule_sim::machine::Machine;
 use capsule_sim::{Interp, InterpConfig};
 use capsule_workloads::dijkstra::Dijkstra;
 use capsule_workloads::{Variant, Workload};
-use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Instant;
 
-fn bench_machines(c: &mut Criterion) {
+/// Run `f` repeatedly for ~`budget_ms`, reporting the best iteration.
+fn measure(name: &str, budget_ms: u64, mut f: impl FnMut()) {
+    f();
+    let deadline = Instant::now() + std::time::Duration::from_millis(budget_ms);
+    let mut best = std::time::Duration::MAX;
+    let mut iters = 0u64;
+    while Instant::now() < deadline || iters == 0 {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed());
+        iters += 1;
+    }
+    println!("{name:<40} best {best:>12?}  ({iters} iters)");
+}
+
+fn main() {
     let w = Dijkstra::figure3(7, 120);
     let seq = w.program(Variant::Sequential);
     let comp = w.program(Variant::Component);
 
-    let mut g = c.benchmark_group("simulator");
-    g.sample_size(20);
-    g.bench_function("superscalar_dijkstra", |b| {
-        b.iter(|| {
-            let mut m = Machine::new(MachineConfig::table1_superscalar(), &seq).unwrap();
-            let o = m.run(1_000_000_000).unwrap();
-            w.check(&o.output).unwrap();
-            o.cycles()
-        })
+    measure("simulator/superscalar_dijkstra", 2000, || {
+        let mut m = Machine::new(MachineConfig::table1_superscalar(), &seq).unwrap();
+        let o = m.run(1_000_000_000).unwrap();
+        w.check(&o.output).unwrap();
+        std::hint::black_box(o.cycles());
     });
-    g.bench_function("somt_dijkstra", |b| {
-        b.iter(|| {
-            let mut m = Machine::new(MachineConfig::table1_somt(), &comp).unwrap();
-            let o = m.run(1_000_000_000).unwrap();
-            w.check(&o.output).unwrap();
-            o.cycles()
-        })
+    measure("simulator/somt_dijkstra", 2000, || {
+        let mut m = Machine::new(MachineConfig::table1_somt(), &comp).unwrap();
+        let o = m.run(1_000_000_000).unwrap();
+        w.check(&o.output).unwrap();
+        std::hint::black_box(o.cycles());
     });
-    g.bench_function("cmp4x2_dijkstra", |b| {
-        b.iter(|| {
-            let mut m = Machine::new(MachineConfig::cmp_somt(4, 2), &comp).unwrap();
-            let o = m.run(1_000_000_000).unwrap();
-            w.check(&o.output).unwrap();
-            o.cycles()
-        })
+    measure("simulator/cmp4x2_dijkstra", 2000, || {
+        let mut m = Machine::new(MachineConfig::cmp_somt(4, 2), &comp).unwrap();
+        let o = m.run(1_000_000_000).unwrap();
+        w.check(&o.output).unwrap();
+        std::hint::black_box(o.cycles());
     });
-    g.bench_function("interp_dijkstra", |b| {
-        b.iter(|| {
-            let mut i = Interp::new(&comp, InterpConfig::default()).unwrap();
-            i.run(1_000_000_000).unwrap().steps
-        })
+    measure("simulator/interp_dijkstra", 2000, || {
+        let mut i = Interp::new(&comp, InterpConfig::default()).unwrap();
+        std::hint::black_box(i.run(1_000_000_000).unwrap().steps);
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_machines);
-criterion_main!(benches);

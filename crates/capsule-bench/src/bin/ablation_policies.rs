@@ -5,23 +5,63 @@
 //! 2. the death-rate window N (the paper fixes N = 128);
 //! 3. the swap-out counter threshold (the paper fixes 256).
 
-use capsule_bench::{run_checked, scaled};
+use std::sync::Arc;
+
+use capsule_bench::{scaled, BatchRunner, Scenario};
 use capsule_core::config::MachineConfig;
 use capsule_workloads::dijkstra::Dijkstra;
 use capsule_workloads::lzw::Lzw;
 use capsule_workloads::{Variant, Workload};
 
 fn main() {
-    let dij = Dijkstra::figure3(7, scaled(250, 1000));
-    let lzw = Lzw::figure7(5, scaled(2000, 4096));
+    let dij: Arc<dyn Workload + Send + Sync> =
+        Arc::new(Dijkstra::figure3(7, scaled(250, 1000)));
+    let lzw: Arc<dyn Workload + Send + Sync> = Arc::new(Lzw::figure7(5, scaled(2000, 4096)));
+    let vpr: Arc<dyn Workload + Send + Sync> =
+        Arc::new(capsule_workloads::spec::Vpr::standard(19, scaled(12, 20), scaled(8, 12), 2));
 
-    println!("Ablation 1 — divide-to-stack (children born onto the context stack)\n");
-    let pairs: [(&str, &dyn Workload); 2] = [("dijkstra", &dij), ("lzw", &lzw)];
-    for (name, w) in pairs {
+    let mut scenarios = Vec::new();
+    for (name, w) in [("dijkstra", &dij), ("lzw", &lzw)] {
         for allow in [true, false] {
             let mut cfg = MachineConfig::table1_somt();
             cfg.allow_divide_to_stack = allow;
-            let o = run_checked(cfg, w, Variant::Component);
+            scenarios.push(Scenario::new(
+                format!("stack/{name}/{allow}"),
+                format!("{allow}"),
+                cfg,
+                Variant::Component,
+                Arc::clone(w),
+            ));
+        }
+    }
+    for window in [32u64, 128, 512, 2048] {
+        let mut cfg = MachineConfig::table1_somt();
+        cfg.death_window = window;
+        scenarios.push(Scenario::new(
+            format!("window/{window}"),
+            format!("{window}"),
+            cfg,
+            Variant::Component,
+            Arc::clone(&lzw),
+        ));
+    }
+    for thr in [32i64, 256, 1024] {
+        let mut cfg = MachineConfig::table1_somt();
+        cfg.swap_counter_threshold = thr;
+        scenarios.push(Scenario::new(
+            format!("swap/{thr}"),
+            format!("{thr}"),
+            cfg,
+            Variant::Component,
+            Arc::clone(&vpr),
+        ));
+    }
+    let report = BatchRunner::from_env().run("Ablations — interpretation choices", scenarios);
+
+    println!("Ablation 1 — divide-to-stack (children born onto the context stack)\n");
+    for name in ["dijkstra", "lzw"] {
+        for allow in [true, false] {
+            let o = &report.only(&format!("stack/{name}/{allow}")).outcome;
             println!(
                 "  {name:<10} divide_to_stack={allow:<5}  {:>12} cycles, {:>6} granted ({} to stack), {} swap-ins",
                 o.cycles(),
@@ -34,9 +74,7 @@ fn main() {
 
     println!("\nAblation 2 — death-rate window N (paper: 128)\n");
     for window in [32u64, 128, 512, 2048] {
-        let mut cfg = MachineConfig::table1_somt();
-        cfg.death_window = window;
-        let o = run_checked(cfg, &lzw, Variant::Component);
+        let o = &report.only(&format!("window/{window}")).outcome;
         println!(
             "  lzw        N={window:<5} {:>12} cycles, {:>6} granted, {:>6} throttled",
             o.cycles(),
@@ -50,11 +88,8 @@ fn main() {
     println!("   swap-outs additionally need parked workers to yield to, which makes");
     println!("   them rare at these scales — the mechanics test suite exercises the");
     println!("   heuristic deterministically)\n");
-    let vpr = capsule_workloads::spec::Vpr::standard(19, scaled(12, 20), scaled(8, 12), 2);
     for thr in [32i64, 256, 1024] {
-        let mut cfg = MachineConfig::table1_somt();
-        cfg.swap_counter_threshold = thr;
-        let o = run_checked(cfg, &vpr, Variant::Component);
+        let o = &report.only(&format!("swap/{thr}")).outcome;
         println!(
             "  vpr        threshold={thr:<5} {:>12} cycles, {} swap-outs, {} swap-ins",
             o.cycles(),
@@ -62,4 +97,5 @@ fn main() {
             o.stats.swaps_in
         );
     }
+    report.emit("ablation_policies");
 }

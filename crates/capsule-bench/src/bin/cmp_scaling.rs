@@ -4,24 +4,53 @@
 //! division latencies up to 200 cycles, and observed an average
 //! performance variation of less than 1%".
 
-use capsule_bench::{run_checked, scaled};
+use std::sync::Arc;
+
+use capsule_bench::{scaled, BatchRunner, Scenario};
 use capsule_core::config::MachineConfig;
 use capsule_workloads::dijkstra::Dijkstra;
 use capsule_workloads::spec::Mcf;
 use capsule_workloads::{Variant, Workload};
 
+const ORGS: [(usize, usize); 4] = [(1, 8), (2, 4), (4, 2), (8, 1)];
+const REMOTE_LATENCIES: [u64; 4] = [0, 50, 100, 200];
+
 fn main() {
     println!("§5 — CMP extrapolation: 8 contexts, varying core organisation\n");
-    let dij = Dijkstra::figure3(7, scaled(250, 1000));
-    let mcf = Mcf::standard(scaled(17, 18));
-    let workloads: [(&str, &dyn Workload); 2] = [("dijkstra", &dij), ("mcf", &mcf)];
+    let dij: Arc<dyn Workload + Send + Sync> =
+        Arc::new(Dijkstra::figure3(7, scaled(250, 1000)));
+    let mcf: Arc<dyn Workload + Send + Sync> = Arc::new(Mcf::standard(scaled(17, 18)));
 
-    for (name, w) in workloads {
+    let mut scenarios = Vec::new();
+    for (name, w) in [("dijkstra", &dij), ("mcf", &mcf)] {
+        for (cores, per_core) in ORGS {
+            scenarios.push(Scenario::new(
+                format!("org/{name}/{cores}x{per_core}"),
+                format!("{cores}x{per_core}"),
+                MachineConfig::cmp_somt(cores, per_core),
+                Variant::Component,
+                Arc::clone(w),
+            ));
+        }
+    }
+    for remote in REMOTE_LATENCIES {
+        let mut cfg = MachineConfig::cmp_somt(4, 2);
+        cfg.remote_division_latency = remote;
+        scenarios.push(Scenario::new(
+            format!("latency/{remote}"),
+            format!("{remote}"),
+            cfg,
+            Variant::Component,
+            Arc::clone(&mcf),
+        ));
+    }
+    let report = BatchRunner::from_env().run("§5 — CMP extrapolation", scenarios);
+
+    for name in ["dijkstra", "mcf"] {
         println!("{name}:");
         let mut base = None;
-        for (cores, per_core) in [(1usize, 8usize), (2, 4), (4, 2), (8, 1)] {
-            let cfg = MachineConfig::cmp_somt(cores, per_core);
-            let o = run_checked(cfg, w, Variant::Component);
+        for (cores, per_core) in ORGS {
+            let o = &report.only(&format!("org/{name}/{cores}x{per_core}")).outcome;
             let b = *base.get_or_insert(o.cycles());
             println!(
                 "  {cores}x{per_core:<2} cores: {:>12} cycles ({:+6.1}% vs 1x8), {} divisions, L1D miss {:.1}%",
@@ -36,10 +65,8 @@ fn main() {
 
     println!("remote-division-latency sweep on the 4x2 CMP (paper: <1% up to 200):\n");
     let mut base = None;
-    for remote in [0u64, 50, 100, 200] {
-        let mut cfg = MachineConfig::cmp_somt(4, 2);
-        cfg.remote_division_latency = remote;
-        let o = run_checked(cfg, &mcf, Variant::Component);
+    for remote in REMOTE_LATENCIES {
+        let o = &report.only(&format!("latency/{remote}")).outcome;
         let b = *base.get_or_insert(o.cycles());
         println!(
             "  remote latency {remote:>3}: {:>12} cycles ({:+.2}% vs 0)",
@@ -47,4 +74,5 @@ fn main() {
             100.0 * (o.cycles() as f64 - b as f64) / b as f64
         );
     }
+    report.emit("cmp_scaling");
 }

@@ -8,10 +8,12 @@
 //! speedup over the static and sequential versions, and the stability
 //! (standard deviation) of each distribution.
 
-use capsule_bench::{full_scale, histogram, run_checked, scaled, series};
+use std::sync::Arc;
+
+use capsule_bench::{full_scale, histogram, scaled, series, BatchRunner, Scenario};
 use capsule_core::config::MachineConfig;
 use capsule_workloads::dijkstra::Dijkstra;
-use capsule_workloads::Variant;
+use capsule_workloads::{Variant, Workload};
 
 fn main() {
     let graphs = scaled(20, 100);
@@ -21,15 +23,36 @@ fn main() {
         if full_scale() { ", paper scale" } else { ", reduced scale; --full for paper scale" }
     );
 
-    let mut seq = Vec::new();
-    let mut stat = Vec::new();
-    let mut comp = Vec::new();
+    let mut scenarios = Vec::new();
     for g in 0..graphs {
-        let w = Dijkstra::figure3(1000 + g as u64, nodes);
-        seq.push(run_checked(MachineConfig::table1_superscalar(), &w, Variant::Sequential).cycles());
-        stat.push(run_checked(MachineConfig::table1_smt(), &w, Variant::Static(8)).cycles());
-        comp.push(run_checked(MachineConfig::table1_somt(), &w, Variant::Component).cycles());
+        let w: Arc<dyn Workload + Send + Sync> =
+            Arc::new(Dijkstra::figure3(1000 + g as u64, nodes));
+        scenarios.push(Scenario::new(
+            "superscalar",
+            format!("g{g}"),
+            MachineConfig::table1_superscalar(),
+            Variant::Sequential,
+            Arc::clone(&w),
+        ));
+        scenarios.push(Scenario::new(
+            "smt_static",
+            format!("g{g}"),
+            MachineConfig::table1_smt(),
+            Variant::Static(8),
+            Arc::clone(&w),
+        ));
+        scenarios.push(Scenario::new(
+            "somt_component",
+            format!("g{g}"),
+            MachineConfig::table1_somt(),
+            Variant::Component,
+            w,
+        ));
     }
+    let report = BatchRunner::from_env().run("Figure 3 — Dijkstra distribution", scenarios);
+    let seq = report.group_cycles("superscalar");
+    let stat = report.group_cycles("smt_static");
+    let comp = report.group_cycles("somt_component");
 
     if std::env::args().any(|a| a == "--csv") {
         println!("index\tsuperscalar\tsmt_static\tsomt_component");
@@ -56,4 +79,5 @@ fn main() {
         c.stddev / c.mean
     );
     println!("(the paper highlights the component version's tighter distribution)");
+    report.emit("fig3_dijkstra_dist");
 }

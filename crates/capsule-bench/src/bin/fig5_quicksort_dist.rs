@@ -4,11 +4,13 @@
 //! The paper uses 500 lists; the default here cycles the five input
 //! shapes over a reduced count (`--full` for 500).
 
-use capsule_bench::{full_scale, histogram, run_checked, scaled, series};
+use std::sync::Arc;
+
+use capsule_bench::{full_scale, histogram, scaled, series, BatchRunner, Scenario};
 use capsule_core::config::MachineConfig;
 use capsule_workloads::datasets::{random_list, ListShape};
 use capsule_workloads::quicksort::QuickSort;
-use capsule_workloads::Variant;
+use capsule_workloads::{Variant, Workload};
 
 fn main() {
     let lists = scaled(25, 500);
@@ -18,16 +20,37 @@ fn main() {
         if full_scale() { ", paper scale" } else { ", reduced scale; --full for paper scale" }
     );
 
-    let mut seq = Vec::new();
-    let mut stat = Vec::new();
-    let mut comp = Vec::new();
+    let mut scenarios = Vec::new();
     for i in 0..lists {
         let shape = ListShape::ALL[i % ListShape::ALL.len()];
-        let w = QuickSort::new(random_list(2000 + i as u64, len, shape));
-        seq.push(run_checked(MachineConfig::table1_superscalar(), &w, Variant::Sequential).cycles());
-        stat.push(run_checked(MachineConfig::table1_smt(), &w, Variant::Static(8)).cycles());
-        comp.push(run_checked(MachineConfig::table1_somt(), &w, Variant::Component).cycles());
+        let w: Arc<dyn Workload + Send + Sync> =
+            Arc::new(QuickSort::new(random_list(2000 + i as u64, len, shape)));
+        scenarios.push(Scenario::new(
+            "superscalar",
+            format!("l{i}"),
+            MachineConfig::table1_superscalar(),
+            Variant::Sequential,
+            Arc::clone(&w),
+        ));
+        scenarios.push(Scenario::new(
+            "smt_static",
+            format!("l{i}"),
+            MachineConfig::table1_smt(),
+            Variant::Static(8),
+            Arc::clone(&w),
+        ));
+        scenarios.push(Scenario::new(
+            "somt_component",
+            format!("l{i}"),
+            MachineConfig::table1_somt(),
+            Variant::Component,
+            w,
+        ));
     }
+    let report = BatchRunner::from_env().run("Figure 5 — QuickSort distribution", scenarios);
+    let seq = report.group_cycles("superscalar");
+    let stat = report.group_cycles("smt_static");
+    let comp = report.group_cycles("somt_component");
 
     if std::env::args().any(|a| a == "--csv") {
         println!("index\tsuperscalar\tsmt_static\tsomt_component");
@@ -53,4 +76,5 @@ fn main() {
         t.stddev / t.mean,
         c.stddev / c.mean
     );
+    report.emit("fig5_quicksort_dist");
 }

@@ -3,7 +3,9 @@
 //!
 //! Usage: `cargo run -p capsule-bench --bin fig6_division_tree [> fig6.dot]`
 
-use capsule_bench::{run_checked, scaled};
+use std::sync::Arc;
+
+use capsule_bench::{scaled, BatchRunner, Scenario};
 use capsule_core::config::MachineConfig;
 use capsule_workloads::datasets::{random_list, ListShape};
 use capsule_workloads::quicksort::QuickSort;
@@ -11,8 +13,17 @@ use capsule_workloads::Variant;
 
 fn main() {
     let len = scaled(3000, 12000);
-    let w = QuickSort::new(random_list(4242, len, ListShape::Uniform));
-    let o = run_checked(MachineConfig::table1_somt(), &w, Variant::Component);
+    let report = BatchRunner::from_env().run(
+        "Figure 6 — QuickSort division genealogy",
+        vec![Scenario::new(
+            "somt",
+            "uniform",
+            MachineConfig::table1_somt(),
+            Variant::Component,
+            Arc::new(QuickSort::new(random_list(4242, len, ListShape::Uniform))),
+        )],
+    );
+    let o = &report.only("somt").outcome;
     eprintln!(
         "// Figure 6 — QuickSort division genealogy: {} workers, depth {}, {} divisions granted of {}",
         o.tree.len(),
@@ -22,4 +33,8 @@ fn main() {
     );
     eprintln!("// (DOT on stdout; render with `dot -Tsvg`)");
     print!("{}", o.tree.to_dot());
+    match report.write_json("fig6_division_tree") {
+        Ok(path) => eprintln!("// report: {}", path.display()),
+        Err(e) => eprintln!("// report not written: {e}"),
+    }
 }

@@ -7,7 +7,9 @@
 //! workload runs under the plain greedy policy and under greedy +
 //! throttle, on the 8-context SOMT.
 
-use capsule_bench::{full_scale, run_checked, scaled};
+use std::sync::Arc;
+
+use capsule_bench::{full_scale, scaled, BatchRunner, Scenario};
 use capsule_core::config::{DivisionMode, MachineConfig};
 use capsule_workloads::lzw::Lzw;
 use capsule_workloads::perceptron::Perceptron;
@@ -20,22 +22,37 @@ fn main() {
     );
 
     // LZW: the paper matches N = 4096 characters.
-    let lzw = Lzw::figure7(5, scaled(2000, 4096));
+    let lzw: Arc<dyn Workload + Send + Sync> = Arc::new(Lzw::figure7(5, scaled(2000, 4096)));
     // Perceptron: the paper splits a 10000-neuron group.
-    let perc = Perceptron::figure7(3, scaled(10, 12), scaled(2048, 10000), scaled(3, 4))
-        .with_leaf(8);
+    let perc: Arc<dyn Workload + Send + Sync> = Arc::new(
+        Perceptron::figure7(3, scaled(10, 12), scaled(2048, 10000), scaled(3, 4)).with_leaf(8),
+    );
 
-    let workloads: [(&str, &dyn Workload); 2] = [("LZW", &lzw), ("Perceptron", &perc)];
-    for (name, w) in workloads {
-        let mut cycles = Vec::new();
-        for (policy, mode) in [
-            ("greedy (no throttle)", DivisionMode::Greedy),
-            ("greedy + throttle", DivisionMode::GreedyThrottled),
-        ] {
+    let mut scenarios = Vec::new();
+    for (wname, w) in [("LZW", &lzw), ("Perceptron", &perc)] {
+        for (policy, mode) in
+            [("greedy", DivisionMode::Greedy), ("throttled", DivisionMode::GreedyThrottled)]
+        {
             let mut cfg = MachineConfig::table1_somt();
             cfg.division_mode = mode;
-            let o = run_checked(cfg, w, Variant::Component);
-            println!("{name:<11} {policy:<22} {:>12} cycles", o.cycles());
+            scenarios.push(Scenario::new(
+                format!("{wname}/{policy}"),
+                policy,
+                cfg,
+                Variant::Component,
+                Arc::clone(w),
+            ));
+        }
+    }
+    let report = BatchRunner::from_env().run("Figure 7 — division throttling", scenarios);
+
+    for name in ["LZW", "Perceptron"] {
+        let mut cycles = Vec::new();
+        for (policy, label) in
+            [("greedy", "greedy (no throttle)"), ("throttled", "greedy + throttle")]
+        {
+            let o = &report.only(&format!("{name}/{policy}")).outcome;
+            println!("{name:<11} {label:<22} {:>12} cycles", o.cycles());
             println!(
                 "{:<11} {:<22} {} granted / {} requested, {} denied by throttle, {} deaths",
                 "",
@@ -53,4 +70,5 @@ fn main() {
         );
     }
     println!("(the paper's Figure 7 shows both programs benefiting from throttling)");
+    report.emit("fig7_throttling");
 }

@@ -3,7 +3,9 @@
 //! superscalar with the same resources, plus the share of execution
 //! spent in componentized sections (also Table 2's right column).
 
-use capsule_bench::{full_scale, run_checked, scaled};
+use std::sync::Arc;
+
+use capsule_bench::{full_scale, scaled, BatchRunner, Scenario};
 use capsule_core::config::MachineConfig;
 use capsule_workloads::spec::{Bzip2, Crafty, Mcf, Vpr, KERNEL_SECTION};
 use capsule_workloads::{Variant, Workload};
@@ -14,27 +16,41 @@ fn main() {
         if full_scale() { " (paper scale)" } else { " (reduced scale; --full for paper scale)" }
     );
 
-    let mcf = Mcf::standard(scaled(17, 18));
-    let vpr = Vpr::standard(19, scaled(10, 14), scaled(6, 10), 2);
-    let bzip2 = Bzip2::standard(23, scaled(280, 700));
-    let crafty = Crafty::standard(29, 8);
-    let workloads: [(&str, &dyn Workload, &str); 4] = [
-        ("mcf", &mcf, "45%"),
-        ("vpr", &vpr, "93%"),
-        ("bzip2", &bzip2, "20%"),
-        ("crafty", &crafty, "100%"),
+    let workloads: [(&str, Arc<dyn Workload + Send + Sync>, &str); 4] = [
+        ("mcf", Arc::new(Mcf::standard(scaled(17, 18))), "45%"),
+        ("vpr", Arc::new(Vpr::standard(19, scaled(10, 14), scaled(6, 10), 2)), "93%"),
+        ("bzip2", Arc::new(Bzip2::standard(23, scaled(280, 700))), "20%"),
+        ("crafty", Arc::new(Crafty::standard(29, 8)), "100%"),
     ];
+
+    let mut scenarios = Vec::new();
+    for (name, w, _) in &workloads {
+        // crafty has no sequential rewrite in the paper either; its
+        // baseline is the pool-of-one on the superscalar.
+        scenarios.push(Scenario::new(
+            format!("{name}/scalar"),
+            "scalar",
+            MachineConfig::table1_superscalar(),
+            Variant::Sequential,
+            Arc::clone(w),
+        ));
+        scenarios.push(Scenario::new(
+            format!("{name}/somt"),
+            "somt",
+            MachineConfig::table1_somt(),
+            Variant::Component,
+            Arc::clone(w),
+        ));
+    }
+    let report = BatchRunner::from_env().run("Figure 8 — SPEC analog speedups", scenarios);
 
     println!(
         "{:<8} {:>14} {:>14} {:>9} {:>9} {:>11} {:>8}",
         "bench", "scalar cyc", "somt cyc", "overall", "kernel", "%component", "paper %"
     );
-    for (name, w, paper_pct) in workloads {
-        // crafty has no sequential rewrite in the paper either; its
-        // baseline is the pool-of-one on the superscalar.
-        let seq_variant = Variant::Sequential;
-        let scalar = run_checked(MachineConfig::table1_superscalar(), w, seq_variant);
-        let somt = run_checked(MachineConfig::table1_somt(), w, Variant::Component);
+    for (name, _, paper_pct) in &workloads {
+        let scalar = &report.only(&format!("{name}/scalar")).outcome;
+        let somt = &report.only(&format!("{name}/somt")).outcome;
 
         let overall = scalar.cycles() as f64 / somt.cycles() as f64;
         // kernel speedup: componentized-section cycles on each machine
@@ -53,4 +69,5 @@ fn main() {
         );
     }
     println!("\n(paper Figure 8: overall speedups between 1.1 and 3.0; crafty 1.7)");
+    report.emit("fig8_spec_speedups");
 }

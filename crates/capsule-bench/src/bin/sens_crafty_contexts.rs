@@ -5,26 +5,44 @@
 //! Runs the crafty analog with a pool sized to the context count on 2-,
 //! 4- and 8-context SOMTs, against the pool-of-one superscalar baseline.
 
-use capsule_bench::run_checked;
+use std::sync::Arc;
+
+use capsule_bench::{BatchRunner, Scenario};
 use capsule_core::config::MachineConfig;
 use capsule_workloads::spec::Crafty;
 use capsule_workloads::Variant;
 
+const CONTEXTS: [usize; 3] = [2, 4, 8];
+
 fn main() {
     println!("§5 — crafty: software pool vs context count (paper: 4 ctx 2.3x > 8 ctx 1.7x)\n");
 
-    let baseline = {
-        let w = Crafty::standard(29, 1);
-        run_checked(MachineConfig::table1_superscalar(), &w, Variant::Sequential).cycles()
-    };
+    let mut scenarios = vec![Scenario::new(
+        "baseline",
+        "pool1",
+        MachineConfig::table1_superscalar(),
+        Variant::Sequential,
+        Arc::new(Crafty::standard(29, 1)),
+    )];
+    for contexts in CONTEXTS {
+        let mut cfg = MachineConfig::table1_somt();
+        cfg.contexts = contexts;
+        scenarios.push(Scenario::new(
+            format!("somt/{contexts}"),
+            format!("pool{contexts}"),
+            cfg,
+            Variant::Component,
+            Arc::new(Crafty::standard(29, contexts)),
+        ));
+    }
+    let report = BatchRunner::from_env().run("§5 — crafty context study", scenarios);
+
+    let baseline = report.only("baseline").outcome.cycles();
     println!("superscalar pool-of-one baseline: {baseline} cycles\n");
     println!("{:>9} {:>14} {:>9} {:>12} {:>12}", "contexts", "cycles", "speedup", "grant rate", "lock stalls");
 
-    for contexts in [2usize, 4, 8] {
-        let w = Crafty::standard(29, contexts);
-        let mut cfg = MachineConfig::table1_somt();
-        cfg.contexts = contexts;
-        let o = run_checked(cfg, &w, Variant::Component);
+    for contexts in CONTEXTS {
+        let o = &report.only(&format!("somt/{contexts}")).outcome;
         println!(
             "{contexts:>9} {:>14} {:>8.2}x {:>11.0}% {:>12}",
             o.cycles(),
@@ -38,4 +56,5 @@ fn main() {
     println!(" not reproduce here — the fast lock table turns the pool's active wait into");
     println!(" quiet WaitLock stalls instead of pthread-style pipeline pollution, see");
     println!(" EXPERIMENTS.md)");
+    report.emit("sens_crafty_contexts");
 }

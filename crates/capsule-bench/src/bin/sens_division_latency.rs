@@ -5,25 +5,43 @@
 //! Sweeps the register-copy latency charged to a divided child on the
 //! division-heavy workloads (mcf has the paper's highest grant rate).
 
-use capsule_bench::{run_checked, scaled};
+use std::sync::Arc;
+
+use capsule_bench::{scaled, BatchRunner, Scenario};
 use capsule_core::config::MachineConfig;
 use capsule_workloads::dijkstra::Dijkstra;
 use capsule_workloads::spec::Mcf;
 use capsule_workloads::{Variant, Workload};
 
+const LATENCIES: [u64; 5] = [0, 25, 50, 100, 200];
+
 fn main() {
     println!("§5 — division-latency sensitivity (paper: <1% variation up to 200 cycles)\n");
-    let mcf = Mcf::standard(scaled(17, 18));
-    let dij = Dijkstra::figure3(7, scaled(250, 1000));
-    let workloads: [(&str, &dyn Workload); 2] = [("mcf", &mcf), ("dijkstra", &dij)];
+    let mcf: Arc<dyn Workload + Send + Sync> = Arc::new(Mcf::standard(scaled(17, 18)));
+    let dij: Arc<dyn Workload + Send + Sync> =
+        Arc::new(Dijkstra::figure3(7, scaled(250, 1000)));
 
-    for (name, w) in workloads {
-        let mut base = None;
-        println!("{name}:");
-        for lat in [0u64, 25, 50, 100, 200] {
+    let mut scenarios = Vec::new();
+    for (name, w) in [("mcf", &mcf), ("dijkstra", &dij)] {
+        for lat in LATENCIES {
             let mut cfg = MachineConfig::table1_somt();
             cfg.division_latency = lat;
-            let o = run_checked(cfg, w, Variant::Component);
+            scenarios.push(Scenario::new(
+                format!("{name}/{lat}"),
+                format!("{lat}"),
+                cfg,
+                Variant::Component,
+                Arc::clone(w),
+            ));
+        }
+    }
+    let report = BatchRunner::from_env().run("§5 — division-latency sensitivity", scenarios);
+
+    for name in ["mcf", "dijkstra"] {
+        let mut base = None;
+        println!("{name}:");
+        for lat in LATENCIES {
+            let o = &report.only(&format!("{name}/{lat}")).outcome;
             let b = *base.get_or_insert(o.cycles());
             let delta = 100.0 * (o.cycles() as f64 - b as f64) / b as f64;
             println!(
@@ -34,4 +52,5 @@ fn main() {
         }
         println!();
     }
+    report.emit("sens_division_latency");
 }

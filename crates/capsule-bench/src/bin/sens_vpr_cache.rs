@@ -5,18 +5,22 @@
 //! Runs the vpr analog on the Table 1 SOMT and on a SOMT with doubled
 //! L1-D/L2 capacity and ports, both against the matching superscalar.
 
-use capsule_bench::{run_checked, scaled};
+use std::sync::Arc;
+
+use capsule_bench::{scaled, BatchRunner, Scenario};
 use capsule_core::config::MachineConfig;
 use capsule_workloads::spec::Vpr;
-use capsule_workloads::Variant;
+use capsule_workloads::{Variant, Workload};
 
 fn main() {
     println!("§5 — vpr cache sensitivity (paper: overall speedup 2.47 -> 3.0 with 2x cache)\n");
     // A larger grid than the Figure 8 default makes vpr properly
     // cache-hungry.
-    let w = Vpr::standard(19, scaled(16, 24), scaled(8, 12), 2);
+    let w: Arc<dyn Workload + Send + Sync> =
+        Arc::new(Vpr::standard(19, scaled(16, 24), scaled(8, 12), 2));
 
-    for (name, double) in [("Table 1 caches", false), ("2x size + 2x ports", true)] {
+    let mut scenarios = Vec::new();
+    for (tag, double) in [("base", false), ("doubled", true)] {
         let mut scalar_cfg = MachineConfig::table1_superscalar();
         let mut somt_cfg = MachineConfig::table1_somt();
         if double {
@@ -25,8 +29,26 @@ fn main() {
                 cfg.l2 = cfg.l2.doubled();
             }
         }
-        let scalar = run_checked(scalar_cfg, &w, Variant::Sequential);
-        let somt = run_checked(somt_cfg, &w, Variant::Component);
+        scenarios.push(Scenario::new(
+            format!("{tag}/scalar"),
+            tag,
+            scalar_cfg,
+            Variant::Sequential,
+            Arc::clone(&w),
+        ));
+        scenarios.push(Scenario::new(
+            format!("{tag}/somt"),
+            tag,
+            somt_cfg,
+            Variant::Component,
+            Arc::clone(&w),
+        ));
+    }
+    let report = BatchRunner::from_env().run("§5 — vpr cache sensitivity", scenarios);
+
+    for (name, tag) in [("Table 1 caches", "base"), ("2x size + 2x ports", "doubled")] {
+        let scalar = &report.only(&format!("{tag}/scalar")).outcome;
+        let somt = &report.only(&format!("{tag}/somt")).outcome;
         println!("{name}:");
         println!(
             "  superscalar {:>12} cycles (L1D miss {:.1}%, L2 miss {:.1}%)",
@@ -42,4 +64,5 @@ fn main() {
         );
         println!("  speedup     {:>11.2}x\n", scalar.cycles() as f64 / somt.cycles() as f64);
     }
+    report.emit("sens_vpr_cache");
 }

@@ -1,8 +1,14 @@
 //! Table 1: baseline configuration of the SOMT, SMT and superscalar
-//! processors.
+//! processors. Ends with a smoke run of the configured machine through
+//! the shared scenario runner, so the printed configuration is one that
+//! demonstrably executes.
 
-use capsule_bench::row;
+use std::sync::Arc;
+
+use capsule_bench::{row, BatchRunner, Scenario};
 use capsule_core::config::MachineConfig;
+use capsule_workloads::dijkstra::Dijkstra;
+use capsule_workloads::Variant;
 
 fn main() {
     let c = MachineConfig::table1_somt();
@@ -43,4 +49,27 @@ fn main() {
     row("Lock table entries", c.lock_table_entries);
     println!("\nBaselines: SMT = same, division disabled; superscalar = 1 context.");
     c.validate().expect("Table 1 config is self-consistent");
+
+    // Smoke-run each configured machine on a tiny workload.
+    let w = Arc::new(Dijkstra::figure3(1, 40));
+    let report = BatchRunner::from_env().run(
+        "Table 1 — baseline configuration smoke run",
+        vec![
+            Scenario::new("somt", "smoke", c, Variant::Component, w.clone()),
+            Scenario::new("smt", "smoke", MachineConfig::table1_smt(), Variant::Static(8), w.clone()),
+            Scenario::new(
+                "superscalar",
+                "smoke",
+                MachineConfig::table1_superscalar(),
+                Variant::Sequential,
+                w,
+            ),
+        ],
+    );
+    println!("\nsmoke run (40-node Dijkstra): somt {} cy, smt {} cy, superscalar {} cy",
+        report.only("somt").outcome.cycles(),
+        report.only("smt").outcome.cycles(),
+        report.only("superscalar").outcome.cycles(),
+    );
+    report.emit("table1_config");
 }

@@ -7,10 +7,14 @@
 //! programs). The source-edit columns are reprinted from the paper for
 //! reference.
 
-use capsule_bench::{run_checked, scaled};
+use std::sync::Arc;
+
+use capsule_bench::{scaled, BatchRunner, Scenario};
 use capsule_core::config::MachineConfig;
 use capsule_workloads::spec::{Bzip2, Crafty, Mcf, Vpr, KERNEL_SECTION};
 use capsule_workloads::{Variant, Workload};
+
+type Row = (&'static str, Arc<dyn Workload + Send + Sync>, &'static str, &'static str, &'static str);
 
 fn main() {
     println!("Table 2 — SPEC CINT2000 componentization\n");
@@ -19,21 +23,38 @@ fn main() {
         "benchmark", "paper lines modified", "paper functions", "paper %", "measured %"
     );
 
-    let mcf = Mcf::standard(scaled(17, 18));
-    let vpr = Vpr::standard(19, scaled(10, 14), scaled(6, 10), 2);
-    let bzip2 = Bzip2::standard(23, scaled(280, 700));
-    let crafty = Crafty::standard(29, 8);
-    let rows: [(&str, &dyn Workload, &str, &str, &str); 4] = [
-        ("181.mcf", &mcf, "174 / 2412", "2", "45%"),
-        ("175.vpr", &vpr, "624 / 17729", "10", "93%"),
-        ("256.bzip2", &bzip2, "317 / 4649", "3", "20%"),
-        ("186.crafty", &crafty, "201 / 45000", "8", "100%"),
+    let rows: [Row; 4] = [
+        ("181.mcf", Arc::new(Mcf::standard(scaled(17, 18))), "174 / 2412", "2", "45%"),
+        (
+            "175.vpr",
+            Arc::new(Vpr::standard(19, scaled(10, 14), scaled(6, 10), 2)),
+            "624 / 17729",
+            "10",
+            "93%",
+        ),
+        ("256.bzip2", Arc::new(Bzip2::standard(23, scaled(280, 700))), "317 / 4649", "3", "20%"),
+        ("186.crafty", Arc::new(Crafty::standard(29, 8)), "201 / 45000", "8", "100%"),
     ];
 
-    for (name, w, lines, funcs, paper) in rows {
-        let o = run_checked(MachineConfig::table1_superscalar(), w, Variant::Sequential);
+    let scenarios = rows
+        .iter()
+        .map(|(name, w, ..)| {
+            Scenario::new(
+                *name,
+                "sequential",
+                MachineConfig::table1_superscalar(),
+                Variant::Sequential,
+                Arc::clone(w),
+            )
+        })
+        .collect();
+    let report = BatchRunner::from_env().run("Table 2 — componentization", scenarios);
+
+    for (name, _, lines, funcs, paper) in &rows {
+        let o = &report.only(name).outcome;
         let pct = 100.0 * o.sections.section_fraction(KERNEL_SECTION, o.cycles());
         println!("{name:<12} {lines:>22} {funcs:>20} {paper:>12} {pct:>9.0}%");
     }
     println!("\n(measured % = cycles inside mark.start/mark.end over total, sequential run)");
+    report.emit("table2_componentization");
 }

@@ -5,7 +5,9 @@
 //! percentage allowed, and the number of committed instructions per
 //! allowed division.
 
-use capsule_bench::{run_checked, scaled};
+use std::sync::Arc;
+
+use capsule_bench::{scaled, BatchRunner, Scenario};
 use capsule_core::config::MachineConfig;
 use capsule_workloads::spec::{Bzip2, Mcf, Vpr};
 use capsule_workloads::{Variant, Workload};
@@ -17,17 +19,28 @@ fn main() {
         "bench", "requested", "allowed", "% allowed", "insts/division", "paper"
     );
 
-    let mcf = Mcf::standard(scaled(17, 18));
-    let vpr = Vpr::standard(19, scaled(10, 14), scaled(6, 10), 2);
-    let bzip2 = Bzip2::standard(23, scaled(280, 700));
-    let rows: [(&str, &dyn Workload, &str); 3] = [
-        ("mcf", &mcf, "40% / 3.7K"),
-        ("vpr", &vpr, "4% / 4.5M"),
-        ("bzip2", &bzip2, "6% / 30M"),
+    let rows: [(&str, Arc<dyn Workload + Send + Sync>, &str); 3] = [
+        ("mcf", Arc::new(Mcf::standard(scaled(17, 18))), "40% / 3.7K"),
+        ("vpr", Arc::new(Vpr::standard(19, scaled(10, 14), scaled(6, 10), 2)), "4% / 4.5M"),
+        ("bzip2", Arc::new(Bzip2::standard(23, scaled(280, 700))), "6% / 30M"),
     ];
 
-    for (name, w, paper) in rows {
-        let o = run_checked(MachineConfig::table1_somt(), w, Variant::Component);
+    let scenarios = rows
+        .iter()
+        .map(|(name, w, _)| {
+            Scenario::new(
+                *name,
+                "component",
+                MachineConfig::table1_somt(),
+                Variant::Component,
+                Arc::clone(w),
+            )
+        })
+        .collect();
+    let report = BatchRunner::from_env().run("Table 3 — division rates", scenarios);
+
+    for (name, _, paper) in &rows {
+        let o = &report.only(name).outcome;
         let ipd = o
             .stats
             .insts_per_division()
@@ -43,4 +56,5 @@ fn main() {
     }
     println!("\n(the paper's absolute rates depend on SPEC input sizes; the ordering —");
     println!(" mcf grants often at fine grain, vpr/bzip2 rarely — is the reproducible shape)");
+    report.emit("table3_divisions");
 }

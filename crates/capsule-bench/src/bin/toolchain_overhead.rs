@@ -9,7 +9,7 @@
 //! overhead; on the SOMT most probes are granted, giving the per-division
 //! cost including the child's pooled-stack allocation.
 
-use capsule_bench::{run_checked_raw, scaled};
+use capsule_bench::{scaled, BatchRunner, Scenario};
 use capsule_core::config::MachineConfig;
 use capsule_workloads::lang_ports::probe_overhead_program;
 
@@ -20,8 +20,42 @@ fn main() {
     let plain = probe_overhead_program(n, false);
     let probed = probe_overhead_program(n, true);
 
-    let p_scalar = run_checked_raw(MachineConfig::table1_superscalar(), &plain);
-    let c_scalar = run_checked_raw(MachineConfig::table1_superscalar(), &probed);
+    let report = BatchRunner::from_env().run(
+        "§3.2 — toolchain overhead per division",
+        vec![
+            Scenario::raw(
+                "scalar/plain",
+                "plain",
+                MachineConfig::table1_superscalar(),
+                "probe-overhead-plain",
+                plain.clone(),
+            ),
+            Scenario::raw(
+                "scalar/coworker",
+                "coworker",
+                MachineConfig::table1_superscalar(),
+                "probe-overhead-coworker",
+                probed.clone(),
+            ),
+            Scenario::raw(
+                "somt/plain",
+                "plain",
+                MachineConfig::table1_somt(),
+                "probe-overhead-plain",
+                plain,
+            ),
+            Scenario::raw(
+                "somt/coworker",
+                "coworker",
+                MachineConfig::table1_somt(),
+                "probe-overhead-coworker",
+                probed,
+            ),
+        ],
+    );
+
+    let p_scalar = &report.only("scalar/plain").outcome;
+    let c_scalar = &report.only("scalar/coworker").outcome;
     assert_eq!(p_scalar.ints(), c_scalar.ints(), "results must agree");
     println!(
         "superscalar (all {n} probes denied):   plain {:>9} cy, coworker {:>9} cy -> {:>5.1} cy/probe",
@@ -30,8 +64,8 @@ fn main() {
         (c_scalar.cycles() as f64 - p_scalar.cycles() as f64) / n as f64
     );
 
-    let p_somt = run_checked_raw(MachineConfig::table1_somt(), &plain);
-    let c_somt = run_checked_raw(MachineConfig::table1_somt(), &probed);
+    let p_somt = &report.only("somt/plain").outcome;
+    let c_somt = &report.only("somt/coworker").outcome;
     assert_eq!(p_somt.ints(), c_somt.ints(), "results must agree");
     println!(
         "SOMT ({} of {n} probes granted):   plain {:>9} cy, coworker {:>9} cy -> {:>5.1} cy/probe",
@@ -43,4 +77,5 @@ fn main() {
     println!("\n(per-probe cost on the SOMT includes the granted children's pooled-stack");
     println!(" allocation, register-copy stall and join-token traffic; negative values mean");
     println!(" the division overhead was hidden by the parallelism it bought)");
+    report.emit("toolchain_overhead");
 }

@@ -13,6 +13,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod scenario;
+
+pub use scenario::{BatchReport, BatchRunner, RawWorkload, RunRecord, Scenario};
+
 use capsule_core::config::MachineConfig;
 use capsule_sim::machine::Machine;
 use capsule_sim::SimOutcome;
@@ -142,11 +146,21 @@ mod tests {
 
     #[test]
     fn histogram_places_values() {
-        let h = histogram("test", &[0, 5, 9, 9], 0, 10, 2);
-        assert!(h.contains("test"));
-        // first bin has 2 (0,5 -> bins 0,1? 5*2/10=1) — just check the totals
-        let hashes: usize = h.matches('#').count();
-        assert!(hashes > 0);
+        // lo=0, hi=10, 2 bins: [0,5) and [5,10]; values at/above hi
+        // clamp into the last bin.
+        let h = histogram("test", &[0, 4, 5, 9, 9, 10], 0, 10, 2);
+        let lines: Vec<&str> = h.lines().collect();
+        assert_eq!(lines[0], "test");
+        assert_eq!(lines.len(), 3);
+        let parse = |line: &str| {
+            let left: u64 = line.split_whitespace().next().expect("edge").parse().expect("edge");
+            let count: usize = line.rsplit(' ').next().expect("count").parse().expect("count");
+            let hashes = line.matches('#').count();
+            (left, count, hashes)
+        };
+        // Exact per-bin counts and left edges.
+        assert_eq!(parse(lines[1]), (0, 2, 2 * 50 / 4));
+        assert_eq!(parse(lines[2]), (5, 4, 50)); // peak bin gets the full 50-char bar
     }
 
     #[test]

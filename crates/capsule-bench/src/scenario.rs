@@ -1,0 +1,378 @@
+//! Shared scenario runner: every evaluation binary describes its runs as
+//! a batch of [`Scenario`]s and hands them to a [`BatchRunner`], which
+//! owns checked execution, host-reference validation, parallel execution
+//! across host cores, and machine-readable JSON reporting.
+//!
+//! Reports are deterministic: records appear in scenario order and carry
+//! only simulated quantities (never wall-clock time or the worker
+//! count), so the same batch produces byte-identical JSON whether it ran
+//! on 1 worker or 16.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use capsule_core::config::MachineConfig;
+use capsule_core::output::Json;
+use capsule_isa::program::Program;
+use capsule_sim::SimOutcome;
+use capsule_workloads::{Variant, Workload};
+
+use crate::run_checked;
+
+/// One independent simulated run: a workload variant on a machine.
+#[derive(Clone)]
+pub struct Scenario {
+    /// Series key; runs that belong to one curve/histogram share a group
+    /// (e.g. `"superscalar"`, `"somt"`).
+    pub group: String,
+    /// Distinguishes runs within a group (e.g. the dataset index).
+    pub label: String,
+    /// Machine to simulate.
+    pub config: MachineConfig,
+    /// Which implementation of the workload to build.
+    pub variant: Variant,
+    /// The workload; shared so one dataset can run on several machines.
+    pub workload: Arc<dyn Workload + Send + Sync>,
+}
+
+impl Scenario {
+    /// A scenario over a shared workload.
+    pub fn new(
+        group: impl Into<String>,
+        label: impl Into<String>,
+        config: MachineConfig,
+        variant: Variant,
+        workload: Arc<dyn Workload + Send + Sync>,
+    ) -> Scenario {
+        Scenario { group: group.into(), label: label.into(), config, variant, workload }
+    }
+
+    /// A scenario over a raw program with no host reference (the checker
+    /// accepts any output). For toolchain-level measurements.
+    pub fn raw(
+        group: impl Into<String>,
+        label: impl Into<String>,
+        config: MachineConfig,
+        name: &'static str,
+        program: Program,
+    ) -> Scenario {
+        Scenario::new(
+            group,
+            label,
+            config,
+            Variant::Sequential,
+            Arc::new(RawWorkload { name, program }),
+        )
+    }
+}
+
+/// Adapter: a pre-built [`Program`] as a [`Workload`] whose checker
+/// accepts any output. Every variant returns the same program.
+pub struct RawWorkload {
+    name: &'static str,
+    program: Program,
+}
+
+impl Workload for RawWorkload {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+    fn supports(&self, _variant: Variant) -> bool {
+        true
+    }
+    fn program(&self, _variant: Variant) -> Program {
+        self.program.clone()
+    }
+    fn check(&self, _output: &[capsule_core::OutValue]) -> Result<(), String> {
+        Ok(())
+    }
+}
+
+/// The result of one [`Scenario`]: identification plus the full
+/// validated simulation outcome.
+pub struct RunRecord {
+    /// The scenario's group.
+    pub group: String,
+    /// The scenario's label.
+    pub label: String,
+    /// Workload name ([`Workload::name`]).
+    pub workload: &'static str,
+    /// Variant that ran, as a report string.
+    pub variant: String,
+    /// Full simulation outcome (already checked against the host
+    /// reference).
+    pub outcome: SimOutcome,
+}
+
+fn variant_name(v: Variant) -> String {
+    match v {
+        Variant::Sequential => "sequential".to_string(),
+        Variant::Static(n) => format!("static({n})"),
+        Variant::Component => "component".to_string(),
+    }
+}
+
+/// Executes batches of scenarios in parallel across host threads.
+pub struct BatchRunner {
+    workers: usize,
+}
+
+impl BatchRunner {
+    /// Worker count from `CAPSULE_BENCH_WORKERS`, defaulting to the host
+    /// parallelism.
+    pub fn from_env() -> BatchRunner {
+        let workers = std::env::var("CAPSULE_BENCH_WORKERS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            });
+        BatchRunner::with_workers(workers)
+    }
+
+    /// A runner with an explicit worker count (min 1).
+    pub fn with_workers(workers: usize) -> BatchRunner {
+        BatchRunner { workers: workers.max(1) }
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs every scenario (validating each against its host reference)
+    /// and returns the records **in scenario order**, regardless of the
+    /// worker count or scheduling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any scenario fails to simulate or fails validation — a
+    /// bench must never report numbers from a wrong run.
+    pub fn run(&self, title: impl Into<String>, scenarios: Vec<Scenario>) -> BatchReport {
+        let title = title.into();
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<RunRecord>>> =
+            scenarios.iter().map(|_| Mutex::new(None)).collect();
+        let workers = self.workers.min(scenarios.len()).max(1);
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(sc) = scenarios.get(i) else { break };
+                    let outcome =
+                        run_checked(sc.config.clone(), sc.workload.as_ref(), sc.variant);
+                    *slots[i].lock().expect("slot lock") = Some(RunRecord {
+                        group: sc.group.clone(),
+                        label: sc.label.clone(),
+                        workload: sc.workload.name(),
+                        variant: variant_name(sc.variant),
+                        outcome,
+                    });
+                });
+            }
+        });
+        let records = slots
+            .into_iter()
+            .map(|m| m.into_inner().expect("slot lock").expect("every slot filled"))
+            .collect();
+        BatchReport { title, records }
+    }
+}
+
+/// All records of a batch, in scenario order.
+pub struct BatchReport {
+    /// Human-readable batch title (goes into the JSON header).
+    pub title: String,
+    /// One record per scenario, in submission order.
+    pub records: Vec<RunRecord>,
+}
+
+impl BatchReport {
+    /// The records of one group, in scenario order.
+    pub fn group(&self, group: &str) -> Vec<&RunRecord> {
+        self.records.iter().filter(|r| r.group == group).collect()
+    }
+
+    /// The cycle counts of one group, in scenario order.
+    pub fn group_cycles(&self, group: &str) -> Vec<u64> {
+        self.records.iter().filter(|r| r.group == group).map(|r| r.outcome.cycles()).collect()
+    }
+
+    /// The single record of a group that is expected to hold exactly one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the group does not contain exactly one record.
+    pub fn only(&self, group: &str) -> &RunRecord {
+        let rs = self.group(group);
+        assert_eq!(rs.len(), 1, "group {group:?} has {} records, expected 1", rs.len());
+        rs[0]
+    }
+
+    /// The machine-readable report. Deterministic: contains only
+    /// simulated quantities (no wall-clock time, no worker count), in
+    /// scenario order. Schema documented in docs/SIMULATOR.md.
+    pub fn to_json(&self) -> Json {
+        let mut root = Json::object();
+        root.push("title", self.title.as_str());
+        root.push("schema", "capsule-bench-report/1");
+        let mut records = Vec::with_capacity(self.records.len());
+        for r in &self.records {
+            let s = &r.outcome.stats;
+            let mut rec = Json::object();
+            rec.push("group", r.group.as_str())
+                .push("label", r.label.as_str())
+                .push("workload", r.workload)
+                .push("variant", r.variant.as_str())
+                .push("cycles", r.outcome.cycles())
+                .push("committed", s.committed)
+                .push("ipc", s.ipc())
+                .push("divisions_requested", s.divisions_requested)
+                .push("divisions_granted", s.divisions_granted())
+                .push("deaths", s.deaths)
+                .push("max_live_workers", s.max_live_workers)
+                .push("l1d_misses", r.outcome.l1d.misses)
+                .push("l2_misses", r.outcome.l2.misses)
+                .push("mem_accesses", r.outcome.mem_accesses);
+            records.push(rec);
+        }
+        root.push("records", Json::Array(records));
+        root
+    }
+
+    /// Writes the JSON report to `<report dir>/<slug>.json` and returns
+    /// the path. The directory defaults to `target/capsule-reports` and
+    /// can be overridden with `CAPSULE_BENCH_REPORT_DIR`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_json(&self, slug: &str) -> std::io::Result<PathBuf> {
+        let dir = std::env::var("CAPSULE_BENCH_REPORT_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|_| PathBuf::from("target/capsule-reports"));
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{slug}.json"));
+        std::fs::write(&path, self.to_json().to_string_pretty())?;
+        Ok(path)
+    }
+
+    /// Writes the report (see [`BatchReport::write_json`]) and prints
+    /// where it went; on failure prints the error instead of aborting
+    /// the bench (the numbers were already validated and printed).
+    pub fn emit(&self, slug: &str) {
+        match self.write_json(slug) {
+            Ok(path) => println!("\nreport: {}", path.display()),
+            Err(e) => eprintln!("\nreport {slug}.json not written: {e}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capsule_workloads::dijkstra::Dijkstra;
+    use capsule_workloads::quicksort::QuickSort;
+
+    fn small_batch() -> Vec<Scenario> {
+        let mut scenarios = Vec::new();
+        for g in 0..4u64 {
+            let w: Arc<dyn Workload + Send + Sync> = Arc::new(Dijkstra::figure3(g, 30));
+            scenarios.push(Scenario::new(
+                "somt",
+                format!("g{g}"),
+                MachineConfig::table1_somt(),
+                Variant::Component,
+                Arc::clone(&w),
+            ));
+            scenarios.push(Scenario::new(
+                "superscalar",
+                format!("g{g}"),
+                MachineConfig::table1_superscalar(),
+                Variant::Sequential,
+                w,
+            ));
+        }
+        scenarios.push(Scenario::new(
+            "qs",
+            "only",
+            MachineConfig::table1_somt(),
+            Variant::Component,
+            Arc::new(QuickSort::new(vec![5, 3, 9, 1, 2])),
+        ));
+        scenarios
+    }
+
+    #[test]
+    fn records_stay_in_scenario_order() {
+        let report = BatchRunner::with_workers(3).run("order", small_batch());
+        let labels: Vec<&str> = report
+            .records
+            .iter()
+            .map(|r| r.label.as_str())
+            .collect();
+        assert_eq!(labels, ["g0", "g0", "g1", "g1", "g2", "g2", "g3", "g3", "only"]);
+        assert_eq!(report.group("somt").len(), 4);
+        assert_eq!(report.group_cycles("superscalar").len(), 4);
+        assert_eq!(report.only("qs").workload, "quicksort");
+    }
+
+    /// The determinism contract: the same batch on 1 worker and on many
+    /// workers yields identical per-run cycle counts and byte-identical
+    /// JSON reports.
+    #[test]
+    fn worker_count_never_changes_the_report() {
+        let serial = BatchRunner::with_workers(1).run("det", small_batch());
+        let parallel = BatchRunner::with_workers(4).run("det", small_batch());
+        let c1: Vec<u64> = serial.records.iter().map(|r| r.outcome.cycles()).collect();
+        let c4: Vec<u64> = parallel.records.iter().map(|r| r.outcome.cycles()).collect();
+        assert_eq!(c1, c4);
+        assert_eq!(serial.to_json().to_string_pretty(), parallel.to_json().to_string_pretty());
+    }
+
+    #[test]
+    fn raw_scenarios_accept_any_output() {
+        let w = Dijkstra::figure3(9, 20);
+        let program = w.program(Variant::Sequential);
+        let report = BatchRunner::with_workers(2).run(
+            "raw",
+            vec![Scenario::raw(
+                "raw",
+                "p0",
+                MachineConfig::table1_superscalar(),
+                "raw-dijkstra",
+                program,
+            )],
+        );
+        assert!(report.only("raw").outcome.cycles() > 0);
+    }
+
+    #[test]
+    fn json_report_has_the_documented_shape() {
+        let report = BatchRunner::with_workers(2).run(
+            "shape",
+            vec![Scenario::new(
+                "g",
+                "l",
+                MachineConfig::table1_somt(),
+                Variant::Component,
+                Arc::new(QuickSort::new(vec![2, 1])),
+            )],
+        );
+        let json = report.to_json().to_string_compact();
+        for key in [
+            "\"title\":\"shape\"",
+            "\"schema\":\"capsule-bench-report/1\"",
+            "\"group\":\"g\"",
+            "\"label\":\"l\"",
+            "\"workload\":\"quicksort\"",
+            "\"variant\":\"component\"",
+            "\"cycles\":",
+            "\"ipc\":",
+            "\"divisions_granted\":",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+}

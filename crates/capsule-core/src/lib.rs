@@ -10,7 +10,12 @@
 //! - the **machine configuration** of Table 1 of the paper, in [`config`];
 //! - **statistics** counters and the division genealogy used to regenerate
 //!   the paper's figures, in [`stats`];
-//! - small **identifier newtypes** in [`ids`].
+//! - small **identifier newtypes** in [`ids`];
+//! - hermetic seeded **pseudo-random generators** (SplitMix64,
+//!   xoshiro256\*\*) behind the dataset generators and seeded tests, in
+//!   [`rng`];
+//! - a hand-rolled, dependency-free **JSON writer** for machine-readable
+//!   reports, in [`output`].
 //!
 //! # Example
 //!
@@ -34,6 +39,7 @@ pub mod config;
 pub mod output;
 pub mod ids;
 pub mod policy;
+pub mod rng;
 pub mod stats;
 
 pub use config::MachineConfig;

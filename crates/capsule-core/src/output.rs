@@ -1,4 +1,7 @@
-//! Values emitted on a run's output channel (`out`/`outf`).
+//! Values emitted on a run's output channel (`out`/`outf`), and a
+//! minimal hand-rolled JSON value/writer used for machine-readable
+//! bench reports (the workspace is dependency-free by design — see
+//! DESIGN.md §5 — so there is no serde here).
 
 /// A value emitted by a simulated program or native worker.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -27,6 +30,209 @@ impl OutValue {
     }
 }
 
+/// A JSON value with insertion-ordered object keys.
+///
+/// Rendering is deterministic: keys appear in insertion order, floats
+/// use Rust's shortest-roundtrip formatting (always with a `.0` or
+/// exponent so they read back as floats), and non-finite floats render
+/// as `null` (JSON has no NaN/Inf).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer (kept exact; not routed through f64).
+    Int(i64),
+    /// An unsigned integer (cycle counts exceed i64 range in theory).
+    UInt(u64),
+    /// A double; NaN/Inf render as `null`.
+    Float(f64),
+    /// A string (escaped on render).
+    Str(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object; keys keep insertion order.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// An empty object, to be filled with [`Json::push`].
+    pub fn object() -> Json {
+        Json::Object(Vec::new())
+    }
+
+    /// Appends `key: value` to an object.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not an [`Json::Object`].
+    pub fn push(&mut self, key: &str, value: impl Into<Json>) -> &mut Json {
+        match self {
+            Json::Object(entries) => entries.push((key.to_string(), value.into())),
+            other => panic!("Json::push on non-object {other:?}"),
+        }
+        self
+    }
+
+    /// Renders to a compact JSON string (no whitespace).
+    pub fn to_string_compact(&self) -> String {
+        let mut out = String::new();
+        self.render(&mut out, None, 0);
+        out
+    }
+
+    /// Renders to a pretty JSON string with 2-space indentation and a
+    /// trailing newline.
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        self.render(&mut out, Some(2), 0);
+        out.push('\n');
+        out
+    }
+
+    fn render(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        use std::fmt::Write as _;
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::UInt(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::Float(v) => render_f64(out, *v),
+            Json::Str(s) => render_str(out, s),
+            Json::Array(items) => {
+                render_seq(out, indent, depth, items.len(), '[', ']', |out, i| {
+                    items[i].render(out, indent, depth + 1);
+                });
+            }
+            Json::Object(entries) => {
+                render_seq(out, indent, depth, entries.len(), '{', '}', |out, i| {
+                    let (k, v) = &entries[i];
+                    render_str(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.render(out, indent, depth + 1);
+                });
+            }
+        }
+    }
+}
+
+fn render_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    len: usize,
+    open: char,
+    close: char,
+    mut item: impl FnMut(&mut String, usize),
+) {
+    out.push(open);
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(step) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat_n(' ', step * (depth + 1)));
+        }
+        item(out, i);
+    }
+    if len > 0 {
+        if let Some(step) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat_n(' ', step * depth));
+        }
+    }
+    out.push(close);
+}
+
+fn render_f64(out: &mut String, v: f64) {
+    use std::fmt::Write as _;
+    if !v.is_finite() {
+        out.push_str("null");
+        return;
+    }
+    let start = out.len();
+    let _ = write!(out, "{v}");
+    // `{}` on f64 prints integral values without a decimal point; keep
+    // the float-ness visible so readers don't reparse as an integer.
+    if !out[start..].contains(['.', 'e', 'E']) {
+        out.push_str(".0");
+    }
+}
+
+fn render_str(out: &mut String, s: &str) {
+    use std::fmt::Write as _;
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Json {
+        Json::Bool(v)
+    }
+}
+impl From<i64> for Json {
+    fn from(v: i64) -> Json {
+        Json::Int(v)
+    }
+}
+impl From<u64> for Json {
+    fn from(v: u64) -> Json {
+        Json::UInt(v)
+    }
+}
+impl From<usize> for Json {
+    fn from(v: usize) -> Json {
+        Json::UInt(v as u64)
+    }
+}
+impl From<u32> for Json {
+    fn from(v: u32) -> Json {
+        Json::UInt(v as u64)
+    }
+}
+impl From<f64> for Json {
+    fn from(v: f64) -> Json {
+        Json::Float(v)
+    }
+}
+impl From<&str> for Json {
+    fn from(v: &str) -> Json {
+        Json::Str(v.to_string())
+    }
+}
+impl From<String> for Json {
+    fn from(v: String) -> Json {
+        Json::Str(v)
+    }
+}
+impl<T: Into<Json>> From<Vec<T>> for Json {
+    fn from(v: Vec<T>) -> Json {
+        Json::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -37,5 +243,58 @@ mod tests {
         assert_eq!(OutValue::Int(3).as_float(), None);
         assert_eq!(OutValue::Float(1.5).as_float(), Some(1.5));
         assert_eq!(OutValue::Float(1.5).as_int(), None);
+    }
+
+    #[test]
+    fn json_compact_rendering() {
+        let mut o = Json::object();
+        o.push("name", "fig3")
+            .push("ok", true)
+            .push("cycles", 12345u64)
+            .push("delta", -2i64)
+            .push("ratio", 1.5)
+            .push("items", vec![1i64, 2, 3])
+            .push("nothing", Json::Null);
+        assert_eq!(
+            o.to_string_compact(),
+            r#"{"name":"fig3","ok":true,"cycles":12345,"delta":-2,"ratio":1.5,"items":[1,2,3],"nothing":null}"#
+        );
+    }
+
+    #[test]
+    fn json_pretty_rendering() {
+        let mut o = Json::object();
+        o.push("a", 1i64).push("b", Json::Array(vec![Json::Int(2)]));
+        assert_eq!(
+            o.to_string_pretty(),
+            "{\n  \"a\": 1,\n  \"b\": [\n    2\n  ]\n}\n"
+        );
+    }
+
+    #[test]
+    fn json_escapes_strings() {
+        let j = Json::Str("a\"b\\c\nd\te\u{1}".to_string());
+        assert_eq!(j.to_string_compact(), r#""a\"b\\c\nd\te\u0001""#);
+    }
+
+    #[test]
+    fn json_float_formatting_is_unambiguous() {
+        assert_eq!(Json::Float(2.0).to_string_compact(), "2.0");
+        assert_eq!(Json::Float(0.1).to_string_compact(), "0.1");
+        // `{}` on f64 never uses exponent notation; the `.0` marker is
+        // still appended.
+        assert_eq!(
+            Json::Float(1e30).to_string_compact(),
+            "1000000000000000000000000000000.0"
+        );
+        assert_eq!(Json::Float(f64::NAN).to_string_compact(), "null");
+        assert_eq!(Json::Float(f64::INFINITY).to_string_compact(), "null");
+    }
+
+    #[test]
+    fn json_empty_containers() {
+        assert_eq!(Json::Array(vec![]).to_string_compact(), "[]");
+        assert_eq!(Json::object().to_string_compact(), "{}");
+        assert_eq!(Json::object().to_string_pretty(), "{}\n");
     }
 }

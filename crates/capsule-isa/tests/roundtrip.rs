@@ -1,109 +1,138 @@
 //! Property tests: arbitrary instructions survive the binary encoding and
 //! the text assembler round-trips.
+//!
+//! Cases are generated from a fixed-seed [`capsule_core::rng`] stream, so
+//! the suite is deterministic, hermetic (no proptest dependency) and runs
+//! in the default `cargo test`. Build with `--features props` for a much
+//! larger sweep.
 
+use capsule_core::rng::{Rng, Xoshiro256StarStar};
 use capsule_isa::instr::{AluOp, BrCond, FAluOp, FCmpOp, Instr};
 use capsule_isa::reg::{FReg, Reg};
 use capsule_isa::{encode, text};
-use proptest::prelude::*;
 
-fn reg_strategy() -> impl Strategy<Value = Reg> {
-    (0u8..32).prop_map(Reg)
+fn cases(default: usize) -> usize {
+    if cfg!(feature = "props") {
+        default * 20
+    } else {
+        default
+    }
 }
 
-fn freg_strategy() -> impl Strategy<Value = FReg> {
-    (0u8..32).prop_map(FReg)
+fn reg(rng: &mut impl Rng) -> Reg {
+    Reg(rng.u64_below(32) as u8)
 }
 
-fn alu_op() -> impl Strategy<Value = AluOp> {
-    prop::sample::select(AluOp::ALL.to_vec())
+fn freg(rng: &mut impl Rng) -> FReg {
+    FReg(rng.u64_below(32) as u8)
 }
 
-fn falu_op() -> impl Strategy<Value = FAluOp> {
-    prop::sample::select(FAluOp::ALL.to_vec())
+fn pick<T: Copy>(rng: &mut impl Rng, all: &[T]) -> T {
+    all[rng.usize_below(all.len())]
 }
 
-fn fcmp_op() -> impl Strategy<Value = FCmpOp> {
-    prop::sample::select(FCmpOp::ALL.to_vec())
+fn target(rng: &mut impl Rng) -> u32 {
+    rng.u64_below(1 << 24) as u32
 }
 
-fn br_cond() -> impl Strategy<Value = BrCond> {
-    prop::sample::select(BrCond::ALL.to_vec())
-}
-
-fn target() -> impl Strategy<Value = u32> {
-    0u32..(1 << 24)
+fn offset(rng: &mut impl Rng) -> i64 {
+    rng.i64_range(-4096, 4096)
 }
 
 /// Any encodable instruction. Floats are restricted to finite values so
 /// text round-trips compare cleanly (NaN is covered by a unit test).
-fn instr_strategy() -> impl Strategy<Value = Instr> {
-    let r = reg_strategy;
-    let f = freg_strategy;
-    prop_oneof![
-        Just(Instr::Nop),
-        Just(Instr::Halt),
-        Just(Instr::Kthr),
-        (alu_op(), r(), r(), r()).prop_map(|(op, rd, rs1, rs2)| Instr::Alu { op, rd, rs1, rs2 }),
-        (alu_op(), r(), r(), any::<i64>())
-            .prop_map(|(op, rd, rs1, imm)| Instr::AluI { op, rd, rs1, imm }),
-        (r(), any::<i64>()).prop_map(|(rd, imm)| Instr::Li { rd, imm }),
-        (r(), r(), -4096i64..4096).prop_map(|(rd, base, off)| Instr::Ld { rd, base, off }),
-        (r(), r(), -4096i64..4096).prop_map(|(rs, base, off)| Instr::St { rs, base, off }),
-        (r(), r(), -4096i64..4096).prop_map(|(rd, base, off)| Instr::Ldb { rd, base, off }),
-        (r(), r(), -4096i64..4096).prop_map(|(rs, base, off)| Instr::Stb { rs, base, off }),
-        (f(), r(), -4096i64..4096).prop_map(|(fd, base, off)| Instr::FLd { fd, base, off }),
-        (f(), r(), -4096i64..4096).prop_map(|(fs, base, off)| Instr::FSt { fs, base, off }),
-        (br_cond(), r(), r(), target())
-            .prop_map(|(cond, rs1, rs2, target)| Instr::Br { cond, rs1, rs2, target }),
-        target().prop_map(|target| Instr::J { target }),
-        (r(), target()).prop_map(|(rd, target)| Instr::Jal { rd, target }),
-        r().prop_map(|rs| Instr::Jr { rs }),
-        (r(), r()).prop_map(|(rd, rs)| Instr::Jalr { rd, rs }),
-        (falu_op(), f(), f(), f())
-            .prop_map(|(op, fd, fs1, fs2)| Instr::FAlu { op, fd, fs1, fs2 }),
-        (f(), -1e100f64..1e100).prop_map(|(fd, imm)| Instr::FLi { fd, imm }),
-        (fcmp_op(), r(), f(), f())
-            .prop_map(|(op, rd, fs1, fs2)| Instr::FCmp { op, rd, fs1, fs2 }),
-        (f(), r()).prop_map(|(fd, rs)| Instr::CvtIF { fd, rs }),
-        (r(), f()).prop_map(|(rd, fs)| Instr::CvtFI { rd, fs }),
-        (r(), target()).prop_map(|(rd, target)| Instr::Nthr { rd, target }),
-        r().prop_map(|rs| Instr::Mlock { rs }),
-        r().prop_map(|rs| Instr::Munlock { rs }),
-        r().prop_map(|rd| Instr::Nctx { rd }),
-        r().prop_map(|rd| Instr::Tid { rd }),
-        any::<u16>().prop_map(|id| Instr::MarkStart { id }),
-        any::<u16>().prop_map(|id| Instr::MarkEnd { id }),
-        r().prop_map(|rs| Instr::Out { rs }),
-        f().prop_map(|fs| Instr::OutF { fs }),
-    ]
+fn random_instr(rng: &mut impl Rng) -> Instr {
+    match rng.u64_below(31) {
+        0 => Instr::Nop,
+        1 => Instr::Halt,
+        2 => Instr::Kthr,
+        3 => Instr::Alu { op: pick(rng, &AluOp::ALL), rd: reg(rng), rs1: reg(rng), rs2: reg(rng) },
+        4 => Instr::AluI {
+            op: pick(rng, &AluOp::ALL),
+            rd: reg(rng),
+            rs1: reg(rng),
+            imm: rng.next_u64() as i64,
+        },
+        5 => Instr::Li { rd: reg(rng), imm: rng.next_u64() as i64 },
+        6 => Instr::Ld { rd: reg(rng), base: reg(rng), off: offset(rng) },
+        7 => Instr::St { rs: reg(rng), base: reg(rng), off: offset(rng) },
+        8 => Instr::Ldb { rd: reg(rng), base: reg(rng), off: offset(rng) },
+        9 => Instr::Stb { rs: reg(rng), base: reg(rng), off: offset(rng) },
+        10 => Instr::FLd { fd: freg(rng), base: reg(rng), off: offset(rng) },
+        11 => Instr::FSt { fs: freg(rng), base: reg(rng), off: offset(rng) },
+        12 => Instr::Br {
+            cond: pick(rng, &BrCond::ALL),
+            rs1: reg(rng),
+            rs2: reg(rng),
+            target: target(rng),
+        },
+        13 => Instr::J { target: target(rng) },
+        14 => Instr::Jal { rd: reg(rng), target: target(rng) },
+        15 => Instr::Jr { rs: reg(rng) },
+        16 => Instr::Jalr { rd: reg(rng), rs: reg(rng) },
+        17 => Instr::FAlu {
+            op: pick(rng, &FAluOp::ALL),
+            fd: freg(rng),
+            fs1: freg(rng),
+            fs2: freg(rng),
+        },
+        18 => Instr::FLi { fd: freg(rng), imm: rng.f64_range(-1e100, 1e100) },
+        19 => Instr::FCmp {
+            op: pick(rng, &FCmpOp::ALL),
+            rd: reg(rng),
+            fs1: freg(rng),
+            fs2: freg(rng),
+        },
+        20 => Instr::CvtIF { fd: freg(rng), rs: reg(rng) },
+        21 => Instr::CvtFI { rd: reg(rng), fs: freg(rng) },
+        22 => Instr::Nthr { rd: reg(rng), target: target(rng) },
+        23 => Instr::Mlock { rs: reg(rng) },
+        24 => Instr::Munlock { rs: reg(rng) },
+        25 => Instr::Nctx { rd: reg(rng) },
+        26 => Instr::Tid { rd: reg(rng) },
+        27 => Instr::MarkStart { id: rng.u64_below(1 << 16) as u16 },
+        28 => Instr::MarkEnd { id: rng.u64_below(1 << 16) as u16 },
+        29 => Instr::Out { rs: reg(rng) },
+        _ => Instr::OutF { fs: freg(rng) },
+    }
 }
 
-proptest! {
-    #[test]
-    fn binary_encoding_roundtrips(i in instr_strategy()) {
+#[test]
+fn binary_encoding_roundtrips() {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(0x15a_0001);
+    for case in 0..cases(2000) {
+        let i = random_instr(&mut rng);
         let enc = encode::encode(&i).unwrap();
         let dec = encode::decode(enc).unwrap();
-        prop_assert_eq!(format!("{:?}", i), format!("{:?}", dec));
+        assert_eq!(format!("{i:?}"), format!("{dec:?}"), "case {case}");
     }
+}
 
-    #[test]
-    fn binary_stream_roundtrips(is in prop::collection::vec(instr_strategy(), 0..64)) {
+#[test]
+fn binary_stream_roundtrips() {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(0x15a_0002);
+    for case in 0..cases(64) {
+        let len = rng.usize_below(64);
+        let is: Vec<Instr> = (0..len).map(|_| random_instr(&mut rng)).collect();
         let words = encode::encode_all(&is).unwrap();
         let back = encode::decode_all(&words).unwrap();
-        prop_assert_eq!(format!("{:?}", is), format!("{:?}", back));
+        assert_eq!(format!("{is:?}"), format!("{back:?}"), "case {case}");
     }
+}
 
-    /// Disassembling a program whose targets are all in range, then
-    /// reparsing, reproduces the same instruction stream.
-    #[test]
-    fn text_roundtrips(is in prop::collection::vec(instr_strategy(), 1..64)) {
+/// Disassembling a program whose targets are all in range, then
+/// reparsing, reproduces the same instruction stream.
+#[test]
+fn text_roundtrips() {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(0x15a_0003);
+    for case in 0..cases(64) {
+        let len = rng.usize_below(63) + 1;
         // Clamp targets into range so the listing is self-consistent.
-        let len = is.len() as u32;
-        let fixed: Vec<Instr> = is
-            .into_iter()
-            .map(|mut i| {
+        let fixed: Vec<Instr> = (0..len)
+            .map(|_| {
+                let mut i = random_instr(&mut rng);
                 if let Some(t) = i.static_target() {
-                    let t = t % len;
+                    let t = t % len as u32;
                     match &mut i {
                         Instr::Br { target, .. }
                         | Instr::J { target }
@@ -117,6 +146,6 @@ proptest! {
             .collect();
         let listing = text::disassemble(&fixed);
         let back = text::parse(&listing).unwrap();
-        prop_assert_eq!(format!("{:?}", fixed), format!("{:?}", back));
+        assert_eq!(format!("{fixed:?}"), format!("{back:?}"), "case {case}");
     }
 }

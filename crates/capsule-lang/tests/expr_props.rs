@@ -2,11 +2,15 @@
 //! are rendered to Capsule C, compiled, executed on the reference
 //! interpreter, and compared against a host-side evaluator that uses the
 //! ISA's own operator semantics (`AluOp::apply`).
+//!
+//! Trees are generated from a fixed-seed [`capsule_core::rng`] stream, so
+//! the suite is deterministic and hermetic. Build with `--features props`
+//! for a much larger sweep.
 
+use capsule_core::rng::{Rng, Xoshiro256StarStar};
 use capsule_isa::instr::AluOp;
 use capsule_lang::compile;
 use capsule_sim::{Interp, InterpConfig};
-use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
 enum E {
@@ -18,15 +22,17 @@ enum E {
 const OPS: [&str; 13] =
     ["+", "-", "*", "/", "%", "<<", ">>", "&", "|", "^", "<", "==", "!="];
 
-fn expr_strategy() -> impl Strategy<Value = E> {
-    let leaf = (-1000i64..1000).prop_map(E::Lit);
-    leaf.prop_recursive(4, 32, 4, |inner| {
-        prop_oneof![
-            (prop::sample::select(OPS.to_vec()), inner.clone(), inner.clone())
-                .prop_map(|(op, l, r)| E::Bin(op, Box::new(l), Box::new(r))),
-            inner.prop_map(|e| E::Neg(Box::new(e))),
-        ]
-    })
+/// Random expression tree of bounded depth; at depth 0 only literals.
+fn random_expr(rng: &mut impl Rng, depth: usize) -> E {
+    if depth == 0 || rng.chance(0.3) {
+        return E::Lit(rng.i64_range(-1000, 1000));
+    }
+    if rng.chance(0.2) {
+        E::Neg(Box::new(random_expr(rng, depth - 1)))
+    } else {
+        let op = OPS[rng.usize_below(OPS.len())];
+        E::Bin(op, Box::new(random_expr(rng, depth - 1)), Box::new(random_expr(rng, depth - 1)))
+    }
 }
 
 fn render(e: &E) -> String {
@@ -64,11 +70,12 @@ fn eval(e: &E) -> i64 {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn compiled_expressions_match_host_semantics(e in expr_strategy()) {
+#[test]
+fn compiled_expressions_match_host_semantics() {
+    let total = if cfg!(feature = "props") { 1280 } else { 64 };
+    let mut rng = Xoshiro256StarStar::seed_from_u64(0xe4b_0001);
+    for case in 0..total {
+        let e = random_expr(&mut rng, 4);
         let src = format!("worker main() {{ out({}); }}", render(&e));
         let expected = eval(&e);
         let p = compile(&src).expect("generated source must compile");
@@ -77,6 +84,6 @@ proptest! {
             .run(10_000_000)
             .expect("halts");
         let got: Vec<i64> = out.output.iter().filter_map(|v| v.as_int()).collect();
-        prop_assert_eq!(got, vec![expected], "source: {}", src);
+        assert_eq!(got, vec![expected], "case {case}, source: {src}");
     }
 }

@@ -1,63 +1,93 @@
 //! Property tests of the cache model.
+//!
+//! Parameter/address sets come from a fixed-seed [`capsule_core::rng`]
+//! stream, so the suite is deterministic and hermetic. Build with
+//! `--features props` for a much larger sweep.
 
 use capsule_core::config::CacheParams;
+use capsule_core::rng::{Rng, Xoshiro256StarStar};
 use capsule_mem::Cache;
-use proptest::prelude::*;
 
-fn params() -> impl Strategy<Value = CacheParams> {
-    // line 16..=128 (pow2), assoc 1..=8, sets 2..=64 (pow2)
-    (4u32..8, 0u32..4, 1u32..7).prop_map(|(line_log, assoc_log, sets_log)| {
-        let line_bytes = 1usize << line_log;
-        let assoc = 1usize << assoc_log;
-        let sets = 1usize << sets_log;
-        CacheParams { size_bytes: line_bytes * assoc * sets, line_bytes, assoc, latency: 1, ports: 1 }
-    })
+fn cases(default: usize) -> usize {
+    if cfg!(feature = "props") {
+        default * 20
+    } else {
+        default
+    }
 }
 
-proptest! {
-    /// The number of valid lines never exceeds the capacity.
-    #[test]
-    fn capacity_is_never_exceeded(
-        p in params(),
-        addrs in prop::collection::vec(0u64..1 << 20, 1..2000),
-    ) {
+/// Random cache shape: line 16..=128 (pow2), assoc 1..=8 (pow2),
+/// sets 2..=64 (pow2).
+fn random_params(rng: &mut impl Rng) -> CacheParams {
+    let line_bytes = 1usize << (rng.u64_below(4) + 4);
+    let assoc = 1usize << rng.u64_below(4);
+    let sets = 1usize << (rng.u64_below(6) + 1);
+    CacheParams { size_bytes: line_bytes * assoc * sets, line_bytes, assoc, latency: 1, ports: 1 }
+}
+
+fn random_addrs(rng: &mut impl Rng, max: usize, bits: u32) -> Vec<u64> {
+    let len = rng.usize_below(max) + 1;
+    (0..len).map(|_| rng.u64_below(1 << bits)).collect()
+}
+
+/// The number of valid lines never exceeds the capacity.
+#[test]
+fn capacity_is_never_exceeded() {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(0xca4e_0001);
+    for _ in 0..cases(32) {
+        let p = random_params(&mut rng);
+        let addrs = random_addrs(&mut rng, 2000, 20);
         let mut c = Cache::new(p);
         for a in addrs {
             c.access(a);
-            prop_assert!(c.valid_lines() <= c.capacity_lines());
+            assert!(c.valid_lines() <= c.capacity_lines(), "{p:?}");
         }
     }
+}
 
-    /// An access to a line always hits immediately afterwards.
-    #[test]
-    fn immediate_reuse_hits(p in params(), addrs in prop::collection::vec(0u64..1 << 20, 1..500)) {
+/// An access to a line always hits immediately afterwards.
+#[test]
+fn immediate_reuse_hits() {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(0xca4e_0002);
+    for _ in 0..cases(32) {
+        let p = random_params(&mut rng);
+        let addrs = random_addrs(&mut rng, 500, 20);
         let mut c = Cache::new(p);
         for a in addrs {
             c.access(a);
-            prop_assert!(c.probe(a), "line {a:#x} must be resident right after access");
+            assert!(c.probe(a), "line {a:#x} must be resident right after access ({p:?})");
         }
     }
+}
 
-    /// Hits + misses always equals accesses.
-    #[test]
-    fn stats_balance(p in params(), addrs in prop::collection::vec(0u64..1 << 16, 0..1000)) {
+/// Hits + misses always equals accesses.
+#[test]
+fn stats_balance() {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(0xca4e_0003);
+    for _ in 0..cases(32) {
+        let p = random_params(&mut rng);
+        let addrs = random_addrs(&mut rng, 1000, 16);
         let mut c = Cache::new(p);
         for a in addrs {
             c.access(a);
         }
         let s = c.stats();
-        prop_assert_eq!(s.hits + s.misses, s.accesses);
+        assert_eq!(s.hits + s.misses, s.accesses, "{p:?}");
     }
+}
 
-    /// A working set no larger than one set's associativity never misses
-    /// after the first touch (true LRU has no pathological interference
-    /// within a set).
-    #[test]
-    fn lru_retains_small_working_sets(p in params(), seed in 0u64..1000) {
+/// A working set no larger than one set's associativity never misses
+/// after the first touch (true LRU has no pathological interference
+/// within a set).
+#[test]
+fn lru_retains_small_working_sets() {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(0xca4e_0004);
+    for _ in 0..cases(64) {
+        let p = random_params(&mut rng);
         let mut c = Cache::new(p);
         // Pick `assoc` lines that all map to the same set.
         let sets = p.num_sets() as u64;
-        let set = seed % sets;
+        let set = rng.u64_below(sets);
         let lines: Vec<u64> = (0..p.assoc as u64)
             .map(|way| (way * sets + set) * p.line_bytes as u64)
             .collect();
@@ -66,7 +96,7 @@ proptest! {
         }
         for _ in 0..3 {
             for &a in &lines {
-                prop_assert!(c.access(a), "working set within assoc must keep hitting");
+                assert!(c.access(a), "working set within assoc must keep hitting ({p:?})");
             }
         }
     }

@@ -7,7 +7,7 @@ use crate::runtime::{run, Ctx, RtConfig, RtStats};
 const SORT_LEAF: usize = 512;
 const SUM_LEAF: usize = 4096;
 
-fn sort_worker<'env, T: Ord + Send>(ctx: &Ctx<'env, '_>, mut data: &'env mut [T]) {
+fn sort_worker<'scope, 'env, T: Ord + Send>(ctx: &Ctx<'scope, 'env>, mut data: &'env mut [T]) {
     loop {
         if data.len() <= SORT_LEAF {
             data.sort_unstable();
@@ -75,8 +75,8 @@ fn partition<T: Ord>(data: &mut [T]) -> usize {
     store
 }
 
-fn sum_worker<'env>(
-    ctx: &Ctx<'env, '_>,
+fn sum_worker<'scope, 'env>(
+    ctx: &Ctx<'scope, 'env>,
     mut data: &'env [i64],
     total: &'env std::sync::atomic::AtomicI64,
 ) {

@@ -6,9 +6,22 @@
 //!
 //! [`Protected<T>`] wraps a value so that *methods* (closures over `&mut
 //! T`) run mutually exclusive, with the same oldest-waiter fairness
-//! discipline as the hardware lock table (`parking_lot`'s fair unlocking).
+//! discipline as the hardware lock table: a ticket queue built on
+//! `std::sync::{Mutex, Condvar}` hands the object to waiters strictly in
+//! ticket order, like `munlock` handing the lock to the oldest waiter.
+//! The ticket dispenser is a separate tiny mutex from the value itself,
+//! so the queue stays observable ([`Protected::pending`]) while a method
+//! runs.
 
-use parking_lot::Mutex;
+use std::sync::{Condvar, Mutex};
+
+/// Ticket dispenser state: the next ticket to hand out and the ticket
+/// currently allowed to run its method.
+#[derive(Debug, Default)]
+struct Tickets {
+    next: u64,
+    serving: u64,
+}
 
 /// A protected object: only one method executes at any time.
 ///
@@ -26,23 +39,38 @@ use parking_lot::Mutex;
 /// ```
 #[derive(Debug, Default)]
 pub struct Protected<T> {
-    inner: Mutex<T>,
+    tickets: Mutex<Tickets>,
+    turn: Condvar,
+    // Only the serving ticket ever locks this, so it is uncontended; it
+    // exists to move the value across threads without unsafe code.
+    value: Mutex<T>,
 }
 
 impl<T> Protected<T> {
     /// Wraps `value`.
     pub fn new(value: T) -> Self {
-        Protected { inner: Mutex::new(value) }
+        Protected { tickets: Mutex::default(), turn: Condvar::new(), value: Mutex::new(value) }
     }
 
     /// Runs a method on the protected state, excluding every other method
-    /// for its duration. Waiters are released in arrival order (the
-    /// paper's lock table hands locks to the oldest waiter).
+    /// for its duration. Waiters are released strictly in ticket order
+    /// (the paper's lock table hands locks to the oldest waiter).
     pub fn method<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
-        let mut guard = self.inner.lock();
-        let r = f(&mut guard);
-        // fair unlock: hand over to the longest waiter, like `munlock`
-        parking_lot::MutexGuard::unlock_fair(guard);
+        let mut q = self.tickets.lock().unwrap_or_else(|e| e.into_inner());
+        let ticket = q.next;
+        q.next += 1;
+        while q.serving != ticket {
+            q = self.turn.wait(q).unwrap_or_else(|e| e.into_inner());
+        }
+        drop(q);
+        let r = {
+            let mut v = self.value.lock().unwrap_or_else(|e| e.into_inner());
+            f(&mut v)
+        };
+        let mut q = self.tickets.lock().unwrap_or_else(|e| e.into_inner());
+        q.serving += 1;
+        drop(q);
+        self.turn.notify_all();
         r
     }
 
@@ -51,9 +79,16 @@ impl<T> Protected<T> {
         self.method(|v| f(v))
     }
 
+    /// Number of method calls that hold a ticket right now: the one
+    /// running plus everyone queued behind it.
+    pub fn pending(&self) -> u64 {
+        let q = self.tickets.lock().unwrap_or_else(|e| e.into_inner());
+        q.next - q.serving
+    }
+
     /// Consumes the wrapper.
     pub fn into_inner(self) -> T {
-        self.inner.into_inner()
+        self.value.into_inner().unwrap_or_else(|e| e.into_inner())
     }
 }
 
@@ -95,5 +130,39 @@ mod tests {
     fn default_works() {
         let p: Protected<i64> = Protected::default();
         assert_eq!(p.into_inner(), 0);
+    }
+
+    #[test]
+    fn tickets_serve_in_arrival_order() {
+        // A blocker takes ticket 0 and holds the object until three
+        // waiters have queued; each waiter is only spawned once the
+        // previous one's ticket is visibly taken, so the ticket order —
+        // and therefore the required completion order — is 1, 2, 3.
+        let p = Protected::new(Vec::new());
+        std::thread::scope(|s| {
+            let p = &p;
+            let blocker = s.spawn(move || {
+                p.method(|v| {
+                    v.push(0usize);
+                    while p.pending() < 4 {
+                        std::thread::yield_now();
+                    }
+                });
+            });
+            // Wait *before* each spawn: while the blocker is inside its
+            // method, `serving` is pinned at 0, so `pending` can only
+            // grow — these waits cannot miss a momentary state. (A wait
+            // placed *after* the last spawn could livelock: the blocker
+            // may see pending == 4 and let everyone drain before this
+            // thread samples again.)
+            for i in 1..=3usize {
+                while p.pending() < i as u64 {
+                    std::thread::yield_now();
+                }
+                s.spawn(move || p.method(move |v| v.push(i)));
+            }
+            blocker.join().expect("blocker");
+        });
+        assert_eq!(p.into_inner(), vec![0, 1, 2, 3]);
     }
 }

@@ -12,18 +12,20 @@
 //! the decision from the spawn: the returned [`Claim`] holds the slot and
 //! either spawns the child or releases the slot on drop.
 //!
-//! Spawning an OS thread costs microseconds where the paper's hardware
-//! division costs ~15 cycles; the analog therefore demonstrates the
-//! *policy* (conditional division, death-rate throttling, probe-on-every-
+//! The runtime is built entirely on `std::thread::scope` and
+//! `std::sync` — the workspace links nothing outside std. Spawning an OS
+//! thread costs microseconds where the paper's hardware division costs
+//! ~15 cycles; the analog therefore demonstrates the *policy*
+//! (conditional division, death-rate throttling, probe-on-every-
 //! iteration adaptivity), not the hardware's latency numbers (DESIGN.md).
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
+use std::thread::Scope;
 use std::time::{Duration, Instant};
 
 use capsule_core::config::DivisionMode;
-use parking_lot::Mutex;
 
 /// Runtime configuration.
 #[derive(Debug, Clone, Copy)]
@@ -111,7 +113,7 @@ struct Inner {
 impl Inner {
     fn throttled(&self) -> bool {
         let now = Instant::now();
-        let mut deaths = self.deaths.lock();
+        let mut deaths = self.deaths.lock().unwrap_or_else(|e| e.into_inner());
         while let Some(&front) = deaths.front() {
             if now.duration_since(front) > self.cfg.death_window {
                 deaths.pop_front();
@@ -124,7 +126,7 @@ impl Inner {
 
     fn record_death(&self) {
         self.death_count.fetch_add(1, Ordering::Relaxed);
-        self.deaths.lock().push_back(Instant::now());
+        self.deaths.lock().unwrap_or_else(|e| e.into_inner()).push_back(Instant::now());
     }
 
     /// Attempts to claim a worker slot under the division policy.
@@ -174,9 +176,9 @@ impl Inner {
 
 /// Worker context: the program's window onto the "architecture".
 #[derive(Debug)]
-pub struct Ctx<'env, 'scope> {
+pub struct Ctx<'scope, 'env> {
     inner: Arc<Inner>,
-    scope: &'scope crossbeam::thread::Scope<'env>,
+    scope: &'scope Scope<'scope, 'env>,
 }
 
 /// A granted-but-not-yet-spawned division (see [`Ctx::try_claim`]).
@@ -184,20 +186,21 @@ pub struct Ctx<'env, 'scope> {
 /// Dropping the claim without spawning releases the slot without counting
 /// a worker death.
 #[derive(Debug)]
-pub struct Claim<'ctx, 'env, 'scope> {
-    ctx: &'ctx Ctx<'env, 'scope>,
+pub struct Claim<'ctx, 'scope, 'env> {
+    ctx: &'ctx Ctx<'scope, 'env>,
     spawned: bool,
 }
 
-impl<'ctx, 'env, 'scope> Claim<'ctx, 'env, 'scope> {
+impl<'ctx, 'scope, 'env> Claim<'ctx, 'scope, 'env> {
     /// Spawns the child worker on the claimed slot.
     pub fn spawn<F>(mut self, child: F)
     where
-        F: FnOnce(&Ctx<'env, '_>) + Send + 'env,
+        F: FnOnce(&Ctx<'scope, 'env>) + Send + 'scope,
     {
         self.spawned = true;
         let inner = Arc::clone(&self.ctx.inner);
-        self.ctx.scope.spawn(move |scope| {
+        let scope = self.ctx.scope;
+        scope.spawn(move || {
             let ctx = Ctx { inner: Arc::clone(&inner), scope };
             child(&ctx);
             inner.release_slot_as_death();
@@ -213,7 +216,7 @@ impl Drop for Claim<'_, '_, '_> {
     }
 }
 
-impl<'env, 'scope> Ctx<'env, 'scope> {
+impl<'scope, 'env> Ctx<'scope, 'env> {
     /// Non-binding probe: would a division be granted right now?
     ///
     /// Like the paper's resource probing this is only a hint — the
@@ -230,7 +233,7 @@ impl<'env, 'scope> Ctx<'env, 'scope> {
 
     /// The probe half of `nthr`: on grant, returns a [`Claim`] holding the
     /// worker slot, letting the caller split its data before spawning.
-    pub fn try_claim(&self) -> Option<Claim<'_, 'env, 'scope>> {
+    pub fn try_claim(&self) -> Option<Claim<'_, 'scope, 'env>> {
         if self.inner.try_grant() {
             Some(Claim { ctx: self, spawned: false })
         } else {
@@ -245,7 +248,7 @@ impl<'env, 'scope> Ctx<'env, 'scope> {
     /// the caller carries on sequentially (the `case -1` of Figure 2).
     pub fn try_divide<F>(&self, child: F) -> bool
     where
-        F: FnOnce(&Ctx<'env, '_>) + Send + 'env,
+        F: FnOnce(&Ctx<'scope, 'env>) + Send + 'scope,
     {
         match self.try_claim() {
             Some(claim) => {
@@ -270,8 +273,7 @@ impl<'env, 'scope> Ctx<'env, 'scope> {
 /// Panics if a worker panics, and if `cfg.max_workers` is zero.
 pub fn run<'env, R, F>(cfg: RtConfig, root: F) -> (R, RtStats)
 where
-    R: Send,
-    F: FnOnce(&Ctx<'env, '_>) -> R + Send + 'env,
+    F: for<'scope> FnOnce(&Ctx<'scope, 'env>) -> R,
 {
     assert!(cfg.max_workers >= 1, "need at least the ancestor's slot");
     let inner = Arc::new(Inner {
@@ -286,12 +288,12 @@ where
         death_count: AtomicU64::new(0),
         max_live: AtomicU64::new(1),
     });
-    let inner2 = Arc::clone(&inner);
-    let result = crossbeam::thread::scope(move |scope| {
-        let ctx = Ctx { inner: inner2, scope };
+    let result = std::thread::scope(|scope| {
+        let ctx = Ctx { inner: Arc::clone(&inner), scope };
         root(&ctx)
-    })
-    .expect("worker panicked");
+        // scope joins every spawned worker here; a worker panic
+        // propagates out of std::thread::scope, like the old harness
+    });
     let stats = RtStats {
         divisions_requested: inner.requested.load(Ordering::Relaxed),
         divisions_granted: inner.granted.load(Ordering::Relaxed),
@@ -360,7 +362,7 @@ mod tests {
         use std::sync::atomic::AtomicU64 as A;
         let peak = A::new(0);
         let live = A::new(1);
-        fn fanout<'env>(ctx: &Ctx<'env, '_>, depth: usize, live: &'env A, peak: &'env A) {
+        fn fanout<'env>(ctx: &Ctx<'_, 'env>, depth: usize, live: &'env A, peak: &'env A) {
             if depth == 0 {
                 return;
             }

@@ -6,8 +6,7 @@
 //! generator has a matching host-side reference algorithm used by the test
 //! suite to validate simulator results.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use capsule_core::rng::{Rng, Xoshiro256StarStar};
 
 /// A directed graph with weighted edges, in adjacency-list form.
 #[derive(Debug, Clone)]
@@ -37,21 +36,21 @@ impl Graph {
     /// reachable from 0), plus extra random edges up to `avg_degree`.
     pub fn random(seed: u64, n: usize, avg_degree: usize, max_weight: i64) -> Graph {
         assert!(n > 0 && max_weight > 0);
-        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
         let mut adj = vec![Vec::new(); n];
         for v in 1..n {
-            let u = rng.gen_range(0..v);
-            let w = rng.gen_range(1..=max_weight);
+            let u = rng.usize_below(v);
+            let w = rng.i64_range_incl(1, max_weight);
             adj[u].push((v as u32, w));
         }
         let extra = n * avg_degree.saturating_sub(1);
         for _ in 0..extra {
-            let u = rng.gen_range(0..n);
-            let v = rng.gen_range(0..n);
+            let u = rng.usize_below(n);
+            let v = rng.usize_below(n);
             if u == v {
                 continue;
             }
-            let w = rng.gen_range(1..=max_weight);
+            let w = rng.i64_range_incl(1, max_weight);
             adj[u].push((v as u32, w));
         }
         Graph { adj }
@@ -60,9 +59,9 @@ impl Graph {
     /// A 4-connected grid graph of `side`×`side` cells with random
     /// per-cell base costs — the routing substrate of the vpr analog.
     pub fn grid(seed: u64, side: usize, max_weight: i64) -> Graph {
-        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
         let n = side * side;
-        let cost: Vec<i64> = (0..n).map(|_| rng.gen_range(1..=max_weight)).collect();
+        let cost: Vec<i64> = (0..n).map(|_| rng.i64_range_incl(1, max_weight)).collect();
         let mut adj = vec![Vec::new(); n];
         let idx = |r: usize, c: usize| r * side + c;
         for r in 0..side {
@@ -140,31 +139,31 @@ impl ListShape {
 
 /// Generates a list of `n` values with the given shape.
 pub fn random_list(seed: u64, n: usize, shape: ListShape) -> Vec<i64> {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
     match shape {
-        ListShape::Uniform => (0..n).map(|_| rng.gen_range(-1_000_000..1_000_000)).collect(),
+        ListShape::Uniform => (0..n).map(|_| rng.i64_range(-1_000_000, 1_000_000)).collect(),
         ListShape::Sorted => {
             let mut v: Vec<i64> =
-                (0..n).map(|_| rng.gen_range(-1_000_000..1_000_000)).collect();
+                (0..n).map(|_| rng.i64_range(-1_000_000, 1_000_000)).collect();
             v.sort_unstable();
             v
         }
         ListShape::Reversed => {
             let mut v: Vec<i64> =
-                (0..n).map(|_| rng.gen_range(-1_000_000..1_000_000)).collect();
+                (0..n).map(|_| rng.i64_range(-1_000_000, 1_000_000)).collect();
             v.sort_unstable_by(|a, b| b.cmp(a));
             v
         }
-        ListShape::FewDistinct => (0..n).map(|_| rng.gen_range(0..8)).collect(),
+        ListShape::FewDistinct => (0..n).map(|_| rng.i64_range(0, 8)).collect(),
         ListShape::Runs => {
             let mut v = Vec::with_capacity(n);
             let mut base = 0i64;
             while v.len() < n {
-                let run = rng.gen_range(4..64).min(n - v.len());
+                let run = (rng.usize_below(60) + 4).min(n - v.len());
                 for i in 0..run {
                     v.push(base + i as i64);
                 }
-                base = rng.gen_range(-1000..1000);
+                base = rng.i64_range(-1000, 1000);
             }
             v
         }
@@ -176,19 +175,19 @@ pub fn random_list(seed: u64, n: usize, shape: ListShape) -> Vec<i64> {
 /// sequences drawn from gzip's workload).
 pub fn lzw_text(seed: u64, n: usize, alphabet: u8) -> Vec<u8> {
     assert!(alphabet >= 2);
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
     let mut out = Vec::with_capacity(n);
     // Markov-ish: repeat recent substrings often to exercise the dictionary.
     while out.len() < n {
-        if out.len() > 16 && rng.gen_bool(0.5) {
-            let start = rng.gen_range(0..out.len() - 8);
-            let len = rng.gen_range(4..16).min(n - out.len());
+        if out.len() > 16 && rng.chance(0.5) {
+            let start = rng.usize_below(out.len() - 8);
+            let len = (rng.usize_below(12) + 4).min(n - out.len());
             for i in 0..len {
                 let b = out[start + i];
                 out.push(b);
             }
         } else {
-            out.push(rng.gen_range(0..alphabet));
+            out.push(rng.u64_below(alphabet as u64) as u8);
         }
     }
     out
@@ -276,20 +275,20 @@ impl Tree {
         max_nodes: usize,
         max_cost: i64,
     ) -> Tree {
-        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
         let mut cost = vec![0i64];
         let mut children: Vec<Vec<u32>> = vec![Vec::new()];
         let mut frontier = vec![0usize];
         for _ in 1..depth {
             let mut next = Vec::new();
             for &u in &frontier {
-                let fan = rng.gen_range(fanout_min..=fanout_max);
+                let fan = rng.usize_below(fanout_max - fanout_min + 1) + fanout_min;
                 for _ in 0..fan {
                     if cost.len() >= max_nodes {
                         break;
                     }
                     let id = cost.len();
-                    cost.push(rng.gen_range(1..=max_cost));
+                    cost.push(rng.i64_range_incl(1, max_cost));
                     children.push(Vec::new());
                     children[u].push(id as u32);
                     next.push(id);
@@ -359,12 +358,12 @@ impl PerceptronData {
     /// Generates `samples` points of `features` dimensions labeled by a
     /// random ground-truth hyperplane (guaranteed separable).
     pub fn random(seed: u64, samples: usize, features: usize) -> PerceptronData {
-        let mut rng = SmallRng::seed_from_u64(seed);
-        let truth: Vec<f64> = (0..features).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        let truth: Vec<f64> = (0..features).map(|_| rng.f64_range(-1.0, 1.0)).collect();
         let mut xs = Vec::with_capacity(samples);
         let mut ys = Vec::with_capacity(samples);
         for _ in 0..samples {
-            let x: Vec<f64> = (0..features).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let x: Vec<f64> = (0..features).map(|_| rng.f64_range(-1.0, 1.0)).collect();
             let dot: f64 = x.iter().zip(&truth).map(|(a, b)| a * b).sum();
             ys.push(if dot >= 0.0 { 1.0 } else { -1.0 });
             xs.push(x);
@@ -442,6 +441,34 @@ mod tests {
         assert!(r.windows(2).all(|w| w[0] >= w[1]));
         let f = random_list(3, n, ListShape::FewDistinct);
         assert!(f.iter().all(|&x| (0..8).contains(&x)));
+    }
+
+    /// Regenerating the Figure 3 graphs and Figure 5 lists from their
+    /// fixed seeds must be byte-identical run to run — the bench
+    /// harness relies on regeneration instead of storing datasets.
+    #[test]
+    fn fig3_fig5_datasets_regenerate_byte_identical() {
+        for g in 0..5u64 {
+            // Same seed/shape parameters as Dijkstra::figure3 in the
+            // fig3 harness.
+            let a = Graph::random(1000 + g, 250, 3, 64);
+            let b = Graph::random(1000 + g, 250, 3, 64);
+            assert_eq!(
+                format!("{a:?}").into_bytes(),
+                format!("{b:?}").into_bytes(),
+                "fig3 graph seed {g}"
+            );
+        }
+        for i in 0..10u64 {
+            let shape = ListShape::ALL[i as usize % ListShape::ALL.len()];
+            let a = random_list(2000 + i, 800, shape);
+            let b = random_list(2000 + i, 800, shape);
+            assert_eq!(
+                format!("{a:?}").into_bytes(),
+                format!("{b:?}").into_bytes(),
+                "fig5 list seed {i}"
+            );
+        }
     }
 
     #[test]

@@ -292,7 +292,7 @@ impl Perceptron {
     /// phases (the phase barrier of `rtlib`).
     fn build_static(&self, k: usize) -> Program {
         let f = self.data.features;
-        assert!(k >= 1 && f % k == 0, "features must divide over threads");
+        assert!(k >= 1 && f.is_multiple_of(k), "features must divide over threads");
         let fk = (f / k) as i64;
         let m = self.data.samples.len();
         let mut d = DataBuilder::new();
@@ -474,7 +474,7 @@ impl Workload for Perceptron {
 
     fn supports(&self, variant: Variant) -> bool {
         if let Variant::Static(k) = variant {
-            return k >= 1 && self.data.features % k == 0;
+            return k >= 1 && self.data.features.is_multiple_of(k);
         }
         true
     }

@@ -1,0 +1,17 @@
+#!/usr/bin/env sh
+# Offline CI gate: the workspace must build, test and lint with no
+# network or registry access (the tree has zero external dependencies).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline --workspace
+
+echo "==> cargo test -q --offline"
+cargo test -q --offline --workspace
+
+echo "==> cargo clippy --offline -- -D warnings"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "CI gate passed."

@@ -1,51 +1,70 @@
 //! Workspace property tests: arbitrary inputs through the full stack
 //! (workload builder → CAP64 program → cycle-level machine) must match
 //! the host reference, and the native runtime must match std.
+//!
+//! Inputs are drawn from a fixed-seed [`capsule_core::rng`] stream, so
+//! the suite is deterministic and hermetic. Build with `--features
+//! props` for a much larger sweep.
 
-use capsule::model::config::MachineConfig;
+use capsule::model::config::{DivisionMode, MachineConfig};
 use capsule::rt::{capsule_sort, capsule_sum, RtConfig};
 use capsule::sim::machine::Machine;
 use capsule::workloads::datasets::Graph;
 use capsule::workloads::dijkstra::Dijkstra;
 use capsule::workloads::quicksort::QuickSort;
 use capsule::workloads::{Variant, Workload};
-use proptest::prelude::*;
+use capsule_core::rng::{Rng, Xoshiro256StarStar};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+fn cases(default: usize) -> usize {
+    if cfg!(feature = "props") {
+        default * 20
+    } else {
+        default
+    }
+}
 
-    /// The component QuickSort sorts arbitrary lists on the SOMT machine.
-    #[test]
-    fn simulated_quicksort_sorts_anything(
-        values in prop::collection::vec(-1_000_000i64..1_000_000, 1..250),
-    ) {
+/// The component QuickSort sorts arbitrary lists on the SOMT machine.
+#[test]
+fn simulated_quicksort_sorts_anything() {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(0x90b_0001);
+    for case in 0..cases(12) {
+        let len = rng.usize_below(250) + 1;
+        let values: Vec<i64> =
+            (0..len).map(|_| rng.i64_range(-1_000_000, 1_000_000)).collect();
         let w = QuickSort::new(values);
         let p = w.program(Variant::Component);
         let mut m = Machine::new(MachineConfig::table1_somt(), &p).expect("machine");
         let o = m.run(10_000_000_000).expect("halts");
-        prop_assert!(w.check(&o.output).is_ok());
+        assert!(w.check(&o.output).is_ok(), "case {case}");
     }
+}
 
-    /// Component Dijkstra matches the host shortest-path algorithm on
-    /// arbitrary random graphs.
-    #[test]
-    fn simulated_dijkstra_matches_host(seed in 0u64..10_000, n in 10usize..80) {
+/// Component Dijkstra matches the host shortest-path algorithm on
+/// arbitrary random graphs.
+#[test]
+fn simulated_dijkstra_matches_host() {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(0x90b_0002);
+    for case in 0..cases(12) {
+        let seed = rng.u64_below(10_000);
+        let n = rng.usize_below(70) + 10;
         let w = Dijkstra::new(Graph::random(seed, n, 3, 32));
         let p = w.program(Variant::Component);
         let mut m = Machine::new(MachineConfig::table1_somt(), &p).expect("machine");
         let o = m.run(10_000_000_000).expect("halts");
-        prop_assert!(w.check(&o.output).is_ok());
+        assert!(w.check(&o.output).is_ok(), "case {case} (seed {seed}, n {n})");
     }
+}
 
-    /// The native runtime's sort equals std's sort for any input and any
-    /// policy.
-    #[test]
-    fn native_sort_matches_std(
-        mut values in prop::collection::vec(any::<i32>(), 0..5_000),
-        workers in 1usize..6,
-        mode in 0u8..3,
-    ) {
-        let cfg = match mode {
+/// The native runtime's sort equals std's sort for any input and any
+/// policy.
+#[test]
+fn native_sort_matches_std() {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(0x90b_0003);
+    for case in 0..cases(12) {
+        let len = rng.usize_below(5_000);
+        let mut values: Vec<i32> = (0..len).map(|_| rng.next_u32() as i32).collect();
+        let workers = rng.usize_below(5) + 1;
+        let cfg = match rng.u64_below(3) {
             0 => RtConfig::never(),
             1 => RtConfig::always(workers),
             _ => RtConfig::somt_like(workers),
@@ -53,34 +72,37 @@ proptest! {
         let mut expected = values.clone();
         expected.sort_unstable();
         capsule_sort(cfg, &mut values);
-        prop_assert_eq!(values, expected);
+        assert_eq!(values, expected, "case {case}");
     }
+}
 
-    /// The native reduction is exact for any input and any policy.
-    #[test]
-    fn native_sum_is_exact(
-        values in prop::collection::vec(-1_000_000i64..1_000_000, 0..20_000),
-        workers in 1usize..6,
-    ) {
+/// The native reduction is exact for any input and any policy.
+#[test]
+fn native_sum_is_exact() {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(0x90b_0004);
+    for case in 0..cases(8) {
+        let len = rng.usize_below(20_000);
+        let values: Vec<i64> =
+            (0..len).map(|_| rng.i64_range(-1_000_000, 1_000_000)).collect();
+        let workers = rng.usize_below(5) + 1;
         let expected: i64 = values.iter().sum();
         for cfg in [RtConfig::never(), RtConfig::always(workers), RtConfig::somt_like(workers)] {
             let (got, stats) = capsule_sum(cfg, &values);
-            prop_assert_eq!(got, expected);
-            prop_assert!(stats.max_live as usize <= workers.max(1));
+            assert_eq!(got, expected, "case {case}");
+            assert!(stats.max_live as usize <= workers.max(1), "case {case}");
         }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(6))]
-
-    /// The same component program produces the same answer under any
-    /// division behaviour (the component contract: results are
-    /// schedule-independent). Exercises Never / Greedy / GreedyThrottled
-    /// and a 1-context machine.
-    #[test]
-    fn division_policy_never_changes_results(seed in 0u64..1000) {
-        use capsule::model::config::DivisionMode;
+/// The same component program produces the same answer under any
+/// division behaviour (the component contract: results are
+/// schedule-independent). Exercises Never / Greedy / GreedyThrottled
+/// and a 1-context machine.
+#[test]
+fn division_policy_never_changes_results() {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(0x90b_0005);
+    for case in 0..cases(6) {
+        let seed = rng.u64_below(1000);
         let w = Dijkstra::new(Graph::random(seed, 40, 3, 16));
         let p = w.program(Variant::Component);
         let mut reference: Option<Vec<i64>> = None;
@@ -101,7 +123,7 @@ proptest! {
             let ints = o.ints();
             match &reference {
                 None => reference = Some(ints),
-                Some(r) => prop_assert_eq!(r, &ints),
+                Some(r) => assert_eq!(r, &ints, "case {case} (seed {seed}, {mode:?})"),
             }
         }
     }
