@@ -5,58 +5,12 @@
 //! 2. the death-rate window N (the paper fixes N = 128);
 //! 3. the swap-out counter threshold (the paper fixes 256).
 
-use std::sync::Arc;
-
-use capsule_bench::{scaled, BatchRunner, Scenario};
-use capsule_core::config::MachineConfig;
-use capsule_workloads::dijkstra::Dijkstra;
-use capsule_workloads::lzw::Lzw;
-use capsule_workloads::{Variant, Workload};
+use capsule_bench::catalog::{self, Scale};
+use capsule_bench::BatchRunner;
 
 fn main() {
-    let dij: Arc<dyn Workload + Send + Sync> =
-        Arc::new(Dijkstra::figure3(7, scaled(250, 1000)));
-    let lzw: Arc<dyn Workload + Send + Sync> = Arc::new(Lzw::figure7(5, scaled(2000, 4096)));
-    let vpr: Arc<dyn Workload + Send + Sync> =
-        Arc::new(capsule_workloads::spec::Vpr::standard(19, scaled(12, 20), scaled(8, 12), 2));
-
-    let mut scenarios = Vec::new();
-    for (name, w) in [("dijkstra", &dij), ("lzw", &lzw)] {
-        for allow in [true, false] {
-            let mut cfg = MachineConfig::table1_somt();
-            cfg.allow_divide_to_stack = allow;
-            scenarios.push(Scenario::new(
-                format!("stack/{name}/{allow}"),
-                format!("{allow}"),
-                cfg,
-                Variant::Component,
-                Arc::clone(w),
-            ));
-        }
-    }
-    for window in [32u64, 128, 512, 2048] {
-        let mut cfg = MachineConfig::table1_somt();
-        cfg.death_window = window;
-        scenarios.push(Scenario::new(
-            format!("window/{window}"),
-            format!("{window}"),
-            cfg,
-            Variant::Component,
-            Arc::clone(&lzw),
-        ));
-    }
-    for thr in [32i64, 256, 1024] {
-        let mut cfg = MachineConfig::table1_somt();
-        cfg.swap_counter_threshold = thr;
-        scenarios.push(Scenario::new(
-            format!("swap/{thr}"),
-            format!("{thr}"),
-            cfg,
-            Variant::Component,
-            Arc::clone(&vpr),
-        ));
-    }
-    let report = BatchRunner::from_env().run("Ablations — interpretation choices", scenarios);
+    let entry = catalog::find("ablation_policies").expect("catalog entry");
+    let report = BatchRunner::from_env().run(entry.title, entry.scenarios(Scale::from_env()));
 
     println!("Ablation 1 — divide-to-stack (children born onto the context stack)\n");
     for name in ["dijkstra", "lzw"] {

@@ -4,47 +4,16 @@
 //! division latencies up to 200 cycles, and observed an average
 //! performance variation of less than 1%".
 
-use std::sync::Arc;
-
-use capsule_bench::{scaled, BatchRunner, Scenario};
-use capsule_core::config::MachineConfig;
-use capsule_workloads::dijkstra::Dijkstra;
-use capsule_workloads::spec::Mcf;
-use capsule_workloads::{Variant, Workload};
+use capsule_bench::catalog::{self, Scale};
+use capsule_bench::BatchRunner;
 
 const ORGS: [(usize, usize); 4] = [(1, 8), (2, 4), (4, 2), (8, 1)];
 const REMOTE_LATENCIES: [u64; 4] = [0, 50, 100, 200];
 
 fn main() {
     println!("§5 — CMP extrapolation: 8 contexts, varying core organisation\n");
-    let dij: Arc<dyn Workload + Send + Sync> =
-        Arc::new(Dijkstra::figure3(7, scaled(250, 1000)));
-    let mcf: Arc<dyn Workload + Send + Sync> = Arc::new(Mcf::standard(scaled(17, 18)));
-
-    let mut scenarios = Vec::new();
-    for (name, w) in [("dijkstra", &dij), ("mcf", &mcf)] {
-        for (cores, per_core) in ORGS {
-            scenarios.push(Scenario::new(
-                format!("org/{name}/{cores}x{per_core}"),
-                format!("{cores}x{per_core}"),
-                MachineConfig::cmp_somt(cores, per_core),
-                Variant::Component,
-                Arc::clone(w),
-            ));
-        }
-    }
-    for remote in REMOTE_LATENCIES {
-        let mut cfg = MachineConfig::cmp_somt(4, 2);
-        cfg.remote_division_latency = remote;
-        scenarios.push(Scenario::new(
-            format!("latency/{remote}"),
-            format!("{remote}"),
-            cfg,
-            Variant::Component,
-            Arc::clone(&mcf),
-        ));
-    }
-    let report = BatchRunner::from_env().run("§5 — CMP extrapolation", scenarios);
+    let entry = catalog::find("cmp_scaling").expect("catalog entry");
+    let report = BatchRunner::from_env().run(entry.title, entry.scenarios(Scale::from_env()));
 
     for name in ["dijkstra", "mcf"] {
         println!("{name}:");

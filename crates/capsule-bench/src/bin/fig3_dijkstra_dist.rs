@@ -8,48 +8,19 @@
 //! speedup over the static and sequential versions, and the stability
 //! (standard deviation) of each distribution.
 
-use std::sync::Arc;
-
-use capsule_bench::{full_scale, histogram, scaled, series, BatchRunner, Scenario};
-use capsule_core::config::MachineConfig;
-use capsule_workloads::dijkstra::Dijkstra;
-use capsule_workloads::{Variant, Workload};
+use capsule_bench::catalog::{self, Scale};
+use capsule_bench::{full_scale, histogram, series, BatchRunner};
 
 fn main() {
-    let graphs = scaled(20, 100);
-    let nodes = scaled(250, 1000);
+    let scale = Scale::from_env();
+    let (graphs, nodes) = catalog::fig3_params(scale);
     println!(
         "Figure 3 — Dijkstra execution-time distribution ({graphs} graphs x {nodes} nodes{})\n",
         if full_scale() { ", paper scale" } else { ", reduced scale; --full for paper scale" }
     );
 
-    let mut scenarios = Vec::new();
-    for g in 0..graphs {
-        let w: Arc<dyn Workload + Send + Sync> =
-            Arc::new(Dijkstra::figure3(1000 + g as u64, nodes));
-        scenarios.push(Scenario::new(
-            "superscalar",
-            format!("g{g}"),
-            MachineConfig::table1_superscalar(),
-            Variant::Sequential,
-            Arc::clone(&w),
-        ));
-        scenarios.push(Scenario::new(
-            "smt_static",
-            format!("g{g}"),
-            MachineConfig::table1_smt(),
-            Variant::Static(8),
-            Arc::clone(&w),
-        ));
-        scenarios.push(Scenario::new(
-            "somt_component",
-            format!("g{g}"),
-            MachineConfig::table1_somt(),
-            Variant::Component,
-            w,
-        ));
-    }
-    let report = BatchRunner::from_env().run("Figure 3 — Dijkstra distribution", scenarios);
+    let entry = catalog::find("fig3_dijkstra_dist").expect("catalog entry");
+    let report = BatchRunner::from_env().run(entry.title, entry.scenarios(scale));
     let seq = report.group_cycles("superscalar");
     let stat = report.group_cycles("smt_static");
     let comp = report.group_cycles("somt_component");
@@ -69,7 +40,10 @@ fn main() {
     println!("{}", histogram("SOMT (component)", &comp, lo, hi, 12));
 
     let (s, t, c) = (series(&seq), series(&stat), series(&comp));
-    println!("mean cycles: superscalar {:.0}, SMT-static {:.0}, SOMT-component {:.0}", s.mean, t.mean, c.mean);
+    println!(
+        "mean cycles: superscalar {:.0}, SMT-static {:.0}, SOMT-component {:.0}",
+        s.mean, t.mean, c.mean
+    );
     println!("component speedup vs superscalar: {:.2}x   (paper: 2.51x)", s.mean / c.mean);
     println!("component speedup vs static:      {:.2}x   (paper: 1.23x)", t.mean / c.mean);
     println!(

@@ -4,50 +4,19 @@
 //! The paper uses 500 lists; the default here cycles the five input
 //! shapes over a reduced count (`--full` for 500).
 
-use std::sync::Arc;
-
-use capsule_bench::{full_scale, histogram, scaled, series, BatchRunner, Scenario};
-use capsule_core::config::MachineConfig;
-use capsule_workloads::datasets::{random_list, ListShape};
-use capsule_workloads::quicksort::QuickSort;
-use capsule_workloads::{Variant, Workload};
+use capsule_bench::catalog::{self, Scale};
+use capsule_bench::{full_scale, histogram, series, BatchRunner};
 
 fn main() {
-    let lists = scaled(25, 500);
-    let len = scaled(800, 4000);
+    let scale = Scale::from_env();
+    let (lists, len) = catalog::fig5_params(scale);
     println!(
         "Figure 5 — QuickSort execution-time distribution ({lists} lists x {len} values{})\n",
         if full_scale() { ", paper scale" } else { ", reduced scale; --full for paper scale" }
     );
 
-    let mut scenarios = Vec::new();
-    for i in 0..lists {
-        let shape = ListShape::ALL[i % ListShape::ALL.len()];
-        let w: Arc<dyn Workload + Send + Sync> =
-            Arc::new(QuickSort::new(random_list(2000 + i as u64, len, shape)));
-        scenarios.push(Scenario::new(
-            "superscalar",
-            format!("l{i}"),
-            MachineConfig::table1_superscalar(),
-            Variant::Sequential,
-            Arc::clone(&w),
-        ));
-        scenarios.push(Scenario::new(
-            "smt_static",
-            format!("l{i}"),
-            MachineConfig::table1_smt(),
-            Variant::Static(8),
-            Arc::clone(&w),
-        ));
-        scenarios.push(Scenario::new(
-            "somt_component",
-            format!("l{i}"),
-            MachineConfig::table1_somt(),
-            Variant::Component,
-            w,
-        ));
-    }
-    let report = BatchRunner::from_env().run("Figure 5 — QuickSort distribution", scenarios);
+    let entry = catalog::find("fig5_quicksort_dist").expect("catalog entry");
+    let report = BatchRunner::from_env().run(entry.title, entry.scenarios(scale));
     let seq = report.group_cycles("superscalar");
     let stat = report.group_cycles("smt_static");
     let comp = report.group_cycles("somt_component");
@@ -67,7 +36,10 @@ fn main() {
     println!("{}", histogram("SOMT (component)", &comp, lo, hi, 12));
 
     let (s, t, c) = (series(&seq), series(&stat), series(&comp));
-    println!("mean cycles: superscalar {:.0}, SMT-static {:.0}, SOMT-component {:.0}", s.mean, t.mean, c.mean);
+    println!(
+        "mean cycles: superscalar {:.0}, SMT-static {:.0}, SOMT-component {:.0}",
+        s.mean, t.mean, c.mean
+    );
     println!("component speedup vs superscalar: {:.2}x   (paper: 2.93x)", s.mean / c.mean);
     println!("component speedup vs static:      {:.2}x   (paper: 2.51x)", t.mean / c.mean);
     println!(

@@ -3,26 +3,12 @@
 //!
 //! Usage: `cargo run -p capsule-bench --bin fig6_division_tree [> fig6.dot]`
 
-use std::sync::Arc;
-
-use capsule_bench::{scaled, BatchRunner, Scenario};
-use capsule_core::config::MachineConfig;
-use capsule_workloads::datasets::{random_list, ListShape};
-use capsule_workloads::quicksort::QuickSort;
-use capsule_workloads::Variant;
+use capsule_bench::catalog::{self, Scale};
+use capsule_bench::BatchRunner;
 
 fn main() {
-    let len = scaled(3000, 12000);
-    let report = BatchRunner::from_env().run(
-        "Figure 6 — QuickSort division genealogy",
-        vec![Scenario::new(
-            "somt",
-            "uniform",
-            MachineConfig::table1_somt(),
-            Variant::Component,
-            Arc::new(QuickSort::new(random_list(4242, len, ListShape::Uniform))),
-        )],
-    );
+    let entry = catalog::find("fig6_division_tree").expect("catalog entry");
+    let report = BatchRunner::from_env().run(entry.title, entry.scenarios(Scale::from_env()));
     let o = &report.only("somt").outcome;
     eprintln!(
         "// Figure 6 — QuickSort division genealogy: {} workers, depth {}, {} divisions granted of {}",

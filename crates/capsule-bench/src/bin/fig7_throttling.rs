@@ -7,13 +7,8 @@
 //! workload runs under the plain greedy policy and under greedy +
 //! throttle, on the 8-context SOMT.
 
-use std::sync::Arc;
-
-use capsule_bench::{full_scale, scaled, BatchRunner, Scenario};
-use capsule_core::config::{DivisionMode, MachineConfig};
-use capsule_workloads::lzw::Lzw;
-use capsule_workloads::perceptron::Perceptron;
-use capsule_workloads::{Variant, Workload};
+use capsule_bench::catalog::{self, Scale};
+use capsule_bench::{full_scale, BatchRunner};
 
 fn main() {
     println!(
@@ -21,30 +16,8 @@ fn main() {
         if full_scale() { " (paper scale)" } else { " (reduced scale; --full for paper scale)" }
     );
 
-    // LZW: the paper matches N = 4096 characters.
-    let lzw: Arc<dyn Workload + Send + Sync> = Arc::new(Lzw::figure7(5, scaled(2000, 4096)));
-    // Perceptron: the paper splits a 10000-neuron group.
-    let perc: Arc<dyn Workload + Send + Sync> = Arc::new(
-        Perceptron::figure7(3, scaled(10, 12), scaled(2048, 10000), scaled(3, 4)).with_leaf(8),
-    );
-
-    let mut scenarios = Vec::new();
-    for (wname, w) in [("LZW", &lzw), ("Perceptron", &perc)] {
-        for (policy, mode) in
-            [("greedy", DivisionMode::Greedy), ("throttled", DivisionMode::GreedyThrottled)]
-        {
-            let mut cfg = MachineConfig::table1_somt();
-            cfg.division_mode = mode;
-            scenarios.push(Scenario::new(
-                format!("{wname}/{policy}"),
-                policy,
-                cfg,
-                Variant::Component,
-                Arc::clone(w),
-            ));
-        }
-    }
-    let report = BatchRunner::from_env().run("Figure 7 — division throttling", scenarios);
+    let entry = catalog::find("fig7_throttling").expect("catalog entry");
+    let report = BatchRunner::from_env().run(entry.title, entry.scenarios(Scale::from_env()));
 
     for name in ["LZW", "Perceptron"] {
         let mut cycles = Vec::new();
@@ -64,10 +37,7 @@ fn main() {
             );
             cycles.push(o.cycles());
         }
-        println!(
-            "{name:<11} throttle benefit: {:.2}x\n",
-            cycles[0] as f64 / cycles[1] as f64
-        );
+        println!("{name:<11} throttle benefit: {:.2}x\n", cycles[0] as f64 / cycles[1] as f64);
     }
     println!("(the paper's Figure 7 shows both programs benefiting from throttling)");
     report.emit("fig7_throttling");

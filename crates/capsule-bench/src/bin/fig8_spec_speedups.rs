@@ -3,12 +3,9 @@
 //! superscalar with the same resources, plus the share of execution
 //! spent in componentized sections (also Table 2's right column).
 
-use std::sync::Arc;
-
-use capsule_bench::{full_scale, scaled, BatchRunner, Scenario};
-use capsule_core::config::MachineConfig;
-use capsule_workloads::spec::{Bzip2, Crafty, Mcf, Vpr, KERNEL_SECTION};
-use capsule_workloads::{Variant, Workload};
+use capsule_bench::catalog::{self, Scale};
+use capsule_bench::{full_scale, BatchRunner};
+use capsule_workloads::spec::KERNEL_SECTION;
 
 fn main() {
     println!(
@@ -16,39 +13,15 @@ fn main() {
         if full_scale() { " (paper scale)" } else { " (reduced scale; --full for paper scale)" }
     );
 
-    let workloads: [(&str, Arc<dyn Workload + Send + Sync>, &str); 4] = [
-        ("mcf", Arc::new(Mcf::standard(scaled(17, 18))), "45%"),
-        ("vpr", Arc::new(Vpr::standard(19, scaled(10, 14), scaled(6, 10), 2)), "93%"),
-        ("bzip2", Arc::new(Bzip2::standard(23, scaled(280, 700))), "20%"),
-        ("crafty", Arc::new(Crafty::standard(29, 8)), "100%"),
-    ];
-
-    let mut scenarios = Vec::new();
-    for (name, w, _) in &workloads {
-        // crafty has no sequential rewrite in the paper either; its
-        // baseline is the pool-of-one on the superscalar.
-        scenarios.push(Scenario::new(
-            format!("{name}/scalar"),
-            "scalar",
-            MachineConfig::table1_superscalar(),
-            Variant::Sequential,
-            Arc::clone(w),
-        ));
-        scenarios.push(Scenario::new(
-            format!("{name}/somt"),
-            "somt",
-            MachineConfig::table1_somt(),
-            Variant::Component,
-            Arc::clone(w),
-        ));
-    }
-    let report = BatchRunner::from_env().run("Figure 8 — SPEC analog speedups", scenarios);
+    let entry = catalog::find("fig8_spec_speedups").expect("catalog entry");
+    let report = BatchRunner::from_env().run(entry.title, entry.scenarios(Scale::from_env()));
 
     println!(
         "{:<8} {:>14} {:>14} {:>9} {:>9} {:>11} {:>8}",
         "bench", "scalar cyc", "somt cyc", "overall", "kernel", "%component", "paper %"
     );
-    for (name, _, paper_pct) in &workloads {
+    for (name, paper_pct) in [("mcf", "45%"), ("vpr", "93%"), ("bzip2", "20%"), ("crafty", "100%")]
+    {
         let scalar = &report.only(&format!("{name}/scalar")).outcome;
         let somt = &report.only(&format!("{name}/somt")).outcome;
 

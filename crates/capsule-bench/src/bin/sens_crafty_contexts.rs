@@ -5,41 +5,23 @@
 //! Runs the crafty analog with a pool sized to the context count on 2-,
 //! 4- and 8-context SOMTs, against the pool-of-one superscalar baseline.
 
-use std::sync::Arc;
-
-use capsule_bench::{BatchRunner, Scenario};
-use capsule_core::config::MachineConfig;
-use capsule_workloads::spec::Crafty;
-use capsule_workloads::Variant;
+use capsule_bench::catalog::{self, Scale};
+use capsule_bench::BatchRunner;
 
 const CONTEXTS: [usize; 3] = [2, 4, 8];
 
 fn main() {
     println!("§5 — crafty: software pool vs context count (paper: 4 ctx 2.3x > 8 ctx 1.7x)\n");
 
-    let mut scenarios = vec![Scenario::new(
-        "baseline",
-        "pool1",
-        MachineConfig::table1_superscalar(),
-        Variant::Sequential,
-        Arc::new(Crafty::standard(29, 1)),
-    )];
-    for contexts in CONTEXTS {
-        let mut cfg = MachineConfig::table1_somt();
-        cfg.contexts = contexts;
-        scenarios.push(Scenario::new(
-            format!("somt/{contexts}"),
-            format!("pool{contexts}"),
-            cfg,
-            Variant::Component,
-            Arc::new(Crafty::standard(29, contexts)),
-        ));
-    }
-    let report = BatchRunner::from_env().run("§5 — crafty context study", scenarios);
+    let entry = catalog::find("sens_crafty_contexts").expect("catalog entry");
+    let report = BatchRunner::from_env().run(entry.title, entry.scenarios(Scale::from_env()));
 
     let baseline = report.only("baseline").outcome.cycles();
     println!("superscalar pool-of-one baseline: {baseline} cycles\n");
-    println!("{:>9} {:>14} {:>9} {:>12} {:>12}", "contexts", "cycles", "speedup", "grant rate", "lock stalls");
+    println!(
+        "{:>9} {:>14} {:>9} {:>12} {:>12}",
+        "contexts", "cycles", "speedup", "grant rate", "lock stalls"
+    );
 
     for contexts in CONTEXTS {
         let o = &report.only(&format!("somt/{contexts}")).outcome;

@@ -5,37 +5,15 @@
 //! Sweeps the register-copy latency charged to a divided child on the
 //! division-heavy workloads (mcf has the paper's highest grant rate).
 
-use std::sync::Arc;
-
-use capsule_bench::{scaled, BatchRunner, Scenario};
-use capsule_core::config::MachineConfig;
-use capsule_workloads::dijkstra::Dijkstra;
-use capsule_workloads::spec::Mcf;
-use capsule_workloads::{Variant, Workload};
+use capsule_bench::catalog::{self, Scale};
+use capsule_bench::BatchRunner;
 
 const LATENCIES: [u64; 5] = [0, 25, 50, 100, 200];
 
 fn main() {
     println!("§5 — division-latency sensitivity (paper: <1% variation up to 200 cycles)\n");
-    let mcf: Arc<dyn Workload + Send + Sync> = Arc::new(Mcf::standard(scaled(17, 18)));
-    let dij: Arc<dyn Workload + Send + Sync> =
-        Arc::new(Dijkstra::figure3(7, scaled(250, 1000)));
-
-    let mut scenarios = Vec::new();
-    for (name, w) in [("mcf", &mcf), ("dijkstra", &dij)] {
-        for lat in LATENCIES {
-            let mut cfg = MachineConfig::table1_somt();
-            cfg.division_latency = lat;
-            scenarios.push(Scenario::new(
-                format!("{name}/{lat}"),
-                format!("{lat}"),
-                cfg,
-                Variant::Component,
-                Arc::clone(w),
-            ));
-        }
-    }
-    let report = BatchRunner::from_env().run("§5 — division-latency sensitivity", scenarios);
+    let entry = catalog::find("sens_division_latency").expect("catalog entry");
+    let report = BatchRunner::from_env().run(entry.title, entry.scenarios(Scale::from_env()));
 
     for name in ["mcf", "dijkstra"] {
         let mut base = None;

@@ -5,46 +5,13 @@
 //! Runs the vpr analog on the Table 1 SOMT and on a SOMT with doubled
 //! L1-D/L2 capacity and ports, both against the matching superscalar.
 
-use std::sync::Arc;
-
-use capsule_bench::{scaled, BatchRunner, Scenario};
-use capsule_core::config::MachineConfig;
-use capsule_workloads::spec::Vpr;
-use capsule_workloads::{Variant, Workload};
+use capsule_bench::catalog::{self, Scale};
+use capsule_bench::BatchRunner;
 
 fn main() {
     println!("§5 — vpr cache sensitivity (paper: overall speedup 2.47 -> 3.0 with 2x cache)\n");
-    // A larger grid than the Figure 8 default makes vpr properly
-    // cache-hungry.
-    let w: Arc<dyn Workload + Send + Sync> =
-        Arc::new(Vpr::standard(19, scaled(16, 24), scaled(8, 12), 2));
-
-    let mut scenarios = Vec::new();
-    for (tag, double) in [("base", false), ("doubled", true)] {
-        let mut scalar_cfg = MachineConfig::table1_superscalar();
-        let mut somt_cfg = MachineConfig::table1_somt();
-        if double {
-            for cfg in [&mut scalar_cfg, &mut somt_cfg] {
-                cfg.l1d = cfg.l1d.doubled();
-                cfg.l2 = cfg.l2.doubled();
-            }
-        }
-        scenarios.push(Scenario::new(
-            format!("{tag}/scalar"),
-            tag,
-            scalar_cfg,
-            Variant::Sequential,
-            Arc::clone(&w),
-        ));
-        scenarios.push(Scenario::new(
-            format!("{tag}/somt"),
-            tag,
-            somt_cfg,
-            Variant::Component,
-            Arc::clone(&w),
-        ));
-    }
-    let report = BatchRunner::from_env().run("§5 — vpr cache sensitivity", scenarios);
+    let entry = catalog::find("sens_vpr_cache").expect("catalog entry");
+    let report = BatchRunner::from_env().run(entry.title, entry.scenarios(Scale::from_env()));
 
     for (name, tag) in [("Table 1 caches", "base"), ("2x size + 2x ports", "doubled")] {
         let scalar = &report.only(&format!("{tag}/scalar")).outcome;

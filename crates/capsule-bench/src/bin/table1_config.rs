@@ -3,24 +3,27 @@
 //! the shared scenario runner, so the printed configuration is one that
 //! demonstrably executes.
 
-use std::sync::Arc;
-
-use capsule_bench::{row, BatchRunner, Scenario};
+use capsule_bench::catalog::{self, Scale};
+use capsule_bench::{row, BatchRunner};
 use capsule_core::config::MachineConfig;
-use capsule_workloads::dijkstra::Dijkstra;
-use capsule_workloads::Variant;
 
 fn main() {
     let c = MachineConfig::table1_somt();
     println!("Table 1 — baseline configuration (SOMT / SMT / superscalar)\n");
     row("Fetch width", c.fetch_width);
     row("Fetch policy", format!("ICount.{}.{}", c.fetch_threads, c.fetch_per_thread));
-    row("Issue / Decode / Commit width", format!("{} / {} / {}", c.issue_width, c.decode_width, c.commit_width));
+    row(
+        "Issue / Decode / Commit width",
+        format!("{} / {} / {}", c.issue_width, c.decode_width, c.commit_width),
+    );
     row("RUU size (instruction window)", c.ruu_size);
     row("LSQ size", c.lsq_size);
     row(
         "FUs",
-        format!("{} IALU, {} IMULT, {} FPALU, {} FPMULT", c.fus.ialu, c.fus.imult, c.fus.fpalu, c.fus.fpmult),
+        format!(
+            "{} IALU, {} IMULT, {} FPALU, {} FPMULT",
+            c.fus.ialu, c.fus.imult, c.fus.fpalu, c.fus.fpmult
+        ),
     );
     row(
         "Branch prediction",
@@ -39,34 +42,28 @@ fn main() {
     println!("\nCAPSULE extensions (SOMT only):");
     row("Hardware contexts", c.contexts);
     row("Division policy", format!("{:?}", c.division_mode));
-    row("Death-rate window / limit", format!("{} cycles / {}", c.death_window, c.throttle_death_limit()));
+    row(
+        "Death-rate window / limit",
+        format!("{} cycles / {}", c.death_window, c.throttle_death_limit()),
+    );
     row("Context stack entries", c.context_stack_entries);
     row("Swap latency", format!("{} cycles", c.swap_latency));
     row(
         "Swap heuristic",
-        format!("mean of last {} loads, threshold {}", c.swap_load_window, c.swap_counter_threshold),
+        format!(
+            "mean of last {} loads, threshold {}",
+            c.swap_load_window, c.swap_counter_threshold
+        ),
     );
     row("Lock table entries", c.lock_table_entries);
     println!("\nBaselines: SMT = same, division disabled; superscalar = 1 context.");
     c.validate().expect("Table 1 config is self-consistent");
 
     // Smoke-run each configured machine on a tiny workload.
-    let w = Arc::new(Dijkstra::figure3(1, 40));
-    let report = BatchRunner::from_env().run(
-        "Table 1 — baseline configuration smoke run",
-        vec![
-            Scenario::new("somt", "smoke", c, Variant::Component, w.clone()),
-            Scenario::new("smt", "smoke", MachineConfig::table1_smt(), Variant::Static(8), w.clone()),
-            Scenario::new(
-                "superscalar",
-                "smoke",
-                MachineConfig::table1_superscalar(),
-                Variant::Sequential,
-                w,
-            ),
-        ],
-    );
-    println!("\nsmoke run (40-node Dijkstra): somt {} cy, smt {} cy, superscalar {} cy",
+    let entry = catalog::find("table1_config").expect("catalog entry");
+    let report = BatchRunner::from_env().run(entry.title, entry.scenarios(Scale::from_env()));
+    println!(
+        "\nsmoke run (40-node Dijkstra): somt {} cy, smt {} cy, superscalar {} cy",
         report.only("somt").outcome.cycles(),
         report.only("smt").outcome.cycles(),
         report.only("superscalar").outcome.cycles(),

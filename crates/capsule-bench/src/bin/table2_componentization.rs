@@ -7,14 +7,9 @@
 //! programs). The source-edit columns are reprinted from the paper for
 //! reference.
 
-use std::sync::Arc;
-
-use capsule_bench::{scaled, BatchRunner, Scenario};
-use capsule_core::config::MachineConfig;
-use capsule_workloads::spec::{Bzip2, Crafty, Mcf, Vpr, KERNEL_SECTION};
-use capsule_workloads::{Variant, Workload};
-
-type Row = (&'static str, Arc<dyn Workload + Send + Sync>, &'static str, &'static str, &'static str);
+use capsule_bench::catalog::{self, Scale};
+use capsule_bench::BatchRunner;
+use capsule_workloads::spec::KERNEL_SECTION;
 
 fn main() {
     println!("Table 2 — SPEC CINT2000 componentization\n");
@@ -23,34 +18,16 @@ fn main() {
         "benchmark", "paper lines modified", "paper functions", "paper %", "measured %"
     );
 
-    let rows: [Row; 4] = [
-        ("181.mcf", Arc::new(Mcf::standard(scaled(17, 18))), "174 / 2412", "2", "45%"),
-        (
-            "175.vpr",
-            Arc::new(Vpr::standard(19, scaled(10, 14), scaled(6, 10), 2)),
-            "624 / 17729",
-            "10",
-            "93%",
-        ),
-        ("256.bzip2", Arc::new(Bzip2::standard(23, scaled(280, 700))), "317 / 4649", "3", "20%"),
-        ("186.crafty", Arc::new(Crafty::standard(29, 8)), "201 / 45000", "8", "100%"),
+    let entry = catalog::find("table2_componentization").expect("catalog entry");
+    let report = BatchRunner::from_env().run(entry.title, entry.scenarios(Scale::from_env()));
+
+    let rows = [
+        ("181.mcf", "174 / 2412", "2", "45%"),
+        ("175.vpr", "624 / 17729", "10", "93%"),
+        ("256.bzip2", "317 / 4649", "3", "20%"),
+        ("186.crafty", "201 / 45000", "8", "100%"),
     ];
-
-    let scenarios = rows
-        .iter()
-        .map(|(name, w, ..)| {
-            Scenario::new(
-                *name,
-                "sequential",
-                MachineConfig::table1_superscalar(),
-                Variant::Sequential,
-                Arc::clone(w),
-            )
-        })
-        .collect();
-    let report = BatchRunner::from_env().run("Table 2 — componentization", scenarios);
-
-    for (name, _, lines, funcs, paper) in &rows {
+    for (name, lines, funcs, paper) in rows {
         let o = &report.only(name).outcome;
         let pct = 100.0 * o.sections.section_fraction(KERNEL_SECTION, o.cycles());
         println!("{name:<12} {lines:>22} {funcs:>20} {paper:>12} {pct:>9.0}%");

@@ -5,12 +5,8 @@
 //! percentage allowed, and the number of committed instructions per
 //! allowed division.
 
-use std::sync::Arc;
-
-use capsule_bench::{scaled, BatchRunner, Scenario};
-use capsule_core::config::MachineConfig;
-use capsule_workloads::spec::{Bzip2, Mcf, Vpr};
-use capsule_workloads::{Variant, Workload};
+use capsule_bench::catalog::{self, Scale};
+use capsule_bench::BatchRunner;
 
 fn main() {
     println!("Table 3 — percentage and rate of successful divisions (SOMT)\n");
@@ -19,32 +15,12 @@ fn main() {
         "bench", "requested", "allowed", "% allowed", "insts/division", "paper"
     );
 
-    let rows: [(&str, Arc<dyn Workload + Send + Sync>, &str); 3] = [
-        ("mcf", Arc::new(Mcf::standard(scaled(17, 18))), "40% / 3.7K"),
-        ("vpr", Arc::new(Vpr::standard(19, scaled(10, 14), scaled(6, 10), 2)), "4% / 4.5M"),
-        ("bzip2", Arc::new(Bzip2::standard(23, scaled(280, 700))), "6% / 30M"),
-    ];
+    let entry = catalog::find("table3_divisions").expect("catalog entry");
+    let report = BatchRunner::from_env().run(entry.title, entry.scenarios(Scale::from_env()));
 
-    let scenarios = rows
-        .iter()
-        .map(|(name, w, _)| {
-            Scenario::new(
-                *name,
-                "component",
-                MachineConfig::table1_somt(),
-                Variant::Component,
-                Arc::clone(w),
-            )
-        })
-        .collect();
-    let report = BatchRunner::from_env().run("Table 3 — division rates", scenarios);
-
-    for (name, _, paper) in &rows {
+    for (name, paper) in [("mcf", "40% / 3.7K"), ("vpr", "4% / 4.5M"), ("bzip2", "6% / 30M")] {
         let o = &report.only(name).outcome;
-        let ipd = o
-            .stats
-            .insts_per_division()
-            .map_or("-".to_string(), |v| format!("{v:.0}"));
+        let ipd = o.stats.insts_per_division().map_or("-".to_string(), |v| format!("{v:.0}"));
         println!(
             "{name:<8} {:>12} {:>12} {:>9.0}% {:>16} {:>14}",
             o.stats.divisions_requested,

@@ -9,50 +9,16 @@
 //! overhead; on the SOMT most probes are granted, giving the per-division
 //! cost including the child's pooled-stack allocation.
 
-use capsule_bench::{scaled, BatchRunner, Scenario};
-use capsule_core::config::MachineConfig;
-use capsule_workloads::lang_ports::probe_overhead_program;
+use capsule_bench::catalog::{self, Scale};
+use capsule_bench::BatchRunner;
 
 fn main() {
-    let n = scaled(1000, 10_000);
+    let scale = Scale::from_env();
+    let n = catalog::toolchain_probes(scale);
     println!("§3.2 — toolchain software overhead per division (paper: ~15 cycles)\n");
 
-    let plain = probe_overhead_program(n, false);
-    let probed = probe_overhead_program(n, true);
-
-    let report = BatchRunner::from_env().run(
-        "§3.2 — toolchain overhead per division",
-        vec![
-            Scenario::raw(
-                "scalar/plain",
-                "plain",
-                MachineConfig::table1_superscalar(),
-                "probe-overhead-plain",
-                plain.clone(),
-            ),
-            Scenario::raw(
-                "scalar/coworker",
-                "coworker",
-                MachineConfig::table1_superscalar(),
-                "probe-overhead-coworker",
-                probed.clone(),
-            ),
-            Scenario::raw(
-                "somt/plain",
-                "plain",
-                MachineConfig::table1_somt(),
-                "probe-overhead-plain",
-                plain,
-            ),
-            Scenario::raw(
-                "somt/coworker",
-                "coworker",
-                MachineConfig::table1_somt(),
-                "probe-overhead-coworker",
-                probed,
-            ),
-        ],
-    );
+    let entry = catalog::find("toolchain_overhead").expect("catalog entry");
+    let report = BatchRunner::from_env().run(entry.title, entry.scenarios(scale));
 
     let p_scalar = &report.only("scalar/plain").outcome;
     let c_scalar = &report.only("scalar/coworker").outcome;

@@ -13,11 +13,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod catalog;
 pub mod scenario;
 
-pub use scenario::{BatchReport, BatchRunner, RawWorkload, RunRecord, Scenario};
+pub use scenario::{
+    BatchError, BatchReport, BatchRunner, RawWorkload, RunFailure, RunRecord, Scenario,
+};
 
 use capsule_core::config::MachineConfig;
+use capsule_sim::cancel::CancelToken;
 use capsule_sim::machine::Machine;
 use capsule_sim::SimOutcome;
 use capsule_workloads::{Variant, Workload};
@@ -48,16 +52,36 @@ pub fn scaled<T>(quick: T, full: T) -> T {
 /// Panics on simulator errors or a failed correctness check — a bench
 /// must never report numbers from a wrong run.
 pub fn run_checked(cfg: MachineConfig, workload: &dyn Workload, variant: Variant) -> SimOutcome {
+    try_run_checked(cfg, workload, variant, BUDGET, None)
+        .unwrap_or_else(|e| panic!("{}: {e}", workload.name()))
+}
+
+/// Runs `workload`'s `variant` on `cfg` under a cycle `budget` and an
+/// optional [`CancelToken`], validating the output against the host
+/// reference. The error-propagating core behind [`run_checked`], used
+/// directly where a failed run must become a structured response (the
+/// job server) instead of a process abort.
+///
+/// # Errors
+///
+/// [`RunFailure`] describing the stage that failed (machine build,
+/// simulation — including [`capsule_sim::SimError::Timeout`] and
+/// [`capsule_sim::SimError::Cancelled`] — or the host-reference check).
+pub fn try_run_checked(
+    cfg: MachineConfig,
+    workload: &dyn Workload,
+    variant: Variant,
+    budget: u64,
+    cancel: Option<&CancelToken>,
+) -> Result<SimOutcome, RunFailure> {
     let program = workload.program(variant);
-    let mut m = Machine::new(cfg, &program)
-        .unwrap_or_else(|e| panic!("{}: machine build failed: {e}", workload.name()));
-    let outcome = m
-        .run(BUDGET)
-        .unwrap_or_else(|e| panic!("{}: simulation failed: {e}", workload.name()));
-    workload
-        .check(&outcome.output)
-        .unwrap_or_else(|e| panic!("{}: wrong result: {e}", workload.name()));
-    outcome
+    let mut m = Machine::new(cfg, &program).map_err(RunFailure::Build)?;
+    if let Some(tok) = cancel {
+        m.set_cancel_token(tok.clone());
+    }
+    let outcome = m.run(budget).map_err(RunFailure::Sim)?;
+    workload.check(&outcome.output).map_err(RunFailure::Check)?;
+    Ok(outcome)
 }
 
 /// Simple statistics over a series.
@@ -81,8 +105,7 @@ pub struct Series {
 pub fn series(values: &[u64]) -> Series {
     assert!(!values.is_empty());
     let mean = values.iter().sum::<u64>() as f64 / values.len() as f64;
-    let var = values.iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>()
-        / values.len() as f64;
+    let var = values.iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>() / values.len() as f64;
     Series {
         mean,
         min: *values.iter().min().expect("non-empty"),
@@ -123,10 +146,7 @@ pub fn row(label: &str, value: impl std::fmt::Display) {
 /// # Panics
 ///
 /// Panics on simulator errors.
-pub fn run_checked_raw(
-    cfg: MachineConfig,
-    program: &capsule_isa::program::Program,
-) -> SimOutcome {
+pub fn run_checked_raw(cfg: MachineConfig, program: &capsule_isa::program::Program) -> SimOutcome {
     let mut m = Machine::new(cfg, program).expect("machine builds");
     m.run(BUDGET).expect("program halts")
 }

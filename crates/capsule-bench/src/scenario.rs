@@ -9,16 +9,78 @@
 //! on 1 worker or 16.
 
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
 
 use capsule_core::config::MachineConfig;
 use capsule_core::output::Json;
 use capsule_isa::program::Program;
-use capsule_sim::SimOutcome;
+use capsule_sim::cancel::CancelToken;
+use capsule_sim::{SimError, SimOutcome};
 use capsule_workloads::{Variant, Workload};
 
-use crate::run_checked;
+use crate::try_run_checked;
+
+/// Why one checked run failed, by stage.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunFailure {
+    /// The machine could not be built for this config/program.
+    Build(SimError),
+    /// The simulation aborted (trap, timeout, cancellation, ...).
+    Sim(SimError),
+    /// The simulated output did not match the host reference.
+    Check(String),
+    /// The worker thread panicked while running the scenario (a bug in
+    /// the workload or simulator); the payload is the panic message.
+    Panic(String),
+}
+
+impl std::fmt::Display for RunFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunFailure::Build(e) => write!(f, "machine build failed: {e}"),
+            RunFailure::Sim(e) => write!(f, "simulation failed: {e}"),
+            RunFailure::Check(e) => write!(f, "wrong result: {e}"),
+            RunFailure::Panic(e) => write!(f, "worker panicked: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RunFailure {}
+
+impl RunFailure {
+    /// True when the failure is a tripped [`CancelToken`].
+    pub fn is_cancelled(&self) -> bool {
+        matches!(self, RunFailure::Sim(SimError::Cancelled { .. }))
+    }
+}
+
+/// A failed batch: which scenario failed first (lowest index) and why.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchError {
+    /// Index of the failing scenario in submission order.
+    pub index: usize,
+    /// The scenario's group.
+    pub group: String,
+    /// The scenario's label.
+    pub label: String,
+    /// Workload name.
+    pub workload: String,
+    /// The failure itself.
+    pub failure: RunFailure,
+}
+
+impl std::fmt::Display for BatchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "scenario #{} ({}/{}, workload {}): {}",
+            self.index, self.group, self.label, self.workload, self.failure
+        )
+    }
+}
+
+impl std::error::Error for BatchError {}
 
 /// One independent simulated run: a workload variant on a machine.
 #[derive(Clone)]
@@ -91,6 +153,7 @@ impl Workload for RawWorkload {
 
 /// The result of one [`Scenario`]: identification plus the full
 /// validated simulation outcome.
+#[derive(Debug)]
 pub struct RunRecord {
     /// The scenario's group.
     pub group: String,
@@ -125,9 +188,7 @@ impl BatchRunner {
         let workers = std::env::var("CAPSULE_BENCH_WORKERS")
             .ok()
             .and_then(|v| v.parse::<usize>().ok())
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-            });
+            .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
         BatchRunner::with_workers(workers)
     }
 
@@ -148,11 +209,38 @@ impl BatchRunner {
     /// # Panics
     ///
     /// Panics if any scenario fails to simulate or fails validation — a
-    /// bench must never report numbers from a wrong run.
+    /// bench must never report numbers from a wrong run. Services that
+    /// need a structured failure instead use [`BatchRunner::try_run_with`].
     pub fn run(&self, title: impl Into<String>, scenarios: Vec<Scenario>) -> BatchReport {
+        self.try_run_with(title, scenarios, crate::BUDGET, None)
+            .unwrap_or_else(|e| panic!("batch failed: {e}"))
+    }
+
+    /// Runs every scenario under a per-run cycle `budget` and an optional
+    /// shared [`CancelToken`], propagating the first failure (in scenario
+    /// order) instead of panicking.
+    ///
+    /// A panic inside a worker thread (from workload or simulator bugs)
+    /// is caught and reported as [`RunFailure::Panic`] for its scenario
+    /// rather than poisoning the batch: the remaining scenarios are
+    /// drained, the other workers keep their slots, and the caller gets a
+    /// structured [`BatchError`]. Once any scenario has failed, workers
+    /// stop picking up new scenarios (in-flight runs still finish).
+    ///
+    /// # Errors
+    ///
+    /// The failure of the lowest-indexed failing scenario.
+    pub fn try_run_with(
+        &self,
+        title: impl Into<String>,
+        scenarios: Vec<Scenario>,
+        budget: u64,
+        cancel: Option<&CancelToken>,
+    ) -> Result<BatchReport, Box<BatchError>> {
         let title = title.into();
         let next = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<RunRecord>>> =
+        let failed = AtomicBool::new(false);
+        let slots: Vec<Mutex<Option<Result<RunRecord, RunFailure>>>> =
             scenarios.iter().map(|_| Mutex::new(None)).collect();
         let workers = self.workers.min(scenarios.len()).max(1);
         std::thread::scope(|s| {
@@ -160,27 +248,79 @@ impl BatchRunner {
                 s.spawn(|| loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(sc) = scenarios.get(i) else { break };
-                    let outcome =
-                        run_checked(sc.config.clone(), sc.workload.as_ref(), sc.variant);
-                    *slots[i].lock().expect("slot lock") = Some(RunRecord {
-                        group: sc.group.clone(),
-                        label: sc.label.clone(),
-                        workload: sc.workload.name(),
-                        variant: variant_name(sc.variant),
-                        outcome,
-                    });
+                    if failed.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        try_run_checked(
+                            sc.config.clone(),
+                            sc.workload.as_ref(),
+                            sc.variant,
+                            budget,
+                            cancel,
+                        )
+                    }))
+                    .unwrap_or_else(|p| Err(RunFailure::Panic(panic_message(p))));
+                    if result.is_err() {
+                        failed.store(true, Ordering::Relaxed);
+                    }
+                    *slots[i].lock().unwrap_or_else(PoisonError::into_inner) =
+                        Some(result.map(|outcome| RunRecord {
+                            group: sc.group.clone(),
+                            label: sc.label.clone(),
+                            workload: sc.workload.name(),
+                            variant: variant_name(sc.variant),
+                            outcome,
+                        }));
                 });
             }
         });
-        let records = slots
-            .into_iter()
-            .map(|m| m.into_inner().expect("slot lock").expect("every slot filled"))
-            .collect();
-        BatchReport { title, records }
+        let mut records = Vec::with_capacity(scenarios.len());
+        let mut first_err: Option<Box<BatchError>> = None;
+        for (i, slot) in slots.into_iter().enumerate() {
+            let filled = slot.into_inner().unwrap_or_else(PoisonError::into_inner);
+            match filled {
+                Some(Ok(record)) => records.push(record),
+                Some(Err(failure)) if first_err.is_none() => {
+                    let sc = &scenarios[i];
+                    first_err = Some(Box::new(BatchError {
+                        index: i,
+                        group: sc.group.clone(),
+                        label: sc.label.clone(),
+                        workload: sc.workload.name().to_string(),
+                        failure,
+                    }));
+                }
+                // Later failures lose to the lowest-indexed one; a None
+                // slot means the worker that claimed this index observed
+                // the failure flag and stopped (possibly at a lower
+                // index than the failure that set the flag).
+                Some(Err(_)) | None => {}
+            }
+        }
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        // Workers only skip slots after the failure flag is set, and the
+        // failing worker writes its Err slot before exiting the scope.
+        assert_eq!(records.len(), scenarios.len(), "slots skipped without a recorded failure");
+        Ok(BatchReport { title, records })
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(p: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
 /// All records of a batch, in scenario order.
+#[derive(Debug)]
 pub struct BatchReport {
     /// Human-readable batch title (goes into the JSON header).
     pub title: String,
@@ -307,11 +447,7 @@ mod tests {
     #[test]
     fn records_stay_in_scenario_order() {
         let report = BatchRunner::with_workers(3).run("order", small_batch());
-        let labels: Vec<&str> = report
-            .records
-            .iter()
-            .map(|r| r.label.as_str())
-            .collect();
+        let labels: Vec<&str> = report.records.iter().map(|r| r.label.as_str()).collect();
         assert_eq!(labels, ["g0", "g0", "g1", "g1", "g2", "g2", "g3", "g3", "only"]);
         assert_eq!(report.group("somt").len(), 4);
         assert_eq!(report.group_cycles("superscalar").len(), 4);
@@ -346,6 +482,102 @@ mod tests {
             )],
         );
         assert!(report.only("raw").outcome.cycles() > 0);
+    }
+
+    fn spin_program() -> Program {
+        use capsule_isa::asm::Asm;
+        use capsule_isa::program::{DataBuilder, ThreadSpec};
+        let mut a = Asm::new();
+        a.bind("x");
+        a.j("x");
+        Program::new(a.assemble().expect("assembles"), DataBuilder::new().build(), 4096)
+            .with_thread(ThreadSpec::at(0))
+    }
+
+    /// A workload whose program construction panics (a synthetic
+    /// workload bug).
+    struct PanickyWorkload;
+
+    impl Workload for PanickyWorkload {
+        fn name(&self) -> &'static str {
+            "panicky"
+        }
+        fn supports(&self, _variant: Variant) -> bool {
+            true
+        }
+        fn program(&self, _variant: Variant) -> Program {
+            panic!("synthetic workload bug")
+        }
+        fn check(&self, _output: &[capsule_core::OutValue]) -> Result<(), String> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn budget_overrun_is_a_structured_timeout() {
+        let scenarios = vec![Scenario::raw(
+            "spin",
+            "loop",
+            MachineConfig::table1_somt(),
+            "spin",
+            spin_program(),
+        )];
+        let err = BatchRunner::with_workers(2)
+            .try_run_with("budget", scenarios, 2_000, None)
+            .expect_err("spin scenario must time out");
+        assert_eq!(err.index, 0);
+        assert_eq!(err.group, "spin");
+        assert_eq!(err.failure, RunFailure::Sim(SimError::Timeout { cycles: 2_000 }));
+        assert!(!err.failure.is_cancelled());
+        assert!(err.to_string().contains("no halt within 2000 cycles"), "{err}");
+    }
+
+    #[test]
+    fn worker_panic_is_a_structured_failure_not_an_abort() {
+        let mut scenarios = small_batch();
+        scenarios.insert(
+            0,
+            Scenario::new(
+                "buggy",
+                "b0",
+                MachineConfig::table1_somt(),
+                Variant::Component,
+                Arc::new(PanickyWorkload),
+            ),
+        );
+        // Silence the default panic hook while the worker's panic is
+        // caught and converted; restore it afterwards.
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let result =
+            BatchRunner::with_workers(3).try_run_with("panic", scenarios, crate::BUDGET, None);
+        std::panic::set_hook(hook);
+        let err = result.expect_err("panicking worker must fail the batch");
+        assert_eq!(err.index, 0);
+        assert_eq!(err.workload, "panicky");
+        match &err.failure {
+            RunFailure::Panic(msg) => assert!(msg.contains("synthetic workload bug"), "{msg}"),
+            other => panic!("expected Panic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pre_tripped_cancel_token_fails_the_batch_as_cancelled() {
+        let tok = CancelToken::new();
+        tok.cancel();
+        let err = BatchRunner::with_workers(2)
+            .try_run_with("cancelled", small_batch(), crate::BUDGET, Some(&tok))
+            .expect_err("tripped token must cancel the batch");
+        assert!(err.failure.is_cancelled(), "got {:?}", err.failure);
+    }
+
+    #[test]
+    fn try_run_with_matches_run_on_success() {
+        let report = BatchRunner::with_workers(2)
+            .try_run_with("same", small_batch(), crate::BUDGET, Some(&CancelToken::new()))
+            .expect("batch succeeds");
+        let baseline = BatchRunner::with_workers(2).run("same", small_batch());
+        assert_eq!(report.to_json().to_string_compact(), baseline.to_json().to_string_compact());
     }
 
     #[test]

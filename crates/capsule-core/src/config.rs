@@ -62,11 +62,7 @@ impl CacheParams {
     /// paper's vpr sensitivity experiment ("doubling cache size and cache
     /// ports improves the speedup of a single iteration from 2.47 to 3.5").
     pub fn doubled(&self) -> Self {
-        CacheParams {
-            size_bytes: self.size_bytes * 2,
-            ports: self.ports * 2,
-            ..*self
-        }
+        CacheParams { size_bytes: self.size_bytes * 2, ports: self.ports * 2, ..*self }
     }
 }
 
@@ -244,11 +240,7 @@ impl MachineConfig {
     /// The §5 shared-memory CMP extrapolation: `cores` cores with
     /// `contexts_per_core` SOMT contexts each, private L1s, shared L2.
     pub fn cmp_somt(cores: usize, contexts_per_core: usize) -> Self {
-        MachineConfig {
-            cores,
-            contexts: cores * contexts_per_core,
-            ..Self::table1_somt()
-        }
+        MachineConfig { cores, contexts: cores * contexts_per_core, ..Self::table1_somt() }
     }
 
     /// Standard SMT baseline: identical resources, division disabled
@@ -259,11 +251,7 @@ impl MachineConfig {
 
     /// Aggressive superscalar baseline: one context, division disabled.
     pub fn table1_superscalar() -> Self {
-        MachineConfig {
-            contexts: 1,
-            division_mode: DivisionMode::Never,
-            ..Self::table1_somt()
-        }
+        MachineConfig { contexts: 1, division_mode: DivisionMode::Never, ..Self::table1_somt() }
     }
 
     /// Maximum worker deaths tolerated inside the death window before the

@@ -36,14 +36,14 @@
 #![warn(missing_docs)]
 
 pub mod config;
-pub mod output;
 pub mod ids;
+pub mod output;
 pub mod policy;
 pub mod rng;
 pub mod stats;
 
 pub use config::MachineConfig;
-pub use output::OutValue;
 pub use ids::{ContextId, WorkerId};
+pub use output::OutValue;
 pub use policy::{DeathRateWindow, DivisionDecision, DivisionPolicy, DivisionRequest};
 pub use stats::{DivisionTree, SectionTracker, SimStats};

@@ -1,7 +1,8 @@
 //! Values emitted on a run's output channel (`out`/`outf`), and a
-//! minimal hand-rolled JSON value/writer used for machine-readable
-//! bench reports (the workspace is dependency-free by design — see
-//! DESIGN.md §5 — so there is no serde here).
+//! minimal hand-rolled JSON value/writer/parser used for machine-readable
+//! bench reports and the `capsule-serve/1` wire protocol (the workspace
+//! is dependency-free by design — see DESIGN.md §5 — so there is no
+//! serde here).
 
 /// A value emitted by a simulated program or native worker.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -75,6 +76,101 @@ impl Json {
         self
     }
 
+    /// Looks up `key` in an object; `None` on missing key or non-object.
+    /// The first entry wins if a key was pushed twice.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a [`Json::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean value, if this is a [`Json::Bool`].
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64` ([`Json::Int`], or a [`Json::UInt`] that fits).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Int(v) => Some(*v),
+            Json::UInt(v) => i64::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64` ([`Json::UInt`], or a non-negative [`Json::Int`]).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::UInt(v) => Some(*v),
+            Json::Int(v) => u64::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64` (floats, and integers converted losslessly
+    /// enough for reporting).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Float(v) => Some(*v),
+            Json::Int(v) => Some(*v as f64),
+            Json::UInt(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// The items, if this is a [`Json::Array`].
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The entries, if this is a [`Json::Object`].
+    pub fn as_object(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// Parses a JSON document.
+    ///
+    /// The parser accepts exactly the JSON grammar (RFC 8259): one value,
+    /// optionally surrounded by whitespace; no trailing garbage, comments,
+    /// or trailing commas. Numbers without a fraction or exponent parse to
+    /// [`Json::Int`] when they fit `i64`, to [`Json::UInt`] when they only
+    /// fit `u64`, and to [`Json::Float`] otherwise; this makes `parse` an
+    /// exact inverse of [`Json::to_string_compact`] for canonically-typed
+    /// values (see the round-trip test).
+    ///
+    /// # Errors
+    ///
+    /// [`JsonParseError`] with the byte offset and 1-based line/column of
+    /// the first offending character.
+    pub fn parse(input: &str) -> Result<Json, JsonParseError> {
+        let mut p = Parser { input, pos: 0 };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos < p.input.len() {
+            return Err(p.err("trailing characters after JSON value"));
+        }
+        Ok(v)
+    }
+
     /// Renders to a compact JSON string (no whitespace).
     pub fn to_string_compact(&self) -> String {
         let mut out = String::new();
@@ -121,6 +217,271 @@ impl Json {
                 });
             }
         }
+    }
+}
+
+/// A parse failure, with the exact position of the offending byte.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonParseError {
+    /// Byte offset into the input.
+    pub offset: usize,
+    /// 1-based line of the offending byte.
+    pub line: usize,
+    /// 1-based column (in bytes) of the offending byte.
+    pub col: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for JsonParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "json parse error at line {}, column {} (byte {}): {}",
+            self.line, self.col, self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for JsonParseError {}
+
+struct Parser<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: impl Into<String>) -> JsonParseError {
+        let consumed = &self.input[..self.pos.min(self.input.len())];
+        let line = consumed.bytes().filter(|&b| b == b'\n').count() + 1;
+        let col = self.pos - consumed.rfind('\n').map_or(0, |i| i + 1) + 1;
+        JsonParseError { offset: self.pos, line, col, message: message.into() }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.as_bytes().get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect_byte(&mut self, b: u8) -> Result<(), JsonParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str, value: Json) -> Result<Json, JsonParseError> {
+        if self.input[self.pos..].starts_with(kw) {
+            self.pos += kw.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("expected '{kw}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonParseError> {
+        match self.peek() {
+            Some(b'n') => self.eat_keyword("null", Json::Null),
+            Some(b't') => self.eat_keyword("true", Json::Bool(true)),
+            Some(b'f') => self.eat_keyword("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.err("expected a JSON value")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonParseError> {
+        self.expect_byte(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonParseError> {
+        self.expect_byte(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            if self.peek() != Some(b'"') {
+                return Err(self.err("expected '\"' to start object key"));
+            }
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect_byte(b':')?;
+            self.skip_ws();
+            entries.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(entries));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonParseError> {
+        self.expect_byte(b'"')?;
+        let mut out = String::new();
+        loop {
+            let rest = &self.input[self.pos..];
+            let Some(c) = rest.chars().next() else {
+                return Err(self.err("unterminated string"));
+            };
+            match c {
+                '"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                '\\' => {
+                    self.pos += 1;
+                    out.push(self.escape()?);
+                }
+                c if (c as u32) < 0x20 => {
+                    return Err(self.err("unescaped control character in string"));
+                }
+                c => {
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn escape(&mut self) -> Result<char, JsonParseError> {
+        let c = match self.peek() {
+            Some(b'"') => '"',
+            Some(b'\\') => '\\',
+            Some(b'/') => '/',
+            Some(b'b') => '\u{8}',
+            Some(b'f') => '\u{c}',
+            Some(b'n') => '\n',
+            Some(b'r') => '\r',
+            Some(b't') => '\t',
+            Some(b'u') => {
+                self.pos += 1;
+                let hi = self.hex4()?;
+                if (0xD800..0xDC00).contains(&hi) {
+                    // High surrogate: require the low half.
+                    if !self.input[self.pos..].starts_with("\\u") {
+                        return Err(self.err("lone high surrogate in \\u escape"));
+                    }
+                    self.pos += 2;
+                    let lo = self.hex4()?;
+                    if !(0xDC00..0xE000).contains(&lo) {
+                        return Err(self.err("invalid low surrogate in \\u escape"));
+                    }
+                    let cp = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                    return char::from_u32(cp).ok_or_else(|| self.err("invalid surrogate pair"));
+                }
+                return char::from_u32(hi)
+                    .ok_or_else(|| self.err("lone low surrogate in \\u escape"));
+            }
+            _ => return Err(self.err("invalid escape sequence")),
+        };
+        self.pos += 1;
+        Ok(c)
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonParseError> {
+        let hex = self
+            .input
+            .get(self.pos..self.pos + 4)
+            .ok_or_else(|| self.err("truncated \\u escape"))?;
+        let v =
+            u32::from_str_radix(hex, 16).map_err(|_| self.err("non-hex digit in \\u escape"))?;
+        self.pos += 4;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonParseError> {
+        let start = self.pos;
+        let bytes = self.input.as_bytes();
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        // Integer part: one zero, or a nonzero digit followed by digits.
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(self.err("expected digit in number")),
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("expected digit after decimal point"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("expected digit in exponent"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = &self.input[start..self.pos];
+        if !is_float {
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(Json::Int(v));
+            }
+            if bytes[start] != b'-' {
+                if let Ok(v) = text.parse::<u64>() {
+                    return Ok(Json::UInt(v));
+                }
+            }
+        }
+        text.parse::<f64>().map(Json::Float).map_err(|_| {
+            self.pos = start;
+            self.err("number out of representable range")
+        })
     }
 }
 
@@ -265,10 +626,7 @@ mod tests {
     fn json_pretty_rendering() {
         let mut o = Json::object();
         o.push("a", 1i64).push("b", Json::Array(vec![Json::Int(2)]));
-        assert_eq!(
-            o.to_string_pretty(),
-            "{\n  \"a\": 1,\n  \"b\": [\n    2\n  ]\n}\n"
-        );
+        assert_eq!(o.to_string_pretty(), "{\n  \"a\": 1,\n  \"b\": [\n    2\n  ]\n}\n");
     }
 
     #[test]
@@ -283,10 +641,7 @@ mod tests {
         assert_eq!(Json::Float(0.1).to_string_compact(), "0.1");
         // `{}` on f64 never uses exponent notation; the `.0` marker is
         // still appended.
-        assert_eq!(
-            Json::Float(1e30).to_string_compact(),
-            "1000000000000000000000000000000.0"
-        );
+        assert_eq!(Json::Float(1e30).to_string_compact(), "1000000000000000000000000000000.0");
         assert_eq!(Json::Float(f64::NAN).to_string_compact(), "null");
         assert_eq!(Json::Float(f64::INFINITY).to_string_compact(), "null");
     }
@@ -296,5 +651,148 @@ mod tests {
         assert_eq!(Json::Array(vec![]).to_string_compact(), "[]");
         assert_eq!(Json::object().to_string_compact(), "{}");
         assert_eq!(Json::object().to_string_pretty(), "{}\n");
+    }
+
+    #[test]
+    fn accessors_on_parsed_values() {
+        let j = Json::parse(r#"{"a":1,"b":"x","c":[true,null],"d":2.5,"e":18446744073709551615}"#)
+            .unwrap();
+        assert_eq!(j.get("a").and_then(Json::as_i64), Some(1));
+        assert_eq!(j.get("a").and_then(Json::as_u64), Some(1));
+        assert_eq!(j.get("b").and_then(Json::as_str), Some("x"));
+        assert_eq!(j.get("c").and_then(Json::as_array).map(<[Json]>::len), Some(2));
+        assert_eq!(j.get("c").unwrap().as_array().unwrap()[0].as_bool(), Some(true));
+        assert_eq!(j.get("d").and_then(Json::as_f64), Some(2.5));
+        assert_eq!(j.get("e").and_then(Json::as_u64), Some(u64::MAX));
+        assert_eq!(j.get("e").and_then(Json::as_i64), None);
+        assert_eq!(j.get("missing"), None);
+        assert_eq!(Json::Null.get("a"), None);
+        assert_eq!(j.as_object().map(<[(String, Json)]>::len), Some(5));
+    }
+
+    #[test]
+    fn parse_scalars() {
+        assert_eq!(Json::parse("null").unwrap(), Json::Null);
+        assert_eq!(Json::parse(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(Json::parse("false").unwrap(), Json::Bool(false));
+        assert_eq!(Json::parse("0").unwrap(), Json::Int(0));
+        assert_eq!(Json::parse("-42").unwrap(), Json::Int(-42));
+        assert_eq!(Json::parse("9223372036854775807").unwrap(), Json::Int(i64::MAX));
+        // One past i64::MAX lands in UInt; huge integers fall back to Float.
+        assert_eq!(Json::parse("9223372036854775808").unwrap(), Json::UInt(1 << 63));
+        assert_eq!(
+            Json::parse("18446744073709551616").unwrap(),
+            Json::Float(1.8446744073709552e19)
+        );
+        assert_eq!(Json::parse("2.0").unwrap(), Json::Float(2.0));
+        assert_eq!(Json::parse("-1.5e3").unwrap(), Json::Float(-1500.0));
+        assert_eq!(Json::parse("1E-2").unwrap(), Json::Float(0.01));
+    }
+
+    #[test]
+    fn parse_strings_and_escapes() {
+        assert_eq!(
+            Json::parse(r#""a\"b\\c\nd\te\u0001""#).unwrap(),
+            Json::Str("a\"b\\c\nd\te\u{1}".to_string())
+        );
+        assert_eq!(Json::parse(r#""\/\b\f""#).unwrap(), Json::Str("/\u{8}\u{c}".to_string()));
+        assert_eq!(Json::parse(r#""\ud83d\ude00""#).unwrap(), Json::Str("😀".to_string()));
+        assert_eq!(Json::parse("\"déjà vu\"").unwrap(), Json::Str("déjà vu".to_string()));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_inputs_with_positions() {
+        // (input, expected offset of the error)
+        let cases: &[(&str, usize)] = &[
+            ("", 0),
+            ("  ", 2),
+            ("{", 1),
+            ("}", 0),
+            ("[1,]", 3),
+            ("[1 2]", 3),
+            ("{\"a\":}", 5),
+            ("{\"a\" 1}", 5),
+            ("{a:1}", 1),
+            ("{\"a\":1,}", 7),
+            ("nul", 0),
+            ("truee", 4),
+            ("\"abc", 4),
+            ("\"\\q\"", 2),
+            ("\"\\u12g4\"", 3),
+            ("\"\\ud800x\"", 7),
+            ("01", 1),
+            ("-", 1),
+            ("1.", 2),
+            ("1e", 2),
+            ("1.5.2", 3),
+            ("[1] []", 4),
+            ("\u{1}", 0),
+        ];
+        for &(input, offset) in cases {
+            let e = Json::parse(input).expect_err(input);
+            assert_eq!(e.offset, offset, "offset for {input:?}: {e}");
+        }
+    }
+
+    #[test]
+    fn parse_error_reports_line_and_column() {
+        let e = Json::parse("{\n  \"a\": 1,\n  \"b\": nope\n}").unwrap_err();
+        assert_eq!((e.line, e.col), (3, 8));
+        assert!(e.to_string().contains("line 3, column 8"));
+    }
+
+    /// Deterministic generator of canonically-typed Json values: every
+    /// integer in i64 range is Int (never UInt), UInt is only used above
+    /// i64::MAX, and floats are finite — exactly the forms the writer
+    /// renders distinguishably, so `parse` inverts `to_string_compact`.
+    fn arbitrary_json(rng: &mut crate::rng::Xoshiro256StarStar, depth: usize) -> Json {
+        use crate::rng::Rng as _;
+        let pick = if depth == 0 { rng.usize_below(6) } else { rng.usize_below(8) };
+        match pick {
+            0 => Json::Null,
+            1 => Json::Bool(rng.chance(0.5)),
+            2 => Json::Int(rng.next_u64() as i64),
+            3 => Json::UInt((rng.next_u64() >> 1) | (1 << 63)), // always > i64::MAX
+            4 => {
+                // Shortest-roundtrip formatting + parse is lossless for
+                // every finite double, including subnormals.
+                let v = f64::from_bits(rng.next_u64());
+                Json::Float(if v.is_finite() { v } else { rng.f64_range(-1e9, 1e9) })
+            }
+            5 => {
+                let len = rng.usize_below(12);
+                let s: String = (0..len)
+                    .map(|_| char::from_u32(rng.next_u32() % 0xD800).expect("below surrogates"))
+                    .collect();
+                Json::Str(s)
+            }
+            6 => {
+                let len = rng.usize_below(4);
+                Json::Array((0..len).map(|_| arbitrary_json(rng, depth - 1)).collect())
+            }
+            _ => {
+                let len = rng.usize_below(4);
+                let mut o = Json::object();
+                for i in 0..len {
+                    o.push(&format!("k{i}\u{7f}\"{}", i * 3), arbitrary_json(rng, depth - 1));
+                }
+                o
+            }
+        }
+    }
+
+    #[test]
+    fn parse_roundtrips_rendered_values() {
+        use crate::rng::Xoshiro256StarStar;
+        let mut rng = Xoshiro256StarStar::seed_from_u64(0xCA9501E);
+        for i in 0..500 {
+            let j = arbitrary_json(&mut rng, 3);
+            let compact = j.to_string_compact();
+            let back = Json::parse(&compact).unwrap_or_else(|e| panic!("case {i}: {e}\n{compact}"));
+            assert_eq!(back, j, "case {i}: {compact}");
+            // Pretty rendering parses back to the same value too.
+            let pretty = j.to_string_pretty();
+            assert_eq!(Json::parse(&pretty).expect("pretty parses"), j, "case {i} (pretty)");
+        }
     }
 }

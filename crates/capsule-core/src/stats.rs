@@ -1,9 +1,11 @@
-//! Run statistics: counters, componentized-section tracking, and the
-//! division genealogy used to regenerate Figure 6 and Table 3.
+//! Run statistics: counters, componentized-section tracking, the
+//! division genealogy used to regenerate Figure 6 and Table 3, and a
+//! power-of-two latency histogram used by serving-layer telemetry.
 
 use std::fmt;
 
 use crate::ids::WorkerId;
+use crate::output::Json;
 
 /// Aggregate counters of one simulated (or native) run.
 ///
@@ -115,7 +117,12 @@ impl fmt::Display for SimStats {
         writeln!(f, "cycles                {:>12}", self.cycles)?;
         writeln!(f, "committed insts       {:>12}", self.committed)?;
         writeln!(f, "IPC                   {:>12.3}", self.ipc())?;
-        writeln!(f, "branches (mispred)    {:>12} ({:.2}%)", self.branches, 100.0 * self.mispredict_rate())?;
+        writeln!(
+            f,
+            "branches (mispred)    {:>12} ({:.2}%)",
+            self.branches,
+            100.0 * self.mispredict_rate()
+        )?;
         writeln!(
             f,
             "divisions req/granted {:>12} / {} ({:.1}%)",
@@ -216,6 +223,134 @@ impl SectionTracker {
         } else {
             self.section_cycles(id) as f64 / total_cycles as f64
         }
+    }
+}
+
+/// A histogram over `u64` samples with power-of-two buckets.
+///
+/// Bucket `k` (k ≥ 1) holds samples in `[2^(k-1), 2^k - 1]`; bucket 0
+/// holds exact zeros. 65 buckets cover the full `u64` range, so
+/// recording never saturates or loses a sample. Exact count/sum/min/max
+/// are tracked alongside the buckets. This is the latency-telemetry
+/// primitive behind `capsule-serve`'s `stats` response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; 65],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram { buckets: [0; 65], count: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        let bucket = (64 - v.leading_zeros()) as usize; // 0 for v == 0
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample; `None` when empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample; `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Arithmetic mean; 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound (inclusive) of the bucket holding the q-quantile
+    /// (`q` in [0, 1]), i.e. a conservative estimate of e.g. the p99.
+    /// `None` when empty.
+    pub fn quantile_bound(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (k, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(bucket_hi(k).min(self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// The histogram as a JSON object: exact summary fields plus the
+    /// non-empty buckets as `{lo, hi, count}` rows in increasing order.
+    pub fn to_json(&self) -> Json {
+        let mut o = Json::object();
+        o.push("count", self.count)
+            .push("sum", self.sum)
+            .push("min", self.min().map_or(Json::Null, Json::UInt))
+            .push("max", self.max().map_or(Json::Null, Json::UInt))
+            .push("mean", self.mean());
+        let mut rows = Vec::new();
+        for (k, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let mut row = Json::object();
+            row.push("lo", bucket_lo(k)).push("hi", bucket_hi(k)).push("count", c);
+            rows.push(row);
+        }
+        o.push("buckets", Json::Array(rows));
+        o
+    }
+}
+
+/// Inclusive lower bound of bucket `k`.
+fn bucket_lo(k: usize) -> u64 {
+    if k == 0 {
+        0
+    } else {
+        1u64 << (k - 1)
+    }
+}
+
+/// Inclusive upper bound of bucket `k`.
+fn bucket_hi(k: usize) -> u64 {
+    if k == 0 {
+        0
+    } else if k >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << k) - 1
     }
 }
 
@@ -443,5 +578,60 @@ mod tests {
         assert!(tree.is_empty());
         assert_eq!(tree.max_depth(), 0);
         assert_eq!(tree.live_at(100), 0);
+    }
+
+    #[test]
+    fn histogram_empty() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile_bound(0.99), None);
+        let j = h.to_json().to_string_compact();
+        assert!(j.contains("\"count\":0"), "{j}");
+        assert!(j.contains("\"buckets\":[]"), "{j}");
+    }
+
+    #[test]
+    fn histogram_buckets_and_summary() {
+        let mut h = Histogram::new();
+        for v in [0, 1, 2, 3, 4, 1000, u64::MAX] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(u64::MAX));
+        // 0→bucket0, 1→[1,1], 2..3→[2,3], 4→[4,7], 1000→[512,1023], MAX→last
+        let j = h.to_json();
+        let rows = j.get("buckets").unwrap().as_array().unwrap();
+        assert_eq!(rows.len(), 6);
+        let row = |i: usize| {
+            let r = &rows[i];
+            (
+                r.get("lo").unwrap().as_u64().unwrap(),
+                r.get("hi").unwrap().as_u64().unwrap(),
+                r.get("count").unwrap().as_u64().unwrap(),
+            )
+        };
+        assert_eq!(row(0), (0, 0, 1));
+        assert_eq!(row(1), (1, 1, 1));
+        assert_eq!(row(2), (2, 3, 2));
+        assert_eq!(row(3), (4, 7, 1));
+        assert_eq!(row(4), (512, 1023, 1));
+        assert_eq!(row(5), (1 << 63, u64::MAX, 1));
+    }
+
+    #[test]
+    fn histogram_quantile_bounds() {
+        let mut h = Histogram::new();
+        for _ in 0..99 {
+            h.record(10); // bucket [8, 15]
+        }
+        h.record(100_000); // bucket [65536, 131071]
+        assert_eq!(h.quantile_bound(0.5), Some(15));
+        assert_eq!(h.quantile_bound(0.99), Some(15));
+        // The top sample caps at the observed max, not the bucket edge.
+        assert_eq!(h.quantile_bound(1.0), Some(100_000));
     }
 }

@@ -357,10 +357,8 @@ impl Asm {
             return Err(AsmError::TooLarge(self.insns.len()));
         }
         for (idx, label) in &self.fixups {
-            let target = *self
-                .labels
-                .get(label)
-                .ok_or_else(|| AsmError::UndefinedLabel(label.clone()))?;
+            let target =
+                *self.labels.get(label).ok_or_else(|| AsmError::UndefinedLabel(label.clone()))?;
             self.insns[*idx].set_static_target(target);
         }
         Ok(self.insns)
@@ -382,10 +380,7 @@ mod tests {
         a.halt();
         let text = a.assemble().unwrap();
         assert_eq!(text[0], Instr::J { target: 3 });
-        assert_eq!(
-            text[2],
-            Instr::Br { cond: BrCond::Ne, rs1: Reg(1), rs2: Reg(0), target: 1 }
-        );
+        assert_eq!(text[2], Instr::Br { cond: BrCond::Ne, rs1: Reg(1), rs2: Reg(0), target: 1 });
     }
 
     #[test]

@@ -113,16 +113,18 @@ pub fn encode(i: &Instr) -> Result<[u64; 2], EncodeError> {
     let w = |w0: Result<u64, EncodeError>, imm: u64| -> Result<[u64; 2], EncodeError> {
         Ok([w0?, imm])
     };
-    let subop_alu = |op: AluOp| AluOp::ALL.iter().position(|&o| o == op).expect("op is in ALL") as u8;
-    let subop_falu = |op: FAluOp| FAluOp::ALL.iter().position(|&o| o == op).expect("op is in ALL") as u8;
-    let subop_fcmp = |op: FCmpOp| FCmpOp::ALL.iter().position(|&o| o == op).expect("op is in ALL") as u8;
-    let subop_br = |c: BrCond| BrCond::ALL.iter().position(|&o| o == c).expect("cond is in ALL") as u8;
+    let subop_alu =
+        |op: AluOp| AluOp::ALL.iter().position(|&o| o == op).expect("op is in ALL") as u8;
+    let subop_falu =
+        |op: FAluOp| FAluOp::ALL.iter().position(|&o| o == op).expect("op is in ALL") as u8;
+    let subop_fcmp =
+        |op: FCmpOp| FCmpOp::ALL.iter().position(|&o| o == op).expect("op is in ALL") as u8;
+    let subop_br =
+        |c: BrCond| BrCond::ALL.iter().position(|&o| o == c).expect("cond is in ALL") as u8;
 
     match *i {
         Instr::Nop => w(pack(OP_NOP, 0, 0, 0, 0, 0), 0),
-        Instr::Alu { op, rd, rs1, rs2 } => {
-            w(pack(OP_ALU, subop_alu(op), rd.0, rs1.0, rs2.0, 0), 0)
-        }
+        Instr::Alu { op, rd, rs1, rs2 } => w(pack(OP_ALU, subop_alu(op), rd.0, rs1.0, rs2.0, 0), 0),
         Instr::AluI { op, rd, rs1, imm } => {
             w(pack(OP_ALUI, subop_alu(op), rd.0, rs1.0, 0, 0), imm as u64)
         }

@@ -558,7 +558,11 @@ impl Instr {
     pub fn is_control(&self) -> bool {
         matches!(
             self,
-            Instr::Br { .. } | Instr::J { .. } | Instr::Jal { .. } | Instr::Jr { .. } | Instr::Jalr { .. }
+            Instr::Br { .. }
+                | Instr::J { .. }
+                | Instr::Jal { .. }
+                | Instr::Jr { .. }
+                | Instr::Jalr { .. }
         )
     }
 
@@ -761,8 +765,14 @@ mod tests {
     fn fu_classification() {
         let r = Reg(1);
         let f1 = FReg(1);
-        assert_eq!(Instr::Alu { op: AluOp::Add, rd: r, rs1: r, rs2: r }.fu_class(), FuClass::IntAlu);
-        assert_eq!(Instr::Alu { op: AluOp::Mul, rd: r, rs1: r, rs2: r }.fu_class(), FuClass::IntMult);
+        assert_eq!(
+            Instr::Alu { op: AluOp::Add, rd: r, rs1: r, rs2: r }.fu_class(),
+            FuClass::IntAlu
+        );
+        assert_eq!(
+            Instr::Alu { op: AluOp::Mul, rd: r, rs1: r, rs2: r }.fu_class(),
+            FuClass::IntMult
+        );
         assert_eq!(Instr::Ld { rd: r, base: r, off: 0 }.fu_class(), FuClass::Mem);
         assert_eq!(
             Instr::FAlu { op: FAluOp::Div, fd: f1, fs1: f1, fs2: f1 }.fu_class(),

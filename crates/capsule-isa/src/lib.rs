@@ -52,8 +52,8 @@ pub mod asm;
 pub mod encode;
 pub mod instr;
 pub mod program;
-pub mod rtlib;
 pub mod reg;
+pub mod rtlib;
 pub mod text;
 
 pub use asm::{Asm, AsmError};

@@ -115,13 +115,7 @@ impl Program {
     /// of headroom.
     pub fn new(text: Vec<Instr>, data: DataImage, heap_bytes: usize) -> Self {
         let mem_size = DATA_BASE as usize + data.bytes.len() + heap_bytes;
-        Program {
-            text,
-            data: data.bytes,
-            mem_size,
-            threads: Vec::new(),
-            symbols: data.symbols,
-        }
+        Program { text, data: data.bytes, mem_size, threads: Vec::new(), symbols: data.symbols }
     }
 
     /// Adds a loader thread (builder style).
@@ -137,10 +131,7 @@ impl Program {
     /// Panics if the symbol is unknown; symbols are fixed at build time so
     /// a miss is a programming error in the workload builder.
     pub fn symbol(&self, name: &str) -> u64 {
-        *self
-            .symbols
-            .get(name)
-            .unwrap_or_else(|| panic!("unknown data symbol `{name}`"))
+        *self.symbols.get(name).unwrap_or_else(|| panic!("unknown data symbol `{name}`"))
     }
 
     /// Structural validation (targets, entries, memory bounds).

@@ -142,8 +142,7 @@ pub fn parse(src: &str) -> Result<Vec<Instr>, ParseError> {
             None => (line, ""),
         };
         let ops = split_operands(rest);
-        parse_one(&mut a, mn, &ops)
-            .map_err(|msg| ParseError { line: line_no, msg })?;
+        parse_one(&mut a, mn, &ops).map_err(|msg| ParseError { line: line_no, msg })?;
     }
     a.assemble().map_err(ParseError::from)
 }
@@ -176,8 +175,7 @@ fn parse_one(a: &mut Asm, mn: &str, ops: &[String]) -> Result<(), String> {
     for op in FAluOp::ALL {
         if mn == op.mnemonic() {
             argc(3)?;
-            let (fd, fs1, fs2) =
-                (parse_freg(&ops[0])?, parse_freg(&ops[1])?, parse_freg(&ops[2])?);
+            let (fd, fs1, fs2) = (parse_freg(&ops[0])?, parse_freg(&ops[1])?, parse_freg(&ops[2])?);
             a.push(Instr::FAlu { op, fd, fs1, fs2 });
             return Ok(());
         }
@@ -213,8 +211,7 @@ fn parse_one(a: &mut Asm, mn: &str, ops: &[String]) -> Result<(), String> {
         "fli" => {
             argc(2)?;
             let fd = parse_freg(&ops[0])?;
-            let imm: f64 =
-                ops[1].parse().map_err(|_| format!("bad float `{}`", ops[1]))?;
+            let imm: f64 = ops[1].parse().map_err(|_| format!("bad float `{}`", ops[1]))?;
             a.fli(fd, imm);
         }
         "ld" | "ldb" => {

@@ -26,8 +26,7 @@ use crate::parser::parse;
 use crate::token::{LangError, Pos};
 
 /// Expression temporaries.
-const EXPR_REGS: [Reg; 8] =
-    [Reg(7), Reg(8), Reg(9), Reg(10), Reg(11), Reg(12), Reg(13), Reg(14)];
+const EXPR_REGS: [Reg; 8] = [Reg(7), Reg(8), Reg(9), Reg(10), Reg(11), Reg(12), Reg(13), Reg(14)];
 /// Registers used for parameters/locals of small functions (register
 /// frames); spilled around calls.
 const LOCAL_REGS: [Reg; 8] =
@@ -111,10 +110,12 @@ impl Cg<'_> {
     }
 
     fn temp(&self, depth: usize, pos: Pos) -> Result<Reg, LangError> {
-        EXPR_REGS
-            .get(depth)
-            .copied()
-            .ok_or_else(|| Self::err(pos, format!("expression too deeply nested (max {} temporaries)", EXPR_REGS.len())))
+        EXPR_REGS.get(depth).copied().ok_or_else(|| {
+            Self::err(
+                pos,
+                format!("expression too deeply nested (max {} temporaries)", EXPR_REGS.len()),
+            )
+        })
     }
 
     /// Loads the frame slot address offset for `slot`.
@@ -194,9 +195,7 @@ impl Cg<'_> {
                     Some(GlobalKind::Scalar(_)) => {
                         return Err(Self::err(*pos, format!("`{name}` is a scalar, not an array")))
                     }
-                    None => {
-                        return Err(Self::err(*pos, format!("undeclared array `{name}`")))
-                    }
+                    None => return Err(Self::err(*pos, format!("undeclared array `{name}`"))),
                 };
                 self.expr(idx, depth)?;
                 let d = self.temp(depth, *pos)?;
@@ -533,7 +532,11 @@ impl Cg<'_> {
                     if sig.params != args.len() {
                         return Err(Self::err(
                             *pos,
-                            format!("`{name}` takes {} argument(s), got {}", sig.params, args.len()),
+                            format!(
+                                "`{name}` takes {} argument(s), got {}",
+                                sig.params,
+                                args.len()
+                            ),
                         ));
                     }
                     sig.label.clone()
@@ -554,7 +557,7 @@ impl Cg<'_> {
                 self.a.nthr(PROBE, &l_child);
                 self.a.li(SCRATCH_A, -1);
                 self.a.bne(PROBE, SCRATCH_A, &l_after); // granted: parent moves on
-                // denied (case -1): return the token, call sequentially
+                                                        // denied (case -1): return the token, call sequentially
                 emit_locked_add(&mut self.a, rt.tokens, -1);
                 self.save_locals();
                 self.a.call(&label);
@@ -713,10 +716,9 @@ pub fn compile_with(src: &str, opts: &Options) -> Result<Program, LangError> {
         cg.function(w)?;
     }
 
-    let text = cg
-        .a
-        .assemble()
-        .map_err(|e| LangError::new(origin, format!("internal assembly error: {e}")))?;
+    let text =
+        cg.a.assemble()
+            .map_err(|e| LangError::new(origin, format!("internal assembly error: {e}")))?;
     let program = Program::new(text, d.build(), opts.heap_bytes).with_thread(ThreadSpec::at(0));
     program
         .validate()

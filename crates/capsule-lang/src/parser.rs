@@ -59,7 +59,9 @@ impl Parser {
                             other => {
                                 return Err(LangError::new(
                                     pos,
-                                    format!("array length must be a positive literal, found {other}"),
+                                    format!(
+                                        "array length must be a positive literal, found {other}"
+                                    ),
                                 ))
                             }
                         };
@@ -491,10 +493,9 @@ mod tests {
 
     #[test]
     fn parses_globals_and_workers() {
-        let ast = parse(
-            "global total;\nglobal big = -5;\nglobal arr[64];\nworker main() { out(1); }",
-        )
-        .unwrap();
+        let ast =
+            parse("global total;\nglobal big = -5;\nglobal arr[64];\nworker main() { out(1); }")
+                .unwrap();
         assert_eq!(ast.globals.len(), 3);
         assert_eq!(ast.globals[0].name, "total");
         assert_eq!(ast.globals[1].init, -5);
@@ -553,8 +554,7 @@ worker main() {
     #[test]
     fn parses_else_if_chains() {
         let ast =
-            parse("worker main() { if (1) { } else if (2) { out(2); } else { out(3); } }")
-                .unwrap();
+            parse("worker main() { if (1) { } else if (2) { out(2); } else { out(3); } }").unwrap();
         let Stmt::If(_, _, els) = &ast.workers[0].body[0] else { panic!() };
         assert!(matches!(els[0], Stmt::If(..)));
     }

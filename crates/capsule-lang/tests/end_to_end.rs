@@ -9,10 +9,8 @@ use capsule_sim::{Interp, InterpConfig};
 /// Compile and run on the interpreter; return the integer outputs.
 fn run_interp(src: &str) -> Vec<i64> {
     let p = compile(src).expect("compiles");
-    let out = Interp::new(&p, InterpConfig::default())
-        .expect("loads")
-        .run(500_000_000)
-        .expect("halts");
+    let out =
+        Interp::new(&p, InterpConfig::default()).expect("loads").run(500_000_000).expect("halts");
     out.output.iter().filter_map(|v| v.as_int()).collect()
 }
 
@@ -30,7 +28,10 @@ fn arithmetic_and_precedence() {
     assert_eq!(run_interp("worker main() { out((2 + 3) * 4); }"), vec![20]);
     assert_eq!(run_interp("worker main() { out(7 / 2); out(7 % 3); out(-5); }"), vec![3, 1, -5]);
     assert_eq!(run_interp("worker main() { out(1 << 10); out(-16 >> 2); }"), vec![1024, -4]);
-    assert_eq!(run_interp("worker main() { out(12 & 10); out(12 | 3); out(12 ^ 10); }"), vec![8, 15, 6]);
+    assert_eq!(
+        run_interp("worker main() { out(12 & 10); out(12 | 3); out(12 ^ 10); }"),
+        vec![8, 15, 6]
+    );
 }
 
 #[test]
@@ -348,9 +349,10 @@ worker main() {
 fn nqueens_counts_solutions() {
     // The repository's showcase program (examples/programs/nqueens.cap),
     // at sizes with well-known solution counts.
-    let template = std::fs::read_to_string(
-        concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples/programs/nqueens.cap"),
-    )
+    let template = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../examples/programs/nqueens.cap"
+    ))
     .expect("nqueens.cap exists");
     for (n, expected) in [(6i64, 4i64), (8, 92)] {
         let src = template.replace("global n = 10;", &format!("global n = {n};"));
@@ -408,22 +410,15 @@ worker main() {
 #[test]
 fn control_flow_cannot_skip_lock_releases() {
     use capsule_lang::compile;
-    let e = compile(
-        "global g; worker f() { lock (&g) { return 1; } } worker main() { f(); }",
-    )
-    .unwrap_err();
+    let e = compile("global g; worker f() { lock (&g) { return 1; } } worker main() { f(); }")
+        .unwrap_err();
     assert!(e.msg.contains("skip its release"), "{e}");
 
-    let e = compile(
-        "global g; worker main() { while (1) { lock (&g) { break; } } }",
-    )
-    .unwrap_err();
+    let e = compile("global g; worker main() { while (1) { lock (&g) { break; } } }").unwrap_err();
     assert!(e.msg.contains("skipping its release"), "{e}");
 
-    let e = compile(
-        "global g; worker main() { while (1) { lock (&g) { continue; } } }",
-    )
-    .unwrap_err();
+    let e =
+        compile("global g; worker main() { while (1) { lock (&g) { continue; } } }").unwrap_err();
     assert!(e.msg.contains("skipping its release"), "{e}");
 
     // Loops fully inside the lock are fine.

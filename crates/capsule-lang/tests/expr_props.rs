@@ -19,8 +19,7 @@ enum E {
     Neg(Box<E>),
 }
 
-const OPS: [&str; 13] =
-    ["+", "-", "*", "/", "%", "<<", ">>", "&", "|", "^", "<", "==", "!="];
+const OPS: [&str; 13] = ["+", "-", "*", "/", "%", "<<", ">>", "&", "|", "^", "<", "==", "!="];
 
 /// Random expression tree of bounded depth; at depth 0 only literals.
 fn random_expr(rng: &mut impl Rng, depth: usize) -> E {

@@ -51,13 +51,11 @@ fn mangled_programs_never_panic() {
     let mut rng = Xoshiro256StarStar::seed_from_u64(0x10b_0002);
     for _ in 0..cases(256) {
         let kw = KEYWORDS[rng.usize_below(KEYWORDS.len())];
-        let ident: String = (0..rng.usize_below(8) + 1)
-            .map(|_| (b'a' + rng.u64_below(26) as u8) as char)
-            .collect();
+        let ident: String =
+            (0..rng.usize_below(8) + 1).map(|_| (b'a' + rng.u64_below(26) as u8) as char).collect();
         let num = rng.next_u64() as i64;
-        let junk: String = (0..rng.usize_below(41))
-            .map(|_| JUNK[rng.usize_below(JUNK.len())] as char)
-            .collect();
+        let junk: String =
+            (0..rng.usize_below(41)).map(|_| JUNK[rng.usize_below(JUNK.len())] as char).collect();
         let src = format!("worker main() {{ {kw} {ident} {num} {junk} }}");
         let _ = compile(&src);
     }

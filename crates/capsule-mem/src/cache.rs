@@ -59,7 +59,14 @@ impl Cache {
     /// Panics on degenerate geometry (see [`CacheParams::num_sets`]).
     pub fn new(params: CacheParams) -> Self {
         let sets = vec![vec![Line::default(); params.assoc]; params.num_sets()];
-        Cache { params, sets, stats: CacheStats::default(), use_clock: 0, port_cycle: 0, port_used: 0 }
+        Cache {
+            params,
+            sets,
+            stats: CacheStats::default(),
+            use_clock: 0,
+            port_cycle: 0,
+            port_used: 0,
+        }
     }
 
     /// The geometry this cache was built with.
@@ -95,11 +102,8 @@ impl Cache {
         let victim = match lines.iter().position(|l| !l.valid) {
             Some(i) => i,
             None => {
-                let (i, _) = lines
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|(_, l)| l.last_use)
-                    .expect("assoc > 0");
+                let (i, _) =
+                    lines.iter().enumerate().min_by_key(|(_, l)| l.last_use).expect("assoc > 0");
                 i
             }
         };

@@ -88,9 +88,8 @@ fn lru_retains_small_working_sets() {
         // Pick `assoc` lines that all map to the same set.
         let sets = p.num_sets() as u64;
         let set = rng.u64_below(sets);
-        let lines: Vec<u64> = (0..p.assoc as u64)
-            .map(|way| (way * sets + set) * p.line_bytes as u64)
-            .collect();
+        let lines: Vec<u64> =
+            (0..p.assoc as u64).map(|way| (way * sets + set) * p.line_bytes as u64).collect();
         for &a in &lines {
             c.access(a);
         }

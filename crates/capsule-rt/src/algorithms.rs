@@ -114,8 +114,7 @@ mod tests {
 
     #[test]
     fn sort_matches_std_sort() {
-        let mut data: Vec<i64> =
-            (0..20_000).map(|i| (i * 2654435761u64 as i64) % 10_007).collect();
+        let mut data: Vec<i64> = (0..20_000).map(|i| (i * 2654435761u64 as i64) % 10_007).collect();
         let mut expected = data.clone();
         expected.sort_unstable();
         let stats = capsule_sort(RtConfig::somt_like(8), &mut data);

@@ -1,0 +1,97 @@
+//! One-shot `capsule-serve/1` client.
+//!
+//! Usage:
+//!   capsule-client ADDR '{"op":"run","scenario":"table1_config"}'
+//!   capsule-client ADDR run SCENARIO [SCALE] [BUDGET]
+//!   capsule-client ADDR stats|list|cancel|shutdown
+//!
+//! Sends one request line and prints the server's response line
+//! (pretty-printed unless `--compact`). Exits nonzero when the server
+//! reports `ok: false`.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+use capsule_core::output::Json;
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let compact = if let Some(i) = args.iter().position(|a| a == "--compact") {
+        args.remove(i);
+        true
+    } else {
+        false
+    };
+    if args.len() < 2 {
+        eprintln!("usage: capsule-client ADDR REQUEST... (see --help in docs/SERVER.md)");
+        std::process::exit(2);
+    }
+    let addr = args.remove(0);
+    let line = build_request(&args);
+
+    let mut stream = TcpStream::connect(&addr).unwrap_or_else(|e| {
+        eprintln!("cannot connect to {addr}: {e}");
+        std::process::exit(1);
+    });
+    stream.write_all(format!("{line}\n").as_bytes()).and_then(|()| stream.flush()).unwrap_or_else(
+        |e| {
+            eprintln!("send failed: {e}");
+            std::process::exit(1);
+        },
+    );
+    let mut response = String::new();
+    BufReader::new(&stream).read_line(&mut response).unwrap_or_else(|e| {
+        eprintln!("receive failed: {e}");
+        std::process::exit(1);
+    });
+    let response = response.trim();
+    if response.is_empty() {
+        eprintln!("server closed the connection without responding");
+        std::process::exit(1);
+    }
+    let json = Json::parse(response).unwrap_or_else(|e| {
+        eprintln!("unparseable response ({e}): {response}");
+        std::process::exit(1);
+    });
+    if compact {
+        println!("{}", json.to_string_compact());
+    } else {
+        println!("{}", json.to_string_pretty());
+    }
+    let ok = json.get("ok").and_then(Json::as_bool).unwrap_or(false);
+    std::process::exit(if ok { 0 } else { 1 });
+}
+
+fn build_request(args: &[String]) -> String {
+    if args[0].trim_start().starts_with('{') {
+        return args[0].clone();
+    }
+    match args[0].as_str() {
+        "stats" | "list" | "cancel" | "shutdown" => {
+            format!(r#"{{"op":"{}"}}"#, args[0])
+        }
+        "run" => {
+            let Some(scenario) = args.get(1) else {
+                eprintln!("run needs a scenario name (see `capsule-client ADDR list`)");
+                std::process::exit(2);
+            };
+            let mut req = Json::object();
+            req.push("op", "run").push("scenario", scenario.as_str());
+            if let Some(scale) = args.get(2) {
+                req.push("scale", scale.as_str());
+            }
+            if let Some(budget) = args.get(3) {
+                let b: u64 = budget.parse().unwrap_or_else(|_| {
+                    eprintln!("budget must be an integer, got {budget:?}");
+                    std::process::exit(2);
+                });
+                req.push("budget", b);
+            }
+            req.to_string_compact()
+        }
+        other => {
+            eprintln!("unknown request {other:?} (run, stats, list, cancel, shutdown or raw json)");
+            std::process::exit(2);
+        }
+    }
+}

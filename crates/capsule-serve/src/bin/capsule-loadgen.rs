@@ -1,0 +1,154 @@
+//! Deterministic load generator for `capsule-serve`.
+//!
+//! Usage: `capsule-loadgen ADDR [--jobs N] [--threads T]`
+//!
+//! Fires N `run` requests (default 12) from T connections (default 4),
+//! cycling a fixed list of smoke-scale scenarios, and classifies each
+//! response as ok / queue-full / error. Queue-full rejections are an
+//! expected outcome of backpressure, not a failure. Afterwards it
+//! replays one scenario twice on a fresh connection and checks that the
+//! second response is a cache hit carrying a byte-identical report.
+//! Exits nonzero if any request errored or the cache check fails.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use capsule_core::output::Json;
+
+/// Smoke-scale scenarios cheap enough to hammer in a load test.
+const MIX: [&str; 4] =
+    ["table1_config", "toolchain_overhead", "fig7_throttling", "table3_divisions"];
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(addr) = args.next() else {
+        eprintln!("usage: capsule-loadgen ADDR [--jobs N] [--threads T]");
+        std::process::exit(2);
+    };
+    let mut jobs = 12usize;
+    let mut threads = 4usize;
+    while let Some(arg) = args.next() {
+        let mut value = || {
+            args.next().and_then(|v| v.parse::<usize>().ok()).unwrap_or_else(|| {
+                eprintln!("{arg} expects an integer value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--jobs" => jobs = value().max(1),
+            "--threads" => threads = value().max(1),
+            other => {
+                eprintln!("unknown argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let ok = Arc::new(AtomicUsize::new(0));
+    let queue_full = Arc::new(AtomicUsize::new(0));
+    let errors = Arc::new(AtomicUsize::new(0));
+    let next = Arc::new(AtomicUsize::new(0));
+
+    let handles: Vec<_> = (0..threads)
+        .map(|_| {
+            let addr = addr.clone();
+            let (ok, queue_full, errors, next) =
+                (ok.clone(), queue_full.clone(), errors.clone(), next.clone());
+            std::thread::spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs {
+                    break;
+                }
+                let scenario = MIX[i % MIX.len()];
+                let req = format!(r#"{{"op":"run","scenario":"{scenario}","scale":"smoke"}}"#);
+                match request(&addr, &req) {
+                    Ok(json) => {
+                        if json.get("ok").and_then(Json::as_bool) == Some(true) {
+                            ok.fetch_add(1, Ordering::Relaxed);
+                        } else if json.get("error").and_then(Json::as_str) == Some("queue-full") {
+                            queue_full.fetch_add(1, Ordering::Relaxed);
+                        } else {
+                            eprintln!("job {i} ({scenario}) failed: {}", json.to_string_compact());
+                            errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    Err(e) => {
+                        eprintln!("job {i} ({scenario}) transport error: {e}");
+                        errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        let _ = h.join();
+    }
+
+    println!(
+        "loadgen: {} ok, {} queue-full, {} errors over {} jobs / {} threads",
+        ok.load(Ordering::Relaxed),
+        queue_full.load(Ordering::Relaxed),
+        errors.load(Ordering::Relaxed),
+        jobs,
+        threads
+    );
+
+    let cache_ok = check_cache_identity(&addr);
+    if errors.load(Ordering::Relaxed) > 0 || !cache_ok {
+        std::process::exit(1);
+    }
+}
+
+/// Replay the same request twice; the second response must be a cache
+/// hit whose report renders byte-identically to the first.
+fn check_cache_identity(addr: &str) -> bool {
+    let req = r#"{"op":"run","scenario":"table1_config","scale":"smoke"}"#;
+    let first = match request(addr, req) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("cache check: first request failed: {e}");
+            return false;
+        }
+    };
+    let second = match request(addr, req) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("cache check: second request failed: {e}");
+            return false;
+        }
+    };
+    if first.get("ok").and_then(Json::as_bool) != Some(true)
+        || second.get("ok").and_then(Json::as_bool) != Some(true)
+    {
+        eprintln!("cache check: run did not succeed");
+        return false;
+    }
+    if second.get("cache_hit").and_then(Json::as_bool) != Some(true) {
+        eprintln!("cache check: second response was not a cache hit");
+        return false;
+    }
+    let a = first.get("report").map(Json::to_string_compact);
+    let b = second.get("report").map(Json::to_string_compact);
+    if a.is_none() || a != b {
+        eprintln!("cache check: cached report is not byte-identical");
+        return false;
+    }
+    println!("cache check: hit with byte-identical report");
+    true
+}
+
+fn request(addr: &str, line: &str) -> Result<Json, String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    stream
+        .write_all(format!("{line}\n").as_bytes())
+        .and_then(|()| stream.flush())
+        .map_err(|e| format!("send: {e}"))?;
+    let mut response = String::new();
+    BufReader::new(&stream).read_line(&mut response).map_err(|e| format!("recv: {e}"))?;
+    if response.trim().is_empty() {
+        return Err("empty response".to_string());
+    }
+    Json::parse(response.trim()).map_err(|e| format!("parse: {e}"))
+}

@@ -1,0 +1,60 @@
+//! The `capsule-serve` daemon: binds a TCP address and serves
+//! `capsule-serve/1` requests until a `shutdown` request arrives.
+//!
+//! Usage: `capsule-serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]`
+//!
+//! Defaults come from `CAPSULE_SERVE_WORKERS` / `CAPSULE_SERVE_QUEUE` /
+//! `CAPSULE_SERVE_CACHE`; `--addr 127.0.0.1:0` picks an ephemeral port.
+//! The resolved address is printed as `listening on HOST:PORT` so
+//! scripts can scrape it.
+
+use capsule_serve::{Server, ServerOptions};
+
+fn main() {
+    let mut addr = "127.0.0.1:0".to_string();
+    let mut opts = ServerOptions::from_env();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{name} requires a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--addr" => addr = value("--addr"),
+            "--workers" => opts.workers = parse_usize(&value("--workers"), "--workers").max(1),
+            "--queue" => opts.queue = parse_usize(&value("--queue"), "--queue").max(1),
+            "--cache" => opts.cache = parse_usize(&value("--cache"), "--cache"),
+            "--help" | "-h" => {
+                println!(
+                    "usage: capsule-serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]"
+                );
+                return;
+            }
+            other => {
+                eprintln!("unknown argument {other:?} (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let server = match Server::start(&addr, opts) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("failed to bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("listening on {}", server.local_addr());
+    println!("workers {}, queue depth {}, cache capacity {}", opts.workers, opts.queue, opts.cache);
+    server.join();
+    println!("shut down");
+}
+
+fn parse_usize(v: &str, name: &str) -> usize {
+    v.parse().unwrap_or_else(|_| {
+        eprintln!("{name} expects an integer, got {v:?}");
+        std::process::exit(2);
+    })
+}

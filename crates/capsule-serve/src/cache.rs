@@ -1,0 +1,120 @@
+//! LRU result cache keyed by the canonical run-request string.
+//!
+//! The cached value is the rendered `capsule-bench-report/1` [`Json`]
+//! object; because the renderer is deterministic, a cache hit reproduces
+//! the original report byte for byte. Keys are the full canonical
+//! request strings (never the FNV hash the server reports as
+//! `cache_key`), so hash collisions cannot alias two different jobs.
+
+use std::collections::HashMap;
+
+use capsule_core::output::Json;
+
+/// A bounded least-recently-used map from canonical request to report.
+#[derive(Debug)]
+pub struct ResultCache {
+    capacity: usize,
+    tick: u64,
+    entries: HashMap<String, Entry>,
+}
+
+#[derive(Debug)]
+struct Entry {
+    report: Json,
+    last_used: u64,
+}
+
+impl ResultCache {
+    /// A cache holding at most `capacity` reports (0 disables caching).
+    pub fn new(capacity: usize) -> ResultCache {
+        ResultCache { capacity, tick: 0, entries: HashMap::new() }
+    }
+
+    /// Number of cached reports.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up `key`, marking the entry most-recently used.
+    pub fn get(&mut self, key: &str) -> Option<Json> {
+        self.tick += 1;
+        let tick = self.tick;
+        let entry = self.entries.get_mut(key)?;
+        entry.last_used = tick;
+        Some(entry.report.clone())
+    }
+
+    /// Inserts (or refreshes) `key`, evicting the least-recently-used
+    /// entry when the cache is full.
+    pub fn put(&mut self, key: String, report: Json) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        if !self.entries.contains_key(&key) && self.entries.len() >= self.capacity {
+            if let Some(lru) =
+                self.entries.iter().min_by_key(|(_, e)| e.last_used).map(|(k, _)| k.clone())
+            {
+                self.entries.remove(&lru);
+            }
+        }
+        self.entries.insert(key, Entry { report, last_used: self.tick });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(tag: &str) -> Json {
+        let mut j = Json::object();
+        j.push("tag", tag);
+        j
+    }
+
+    #[test]
+    fn hit_returns_the_identical_rendering() {
+        let mut c = ResultCache::new(4);
+        c.put("k".to_string(), report("r1"));
+        let hit = c.get("k").expect("hit");
+        assert_eq!(hit.to_string_compact(), report("r1").to_string_compact());
+        assert!(c.get("other").is_none());
+    }
+
+    #[test]
+    fn evicts_the_least_recently_used_entry() {
+        let mut c = ResultCache::new(2);
+        c.put("a".to_string(), report("a"));
+        c.put("b".to_string(), report("b"));
+        assert!(c.get("a").is_some()); // refresh a; b is now LRU
+        c.put("c".to_string(), report("c"));
+        assert_eq!(c.len(), 2);
+        assert!(c.get("b").is_none());
+        assert!(c.get("a").is_some());
+        assert!(c.get("c").is_some());
+    }
+
+    #[test]
+    fn refreshing_an_existing_key_does_not_evict() {
+        let mut c = ResultCache::new(2);
+        c.put("a".to_string(), report("a1"));
+        c.put("b".to_string(), report("b"));
+        c.put("a".to_string(), report("a2"));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get("a").unwrap().to_string_compact(), report("a2").to_string_compact());
+        assert!(c.get("b").is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = ResultCache::new(0);
+        c.put("a".to_string(), report("a"));
+        assert!(c.is_empty());
+        assert!(c.get("a").is_none());
+    }
+}

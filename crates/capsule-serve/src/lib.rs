@@ -1,0 +1,32 @@
+//! `capsule-serve`: a long-running simulation job server over the shared
+//! scenario catalog.
+//!
+//! The server speaks `capsule-serve/1` — newline-delimited JSON over TCP
+//! (std::net only, no external dependencies). A request names a
+//! [`capsule_bench::catalog`] scenario plus optional machine-config
+//! overrides and a cycle budget; the response carries the same
+//! `capsule-bench-report/1` object the evaluation binaries emit, plus
+//! job metadata (queue wait, run time, cache hit).
+//!
+//! Three properties matter and are tested end to end:
+//!
+//! - **Backpressure**: a bounded queue feeds the worker pool; when it is
+//!   full, clients get a structured `queue-full` rejection immediately.
+//! - **Cancellation**: operator `cancel` (and shutdown) trips a
+//!   [`capsule_sim::CancelToken`] polled in the machine's cycle loop, so
+//!   in-flight jobs stop promptly with a `cancelled` response.
+//! - **Determinism**: reports contain only simulated quantities, so a
+//!   result-cache hit returns the byte-identical report.
+//!
+//! See docs/SERVER.md for the wire schema.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod protocol;
+pub mod server;
+
+pub use cache::ResultCache;
+pub use protocol::{ConfigOverrides, Request, RequestError, RunRequest, SCHEMA};
+pub use server::{Server, ServerOptions};

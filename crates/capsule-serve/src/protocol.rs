@@ -1,0 +1,394 @@
+//! The `capsule-serve/1` wire protocol: newline-delimited JSON requests
+//! and responses over TCP.
+//!
+//! A client sends one JSON object per line and reads one JSON object per
+//! line back, in order. Requests are strict: unknown operations, unknown
+//! fields and ill-typed values are rejected with a `bad-request`
+//! response rather than guessed at, because the canonical form of a run
+//! request doubles as the result-cache key (see [`RunRequest::canonical`]
+//! and docs/SERVER.md).
+
+use capsule_bench::catalog::{self, Scale};
+use capsule_core::config::{DivisionMode, MachineConfig};
+use capsule_core::output::Json;
+
+/// Schema tag carried by every response.
+pub const SCHEMA: &str = "capsule-serve/1";
+
+/// A request the server failed to parse or validate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestError {
+    /// What was wrong, for the `detail` field of the error response.
+    pub message: String,
+}
+
+impl std::fmt::Display for RequestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for RequestError {}
+
+fn bad(message: impl Into<String>) -> RequestError {
+    RequestError { message: message.into() }
+}
+
+/// Machine-configuration overrides of a run request, applied on top of
+/// each scenario's own configuration.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConfigOverrides {
+    /// Hardware context count.
+    pub contexts: Option<usize>,
+    /// Death-rate throttle window, in cycles.
+    pub death_window: Option<u64>,
+    /// Swap-out counter threshold.
+    pub swap_counter_threshold: Option<i64>,
+    /// Division policy.
+    pub division_mode: Option<DivisionMode>,
+}
+
+impl ConfigOverrides {
+    /// True when no field is overridden.
+    pub fn is_empty(&self) -> bool {
+        *self == ConfigOverrides::default()
+    }
+
+    /// Applies the overridden fields to `cfg`.
+    pub fn apply(&self, cfg: &mut MachineConfig) {
+        if let Some(v) = self.contexts {
+            cfg.contexts = v;
+        }
+        if let Some(v) = self.death_window {
+            cfg.death_window = v;
+        }
+        if let Some(v) = self.swap_counter_threshold {
+            cfg.swap_counter_threshold = v;
+        }
+        if let Some(v) = self.division_mode {
+            cfg.division_mode = v;
+        }
+    }
+}
+
+fn division_mode_name(mode: DivisionMode) -> &'static str {
+    match mode {
+        DivisionMode::Never => "never",
+        DivisionMode::Greedy => "greedy",
+        DivisionMode::GreedyThrottled => "greedy_throttled",
+    }
+}
+
+fn parse_division_mode(s: &str) -> Option<DivisionMode> {
+    match s {
+        "never" => Some(DivisionMode::Never),
+        "greedy" => Some(DivisionMode::Greedy),
+        "greedy_throttled" => Some(DivisionMode::GreedyThrottled),
+        _ => None,
+    }
+}
+
+/// A fully validated `run` request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunRequest {
+    /// Catalog entry name (validated to exist).
+    pub scenario: String,
+    /// Data-set scale.
+    pub scale: Scale,
+    /// Per-run cycle budget.
+    pub budget: u64,
+    /// Machine-configuration overrides.
+    pub overrides: ConfigOverrides,
+}
+
+impl RunRequest {
+    /// The canonical compact-JSON form of the request: field order is
+    /// fixed, defaults are resolved, and absent overrides are omitted,
+    /// so two requests for the same work render to the same bytes. This
+    /// string keys the server's result cache; its FNV-1a hash is the
+    /// `cache_key` reported to clients.
+    pub fn canonical(&self) -> String {
+        let mut root = Json::object();
+        root.push("op", "run")
+            .push("scenario", self.scenario.as_str())
+            .push("scale", self.scale.name())
+            .push("budget", self.budget);
+        if !self.overrides.is_empty() {
+            let mut cfg = Json::object();
+            if let Some(v) = self.overrides.contexts {
+                cfg.push("contexts", v);
+            }
+            if let Some(v) = self.overrides.death_window {
+                cfg.push("death_window", v);
+            }
+            if let Some(v) = self.overrides.swap_counter_threshold {
+                cfg.push("swap_counter_threshold", v);
+            }
+            if let Some(v) = self.overrides.division_mode {
+                cfg.push("division_mode", division_mode_name(v));
+            }
+            root.push("config", cfg);
+        }
+        root.to_string_compact()
+    }
+}
+
+/// One parsed request line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Run a catalog scenario batch.
+    Run(RunRequest),
+    /// Server counters and latency histograms.
+    Stats,
+    /// The scenario catalog.
+    List,
+    /// Cancel every in-flight job.
+    Cancel,
+    /// Stop accepting work and shut the server down.
+    Shutdown,
+}
+
+impl Request {
+    /// Parses and validates one request line.
+    ///
+    /// # Errors
+    ///
+    /// [`RequestError`] with a message suitable for the `detail` field
+    /// of a `bad-request` response.
+    pub fn parse_line(line: &str) -> Result<Request, RequestError> {
+        let json = Json::parse(line).map_err(|e| bad(format!("invalid json: {e}")))?;
+        let obj = json.as_object().ok_or_else(|| bad("request must be a json object"))?;
+        let op = json
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad("missing string field \"op\""))?;
+        match op {
+            "run" => Request::parse_run(obj, &json),
+            "stats" | "list" | "cancel" | "shutdown" => {
+                for (key, _) in obj {
+                    if key != "op" {
+                        return Err(bad(format!("unknown field {key:?} for op {op:?}")));
+                    }
+                }
+                Ok(match op {
+                    "stats" => Request::Stats,
+                    "list" => Request::List,
+                    "cancel" => Request::Cancel,
+                    _ => Request::Shutdown,
+                })
+            }
+            other => Err(bad(format!(
+                "unknown op {other:?} (expected run, stats, list, cancel or shutdown)"
+            ))),
+        }
+    }
+
+    fn parse_run(obj: &[(String, Json)], json: &Json) -> Result<Request, RequestError> {
+        for (key, _) in obj {
+            match key.as_str() {
+                "op" | "scenario" | "scale" | "budget" | "config" => {}
+                other => return Err(bad(format!("unknown field {other:?} for op \"run\""))),
+            }
+        }
+        let scenario = json
+            .get("scenario")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad("run requires a string field \"scenario\""))?;
+        if catalog::find(scenario).is_none() {
+            let known: Vec<&str> = catalog::entries().iter().map(|e| e.name).collect();
+            return Err(bad(format!(
+                "unknown scenario {scenario:?} (catalog: {})",
+                known.join(", ")
+            )));
+        }
+        let scale = match json.get("scale") {
+            None => Scale::Quick,
+            Some(v) => {
+                let name = v.as_str().ok_or_else(|| bad("\"scale\" must be a string"))?;
+                Scale::parse(name)
+                    .ok_or_else(|| bad(format!("unknown scale {name:?} (smoke, quick or full)")))?
+            }
+        };
+        let budget = match json.get("budget") {
+            None => capsule_bench::BUDGET,
+            Some(v) => {
+                let b =
+                    v.as_u64().ok_or_else(|| bad("\"budget\" must be a non-negative integer"))?;
+                if b == 0 {
+                    return Err(bad("\"budget\" must be positive"));
+                }
+                b
+            }
+        };
+        let overrides = match json.get("config") {
+            None => ConfigOverrides::default(),
+            Some(cfg) => Self::parse_overrides(cfg)?,
+        };
+        Ok(Request::Run(RunRequest { scenario: scenario.to_string(), scale, budget, overrides }))
+    }
+
+    fn parse_overrides(cfg: &Json) -> Result<ConfigOverrides, RequestError> {
+        let obj = cfg.as_object().ok_or_else(|| bad("\"config\" must be a json object"))?;
+        let mut out = ConfigOverrides::default();
+        for (key, value) in obj {
+            match key.as_str() {
+                "contexts" => {
+                    let v = value
+                        .as_u64()
+                        .filter(|&v| (1..=64).contains(&v))
+                        .ok_or_else(|| bad("\"contexts\" must be an integer in 1..=64"))?;
+                    out.contexts = Some(v as usize);
+                }
+                "death_window" => {
+                    let v = value
+                        .as_u64()
+                        .filter(|&v| v > 0)
+                        .ok_or_else(|| bad("\"death_window\" must be a positive integer"))?;
+                    out.death_window = Some(v);
+                }
+                "swap_counter_threshold" => {
+                    let v = value
+                        .as_i64()
+                        .ok_or_else(|| bad("\"swap_counter_threshold\" must be an integer"))?;
+                    out.swap_counter_threshold = Some(v);
+                }
+                "division_mode" => {
+                    let name =
+                        value.as_str().ok_or_else(|| bad("\"division_mode\" must be a string"))?;
+                    let mode = parse_division_mode(name).ok_or_else(|| {
+                        bad(format!(
+                            "unknown division_mode {name:?} (never, greedy or greedy_throttled)"
+                        ))
+                    })?;
+                    out.division_mode = Some(mode);
+                }
+                other => return Err(bad(format!("unknown config override {other:?}"))),
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// 64-bit FNV-1a over `bytes`; the reported `cache_key` is this hash of
+/// the canonical request string, rendered as 16 hex digits.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_minimal_run_request() {
+        let r = Request::parse_line(r#"{"op":"run","scenario":"table1_config"}"#).unwrap();
+        let Request::Run(run) = r else { panic!("expected run") };
+        assert_eq!(run.scenario, "table1_config");
+        assert_eq!(run.scale, Scale::Quick);
+        assert_eq!(run.budget, capsule_bench::BUDGET);
+        assert!(run.overrides.is_empty());
+    }
+
+    #[test]
+    fn parses_a_fully_specified_run_request() {
+        let line = r#"{"op":"run","scenario":"fig6_division_tree","scale":"smoke","budget":5000,
+            "config":{"contexts":4,"death_window":256,"swap_counter_threshold":128,
+                      "division_mode":"greedy"}}"#
+            .replace('\n', " ");
+        let Request::Run(run) = Request::parse_line(&line).unwrap() else { panic!("run") };
+        assert_eq!(run.scale, Scale::Smoke);
+        assert_eq!(run.budget, 5000);
+        assert_eq!(run.overrides.contexts, Some(4));
+        assert_eq!(run.overrides.death_window, Some(256));
+        assert_eq!(run.overrides.swap_counter_threshold, Some(128));
+        assert_eq!(run.overrides.division_mode, Some(DivisionMode::Greedy));
+    }
+
+    #[test]
+    fn canonical_form_resolves_defaults_and_field_order() {
+        let a = Request::parse_line(r#"{"op":"run","scenario":"table1_config"}"#).unwrap();
+        let b = Request::parse_line(&format!(
+            r#"{{"scale":"quick","scenario":"table1_config","op":"run","budget":{}}}"#,
+            capsule_bench::BUDGET
+        ))
+        .unwrap();
+        let (Request::Run(a), Request::Run(b)) = (a, b) else { panic!("runs") };
+        assert_eq!(a.canonical(), b.canonical());
+        assert!(a.canonical().contains("\"budget\""));
+        // No overrides -> no config object in the canonical form.
+        assert!(!a.canonical().contains("\"config\""));
+    }
+
+    #[test]
+    fn canonical_form_distinguishes_different_work() {
+        let parse = |line: &str| {
+            let Request::Run(r) = Request::parse_line(line).unwrap() else { panic!("run") };
+            r
+        };
+        let base = parse(r#"{"op":"run","scenario":"table1_config","scale":"smoke"}"#);
+        let other_scale = parse(r#"{"op":"run","scenario":"table1_config","scale":"quick"}"#);
+        let other_cfg = parse(
+            r#"{"op":"run","scenario":"table1_config","scale":"smoke","config":{"contexts":4}}"#,
+        );
+        assert_ne!(base.canonical(), other_scale.canonical());
+        assert_ne!(base.canonical(), other_cfg.canonical());
+    }
+
+    #[test]
+    fn rejects_malformed_requests_with_reasons() {
+        for (line, needle) in [
+            ("nonsense", "invalid json"),
+            ("[1,2]", "must be a json object"),
+            (r#"{"scenario":"table1_config"}"#, "missing string field"),
+            (r#"{"op":"fly"}"#, "unknown op"),
+            (r#"{"op":"run"}"#, "requires a string field \"scenario\""),
+            (r#"{"op":"run","scenario":"nope"}"#, "unknown scenario"),
+            (r#"{"op":"run","scenario":"table1_config","scale":"huge"}"#, "unknown scale"),
+            (r#"{"op":"run","scenario":"table1_config","budget":0}"#, "must be positive"),
+            (r#"{"op":"run","scenario":"table1_config","budget":-4}"#, "non-negative"),
+            (r#"{"op":"run","scenario":"table1_config","turbo":true}"#, "unknown field"),
+            (
+                r#"{"op":"run","scenario":"table1_config","config":{"fetch_width":9}}"#,
+                "unknown config override",
+            ),
+            (r#"{"op":"run","scenario":"table1_config","config":{"contexts":0}}"#, "in 1..=64"),
+            (
+                r#"{"op":"run","scenario":"table1_config","config":{"division_mode":"evil"}}"#,
+                "unknown division_mode",
+            ),
+            (r#"{"op":"stats","extra":1}"#, "unknown field"),
+        ] {
+            let err = Request::parse_line(line).expect_err(line);
+            assert!(err.message.contains(needle), "{line}: {}", err.message);
+        }
+    }
+
+    #[test]
+    fn overrides_apply_onto_a_config() {
+        let mut cfg = MachineConfig::table1_somt();
+        let o = ConfigOverrides {
+            contexts: Some(4),
+            death_window: Some(512),
+            swap_counter_threshold: Some(64),
+            division_mode: Some(DivisionMode::Greedy),
+        };
+        o.apply(&mut cfg);
+        assert_eq!(cfg.contexts, 4);
+        assert_eq!(cfg.death_window, 512);
+        assert_eq!(cfg.swap_counter_threshold, 64);
+        assert_eq!(cfg.division_mode, DivisionMode::Greedy);
+    }
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+}

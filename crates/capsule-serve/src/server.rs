@@ -1,0 +1,435 @@
+//! The job server: TCP accept loop, bounded job queue, worker pool,
+//! cooperative cancellation and the LRU result cache.
+//!
+//! Concurrency layout: one cheap thread per connection parses requests
+//! and writes responses; simulation work happens only on the fixed
+//! worker pool, fed through a bounded `sync_channel`. When the queue is
+//! full, `try_send` fails immediately and the client gets a structured
+//! `queue-full` rejection instead of an ever-growing backlog — the
+//! server-level analogue of the paper's death-rate division throttle
+//! (§4.2): admission control by refusal, not by queueing.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use capsule_bench::catalog;
+use capsule_bench::BatchRunner;
+use capsule_core::output::Json;
+use capsule_core::stats::Histogram;
+use capsule_sim::CancelToken;
+
+use crate::cache::ResultCache;
+use crate::protocol::{fnv1a64, Request, RunRequest, SCHEMA};
+
+/// Server sizing knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerOptions {
+    /// Simulation worker threads (`CAPSULE_SERVE_WORKERS`).
+    pub workers: usize,
+    /// Bounded job-queue depth (`CAPSULE_SERVE_QUEUE`).
+    pub queue: usize,
+    /// Result-cache capacity in reports (`CAPSULE_SERVE_CACHE`).
+    pub cache: usize,
+}
+
+impl Default for ServerOptions {
+    fn default() -> ServerOptions {
+        ServerOptions { workers: 2, queue: 16, cache: 64 }
+    }
+}
+
+impl ServerOptions {
+    /// Defaults overridden by the `CAPSULE_SERVE_*` environment.
+    pub fn from_env() -> ServerOptions {
+        let d = ServerOptions::default();
+        ServerOptions {
+            workers: env_usize("CAPSULE_SERVE_WORKERS", d.workers).max(1),
+            queue: env_usize("CAPSULE_SERVE_QUEUE", d.queue).max(1),
+            cache: env_usize("CAPSULE_SERVE_CACHE", d.cache),
+        }
+    }
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// One queued run job: the validated request plus the reply channel of
+/// the connection thread waiting for it.
+struct Job {
+    run: RunRequest,
+    canonical: String,
+    enqueued: Instant,
+    reply: mpsc::Sender<Json>,
+}
+
+#[derive(Default)]
+struct Counters {
+    connections: AtomicU64,
+    requests: AtomicU64,
+    bad_requests: AtomicU64,
+    jobs_accepted: AtomicU64,
+    jobs_rejected: AtomicU64,
+    jobs_completed: AtomicU64,
+    jobs_failed: AtomicU64,
+    jobs_cancelled: AtomicU64,
+    jobs_in_flight: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    cancel_requests: AtomicU64,
+}
+
+#[derive(Default)]
+struct Latencies {
+    queue_wait_us: Histogram,
+    run_us: Histogram,
+}
+
+struct Shared {
+    opts: ServerOptions,
+    addr: SocketAddr,
+    running: AtomicBool,
+    /// `None` once shutdown started: no further jobs are accepted.
+    jobs: Mutex<Option<SyncSender<Job>>>,
+    /// Current cancellation generation; `cancel` trips it and installs a
+    /// fresh token, so only jobs dispatched before the cancel stop.
+    cancel: Mutex<CancelToken>,
+    cache: Mutex<ResultCache>,
+    counters: Counters,
+    latencies: Mutex<Latencies>,
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A running `capsule-serve` instance.
+pub struct Server {
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and
+    /// starts the accept loop and worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from binding.
+    pub fn start(addr: &str, opts: ServerOptions) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let (tx, rx) = mpsc::sync_channel::<Job>(opts.queue);
+        let rx = Arc::new(Mutex::new(rx));
+        let shared = Arc::new(Shared {
+            opts,
+            addr: local,
+            running: AtomicBool::new(true),
+            jobs: Mutex::new(Some(tx)),
+            cancel: Mutex::new(CancelToken::new()),
+            cache: Mutex::new(ResultCache::new(opts.cache)),
+            counters: Counters::default(),
+            latencies: Mutex::new(Latencies::default()),
+        });
+
+        let mut workers = Vec::with_capacity(opts.workers);
+        for _ in 0..opts.workers {
+            let shared = Arc::clone(&shared);
+            let rx = Arc::clone(&rx);
+            workers.push(std::thread::spawn(move || worker_loop(&shared, &rx)));
+        }
+
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(&shared, &listener))
+        };
+
+        Ok(Server { shared, accept: Some(accept), workers })
+    }
+
+    /// The bound address (with the resolved port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// False once shutdown has started.
+    pub fn running(&self) -> bool {
+        self.shared.running.load(Ordering::SeqCst)
+    }
+
+    /// Starts shutdown exactly as the `shutdown` request does: stop
+    /// accepting connections and jobs, and cancel in-flight runs.
+    pub fn request_shutdown(&self) {
+        initiate_shutdown(&self.shared);
+    }
+
+    /// Waits until the server has shut down (via the `shutdown` request
+    /// or [`Server::request_shutdown`]) and all threads have exited.
+    pub fn join(mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+
+    /// [`Server::request_shutdown`] followed by [`Server::join`].
+    pub fn shutdown(self) {
+        self.request_shutdown();
+        self.join();
+    }
+}
+
+fn initiate_shutdown(shared: &Shared) {
+    if shared.running.swap(false, Ordering::SeqCst) {
+        // Stop admitting jobs; once the queue drains, the workers see a
+        // disconnected channel and exit.
+        *lock(&shared.jobs) = None;
+        // Stop in-flight runs promptly.
+        lock(&shared.cancel).cancel();
+        // Unblock the accept loop so it observes `running == false`.
+        let _ = TcpStream::connect(shared.addr);
+    }
+}
+
+fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener) {
+    for stream in listener.incoming() {
+        if !shared.running.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let shared = Arc::clone(shared);
+        std::thread::spawn(move || handle_connection(&shared, stream));
+    }
+}
+
+fn handle_connection(shared: &Shared, stream: TcpStream) {
+    shared.counters.connections.fetch_add(1, Ordering::Relaxed);
+    let Ok(read_half) = stream.try_clone() else { return };
+    let mut writer = stream;
+    for line in BufReader::new(read_half).lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        shared.counters.requests.fetch_add(1, Ordering::Relaxed);
+        let (response, shutdown) = handle_line(shared, &line);
+        let mut bytes = response.to_string_compact().into_bytes();
+        bytes.push(b'\n');
+        if writer.write_all(&bytes).and_then(|()| writer.flush()).is_err() {
+            break;
+        }
+        if shutdown {
+            initiate_shutdown(shared);
+            break;
+        }
+    }
+}
+
+fn response_head(op: &str, ok: bool) -> Json {
+    let mut r = Json::object();
+    r.push("schema", SCHEMA).push("op", op).push("ok", ok);
+    r
+}
+
+fn error_response(op: &str, error: &str, detail: Option<&str>) -> Json {
+    let mut r = response_head(op, false);
+    r.push("error", error);
+    if let Some(d) = detail {
+        r.push("detail", d);
+    }
+    r
+}
+
+/// Handles one request line; the bool asks the connection loop to start
+/// server shutdown after the response is written.
+fn handle_line(shared: &Shared, line: &str) -> (Json, bool) {
+    let request = match Request::parse_line(line) {
+        Ok(r) => r,
+        Err(e) => {
+            shared.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
+            return (error_response("?", "bad-request", Some(&e.message)), false);
+        }
+    };
+    match request {
+        Request::Run(run) => (handle_run(shared, run), false),
+        Request::Cancel => {
+            shared.counters.cancel_requests.fetch_add(1, Ordering::Relaxed);
+            let mut guard = lock(&shared.cancel);
+            guard.cancel();
+            *guard = CancelToken::new();
+            (response_head("cancel", true), false)
+        }
+        Request::Stats => (stats_response(shared), false),
+        Request::List => (list_response(), false),
+        Request::Shutdown => (response_head("shutdown", true), true),
+    }
+}
+
+fn handle_run(shared: &Shared, run: RunRequest) -> Json {
+    let canonical = run.canonical();
+    if let Some(report) = lock(&shared.cache).get(&canonical) {
+        shared.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+        return run_ok_response(&canonical, report, true, 0, 0);
+    }
+    shared.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
+
+    // Clone the sender out so the jobs lock is not held while waiting.
+    let Some(tx) = lock(&shared.jobs).clone() else {
+        return error_response("run", "shutting-down", None);
+    };
+    let (reply_tx, reply_rx) = mpsc::channel();
+    let job = Job { run, canonical, enqueued: Instant::now(), reply: reply_tx };
+    match tx.try_send(job) {
+        Ok(()) => {
+            shared.counters.jobs_accepted.fetch_add(1, Ordering::Relaxed);
+            reply_rx.recv().unwrap_or_else(|_| {
+                error_response("run", "internal-error", Some("worker dropped the job"))
+            })
+        }
+        Err(TrySendError::Full(_)) => {
+            shared.counters.jobs_rejected.fetch_add(1, Ordering::Relaxed);
+            let mut r = error_response("run", "queue-full", None);
+            r.push("queue_capacity", shared.opts.queue);
+            r
+        }
+        Err(TrySendError::Disconnected(_)) => error_response("run", "shutting-down", None),
+    }
+}
+
+fn run_ok_response(
+    canonical: &str,
+    report: Json,
+    cache_hit: bool,
+    queue_wait_us: u64,
+    run_us: u64,
+) -> Json {
+    let mut r = response_head("run", true);
+    r.push("cache_hit", cache_hit)
+        .push("cache_key", format!("{:016x}", fnv1a64(canonical.as_bytes())))
+        .push("queue_wait_us", queue_wait_us)
+        .push("run_us", run_us)
+        .push("report", report);
+    r
+}
+
+fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<Job>>) {
+    loop {
+        // Hold the receiver lock only while waiting, never while running.
+        let job = lock(rx).recv_timeout(Duration::from_millis(100));
+        match job {
+            Ok(job) => run_job(shared, job),
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+}
+
+fn run_job(shared: &Shared, job: Job) {
+    let queue_wait_us = job.enqueued.elapsed().as_micros() as u64;
+    // The cancellation generation is sampled at dispatch: an operator
+    // `cancel` stops jobs already running, not jobs still queued.
+    let token = lock(&shared.cancel).clone();
+    shared.counters.jobs_in_flight.fetch_add(1, Ordering::SeqCst);
+    let started = Instant::now();
+
+    let entry = catalog::find(&job.run.scenario).expect("scenario validated at parse");
+    let mut scenarios = entry.scenarios(job.run.scale);
+    for sc in &mut scenarios {
+        job.run.overrides.apply(&mut sc.config);
+    }
+    // One batch worker per job: across-job parallelism comes from the
+    // server pool, and a single-threaded batch keeps a job's cost
+    // predictable for the queue's admission control.
+    let result = BatchRunner::with_workers(1).try_run_with(
+        entry.title,
+        scenarios,
+        job.run.budget,
+        Some(&token),
+    );
+    let run_us = started.elapsed().as_micros() as u64;
+    shared.counters.jobs_in_flight.fetch_sub(1, Ordering::SeqCst);
+    {
+        let mut lat = lock(&shared.latencies);
+        lat.queue_wait_us.record(queue_wait_us);
+        lat.run_us.record(run_us);
+    }
+
+    let response = match result {
+        Ok(report) => {
+            let json = report.to_json();
+            lock(&shared.cache).put(job.canonical.clone(), json.clone());
+            shared.counters.jobs_completed.fetch_add(1, Ordering::Relaxed);
+            run_ok_response(&job.canonical, json, false, queue_wait_us, run_us)
+        }
+        Err(e) => {
+            let cancelled = e.failure.is_cancelled();
+            if cancelled {
+                shared.counters.jobs_cancelled.fetch_add(1, Ordering::Relaxed);
+            } else {
+                shared.counters.jobs_failed.fetch_add(1, Ordering::Relaxed);
+            }
+            let mut r = error_response(
+                "run",
+                if cancelled { "cancelled" } else { "scenario-failed" },
+                Some(&e.to_string()),
+            );
+            r.push("queue_wait_us", queue_wait_us).push("run_us", run_us);
+            r
+        }
+    };
+    // The connection may already be gone; the result is cached anyway.
+    let _ = job.reply.send(response);
+}
+
+fn stats_response(shared: &Shared) -> Json {
+    let c = &shared.counters;
+    let get = |a: &AtomicU64| a.load(Ordering::Relaxed);
+    let mut counters = Json::object();
+    counters
+        .push("connections", get(&c.connections))
+        .push("requests", get(&c.requests))
+        .push("bad_requests", get(&c.bad_requests))
+        .push("jobs_accepted", get(&c.jobs_accepted))
+        .push("jobs_rejected", get(&c.jobs_rejected))
+        .push("jobs_completed", get(&c.jobs_completed))
+        .push("jobs_failed", get(&c.jobs_failed))
+        .push("jobs_cancelled", get(&c.jobs_cancelled))
+        .push("cache_hits", get(&c.cache_hits))
+        .push("cache_misses", get(&c.cache_misses))
+        .push("cancel_requests", get(&c.cancel_requests));
+    let (queue_wait, run) = {
+        let lat = lock(&shared.latencies);
+        (lat.queue_wait_us.to_json(), lat.run_us.to_json())
+    };
+    let mut r = response_head("stats", true);
+    r.push("workers", shared.opts.workers)
+        .push("queue_capacity", shared.opts.queue)
+        .push("cache_capacity", shared.opts.cache)
+        .push("cache_entries", lock(&shared.cache).len())
+        .push("jobs_in_flight", c.jobs_in_flight.load(Ordering::SeqCst))
+        .push("counters", counters)
+        .push("queue_wait_us", queue_wait)
+        .push("run_us", run);
+    r
+}
+
+fn list_response() -> Json {
+    let mut scenarios = Vec::new();
+    for e in catalog::entries() {
+        let mut s = Json::object();
+        s.push("name", e.name).push("title", e.title).push("about", e.about);
+        scenarios.push(s);
+    }
+    let mut r = response_head("list", true);
+    r.push("scales", Json::Array(vec!["smoke".into(), "quick".into(), "full".into()]))
+        .push("scenarios", Json::Array(scenarios));
+    r
+}

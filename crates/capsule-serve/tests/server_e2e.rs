@@ -1,0 +1,256 @@
+//! End-to-end tests: an in-process [`Server`] on an ephemeral port,
+//! driven over real TCP connections.
+//!
+//! Long-running jobs use `fig6_division_tree` at full scale (a
+//! 12000-element quicksort) so they are reliably still in flight when
+//! the test cancels them or stacks jobs behind them; cheap jobs use
+//! smoke-scale scenarios.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use capsule_core::output::Json;
+use capsule_serve::{Server, ServerOptions};
+
+fn start(workers: usize, queue: usize, cache: usize) -> Server {
+    Server::start("127.0.0.1:0", ServerOptions { workers, queue, cache })
+        .expect("bind ephemeral port")
+}
+
+/// One request/response exchange on a fresh connection.
+fn request(server: &Server, line: &str) -> Json {
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+    stream.write_all(format!("{line}\n").as_bytes()).expect("send");
+    stream.flush().expect("flush");
+    let mut response = String::new();
+    BufReader::new(&stream).read_line(&mut response).expect("recv");
+    Json::parse(response.trim()).expect("parse response")
+}
+
+/// Send a request and return the reader without waiting for the reply,
+/// so the test can do other work while the job runs.
+fn request_deferred(server: &Server, line: &str) -> BufReader<TcpStream> {
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+    stream.write_all(format!("{line}\n").as_bytes()).expect("send");
+    stream.flush().expect("flush");
+    BufReader::new(stream)
+}
+
+fn read_reply(reader: &mut BufReader<TcpStream>) -> Json {
+    let mut response = String::new();
+    reader.read_line(&mut response).expect("recv");
+    Json::parse(response.trim()).expect("parse response")
+}
+
+fn ok(json: &Json) -> bool {
+    json.get("ok").and_then(Json::as_bool) == Some(true)
+}
+
+fn error_code(json: &Json) -> Option<&str> {
+    json.get("error").and_then(Json::as_str)
+}
+
+fn counter(server: &Server, name: &str) -> i64 {
+    let stats = request(server, r#"{"op":"stats"}"#);
+    stats.get("counters").and_then(|c| c.get(name)).and_then(Json::as_i64).expect("counter")
+}
+
+fn jobs_in_flight(server: &Server) -> i64 {
+    let stats = request(server, r#"{"op":"stats"}"#);
+    stats.get("jobs_in_flight").and_then(Json::as_i64).expect("jobs_in_flight")
+}
+
+/// Poll until the condition holds or a generous deadline passes.
+fn wait_for(what: &str, mut cond: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+const SMOKE_RUN: &str = r#"{"op":"run","scenario":"table1_config","scale":"smoke"}"#;
+/// Full-scale fig6 sorts 12000 elements — takes long enough in a debug
+/// build that the test can observe and cancel it mid-flight.
+const LONG_RUN: &str = r#"{"op":"run","scenario":"fig6_division_tree","scale":"full"}"#;
+
+#[test]
+fn run_then_cache_hit_is_byte_identical() {
+    let server = start(2, 8, 8);
+
+    let first = request(&server, SMOKE_RUN);
+    assert!(ok(&first), "first run failed: {}", first.to_string_compact());
+    assert_eq!(first.get("cache_hit").and_then(Json::as_bool), Some(false));
+    assert_eq!(
+        first.get("report").and_then(|r| r.get("schema")).and_then(Json::as_str),
+        Some("capsule-bench-report/1")
+    );
+    let key = first.get("cache_key").and_then(Json::as_str).expect("cache_key").to_string();
+    assert_eq!(key.len(), 16, "cache_key is 16 hex digits");
+
+    let second = request(&server, SMOKE_RUN);
+    assert!(ok(&second));
+    assert_eq!(second.get("cache_hit").and_then(Json::as_bool), Some(true));
+    assert_eq!(second.get("cache_key").and_then(Json::as_str), Some(key.as_str()));
+    assert_eq!(
+        first.get("report").map(Json::to_string_compact),
+        second.get("report").map(Json::to_string_compact),
+        "cached report must render byte-identically"
+    );
+
+    // A different budget is different work: canonical form differs, so no hit.
+    let other = request(
+        &server,
+        r#"{"op":"run","scenario":"table1_config","scale":"smoke","budget":500000000000}"#,
+    );
+    assert!(ok(&other), "large-budget run failed: {}", other.to_string_compact());
+    assert_eq!(other.get("cache_hit").and_then(Json::as_bool), Some(false));
+    assert_ne!(other.get("cache_key").and_then(Json::as_str), Some(key.as_str()));
+
+    server.shutdown();
+}
+
+#[test]
+fn full_queue_rejects_with_structured_error() {
+    // One worker, one queue slot: a long job occupies the worker, a
+    // second waits in the queue, and the third must bounce immediately.
+    let server = start(1, 1, 8);
+
+    let mut long = request_deferred(&server, LONG_RUN);
+    wait_for("long job to occupy the worker", || jobs_in_flight(&server) == 1);
+
+    let mut queued = request_deferred(&server, SMOKE_RUN);
+    wait_for("second job to be queued", || counter(&server, "jobs_accepted") >= 2);
+
+    let rejected = request(&server, SMOKE_RUN);
+    assert!(!ok(&rejected));
+    assert_eq!(error_code(&rejected), Some("queue-full"));
+    assert_eq!(rejected.get("queue_capacity").and_then(Json::as_i64), Some(1));
+    assert!(counter(&server, "jobs_rejected") >= 1);
+
+    // Unblock the worker; the queued job must still complete.
+    let cancel = request(&server, r#"{"op":"cancel"}"#);
+    assert!(ok(&cancel));
+    let long_reply = read_reply(&mut long);
+    assert_eq!(error_code(&long_reply), Some("cancelled"));
+    let queued_reply = read_reply(&mut queued);
+    assert!(ok(&queued_reply), "queued job failed: {}", queued_reply.to_string_compact());
+
+    server.shutdown();
+}
+
+#[test]
+fn cancel_stops_in_flight_job_and_frees_the_worker() {
+    let server = start(1, 4, 8);
+
+    let mut long = request_deferred(&server, LONG_RUN);
+    wait_for("long job to start", || jobs_in_flight(&server) == 1);
+
+    let started = Instant::now();
+    let cancel = request(&server, r#"{"op":"cancel"}"#);
+    assert!(ok(&cancel));
+
+    let reply = read_reply(&mut long);
+    assert!(!ok(&reply));
+    assert_eq!(error_code(&reply), Some("cancelled"));
+    let detail = reply.get("detail").and_then(Json::as_str).unwrap_or("");
+    assert!(detail.contains("cancelled at cycle"), "detail was {detail:?}");
+    // The cycle-loop poll makes cancellation prompt, not best-effort:
+    // the full-scale job takes minutes uncancelled.
+    assert!(started.elapsed() < Duration::from_secs(30), "cancellation was not prompt");
+    assert_eq!(counter(&server, "jobs_cancelled"), 1);
+
+    // The worker slot is free again and new jobs run to completion —
+    // cancel installs a fresh token rather than poisoning the server.
+    wait_for("worker to go idle", || jobs_in_flight(&server) == 0);
+    let after = request(&server, SMOKE_RUN);
+    assert!(ok(&after), "post-cancel job failed: {}", after.to_string_compact());
+
+    server.shutdown();
+}
+
+#[test]
+fn budget_overrun_is_a_structured_failure() {
+    let server = start(1, 4, 8);
+    let reply =
+        request(&server, r#"{"op":"run","scenario":"table1_config","scale":"smoke","budget":10}"#);
+    assert!(!ok(&reply));
+    assert_eq!(error_code(&reply), Some("scenario-failed"));
+    let detail = reply.get("detail").and_then(Json::as_str).unwrap_or("");
+    assert!(detail.contains("no halt within"), "detail was {detail:?}");
+    assert_eq!(counter(&server, "jobs_failed"), 1);
+    server.shutdown();
+}
+
+#[test]
+fn config_overrides_change_the_report() {
+    let server = start(1, 4, 8);
+    let base = request(&server, SMOKE_RUN);
+    let throttled = request(
+        &server,
+        r#"{"op":"run","scenario":"table1_config","scale":"smoke","config":{"division_mode":"never"}}"#,
+    );
+    assert!(ok(&base) && ok(&throttled));
+    assert_eq!(throttled.get("cache_hit").and_then(Json::as_bool), Some(false));
+    assert_ne!(
+        base.get("report").map(Json::to_string_compact),
+        throttled.get("report").map(Json::to_string_compact),
+        "disabling division must change simulated results"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn malformed_and_unknown_requests_get_structured_rejections() {
+    let server = start(1, 2, 2);
+    for (line, why) in [
+        ("not json", "unparseable"),
+        (r#"{"op":"frobnicate"}"#, "unknown op"),
+        (r#"{"op":"run"}"#, "missing scenario"),
+        (r#"{"op":"run","scenario":"nope"}"#, "unknown scenario"),
+        (r#"{"op":"run","scenario":"table1_config","budget":0}"#, "zero budget"),
+    ] {
+        let reply = request(&server, line);
+        assert!(!ok(&reply), "{why}: expected rejection, got {}", reply.to_string_compact());
+        assert_eq!(error_code(&reply), Some("bad-request"), "{why}");
+        assert!(reply.get("detail").and_then(Json::as_str).is_some(), "{why}: detail missing");
+    }
+    assert_eq!(counter(&server, "bad_requests"), 5);
+    server.shutdown();
+}
+
+#[test]
+fn list_names_every_catalog_entry_and_stats_counts_requests() {
+    let server = start(1, 2, 2);
+    let list = request(&server, r#"{"op":"list"}"#);
+    assert!(ok(&list));
+    let names: Vec<&str> = list
+        .get("scenarios")
+        .and_then(Json::as_array)
+        .expect("scenarios array")
+        .iter()
+        .filter_map(|s| s.get("name").and_then(Json::as_str))
+        .collect();
+    assert_eq!(names.len(), capsule_bench::catalog::entries().len());
+    assert!(names.contains(&"fig3_dijkstra_dist"));
+    assert!(names.contains(&"toolchain_overhead"));
+    assert!(counter(&server, "requests") >= 2);
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_request_over_the_wire_stops_the_server() {
+    let server = start(2, 4, 4);
+    let reply = request(&server, r#"{"op":"shutdown"}"#);
+    assert!(ok(&reply));
+    wait_for("server to stop", || !server.running());
+    assert!(
+        TcpStream::connect(server.local_addr()).is_err() || {
+            // The listener may accept one last connection while tearing
+            // down; a request on it must not hang the test.
+            true
+        }
+    );
+    server.join();
+}

@@ -1,0 +1,58 @@
+//! Cooperative cancellation of in-flight simulations.
+//!
+//! A [`CancelToken`] is a cheap, cloneable flag shared between the code
+//! driving a [`crate::machine::Machine`] and an external controller (a
+//! job server, a timeout watchdog, a Ctrl-C handler). The machine polls
+//! the token once per simulated cycle and aborts with
+//! [`crate::SimError::Cancelled`] as soon as it is tripped, so a
+//! long-running job stops within one cycle's worth of host work rather
+//! than at its cycle budget.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A shared cancellation flag. Cloning yields a handle to the same flag;
+/// cancellation is sticky (there is no reset — make a new token instead).
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, untripped token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Trips the token: every machine polling any clone of it stops at
+    /// its next cycle boundary.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether the token has been tripped.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_flag() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(!a.is_cancelled() && !b.is_cancelled());
+        b.cancel();
+        assert!(a.is_cancelled() && b.is_cancelled());
+    }
+
+    #[test]
+    fn fresh_tokens_are_independent() {
+        let a = CancelToken::new();
+        a.cancel();
+        assert!(!CancelToken::new().is_cancelled());
+    }
+}

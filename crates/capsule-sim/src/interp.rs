@@ -173,10 +173,11 @@ impl Interp {
                 }
                 self.steps += 1;
                 let pc = self.threads[idx].arch.pc;
-                let instr = *self
-                    .text
-                    .get(pc as usize)
-                    .ok_or(InterpError::Trap { thread: idx, pc, kind: TrapKind::BadPc(pc) })?;
+                let instr = *self.text.get(pc as usize).ok_or(InterpError::Trap {
+                    thread: idx,
+                    pc,
+                    kind: TrapKind::BadPc(pc),
+                })?;
                 let out = step(&mut self.threads[idx].arch, &instr, &mut self.mem)
                     .map_err(|kind| InterpError::Trap { thread: idx, pc, kind })?;
                 match out.effect {
@@ -227,25 +228,23 @@ impl Interp {
                             self.threads[idx].state = TState::Blocked;
                         }
                     },
-                    Effect::Munlock(addr) => {
-                        match self.locks.get_mut(&addr) {
-                            Some((owner, waiters)) if *owner == idx => {
-                                if let Some(next) = waiters.pop_front() {
-                                    *owner = next;
-                                    self.threads[next].state = TState::Runnable;
-                                } else {
-                                    self.locks.remove(&addr);
-                                }
-                            }
-                            _ => {
-                                return Err(InterpError::Trap {
-                                    thread: idx,
-                                    pc,
-                                    kind: TrapKind::BadUnlock(addr),
-                                });
+                    Effect::Munlock(addr) => match self.locks.get_mut(&addr) {
+                        Some((owner, waiters)) if *owner == idx => {
+                            if let Some(next) = waiters.pop_front() {
+                                *owner = next;
+                                self.threads[next].state = TState::Runnable;
+                            } else {
+                                self.locks.remove(&addr);
                             }
                         }
-                    }
+                        _ => {
+                            return Err(InterpError::Trap {
+                                thread: idx,
+                                pc,
+                                kind: TrapKind::BadUnlock(addr),
+                            });
+                        }
+                    },
                     Effect::Nctx(rd) => {
                         let free = self.cfg.max_workers.saturating_sub(self.live());
                         self.threads[idx].arch.set(rd, free as i64);
@@ -341,7 +340,8 @@ mod tests {
             },
             vec![ThreadSpec::at(0)],
         );
-        let mut i = Interp::new(&p, InterpConfig { max_workers: 8, allow_division: false }).unwrap();
+        let mut i =
+            Interp::new(&p, InterpConfig { max_workers: 8, allow_division: false }).unwrap();
         let out = i.run(1000).unwrap();
         assert_eq!(out.output, vec![OutValue::Int(-1)]);
         assert_eq!(out.divisions_requested, 1);

@@ -39,6 +39,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cancel;
 pub mod exec;
 pub mod interp;
 pub mod locks;
@@ -48,6 +49,7 @@ mod pipeline;
 pub mod predictor;
 pub mod trace;
 
+pub use cancel::CancelToken;
 pub use exec::{ArchState, Memory, OutValue, TrapKind};
 pub use interp::{Interp, InterpConfig, InterpError, InterpOutcome};
 pub use machine::Machine;

@@ -31,6 +31,7 @@ use capsule_isa::instr::{FuClass, Instr, INSTR_BYTES};
 use capsule_isa::program::Program;
 use capsule_mem::{Hierarchy, ServedBy};
 
+use crate::cancel::CancelToken;
 use crate::exec::{step, ArchState, Effect, Memory, OutValue};
 use crate::locks::{AcquireResult, LockTable, ReleaseResult};
 use crate::outcome::{SimError, SimOutcome};
@@ -80,6 +81,7 @@ pub struct Machine {
     load_lat_sum: u64,
 
     trace: Option<Trace>,
+    cancel: Option<CancelToken>,
 }
 
 impl Machine {
@@ -150,6 +152,7 @@ impl Machine {
             load_lat_window: VecDeque::new(),
             load_lat_sum: 0,
             trace: None,
+            cancel: None,
         })
     }
 
@@ -195,6 +198,15 @@ impl Machine {
         }
     }
 
+    /// Installs a cancellation token, polled once per cycle by [`run`].
+    /// Tripping it makes an in-flight `run` return
+    /// [`SimError::Cancelled`] at the next cycle boundary.
+    ///
+    /// [`run`]: Machine::run
+    pub fn set_cancel_token(&mut self, token: CancelToken) {
+        self.cancel = Some(token);
+    }
+
     /// Runs until `halt` or until `max_cycles` have elapsed.
     ///
     /// # Errors
@@ -203,6 +215,11 @@ impl Machine {
     /// cycle for inspection.
     pub fn run(&mut self, max_cycles: u64) -> Result<SimOutcome, SimError> {
         while !self.halted {
+            if let Some(tok) = &self.cancel {
+                if tok.is_cancelled() {
+                    return Err(SimError::Cancelled { cycle: self.cycle });
+                }
+            }
             if self.cycle >= max_cycles {
                 return Err(SimError::Timeout { cycles: max_cycles });
             }
@@ -271,9 +288,10 @@ impl Machine {
         for slot in &mut self.slots {
             match slot.state {
                 SlotState::WaitCopy { until } | SlotState::SwapIn { until }
-                    if until <= self.cycle => {
-                        slot.state = SlotState::Active;
-                    }
+                    if until <= self.cycle =>
+                {
+                    slot.state = SlotState::Active;
+                }
                 _ => {}
             }
         }
@@ -355,9 +373,11 @@ impl Machine {
                     self.stack.push(SavedThread { arch: outgoing.arch });
                     self.stats.swaps_out += 1;
                     self.stats.swaps_in += 1;
-                    self.install(i, incoming.arch, SlotState::SwapIn {
-                        until: self.cycle + self.cfg.swap_latency,
-                    });
+                    self.install(
+                        i,
+                        incoming.arch,
+                        SlotState::SwapIn { until: self.cycle + self.cfg.swap_latency },
+                    );
                 } else {
                     // Nobody to exchange with: resume in place.
                     let t = self.slots[i].thread.as_mut().expect("draining slot has thread");
@@ -374,9 +394,11 @@ impl Machine {
         if let Some(saved) = self.stack.pop() {
             self.stats.swaps_in += 1;
             self.trace_event(TraceKind::SwapIn { worker: saved.arch.worker, slot: i });
-            self.install(i, saved.arch, SlotState::SwapIn {
-                until: self.cycle + self.cfg.swap_latency,
-            });
+            self.install(
+                i,
+                saved.arch,
+                SlotState::SwapIn { until: self.cycle + self.cfg.swap_latency },
+            );
         } else {
             self.slots[i] = Slot { state: SlotState::Free, thread: None };
         }
@@ -666,37 +688,35 @@ impl Machine {
                 self.slots[i].state = SlotState::Draining(AfterDrain::Die);
             }
             Effect::Nthr { rd, target } => self.handle_nthr(i, rd, target),
-            Effect::Mlock(addr) => {
-                match self.locks.acquire(addr, i) {
-                    AcquireResult::Acquired => {
-                        self.stats.lock_acquires += 1;
-                        let t = self.slots[i].thread.as_mut().expect("active slot has thread");
-                        t.locks_held += 1;
-                        self.trace_event(TraceKind::LockAcquire { slot: i, addr });
-                    }
-                    AcquireResult::Queued => {
-                        self.stats.lock_stalls += 1;
-                        self.slots[i].state = SlotState::WaitLock { since: now };
-                        self.trace_event(TraceKind::LockBlock { slot: i, addr });
-                    }
-                    AcquireResult::AlreadyOwner => {
-                        return Err(SimError::Trap {
-                            cycle: now,
-                            slot: i,
-                            pc,
-                            kind: crate::exec::TrapKind::RelockOwned(addr),
-                        });
-                    }
-                    AcquireResult::TableFull => {
-                        return Err(SimError::Trap {
-                            cycle: now,
-                            slot: i,
-                            pc,
-                            kind: crate::exec::TrapKind::LockTableFull(addr),
-                        });
-                    }
+            Effect::Mlock(addr) => match self.locks.acquire(addr, i) {
+                AcquireResult::Acquired => {
+                    self.stats.lock_acquires += 1;
+                    let t = self.slots[i].thread.as_mut().expect("active slot has thread");
+                    t.locks_held += 1;
+                    self.trace_event(TraceKind::LockAcquire { slot: i, addr });
                 }
-            }
+                AcquireResult::Queued => {
+                    self.stats.lock_stalls += 1;
+                    self.slots[i].state = SlotState::WaitLock { since: now };
+                    self.trace_event(TraceKind::LockBlock { slot: i, addr });
+                }
+                AcquireResult::AlreadyOwner => {
+                    return Err(SimError::Trap {
+                        cycle: now,
+                        slot: i,
+                        pc,
+                        kind: crate::exec::TrapKind::RelockOwned(addr),
+                    });
+                }
+                AcquireResult::TableFull => {
+                    return Err(SimError::Trap {
+                        cycle: now,
+                        slot: i,
+                        pc,
+                        kind: crate::exec::TrapKind::LockTableFull(addr),
+                    });
+                }
+            },
             Effect::Munlock(addr) => match self.locks.release(addr, i) {
                 ReleaseResult::Released => {
                     let t = self.slots[i].thread.as_mut().expect("active slot has thread");
@@ -709,8 +729,7 @@ impl Machine {
                     if let SlotState::WaitLock { since } = self.slots[next].state {
                         self.stats.lock_stall_cycles += now.saturating_sub(since);
                         self.slots[next].state = SlotState::Active;
-                        let nt =
-                            self.slots[next].thread.as_mut().expect("waiting slot has thread");
+                        let nt = self.slots[next].thread.as_mut().expect("waiting slot has thread");
                         nt.dispatch_block_until = now + 1 + self.cfg.lock_squash_penalty;
                         nt.locks_held += 1;
                         self.trace_event(TraceKind::LockTransfer { to: next, addr });
@@ -765,8 +784,7 @@ impl Machine {
                     t.dispatch_block_until = self.cycle + 1;
                     t.arch.worker
                 };
-                let child_worker =
-                    self.tree.record_birth(Some(parent_worker), self.cycle, place);
+                let child_worker = self.tree.record_birth(Some(parent_worker), self.cycle, place);
                 let mut child_arch =
                     self.slots[parent].thread.as_ref().expect("parent thread").arch.clone();
                 child_arch.pc = target;
@@ -786,11 +804,10 @@ impl Machine {
                     // paper's §5 CMP study sweeps.
                     let per_core = self.per_core();
                     let my_core = parent / per_core;
-                    let local = self
-                        .slots
-                        .iter()
-                        .enumerate()
-                        .position(|(j, s)| s.state == SlotState::Free && j / per_core == my_core);
+                    let local =
+                        self.slots.iter().enumerate().position(|(j, s)| {
+                            s.state == SlotState::Free && j / per_core == my_core
+                        });
                     let (free, extra) = match local {
                         Some(j) => (j, 0),
                         None => (
@@ -803,9 +820,13 @@ impl Machine {
                     };
                     // Child waits for the register copy (commit-time copy
                     // in the paper, approximated from dispatch).
-                    self.install(free, child_arch, SlotState::WaitCopy {
-                        until: self.cycle + 1 + self.cfg.division_latency + extra,
-                    });
+                    self.install(
+                        free,
+                        child_arch,
+                        SlotState::WaitCopy {
+                            until: self.cycle + 1 + self.cfg.division_latency + extra,
+                        },
+                    );
                 } else {
                     self.stack.push(SavedThread { arch: child_arch });
                 }
@@ -1117,10 +1138,7 @@ mod tests {
             },
             vec![ThreadSpec::at(0)],
         );
-        let o = Machine::new(MachineConfig::table1_superscalar(), &p)
-            .unwrap()
-            .run(10_000)
-            .unwrap();
+        let o = Machine::new(MachineConfig::table1_superscalar(), &p).unwrap().run(10_000).unwrap();
         assert_eq!(o.ints(), vec![-1]);
         assert_eq!(o.stats.divisions_denied_disabled, 1);
     }
@@ -1179,6 +1197,69 @@ mod tests {
         );
         let e = Machine::new(somt(), &p).unwrap().run(1000);
         assert_eq!(e.unwrap_err(), SimError::Timeout { cycles: 1000 });
+    }
+
+    #[test]
+    fn pre_tripped_token_cancels_before_any_cycle() {
+        let p = build(
+            |a, _| {
+                a.bind("x");
+                a.j("x");
+            },
+            vec![ThreadSpec::at(0)],
+        );
+        let mut m = Machine::new(somt(), &p).unwrap();
+        let tok = CancelToken::new();
+        tok.cancel();
+        m.set_cancel_token(tok);
+        assert_eq!(m.run(1_000_000).unwrap_err(), SimError::Cancelled { cycle: 0 });
+    }
+
+    #[test]
+    fn cancel_mid_flight_is_cancelled_not_timeout() {
+        // An infinite loop with a generous budget: only the token can stop
+        // it (a Timeout here would take the full budget).
+        let p = build(
+            |a, _| {
+                a.bind("x");
+                a.j("x");
+            },
+            vec![ThreadSpec::at(0)],
+        );
+        let mut m = Machine::new(somt(), &p).unwrap();
+        let tok = CancelToken::new();
+        m.set_cancel_token(tok.clone());
+        let err = std::thread::scope(|s| {
+            let h = s.spawn(move || m.run(u64::MAX / 2).unwrap_err());
+            // Let the run get going, then trip the token from outside.
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            tok.cancel();
+            h.join().expect("runner thread")
+        });
+        match err {
+            SimError::Cancelled { .. } => {}
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn untripped_token_does_not_perturb_the_run() {
+        let mk = || {
+            build(
+                |a, _| {
+                    a.li(Reg(1), 7);
+                    a.out(Reg(1));
+                    a.halt();
+                },
+                vec![ThreadSpec::at(0)],
+            )
+        };
+        let plain = Machine::new(somt(), &mk()).unwrap().run(10_000).unwrap();
+        let mut m = Machine::new(somt(), &mk()).unwrap();
+        m.set_cancel_token(CancelToken::new());
+        let tokened = m.run(10_000).unwrap();
+        assert_eq!(plain.ints(), tokened.ints());
+        assert_eq!(plain.cycles(), tokened.cycles());
     }
 
     #[test]
@@ -1256,10 +1337,8 @@ mod tests {
             )
         };
         let o1 = Machine::new(somt(), &mk()).unwrap().run(10_000).unwrap();
-        let o2 = Machine::new(MachineConfig::table1_superscalar(), &mk())
-            .unwrap()
-            .run(10_000)
-            .unwrap();
+        let o2 =
+            Machine::new(MachineConfig::table1_superscalar(), &mk()).unwrap().run(10_000).unwrap();
         assert_eq!(o1.ints(), o2.ints());
     }
 }

@@ -36,6 +36,12 @@ pub enum SimError {
         /// Budget that elapsed.
         cycles: u64,
     },
+    /// A [`crate::cancel::CancelToken`] was tripped while the run was in
+    /// flight (operator cancel or server shutdown).
+    Cancelled {
+        /// Cycle at which the cancellation was observed.
+        cycle: u64,
+    },
     /// Every worker died with no `halt` (missing join or deadlock).
     AllThreadsDead {
         /// Cycle at which the machine emptied.
@@ -49,12 +55,16 @@ impl std::fmt::Display for SimError {
             SimError::Program(e) => write!(f, "invalid program: {e}"),
             SimError::Config(e) => write!(f, "invalid machine config: {e}"),
             SimError::TooManyThreads { requested, contexts } => {
-                write!(f, "program wants {requested} loader threads, machine has {contexts} contexts")
+                write!(
+                    f,
+                    "program wants {requested} loader threads, machine has {contexts} contexts"
+                )
             }
             SimError::Trap { cycle, slot, pc, kind } => {
                 write!(f, "cycle {cycle}: context {slot} trapped at pc {pc}: {kind}")
             }
             SimError::Timeout { cycles } => write!(f, "no halt within {cycles} cycles"),
+            SimError::Cancelled { cycle } => write!(f, "cancelled at cycle {cycle}"),
             SimError::AllThreadsDead { cycle } => {
                 write!(f, "all workers dead at cycle {cycle} without halt")
             }

@@ -159,7 +159,8 @@ impl Trace {
             let _ = writeln!(out, "{e}");
         }
         if self.dropped > 0 {
-            let _ = writeln!(out, "... {} further events dropped (limit {})", self.dropped, self.limit);
+            let _ =
+                writeln!(out, "... {} further events dropped (limit {})", self.dropped, self.limit);
         }
         out
     }

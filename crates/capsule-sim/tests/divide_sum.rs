@@ -83,7 +83,7 @@ fn build_sum(values: &[i64]) -> Program {
     a.j("chunk_loop");
     a.bind("chunk_done");
     a.blt(lo, hi, "loop"); // more range left: probe again
-    // finished my range: merge and release my token
+                           // finished my range: merge and release my token
     a.li(addr, global as i64);
     a.mlock(addr);
     a.ld(t0, 0, addr);
@@ -152,14 +152,9 @@ fn superscalar_computes_same_sum_sequentially() {
 fn somt_is_faster_than_superscalar() {
     let vs = values(4000);
     let p = build_sum(&vs);
-    let somt = Machine::new(MachineConfig::table1_somt(), &p)
-        .unwrap()
-        .run(100_000_000)
-        .unwrap();
-    let scalar = Machine::new(MachineConfig::table1_superscalar(), &p)
-        .unwrap()
-        .run(200_000_000)
-        .unwrap();
+    let somt = Machine::new(MachineConfig::table1_somt(), &p).unwrap().run(100_000_000).unwrap();
+    let scalar =
+        Machine::new(MachineConfig::table1_superscalar(), &p).unwrap().run(200_000_000).unwrap();
     assert_eq!(somt.ints(), scalar.ints());
     let speedup = scalar.cycles() as f64 / somt.cycles() as f64;
     assert!(
@@ -188,12 +183,9 @@ fn smt_never_mode_denies_all_divisions() {
 fn interpreter_agrees_with_machine() {
     let vs = values(1000);
     let p = build_sum(&vs);
-    let machine_out = Machine::new(MachineConfig::table1_somt(), &p)
-        .unwrap()
-        .run(100_000_000)
-        .unwrap();
-    let interp_out =
-        Interp::new(&p, InterpConfig::default()).unwrap().run(100_000_000).unwrap();
+    let machine_out =
+        Machine::new(MachineConfig::table1_somt(), &p).unwrap().run(100_000_000).unwrap();
+    let interp_out = Interp::new(&p, InterpConfig::default()).unwrap().run(100_000_000).unwrap();
     assert_eq!(machine_out.ints().len(), 1);
     assert_eq!(
         machine_out.ints()[0],
@@ -206,10 +198,7 @@ fn interpreter_agrees_with_machine() {
 fn genealogy_is_consistent() {
     let vs = values(3000);
     let p = build_sum(&vs);
-    let o = Machine::new(MachineConfig::table1_somt(), &p)
-        .unwrap()
-        .run(100_000_000)
-        .unwrap();
+    let o = Machine::new(MachineConfig::table1_somt(), &p).unwrap().run(100_000_000).unwrap();
     // Every non-root node has a parent born earlier.
     for n in o.tree.nodes() {
         if let Some(parent) = n.parent {

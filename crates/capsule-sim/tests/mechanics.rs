@@ -132,8 +132,7 @@ fn divide_to_stack_children_complete() {
     a.st(v, 0, addr);
     a.munlock(addr);
     a.kthr();
-    let p = Program::new(a.assemble().unwrap(), d.build(), 1 << 16)
-        .with_thread(ThreadSpec::at(0));
+    let p = Program::new(a.assemble().unwrap(), d.build(), 1 << 16).with_thread(ThreadSpec::at(0));
     let o = run(MachineConfig::table1_somt(), &p, 50_000_000);
     assert_eq!(o.ints(), vec![KIDS]);
     assert!(o.stats.divisions_granted_stack > 0, "some children must be born on the stack");
@@ -191,8 +190,7 @@ fn slow_thread_is_swapped_out() {
     a.li(v, 1);
     a.st(v, 0, addr);
     a.kthr();
-    let p = Program::new(a.assemble().unwrap(), d.build(), 1 << 20)
-        .with_thread(ThreadSpec::at(0));
+    let p = Program::new(a.assemble().unwrap(), d.build(), 1 << 20).with_thread(ThreadSpec::at(0));
     let o = run(cfg, &p, 100_000_000);
     assert_eq!(o.ints(), vec![1], "the parked child must have executed");
     assert!(o.stats.swaps_out >= 1, "the slow ancestor must be swapped out: {:?}", o.stats);
@@ -267,8 +265,7 @@ fn trace_records_division_lifecycle() {
     a.li(Reg(3), 1);
     a.st(Reg(3), 0, Reg(2));
     a.kthr();
-    let p = Program::new(a.assemble().unwrap(), d.build(), 4096)
-        .with_thread(ThreadSpec::at(0));
+    let p = Program::new(a.assemble().unwrap(), d.build(), 4096).with_thread(ThreadSpec::at(0));
     let mut m = Machine::new(MachineConfig::table1_somt(), &p).expect("machine");
     m.enable_trace(64);
     let o = m.run(1_000_000).expect("halts");

@@ -143,14 +143,12 @@ pub fn random_list(seed: u64, n: usize, shape: ListShape) -> Vec<i64> {
     match shape {
         ListShape::Uniform => (0..n).map(|_| rng.i64_range(-1_000_000, 1_000_000)).collect(),
         ListShape::Sorted => {
-            let mut v: Vec<i64> =
-                (0..n).map(|_| rng.i64_range(-1_000_000, 1_000_000)).collect();
+            let mut v: Vec<i64> = (0..n).map(|_| rng.i64_range(-1_000_000, 1_000_000)).collect();
             v.sort_unstable();
             v
         }
         ListShape::Reversed => {
-            let mut v: Vec<i64> =
-                (0..n).map(|_| rng.i64_range(-1_000_000, 1_000_000)).collect();
+            let mut v: Vec<i64> = (0..n).map(|_| rng.i64_range(-1_000_000, 1_000_000)).collect();
             v.sort_unstable_by(|a, b| b.cmp(a));
             v
         }
@@ -319,7 +317,11 @@ impl Tree {
             if t.children[u].is_empty() {
                 return acc;
             }
-            t.children[u].iter().map(|&c| go(t, c as usize, acc + t.cost[c as usize])).min().expect("interior node has children")
+            t.children[u]
+                .iter()
+                .map(|&c| go(t, c as usize, acc + t.cost[c as usize]))
+                .min()
+                .expect("interior node has children")
         }
         go(self, 0, 0)
     }
@@ -331,8 +333,9 @@ impl Tree {
             if t.children[u].is_empty() {
                 return acc;
             }
-            let vals =
-                t.children[u].iter().map(|&c| go(t, c as usize, acc + t.cost[c as usize], !maximize));
+            let vals = t.children[u]
+                .iter()
+                .map(|&c| go(t, c as usize, acc + t.cost[c as usize], !maximize));
             if maximize {
                 vals.max().expect("interior node has children")
             } else {

@@ -18,10 +18,10 @@
 //!
 //! All variants emit one checksum: the sum of the final distance array.
 
+use capsule_core::OutValue;
 use capsule_isa::asm::Asm;
 use capsule_isa::program::{DataBuilder, Program, ThreadSpec};
 use capsule_isa::reg::Reg;
-use capsule_core::OutValue;
 
 use crate::datasets::Graph;
 use crate::rt::{

@@ -13,11 +13,8 @@ use capsule_lang::compile;
 /// Component sum over `values`, in Capsule C. Output: one total.
 pub fn sum_source(values: &[i64], leaf: usize) -> String {
     let n = values.len();
-    let init: String = values
-        .iter()
-        .enumerate()
-        .map(|(i, v)| format!("    arr[{i}] = {v};\n"))
-        .collect();
+    let init: String =
+        values.iter().enumerate().map(|(i, v)| format!("    arr[{i}] = {v};\n")).collect();
     format!(
         r"
 global total;
@@ -59,11 +56,8 @@ pub fn sum_program(values: &[i64], leaf: usize) -> Program {
 /// [`crate::quicksort::QuickSort`] workload.
 pub fn quicksort_source(values: &[i64], leaf: usize) -> String {
     let n = values.len();
-    let init: String = values
-        .iter()
-        .enumerate()
-        .map(|(i, v)| format!("    arr[{i}] = {v};\n"))
-        .collect();
+    let init: String =
+        values.iter().enumerate().map(|(i, v)| format!("    arr[{i}] = {v};\n")).collect();
     format!(
         r"
 global arr[{n}];

@@ -19,16 +19,16 @@
 #![warn(missing_docs)]
 
 pub mod datasets;
-pub mod lang_ports;
 pub mod dijkstra;
+pub mod lang_ports;
 pub mod lzw;
 pub mod perceptron;
 pub mod quicksort;
 pub mod rt;
 pub mod spec;
 
-use capsule_isa::program::Program;
 use capsule_core::OutValue;
+use capsule_isa::program::Program;
 
 /// Which implementation of a workload to build.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -231,10 +231,7 @@ mod tests {
     fn component_runs_on_somt() {
         let w = small();
         let p = w.program(Variant::Component);
-        let o = Machine::new(MachineConfig::table1_somt(), &p)
-            .unwrap()
-            .run(500_000_000)
-            .unwrap();
+        let o = Machine::new(MachineConfig::table1_somt(), &p).unwrap().run(500_000_000).unwrap();
         w.check(&o.output).unwrap();
         assert!(o.stats.divisions_requested > 0);
     }
@@ -258,10 +255,8 @@ mod tests {
         // created than with the plain greedy policy.
         let w = Lzw::figure7(9, 500);
         let p = w.program(Variant::Component);
-        let throttled = Machine::new(MachineConfig::table1_somt(), &p)
-            .unwrap()
-            .run(1_000_000_000)
-            .unwrap();
+        let throttled =
+            Machine::new(MachineConfig::table1_somt(), &p).unwrap().run(1_000_000_000).unwrap();
         let mut greedy_cfg = MachineConfig::table1_somt();
         greedy_cfg.division_mode = DivisionMode::Greedy;
         let greedy = Machine::new(greedy_cfg, &p).unwrap().run(1_000_000_000).unwrap();

@@ -25,8 +25,8 @@ use capsule_isa::reg::{FReg, Reg};
 
 use crate::datasets::PerceptronData;
 use crate::rt::{
-    emit_barrier_wait, emit_join_spin, emit_split_range_worker, emit_stack_alloc,
-    emit_stack_free, init_barrier, init_runtime, Labels, T0, T1,
+    emit_barrier_wait, emit_join_spin, emit_split_range_worker, emit_stack_alloc, emit_stack_free,
+    init_barrier, init_runtime, Labels, T0, T1,
 };
 use crate::{ints, Variant, Workload};
 
@@ -164,7 +164,7 @@ impl Perceptron {
         a.bind("have_pred");
         a.fcmp(capsule_isa::instr::FCmpOp::Eq, R7, F_PRED, F_Y);
         a.bne(R7, Reg::ZERO, "next_sample"); // correct: no update
-        // stage lr*y and run the component weight update
+                                             // stage lr*y and run the component weight update
         a.fli(F_A, self.lr);
         a.fmul(F_LRY, F_A, F_Y);
         a.li(T0, rt.tokens as i64);
@@ -524,10 +524,7 @@ mod tests {
     fn component_converges_on_somt() {
         let w = small();
         let p = w.program(Variant::Component);
-        let o = Machine::new(MachineConfig::table1_somt(), &p)
-            .unwrap()
-            .run(1_000_000_000)
-            .unwrap();
+        let o = Machine::new(MachineConfig::table1_somt(), &p).unwrap().run(1_000_000_000).unwrap();
         w.check(&o.output).unwrap();
         assert!(o.stats.divisions_granted() > 0);
     }
@@ -548,10 +545,8 @@ mod tests {
     fn throttle_engages_on_tiny_workers() {
         let w = Perceptron::figure7(4, 12, 512, 4).with_leaf(8);
         let p = w.program(Variant::Component);
-        let throttled = Machine::new(MachineConfig::table1_somt(), &p)
-            .unwrap()
-            .run(2_000_000_000)
-            .unwrap();
+        let throttled =
+            Machine::new(MachineConfig::table1_somt(), &p).unwrap().run(2_000_000_000).unwrap();
         let mut greedy = MachineConfig::table1_somt();
         greedy.division_mode = DivisionMode::Greedy;
         let unthrottled = Machine::new(greedy, &p).unwrap().run(2_000_000_000).unwrap();
@@ -573,10 +568,7 @@ mod static_tests {
         assert!(w.supports(Variant::Static(8)));
         let p = w.program(Variant::Static(8));
         assert_eq!(p.threads.len(), 8);
-        let o = Machine::new(MachineConfig::table1_smt(), &p)
-            .unwrap()
-            .run(5_000_000_000)
-            .unwrap();
+        let o = Machine::new(MachineConfig::table1_smt(), &p).unwrap().run(5_000_000_000).unwrap();
         w.check(&o.output).unwrap();
         assert_eq!(o.stats.divisions_requested, 0, "static version never probes");
         assert!(o.stats.lock_acquires > 0, "barriers and dot merges take locks");

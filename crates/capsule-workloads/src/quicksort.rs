@@ -203,7 +203,7 @@ pub(crate) fn emit_insertion(a: &mut Asm, arr: &ArrayLayout, kk: KeyKind, l: &La
     a.li(R7, arr.base as i64);
     a.add(R10, R10, R7);
     a.ld(R6, 0, R10); // arr[j]
-    // place once key(arr[j]) <= key(x)
+                      // place once key(arr[j]) <= key(x)
     emit_cmp_le(a, kk, l, R6, R8, R12);
     a.bne(R12, Reg::ZERO, "qsi_place");
     a.st(R6, 8, R10); // arr[j+1] = arr[j]
@@ -562,10 +562,8 @@ mod tests {
         for shape in ListShape::ALL {
             let w = list(300, shape);
             let p = w.program(Variant::Component);
-            let o = Machine::new(MachineConfig::table1_somt(), &p)
-                .unwrap()
-                .run(500_000_000)
-                .unwrap();
+            let o =
+                Machine::new(MachineConfig::table1_somt(), &p).unwrap().run(500_000_000).unwrap();
             w.check(&o.output).unwrap_or_else(|e| panic!("{shape:?}: {e}"));
         }
     }
@@ -587,10 +585,7 @@ mod tests {
         let w = list(600, ListShape::Uniform);
         let p = w.program(Variant::Static(8));
         assert_eq!(p.threads.len(), 8);
-        let o = Machine::new(MachineConfig::table1_smt(), &p)
-            .unwrap()
-            .run(500_000_000)
-            .unwrap();
+        let o = Machine::new(MachineConfig::table1_smt(), &p).unwrap().run(500_000_000).unwrap();
         w.check(&o.output).unwrap();
     }
 

@@ -43,8 +43,7 @@ mod tests {
         let threads = f(&mut a, &mut d);
         let mut p = Program::new(a.assemble().unwrap(), d.build(), 1 << 18);
         p.threads = threads;
-        let mut i =
-            Interp::new(&p, InterpConfig { max_workers, allow_division: true }).unwrap();
+        let mut i = Interp::new(&p, InterpConfig { max_workers, allow_division: true }).unwrap();
         let out = i.run(10_000_000).unwrap();
         out.output.iter().filter_map(|v| v.as_int()).collect()
     }

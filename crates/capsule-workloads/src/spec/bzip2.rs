@@ -147,7 +147,7 @@ impl Bzip2 {
         a.li(u, arr.base as i64);
         a.add(t, t, u);
         a.ld(s, 0, t); // sa[i]
-        // last = block[(s + n - 1) % n]
+                       // last = block[(s + n - 1) % n]
         a.addi(t, s, n as i64 - 1);
         a.remi(t, t, n as i64);
         a.li(u, block as i64);
@@ -227,10 +227,7 @@ mod tests {
     fn component_on_somt() {
         let w = small();
         let p = w.program(Variant::Component);
-        let o = Machine::new(MachineConfig::table1_somt(), &p)
-            .unwrap()
-            .run(2_000_000_000)
-            .unwrap();
+        let o = Machine::new(MachineConfig::table1_somt(), &p).unwrap().run(2_000_000_000).unwrap();
         w.check(&o.output).unwrap();
         assert!(o.stats.divisions_requested > 0);
     }

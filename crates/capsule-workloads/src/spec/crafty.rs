@@ -428,10 +428,7 @@ mod tests {
     fn pool_on_smt_matches() {
         let w = small();
         let p = w.program(Variant::Static(8));
-        let o = Machine::new(MachineConfig::table1_smt(), &p)
-            .unwrap()
-            .run(2_000_000_000)
-            .unwrap();
+        let o = Machine::new(MachineConfig::table1_smt(), &p).unwrap().run(2_000_000_000).unwrap();
         w.check(&o.output).unwrap();
     }
 
@@ -439,10 +436,7 @@ mod tests {
     fn component_with_pool_mostly_inhibits_division() {
         let w = Crafty::standard(33, 8);
         let p = w.program(Variant::Component);
-        let o = Machine::new(MachineConfig::table1_somt(), &p)
-            .unwrap()
-            .run(2_000_000_000)
-            .unwrap();
+        let o = Machine::new(MachineConfig::table1_somt(), &p).unwrap().run(2_000_000_000).unwrap();
         w.check(&o.output).unwrap();
         // The pool occupies all 8 contexts, so probes can almost never
         // seize one (grants to the context stack remain possible).

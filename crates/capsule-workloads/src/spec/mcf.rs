@@ -128,7 +128,7 @@ impl Mcf {
         a.j("min_loop");
         a.bind("min_done");
         a.mv(Reg(22), R6); // stash best across the serial post-phase
-        // ---- serial post-phase ----
+                           // ---- serial post-phase ----
         for _ in 0..self.serial_passes {
             self.emit_serial_pass(&mut a, &g, &l, acc);
         }
@@ -211,18 +211,11 @@ mod tests {
     fn component_probes_at_every_interior_node() {
         let w = small();
         let p = w.program(Variant::Component);
-        let o = Machine::new(MachineConfig::table1_somt(), &p)
-            .unwrap()
-            .run(500_000_000)
-            .unwrap();
+        let o = Machine::new(MachineConfig::table1_somt(), &p).unwrap().run(500_000_000).unwrap();
         w.check(&o.output).unwrap();
         // Every interior node with k children issues k-1 probes.
-        let expected_probes: u64 = w
-            .tree()
-            .children
-            .iter()
-            .map(|k| k.len().saturating_sub(1) as u64)
-            .sum();
+        let expected_probes: u64 =
+            w.tree().children.iter().map(|k| k.len().saturating_sub(1) as u64).sum();
         assert_eq!(o.stats.divisions_requested, expected_probes);
     }
 
@@ -241,10 +234,7 @@ mod tests {
     fn kernel_section_is_tracked() {
         let w = small();
         let p = w.program(Variant::Component);
-        let o = Machine::new(MachineConfig::table1_somt(), &p)
-            .unwrap()
-            .run(500_000_000)
-            .unwrap();
+        let o = Machine::new(MachineConfig::table1_somt(), &p).unwrap().run(500_000_000).unwrap();
         let frac = o.sections.section_fraction(KERNEL_SECTION, o.stats.cycles);
         assert!(frac > 0.0 && frac < 1.0, "kernel fraction {frac}");
     }

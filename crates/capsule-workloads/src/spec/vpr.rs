@@ -30,8 +30,8 @@ use capsule_isa::reg::Reg;
 
 use crate::datasets::Graph;
 use crate::dijkstra::{
-    emit_central_list_router, layout_graph, UNREACHED, ROUTER_DIST_BASE, ROUTER_INLIST_BASE,
-    ROUTER_LIST_BASE,
+    emit_central_list_router, layout_graph, ROUTER_DIST_BASE, ROUTER_INLIST_BASE, ROUTER_LIST_BASE,
+    UNREACHED,
 };
 use crate::rt::{
     emit_join_spin, emit_split_range_worker, emit_stack_alloc, emit_stack_free, init_runtime,
@@ -429,10 +429,7 @@ mod tests {
     fn component_routes_on_somt() {
         let w = small();
         let p = w.program(Variant::Component);
-        let o = Machine::new(MachineConfig::table1_somt(), &p)
-            .unwrap()
-            .run(2_000_000_000)
-            .unwrap();
+        let o = Machine::new(MachineConfig::table1_somt(), &p).unwrap().run(2_000_000_000).unwrap();
         w.check(&o.output).unwrap();
         assert!(o.stats.divisions_granted() > 0);
         let frac = o.sections.section_fraction(KERNEL_SECTION, o.stats.cycles);

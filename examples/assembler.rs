@@ -38,10 +38,9 @@ fn main() {
     assert_eq!(format!("{decoded:?}"), format!("{program_text:?}"));
     println!("(decode round-trip verified)");
 
-    let program = Program::new(program_text, DataBuilder::new().build(), 4096)
-        .with_thread(ThreadSpec::at(0));
-    let mut m =
-        Machine::new(MachineConfig::table1_somt(), &program).expect("machine builds");
+    let program =
+        Program::new(program_text, DataBuilder::new().build(), 4096).with_thread(ThreadSpec::at(0));
+    let mut m = Machine::new(MachineConfig::table1_somt(), &program).expect("machine builds");
     let o = m.run(100_000).expect("runs to halt");
     println!("\n--- execution ---");
     println!("output: {:?}", o.ints());

@@ -43,6 +43,9 @@ fn main() {
         .iter()
         .filter(|e| matches!(e.kind, TraceKind::Division { child: None, .. }))
         .count();
-    println!("summary: {grants} divisions granted, {denials} denied, {} workers total,", o.tree.len());
+    println!(
+        "summary: {grants} divisions granted, {denials} denied, {} workers total,",
+        o.tree.len()
+    );
     println!("         distance checksum {} (matches the host reference)", o.ints()[0]);
 }

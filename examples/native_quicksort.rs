@@ -14,8 +14,7 @@ fn data(len: usize) -> Vec<i64> {
 }
 
 fn main() {
-    let len: usize =
-        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2_000_000);
+    let len: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2_000_000);
     // Worker slots model the paper's hardware contexts; on a small host
     // the threads timeshare, which still demonstrates the policy.
     let workers = std::env::args()

@@ -5,6 +5,9 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
 echo "==> cargo build --release --offline"
 cargo build --release --offline --workspace
 
@@ -13,5 +16,32 @@ cargo test -q --offline --workspace
 
 echo "==> cargo clippy --offline -- -D warnings"
 cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "==> capsule-serve smoke test"
+# Start the job server on an ephemeral port, drive it with the
+# deterministic load generator (which also asserts that a repeated
+# request is a byte-identical cache hit), then shut it down cleanly
+# over the wire.
+serve_log="$(mktemp)"
+target/release/capsule-serve --addr 127.0.0.1:0 --workers 2 --queue 8 >"$serve_log" 2>&1 &
+serve_pid=$!
+addr=""
+i=0
+while [ $i -lt 100 ]; do
+    addr="$(sed -n 's/^listening on //p' "$serve_log")"
+    [ -n "$addr" ] && break
+    sleep 0.1
+    i=$((i + 1))
+done
+if [ -z "$addr" ]; then
+    echo "capsule-serve did not come up:" >&2
+    cat "$serve_log" >&2
+    kill "$serve_pid" 2>/dev/null || true
+    exit 1
+fi
+target/release/capsule-loadgen "$addr" --jobs 8 --threads 3
+target/release/capsule-client "$addr" shutdown --compact
+wait "$serve_pid"
+rm -f "$serve_log"
 
 echo "CI gate passed."

@@ -29,8 +29,7 @@ fn simulated_quicksort_sorts_anything() {
     let mut rng = Xoshiro256StarStar::seed_from_u64(0x90b_0001);
     for case in 0..cases(12) {
         let len = rng.usize_below(250) + 1;
-        let values: Vec<i64> =
-            (0..len).map(|_| rng.i64_range(-1_000_000, 1_000_000)).collect();
+        let values: Vec<i64> = (0..len).map(|_| rng.i64_range(-1_000_000, 1_000_000)).collect();
         let w = QuickSort::new(values);
         let p = w.program(Variant::Component);
         let mut m = Machine::new(MachineConfig::table1_somt(), &p).expect("machine");
@@ -82,8 +81,7 @@ fn native_sum_is_exact() {
     let mut rng = Xoshiro256StarStar::seed_from_u64(0x90b_0004);
     for case in 0..cases(8) {
         let len = rng.usize_below(20_000);
-        let values: Vec<i64> =
-            (0..len).map(|_| rng.i64_range(-1_000_000, 1_000_000)).collect();
+        let values: Vec<i64> = (0..len).map(|_| rng.i64_range(-1_000_000, 1_000_000)).collect();
         let workers = rng.usize_below(5) + 1;
         let expected: i64 = values.iter().sum();
         for cfg in [RtConfig::never(), RtConfig::always(workers), RtConfig::somt_like(workers)] {
