@@ -108,6 +108,13 @@ pub fn find(name: &str) -> Option<&'static CatalogEntry> {
     ENTRIES.iter().find(|e| e.name == name)
 }
 
+/// Names of every catalog entry, in the paper's figure/table order — the
+/// canonical job list for server and fleet smoke sweeps (`capsule-loadgen`
+/// and the CI fleet smoke test drive exactly this list at smoke scale).
+pub fn names() -> Vec<&'static str> {
+    ENTRIES.iter().map(|e| e.name).collect()
+}
+
 static ENTRIES: [CatalogEntry; 14] = [
     CatalogEntry {
         name: "fig3_dijkstra_dist",
@@ -634,6 +641,15 @@ mod tests {
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), entries().len());
+    }
+
+    #[test]
+    fn names_lists_every_entry_in_order() {
+        let listed = names();
+        assert_eq!(listed.len(), entries().len());
+        for (name, e) in listed.iter().zip(entries()) {
+            assert_eq!(*name, e.name);
+        }
     }
 
     #[test]

@@ -311,6 +311,59 @@ impl Histogram {
         Some(self.max)
     }
 
+    /// Folds `other` into `self`, as if every sample recorded into
+    /// `other` had been recorded here too. Count, sum (saturating), min
+    /// and max stay exact; bucket counts add element-wise, so merged
+    /// quantile bounds are as tight as single-histogram ones.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Rebuilds a histogram from its [`Histogram::to_json`] rendering —
+    /// the inverse used when aggregating remote telemetry (the fleet
+    /// coordinator merges every backend's latency histograms this way).
+    ///
+    /// Returns `None` when `json` is not a well-formed rendering: missing
+    /// fields, a bucket `lo` that is not a power-of-two bound, or bucket
+    /// counts that do not add up to `count`.
+    pub fn from_json(json: &Json) -> Option<Histogram> {
+        let mut h = Histogram::new();
+        h.count = json.get("count")?.as_u64()?;
+        h.sum = json.get("sum")?.as_u64()?;
+        h.min = match json.get("min")? {
+            Json::Null => u64::MAX,
+            v => v.as_u64()?,
+        };
+        h.max = match json.get("max")? {
+            Json::Null => 0,
+            v => v.as_u64()?,
+        };
+        let mut total = 0u64;
+        for row in json.get("buckets")?.as_array()? {
+            let lo = row.get("lo")?.as_u64()?;
+            let count = row.get("count")?.as_u64()?;
+            let k = if lo == 0 {
+                0
+            } else if lo.is_power_of_two() {
+                lo.trailing_zeros() as usize + 1
+            } else {
+                return None;
+            };
+            h.buckets[k] += count;
+            total += count;
+        }
+        if total != h.count || (h.count == 0) != (h.min == u64::MAX && h.max == 0) {
+            return None;
+        }
+        Some(h)
+    }
+
     /// The histogram as a JSON object: exact summary fields plus the
     /// non-empty buckets as `{lo, hi, count}` rows in increasing order.
     pub fn to_json(&self) -> Json {
@@ -633,5 +686,62 @@ mod tests {
         assert_eq!(h.quantile_bound(0.99), Some(15));
         // The top sample caps at the observed max, not the bucket edge.
         assert_eq!(h.quantile_bound(1.0), Some(100_000));
+    }
+
+    #[test]
+    fn histogram_merge_equals_recording_everything_once() {
+        let samples_a = [0u64, 1, 7, 7, 512, 100_000];
+        let samples_b = [3u64, 9, 1_000_000, u64::MAX];
+        let (mut a, mut b, mut whole) = (Histogram::new(), Histogram::new(), Histogram::new());
+        for v in samples_a {
+            a.record(v);
+            whole.record(v);
+        }
+        for v in samples_b {
+            b.record(v);
+            whole.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+        // Merging an empty histogram (either way) changes nothing.
+        let empty = Histogram::new();
+        a.merge(&empty);
+        assert_eq!(a, whole);
+        let mut fresh = Histogram::new();
+        fresh.merge(&whole);
+        assert_eq!(fresh, whole);
+    }
+
+    #[test]
+    fn histogram_json_roundtrip() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 2, 3, 4, 1000, 65_536, u64::MAX] {
+            h.record(v);
+        }
+        let back = Histogram::from_json(&h.to_json()).expect("roundtrip");
+        assert_eq!(back, h);
+        assert_eq!(back.quantile_bound(0.5), h.quantile_bound(0.5));
+        // The empty histogram roundtrips through its null min/max.
+        let empty = Histogram::new();
+        assert_eq!(Histogram::from_json(&empty.to_json()), Some(empty));
+    }
+
+    #[test]
+    fn histogram_from_json_rejects_malformed_renderings() {
+        assert_eq!(Histogram::from_json(&Json::object()), None);
+        // Bucket counts must add up to the claimed total.
+        let lying = Json::parse(
+            r#"{"count":2,"sum":5,"min":5,"max":5,"mean":2.5,
+                "buckets":[{"lo":4,"hi":7,"count":1}]}"#,
+        )
+        .unwrap();
+        assert_eq!(Histogram::from_json(&lying), None);
+        // A bucket lower bound must be 0 or a power of two.
+        let bad = Json::parse(
+            r#"{"count":1,"sum":3,"min":3,"max":3,"mean":3.0,
+                "buckets":[{"lo":3,"hi":3,"count":1}]}"#,
+        )
+        .unwrap();
+        assert_eq!(Histogram::from_json(&bad), None);
     }
 }

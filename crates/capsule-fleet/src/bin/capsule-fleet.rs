@@ -1,0 +1,106 @@
+//! The `capsule-fleet` daemon: binds a TCP address, coordinates a set of
+//! `capsule-serve` backends, and serves `capsule-serve/1` requests until
+//! a `shutdown` request arrives.
+//!
+//! Usage:
+//!   capsule-fleet [--addr HOST:PORT] --backend HOST:PORT [--backend ...]
+//!                 [--queue N] [--attempts N] [--backoff-ms N]
+//!                 [--fail-window-ms N] [--fail-threshold N] [--probe-ms N]
+//!
+//! Backends may also come from `CAPSULE_FLEET_BACKENDS` (comma-
+//! separated); the sizing flags default from the `CAPSULE_FLEET_*`
+//! environment (see docs/FLEET.md). The resolved address is printed as
+//! `listening on HOST:PORT` so scripts can scrape it.
+
+use capsule_fleet::{Fleet, FleetOptions};
+
+fn main() {
+    let mut addr = "127.0.0.1:0".to_string();
+    let mut backends: Vec<String> = Vec::new();
+    let mut opts = FleetOptions::from_env();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{name} requires a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--addr" => addr = value("--addr"),
+            "--backend" => backends.push(value("--backend")),
+            "--queue" => opts.queue = parse_usize(&value("--queue"), "--queue").max(1),
+            "--attempts" => opts.attempts = parse_usize(&value("--attempts"), "--attempts").max(1),
+            "--backoff-ms" => opts.backoff_ms = parse_u64(&value("--backoff-ms"), "--backoff-ms"),
+            "--fail-window-ms" => {
+                opts.fail_window_ms =
+                    parse_u64(&value("--fail-window-ms"), "--fail-window-ms").max(1);
+            }
+            "--fail-threshold" => {
+                opts.fail_threshold = parse_usize(&value("--fail-threshold"), "--fail-threshold");
+            }
+            "--probe-ms" => opts.probe_ms = parse_u64(&value("--probe-ms"), "--probe-ms").max(10),
+            "--help" | "-h" => {
+                println!(
+                    "usage: capsule-fleet [--addr HOST:PORT] --backend HOST:PORT [--backend ...] \
+                     [--queue N] [--attempts N] [--backoff-ms N] [--fail-window-ms N] \
+                     [--fail-threshold N] [--probe-ms N]"
+                );
+                return;
+            }
+            other => {
+                eprintln!("unknown argument {other:?} (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+    if backends.is_empty() {
+        if let Ok(list) = std::env::var("CAPSULE_FLEET_BACKENDS") {
+            backends.extend(
+                list.split(',').map(str::trim).filter(|s| !s.is_empty()).map(str::to_string),
+            );
+        }
+    }
+    if backends.is_empty() {
+        eprintln!(
+            "capsule-fleet needs at least one backend (--backend HOST:PORT or \
+             CAPSULE_FLEET_BACKENDS)"
+        );
+        std::process::exit(2);
+    }
+
+    let fleet = match Fleet::start(&addr, &backends, opts) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("failed to bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("listening on {}", fleet.local_addr());
+    println!("backends: {}", backends.join(", "));
+    println!(
+        "queue {}, attempts {}, backoff {}ms, fail window {}ms / threshold {}, probe every {}ms",
+        opts.queue,
+        opts.attempts,
+        opts.backoff_ms,
+        opts.fail_window_ms,
+        opts.fail_threshold,
+        opts.probe_ms
+    );
+    fleet.join();
+    println!("shut down");
+}
+
+fn parse_usize(v: &str, name: &str) -> usize {
+    v.parse().unwrap_or_else(|_| {
+        eprintln!("{name} expects an integer, got {v:?}");
+        std::process::exit(2);
+    })
+}
+
+fn parse_u64(v: &str, name: &str) -> u64 {
+    v.parse().unwrap_or_else(|_| {
+        eprintln!("{name} expects an integer, got {v:?}");
+        std::process::exit(2);
+    })
+}

@@ -1,0 +1,729 @@
+//! The fleet coordinator: a TCP server speaking `capsule-serve/1`
+//! upstream that dispatches jobs across N `capsule-serve` backends
+//! downstream.
+//!
+//! Dispatch mirrors the paper's conditional-division policy one level
+//! up. A worker in CAPSULE probes the hardware and divides only if a
+//! context is free, throttled by the recent death rate; the coordinator
+//! probes backends (liveness + pool geometry from `stats`, plus its own
+//! in-flight counts), grants a job to a backend with a free worker slot,
+//! queues it while none has one, and refuses to route to a backend whose
+//! recent dispatch-failure count crossed the sliding-window threshold
+//! (see [`crate::backend::FailureWindow`]). Routing is cache-affine:
+//! rendezvous hashing over the job's canonical form keeps each backend's
+//! LRU result cache hot ([`crate::dispatch`]). Failed dispatches retry
+//! with exponential backoff on the next-preferred backend; client
+//! cancels broadcast to the backends; `stats` aggregates every backend's
+//! counters and latency histograms into one fleet view.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use capsule_core::output::Json;
+use capsule_core::stats::Histogram;
+use capsule_serve::client::{self, ClientError, Connection};
+use capsule_serve::protocol::{
+    error_response, fnv1a64, list_response, response_head, Request, RunRequest,
+};
+
+use crate::backend::Backend;
+use crate::dispatch::preference_order;
+
+/// Coordinator sizing and policy knobs (`CAPSULE_FLEET_*`).
+#[derive(Debug, Clone, Copy)]
+pub struct FleetOptions {
+    /// Max run jobs admitted concurrently — dispatching or waiting for a
+    /// backend slot (`CAPSULE_FLEET_QUEUE`). Beyond it, `queue-full`.
+    pub queue: usize,
+    /// Dispatch attempts per job, first try included
+    /// (`CAPSULE_FLEET_ATTEMPTS`).
+    pub attempts: usize,
+    /// Base retry backoff in ms, doubling per attempt
+    /// (`CAPSULE_FLEET_BACKOFF_MS`).
+    pub backoff_ms: u64,
+    /// Sliding failure-window length in ms
+    /// (`CAPSULE_FLEET_FAIL_WINDOW_MS`).
+    pub fail_window_ms: u64,
+    /// Failures within the window that throttle a backend; 0 disables
+    /// (`CAPSULE_FLEET_FAIL_THRESHOLD`).
+    pub fail_threshold: usize,
+    /// Health-probe period in ms (`CAPSULE_FLEET_PROBE_MS`).
+    pub probe_ms: u64,
+    /// TCP connect timeout toward backends in ms
+    /// (`CAPSULE_FLEET_CONNECT_TIMEOUT_MS`).
+    pub connect_timeout_ms: u64,
+    /// Cap on one backend round-trip in ms, 0 for none
+    /// (`CAPSULE_FLEET_JOB_TIMEOUT_MS`).
+    pub job_timeout_ms: u64,
+    /// Max total wait for a free backend slot in ms
+    /// (`CAPSULE_FLEET_DISPATCH_WAIT_MS`).
+    pub dispatch_wait_ms: u64,
+}
+
+impl Default for FleetOptions {
+    fn default() -> FleetOptions {
+        FleetOptions {
+            queue: 64,
+            attempts: 4,
+            backoff_ms: 50,
+            fail_window_ms: 5_000,
+            fail_threshold: 3,
+            probe_ms: 500,
+            connect_timeout_ms: 1_000,
+            job_timeout_ms: 600_000,
+            dispatch_wait_ms: 60_000,
+        }
+    }
+}
+
+impl FleetOptions {
+    /// Defaults overridden by the `CAPSULE_FLEET_*` environment.
+    /// Malformed values warn on stderr and fall back
+    /// (see [`capsule_serve::env`]).
+    pub fn from_env() -> FleetOptions {
+        use capsule_serve::env::{env_u64, env_usize};
+        let d = FleetOptions::default();
+        FleetOptions {
+            queue: env_usize("CAPSULE_FLEET_QUEUE", d.queue).max(1),
+            attempts: env_usize("CAPSULE_FLEET_ATTEMPTS", d.attempts).max(1),
+            backoff_ms: env_u64("CAPSULE_FLEET_BACKOFF_MS", d.backoff_ms),
+            fail_window_ms: env_u64("CAPSULE_FLEET_FAIL_WINDOW_MS", d.fail_window_ms).max(1),
+            fail_threshold: env_usize("CAPSULE_FLEET_FAIL_THRESHOLD", d.fail_threshold),
+            probe_ms: env_u64("CAPSULE_FLEET_PROBE_MS", d.probe_ms).max(10),
+            connect_timeout_ms: env_u64("CAPSULE_FLEET_CONNECT_TIMEOUT_MS", d.connect_timeout_ms)
+                .max(1),
+            job_timeout_ms: env_u64("CAPSULE_FLEET_JOB_TIMEOUT_MS", d.job_timeout_ms),
+            dispatch_wait_ms: env_u64("CAPSULE_FLEET_DISPATCH_WAIT_MS", d.dispatch_wait_ms).max(1),
+        }
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    connections: AtomicU64,
+    requests: AtomicU64,
+    bad_requests: AtomicU64,
+    jobs_accepted: AtomicU64,
+    jobs_rejected: AtomicU64,
+    jobs_completed: AtomicU64,
+    jobs_failed: AtomicU64,
+    jobs_cancelled: AtomicU64,
+    retries: AtomicU64,
+    backend_failures: AtomicU64,
+    cancel_requests: AtomicU64,
+    probes_ok: AtomicU64,
+    probes_failed: AtomicU64,
+}
+
+#[derive(Default)]
+struct Latencies {
+    /// Admission to backend grant.
+    dispatch_wait_us: Histogram,
+    /// Backend grant to usable response (the final attempt only).
+    job_us: Histogram,
+}
+
+struct State {
+    backends: Vec<Backend>,
+    /// Run jobs admitted and not yet answered.
+    pending: usize,
+}
+
+struct Shared {
+    opts: FleetOptions,
+    addr: SocketAddr,
+    running: AtomicBool,
+    state: Mutex<State>,
+    /// Signalled whenever a slot may have freed (job done, probe news).
+    slots: Condvar,
+    /// Bumped by every fleet-level `cancel`; a job dispatched under an
+    /// older generation treats a backend `cancelled` answer as a backend
+    /// fault (retry), a newer one as the client's own cancel (pass it
+    /// through).
+    cancel_generation: AtomicU64,
+    counters: Counters,
+    latencies: Mutex<Latencies>,
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A running fleet coordinator.
+pub struct Fleet {
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    probe: Option<JoinHandle<()>>,
+}
+
+impl Fleet {
+    /// Binds `addr` and starts the accept loop and the backend health
+    /// prober for `backends` (a list of `HOST:PORT` strings).
+    ///
+    /// # Errors
+    ///
+    /// Socket errors from binding, or `InvalidInput` when `backends` is
+    /// empty.
+    pub fn start(addr: &str, backends: &[String], opts: FleetOptions) -> std::io::Result<Fleet> {
+        if backends.is_empty() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "a fleet needs at least one backend",
+            ));
+        }
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let window = Duration::from_millis(opts.fail_window_ms);
+        let backends: Vec<Backend> = backends
+            .iter()
+            .enumerate()
+            .map(|(i, a)| Backend::new(a.clone(), i, window, opts.fail_threshold))
+            .collect();
+        let shared = Arc::new(Shared {
+            opts,
+            addr: local,
+            running: AtomicBool::new(true),
+            state: Mutex::new(State { backends, pending: 0 }),
+            slots: Condvar::new(),
+            cancel_generation: AtomicU64::new(0),
+            counters: Counters::default(),
+            latencies: Mutex::new(Latencies::default()),
+        });
+        let probe = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || probe_loop(&shared))
+        };
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(&shared, &listener))
+        };
+        Ok(Fleet { shared, accept: Some(accept), probe: Some(probe) })
+    }
+
+    /// The bound address (with the resolved port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// False once shutdown has started.
+    pub fn running(&self) -> bool {
+        self.shared.running.load(Ordering::SeqCst)
+    }
+
+    /// Starts shutdown exactly as the `shutdown` request does. Backends
+    /// are left running — they are managed independently.
+    pub fn request_shutdown(&self) {
+        initiate_shutdown(&self.shared);
+    }
+
+    /// Waits for the accept and probe threads to exit.
+    pub fn join(mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.probe.take() {
+            let _ = h.join();
+        }
+    }
+
+    /// [`Fleet::request_shutdown`] followed by [`Fleet::join`].
+    pub fn shutdown(self) {
+        self.request_shutdown();
+        self.join();
+    }
+}
+
+fn initiate_shutdown(shared: &Shared) {
+    if shared.running.swap(false, Ordering::SeqCst) {
+        // Wake slot-waiters so they answer `shutting-down`, and the
+        // accept loop so it observes `running == false`.
+        shared.slots.notify_all();
+        let _ = TcpStream::connect(shared.addr);
+    }
+}
+
+fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener) {
+    for stream in listener.incoming() {
+        if !shared.running.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let shared = Arc::clone(shared);
+        std::thread::spawn(move || handle_connection(&shared, stream));
+    }
+}
+
+fn handle_connection(shared: &Shared, stream: TcpStream) {
+    use std::io::{BufRead, BufReader, Write};
+    shared.counters.connections.fetch_add(1, Ordering::Relaxed);
+    let Ok(read_half) = stream.try_clone() else { return };
+    let mut writer = stream;
+    for line in BufReader::new(read_half).lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        shared.counters.requests.fetch_add(1, Ordering::Relaxed);
+        let (response, shutdown) = handle_line(shared, &line);
+        let mut bytes = response.to_string_compact().into_bytes();
+        bytes.push(b'\n');
+        if writer.write_all(&bytes).and_then(|()| writer.flush()).is_err() {
+            break;
+        }
+        if shutdown {
+            initiate_shutdown(shared);
+            break;
+        }
+    }
+}
+
+fn handle_line(shared: &Shared, line: &str) -> (Json, bool) {
+    let request = match Request::parse_line(line) {
+        Ok(r) => r,
+        Err(e) => {
+            shared.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
+            return (error_response("?", "bad-request", Some(&e.message)), false);
+        }
+    };
+    match request {
+        Request::Run(run) => (handle_run(shared, &run), false),
+        Request::Cancel => (handle_cancel(shared), false),
+        Request::Stats => (stats_response(shared), false),
+        Request::List => (list_response(), false),
+        Request::Shutdown => (response_head("shutdown", true), true),
+    }
+}
+
+/// How one backend round-trip ended.
+enum Outcome {
+    /// A usable answer for the client (success or a job-level failure).
+    Respond(Json),
+    /// A backend fault: try the next-preferred backend.
+    Retry { error: String, mark_dead: bool },
+}
+
+/// How a slot-acquisition attempt ended.
+enum Acquire {
+    Granted(usize),
+    TimedOut,
+    ShuttingDown,
+}
+
+fn handle_run(shared: &Shared, run: &RunRequest) -> Json {
+    // The canonical form is both the routing key (cache affinity) and
+    // the exact line forwarded downstream, so fleet and backend cache
+    // keys agree by construction.
+    let canonical = run.canonical();
+    let key = fnv1a64(canonical.as_bytes());
+
+    {
+        let mut st = lock(&shared.state);
+        if !shared.running.load(Ordering::SeqCst) {
+            return error_response("run", "shutting-down", None);
+        }
+        if st.pending >= shared.opts.queue {
+            shared.counters.jobs_rejected.fetch_add(1, Ordering::Relaxed);
+            let mut r = error_response("run", "queue-full", None);
+            r.push("queue_capacity", shared.opts.queue);
+            return r;
+        }
+        st.pending += 1;
+    }
+    shared.counters.jobs_accepted.fetch_add(1, Ordering::Relaxed);
+
+    let response = dispatch_with_retries(shared, &canonical, key);
+
+    lock(&shared.state).pending -= 1;
+    response
+}
+
+fn dispatch_with_retries(shared: &Shared, canonical: &str, key: u64) -> Json {
+    let generation = shared.cancel_generation.load(Ordering::SeqCst);
+    let admitted = Instant::now();
+    let deadline = admitted + Duration::from_millis(shared.opts.dispatch_wait_ms);
+    let mut attempted: Vec<usize> = Vec::new();
+    let mut last_error = String::from("no live backend");
+
+    for attempt in 0..shared.opts.attempts.max(1) {
+        if attempt > 0 {
+            shared.counters.retries.fetch_add(1, Ordering::Relaxed);
+            let shift = (attempt - 1).min(6) as u32;
+            let backoff = shared.opts.backoff_ms.saturating_mul(1 << shift).min(2_000);
+            std::thread::sleep(Duration::from_millis(backoff));
+        }
+        let idx = match acquire_backend(shared, key, &mut attempted, deadline) {
+            Acquire::Granted(i) => i,
+            Acquire::ShuttingDown => return error_response("run", "shutting-down", None),
+            Acquire::TimedOut => break,
+        };
+        let (addr, name) = {
+            let st = lock(&shared.state);
+            (st.backends[idx].addr.clone(), st.backends[idx].name.clone())
+        };
+        let waited_us = admitted.elapsed().as_micros() as u64;
+        lock(&shared.latencies).dispatch_wait_us.record(waited_us);
+
+        let started = Instant::now();
+        match roundtrip(shared, &addr, canonical, generation) {
+            Outcome::Respond(mut json) => {
+                release(shared, idx, true, false);
+                let job_us = started.elapsed().as_micros() as u64;
+                lock(&shared.latencies).job_us.record(job_us);
+                count_final(shared, &json);
+                json.push("backend", name.as_str())
+                    .push("backend_addr", addr.as_str())
+                    .push("attempts", attempt + 1)
+                    .push("dispatch_wait_us", waited_us);
+                return json;
+            }
+            Outcome::Retry { error, mark_dead } => {
+                release(shared, idx, false, mark_dead);
+                last_error = format!("{name} ({addr}): {error}");
+                attempted.push(idx);
+            }
+        }
+    }
+
+    shared.counters.jobs_failed.fetch_add(1, Ordering::Relaxed);
+    let detail = format!(
+        "dispatch gave up after {} attempt(s); last: {last_error}",
+        shared.opts.attempts.max(1)
+    );
+    error_response("run", "backend-unavailable", Some(&detail))
+}
+
+/// Bumps the final-outcome counter matching a passthrough response.
+fn count_final(shared: &Shared, json: &Json) {
+    if json.get("ok").and_then(Json::as_bool) == Some(true) {
+        shared.counters.jobs_completed.fetch_add(1, Ordering::Relaxed);
+    } else if json.get("error").and_then(Json::as_str) == Some("cancelled") {
+        shared.counters.jobs_cancelled.fetch_add(1, Ordering::Relaxed);
+    } else {
+        shared.counters.jobs_failed.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Waits (bounded by `deadline`) for a backend with a free worker slot,
+/// preferring the rendezvous order for `key` and skipping backends that
+/// are dead, throttled, or already failed this job (`attempted`). When
+/// every live backend has failed the job once, `attempted` is cleared so
+/// later attempts may re-try them after backoff.
+fn acquire_backend(
+    shared: &Shared,
+    key: u64,
+    attempted: &mut Vec<usize>,
+    deadline: Instant,
+) -> Acquire {
+    let mut st = lock(&shared.state);
+    loop {
+        if !shared.running.load(Ordering::SeqCst) {
+            return Acquire::ShuttingDown;
+        }
+        let now = Instant::now();
+        let addrs: Vec<String> = st.backends.iter().map(|b| b.addr.clone()).collect();
+        let order = preference_order(&addrs, key);
+
+        let usable = |b: &mut Backend, now: Instant| b.alive && !b.window.throttled(now);
+        let mut candidates = 0usize;
+        let mut free = None;
+        for &i in &order {
+            if attempted.contains(&i) || !usable(&mut st.backends[i], now) {
+                continue;
+            }
+            candidates += 1;
+            if free.is_none() && st.backends[i].has_free_slot() {
+                free = Some(i);
+            }
+        }
+        if candidates == 0 && !attempted.is_empty() {
+            // Every live backend already failed this job: forgive and
+            // let the remaining attempts re-try the preferred ones.
+            attempted.clear();
+            continue;
+        }
+        if let Some(i) = free {
+            st.backends[i].in_flight += 1;
+            st.backends[i].dispatched += 1;
+            return Acquire::Granted(i);
+        }
+        if now >= deadline {
+            return Acquire::TimedOut;
+        }
+        // Either all candidates are busy or none exists yet; wait for a
+        // completion/probe signal (time-capped: throttle expiry and the
+        // deadline are clock-driven and never signalled).
+        let (guard, _) = shared
+            .slots
+            .wait_timeout(st, Duration::from_millis(25))
+            .unwrap_or_else(PoisonError::into_inner);
+        st = guard;
+    }
+}
+
+/// Returns the backend's slot and records the attempt outcome.
+fn release(shared: &Shared, idx: usize, success: bool, mark_dead: bool) {
+    let mut st = lock(&shared.state);
+    let b = &mut st.backends[idx];
+    b.in_flight = b.in_flight.saturating_sub(1);
+    if success {
+        b.completed += 1;
+    } else {
+        b.failures += 1;
+        b.window.record(Instant::now());
+        if mark_dead {
+            b.alive = false;
+        }
+        shared.counters.backend_failures.fetch_add(1, Ordering::Relaxed);
+    }
+    shared.slots.notify_all();
+}
+
+/// One dispatch: forward the canonical run line to `addr` and classify
+/// the result. Transport faults and load-shedding answers are backend
+/// faults ([`Outcome::Retry`]); job-level answers pass through.
+fn roundtrip(shared: &Shared, addr: &str, canonical: &str, generation: u64) -> Outcome {
+    let connect = Duration::from_millis(shared.opts.connect_timeout_ms);
+    let mut conn = match Connection::connect_timeout(addr, connect) {
+        Ok(c) => c,
+        // Connection refused: the process is gone — stop routing there
+        // until a probe revives it.
+        Err(e) => return Outcome::Retry { error: e.to_string(), mark_dead: true },
+    };
+    if shared.opts.job_timeout_ms > 0 {
+        let cap = Duration::from_millis(shared.opts.job_timeout_ms);
+        if let Err(e) = conn.set_read_timeout(Some(cap)) {
+            return Outcome::Retry { error: e.to_string(), mark_dead: false };
+        }
+    }
+    let json = match conn.request(canonical) {
+        Ok(j) => j,
+        Err(e @ (ClientError::Connect(_) | ClientError::Send(_))) => {
+            return Outcome::Retry { error: e.to_string(), mark_dead: true }
+        }
+        Err(e) => return Outcome::Retry { error: e.to_string(), mark_dead: false },
+    };
+    if json.get("ok").and_then(Json::as_bool) == Some(true) {
+        return Outcome::Respond(json);
+    }
+    match json.get("error").and_then(Json::as_str) {
+        // Job-level verdicts: deterministic for this request, so another
+        // backend would answer the same. Pass through.
+        Some("scenario-failed") | Some("bad-request") => Outcome::Respond(json),
+        // `cancelled` is the client's own doing only if a fleet cancel
+        // arrived after this job was dispatched; otherwise the backend
+        // died mid-job (shutdown cancels its in-flight runs) and the job
+        // deserves another backend.
+        Some("cancelled") => {
+            if shared.cancel_generation.load(Ordering::SeqCst) != generation {
+                Outcome::Respond(json)
+            } else {
+                Outcome::Retry {
+                    error: "backend cancelled the job unprompted".to_string(),
+                    mark_dead: false,
+                }
+            }
+        }
+        // queue-full / shutting-down / internal-error / anything new:
+        // load or fault local to that backend.
+        Some(other) => {
+            Outcome::Retry { error: format!("backend answered {other}"), mark_dead: false }
+        }
+        None => {
+            Outcome::Retry { error: "malformed backend response".to_string(), mark_dead: false }
+        }
+    }
+}
+
+fn handle_cancel(shared: &Shared) -> Json {
+    shared.counters.cancel_requests.fetch_add(1, Ordering::Relaxed);
+    // Bump the generation first: in-flight jobs that now come back
+    // `cancelled` must classify it as the client's cancel, not a fault.
+    shared.cancel_generation.fetch_add(1, Ordering::SeqCst);
+    let targets: Vec<String> =
+        lock(&shared.state).backends.iter().filter(|b| b.alive).map(|b| b.addr.clone()).collect();
+    let mut cancelled = 0usize;
+    for addr in &targets {
+        if forward_op(shared, addr, r#"{"op":"cancel"}"#).is_some() {
+            cancelled += 1;
+        }
+    }
+    let mut r = response_head("cancel", true);
+    r.push("backends_cancelled", cancelled);
+    r
+}
+
+/// One short-deadline request to a backend; `None` on transport fault or
+/// an `ok:false` answer.
+fn forward_op(shared: &Shared, addr: &str, line: &str) -> Option<Json> {
+    let connect = Duration::from_millis(shared.opts.connect_timeout_ms);
+    let mut conn = Connection::connect_timeout(addr, connect).ok()?;
+    conn.set_read_timeout(Some(Duration::from_secs(5))).ok()?;
+    let json = conn.request(line).ok()?;
+    (json.get("ok").and_then(Json::as_bool) == Some(true)).then_some(json)
+}
+
+/// A consistent snapshot of one backend's coordinator-side view.
+struct BackendSnap {
+    name: String,
+    addr: String,
+    alive: bool,
+    workers: usize,
+    in_flight: usize,
+    throttled: bool,
+    failures_in_window: usize,
+    dispatched: u64,
+    completed: u64,
+    failures: u64,
+}
+
+fn stats_response(shared: &Shared) -> Json {
+    let (snaps, pending) = {
+        let mut st = lock(&shared.state);
+        let now = Instant::now();
+        let snaps: Vec<BackendSnap> = st
+            .backends
+            .iter_mut()
+            .map(|b| BackendSnap {
+                name: b.name.clone(),
+                addr: b.addr.clone(),
+                alive: b.alive,
+                workers: b.workers,
+                in_flight: b.in_flight,
+                throttled: b.window.throttled(now),
+                failures_in_window: b.window.count(now),
+                dispatched: b.dispatched,
+                completed: b.completed,
+                failures: b.failures,
+            })
+            .collect();
+        (snaps, st.pending)
+    };
+
+    // Live per-backend stats are fetched without holding the state lock.
+    let mut aggregate: Vec<(String, u64)> = Vec::new();
+    let mut agg_queue_wait = Histogram::new();
+    let mut agg_run = Histogram::new();
+    let mut reporting = 0usize;
+    let mut backends_json = Vec::new();
+    for s in &snaps {
+        let remote = if s.alive { forward_op(shared, &s.addr, r#"{"op":"stats"}"#) } else { None };
+        if let Some(stats) = &remote {
+            reporting += 1;
+            if let Some(counters) = stats.get("counters").and_then(Json::as_object) {
+                for (k, v) in counters {
+                    if let Some(n) = v.as_u64() {
+                        match aggregate.iter_mut().find(|(name, _)| name == k) {
+                            Some((_, total)) => *total += n,
+                            None => aggregate.push((k.clone(), n)),
+                        }
+                    }
+                }
+            }
+            for (field, agg) in [("queue_wait_us", &mut agg_queue_wait), ("run_us", &mut agg_run)] {
+                if let Some(h) = stats.get(field).and_then(Histogram::from_json) {
+                    agg.merge(&h);
+                }
+            }
+        }
+        let mut b = Json::object();
+        b.push("name", s.name.as_str())
+            .push("addr", s.addr.as_str())
+            .push("alive", s.alive)
+            .push("workers", s.workers)
+            .push("in_flight", s.in_flight)
+            .push("throttled", s.throttled)
+            .push("failures_in_window", s.failures_in_window)
+            .push("dispatched", s.dispatched)
+            .push("completed", s.completed)
+            .push("failures", s.failures)
+            .push("stats", remote.unwrap_or(Json::Null));
+        backends_json.push(b);
+    }
+
+    let c = &shared.counters;
+    let get = |a: &AtomicU64| a.load(Ordering::Relaxed);
+    let mut counters = Json::object();
+    counters
+        .push("connections", get(&c.connections))
+        .push("requests", get(&c.requests))
+        .push("bad_requests", get(&c.bad_requests))
+        .push("jobs_accepted", get(&c.jobs_accepted))
+        .push("jobs_rejected", get(&c.jobs_rejected))
+        .push("jobs_completed", get(&c.jobs_completed))
+        .push("jobs_failed", get(&c.jobs_failed))
+        .push("jobs_cancelled", get(&c.jobs_cancelled))
+        .push("retries", get(&c.retries))
+        .push("backend_failures", get(&c.backend_failures))
+        .push("cancel_requests", get(&c.cancel_requests))
+        .push("probes_ok", get(&c.probes_ok))
+        .push("probes_failed", get(&c.probes_failed));
+    let (dispatch_wait, job) = {
+        let lat = lock(&shared.latencies);
+        (lat.dispatch_wait_us.to_json(), lat.job_us.to_json())
+    };
+    let mut fleet = Json::object();
+    fleet
+        .push("backends", snaps.len())
+        .push("backends_alive", snaps.iter().filter(|s| s.alive).count())
+        .push("queue_capacity", shared.opts.queue)
+        .push("pending", pending)
+        .push("jobs_in_flight", snaps.iter().map(|s| s.in_flight).sum::<usize>())
+        .push("counters", counters)
+        .push("dispatch_wait_us", dispatch_wait)
+        .push("job_us", job);
+
+    let mut agg = Json::object();
+    let mut agg_counters = Json::object();
+    for (k, v) in &aggregate {
+        agg_counters.push(k, *v);
+    }
+    agg.push("backends_reporting", reporting)
+        .push("counters", agg_counters)
+        .push("queue_wait_us", agg_queue_wait.to_json())
+        .push("run_us", agg_run.to_json());
+
+    let mut r = response_head("stats", true);
+    r.push("fleet", fleet).push("aggregate", agg).push("backends", Json::Array(backends_json));
+    r
+}
+
+fn probe_loop(shared: &Shared) {
+    while shared.running.load(Ordering::SeqCst) {
+        let targets: Vec<(usize, String)> = lock(&shared.state)
+            .backends
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (i, b.addr.clone()))
+            .collect();
+        for (i, addr) in targets {
+            if !shared.running.load(Ordering::SeqCst) {
+                return;
+            }
+            let connect = Duration::from_millis(shared.opts.connect_timeout_ms);
+            let result = client::probe(&addr, connect, Duration::from_secs(2));
+            let mut st = lock(&shared.state);
+            match result {
+                Ok(p) => {
+                    st.backends[i].alive = true;
+                    st.backends[i].workers = p.workers.max(1);
+                    shared.counters.probes_ok.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(_) => {
+                    st.backends[i].alive = false;
+                    shared.counters.probes_failed.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            drop(st);
+            // Liveness or capacity may have changed: wake slot-waiters.
+            shared.slots.notify_all();
+        }
+        // Sleep in slices so shutdown stays prompt.
+        let end = Instant::now() + Duration::from_millis(shared.opts.probe_ms);
+        while shared.running.load(Ordering::SeqCst) && Instant::now() < end {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Cache-affinity routing: rendezvous (highest-random-weight) hashing
+//! from a job's `cache_key` to a preference order over backends.
+//!
+//! Every backend keeps an LRU result cache keyed by the canonical run
+//! request. Routing the same canonical request to the same backend keeps
+//! those caches hot; rendezvous hashing does that while guaranteeing
+//! that adding or removing a backend only moves the keys that hashed to
+//! it — every other key keeps its preferred backend, so a backend
+//! failure does not flush the whole fleet's cache affinity.
+
+use capsule_serve::protocol::fnv1a64;
+
+/// Folds `bytes` into a running FNV-1a state.
+fn fnv_fold(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The rendezvous weight of `(backend addr, job key)`: FNV-1a over the
+/// address bytes continued over the key's little-endian bytes.
+pub fn rendezvous_score(addr: &str, key: u64) -> u64 {
+    fnv_fold(fnv1a64(addr.as_bytes()), &key.to_le_bytes())
+}
+
+/// Backend indices ordered most- to least-preferred for `key`.
+///
+/// Deterministic: depends only on the backend address strings and the
+/// key, never on probe timing or list order (ties — only possible with
+/// duplicate addresses — break toward the lower index).
+pub fn preference_order(addrs: &[String], key: u64) -> Vec<usize> {
+    let mut scored: Vec<(u64, usize)> =
+        addrs.iter().enumerate().map(|(i, a)| (rendezvous_score(a, key), i)).collect();
+    scored.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    scored.into_iter().map(|(_, i)| i).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addrs(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("127.0.0.1:{}", 7000 + i)).collect()
+    }
+
+    #[test]
+    fn order_is_a_permutation_and_deterministic() {
+        let backends = addrs(5);
+        for key in [0u64, 1, 0xdead_beef, u64::MAX] {
+            let order = preference_order(&backends, key);
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1, 2, 3, 4], "permutation for key {key:#x}");
+            assert_eq!(order, preference_order(&backends, key), "deterministic");
+        }
+    }
+
+    #[test]
+    fn removing_a_backend_preserves_relative_order_of_the_rest() {
+        // The rendezvous property: scores are per-(addr, key), so
+        // dropping one backend never reshuffles the others.
+        let backends = addrs(4);
+        for key in 0..200u64 {
+            let full = preference_order(&backends, key);
+            let survivor_addrs: Vec<String> = backends.iter().take(3).cloned().collect::<Vec<_>>();
+            let reduced = preference_order(&survivor_addrs, key);
+            let full_filtered: Vec<usize> = full.into_iter().filter(|&i| i < 3).collect();
+            assert_eq!(full_filtered, reduced, "key {key}");
+        }
+    }
+
+    #[test]
+    fn keys_spread_across_backends() {
+        let backends = addrs(4);
+        let mut first_choice = [0usize; 4];
+        for key in 0..1000u64 {
+            first_choice[preference_order(&backends, key)[0]] += 1;
+        }
+        for (i, &n) in first_choice.iter().enumerate() {
+            assert!(n > 100, "backend {i} owns only {n}/1000 keys");
+        }
+    }
+
+    #[test]
+    fn different_keys_get_different_preferences() {
+        let backends = addrs(3);
+        let owners: std::collections::HashSet<usize> =
+            (0..50u64).map(|k| preference_order(&backends, k)[0]).collect();
+        assert!(owners.len() > 1, "all keys routed to one backend");
+    }
+}

@@ -1,0 +1,36 @@
+//! `capsule-fleet`: a sharded multi-backend coordinator for
+//! `capsule-serve` with CAPSULE-style conditional dispatch.
+//!
+//! The coordinator is a std-only TCP server that speaks the existing
+//! `capsule-serve/1` protocol upstream — clients written for a single
+//! server work unchanged — and fans jobs out to N `capsule-serve`
+//! backends downstream. Its dispatch policy is the paper's conditional
+//! division lifted one level up the stack:
+//!
+//! - **Probe, then grant.** Health probes poll every backend's `stats`;
+//!   a job is granted to a backend only while the coordinator counts a
+//!   free worker slot there, and queues (bounded) otherwise — the
+//!   "divide only if a context is free" rule.
+//! - **Throttle by recent failures.** A backend whose dispatch failures
+//!   within a sliding window cross a threshold stops receiving jobs
+//!   until the window slides — the analogue of the 128-cycle death-rate
+//!   division throttle.
+//! - **Cache affinity.** Jobs route by rendezvous hashing of their
+//!   canonical form, so each backend's LRU result cache stays hot and a
+//!   backend loss only moves the keys it owned.
+//! - **Retry away from faults.** Transport faults, `queue-full` and
+//!   unprompted cancels retry with exponential backoff on the
+//!   next-preferred backend; job-level verdicts pass through untouched,
+//!   so a fleet answer is byte-identical to a single server's.
+//!
+//! See docs/FLEET.md for topology, policy details, and the env knobs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod backend;
+pub mod coordinator;
+pub mod dispatch;
+
+pub use backend::{Backend, FailureWindow};
+pub use coordinator::{Fleet, FleetOptions};

@@ -1,0 +1,339 @@
+//! End-to-end fleet tests: in-process [`capsule_serve::Server`] backends
+//! plus an in-process [`Fleet`] coordinator, driven over real TCP.
+//!
+//! Job mixes stick to the *fast* smoke-scale catalog entries (the full
+//! catalog spans 0.1s–10s per smoke job in a debug build; CI's release
+//! fleet smoke run covers the full sweep). The mid-flight-kill test uses
+//! `ablation_policies` (a few seconds at smoke scale) so the job is
+//! reliably still running when its backend dies, and full-scale
+//! `fig6_division_tree` (minutes, but promptly cancellable) where a job
+//! must stay in flight indefinitely.
+
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+use capsule_core::output::Json;
+use capsule_fleet::{Fleet, FleetOptions};
+use capsule_serve::client::{request_once, Connection};
+use capsule_serve::{Server, ServerOptions};
+
+/// Smoke-scale entries that finish in well under a second each (debug).
+const FAST_SCENARIOS: &[&str] =
+    &["table1_config", "toolchain_overhead", "fig6_division_tree", "table3_divisions"];
+
+/// Smoke-scale job that runs for a few seconds in a debug build — long
+/// enough to observe and kill mid-flight, short enough to re-run.
+const SLOW_RUN: &str = r#"{"op":"run","scenario":"ablation_policies","scale":"smoke"}"#;
+
+/// Full-scale fig6 runs for minutes uncancelled: a job that is
+/// guaranteed to still be in flight whenever the test looks.
+const ENDLESS_RUN: &str = r#"{"op":"run","scenario":"fig6_division_tree","scale":"full"}"#;
+
+fn run_line(scenario: &str) -> String {
+    format!(r#"{{"op":"run","scenario":"{scenario}","scale":"smoke"}}"#)
+}
+
+fn start_backend() -> Server {
+    Server::start("127.0.0.1:0", ServerOptions { workers: 1, queue: 8, cache: 8 })
+        .expect("bind backend")
+}
+
+/// Test-sized fleet policy: fast probes and backoffs, generous caps.
+fn fleet_opts() -> FleetOptions {
+    FleetOptions {
+        queue: 16,
+        attempts: 4,
+        backoff_ms: 10,
+        fail_window_ms: 2_000,
+        fail_threshold: 2,
+        probe_ms: 50,
+        connect_timeout_ms: 500,
+        job_timeout_ms: 120_000,
+        dispatch_wait_ms: 30_000,
+    }
+}
+
+fn start_fleet(backends: &[&Server], opts: FleetOptions) -> Fleet {
+    let addrs: Vec<String> = backends.iter().map(|s| s.local_addr().to_string()).collect();
+    Fleet::start("127.0.0.1:0", &addrs, opts).expect("bind fleet")
+}
+
+fn request(fleet: &Fleet, line: &str) -> Json {
+    request_once(&fleet.local_addr().to_string(), line).expect("fleet request")
+}
+
+fn ok(json: &Json) -> bool {
+    json.get("ok").and_then(Json::as_bool) == Some(true)
+}
+
+fn error_code(json: &Json) -> Option<&str> {
+    json.get("error").and_then(Json::as_str)
+}
+
+fn stats(fleet: &Fleet) -> Json {
+    request(fleet, r#"{"op":"stats"}"#)
+}
+
+fn fleet_counter(stats: &Json, name: &str) -> u64 {
+    stats
+        .get("fleet")
+        .and_then(|f| f.get("counters"))
+        .and_then(|c| c.get(name))
+        .and_then(Json::as_u64)
+        .expect("fleet counter")
+}
+
+/// Poll until the condition holds or a generous deadline passes.
+fn wait_for(what: &str, mut cond: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+fn backends_alive(fleet: &Fleet) -> u64 {
+    stats(fleet).get("fleet").and_then(|f| f.get("backends_alive")).and_then(Json::as_u64).unwrap()
+}
+
+/// The `name` of the backend currently holding an in-flight job, if any.
+fn busy_backend(fleet: &Fleet) -> Option<String> {
+    let s = stats(fleet);
+    s.get("backends")?.as_array()?.iter().find_map(|b| {
+        (b.get("in_flight").and_then(Json::as_u64)? > 0)
+            .then(|| b.get("name").and_then(Json::as_str).map(str::to_string))?
+    })
+}
+
+/// Runs the fast scenarios through the fleet; every job must succeed.
+/// Returns scenario -> compact report rendering.
+fn run_fast_batch(fleet: &Fleet) -> BTreeMap<String, String> {
+    let mut reports = BTreeMap::new();
+    for scenario in FAST_SCENARIOS {
+        let reply = request(fleet, &run_line(scenario));
+        assert!(ok(&reply), "{scenario} failed: {}", reply.to_string_compact());
+        assert!(reply.get("backend").and_then(Json::as_str).is_some(), "backend attribution");
+        assert!(reply.get("attempts").and_then(Json::as_u64).unwrap_or(0) >= 1);
+        let report = reply.get("report").map(Json::to_string_compact).expect("report");
+        reports.insert((*scenario).to_string(), report);
+    }
+    reports
+}
+
+#[test]
+fn fleet_reports_are_byte_identical_to_a_direct_server() {
+    let backends = [start_backend(), start_backend()];
+    let fleet = start_fleet(&[&backends[0], &backends[1]], fleet_opts());
+    let reference = start_backend();
+
+    wait_for("both backends alive", || backends_alive(&fleet) == 2);
+    let via_fleet = run_fast_batch(&fleet);
+
+    for (scenario, fleet_report) in &via_fleet {
+        let direct = request_once(&reference.local_addr().to_string(), &run_line(scenario))
+            .expect("direct request");
+        assert!(ok(&direct), "{scenario} failed directly: {}", direct.to_string_compact());
+        assert_eq!(
+            direct.get("report").map(Json::to_string_compact).as_deref(),
+            Some(fleet_report.as_str()),
+            "{scenario}: fleet and direct reports must render byte-identically"
+        );
+    }
+
+    fleet.shutdown();
+    reference.shutdown();
+    for b in backends {
+        b.shutdown();
+    }
+}
+
+#[test]
+fn killing_a_backend_mid_batch_loses_no_jobs() {
+    let mut backends = [Some(start_backend()), Some(start_backend())];
+    let fleet = {
+        let refs: Vec<&Server> = backends.iter().flatten().collect();
+        start_fleet(&refs, fleet_opts())
+    };
+    wait_for("both backends alive", || backends_alive(&fleet) == 2);
+
+    // Phase 1: a healthy-fleet batch pins the expected report bytes.
+    let before = run_fast_batch(&fleet);
+
+    // A slow job, dispatched and observed in flight; then its backend is
+    // killed under it. Backend index is the digit in the reported name
+    // ("b0"/"b1" in the order the fleet was configured with).
+    let mut slow = Connection::connect(&fleet.local_addr().to_string()).expect("connect");
+    slow.send(SLOW_RUN).expect("send slow job");
+    wait_for("slow job to reach a backend", || busy_backend(&fleet).is_some());
+    let victim: usize =
+        busy_backend(&fleet).unwrap().trim_start_matches('b').parse().expect("backend index");
+    backends[victim].take().expect("victim still running").shutdown();
+
+    // The kill cancels the backend's in-flight run; the fleet must
+    // classify that as a backend fault and finish the job elsewhere.
+    let reply = slow.recv().expect("slow job response");
+    assert!(ok(&reply), "slow job failed: {}", reply.to_string_compact());
+    assert!(
+        reply.get("attempts").and_then(Json::as_u64).unwrap_or(0) >= 2,
+        "the job must have been retried: {}",
+        reply.to_string_compact()
+    );
+    let survivor = format!("b{}", 1 - victim);
+    assert_eq!(reply.get("backend").and_then(Json::as_str), Some(survivor.as_str()));
+
+    // Phase 2: the same batch on the crippled fleet — every job still
+    // completes, with byte-identical reports.
+    let after = run_fast_batch(&fleet);
+    assert_eq!(before, after, "reports must be unchanged by the backend loss");
+
+    let s = stats(&fleet);
+    assert_eq!(fleet_counter(&s, "jobs_completed"), 2 * FAST_SCENARIOS.len() as u64 + 1);
+    assert_eq!(fleet_counter(&s, "jobs_failed"), 0);
+    assert!(fleet_counter(&s, "retries") >= 1);
+    assert!(fleet_counter(&s, "backend_failures") >= 1);
+    wait_for("probes to notice the dead backend", || backends_alive(&fleet) == 1);
+
+    fleet.shutdown();
+    if let Some(b) = backends[1 - victim].take() {
+        b.shutdown();
+    }
+}
+
+#[test]
+fn stats_aggregates_every_backend() {
+    let backends = [start_backend(), start_backend()];
+    let fleet = start_fleet(&[&backends[0], &backends[1]], fleet_opts());
+    wait_for("both backends alive", || backends_alive(&fleet) == 2);
+
+    for scenario in ["table1_config", "toolchain_overhead"] {
+        let reply = request(&fleet, &run_line(scenario));
+        assert!(ok(&reply), "{scenario} failed: {}", reply.to_string_compact());
+    }
+
+    let s = stats(&fleet);
+    assert_eq!(fleet_counter(&s, "jobs_accepted"), 2);
+    assert_eq!(fleet_counter(&s, "jobs_completed"), 2);
+    assert!(fleet_counter(&s, "probes_ok") >= 2);
+    let fleet_obj = s.get("fleet").expect("fleet object");
+    assert_eq!(fleet_obj.get("backends").and_then(Json::as_u64), Some(2));
+    // The coordinator's own dispatch-wait histogram saw both grants.
+    assert_eq!(
+        fleet_obj.get("dispatch_wait_us").and_then(|h| h.get("count")).and_then(Json::as_u64),
+        Some(2)
+    );
+
+    let agg = s.get("aggregate").expect("aggregate object");
+    assert_eq!(agg.get("backends_reporting").and_then(Json::as_u64), Some(2));
+    // Both jobs were cache misses somewhere in the fleet: the merged
+    // run-latency histogram counts exactly the two executed runs, and the
+    // summed backend counters agree.
+    assert_eq!(agg.get("run_us").and_then(|h| h.get("count")).and_then(Json::as_u64), Some(2));
+    assert_eq!(
+        agg.get("counters").and_then(|c| c.get("jobs_completed")).and_then(Json::as_u64),
+        Some(2)
+    );
+
+    let listed = s.get("backends").and_then(Json::as_array).expect("backends array");
+    assert_eq!(listed.len(), 2);
+    for b in listed {
+        assert_eq!(b.get("alive").and_then(Json::as_bool), Some(true));
+        let remote = b.get("stats").expect("embedded stats");
+        assert_eq!(remote.get("op").and_then(Json::as_str), Some("stats"));
+        assert_eq!(b.get("workers").and_then(Json::as_u64), Some(1));
+    }
+
+    fleet.shutdown();
+    for b in backends {
+        b.shutdown();
+    }
+}
+
+#[test]
+fn cancel_propagates_and_full_fleet_queue_rejects() {
+    let backend = start_backend();
+    let fleet = start_fleet(&[&backend], FleetOptions { queue: 1, ..fleet_opts() });
+    wait_for("backend alive", || backends_alive(&fleet) == 1);
+
+    let mut long = Connection::connect(&fleet.local_addr().to_string()).expect("connect");
+    long.send(ENDLESS_RUN).expect("send long job");
+    wait_for("long job to reach the backend", || busy_backend(&fleet).is_some());
+
+    // The single fleet queue slot is held by the long job.
+    let rejected = request(&fleet, &run_line("table1_config"));
+    assert!(!ok(&rejected));
+    assert_eq!(error_code(&rejected), Some("queue-full"));
+    assert_eq!(rejected.get("queue_capacity").and_then(Json::as_u64), Some(1));
+
+    // A fleet-level cancel reaches the backend and the client sees the
+    // backend's structured `cancelled` answer, not a retry storm.
+    let started = Instant::now();
+    let cancel = request(&fleet, r#"{"op":"cancel"}"#);
+    assert!(ok(&cancel));
+    assert_eq!(cancel.get("backends_cancelled").and_then(Json::as_u64), Some(1));
+    let reply = long.recv().expect("long job response");
+    assert_eq!(error_code(&reply), Some("cancelled"), "{}", reply.to_string_compact());
+    assert!(started.elapsed() < Duration::from_secs(30), "cancellation was not prompt");
+
+    let s = stats(&fleet);
+    assert_eq!(fleet_counter(&s, "jobs_cancelled"), 1);
+    assert_eq!(fleet_counter(&s, "jobs_rejected"), 1);
+    assert_eq!(fleet_counter(&s, "cancel_requests"), 1);
+
+    // The queue slot is free again: the fleet accepts and finishes jobs.
+    let after = request(&fleet, &run_line("table1_config"));
+    assert!(ok(&after), "post-cancel job failed: {}", after.to_string_compact());
+
+    fleet.shutdown();
+    backend.shutdown();
+}
+
+#[test]
+fn dead_fleet_answers_control_ops_and_gives_up_on_runs() {
+    // Port 1 on localhost is essentially never listening: every probe
+    // and dispatch fails, exercising the no-live-backend paths without
+    // starting a single server.
+    let opts = FleetOptions { attempts: 2, backoff_ms: 5, dispatch_wait_ms: 300, ..fleet_opts() };
+    let fleet = Fleet::start("127.0.0.1:0", &["127.0.0.1:1".to_string()], opts).expect("bind");
+
+    for (line, why) in [
+        ("not json", "unparseable"),
+        (r#"{"op":"frobnicate"}"#, "unknown op"),
+        (r#"{"op":"run"}"#, "missing scenario"),
+        (r#"{"op":"run","scenario":"nope"}"#, "unknown scenario"),
+    ] {
+        let reply = request(&fleet, line);
+        assert!(!ok(&reply), "{why}: expected rejection, got {}", reply.to_string_compact());
+        assert_eq!(error_code(&reply), Some("bad-request"), "{why}");
+    }
+
+    // `list` is served by the coordinator itself, identically to a server.
+    let list = request(&fleet, r#"{"op":"list"}"#);
+    assert!(ok(&list));
+    let scenarios = list.get("scenarios").and_then(Json::as_array).expect("scenarios");
+    assert_eq!(scenarios.len(), capsule_bench::catalog::entries().len());
+
+    // A valid run has nowhere to go: a structured backend-unavailable
+    // failure after the bounded dispatch window, not a hang.
+    let reply = request(&fleet, &run_line("table1_config"));
+    assert!(!ok(&reply));
+    assert_eq!(error_code(&reply), Some("backend-unavailable"));
+    assert!(reply.get("detail").and_then(Json::as_str).is_some());
+
+    let s = stats(&fleet);
+    assert_eq!(
+        s.get("fleet").and_then(|f| f.get("backends_alive")).and_then(Json::as_u64),
+        Some(0)
+    );
+    assert_eq!(
+        s.get("aggregate").and_then(|a| a.get("backends_reporting")).and_then(Json::as_u64),
+        Some(0)
+    );
+    assert_eq!(fleet_counter(&s, "jobs_failed"), 1);
+    assert!(fleet_counter(&s, "probes_failed") >= 1);
+
+    // Shutdown over the wire stops the coordinator.
+    let reply = request(&fleet, r#"{"op":"shutdown"}"#);
+    assert!(ok(&reply));
+    wait_for("fleet to stop", || !fleet.running());
+    fleet.join();
+}

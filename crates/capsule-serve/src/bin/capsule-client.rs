@@ -9,10 +9,8 @@
 //! (pretty-printed unless `--compact`). Exits nonzero when the server
 //! reports `ok: false`.
 
-use std::io::{BufRead, BufReader, Write};
-use std::net::TcpStream;
-
 use capsule_core::output::Json;
+use capsule_serve::client::request_once;
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -29,28 +27,8 @@ fn main() {
     let addr = args.remove(0);
     let line = build_request(&args);
 
-    let mut stream = TcpStream::connect(&addr).unwrap_or_else(|e| {
-        eprintln!("cannot connect to {addr}: {e}");
-        std::process::exit(1);
-    });
-    stream.write_all(format!("{line}\n").as_bytes()).and_then(|()| stream.flush()).unwrap_or_else(
-        |e| {
-            eprintln!("send failed: {e}");
-            std::process::exit(1);
-        },
-    );
-    let mut response = String::new();
-    BufReader::new(&stream).read_line(&mut response).unwrap_or_else(|e| {
-        eprintln!("receive failed: {e}");
-        std::process::exit(1);
-    });
-    let response = response.trim();
-    if response.is_empty() {
-        eprintln!("server closed the connection without responding");
-        std::process::exit(1);
-    }
-    let json = Json::parse(response).unwrap_or_else(|e| {
-        eprintln!("unparseable response ({e}): {response}");
+    let json = request_once(&addr, &line).unwrap_or_else(|e| {
+        eprintln!("{addr}: {e}");
         std::process::exit(1);
     });
     if compact {

@@ -1,72 +1,116 @@
-//! Deterministic load generator for `capsule-serve`.
+//! Deterministic load generator for `capsule-serve` and `capsule-fleet`.
 //!
-//! Usage: `capsule-loadgen ADDR [--jobs N] [--threads T]`
+//! Usage: `capsule-loadgen ADDR [--jobs N] [--threads T] [--fleet] [--parity ADDR2]`
 //!
 //! Fires N `run` requests (default 12) from T connections (default 4),
-//! cycling a fixed list of smoke-scale scenarios, and classifies each
+//! cycling the full scenario catalog at smoke scale, and classifies each
 //! response as ok / queue-full / error. Queue-full rejections are an
-//! expected outcome of backpressure, not a failure. Afterwards it
-//! replays one scenario twice on a fresh connection and checks that the
-//! second response is a cache hit carrying a byte-identical report.
-//! Exits nonzero if any request errored or the cache check fails.
+//! expected outcome of backpressure, not a failure. The end-of-run
+//! summary includes the observed p50/p90/p99 request latency (power-of-
+//! two bucket upper bounds from `capsule_core::stats::Histogram`).
+//!
+//! `--fleet` sizes the batch to exactly one job per catalog entry (the
+//! canonical fleet smoke sweep) unless `--jobs` is given explicitly.
+//! `--parity ADDR2` then replays every distinct scenario of the batch
+//! against a second endpoint and requires each report to be
+//! byte-identical — the fleet-vs-direct-server determinism check CI
+//! runs. Afterwards one scenario is replayed on a fresh connection to
+//! assert the second response is a cache hit carrying a byte-identical
+//! report. Exits nonzero if any request errored or a check failed.
 
-use std::io::{BufRead, BufReader, Write};
-use std::net::TcpStream;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
+use capsule_bench::catalog;
 use capsule_core::output::Json;
-
-/// Smoke-scale scenarios cheap enough to hammer in a load test.
-const MIX: [&str; 4] =
-    ["table1_config", "toolchain_overhead", "fig7_throttling", "table3_divisions"];
+use capsule_core::stats::Histogram;
+use capsule_serve::client::request_once;
 
 fn main() {
     let mut args = std::env::args().skip(1);
     let Some(addr) = args.next() else {
-        eprintln!("usage: capsule-loadgen ADDR [--jobs N] [--threads T]");
+        eprintln!(
+            "usage: capsule-loadgen ADDR [--jobs N] [--threads T] [--fleet] [--parity ADDR2]"
+        );
         std::process::exit(2);
     };
-    let mut jobs = 12usize;
+    let mut jobs: Option<usize> = None;
     let mut threads = 4usize;
+    let mut fleet = false;
+    let mut parity: Option<String> = None;
     while let Some(arg) = args.next() {
         let mut value = || {
-            args.next().and_then(|v| v.parse::<usize>().ok()).unwrap_or_else(|| {
-                eprintln!("{arg} expects an integer value");
+            args.next().unwrap_or_else(|| {
+                eprintln!("{arg} expects a value");
+                std::process::exit(2);
+            })
+        };
+        let int = |v: String, what: &str| {
+            v.parse::<usize>().unwrap_or_else(|_| {
+                eprintln!("{what} expects an integer, got {v:?}");
                 std::process::exit(2);
             })
         };
         match arg.as_str() {
-            "--jobs" => jobs = value().max(1),
-            "--threads" => threads = value().max(1),
+            "--jobs" => jobs = Some(int(value(), "--jobs").max(1)),
+            "--threads" => threads = int(value(), "--threads").max(1),
+            "--fleet" => fleet = true,
+            "--parity" => parity = Some(value()),
             other => {
                 eprintln!("unknown argument {other:?}");
                 std::process::exit(2);
             }
         }
     }
+    // The job mix is the catalog itself, in figure/table order, at smoke
+    // scale: every endpoint smoke sweep exercises every entry.
+    let mix: Vec<&'static str> = catalog::names();
+    let jobs = jobs.unwrap_or(if fleet { mix.len() } else { 12 });
 
     let ok = Arc::new(AtomicUsize::new(0));
     let queue_full = Arc::new(AtomicUsize::new(0));
     let errors = Arc::new(AtomicUsize::new(0));
     let next = Arc::new(AtomicUsize::new(0));
+    let latency = Arc::new(Mutex::new(Histogram::new()));
+    let reports = Arc::new(Mutex::new(BTreeMap::<String, String>::new()));
 
     let handles: Vec<_> = (0..threads)
         .map(|_| {
             let addr = addr.clone();
+            let mix = mix.clone();
             let (ok, queue_full, errors, next) =
                 (ok.clone(), queue_full.clone(), errors.clone(), next.clone());
+            let (latency, reports) = (latency.clone(), reports.clone());
             std::thread::spawn(move || loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= jobs {
                     break;
                 }
-                let scenario = MIX[i % MIX.len()];
-                let req = format!(r#"{{"op":"run","scenario":"{scenario}","scale":"smoke"}}"#);
-                match request(&addr, &req) {
+                let scenario = mix[i % mix.len()];
+                let req = run_line(scenario);
+                let started = Instant::now();
+                match request_once(&addr, &req) {
                     Ok(json) => {
                         if json.get("ok").and_then(Json::as_bool) == Some(true) {
+                            let us = started.elapsed().as_micros() as u64;
+                            latency.lock().unwrap().record(us);
                             ok.fetch_add(1, Ordering::Relaxed);
+                            if let Some(report) = json.get("report").map(Json::to_string_compact) {
+                                let mut seen = reports.lock().unwrap();
+                                if let Some(prev) = seen.get(scenario) {
+                                    if *prev != report {
+                                        eprintln!(
+                                            "job {i} ({scenario}): report differs from an \
+                                             earlier run of the same scenario"
+                                        );
+                                        errors.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                } else {
+                                    seen.insert(scenario.to_string(), report);
+                                }
+                            }
                         } else if json.get("error").and_then(Json::as_str) == Some("queue-full") {
                             queue_full.fetch_add(1, Ordering::Relaxed);
                         } else {
@@ -94,28 +138,86 @@ fn main() {
         jobs,
         threads
     );
+    print_latency(&latency.lock().unwrap());
 
-    let cache_ok = check_cache_identity(&addr);
-    if errors.load(Ordering::Relaxed) > 0 || !cache_ok {
+    let mut failed = errors.load(Ordering::Relaxed) > 0;
+    failed |= !check_cache_identity(&addr);
+    if let Some(other) = &parity {
+        failed |= !check_parity(&reports.lock().unwrap(), other);
+    }
+    if failed {
         std::process::exit(1);
     }
+}
+
+fn run_line(scenario: &str) -> String {
+    format!(r#"{{"op":"run","scenario":"{scenario}","scale":"smoke"}}"#)
+}
+
+/// End-of-run latency summary over successful requests. Quantiles are
+/// bucket upper bounds ([`Histogram::quantile_bound`]) — conservative,
+/// and cheap enough to compute from the same histogram the servers keep.
+fn print_latency(h: &Histogram) {
+    if h.count() == 0 {
+        println!("latency_us: no successful requests");
+        return;
+    }
+    let q = |q: f64| h.quantile_bound(q).unwrap_or(0);
+    println!(
+        "latency_us: n={} mean={:.0} p50<={} p90<={} p99<={} max={}",
+        h.count(),
+        h.mean(),
+        q(0.50),
+        q(0.90),
+        q(0.99),
+        h.max().unwrap_or(0)
+    );
+}
+
+/// Replays every distinct scenario of the batch against `other` and
+/// requires byte-identical reports — the determinism contract that makes
+/// a fleet transparent: any backend (or a direct server) answers the
+/// same bytes.
+fn check_parity(reports: &BTreeMap<String, String>, other: &str) -> bool {
+    if reports.is_empty() {
+        eprintln!("parity check: no reports to compare");
+        return false;
+    }
+    let mut matched = 0usize;
+    for (scenario, report) in reports {
+        match request_once(other, &run_line(scenario)) {
+            Ok(json) if json.get("ok").and_then(Json::as_bool) == Some(true) => {
+                match json.get("report").map(Json::to_string_compact) {
+                    Some(r) if r == *report => matched += 1,
+                    _ => eprintln!("parity check: {scenario}: reports differ"),
+                }
+            }
+            Ok(json) => {
+                eprintln!(
+                    "parity check: {scenario} failed on {other}: {}",
+                    json.to_string_compact()
+                );
+            }
+            Err(e) => eprintln!("parity check: {scenario} transport error on {other}: {e}"),
+        }
+    }
+    let all = matched == reports.len();
+    println!(
+        "parity check: {matched}/{} scenarios byte-identical vs {other}{}",
+        reports.len(),
+        if all { "" } else { " [FAILED]" }
+    );
+    all
 }
 
 /// Replay the same request twice; the second response must be a cache
 /// hit whose report renders byte-identically to the first.
 fn check_cache_identity(addr: &str) -> bool {
-    let req = r#"{"op":"run","scenario":"table1_config","scale":"smoke"}"#;
-    let first = match request(addr, req) {
-        Ok(j) => j,
-        Err(e) => {
-            eprintln!("cache check: first request failed: {e}");
-            return false;
-        }
-    };
-    let second = match request(addr, req) {
-        Ok(j) => j,
-        Err(e) => {
-            eprintln!("cache check: second request failed: {e}");
+    let req = run_line("table1_config");
+    let (first, second) = match (request_once(addr, &req), request_once(addr, &req)) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("cache check: request failed: {e}");
             return false;
         }
     };
@@ -137,18 +239,4 @@ fn check_cache_identity(addr: &str) -> bool {
     }
     println!("cache check: hit with byte-identical report");
     true
-}
-
-fn request(addr: &str, line: &str) -> Result<Json, String> {
-    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
-    stream
-        .write_all(format!("{line}\n").as_bytes())
-        .and_then(|()| stream.flush())
-        .map_err(|e| format!("send: {e}"))?;
-    let mut response = String::new();
-    BufReader::new(&stream).read_line(&mut response).map_err(|e| format!("recv: {e}"))?;
-    if response.trim().is_empty() {
-        return Err("empty response".to_string());
-    }
-    Json::parse(response.trim()).map_err(|e| format!("parse: {e}"))
 }

@@ -116,5 +116,61 @@ mod tests {
         c.put("a".to_string(), report("a"));
         assert!(c.is_empty());
         assert!(c.get("a").is_none());
+        assert_eq!(c.len(), 0);
+        // Repeated puts never accumulate anything either.
+        c.put("b".to_string(), report("b"));
+        c.put("a".to_string(), report("a2"));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn eviction_follows_the_full_access_order() {
+        // Capacity 3, interleaved gets and puts: each insertion beyond
+        // capacity must evict exactly the least-recently-*used* entry,
+        // where both hits and inserts refresh recency.
+        let mut c = ResultCache::new(3);
+        c.put("a".to_string(), report("a"));
+        c.put("b".to_string(), report("b"));
+        c.put("c".to_string(), report("c"));
+        assert!(c.get("a").is_some()); // recency now: b, c, a
+        c.put("d".to_string(), report("d")); // evicts b
+        assert!(c.get("b").is_none());
+        assert!(c.get("c").is_some()); // recency now: a, d, c
+        c.put("e".to_string(), report("e")); // evicts a
+        assert!(c.get("a").is_none());
+        c.put("f".to_string(), report("f")); // evicts d
+        assert!(c.get("d").is_none());
+        // Survivors are exactly the three most recently used.
+        assert_eq!(c.len(), 3);
+        assert!(c.get("c").is_some());
+        assert!(c.get("e").is_some());
+        assert!(c.get("f").is_some());
+    }
+
+    #[test]
+    fn put_refreshes_recency_of_an_existing_key() {
+        let mut c = ResultCache::new(2);
+        c.put("a".to_string(), report("a1"));
+        c.put("b".to_string(), report("b"));
+        // Overwriting `a` makes `b` the LRU entry.
+        c.put("a".to_string(), report("a2"));
+        c.put("c".to_string(), report("c")); // evicts b, not a
+        assert!(c.get("b").is_none());
+        assert_eq!(c.get("a").unwrap().to_string_compact(), report("a2").to_string_compact());
+        assert!(c.get("c").is_some());
+    }
+
+    #[test]
+    fn a_miss_never_disturbs_recency() {
+        let mut c = ResultCache::new(2);
+        c.put("a".to_string(), report("a"));
+        c.put("b".to_string(), report("b"));
+        for _ in 0..5 {
+            assert!(c.get("nope").is_none());
+        }
+        // `a` is still the LRU entry despite the failed lookups.
+        c.put("c".to_string(), report("c"));
+        assert!(c.get("a").is_none());
+        assert!(c.get("b").is_some());
     }
 }

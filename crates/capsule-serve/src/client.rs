@@ -1,0 +1,242 @@
+//! Reusable `capsule-serve/1` client plumbing: a line-oriented JSON
+//! connection, one-shot request helpers, and the health probe the fleet
+//! coordinator polls backends with.
+//!
+//! Everything that talks *to* a capsule-serve endpoint — `capsule-client`,
+//! `capsule-loadgen`, the `capsule-fleet` coordinator and the e2e tests —
+//! goes through [`Connection`], so timeout handling and error
+//! classification live in exactly one place.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use capsule_core::output::Json;
+
+/// Why a request over a [`Connection`] failed.
+///
+/// The variants matter to the fleet's retry policy: every one of them is
+/// a *transport* fault of the endpoint (retryable on another backend),
+/// as opposed to a structured `ok:false` response, which is a statement
+/// about the job itself.
+#[derive(Debug)]
+pub enum ClientError {
+    /// TCP connect (or address resolution) failed.
+    Connect(std::io::Error),
+    /// Writing the request line failed.
+    Send(std::io::Error),
+    /// Reading the response line failed (includes read timeouts).
+    Recv(std::io::Error),
+    /// The endpoint closed the connection without responding.
+    Closed,
+    /// The response line was not valid JSON.
+    BadJson(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Connect(e) => write!(f, "connect: {e}"),
+            ClientError::Send(e) => write!(f, "send: {e}"),
+            ClientError::Recv(e) => write!(f, "recv: {e}"),
+            ClientError::Closed => f.write_str("connection closed before a response arrived"),
+            ClientError::BadJson(e) => write!(f, "unparseable response: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// One line-oriented JSON connection to a `capsule-serve/1` endpoint.
+#[derive(Debug)]
+pub struct Connection {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Connection {
+    /// Connects to `addr` (a `HOST:PORT` string).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Connect`] when resolution or the TCP connect fails.
+    pub fn connect(addr: &str) -> Result<Connection, ClientError> {
+        Connection::from_stream(TcpStream::connect(addr).map_err(ClientError::Connect)?)
+    }
+
+    /// Connects to `addr` giving up after `timeout`, so probing a dead
+    /// backend cannot hang the caller.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Connect`] on resolution failure or timeout.
+    pub fn connect_timeout(addr: &str, timeout: Duration) -> Result<Connection, ClientError> {
+        let resolved = resolve(addr)?;
+        let stream =
+            TcpStream::connect_timeout(&resolved, timeout).map_err(ClientError::Connect)?;
+        Connection::from_stream(stream)
+    }
+
+    fn from_stream(stream: TcpStream) -> Result<Connection, ClientError> {
+        let read_half = stream.try_clone().map_err(ClientError::Connect)?;
+        Ok(Connection { writer: stream, reader: BufReader::new(read_half) })
+    }
+
+    /// Caps how long [`Connection::recv`] may block (`None` removes the
+    /// cap). Transport-level insurance for talking to a wedged endpoint.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Recv`] when the socket rejects the option.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> Result<(), ClientError> {
+        self.writer.set_read_timeout(timeout).map_err(ClientError::Recv)
+    }
+
+    /// Writes one request line without waiting for the reply — the
+    /// deferred half of [`Connection::request`], for callers that want to
+    /// do other work (or cancel the job) while it runs.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Send`] when the write fails.
+    pub fn send(&mut self, line: &str) -> Result<(), ClientError> {
+        let mut bytes = line.as_bytes().to_vec();
+        bytes.push(b'\n');
+        self.writer.write_all(&bytes).and_then(|()| self.writer.flush()).map_err(ClientError::Send)
+    }
+
+    /// Reads and parses the next response line.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Recv`] on read failure, [`ClientError::Closed`] on
+    /// EOF, [`ClientError::BadJson`] when the line does not parse.
+    pub fn recv(&mut self) -> Result<Json, ClientError> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line).map_err(ClientError::Recv)?;
+        if n == 0 || line.trim().is_empty() {
+            return Err(ClientError::Closed);
+        }
+        Json::parse(line.trim()).map_err(|e| ClientError::BadJson(e.to_string()))
+    }
+
+    /// Sends one request line and reads the matching response.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClientError`] from the send or receive half.
+    pub fn request(&mut self, line: &str) -> Result<Json, ClientError> {
+        self.send(line)?;
+        self.recv()
+    }
+}
+
+fn resolve(addr: &str) -> Result<SocketAddr, ClientError> {
+    addr.to_socket_addrs()
+        .map_err(ClientError::Connect)?
+        .next()
+        .ok_or_else(|| ClientError::Connect(std::io::Error::other("address resolved to nothing")))
+}
+
+/// One request/response exchange on a fresh connection.
+///
+/// # Errors
+///
+/// Any [`ClientError`] from connecting or the exchange.
+pub fn request_once(addr: &str, line: &str) -> Result<Json, ClientError> {
+    Connection::connect(addr)?.request(line)
+}
+
+/// What a `stats` probe learned about one endpoint — the slice of the
+/// full `stats` response that dispatch decisions need.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerProbe {
+    /// Size of the endpoint's worker pool (its max concurrent jobs).
+    pub workers: usize,
+    /// Bounded queue depth behind the pool.
+    pub queue_capacity: usize,
+    /// Jobs running on the endpoint right now (self-reported).
+    pub jobs_in_flight: u64,
+    /// Completed-job total, for liveness/progress monitoring.
+    pub jobs_completed: u64,
+}
+
+impl ServerProbe {
+    /// Extracts a probe from a full `stats` response; `None` when the
+    /// response is not an ok `capsule-serve/1` stats object.
+    pub fn from_stats(stats: &Json) -> Option<ServerProbe> {
+        if stats.get("ok").and_then(Json::as_bool) != Some(true) {
+            return None;
+        }
+        Some(ServerProbe {
+            workers: stats.get("workers")?.as_u64()? as usize,
+            queue_capacity: stats.get("queue_capacity")?.as_u64()? as usize,
+            jobs_in_flight: stats.get("jobs_in_flight")?.as_u64()?,
+            jobs_completed: stats.get("counters")?.get("jobs_completed").and_then(Json::as_u64)?,
+        })
+    }
+}
+
+/// Probes `addr` with a `stats` request under tight timeouts: connect
+/// within `connect_timeout`, answer within `read_timeout`. This is the
+/// fleet coordinator's backend health check — a backend that cannot
+/// answer `stats` promptly is not a backend jobs should be routed to.
+///
+/// # Errors
+///
+/// [`ClientError`] on any transport fault; `BadJson` doubles as the
+/// error for a well-transported but malformed stats object.
+pub fn probe(
+    addr: &str,
+    connect_timeout: Duration,
+    read_timeout: Duration,
+) -> Result<ServerProbe, ClientError> {
+    let mut conn = Connection::connect_timeout(addr, connect_timeout)?;
+    conn.set_read_timeout(Some(read_timeout))?;
+    let stats = conn.request(r#"{"op":"stats"}"#)?;
+    ServerProbe::from_stats(&stats)
+        .ok_or_else(|| ClientError::BadJson("stats response missing pool fields".to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_extracts_pool_geometry_from_a_stats_response() {
+        let stats = Json::parse(
+            r#"{"schema":"capsule-serve/1","op":"stats","ok":true,
+                "workers":3,"queue_capacity":16,"cache_capacity":64,"cache_entries":2,
+                "jobs_in_flight":1,
+                "counters":{"jobs_completed":41,"jobs_failed":0}}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            ServerProbe::from_stats(&stats),
+            Some(ServerProbe {
+                workers: 3,
+                queue_capacity: 16,
+                jobs_in_flight: 1,
+                jobs_completed: 41
+            })
+        );
+    }
+
+    #[test]
+    fn probe_rejects_non_ok_and_malformed_responses() {
+        let not_ok = Json::parse(r#"{"op":"stats","ok":false,"workers":3}"#).unwrap();
+        assert_eq!(ServerProbe::from_stats(&not_ok), None);
+        let missing = Json::parse(r#"{"op":"stats","ok":true,"workers":3}"#).unwrap();
+        assert_eq!(ServerProbe::from_stats(&missing), None);
+    }
+
+    #[test]
+    fn connecting_to_a_dead_endpoint_is_a_connect_error() {
+        // Port 1 on localhost is essentially never listening.
+        let err = request_once("127.0.0.1:1", r#"{"op":"stats"}"#).unwrap_err();
+        assert!(matches!(err, ClientError::Connect(_)), "{err}");
+        let err =
+            Connection::connect_timeout("127.0.0.1:1", Duration::from_millis(200)).unwrap_err();
+        assert!(matches!(err, ClientError::Connect(_)), "{err}");
+    }
+}

@@ -1,0 +1,104 @@
+//! Environment-driven configuration parsing that complains out loud.
+//!
+//! `ServerOptions::from_env` and the fleet coordinator's
+//! `FleetOptions::from_env` read their sizing knobs from
+//! `CAPSULE_SERVE_*` / `CAPSULE_FLEET_*`. A malformed value (a typo'd
+//! number, an empty string) must not silently become the default — an
+//! operator who set `CAPSULE_SERVE_WORKERS=1O` believes they configured
+//! one worker more than they did. The helpers here warn on stderr and
+//! then fall back, so misconfiguration is visible without being fatal.
+
+use std::fmt::Display;
+use std::str::FromStr;
+
+/// Parses `raw` (the value of environment variable `name`) as a `T`.
+///
+/// `raw = None` means the variable is unset: the default applies
+/// silently. A present-but-unparseable value returns the default plus a
+/// warning message describing the fallback. Split from [`env_parsed`] so
+/// the warning policy is testable without mutating the process
+/// environment.
+pub fn parse_env<T: FromStr + Display>(
+    name: &str,
+    raw: Option<&str>,
+    default: T,
+) -> (T, Option<String>) {
+    match raw {
+        None => (default, None),
+        Some(raw) => match raw.trim().parse::<T>() {
+            Ok(v) => (v, None),
+            Err(_) => {
+                let warning = format!(
+                    "warning: ignoring {name}={raw:?}: not a valid value, using default {default}"
+                );
+                (default, Some(warning))
+            }
+        },
+    }
+}
+
+/// [`parse_env`] against the live process environment, printing any
+/// warning to stderr.
+pub fn env_parsed<T: FromStr + Display>(name: &str, default: T) -> T {
+    let raw = std::env::var(name).ok();
+    let (value, warning) = parse_env(name, raw.as_deref(), default);
+    if let Some(w) = warning {
+        eprintln!("{w}");
+    }
+    value
+}
+
+/// [`env_parsed`] for the common `usize` sizing knobs.
+pub fn env_usize(name: &str, default: usize) -> usize {
+    env_parsed(name, default)
+}
+
+/// [`env_parsed`] for millisecond-valued knobs.
+pub fn env_u64(name: &str, default: u64) -> u64 {
+    env_parsed(name, default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unset_variables_default_silently() {
+        let (v, warning) = parse_env::<usize>("CAPSULE_TEST_UNSET", None, 7);
+        assert_eq!(v, 7);
+        assert_eq!(warning, None);
+    }
+
+    #[test]
+    fn well_formed_values_parse_without_warning() {
+        let (v, warning) = parse_env::<usize>("CAPSULE_TEST_OK", Some("12"), 7);
+        assert_eq!(v, 12);
+        assert_eq!(warning, None);
+        // Surrounding whitespace is tolerated.
+        let (v, warning) = parse_env::<u64>("CAPSULE_TEST_WS", Some(" 250 "), 0);
+        assert_eq!(v, 250);
+        assert_eq!(warning, None);
+    }
+
+    #[test]
+    fn malformed_values_warn_and_fall_back() {
+        for bad in ["1O", "", "-3", "4.5", "lots"] {
+            let (v, warning) = parse_env::<usize>("CAPSULE_SERVE_WORKERS", Some(bad), 2);
+            assert_eq!(v, 2, "{bad:?}");
+            let w = warning.expect("malformed value must warn");
+            assert!(w.contains("CAPSULE_SERVE_WORKERS"), "{w}");
+            assert!(w.contains("using default 2"), "{w}");
+        }
+    }
+
+    #[test]
+    fn env_parsed_reads_the_process_environment() {
+        // Unique variable names per assertion: tests run concurrently and
+        // the process environment is shared.
+        std::env::set_var("CAPSULE_TEST_ENV_PARSED_GOOD", "31");
+        assert_eq!(env_usize("CAPSULE_TEST_ENV_PARSED_GOOD", 1), 31);
+        std::env::set_var("CAPSULE_TEST_ENV_PARSED_BAD", "not-a-number");
+        assert_eq!(env_u64("CAPSULE_TEST_ENV_PARSED_BAD", 9), 9);
+        assert_eq!(env_usize("CAPSULE_TEST_ENV_PARSED_ABSENT", 4), 4);
+    }
+}

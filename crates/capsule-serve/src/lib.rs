@@ -24,9 +24,12 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod client;
+pub mod env;
 pub mod protocol;
 pub mod server;
 
 pub use cache::ResultCache;
+pub use client::{probe, request_once, ClientError, Connection, ServerProbe};
 pub use protocol::{ConfigOverrides, Request, RequestError, RunRequest, SCHEMA};
 pub use server::{Server, ServerOptions};

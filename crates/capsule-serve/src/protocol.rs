@@ -15,6 +15,41 @@ use capsule_core::output::Json;
 /// Schema tag carried by every response.
 pub const SCHEMA: &str = "capsule-serve/1";
 
+/// The common response prefix: schema tag, echoed op, and `ok`.
+pub fn response_head(op: &str, ok: bool) -> Json {
+    let mut r = Json::object();
+    r.push("schema", SCHEMA).push("op", op).push("ok", ok);
+    r
+}
+
+/// An `ok:false` response carrying a stable `error` code and an optional
+/// human-readable `detail`.
+pub fn error_response(op: &str, error: &str, detail: Option<&str>) -> Json {
+    let mut r = response_head(op, false);
+    r.push("error", error);
+    if let Some(d) = detail {
+        r.push("detail", d);
+    }
+    r
+}
+
+/// The `list` response: supported scales plus the scenario catalog.
+/// Served identically by a single server and by the fleet coordinator —
+/// both expose the same catalog, so clients need not care which they
+/// reached.
+pub fn list_response() -> Json {
+    let mut scenarios = Vec::new();
+    for e in catalog::entries() {
+        let mut s = Json::object();
+        s.push("name", e.name).push("title", e.title).push("about", e.about);
+        scenarios.push(s);
+    }
+    let mut r = response_head("list", true);
+    r.push("scales", Json::Array(vec!["smoke".into(), "quick".into(), "full".into()]))
+        .push("scenarios", Json::Array(scenarios));
+    r
+}
+
 /// A request the server failed to parse or validate.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RequestError {
@@ -382,6 +417,36 @@ mod tests {
         assert_eq!(cfg.death_window, 512);
         assert_eq!(cfg.swap_counter_threshold, 64);
         assert_eq!(cfg.division_mode, DivisionMode::Greedy);
+    }
+
+    #[test]
+    fn cache_key_is_stable_across_field_ordering() {
+        // The same work spelled with every field order (and override
+        // order) must canonicalise — and therefore hash — identically,
+        // or the result caches (server LRU, fleet affinity) go cold on
+        // spelling differences.
+        let spellings = [
+            r#"{"op":"run","scenario":"fig7_throttling","scale":"smoke","budget":9000,
+                "config":{"contexts":4,"division_mode":"greedy"}}"#,
+            r#"{"scale":"smoke","config":{"division_mode":"greedy","contexts":4},
+                "budget":9000,"scenario":"fig7_throttling","op":"run"}"#,
+            r#"{"budget":9000,"op":"run","config":{"contexts":4,"division_mode":"greedy"},
+                "scenario":"fig7_throttling","scale":"smoke"}"#,
+        ];
+        let keys: Vec<String> = spellings
+            .iter()
+            .map(|s| {
+                let line = s.replace('\n', " ");
+                let Request::Run(run) = Request::parse_line(&line).unwrap() else { panic!("run") };
+                format!("{:016x}", fnv1a64(run.canonical().as_bytes()))
+            })
+            .collect();
+        assert_eq!(keys[0], keys[1]);
+        assert_eq!(keys[0], keys[2]);
+        // Regression pin: this is the wire `cache_key` deployed clients
+        // and fleet routing rely on. Changing the canonical rendering
+        // invalidates every warm cache — do it knowingly or not at all.
+        assert_eq!(keys[0], "b51742894a5ff828");
     }
 
     #[test]

@@ -24,7 +24,7 @@ use capsule_core::stats::Histogram;
 use capsule_sim::CancelToken;
 
 use crate::cache::ResultCache;
-use crate::protocol::{fnv1a64, Request, RunRequest, SCHEMA};
+use crate::protocol::{error_response, fnv1a64, list_response, response_head, Request, RunRequest};
 
 /// Server sizing knobs.
 #[derive(Debug, Clone, Copy)]
@@ -45,18 +45,15 @@ impl Default for ServerOptions {
 
 impl ServerOptions {
     /// Defaults overridden by the `CAPSULE_SERVE_*` environment.
+    /// Malformed values warn on stderr and fall back (see [`crate::env`]).
     pub fn from_env() -> ServerOptions {
         let d = ServerOptions::default();
         ServerOptions {
-            workers: env_usize("CAPSULE_SERVE_WORKERS", d.workers).max(1),
-            queue: env_usize("CAPSULE_SERVE_QUEUE", d.queue).max(1),
-            cache: env_usize("CAPSULE_SERVE_CACHE", d.cache),
+            workers: crate::env::env_usize("CAPSULE_SERVE_WORKERS", d.workers).max(1),
+            queue: crate::env::env_usize("CAPSULE_SERVE_QUEUE", d.queue).max(1),
+            cache: crate::env::env_usize("CAPSULE_SERVE_CACHE", d.cache),
         }
     }
-}
-
-fn env_usize(name: &str, default: usize) -> usize {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
 }
 
 /// One queued run job: the validated request plus the reply channel of
@@ -233,21 +230,6 @@ fn handle_connection(shared: &Shared, stream: TcpStream) {
     }
 }
 
-fn response_head(op: &str, ok: bool) -> Json {
-    let mut r = Json::object();
-    r.push("schema", SCHEMA).push("op", op).push("ok", ok);
-    r
-}
-
-fn error_response(op: &str, error: &str, detail: Option<&str>) -> Json {
-    let mut r = response_head(op, false);
-    r.push("error", error);
-    if let Some(d) = detail {
-        r.push("detail", d);
-    }
-    r
-}
-
 /// Handles one request line; the bool asks the connection loop to start
 /// server shutdown after the response is written.
 fn handle_line(shared: &Shared, line: &str) -> (Json, bool) {
@@ -418,18 +400,5 @@ fn stats_response(shared: &Shared) -> Json {
         .push("counters", counters)
         .push("queue_wait_us", queue_wait)
         .push("run_us", run);
-    r
-}
-
-fn list_response() -> Json {
-    let mut scenarios = Vec::new();
-    for e in catalog::entries() {
-        let mut s = Json::object();
-        s.push("name", e.name).push("title", e.title).push("about", e.about);
-        scenarios.push(s);
-    }
-    let mut r = response_head("list", true);
-    r.push("scales", Json::Array(vec!["smoke".into(), "quick".into(), "full".into()]))
-        .push("scenarios", Json::Array(scenarios));
     r
 }

@@ -44,4 +44,54 @@ target/release/capsule-client "$addr" shutdown --compact
 wait "$serve_pid"
 rm -f "$serve_log"
 
+echo "==> capsule-fleet smoke test"
+# Two backends behind one coordinator, all on ephemeral loopback ports.
+# The load generator's --fleet mode sweeps the full catalog (one
+# smoke-scale job per entry) through the coordinator, then --parity
+# replays every scenario against backend 1 directly and requires each
+# report to be byte-identical — the fleet must be invisible to clients.
+wait_addr() {
+    _log="$1"
+    _addr=""
+    _i=0
+    while [ $_i -lt 100 ]; do
+        _addr="$(sed -n 's/^listening on //p' "$_log")"
+        [ -n "$_addr" ] && break
+        sleep 0.1
+        _i=$((_i + 1))
+    done
+    if [ -z "$_addr" ]; then
+        echo "server did not come up:" >&2
+        cat "$_log" >&2
+        exit 1
+    fi
+    printf '%s' "$_addr"
+}
+b1_log="$(mktemp)"
+b2_log="$(mktemp)"
+fleet_log="$(mktemp)"
+target/release/capsule-serve --addr 127.0.0.1:0 --workers 2 --queue 8 >"$b1_log" 2>&1 &
+b1_pid=$!
+target/release/capsule-serve --addr 127.0.0.1:0 --workers 2 --queue 8 >"$b2_log" 2>&1 &
+b2_pid=$!
+b1_addr="$(wait_addr "$b1_log")"
+b2_addr="$(wait_addr "$b2_log")"
+target/release/capsule-fleet --addr 127.0.0.1:0 \
+    --backend "$b1_addr" --backend "$b2_addr" --probe-ms 100 >"$fleet_log" 2>&1 &
+fleet_pid=$!
+fleet_addr="$(wait_addr "$fleet_log")"
+target/release/capsule-loadgen "$fleet_addr" --fleet --threads 3 --parity "$b1_addr"
+# Fleet stats must show both backends reporting into the aggregate.
+reporting="$(target/release/capsule-client "$fleet_addr" stats --compact \
+    | sed -n 's/.*"backends_reporting":\([0-9]*\).*/\1/p')"
+if [ "$reporting" != "2" ]; then
+    echo "expected 2 backends reporting, got '$reporting'" >&2
+    exit 1
+fi
+target/release/capsule-client "$fleet_addr" shutdown --compact
+target/release/capsule-client "$b1_addr" shutdown --compact
+target/release/capsule-client "$b2_addr" shutdown --compact
+wait "$fleet_pid" "$b1_pid" "$b2_pid"
+rm -f "$b1_log" "$b2_log" "$fleet_log"
+
 echo "CI gate passed."
