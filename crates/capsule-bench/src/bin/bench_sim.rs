@@ -1,0 +1,194 @@
+//! Simulator-throughput benchmark: host wall-clock and simulated cycles
+//! per host second, per catalog entry.
+//!
+//! Unlike the figure/table binaries (which report *simulated* quantities
+//! only), this mode measures the simulator itself: how fast the host
+//! churns through simulated cycles. It drives every catalog entry at a
+//! chosen scale through the shared [`BatchRunner`] and writes
+//! `BENCH_sim.json` (`capsule-bench-sim/1`), the tracked record of the
+//! perf trajectory. See docs/PERF.md.
+//!
+//! ```text
+//! bench_sim [--scale smoke|quick|full] [--out PATH] [--baseline PATH]
+//!           [--entries a,b,c] [--reports DIR] [--deterministic]
+//! ```
+//!
+//! - `--baseline PATH` folds a previous `BENCH_sim.json` in: each entry
+//!   gains `baseline_wall_ms` and `speedup` (baseline / current).
+//! - `--reports DIR` additionally writes each entry's deterministic
+//!   `capsule-bench-report/1` JSON to `DIR/<entry>.json`, for
+//!   byte-identical parity checks across simulator changes.
+//! - `--deterministic` omits every host-timing field from the output so
+//!   two runs of the same build produce byte-identical JSON (the CI
+//!   determinism smoke).
+
+use std::time::Instant;
+
+use capsule_bench::catalog::{self, Scale};
+use capsule_bench::BatchRunner;
+use capsule_core::output::Json;
+
+struct EntryResult {
+    name: &'static str,
+    scenarios: usize,
+    sim_cycles: u64,
+    wall_ms: f64,
+}
+
+struct Args {
+    scale: Scale,
+    out: String,
+    baseline: Option<String>,
+    entries: Option<Vec<String>>,
+    reports: Option<String>,
+    deterministic: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        scale: Scale::Quick,
+        out: "BENCH_sim.json".to_string(),
+        baseline: None,
+        entries: None,
+        reports: None,
+        deterministic: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("{flag} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match a.as_str() {
+            "--scale" => {
+                let v = value("--scale");
+                args.scale = Scale::parse(&v).unwrap_or_else(|| {
+                    eprintln!("unknown scale {v:?} (smoke|quick|full)");
+                    std::process::exit(2);
+                });
+            }
+            "--out" => args.out = value("--out"),
+            "--baseline" => args.baseline = Some(value("--baseline")),
+            "--reports" => args.reports = Some(value("--reports")),
+            "--entries" => {
+                args.entries =
+                    Some(value("--entries").split(',').map(|s| s.trim().to_string()).collect());
+            }
+            "--deterministic" => args.deterministic = true,
+            "--full" => args.scale = Scale::Full, // parity with the figure binaries
+            other => {
+                eprintln!("unknown argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+/// Reads `entry -> wall_ms` out of a previous `BENCH_sim.json`.
+fn read_baseline(path: &str) -> Vec<(String, f64)> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read baseline {path}: {e}");
+        std::process::exit(2);
+    });
+    let json = Json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("baseline {path} is not valid JSON: {e}");
+        std::process::exit(2);
+    });
+    let mut map = Vec::new();
+    if let Some(entries) = json.get("entries").and_then(Json::as_array) {
+        for e in entries {
+            if let (Some(name), Some(ms)) =
+                (e.get("entry").and_then(Json::as_str), e.get("wall_ms").and_then(Json::as_f64))
+            {
+                map.push((name.to_string(), ms));
+            }
+        }
+    }
+    map
+}
+
+fn round3(v: f64) -> f64 {
+    (v * 1000.0).round() / 1000.0
+}
+
+fn main() {
+    let args = parse_args();
+    let runner = BatchRunner::from_env();
+    let mut results: Vec<EntryResult> = Vec::new();
+
+    println!("simulator throughput, {} scale, {} worker(s)\n", args.scale.name(), runner.workers());
+    println!(
+        "  {:<24} {:>5} {:>14} {:>10} {:>14}",
+        "entry", "runs", "sim cycles", "wall ms", "cycles/sec"
+    );
+    for entry in catalog::entries() {
+        if let Some(filter) = &args.entries {
+            if !filter.iter().any(|f| f == entry.name) {
+                continue;
+            }
+        }
+        let scenarios = entry.scenarios(args.scale);
+        let n = scenarios.len();
+        let start = Instant::now();
+        let report = runner.run(entry.title, scenarios);
+        let wall = start.elapsed();
+        let sim_cycles: u64 = report.records.iter().map(|r| r.outcome.cycles()).sum();
+        let wall_ms = wall.as_secs_f64() * 1e3;
+        let per_sec = sim_cycles as f64 / wall.as_secs_f64().max(1e-9);
+        println!(
+            "  {:<24} {:>5} {:>14} {:>10.1} {:>14.0}",
+            entry.name, n, sim_cycles, wall_ms, per_sec
+        );
+        if let Some(dir) = &args.reports {
+            std::fs::create_dir_all(dir).expect("create reports dir");
+            let path = format!("{dir}/{}.json", entry.name);
+            std::fs::write(&path, report.to_json().to_string_pretty()).expect("write report");
+        }
+        results.push(EntryResult { name: entry.name, scenarios: n, sim_cycles, wall_ms });
+    }
+
+    let baseline = args.baseline.as_deref().map(read_baseline);
+    let mut root = Json::object();
+    root.push("schema", "capsule-bench-sim/1");
+    root.push("scale", args.scale.name());
+    let mut rows = Vec::with_capacity(results.len());
+    let mut total_wall = 0.0;
+    let mut improved = 0usize;
+    let mut compared = 0usize;
+    for r in &results {
+        let mut row = Json::object();
+        row.push("entry", r.name).push("scenarios", r.scenarios).push("sim_cycles", r.sim_cycles);
+        if !args.deterministic {
+            let secs = r.wall_ms / 1e3;
+            row.push("wall_ms", round3(r.wall_ms))
+                .push("sim_cycles_per_sec", round3(r.sim_cycles as f64 / secs.max(1e-9)));
+            if let Some(base) = &baseline {
+                if let Some((_, base_ms)) = base.iter().find(|(n, _)| n == r.name) {
+                    compared += 1;
+                    let speedup = base_ms / r.wall_ms.max(1e-9);
+                    if speedup >= 1.3 {
+                        improved += 1;
+                    }
+                    row.push("baseline_wall_ms", round3(*base_ms)).push("speedup", round3(speedup));
+                }
+            }
+        }
+        total_wall += r.wall_ms;
+        rows.push(row);
+    }
+    root.push("entries", Json::Array(rows));
+    if !args.deterministic {
+        root.push("total_wall_ms", round3(total_wall));
+    }
+    if compared > 0 {
+        println!(
+            "\n{improved}/{compared} entries at >= 1.3x speedup over {}",
+            args.baseline.as_deref().unwrap_or("?")
+        );
+    }
+    std::fs::write(&args.out, root.to_string_pretty()).expect("write BENCH_sim.json");
+    println!("\nwrote {}", args.out);
+}

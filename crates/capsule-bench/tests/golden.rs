@@ -1,0 +1,81 @@
+//! Golden determinism fixtures: exact simulated outcomes for a set of
+//! smoke-scale catalog entries, pinned byte-for-byte.
+//!
+//! The cycle-level machine's outcomes are part of the repo's contract:
+//! performance work on the simulator hot path must not perturb a single
+//! simulated number. These tests run four catalog entries at smoke scale
+//! and compare the full `capsule-bench-report/1` JSON against checked-in
+//! fixtures, plus the complete `SimStats` of one run (fields the report
+//! does not carry: fetched, branches, swaps, lock counters, ...).
+//!
+//! To regenerate after an *intentional* timing change (new machine
+//! feature, config change — never a pure optimization):
+//!
+//! ```text
+//! GOLDEN_BLESS=1 cargo test -p capsule-bench --test golden
+//! ```
+
+use capsule_bench::catalog::{self, Scale};
+use capsule_bench::BatchRunner;
+use capsule_core::config::MachineConfig;
+use capsule_sim::Machine;
+use capsule_workloads::dijkstra::Dijkstra;
+use capsule_workloads::{Variant, Workload};
+
+/// The pinned entries. Together they cover the SOMT, SMT and superscalar
+/// machines, division + throttling, raw programs, and the division tree.
+const GOLDEN_ENTRIES: [&str; 4] =
+    ["table1_config", "fig6_division_tree", "fig7_throttling", "toolchain_overhead"];
+
+fn fixture_path(name: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden").join(name)
+}
+
+fn check_or_bless(name: &str, actual: &str) {
+    let path = fixture_path(name);
+    if std::env::var("GOLDEN_BLESS").is_ok_and(|v| v == "1") {
+        std::fs::create_dir_all(path.parent().expect("fixture dir")).expect("mkdir");
+        std::fs::write(&path, actual).expect("write fixture");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing fixture {} ({e}); run with GOLDEN_BLESS=1", name));
+    assert_eq!(
+        actual, expected,
+        "golden fixture {name} diverged: the simulator's timed outcomes changed.\n\
+         If this is an intentional model change, regenerate with GOLDEN_BLESS=1;\n\
+         if it came from a performance refactor, the refactor is wrong."
+    );
+}
+
+#[test]
+fn smoke_scale_reports_match_fixtures() {
+    let runner = BatchRunner::with_workers(2);
+    for name in GOLDEN_ENTRIES {
+        let entry = catalog::find(name).expect("golden entry exists");
+        let report = runner.run(entry.title, entry.scenarios(Scale::Smoke));
+        let json = report.to_json().to_string_pretty();
+        check_or_bless(&format!("{name}.smoke.json"), &json);
+    }
+}
+
+#[test]
+fn full_simstats_match_fixture() {
+    // One run pinned down to every SimStats field and cache counter.
+    let w = Dijkstra::figure3(1, 40);
+    let program = w.program(Variant::Component);
+    let mut m = Machine::new(MachineConfig::table1_somt(), &program).expect("machine builds");
+    let o = m.run(1_000_000_000).expect("halts");
+    w.check(&o.output).expect("correct result");
+    let text = format!(
+        "{:#?}\nl1i: {:?}\nl1d: {:?}\nl2: {:?}\nmem_accesses: {}\ntree_len: {}\noutput: {:?}\n",
+        o.stats,
+        o.l1i,
+        o.l1d,
+        o.l2,
+        o.mem_accesses,
+        o.tree.len(),
+        o.ints()
+    );
+    check_or_bless("dijkstra_somt.stats.txt", &text);
+}

@@ -39,10 +39,59 @@ struct Line {
     last_use: u64,
 }
 
+/// Precomputed address-decomposition strides: shift/mask when both the
+/// line size and the set count are powers of two (every geometry in the
+/// paper's Table 1 is), div/mod otherwise. Both paths decompose an
+/// address into the identical `(set, tag)` pair.
+#[derive(Debug, Clone, Copy)]
+enum Geometry {
+    Pow2 {
+        /// `log2(line_bytes)`.
+        line_shift: u32,
+        /// `num_sets - 1`.
+        set_mask: u64,
+        /// `log2(num_sets)`.
+        set_shift: u32,
+    },
+    General {
+        line_bytes: u64,
+        num_sets: u64,
+    },
+}
+
+impl Geometry {
+    fn new(line_bytes: u64, num_sets: u64) -> Self {
+        if line_bytes.is_power_of_two() && num_sets.is_power_of_two() {
+            Geometry::Pow2 {
+                line_shift: line_bytes.trailing_zeros(),
+                set_mask: num_sets - 1,
+                set_shift: num_sets.trailing_zeros(),
+            }
+        } else {
+            Geometry::General { line_bytes, num_sets }
+        }
+    }
+
+    /// `(set, tag)` of an address.
+    fn decompose(self, addr: u64) -> (usize, u64) {
+        match self {
+            Geometry::Pow2 { line_shift, set_mask, set_shift } => {
+                let line = addr >> line_shift;
+                ((line & set_mask) as usize, line >> set_shift)
+            }
+            Geometry::General { line_bytes, num_sets } => {
+                let line = addr / line_bytes;
+                ((line % num_sets) as usize, line / num_sets)
+            }
+        }
+    }
+}
+
 /// One cache level.
 #[derive(Debug, Clone)]
 pub struct Cache {
     params: CacheParams,
+    geometry: Geometry,
     sets: Vec<Vec<Line>>,
     stats: CacheStats,
     use_clock: u64,
@@ -59,8 +108,10 @@ impl Cache {
     /// Panics on degenerate geometry (see [`CacheParams::num_sets`]).
     pub fn new(params: CacheParams) -> Self {
         let sets = vec![vec![Line::default(); params.assoc]; params.num_sets()];
+        let geometry = Geometry::new(params.line_bytes as u64, sets.len() as u64);
         Cache {
             params,
+            geometry,
             sets,
             stats: CacheStats::default(),
             use_clock: 0,
@@ -80,9 +131,7 @@ impl Cache {
     }
 
     fn set_index(&self, addr: u64) -> (usize, u64) {
-        let line = addr / self.params.line_bytes as u64;
-        let n = self.sets.len() as u64;
-        ((line % n) as usize, line / n)
+        self.geometry.decompose(addr)
     }
 
     /// Looks up `addr`, allocating the line on a miss. Returns `true` on a
@@ -240,6 +289,82 @@ mod tests {
         assert_eq!(c.port_delay(10), 1);
         assert_eq!(c.port_delay(10), 2);
         assert_eq!(c.port_delay(11), 0); // new cycle resets
+    }
+
+    #[test]
+    fn pow2_geometry_decomposes_like_div_mod() {
+        // The shift/mask fast path must produce the exact (set, tag)
+        // pairs of the general div/mod path for pow2 geometry.
+        let fast = Geometry::new(64, 4);
+        assert!(matches!(fast, Geometry::Pow2 { .. }));
+        let slow = Geometry::General { line_bytes: 64, num_sets: 4 };
+        for addr in [0, 1, 63, 64, 255, 256, 0x100, 0x13f, 0xdead_beef, u64::MAX, u64::MAX - 4095] {
+            assert_eq!(fast.decompose(addr), slow.decompose(addr), "addr {addr:#x}");
+        }
+    }
+
+    #[test]
+    fn non_pow2_set_count_falls_back_to_div_mod() {
+        // 3 sets x 2 ways: not a pow2 set count, must use the general path
+        // and still behave as a correct set-associative cache.
+        let mut c = Cache::new(CacheParams {
+            size_bytes: 384,
+            line_bytes: 64,
+            assoc: 2,
+            latency: 1,
+            ports: 1,
+        });
+        assert!(matches!(c.geometry, Geometry::General { .. }));
+        assert_eq!(c.sets.len(), 3);
+        // Lines 0 and 3 share set 0 (line % 3); line 1 does not.
+        assert!(!c.access(0));
+        assert!(!c.access(3 * 64));
+        assert!(c.access(0));
+        assert!(c.access(3 * 64));
+        assert!(!c.access(64));
+        assert_eq!(c.stats().hits, 2);
+    }
+
+    #[test]
+    fn lru_victim_is_oldest_among_valid_ways() {
+        // 4-way set; touch a,b,c,d then re-touch in order d,a,c. The next
+        // conflicting line must evict b (the least recently used), not the
+        // lowest way or the first-filled way.
+        let mut c = Cache::new(CacheParams {
+            size_bytes: 1024,
+            line_bytes: 64,
+            assoc: 4,
+            latency: 1,
+            ports: 1,
+        });
+        let sets = c.sets.len() as u64; // 4
+        let stride = sets * 64;
+        let (a, b, d, e, f) = (0, stride, 2 * stride, 3 * stride, 4 * stride);
+        for addr in [a, b, d, e] {
+            assert!(!c.access(addr));
+        }
+        for addr in [e, a, d] {
+            assert!(c.access(addr));
+        }
+        assert!(!c.access(f)); // evicts b (LRU), not way 0 or first-filled
+        assert!(!c.access(b)); // b really was the victim; this evicts e
+        assert!(c.access(a)); // the recently used ways all survived
+        assert!(c.access(d));
+        assert!(c.access(f));
+        assert!(!c.access(e)); // e was the second victim
+    }
+
+    #[test]
+    fn port_contention_orders_by_arrival() {
+        // One port: the k-th same-cycle access waits k cycles, strictly in
+        // arrival order; a new cycle drains the queue model.
+        let mut c = tiny();
+        let delays: Vec<u64> = (0..4).map(|_| c.port_delay(100)).collect();
+        assert_eq!(delays, vec![0, 1, 2, 3]);
+        assert_eq!(c.port_delay(101), 0);
+        // Going back in time (out-of-order stage interleaving across
+        // threads) still resets per distinct cycle stamp.
+        assert_eq!(c.port_delay(100), 0);
     }
 
     #[test]

@@ -101,7 +101,10 @@ impl Memory {
     }
 
     fn check(&self, addr: u64, len: u64) -> Result<usize, TrapKind> {
-        if addr < self.base || addr + len > self.bytes.len() as u64 {
+        // `addr + len` can wrap for addresses near u64::MAX and slip past
+        // the bounds test; checked_add turns the wrap into the trap.
+        let end = addr.checked_add(len).ok_or(TrapKind::BadAddress(addr))?;
+        if addr < self.base || end > self.bytes.len() as u64 {
             Err(TrapKind::BadAddress(addr))
         } else {
             Ok(addr as usize)
@@ -367,6 +370,18 @@ mod tests {
         let out = step(&mut a, &Instr::Ld { rd: Reg(3), base: Reg(1), off: 16 }, &mut m).unwrap();
         assert_eq!(a.get(Reg(3)), -12345);
         assert_eq!(out.mem_addr, Some(DATA_BASE + 16));
+    }
+
+    #[test]
+    fn near_max_address_traps_instead_of_wrapping() {
+        // Regression: `addr + len` used to wrap for addresses near
+        // u64::MAX, passing the bounds test and indexing out of range.
+        let m = mem();
+        for addr in [u64::MAX, u64::MAX - 7, u64::MAX - 4096] {
+            assert_eq!(m.read_i64(addr), Err(TrapKind::BadAddress(addr)), "addr {addr:#x}");
+        }
+        let mut wm = mem();
+        assert_eq!(wm.write_i64(u64::MAX - 3, 1), Err(TrapKind::BadAddress(u64::MAX - 3)));
     }
 
     #[test]

@@ -53,5 +53,5 @@ pub use cancel::CancelToken;
 pub use exec::{ArchState, Memory, OutValue, TrapKind};
 pub use interp::{Interp, InterpConfig, InterpError, InterpOutcome};
 pub use machine::Machine;
-pub use outcome::{SimError, SimOutcome};
+pub use outcome::{SimError, SimOutcome, StageCount, StageProfile};
 pub use trace::{Trace, TraceEvent, TraceKind};

@@ -22,7 +22,8 @@
 //! - `mlock`/`munlock` drive the fast lock table; a blocked thread stops
 //!   dispatching and pays a squash penalty when ownership arrives.
 
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 
 use capsule_core::config::MachineConfig;
 use capsule_core::policy::{DivisionDecision, DivisionPolicy, DivisionRequest};
@@ -34,9 +35,10 @@ use capsule_mem::{Hierarchy, ServedBy};
 use crate::cancel::CancelToken;
 use crate::exec::{step, ArchState, Effect, Memory, OutValue};
 use crate::locks::{AcquireResult, LockTable, ReleaseResult};
-use crate::outcome::{SimError, SimOutcome};
+use crate::outcome::{SimError, SimOutcome, StageProfile};
 use crate::pipeline::{
-    AfterDrain, ContextStack, Entry, Fetched, SavedThread, SlotState, Thread, FETCH_QUEUE_CAP,
+    AfterDrain, ContextStack, Entry, Fetched, SavedThread, SlotState, Thread, Waiter,
+    FETCH_QUEUE_CAP,
 };
 use crate::predictor::Predictor;
 use crate::trace::{Trace, TraceKind};
@@ -48,6 +50,45 @@ const MEM_ISSUE_PER_PORT: usize = 1;
 struct Slot {
     state: SlotState,
     thread: Option<Thread>,
+}
+
+/// A pending completion event: `(complete_at, slot, seq)`, min-ordered by
+/// cycle in the machine's event heap. An entry that blocks completion
+/// also blocks commit, so the slot's thread cannot die or swap before the
+/// event fires — `(slot, seq)` always resolves.
+type CompletionEvent = Reverse<(u64, usize, u64)>;
+
+/// Reusable per-cycle buffers, hoisted out of the stage loops so the
+/// steady-state cycle loop performs no heap allocation.
+#[derive(Debug, Default)]
+struct Scratch {
+    /// issue: `(seq, slot)` candidates gathered from per-thread ready lists.
+    candidates: Vec<(u64, usize)>,
+    /// commit/dispatch: per-core bandwidth budgets.
+    budgets: Vec<usize>,
+    /// commit: slots whose drain completed this cycle.
+    drained: Vec<usize>,
+    /// fetch: `(icount, slot)` eligibility list of one core.
+    eligible: Vec<(usize, usize)>,
+    /// issue: per-core issue bandwidth and functional-unit pools.
+    issue_budget: Vec<usize>,
+    ialu: Vec<usize>,
+    imult: Vec<usize>,
+    fpalu: Vec<usize>,
+    fpmult: Vec<usize>,
+    mem_issues: Vec<usize>,
+}
+
+/// What the machine can do next, as seen by the idle fast-forward.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Wakeup {
+    /// Some stage can make progress in the next cycle: step normally.
+    Busy,
+    /// Nothing can happen before this cycle: jump straight to it.
+    At(u64),
+    /// No future event exists (every thread is deadlocked or stuck): the
+    /// run can only end by exhausting its cycle budget.
+    Never,
 }
 
 /// The machine.
@@ -79,6 +120,18 @@ pub struct Machine {
 
     load_lat_window: VecDeque<u64>,
     load_lat_sum: u64,
+
+    /// Pending completion events, min-ordered by cycle. Filled at issue,
+    /// drained by `complete_stage`.
+    completions: BinaryHeap<CompletionEvent>,
+    /// Reusable per-cycle stage buffers (no steady-state allocation).
+    scratch: Scratch,
+    /// `log2(line_bytes)` when the line size is a power of two (it always
+    /// is for the paper's configs); lets fetch compute line numbers with a
+    /// shift instead of a division.
+    line_shift: Option<u32>,
+    /// Per-stage self-profile, when enabled.
+    profile: Option<Box<StageProfile>>,
 
     trace: Option<Trace>,
     cancel: Option<CancelToken>,
@@ -128,6 +181,8 @@ impl Machine {
         let mut stats = SimStats::new();
         stats.max_live_workers = live;
         let cores = cfg.cores;
+        let line_bytes = hier.line_bytes();
+        let line_shift = line_bytes.is_power_of_two().then(|| line_bytes.trailing_zeros());
 
         Ok(Machine {
             cfg,
@@ -151,6 +206,10 @@ impl Machine {
             live_workers: live,
             load_lat_window: VecDeque::new(),
             load_lat_sum: 0,
+            completions: BinaryHeap::new(),
+            scratch: Scratch::default(),
+            line_shift,
+            profile: None,
             trace: None,
             cancel: None,
         })
@@ -198,6 +257,13 @@ impl Machine {
         }
     }
 
+    /// Enables the per-stage self-profile: cycles with work and entries
+    /// processed per pipeline stage, plus idle fast-forward counters,
+    /// reported in [`SimOutcome::profile`]. Call before `run`.
+    pub fn enable_profile(&mut self) {
+        self.profile = Some(Box::default());
+    }
+
     /// Installs a cancellation token, polled once per cycle by [`run`].
     /// Tripping it makes an in-flight `run` return
     /// [`SimError::Cancelled`] at the next cycle boundary.
@@ -224,11 +290,112 @@ impl Machine {
                 return Err(SimError::Timeout { cycles: max_cycles });
             }
             self.step_cycle()?;
-            if !self.halted && self.machine_empty() {
-                return Err(SimError::AllThreadsDead { cycle: self.cycle });
+            if !self.halted {
+                if self.machine_empty() {
+                    return Err(SimError::AllThreadsDead { cycle: self.cycle });
+                }
+                self.fast_forward(max_cycles);
             }
         }
         Ok(self.outcome())
+    }
+
+    /// Idle-cycle fast-forward: when no stage can make progress before a
+    /// known future cycle, jump straight there, accounting statistics
+    /// exactly as if the idle cycles had been stepped one by one (nothing
+    /// happens in them, so only `cycles` and the active-context integral
+    /// advance).
+    fn fast_forward(&mut self, max_cycles: u64) {
+        let target = match self.next_wakeup() {
+            Wakeup::Busy => return,
+            Wakeup::At(t) => t.min(max_cycles),
+            // No future event at all (e.g. every thread deadlocked on a
+            // lock): the run can only end by exhausting its budget, which
+            // surfaces as the same `Timeout` the stepped loop reaches.
+            Wakeup::Never => max_cycles,
+        };
+        if target <= self.cycle {
+            return;
+        }
+        let skip = target - self.cycle;
+        let active = self.slots.iter().filter(|s| s.state == SlotState::Active).count() as u64;
+        self.stats.active_context_cycles += active * skip;
+        self.cycle = target;
+        self.stats.cycles = self.cycle;
+        if let Some(p) = self.profile.as_deref_mut() {
+            p.fast_forwards += 1;
+            p.skipped_cycles += skip;
+        }
+    }
+
+    /// Earliest cycle at which any stage could make progress.
+    ///
+    /// Conservative by construction: anything that might act *next cycle*
+    /// reports [`Wakeup::Busy`]. The only sources of future work are
+    /// timers (`WaitCopy`/`SwapIn`, fetch/dispatch block cycles) and the
+    /// completion event heap; `swap_check` cannot newly fire during idle
+    /// cycles because slow counters only change when loads issue.
+    fn next_wakeup(&self) -> Wakeup {
+        let now = self.cycle;
+        let mut next: Option<u64> = None;
+        let bump = |next: &mut Option<u64>, at: u64| {
+            *next = Some(next.map_or(at, |n| n.min(at)));
+        };
+
+        if let Some(&Reverse((at, _, _))) = self.completions.peek() {
+            if at <= now {
+                return Wakeup::Busy;
+            }
+            bump(&mut next, at);
+        }
+
+        let per_core = self.per_core();
+        for (i, slot) in self.slots.iter().enumerate() {
+            if let SlotState::WaitCopy { until } | SlotState::SwapIn { until } = slot.state {
+                if until <= now {
+                    return Wakeup::Busy;
+                }
+                bump(&mut next, until);
+            }
+            let Some(t) = slot.thread.as_ref() else { continue };
+            // Issue or commit work pending.
+            if !t.ready.is_empty() {
+                return Wakeup::Busy;
+            }
+            if t.in_flight.front().is_some_and(|e| e.completed) {
+                return Wakeup::Busy;
+            }
+            if slot.state != SlotState::Active {
+                // WaitBranch/WaitLock/Draining wake via completions or
+                // another thread's dispatch — both covered elsewhere.
+                continue;
+            }
+            if t.fetch_pc.is_some() && t.fetch_queue.len() < FETCH_QUEUE_CAP {
+                if t.fetch_block_until <= now {
+                    return Wakeup::Busy;
+                }
+                bump(&mut next, t.fetch_block_until);
+            }
+            if let Some(f) = t.fetch_queue.front() {
+                if t.dispatch_block_until > now {
+                    bump(&mut next, t.dispatch_block_until);
+                } else {
+                    let core = i / per_core;
+                    let is_mem = self.text[f.pc as usize].is_mem();
+                    if self.ruu_used[core] < self.cfg.ruu_size
+                        && (!is_mem || self.lsq_used[core] < self.cfg.lsq_size)
+                    {
+                        return Wakeup::Busy;
+                    }
+                    // Window full: freed by a commit, which a completion
+                    // event already in the heap precedes.
+                }
+            }
+        }
+        match next {
+            Some(t) => Wakeup::At(t),
+            None => Wakeup::Never,
+        }
     }
 
     /// Advances the machine by one cycle.
@@ -252,6 +419,9 @@ impl Machine {
             self.slots.iter().filter(|s| s.state == SlotState::Active).count() as u64;
         self.cycle += 1;
         self.stats.cycles = self.cycle;
+        if let Some(p) = self.profile.as_deref_mut() {
+            p.stepped_cycles += 1;
+        }
         Ok(())
     }
 
@@ -277,6 +447,7 @@ impl Machine {
             l1d: self.hier.l1d_stats(),
             l2: self.hier.l2_stats(),
             mem_accesses: self.hier.mem_accesses(),
+            profile: self.profile.as_deref().cloned(),
         }
     }
 
@@ -299,13 +470,42 @@ impl Machine {
 
     fn complete_stage(&mut self) {
         let now = self.cycle;
-        for slot in &mut self.slots {
-            let Some(t) = slot.thread.as_mut() else { continue };
-            for e in &mut t.in_flight {
-                if e.issued && !e.completed && e.complete_at <= now {
-                    e.completed = true;
+        // Pop every completion event due this cycle and walk the producer's
+        // wakeup chain: each waiter loses one unready operand; at zero it
+        // enters its thread's ready list (exactly once).
+        let mut units = 0u64;
+        while let Some(&Reverse((at, slot, seq))) = self.completions.peek() {
+            if at > now {
+                break;
+            }
+            self.completions.pop();
+            let t = self.slots[slot].thread.as_mut().expect("completing slot has thread");
+            let idx = t
+                .in_flight
+                .binary_search_by_key(&seq, |e| e.seq)
+                .expect("completing entry in flight");
+            let e = &mut t.in_flight[idx];
+            debug_assert!(e.issued && !e.completed);
+            e.completed = true;
+            units += 1;
+            let mut w = e.head_waiter.take();
+            while let Some(Waiter { seq: wseq, slot: dslot }) = w {
+                let widx =
+                    t.in_flight.binary_search_by_key(&wseq, |e| e.seq).expect("waiter in flight");
+                let we = &mut t.in_flight[widx];
+                w = we.next_waiter[dslot as usize].take();
+                we.unready -= 1;
+                if we.unready == 0 {
+                    t.ready.push(wseq);
                 }
             }
+        }
+        if let Some(p) = self.profile.as_deref_mut() {
+            p.complete.record(units);
+        }
+        // Mispredicted-branch resolution (the branch entry completed).
+        for slot in &mut self.slots {
+            let Some(t) = slot.thread.as_mut() else { continue };
             if let SlotState::WaitBranch { seq, resume_pc } = slot.state {
                 if t.dep_done(seq) {
                     slot.state = SlotState::Active;
@@ -321,9 +521,13 @@ impl Machine {
         // Per-core commit bandwidth (a CMP commits on every core).
         let n = self.slots.len();
         let per_core = self.per_core();
-        let mut budgets = vec![self.cfg.commit_width; self.cfg.cores];
+        let mut budgets = std::mem::take(&mut self.scratch.budgets);
+        budgets.clear();
+        budgets.resize(self.cfg.cores, self.cfg.commit_width);
         let start = (self.cycle as usize) % n.max(1);
-        let mut drained: Vec<usize> = Vec::new();
+        let mut drained = std::mem::take(&mut self.scratch.drained);
+        drained.clear();
+        let mut units = 0u64;
         for k in 0..n {
             let i = (start + k) % n;
             let core = i / per_core;
@@ -336,6 +540,7 @@ impl Machine {
                         let e = t.in_flight.pop_front().expect("checked front");
                         *budget -= 1;
                         self.stats.committed += 1;
+                        units += 1;
                         self.ruu_used[core] -= 1;
                         if e.is_mem {
                             self.lsq_used[core] -= 1;
@@ -348,9 +553,15 @@ impl Machine {
                 drained.push(i);
             }
         }
-        for i in drained {
+        self.scratch.budgets = budgets;
+        if let Some(p) = self.profile.as_deref_mut() {
+            p.commit.record(units);
+        }
+        for &i in &drained {
             self.finalize_drain(i);
         }
+        drained.clear();
+        self.scratch.drained = drained;
     }
 
     fn finalize_drain(&mut self, i: usize) {
@@ -409,33 +620,46 @@ impl Machine {
     }
 
     fn issue_stage(&mut self) {
-        // Gather ready candidates.
-        let mut candidates: Vec<(u64, usize)> = Vec::new();
+        // Gather candidates from the per-thread ready lists (entries land
+        // there exactly once, when their last operand completes).
+        let mut candidates = std::mem::take(&mut self.scratch.candidates);
+        candidates.clear();
         for (i, slot) in self.slots.iter().enumerate() {
             let Some(t) = slot.thread.as_ref() else { continue };
-            for e in &t.in_flight {
-                if e.issued || e.completed || e.fu == FuClass::None {
-                    continue;
-                }
-                let ready = e.deps.iter().flatten().all(|&d| t.dep_done(d));
-                if ready {
-                    candidates.push((e.seq, i));
-                }
+            for &seq in &t.ready {
+                candidates.push((seq, i));
             }
+        }
+        if candidates.is_empty() {
+            self.scratch.candidates = candidates;
+            return;
         }
         candidates.sort_unstable();
 
         // Per-core issue bandwidth and functional-unit pools.
         let cores = self.cfg.cores;
         let per_core = self.per_core();
-        let mut budget = vec![self.cfg.issue_width; cores];
-        let mut ialu = vec![self.cfg.fus.ialu; cores];
-        let mut imult = vec![self.cfg.fus.imult; cores];
-        let mut fpalu = vec![self.cfg.fus.fpalu; cores];
-        let mut fpmult = vec![self.cfg.fus.fpmult; cores];
-        let mut mem_issues = vec![self.cfg.l1d.ports * MEM_ISSUE_PER_PORT; cores];
+        let mut budget = std::mem::take(&mut self.scratch.issue_budget);
+        budget.clear();
+        budget.resize(cores, self.cfg.issue_width);
+        let mut ialu = std::mem::take(&mut self.scratch.ialu);
+        ialu.clear();
+        ialu.resize(cores, self.cfg.fus.ialu);
+        let mut imult = std::mem::take(&mut self.scratch.imult);
+        imult.clear();
+        imult.resize(cores, self.cfg.fus.imult);
+        let mut fpalu = std::mem::take(&mut self.scratch.fpalu);
+        fpalu.clear();
+        fpalu.resize(cores, self.cfg.fus.fpalu);
+        let mut fpmult = std::mem::take(&mut self.scratch.fpmult);
+        fpmult.clear();
+        fpmult.resize(cores, self.cfg.fus.fpmult);
+        let mut mem_issues = std::mem::take(&mut self.scratch.mem_issues);
+        mem_issues.clear();
+        mem_issues.resize(cores, self.cfg.l1d.ports * MEM_ISSUE_PER_PORT);
 
-        for (seqno, i) in candidates {
+        let mut units = 0u64;
+        for &(seqno, i) in &candidates {
             let core = i / per_core;
             if budget[core] == 0 {
                 continue;
@@ -450,13 +674,14 @@ impl Machine {
                 FuClass::FpAlu => &mut fpalu[core],
                 FuClass::FpMult => &mut fpmult[core],
                 FuClass::Mem => &mut mem_issues[core],
-                FuClass::None => unreachable!("filtered above"),
+                FuClass::None => unreachable!("inert entries never enter ready lists"),
             };
             if *unit == 0 {
                 continue;
             }
             *unit -= 1;
             budget[core] -= 1;
+            units += 1;
 
             let (is_load, addr, lat) = {
                 let e = &t.in_flight[idx];
@@ -481,6 +706,32 @@ impl Machine {
             let e = &mut t.in_flight[idx];
             e.issued = true;
             e.complete_at = complete_at;
+            self.completions.push(Reverse((complete_at, i, seqno)));
+        }
+
+        // Entries that lost arbitration (bandwidth / FU exhausted) stay
+        // ready; drop the issued ones from each touched ready list.
+        for slot in &mut self.slots {
+            let Some(t) = slot.thread.as_mut() else { continue };
+            if t.ready.is_empty() {
+                continue;
+            }
+            let in_flight = &t.in_flight;
+            t.ready.retain(|&s| match in_flight.binary_search_by_key(&s, |e| e.seq) {
+                Ok(idx) => !in_flight[idx].issued,
+                Err(_) => false,
+            });
+        }
+
+        self.scratch.candidates = candidates;
+        self.scratch.issue_budget = budget;
+        self.scratch.ialu = ialu;
+        self.scratch.imult = imult;
+        self.scratch.fpalu = fpalu;
+        self.scratch.fpmult = fpmult;
+        self.scratch.mem_issues = mem_issues;
+        if let Some(p) = self.profile.as_deref_mut() {
+            p.issue.record(units);
         }
     }
 
@@ -524,7 +775,10 @@ impl Machine {
         let n = self.slots.len();
         let per_core = self.per_core();
         let start = (self.cycle as usize) % n.max(1);
-        let mut budgets = vec![self.cfg.decode_width; self.cfg.cores];
+        let mut budgets = std::mem::take(&mut self.scratch.budgets);
+        budgets.clear();
+        budgets.resize(self.cfg.cores, self.cfg.decode_width);
+        let mut units = 0u64;
         let mut progressed = true;
         while progressed && !self.halted {
             progressed = false;
@@ -537,14 +791,26 @@ impl Machine {
                 if budgets[core] == 0 {
                     continue;
                 }
-                if self.try_dispatch_one(i)? {
-                    budgets[core] -= 1;
-                    progressed = true;
+                match self.try_dispatch_one(i) {
+                    Ok(true) => {
+                        budgets[core] -= 1;
+                        units += 1;
+                        progressed = true;
+                    }
+                    Ok(false) => {}
+                    Err(e) => {
+                        self.scratch.budgets = budgets;
+                        return Err(e);
+                    }
                 }
             }
             if budgets.iter().all(|&b| b == 0) {
                 break;
             }
+        }
+        self.scratch.budgets = budgets;
+        if let Some(p) = self.profile.as_deref_mut() {
+            p.dispatch.record(units);
         }
         Ok(())
     }
@@ -610,22 +876,44 @@ impl Machine {
             kind,
         })?;
 
-        // Create the window entry.
+        // Create the window entry. Readiness is resolved here, once: each
+        // source operand whose producer is still in flight and incomplete
+        // links this entry into that producer's wakeup chain; anything
+        // already complete (or retired) never needs watching again.
         let seqno = self.seq;
         self.seq += 1;
         let fu = instr.fu_class();
-        let entry = Entry {
+        let inert = fu == FuClass::None;
+        let mut entry = Entry {
             seq: seqno,
             fu,
             latency: instr.latency(),
-            deps,
-            issued: fu == FuClass::None,
-            completed: fu == FuClass::None,
+            unready: 0,
+            head_waiter: None,
+            next_waiter: [None; 4],
+            issued: inert,
+            completed: inert,
             complete_at: now,
             mem_addr: out.mem_addr,
             is_load: instr.is_load(),
             is_mem,
         };
+        if !inert {
+            for (dslot, d) in deps.into_iter().enumerate() {
+                let Some(dseq) = d else { continue };
+                if let Ok(pidx) = t.in_flight.binary_search_by_key(&dseq, |e| e.seq) {
+                    let p = &mut t.in_flight[pidx];
+                    if !p.completed {
+                        entry.unready += 1;
+                        entry.next_waiter[dslot] =
+                            p.head_waiter.replace(Waiter { seq: seqno, slot: dslot as u8 });
+                    }
+                }
+            }
+            if entry.unready == 0 {
+                t.ready.push(seqno);
+            }
+        }
         if let Some(rd) = instr.dest_int() {
             if !rd.is_zero() {
                 t.last_writer_int[rd.index()] = Some(seqno);
@@ -669,6 +957,10 @@ impl Machine {
                 self.halted = true;
                 self.cycle += 1;
                 self.stats.cycles = self.cycle;
+                if let Some(p) = self.profile.as_deref_mut() {
+                    // The halt cycle ends mid-pipeline; count it stepped.
+                    p.stepped_cycles += 1;
+                }
                 self.sections.finish(self.cycle);
                 // In-flight instructions were architecturally executed at
                 // dispatch; count them as committed so instruction totals
@@ -863,28 +1155,31 @@ impl Machine {
     fn fetch_stage(&mut self) {
         let now = self.cycle;
         let per_core = self.per_core();
+        let mut units = 0u64;
         for core in 0..self.cfg.cores {
-            self.fetch_core(core * per_core, (core + 1) * per_core, now);
+            units += self.fetch_core(core * per_core, (core + 1) * per_core, now);
+        }
+        if let Some(p) = self.profile.as_deref_mut() {
+            p.fetch.record(units);
         }
     }
 
-    /// ICount.4.4 fetch for the slots of one core.
-    fn fetch_core(&mut self, lo: usize, hi: usize, now: u64) {
+    /// ICount.4.4 fetch for the slots of one core; returns the number of
+    /// instructions fetched.
+    fn fetch_core(&mut self, lo: usize, hi: usize, now: u64) -> u64 {
         // Pick the fetch_threads least-occupied eligible threads.
-        let mut eligible: Vec<(usize, usize)> = self.slots[lo..hi]
-            .iter()
-            .enumerate()
-            .filter_map(|(k, s)| {
-                if s.state != SlotState::Active {
-                    return None;
-                }
-                let t = s.thread.as_ref()?;
-                (t.fetch_pc.is_some()
-                    && t.fetch_block_until <= now
-                    && t.fetch_queue.len() < FETCH_QUEUE_CAP)
-                    .then(|| (t.icount(), lo + k))
-            })
-            .collect();
+        let mut eligible = std::mem::take(&mut self.scratch.eligible);
+        eligible.clear();
+        eligible.extend(self.slots[lo..hi].iter().enumerate().filter_map(|(k, s)| {
+            if s.state != SlotState::Active {
+                return None;
+            }
+            let t = s.thread.as_ref()?;
+            (t.fetch_pc.is_some()
+                && t.fetch_block_until <= now
+                && t.fetch_queue.len() < FETCH_QUEUE_CAP)
+                .then(|| (t.icount(), lo + k))
+        }));
         eligible.sort_unstable();
         eligible.truncate(self.cfg.fetch_threads);
 
@@ -892,7 +1187,8 @@ impl Machine {
         let mut total_budget = self.cfg.fetch_width;
         let line_bytes = self.hier.line_bytes();
         let l1i_latency = self.cfg.l1i.latency;
-        for (_, i) in eligible {
+        let mut units = 0u64;
+        for &(_, i) in &eligible {
             if total_budget == 0 {
                 break;
             }
@@ -913,7 +1209,10 @@ impl Machine {
                     break;
                 }
                 let byte_addr = pc as u64 * INSTR_BYTES;
-                let line = byte_addr / line_bytes;
+                let line = match self.line_shift {
+                    Some(s) => byte_addr >> s,
+                    None => byte_addr / line_bytes,
+                };
                 if line != last_line {
                     let access = self.hier.access_instr_on(core, byte_addr, now);
                     if access.served_by != ServedBy::L1 {
@@ -957,12 +1256,16 @@ impl Machine {
                 }
                 t.fetch_queue.push_back(Fetched { pc, predicted_taken });
                 self.stats.fetched += 1;
+                units += 1;
                 total_budget -= 1;
                 if stop {
                     break;
                 }
             }
         }
+        eligible.clear();
+        self.scratch.eligible = eligible;
+        units
     }
 }
 
@@ -1320,6 +1623,125 @@ mod tests {
         assert!(o.sections.section_cycles(1) > 0);
         assert_eq!(o.sections.section_entries(1), 1);
         assert!(o.sections.section_cycles(1) <= o.stats.cycles);
+    }
+
+    #[test]
+    fn profile_reports_stage_work_without_perturbing_the_run() {
+        let mk = || {
+            build(
+                |a, d| {
+                    let arr = d.words(&[1, 2, 3, 4, 5, 6, 7, 8]);
+                    a.li(Reg(1), arr as i64);
+                    a.li(Reg(2), 0);
+                    a.li(Reg(3), 8);
+                    a.bind("loop");
+                    a.ld(Reg(4), 0, Reg(1));
+                    a.add(Reg(2), Reg(2), Reg(4));
+                    a.addi(Reg(1), Reg(1), 8);
+                    a.addi(Reg(3), Reg(3), -1);
+                    a.bne(Reg(3), Reg::ZERO, "loop");
+                    a.out(Reg(2));
+                    a.halt();
+                },
+                vec![ThreadSpec::at(0)],
+            )
+        };
+        let plain = Machine::new(somt(), &mk()).unwrap().run(100_000).unwrap();
+        assert!(plain.profile.is_none());
+
+        let mut m = Machine::new(somt(), &mk()).unwrap();
+        m.enable_profile();
+        let o = m.run(100_000).unwrap();
+        let p = o.profile.as_ref().expect("profile enabled");
+        // The profile must not perturb a single simulated number.
+        assert_eq!(o.stats, plain.stats);
+        assert_eq!(o.ints(), plain.ints());
+        // Stage work is consistent with the run's own counters.
+        assert_eq!(p.fetch.units, o.stats.fetched);
+        assert_eq!(p.dispatch.units, o.stats.dispatched);
+        assert!(p.issue.units > 0 && p.issue.units <= o.stats.dispatched);
+        assert_eq!(p.issue.units, p.complete.units); // everything issued completes
+        assert!(p.commit.units <= o.stats.committed);
+        assert!(p.fetch.active_cycles <= p.stepped_cycles);
+        // Stepped plus fast-forwarded cycles account for the whole run.
+        assert_eq!(p.stepped_cycles + p.skipped_cycles, o.stats.cycles);
+    }
+
+    #[test]
+    fn fast_forward_skips_memory_stalls_without_changing_the_clock_meaning() {
+        // A pointer-chase of dependent cold loads: the machine spends most
+        // cycles waiting on the 200-cycle memory latency, which the idle
+        // fast-forward should jump over rather than step through.
+        let p = build(
+            |a, d| {
+                // Chain: cell[i] holds the address of cell[i+1], strided
+                // a full 512-byte block apart so every load misses L1.
+                d.align(8);
+                let base = d.here();
+                let stride = 64 * 8u64;
+                for i in 0..16u64 {
+                    let mut block = [0i64; 64];
+                    if i < 15 {
+                        block[0] = (base + (i + 1) * stride) as i64;
+                    }
+                    d.words(&block);
+                }
+                a.li(Reg(1), base as i64);
+                a.li(Reg(3), 15);
+                a.bind("chase");
+                a.ld(Reg(1), 0, Reg(1));
+                a.addi(Reg(3), Reg(3), -1);
+                a.bne(Reg(3), Reg::ZERO, "chase");
+                a.out(Reg(3));
+                a.halt();
+            },
+            vec![ThreadSpec::at(0)],
+        );
+        let mut m = Machine::new(somt(), &p).unwrap();
+        m.enable_profile();
+        let o = m.run(1_000_000).unwrap();
+        assert_eq!(o.ints(), vec![0]);
+        let p = o.profile.as_ref().expect("profile enabled");
+        assert!(p.fast_forwards > 0, "expected idle jumps, got {p:?}");
+        assert!(
+            p.skipped_cycles > o.stats.cycles / 2,
+            "a latency-bound run should mostly fast-forward: {p:?}"
+        );
+    }
+
+    #[test]
+    fn timeout_is_identical_with_fast_forward_on_deadlock() {
+        // Two threads that each grab one lock and then want the other's:
+        // a deadlock with no future event. Fast-forward must burn the
+        // budget to the exact same Timeout the stepped loop reports.
+        let p = build(
+            |a, d| {
+                let l1 = d.word(0);
+                let l2 = d.word(0);
+                a.li(Reg(1), l1 as i64);
+                a.li(Reg(2), l2 as i64);
+                a.tid(Reg(3));
+                a.bne(Reg(3), Reg::ZERO, "second");
+                a.mlock(Reg(1));
+                a.bind("spin1"); // give the other thread time to lock l2
+                a.addi(Reg(4), Reg(4), 1);
+                a.li(Reg(5), 200);
+                a.bne(Reg(4), Reg(5), "spin1");
+                a.mlock(Reg(2));
+                a.halt();
+                a.bind("second");
+                a.mlock(Reg(2));
+                a.bind("spin2");
+                a.addi(Reg(4), Reg(4), 1);
+                a.li(Reg(5), 200);
+                a.bne(Reg(4), Reg(5), "spin2");
+                a.mlock(Reg(1));
+                a.halt();
+            },
+            vec![ThreadSpec::at(0), ThreadSpec::at(0)],
+        );
+        let e = Machine::new(somt(), &p).unwrap().run(50_000);
+        assert_eq!(e.unwrap_err(), SimError::Timeout { cycles: 50_000 });
     }
 
     #[test]

@@ -99,6 +99,53 @@ pub struct SimOutcome {
     pub l2: CacheStats,
     /// Main-memory accesses.
     pub mem_accesses: u64,
+    /// Per-stage self-profile, when enabled via
+    /// [`Machine::enable_profile`](crate::Machine::enable_profile).
+    pub profile: Option<StageProfile>,
+}
+
+/// Work counters of one pipeline stage (see [`StageProfile`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageCount {
+    /// Cycles in which the stage processed at least one entry.
+    pub active_cycles: u64,
+    /// Total entries processed (instructions fetched, dispatched, issued,
+    /// completed or committed, depending on the stage).
+    pub units: u64,
+}
+
+impl StageCount {
+    /// Folds one cycle's work into the counter.
+    pub(crate) fn record(&mut self, units: u64) {
+        if units > 0 {
+            self.active_cycles += 1;
+            self.units += units;
+        }
+    }
+}
+
+/// Lightweight per-stage self-profile of a run, for diagnosing hot-path
+/// regressions without an external profiler. Enabled via
+/// [`Machine::enable_profile`](crate::Machine::enable_profile); collecting
+/// it does not perturb any simulated number.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StageProfile {
+    /// Fetch-stage work.
+    pub fetch: StageCount,
+    /// Dispatch-stage work.
+    pub dispatch: StageCount,
+    /// Issue-stage work.
+    pub issue: StageCount,
+    /// Complete-stage work (entries leaving the event heap).
+    pub complete: StageCount,
+    /// Commit-stage work.
+    pub commit: StageCount,
+    /// Cycles actually stepped through the full stage pipeline.
+    pub stepped_cycles: u64,
+    /// Idle fast-forward jumps taken.
+    pub fast_forwards: u64,
+    /// Cycles skipped by fast-forward (still counted in `stats.cycles`).
+    pub skipped_cycles: u64,
 }
 
 impl SimOutcome {

@@ -63,7 +63,24 @@ pub(crate) struct Fetched {
     pub predicted_taken: bool,
 }
 
+/// A link in a producer entry's wakeup chain: which consumer entry waits
+/// on it, and through which of the consumer's dependency slots (the slot
+/// indexes [`Entry::next_waiter`], chaining consumers of one producer
+/// without any allocation — the SimpleScalar `RS_link` idiom).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Waiter {
+    /// Sequence number of the waiting (consumer) entry.
+    pub seq: u64,
+    /// Dependency slot of the consumer that waits on this producer.
+    pub slot: u8,
+}
+
 /// One dispatched, in-flight instruction (RUU/LSQ entry).
+///
+/// Readiness is event-driven: at dispatch each source operand still in
+/// flight links the new entry into its producer's wakeup chain and bumps
+/// `unready`; completion walks the chain and decrements, pushing entries
+/// whose count hits zero onto [`Thread::ready`]. No per-cycle rescans.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct Entry {
     /// Global age.
@@ -71,8 +88,13 @@ pub(crate) struct Entry {
     pub fu: FuClass,
     /// Execution latency excluding memory.
     pub latency: u64,
-    /// Producer entries (same thread) this instruction waits on.
-    pub deps: [Option<u64>; 4],
+    /// Number of source operands still waiting on an in-flight,
+    /// incomplete producer. Zero means issue-ready.
+    pub unready: u8,
+    /// Head of the chain of entries waiting on *this* entry.
+    pub head_waiter: Option<Waiter>,
+    /// Per dependency slot: the next waiter in that producer's chain.
+    pub next_waiter: [Option<Waiter>; 4],
     pub issued: bool,
     pub completed: bool,
     /// Valid once issued (or immediately for `FuClass::None`).
@@ -96,6 +118,11 @@ pub(crate) struct Thread {
     pub bp_history: u64,
     /// In-flight entries in program order.
     pub in_flight: VecDeque<Entry>,
+    /// Sequence numbers of in-flight entries whose operands are all
+    /// complete but which have not issued yet (waiting for issue
+    /// bandwidth or a functional unit). Maintained by the wakeup chains;
+    /// an entry enters exactly once.
+    pub ready: Vec<u64>,
     /// Per-register last-writer sequence numbers (renaming).
     pub last_writer_int: [Option<u64>; 32],
     pub last_writer_fp: [Option<u64>; 32],
@@ -122,6 +149,7 @@ impl Thread {
             fetch_queue: VecDeque::new(),
             bp_history: 0,
             in_flight: VecDeque::new(),
+            ready: Vec::new(),
             last_writer_int: [None; 32],
             last_writer_fp: [None; 32],
             dispatch_block_until: 0,
@@ -207,7 +235,9 @@ mod tests {
             seq,
             fu: FuClass::IntAlu,
             latency: 1,
-            deps: [None; 4],
+            unready: 0,
+            head_waiter: None,
+            next_waiter: [None; 4],
             issued: false,
             completed: false,
             complete_at: 0,

@@ -1,0 +1,18 @@
+#!/usr/bin/env sh
+# Simulator-throughput benchmark: builds the workspace and runs the
+# catalog through capsule-bench's bench_sim mode, recording host
+# wall-clock and simulated-cycles-per-host-second per catalog entry in
+# BENCH_sim.json (schema capsule-bench-sim/1). See docs/PERF.md for how
+# to read the numbers and how to compare against a saved baseline.
+#
+# Usage:
+#   scripts/bench.sh                         # quick scale -> BENCH_sim.json
+#   scripts/bench.sh --scale smoke           # fast sanity run
+#   scripts/bench.sh --baseline old.json     # adds per-entry speedups
+# All arguments are passed through to bench_sim.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline --workspace
+exec target/release/bench_sim "$@"

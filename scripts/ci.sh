@@ -17,6 +17,23 @@ cargo test -q --offline --workspace
 echo "==> cargo clippy --offline -- -D warnings"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
+echo "==> bench_sim determinism smoke"
+# The simulator's fast path (event-driven wakeup, idle fast-forward)
+# must stay bit-deterministic: two smoke-scale runs have to produce
+# byte-identical simulated numbers and byte-identical per-entry
+# reports. --deterministic omits host-timing fields; the --baseline
+# re-read doubles as the "report parses" check (it exits non-zero on
+# malformed JSON).
+bench_dir="$(mktemp -d)"
+target/release/bench_sim --scale smoke --deterministic \
+    --out "$bench_dir/a.json" --reports "$bench_dir/reports_a" >/dev/null
+target/release/bench_sim --scale smoke --deterministic \
+    --out "$bench_dir/b.json" --reports "$bench_dir/reports_b" \
+    --baseline "$bench_dir/a.json" >/dev/null
+cmp "$bench_dir/a.json" "$bench_dir/b.json"
+diff -r "$bench_dir/reports_a" "$bench_dir/reports_b"
+rm -rf "$bench_dir"
+
 echo "==> capsule-serve smoke test"
 # Start the job server on an ephemeral port, drive it with the
 # deterministic load generator (which also asserts that a repeated
