@@ -11,6 +11,7 @@
 //! ```text
 //! bench_sim [--scale smoke|quick|full] [--out PATH] [--baseline PATH]
 //!           [--entries a,b,c] [--reports DIR] [--deterministic]
+//!           [--trace-export DIR]
 //! ```
 //!
 //! - `--baseline PATH` folds a previous `BENCH_sim.json` in: each entry
@@ -21,11 +22,18 @@
 //! - `--deterministic` omits every host-timing field from the output so
 //!   two runs of the same build produce byte-identical JSON (the CI
 //!   determinism smoke).
+//! - `--trace-export DIR` runs every scenario with CAPSULE-event tracing
+//!   on and writes one Chrome trace-event JSON per scenario to `DIR`
+//!   (see docs/OBSERVABILITY.md). Reports and simulated numbers are
+//!   unaffected — tracing is observation-only — but host wall-clock
+//!   times include the recording cost, so don't compare a traced run's
+//!   `wall_ms` against an untraced baseline.
 
 use std::time::Instant;
 
 use capsule_bench::catalog::{self, Scale};
-use capsule_bench::BatchRunner;
+use capsule_bench::trace_export::export_batch;
+use capsule_bench::{BatchRunner, RunOptions, BUDGET};
 use capsule_core::output::Json;
 
 struct EntryResult {
@@ -42,6 +50,7 @@ struct Args {
     entries: Option<Vec<String>>,
     reports: Option<String>,
     deterministic: bool,
+    trace_export: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -52,6 +61,7 @@ fn parse_args() -> Args {
         entries: None,
         reports: None,
         deterministic: false,
+        trace_export: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -77,6 +87,7 @@ fn parse_args() -> Args {
                     Some(value("--entries").split(',').map(|s| s.trim().to_string()).collect());
             }
             "--deterministic" => args.deterministic = true,
+            "--trace-export" => args.trace_export = Some(value("--trace-export")),
             "--full" => args.scale = Scale::Full, // parity with the figure binaries
             other => {
                 eprintln!("unknown argument {other:?}");
@@ -132,8 +143,13 @@ fn main() {
         }
         let scenarios = entry.scenarios(args.scale);
         let n = scenarios.len();
+        let contexts: Vec<usize> = scenarios.iter().map(|s| s.config.contexts).collect();
+        let opts =
+            RunOptions { profile: false, trace: args.trace_export.as_ref().map(|_| 200_000usize) };
         let start = Instant::now();
-        let report = runner.run(entry.title, scenarios);
+        let report = runner
+            .try_run_opts(entry.title, scenarios, BUDGET, None, opts)
+            .unwrap_or_else(|e| panic!("batch failed: {e}"));
         let wall = start.elapsed();
         let sim_cycles: u64 = report.records.iter().map(|r| r.outcome.cycles()).sum();
         let wall_ms = wall.as_secs_f64() * 1e3;
@@ -146,6 +162,18 @@ fn main() {
             std::fs::create_dir_all(dir).expect("create reports dir");
             let path = format!("{dir}/{}.json", entry.name);
             std::fs::write(&path, report.to_json().to_string_pretty()).expect("write report");
+        }
+        if let Some(dir) = &args.trace_export {
+            let written = export_batch(std::path::Path::new(dir), entry.name, &report, &contexts)
+                .expect("write chrome traces");
+            for w in &written {
+                println!(
+                    "    trace: {} ({} events, {} dropped)",
+                    w.path.display(),
+                    w.events,
+                    w.dropped
+                );
+            }
         }
         results.push(EntryResult { name: entry.name, scenarios: n, sim_cycles, wall_ms });
     }

@@ -1,0 +1,124 @@
+//! Timeline exporter: runs one catalog entry with CAPSULE-event tracing
+//! enabled and writes a Chrome trace-event JSON file per scenario —
+//! load the output in `chrome://tracing` or <https://ui.perfetto.dev>
+//! to see the division tree, denials, swaps, locks and sections of a
+//! real run on one lane per hardware context.
+//!
+//! ```text
+//! capsule-trace ENTRY [--scale smoke|quick|full] [--out DIR] [--limit N]
+//! ```
+//!
+//! - `ENTRY` — a catalog entry name (`capsule-trace --list` prints them).
+//! - `--scale` — data-set scale (default `smoke`).
+//! - `--out DIR` — output directory (default `target/capsule-traces`).
+//! - `--limit N` — per-run trace retention limit in events (default
+//!   200000); overflow is counted and reported, never silent.
+//!
+//! Tracing is observation-only: the simulated outcomes of a traced run
+//! are byte-identical to an untraced one (pinned by the golden tests).
+
+use std::path::PathBuf;
+
+use capsule_bench::catalog::{self, Scale};
+use capsule_bench::trace_export::export_batch;
+use capsule_bench::{BatchRunner, RunOptions, BUDGET};
+
+struct Args {
+    entry: String,
+    scale: Scale,
+    out: PathBuf,
+    limit: usize,
+}
+
+fn usage_and_exit(code: i32) -> ! {
+    eprintln!("usage: capsule-trace ENTRY [--scale smoke|quick|full] [--out DIR] [--limit N]");
+    eprintln!("       capsule-trace --list");
+    std::process::exit(code);
+}
+
+fn parse_args() -> Args {
+    let mut entry: Option<String> = None;
+    let mut scale = Scale::Smoke;
+    let mut out = PathBuf::from("target/capsule-traces");
+    let mut limit = 200_000usize;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("{flag} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match a.as_str() {
+            "--list" => {
+                for e in catalog::entries() {
+                    println!("{:<24} {}", e.name, e.about);
+                }
+                std::process::exit(0);
+            }
+            "--scale" => {
+                let v = value("--scale");
+                scale = Scale::parse(&v).unwrap_or_else(|| {
+                    eprintln!("unknown scale {v:?} (smoke|quick|full)");
+                    std::process::exit(2);
+                });
+            }
+            "--out" => out = PathBuf::from(value("--out")),
+            "--limit" => {
+                let v = value("--limit");
+                limit = v.parse().unwrap_or_else(|_| {
+                    eprintln!("--limit wants a positive integer, got {v:?}");
+                    std::process::exit(2);
+                });
+            }
+            "--help" | "-h" => usage_and_exit(0),
+            other if entry.is_none() && !other.starts_with('-') => entry = Some(other.to_string()),
+            other => {
+                eprintln!("unknown argument {other:?}");
+                usage_and_exit(2);
+            }
+        }
+    }
+    let Some(entry) = entry else { usage_and_exit(2) };
+    Args { entry, scale, out, limit }
+}
+
+fn main() {
+    let args = parse_args();
+    let Some(entry) = catalog::find(&args.entry) else {
+        eprintln!("unknown entry {:?}; known entries:", args.entry);
+        for name in catalog::names() {
+            eprintln!("  {name}");
+        }
+        std::process::exit(2);
+    };
+
+    let scenarios = entry.scenarios(args.scale);
+    let contexts: Vec<usize> = scenarios.iter().map(|s| s.config.contexts).collect();
+    println!(
+        "{}: {} scenario(s) at {} scale, trace limit {} events",
+        entry.name,
+        scenarios.len(),
+        args.scale.name(),
+        args.limit
+    );
+
+    let opts = RunOptions { profile: true, trace: Some(args.limit) };
+    let report = BatchRunner::from_env()
+        .try_run_opts(entry.title, scenarios, BUDGET, None, opts)
+        .unwrap_or_else(|e| {
+            eprintln!("batch failed: {e}");
+            std::process::exit(1);
+        });
+
+    let written = export_batch(&args.out, entry.name, &report, &contexts).unwrap_or_else(|e| {
+        eprintln!("cannot write traces to {}: {e}", args.out.display());
+        std::process::exit(1);
+    });
+    for w in &written {
+        let dropped =
+            if w.dropped > 0 { format!("  ({} dropped)", w.dropped) } else { String::new() };
+        println!("  {:>8} events  {}{dropped}", w.events, w.path.display());
+    }
+    println!("wrote {} timeline file(s); open them in chrome://tracing or Perfetto", written.len());
+}

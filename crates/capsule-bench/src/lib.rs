@@ -15,10 +15,23 @@
 
 pub mod catalog;
 pub mod scenario;
+pub mod trace_export;
 
 pub use scenario::{
     BatchError, BatchReport, BatchRunner, RawWorkload, RunFailure, RunRecord, Scenario,
 };
+
+/// Observation knobs for a checked run, all off by default: none of them
+/// may perturb a simulated number (the golden fixtures pin this), they
+/// only make extra data ride out on the [`SimOutcome`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunOptions {
+    /// Collect the per-stage self-profile into [`SimOutcome::profile`].
+    pub profile: bool,
+    /// Record the CAPSULE event trace into [`SimOutcome::trace`],
+    /// retaining at most this many events.
+    pub trace: Option<usize>,
+}
 
 use capsule_core::config::MachineConfig;
 use capsule_sim::cancel::CancelToken;
@@ -74,10 +87,34 @@ pub fn try_run_checked(
     budget: u64,
     cancel: Option<&CancelToken>,
 ) -> Result<SimOutcome, RunFailure> {
+    try_run_checked_with(cfg, workload, variant, budget, cancel, RunOptions::default())
+}
+
+/// [`try_run_checked`] with explicit [`RunOptions`] (profile and event
+/// tracing) — the full-control entry point behind the `profile: true`
+/// serve requests and the `capsule-trace` timeline exporter.
+///
+/// # Errors
+///
+/// Same as [`try_run_checked`].
+pub fn try_run_checked_with(
+    cfg: MachineConfig,
+    workload: &dyn Workload,
+    variant: Variant,
+    budget: u64,
+    cancel: Option<&CancelToken>,
+    opts: RunOptions,
+) -> Result<SimOutcome, RunFailure> {
     let program = workload.program(variant);
     let mut m = Machine::new(cfg, &program).map_err(RunFailure::Build)?;
     if let Some(tok) = cancel {
         m.set_cancel_token(tok.clone());
+    }
+    if opts.profile {
+        m.enable_profile();
+    }
+    if let Some(limit) = opts.trace {
+        m.enable_trace(limit);
     }
     let outcome = m.run(budget).map_err(RunFailure::Sim)?;
     workload.check(&outcome.output).map_err(RunFailure::Check)?;

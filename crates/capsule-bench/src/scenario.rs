@@ -19,7 +19,7 @@ use capsule_sim::cancel::CancelToken;
 use capsule_sim::{SimError, SimOutcome};
 use capsule_workloads::{Variant, Workload};
 
-use crate::try_run_checked;
+use crate::{try_run_checked_with, RunOptions};
 
 /// Why one checked run failed, by stage.
 #[derive(Debug, Clone, PartialEq)]
@@ -237,6 +237,26 @@ impl BatchRunner {
         budget: u64,
         cancel: Option<&CancelToken>,
     ) -> Result<BatchReport, Box<BatchError>> {
+        self.try_run_opts(title, scenarios, budget, cancel, RunOptions::default())
+    }
+
+    /// [`BatchRunner::try_run_with`] plus [`RunOptions`]: the same
+    /// checked parallel execution with per-stage profiling and/or event
+    /// tracing enabled on every machine. The observation data rides on
+    /// each record's [`SimOutcome`]; reports stay byte-identical because
+    /// [`BatchReport::to_json`] never serializes it.
+    ///
+    /// # Errors
+    ///
+    /// The failure of the lowest-indexed failing scenario.
+    pub fn try_run_opts(
+        &self,
+        title: impl Into<String>,
+        scenarios: Vec<Scenario>,
+        budget: u64,
+        cancel: Option<&CancelToken>,
+        opts: RunOptions,
+    ) -> Result<BatchReport, Box<BatchError>> {
         let title = title.into();
         let next = AtomicUsize::new(0);
         let failed = AtomicBool::new(false);
@@ -252,12 +272,13 @@ impl BatchRunner {
                         break;
                     }
                     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        try_run_checked(
+                        try_run_checked_with(
                             sc.config.clone(),
                             sc.workload.as_ref(),
                             sc.variant,
                             budget,
                             cancel,
+                            opts,
                         )
                     }))
                     .unwrap_or_else(|p| Err(RunFailure::Panic(panic_message(p))));

@@ -1,0 +1,76 @@
+//! Writing Chrome trace-event timeline files for batch runs.
+//!
+//! Shared by the `capsule-trace` bin and `bench_sim --trace-export`: a
+//! batch executed with [`crate::RunOptions::trace`] enabled carries a
+//! [`capsule_sim::trace::Trace`] on every record; this module converts
+//! each one through [`capsule_sim::chrome_trace`] and writes one
+//! `.json` file per record, loadable in `chrome://tracing` / Perfetto.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::scenario::BatchReport;
+
+/// Filesystem-safe rendering of a group/label ("LZW/throttled" →
+/// "LZW-throttled"): alphanumerics, `-`, `_` and `.` survive, anything
+/// else becomes `-`.
+pub fn slug(s: &str) -> String {
+    s.chars()
+        .map(|c| if c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.') { c } else { '-' })
+        .collect()
+}
+
+/// One written timeline file.
+#[derive(Debug)]
+pub struct ExportedTrace {
+    /// Where the Chrome-trace JSON went.
+    pub path: PathBuf,
+    /// Events retained in the trace.
+    pub events: usize,
+    /// Events dropped at the retention limit.
+    pub dropped: u64,
+}
+
+/// Writes `dir/<entry>.<index>.<group>.<label>.json` for every record of
+/// `report` that carries a trace. `contexts[i]` must be the hardware
+/// context count of scenario `i` (the lane count of its timeline).
+/// Records without a trace (tracing disabled) are skipped.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn export_batch(
+    dir: &Path,
+    entry: &str,
+    report: &BatchReport,
+    contexts: &[usize],
+) -> io::Result<Vec<ExportedTrace>> {
+    std::fs::create_dir_all(dir)?;
+    let mut written = Vec::new();
+    for (i, r) in report.records.iter().enumerate() {
+        let Some(trace) = &r.outcome.trace else { continue };
+        let lanes = contexts.get(i).copied().unwrap_or(1);
+        let doc = capsule_sim::chrome_trace(trace, lanes, r.outcome.profile.as_ref());
+        let name = format!("{}.{:02}.{}.{}.json", slug(entry), i, slug(&r.group), slug(&r.label));
+        let path = dir.join(name);
+        std::fs::write(&path, doc.to_string_pretty())?;
+        written.push(ExportedTrace {
+            path,
+            events: trace.events().len(),
+            dropped: trace.dropped(),
+        });
+    }
+    Ok(written)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slug_keeps_safe_chars_only() {
+        assert_eq!(slug("LZW/throttled"), "LZW-throttled");
+        assert_eq!(slug("a b:c_d-e.f"), "a-b-c_d-e.f");
+        assert_eq!(slug("plain"), "plain");
+    }
+}

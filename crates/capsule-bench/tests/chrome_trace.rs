@@ -1,0 +1,90 @@
+//! Structural validation of the Chrome trace-event export on a real
+//! catalog run: the throttling scenario (Figure 7) at smoke scale must
+//! yield a timeline with one named lane per hardware context and at
+//! least one `deny:*` division instant — the paper's "the architecture
+//! denies the replication" moment, visible in Perfetto.
+
+use capsule_bench::catalog::{self, Scale};
+use capsule_bench::trace_export::export_batch;
+use capsule_bench::{BatchRunner, RunOptions, BUDGET};
+use capsule_core::output::Json;
+
+fn lane_names(doc: &Json) -> Vec<String> {
+    doc.get("traceEvents")
+        .expect("traceEvents")
+        .as_array()
+        .expect("array")
+        .iter()
+        .filter(|e| e.get("name").and_then(Json::as_str) == Some("thread_name"))
+        .map(|e| e.get("args").unwrap().get("name").unwrap().as_str().unwrap().to_string())
+        .collect()
+}
+
+#[test]
+fn throttling_timeline_has_context_lanes_and_deny_instants() {
+    let entry = catalog::find("fig7_throttling").expect("entry exists");
+    let scenarios = entry.scenarios(Scale::Smoke);
+    let contexts: Vec<usize> = scenarios.iter().map(|s| s.config.contexts).collect();
+    let opts = RunOptions { profile: true, trace: Some(200_000) };
+    let report = BatchRunner::with_workers(2)
+        .try_run_opts(entry.title, scenarios, BUDGET, None, opts)
+        .expect("batch succeeds");
+
+    let dir = std::env::temp_dir().join(format!("capsule-chrome-test-{}", std::process::id()));
+    let written = export_batch(&dir, entry.name, &report, &contexts).expect("export writes");
+    assert_eq!(written.len(), report.records.len(), "every record exports one file");
+
+    let mut saw_deny = false;
+    for (i, (w, r)) in written.iter().zip(report.records.iter()).enumerate() {
+        let text = std::fs::read_to_string(&w.path).expect("trace file readable");
+        let doc = Json::parse(&text).expect("chrome export is valid JSON");
+
+        // One lane per hardware context, plus the divisions and sections
+        // lanes, all named through thread_name metadata.
+        let lanes = lane_names(&doc);
+        assert_eq!(lanes.len(), contexts[i] + 2, "lane count for record {i}");
+        for ctx in 0..contexts[i] {
+            assert!(lanes.contains(&format!("ctx{ctx}")), "missing ctx{ctx} lane");
+        }
+        assert!(lanes.contains(&"divisions".to_string()));
+        assert!(lanes.contains(&"sections".to_string()));
+
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        // The embedded stage profile from the same run.
+        assert!(
+            events.iter().any(|e| e.get("name").and_then(Json::as_str) == Some("stage_profile")),
+            "stage_profile instant missing"
+        );
+        // Worker residency intervals on context lanes.
+        assert!(
+            events.iter().any(|e| e.get("ph").and_then(Json::as_str) == Some("X")),
+            "no residency intervals in record {i}"
+        );
+        // Truncation accounting is always present.
+        let other = doc.get("otherData").unwrap();
+        assert_eq!(
+            other.get("retained_events").unwrap().as_u64().unwrap() as usize,
+            r.outcome.trace.as_ref().unwrap().events().len()
+        );
+
+        // The throttled runs deny divisions; at least one must surface
+        // as a deny:* instant on the divisions lane.
+        let denies: Vec<&Json> = events
+            .iter()
+            .filter(|e| {
+                e.get("name").and_then(Json::as_str).is_some_and(|n| n.starts_with("deny:"))
+            })
+            .collect();
+        if r.group.ends_with("/throttled") {
+            assert!(!denies.is_empty(), "no deny instant in throttled record {i} ({})", r.group);
+            saw_deny = true;
+            for d in denies {
+                assert_eq!(d.get("ph").unwrap().as_str(), Some("i"));
+                assert_eq!(d.get("tid").unwrap().as_u64(), Some(contexts[i] as u64));
+                assert_eq!(d.get("args").unwrap().get("child").unwrap(), &Json::Null);
+            }
+        }
+    }
+    assert!(saw_deny, "the throttling entry produced no denied division at all");
+    std::fs::remove_dir_all(&dir).ok();
+}

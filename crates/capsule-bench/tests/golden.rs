@@ -16,7 +16,7 @@
 //! ```
 
 use capsule_bench::catalog::{self, Scale};
-use capsule_bench::BatchRunner;
+use capsule_bench::{BatchRunner, RunOptions, BUDGET};
 use capsule_core::config::MachineConfig;
 use capsule_sim::Machine;
 use capsule_workloads::dijkstra::Dijkstra;
@@ -56,6 +56,36 @@ fn smoke_scale_reports_match_fixtures() {
         let report = runner.run(entry.title, entry.scenarios(Scale::Smoke));
         let json = report.to_json().to_string_pretty();
         check_or_bless(&format!("{name}.smoke.json"), &json);
+    }
+}
+
+/// Observability must be observation-only: the same golden entries run
+/// with event tracing *and* per-stage profiling enabled have to produce
+/// the exact fixture bytes. If this diverges while
+/// `smoke_scale_reports_match_fixtures` passes, an observability hook
+/// leaked into simulated timing.
+#[test]
+fn tracing_and_profiling_do_not_perturb_golden_reports() {
+    let runner = BatchRunner::with_workers(2);
+    let opts = RunOptions { profile: true, trace: Some(65_536) };
+    for name in GOLDEN_ENTRIES {
+        let entry = catalog::find(name).expect("golden entry exists");
+        let report = runner
+            .try_run_opts(entry.title, entry.scenarios(Scale::Smoke), BUDGET, None, opts)
+            .expect("batch succeeds");
+        // The observation data did ride out...
+        for r in &report.records {
+            assert!(r.outcome.profile.is_some(), "{name}: profile missing");
+            assert!(r.outcome.trace.is_some(), "{name}: trace missing");
+        }
+        // ...and the report bytes are still the pinned fixture.
+        let json = report.to_json().to_string_pretty();
+        let expected = std::fs::read_to_string(fixture_path(&format!("{name}.smoke.json")))
+            .expect("fixture exists (blessed by smoke_scale_reports_match_fixtures)");
+        assert_eq!(
+            json, expected,
+            "golden fixture {name} diverged under tracing: observability perturbed the run"
+        );
     }
 }
 

@@ -15,7 +15,10 @@
 //!   xoshiro256\*\*) behind the dataset generators and seeded tests, in
 //!   [`rng`];
 //! - a hand-rolled, dependency-free **JSON writer** for machine-readable
-//!   reports, in [`output`].
+//!   reports, in [`output`];
+//! - **observability** primitives (request-scoped tracing spans, a
+//!   deterministic metrics exposition) shared by the serving layers, in
+//!   [`obs`].
 //!
 //! # Example
 //!
@@ -37,6 +40,7 @@
 
 pub mod config;
 pub mod ids;
+pub mod obs;
 pub mod output;
 pub mod policy;
 pub mod rng;
@@ -44,6 +48,7 @@ pub mod stats;
 
 pub use config::MachineConfig;
 pub use ids::{ContextId, WorkerId};
+pub use obs::{MetricsRegistry, SpanId, SpanTree, TraceRecorder, TraceStore};
 pub use output::OutValue;
 pub use policy::{DeathRateWindow, DivisionDecision, DivisionPolicy, DivisionRequest};
 pub use stats::{DivisionTree, SectionTracker, SimStats};

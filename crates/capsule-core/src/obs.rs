@@ -1,0 +1,536 @@
+//! Observability primitives shared by the job server and the fleet
+//! coordinator: a bounded span/event recorder for request-scoped tracing,
+//! a bounded store of finished traces, and a metrics registry with a
+//! deterministic text exposition.
+//!
+//! Everything here is off the hot path by design: a request records a
+//! trace only when the client attached a `trace_id`, and a metrics
+//! snapshot is built only when a `metrics` request arrives. Nothing in
+//! this module reads wall-clock time except [`TraceRecorder`], whose
+//! timestamps are microseconds relative to its own creation (monotonic,
+//! never absolute) — so neither traces nor metrics introduce
+//! nondeterminism into reports or exposition bodies.
+//!
+//! See `docs/OBSERVABILITY.md` for the wire formats built on top of this.
+
+use std::collections::VecDeque;
+use std::time::Instant;
+
+use crate::output::Json;
+use crate::stats::Histogram;
+
+/// Handle to a span inside a [`TraceRecorder`].
+///
+/// When the recorder's span budget is exhausted, [`TraceRecorder::span`]
+/// returns a sentinel handle; every operation on it is a silent no-op and
+/// the drop is counted. Callers therefore never need to branch on
+/// "did this span fit".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanId(u32);
+
+impl SpanId {
+    const NONE: SpanId = SpanId(u32::MAX);
+
+    /// The span's dense index in the recorded tree, or `None` for the
+    /// over-budget sentinel. Useful when a span id must be carried
+    /// outside the recorder (e.g. as a graft point in a serialized tree).
+    pub fn index(self) -> Option<usize> {
+        (self != SpanId::NONE).then_some(self.0 as usize)
+    }
+}
+
+/// One timestamped event inside a [`Span`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Microseconds since the recorder's epoch.
+    pub at_us: u64,
+    /// Event name (e.g. `"cache-miss"`).
+    pub name: String,
+    /// Key/value annotations, in recording order.
+    pub attrs: Vec<(String, String)>,
+}
+
+/// One finished (or still-open) span of a [`SpanTree`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// Dense id, assigned in start order from 0.
+    pub id: u32,
+    /// Parent span id; `None` for roots.
+    pub parent: Option<u32>,
+    /// Span name (e.g. `"serve.run"`).
+    pub name: String,
+    /// Start, microseconds since the recorder's epoch.
+    pub start_us: u64,
+    /// End, microseconds since the recorder's epoch; `None` when the span
+    /// was still open at [`TraceRecorder::finish`] time.
+    pub end_us: Option<u64>,
+    /// Key/value annotations, in recording order.
+    pub attrs: Vec<(String, String)>,
+    /// Events recorded into this span, in time order.
+    pub events: Vec<Event>,
+}
+
+/// The finished output of a [`TraceRecorder`]: spans in start order plus
+/// the number of spans/events that did not fit the budget.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SpanTree {
+    /// Spans in start order (ids are indices).
+    pub spans: Vec<Span>,
+    /// Spans and events dropped because a budget was exhausted.
+    pub dropped: u64,
+}
+
+fn attrs_json(attrs: &[(String, String)]) -> Json {
+    let mut o = Json::object();
+    for (k, v) in attrs {
+        o.push(k, v.as_str());
+    }
+    o
+}
+
+impl SpanTree {
+    /// Renders the tree as the wire shape used by the `trace` op:
+    /// `{"spans": [...], "dropped": n}`. Span ids are dense indices, so a
+    /// consumer can rebuild the tree without a lookup table.
+    pub fn to_json(&self) -> Json {
+        let mut spans = Vec::with_capacity(self.spans.len());
+        for s in &self.spans {
+            let mut o = Json::object();
+            o.push("id", s.id)
+                .push("parent", s.parent.map_or(Json::Null, |p| Json::UInt(p as u64)))
+                .push("name", s.name.as_str())
+                .push("start_us", s.start_us)
+                .push("end_us", s.end_us.map_or(Json::Null, Json::UInt))
+                .push("attrs", attrs_json(&s.attrs));
+            let mut events = Vec::with_capacity(s.events.len());
+            for e in &s.events {
+                let mut eo = Json::object();
+                eo.push("at_us", e.at_us)
+                    .push("name", e.name.as_str())
+                    .push("attrs", attrs_json(&e.attrs));
+                events.push(eo);
+            }
+            o.push("events", Json::Array(events));
+            spans.push(o);
+        }
+        let mut out = Json::object();
+        out.push("spans", Json::Array(spans)).push("dropped", self.dropped);
+        out
+    }
+}
+
+/// Records one request's span tree with monotonic timestamps and hard
+/// span/event budgets (overflow is counted, never reallocated past the
+/// caps). Built per traced request; cheap enough that the only cost for
+/// untraced requests is the `Option` branch at each call site.
+#[derive(Debug)]
+pub struct TraceRecorder {
+    epoch: Instant,
+    spans: Vec<Span>,
+    max_spans: usize,
+    max_events: usize,
+    events: usize,
+    dropped: u64,
+}
+
+impl TraceRecorder {
+    /// A recorder holding at most `max_spans` spans and `max_events`
+    /// events (summed across spans). The epoch is "now".
+    pub fn new(max_spans: usize, max_events: usize) -> Self {
+        TraceRecorder {
+            epoch: Instant::now(),
+            spans: Vec::new(),
+            max_spans,
+            max_events,
+            events: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Microseconds elapsed since the recorder's epoch.
+    pub fn now_us(&self) -> u64 {
+        self.at(Instant::now())
+    }
+
+    /// Microseconds between the epoch and `t` (0 when `t` predates it).
+    pub fn at(&self, t: Instant) -> u64 {
+        t.saturating_duration_since(self.epoch).as_micros() as u64
+    }
+
+    /// Starts a span now. Returns a sentinel (all later operations no-op,
+    /// drop counted) when the span budget is exhausted.
+    pub fn span(&mut self, name: &str, parent: Option<SpanId>) -> SpanId {
+        let now = self.now_us();
+        self.span_at(name, parent, now)
+    }
+
+    /// Starts a span with an explicit start timestamp (e.g. an enqueue
+    /// instant observed before the worker picked the job up).
+    pub fn span_at(&mut self, name: &str, parent: Option<SpanId>, start_us: u64) -> SpanId {
+        if self.spans.len() >= self.max_spans {
+            self.dropped += 1;
+            return SpanId::NONE;
+        }
+        let id = self.spans.len() as u32;
+        self.spans.push(Span {
+            id,
+            parent: parent.and_then(|p| p.index()).map(|p| p as u32),
+            name: name.to_string(),
+            start_us,
+            end_us: None,
+            attrs: Vec::new(),
+            events: Vec::new(),
+        });
+        SpanId(id)
+    }
+
+    /// Attaches a key/value annotation to `span`.
+    pub fn attr(&mut self, span: SpanId, key: &str, value: &str) {
+        if let Some(i) = span.index() {
+            self.spans[i].attrs.push((key.to_string(), value.to_string()));
+        }
+    }
+
+    /// Records an event into `span` at "now".
+    pub fn event(&mut self, span: SpanId, name: &str, attrs: &[(&str, &str)]) {
+        let now = self.now_us();
+        self.event_at(span, name, attrs, now);
+    }
+
+    /// Records an event into `span` with an explicit timestamp.
+    pub fn event_at(&mut self, span: SpanId, name: &str, attrs: &[(&str, &str)], at_us: u64) {
+        let Some(i) = span.index() else { return };
+        if self.events >= self.max_events {
+            self.dropped += 1;
+            return;
+        }
+        self.events += 1;
+        self.spans[i].events.push(Event {
+            at_us,
+            name: name.to_string(),
+            attrs: attrs.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect(),
+        });
+    }
+
+    /// Ends `span` now (idempotent: a second end keeps the first stamp).
+    pub fn end(&mut self, span: SpanId) {
+        let now = self.now_us();
+        self.end_at(span, now);
+    }
+
+    /// Ends `span` with an explicit timestamp.
+    pub fn end_at(&mut self, span: SpanId, at_us: u64) {
+        if let Some(i) = span.index() {
+            let e = &mut self.spans[i].end_us;
+            if e.is_none() {
+                *e = Some(at_us);
+            }
+        }
+    }
+
+    /// Spans and events dropped so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Finishes the trace: any span still open is ended now, and the
+    /// recorder is consumed into its [`SpanTree`].
+    pub fn finish(mut self) -> SpanTree {
+        let now = self.now_us();
+        for s in &mut self.spans {
+            if s.end_us.is_none() {
+                s.end_us = Some(now);
+            }
+        }
+        SpanTree { spans: self.spans, dropped: self.dropped }
+    }
+}
+
+/// A bounded id → trace map with FIFO eviction: the server keeps the last
+/// N finished traces and the `trace` op looks them up by id. Re-putting an
+/// existing id replaces it in place (a retried request keeps one slot).
+#[derive(Debug)]
+pub struct TraceStore {
+    cap: usize,
+    entries: VecDeque<(String, Json)>,
+}
+
+impl TraceStore {
+    /// A store retaining at most `cap` traces (0 disables storage).
+    pub fn new(cap: usize) -> Self {
+        TraceStore { cap, entries: VecDeque::new() }
+    }
+
+    /// Inserts or replaces the trace for `id`, evicting the oldest entry
+    /// when full.
+    pub fn put(&mut self, id: &str, value: Json) {
+        if self.cap == 0 {
+            return;
+        }
+        if let Some(e) = self.entries.iter_mut().find(|(k, _)| k == id) {
+            e.1 = value;
+            return;
+        }
+        if self.entries.len() >= self.cap {
+            self.entries.pop_front();
+        }
+        self.entries.push_back((id.to_string(), value));
+    }
+
+    /// The stored trace for `id`, if still retained.
+    pub fn get(&self, id: &str) -> Option<&Json> {
+        self.entries.iter().find(|(k, _)| k == id).map(|(_, v)| v)
+    }
+
+    /// Number of retained traces.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// A point-in-time set of named samples rendered as deterministic
+/// Prometheus-style text: one `name{label="v",...} value` line per
+/// sample, sorted bytewise by the full `name{labels}` key, values are
+/// unsigned integers, no timestamps. Two snapshots of identical state
+/// render byte-identically — the property the `metrics` op's golden
+/// tests and the CI double-scrape pin down.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    samples: Vec<(String, u64)>,
+}
+
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn sample_key(name: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return name.to_string();
+    }
+    let mut key = String::with_capacity(name.len() + 16 * labels.len());
+    key.push_str(name);
+    key.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            key.push(',');
+        }
+        key.push_str(k);
+        key.push_str("=\"");
+        key.push_str(&escape_label(v));
+        key.push('"');
+    }
+    key.push('}');
+    key
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample. Samples with the identical name + label set
+    /// are summed in [`MetricsRegistry::render`] (convenient when
+    /// aggregating per-shard state into one exposition).
+    pub fn set(&mut self, name: &str, labels: &[(&str, &str)], value: u64) {
+        self.samples.push((sample_key(name, labels), value));
+    }
+
+    /// Expands a [`Histogram`] into the conventional family of samples:
+    /// `name_count`, `name_sum`, `name_min`/`name_max` (only when
+    /// non-empty), and cumulative `name_bucket{le="..."}` lines for each
+    /// non-empty power-of-two bucket plus the `le="+Inf"` total.
+    pub fn histogram(&mut self, name: &str, labels: &[(&str, &str)], h: &Histogram) {
+        self.set(&format!("{name}_count"), labels, h.count());
+        self.set(&format!("{name}_sum"), labels, h.sum());
+        if let (Some(min), Some(max)) = (h.min(), h.max()) {
+            self.set(&format!("{name}_min"), labels, min);
+            self.set(&format!("{name}_max"), labels, max);
+        }
+        let bucket = format!("{name}_bucket");
+        let mut cumulative = 0u64;
+        for (_lo, hi, count) in h.bucket_rows() {
+            cumulative += count;
+            let le = hi.to_string();
+            let mut with_le: Vec<(&str, &str)> = labels.to_vec();
+            with_le.push(("le", &le));
+            self.set(&bucket, &with_le, cumulative);
+        }
+        let mut with_inf: Vec<(&str, &str)> = labels.to_vec();
+        with_inf.push(("le", "+Inf"));
+        self.set(&bucket, &with_inf, h.count());
+    }
+
+    /// Renders the exposition body. Stable: lines sorted bytewise by
+    /// key, duplicate keys summed, `\n`-terminated. Contains no
+    /// timestamps and no floats, so identical state renders
+    /// byte-identically.
+    pub fn render(&self) -> String {
+        let mut samples = self.samples.clone();
+        samples.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut out = String::new();
+        let mut i = 0;
+        while i < samples.len() {
+            let (key, mut value) = (samples[i].0.as_str(), samples[i].1);
+            let mut j = i + 1;
+            while j < samples.len() && samples[j].0 == key {
+                value = value.saturating_add(samples[j].1);
+                j += 1;
+            }
+            out.push_str(key);
+            out.push(' ');
+            out.push_str(&value.to_string());
+            out.push('\n');
+            i = j;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recorder_builds_a_tree() {
+        let mut r = TraceRecorder::new(8, 8);
+        let root = r.span("serve.run", None);
+        r.attr(root, "scenario", "s1");
+        r.event(root, "cache-miss", &[]);
+        let child = r.span("serve.execute", Some(root));
+        r.attr(child, "outcome", "completed");
+        r.end(child);
+        let tree = r.finish();
+        assert_eq!(tree.spans.len(), 2);
+        assert_eq!(tree.dropped, 0);
+        assert_eq!(tree.spans[0].name, "serve.run");
+        assert_eq!(tree.spans[0].parent, None);
+        assert_eq!(tree.spans[1].parent, Some(0));
+        // finish() closed the still-open root.
+        assert!(tree.spans[0].end_us.is_some());
+        assert!(tree.spans[1].end_us.unwrap() <= tree.spans[0].end_us.unwrap());
+        let json = tree.to_json().to_string_compact();
+        assert!(json.contains("\"name\":\"serve.execute\""));
+        assert!(json.contains("\"cache-miss\""));
+        assert!(json.contains("\"dropped\":0"));
+    }
+
+    #[test]
+    fn recorder_budgets_count_drops() {
+        let mut r = TraceRecorder::new(1, 2);
+        let root = r.span("root", None);
+        let over = r.span("over", Some(root));
+        assert_eq!(over, SpanId::NONE);
+        r.attr(over, "k", "v"); // all no-ops, no panic
+        r.event(over, "e", &[]);
+        r.end(over);
+        r.event(root, "a", &[]);
+        r.event(root, "b", &[]);
+        r.event(root, "c", &[]); // over the event budget
+        let tree = r.finish();
+        assert_eq!(tree.spans.len(), 1);
+        assert_eq!(tree.spans[0].events.len(), 2);
+        assert_eq!(tree.dropped, 2); // one span + one event
+    }
+
+    #[test]
+    fn recorder_explicit_timestamps() {
+        let mut r = TraceRecorder::new(4, 4);
+        let s = r.span_at("queue", None, 3);
+        r.event_at(s, "picked-up", &[("worker", "1")], 9);
+        r.end_at(s, 11);
+        r.end_at(s, 99); // idempotent: first end wins
+        let tree = r.finish();
+        assert_eq!(tree.spans[0].start_us, 3);
+        assert_eq!(tree.spans[0].end_us, Some(11));
+        assert_eq!(tree.spans[0].events[0].at_us, 9);
+        assert_eq!(tree.spans[0].events[0].attrs, vec![("worker".into(), "1".into())]);
+    }
+
+    #[test]
+    fn store_replaces_and_evicts_fifo() {
+        let mut s = TraceStore::new(2);
+        s.put("a", Json::UInt(1));
+        s.put("b", Json::UInt(2));
+        s.put("a", Json::UInt(3)); // replace in place, no eviction
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get("a").and_then(Json::as_u64), Some(3));
+        s.put("c", Json::UInt(4)); // evicts the oldest ("a")
+        assert_eq!(s.len(), 2);
+        assert!(s.get("a").is_none());
+        assert_eq!(s.get("b").and_then(Json::as_u64), Some(2));
+        assert_eq!(s.get("c").and_then(Json::as_u64), Some(4));
+        let mut off = TraceStore::new(0);
+        off.put("x", Json::Null);
+        assert!(off.is_empty());
+    }
+
+    #[test]
+    fn registry_renders_sorted_and_stable() {
+        let mut m = MetricsRegistry::new();
+        m.set("zeta_total", &[], 1);
+        m.set("alpha_total", &[("shard", "b1")], 2);
+        m.set("alpha_total", &[("shard", "b0")], 3);
+        let body = m.render();
+        assert_eq!(
+            body,
+            "alpha_total{shard=\"b0\"} 3\nalpha_total{shard=\"b1\"} 2\nzeta_total 1\n"
+        );
+        // Same state, fresh registry, identical bytes.
+        let mut m2 = MetricsRegistry::new();
+        m2.set("alpha_total", &[("shard", "b0")], 3);
+        m2.set("zeta_total", &[], 1);
+        m2.set("alpha_total", &[("shard", "b1")], 2);
+        assert_eq!(m2.render(), body);
+    }
+
+    #[test]
+    fn registry_sums_duplicates_and_escapes_labels() {
+        let mut m = MetricsRegistry::new();
+        m.set("jobs_total", &[("outcome", "ok")], 2);
+        m.set("jobs_total", &[("outcome", "ok")], 3);
+        m.set("err_total", &[("msg", "a\"b\\c\nd")], 1);
+        let body = m.render();
+        assert!(body.contains("jobs_total{outcome=\"ok\"} 5\n"));
+        assert!(body.contains("err_total{msg=\"a\\\"b\\\\c\\nd\"} 1\n"));
+    }
+
+    #[test]
+    fn registry_histogram_family() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(3);
+        h.record(3);
+        let mut m = MetricsRegistry::new();
+        m.histogram("wait_us", &[("q", "run")], &h);
+        let body = m.render();
+        assert!(body.contains("wait_us_count{q=\"run\"} 3\n"));
+        assert!(body.contains("wait_us_sum{q=\"run\"} 6\n"));
+        assert!(body.contains("wait_us_min{q=\"run\"} 0\n"));
+        assert!(body.contains("wait_us_max{q=\"run\"} 3\n"));
+        // Cumulative buckets: zeros bucket (le="0") then [2,3] (le="3").
+        assert!(body.contains("wait_us_bucket{q=\"run\",le=\"0\"} 1\n"));
+        assert!(body.contains("wait_us_bucket{q=\"run\",le=\"3\"} 3\n"));
+        assert!(body.contains("wait_us_bucket{q=\"run\",le=\"+Inf\"} 3\n"));
+
+        // Empty histogram: no min/max lines, +Inf bucket present at 0.
+        let mut m2 = MetricsRegistry::new();
+        m2.histogram("idle_us", &[], &Histogram::new());
+        let body2 = m2.render();
+        assert_eq!(body2, "idle_us_bucket{le=\"+Inf\"} 0\nidle_us_count 0\nidle_us_sum 0\n");
+    }
+}

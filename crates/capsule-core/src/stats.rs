@@ -364,6 +364,18 @@ impl Histogram {
         Some(h)
     }
 
+    /// The non-empty buckets as `(lo, hi, count)` rows in increasing
+    /// order — the iteration behind [`Histogram::to_json`] and the
+    /// cumulative-bucket expansion of
+    /// [`crate::obs::MetricsRegistry::histogram`].
+    pub fn bucket_rows(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(k, &c)| (bucket_lo(k), bucket_hi(k), c))
+    }
+
     /// The histogram as a JSON object: exact summary fields plus the
     /// non-empty buckets as `{lo, hi, count}` rows in increasing order.
     pub fn to_json(&self) -> Json {
@@ -374,12 +386,9 @@ impl Histogram {
             .push("max", self.max().map_or(Json::Null, Json::UInt))
             .push("mean", self.mean());
         let mut rows = Vec::new();
-        for (k, &c) in self.buckets.iter().enumerate() {
-            if c == 0 {
-                continue;
-            }
+        for (lo, hi, c) in self.bucket_rows() {
             let mut row = Json::object();
-            row.push("lo", bucket_lo(k)).push("hi", bucket_hi(k)).push("count", c);
+            row.push("lo", lo).push("hi", hi).push("count", c);
             rows.push(row);
         }
         o.push("buckets", Json::Array(rows));
@@ -710,6 +719,83 @@ mod tests {
         let mut fresh = Histogram::new();
         fresh.merge(&whole);
         assert_eq!(fresh, whole);
+    }
+
+    #[test]
+    fn histogram_merge_empty_preserves_summary() {
+        // Folding an empty histogram in must not disturb the exact
+        // summary fields (min in particular: the empty side carries the
+        // u64::MAX sentinel, which must never leak into `min()`).
+        let mut h = Histogram::new();
+        for v in [5u64, 9, 1024] {
+            h.record(v);
+        }
+        let before = h.clone();
+        h.merge(&Histogram::new());
+        assert_eq!(h, before);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.min(), Some(5));
+        assert_eq!(h.max(), Some(1024));
+        // And the symmetric direction: empty absorbing a populated one.
+        let mut empty = Histogram::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+        // Empty + empty stays empty (min() stays None, not the sentinel).
+        let mut e2 = Histogram::new();
+        e2.merge(&Histogram::new());
+        assert_eq!(e2.count(), 0);
+        assert_eq!(e2.min(), None);
+        assert_eq!(e2.max(), None);
+    }
+
+    #[test]
+    fn histogram_merge_is_commutative_on_random_samples() {
+        use crate::rng::{Rng, Xoshiro256StarStar};
+        for seed in 0..32u64 {
+            let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+            let (mut a, mut b) = (Histogram::new(), Histogram::new());
+            for _ in 0..rng.usize_below(200) {
+                // Bit-width-uniform draws so every bucket gets traffic.
+                let v = rng.next_u64() >> rng.u64_below(64);
+                a.record(v);
+            }
+            for _ in 0..rng.usize_below(200) {
+                let v = rng.next_u64() >> rng.u64_below(64);
+                b.record(v);
+            }
+            let mut ab = a.clone();
+            ab.merge(&b);
+            let mut ba = b.clone();
+            ba.merge(&a);
+            assert_eq!(ab, ba, "merge not commutative for seed {seed}");
+            assert_eq!(
+                ab.to_json().to_string_compact(),
+                ba.to_json().to_string_compact(),
+                "rendered forms diverge for seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn histogram_from_json_roundtrips_all_65_buckets_byte_for_byte() {
+        // One sample per bucket: 0, then 2^(k-1) for k in 1..=64 — the
+        // complete 65-bucket layout. The JSON rendering must survive a
+        // parse + from_json + to_json cycle with identical bytes.
+        let mut h = Histogram::new();
+        h.record(0);
+        for k in 0..64 {
+            h.record(1u64 << k);
+        }
+        assert_eq!(h.count(), 65);
+        let rendered = h.to_json().to_string_compact();
+        let parsed = Json::parse(&rendered).expect("rendering parses");
+        let back = Histogram::from_json(&parsed).expect("roundtrip");
+        assert_eq!(back, h);
+        assert_eq!(back.to_json().to_string_compact(), rendered);
+        // All 65 rows survive, including the u64::MAX top bucket.
+        let rows = parsed.get("buckets").unwrap().as_array().unwrap();
+        assert_eq!(rows.len(), 65);
+        assert_eq!(rows[64].get("hi").unwrap().as_u64(), Some(u64::MAX));
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //!   capsule-fleet [--addr HOST:PORT] --backend HOST:PORT [--backend ...]
 //!                 [--queue N] [--attempts N] [--backoff-ms N]
 //!                 [--fail-window-ms N] [--fail-threshold N] [--probe-ms N]
+//!                 [--traces N]
 //!
 //! Backends may also come from `CAPSULE_FLEET_BACKENDS` (comma-
 //! separated); the sizing flags default from the `CAPSULE_FLEET_*`
@@ -40,11 +41,12 @@ fn main() {
                 opts.fail_threshold = parse_usize(&value("--fail-threshold"), "--fail-threshold");
             }
             "--probe-ms" => opts.probe_ms = parse_u64(&value("--probe-ms"), "--probe-ms").max(10),
+            "--traces" => opts.traces = parse_usize(&value("--traces"), "--traces"),
             "--help" | "-h" => {
                 println!(
                     "usage: capsule-fleet [--addr HOST:PORT] --backend HOST:PORT [--backend ...] \
                      [--queue N] [--attempts N] [--backoff-ms N] [--fail-window-ms N] \
-                     [--fail-threshold N] [--probe-ms N]"
+                     [--fail-threshold N] [--probe-ms N] [--traces N]"
                 );
                 return;
             }

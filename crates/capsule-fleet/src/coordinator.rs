@@ -24,6 +24,7 @@ use std::time::{Duration, Instant};
 
 use capsule_core::output::Json;
 use capsule_core::stats::Histogram;
+use capsule_core::{MetricsRegistry, SpanId, TraceRecorder, TraceStore};
 use capsule_serve::client::{self, ClientError, Connection};
 use capsule_serve::protocol::{
     error_response, fnv1a64, list_response, response_head, Request, RunRequest,
@@ -61,6 +62,9 @@ pub struct FleetOptions {
     /// Max total wait for a free backend slot in ms
     /// (`CAPSULE_FLEET_DISPATCH_WAIT_MS`).
     pub dispatch_wait_ms: u64,
+    /// Retained span trees for the `trace` op (`CAPSULE_FLEET_TRACES`);
+    /// 0 disables request tracing entirely.
+    pub traces: usize,
 }
 
 impl Default for FleetOptions {
@@ -75,6 +79,7 @@ impl Default for FleetOptions {
             connect_timeout_ms: 1_000,
             job_timeout_ms: 600_000,
             dispatch_wait_ms: 60_000,
+            traces: 64,
         }
     }
 }
@@ -97,6 +102,7 @@ impl FleetOptions {
                 .max(1),
             job_timeout_ms: env_u64("CAPSULE_FLEET_JOB_TIMEOUT_MS", d.job_timeout_ms),
             dispatch_wait_ms: env_u64("CAPSULE_FLEET_DISPATCH_WAIT_MS", d.dispatch_wait_ms).max(1),
+            traces: env_usize("CAPSULE_FLEET_TRACES", d.traces),
         }
     }
 }
@@ -146,6 +152,45 @@ struct Shared {
     cancel_generation: AtomicU64,
     counters: Counters,
     latencies: Mutex<Latencies>,
+    traces: Mutex<TraceStore>,
+}
+
+/// Per-job trace state at the fleet level: the coordinator's own span
+/// tree plus the list of backends the job was forwarded to, so the
+/// `trace` op can later fetch and graft each backend's tree under the
+/// dispatch span that sent the job there.
+struct FleetTrace {
+    id: String,
+    rec: TraceRecorder,
+    root: SpanId,
+    /// `(name, addr, dispatch-span id)` per forwarded attempt.
+    backends: Vec<(String, String, u32)>,
+}
+
+impl FleetTrace {
+    fn start(run: &RunRequest) -> Option<FleetTrace> {
+        let id = run.trace_id.clone()?;
+        let mut rec = TraceRecorder::new(64, 256);
+        let root = rec.span("fleet.run", None);
+        rec.attr(root, "scenario", &run.scenario);
+        rec.attr(root, "scale", run.scale.name());
+        Some(FleetTrace { id, rec, root, backends: Vec::new() })
+    }
+
+    /// Closes the root span and files the tree (with the backend list
+    /// appended) under the trace id.
+    fn store(mut self, shared: &Shared) {
+        self.rec.end(self.root);
+        let mut v = self.rec.finish().to_json();
+        let mut list = Vec::with_capacity(self.backends.len());
+        for (name, addr, span) in &self.backends {
+            let mut b = Json::object();
+            b.push("name", name.as_str()).push("addr", addr.as_str()).push("span", *span);
+            list.push(b);
+        }
+        v.push("backends", Json::Array(list));
+        lock(&shared.traces).put(&self.id, v);
+    }
 }
 
 fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
@@ -191,6 +236,7 @@ impl Fleet {
             cancel_generation: AtomicU64::new(0),
             counters: Counters::default(),
             latencies: Mutex::new(Latencies::default()),
+            traces: Mutex::new(TraceStore::new(opts.traces)),
         });
         let probe = {
             let shared = Arc::clone(&shared);
@@ -293,6 +339,8 @@ fn handle_line(shared: &Shared, line: &str) -> (Json, bool) {
         Request::Cancel => (handle_cancel(shared), false),
         Request::Stats => (stats_response(shared), false),
         Request::List => (list_response(), false),
+        Request::Metrics => (metrics_response(shared), false),
+        Request::Trace { trace_id } => (trace_response(shared, &trace_id), false),
         Request::Shutdown => (response_head("shutdown", true), true),
     }
 }
@@ -314,10 +362,13 @@ enum Acquire {
 
 fn handle_run(shared: &Shared, run: &RunRequest) -> Json {
     // The canonical form is both the routing key (cache affinity) and
-    // the exact line forwarded downstream, so fleet and backend cache
-    // keys agree by construction.
+    // the base of the line forwarded downstream, so fleet and backend
+    // cache keys agree by construction. Observability fields ride on the
+    // forwarded line but never enter the canonical form or the key.
     let canonical = run.canonical();
     let key = fnv1a64(canonical.as_bytes());
+    let forward = forward_line(run, &canonical);
+    let mut trace = FleetTrace::start(run);
 
     {
         let mut st = lock(&shared.state);
@@ -326,21 +377,64 @@ fn handle_run(shared: &Shared, run: &RunRequest) -> Json {
         }
         if st.pending >= shared.opts.queue {
             shared.counters.jobs_rejected.fetch_add(1, Ordering::Relaxed);
+            drop(st);
+            if let Some(mut t) = trace.take() {
+                t.rec.event(t.root, "queue-full", &[]);
+                t.store(shared);
+            }
             let mut r = error_response("run", "queue-full", None);
             r.push("queue_capacity", shared.opts.queue);
+            echo_trace_id(&mut r, run);
             return r;
         }
         st.pending += 1;
     }
     shared.counters.jobs_accepted.fetch_add(1, Ordering::Relaxed);
 
-    let response = dispatch_with_retries(shared, &canonical, key);
+    let mut response = dispatch_with_retries(shared, &forward, key, &mut trace);
+    if let Some(t) = trace.take() {
+        t.store(shared);
+    }
+    // Successful passthroughs already echo the id (the backend does it);
+    // fleet-generated errors must echo it themselves.
+    if response.get("trace_id").is_none() {
+        echo_trace_id(&mut response, run);
+    }
 
     lock(&shared.state).pending -= 1;
     response
 }
 
-fn dispatch_with_retries(shared: &Shared, canonical: &str, key: u64) -> Json {
+/// The line actually forwarded to a backend: the canonical form plus the
+/// observability fields (`trace_id`, `profile`), which are observation-
+/// only and therefore excluded from the canonical form itself.
+fn forward_line(run: &RunRequest, canonical: &str) -> String {
+    if run.trace_id.is_none() && !run.profile {
+        return canonical.to_string();
+    }
+    let mut line = Json::parse(canonical).expect("canonical form is valid json");
+    if let Some(id) = &run.trace_id {
+        line.push("trace_id", id.as_str());
+    }
+    if run.profile {
+        line.push("profile", true);
+    }
+    line.to_string_compact()
+}
+
+/// Echoes the request's trace id (if any) into a response.
+fn echo_trace_id(r: &mut Json, run: &RunRequest) {
+    if let Some(id) = &run.trace_id {
+        r.push("trace_id", id.as_str());
+    }
+}
+
+fn dispatch_with_retries(
+    shared: &Shared,
+    forward: &str,
+    key: u64,
+    trace: &mut Option<FleetTrace>,
+) -> Json {
     let generation = shared.cancel_generation.load(Ordering::SeqCst);
     let admitted = Instant::now();
     let deadline = admitted + Duration::from_millis(shared.opts.dispatch_wait_ms);
@@ -352,6 +446,9 @@ fn dispatch_with_retries(shared: &Shared, canonical: &str, key: u64) -> Json {
             shared.counters.retries.fetch_add(1, Ordering::Relaxed);
             let shift = (attempt - 1).min(6) as u32;
             let backoff = shared.opts.backoff_ms.saturating_mul(1 << shift).min(2_000);
+            if let Some(t) = trace.as_mut() {
+                t.rec.event(t.root, "backoff", &[("ms", &backoff.to_string())]);
+            }
             std::thread::sleep(Duration::from_millis(backoff));
         }
         let idx = match acquire_backend(shared, key, &mut attempted, deadline) {
@@ -366,13 +463,32 @@ fn dispatch_with_retries(shared: &Shared, canonical: &str, key: u64) -> Json {
         let waited_us = admitted.elapsed().as_micros() as u64;
         lock(&shared.latencies).dispatch_wait_us.record(waited_us);
 
+        // One dispatch span per attempt; the backend's own span tree is
+        // grafted under it later by the `trace` op.
+        let dspan = trace.as_mut().map(|t| {
+            let s = t.rec.span("fleet.dispatch", Some(t.root));
+            t.rec.attr(s, "backend", &name);
+            t.rec.attr(s, "addr", &addr);
+            t.rec.attr(s, "attempt", &(attempt + 1).to_string());
+            t.backends.push((name.clone(), addr.clone(), s.index().map_or(0, |i| i as u32)));
+            s
+        });
+
         let started = Instant::now();
-        match roundtrip(shared, &addr, canonical, generation) {
+        match roundtrip(shared, &addr, forward, generation) {
             Outcome::Respond(mut json) => {
                 release(shared, idx, true, false);
                 let job_us = started.elapsed().as_micros() as u64;
                 lock(&shared.latencies).job_us.record(job_us);
                 count_final(shared, &json);
+                if let (Some(t), Some(s)) = (trace.as_mut(), dspan) {
+                    let outcome = match json.get("error").and_then(Json::as_str) {
+                        None => "completed",
+                        Some(e) => e,
+                    };
+                    t.rec.attr(s, "outcome", outcome);
+                    t.rec.end(s);
+                }
                 json.push("backend", name.as_str())
                     .push("backend_addr", addr.as_str())
                     .push("attempts", attempt + 1)
@@ -381,6 +497,11 @@ fn dispatch_with_retries(shared: &Shared, canonical: &str, key: u64) -> Json {
             }
             Outcome::Retry { error, mark_dead } => {
                 release(shared, idx, false, mark_dead);
+                if let (Some(t), Some(s)) = (trace.as_mut(), dspan) {
+                    t.rec.attr(s, "outcome", "retry");
+                    t.rec.attr(s, "error", &error);
+                    t.rec.end(s);
+                }
                 last_error = format!("{name} ({addr}): {error}");
                 attempted.push(idx);
             }
@@ -392,6 +513,9 @@ fn dispatch_with_retries(shared: &Shared, canonical: &str, key: u64) -> Json {
         "dispatch gave up after {} attempt(s); last: {last_error}",
         shared.opts.attempts.max(1)
     );
+    if let Some(t) = trace.as_mut() {
+        t.rec.event(t.root, "gave-up", &[("detail", &detail)]);
+    }
     error_response("run", "backend-unavailable", Some(&detail))
 }
 
@@ -688,6 +812,176 @@ fn stats_response(shared: &Shared) -> Json {
     let mut r = response_head("stats", true);
     r.push("fleet", fleet).push("aggregate", agg).push("backends", Json::Array(backends_json));
     r
+}
+
+/// The deterministic metrics exposition (docs/OBSERVABILITY.md).
+/// Scrape- and time-perturbed counters are deliberately excluded:
+/// `connections`/`requests` (each scrape is one of each) and
+/// `probes_ok`/`probes_failed` (bumped continuously by the prober), so
+/// that two back-to-back scrapes of an idle fleet are byte-identical.
+fn metrics_response(shared: &Shared) -> Json {
+    let c = &shared.counters;
+    let get = |a: &AtomicU64| a.load(Ordering::Relaxed);
+    let mut m = MetricsRegistry::new();
+    m.set("capsule_fleet_bad_requests_total", &[], get(&c.bad_requests));
+    m.set("capsule_fleet_jobs_accepted_total", &[], get(&c.jobs_accepted));
+    m.set("capsule_fleet_jobs_rejected_total", &[], get(&c.jobs_rejected));
+    m.set("capsule_fleet_jobs_completed_total", &[], get(&c.jobs_completed));
+    m.set("capsule_fleet_jobs_failed_total", &[], get(&c.jobs_failed));
+    m.set("capsule_fleet_jobs_cancelled_total", &[], get(&c.jobs_cancelled));
+    m.set("capsule_fleet_retries_total", &[], get(&c.retries));
+    m.set("capsule_fleet_backend_failures_total", &[], get(&c.backend_failures));
+    m.set("capsule_fleet_cancel_requests_total", &[], get(&c.cancel_requests));
+    m.set("capsule_fleet_queue_capacity", &[], shared.opts.queue as u64);
+    m.set("capsule_fleet_traces_stored", &[], lock(&shared.traces).len() as u64);
+    {
+        let mut st = lock(&shared.state);
+        let now = Instant::now();
+        m.set("capsule_fleet_backends", &[], st.backends.len() as u64);
+        m.set(
+            "capsule_fleet_backends_alive",
+            &[],
+            st.backends.iter().filter(|b| b.alive).count() as u64,
+        );
+        m.set("capsule_fleet_pending", &[], st.pending as u64);
+        m.set(
+            "capsule_fleet_jobs_in_flight",
+            &[],
+            st.backends.iter().map(|b| b.in_flight as u64).sum(),
+        );
+        for b in st.backends.iter_mut() {
+            let name = b.name.clone();
+            let labels: &[(&str, &str)] = &[("backend", name.as_str())];
+            m.set("capsule_fleet_backend_alive", labels, u64::from(b.alive));
+            m.set("capsule_fleet_backend_throttled", labels, u64::from(b.window.throttled(now)));
+            m.set("capsule_fleet_backend_in_flight", labels, b.in_flight as u64);
+            m.set("capsule_fleet_backend_dispatched_total", labels, b.dispatched);
+            m.set("capsule_fleet_backend_completed_total", labels, b.completed);
+            m.set("capsule_fleet_backend_failures_total", labels, b.failures);
+        }
+    }
+    {
+        let lat = lock(&shared.latencies);
+        m.histogram("capsule_fleet_dispatch_wait_us", &[], &lat.dispatch_wait_us);
+        m.histogram("capsule_fleet_job_us", &[], &lat.job_us);
+    }
+    let mut r = response_head("metrics", true);
+    r.push("exposition", m.render());
+    r
+}
+
+/// The fleet `trace` op: the coordinator's stored span tree for the id,
+/// with each reachable backend's own span tree for the same id grafted
+/// under the dispatch span that forwarded the job there — one query
+/// reconstructs the whole distributed job, retries included.
+fn trace_response(shared: &Shared, trace_id: &str) -> Json {
+    let Some(stored) = lock(&shared.traces).get(trace_id).cloned() else {
+        let mut r = error_response(
+            "trace",
+            "unknown-trace",
+            Some("no stored trace for this id (never submitted, disabled, or evicted)"),
+        );
+        r.push("trace_id", trace_id);
+        return r;
+    };
+    let mut r = response_head("trace", true);
+    r.push("trace_id", trace_id).push("trace", graft_backend_spans(shared, trace_id, &stored));
+    r
+}
+
+/// Rewrites one backend span for grafting: ids shifted by `offset`, the
+/// backend-local root reparented under the fleet dispatch span, and a
+/// `backend` attribute stamped on it.
+fn graft_span(span: &Json, offset: u64, graft_parent: u64, backend: &str) -> Json {
+    let mut out = Json::object();
+    let mut is_root = false;
+    for (k, v) in span.as_object().unwrap_or(&[]) {
+        match k.as_str() {
+            "id" => {
+                out.push("id", v.as_u64().unwrap_or(0) + offset);
+            }
+            "parent" => match v.as_u64() {
+                Some(p) => {
+                    out.push("parent", p + offset);
+                }
+                None => {
+                    is_root = true;
+                    out.push("parent", graft_parent);
+                }
+            },
+            "attrs" if is_root => {
+                let mut attrs = v.clone();
+                attrs.push("backend", backend);
+                out.push("attrs", attrs);
+            }
+            other => {
+                out.push(other, v.clone());
+            }
+        }
+    }
+    out
+}
+
+/// Builds the merged tree: fleet spans as stored, plus every reachable
+/// backend's spans for the same trace id. Unreachable backends (e.g. a
+/// killed process whose retry the trace records) are reported in the
+/// `backends` list with `grafted: false` instead of failing the query.
+fn graft_backend_spans(shared: &Shared, trace_id: &str, stored: &Json) -> Json {
+    let fleet_spans = stored.get("spans").and_then(Json::as_array).unwrap_or(&[]);
+    let mut spans: Vec<Json> = fleet_spans.to_vec();
+    let mut dropped = stored.get("dropped").and_then(Json::as_u64).unwrap_or(0);
+    let mut next_id =
+        spans.iter().filter_map(|s| s.get("id").and_then(Json::as_u64)).max().map_or(0, |m| m + 1);
+
+    // Deduplicate by address keeping the *last* dispatch span: a backend
+    // retried later holds only its latest tree for this id anyway.
+    let listed = stored.get("backends").and_then(Json::as_array).unwrap_or(&[]);
+    let mut targets: Vec<(String, String, u64)> = Vec::new();
+    for b in listed {
+        let name = b.get("name").and_then(Json::as_str).unwrap_or("?").to_string();
+        let addr = b.get("addr").and_then(Json::as_str).unwrap_or_default().to_string();
+        let span = b.get("span").and_then(Json::as_u64).unwrap_or(0);
+        match targets.iter_mut().find(|(_, a, _)| *a == addr) {
+            Some(t) => t.2 = span,
+            None => targets.push((name, addr, span)),
+        }
+    }
+
+    let query = {
+        let mut q = Json::object();
+        q.push("op", "trace").push("trace_id", trace_id);
+        q.to_string_compact()
+    };
+    let mut backends_json = Vec::with_capacity(targets.len());
+    for (name, addr, graft_parent) in &targets {
+        let remote = forward_op(shared, addr, &query).and_then(|reply| reply.get("trace").cloned());
+        let grafted = remote.is_some();
+        if let Some(tree) = remote {
+            let bspans = tree.get("spans").and_then(Json::as_array).unwrap_or(&[]);
+            let offset = next_id;
+            let mut max_id = 0u64;
+            for s in bspans {
+                max_id = max_id.max(s.get("id").and_then(Json::as_u64).unwrap_or(0));
+                spans.push(graft_span(s, offset, *graft_parent, name));
+            }
+            if !bspans.is_empty() {
+                next_id = offset + max_id + 1;
+            }
+            dropped += tree.get("dropped").and_then(Json::as_u64).unwrap_or(0);
+        }
+        let mut b = Json::object();
+        b.push("name", name.as_str())
+            .push("addr", addr.as_str())
+            .push("span", *graft_parent)
+            .push("grafted", grafted);
+        backends_json.push(b);
+    }
+
+    let mut out = Json::object();
+    out.push("spans", Json::Array(spans))
+        .push("dropped", dropped)
+        .push("backends", Json::Array(backends_json));
+    out
 }
 
 fn probe_loop(shared: &Shared) {

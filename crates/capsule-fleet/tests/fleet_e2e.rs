@@ -34,7 +34,7 @@ fn run_line(scenario: &str) -> String {
 }
 
 fn start_backend() -> Server {
-    Server::start("127.0.0.1:0", ServerOptions { workers: 1, queue: 8, cache: 8 })
+    Server::start("127.0.0.1:0", ServerOptions { workers: 1, queue: 8, cache: 8, traces: 16 })
         .expect("bind backend")
 }
 
@@ -50,6 +50,7 @@ fn fleet_opts() -> FleetOptions {
         connect_timeout_ms: 500,
         job_timeout_ms: 120_000,
         dispatch_wait_ms: 30_000,
+        traces: 16,
     }
 }
 
@@ -282,6 +283,154 @@ fn cancel_propagates_and_full_fleet_queue_rejects() {
     // The queue slot is free again: the fleet accepts and finishes jobs.
     let after = request(&fleet, &run_line("table1_config"));
     assert!(ok(&after), "post-cancel job failed: {}", after.to_string_compact());
+
+    fleet.shutdown();
+    backend.shutdown();
+}
+
+#[test]
+fn traced_job_survives_a_killed_backend_and_reconstructs_end_to_end() {
+    let mut backends = [Some(start_backend()), Some(start_backend())];
+    let fleet = {
+        let refs: Vec<&Server> = backends.iter().flatten().collect();
+        start_fleet(&refs, fleet_opts())
+    };
+    wait_for("both backends alive", || backends_alive(&fleet) == 2);
+
+    // A traced slow job; its backend dies under it mid-run.
+    let traced_run =
+        r#"{"op":"run","scenario":"ablation_policies","scale":"smoke","trace_id":"kill-t1"}"#;
+    let mut slow = Connection::connect(&fleet.local_addr().to_string()).expect("connect");
+    slow.send(traced_run).expect("send traced job");
+    wait_for("traced job to reach a backend", || busy_backend(&fleet).is_some());
+    let victim: usize =
+        busy_backend(&fleet).unwrap().trim_start_matches('b').parse().expect("backend index");
+    backends[victim].take().expect("victim still running").shutdown();
+
+    let reply = slow.recv().expect("traced job response");
+    assert!(ok(&reply), "traced job failed: {}", reply.to_string_compact());
+    assert!(reply.get("attempts").and_then(Json::as_u64).unwrap_or(0) >= 2, "job was retried");
+    assert_eq!(reply.get("trace_id").and_then(Json::as_str), Some("kill-t1"));
+    let survivor = format!("b{}", 1 - victim);
+
+    // One `trace` query reconstructs the whole distributed job: the
+    // fleet's admission and every dispatch attempt, with the surviving
+    // backend's own span tree grafted under the attempt that succeeded.
+    let trace = request(&fleet, r#"{"op":"trace","trace_id":"kill-t1"}"#);
+    assert!(ok(&trace), "trace query failed: {}", trace.to_string_compact());
+    let tree = trace.get("trace").expect("trace tree");
+    let spans = tree.get("spans").and_then(Json::as_array).expect("spans");
+    let by_name = |name: &str| -> Vec<&Json> {
+        spans.iter().filter(|s| s.get("name").and_then(Json::as_str) == Some(name)).collect()
+    };
+    let attr = |span: &Json, key: &str| {
+        span.get("attrs").and_then(|a| a.get(key)).and_then(Json::as_str).map(str::to_string)
+    };
+
+    let roots = by_name("fleet.run");
+    assert_eq!(roots.len(), 1);
+    assert_eq!(attr(roots[0], "scenario").as_deref(), Some("ablation_policies"));
+    let root_id = roots[0].get("id").and_then(Json::as_u64).expect("root id");
+
+    let dispatches = by_name("fleet.dispatch");
+    assert!(dispatches.len() >= 2, "retry must add a second dispatch span");
+    for d in &dispatches {
+        assert_eq!(d.get("parent").and_then(Json::as_u64), Some(root_id));
+    }
+    assert!(
+        dispatches.iter().any(|d| attr(d, "outcome").as_deref() == Some("retry")),
+        "the killed attempt must be recorded as a retry"
+    );
+    let winner = dispatches
+        .iter()
+        .find(|d| attr(d, "outcome").as_deref() == Some("completed"))
+        .expect("a completed dispatch span");
+    assert_eq!(attr(winner, "backend"), Some(survivor.clone()));
+    let winner_id = winner.get("id").and_then(Json::as_u64).expect("winner id");
+
+    // The grafted backend tree: its serve.run root hangs under the
+    // winning dispatch span and carries the backend attribution; the
+    // execution span completed.
+    let serve_roots = by_name("serve.run");
+    assert_eq!(serve_roots.len(), 1, "exactly one backend tree grafts (the survivor's)");
+    assert_eq!(serve_roots[0].get("parent").and_then(Json::as_u64), Some(winner_id));
+    assert_eq!(attr(serve_roots[0], "backend"), Some(survivor.clone()));
+    let executes = by_name("serve.execute");
+    assert_eq!(executes.len(), 1);
+    assert_eq!(attr(executes[0], "outcome").as_deref(), Some("completed"));
+
+    // Backend accounting in the merged tree: the survivor grafted, the
+    // dead victim reported as unreachable rather than failing the query.
+    let listed = tree.get("backends").and_then(Json::as_array).expect("backends list");
+    let grafted = |name: &str| {
+        listed
+            .iter()
+            .find(|b| b.get("name").and_then(Json::as_str) == Some(name))
+            .and_then(|b| b.get("grafted").and_then(Json::as_bool))
+    };
+    assert_eq!(grafted(&survivor), Some(true));
+    assert_eq!(grafted(&format!("b{victim}")), Some(false));
+    assert_eq!(tree.get("dropped").and_then(Json::as_u64), Some(0));
+
+    fleet.shutdown();
+    if let Some(b) = backends[1 - victim].take() {
+        b.shutdown();
+    }
+}
+
+#[test]
+fn fleet_metrics_exposition_is_deterministic_and_golden_when_fresh() {
+    let backend = start_backend();
+    let fleet = start_fleet(&[&backend], fleet_opts());
+    wait_for("backend alive", || backends_alive(&fleet) == 1);
+
+    // Golden: the full exposition of a fresh one-backend fleet, byte for
+    // byte. Scrape-perturbed counters (connections, requests) and the
+    // continuously bumped probe counters are excluded by design.
+    let expected = "capsule_fleet_backend_alive{backend=\"b0\"} 1\n\
+                    capsule_fleet_backend_completed_total{backend=\"b0\"} 0\n\
+                    capsule_fleet_backend_dispatched_total{backend=\"b0\"} 0\n\
+                    capsule_fleet_backend_failures_total 0\n\
+                    capsule_fleet_backend_failures_total{backend=\"b0\"} 0\n\
+                    capsule_fleet_backend_in_flight{backend=\"b0\"} 0\n\
+                    capsule_fleet_backend_throttled{backend=\"b0\"} 0\n\
+                    capsule_fleet_backends 1\n\
+                    capsule_fleet_backends_alive 1\n\
+                    capsule_fleet_bad_requests_total 0\n\
+                    capsule_fleet_cancel_requests_total 0\n\
+                    capsule_fleet_dispatch_wait_us_bucket{le=\"+Inf\"} 0\n\
+                    capsule_fleet_dispatch_wait_us_count 0\n\
+                    capsule_fleet_dispatch_wait_us_sum 0\n\
+                    capsule_fleet_job_us_bucket{le=\"+Inf\"} 0\n\
+                    capsule_fleet_job_us_count 0\n\
+                    capsule_fleet_job_us_sum 0\n\
+                    capsule_fleet_jobs_accepted_total 0\n\
+                    capsule_fleet_jobs_cancelled_total 0\n\
+                    capsule_fleet_jobs_completed_total 0\n\
+                    capsule_fleet_jobs_failed_total 0\n\
+                    capsule_fleet_jobs_in_flight 0\n\
+                    capsule_fleet_jobs_rejected_total 0\n\
+                    capsule_fleet_pending 0\n\
+                    capsule_fleet_queue_capacity 16\n\
+                    capsule_fleet_retries_total 0\n\
+                    capsule_fleet_traces_stored 0\n";
+    let first = request(&fleet, r#"{"op":"metrics"}"#);
+    assert!(ok(&first), "metrics failed: {}", first.to_string_compact());
+    assert_eq!(first.get("exposition").and_then(Json::as_str), Some(expected));
+
+    // Two back-to-back scrapes are byte-identical, response and all.
+    let second = request(&fleet, r#"{"op":"metrics"}"#);
+    assert_eq!(first.to_string_compact(), second.to_string_compact());
+
+    // After a job the dispatch counters and latency histograms move.
+    let reply = request(&fleet, &run_line("table1_config"));
+    assert!(ok(&reply));
+    let after = request(&fleet, r#"{"op":"metrics"}"#);
+    let text = after.get("exposition").and_then(Json::as_str).expect("exposition");
+    assert!(text.contains("capsule_fleet_jobs_completed_total 1\n"), "{text}");
+    assert!(text.contains("capsule_fleet_backend_dispatched_total{backend=\"b0\"} 1\n"), "{text}");
+    assert!(text.contains("capsule_fleet_dispatch_wait_us_count 1\n"), "{text}");
+    assert!(!text.contains("probes_"), "probe counters leaked into the exposition:\n{text}");
 
     fleet.shutdown();
     backend.shutdown();

@@ -3,7 +3,8 @@
 //! Usage:
 //!   capsule-client ADDR '{"op":"run","scenario":"table1_config"}'
 //!   capsule-client ADDR run SCENARIO [SCALE] [BUDGET]
-//!   capsule-client ADDR stats|list|cancel|shutdown
+//!   capsule-client ADDR trace TRACE_ID
+//!   capsule-client ADDR stats|list|cancel|shutdown|metrics
 //!
 //! Sends one request line and prints the server's response line
 //! (pretty-printed unless `--compact`). Exits nonzero when the server
@@ -45,8 +46,17 @@ fn build_request(args: &[String]) -> String {
         return args[0].clone();
     }
     match args[0].as_str() {
-        "stats" | "list" | "cancel" | "shutdown" => {
+        "stats" | "list" | "cancel" | "shutdown" | "metrics" => {
             format!(r#"{{"op":"{}"}}"#, args[0])
+        }
+        "trace" => {
+            let Some(id) = args.get(1) else {
+                eprintln!("trace needs a trace id (submitted earlier via a run's trace_id)");
+                std::process::exit(2);
+            };
+            let mut req = Json::object();
+            req.push("op", "trace").push("trace_id", id.as_str());
+            req.to_string_compact()
         }
         "run" => {
             let Some(scenario) = args.get(1) else {
@@ -68,7 +78,10 @@ fn build_request(args: &[String]) -> String {
             req.to_string_compact()
         }
         other => {
-            eprintln!("unknown request {other:?} (run, stats, list, cancel, shutdown or raw json)");
+            eprintln!(
+                "unknown request {other:?} (run, trace, stats, list, cancel, shutdown, metrics \
+                 or raw json)"
+            );
             std::process::exit(2);
         }
     }

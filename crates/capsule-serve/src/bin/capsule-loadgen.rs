@@ -1,6 +1,7 @@
 //! Deterministic load generator for `capsule-serve` and `capsule-fleet`.
 //!
-//! Usage: `capsule-loadgen ADDR [--jobs N] [--threads T] [--fleet] [--parity ADDR2]`
+//! Usage: `capsule-loadgen ADDR [--jobs N] [--threads T] [--fleet]
+//!         [--parity ADDR2] [--trace] [--scrape FILE]`
 //!
 //! Fires N `run` requests (default 12) from T connections (default 4),
 //! cycling the full scenario catalog at smoke scale, and classifies each
@@ -17,6 +18,16 @@
 //! runs. Afterwards one scenario is replayed on a fresh connection to
 //! assert the second response is a cache hit carrying a byte-identical
 //! report. Exits nonzero if any request errored or a check failed.
+//!
+//! `--trace` attaches a `trace_id` (`lg-<job>`) to every request and
+//! names the p99-tail jobs' trace ids in the latency summary, so the
+//! slowest requests of a load run can be pulled apart immediately with
+//! the server's `trace` op (docs/OBSERVABILITY.md).
+//!
+//! `--scrape FILE` polls the endpoint's `metrics` op during the run and
+//! writes one JSON object per scrape to FILE: `{"seq":N,"metrics":{..}}`.
+//! Lines carry sequence numbers, never wall-clock timestamps, so two
+//! runs of the same workload produce structurally identical series.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -32,7 +43,8 @@ fn main() {
     let mut args = std::env::args().skip(1);
     let Some(addr) = args.next() else {
         eprintln!(
-            "usage: capsule-loadgen ADDR [--jobs N] [--threads T] [--fleet] [--parity ADDR2]"
+            "usage: capsule-loadgen ADDR [--jobs N] [--threads T] [--fleet] [--parity ADDR2] \
+             [--trace] [--scrape FILE]"
         );
         std::process::exit(2);
     };
@@ -40,6 +52,8 @@ fn main() {
     let mut threads = 4usize;
     let mut fleet = false;
     let mut parity: Option<String> = None;
+    let mut trace = false;
+    let mut scrape: Option<String> = None;
     while let Some(arg) = args.next() {
         let mut value = || {
             args.next().unwrap_or_else(|| {
@@ -58,6 +72,8 @@ fn main() {
             "--threads" => threads = int(value(), "--threads").max(1),
             "--fleet" => fleet = true,
             "--parity" => parity = Some(value()),
+            "--trace" => trace = true,
+            "--scrape" => scrape = Some(value()),
             other => {
                 eprintln!("unknown argument {other:?}");
                 std::process::exit(2);
@@ -75,6 +91,11 @@ fn main() {
     let next = Arc::new(AtomicUsize::new(0));
     let latency = Arc::new(Mutex::new(Histogram::new()));
     let reports = Arc::new(Mutex::new(BTreeMap::<String, String>::new()));
+    // `(latency_us, trace_id)` per successful traced request, for the
+    // p99-tail attribution in the summary.
+    let samples = Arc::new(Mutex::new(Vec::<(u64, String)>::new()));
+
+    let scraper = scrape.as_ref().map(|path| start_scraper(&addr, path.clone()));
 
     let handles: Vec<_> = (0..threads)
         .map(|_| {
@@ -82,20 +103,24 @@ fn main() {
             let mix = mix.clone();
             let (ok, queue_full, errors, next) =
                 (ok.clone(), queue_full.clone(), errors.clone(), next.clone());
-            let (latency, reports) = (latency.clone(), reports.clone());
+            let (latency, reports, samples) = (latency.clone(), reports.clone(), samples.clone());
             std::thread::spawn(move || loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= jobs {
                     break;
                 }
                 let scenario = mix[i % mix.len()];
-                let req = run_line(scenario);
+                let trace_id = trace.then(|| format!("lg-{i}"));
+                let req = run_line_traced(scenario, trace_id.as_deref());
                 let started = Instant::now();
                 match request_once(&addr, &req) {
                     Ok(json) => {
                         if json.get("ok").and_then(Json::as_bool) == Some(true) {
                             let us = started.elapsed().as_micros() as u64;
                             latency.lock().unwrap().record(us);
+                            if let Some(id) = trace_id {
+                                samples.lock().unwrap().push((us, id));
+                            }
                             ok.fetch_add(1, Ordering::Relaxed);
                             if let Some(report) = json.get("report").map(Json::to_string_compact) {
                                 let mut seen = reports.lock().unwrap();
@@ -139,6 +164,12 @@ fn main() {
         threads
     );
     print_latency(&latency.lock().unwrap());
+    if trace {
+        print_tail_traces(&latency.lock().unwrap(), &samples.lock().unwrap());
+    }
+    if let Some(s) = scraper {
+        s.finish();
+    }
 
     let mut failed = errors.load(Ordering::Relaxed) > 0;
     failed |= !check_cache_identity(&addr);
@@ -152,6 +183,107 @@ fn main() {
 
 fn run_line(scenario: &str) -> String {
     format!(r#"{{"op":"run","scenario":"{scenario}","scale":"smoke"}}"#)
+}
+
+fn run_line_traced(scenario: &str, trace_id: Option<&str>) -> String {
+    match trace_id {
+        None => run_line(scenario),
+        Some(id) => {
+            format!(r#"{{"op":"run","scenario":"{scenario}","scale":"smoke","trace_id":"{id}"}}"#)
+        }
+    }
+}
+
+/// Names the trace ids of the p99-tail requests: everything at or above
+/// the p99 latency bucket bound, slowest first, capped at five. These are
+/// the ids worth feeding straight into the endpoint's `trace` op.
+fn print_tail_traces(h: &Histogram, samples: &[(u64, String)]) {
+    let Some(bound) = h.quantile_bound(0.99) else {
+        println!("p99-tail traces: none (no successful requests)");
+        return;
+    };
+    // The bound is a bucket upper bound, so use the p99 bucket's *lower*
+    // edge as the cut: everything in or above the p99 bucket qualifies.
+    let cut = (bound / 2).saturating_add(1);
+    let mut tail: Vec<&(u64, String)> = samples.iter().filter(|(us, _)| *us >= cut).collect();
+    tail.sort_by(|a, b| b.0.cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+    tail.truncate(5);
+    if tail.is_empty() {
+        println!("p99-tail traces: none");
+        return;
+    }
+    let rendered: Vec<String> = tail.iter().map(|(us, id)| format!("{id} ({us}us)")).collect();
+    println!("p99-tail traces: {}", rendered.join(", "));
+}
+
+/// Background metrics scraper: polls the endpoint's `metrics` op until
+/// stopped, then writes one JSON object per scrape as JSONL. Sequence
+/// numbers, never timestamps, order the series.
+struct Scraper {
+    stop: Arc<std::sync::atomic::AtomicBool>,
+    handle: std::thread::JoinHandle<Vec<Json>>,
+    path: String,
+}
+
+fn start_scraper(addr: &str, path: String) -> Scraper {
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let handle = {
+        let addr = addr.to_string();
+        let stop = stop.clone();
+        std::thread::spawn(move || {
+            let mut out = Vec::new();
+            loop {
+                let done = stop.load(Ordering::SeqCst);
+                if let Some(metrics) = scrape_once(&addr) {
+                    let mut line = Json::object();
+                    line.push("seq", out.len()).push("metrics", metrics);
+                    out.push(line);
+                }
+                // One final scrape after the stop flag, so the series
+                // always ends with the workload's settled counters.
+                if done {
+                    return out;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(200));
+            }
+        })
+    };
+    Scraper { stop, handle, path }
+}
+
+impl Scraper {
+    fn finish(self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let lines = self.handle.join().unwrap_or_default();
+        let mut text = String::new();
+        for l in &lines {
+            text.push_str(&l.to_string_compact());
+            text.push('\n');
+        }
+        match std::fs::write(&self.path, text) {
+            Ok(()) => println!("scrape: wrote {} sample(s) to {}", lines.len(), self.path),
+            Err(e) => eprintln!("scrape: cannot write {}: {e}", self.path),
+        }
+    }
+}
+
+/// One `metrics` request, with the text exposition parsed back into a
+/// JSON object (`key -> value`) for structured JSONL.
+fn scrape_once(addr: &str) -> Option<Json> {
+    let reply = request_once(addr, r#"{"op":"metrics"}"#).ok()?;
+    if reply.get("ok").and_then(Json::as_bool) != Some(true) {
+        return None;
+    }
+    let text = reply.get("exposition").and_then(Json::as_str)?;
+    let mut obj = Json::object();
+    for line in text.lines() {
+        if let Some((key, value)) = line.rsplit_once(' ') {
+            if let Ok(v) = value.parse::<u64>() {
+                obj.push(key, v);
+            }
+        }
+    }
+    Some(obj)
 }
 
 /// End-of-run latency summary over successful requests. Quantiles are

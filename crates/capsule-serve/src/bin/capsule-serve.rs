@@ -1,10 +1,12 @@
 //! The `capsule-serve` daemon: binds a TCP address and serves
 //! `capsule-serve/1` requests until a `shutdown` request arrives.
 //!
-//! Usage: `capsule-serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]`
+//! Usage: `capsule-serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
+//!         [--traces N]`
 //!
 //! Defaults come from `CAPSULE_SERVE_WORKERS` / `CAPSULE_SERVE_QUEUE` /
-//! `CAPSULE_SERVE_CACHE`; `--addr 127.0.0.1:0` picks an ephemeral port.
+//! `CAPSULE_SERVE_CACHE` / `CAPSULE_SERVE_TRACES`; `--addr 127.0.0.1:0`
+//! picks an ephemeral port.
 //! The resolved address is printed as `listening on HOST:PORT` so
 //! scripts can scrape it.
 
@@ -26,9 +28,11 @@ fn main() {
             "--workers" => opts.workers = parse_usize(&value("--workers"), "--workers").max(1),
             "--queue" => opts.queue = parse_usize(&value("--queue"), "--queue").max(1),
             "--cache" => opts.cache = parse_usize(&value("--cache"), "--cache"),
+            "--traces" => opts.traces = parse_usize(&value("--traces"), "--traces"),
             "--help" | "-h" => {
                 println!(
-                    "usage: capsule-serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]"
+                    "usage: capsule-serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N] \
+                     [--traces N]"
                 );
                 return;
             }

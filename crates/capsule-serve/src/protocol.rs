@@ -114,6 +114,23 @@ fn division_mode_name(mode: DivisionMode) -> &'static str {
     }
 }
 
+/// Validates a `trace_id` value: a non-empty string of at most 128
+/// visible characters (no control characters), so ids are safe to echo
+/// in responses, logs and metrics labels.
+fn parse_trace_id(v: &Json) -> Result<String, RequestError> {
+    let s = v.as_str().ok_or_else(|| bad("\"trace_id\" must be a string"))?;
+    if s.is_empty() {
+        return Err(bad("\"trace_id\" must not be empty"));
+    }
+    if s.chars().count() > 128 {
+        return Err(bad("\"trace_id\" must be at most 128 characters"));
+    }
+    if s.chars().any(char::is_control) {
+        return Err(bad("\"trace_id\" must not contain control characters"));
+    }
+    Ok(s.to_string())
+}
+
 fn parse_division_mode(s: &str) -> Option<DivisionMode> {
     match s {
         "never" => Some(DivisionMode::Never),
@@ -134,6 +151,17 @@ pub struct RunRequest {
     pub budget: u64,
     /// Machine-configuration overrides.
     pub overrides: ConfigOverrides,
+    /// Client-chosen trace id: when present the server records a span
+    /// tree for this job, retrievable via the `trace` op. Observation
+    /// only — deliberately **excluded** from [`RunRequest::canonical`],
+    /// so traced and untraced requests for the same work share one
+    /// cache entry and one fleet affinity target.
+    pub trace_id: Option<String>,
+    /// Return the per-stage [`capsule_sim::StageProfile`] alongside the
+    /// report. Also excluded from the canonical form; a profiled request
+    /// bypasses the cache lookup (the profile must come from a real run)
+    /// but still stores its byte-identical report for later hits.
+    pub profile: bool,
 }
 
 impl RunRequest {
@@ -142,6 +170,9 @@ impl RunRequest {
     /// so two requests for the same work render to the same bytes. This
     /// string keys the server's result cache; its FNV-1a hash is the
     /// `cache_key` reported to clients.
+    ///
+    /// Observability fields (`trace_id`, `profile`) never appear here:
+    /// they do not change the work, so they must not change the key.
     pub fn canonical(&self) -> String {
         let mut root = Json::object();
         root.push("op", "run")
@@ -181,6 +212,14 @@ pub enum Request {
     Cancel,
     /// Stop accepting work and shut the server down.
     Shutdown,
+    /// The recorded span tree of a traced job (see
+    /// [`RunRequest::trace_id`]).
+    Trace {
+        /// The id the job was submitted with.
+        trace_id: String,
+    },
+    /// The deterministic metrics exposition (docs/OBSERVABILITY.md).
+    Metrics,
 }
 
 impl Request {
@@ -199,7 +238,18 @@ impl Request {
             .ok_or_else(|| bad("missing string field \"op\""))?;
         match op {
             "run" => Request::parse_run(obj, &json),
-            "stats" | "list" | "cancel" | "shutdown" => {
+            "trace" => {
+                for (key, _) in obj {
+                    if key != "op" && key != "trace_id" {
+                        return Err(bad(format!("unknown field {key:?} for op \"trace\"")));
+                    }
+                }
+                let id = json
+                    .get("trace_id")
+                    .ok_or_else(|| bad("trace requires a string field \"trace_id\""))?;
+                Ok(Request::Trace { trace_id: parse_trace_id(id)? })
+            }
+            "stats" | "list" | "cancel" | "shutdown" | "metrics" => {
                 for (key, _) in obj {
                     if key != "op" {
                         return Err(bad(format!("unknown field {key:?} for op {op:?}")));
@@ -209,11 +259,13 @@ impl Request {
                     "stats" => Request::Stats,
                     "list" => Request::List,
                     "cancel" => Request::Cancel,
+                    "metrics" => Request::Metrics,
                     _ => Request::Shutdown,
                 })
             }
             other => Err(bad(format!(
-                "unknown op {other:?} (expected run, stats, list, cancel or shutdown)"
+                "unknown op {other:?} (expected run, stats, list, cancel, shutdown, trace or \
+                 metrics)"
             ))),
         }
     }
@@ -221,7 +273,7 @@ impl Request {
     fn parse_run(obj: &[(String, Json)], json: &Json) -> Result<Request, RequestError> {
         for (key, _) in obj {
             match key.as_str() {
-                "op" | "scenario" | "scale" | "budget" | "config" => {}
+                "op" | "scenario" | "scale" | "budget" | "config" | "trace_id" | "profile" => {}
                 other => return Err(bad(format!("unknown field {other:?} for op \"run\""))),
             }
         }
@@ -259,7 +311,19 @@ impl Request {
             None => ConfigOverrides::default(),
             Some(cfg) => Self::parse_overrides(cfg)?,
         };
-        Ok(Request::Run(RunRequest { scenario: scenario.to_string(), scale, budget, overrides }))
+        let trace_id = json.get("trace_id").map(parse_trace_id).transpose()?;
+        let profile = match json.get("profile") {
+            None => false,
+            Some(v) => v.as_bool().ok_or_else(|| bad("\"profile\" must be a boolean"))?,
+        };
+        Ok(Request::Run(RunRequest {
+            scenario: scenario.to_string(),
+            scale,
+            budget,
+            overrides,
+            trace_id,
+            profile,
+        }))
     }
 
     fn parse_overrides(cfg: &Json) -> Result<ConfigOverrides, RequestError> {
@@ -397,10 +461,50 @@ mod tests {
                 "unknown division_mode",
             ),
             (r#"{"op":"stats","extra":1}"#, "unknown field"),
+            (r#"{"op":"metrics","extra":1}"#, "unknown field"),
+            (r#"{"op":"run","scenario":"table1_config","trace_id":7}"#, "must be a string"),
+            (r#"{"op":"run","scenario":"table1_config","trace_id":""}"#, "must not be empty"),
+            (r#"{"op":"run","scenario":"table1_config","profile":"yes"}"#, "must be a boolean"),
+            (r#"{"op":"trace"}"#, "requires a string field \"trace_id\""),
+            (r#"{"op":"trace","trace_id":"t","scale":"smoke"}"#, "unknown field"),
+            (r#"{"op":"trace","trace_id":"a\nb"}"#, "control characters"),
         ] {
             let err = Request::parse_line(line).expect_err(line);
             assert!(err.message.contains(needle), "{line}: {}", err.message);
         }
+        // Over-long ids are rejected too.
+        let long = "x".repeat(129);
+        let err = Request::parse_line(&format!(r#"{{"op":"trace","trace_id":"{long}"}}"#))
+            .expect_err("long id");
+        assert!(err.message.contains("at most 128"), "{}", err.message);
+    }
+
+    #[test]
+    fn parses_trace_and_metrics_ops() {
+        assert_eq!(
+            Request::parse_line(r#"{"op":"trace","trace_id":"job-42"}"#).unwrap(),
+            Request::Trace { trace_id: "job-42".to_string() }
+        );
+        assert_eq!(Request::parse_line(r#"{"op":"metrics"}"#).unwrap(), Request::Metrics);
+    }
+
+    #[test]
+    fn observability_fields_do_not_change_the_canonical_form() {
+        // trace_id and profile are observation-only: two requests for the
+        // same work must share a cache entry regardless of them.
+        let parse = |line: &str| {
+            let Request::Run(r) = Request::parse_line(line).unwrap() else { panic!("run") };
+            r
+        };
+        let plain = parse(r#"{"op":"run","scenario":"table1_config","scale":"smoke"}"#);
+        let traced = parse(
+            r#"{"op":"run","scenario":"table1_config","scale":"smoke","trace_id":"t1","profile":true}"#,
+        );
+        assert_eq!(traced.trace_id.as_deref(), Some("t1"));
+        assert!(traced.profile);
+        assert_eq!(plain.canonical(), traced.canonical());
+        assert!(!traced.canonical().contains("trace_id"));
+        assert!(!traced.canonical().contains("profile"));
     }
 
     #[test]

@@ -18,9 +18,10 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use capsule_bench::catalog;
-use capsule_bench::BatchRunner;
+use capsule_bench::{BatchRunner, RunOptions};
 use capsule_core::output::Json;
 use capsule_core::stats::Histogram;
+use capsule_core::{MetricsRegistry, SpanId, TraceRecorder, TraceStore};
 use capsule_sim::CancelToken;
 
 use crate::cache::ResultCache;
@@ -35,11 +36,14 @@ pub struct ServerOptions {
     pub queue: usize,
     /// Result-cache capacity in reports (`CAPSULE_SERVE_CACHE`).
     pub cache: usize,
+    /// Retained span trees for the `trace` op (`CAPSULE_SERVE_TRACES`);
+    /// 0 disables request tracing entirely.
+    pub traces: usize,
 }
 
 impl Default for ServerOptions {
     fn default() -> ServerOptions {
-        ServerOptions { workers: 2, queue: 16, cache: 64 }
+        ServerOptions { workers: 2, queue: 16, cache: 64, traces: 64 }
     }
 }
 
@@ -52,7 +56,35 @@ impl ServerOptions {
             workers: crate::env::env_usize("CAPSULE_SERVE_WORKERS", d.workers).max(1),
             queue: crate::env::env_usize("CAPSULE_SERVE_QUEUE", d.queue).max(1),
             cache: crate::env::env_usize("CAPSULE_SERVE_CACHE", d.cache),
+            traces: crate::env::env_usize("CAPSULE_SERVE_TRACES", d.traces),
         }
+    }
+}
+
+/// Per-job trace state: the recorder travels with the job from admission
+/// through the queue to the worker, and the finished tree lands in the
+/// server's [`TraceStore`] under the client-chosen id.
+struct JobTrace {
+    id: String,
+    rec: TraceRecorder,
+    root: SpanId,
+}
+
+impl JobTrace {
+    fn start(run: &RunRequest) -> Option<JobTrace> {
+        let id = run.trace_id.clone()?;
+        let mut rec = TraceRecorder::new(16, 64);
+        let root = rec.span("serve.run", None);
+        rec.attr(root, "scenario", &run.scenario);
+        rec.attr(root, "scale", run.scale.name());
+        Some(JobTrace { id, rec, root })
+    }
+
+    /// Closes the root span and files the tree under the trace id.
+    fn store(mut self, shared: &Shared) {
+        self.rec.end(self.root);
+        let tree = self.rec.finish();
+        lock(&shared.traces).put(&self.id, tree.to_json());
     }
 }
 
@@ -63,6 +95,7 @@ struct Job {
     canonical: String,
     enqueued: Instant,
     reply: mpsc::Sender<Json>,
+    trace: Option<JobTrace>,
 }
 
 #[derive(Default)]
@@ -99,6 +132,7 @@ struct Shared {
     cache: Mutex<ResultCache>,
     counters: Counters,
     latencies: Mutex<Latencies>,
+    traces: Mutex<TraceStore>,
 }
 
 fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
@@ -133,6 +167,7 @@ impl Server {
             cache: Mutex::new(ResultCache::new(opts.cache)),
             counters: Counters::default(),
             latencies: Mutex::new(Latencies::default()),
+            traces: Mutex::new(TraceStore::new(opts.traces)),
         });
 
         let mut workers = Vec::with_capacity(opts.workers);
@@ -251,24 +286,41 @@ fn handle_line(shared: &Shared, line: &str) -> (Json, bool) {
         }
         Request::Stats => (stats_response(shared), false),
         Request::List => (list_response(), false),
+        Request::Metrics => (metrics_response(shared), false),
+        Request::Trace { trace_id } => (trace_response(shared, &trace_id), false),
         Request::Shutdown => (response_head("shutdown", true), true),
     }
 }
 
 fn handle_run(shared: &Shared, run: RunRequest) -> Json {
     let canonical = run.canonical();
-    if let Some(report) = lock(&shared.cache).get(&canonical) {
-        shared.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
-        return run_ok_response(&canonical, report, true, 0, 0);
+    let mut trace = JobTrace::start(&run);
+    // A profiled request bypasses the cache lookup — the per-stage
+    // profile has to come from a real run — but still stores its report,
+    // so it neither perturbs the hit/miss counters nor goes uncached.
+    if !run.profile {
+        if let Some(report) = lock(&shared.cache).get(&canonical) {
+            shared.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+            if let Some(mut t) = trace.take() {
+                t.rec.event(t.root, "cache-hit", &[]);
+                t.store(shared);
+            }
+            let mut r = run_ok_response(&canonical, report, true, 0, 0);
+            echo_trace_id(&mut r, &run);
+            return r;
+        }
+        shared.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
+        if let Some(t) = trace.as_mut() {
+            t.rec.event(t.root, "cache-miss", &[]);
+        }
     }
-    shared.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
 
     // Clone the sender out so the jobs lock is not held while waiting.
     let Some(tx) = lock(&shared.jobs).clone() else {
         return error_response("run", "shutting-down", None);
     };
     let (reply_tx, reply_rx) = mpsc::channel();
-    let job = Job { run, canonical, enqueued: Instant::now(), reply: reply_tx };
+    let job = Job { run, canonical, enqueued: Instant::now(), reply: reply_tx, trace };
     match tx.try_send(job) {
         Ok(()) => {
             shared.counters.jobs_accepted.fetch_add(1, Ordering::Relaxed);
@@ -276,13 +328,25 @@ fn handle_run(shared: &Shared, run: RunRequest) -> Json {
                 error_response("run", "internal-error", Some("worker dropped the job"))
             })
         }
-        Err(TrySendError::Full(_)) => {
+        Err(TrySendError::Full(job)) => {
             shared.counters.jobs_rejected.fetch_add(1, Ordering::Relaxed);
+            if let Some(mut t) = job.trace {
+                t.rec.event(t.root, "queue-full", &[]);
+                t.store(shared);
+            }
             let mut r = error_response("run", "queue-full", None);
             r.push("queue_capacity", shared.opts.queue);
             r
         }
         Err(TrySendError::Disconnected(_)) => error_response("run", "shutting-down", None),
+    }
+}
+
+/// Echoes the request's trace id (if any) into a `run` response so the
+/// client can correlate the reply with a later `trace` query.
+fn echo_trace_id(r: &mut Json, run: &RunRequest) {
+    if let Some(id) = &run.trace_id {
+        r.push("trace_id", id.as_str());
     }
 }
 
@@ -314,13 +378,22 @@ fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<Job>>) {
     }
 }
 
-fn run_job(shared: &Shared, job: Job) {
+fn run_job(shared: &Shared, mut job: Job) {
     let queue_wait_us = job.enqueued.elapsed().as_micros() as u64;
     // The cancellation generation is sampled at dispatch: an operator
     // `cancel` stops jobs already running, not jobs still queued.
     let token = lock(&shared.cancel).clone();
     shared.counters.jobs_in_flight.fetch_add(1, Ordering::SeqCst);
     let started = Instant::now();
+
+    // The queue span covers enqueue -> dispatch; the execute span opens
+    // now and closes (with an outcome attribute) when the run returns.
+    let exec = job.trace.as_mut().map(|t| {
+        let start = t.rec.at(job.enqueued);
+        let queue = t.rec.span_at("serve.queue", Some(t.root), start);
+        t.rec.end(queue);
+        t.rec.span("serve.execute", Some(t.root))
+    });
 
     let entry = catalog::find(&job.run.scenario).expect("scenario validated at parse");
     let mut scenarios = entry.scenarios(job.run.scale);
@@ -330,11 +403,12 @@ fn run_job(shared: &Shared, job: Job) {
     // One batch worker per job: across-job parallelism comes from the
     // server pool, and a single-threaded batch keeps a job's cost
     // predictable for the queue's admission control.
-    let result = BatchRunner::with_workers(1).try_run_with(
+    let result = BatchRunner::with_workers(1).try_run_opts(
         entry.title,
         scenarios,
         job.run.budget,
         Some(&token),
+        RunOptions { profile: job.run.profile, trace: None },
     );
     let run_us = started.elapsed().as_micros() as u64;
     shared.counters.jobs_in_flight.fetch_sub(1, Ordering::SeqCst);
@@ -347,9 +421,18 @@ fn run_job(shared: &Shared, job: Job) {
     let response = match result {
         Ok(report) => {
             let json = report.to_json();
+            // The cached report never carries observation data: profile
+            // arrays are rebuilt per response, so a later plain hit is
+            // byte-identical to an untraced run's report.
             lock(&shared.cache).put(job.canonical.clone(), json.clone());
             shared.counters.jobs_completed.fetch_add(1, Ordering::Relaxed);
-            run_ok_response(&job.canonical, json, false, queue_wait_us, run_us)
+            finish_job_trace(shared, &mut job, exec, "completed");
+            let mut r = run_ok_response(&job.canonical, json, false, queue_wait_us, run_us);
+            echo_trace_id(&mut r, &job.run);
+            if job.run.profile {
+                r.push("profile", profile_json(&report));
+            }
+            r
         }
         Err(e) => {
             let cancelled = e.failure.is_cancelled();
@@ -358,17 +441,48 @@ fn run_job(shared: &Shared, job: Job) {
             } else {
                 shared.counters.jobs_failed.fetch_add(1, Ordering::Relaxed);
             }
+            finish_job_trace(
+                shared,
+                &mut job,
+                exec,
+                if cancelled { "cancelled" } else { "failed" },
+            );
             let mut r = error_response(
                 "run",
                 if cancelled { "cancelled" } else { "scenario-failed" },
                 Some(&e.to_string()),
             );
             r.push("queue_wait_us", queue_wait_us).push("run_us", run_us);
+            echo_trace_id(&mut r, &job.run);
             r
         }
     };
     // The connection may already be gone; the result is cached anyway.
     let _ = job.reply.send(response);
+}
+
+/// Closes the execute span with its outcome and files the span tree.
+fn finish_job_trace(shared: &Shared, job: &mut Job, exec: Option<SpanId>, outcome: &str) {
+    if let (Some(mut t), Some(exec)) = (job.trace.take(), exec) {
+        t.rec.attr(exec, "outcome", outcome);
+        t.rec.end(exec);
+        t.store(shared);
+    }
+}
+
+/// Per-record stage profiles of a batch, in record order:
+/// `[{"group":..,"label":..,"stages":{..}}, ...]`.
+fn profile_json(report: &capsule_bench::BatchReport) -> Json {
+    let mut rows = Vec::with_capacity(report.records.len());
+    for r in &report.records {
+        let mut row = Json::object();
+        row.push("group", r.group.as_str()).push("label", r.label.as_str());
+        if let Some(p) = &r.outcome.profile {
+            row.push("stages", p.to_json());
+        }
+        rows.push(row);
+    }
+    Json::Array(rows)
 }
 
 fn stats_response(shared: &Shared) -> Json {
@@ -401,4 +515,60 @@ fn stats_response(shared: &Shared) -> Json {
         .push("queue_wait_us", queue_wait)
         .push("run_us", run);
     r
+}
+
+/// The deterministic metrics exposition (docs/OBSERVABILITY.md): a
+/// Prometheus-style text body in a `metrics` response. Scrape-perturbed
+/// counters (`connections`, `requests` — each scrape is itself a
+/// connection and a request) are deliberately excluded so that two
+/// back-to-back scrapes of an idle server are byte-identical.
+fn metrics_response(shared: &Shared) -> Json {
+    let c = &shared.counters;
+    let get = |a: &AtomicU64| a.load(Ordering::Relaxed);
+    let mut m = MetricsRegistry::new();
+    m.set("capsule_serve_bad_requests_total", &[], get(&c.bad_requests));
+    m.set("capsule_serve_jobs_accepted_total", &[], get(&c.jobs_accepted));
+    m.set("capsule_serve_jobs_rejected_total", &[], get(&c.jobs_rejected));
+    m.set("capsule_serve_jobs_completed_total", &[], get(&c.jobs_completed));
+    m.set("capsule_serve_jobs_failed_total", &[], get(&c.jobs_failed));
+    m.set("capsule_serve_jobs_cancelled_total", &[], get(&c.jobs_cancelled));
+    m.set("capsule_serve_cache_hits_total", &[], get(&c.cache_hits));
+    m.set("capsule_serve_cache_misses_total", &[], get(&c.cache_misses));
+    m.set("capsule_serve_cancel_requests_total", &[], get(&c.cancel_requests));
+    m.set("capsule_serve_jobs_in_flight", &[], c.jobs_in_flight.load(Ordering::SeqCst));
+    m.set("capsule_serve_workers", &[], shared.opts.workers as u64);
+    m.set("capsule_serve_queue_capacity", &[], shared.opts.queue as u64);
+    m.set("capsule_serve_cache_capacity", &[], shared.opts.cache as u64);
+    m.set("capsule_serve_cache_entries", &[], lock(&shared.cache).len() as u64);
+    m.set("capsule_serve_traces_stored", &[], lock(&shared.traces).len() as u64);
+    {
+        let lat = lock(&shared.latencies);
+        m.histogram("capsule_serve_queue_wait_us", &[], &lat.queue_wait_us);
+        m.histogram("capsule_serve_run_us", &[], &lat.run_us);
+    }
+    let mut r = response_head("metrics", true);
+    r.push("exposition", m.render());
+    r
+}
+
+/// The `trace` op: the stored span tree for a client-chosen trace id,
+/// or an `unknown-trace` error if the id was never submitted, tracing
+/// is disabled (`traces: 0`), or the tree has been evicted.
+fn trace_response(shared: &Shared, trace_id: &str) -> Json {
+    match lock(&shared.traces).get(trace_id).cloned() {
+        Some(tree) => {
+            let mut r = response_head("trace", true);
+            r.push("trace_id", trace_id).push("trace", tree);
+            r
+        }
+        None => {
+            let mut r = error_response(
+                "trace",
+                "unknown-trace",
+                Some("no stored trace for this id (never submitted, disabled, or evicted)"),
+            );
+            r.push("trace_id", trace_id);
+            r
+        }
+    }
 }

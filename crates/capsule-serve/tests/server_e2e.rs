@@ -14,7 +14,7 @@ use capsule_core::output::Json;
 use capsule_serve::{Server, ServerOptions};
 
 fn start(workers: usize, queue: usize, cache: usize) -> Server {
-    Server::start("127.0.0.1:0", ServerOptions { workers, queue, cache })
+    Server::start("127.0.0.1:0", ServerOptions { workers, queue, cache, traces: 16 })
         .expect("bind ephemeral port")
 }
 
@@ -236,6 +236,163 @@ fn list_names_every_catalog_entry_and_stats_counts_requests() {
     assert!(names.contains(&"fig3_dijkstra_dist"));
     assert!(names.contains(&"toolchain_overhead"));
     assert!(counter(&server, "requests") >= 2);
+    server.shutdown();
+}
+
+#[test]
+fn profile_run_returns_stage_profiles_without_touching_the_report() {
+    let server = start(1, 4, 8);
+
+    let plain = request(&server, SMOKE_RUN);
+    assert!(ok(&plain));
+    assert!(plain.get("profile").is_none(), "unprofiled run must not carry profiles");
+
+    // profile:true bypasses the cache lookup (the stage profile has to
+    // come from a real run), so this is a fresh execution...
+    let profiled = request(
+        &server,
+        r#"{"op":"run","scenario":"table1_config","scale":"smoke","profile":true}"#,
+    );
+    assert!(ok(&profiled), "profiled run failed: {}", profiled.to_string_compact());
+    assert_eq!(profiled.get("cache_hit").and_then(Json::as_bool), Some(false));
+    // ...whose report is still byte-identical: profiling is observation-only.
+    assert_eq!(
+        plain.get("report").map(Json::to_string_compact),
+        profiled.get("report").map(Json::to_string_compact),
+        "profiling perturbed the report"
+    );
+
+    let rows = profiled.get("profile").and_then(Json::as_array).expect("profile array");
+    let report_runs = profiled
+        .get("report")
+        .and_then(|r| r.get("records"))
+        .and_then(Json::as_array)
+        .expect("records")
+        .len();
+    assert_eq!(rows.len(), report_runs, "one profile row per record");
+    for row in rows {
+        assert!(row.get("group").and_then(Json::as_str).is_some());
+        let stages = row.get("stages").expect("stages object");
+        for stage in ["fetch", "dispatch", "issue", "complete", "commit"] {
+            let s = stages.get(stage).unwrap_or_else(|| panic!("missing stage {stage}"));
+            assert!(s.get("active_cycles").and_then(Json::as_u64).is_some());
+            assert!(s.get("units").and_then(Json::as_u64).is_some());
+        }
+        assert!(stages.get("stepped_cycles").and_then(Json::as_u64).is_some());
+    }
+    server.shutdown();
+}
+
+#[test]
+fn traced_job_is_reconstructable_via_the_trace_op() {
+    let server = start(1, 4, 8);
+
+    // An unknown id is a structured error, not a hang or an empty tree.
+    let missing = request(&server, r#"{"op":"trace","trace_id":"never-submitted"}"#);
+    assert!(!ok(&missing));
+    assert_eq!(error_code(&missing), Some("unknown-trace"));
+
+    let run = request(
+        &server,
+        r#"{"op":"run","scenario":"table1_config","scale":"smoke","trace_id":"e2e-t1"}"#,
+    );
+    assert!(ok(&run), "traced run failed: {}", run.to_string_compact());
+    assert_eq!(run.get("trace_id").and_then(Json::as_str), Some("e2e-t1"));
+
+    let reply = request(&server, r#"{"op":"trace","trace_id":"e2e-t1"}"#);
+    assert!(ok(&reply), "trace query failed: {}", reply.to_string_compact());
+    let tree = reply.get("trace").expect("trace tree");
+    assert_eq!(tree.get("dropped").and_then(Json::as_u64), Some(0));
+    let spans = tree.get("spans").and_then(Json::as_array).expect("spans");
+    let names: Vec<&str> =
+        spans.iter().filter_map(|s| s.get("name").and_then(Json::as_str)).collect();
+    assert_eq!(names, ["serve.run", "serve.queue", "serve.execute"]);
+
+    let root = &spans[0];
+    assert_eq!(root.get("parent"), Some(&Json::Null));
+    let attr = |span: &Json, key: &str| {
+        span.get("attrs").and_then(|a| a.get(key)).and_then(Json::as_str).map(str::to_string)
+    };
+    assert_eq!(attr(root, "scenario").as_deref(), Some("table1_config"));
+    assert_eq!(attr(root, "scale").as_deref(), Some("smoke"));
+    let miss = root.get("events").and_then(Json::as_array).expect("events");
+    assert!(
+        miss.iter().any(|e| e.get("name").and_then(Json::as_str) == Some("cache-miss")),
+        "first traced run must record a cache-miss event"
+    );
+    // Children hang off the root, every span is closed, and the execute
+    // span carries its outcome.
+    let root_id = root.get("id").and_then(Json::as_u64).expect("id");
+    for span in &spans[1..] {
+        assert_eq!(span.get("parent").and_then(Json::as_u64), Some(root_id));
+        assert!(span.get("end_us").and_then(Json::as_u64).is_some(), "span left open");
+    }
+    assert_eq!(attr(&spans[2], "outcome").as_deref(), Some("completed"));
+
+    // The same work traced again is a cache hit; the stored tree says so.
+    let hit = request(
+        &server,
+        r#"{"op":"run","scenario":"table1_config","scale":"smoke","trace_id":"e2e-t2"}"#,
+    );
+    assert_eq!(hit.get("cache_hit").and_then(Json::as_bool), Some(true));
+    let reply2 = request(&server, r#"{"op":"trace","trace_id":"e2e-t2"}"#);
+    let spans2 = reply2.get("trace").and_then(|t| t.get("spans")).unwrap();
+    let hit_events = spans2.as_array().unwrap()[0].get("events").and_then(Json::as_array).unwrap();
+    assert!(
+        hit_events.iter().any(|e| e.get("name").and_then(Json::as_str) == Some("cache-hit")),
+        "cache-hit trace must record the hit"
+    );
+
+    server.shutdown();
+}
+
+#[test]
+fn metrics_exposition_is_deterministic_and_golden_on_a_fresh_server() {
+    let server = start(1, 4, 8);
+
+    // Golden: the full exposition of an untouched server, byte for byte.
+    // Scrape-perturbed counters (connections, requests) are excluded by
+    // design, so a scrape does not change the next scrape.
+    let expected = "capsule_serve_bad_requests_total 0\n\
+                    capsule_serve_cache_capacity 8\n\
+                    capsule_serve_cache_entries 0\n\
+                    capsule_serve_cache_hits_total 0\n\
+                    capsule_serve_cache_misses_total 0\n\
+                    capsule_serve_cancel_requests_total 0\n\
+                    capsule_serve_jobs_accepted_total 0\n\
+                    capsule_serve_jobs_cancelled_total 0\n\
+                    capsule_serve_jobs_completed_total 0\n\
+                    capsule_serve_jobs_failed_total 0\n\
+                    capsule_serve_jobs_in_flight 0\n\
+                    capsule_serve_jobs_rejected_total 0\n\
+                    capsule_serve_queue_capacity 4\n\
+                    capsule_serve_queue_wait_us_bucket{le=\"+Inf\"} 0\n\
+                    capsule_serve_queue_wait_us_count 0\n\
+                    capsule_serve_queue_wait_us_sum 0\n\
+                    capsule_serve_run_us_bucket{le=\"+Inf\"} 0\n\
+                    capsule_serve_run_us_count 0\n\
+                    capsule_serve_run_us_sum 0\n\
+                    capsule_serve_traces_stored 0\n\
+                    capsule_serve_workers 1\n";
+    let first = request(&server, r#"{"op":"metrics"}"#);
+    assert!(ok(&first));
+    assert_eq!(first.get("exposition").and_then(Json::as_str), Some(expected));
+
+    // Two back-to-back scrapes are byte-identical, response and all.
+    let second = request(&server, r#"{"op":"metrics"}"#);
+    assert_eq!(first.to_string_compact(), second.to_string_compact());
+
+    // After real work the counters move and the histograms fill in.
+    let run = request(&server, SMOKE_RUN);
+    assert!(ok(&run));
+    let after = request(&server, r#"{"op":"metrics"}"#);
+    let text = after.get("exposition").and_then(Json::as_str).expect("exposition");
+    assert!(text.contains("capsule_serve_jobs_completed_total 1\n"), "{text}");
+    assert!(text.contains("capsule_serve_cache_misses_total 1\n"), "{text}");
+    assert!(text.contains("capsule_serve_cache_entries 1\n"), "{text}");
+    assert!(text.contains("capsule_serve_run_us_count 1\n"), "{text}");
+    assert!(!text.contains("connections"), "scrape-perturbed counter leaked in:\n{text}");
+
     server.shutdown();
 }
 

@@ -1,0 +1,296 @@
+//! Chrome trace-event export of a simulated run's CAPSULE timeline.
+//!
+//! Converts a [`Trace`] (divisions, deaths, swaps, locks, sections) into
+//! the Chrome trace-event JSON format that `chrome://tracing` and
+//! Perfetto load: one timeline lane per hardware context carrying the
+//! worker residency intervals, one lane for division decisions (grants
+//! as well as `deny:*` outcomes, as instant events), and one lane for
+//! `mark.*` section begin/end pairs. Timestamps are simulated cycles,
+//! presented in the viewer's microsecond field (1 cycle = 1 µs on
+//! screen; only relative durations matter).
+//!
+//! The export is a pure function of the trace — it replays the event log
+//! and never touches the machine, so it cannot perturb simulated
+//! numbers. Worker→slot placement is reconstructed from the swap/death
+//! events themselves: the event that closes a residency interval names
+//! the slot, so the replay only has to remember when each worker last
+//! became resident.
+
+use std::collections::HashMap;
+
+use capsule_core::ids::WorkerId;
+use capsule_core::output::Json;
+
+use crate::outcome::StageProfile;
+use crate::trace::{Trace, TraceKind};
+
+/// The fixed process id used for all lanes (one simulated machine).
+const PID: u64 = 1;
+
+fn event(name: &str, ph: &str, ts: u64, tid: u64) -> Json {
+    let mut o = Json::object();
+    o.push("name", name).push("ph", ph).push("ts", ts).push("pid", PID).push("tid", tid);
+    o
+}
+
+fn instant(name: &str, ts: u64, tid: u64, args: Json) -> Json {
+    let mut o = event(name, "i", ts, tid);
+    o.push("s", "t").push("args", args);
+    o
+}
+
+fn thread_name(tid: u64, name: &str) -> Json {
+    let mut args = Json::object();
+    args.push("name", name);
+    let mut o = event("thread_name", "M", 0, tid);
+    o.push("args", args);
+    o
+}
+
+/// Renders `trace` as a Chrome trace-event JSON document for a machine
+/// with `contexts` hardware contexts, optionally embedding the run's
+/// [`StageProfile`] as an instant event at time zero.
+///
+/// Layout: lanes (`tid`) `0..contexts` are the hardware contexts (named
+/// `ctx0`, `ctx1`, ...); lane `contexts` is `divisions` (instant events
+/// `divide:context`, `divide:stack`, `deny:resource`, `deny:throttle`,
+/// `deny:disabled`, plus `halt` and the optional `stage_profile`); lane
+/// `contexts + 1` is `sections` (`B`/`E` pairs per `mark.*` id). Worker
+/// residency shows as complete (`X`) events named `w<id>` on the slot's
+/// lane. Lock traffic (`lock:acquire`, `lock:block`, `lock:transfer`)
+/// lands on the slot lane it happened on. The `otherData` object carries
+/// the retained/dropped event counts so truncation is never silent.
+pub fn chrome_trace(trace: &Trace, contexts: usize, profile: Option<&StageProfile>) -> Json {
+    let divisions_lane = contexts as u64;
+    let sections_lane = contexts as u64 + 1;
+    let mut events: Vec<Json> = Vec::with_capacity(trace.events().len() + contexts + 4);
+
+    {
+        let mut args = Json::object();
+        args.push("name", "capsule-sim");
+        let mut o = event("process_name", "M", 0, 0);
+        o.push("args", args);
+        events.push(o);
+    }
+    for ctx in 0..contexts {
+        events.push(thread_name(ctx as u64, &format!("ctx{ctx}")));
+    }
+    events.push(thread_name(divisions_lane, "divisions"));
+    events.push(thread_name(sections_lane, "sections"));
+
+    if let Some(p) = profile {
+        events.push(instant("stage_profile", 0, divisions_lane, p.to_json()));
+    }
+
+    // Worker → cycle at which it last became resident in some context
+    // (slot learned from the closing swap-out/death event). Loader
+    // workers never get an explicit "placed" event, so an untracked
+    // worker is assumed resident since cycle 0.
+    let mut resident_since: HashMap<WorkerId, u64> = HashMap::new();
+    let mut final_cycle = 0u64;
+
+    for e in trace.events() {
+        final_cycle = final_cycle.max(e.cycle);
+        match &e.kind {
+            TraceKind::Division { parent, child, outcome } => {
+                let name = match child {
+                    Some(_) => format!("divide:{outcome}"),
+                    None => (*outcome).to_string(),
+                };
+                let mut args = Json::object();
+                args.push("parent", parent.0)
+                    .push("child", child.map_or(Json::Null, |c| Json::UInt(c.0 as u64)))
+                    .push("outcome", *outcome);
+                events.push(instant(&name, e.cycle, divisions_lane, args));
+                if let (Some(c), "context") = (child, *outcome) {
+                    resident_since.insert(*c, e.cycle);
+                }
+            }
+            TraceKind::Death { worker, slot } | TraceKind::SwapOut { worker, slot } => {
+                let since = resident_since.remove(worker).unwrap_or(0);
+                let mut args = Json::object();
+                args.push("worker", worker.0);
+                let mut o = event(&worker.to_string(), "X", since, *slot as u64);
+                o.push("dur", e.cycle.saturating_sub(since)).push("args", args);
+                events.push(o);
+                if matches!(e.kind, TraceKind::Death { .. }) {
+                    let mut args = Json::object();
+                    args.push("worker", worker.0);
+                    events.push(instant("death", e.cycle, *slot as u64, args));
+                }
+            }
+            TraceKind::SwapIn { worker, slot: _ } => {
+                resident_since.insert(*worker, e.cycle);
+            }
+            TraceKind::LockAcquire { slot, addr } => {
+                let mut args = Json::object();
+                args.push("addr", format!("{addr:#x}").as_str());
+                events.push(instant("lock:acquire", e.cycle, *slot as u64, args));
+            }
+            TraceKind::LockBlock { slot, addr } => {
+                let mut args = Json::object();
+                args.push("addr", format!("{addr:#x}").as_str());
+                events.push(instant("lock:block", e.cycle, *slot as u64, args));
+            }
+            TraceKind::LockTransfer { to, addr } => {
+                let mut args = Json::object();
+                args.push("addr", format!("{addr:#x}").as_str());
+                events.push(instant("lock:transfer", e.cycle, *to as u64, args));
+            }
+            TraceKind::Mark { id, enter } => {
+                let ph = if *enter { "B" } else { "E" };
+                events.push(event(&format!("section {id}"), ph, e.cycle, sections_lane));
+            }
+            TraceKind::Halt => {
+                events.push(instant("halt", e.cycle, divisions_lane, Json::object()));
+            }
+        }
+    }
+
+    // Workers still resident when the trace ended (the halting ancestor,
+    // or victims of log truncation): no closing event ever named their
+    // slot, so they cannot be drawn as intervals. Surface the count
+    // instead of dropping it silently.
+    let unplaced = resident_since.len();
+
+    let mut other = Json::object();
+    other
+        .push("retained_events", trace.events().len() as u64)
+        .push("dropped_events", trace.dropped())
+        .push("contexts", contexts)
+        .push("final_cycle", final_cycle)
+        .push("open_residencies", unplaced);
+
+    let mut out = Json::object();
+    out.push("traceEvents", Json::Array(events)).push("otherData", other);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lane_names(doc: &Json) -> Vec<(u64, String)> {
+        doc.get("traceEvents")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .filter(|e| e.get("name").and_then(Json::as_str) == Some("thread_name"))
+            .map(|e| {
+                (
+                    e.get("tid").unwrap().as_u64().unwrap(),
+                    e.get("args").unwrap().get("name").unwrap().as_str().unwrap().to_string(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn lanes_intervals_and_instants() {
+        let mut t = Trace::new(64);
+        t.push(
+            5,
+            TraceKind::Division {
+                parent: WorkerId(0),
+                child: Some(WorkerId(1)),
+                outcome: "context",
+            },
+        );
+        t.push(7, TraceKind::LockBlock { slot: 2, addr: 0x40 });
+        t.push(
+            9,
+            TraceKind::Division { parent: WorkerId(1), child: None, outcome: "deny:throttle" },
+        );
+        t.push(12, TraceKind::Mark { id: 3, enter: true });
+        t.push(20, TraceKind::Mark { id: 3, enter: false });
+        t.push(30, TraceKind::Death { worker: WorkerId(1), slot: 4 });
+        t.push(40, TraceKind::Halt);
+        let doc = chrome_trace(&t, 8, None);
+
+        // One named lane per context plus divisions + sections.
+        let lanes = lane_names(&doc);
+        assert_eq!(lanes.len(), 10);
+        assert!(lanes.contains(&(0, "ctx0".into())));
+        assert!(lanes.contains(&(7, "ctx7".into())));
+        assert!(lanes.contains(&(8, "divisions".into())));
+        assert!(lanes.contains(&(9, "sections".into())));
+
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        // w1: resident from its context-grant at cycle 5 to death at 30,
+        // drawn on the slot its death named (ctx4).
+        let w1 = events
+            .iter()
+            .find(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+            .expect("one residency interval");
+        assert_eq!(w1.get("name").unwrap().as_str(), Some("w1"));
+        assert_eq!(w1.get("ts").unwrap().as_u64(), Some(5));
+        assert_eq!(w1.get("dur").unwrap().as_u64(), Some(25));
+        assert_eq!(w1.get("tid").unwrap().as_u64(), Some(4));
+
+        // The deny shows as an instant on the divisions lane.
+        let deny = events
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("deny:throttle"))
+            .expect("deny instant");
+        assert_eq!(deny.get("ph").unwrap().as_str(), Some("i"));
+        assert_eq!(deny.get("tid").unwrap().as_u64(), Some(8));
+        assert_eq!(deny.get("args").unwrap().get("child").unwrap(), &Json::Null);
+
+        // Sections render as a B/E pair; locks on their context lane.
+        assert!(events.iter().any(|e| e.get("ph").and_then(Json::as_str) == Some("B")
+            && e.get("name").and_then(Json::as_str) == Some("section 3")));
+        assert!(events.iter().any(|e| e.get("ph").and_then(Json::as_str) == Some("E")));
+        let lock = events
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("lock:block"))
+            .unwrap();
+        assert_eq!(lock.get("tid").unwrap().as_u64(), Some(2));
+        assert_eq!(lock.get("args").unwrap().get("addr").unwrap().as_str(), Some("0x40"));
+
+        let other = doc.get("otherData").unwrap();
+        assert_eq!(other.get("retained_events").unwrap().as_u64(), Some(7));
+        assert_eq!(other.get("dropped_events").unwrap().as_u64(), Some(0));
+        assert_eq!(other.get("final_cycle").unwrap().as_u64(), Some(40));
+    }
+
+    #[test]
+    fn truncation_is_reported_not_silent() {
+        let mut t = Trace::new(2);
+        t.push(1, TraceKind::Mark { id: 0, enter: true });
+        t.push(2, TraceKind::Mark { id: 0, enter: false });
+        t.push(3, TraceKind::Halt);
+        let doc = chrome_trace(&t, 4, None);
+        let other = doc.get("otherData").unwrap();
+        assert_eq!(other.get("retained_events").unwrap().as_u64(), Some(2));
+        assert_eq!(other.get("dropped_events").unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn profile_embeds_as_instant() {
+        let p = StageProfile { stepped_cycles: 17, ..Default::default() };
+        let doc = chrome_trace(&Trace::new(4), 2, Some(&p));
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        let sp = events
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("stage_profile"))
+            .expect("profile instant");
+        assert_eq!(sp.get("args").unwrap().get("stepped_cycles").unwrap().as_u64(), Some(17));
+        // It sits on the divisions lane of a 2-context machine.
+        assert_eq!(sp.get("tid").unwrap().as_u64(), Some(2));
+    }
+
+    #[test]
+    fn document_parses_back_as_json() {
+        let mut t = Trace::new(8);
+        t.push(1, TraceKind::SwapIn { worker: WorkerId(2), slot: 1 });
+        t.push(6, TraceKind::SwapOut { worker: WorkerId(2), slot: 1 });
+        let doc = chrome_trace(&t, 2, None);
+        let text = doc.to_string_pretty();
+        let back = Json::parse(&text).expect("chrome export is valid JSON");
+        assert_eq!(
+            back.get("traceEvents").unwrap().as_array().unwrap().len(),
+            doc.get("traceEvents").unwrap().as_array().unwrap().len()
+        );
+    }
+}

@@ -40,6 +40,7 @@
 #![warn(missing_docs)]
 
 pub mod cancel;
+pub mod chrome;
 pub mod exec;
 pub mod interp;
 pub mod locks;
@@ -50,6 +51,7 @@ pub mod predictor;
 pub mod trace;
 
 pub use cancel::CancelToken;
+pub use chrome::chrome_trace;
 pub use exec::{ArchState, Memory, OutValue, TrapKind};
 pub use interp::{Interp, InterpConfig, InterpError, InterpOutcome};
 pub use machine::Machine;

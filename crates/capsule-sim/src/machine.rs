@@ -448,6 +448,7 @@ impl Machine {
             l2: self.hier.l2_stats(),
             mem_accesses: self.hier.mem_accesses(),
             profile: self.profile.as_deref().cloned(),
+            trace: self.trace.clone(),
         }
     }
 

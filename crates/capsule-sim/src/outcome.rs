@@ -1,10 +1,12 @@
 //! Run results and errors of the cycle-level machine.
 
+use capsule_core::output::Json;
 use capsule_core::stats::{DivisionTree, SectionTracker, SimStats};
 use capsule_isa::program::ProgramError;
 use capsule_mem::CacheStats;
 
 use crate::exec::{OutValue, TrapKind};
+use crate::trace::Trace;
 
 /// Why a simulation ended abnormally.
 #[derive(Debug, Clone, PartialEq)]
@@ -102,6 +104,10 @@ pub struct SimOutcome {
     /// Per-stage self-profile, when enabled via
     /// [`Machine::enable_profile`](crate::Machine::enable_profile).
     pub profile: Option<StageProfile>,
+    /// The CAPSULE event trace, when enabled via
+    /// [`Machine::enable_trace`](crate::Machine::enable_trace) —
+    /// consumed by [`crate::chrome::chrome_trace`] for timeline export.
+    pub trace: Option<Trace>,
 }
 
 /// Work counters of one pipeline stage (see [`StageProfile`]).
@@ -146,6 +152,30 @@ pub struct StageProfile {
     pub fast_forwards: u64,
     /// Cycles skipped by fast-forward (still counted in `stats.cycles`).
     pub skipped_cycles: u64,
+}
+
+impl StageProfile {
+    /// The profile as a JSON object (stage → `{active_cycles, units}`
+    /// plus the stepped/fast-forward counters) — the shape returned by
+    /// `capsule-serve` for `profile: true` requests and embedded in
+    /// Chrome-trace exports.
+    pub fn to_json(&self) -> Json {
+        let stage = |c: &StageCount| {
+            let mut o = Json::object();
+            o.push("active_cycles", c.active_cycles).push("units", c.units);
+            o
+        };
+        let mut o = Json::object();
+        o.push("fetch", stage(&self.fetch))
+            .push("dispatch", stage(&self.dispatch))
+            .push("issue", stage(&self.issue))
+            .push("complete", stage(&self.complete))
+            .push("commit", stage(&self.commit))
+            .push("stepped_cycles", self.stepped_cycles)
+            .push("fast_forwards", self.fast_forwards)
+            .push("skipped_cycles", self.skipped_cycles);
+        o
+    }
 }
 
 impl SimOutcome {

@@ -118,7 +118,7 @@ impl fmt::Display for TraceEvent {
 }
 
 /// A bounded event log.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Trace {
     events: Vec<TraceEvent>,
     limit: usize,
@@ -148,6 +148,11 @@ impl Trace {
     /// Events dropped because the limit was reached.
     pub fn dropped(&self) -> u64 {
         self.dropped
+    }
+
+    /// The retention limit this log was created with.
+    pub fn limit(&self) -> usize {
+        self.limit
     }
 
     /// Renders the timeline.

@@ -245,9 +245,9 @@ fn division_latency_delays_child() {
     );
 }
 
-/// The event trace captures the CAPSULE decisions of a run.
-#[test]
-fn trace_records_division_lifecycle() {
+/// One division + death + section, enough to emit a handful of trace
+/// events (shared by the trace tests below).
+fn division_lifecycle_program() -> Program {
     let mut d = DataBuilder::new();
     let flag = d.word(0);
     let mut a = Asm::new();
@@ -265,7 +265,13 @@ fn trace_records_division_lifecycle() {
     a.li(Reg(3), 1);
     a.st(Reg(3), 0, Reg(2));
     a.kthr();
-    let p = Program::new(a.assemble().unwrap(), d.build(), 4096).with_thread(ThreadSpec::at(0));
+    Program::new(a.assemble().unwrap(), d.build(), 4096).with_thread(ThreadSpec::at(0))
+}
+
+/// The event trace captures the CAPSULE decisions of a run.
+#[test]
+fn trace_records_division_lifecycle() {
+    let p = division_lifecycle_program();
     let mut m = Machine::new(MachineConfig::table1_somt(), &p).expect("machine");
     m.enable_trace(64);
     let o = m.run(1_000_000).expect("halts");
@@ -276,6 +282,35 @@ fn trace_records_division_lifecycle() {
     assert!(rendered.contains("section 1 enter"), "{rendered}");
     assert!(rendered.contains("halt"), "{rendered}");
     assert_eq!(m.trace().unwrap().dropped(), 0);
+    // The trace also rides out on the outcome itself, for consumers that
+    // no longer hold the machine (the scenario runner, timeline export).
+    let out_trace = o.trace.as_ref().expect("outcome carries the trace");
+    assert_eq!(out_trace.events(), m.trace().unwrap().events());
+}
+
+/// Regression: a run that overflows the trace limit keeps exactly
+/// `limit` events, counts every drop, and perturbs nothing — the
+/// simulated outcome is identical to an untraced run.
+#[test]
+fn trace_limit_overflow_counts_drops_without_perturbing() {
+    let p = division_lifecycle_program();
+    let mut plain = Machine::new(MachineConfig::table1_somt(), &p).expect("machine");
+    let baseline = plain.run(1_000_000).expect("halts");
+
+    let mut m = Machine::new(MachineConfig::table1_somt(), &p).expect("machine");
+    m.enable_trace(2);
+    let o = m.run(1_000_000).expect("halts");
+    let t = o.trace.as_ref().expect("trace enabled");
+    assert_eq!(t.limit(), 2);
+    assert_eq!(t.events().len(), 2, "retention is capped at the limit");
+    assert!(t.dropped() > 0, "overflow must be counted, not silent");
+    assert!(t.render().contains("further events dropped"), "{}", t.render());
+
+    // Nothing timed moved: tracing is observation only.
+    assert_eq!(o.stats.cycles, baseline.stats.cycles);
+    assert_eq!(o.stats.committed, baseline.stats.committed);
+    assert_eq!(o.output, baseline.output);
+    assert_eq!(baseline.trace, None);
 }
 
 /// Error types render useful messages (C-GOOD-ERR).

@@ -105,6 +105,35 @@ if [ "$reporting" != "2" ]; then
     echo "expected 2 backends reporting, got '$reporting'" >&2
     exit 1
 fi
+echo "==> observability smoke test"
+# A traced job through the fleet must be reconstructable end to end:
+# the trace op's tree has to contain both the coordinator's dispatch
+# span and the backend's execution span (grafted at query time). The
+# budget is non-default so the job's canonical form misses the caches
+# the sweep above populated and the backend really executes. Then the
+# metrics exposition must be scrape-stable: two back-to-back scrapes
+# byte-identical (docs/OBSERVABILITY.md).
+target/release/capsule-client "$fleet_addr" --compact \
+    '{"op":"run","scenario":"table1_config","scale":"smoke","budget":190000000000,"trace_id":"ci-t1"}' \
+    >/dev/null
+trace_out="$(target/release/capsule-client "$fleet_addr" trace ci-t1 --compact)"
+for span in '"name":"fleet.dispatch"' '"name":"serve.execute"'; do
+    case "$trace_out" in
+        *"$span"*) ;;
+        *)
+            echo "trace ci-t1 is missing $span:" >&2
+            echo "$trace_out" >&2
+            exit 1
+            ;;
+    esac
+done
+m1="$(target/release/capsule-client "$fleet_addr" metrics --compact)"
+m2="$(target/release/capsule-client "$fleet_addr" metrics --compact)"
+if [ "$m1" != "$m2" ]; then
+    echo "metrics exposition is not scrape-stable:" >&2
+    printf '%s\n%s\n' "$m1" "$m2" >&2
+    exit 1
+fi
 target/release/capsule-client "$fleet_addr" shutdown --compact
 target/release/capsule-client "$b1_addr" shutdown --compact
 target/release/capsule-client "$b2_addr" shutdown --compact
