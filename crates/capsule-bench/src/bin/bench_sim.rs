@@ -10,12 +10,17 @@
 //!
 //! ```text
 //! bench_sim [--scale smoke|quick|full] [--out PATH] [--baseline PATH]
-//!           [--entries a,b,c] [--reports DIR] [--deterministic]
-//!           [--trace-export DIR]
+//!           [--compare PATH] [--noise FRAC] [--entries a,b,c]
+//!           [--reports DIR] [--deterministic] [--trace-export DIR]
 //! ```
 //!
 //! - `--baseline PATH` folds a previous `BENCH_sim.json` in: each entry
 //!   gains `baseline_wall_ms` and `speedup` (baseline / current).
+//! - `--compare PATH` gates on a previous `BENCH_sim.json`: prints a
+//!   per-entry `sim_cycles_per_sec` speedup table and exits nonzero if
+//!   any entry regressed beyond the `--noise` fraction (default 0.15,
+//!   i.e. current throughput below 85% of the baseline fails). The
+//!   output file is still written before the gate exits.
 //! - `--reports DIR` additionally writes each entry's deterministic
 //!   `capsule-bench-report/1` JSON to `DIR/<entry>.json`, for
 //!   byte-identical parity checks across simulator changes.
@@ -47,6 +52,8 @@ struct Args {
     scale: Scale,
     out: String,
     baseline: Option<String>,
+    compare: Option<String>,
+    noise: f64,
     entries: Option<Vec<String>>,
     reports: Option<String>,
     deterministic: bool,
@@ -58,6 +65,8 @@ fn parse_args() -> Args {
         scale: Scale::Quick,
         out: "BENCH_sim.json".to_string(),
         baseline: None,
+        compare: None,
+        noise: 0.15,
         entries: None,
         reports: None,
         deterministic: false,
@@ -81,6 +90,14 @@ fn parse_args() -> Args {
             }
             "--out" => args.out = value("--out"),
             "--baseline" => args.baseline = Some(value("--baseline")),
+            "--compare" => args.compare = Some(value("--compare")),
+            "--noise" => {
+                let v = value("--noise");
+                args.noise = v.parse().unwrap_or_else(|_| {
+                    eprintln!("--noise needs a fraction (e.g. 0.15), got {v:?}");
+                    std::process::exit(2);
+                });
+            }
             "--reports" => args.reports = Some(value("--reports")),
             "--entries" => {
                 args.entries =
@@ -98,8 +115,8 @@ fn parse_args() -> Args {
     args
 }
 
-/// Reads `entry -> wall_ms` out of a previous `BENCH_sim.json`.
-fn read_baseline(path: &str) -> Vec<(String, f64)> {
+/// Reads `entry -> <field>` out of a previous `BENCH_sim.json`.
+fn read_entry_field(path: &str, field: &str) -> Vec<(String, f64)> {
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
         eprintln!("cannot read baseline {path}: {e}");
         std::process::exit(2);
@@ -111,14 +128,51 @@ fn read_baseline(path: &str) -> Vec<(String, f64)> {
     let mut map = Vec::new();
     if let Some(entries) = json.get("entries").and_then(Json::as_array) {
         for e in entries {
-            if let (Some(name), Some(ms)) =
-                (e.get("entry").and_then(Json::as_str), e.get("wall_ms").and_then(Json::as_f64))
+            if let (Some(name), Some(v)) =
+                (e.get("entry").and_then(Json::as_str), e.get(field).and_then(Json::as_f64))
             {
-                map.push((name.to_string(), ms));
+                map.push((name.to_string(), v));
             }
         }
     }
     map
+}
+
+/// The `--compare` gate: per-entry `sim_cycles_per_sec` speedup table
+/// against a previous `BENCH_sim.json`; returns the number of entries
+/// that regressed beyond the noise fraction.
+fn compare_throughput(path: &str, noise: f64, results: &[EntryResult]) -> usize {
+    let base = read_entry_field(path, "sim_cycles_per_sec");
+    println!("\ncomparison vs {path} (noise tolerance {:.0}%):", noise * 100.0);
+    println!(
+        "  {:<24} {:>14} {:>14} {:>9}  verdict",
+        "entry", "baseline c/s", "current c/s", "speedup"
+    );
+    let mut regressions = 0usize;
+    for r in results {
+        let cur = r.sim_cycles as f64 / (r.wall_ms / 1e3).max(1e-9);
+        let Some((_, base_cps)) = base.iter().find(|(n, _)| n == r.name) else {
+            println!("  {:<24} {:>14} {:>14.0} {:>9}  new", r.name, "-", cur, "-");
+            continue;
+        };
+        let speedup = cur / base_cps.max(1e-9);
+        let regressed = speedup < 1.0 - noise;
+        if regressed {
+            regressions += 1;
+        }
+        println!(
+            "  {:<24} {:>14.0} {:>14.0} {:>8.2}x  {}",
+            r.name,
+            base_cps,
+            cur,
+            speedup,
+            if regressed { "REGRESSED" } else { "ok" }
+        );
+    }
+    if regressions > 0 {
+        println!("\n{regressions} entries regressed beyond the noise tolerance");
+    }
+    regressions
 }
 
 fn round3(v: f64) -> f64 {
@@ -178,7 +232,7 @@ fn main() {
         results.push(EntryResult { name: entry.name, scenarios: n, sim_cycles, wall_ms });
     }
 
-    let baseline = args.baseline.as_deref().map(read_baseline);
+    let baseline = args.baseline.as_deref().map(|p| read_entry_field(p, "wall_ms"));
     let mut root = Json::object();
     root.push("schema", "capsule-bench-sim/1");
     root.push("scale", args.scale.name());
@@ -219,4 +273,10 @@ fn main() {
     }
     std::fs::write(&args.out, root.to_string_pretty()).expect("write BENCH_sim.json");
     println!("\nwrote {}", args.out);
+
+    if let Some(path) = &args.compare {
+        if compare_throughput(path, args.noise, &results) > 0 {
+            std::process::exit(1);
+        }
+    }
 }

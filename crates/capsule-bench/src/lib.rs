@@ -35,7 +35,7 @@ pub struct RunOptions {
 
 use capsule_core::config::MachineConfig;
 use capsule_sim::cancel::CancelToken;
-use capsule_sim::machine::Machine;
+use capsule_sim::machine::{Machine, WarmMachine};
 use capsule_sim::SimOutcome;
 use capsule_workloads::{Variant, Workload};
 
@@ -105,8 +105,32 @@ pub fn try_run_checked_with(
     cancel: Option<&CancelToken>,
     opts: RunOptions,
 ) -> Result<SimOutcome, RunFailure> {
+    let mut warm = WarmMachine::new();
+    try_run_checked_warm(cfg, workload, variant, budget, cancel, opts, &mut warm)
+}
+
+/// [`try_run_checked_with`] against a caller-held [`WarmMachine`]: the
+/// machine is rebuilt in place via [`capsule_sim::machine::Machine::reset`],
+/// so back-to-back runs reuse the data-memory buffer, the window arena and
+/// the stage scratch instead of reallocating them. A warmed run is
+/// cycle-for-cycle identical to a fresh one (pinned by the
+/// `reset_equivalence` integration test).
+///
+/// # Errors
+///
+/// Same as [`try_run_checked`].
+#[allow(clippy::too_many_arguments)]
+pub fn try_run_checked_warm(
+    cfg: MachineConfig,
+    workload: &dyn Workload,
+    variant: Variant,
+    budget: u64,
+    cancel: Option<&CancelToken>,
+    opts: RunOptions,
+    warm: &mut WarmMachine,
+) -> Result<SimOutcome, RunFailure> {
     let program = workload.program(variant);
-    let mut m = Machine::new(cfg, &program).map_err(RunFailure::Build)?;
+    let m = warm.prepare(cfg, &program).map_err(RunFailure::Build)?;
     if let Some(tok) = cancel {
         m.set_cancel_token(tok.clone());
     }

@@ -16,10 +16,11 @@ use capsule_core::config::MachineConfig;
 use capsule_core::output::Json;
 use capsule_isa::program::Program;
 use capsule_sim::cancel::CancelToken;
+use capsule_sim::machine::WarmMachine;
 use capsule_sim::{SimError, SimOutcome};
 use capsule_workloads::{Variant, Workload};
 
-use crate::{try_run_checked_with, RunOptions};
+use crate::{try_run_checked_warm, RunOptions};
 
 /// Why one checked run failed, by stage.
 #[derive(Debug, Clone, PartialEq)]
@@ -177,8 +178,18 @@ fn variant_name(v: Variant) -> String {
 }
 
 /// Executes batches of scenarios in parallel across host threads.
+///
+/// The runner keeps a pool of warmed machines: each worker thread checks
+/// one [`WarmMachine`] out for the duration of a batch and rebuilds it in
+/// place per scenario, so consecutive scenarios — and consecutive batches
+/// on a long-lived runner — reuse the data-memory buffer, the window
+/// arena and the stage scratch instead of reallocating them. Warmed runs
+/// are cycle-for-cycle identical to fresh ones, so reports are unaffected.
 pub struct BatchRunner {
     workers: usize,
+    /// Warmed machines surviving across scenarios and batches; workers
+    /// check one out per batch and return it when the batch ends.
+    pool: Mutex<Vec<WarmMachine>>,
 }
 
 impl BatchRunner {
@@ -194,7 +205,7 @@ impl BatchRunner {
 
     /// A runner with an explicit worker count (min 1).
     pub fn with_workers(workers: usize) -> BatchRunner {
-        BatchRunner { workers: workers.max(1) }
+        BatchRunner { workers: workers.max(1), pool: Mutex::new(Vec::new()) }
     }
 
     /// The configured worker count.
@@ -265,34 +276,49 @@ impl BatchRunner {
         let workers = self.workers.min(scenarios.len()).max(1);
         std::thread::scope(|s| {
             for _ in 0..workers {
-                s.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(sc) = scenarios.get(i) else { break };
-                    if failed.load(Ordering::Relaxed) {
-                        break;
+                s.spawn(|| {
+                    // Check a warmed machine out of the pool (or start an
+                    // empty slot) for the whole batch; return it at the
+                    // end so later batches keep the allocations warm.
+                    let mut warm = self
+                        .pool
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .pop()
+                        .unwrap_or_default();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(sc) = scenarios.get(i) else { break };
+                        if failed.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            try_run_checked_warm(
+                                sc.config.clone(),
+                                sc.workload.as_ref(),
+                                sc.variant,
+                                budget,
+                                cancel,
+                                opts,
+                                &mut warm,
+                            )
+                        }))
+                        .unwrap_or_else(|p| Err(RunFailure::Panic(panic_message(p))));
+                        if result.is_err() {
+                            failed.store(true, Ordering::Relaxed);
+                        }
+                        *slots[i].lock().unwrap_or_else(PoisonError::into_inner) =
+                            Some(result.map(|outcome| RunRecord {
+                                group: sc.group.clone(),
+                                label: sc.label.clone(),
+                                workload: sc.workload.name(),
+                                variant: variant_name(sc.variant),
+                                outcome,
+                            }));
                     }
-                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        try_run_checked_with(
-                            sc.config.clone(),
-                            sc.workload.as_ref(),
-                            sc.variant,
-                            budget,
-                            cancel,
-                            opts,
-                        )
-                    }))
-                    .unwrap_or_else(|p| Err(RunFailure::Panic(panic_message(p))));
-                    if result.is_err() {
-                        failed.store(true, Ordering::Relaxed);
-                    }
-                    *slots[i].lock().unwrap_or_else(PoisonError::into_inner) =
-                        Some(result.map(|outcome| RunRecord {
-                            group: sc.group.clone(),
-                            label: sc.label.clone(),
-                            workload: sc.workload.name(),
-                            variant: variant_name(sc.variant),
-                            outcome,
-                        }));
+                    // A machine left mid-run by a panic or error is fine
+                    // to return: `reset` rebuilds every piece of state.
+                    self.pool.lock().unwrap_or_else(PoisonError::into_inner).push(warm);
                 });
             }
         });

@@ -1,0 +1,100 @@
+//! Decode-cache regression tests: the process-global cache of decoded
+//! program texts must never perturb a simulated number (reports are
+//! byte-identical with the cache on and off), and two programs sharing a
+//! pc range must never see each other's decoded instructions (the cache
+//! is keyed by text content, so "invalidation" holds by construction).
+//!
+//! The cache-enable flag is process-global, so every toggle lives in the
+//! single test below — the content-correctness test is written to pass
+//! under either state and can run concurrently.
+
+use capsule_bench::catalog::{self, Scale};
+use capsule_bench::BatchRunner;
+use capsule_isa::asm::Asm;
+use capsule_isa::decode::{clear_decode_cache, decode_text, set_decode_cache_enabled};
+use capsule_isa::program::{DataBuilder, Program, ThreadSpec};
+use capsule_isa::reg::Reg;
+use capsule_isa::Instr;
+use capsule_sim::Machine;
+
+/// With the cache enabled and disabled, a pinned catalog entry produces
+/// byte-identical reports (the golden fixtures pin the enabled path, so
+/// equality here extends the pin to the uncached path).
+#[test]
+fn reports_are_byte_identical_with_cache_on_and_off() {
+    let entry = catalog::find("table1_config").expect("catalog entry exists");
+    let runner = BatchRunner::with_workers(1);
+
+    set_decode_cache_enabled(true);
+    let cached = runner.run(entry.title, entry.scenarios(Scale::Smoke));
+
+    set_decode_cache_enabled(false);
+    clear_decode_cache();
+    let uncached = runner.run(entry.title, entry.scenarios(Scale::Smoke));
+
+    set_decode_cache_enabled(true);
+    assert_eq!(
+        cached.to_json().to_string_pretty(),
+        uncached.to_json().to_string_pretty(),
+        "decode cache changed a simulated number"
+    );
+}
+
+fn program(text: Vec<Instr>, result: i64) -> (Program, i64) {
+    (Program::new(text, DataBuilder::new().build(), 4096).with_thread(ThreadSpec::at(0)), result)
+}
+
+/// Two programs occupying the same pc range [0, len) with different
+/// instructions: each machine must execute its own program's text, and
+/// each decode must serve its own metadata — a pc-indexed cache without
+/// content keying would confuse them.
+#[test]
+fn programs_sharing_a_pc_range_never_share_decodes() {
+    let mut a = Asm::new();
+    a.li(Reg(1), 7);
+    a.addi(Reg(1), Reg(1), 35);
+    a.out(Reg(1));
+    a.halt();
+    let (prog_a, want_a) = program(a.assemble().expect("assembles"), 42);
+
+    // Same instruction count, same pcs, different text.
+    let mut b = Asm::new();
+    b.li(Reg(1), 50);
+    b.addi(Reg(1), Reg(1), -8);
+    b.out(Reg(1));
+    b.halt();
+    let (prog_b, want_b) = program(b.assemble().expect("assembles"), 42);
+    assert_eq!(prog_a.text.len(), prog_b.text.len(), "pc ranges must coincide");
+    assert_ne!(prog_a.text, prog_b.text, "texts must differ");
+
+    let da = decode_text(&prog_a.text);
+    let db = decode_text(&prog_b.text);
+    assert_eq!(da.instrs(), &prog_a.text[..], "decode A serves A's text");
+    assert_eq!(db.instrs(), &prog_b.text[..], "decode B serves B's text");
+    assert_ne!(da.key(), db.key(), "different texts hash to different keys");
+
+    // Interleave runs A, B, A: every run must compute its own result.
+    for (prog, want) in [(&prog_a, want_a), (&prog_b, want_b), (&prog_a, want_a)] {
+        let outcome = Machine::new(capsule_core::config::MachineConfig::table1_somt(), prog)
+            .expect("machine builds")
+            .run(100_000)
+            .expect("halts");
+        assert_eq!(outcome.ints(), vec![want]);
+    }
+}
+
+/// Identical texts share one decoded block (when the cache is enabled,
+/// which other tests may toggle — so only assert the always-true half:
+/// decoding is idempotent on content).
+#[test]
+fn decoding_is_idempotent_on_content() {
+    let mut a = Asm::new();
+    a.li(Reg(2), 1);
+    a.out(Reg(2));
+    a.halt();
+    let text = a.assemble().expect("assembles");
+    let d1 = decode_text(&text);
+    let d2 = decode_text(&text.clone());
+    assert_eq!(d1.instrs(), d2.instrs());
+    assert_eq!(d1.key(), d2.key());
+}

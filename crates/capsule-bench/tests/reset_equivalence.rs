@@ -1,0 +1,81 @@
+//! `Machine::reset` equivalence: a machine rebuilt in place for a new
+//! program must be cycle-for-cycle identical to a freshly constructed
+//! one. This is the contract that lets the batch runner and the job
+//! server keep warmed machines across runs without perturbing a single
+//! simulated number.
+//!
+//! The check runs every scenario of three catalog entries back-to-back
+//! through one warmed machine (so each reset inherits the previous run's
+//! buffers, arena occupancy and cache of decoded text) and compares the
+//! complete `SimOutcome` — stats, output, sections, tree, cache stats,
+//! per-stage profile and event trace — against a fresh machine's, via
+//! the exhaustive `Debug` rendering.
+
+use capsule_bench::catalog::{self, Scale};
+use capsule_bench::BUDGET;
+use capsule_sim::machine::{Machine, WarmMachine};
+use capsule_sim::SimOutcome;
+
+/// Three entries spanning the SOMT/SMT/superscalar configs, division +
+/// throttling, and raw toolchain programs.
+const ENTRIES: [&str; 3] = ["table1_config", "fig7_throttling", "toolchain_overhead"];
+
+fn run_to_debug(m: &mut Machine) -> String {
+    m.enable_profile();
+    m.enable_trace(4096);
+    let outcome: SimOutcome = m.run(BUDGET).expect("catalog scenario halts");
+    format!("{outcome:#?}")
+}
+
+#[test]
+fn reset_machine_is_cycle_identical_to_fresh() {
+    let mut warm = WarmMachine::new();
+    let mut compared = 0usize;
+    for name in ENTRIES {
+        let entry = catalog::find(name).expect("catalog entry exists");
+        for sc in entry.scenarios(Scale::Smoke) {
+            let program = sc.workload.program(sc.variant);
+
+            let mut fresh = Machine::new(sc.config.clone(), &program).expect("machine builds");
+            let expected = run_to_debug(&mut fresh);
+
+            // The warmed machine carries state over from the previous
+            // scenario (different program, config, even thread count);
+            // reset must erase all of it.
+            let m = warm.prepare(sc.config.clone(), &program).expect("reset succeeds");
+            let actual = run_to_debug(m);
+
+            assert_eq!(
+                actual, expected,
+                "{name}/{}/{}: outcome after reset diverged from a fresh machine",
+                sc.group, sc.label
+            );
+            compared += 1;
+        }
+    }
+    assert!(compared >= 3, "expected at least one scenario per entry, compared {compared}");
+}
+
+#[test]
+fn reset_validation_failure_leaves_the_machine_usable() {
+    let entry = catalog::find("table1_config").expect("catalog entry exists");
+    let sc = &entry.scenarios(Scale::Smoke)[0];
+    let program = sc.workload.program(sc.variant);
+
+    let mut warm = WarmMachine::new();
+    warm.prepare(sc.config.clone(), &program).expect("initial build");
+
+    // A config with zero contexts fails validation; the held machine must
+    // survive and still run the original program afterwards.
+    let mut bad = sc.config.clone();
+    bad.contexts = 0;
+    assert!(warm.prepare(bad, &program).is_err(), "invalid config must be rejected");
+
+    let m = warm.prepare(sc.config.clone(), &program).expect("slot still usable");
+    let outcome = m.run(BUDGET).expect("runs after failed reset");
+    let fresh = Machine::new(sc.config.clone(), &program)
+        .expect("machine builds")
+        .run(BUDGET)
+        .expect("fresh run halts");
+    assert_eq!(outcome.stats, fresh.stats);
+}

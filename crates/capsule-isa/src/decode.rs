@@ -1,0 +1,439 @@
+//! Pre-decoded instruction metadata and the process-wide decode cache.
+//!
+//! The simulator's hot loops (fetch classification, dispatch renaming,
+//! window allocation) used to re-derive per-instruction properties —
+//! functional unit, latency, source/destination registers, memory and
+//! control flags — through the match-heavy [`Instr`] accessors on every
+//! dispatch of every dynamic instruction. A [`DecodedText`] computes all
+//! of them once per *static* instruction and stores them as a dense
+//! table indexed by pc, so the per-dispatch cost becomes two array loads.
+//!
+//! Decoded texts are shared: [`decode_text`] keys a process-wide cache by
+//! the FNV-1a hash of the text's fixed-width binary encoding and hands
+//! out `Arc<DecodedText>` clones. The keying is content-addressed, which
+//! makes it invalidation-safe by construction — two programs that share
+//! a pc range but differ in even one instruction hash to different keys
+//! (and a hit re-verifies full text equality, so even a 64-bit hash
+//! collision can never alias one program's decode to another's; the
+//! colliding text just decodes uncached). The cache never returns stale
+//! data because entries are immutable and keyed by content, not by
+//! location.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+
+use crate::encode::encode;
+use crate::instr::{FuClass, Instr};
+
+/// Register slot meaning "no register" in the packed source/destination
+/// fields of [`DecodedInstr`].
+pub const NO_REG: u8 = 0xFF;
+
+/// [`DecodedInstr`] flag: occupies an LSQ slot (load or store).
+pub const F_MEM: u8 = 1 << 0;
+/// [`DecodedInstr`] flag: load.
+pub const F_LOAD: u8 = 1 << 1;
+/// [`DecodedInstr`] flag: store.
+pub const F_STORE: u8 = 1 << 2;
+/// [`DecodedInstr`] flag: no functional unit ([`FuClass::None`]) — the
+/// window entry is born issued and completed.
+pub const F_INERT: u8 = 1 << 3;
+/// [`DecodedInstr`] flag: indirect jump (`jr`/`jalr`) — fetch stalls at
+/// it and dispatch redirects.
+pub const F_INDIRECT: u8 = 1 << 4;
+
+/// How fetch continues after this instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FetchClass {
+    /// Falls through to `pc + 1`.
+    Fall,
+    /// Conditional branch: consult the predictor; taken goes to `target`
+    /// and ends the thread's fetch group this cycle.
+    CondBr {
+        /// Absolute instruction index of the taken path.
+        target: u32,
+    },
+    /// Unconditional direct jump (`j`/`jal`): go to `target`, end the
+    /// fetch group.
+    Jump {
+        /// Absolute instruction index.
+        target: u32,
+    },
+    /// Fetch cannot continue past it (`jr`/`jalr`/`kthr`/`halt`): stall
+    /// until dispatch redirects or the thread dies.
+    Stop,
+}
+
+/// Everything the timing model needs to know about one static
+/// instruction, pre-extracted from the [`Instr`] accessors.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecodedInstr {
+    /// Functional-unit class ([`Instr::fu_class`]).
+    pub fu: FuClass,
+    /// Execution latency excluding memory ([`Instr::latency`]).
+    pub latency: u8,
+    /// `F_*` flag bits.
+    pub flags: u8,
+    /// Integer destination for renaming, [`NO_REG`] if none. Writes to
+    /// `r0` are architectural no-ops and already filtered to [`NO_REG`].
+    pub dest_int: u8,
+    /// FP destination for renaming, [`NO_REG`] if none.
+    pub dest_fp: u8,
+    /// Integer source registers ([`NO_REG`]-padded).
+    pub src_int: [u8; 2],
+    /// FP source registers ([`NO_REG`]-padded).
+    pub src_fp: [u8; 2],
+    /// Fetch-time next-pc classification.
+    pub fetch: FetchClass,
+}
+
+impl DecodedInstr {
+    fn new(i: &Instr) -> DecodedInstr {
+        let fu = i.fu_class();
+        let mut flags = 0u8;
+        if i.is_mem() {
+            flags |= F_MEM;
+        }
+        if i.is_load() {
+            flags |= F_LOAD;
+        }
+        if i.is_store() {
+            flags |= F_STORE;
+        }
+        if fu == FuClass::None {
+            flags |= F_INERT;
+        }
+        if matches!(i, Instr::Jr { .. } | Instr::Jalr { .. }) {
+            flags |= F_INDIRECT;
+        }
+        let fetch = match *i {
+            Instr::Br { target, .. } => FetchClass::CondBr { target },
+            Instr::J { target } | Instr::Jal { target, .. } => FetchClass::Jump { target },
+            Instr::Jr { .. } | Instr::Jalr { .. } | Instr::Kthr | Instr::Halt => FetchClass::Stop,
+            _ => FetchClass::Fall,
+        };
+        let pack = |r: Option<u8>| r.unwrap_or(NO_REG);
+        let srcs_i = i.sources_int();
+        let srcs_f = i.sources_fp();
+        DecodedInstr {
+            fu,
+            latency: i.latency() as u8,
+            flags,
+            dest_int: pack(i.dest_int().filter(|r| !r.is_zero()).map(|r| r.0)),
+            dest_fp: pack(i.dest_fp().map(|f| f.0)),
+            src_int: [pack(srcs_i[0].map(|r| r.0)), pack(srcs_i[1].map(|r| r.0))],
+            src_fp: [pack(srcs_f[0].map(|f| f.0)), pack(srcs_f[1].map(|f| f.0))],
+            fetch,
+        }
+    }
+
+    /// Whether the `F_MEM` flag is set.
+    pub fn is_mem(&self) -> bool {
+        self.flags & F_MEM != 0
+    }
+
+    /// Whether the `F_LOAD` flag is set.
+    pub fn is_load(&self) -> bool {
+        self.flags & F_LOAD != 0
+    }
+
+    /// Whether the `F_INERT` flag is set.
+    pub fn is_inert(&self) -> bool {
+        self.flags & F_INERT != 0
+    }
+
+    /// Whether the `F_INDIRECT` flag is set.
+    pub fn is_indirect(&self) -> bool {
+        self.flags & F_INDIRECT != 0
+    }
+}
+
+/// A program text plus its per-pc decoded metadata — the unit the decode
+/// cache stores and shares (read-only, behind an `Arc`) across machines
+/// and host threads.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecodedText {
+    key: u64,
+    instrs: Vec<Instr>,
+    meta: Vec<DecodedInstr>,
+}
+
+impl DecodedText {
+    fn build(key: u64, text: &[Instr]) -> DecodedText {
+        DecodedText {
+            key,
+            instrs: text.to_vec(),
+            meta: text.iter().map(DecodedInstr::new).collect(),
+        }
+    }
+
+    /// Content key (FNV-1a over the binary encoding), 0 when the text
+    /// contains an unencodable instruction.
+    pub fn key(&self) -> u64 {
+        self.key
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Whether the text is empty.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// The instruction at `pc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pc` is out of range.
+    pub fn instr(&self, pc: usize) -> &Instr {
+        &self.instrs[pc]
+    }
+
+    /// The decoded metadata at `pc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pc` is out of range.
+    pub fn meta(&self, pc: usize) -> &DecodedInstr {
+        &self.meta[pc]
+    }
+
+    /// The raw instruction slice.
+    pub fn instrs(&self) -> &[Instr] {
+        &self.instrs
+    }
+}
+
+/// Decode bypassing the cache (always rebuilds).
+pub fn decode_text_uncached(text: &[Instr]) -> DecodedText {
+    DecodedText::build(text_key(text).unwrap_or(0), text)
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a over the fixed-width binary encoding of the whole text.
+/// `None` when some instruction has no binary encoding (those texts are
+/// simply not cached).
+fn text_key(text: &[Instr]) -> Option<u64> {
+    let mut h = FNV_OFFSET;
+    let mut mix = |w: u64| {
+        for b in w.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    };
+    for i in text {
+        let [a, b] = encode(i).ok()?;
+        mix(a);
+        mix(b);
+    }
+    Some(h)
+}
+
+/// Upper bound on cached texts; reaching it clears the whole cache
+/// (content-addressed entries are interchangeable, so wholesale eviction
+/// is always correct).
+const CACHE_CAP: usize = 256;
+
+struct DecodeCache {
+    map: Mutex<HashMap<u64, Arc<DecodedText>>>,
+    enabled: AtomicBool,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+fn cache() -> &'static DecodeCache {
+    static CACHE: OnceLock<DecodeCache> = OnceLock::new();
+    CACHE.get_or_init(|| DecodeCache {
+        map: Mutex::new(HashMap::new()),
+        enabled: AtomicBool::new(true),
+        hits: AtomicU64::new(0),
+        misses: AtomicU64::new(0),
+    })
+}
+
+/// Decode `text`, sharing the result through the process-wide cache.
+///
+/// The cache key is the content hash of the text, so identical texts
+/// (e.g. one workload across many datasets, or repeated jobs on a
+/// server) decode once and share a single allocation; differing texts —
+/// including ones occupying the same pc range — can never alias. A
+/// rare 64-bit hash collision is detected by full-text comparison and
+/// served uncached. When disabled via [`set_decode_cache_enabled`],
+/// behaves exactly like [`decode_text_uncached`].
+pub fn decode_text(text: &[Instr]) -> Arc<DecodedText> {
+    let c = cache();
+    if !c.enabled.load(Ordering::Relaxed) {
+        return Arc::new(decode_text_uncached(text));
+    }
+    let Some(key) = text_key(text) else {
+        return Arc::new(decode_text_uncached(text));
+    };
+    let mut map = c.map.lock().unwrap_or_else(PoisonError::into_inner);
+    if let Some(hit) = map.get(&key) {
+        if hit.instrs() == text {
+            c.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(hit);
+        }
+        // 64-bit collision: serve correct data, leave the cache alone.
+        return Arc::new(DecodedText::build(key, text));
+    }
+    c.misses.fetch_add(1, Ordering::Relaxed);
+    if map.len() >= CACHE_CAP {
+        map.clear();
+    }
+    let decoded = Arc::new(DecodedText::build(key, text));
+    map.insert(key, Arc::clone(&decoded));
+    decoded
+}
+
+/// Turns the process-wide decode cache on or off (on by default). Used
+/// by the cache-parity regression tests; results are identical either
+/// way, only sharing changes.
+pub fn set_decode_cache_enabled(enabled: bool) {
+    cache().enabled.store(enabled, Ordering::Relaxed);
+}
+
+/// Whether the process-wide decode cache is enabled.
+pub fn decode_cache_enabled() -> bool {
+    cache().enabled.load(Ordering::Relaxed)
+}
+
+/// Drops every cached text.
+pub fn clear_decode_cache() {
+    cache().map.lock().unwrap_or_else(PoisonError::into_inner).clear();
+}
+
+/// Number of texts currently cached.
+pub fn decode_cache_len() -> usize {
+    cache().map.lock().unwrap_or_else(PoisonError::into_inner).len()
+}
+
+/// `(hits, misses)` since process start.
+pub fn decode_cache_stats() -> (u64, u64) {
+    let c = cache();
+    (c.hits.load(Ordering::Relaxed), c.misses.load(Ordering::Relaxed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Asm;
+    use crate::reg::{FReg, Reg};
+
+    fn sample_text() -> Vec<Instr> {
+        let mut a = Asm::new();
+        a.li(Reg(1), 5);
+        a.bind("loop");
+        a.ld(Reg(2), 0, Reg(1));
+        a.add(Reg(3), Reg(2), Reg(1));
+        a.st(Reg(3), 8, Reg(1));
+        a.addi(Reg(1), Reg(1), -1);
+        a.bne(Reg(1), Reg::ZERO, "loop");
+        a.halt();
+        a.assemble().expect("assembles")
+    }
+
+    #[test]
+    fn decoded_metadata_matches_the_accessors() {
+        let text = sample_text();
+        let d = decode_text_uncached(&text);
+        assert_eq!(d.len(), text.len());
+        for (pc, i) in text.iter().enumerate() {
+            let m = d.meta(pc);
+            assert_eq!(m.fu, i.fu_class(), "{i}");
+            assert_eq!(m.latency as u64, i.latency(), "{i}");
+            assert_eq!(m.is_mem(), i.is_mem(), "{i}");
+            assert_eq!(m.is_load(), i.is_load(), "{i}");
+            assert_eq!(m.is_inert(), i.fu_class() == FuClass::None, "{i}");
+            let exp_dest = i.dest_int().filter(|r| !r.is_zero()).map_or(NO_REG, |r| r.0);
+            assert_eq!(m.dest_int, exp_dest, "{i}");
+            assert_eq!(m.dest_fp, i.dest_fp().map_or(NO_REG, |f| f.0), "{i}");
+            for k in 0..2 {
+                assert_eq!(m.src_int[k], i.sources_int()[k].map_or(NO_REG, |r| r.0), "{i}");
+                assert_eq!(m.src_fp[k], i.sources_fp()[k].map_or(NO_REG, |f| f.0), "{i}");
+            }
+            assert_eq!(d.instr(pc), i);
+        }
+    }
+
+    #[test]
+    fn fetch_classes_cover_control_flow() {
+        let text = vec![
+            Instr::Nop,
+            Instr::Br { cond: crate::instr::BrCond::Eq, rs1: Reg(1), rs2: Reg(2), target: 0 },
+            Instr::J { target: 7 },
+            Instr::Jal { rd: Reg(31), target: 7 },
+            Instr::Jr { rs: Reg(1) },
+            Instr::Jalr { rd: Reg(31), rs: Reg(1) },
+            Instr::Kthr,
+            Instr::Halt,
+        ];
+        let d = decode_text_uncached(&text);
+        assert_eq!(d.meta(0).fetch, FetchClass::Fall);
+        assert_eq!(d.meta(1).fetch, FetchClass::CondBr { target: 0 });
+        assert_eq!(d.meta(2).fetch, FetchClass::Jump { target: 7 });
+        assert_eq!(d.meta(3).fetch, FetchClass::Jump { target: 7 });
+        assert_eq!(d.meta(4).fetch, FetchClass::Stop);
+        assert!(d.meta(4).is_indirect());
+        assert_eq!(d.meta(5).fetch, FetchClass::Stop);
+        assert!(d.meta(5).is_indirect());
+        assert_eq!(d.meta(6).fetch, FetchClass::Stop);
+        assert!(!d.meta(6).is_indirect());
+        assert_eq!(d.meta(7).fetch, FetchClass::Stop);
+    }
+
+    #[test]
+    fn r0_destination_is_filtered_for_renaming() {
+        let d = decode_text_uncached(&[Instr::Li { rd: Reg::ZERO, imm: 1 }]);
+        assert_eq!(d.meta(0).dest_int, NO_REG);
+    }
+
+    #[test]
+    fn fp_metadata_roundtrips() {
+        let text = vec![
+            Instr::FLi { fd: FReg(1), imm: 2.5 },
+            Instr::FAlu { op: crate::instr::FAluOp::Mul, fd: FReg(2), fs1: FReg(1), fs2: FReg(1) },
+        ];
+        let d = decode_text_uncached(&text);
+        assert_eq!(d.meta(0).dest_fp, 1);
+        assert_eq!(d.meta(1).fu, FuClass::FpMult);
+        assert_eq!(d.meta(1).src_fp, [1, 1]);
+    }
+
+    #[test]
+    fn cache_shares_identical_texts_and_separates_different_ones() {
+        let text = sample_text();
+        // Two different programs occupying the same pc range must never
+        // alias, however similar.
+        let mut other = text.clone();
+        other[0] = Instr::Li { rd: Reg(1), imm: 6 };
+
+        let a = decode_text(&text);
+        let b = decode_text(&text);
+        let c = decode_text(&other);
+        assert!(Arc::ptr_eq(&a, &b), "identical texts share one decode");
+        assert!(!Arc::ptr_eq(&a, &c), "different texts are distinct entries");
+        assert_ne!(a.key(), c.key());
+        assert_eq!(c.meta(0).dest_int, 1);
+        assert_eq!(*c.instr(0), other[0]);
+
+        // Cached and uncached decodes are equal in content.
+        assert_eq!(*a, decode_text_uncached(&text));
+        assert_eq!(*c, decode_text_uncached(&other));
+
+        // Disabling the cache changes sharing, never content. (Same test
+        // body: the enabled flag is process-global, so toggling it in a
+        // parallel test would race with the sharing assertions above.)
+        set_decode_cache_enabled(false);
+        let unshared = decode_text(&text);
+        set_decode_cache_enabled(true);
+        assert!(!Arc::ptr_eq(&a, &unshared));
+        assert_eq!(*a, *unshared);
+    }
+}

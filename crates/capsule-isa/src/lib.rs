@@ -49,6 +49,7 @@
 #![warn(missing_docs)]
 
 pub mod asm;
+pub mod decode;
 pub mod encode;
 pub mod instr;
 pub mod program;
@@ -57,6 +58,7 @@ pub mod rtlib;
 pub mod text;
 
 pub use asm::{Asm, AsmError};
+pub use decode::{decode_text, decode_text_uncached, DecodedInstr, DecodedText, FetchClass};
 pub use instr::{AluOp, BrCond, FAluOp, FCmpOp, FuClass, Instr, INSTR_BYTES};
 pub use program::{DataBuilder, DataImage, Program, ProgramError, ThreadSpec, DATA_BASE};
 pub use reg::{FReg, Reg};

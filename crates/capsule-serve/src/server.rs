@@ -367,18 +367,23 @@ fn run_ok_response(
 }
 
 fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<Job>>) {
+    // One long-lived single-threaded batch runner per worker: its warmed
+    // machine persists across jobs, so repeated runs reuse the simulator's
+    // data-memory buffer, window arena and stage scratch (reset per run,
+    // cycle-identical to fresh machines).
+    let runner = BatchRunner::with_workers(1);
     loop {
         // Hold the receiver lock only while waiting, never while running.
         let job = lock(rx).recv_timeout(Duration::from_millis(100));
         match job {
-            Ok(job) => run_job(shared, job),
+            Ok(job) => run_job(shared, &runner, job),
             Err(RecvTimeoutError::Timeout) => continue,
             Err(RecvTimeoutError::Disconnected) => break,
         }
     }
 }
 
-fn run_job(shared: &Shared, mut job: Job) {
+fn run_job(shared: &Shared, runner: &BatchRunner, mut job: Job) {
     let queue_wait_us = job.enqueued.elapsed().as_micros() as u64;
     // The cancellation generation is sampled at dispatch: an operator
     // `cancel` stops jobs already running, not jobs still queued.
@@ -403,7 +408,7 @@ fn run_job(shared: &Shared, mut job: Job) {
     // One batch worker per job: across-job parallelism comes from the
     // server pool, and a single-threaded batch keeps a job's cost
     // predictable for the queue's admission control.
-    let result = BatchRunner::with_workers(1).try_run_opts(
+    let result = runner.try_run_opts(
         entry.title,
         scenarios,
         job.run.budget,

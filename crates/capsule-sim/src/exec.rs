@@ -94,10 +94,24 @@ pub struct Memory {
 impl Memory {
     /// Builds memory of `size` bytes with `data` loaded at `base`.
     pub fn new(size: usize, base: u64, data: &[u8]) -> Self {
-        let mut bytes = vec![0u8; size];
+        Memory::recycled(Vec::new(), size, base, data)
+    }
+
+    /// [`Memory::new`] reusing a previously allocated buffer (warmed
+    /// machine reset): the contents are indistinguishable from a fresh
+    /// build — the buffer is zeroed to `size` before `data` is loaded —
+    /// only the allocation is reused.
+    pub fn recycled(mut bytes: Vec<u8>, size: usize, base: u64, data: &[u8]) -> Self {
+        bytes.clear();
+        bytes.resize(size, 0);
         let b = base as usize;
         bytes[b..b + data.len()].copy_from_slice(data);
         Memory { bytes, base }
+    }
+
+    /// Takes the backing buffer for reuse by [`Memory::recycled`].
+    pub fn into_buffer(self) -> Vec<u8> {
+        self.bytes
     }
 
     fn check(&self, addr: u64, len: u64) -> Result<usize, TrapKind> {

@@ -39,6 +39,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arena;
 pub mod cancel;
 pub mod chrome;
 pub mod exec;
@@ -54,6 +55,6 @@ pub use cancel::CancelToken;
 pub use chrome::chrome_trace;
 pub use exec::{ArchState, Memory, OutValue, TrapKind};
 pub use interp::{Interp, InterpConfig, InterpError, InterpOutcome};
-pub use machine::Machine;
+pub use machine::{Machine, WarmMachine};
 pub use outcome::{SimError, SimOutcome, StageCount, StageProfile};
 pub use trace::{Trace, TraceEvent, TraceKind};

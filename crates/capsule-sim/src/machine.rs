@@ -24,21 +24,23 @@
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
+use std::sync::Arc;
 
 use capsule_core::config::MachineConfig;
 use capsule_core::policy::{DivisionDecision, DivisionPolicy, DivisionRequest};
 use capsule_core::stats::{BirthPlace, DivisionTree, SectionTracker, SimStats};
-use capsule_isa::instr::{FuClass, Instr, INSTR_BYTES};
+use capsule_isa::decode::{decode_text, DecodedText, FetchClass, NO_REG};
+use capsule_isa::instr::{FuClass, INSTR_BYTES};
 use capsule_isa::program::Program;
 use capsule_mem::{Hierarchy, ServedBy};
 
+use crate::arena::{EntryArena, EntryRef};
 use crate::cancel::CancelToken;
 use crate::exec::{step, ArchState, Effect, Memory, OutValue};
 use crate::locks::{AcquireResult, LockTable, ReleaseResult};
 use crate::outcome::{SimError, SimOutcome, StageProfile};
 use crate::pipeline::{
-    AfterDrain, ContextStack, Entry, Fetched, SavedThread, SlotState, Thread, Waiter,
-    FETCH_QUEUE_CAP,
+    AfterDrain, ContextStack, Fetched, SavedThread, SlotState, Thread, FETCH_QUEUE_CAP,
 };
 use crate::predictor::Predictor;
 use crate::trace::{Trace, TraceKind};
@@ -52,18 +54,22 @@ struct Slot {
     thread: Option<Thread>,
 }
 
-/// A pending completion event: `(complete_at, slot, seq)`, min-ordered by
-/// cycle in the machine's event heap. An entry that blocks completion
-/// also blocks commit, so the slot's thread cannot die or swap before the
-/// event fires — `(slot, seq)` always resolves.
-type CompletionEvent = Reverse<(u64, usize, u64)>;
+/// A pending completion event: `(complete_at, slot, seq, arena_idx)`,
+/// min-ordered by cycle in the machine's event heap. An entry that blocks
+/// completion also blocks commit, so the slot's thread cannot die or swap
+/// before the event fires and its arena slot cannot be reused. The
+/// sequence number is unique, so the trailing arena index never takes
+/// part in an ordering decision — pop order is identical to the historic
+/// `(complete_at, slot, seq)` key.
+type CompletionEvent = Reverse<(u64, usize, u64, u32)>;
 
 /// Reusable per-cycle buffers, hoisted out of the stage loops so the
 /// steady-state cycle loop performs no heap allocation.
 #[derive(Debug, Default)]
 struct Scratch {
-    /// issue: `(seq, slot)` candidates gathered from per-thread ready lists.
-    candidates: Vec<(u64, usize)>,
+    /// issue: `(seq, slot, arena_idx)` candidates gathered from
+    /// per-thread ready lists.
+    candidates: Vec<(u64, usize, u32)>,
     /// commit/dispatch: per-core bandwidth budgets.
     budgets: Vec<usize>,
     /// commit: slots whose drain completed this cycle.
@@ -95,7 +101,9 @@ enum Wakeup {
 #[derive(Debug)]
 pub struct Machine {
     cfg: MachineConfig,
-    text: Vec<Instr>,
+    /// Decoded program text: per-pc pre-extracted metadata shared (and
+    /// cached) across machines running the same program.
+    text: Arc<DecodedText>,
     mem: Memory,
     hier: Hierarchy,
     pred: Predictor,
@@ -111,6 +119,10 @@ pub struct Machine {
     /// Per-core RUU / LSQ occupancy (a CMP core owns its own window).
     ruu_used: Vec<usize>,
     lsq_used: Vec<usize>,
+
+    /// Struct-of-arrays storage for every in-flight window entry; threads
+    /// hold dense `u32` indices into it.
+    arena: EntryArena,
 
     output: Vec<OutValue>,
     stats: SimStats,
@@ -137,6 +149,19 @@ pub struct Machine {
     cancel: Option<CancelToken>,
 }
 
+/// Heap allocations scavenged from a retired machine and threaded into
+/// the next one by [`Machine::reset`]: the construction path is identical
+/// to a fresh machine, only the backing buffers are reused.
+#[derive(Debug, Default)]
+struct Recycled {
+    mem: Vec<u8>,
+    arena: EntryArena,
+    completions: BinaryHeap<CompletionEvent>,
+    scratch: Scratch,
+    output: Vec<OutValue>,
+    load_lat_window: VecDeque<u64>,
+}
+
 impl Machine {
     /// Loads `program` onto a machine configured by `cfg`.
     ///
@@ -146,6 +171,37 @@ impl Machine {
     /// [`SimError::TooManyThreads`] when the program asks for more loader
     /// threads than the machine has contexts.
     pub fn new(cfg: MachineConfig, program: &Program) -> Result<Self, SimError> {
+        Self::validate(&cfg, program)?;
+        Ok(Self::build(cfg, program, Recycled::default()))
+    }
+
+    /// Rebuilds this machine in place for a new run of `program` under
+    /// `cfg`, reusing the retired machine's heap allocations (data memory,
+    /// entry arena, event heap, stage scratch). The resulting state is
+    /// constructed exactly like [`Machine::new`]'s, so a reset machine is
+    /// cycle-for-cycle identical to a fresh one; only allocator traffic
+    /// differs. Profile/trace enablement and any cancel token are cleared.
+    ///
+    /// On a validation error the machine is left untouched.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Machine::new`].
+    pub fn reset(&mut self, cfg: MachineConfig, program: &Program) -> Result<(), SimError> {
+        Self::validate(&cfg, program)?;
+        let recycled = Recycled {
+            mem: std::mem::replace(&mut self.mem, Memory::new(0, 0, &[])).into_buffer(),
+            arena: std::mem::take(&mut self.arena),
+            completions: std::mem::take(&mut self.completions),
+            scratch: std::mem::take(&mut self.scratch),
+            output: std::mem::take(&mut self.output),
+            load_lat_window: std::mem::take(&mut self.load_lat_window),
+        };
+        *self = Self::build(cfg, program, recycled);
+        Ok(())
+    }
+
+    fn validate(cfg: &MachineConfig, program: &Program) -> Result<(), SimError> {
         cfg.validate().map_err(SimError::Config)?;
         program.validate()?;
         if program.threads.len() > cfg.contexts {
@@ -154,8 +210,16 @@ impl Machine {
                 contexts: cfg.contexts,
             });
         }
+        Ok(())
+    }
 
-        let mem = Memory::new(program.mem_size, capsule_isa::DATA_BASE, &program.data);
+    fn build(cfg: MachineConfig, program: &Program, mut recycled: Recycled) -> Self {
+        let mem =
+            Memory::recycled(recycled.mem, program.mem_size, capsule_isa::DATA_BASE, &program.data);
+        recycled.arena.clear();
+        recycled.completions.clear();
+        recycled.output.clear();
+        recycled.load_lat_window.clear();
         let hier = Hierarchy::new_cmp(&cfg, cfg.cores);
         let pred = Predictor::new(cfg.predictor);
         let policy = DivisionPolicy::from_config(&cfg);
@@ -184,9 +248,9 @@ impl Machine {
         let line_bytes = hier.line_bytes();
         let line_shift = line_bytes.is_power_of_two().then(|| line_bytes.trailing_zeros());
 
-        Ok(Machine {
+        Machine {
             cfg,
-            text: program.text.clone(),
+            text: decode_text(&program.text),
             mem,
             hier,
             pred,
@@ -199,20 +263,21 @@ impl Machine {
             halted: false,
             ruu_used: vec![0; cores],
             lsq_used: vec![0; cores],
-            output: Vec::new(),
+            arena: recycled.arena,
+            output: recycled.output,
             stats,
             sections: SectionTracker::new(),
             tree,
             live_workers: live,
-            load_lat_window: VecDeque::new(),
+            load_lat_window: recycled.load_lat_window,
             load_lat_sum: 0,
-            completions: BinaryHeap::new(),
-            scratch: Scratch::default(),
+            completions: recycled.completions,
+            scratch: recycled.scratch,
             line_shift,
             profile: None,
             trace: None,
             cancel: None,
-        })
+        }
     }
 
     /// Current cycle.
@@ -342,7 +407,7 @@ impl Machine {
             *next = Some(next.map_or(at, |n| n.min(at)));
         };
 
-        if let Some(&Reverse((at, _, _))) = self.completions.peek() {
+        if let Some(&Reverse((at, _, _, _))) = self.completions.peek() {
             if at <= now {
                 return Wakeup::Busy;
             }
@@ -362,7 +427,7 @@ impl Machine {
             if !t.ready.is_empty() {
                 return Wakeup::Busy;
             }
-            if t.in_flight.front().is_some_and(|e| e.completed) {
+            if t.in_flight.front().is_some_and(|&idx| self.arena.is_completed(idx)) {
                 return Wakeup::Busy;
             }
             if slot.state != SlotState::Active {
@@ -381,7 +446,7 @@ impl Machine {
                     bump(&mut next, t.dispatch_block_until);
                 } else {
                     let core = i / per_core;
-                    let is_mem = self.text[f.pc as usize].is_mem();
+                    let is_mem = self.text.meta(f.pc as usize).is_mem();
                     if self.ruu_used[core] < self.cfg.ruu_size
                         && (!is_mem || self.lsq_used[core] < self.cfg.lsq_size)
                     {
@@ -475,40 +540,25 @@ impl Machine {
         // wakeup chain: each waiter loses one unready operand; at zero it
         // enters its thread's ready list (exactly once).
         let mut units = 0u64;
-        while let Some(&Reverse((at, slot, seq))) = self.completions.peek() {
+        while let Some(&Reverse((at, slot, _seq, idx))) = self.completions.peek() {
             if at > now {
                 break;
             }
             self.completions.pop();
             let t = self.slots[slot].thread.as_mut().expect("completing slot has thread");
-            let idx = t
-                .in_flight
-                .binary_search_by_key(&seq, |e| e.seq)
-                .expect("completing entry in flight");
-            let e = &mut t.in_flight[idx];
-            debug_assert!(e.issued && !e.completed);
-            e.completed = true;
+            self.arena.complete(idx, &mut t.ready);
             units += 1;
-            let mut w = e.head_waiter.take();
-            while let Some(Waiter { seq: wseq, slot: dslot }) = w {
-                let widx =
-                    t.in_flight.binary_search_by_key(&wseq, |e| e.seq).expect("waiter in flight");
-                let we = &mut t.in_flight[widx];
-                w = we.next_waiter[dslot as usize].take();
-                we.unready -= 1;
-                if we.unready == 0 {
-                    t.ready.push(wseq);
-                }
-            }
         }
         if let Some(p) = self.profile.as_deref_mut() {
             p.complete.record(units);
         }
-        // Mispredicted-branch resolution (the branch entry completed).
+        // Mispredicted-branch resolution (the branch entry completed; a
+        // retired entry necessarily completed, which `done` covers).
+        let arena = &self.arena;
         for slot in &mut self.slots {
             let Some(t) = slot.thread.as_mut() else { continue };
-            if let SlotState::WaitBranch { seq, resume_pc } = slot.state {
-                if t.dep_done(seq) {
+            if let SlotState::WaitBranch { entry, resume_pc } = slot.state {
+                if arena.done(entry) {
                     slot.state = SlotState::Active;
                     t.fetch_pc = Some(resume_pc);
                     t.fetch_block_until =
@@ -537,15 +587,16 @@ impl Machine {
             let Some(t) = slot.thread.as_mut() else { continue };
             while *budget > 0 {
                 match t.in_flight.front() {
-                    Some(e) if e.completed => {
-                        let e = t.in_flight.pop_front().expect("checked front");
+                    Some(&idx) if self.arena.is_completed(idx) => {
+                        t.in_flight.pop_front();
                         *budget -= 1;
                         self.stats.committed += 1;
                         units += 1;
                         self.ruu_used[core] -= 1;
-                        if e.is_mem {
+                        if self.arena.is_mem(idx) {
                             self.lsq_used[core] -= 1;
                         }
+                        self.arena.retire(idx);
                     }
                     _ => break,
                 }
@@ -627,8 +678,8 @@ impl Machine {
         candidates.clear();
         for (i, slot) in self.slots.iter().enumerate() {
             let Some(t) = slot.thread.as_ref() else { continue };
-            for &seq in &t.ready {
-                candidates.push((seq, i));
+            for &idx in &t.ready {
+                candidates.push((self.arena.seq(idx), i, idx));
             }
         }
         if candidates.is_empty() {
@@ -660,15 +711,12 @@ impl Machine {
         mem_issues.resize(cores, self.cfg.l1d.ports * MEM_ISSUE_PER_PORT);
 
         let mut units = 0u64;
-        for &(seqno, i) in &candidates {
+        for &(seqno, i, idx) in &candidates {
             let core = i / per_core;
             if budget[core] == 0 {
                 continue;
             }
-            // Re-find the entry (indices are stable within the cycle).
-            let t = self.slots[i].thread.as_mut().expect("candidate slot has thread");
-            let Ok(idx) = t.in_flight.binary_search_by_key(&seqno, |e| e.seq) else { continue };
-            let fu = t.in_flight[idx].fu;
+            let fu = self.arena.fu(idx);
             let unit = match fu {
                 FuClass::IntAlu => &mut ialu[core],
                 FuClass::IntMult => &mut imult[core],
@@ -684,14 +732,10 @@ impl Machine {
             budget[core] -= 1;
             units += 1;
 
-            let (is_load, addr, lat) = {
-                let e = &t.in_flight[idx];
-                (e.is_load, e.mem_addr, e.latency)
-            };
             let complete_at = if fu == FuClass::Mem {
-                let addr = addr.expect("mem entry has address");
+                let addr = self.arena.mem_addr(idx);
                 let access = self.hier.access_data_on(core, addr, self.cycle);
-                if is_load {
+                if self.arena.is_load(idx) {
                     self.observe_load_latency(i, access.latency);
                     self.cycle + access.latency
                 } else {
@@ -701,27 +745,21 @@ impl Machine {
                     self.cycle + 1
                 }
             } else {
-                self.cycle + lat
+                self.cycle + self.arena.latency(idx)
             };
-            let t = self.slots[i].thread.as_mut().expect("candidate slot has thread");
-            let e = &mut t.in_flight[idx];
-            e.issued = true;
-            e.complete_at = complete_at;
-            self.completions.push(Reverse((complete_at, i, seqno)));
+            self.arena.mark_issued(idx, complete_at);
+            self.completions.push(Reverse((complete_at, i, seqno, idx)));
         }
 
         // Entries that lost arbitration (bandwidth / FU exhausted) stay
         // ready; drop the issued ones from each touched ready list.
+        let arena = &self.arena;
         for slot in &mut self.slots {
             let Some(t) = slot.thread.as_mut() else { continue };
             if t.ready.is_empty() {
                 continue;
             }
-            let in_flight = &t.in_flight;
-            t.ready.retain(|&s| match in_flight.binary_search_by_key(&s, |e| e.seq) {
-                Ok(idx) => !in_flight[idx].issued,
-                Err(_) => false,
-            });
+            t.ready.retain(|&idx| !arena.is_issued(idx));
         }
 
         self.scratch.candidates = candidates;
@@ -830,13 +868,12 @@ impl Machine {
             }
         }
         // Peek resource needs.
-        let (fetched, instr) = {
+        let (fetched, meta) = {
             let t = self.slots[i].thread.as_ref().expect("active slot has thread");
             let f = *t.fetch_queue.front().expect("checked non-empty");
-            let instr = self.text[f.pc as usize];
-            (f, instr)
+            (f, *self.text.meta(f.pc as usize))
         };
-        let is_mem = instr.is_mem();
+        let is_mem = meta.is_mem();
         let core = i / self.per_core();
         if self.ruu_used[core] >= self.cfg.ruu_size
             || (is_mem && self.lsq_used[core] >= self.cfg.lsq_size)
@@ -855,22 +892,25 @@ impl Machine {
         }
 
         // Capture dependencies before renaming the destination.
-        let mut deps: [Option<u64>; 4] = [None; 4];
-        let srcs_i = instr.sources_int();
-        let srcs_f = instr.sources_fp();
+        let mut deps: [Option<EntryRef>; 4] = [None; 4];
         let mut d = 0;
-        for r in srcs_i.into_iter().flatten() {
-            deps[d] = t.last_writer_int[r.index()];
-            d += 1;
+        for r in meta.src_int {
+            if r != NO_REG {
+                deps[d] = t.last_writer_int[r as usize];
+                d += 1;
+            }
         }
-        for f in srcs_f.into_iter().flatten() {
-            deps[d] = t.last_writer_fp[f.index()];
-            d += 1;
+        for f in meta.src_fp {
+            if f != NO_REG {
+                deps[d] = t.last_writer_fp[f as usize];
+                d += 1;
+            }
         }
 
         // Functional execution (in program order).
         let pc = fetched.pc;
-        let out = step(&mut t.arch, &instr, &mut self.mem).map_err(|kind| SimError::Trap {
+        let instr = self.text.instr(pc as usize);
+        let out = step(&mut t.arch, instr, &mut self.mem).map_err(|kind| SimError::Trap {
             cycle: now,
             slot: i,
             pc,
@@ -883,47 +923,28 @@ impl Machine {
         // already complete (or retired) never needs watching again.
         let seqno = self.seq;
         self.seq += 1;
-        let fu = instr.fu_class();
+        let fu = meta.fu;
         let inert = fu == FuClass::None;
-        let mut entry = Entry {
-            seq: seqno,
-            fu,
-            latency: instr.latency(),
-            unready: 0,
-            head_waiter: None,
-            next_waiter: [None; 4],
-            issued: inert,
-            completed: inert,
-            complete_at: now,
-            mem_addr: out.mem_addr,
-            is_load: instr.is_load(),
-            is_mem,
-        };
+        let idx = self.arena.alloc(seqno, fu, meta.latency as u64, meta.is_load(), is_mem, now);
+        if let Some(addr) = out.mem_addr {
+            self.arena.set_mem_addr(idx, addr);
+        }
         if !inert {
-            for (dslot, d) in deps.into_iter().enumerate() {
-                let Some(dseq) = d else { continue };
-                if let Ok(pidx) = t.in_flight.binary_search_by_key(&dseq, |e| e.seq) {
-                    let p = &mut t.in_flight[pidx];
-                    if !p.completed {
-                        entry.unready += 1;
-                        entry.next_waiter[dslot] =
-                            p.head_waiter.replace(Waiter { seq: seqno, slot: dslot as u8 });
-                    }
-                }
+            for (dslot, dep) in deps.into_iter().enumerate() {
+                let Some(p) = dep else { continue };
+                self.arena.link_if_pending(p, idx, dslot as u8);
             }
-            if entry.unready == 0 {
-                t.ready.push(seqno);
+            if self.arena.unready(idx) == 0 {
+                t.ready.push(idx);
             }
         }
-        if let Some(rd) = instr.dest_int() {
-            if !rd.is_zero() {
-                t.last_writer_int[rd.index()] = Some(seqno);
-            }
+        if meta.dest_int != NO_REG {
+            t.last_writer_int[meta.dest_int as usize] = Some(self.arena.entry_ref(idx));
         }
-        if let Some(fd) = instr.dest_fp() {
-            t.last_writer_fp[fd.index()] = Some(seqno);
+        if meta.dest_fp != NO_REG {
+            t.last_writer_fp[meta.dest_fp as usize] = Some(self.arena.entry_ref(idx));
         }
-        t.in_flight.push_back(entry);
+        t.in_flight.push_back(idx);
         self.ruu_used[core] += 1;
         if is_mem {
             self.lsq_used[core] += 1;
@@ -939,10 +960,12 @@ impl Machine {
                 if fetched.predicted_taken != b.taken {
                     self.stats.branch_mispredicts += 1;
                     t.flush_frontend();
-                    self.slots[i].state =
-                        SlotState::WaitBranch { seq: seqno, resume_pc: b.next_pc };
+                    self.slots[i].state = SlotState::WaitBranch {
+                        entry: self.arena.entry_ref(idx),
+                        resume_pc: b.next_pc,
+                    };
                 }
-            } else if instr.static_target().is_none() {
+            } else if meta.is_indirect() {
                 // Indirect jump: fetch stalled at it; redirect now.
                 let t = self.slots[i].thread.as_mut().expect("active slot has thread");
                 t.fetch_pc = Some(b.next_pc);
@@ -1224,12 +1247,12 @@ impl Machine {
                     let _ = l1i_latency;
                     last_line = line;
                 }
-                let instr = self.text[pc as usize];
+                let fetch_class = self.text.meta(pc as usize).fetch;
                 let t = self.slots[i].thread.as_mut().expect("eligible slot has thread");
                 let mut predicted_taken = false;
                 let mut stop = false;
-                match instr {
-                    Instr::Br { target, .. } => {
+                match fetch_class {
+                    FetchClass::CondBr { target } => {
                         predicted_taken = self.pred.predict(pc, t.bp_history);
                         if predicted_taken {
                             t.fetch_pc = Some(target);
@@ -1238,20 +1261,17 @@ impl Machine {
                             t.fetch_pc = Some(pc + 1);
                         }
                     }
-                    Instr::J { target } | Instr::Jal { target, .. } => {
+                    FetchClass::Jump { target } => {
                         t.fetch_pc = Some(target);
                         stop = true;
                     }
-                    Instr::Jr { .. } | Instr::Jalr { .. } => {
-                        // Target unknown until dispatch.
+                    FetchClass::Stop => {
+                        // Indirect target unknown until dispatch; `kthr` /
+                        // `halt` never fetch past themselves.
                         t.fetch_pc = None;
                         stop = true;
                     }
-                    Instr::Kthr | Instr::Halt => {
-                        t.fetch_pc = None;
-                        stop = true;
-                    }
-                    _ => {
+                    FetchClass::Fall => {
                         t.fetch_pc = Some(pc + 1);
                     }
                 }
@@ -1267,6 +1287,42 @@ impl Machine {
         eligible.clear();
         self.scratch.eligible = eligible;
         units
+    }
+}
+
+/// A reusable machine slot for batch drivers: holds one warmed
+/// [`Machine`] across runs and rebuilds it in place with
+/// [`Machine::reset`], so repeated runs reuse the data-memory buffer, the
+/// entry arena and the stage scratch instead of reallocating them. A
+/// prepared machine is cycle-for-cycle identical to a fresh one.
+#[derive(Debug, Default)]
+pub struct WarmMachine {
+    machine: Option<Machine>,
+}
+
+impl WarmMachine {
+    /// An empty slot (the first `prepare` builds a machine from scratch).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Readies the held machine for a run of `program` under `cfg`,
+    /// building one if the slot is empty.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Machine::new`]; the slot survives a
+    /// validation error and stays usable.
+    pub fn prepare(
+        &mut self,
+        cfg: MachineConfig,
+        program: &Program,
+    ) -> Result<&mut Machine, SimError> {
+        match &mut self.machine {
+            Some(m) => m.reset(cfg, program)?,
+            None => self.machine = Some(Machine::new(cfg, program)?),
+        }
+        Ok(self.machine.as_mut().expect("slot filled above"))
     }
 }
 

@@ -1,10 +1,11 @@
 //! Internal pipeline structures of the SOMT machine: hardware-context
-//! slots, in-flight instruction entries, and the LIFO context stack.
+//! slots, per-thread front-end and window bookkeeping, and the LIFO
+//! context stack. The in-flight entries themselves live in the machine's
+//! [`crate::arena::EntryArena`]; threads hold dense arena indices.
 
 use std::collections::VecDeque;
 
-use capsule_isa::instr::FuClass;
-
+use crate::arena::EntryRef;
 use crate::exec::ArchState;
 
 /// Capacity of one thread's fetch queue (the paper uses a double
@@ -27,11 +28,12 @@ pub(crate) enum SlotState {
     Free,
     /// Fetching and dispatching.
     Active,
-    /// Dispatch stalled until the mispredicted branch entry `seq`
-    /// completes; fetch is flushed and resumes at `resume_pc`.
+    /// Dispatch stalled until the mispredicted branch entry completes;
+    /// fetch is flushed and resumes at `resume_pc`.
     WaitBranch {
-        /// Sequence number of the mispredicted branch entry.
-        seq: u64,
+        /// The mispredicted branch entry (generation-checked: if it
+        /// retires before the check, it necessarily completed).
+        entry: EntryRef,
         /// Correct continuation pc.
         resume_pc: u32,
     },
@@ -63,49 +65,6 @@ pub(crate) struct Fetched {
     pub predicted_taken: bool,
 }
 
-/// A link in a producer entry's wakeup chain: which consumer entry waits
-/// on it, and through which of the consumer's dependency slots (the slot
-/// indexes [`Entry::next_waiter`], chaining consumers of one producer
-/// without any allocation — the SimpleScalar `RS_link` idiom).
-#[derive(Debug, Clone, Copy)]
-pub(crate) struct Waiter {
-    /// Sequence number of the waiting (consumer) entry.
-    pub seq: u64,
-    /// Dependency slot of the consumer that waits on this producer.
-    pub slot: u8,
-}
-
-/// One dispatched, in-flight instruction (RUU/LSQ entry).
-///
-/// Readiness is event-driven: at dispatch each source operand still in
-/// flight links the new entry into its producer's wakeup chain and bumps
-/// `unready`; completion walks the chain and decrements, pushing entries
-/// whose count hits zero onto [`Thread::ready`]. No per-cycle rescans.
-#[derive(Debug, Clone, Copy)]
-pub(crate) struct Entry {
-    /// Global age.
-    pub seq: u64,
-    pub fu: FuClass,
-    /// Execution latency excluding memory.
-    pub latency: u64,
-    /// Number of source operands still waiting on an in-flight,
-    /// incomplete producer. Zero means issue-ready.
-    pub unready: u8,
-    /// Head of the chain of entries waiting on *this* entry.
-    pub head_waiter: Option<Waiter>,
-    /// Per dependency slot: the next waiter in that producer's chain.
-    pub next_waiter: [Option<Waiter>; 4],
-    pub issued: bool,
-    pub completed: bool,
-    /// Valid once issued (or immediately for `FuClass::None`).
-    pub complete_at: u64,
-    /// Data address for loads/stores.
-    pub mem_addr: Option<u64>,
-    pub is_load: bool,
-    /// Occupies an LSQ slot instead of counting against nothing extra.
-    pub is_mem: bool,
-}
-
 /// A thread resident in a hardware context slot.
 #[derive(Debug, Clone)]
 pub(crate) struct Thread {
@@ -116,16 +75,17 @@ pub(crate) struct Thread {
     pub fetch_queue: VecDeque<Fetched>,
     /// Global branch history for the predictor.
     pub bp_history: u64,
-    /// In-flight entries in program order.
-    pub in_flight: VecDeque<Entry>,
-    /// Sequence numbers of in-flight entries whose operands are all
+    /// Arena indices of in-flight entries, in program order.
+    pub in_flight: VecDeque<u32>,
+    /// Arena indices of in-flight entries whose operands are all
     /// complete but which have not issued yet (waiting for issue
     /// bandwidth or a functional unit). Maintained by the wakeup chains;
     /// an entry enters exactly once.
-    pub ready: Vec<u64>,
-    /// Per-register last-writer sequence numbers (renaming).
-    pub last_writer_int: [Option<u64>; 32],
-    pub last_writer_fp: [Option<u64>; 32],
+    pub ready: Vec<u32>,
+    /// Per-register last writer (renaming). Generation-checked: a
+    /// reference whose entry retired reads as complete.
+    pub last_writer_int: [Option<EntryRef>; 32],
+    pub last_writer_fp: [Option<EntryRef>; 32],
     /// Dispatch suppressed until this cycle (division copy stall, lock
     /// squash penalty).
     pub dispatch_block_until: u64,
@@ -162,14 +122,6 @@ impl Thread {
     /// Front-end occupancy used by the ICount fetch policy.
     pub fn icount(&self) -> usize {
         self.fetch_queue.len() + self.in_flight.len()
-    }
-
-    /// Whether the producer entry `seq` has completed (or already retired).
-    pub fn dep_done(&self, seq: u64) -> bool {
-        match self.in_flight.binary_search_by_key(&seq, |e| e.seq) {
-            Ok(i) => self.in_flight[i].completed,
-            Err(_) => true, // retired
-        }
     }
 
     /// Flushes the fetch queue (mispredict recovery, death).
@@ -228,43 +180,12 @@ impl ContextStack {
 mod tests {
     use super::*;
     use capsule_core::ids::WorkerId;
-    use capsule_isa::instr::FuClass;
-
-    fn entry(seq: u64) -> Entry {
-        Entry {
-            seq,
-            fu: FuClass::IntAlu,
-            latency: 1,
-            unready: 0,
-            head_waiter: None,
-            next_waiter: [None; 4],
-            issued: false,
-            completed: false,
-            complete_at: 0,
-            mem_addr: None,
-            is_load: false,
-            is_mem: false,
-        }
-    }
-
-    #[test]
-    fn dep_done_for_retired_and_inflight() {
-        let mut t = Thread::new(ArchState::new(0, WorkerId(0)));
-        t.in_flight.push_back(entry(10));
-        t.in_flight.push_back(entry(12));
-        assert!(t.dep_done(5)); // retired long ago
-        assert!(!t.dep_done(10));
-        t.in_flight[0].completed = true;
-        assert!(t.dep_done(10));
-        assert!(t.dep_done(11)); // never dispatched here => treated retired
-        assert!(!t.dep_done(12));
-    }
 
     #[test]
     fn icount_counts_frontend_and_window() {
         let mut t = Thread::new(ArchState::new(0, WorkerId(0)));
         t.fetch_queue.push_back(Fetched { pc: 0, predicted_taken: false });
-        t.in_flight.push_back(entry(1));
+        t.in_flight.push_back(3);
         assert_eq!(t.icount(), 2);
     }
 

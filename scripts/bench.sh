@@ -9,6 +9,8 @@
 #   scripts/bench.sh                         # quick scale -> BENCH_sim.json
 #   scripts/bench.sh --scale smoke           # fast sanity run
 #   scripts/bench.sh --baseline old.json     # adds per-entry speedups
+#   scripts/bench.sh --compare old.json      # throughput gate (exit 1 on
+#                                            # regression beyond --noise)
 # All arguments are passed through to bench_sim.
 set -eu
 

@@ -32,6 +32,24 @@ target/release/bench_sim --scale smoke --deterministic \
     --baseline "$bench_dir/a.json" >/dev/null
 cmp "$bench_dir/a.json" "$bench_dir/b.json"
 diff -r "$bench_dir/reports_a" "$bench_dir/reports_b"
+
+echo "==> bench_sim --compare gate smoke"
+# The throughput-regression gate must be deterministic in both
+# directions: against a synthetic near-zero baseline every entry is a
+# speedup (exit 0); against an unreachably fast baseline every entry is
+# a regression (exit nonzero). Real thresholds live in docs/PERF.md;
+# this only pins the gate's mechanics, not the host's speed.
+printf '%s' '{"schema":"capsule-bench-sim/1","entries":[{"entry":"toolchain_overhead","sim_cycles_per_sec":0.001}]}' \
+    >"$bench_dir/base_slow.json"
+printf '%s' '{"schema":"capsule-bench-sim/1","entries":[{"entry":"toolchain_overhead","sim_cycles_per_sec":1e15}]}' \
+    >"$bench_dir/base_fast.json"
+target/release/bench_sim --scale smoke --entries toolchain_overhead \
+    --out "$bench_dir/cmp.json" --compare "$bench_dir/base_slow.json" >/dev/null
+if target/release/bench_sim --scale smoke --entries toolchain_overhead \
+    --out "$bench_dir/cmp.json" --compare "$bench_dir/base_fast.json" >/dev/null; then
+    echo "bench_sim --compare failed to flag a regression" >&2
+    exit 1
+fi
 rm -rf "$bench_dir"
 
 echo "==> capsule-serve smoke test"
