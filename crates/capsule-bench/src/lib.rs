@@ -14,9 +14,11 @@
 #![warn(missing_docs)]
 
 pub mod catalog;
+pub mod checkpoint;
 pub mod scenario;
 pub mod trace_export;
 
+pub use checkpoint::{run_checkpointed, CheckpointFailure, CheckpointOutcome};
 pub use scenario::{
     BatchError, BatchReport, BatchRunner, RawWorkload, RunFailure, RunRecord, Scenario,
 };

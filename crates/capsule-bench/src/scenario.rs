@@ -169,7 +169,7 @@ pub struct RunRecord {
     pub outcome: SimOutcome,
 }
 
-fn variant_name(v: Variant) -> String {
+pub(crate) fn variant_name(v: Variant) -> String {
     match v {
         Variant::Sequential => "sequential".to_string(),
         Variant::Static(n) => format!("static({n})"),

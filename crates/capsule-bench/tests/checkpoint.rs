@@ -1,0 +1,314 @@
+//! Checkpoint/restore equivalence: a checkpointed, preempted and resumed
+//! batch must be cycle-for-cycle — and byte-for-byte — identical to an
+//! uninterrupted run.
+//!
+//! Three contracts are pinned here:
+//!
+//! - **Round-trip determinism** for *every* catalog smoke entry: running
+//!   with periodic checkpoints produces the exact `SimOutcome` list and
+//!   report bytes of a plain `BatchRunner` run.
+//! - **Preemption transparency** (seeded, property-style): parking a job
+//!   at random checkpoint boundaries — including migrating the blob to a
+//!   different warmed machine, as the fleet does across backends — never
+//!   changes a single simulated number.
+//! - **Warm-pool hygiene**: a machine that finished a restored run leaves
+//!   no residue for the next fresh job (the `reset_equivalence` contract,
+//!   extended to restores).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use capsule_bench::catalog::{self, Scale};
+use capsule_bench::checkpoint::{run_checkpointed, CheckpointFailure, CheckpointOutcome};
+use capsule_bench::{BatchReport, BatchRunner, RunOptions, BUDGET};
+use capsule_core::rng::{Rng, Xoshiro256StarStar};
+use capsule_sim::machine::{Machine, WarmMachine};
+
+const OPTS: RunOptions = RunOptions { profile: true, trace: Some(4096) };
+
+fn uninterrupted(name: &str) -> BatchReport {
+    let entry = catalog::find(name).expect("catalog entry exists");
+    BatchRunner::with_workers(1)
+        .try_run_opts(entry.title, entry.scenarios(Scale::Smoke), BUDGET, None, OPTS)
+        .expect("catalog smoke batch succeeds")
+}
+
+fn outcomes_debug(report: &BatchReport) -> String {
+    let outcomes: Vec<_> = report.records.iter().map(|r| &r.outcome).collect();
+    format!("{outcomes:#?}")
+}
+
+#[test]
+fn every_smoke_entry_roundtrips_through_checkpoints() {
+    let mut warm = WarmMachine::new();
+    for name in catalog::names() {
+        let entry = catalog::find(name).expect("catalog entry exists");
+        let baseline = uninterrupted(name);
+        let mut checkpoints = 0usize;
+        let outcome = run_checkpointed(
+            entry.title,
+            entry.scenarios(Scale::Smoke),
+            BUDGET,
+            None,
+            OPTS,
+            &mut warm,
+            2_000,
+            &AtomicBool::new(false),
+            None,
+            |_| checkpoints += 1,
+        )
+        .expect("checkpointed batch succeeds");
+        let CheckpointOutcome::Done(report) = outcome else {
+            panic!("{name}: preempted without a preempt request");
+        };
+        assert_eq!(
+            outcomes_debug(&report),
+            outcomes_debug(&baseline),
+            "{name}: checkpointed outcomes diverged from the uninterrupted run"
+        );
+        assert_eq!(
+            report.to_json().to_string_pretty(),
+            baseline.to_json().to_string_pretty(),
+            "{name}: checkpointed report bytes diverged"
+        );
+        assert!(checkpoints > 0, "{name}: no checkpoint was ever taken");
+    }
+}
+
+/// Seeded property test: preempt at random checkpoint boundaries,
+/// resuming alternately on the same warmed machine and on a fresh one
+/// (the migration case), until the batch completes. The final report
+/// must match the uninterrupted run byte-for-byte.
+#[test]
+fn random_preemption_points_never_change_the_report() {
+    const ENTRIES: [&str; 3] = ["table1_config", "fig6_division_tree", "fig7_throttling"];
+    let mut rng = Xoshiro256StarStar::seed_from_u64(0xCAF5_0135);
+    for name in ENTRIES {
+        let entry = catalog::find(name).expect("catalog entry exists");
+        let baseline = uninterrupted(name);
+        let mut warm = WarmMachine::new();
+        let mut blob: Option<Vec<u8>> = None;
+        let mut preemptions = 0usize;
+        let report = loop {
+            // A fresh interval per leg lands the pauses on different
+            // cycle boundaries each time the job resumes.
+            let interval = 500 + rng.u64_below(3_000);
+            let after = rng.u64_below(4);
+            let preempt = AtomicBool::new(false);
+            let mut seen = 0u64;
+            let result = run_checkpointed(
+                entry.title,
+                entry.scenarios(Scale::Smoke),
+                BUDGET,
+                None,
+                OPTS,
+                &mut warm,
+                interval,
+                &preempt,
+                blob.as_deref(),
+                |_| {
+                    seen += 1;
+                    if seen > after {
+                        preempt.store(true, Ordering::Relaxed);
+                    }
+                },
+            )
+            .expect("checkpointed batch succeeds");
+            match result {
+                CheckpointOutcome::Done(report) => break report,
+                CheckpointOutcome::Preempted(b) => {
+                    preemptions += 1;
+                    blob = Some(b);
+                    if preemptions % 2 == 1 {
+                        // Migrate: resume on a brand-new machine.
+                        warm = WarmMachine::new();
+                    }
+                    // Give up preempting eventually so the test ends.
+                    if preemptions >= 4 {
+                        let report = match run_checkpointed(
+                            entry.title,
+                            entry.scenarios(Scale::Smoke),
+                            BUDGET,
+                            None,
+                            OPTS,
+                            &mut warm,
+                            interval,
+                            &AtomicBool::new(false),
+                            blob.as_deref(),
+                            |_| {},
+                        )
+                        .expect("final leg succeeds")
+                        {
+                            CheckpointOutcome::Done(report) => report,
+                            CheckpointOutcome::Preempted(_) => {
+                                panic!("preempted without a preempt request")
+                            }
+                        };
+                        break report;
+                    }
+                }
+            }
+        };
+        assert!(preemptions > 0, "{name}: the seed never preempted; weaken `after`");
+        assert_eq!(
+            outcomes_debug(&report),
+            outcomes_debug(&baseline),
+            "{name}: preempted+resumed outcomes diverged"
+        );
+        assert_eq!(
+            report.to_json().to_string_pretty(),
+            baseline.to_json().to_string_pretty(),
+            "{name}: preempted+resumed report bytes diverged"
+        );
+    }
+}
+
+/// A warmed machine that restored a snapshot and finished that run must
+/// be indistinguishable from fresh for the next job (no leaked arena,
+/// predictor, cache or policy state).
+#[test]
+fn warm_machine_is_clean_after_a_restored_job() {
+    let entry = catalog::find("table1_config").expect("catalog entry exists");
+    let mut warm = WarmMachine::new();
+
+    // Leg 1: run the job through a preemption + restore on `warm`.
+    let preempt = AtomicBool::new(false);
+    let first = run_checkpointed(
+        entry.title,
+        entry.scenarios(Scale::Smoke),
+        BUDGET,
+        None,
+        OPTS,
+        &mut warm,
+        300,
+        &preempt,
+        None,
+        |_| preempt.store(true, Ordering::Relaxed),
+    )
+    .expect("leg 1 succeeds");
+    let CheckpointOutcome::Preempted(blob) = first else {
+        panic!("job must be preempted at the first checkpoint");
+    };
+    match run_checkpointed(
+        entry.title,
+        entry.scenarios(Scale::Smoke),
+        BUDGET,
+        None,
+        OPTS,
+        &mut warm,
+        300,
+        &AtomicBool::new(false),
+        Some(&blob),
+        |_| {},
+    )
+    .expect("leg 2 succeeds")
+    {
+        CheckpointOutcome::Done(_) => {}
+        CheckpointOutcome::Preempted(_) => panic!("preempted without a preempt request"),
+    }
+
+    // Leg 2: a different fresh scenario on the used machine must match a
+    // brand-new machine exactly.
+    let probe = catalog::find("fig6_division_tree").expect("catalog entry exists");
+    let sc = &probe.scenarios(Scale::Smoke)[0];
+    let program = sc.workload.program(sc.variant);
+    let mut fresh = Machine::new(sc.config.clone(), &program).expect("machine builds");
+    fresh.enable_profile();
+    fresh.enable_trace(4096);
+    let expected = fresh.run(BUDGET).expect("fresh run halts");
+    let m = warm.prepare(sc.config.clone(), &program).expect("reset succeeds");
+    m.enable_profile();
+    m.enable_trace(4096);
+    let actual = m.run(BUDGET).expect("warmed run halts");
+    assert_eq!(
+        format!("{actual:#?}"),
+        format!("{expected:#?}"),
+        "restored-and-finished machine leaked state into the next fresh job"
+    );
+}
+
+/// Damaged or foreign blobs must come back as structured
+/// `CheckpointFailure::Blob` errors, never a panic or a wrong run.
+#[test]
+fn damaged_and_foreign_blobs_are_rejected() {
+    let entry = catalog::find("table1_config").expect("catalog entry exists");
+    let mut warm = WarmMachine::new();
+    let preempt = AtomicBool::new(false);
+    let parked = run_checkpointed(
+        entry.title,
+        entry.scenarios(Scale::Smoke),
+        BUDGET,
+        None,
+        RunOptions::default(),
+        &mut warm,
+        300,
+        &preempt,
+        None,
+        |_| preempt.store(true, Ordering::Relaxed),
+    )
+    .expect("parking succeeds");
+    let CheckpointOutcome::Preempted(blob) = parked else {
+        panic!("job must be preempted at the first checkpoint");
+    };
+
+    let resume = |blob: &[u8], scenarios| {
+        run_checkpointed(
+            entry.title,
+            scenarios,
+            BUDGET,
+            None,
+            RunOptions::default(),
+            &mut WarmMachine::new(),
+            300,
+            &AtomicBool::new(false),
+            Some(blob),
+            |_| {},
+        )
+    };
+
+    // Truncations at every prefix length (stride keeps the test fast).
+    for cut in (0..blob.len()).step_by(61).chain([blob.len() - 1]) {
+        match resume(&blob[..cut], entry.scenarios(Scale::Smoke)) {
+            Err(CheckpointFailure::Blob(_)) => {}
+            other => panic!("truncated blob at {cut} must be rejected, got {other:?}"),
+        }
+    }
+
+    // Wrong magic and wrong version.
+    let mut bad = blob.clone();
+    bad[0] ^= 0xff;
+    assert!(matches!(
+        resume(&bad, entry.scenarios(Scale::Smoke)),
+        Err(CheckpointFailure::Blob(r)) if r.contains("magic")
+    ));
+    let mut bad = blob.clone();
+    bad[8] = 0xfe;
+    assert!(matches!(
+        resume(&bad, entry.scenarios(Scale::Smoke)),
+        Err(CheckpointFailure::Blob(r)) if r.contains("version")
+    ));
+
+    // A job with a different scenario count.
+    let mut short = entry.scenarios(Scale::Smoke);
+    short.pop();
+    assert!(matches!(
+        resume(&blob, short),
+        Err(CheckpointFailure::Blob(r)) if r.contains("scenarios")
+    ));
+
+    // Same count, different first scenario: the embedded machine
+    // snapshot's config/program hash must reject the foreign job.
+    let mut swapped = entry.scenarios(Scale::Smoke);
+    swapped.reverse();
+    assert!(matches!(
+        resume(&blob, swapped),
+        Err(CheckpointFailure::Blob(r)) if r.contains("hash")
+    ));
+
+    // Trailing garbage.
+    let mut long = blob.clone();
+    long.push(0);
+    assert!(matches!(
+        resume(&long, entry.scenarios(Scale::Smoke)),
+        Err(CheckpointFailure::Blob(r)) if r.contains("trailing")
+    ));
+}

@@ -11,6 +11,7 @@
 
 use std::collections::VecDeque;
 
+use crate::codec::{CodecError, Reader, Writer};
 use crate::config::{DivisionMode, MachineConfig};
 
 /// Sliding-window counter of worker deaths.
@@ -65,6 +66,43 @@ impl DeathRateWindow {
     /// The window length in cycles.
     pub fn window(&self) -> u64 {
         self.window
+    }
+
+    /// Serializes the window (length, pending death cycles, total) for
+    /// checkpoints.
+    pub fn encode(&self, w: &mut Writer) {
+        w.u64(self.window);
+        w.usize(self.deaths.len());
+        for &c in &self.deaths {
+            w.u64(c);
+        }
+        w.u64(self.total);
+    }
+
+    /// Inverse of [`DeathRateWindow::encode`].
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] on truncated or ill-formed input (death cycles must
+    /// be non-decreasing, the window invariant).
+    pub fn decode(r: &mut Reader<'_>) -> Result<DeathRateWindow, CodecError> {
+        let window = r.u64()?;
+        let n = r.usize()?;
+        let mut deaths = VecDeque::with_capacity(n.min(1 << 20));
+        let mut last = 0u64;
+        for _ in 0..n {
+            let c = r.u64()?;
+            if c < last {
+                return Err(CodecError::Invalid("death cycles out of order"));
+            }
+            last = c;
+            deaths.push_back(c);
+        }
+        let total = r.u64()?;
+        if total < deaths.len() as u64 {
+            return Err(CodecError::Invalid("death total below pending"));
+        }
+        Ok(DeathRateWindow { window, deaths, total })
     }
 }
 
@@ -180,6 +218,25 @@ impl DivisionPolicy {
     pub fn throttled(&mut self, cycle: u64) -> bool {
         self.mode == DivisionMode::GreedyThrottled
             && self.window.deaths_within(cycle) >= self.death_limit.max(1)
+    }
+
+    /// Serializes the policy's mutable state (the death window) for
+    /// checkpoints. The static fields (mode, limit, stack flag) are
+    /// derived from configuration and rebuilt at restore.
+    pub fn encode_state(&self, w: &mut Writer) {
+        self.window.encode(w);
+    }
+
+    /// Restores the mutable state written by
+    /// [`DivisionPolicy::encode_state`] into a policy already built from
+    /// the same configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] on truncated or ill-formed input.
+    pub fn restore_state(&mut self, r: &mut Reader<'_>) -> Result<(), CodecError> {
+        self.window = DeathRateWindow::decode(r)?;
+        Ok(())
     }
 }
 

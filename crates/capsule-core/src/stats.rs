@@ -4,6 +4,7 @@
 
 use std::fmt;
 
+use crate::codec::{CodecError, Reader, Writer};
 use crate::ids::WorkerId;
 use crate::output::Json;
 
@@ -110,6 +111,64 @@ impl SimStats {
             self.active_context_cycles as f64 / self.cycles as f64
         }
     }
+
+    /// Serializes every counter, in declaration order, for checkpoints.
+    pub fn encode(&self, w: &mut Writer) {
+        for v in [
+            self.cycles,
+            self.fetched,
+            self.dispatched,
+            self.committed,
+            self.branches,
+            self.branch_mispredicts,
+            self.divisions_requested,
+            self.divisions_granted_context,
+            self.divisions_granted_stack,
+            self.divisions_denied_no_resource,
+            self.divisions_denied_throttled,
+            self.divisions_denied_disabled,
+            self.deaths,
+            self.swaps_out,
+            self.swaps_in,
+            self.lock_acquires,
+            self.lock_stalls,
+            self.lock_stall_cycles,
+            self.active_context_cycles,
+            self.max_live_workers,
+        ] {
+            w.u64(v);
+        }
+    }
+
+    /// Inverse of [`SimStats::encode`].
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] on truncated input.
+    pub fn decode(r: &mut Reader<'_>) -> Result<SimStats, CodecError> {
+        Ok(SimStats {
+            cycles: r.u64()?,
+            fetched: r.u64()?,
+            dispatched: r.u64()?,
+            committed: r.u64()?,
+            branches: r.u64()?,
+            branch_mispredicts: r.u64()?,
+            divisions_requested: r.u64()?,
+            divisions_granted_context: r.u64()?,
+            divisions_granted_stack: r.u64()?,
+            divisions_denied_no_resource: r.u64()?,
+            divisions_denied_throttled: r.u64()?,
+            divisions_denied_disabled: r.u64()?,
+            deaths: r.u64()?,
+            swaps_out: r.u64()?,
+            swaps_in: r.u64()?,
+            lock_acquires: r.u64()?,
+            lock_stalls: r.u64()?,
+            lock_stall_cycles: r.u64()?,
+            active_context_cycles: r.u64()?,
+            max_live_workers: r.u64()?,
+        })
+    }
 }
 
 impl fmt::Display for SimStats {
@@ -144,12 +203,12 @@ impl fmt::Display for SimStats {
 /// the share of execution time spent in componentized subgraphs, Table 2
 /// and Figure 8). A section is *active* while at least one thread is inside
 /// it; nesting and concurrent entries are reference-counted.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SectionTracker {
     sections: Vec<SectionState>,
 }
 
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 struct SectionState {
     active: u32,
     opened_at: u64,
@@ -223,6 +282,40 @@ impl SectionTracker {
         } else {
             self.section_cycles(id) as f64 / total_cycles as f64
         }
+    }
+
+    /// Serializes the tracker (including still-open sections) for
+    /// checkpoints.
+    pub fn encode(&self, w: &mut Writer) {
+        w.usize(self.sections.len());
+        for s in &self.sections {
+            w.u32(s.active);
+            w.u64(s.opened_at);
+            w.u64(s.total_cycles);
+            w.u64(s.entries);
+        }
+    }
+
+    /// Inverse of [`SectionTracker::encode`].
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] on truncated or ill-formed input.
+    pub fn decode(r: &mut Reader<'_>) -> Result<SectionTracker, CodecError> {
+        let n = r.usize()?;
+        if n > u16::MAX as usize + 1 {
+            return Err(CodecError::Invalid("section count"));
+        }
+        let mut sections = Vec::with_capacity(n);
+        for _ in 0..n {
+            sections.push(SectionState {
+                active: r.u32()?,
+                opened_at: r.u64()?,
+                total_cycles: r.u64()?,
+                entries: r.u64()?,
+            });
+        }
+        Ok(SectionTracker { sections })
     }
 }
 
@@ -444,7 +537,7 @@ pub struct DivisionNode {
 
 /// The genealogy of worker divisions — the structure visualized by
 /// Figure 6 of the paper ("Irregular divisions in QuickSort").
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct DivisionTree {
     nodes: Vec<DivisionNode>,
 }
@@ -513,6 +606,69 @@ impl DivisionTree {
             max = max.max(depths[i]);
         }
         max
+    }
+
+    /// Serializes the genealogy for checkpoints.
+    pub fn encode(&self, w: &mut Writer) {
+        w.usize(self.nodes.len());
+        for n in &self.nodes {
+            w.u32(n.id.0);
+            match n.parent {
+                None => w.u8(0),
+                Some(p) => {
+                    w.u8(1);
+                    w.u32(p.0);
+                }
+            }
+            w.u64(n.birth_cycle);
+            w.opt_u64(n.death_cycle);
+            w.u8(match n.place {
+                BirthPlace::Context => 0,
+                BirthPlace::Stack => 1,
+                BirthPlace::Loader => 2,
+            });
+        }
+    }
+
+    /// Inverse of [`DivisionTree::encode`]. Rejects trees whose ids are
+    /// not dense birth-order indices or whose parents are out of range.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] on truncated or ill-formed input.
+    pub fn decode(r: &mut Reader<'_>) -> Result<DivisionTree, CodecError> {
+        let n = r.usize()?;
+        if n > u32::MAX as usize {
+            return Err(CodecError::Invalid("tree size"));
+        }
+        let mut nodes = Vec::with_capacity(n.min(1 << 20));
+        for i in 0..n {
+            let id = WorkerId(r.u32()?);
+            if id.0 as usize != i {
+                return Err(CodecError::Invalid("non-dense worker id"));
+            }
+            let parent = match r.u8()? {
+                0 => None,
+                1 => {
+                    let p = WorkerId(r.u32()?);
+                    if p.0 as usize >= i {
+                        return Err(CodecError::Invalid("parent after child"));
+                    }
+                    Some(p)
+                }
+                _ => return Err(CodecError::Invalid("parent tag")),
+            };
+            let birth_cycle = r.u64()?;
+            let death_cycle = r.opt_u64()?;
+            let place = match r.u8()? {
+                0 => BirthPlace::Context,
+                1 => BirthPlace::Stack,
+                2 => BirthPlace::Loader,
+                _ => return Err(CodecError::Invalid("birth place")),
+            };
+            nodes.push(DivisionNode { id, parent, birth_cycle, death_cycle, place });
+        }
+        Ok(DivisionTree { nodes })
     }
 
     /// Renders the genealogy as Graphviz DOT, one node per worker, edges

@@ -15,6 +15,17 @@
 //! with exponential backoff on the next-preferred backend; client
 //! cancels broadcast to the backends; `stats` aggregates every backend's
 //! counters and latency histograms into one fleet view.
+//!
+//! Preemption is the drain lever (docs/CHECKPOINT.md): a fleet-level
+//! `preempt` parks a checkpointable job on whichever backend runs it,
+//! and the dispatcher — which is still waiting on that job's `run`
+//! round-trip — sees the structured `preempted` answer, fetches the
+//! checkpoint off the backend while it is still reachable, and retries
+//! on the next-preferred backend with `resume_from`, so the job
+//! continues from its last checkpoint instead of restarting. A fleet
+//! preempt therefore *migrates* rather than parks; the raw
+//! `checkpoint-fetch`/`checkpoint-put` ops are forwarded for tooling
+//! that wants to move parked state by hand.
 
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -27,7 +38,8 @@ use capsule_core::stats::Histogram;
 use capsule_core::{MetricsRegistry, SpanId, TraceRecorder, TraceStore};
 use capsule_serve::client::{self, ClientError, Connection};
 use capsule_serve::protocol::{
-    error_response, fnv1a64, list_response, response_head, Request, RunRequest,
+    cache_key as protocol_cache_key, error_response, fnv1a64, hex_encode, list_response,
+    response_head, Request, RunRequest,
 };
 
 use crate::backend::Backend;
@@ -120,6 +132,10 @@ struct Counters {
     retries: AtomicU64,
     backend_failures: AtomicU64,
     cancel_requests: AtomicU64,
+    preempt_requests: AtomicU64,
+    jobs_migrated: AtomicU64,
+    checkpoint_fetches: AtomicU64,
+    checkpoint_puts: AtomicU64,
     probes_ok: AtomicU64,
     probes_failed: AtomicU64,
 }
@@ -341,8 +357,112 @@ fn handle_line(shared: &Shared, line: &str) -> (Json, bool) {
         Request::List => (list_response(), false),
         Request::Metrics => (metrics_response(shared), false),
         Request::Trace { trace_id } => (trace_response(shared, &trace_id), false),
+        Request::Preempt { cache_key } => (handle_preempt(shared, &cache_key), false),
+        Request::CheckpointFetch { token } => (handle_checkpoint_fetch(shared, &token), false),
+        Request::CheckpointPut { token, canonical, blob } => {
+            (handle_checkpoint_put(shared, &token, &canonical, &blob), false)
+        }
         Request::Shutdown => (response_head("shutdown", true), true),
     }
+}
+
+/// Alive backends as `(name, addr)` in rendezvous order for `key`, so
+/// checkpoint ops land on the same backend a resume would route to.
+fn alive_in_preference_order(shared: &Shared, key: u64) -> Vec<(String, String)> {
+    let st = lock(&shared.state);
+    let addrs: Vec<String> = st.backends.iter().map(|b| b.addr.clone()).collect();
+    preference_order(&addrs, key)
+        .into_iter()
+        .filter(|&i| st.backends[i].alive)
+        .map(|i| (st.backends[i].name.clone(), st.backends[i].addr.clone()))
+        .collect()
+}
+
+/// The 16-hex checkpoint token is the job's FNV cache key rendered in
+/// hex; parse it back for rendezvous routing (the parser already
+/// guaranteed the format, so this cannot fail in practice).
+fn token_key(token: &str) -> u64 {
+    u64::from_str_radix(token, 16).unwrap_or(0)
+}
+
+/// The fleet `preempt` op: broadcast in preference order until a backend
+/// acknowledges owning the job. The dispatcher thread still waiting on
+/// that job's run then migrates it (see [`dispatch_with_retries`]).
+fn handle_preempt(shared: &Shared, cache_key: &str) -> Json {
+    shared.counters.preempt_requests.fetch_add(1, Ordering::Relaxed);
+    let line = {
+        let mut q = Json::object();
+        q.push("op", "preempt").push("cache_key", cache_key);
+        q.to_string_compact()
+    };
+    for (name, addr) in alive_in_preference_order(shared, token_key(cache_key)) {
+        if let Some(mut json) = forward_op(shared, &addr, &line) {
+            json.push("backend", name.as_str());
+            return json;
+        }
+    }
+    let mut r = error_response(
+        "preempt",
+        "not-running",
+        Some("no backend reports an admitted checkpointable job with this cache_key"),
+    );
+    r.push("cache_key", cache_key);
+    r
+}
+
+/// The fleet `checkpoint-fetch` op: first backend (preference order)
+/// holding the token answers; the response passes through with backend
+/// attribution added.
+fn handle_checkpoint_fetch(shared: &Shared, token: &str) -> Json {
+    for (name, addr) in alive_in_preference_order(shared, token_key(token)) {
+        let line = {
+            let mut q = Json::object();
+            q.push("op", "checkpoint-fetch").push("token", token);
+            q.to_string_compact()
+        };
+        if let Some(mut json) = forward_op(shared, &addr, &line) {
+            shared.counters.checkpoint_fetches.fetch_add(1, Ordering::Relaxed);
+            json.push("backend", name.as_str());
+            return json;
+        }
+    }
+    let mut r = error_response(
+        "checkpoint-fetch",
+        "unknown-checkpoint",
+        Some("no live backend holds a checkpoint for this token"),
+    );
+    r.push("token", token);
+    r
+}
+
+/// The fleet `checkpoint-put` op: validates the token against the
+/// canonical form (same rule a backend enforces) and stores the blob on
+/// the most-preferred live backend, so a later resume routes straight to
+/// the checkpoint it needs.
+fn handle_checkpoint_put(shared: &Shared, token: &str, canonical: &str, blob: &[u8]) -> Json {
+    if protocol_cache_key(canonical) != token {
+        return error_response(
+            "checkpoint-put",
+            "checkpoint-mismatch",
+            Some("token is not the cache_key of the supplied canonical request"),
+        );
+    }
+    let line = {
+        let mut q = Json::object();
+        q.push("op", "checkpoint-put")
+            .push("token", token)
+            .push("canonical", canonical)
+            .push("blob", hex_encode(blob).as_str());
+        q.to_string_compact()
+    };
+    for (name, addr) in alive_in_preference_order(shared, token_key(token)) {
+        if let Some(mut json) = forward_op(shared, &addr, &line) {
+            shared.counters.checkpoint_puts.fetch_add(1, Ordering::Relaxed);
+            json.push("backend", name.as_str());
+            return json;
+        }
+    }
+    error_response("checkpoint-put", "backend-unavailable", Some("no live backend took the blob"))
 }
 
 /// How one backend round-trip ended.
@@ -351,6 +471,59 @@ enum Outcome {
     Respond(Json),
     /// A backend fault: try the next-preferred backend.
     Retry { error: String, mark_dead: bool },
+    /// The backend parked the job at a checkpoint boundary (someone
+    /// preempted it). The dispatcher migrates the checkpoint and resumes
+    /// on the next-preferred backend instead of passing the park on.
+    Preempted { json: Json },
+}
+
+/// A checkpoint pulled off a preempting backend, ready to re-post to the
+/// migration target ahead of the resumed dispatch.
+struct Migration {
+    token: String,
+    canonical: String,
+    blob_hex: String,
+}
+
+/// Fetches a parked job's checkpoint from the backend that parked it.
+/// `None` (backend already gone, store evicted, malformed answer) means
+/// the retry simply restarts the job from scratch — correct, just slower.
+fn fetch_checkpoint(shared: &Shared, addr: &str, token: &str) -> Option<Migration> {
+    if token.is_empty() {
+        return None;
+    }
+    let line = {
+        let mut q = Json::object();
+        q.push("op", "checkpoint-fetch").push("token", token);
+        q.to_string_compact()
+    };
+    let json = forward_op(shared, addr, &line)?;
+    let migration = Migration {
+        token: token.to_string(),
+        canonical: json.get("canonical").and_then(Json::as_str)?.to_string(),
+        blob_hex: json.get("blob").and_then(Json::as_str)?.to_string(),
+    };
+    shared.counters.checkpoint_fetches.fetch_add(1, Ordering::Relaxed);
+    Some(migration)
+}
+
+/// Re-posts a fetched checkpoint to the migration target. On success the
+/// resumed run finds its blob locally; on failure the dispatch proceeds
+/// without `resume_from` and restarts from scratch.
+fn push_checkpoint(shared: &Shared, addr: &str, m: &Migration) -> bool {
+    let line = {
+        let mut q = Json::object();
+        q.push("op", "checkpoint-put")
+            .push("token", m.token.as_str())
+            .push("canonical", m.canonical.as_str())
+            .push("blob", m.blob_hex.as_str());
+        q.to_string_compact()
+    };
+    let ok = forward_op(shared, addr, &line).is_some();
+    if ok {
+        shared.counters.checkpoint_puts.fetch_add(1, Ordering::Relaxed);
+    }
+    ok
 }
 
 /// How a slot-acquisition attempt ended.
@@ -440,6 +613,7 @@ fn dispatch_with_retries(
     let deadline = admitted + Duration::from_millis(shared.opts.dispatch_wait_ms);
     let mut attempted: Vec<usize> = Vec::new();
     let mut last_error = String::from("no live backend");
+    let mut migration: Option<Migration> = None;
 
     for attempt in 0..shared.opts.attempts.max(1) {
         if attempt > 0 {
@@ -474,8 +648,23 @@ fn dispatch_with_retries(
             s
         });
 
+        // A migrated job carries its checkpoint to the new backend and
+        // resumes from it; if the blob cannot be re-posted the dispatch
+        // falls back to a from-scratch run (same bytes, more cycles).
+        let forward_line = match &migration {
+            Some(m) if push_checkpoint(shared, &addr, m) => {
+                if let (Some(t), Some(s)) = (trace.as_mut(), dspan) {
+                    t.rec.attr(s, "resume_from", &m.token);
+                }
+                let mut line = Json::parse(forward).expect("forward line is valid json");
+                line.push("resume_from", m.token.as_str());
+                line.to_string_compact()
+            }
+            _ => forward.to_string(),
+        };
+
         let started = Instant::now();
-        match roundtrip(shared, &addr, forward, generation) {
+        match roundtrip(shared, &addr, &forward_line, generation) {
             Outcome::Respond(mut json) => {
                 release(shared, idx, true, false);
                 let job_us = started.elapsed().as_micros() as u64;
@@ -503,6 +692,29 @@ fn dispatch_with_retries(
                     t.rec.end(s);
                 }
                 last_error = format!("{name} ({addr}): {error}");
+                attempted.push(idx);
+            }
+            Outcome::Preempted { json } => {
+                // A park is a deliberate, well-formed answer — not a
+                // backend fault — so the slot releases as a success and
+                // the failure window stays untouched.
+                release(shared, idx, true, false);
+                if let (Some(t), Some(s)) = (trace.as_mut(), dspan) {
+                    t.rec.attr(s, "outcome", "preempted");
+                    t.rec.end(s);
+                }
+                let token =
+                    json.get("cache_key").and_then(Json::as_str).unwrap_or_default().to_string();
+                // Pull the checkpoint while the backend is reachable —
+                // it may be killed before the resumed leg dispatches.
+                if let Some(m) = fetch_checkpoint(shared, &addr, &token) {
+                    shared.counters.jobs_migrated.fetch_add(1, Ordering::Relaxed);
+                    if let Some(t) = trace.as_mut() {
+                        t.rec.event(t.root, "migrated", &[("token", &m.token)]);
+                    }
+                    migration = Some(m);
+                }
+                last_error = format!("{name} ({addr}): job preempted, migrating");
                 attempted.push(idx);
             }
         }
@@ -636,6 +848,9 @@ fn roundtrip(shared: &Shared, addr: &str, canonical: &str, generation: u64) -> O
         // Job-level verdicts: deterministic for this request, so another
         // backend would answer the same. Pass through.
         Some("scenario-failed") | Some("bad-request") => Outcome::Respond(json),
+        // The backend parked the job at a checkpoint boundary: migrate
+        // it instead of surfacing the park or treating it as a fault.
+        Some("preempted") => Outcome::Preempted { json },
         // `cancelled` is the client's own doing only if a fleet cancel
         // arrived after this job was dispatched; otherwise the backend
         // died mid-job (shutdown cancels its in-flight runs) and the job
@@ -782,6 +997,10 @@ fn stats_response(shared: &Shared) -> Json {
         .push("retries", get(&c.retries))
         .push("backend_failures", get(&c.backend_failures))
         .push("cancel_requests", get(&c.cancel_requests))
+        .push("preempt_requests", get(&c.preempt_requests))
+        .push("jobs_migrated", get(&c.jobs_migrated))
+        .push("checkpoint_fetches", get(&c.checkpoint_fetches))
+        .push("checkpoint_puts", get(&c.checkpoint_puts))
         .push("probes_ok", get(&c.probes_ok))
         .push("probes_failed", get(&c.probes_failed));
     let (dispatch_wait, job) = {
@@ -832,6 +1051,10 @@ fn metrics_response(shared: &Shared) -> Json {
     m.set("capsule_fleet_retries_total", &[], get(&c.retries));
     m.set("capsule_fleet_backend_failures_total", &[], get(&c.backend_failures));
     m.set("capsule_fleet_cancel_requests_total", &[], get(&c.cancel_requests));
+    m.set("capsule_fleet_preempt_requests_total", &[], get(&c.preempt_requests));
+    m.set("capsule_fleet_jobs_migrated_total", &[], get(&c.jobs_migrated));
+    m.set("capsule_fleet_checkpoint_fetches_total", &[], get(&c.checkpoint_fetches));
+    m.set("capsule_fleet_checkpoint_puts_total", &[], get(&c.checkpoint_puts));
     m.set("capsule_fleet_queue_capacity", &[], shared.opts.queue as u64);
     m.set("capsule_fleet_traces_stored", &[], lock(&shared.traces).len() as u64);
     {

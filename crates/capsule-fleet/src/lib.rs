@@ -22,6 +22,12 @@
 //!   unprompted cancels retry with exponential backoff on the
 //!   next-preferred backend; job-level verdicts pass through untouched,
 //!   so a fleet answer is byte-identical to a single server's.
+//! - **Migrate instead of restarting.** A job parked by `preempt` on a
+//!   checkpointing backend is not a fault and not a restart: the
+//!   dispatcher fetches the checkpoint over the wire, re-posts it to the
+//!   next-preferred backend, and resumes with `resume_from` — the
+//!   cluster-level analogue of the paper's thread swap, with reports
+//!   still byte-identical (docs/CHECKPOINT.md).
 //!
 //! See docs/FLEET.md for topology, policy details, and the env knobs.
 

@@ -15,6 +15,7 @@ use std::time::{Duration, Instant};
 use capsule_core::output::Json;
 use capsule_fleet::{Fleet, FleetOptions};
 use capsule_serve::client::{request_once, Connection};
+use capsule_serve::protocol::{cache_key, Request};
 use capsule_serve::{Server, ServerOptions};
 
 /// Smoke-scale entries that finish in well under a second each (debug).
@@ -34,8 +35,21 @@ fn run_line(scenario: &str) -> String {
 }
 
 fn start_backend() -> Server {
-    Server::start("127.0.0.1:0", ServerOptions { workers: 1, queue: 8, cache: 8, traces: 16 })
-        .expect("bind backend")
+    start_backend_with_checkpoints(0)
+}
+
+/// A backend that checkpoints in-flight jobs every `checkpoint_cycles`
+/// simulated cycles (0 disables checkpointing, the plain default).
+fn start_backend_with_checkpoints(checkpoint_cycles: u64) -> Server {
+    let opts = ServerOptions {
+        workers: 1,
+        queue: 8,
+        cache: 8,
+        traces: 16,
+        checkpoint_cycles,
+        checkpoints: 8,
+    };
+    Server::start("127.0.0.1:0", opts).expect("bind backend")
 }
 
 /// Test-sized fleet policy: fast probes and backoffs, generous caps.
@@ -398,6 +412,8 @@ fn fleet_metrics_exposition_is_deterministic_and_golden_when_fresh() {
                     capsule_fleet_backends_alive 1\n\
                     capsule_fleet_bad_requests_total 0\n\
                     capsule_fleet_cancel_requests_total 0\n\
+                    capsule_fleet_checkpoint_fetches_total 0\n\
+                    capsule_fleet_checkpoint_puts_total 0\n\
                     capsule_fleet_dispatch_wait_us_bucket{le=\"+Inf\"} 0\n\
                     capsule_fleet_dispatch_wait_us_count 0\n\
                     capsule_fleet_dispatch_wait_us_sum 0\n\
@@ -409,8 +425,10 @@ fn fleet_metrics_exposition_is_deterministic_and_golden_when_fresh() {
                     capsule_fleet_jobs_completed_total 0\n\
                     capsule_fleet_jobs_failed_total 0\n\
                     capsule_fleet_jobs_in_flight 0\n\
+                    capsule_fleet_jobs_migrated_total 0\n\
                     capsule_fleet_jobs_rejected_total 0\n\
                     capsule_fleet_pending 0\n\
+                    capsule_fleet_preempt_requests_total 0\n\
                     capsule_fleet_queue_capacity 16\n\
                     capsule_fleet_retries_total 0\n\
                     capsule_fleet_traces_stored 0\n";
@@ -434,6 +452,121 @@ fn fleet_metrics_exposition_is_deterministic_and_golden_when_fresh() {
 
     fleet.shutdown();
     backend.shutdown();
+}
+
+/// The checkpoint-migration e2e (docs/CHECKPOINT.md): a checkpointed job
+/// is preempted through the fleet, the coordinator pulls the checkpoint
+/// off the victim backend, the victim is killed, and the job resumes on
+/// the survivor *from the checkpoint* — not from cycle 0 — with a report
+/// byte-identical to an uninterrupted run.
+#[test]
+fn preempted_job_migrates_off_a_killed_backend_with_identical_bytes() {
+    let mut backends = [
+        Some(start_backend_with_checkpoints(50_000)),
+        Some(start_backend_with_checkpoints(50_000)),
+    ];
+    // A generous backoff parks the migrated retry long enough for the
+    // test to kill the victim between the fetch and the resume.
+    let opts = FleetOptions { backoff_ms: 1_000, ..fleet_opts() };
+    let fleet = {
+        let refs: Vec<&Server> = backends.iter().flatten().collect();
+        start_fleet(&refs, opts)
+    };
+    let reference = start_backend();
+    wait_for("both backends alive", || backends_alive(&fleet) == 2);
+
+    // Baseline bytes from an uninterrupted run on a plain server.
+    let direct = request_once(&reference.local_addr().to_string(), SLOW_RUN).expect("direct run");
+    assert!(ok(&direct), "baseline failed: {}", direct.to_string_compact());
+    let baseline = direct.get("report").map(Json::to_string_compact).expect("baseline report");
+
+    // Dispatch the slow job through the fleet and find its backend.
+    let mut slow = Connection::connect(&fleet.local_addr().to_string()).expect("connect");
+    slow.send(SLOW_RUN).expect("send slow job");
+    wait_for("slow job to reach a backend", || busy_backend(&fleet).is_some());
+    let victim: usize =
+        busy_backend(&fleet).unwrap().trim_start_matches('b').parse().expect("backend index");
+
+    // Preempt it by cache key through the fleet; the backend may not
+    // have admitted the job yet, so poll until one claims it.
+    let key = {
+        let Request::Run(run) = Request::parse_line(SLOW_RUN).expect("parse run") else {
+            panic!("SLOW_RUN is a run request");
+        };
+        cache_key(&run.canonical())
+    };
+    let preempt_line = format!(r#"{{"op":"preempt","cache_key":"{key}"}}"#);
+    let mut preempt_reply = Json::Null;
+    wait_for("preempt to land on a backend", || {
+        let r = request(&fleet, &preempt_line);
+        if ok(&r) {
+            preempt_reply = r;
+            true
+        } else {
+            false
+        }
+    });
+    assert_eq!(
+        preempt_reply.get("backend").and_then(Json::as_str),
+        Some(format!("b{victim}").as_str()),
+        "the victim must be the backend acknowledging the preempt"
+    );
+
+    // The dispatcher fetches the checkpoint as soon as the park lands;
+    // once the blob is off the victim, the victim can die.
+    wait_for("the checkpoint to migrate", || fleet_counter(&stats(&fleet), "jobs_migrated") >= 1);
+    backends[victim].take().expect("victim still running").shutdown();
+
+    // The resumed leg completes on the survivor, byte for byte.
+    let reply = slow.recv().expect("slow job response");
+    assert!(ok(&reply), "migrated job failed: {}", reply.to_string_compact());
+    let survivor = format!("b{}", 1 - victim);
+    assert_eq!(reply.get("backend").and_then(Json::as_str), Some(survivor.as_str()));
+    assert!(
+        reply.get("attempts").and_then(Json::as_u64).unwrap_or(0) >= 2,
+        "migration must show as a second dispatch attempt: {}",
+        reply.to_string_compact()
+    );
+    assert_eq!(
+        reply.get("report").map(Json::to_string_compact).as_deref(),
+        Some(baseline.as_str()),
+        "the migrated report must be byte-identical to an uninterrupted run"
+    );
+
+    let s = stats(&fleet);
+    assert!(fleet_counter(&s, "preempt_requests") >= 1);
+    assert_eq!(fleet_counter(&s, "jobs_migrated"), 1);
+    assert_eq!(fleet_counter(&s, "checkpoint_fetches"), 1);
+    assert_eq!(fleet_counter(&s, "checkpoint_puts"), 1);
+    assert_eq!(fleet_counter(&s, "jobs_completed"), 1);
+    assert_eq!(fleet_counter(&s, "jobs_failed"), 0);
+    assert_eq!(
+        fleet_counter(&s, "backend_failures"),
+        0,
+        "a park is not a backend fault and must not trip the failure window"
+    );
+
+    // The survivor really resumed from the blob rather than restarting:
+    // its own jobs_resumed counter moved.
+    let survivor_stats = s
+        .get("backends")
+        .and_then(Json::as_array)
+        .and_then(|arr| {
+            arr.iter().find(|b| b.get("name").and_then(Json::as_str) == Some(survivor.as_str()))
+        })
+        .and_then(|b| b.get("stats"))
+        .expect("survivor stats");
+    assert_eq!(
+        survivor_stats.get("counters").and_then(|c| c.get("jobs_resumed")).and_then(Json::as_u64),
+        Some(1),
+        "the survivor must have resumed from the checkpoint"
+    );
+
+    fleet.shutdown();
+    reference.shutdown();
+    if let Some(b) = backends[1 - victim].take() {
+        b.shutdown();
+    }
 }
 
 #[test]

@@ -8,6 +8,7 @@
 //! write-back traffic is not separately charged (documented simplification
 //! in DESIGN.md).
 
+use capsule_core::codec::{CodecError, Reader, Writer};
 use capsule_core::config::CacheParams;
 
 /// Hit/miss counters of one cache level.
@@ -205,6 +206,56 @@ impl Cache {
         self.use_clock = 0;
         self.port_cycle = 0;
         self.port_used = 0;
+    }
+
+    /// Serializes contents, statistics and port state for checkpoints.
+    /// Geometry is not written; it is rebuilt from the parameters the
+    /// receiving cache was constructed with.
+    pub fn encode(&self, w: &mut Writer) {
+        w.usize(self.sets.len());
+        w.usize(self.params.assoc);
+        for set in &self.sets {
+            for l in set {
+                w.bool(l.valid);
+                w.u64(l.tag);
+                w.u64(l.last_use);
+            }
+        }
+        w.u64(self.stats.accesses);
+        w.u64(self.stats.hits);
+        w.u64(self.stats.misses);
+        w.u64(self.use_clock);
+        w.u64(self.port_cycle);
+        w.usize(self.port_used);
+    }
+
+    /// Restores state written by [`Cache::encode`] into a cache of the
+    /// same geometry.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Invalid`] when the recorded geometry does not match
+    /// this cache, or on truncated/ill-formed input.
+    pub fn decode_into(&mut self, r: &mut Reader<'_>) -> Result<(), CodecError> {
+        let sets = r.usize()?;
+        let assoc = r.usize()?;
+        if sets != self.sets.len() || assoc != self.params.assoc {
+            return Err(CodecError::Invalid("cache geometry mismatch"));
+        }
+        for set in &mut self.sets {
+            for l in set {
+                l.valid = r.bool()?;
+                l.tag = r.u64()?;
+                l.last_use = r.u64()?;
+            }
+        }
+        self.stats.accesses = r.u64()?;
+        self.stats.hits = r.u64()?;
+        self.stats.misses = r.u64()?;
+        self.use_clock = r.u64()?;
+        self.port_cycle = r.u64()?;
+        self.port_used = r.usize()?;
+        Ok(())
     }
 }
 

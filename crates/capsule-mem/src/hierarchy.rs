@@ -1,6 +1,7 @@
 //! The Table 1 memory hierarchy: split L1 I/D caches over a unified L2
 //! over flat main memory.
 
+use capsule_core::codec::{CodecError, Reader, Writer};
 use capsule_core::config::MachineConfig;
 
 use crate::cache::{Cache, CacheStats};
@@ -161,6 +162,37 @@ impl Hierarchy {
         }
         self.l2.reset();
         self.mem_accesses = 0;
+    }
+
+    /// Serializes every level's contents plus the memory-access counter
+    /// for checkpoints.
+    pub fn encode(&self, w: &mut Writer) {
+        w.usize(self.l1d.len());
+        for c in self.l1i.iter().chain(self.l1d.iter()) {
+            c.encode(w);
+        }
+        self.l2.encode(w);
+        w.u64(self.mem_accesses);
+    }
+
+    /// Restores state written by [`Hierarchy::encode`] into a hierarchy
+    /// built from the same configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Invalid`] on core-count or cache-geometry mismatch,
+    /// or on truncated/ill-formed input.
+    pub fn decode_into(&mut self, r: &mut Reader<'_>) -> Result<(), CodecError> {
+        let cores = r.usize()?;
+        if cores != self.l1d.len() {
+            return Err(CodecError::Invalid("hierarchy core count mismatch"));
+        }
+        for c in self.l1i.iter_mut().chain(self.l1d.iter_mut()) {
+            c.decode_into(r)?;
+        }
+        self.l2.decode_into(r)?;
+        self.mem_accesses = r.u64()?;
+        Ok(())
     }
 }
 

@@ -4,11 +4,20 @@
 //!   capsule-client ADDR '{"op":"run","scenario":"table1_config"}'
 //!   capsule-client ADDR run SCENARIO [SCALE] [BUDGET]
 //!   capsule-client ADDR trace TRACE_ID
+//!   capsule-client ADDR preempt CACHE_KEY
+//!   capsule-client ADDR resume TOKEN
 //!   capsule-client ADDR stats|list|cancel|shutdown|metrics
 //!
 //! Sends one request line and prints the server's response line
 //! (pretty-printed unless `--compact`). Exits nonzero when the server
 //! reports `ok: false`.
+//!
+//! `preempt` parks the checkpointable job whose `cache_key` matches (the
+//! key is echoed by the parked job's `preempted` response and by
+//! `run`). `resume` first asks the endpoint for the parked job's
+//! canonical request via `checkpoint-fetch`, then replays it with
+//! `resume_from` so the job continues from its last checkpoint
+//! (docs/CHECKPOINT.md).
 
 use capsule_core::output::Json;
 use capsule_serve::client::request_once;
@@ -26,7 +35,7 @@ fn main() {
         std::process::exit(2);
     }
     let addr = args.remove(0);
-    let line = build_request(&args);
+    let line = build_request(&addr, &args);
 
     let json = request_once(&addr, &line).unwrap_or_else(|e| {
         eprintln!("{addr}: {e}");
@@ -41,7 +50,7 @@ fn main() {
     std::process::exit(if ok { 0 } else { 1 });
 }
 
-fn build_request(args: &[String]) -> String {
+fn build_request(addr: &str, args: &[String]) -> String {
     if args[0].trim_start().starts_with('{') {
         return args[0].clone();
     }
@@ -56,6 +65,44 @@ fn build_request(args: &[String]) -> String {
             };
             let mut req = Json::object();
             req.push("op", "trace").push("trace_id", id.as_str());
+            req.to_string_compact()
+        }
+        "preempt" => {
+            let Some(key) = args.get(1) else {
+                eprintln!("preempt needs the job's cache_key (16 hex digits, echoed by `run`)");
+                std::process::exit(2);
+            };
+            let mut req = Json::object();
+            req.push("op", "preempt").push("cache_key", key.as_str());
+            req.to_string_compact()
+        }
+        "resume" => {
+            let Some(token) = args.get(1) else {
+                eprintln!("resume needs a checkpoint token (the parked job's cache_key)");
+                std::process::exit(2);
+            };
+            // The canonical run the checkpoint belongs to lives next to
+            // the blob; fetch it, then replay it with `resume_from` so
+            // the endpoint continues from the checkpoint.
+            let mut fetch = Json::object();
+            fetch.push("op", "checkpoint-fetch").push("token", token.as_str());
+            let reply = request_once(addr, &fetch.to_string_compact()).unwrap_or_else(|e| {
+                eprintln!("{addr}: {e}");
+                std::process::exit(1);
+            });
+            if reply.get("ok").and_then(Json::as_bool) != Some(true) {
+                eprintln!("{}", reply.to_string_pretty());
+                std::process::exit(1);
+            }
+            let Some(canonical) = reply.get("canonical").and_then(Json::as_str) else {
+                eprintln!("checkpoint-fetch answered without a canonical request");
+                std::process::exit(1);
+            };
+            let mut req = Json::parse(canonical).unwrap_or_else(|e| {
+                eprintln!("stored canonical request is not valid json: {e}");
+                std::process::exit(1);
+            });
+            req.push("resume_from", token.as_str());
             req.to_string_compact()
         }
         "run" => {
@@ -79,8 +126,8 @@ fn build_request(args: &[String]) -> String {
         }
         other => {
             eprintln!(
-                "unknown request {other:?} (run, trace, stats, list, cancel, shutdown, metrics \
-                 or raw json)"
+                "unknown request {other:?} (run, trace, preempt, resume, stats, list, cancel, \
+                 shutdown, metrics or raw json)"
             );
             std::process::exit(2);
         }

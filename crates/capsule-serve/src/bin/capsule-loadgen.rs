@@ -1,7 +1,8 @@
 //! Deterministic load generator for `capsule-serve` and `capsule-fleet`.
 //!
 //! Usage: `capsule-loadgen ADDR [--jobs N] [--threads T] [--fleet]
-//!         [--parity ADDR2] [--trace] [--scrape FILE]`
+//!         [--parity ADDR2] [--trace] [--scrape FILE]
+//!         [--preempt-rate N]`
 //!
 //! Fires N `run` requests (default 12) from T connections (default 4),
 //! cycling the full scenario catalog at smoke scale, and classifies each
@@ -28,6 +29,17 @@
 //! writes one JSON object per scrape to FILE: `{"seq":N,"metrics":{..}}`.
 //! Lines carry sequence numbers, never wall-clock timestamps, so two
 //! runs of the same workload produce structurally identical series.
+//!
+//! `--preempt-rate N` preempts roughly one in N jobs mid-run (seeded
+//! in-tree rng keyed by the job index, so the *same jobs* are picked on
+//! every run): a sidecar thread fires `preempt` at the job's cache key
+//! until a backend parks it, and a `preempted` answer is resumed via
+//! `resume_from` — exercising the checkpoint swap path under mixed
+//! traffic (docs/CHECKPOINT.md). Against a fleet endpoint the
+//! coordinator migrates the job itself and the run answer comes back
+//! already resumed. Requires checkpointing enabled on the backends
+//! (`CAPSULE_SERVE_CHECKPOINT_CYCLES`); without it the preempts answer
+//! `not-running` and the jobs simply complete.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -36,15 +48,17 @@ use std::time::Instant;
 
 use capsule_bench::catalog;
 use capsule_core::output::Json;
+use capsule_core::rng::{Rng, Xoshiro256StarStar};
 use capsule_core::stats::Histogram;
 use capsule_serve::client::request_once;
+use capsule_serve::protocol::{cache_key, Request};
 
 fn main() {
     let mut args = std::env::args().skip(1);
     let Some(addr) = args.next() else {
         eprintln!(
             "usage: capsule-loadgen ADDR [--jobs N] [--threads T] [--fleet] [--parity ADDR2] \
-             [--trace] [--scrape FILE]"
+             [--trace] [--scrape FILE] [--preempt-rate N]"
         );
         std::process::exit(2);
     };
@@ -54,6 +68,7 @@ fn main() {
     let mut parity: Option<String> = None;
     let mut trace = false;
     let mut scrape: Option<String> = None;
+    let mut preempt_rate = 0usize;
     while let Some(arg) = args.next() {
         let mut value = || {
             args.next().unwrap_or_else(|| {
@@ -74,6 +89,7 @@ fn main() {
             "--parity" => parity = Some(value()),
             "--trace" => trace = true,
             "--scrape" => scrape = Some(value()),
+            "--preempt-rate" => preempt_rate = int(value(), "--preempt-rate"),
             other => {
                 eprintln!("unknown argument {other:?}");
                 std::process::exit(2);
@@ -88,6 +104,7 @@ fn main() {
     let ok = Arc::new(AtomicUsize::new(0));
     let queue_full = Arc::new(AtomicUsize::new(0));
     let errors = Arc::new(AtomicUsize::new(0));
+    let preempted = Arc::new(AtomicUsize::new(0));
     let next = Arc::new(AtomicUsize::new(0));
     let latency = Arc::new(Mutex::new(Histogram::new()));
     let reports = Arc::new(Mutex::new(BTreeMap::<String, String>::new()));
@@ -104,6 +121,7 @@ fn main() {
             let (ok, queue_full, errors, next) =
                 (ok.clone(), queue_full.clone(), errors.clone(), next.clone());
             let (latency, reports, samples) = (latency.clone(), reports.clone(), samples.clone());
+            let preempted = preempted.clone();
             std::thread::spawn(move || loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= jobs {
@@ -112,8 +130,20 @@ fn main() {
                 let scenario = mix[i % mix.len()];
                 let trace_id = trace.then(|| format!("lg-{i}"));
                 let req = run_line_traced(scenario, trace_id.as_deref());
+                // Preempt selection is keyed by the job index alone, so
+                // the same jobs are swapped on every run of the same
+                // workload, whatever the thread interleaving.
+                let swap = preempt_rate > 0
+                    && Xoshiro256StarStar::seed_from_u64(0x10ad_6e5e ^ i as u64)
+                        .u64_below(preempt_rate as u64)
+                        == 0;
                 let started = Instant::now();
-                match request_once(&addr, &req) {
+                let result = if swap {
+                    run_with_preempt(&addr, &req, &preempted)
+                } else {
+                    request_once(&addr, &req).map_err(|e| e.to_string())
+                };
+                match result {
                     Ok(json) => {
                         if json.get("ok").and_then(Json::as_bool) == Some(true) {
                             let us = started.elapsed().as_micros() as u64;
@@ -144,7 +174,7 @@ fn main() {
                         }
                     }
                     Err(e) => {
-                        eprintln!("job {i} ({scenario}) transport error: {e}");
+                        eprintln!("job {i} ({scenario}) failed: {e}");
                         errors.fetch_add(1, Ordering::Relaxed);
                     }
                 }
@@ -156,10 +186,12 @@ fn main() {
     }
 
     println!(
-        "loadgen: {} ok, {} queue-full, {} errors over {} jobs / {} threads",
+        "loadgen: {} ok, {} queue-full, {} errors, {} preempted-and-resumed over {} jobs / {} \
+         threads",
         ok.load(Ordering::Relaxed),
         queue_full.load(Ordering::Relaxed),
         errors.load(Ordering::Relaxed),
+        preempted.load(Ordering::Relaxed),
         jobs,
         threads
     );
@@ -183,6 +215,54 @@ fn main() {
 
 fn run_line(scenario: &str) -> String {
     format!(r#"{{"op":"run","scenario":"{scenario}","scale":"smoke"}}"#)
+}
+
+/// Sends a run while a sidecar thread fires `preempt` at its cache key
+/// until a backend parks the job (or the run completes first — e.g. a
+/// cache hit, or a fleet that migrated and finished it). A direct
+/// server's `preempted` answer is resumed via `resume_from`; if the
+/// resume is rejected (checkpoint evicted, or a duplicate scenario got
+/// there first) the job falls back to one plain rerun, so the job count
+/// and the report-consistency checks stay intact either way.
+fn run_with_preempt(addr: &str, req: &str, preempted: &AtomicUsize) -> Result<Json, String> {
+    let Ok(Request::Run(run)) = Request::parse_line(req) else {
+        return Err("loadgen built a non-run request".to_string());
+    };
+    let canonical = run.canonical();
+    let key = cache_key(&canonical);
+
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let pinger = {
+        let addr = addr.to_string();
+        let line = format!(r#"{{"op":"preempt","cache_key":"{key}"}}"#);
+        let stop = stop.clone();
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::SeqCst) {
+                if let Ok(json) = request_once(&addr, &line) {
+                    if json.get("ok").and_then(Json::as_bool) == Some(true) {
+                        return;
+                    }
+                }
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+        })
+    };
+    let first = request_once(addr, req).map_err(|e| e.to_string());
+    stop.store(true, Ordering::SeqCst);
+    let _ = pinger.join();
+
+    let first = first?;
+    if first.get("error").and_then(Json::as_str) != Some("preempted") {
+        return Ok(first);
+    }
+    preempted.fetch_add(1, Ordering::Relaxed);
+    let mut resume = Json::parse(&canonical).map_err(|e| format!("bad canonical: {e}"))?;
+    resume.push("resume_from", key.as_str());
+    let resumed = request_once(addr, &resume.to_string_compact()).map_err(|e| e.to_string())?;
+    if resumed.get("ok").and_then(Json::as_bool) == Some(true) {
+        return Ok(resumed);
+    }
+    request_once(addr, req).map_err(|e| e.to_string())
 }
 
 fn run_line_traced(scenario: &str, trace_id: Option<&str>) -> String {

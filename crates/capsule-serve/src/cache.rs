@@ -1,10 +1,17 @@
-//! LRU result cache keyed by the canonical run-request string.
+//! LRU result cache keyed by the canonical run-request string, and the
+//! bounded checkpoint store behind preemptible jobs.
 //!
 //! The cached value is the rendered `capsule-bench-report/1` [`Json`]
 //! object; because the renderer is deterministic, a cache hit reproduces
 //! the original report byte for byte. Keys are the full canonical
 //! request strings (never the FNV hash the server reports as
 //! `cache_key`), so hash collisions cannot alias two different jobs.
+//!
+//! The [`CheckpointStore`] is keyed by the 16-hex checkpoint token (the
+//! job's `cache_key`) but every entry also carries the full canonical
+//! string it was taken for: a resume validates the canonical against the
+//! incoming request, so a token collision degrades to a structured
+//! `checkpoint-mismatch` instead of resuming the wrong job.
 
 use std::collections::HashMap;
 
@@ -64,6 +71,76 @@ impl ResultCache {
             }
         }
         self.entries.insert(key, Entry { report, last_used: self.tick });
+    }
+}
+
+/// One parked job: the canonical request it belongs to plus the
+/// checkpoint blob that resumes it.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    /// Canonical form of the job the blob was taken for.
+    pub canonical: String,
+    /// The `capsule-bench` checkpoint blob.
+    pub blob: Vec<u8>,
+}
+
+/// A bounded LRU map from checkpoint token to parked job.
+///
+/// Same recency discipline as [`ResultCache`]; capacity 0 disables
+/// checkpoint storage (a preempted job is then simply lost, and resume
+/// reports `unknown-checkpoint`).
+#[derive(Debug)]
+pub struct CheckpointStore {
+    capacity: usize,
+    tick: u64,
+    entries: HashMap<String, (Checkpoint, u64)>,
+}
+
+impl CheckpointStore {
+    /// A store holding at most `capacity` checkpoints.
+    pub fn new(capacity: usize) -> CheckpointStore {
+        CheckpointStore { capacity, tick: 0, entries: HashMap::new() }
+    }
+
+    /// Number of stored checkpoints.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up `token`, marking the entry most-recently used.
+    pub fn get(&mut self, token: &str) -> Option<Checkpoint> {
+        self.tick += 1;
+        let tick = self.tick;
+        let entry = self.entries.get_mut(token)?;
+        entry.1 = tick;
+        Some(entry.0.clone())
+    }
+
+    /// Inserts (or refreshes) `token`, evicting the least-recently-used
+    /// checkpoint when the store is full.
+    pub fn put(&mut self, token: String, checkpoint: Checkpoint) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        if !self.entries.contains_key(&token) && self.entries.len() >= self.capacity {
+            if let Some(lru) =
+                self.entries.iter().min_by_key(|(_, (_, used))| *used).map(|(k, _)| k.clone())
+            {
+                self.entries.remove(&lru);
+            }
+        }
+        self.entries.insert(token, (checkpoint, self.tick));
+    }
+
+    /// Drops `token`'s checkpoint (the job completed).
+    pub fn remove(&mut self, token: &str) {
+        self.entries.remove(token);
     }
 }
 
@@ -172,5 +249,44 @@ mod tests {
         c.put("c".to_string(), report("c"));
         assert!(c.get("a").is_none());
         assert!(c.get("b").is_some());
+    }
+
+    fn ckpt(canonical: &str, byte: u8) -> Checkpoint {
+        Checkpoint { canonical: canonical.to_string(), blob: vec![byte; 4] }
+    }
+
+    #[test]
+    fn checkpoint_store_round_trips_and_removes() {
+        let mut s = CheckpointStore::new(4);
+        assert!(s.is_empty());
+        s.put("t1".to_string(), ckpt("c1", 0xaa));
+        let hit = s.get("t1").expect("hit");
+        assert_eq!(hit.canonical, "c1");
+        assert_eq!(hit.blob, vec![0xaa; 4]);
+        assert!(s.get("t2").is_none());
+        s.remove("t1");
+        assert!(s.get("t1").is_none());
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn checkpoint_store_evicts_least_recently_used() {
+        let mut s = CheckpointStore::new(2);
+        s.put("a".to_string(), ckpt("a", 1));
+        s.put("b".to_string(), ckpt("b", 2));
+        assert!(s.get("a").is_some()); // refresh a; b is now LRU
+        s.put("c".to_string(), ckpt("c", 3));
+        assert_eq!(s.len(), 2);
+        assert!(s.get("b").is_none());
+        assert!(s.get("a").is_some());
+        assert!(s.get("c").is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_checkpoint_storage() {
+        let mut s = CheckpointStore::new(0);
+        s.put("a".to_string(), ckpt("a", 1));
+        assert!(s.is_empty());
+        assert!(s.get("a").is_none());
     }
 }

@@ -162,6 +162,12 @@ pub struct RunRequest {
     /// bypasses the cache lookup (the profile must come from a real run)
     /// but still stores its byte-identical report for later hits.
     pub profile: bool,
+    /// Resume a previously preempted job from its stored checkpoint:
+    /// the 16-hex checkpoint token (equal to the job's `cache_key`).
+    /// Excluded from the canonical form — a resumed run does the same
+    /// work as a fresh one and produces byte-identical report bytes, so
+    /// it must share the same cache entry and fleet affinity target.
+    pub resume_from: Option<String>,
 }
 
 impl RunRequest {
@@ -171,8 +177,11 @@ impl RunRequest {
     /// string keys the server's result cache; its FNV-1a hash is the
     /// `cache_key` reported to clients.
     ///
-    /// Observability fields (`trace_id`, `profile`) never appear here:
-    /// they do not change the work, so they must not change the key.
+    /// Observability and resumption fields (`trace_id`, `profile`,
+    /// `resume_from`) never appear here: they do not change the work, so
+    /// they must not change the key. In particular a resumed run hashes
+    /// to the same `cache_key` as the original — that key *is* the
+    /// checkpoint token.
     pub fn canonical(&self) -> String {
         let mut root = Json::object();
         root.push("op", "run")
@@ -220,6 +229,72 @@ pub enum Request {
     },
     /// The deterministic metrics exposition (docs/OBSERVABILITY.md).
     Metrics,
+    /// Park the running job with this `cache_key` at its next checkpoint
+    /// boundary; the parked blob lands in the server's checkpoint store
+    /// under the same token.
+    Preempt {
+        /// The `cache_key` the job was admitted under.
+        cache_key: String,
+    },
+    /// Retrieve a stored checkpoint blob (the fleet uses this to migrate
+    /// a parked job off a pressured backend).
+    CheckpointFetch {
+        /// Checkpoint token (= the job's `cache_key`).
+        token: String,
+    },
+    /// Insert a checkpoint blob fetched from another server, so a `run`
+    /// with `resume_from` can continue the job here.
+    CheckpointPut {
+        /// Checkpoint token; must equal the FNV-1a hash of `canonical`.
+        token: String,
+        /// Canonical form of the job the blob belongs to.
+        canonical: String,
+        /// The checkpoint blob bytes (hex on the wire).
+        blob: Vec<u8>,
+    },
+}
+
+/// Validates a checkpoint token / cache key: exactly 16 lowercase hex
+/// digits, the rendering of [`fnv1a64`] the server reports.
+fn parse_token(field: &str, v: &Json) -> Result<String, RequestError> {
+    let s = v.as_str().ok_or_else(|| bad(format!("{field:?} must be a string")))?;
+    if s.len() != 16 || !s.bytes().all(|b| b.is_ascii_hexdigit() && !b.is_ascii_uppercase()) {
+        return Err(bad(format!("{field:?} must be 16 lowercase hex digits")));
+    }
+    Ok(s.to_string())
+}
+
+/// Renders bytes as lowercase hex, the wire form of checkpoint blobs.
+pub fn hex_encode(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push_str(&format!("{b:02x}"));
+    }
+    s
+}
+
+/// Decodes a lowercase-hex string back into bytes.
+///
+/// # Errors
+///
+/// [`RequestError`] on odd length or a non-hex character.
+pub fn hex_decode(s: &str) -> Result<Vec<u8>, RequestError> {
+    if !s.len().is_multiple_of(2) {
+        return Err(bad("hex blob has odd length"));
+    }
+    let nibble = |b: u8| -> Result<u8, RequestError> {
+        match b {
+            b'0'..=b'9' => Ok(b - b'0'),
+            b'a'..=b'f' => Ok(b - b'a' + 10),
+            _ => Err(bad("hex blob contains a non-hex character")),
+        }
+    };
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len() / 2);
+    for pair in bytes.chunks_exact(2) {
+        out.push((nibble(pair[0])? << 4) | nibble(pair[1])?);
+    }
+    Ok(out)
 }
 
 impl Request {
@@ -249,6 +324,59 @@ impl Request {
                     .ok_or_else(|| bad("trace requires a string field \"trace_id\""))?;
                 Ok(Request::Trace { trace_id: parse_trace_id(id)? })
             }
+            "preempt" => {
+                for (key, _) in obj {
+                    if key != "op" && key != "cache_key" {
+                        return Err(bad(format!("unknown field {key:?} for op \"preempt\"")));
+                    }
+                }
+                let key = json
+                    .get("cache_key")
+                    .ok_or_else(|| bad("preempt requires a string field \"cache_key\""))?;
+                Ok(Request::Preempt { cache_key: parse_token("cache_key", key)? })
+            }
+            "checkpoint-fetch" => {
+                for (key, _) in obj {
+                    if key != "op" && key != "token" {
+                        return Err(bad(format!(
+                            "unknown field {key:?} for op \"checkpoint-fetch\""
+                        )));
+                    }
+                }
+                let tok = json
+                    .get("token")
+                    .ok_or_else(|| bad("checkpoint-fetch requires a string field \"token\""))?;
+                Ok(Request::CheckpointFetch { token: parse_token("token", tok)? })
+            }
+            "checkpoint-put" => {
+                for (key, _) in obj {
+                    match key.as_str() {
+                        "op" | "token" | "canonical" | "blob" => {}
+                        other => {
+                            return Err(bad(format!(
+                                "unknown field {other:?} for op \"checkpoint-put\""
+                            )))
+                        }
+                    }
+                }
+                let tok = json
+                    .get("token")
+                    .ok_or_else(|| bad("checkpoint-put requires a string field \"token\""))?;
+                let token = parse_token("token", tok)?;
+                let canonical = json
+                    .get("canonical")
+                    .and_then(Json::as_str)
+                    .filter(|s| !s.is_empty())
+                    .ok_or_else(|| {
+                        bad("checkpoint-put requires a non-empty string field \"canonical\"")
+                    })?
+                    .to_string();
+                let blob = json
+                    .get("blob")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| bad("checkpoint-put requires a hex string field \"blob\""))?;
+                Ok(Request::CheckpointPut { token, canonical, blob: hex_decode(blob)? })
+            }
             "stats" | "list" | "cancel" | "shutdown" | "metrics" => {
                 for (key, _) in obj {
                     if key != "op" {
@@ -264,8 +392,8 @@ impl Request {
                 })
             }
             other => Err(bad(format!(
-                "unknown op {other:?} (expected run, stats, list, cancel, shutdown, trace or \
-                 metrics)"
+                "unknown op {other:?} (expected run, stats, list, cancel, shutdown, trace, \
+                 metrics, preempt, checkpoint-fetch or checkpoint-put)"
             ))),
         }
     }
@@ -273,7 +401,8 @@ impl Request {
     fn parse_run(obj: &[(String, Json)], json: &Json) -> Result<Request, RequestError> {
         for (key, _) in obj {
             match key.as_str() {
-                "op" | "scenario" | "scale" | "budget" | "config" | "trace_id" | "profile" => {}
+                "op" | "scenario" | "scale" | "budget" | "config" | "trace_id" | "profile"
+                | "resume_from" => {}
                 other => return Err(bad(format!("unknown field {other:?} for op \"run\""))),
             }
         }
@@ -316,6 +445,8 @@ impl Request {
             None => false,
             Some(v) => v.as_bool().ok_or_else(|| bad("\"profile\" must be a boolean"))?,
         };
+        let resume_from =
+            json.get("resume_from").map(|v| parse_token("resume_from", v)).transpose()?;
         Ok(Request::Run(RunRequest {
             scenario: scenario.to_string(),
             scale,
@@ -323,6 +454,7 @@ impl Request {
             overrides,
             trace_id,
             profile,
+            resume_from,
         }))
     }
 
@@ -369,14 +501,16 @@ impl Request {
 }
 
 /// 64-bit FNV-1a over `bytes`; the reported `cache_key` is this hash of
-/// the canonical request string, rendered as 16 hex digits.
+/// the canonical request string, rendered as 16 hex digits. (The same
+/// hash the snapshot format uses — see [`capsule_core::codec::fnv1a64`].)
 pub fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
+    capsule_core::codec::fnv1a64(bytes)
+}
+
+/// The 16-hex `cache_key` of a canonical request string — also the
+/// job's checkpoint token.
+pub fn cache_key(canonical: &str) -> String {
+    format!("{:016x}", fnv1a64(canonical.as_bytes()))
 }
 
 #[cfg(test)]
@@ -551,6 +685,81 @@ mod tests {
         // and fleet routing rely on. Changing the canonical rendering
         // invalidates every warm cache — do it knowingly or not at all.
         assert_eq!(keys[0], "b51742894a5ff828");
+    }
+
+    #[test]
+    fn parses_checkpoint_ops() {
+        assert_eq!(
+            Request::parse_line(r#"{"op":"preempt","cache_key":"b51742894a5ff828"}"#).unwrap(),
+            Request::Preempt { cache_key: "b51742894a5ff828".to_string() }
+        );
+        assert_eq!(
+            Request::parse_line(r#"{"op":"checkpoint-fetch","token":"b51742894a5ff828"}"#).unwrap(),
+            Request::CheckpointFetch { token: "b51742894a5ff828".to_string() }
+        );
+        let put = Request::parse_line(
+            r#"{"op":"checkpoint-put","token":"b51742894a5ff828","canonical":"{}","blob":"00ff10"}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            put,
+            Request::CheckpointPut {
+                token: "b51742894a5ff828".to_string(),
+                canonical: "{}".to_string(),
+                blob: vec![0x00, 0xff, 0x10],
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_checkpoint_ops() {
+        for (line, needle) in [
+            (r#"{"op":"preempt"}"#, "requires a string field \"cache_key\""),
+            (r#"{"op":"preempt","cache_key":"short"}"#, "16 lowercase hex"),
+            (r#"{"op":"preempt","cache_key":"B51742894A5FF828"}"#, "16 lowercase hex"),
+            (r#"{"op":"preempt","cache_key":"b51742894a5ff828","x":1}"#, "unknown field"),
+            (r#"{"op":"checkpoint-fetch"}"#, "requires a string field \"token\""),
+            (r#"{"op":"checkpoint-fetch","token":7}"#, "must be a string"),
+            (r#"{"op":"checkpoint-put","token":"b51742894a5ff828"}"#, "canonical"),
+            (
+                r#"{"op":"checkpoint-put","token":"b51742894a5ff828","canonical":"{}","blob":"0g"}"#,
+                "non-hex",
+            ),
+            (
+                r#"{"op":"checkpoint-put","token":"b51742894a5ff828","canonical":"{}","blob":"0"}"#,
+                "odd length",
+            ),
+            (r#"{"op":"run","scenario":"table1_config","resume_from":"xyz"}"#, "16 lowercase hex"),
+        ] {
+            let err = Request::parse_line(line).expect_err(line);
+            assert!(err.message.contains(needle), "{line}: {}", err.message);
+        }
+    }
+
+    #[test]
+    fn resume_from_does_not_change_the_canonical_form() {
+        let parse = |line: &str| {
+            let Request::Run(r) = Request::parse_line(line).unwrap() else { panic!("run") };
+            r
+        };
+        let plain = parse(r#"{"op":"run","scenario":"table1_config","scale":"smoke"}"#);
+        let resumed = parse(
+            r#"{"op":"run","scenario":"table1_config","scale":"smoke","resume_from":"b51742894a5ff828"}"#,
+        );
+        assert_eq!(resumed.resume_from.as_deref(), Some("b51742894a5ff828"));
+        assert_eq!(plain.canonical(), resumed.canonical());
+        assert!(!resumed.canonical().contains("resume_from"));
+    }
+
+    #[test]
+    fn hex_round_trips() {
+        let bytes: Vec<u8> = (0..=255).collect();
+        let hex = hex_encode(&bytes);
+        assert_eq!(hex.len(), 512);
+        assert_eq!(hex_decode(&hex).unwrap(), bytes);
+        assert_eq!(hex_decode("").unwrap(), Vec::<u8>::new());
+        assert!(hex_decode("zz").is_err());
+        assert!(hex_decode("abc").is_err());
     }
 
     #[test]

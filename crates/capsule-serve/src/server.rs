@@ -9,6 +9,7 @@
 //! server-level analogue of the paper's death-rate division throttle
 //! (§4.2): admission control by refusal, not by queueing.
 
+use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -18,14 +19,19 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use capsule_bench::catalog;
+use capsule_bench::checkpoint::{run_checkpointed, CheckpointFailure, CheckpointOutcome};
 use capsule_bench::{BatchRunner, RunOptions};
 use capsule_core::output::Json;
 use capsule_core::stats::Histogram;
 use capsule_core::{MetricsRegistry, SpanId, TraceRecorder, TraceStore};
+use capsule_sim::machine::WarmMachine;
 use capsule_sim::CancelToken;
 
-use crate::cache::ResultCache;
-use crate::protocol::{error_response, fnv1a64, list_response, response_head, Request, RunRequest};
+use crate::cache::{Checkpoint, CheckpointStore, ResultCache};
+use crate::protocol::{
+    cache_key, error_response, fnv1a64, hex_encode, list_response, response_head, Request,
+    RunRequest,
+};
 
 /// Server sizing knobs.
 #[derive(Debug, Clone, Copy)]
@@ -39,11 +45,28 @@ pub struct ServerOptions {
     /// Retained span trees for the `trace` op (`CAPSULE_SERVE_TRACES`);
     /// 0 disables request tracing entirely.
     pub traces: usize,
+    /// Checkpoint interval in simulated cycles
+    /// (`CAPSULE_SERVE_CHECKPOINT_CYCLES`); 0 disables periodic
+    /// checkpoints, making jobs non-preemptible unless they arrive with
+    /// `resume_from` (checkpointed runs are cycle-identical to plain
+    /// ones, so this only trades snapshot overhead for preemptibility).
+    pub checkpoint_cycles: u64,
+    /// Checkpoint-store capacity in parked jobs
+    /// (`CAPSULE_SERVE_CHECKPOINTS`); 0 drops preempted jobs instead of
+    /// parking them.
+    pub checkpoints: usize,
 }
 
 impl Default for ServerOptions {
     fn default() -> ServerOptions {
-        ServerOptions { workers: 2, queue: 16, cache: 64, traces: 64 }
+        ServerOptions {
+            workers: 2,
+            queue: 16,
+            cache: 64,
+            traces: 64,
+            checkpoint_cycles: 0,
+            checkpoints: 16,
+        }
     }
 }
 
@@ -57,6 +80,11 @@ impl ServerOptions {
             queue: crate::env::env_usize("CAPSULE_SERVE_QUEUE", d.queue).max(1),
             cache: crate::env::env_usize("CAPSULE_SERVE_CACHE", d.cache),
             traces: crate::env::env_usize("CAPSULE_SERVE_TRACES", d.traces),
+            checkpoint_cycles: crate::env::env_u64(
+                "CAPSULE_SERVE_CHECKPOINT_CYCLES",
+                d.checkpoint_cycles,
+            ),
+            checkpoints: crate::env::env_usize("CAPSULE_SERVE_CHECKPOINTS", d.checkpoints),
         }
     }
 }
@@ -96,6 +124,12 @@ struct Job {
     enqueued: Instant,
     reply: mpsc::Sender<Json>,
     trace: Option<JobTrace>,
+    /// Checkpoint blob to resume from, pre-validated at admission.
+    resume: Option<Vec<u8>>,
+    /// The job's preempt flag, registered in [`Shared::preempts`] under
+    /// its cache key while the job is admitted. `None` for jobs that run
+    /// without checkpointing (nothing to preempt into).
+    preempt: Option<Arc<AtomicBool>>,
 }
 
 #[derive(Default)]
@@ -112,6 +146,13 @@ struct Counters {
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
     cancel_requests: AtomicU64,
+    preempt_requests: AtomicU64,
+    jobs_preempted: AtomicU64,
+    jobs_resumed: AtomicU64,
+    checkpoints_stored: AtomicU64,
+    checkpoint_fetches: AtomicU64,
+    checkpoint_puts: AtomicU64,
+    snapshot_bytes: AtomicU64,
 }
 
 #[derive(Default)]
@@ -133,6 +174,13 @@ struct Shared {
     counters: Counters,
     latencies: Mutex<Latencies>,
     traces: Mutex<TraceStore>,
+    /// Parked jobs by checkpoint token (= cache key).
+    checkpoints: Mutex<CheckpointStore>,
+    /// Preempt flags of admitted checkpointable jobs, by cache key. A
+    /// re-admitted duplicate key overwrites the previous flag — the
+    /// `preempt` op then reaches the newest job, which is the one still
+    /// making progress.
+    preempts: Mutex<HashMap<String, Arc<AtomicBool>>>,
 }
 
 fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
@@ -168,6 +216,8 @@ impl Server {
             counters: Counters::default(),
             latencies: Mutex::new(Latencies::default()),
             traces: Mutex::new(TraceStore::new(opts.traces)),
+            checkpoints: Mutex::new(CheckpointStore::new(opts.checkpoints)),
+            preempts: Mutex::new(HashMap::new()),
         });
 
         let mut workers = Vec::with_capacity(opts.workers);
@@ -288,8 +338,90 @@ fn handle_line(shared: &Shared, line: &str) -> (Json, bool) {
         Request::List => (list_response(), false),
         Request::Metrics => (metrics_response(shared), false),
         Request::Trace { trace_id } => (trace_response(shared, &trace_id), false),
+        Request::Preempt { cache_key } => (preempt_response(shared, &cache_key), false),
+        Request::CheckpointFetch { token } => (checkpoint_fetch_response(shared, &token), false),
+        Request::CheckpointPut { token, canonical, blob } => {
+            (checkpoint_put_response(shared, token, canonical, blob), false)
+        }
         Request::Shutdown => (response_head("shutdown", true), true),
     }
+}
+
+/// The `preempt` op: trips the preempt flag of an admitted job so it
+/// parks at its next checkpoint boundary. Asynchronous by design — the
+/// `run` response of the parked job (error code `preempted`) is the
+/// confirmation.
+fn preempt_response(shared: &Shared, key: &str) -> Json {
+    shared.counters.preempt_requests.fetch_add(1, Ordering::Relaxed);
+    match lock(&shared.preempts).get(key) {
+        Some(flag) => {
+            flag.store(true, Ordering::Relaxed);
+            let mut r = response_head("preempt", true);
+            r.push("cache_key", key);
+            r
+        }
+        None => {
+            let mut r = error_response(
+                "preempt",
+                "not-running",
+                Some("no admitted checkpointable job has this cache_key"),
+            );
+            r.push("cache_key", key);
+            r
+        }
+    }
+}
+
+/// The `checkpoint-fetch` op: a stored checkpoint as hex, plus the
+/// canonical request it belongs to (the fleet re-posts both to the
+/// migration target via `checkpoint-put`).
+fn checkpoint_fetch_response(shared: &Shared, token: &str) -> Json {
+    match lock(&shared.checkpoints).get(token) {
+        Some(cp) => {
+            shared.counters.checkpoint_fetches.fetch_add(1, Ordering::Relaxed);
+            let mut r = response_head("checkpoint-fetch", true);
+            r.push("token", token)
+                .push("canonical", cp.canonical.as_str())
+                .push("blob", hex_encode(&cp.blob));
+            r
+        }
+        None => {
+            let mut r = error_response(
+                "checkpoint-fetch",
+                "unknown-checkpoint",
+                Some("no stored checkpoint for this token (never parked, or evicted)"),
+            );
+            r.push("token", token);
+            r
+        }
+    }
+}
+
+/// The `checkpoint-put` op: accepts a blob fetched elsewhere. The token
+/// must be the cache key of the supplied canonical form — a put that
+/// lies about its job is rejected, keeping store keys trustworthy for
+/// later resumes.
+fn checkpoint_put_response(
+    shared: &Shared,
+    token: String,
+    canonical: String,
+    blob: Vec<u8>,
+) -> Json {
+    if cache_key(&canonical) != token {
+        return error_response(
+            "checkpoint-put",
+            "checkpoint-mismatch",
+            Some("token is not the cache_key of the supplied canonical request"),
+        );
+    }
+    shared.counters.checkpoint_puts.fetch_add(1, Ordering::Relaxed);
+    let mut store = lock(&shared.checkpoints);
+    store.put(token.clone(), Checkpoint { canonical, blob });
+    let entries = store.len();
+    drop(store);
+    let mut r = response_head("checkpoint-put", true);
+    r.push("token", token).push("checkpoint_entries", entries);
+    r
 }
 
 fn handle_run(shared: &Shared, run: RunRequest) -> Json {
@@ -315,12 +447,73 @@ fn handle_run(shared: &Shared, run: RunRequest) -> Json {
         }
     }
 
+    // Resume tokens are validated at admission so a bad one is rejected
+    // before it occupies a queue slot. The token must be this request's
+    // own cache key (the canonical-form hash) and the stored checkpoint
+    // must agree on the canonical — so a token can only resume the exact
+    // job it was parked from.
+    let key = cache_key(&canonical);
+    let resume = match &run.resume_from {
+        None => None,
+        Some(token) => {
+            if *token != key {
+                return error_response(
+                    "run",
+                    "checkpoint-mismatch",
+                    Some("resume_from is not this request's cache_key"),
+                );
+            }
+            match lock(&shared.checkpoints).get(token) {
+                None => {
+                    return error_response(
+                        "run",
+                        "unknown-checkpoint",
+                        Some("no stored checkpoint for this token (never parked, or evicted)"),
+                    )
+                }
+                Some(cp) if cp.canonical != canonical => {
+                    return error_response(
+                        "run",
+                        "checkpoint-mismatch",
+                        Some("stored checkpoint belongs to a different job"),
+                    )
+                }
+                Some(cp) => Some(cp.blob),
+            }
+        }
+    };
+
+    // A job is preemptible iff it runs on the checkpointed path: either
+    // the server checkpoints periodically, or the job resumes a parked
+    // blob (and keeps checkpointing from there only if enabled).
+    let preempt = if shared.opts.checkpoint_cycles > 0 || resume.is_some() {
+        let flag = Arc::new(AtomicBool::new(false));
+        lock(&shared.preempts).insert(key.clone(), Arc::clone(&flag));
+        Some(flag)
+    } else {
+        None
+    };
+    let unregister = |shared: &Shared| {
+        if preempt.is_some() {
+            lock(&shared.preempts).remove(&key);
+        }
+    };
+
     // Clone the sender out so the jobs lock is not held while waiting.
     let Some(tx) = lock(&shared.jobs).clone() else {
+        unregister(shared);
         return error_response("run", "shutting-down", None);
     };
     let (reply_tx, reply_rx) = mpsc::channel();
-    let job = Job { run, canonical, enqueued: Instant::now(), reply: reply_tx, trace };
+    let job = Job {
+        run,
+        canonical,
+        enqueued: Instant::now(),
+        reply: reply_tx,
+        trace,
+        resume,
+        preempt: preempt.clone(),
+    };
     match tx.try_send(job) {
         Ok(()) => {
             shared.counters.jobs_accepted.fetch_add(1, Ordering::Relaxed);
@@ -329,6 +522,7 @@ fn handle_run(shared: &Shared, run: RunRequest) -> Json {
             })
         }
         Err(TrySendError::Full(job)) => {
+            unregister(shared);
             shared.counters.jobs_rejected.fetch_add(1, Ordering::Relaxed);
             if let Some(mut t) = job.trace {
                 t.rec.event(t.root, "queue-full", &[]);
@@ -338,7 +532,10 @@ fn handle_run(shared: &Shared, run: RunRequest) -> Json {
             r.push("queue_capacity", shared.opts.queue);
             r
         }
-        Err(TrySendError::Disconnected(_)) => error_response("run", "shutting-down", None),
+        Err(TrySendError::Disconnected(_)) => {
+            unregister(shared);
+            error_response("run", "shutting-down", None)
+        }
     }
 }
 
@@ -370,20 +567,44 @@ fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<Job>>) {
     // One long-lived single-threaded batch runner per worker: its warmed
     // machine persists across jobs, so repeated runs reuse the simulator's
     // data-memory buffer, window arena and stage scratch (reset per run,
-    // cycle-identical to fresh machines).
+    // cycle-identical to fresh machines). The checkpointed path keeps its
+    // own warmed machine with the same reset/restore-equivalence contract.
     let runner = BatchRunner::with_workers(1);
+    let mut warm = WarmMachine::new();
     loop {
         // Hold the receiver lock only while waiting, never while running.
         let job = lock(rx).recv_timeout(Duration::from_millis(100));
         match job {
-            Ok(job) => run_job(shared, &runner, job),
+            Ok(job) => run_job(shared, &runner, &mut warm, job),
             Err(RecvTimeoutError::Timeout) => continue,
             Err(RecvTimeoutError::Disconnected) => break,
         }
     }
 }
 
-fn run_job(shared: &Shared, runner: &BatchRunner, mut job: Job) {
+/// Drops the job's preempt-flag registration, unless a re-admitted
+/// duplicate job has already replaced it with its own flag.
+fn unregister_preempt(shared: &Shared, job: &Job) {
+    let Some(flag) = &job.preempt else { return };
+    let key = cache_key(&job.canonical);
+    let mut map = lock(&shared.preempts);
+    if map.get(&key).is_some_and(|f| Arc::ptr_eq(f, flag)) {
+        map.remove(&key);
+    }
+}
+
+/// Parks `blob` in the checkpoint store under the job's token and bumps
+/// the snapshot counters.
+fn store_checkpoint(shared: &Shared, job: &Job, blob: &[u8]) {
+    shared.counters.checkpoints_stored.fetch_add(1, Ordering::Relaxed);
+    shared.counters.snapshot_bytes.fetch_add(blob.len() as u64, Ordering::Relaxed);
+    lock(&shared.checkpoints).put(
+        cache_key(&job.canonical),
+        Checkpoint { canonical: job.canonical.clone(), blob: blob.to_vec() },
+    );
+}
+
+fn run_job(shared: &Shared, runner: &BatchRunner, warm: &mut WarmMachine, mut job: Job) {
     let queue_wait_us = job.enqueued.elapsed().as_micros() as u64;
     // The cancellation generation is sampled at dispatch: an operator
     // `cancel` stops jobs already running, not jobs still queued.
@@ -405,16 +626,79 @@ fn run_job(shared: &Shared, runner: &BatchRunner, mut job: Job) {
     for sc in &mut scenarios {
         job.run.overrides.apply(&mut sc.config);
     }
+    let opts = RunOptions { profile: job.run.profile, trace: None };
     // One batch worker per job: across-job parallelism comes from the
     // server pool, and a single-threaded batch keeps a job's cost
-    // predictable for the queue's admission control.
-    let result = runner.try_run_opts(
-        entry.title,
-        scenarios,
-        job.run.budget,
-        Some(&token),
-        RunOptions { profile: job.run.profile, trace: None },
-    );
+    // predictable for the queue's admission control. A preemptible job
+    // takes the checkpointed path instead — serial like the one-worker
+    // runner and proven report-identical to it (capsule-bench's
+    // `checkpoint` tests), so which path ran is unobservable in the
+    // report bytes.
+    let result = match &job.preempt {
+        None => runner.try_run_opts(entry.title, scenarios, job.run.budget, Some(&token), opts),
+        Some(flag) => {
+            if job.resume.is_some() {
+                shared.counters.jobs_resumed.fetch_add(1, Ordering::Relaxed);
+            }
+            let checkpointed = run_checkpointed(
+                entry.title,
+                scenarios,
+                job.run.budget,
+                Some(&token),
+                opts,
+                warm,
+                shared.opts.checkpoint_cycles,
+                flag,
+                job.resume.as_deref(),
+                |blob| store_checkpoint(shared, &job, blob),
+            );
+            match checkpointed {
+                Ok(CheckpointOutcome::Done(report)) => {
+                    // The job is finished; its parked state is stale.
+                    lock(&shared.checkpoints).remove(&cache_key(&job.canonical));
+                    Ok(report)
+                }
+                Ok(CheckpointOutcome::Preempted(blob)) => {
+                    store_checkpoint(shared, &job, &blob);
+                    shared.counters.jobs_preempted.fetch_add(1, Ordering::Relaxed);
+                    let run_us = started.elapsed().as_micros() as u64;
+                    shared.counters.jobs_in_flight.fetch_sub(1, Ordering::SeqCst);
+                    {
+                        let mut lat = lock(&shared.latencies);
+                        lat.queue_wait_us.record(queue_wait_us);
+                        lat.run_us.record(run_us);
+                    }
+                    finish_job_trace(shared, &mut job, exec, "preempted");
+                    let mut r = error_response("run", "preempted", None);
+                    r.push("cache_key", cache_key(&job.canonical))
+                        .push("queue_wait_us", queue_wait_us)
+                        .push("run_us", run_us);
+                    echo_trace_id(&mut r, &job.run);
+                    unregister_preempt(shared, &job);
+                    let _ = job.reply.send(r);
+                    return;
+                }
+                Err(CheckpointFailure::Batch(e)) => Err(e),
+                Err(CheckpointFailure::Blob(reason)) => {
+                    shared.counters.jobs_failed.fetch_add(1, Ordering::Relaxed);
+                    let run_us = started.elapsed().as_micros() as u64;
+                    shared.counters.jobs_in_flight.fetch_sub(1, Ordering::SeqCst);
+                    {
+                        let mut lat = lock(&shared.latencies);
+                        lat.queue_wait_us.record(queue_wait_us);
+                        lat.run_us.record(run_us);
+                    }
+                    finish_job_trace(shared, &mut job, exec, "bad-checkpoint");
+                    let mut r = error_response("run", "bad-checkpoint", Some(&reason));
+                    r.push("queue_wait_us", queue_wait_us).push("run_us", run_us);
+                    echo_trace_id(&mut r, &job.run);
+                    unregister_preempt(shared, &job);
+                    let _ = job.reply.send(r);
+                    return;
+                }
+            }
+        }
+    };
     let run_us = started.elapsed().as_micros() as u64;
     shared.counters.jobs_in_flight.fetch_sub(1, Ordering::SeqCst);
     {
@@ -422,6 +706,7 @@ fn run_job(shared: &Shared, runner: &BatchRunner, mut job: Job) {
         lat.queue_wait_us.record(queue_wait_us);
         lat.run_us.record(run_us);
     }
+    unregister_preempt(shared, &job);
 
     let response = match result {
         Ok(report) => {
@@ -505,7 +790,14 @@ fn stats_response(shared: &Shared) -> Json {
         .push("jobs_cancelled", get(&c.jobs_cancelled))
         .push("cache_hits", get(&c.cache_hits))
         .push("cache_misses", get(&c.cache_misses))
-        .push("cancel_requests", get(&c.cancel_requests));
+        .push("cancel_requests", get(&c.cancel_requests))
+        .push("preempt_requests", get(&c.preempt_requests))
+        .push("jobs_preempted", get(&c.jobs_preempted))
+        .push("jobs_resumed", get(&c.jobs_resumed))
+        .push("checkpoints_stored", get(&c.checkpoints_stored))
+        .push("checkpoint_fetches", get(&c.checkpoint_fetches))
+        .push("checkpoint_puts", get(&c.checkpoint_puts))
+        .push("snapshot_bytes", get(&c.snapshot_bytes));
     let (queue_wait, run) = {
         let lat = lock(&shared.latencies);
         (lat.queue_wait_us.to_json(), lat.run_us.to_json())
@@ -515,6 +807,9 @@ fn stats_response(shared: &Shared) -> Json {
         .push("queue_capacity", shared.opts.queue)
         .push("cache_capacity", shared.opts.cache)
         .push("cache_entries", lock(&shared.cache).len())
+        .push("checkpoint_cycles", shared.opts.checkpoint_cycles)
+        .push("checkpoint_capacity", shared.opts.checkpoints)
+        .push("checkpoint_entries", lock(&shared.checkpoints).len())
         .push("jobs_in_flight", c.jobs_in_flight.load(Ordering::SeqCst))
         .push("counters", counters)
         .push("queue_wait_us", queue_wait)
@@ -540,11 +835,21 @@ fn metrics_response(shared: &Shared) -> Json {
     m.set("capsule_serve_cache_hits_total", &[], get(&c.cache_hits));
     m.set("capsule_serve_cache_misses_total", &[], get(&c.cache_misses));
     m.set("capsule_serve_cancel_requests_total", &[], get(&c.cancel_requests));
+    m.set("capsule_serve_preempt_requests_total", &[], get(&c.preempt_requests));
+    m.set("capsule_serve_jobs_preempted_total", &[], get(&c.jobs_preempted));
+    m.set("capsule_serve_jobs_resumed_total", &[], get(&c.jobs_resumed));
+    m.set("capsule_serve_checkpoints_stored_total", &[], get(&c.checkpoints_stored));
+    m.set("capsule_serve_checkpoint_fetches_total", &[], get(&c.checkpoint_fetches));
+    m.set("capsule_serve_checkpoint_puts_total", &[], get(&c.checkpoint_puts));
+    m.set("capsule_serve_snapshot_bytes_total", &[], get(&c.snapshot_bytes));
     m.set("capsule_serve_jobs_in_flight", &[], c.jobs_in_flight.load(Ordering::SeqCst));
     m.set("capsule_serve_workers", &[], shared.opts.workers as u64);
     m.set("capsule_serve_queue_capacity", &[], shared.opts.queue as u64);
     m.set("capsule_serve_cache_capacity", &[], shared.opts.cache as u64);
     m.set("capsule_serve_cache_entries", &[], lock(&shared.cache).len() as u64);
+    m.set("capsule_serve_checkpoint_cycles", &[], shared.opts.checkpoint_cycles);
+    m.set("capsule_serve_checkpoint_capacity", &[], shared.opts.checkpoints as u64);
+    m.set("capsule_serve_checkpoint_entries", &[], lock(&shared.checkpoints).len() as u64);
     m.set("capsule_serve_traces_stored", &[], lock(&shared.traces).len() as u64);
     {
         let lat = lock(&shared.latencies);

@@ -14,8 +14,20 @@ use capsule_core::output::Json;
 use capsule_serve::{Server, ServerOptions};
 
 fn start(workers: usize, queue: usize, cache: usize) -> Server {
-    Server::start("127.0.0.1:0", ServerOptions { workers, queue, cache, traces: 16 })
-        .expect("bind ephemeral port")
+    start_with_checkpoints(workers, queue, cache, 0)
+}
+
+fn start_with_checkpoints(
+    workers: usize,
+    queue: usize,
+    cache: usize,
+    checkpoint_cycles: u64,
+) -> Server {
+    Server::start(
+        "127.0.0.1:0",
+        ServerOptions { workers, queue, cache, traces: 16, checkpoint_cycles, checkpoints: 8 },
+    )
+    .expect("bind ephemeral port")
 }
 
 /// One request/response exchange on a fresh connection.
@@ -359,12 +371,21 @@ fn metrics_exposition_is_deterministic_and_golden_on_a_fresh_server() {
                     capsule_serve_cache_hits_total 0\n\
                     capsule_serve_cache_misses_total 0\n\
                     capsule_serve_cancel_requests_total 0\n\
+                    capsule_serve_checkpoint_capacity 8\n\
+                    capsule_serve_checkpoint_cycles 0\n\
+                    capsule_serve_checkpoint_entries 0\n\
+                    capsule_serve_checkpoint_fetches_total 0\n\
+                    capsule_serve_checkpoint_puts_total 0\n\
+                    capsule_serve_checkpoints_stored_total 0\n\
                     capsule_serve_jobs_accepted_total 0\n\
                     capsule_serve_jobs_cancelled_total 0\n\
                     capsule_serve_jobs_completed_total 0\n\
                     capsule_serve_jobs_failed_total 0\n\
                     capsule_serve_jobs_in_flight 0\n\
+                    capsule_serve_jobs_preempted_total 0\n\
                     capsule_serve_jobs_rejected_total 0\n\
+                    capsule_serve_jobs_resumed_total 0\n\
+                    capsule_serve_preempt_requests_total 0\n\
                     capsule_serve_queue_capacity 4\n\
                     capsule_serve_queue_wait_us_bucket{le=\"+Inf\"} 0\n\
                     capsule_serve_queue_wait_us_count 0\n\
@@ -372,6 +393,7 @@ fn metrics_exposition_is_deterministic_and_golden_on_a_fresh_server() {
                     capsule_serve_run_us_bucket{le=\"+Inf\"} 0\n\
                     capsule_serve_run_us_count 0\n\
                     capsule_serve_run_us_sum 0\n\
+                    capsule_serve_snapshot_bytes_total 0\n\
                     capsule_serve_traces_stored 0\n\
                     capsule_serve_workers 1\n";
     let first = request(&server, r#"{"op":"metrics"}"#);
@@ -392,6 +414,182 @@ fn metrics_exposition_is_deterministic_and_golden_on_a_fresh_server() {
     assert!(text.contains("capsule_serve_cache_entries 1\n"), "{text}");
     assert!(text.contains("capsule_serve_run_us_count 1\n"), "{text}");
     assert!(!text.contains("connections"), "scrape-perturbed counter leaked in:\n{text}");
+
+    server.shutdown();
+}
+
+/// The `cache_key` (= checkpoint token) a run line will be admitted
+/// under, computed the same way the server does.
+fn run_cache_key(line: &str) -> String {
+    use capsule_serve::protocol::{cache_key, Request};
+    let Request::Run(run) = Request::parse_line(line).expect("parse run line") else {
+        panic!("not a run line: {line}")
+    };
+    cache_key(&run.canonical())
+}
+
+/// Preempt a job, park it server-side, migrate its checkpoint to another
+/// server over the wire, and resume it on both — every resumed report
+/// must be byte-identical to an uninterrupted run of the same request.
+#[test]
+fn preempted_job_resumes_byte_identically_and_migrates_across_servers() {
+    // Baseline: a plain, never-checkpointed server.
+    let plain = start(1, 4, 8);
+    let baseline = request(&plain, SMOKE_RUN);
+    assert!(ok(&baseline), "baseline run failed: {}", baseline.to_string_compact());
+    let baseline_report = baseline.get("report").map(Json::to_string_compact).expect("report");
+
+    // Checkpointed server: a long job occupies the single worker, so the
+    // smoke job is preempted while still queued (deterministically —
+    // no race against a checkpoint boundary; boundary preemption is
+    // pinned exhaustively by capsule-bench's checkpoint tests).
+    let ckpt = start_with_checkpoints(1, 4, 8, 50_000);
+    let mut long = request_deferred(&ckpt, LONG_RUN);
+    wait_for("long job to occupy the worker", || jobs_in_flight(&ckpt) == 1);
+    let mut queued = request_deferred(&ckpt, SMOKE_RUN);
+    wait_for("smoke job to be queued", || counter(&ckpt, "jobs_accepted") >= 2);
+
+    let key = run_cache_key(SMOKE_RUN);
+    let preempt = request(&ckpt, &format!(r#"{{"op":"preempt","cache_key":"{key}"}}"#));
+    assert!(ok(&preempt), "preempt failed: {}", preempt.to_string_compact());
+
+    // Free the worker; the queued job starts, observes its preempt flag
+    // and parks instead of running.
+    let cancel = request(&ckpt, r#"{"op":"cancel"}"#);
+    assert!(ok(&cancel));
+    assert_eq!(error_code(&read_reply(&mut long)), Some("cancelled"));
+    let parked = read_reply(&mut queued);
+    assert!(!ok(&parked));
+    assert_eq!(error_code(&parked), Some("preempted"));
+    assert_eq!(parked.get("cache_key").and_then(Json::as_str), Some(key.as_str()));
+    assert_eq!(counter(&ckpt, "jobs_preempted"), 1);
+    assert!(counter(&ckpt, "checkpoints_stored") >= 1);
+
+    // Fetch the parked checkpoint and migrate it to the plain server.
+    let fetched = request(&ckpt, &format!(r#"{{"op":"checkpoint-fetch","token":"{key}"}}"#));
+    assert!(ok(&fetched), "fetch failed: {}", fetched.to_string_compact());
+    let canonical = fetched.get("canonical").and_then(Json::as_str).expect("canonical");
+    let blob = fetched.get("blob").and_then(Json::as_str).expect("blob hex");
+    assert_eq!(counter(&ckpt, "checkpoint_fetches"), 1);
+
+    // A put that lies about its job is rejected.
+    let lied = request(
+        &plain,
+        &format!(
+            r#"{{"op":"checkpoint-put","token":"0000000000000000","canonical":{},"blob":"{blob}"}}"#,
+            Json::from(canonical).to_string_compact()
+        ),
+    );
+    assert_eq!(error_code(&lied), Some("checkpoint-mismatch"));
+
+    let put = request(
+        &plain,
+        &format!(
+            r#"{{"op":"checkpoint-put","token":"{key}","canonical":{},"blob":"{blob}"}}"#,
+            Json::from(canonical).to_string_compact()
+        ),
+    );
+    assert!(ok(&put), "put failed: {}", put.to_string_compact());
+    assert_eq!(put.get("checkpoint_entries").and_then(Json::as_i64), Some(1));
+
+    // Resume on the migration target. Its result cache already holds the
+    // baseline report for this canonical request, and a cache hit is the
+    // correct (byte-identical) answer — so bypass it with profile:true,
+    // which forces a real run through the resume path.
+    let resume_line = format!(
+        r#"{{"op":"run","scenario":"table1_config","scale":"smoke","resume_from":"{key}","profile":true}}"#
+    );
+    let migrated = request(&plain, &resume_line);
+    assert!(ok(&migrated), "migrated resume failed: {}", migrated.to_string_compact());
+    assert_eq!(migrated.get("cache_hit").and_then(Json::as_bool), Some(false));
+    assert_eq!(
+        migrated.get("report").map(Json::to_string_compact).as_deref(),
+        Some(baseline_report.as_str()),
+        "migrated resume diverged from the uninterrupted run"
+    );
+    assert_eq!(counter(&plain, "jobs_resumed"), 1);
+
+    // Resume on the original server too (its copy is still parked).
+    let resumed = request(&ckpt, &resume_line);
+    assert!(ok(&resumed), "resume failed: {}", resumed.to_string_compact());
+    assert_eq!(
+        resumed.get("report").map(Json::to_string_compact).as_deref(),
+        Some(baseline_report.as_str()),
+        "resumed report diverged from the uninterrupted run"
+    );
+
+    // Completion consumed the parked checkpoints on both servers.
+    for s in [&plain, &ckpt] {
+        let gone = request(s, &format!(r#"{{"op":"checkpoint-fetch","token":"{key}"}}"#));
+        assert_eq!(error_code(&gone), Some("unknown-checkpoint"));
+    }
+
+    // The new counters are in the exposition and scrapes stay stable.
+    let m1 = request(&ckpt, r#"{"op":"metrics"}"#);
+    let text = m1.get("exposition").and_then(Json::as_str).expect("exposition");
+    assert!(text.contains("capsule_serve_jobs_preempted_total 1\n"), "{text}");
+    assert!(text.contains("capsule_serve_jobs_resumed_total 1\n"), "{text}");
+    assert!(text.contains("capsule_serve_checkpoint_fetches_total 1\n"), "{text}");
+    let m2 = request(&ckpt, r#"{"op":"metrics"}"#);
+    assert_eq!(m1.to_string_compact(), m2.to_string_compact());
+
+    plain.shutdown();
+    ckpt.shutdown();
+}
+
+/// Every checkpoint failure mode is a structured error, never a hang,
+/// a panic, or a silently wrong run.
+#[test]
+fn checkpoint_errors_are_structured() {
+    let server = start_with_checkpoints(1, 4, 8, 10_000);
+    let key = run_cache_key(SMOKE_RUN);
+
+    // Preempting a job that is not admitted.
+    let idle = request(&server, &format!(r#"{{"op":"preempt","cache_key":"{key}"}}"#));
+    assert_eq!(error_code(&idle), Some("not-running"));
+
+    // Fetching a checkpoint that was never parked.
+    let missing = request(&server, &format!(r#"{{"op":"checkpoint-fetch","token":"{key}"}}"#));
+    assert_eq!(error_code(&missing), Some("unknown-checkpoint"));
+
+    // Resuming with a token that is not this request's cache_key.
+    let foreign = request(
+        &server,
+        r#"{"op":"run","scenario":"table1_config","scale":"smoke","resume_from":"0000000000000000"}"#,
+    );
+    assert_eq!(error_code(&foreign), Some("checkpoint-mismatch"));
+
+    // Resuming with the right token but no parked checkpoint.
+    let unparked = request(
+        &server,
+        &format!(
+            r#"{{"op":"run","scenario":"table1_config","scale":"smoke","resume_from":"{key}"}}"#
+        ),
+    );
+    assert_eq!(error_code(&unparked), Some("unknown-checkpoint"));
+
+    // A corrupt blob passes checkpoint-put (the token/canonical pair is
+    // consistent) but is rejected with a structured error at resume.
+    use capsule_serve::protocol::Request;
+    let Request::Run(run) = Request::parse_line(SMOKE_RUN).expect("parse") else { panic!("run") };
+    let canonical = Json::from(run.canonical().as_str()).to_string_compact();
+    let put = request(
+        &server,
+        &format!(
+            r#"{{"op":"checkpoint-put","token":"{key}","canonical":{canonical},"blob":"deadbeefdeadbeef"}}"#
+        ),
+    );
+    assert!(ok(&put), "put failed: {}", put.to_string_compact());
+    let bad = request(
+        &server,
+        &format!(
+            r#"{{"op":"run","scenario":"table1_config","scale":"smoke","resume_from":"{key}"}}"#
+        ),
+    );
+    assert_eq!(error_code(&bad), Some("bad-checkpoint"));
+    let detail = bad.get("detail").and_then(Json::as_str).unwrap_or("");
+    assert!(detail.contains("magic"), "detail was {detail:?}");
+    assert_eq!(counter(&server, "jobs_failed"), 1);
 
     server.shutdown();
 }

@@ -15,6 +15,7 @@
 //! whose generation no longer matches denotes a retired — hence
 //! complete — entry.
 
+use capsule_core::codec::{CodecError, Reader, Writer};
 use capsule_isa::instr::FuClass;
 
 /// Entry flag: issued to a functional unit (or born issued, for inert
@@ -51,6 +52,71 @@ pub(crate) struct EntryRef {
     pub idx: u32,
     /// Generation the slot had when the reference was taken.
     pub gen: u32,
+}
+
+/// Hard cap on a deserialized arena's entry count — far above any window
+/// a valid configuration can fill, so a corrupted length prefix cannot
+/// drive an allocation.
+const MAX_ENTRIES: usize = 1 << 24;
+
+fn fu_tag(fu: FuClass) -> u8 {
+    match fu {
+        FuClass::None => 0,
+        FuClass::IntAlu => 1,
+        FuClass::IntMult => 2,
+        FuClass::FpAlu => 3,
+        FuClass::FpMult => 4,
+        FuClass::Mem => 5,
+    }
+}
+
+fn fu_from_tag(tag: u8) -> Result<FuClass, CodecError> {
+    Ok(match tag {
+        0 => FuClass::None,
+        1 => FuClass::IntAlu,
+        2 => FuClass::IntMult,
+        3 => FuClass::FpAlu,
+        4 => FuClass::FpMult,
+        5 => FuClass::Mem,
+        _ => return Err(CodecError::Invalid("bad functional-unit tag")),
+    })
+}
+
+fn encode_waiter(w: &mut Writer, waiter: Option<Waiter>) {
+    match waiter {
+        None => w.u8(0),
+        Some(Waiter { entry, slot }) => {
+            w.u8(1);
+            w.u32(entry);
+            w.u8(slot);
+        }
+    }
+}
+
+fn decode_waiter(r: &mut Reader<'_>, n: usize) -> Result<Option<Waiter>, CodecError> {
+    match r.u8()? {
+        0 => Ok(None),
+        1 => {
+            let entry = r.u32()?;
+            let slot = r.u8()?;
+            if entry as usize >= n || slot >= 4 {
+                return Err(CodecError::Invalid("waiter out of range"));
+            }
+            Ok(Some(Waiter { entry, slot }))
+        }
+        _ => Err(CodecError::Invalid("bad waiter tag")),
+    }
+}
+
+impl EntryRef {
+    pub(crate) fn encode(self, w: &mut Writer) {
+        w.u32(self.idx);
+        w.u32(self.gen);
+    }
+
+    pub(crate) fn decode(r: &mut Reader<'_>) -> Result<EntryRef, CodecError> {
+        Ok(EntryRef { idx: r.u32()?, gen: r.u32()? })
+    }
 }
 
 /// The arena. All state of one in-flight entry lives at the same index
@@ -159,6 +225,11 @@ impl EntryArena {
         self.free.clear();
     }
 
+    /// Number of allocated slots (live or on the free list).
+    pub fn len(&self) -> usize {
+        self.seq.len()
+    }
+
     /// A generation-checked reference to the entry currently at `idx`.
     pub fn entry_ref(&self, idx: u32) -> EntryRef {
         EntryRef { idx, gen: self.gen[idx as usize] }
@@ -239,6 +310,73 @@ impl EntryArena {
             self.head_waiter[pi].replace(Waiter { entry: consumer, slot: dslot });
         self.unready[consumer as usize] += 1;
         true
+    }
+
+    /// Serializes every column plus the free list for checkpoints.
+    pub fn encode(&self, w: &mut Writer) {
+        let n = self.seq.len();
+        w.usize(n);
+        for i in 0..n {
+            w.u64(self.seq[i]);
+            w.u32(self.gen[i]);
+            w.u8(fu_tag(self.fu[i]));
+            w.u64(self.latency[i]);
+            w.u8(self.unready[i]);
+            w.u8(self.flags[i]);
+            w.u64(self.complete_at[i]);
+            w.u64(self.mem_addr[i]);
+            encode_waiter(w, self.head_waiter[i]);
+            for &nw in &self.next_waiter[i] {
+                encode_waiter(w, nw);
+            }
+        }
+        w.usize(self.free.len());
+        for &f in &self.free {
+            w.u32(f);
+        }
+    }
+
+    /// Restores state written by [`EntryArena::encode`], reusing this
+    /// arena's allocations.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] on truncated or ill-formed input (dangling waiter
+    /// or free-list indices, unknown tags).
+    pub fn decode_into(&mut self, r: &mut Reader<'_>) -> Result<(), CodecError> {
+        self.clear();
+        let n = r.usize()?;
+        if n > MAX_ENTRIES {
+            return Err(CodecError::Invalid("arena too large"));
+        }
+        for _ in 0..n {
+            self.seq.push(r.u64()?);
+            self.gen.push(r.u32()?);
+            self.fu.push(fu_from_tag(r.u8()?)?);
+            self.latency.push(r.u64()?);
+            self.unready.push(r.u8()?);
+            self.flags.push(r.u8()?);
+            self.complete_at.push(r.u64()?);
+            self.mem_addr.push(r.u64()?);
+            self.head_waiter.push(decode_waiter(r, n)?);
+            let mut nw = [None; 4];
+            for slot in &mut nw {
+                *slot = decode_waiter(r, n)?;
+            }
+            self.next_waiter.push(nw);
+        }
+        let nfree = r.usize()?;
+        if nfree > n {
+            return Err(CodecError::Invalid("free list larger than arena"));
+        }
+        for _ in 0..nfree {
+            let f = r.u32()?;
+            if f as usize >= n {
+                return Err(CodecError::Invalid("free index out of range"));
+            }
+            self.free.push(f);
+        }
+        Ok(())
     }
 
     /// Marks the entry complete and walks its wakeup chain: every waiter

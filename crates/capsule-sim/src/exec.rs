@@ -5,6 +5,7 @@
 //! diverge — the timing model only decides *when* things happen and how
 //! thread-division requests are answered.
 
+use capsule_core::codec::{CodecError, Reader, Writer};
 use capsule_core::ids::WorkerId;
 use capsule_isa::instr::Instr;
 use capsule_isa::reg::{FReg, Reg};
@@ -49,6 +50,37 @@ impl ArchState {
     /// Writes an FP register.
     pub fn setf(&mut self, f: FReg, v: f64) {
         self.fregs[f.index()] = v;
+    }
+
+    /// Serializes the full register image for checkpoints.
+    pub fn encode(&self, w: &mut Writer) {
+        w.u32(self.pc);
+        for &v in &self.iregs {
+            w.i64(v);
+        }
+        for &v in &self.fregs {
+            w.f64(v);
+        }
+        w.u32(self.worker.0);
+    }
+
+    /// Inverse of [`ArchState::encode`].
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] on truncated input.
+    pub fn decode(r: &mut Reader<'_>) -> Result<ArchState, CodecError> {
+        let pc = r.u32()?;
+        let mut iregs = [0i64; 32];
+        for v in &mut iregs {
+            *v = r.i64()?;
+        }
+        let mut fregs = [0f64; 32];
+        for v in &mut fregs {
+            *v = r.f64()?;
+        }
+        let worker = WorkerId(r.u32()?);
+        Ok(ArchState { pc, iregs, fregs, worker })
     }
 }
 
@@ -169,6 +201,32 @@ impl Memory {
     /// Always false; memory has at least the data base reserved.
     pub fn is_empty(&self) -> bool {
         false
+    }
+
+    /// Serializes base and contents for checkpoints.
+    pub fn encode(&self, w: &mut Writer) {
+        w.u64(self.base);
+        w.bytes(&self.bytes);
+    }
+
+    /// Restores contents written by [`Memory::encode`] into a memory of
+    /// the same shape.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Invalid`] when base or size differ from this
+    /// memory's, or on truncated input.
+    pub fn decode_into(&mut self, r: &mut Reader<'_>) -> Result<(), CodecError> {
+        let base = r.u64()?;
+        if base != self.base {
+            return Err(CodecError::Invalid("memory base mismatch"));
+        }
+        let bytes = r.bytes()?;
+        if bytes.len() != self.bytes.len() {
+            return Err(CodecError::Invalid("memory size mismatch"));
+        }
+        self.bytes.copy_from_slice(bytes);
+        Ok(())
     }
 }
 

@@ -49,6 +49,7 @@ pub mod machine;
 pub mod outcome;
 mod pipeline;
 pub mod predictor;
+pub mod snapshot;
 pub mod trace;
 
 pub use cancel::CancelToken;

@@ -7,6 +7,8 @@
 
 use std::collections::{HashMap, VecDeque};
 
+use capsule_core::codec::{CodecError, Reader, Writer};
+
 /// Result of an acquisition attempt.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AcquireResult {
@@ -115,7 +117,58 @@ impl LockTable {
             e.waiters.retain(|&w| w != slot);
         }
     }
+
+    /// Serializes the held locks for checkpoints, sorted by address so
+    /// the byte stream is deterministic regardless of hash order.
+    pub fn encode(&self, w: &mut Writer) {
+        let mut addrs: Vec<u64> = self.entries.keys().copied().collect();
+        addrs.sort_unstable();
+        w.usize(addrs.len());
+        for addr in addrs {
+            let e = &self.entries[&addr];
+            w.u64(addr);
+            w.usize(e.owner);
+            w.usize(e.waiters.len());
+            for &s in &e.waiters {
+                w.usize(s);
+            }
+        }
+    }
+
+    /// Restores state written by [`LockTable::encode`] into a table of
+    /// the same capacity.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Invalid`] when the recorded locks exceed this
+    /// table's capacity, or on truncated/ill-formed input.
+    pub fn decode_into(&mut self, r: &mut Reader<'_>) -> Result<(), CodecError> {
+        self.entries.clear();
+        let n = r.usize()?;
+        if n > self.capacity {
+            return Err(CodecError::Invalid("lock table over capacity"));
+        }
+        for _ in 0..n {
+            let addr = r.u64()?;
+            let owner = r.usize()?;
+            let nw = r.usize()?;
+            if nw > MAX_WAITERS {
+                return Err(CodecError::Invalid("lock waiter list too large"));
+            }
+            let mut waiters = VecDeque::with_capacity(nw);
+            for _ in 0..nw {
+                waiters.push_back(r.usize()?);
+            }
+            if self.entries.insert(addr, LockEntry { owner, waiters }).is_some() {
+                return Err(CodecError::Invalid("duplicate lock address"));
+            }
+        }
+        Ok(())
+    }
 }
+
+/// More waiters than any machine has context slots marks a corrupt blob.
+const MAX_WAITERS: usize = 4096;
 
 #[cfg(test)]
 mod tests {

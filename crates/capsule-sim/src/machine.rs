@@ -26,6 +26,7 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 use std::sync::Arc;
 
+use capsule_core::codec::{CodecError, Reader, Writer};
 use capsule_core::config::MachineConfig;
 use capsule_core::policy::{DivisionDecision, DivisionPolicy, DivisionRequest};
 use capsule_core::stats::{BirthPlace, DivisionTree, SectionTracker, SimStats};
@@ -101,6 +102,9 @@ enum Wakeup {
 #[derive(Debug)]
 pub struct Machine {
     cfg: MachineConfig,
+    /// FNV-1a identity of (config, program); snapshots only restore into
+    /// a machine with the same signature.
+    sig: u64,
     /// Decoded program text: per-pc pre-extracted metadata shared (and
     /// cached) across machines running the same program.
     text: Arc<DecodedText>,
@@ -249,6 +253,7 @@ impl Machine {
         let line_shift = line_bytes.is_power_of_two().then(|| line_bytes.trailing_zeros());
 
         Machine {
+            sig: crate::snapshot::machine_sig(&cfg, program),
             cfg,
             text: decode_text(&program.text),
             mem,
@@ -345,6 +350,30 @@ impl Machine {
     /// See [`SimError`]; on error the machine state is left at the failing
     /// cycle for inspection.
     pub fn run(&mut self, max_cycles: u64) -> Result<SimOutcome, SimError> {
+        match self.run_until(max_cycles, u64::MAX) {
+            Ok(Some(outcome)) => Ok(outcome),
+            // The timeout check precedes the pause check, so a pause at
+            // u64::MAX can never be reached.
+            Ok(None) => unreachable!("run never pauses"),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Runs like [`Machine::run`] but pauses once the cycle counter
+    /// reaches `pause_at`, returning `Ok(None)` with the machine parked
+    /// at a cycle boundary — ready to be [snapshotted](Machine::snapshot)
+    /// and later resumed (here or in a restored machine) with the same
+    /// budget. A resumed run is cycle-for-cycle identical to one that
+    /// never paused.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Machine::run`].
+    pub fn run_until(
+        &mut self,
+        max_cycles: u64,
+        pause_at: u64,
+    ) -> Result<Option<SimOutcome>, SimError> {
         while !self.halted {
             if let Some(tok) = &self.cancel {
                 if tok.is_cancelled() {
@@ -354,6 +383,9 @@ impl Machine {
             if self.cycle >= max_cycles {
                 return Err(SimError::Timeout { cycles: max_cycles });
             }
+            if self.cycle >= pause_at {
+                return Ok(None);
+            }
             self.step_cycle()?;
             if !self.halted {
                 if self.machine_empty() {
@@ -362,7 +394,7 @@ impl Machine {
                 self.fast_forward(max_cycles);
             }
         }
-        Ok(self.outcome())
+        Ok(Some(self.outcome()))
     }
 
     /// Idle-cycle fast-forward: when no stage can make progress before a
@@ -515,6 +547,210 @@ impl Machine {
             profile: self.profile.as_deref().cloned(),
             trace: self.trace.clone(),
         }
+    }
+
+    // ------------------------------------------------------------------
+    // snapshot / restore
+    // ------------------------------------------------------------------
+
+    /// Serializes the complete machine state at the current cycle
+    /// boundary into a versioned, self-describing blob (see
+    /// [`crate::snapshot`] for the format). Restoring the blob into a
+    /// machine prepared with the same config and program — via
+    /// [`Machine::restore_snapshot`] — continues the run cycle-for-cycle
+    /// identically to one that was never interrupted.
+    ///
+    /// Call only between cycles (never from inside a stage); any point
+    /// where [`Machine::run_until`] paused qualifies.
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        crate::snapshot::write_header(&mut w, self.sig);
+        self.encode_state(&mut w);
+        w.into_bytes()
+    }
+
+    /// Restores state captured by [`Machine::snapshot`] into this
+    /// machine, which must have been prepared (via [`Machine::new`] or
+    /// [`Machine::reset`]) with the same configuration and program.
+    /// Profile and trace enablement are taken from the blob; an
+    /// installed cancel token is kept.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::SnapshotMismatch`] on wrong magic or format version,
+    /// config/program hash mismatch, or a truncated/corrupted body. On
+    /// error the machine state is unspecified; reset it before reuse.
+    pub fn restore_snapshot(&mut self, blob: &[u8]) -> Result<(), SimError> {
+        let mut r = Reader::new(blob);
+        crate::snapshot::check_header(&mut r, self.sig)?;
+        self.decode_state(&mut r).map_err(crate::snapshot::reject)?;
+        if !r.is_empty() {
+            return Err(SimError::SnapshotMismatch {
+                reason: "trailing bytes after snapshot body".to_string(),
+            });
+        }
+        Ok(())
+    }
+
+    fn encode_state(&self, w: &mut Writer) {
+        self.arena.encode(w);
+        self.mem.encode(w);
+        self.hier.encode(w);
+        self.pred.encode(w);
+        w.usize(self.slots.len());
+        for slot in &self.slots {
+            slot.state.encode(w);
+            match &slot.thread {
+                None => w.u8(0),
+                Some(t) => {
+                    w.u8(1);
+                    t.encode(w);
+                }
+            }
+        }
+        self.stack.encode(w);
+        self.locks.encode(w);
+        self.policy.encode_state(w);
+        w.u64(self.cycle);
+        w.u64(self.seq);
+        w.bool(self.halted);
+        for used in [&self.ruu_used, &self.lsq_used] {
+            w.usize(used.len());
+            for &u in used {
+                w.usize(u);
+            }
+        }
+        w.usize(self.output.len());
+        for v in &self.output {
+            match v {
+                OutValue::Int(i) => {
+                    w.u8(0);
+                    w.i64(*i);
+                }
+                OutValue::Float(x) => {
+                    w.u8(1);
+                    w.f64(*x);
+                }
+            }
+        }
+        self.stats.encode(w);
+        self.sections.encode(w);
+        self.tree.encode(w);
+        w.u64(self.live_workers);
+        w.usize(self.load_lat_window.len());
+        for &l in &self.load_lat_window {
+            w.u64(l);
+        }
+        w.u64(self.load_lat_sum);
+        // The heap iterates in arbitrary order; sort so identical machine
+        // states always produce identical snapshot bytes.
+        let mut events: Vec<(u64, usize, u64, u32)> =
+            self.completions.iter().map(|&Reverse(e)| e).collect();
+        events.sort_unstable();
+        w.usize(events.len());
+        for (at, slot, seqno, idx) in events {
+            w.u64(at);
+            w.usize(slot);
+            w.u64(seqno);
+            w.u32(idx);
+        }
+        match self.profile.as_deref() {
+            None => w.u8(0),
+            Some(p) => {
+                w.u8(1);
+                crate::snapshot::encode_stage_profile(w, p);
+            }
+        }
+        match &self.trace {
+            None => w.u8(0),
+            Some(t) => {
+                w.u8(1);
+                t.encode(w);
+            }
+        }
+    }
+
+    fn decode_state(&mut self, r: &mut Reader<'_>) -> Result<(), CodecError> {
+        self.arena.decode_into(r)?;
+        let arena_len = self.arena.len();
+        self.mem.decode_into(r)?;
+        self.hier.decode_into(r)?;
+        self.pred.decode_into(r)?;
+        let nslots = r.usize()?;
+        if nslots != self.slots.len() {
+            return Err(CodecError::Invalid("context count mismatch"));
+        }
+        for slot in &mut self.slots {
+            slot.state = SlotState::decode(r)?;
+            slot.thread = match r.u8()? {
+                0 => None,
+                1 => Some(Thread::decode(r, arena_len)?),
+                _ => return Err(CodecError::Invalid("bad thread tag")),
+            };
+        }
+        self.stack.decode_into(r)?;
+        self.locks.decode_into(r)?;
+        self.policy.restore_state(r)?;
+        self.cycle = r.u64()?;
+        self.seq = r.u64()?;
+        self.halted = r.bool()?;
+        for used in [&mut self.ruu_used, &mut self.lsq_used] {
+            let n = r.usize()?;
+            if n != used.len() {
+                return Err(CodecError::Invalid("core count mismatch"));
+            }
+            for u in used.iter_mut() {
+                *u = r.usize()?;
+            }
+        }
+        let nout = r.usize()?;
+        self.output.clear();
+        for _ in 0..nout {
+            self.output.push(match r.u8()? {
+                0 => OutValue::Int(r.i64()?),
+                1 => OutValue::Float(r.f64()?),
+                _ => return Err(CodecError::Invalid("bad output tag")),
+            });
+        }
+        self.stats = SimStats::decode(r)?;
+        self.sections = SectionTracker::decode(r)?;
+        self.tree = DivisionTree::decode(r)?;
+        self.live_workers = r.u64()?;
+        let nlat = r.usize()?;
+        if nlat > self.cfg.swap_load_window {
+            return Err(CodecError::Invalid("load window over capacity"));
+        }
+        self.load_lat_window.clear();
+        for _ in 0..nlat {
+            self.load_lat_window.push_back(r.u64()?);
+        }
+        self.load_lat_sum = r.u64()?;
+        let nev = r.usize()?;
+        if nev > arena_len {
+            return Err(CodecError::Invalid("more completions than window entries"));
+        }
+        self.completions.clear();
+        for _ in 0..nev {
+            let at = r.u64()?;
+            let slot = r.usize()?;
+            let seqno = r.u64()?;
+            let idx = r.u32()?;
+            if slot >= self.slots.len() || idx as usize >= arena_len {
+                return Err(CodecError::Invalid("completion event out of range"));
+            }
+            self.completions.push(Reverse((at, slot, seqno, idx)));
+        }
+        self.profile = match r.u8()? {
+            0 => None,
+            1 => Some(Box::new(crate::snapshot::decode_stage_profile(r)?)),
+            _ => return Err(CodecError::Invalid("bad profile tag")),
+        };
+        self.trace = match r.u8()? {
+            0 => None,
+            1 => Some(Trace::decode(r)?),
+            _ => return Err(CodecError::Invalid("bad trace tag")),
+        };
+        Ok(())
     }
 
     // ------------------------------------------------------------------
@@ -1819,5 +2055,246 @@ mod tests {
         let o2 =
             Machine::new(MachineConfig::table1_superscalar(), &mk()).unwrap().run(10_000).unwrap();
         assert_eq!(o1.ints(), o2.ints());
+    }
+
+    /// A division- and memory-heavy program whose run is long enough to
+    /// pause in the middle of real pipeline activity.
+    fn checkpoint_workload() -> Program {
+        build(
+            |a, d| {
+                let cell_a = d.word(0);
+                let cell_b = d.word(0);
+                let done = d.word(0);
+                // Parent: sum 1..=60; child: sum 61..=120.
+                a.li(Reg(9), 0); // will hold nthr result
+                a.nthr(Reg(9), "child");
+                a.li(Reg(1), 1);
+                a.li(Reg(2), 60);
+                a.li(Reg(3), 0);
+                a.bind("ploop");
+                a.add(Reg(3), Reg(3), Reg(1));
+                a.addi(Reg(1), Reg(1), 1);
+                a.bge(Reg(2), Reg(1), "ploop");
+                a.li(Reg(4), cell_a as i64);
+                a.st(Reg(3), 0, Reg(4));
+                // Join: poll the done flag.
+                a.li(Reg(5), done as i64);
+                a.bind("join");
+                a.ld(Reg(6), 0, Reg(5));
+                a.beq(Reg(6), Reg::ZERO, "join");
+                a.li(Reg(7), cell_b as i64);
+                a.ld(Reg(8), 0, Reg(7));
+                a.add(Reg(3), Reg(3), Reg(8));
+                a.out(Reg(3));
+                a.halt();
+                a.bind("child");
+                a.li(Reg(1), 61);
+                a.li(Reg(2), 120);
+                a.li(Reg(3), 0);
+                a.bind("cloop");
+                a.add(Reg(3), Reg(3), Reg(1));
+                a.addi(Reg(1), Reg(1), 1);
+                a.bge(Reg(2), Reg(1), "cloop");
+                a.li(Reg(4), cell_b as i64);
+                a.st(Reg(3), 0, Reg(4));
+                a.li(Reg(6), 1);
+                a.li(Reg(5), done as i64);
+                a.st(Reg(6), 0, Reg(5));
+                a.kthr();
+            },
+            vec![ThreadSpec::at(0)],
+        )
+    }
+
+    fn full_run(p: &Program) -> SimOutcome {
+        let mut m = Machine::new(somt(), p).unwrap();
+        m.enable_profile();
+        m.enable_trace(4096);
+        m.run(100_000).unwrap()
+    }
+
+    #[test]
+    fn snapshot_roundtrip_matches_uninterrupted_run() {
+        let p = checkpoint_workload();
+        let straight = full_run(&p);
+        assert_eq!(straight.ints(), vec![(1..=120i64).sum::<i64>()]);
+
+        // Pause mid-run, snapshot, restore into a *fresh* machine.
+        let mut m = Machine::new(somt(), &p).unwrap();
+        m.enable_profile();
+        m.enable_trace(4096);
+        let paused = m.run_until(100_000, 40).unwrap();
+        assert!(paused.is_none(), "run must pause before completion");
+        let blob = m.snapshot();
+
+        let mut fresh = Machine::new(somt(), &p).unwrap();
+        fresh.restore_snapshot(&blob).unwrap();
+        assert_eq!(fresh.cycle(), m.cycle());
+        let resumed = fresh.run(100_000).unwrap();
+        assert_eq!(resumed, straight, "restored run diverged from uninterrupted run");
+    }
+
+    #[test]
+    fn snapshot_resume_in_place_matches() {
+        let p = checkpoint_workload();
+        let straight = full_run(&p);
+        let mut m = Machine::new(somt(), &p).unwrap();
+        m.enable_profile();
+        m.enable_trace(4096);
+        assert!(m.run_until(100_000, 25).unwrap().is_none());
+        let blob = m.snapshot();
+        // Snapshotting must not perturb the paused machine.
+        let direct = m.run(100_000).unwrap();
+        assert_eq!(direct, straight);
+        // The same machine can be rewound from the blob after finishing.
+        m.restore_snapshot(&blob).unwrap();
+        let replayed = m.run(100_000).unwrap();
+        assert_eq!(replayed, straight);
+    }
+
+    #[test]
+    fn repeated_pause_resume_is_deterministic() {
+        let p = checkpoint_workload();
+        let straight = full_run(&p);
+        let mut m = Machine::new(somt(), &p).unwrap();
+        m.enable_profile();
+        m.enable_trace(4096);
+        let mut pause = 10;
+        let outcome = loop {
+            match m.run_until(100_000, pause).unwrap() {
+                Some(o) => break o,
+                None => {
+                    // Migrate through a snapshot at every pause.
+                    let blob = m.snapshot();
+                    let mut next = Machine::new(somt(), &p).unwrap();
+                    next.restore_snapshot(&blob).unwrap();
+                    m = next;
+                    pause += 17;
+                }
+            }
+        };
+        assert_eq!(outcome, straight);
+    }
+
+    #[test]
+    fn snapshot_rejects_wrong_magic_and_version() {
+        let p = checkpoint_workload();
+        let mut m = Machine::new(somt(), &p).unwrap();
+        assert!(m.run_until(100_000, 20).unwrap().is_none());
+        let blob = m.snapshot();
+
+        let mut bad_magic = blob.clone();
+        bad_magic[0] ^= 0xff;
+        let err = m.restore_snapshot(&bad_magic).unwrap_err();
+        assert!(
+            matches!(err, SimError::SnapshotMismatch { ref reason } if reason.contains("magic"))
+        );
+
+        let mut bad_version = blob.clone();
+        bad_version[8] = 0xfe; // format version field
+        let err = m.restore_snapshot(&bad_version).unwrap_err();
+        assert!(
+            matches!(err, SimError::SnapshotMismatch { ref reason } if reason.contains("version"))
+        );
+    }
+
+    #[test]
+    fn snapshot_rejects_different_program() {
+        let p = checkpoint_workload();
+        let mut m = Machine::new(somt(), &p).unwrap();
+        assert!(m.run_until(100_000, 20).unwrap().is_none());
+        let blob = m.snapshot();
+
+        let other = build(
+            |a, _| {
+                a.li(Reg(1), 1);
+                a.out(Reg(1));
+                a.halt();
+            },
+            vec![ThreadSpec::at(0)],
+        );
+        let mut wrong = Machine::new(somt(), &other).unwrap();
+        let err = wrong.restore_snapshot(&blob).unwrap_err();
+        assert!(
+            matches!(err, SimError::SnapshotMismatch { ref reason } if reason.contains("hash"))
+        );
+
+        // A different machine configuration is rejected the same way.
+        let mut wrong_cfg = Machine::new(MachineConfig::table1_superscalar(), &p).unwrap();
+        let err = wrong_cfg.restore_snapshot(&blob).unwrap_err();
+        assert!(
+            matches!(err, SimError::SnapshotMismatch { ref reason } if reason.contains("hash"))
+        );
+    }
+
+    #[test]
+    fn truncated_and_corrupted_blobs_error_not_panic() {
+        let p = checkpoint_workload();
+        let mut m = Machine::new(somt(), &p).unwrap();
+        assert!(m.run_until(100_000, 30).unwrap().is_none());
+        let blob = m.snapshot();
+
+        // Every proper prefix must be rejected cleanly.
+        for len in (0..blob.len()).step_by(97).chain([blob.len() - 1]) {
+            let mut victim = Machine::new(somt(), &p).unwrap();
+            let err = victim.restore_snapshot(&blob[..len]).unwrap_err();
+            assert!(matches!(err, SimError::SnapshotMismatch { .. }), "prefix {len}");
+        }
+
+        // A corrupted length prefix right after the header must not drive
+        // a huge allocation or a panic.
+        let mut corrupt = blob.clone();
+        for b in &mut corrupt[20..28] {
+            *b = 0xff;
+        }
+        let mut victim = Machine::new(somt(), &p).unwrap();
+        assert!(matches!(
+            victim.restore_snapshot(&corrupt).unwrap_err(),
+            SimError::SnapshotMismatch { .. }
+        ));
+
+        // Trailing garbage is rejected too.
+        let mut long = blob.clone();
+        long.push(0);
+        let mut victim = Machine::new(somt(), &p).unwrap();
+        assert!(matches!(
+            victim.restore_snapshot(&long).unwrap_err(),
+            SimError::SnapshotMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn warm_machine_is_clean_after_a_restored_run() {
+        // A worker that restored a snapshot job must leave no checkpoint
+        // state behind: its next fresh job is byte-identical to one run
+        // on a never-checkpointed machine.
+        let p = checkpoint_workload();
+        let fresh_ref = full_run(&p);
+
+        let mut warm = WarmMachine::new();
+        {
+            let m = warm.prepare(somt(), &p).unwrap();
+            assert!(m.run_until(100_000, 35).unwrap().is_none());
+            let blob = m.snapshot();
+            m.restore_snapshot(&blob).unwrap();
+            m.run(100_000).unwrap();
+        }
+        // Next job through the same warm slot, no checkpoint involved.
+        let m = warm.prepare(somt(), &p).unwrap();
+        m.enable_profile();
+        m.enable_trace(4096);
+        let next = m.run(100_000).unwrap();
+        assert_eq!(next, fresh_ref, "checkpoint state leaked through the warm pool");
+    }
+
+    #[test]
+    fn snapshot_bytes_are_deterministic() {
+        let p = checkpoint_workload();
+        let mk = || {
+            let mut m = Machine::new(somt(), &p).unwrap();
+            assert!(m.run_until(100_000, 45).unwrap().is_none());
+            m.snapshot()
+        };
+        assert_eq!(mk(), mk(), "same state must serialize to the same bytes");
     }
 }

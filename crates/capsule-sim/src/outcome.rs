@@ -1,5 +1,6 @@
 //! Run results and errors of the cycle-level machine.
 
+use capsule_core::codec::{CodecError, Reader, Writer};
 use capsule_core::output::Json;
 use capsule_core::stats::{DivisionTree, SectionTracker, SimStats};
 use capsule_isa::program::ProgramError;
@@ -49,6 +50,14 @@ pub enum SimError {
         /// Cycle at which the machine emptied.
         cycle: u64,
     },
+    /// A snapshot blob was rejected by
+    /// [`Machine::restore_snapshot`](crate::Machine::restore_snapshot):
+    /// wrong magic/format version, config/program mismatch, or a
+    /// truncated/corrupted payload.
+    SnapshotMismatch {
+        /// What was wrong with the blob.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -70,6 +79,9 @@ impl std::fmt::Display for SimError {
             SimError::AllThreadsDead { cycle } => {
                 write!(f, "all workers dead at cycle {cycle} without halt")
             }
+            SimError::SnapshotMismatch { reason } => {
+                write!(f, "snapshot rejected: {reason}")
+            }
         }
     }
 }
@@ -83,7 +95,7 @@ impl From<ProgramError> for SimError {
 }
 
 /// Everything a completed (halted) run reports.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimOutcome {
     /// Pipeline and CAPSULE counters.
     pub stats: SimStats,
@@ -182,6 +194,91 @@ impl SimOutcome {
     /// Total cycles of the run.
     pub fn cycles(&self) -> u64 {
         self.stats.cycles
+    }
+
+    /// Serializes the complete outcome — stats, output, sections, tree,
+    /// cache counters, and the optional profile/trace — with the shared
+    /// byte codec. Used by checkpoint blobs to carry already-finished
+    /// runs across a preemption.
+    pub fn encode(&self, w: &mut Writer) {
+        self.stats.encode(w);
+        w.usize(self.output.len());
+        for v in &self.output {
+            match v {
+                OutValue::Int(i) => {
+                    w.u8(0);
+                    w.i64(*i);
+                }
+                OutValue::Float(x) => {
+                    w.u8(1);
+                    w.f64(*x);
+                }
+            }
+        }
+        self.sections.encode(w);
+        self.tree.encode(w);
+        for c in [&self.l1i, &self.l1d, &self.l2] {
+            w.u64(c.accesses);
+            w.u64(c.hits);
+            w.u64(c.misses);
+        }
+        w.u64(self.mem_accesses);
+        match &self.profile {
+            None => w.u8(0),
+            Some(p) => {
+                w.u8(1);
+                crate::snapshot::encode_stage_profile(w, p);
+            }
+        }
+        match &self.trace {
+            None => w.u8(0),
+            Some(t) => {
+                w.u8(1);
+                t.encode(w);
+            }
+        }
+    }
+
+    /// Decodes an outcome written by [`SimOutcome::encode`].
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] on a truncated or malformed buffer.
+    pub fn decode(r: &mut Reader<'_>) -> Result<SimOutcome, CodecError> {
+        let stats = SimStats::decode(r)?;
+        let n = r.usize()?;
+        if n > (1 << 24) {
+            return Err(CodecError::Invalid("implausible output count"));
+        }
+        let mut output = Vec::with_capacity(n);
+        for _ in 0..n {
+            output.push(match r.u8()? {
+                0 => OutValue::Int(r.i64()?),
+                1 => OutValue::Float(r.f64()?),
+                _ => return Err(CodecError::Invalid("bad output value tag")),
+            });
+        }
+        let sections = SectionTracker::decode(r)?;
+        let tree = DivisionTree::decode(r)?;
+        let mut caches = [CacheStats::default(); 3];
+        for c in &mut caches {
+            c.accesses = r.u64()?;
+            c.hits = r.u64()?;
+            c.misses = r.u64()?;
+        }
+        let [l1i, l1d, l2] = caches;
+        let mem_accesses = r.u64()?;
+        let profile = match r.u8()? {
+            0 => None,
+            1 => Some(crate::snapshot::decode_stage_profile(r)?),
+            _ => return Err(CodecError::Invalid("bad profile tag")),
+        };
+        let trace = match r.u8()? {
+            0 => None,
+            1 => Some(Trace::decode(r)?),
+            _ => return Err(CodecError::Invalid("bad trace tag")),
+        };
+        Ok(SimOutcome { stats, output, sections, tree, l1i, l1d, l2, mem_accesses, profile, trace })
     }
 
     /// Integer output values, ignoring floats.

@@ -5,6 +5,8 @@
 
 use std::collections::VecDeque;
 
+use capsule_core::codec::{CodecError, Reader, Writer};
+
 use crate::arena::EntryRef;
 use crate::exec::ArchState;
 
@@ -55,6 +57,54 @@ pub(crate) enum SlotState {
     /// No longer fetching; when the last in-flight entry retires the
     /// action is taken.
     Draining(AfterDrain),
+}
+
+impl SlotState {
+    /// Serializes the state for checkpoints.
+    pub fn encode(self, w: &mut Writer) {
+        match self {
+            SlotState::Free => w.u8(0),
+            SlotState::Active => w.u8(1),
+            SlotState::WaitBranch { entry, resume_pc } => {
+                w.u8(2);
+                entry.encode(w);
+                w.u32(resume_pc);
+            }
+            SlotState::WaitLock { since } => {
+                w.u8(3);
+                w.u64(since);
+            }
+            SlotState::WaitCopy { until } => {
+                w.u8(4);
+                w.u64(until);
+            }
+            SlotState::SwapIn { until } => {
+                w.u8(5);
+                w.u64(until);
+            }
+            SlotState::Draining(AfterDrain::Die) => w.u8(6),
+            SlotState::Draining(AfterDrain::SwapOut) => w.u8(7),
+        }
+    }
+
+    /// Inverse of [`SlotState::encode`].
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] on truncated input or an unknown tag.
+    pub fn decode(r: &mut Reader<'_>) -> Result<SlotState, CodecError> {
+        Ok(match r.u8()? {
+            0 => SlotState::Free,
+            1 => SlotState::Active,
+            2 => SlotState::WaitBranch { entry: EntryRef::decode(r)?, resume_pc: r.u32()? },
+            3 => SlotState::WaitLock { since: r.u64()? },
+            4 => SlotState::WaitCopy { until: r.u64()? },
+            5 => SlotState::SwapIn { until: r.u64()? },
+            6 => SlotState::Draining(AfterDrain::Die),
+            7 => SlotState::Draining(AfterDrain::SwapOut),
+            _ => return Err(CodecError::Invalid("bad slot state tag")),
+        })
+    }
 }
 
 /// One instruction fetched but not yet dispatched.
@@ -129,6 +179,109 @@ impl Thread {
         self.fetch_queue.clear();
         self.fetch_pc = None;
     }
+
+    /// Serializes the complete thread image for checkpoints.
+    pub fn encode(&self, w: &mut Writer) {
+        self.arch.encode(w);
+        w.opt_u64(self.fetch_pc.map(u64::from));
+        w.usize(self.fetch_queue.len());
+        for f in &self.fetch_queue {
+            w.u32(f.pc);
+            w.bool(f.predicted_taken);
+        }
+        w.u64(self.bp_history);
+        w.usize(self.in_flight.len());
+        for &idx in &self.in_flight {
+            w.u32(idx);
+        }
+        w.usize(self.ready.len());
+        for &idx in &self.ready {
+            w.u32(idx);
+        }
+        for table in [&self.last_writer_int, &self.last_writer_fp] {
+            for lw in table {
+                match lw {
+                    None => w.u8(0),
+                    Some(e) => {
+                        w.u8(1);
+                        e.encode(w);
+                    }
+                }
+            }
+        }
+        w.u64(self.dispatch_block_until);
+        w.u64(self.fetch_block_until);
+        w.i64(self.slow_counter);
+        w.u32(self.locks_held);
+    }
+
+    /// Inverse of [`Thread::encode`]; `arena_len` bounds the window
+    /// indices the thread may reference.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] on truncated or ill-formed input (dangling arena
+    /// indices, oversized queues).
+    pub fn decode(r: &mut Reader<'_>, arena_len: usize) -> Result<Thread, CodecError> {
+        let arch = ArchState::decode(r)?;
+        let fetch_pc = match r.opt_u64()? {
+            None => None,
+            Some(pc) => {
+                Some(u32::try_from(pc).map_err(|_| CodecError::Invalid("fetch pc out of range"))?)
+            }
+        };
+        let nq = r.usize()?;
+        if nq > FETCH_QUEUE_CAP {
+            return Err(CodecError::Invalid("fetch queue over capacity"));
+        }
+        let mut fetch_queue = VecDeque::with_capacity(nq);
+        for _ in 0..nq {
+            fetch_queue.push_back(Fetched { pc: r.u32()?, predicted_taken: r.bool()? });
+        }
+        let bp_history = r.u64()?;
+        let idx_list = |r: &mut Reader<'_>| -> Result<Vec<u32>, CodecError> {
+            let n = r.usize()?;
+            if n > arena_len {
+                return Err(CodecError::Invalid("window list larger than arena"));
+            }
+            let mut v = Vec::with_capacity(n);
+            for _ in 0..n {
+                let idx = r.u32()?;
+                if idx as usize >= arena_len {
+                    return Err(CodecError::Invalid("window index out of range"));
+                }
+                v.push(idx);
+            }
+            Ok(v)
+        };
+        let in_flight: VecDeque<u32> = idx_list(r)?.into();
+        let ready = idx_list(r)?;
+        let mut last_writer_int = [None; 32];
+        let mut last_writer_fp = [None; 32];
+        for table in [&mut last_writer_int, &mut last_writer_fp] {
+            for lw in table.iter_mut() {
+                *lw = match r.u8()? {
+                    0 => None,
+                    1 => Some(EntryRef::decode(r)?),
+                    _ => return Err(CodecError::Invalid("bad last-writer tag")),
+                };
+            }
+        }
+        Ok(Thread {
+            arch,
+            fetch_pc,
+            fetch_queue,
+            bp_history,
+            in_flight,
+            ready,
+            last_writer_int,
+            last_writer_fp,
+            dispatch_block_until: r.u64()?,
+            fetch_block_until: r.u64()?,
+            slow_counter: r.i64()?,
+            locks_held: r.u32()?,
+        })
+    }
 }
 
 /// A thread image parked on the LIFO context stack.
@@ -173,6 +326,38 @@ impl ContextStack {
     /// Pops the most recently pushed thread (LIFO).
     pub fn pop(&mut self) -> Option<SavedThread> {
         self.entries.pop()
+    }
+
+    /// Serializes the parked thread images, bottom first.
+    pub fn encode(&self, w: &mut Writer) {
+        w.usize(self.capacity);
+        w.usize(self.entries.len());
+        for t in &self.entries {
+            t.arch.encode(w);
+        }
+    }
+
+    /// Restores a stack written by [`ContextStack::encode`] into a stack
+    /// of the same capacity.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Invalid`] on capacity mismatch or overflow, or on
+    /// truncated input.
+    pub fn decode_into(&mut self, r: &mut Reader<'_>) -> Result<(), CodecError> {
+        let capacity = r.usize()?;
+        if capacity != self.capacity {
+            return Err(CodecError::Invalid("context stack capacity mismatch"));
+        }
+        let n = r.usize()?;
+        if n > capacity {
+            return Err(CodecError::Invalid("context stack overflow"));
+        }
+        self.entries.clear();
+        for _ in 0..n {
+            self.entries.push(SavedThread { arch: ArchState::decode(r)? });
+        }
+        Ok(())
     }
 }
 

@@ -7,6 +7,7 @@
 //! itself is stateless with respect to threads and takes the history as an
 //! argument.
 
+use capsule_core::codec::{CodecError, Reader, Writer};
 use capsule_core::config::PredictorConfig;
 
 /// Saturating 2-bit counter helpers.
@@ -90,6 +91,35 @@ impl Predictor {
     /// Extra cycles charged on a misprediction, from the configuration.
     pub fn mispredict_penalty(&self) -> u64 {
         self.cfg.mispredict_penalty
+    }
+
+    /// Serializes the three counter tables for checkpoints (the
+    /// configuration is rebuilt by the restoring machine).
+    pub fn encode(&self, w: &mut Writer) {
+        for table in [&self.bimodal, &self.two_level, &self.meta] {
+            w.bytes(table);
+        }
+    }
+
+    /// Restores tables written by [`Predictor::encode`] into a predictor
+    /// of the same configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Invalid`] on table-size mismatch or a counter value
+    /// outside the 2-bit range, or on truncated input.
+    pub fn decode_into(&mut self, r: &mut Reader<'_>) -> Result<(), CodecError> {
+        for table in [&mut self.bimodal, &mut self.two_level, &mut self.meta] {
+            let bytes = r.bytes()?;
+            if bytes.len() != table.len() {
+                return Err(CodecError::Invalid("predictor table size mismatch"));
+            }
+            if bytes.iter().any(|&b| b > 3) {
+                return Err(CodecError::Invalid("predictor counter out of range"));
+            }
+            table.copy_from_slice(bytes);
+        }
+        Ok(())
     }
 }
 

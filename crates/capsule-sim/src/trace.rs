@@ -9,6 +9,7 @@
 
 use std::fmt;
 
+use capsule_core::codec::{CodecError, Reader, Writer};
 use capsule_core::ids::WorkerId;
 
 /// One traced event.
@@ -155,6 +156,37 @@ impl Trace {
         self.limit
     }
 
+    /// Serializes the log for checkpoints.
+    pub fn encode(&self, w: &mut Writer) {
+        w.usize(self.limit);
+        w.u64(self.dropped);
+        w.usize(self.events.len());
+        for e in &self.events {
+            w.u64(e.cycle);
+            encode_kind(w, &e.kind);
+        }
+    }
+
+    /// Inverse of [`Trace::encode`].
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] on truncated or ill-formed input.
+    pub fn decode(r: &mut Reader<'_>) -> Result<Trace, CodecError> {
+        let limit = r.usize()?;
+        let dropped = r.u64()?;
+        let n = r.usize()?;
+        if n > limit {
+            return Err(CodecError::Invalid("trace longer than its limit"));
+        }
+        let mut events = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            let cycle = r.u64()?;
+            events.push(TraceEvent { cycle, kind: decode_kind(r)? });
+        }
+        Ok(Trace { events, limit, dropped })
+    }
+
     /// Renders the timeline.
     pub fn render(&self) -> String {
         use std::fmt::Write as _;
@@ -169,6 +201,102 @@ impl Trace {
         }
         out
     }
+}
+
+/// The division outcomes, in tag order. The trace stores them as
+/// `&'static str` for zero-cost rendering; the codec maps them to and
+/// from these indices.
+const DIVISION_OUTCOMES: [&str; 5] =
+    ["context", "stack", "deny:resource", "deny:throttle", "deny:disabled"];
+
+fn encode_kind(w: &mut Writer, kind: &TraceKind) {
+    match kind {
+        TraceKind::Division { parent, child, outcome } => {
+            w.u8(0);
+            w.u32(parent.0);
+            match child {
+                None => w.u8(0),
+                Some(c) => {
+                    w.u8(1);
+                    w.u32(c.0);
+                }
+            }
+            let tag = DIVISION_OUTCOMES
+                .iter()
+                .position(|&o| o == *outcome)
+                .expect("every division outcome is in the table");
+            w.u8(tag as u8);
+        }
+        TraceKind::Death { worker, slot } => {
+            w.u8(1);
+            w.u32(worker.0);
+            w.usize(*slot);
+        }
+        TraceKind::SwapOut { worker, slot } => {
+            w.u8(2);
+            w.u32(worker.0);
+            w.usize(*slot);
+        }
+        TraceKind::SwapIn { worker, slot } => {
+            w.u8(3);
+            w.u32(worker.0);
+            w.usize(*slot);
+        }
+        TraceKind::LockAcquire { slot, addr } => {
+            w.u8(4);
+            w.usize(*slot);
+            w.u64(*addr);
+        }
+        TraceKind::LockBlock { slot, addr } => {
+            w.u8(5);
+            w.usize(*slot);
+            w.u64(*addr);
+        }
+        TraceKind::LockTransfer { to, addr } => {
+            w.u8(6);
+            w.usize(*to);
+            w.u64(*addr);
+        }
+        TraceKind::Mark { id, enter } => {
+            w.u8(7);
+            w.u32(*id as u32);
+            w.bool(*enter);
+        }
+        TraceKind::Halt => w.u8(8),
+    }
+}
+
+fn decode_kind(r: &mut Reader<'_>) -> Result<TraceKind, CodecError> {
+    Ok(match r.u8()? {
+        0 => {
+            let parent = WorkerId(r.u32()?);
+            let child = match r.u8()? {
+                0 => None,
+                1 => Some(WorkerId(r.u32()?)),
+                _ => return Err(CodecError::Invalid("bad child tag")),
+            };
+            let tag = r.u8()? as usize;
+            let outcome = *DIVISION_OUTCOMES
+                .get(tag)
+                .ok_or(CodecError::Invalid("bad division outcome tag"))?;
+            TraceKind::Division { parent, child, outcome }
+        }
+        1 => TraceKind::Death { worker: WorkerId(r.u32()?), slot: r.usize()? },
+        2 => TraceKind::SwapOut { worker: WorkerId(r.u32()?), slot: r.usize()? },
+        3 => TraceKind::SwapIn { worker: WorkerId(r.u32()?), slot: r.usize()? },
+        4 => TraceKind::LockAcquire { slot: r.usize()?, addr: r.u64()? },
+        5 => TraceKind::LockBlock { slot: r.usize()?, addr: r.u64()? },
+        6 => TraceKind::LockTransfer { to: r.usize()?, addr: r.u64()? },
+        7 => {
+            let id = r.u32()?;
+            if id > u16::MAX as u32 {
+                return Err(CodecError::Invalid("mark id out of range"));
+            }
+            TraceKind::Mark { id: id as u16, enter: r.bool()? }
+        }
+        8 => TraceKind::Halt,
+        _ => return Err(CodecError::Invalid("bad trace event tag")),
+    })
 }
 
 #[cfg(test)]

@@ -56,9 +56,12 @@ echo "==> capsule-serve smoke test"
 # Start the job server on an ephemeral port, drive it with the
 # deterministic load generator (which also asserts that a repeated
 # request is a byte-identical cache hit), then shut it down cleanly
-# over the wire.
+# over the wire. The server checkpoints (docs/CHECKPOINT.md) and the
+# load generator preempts-and-resumes a seeded subset of jobs
+# (--preempt-rate), so the swap path runs under mixed traffic too.
 serve_log="$(mktemp)"
-target/release/capsule-serve --addr 127.0.0.1:0 --workers 2 --queue 8 >"$serve_log" 2>&1 &
+CAPSULE_SERVE_CHECKPOINT_CYCLES=50000 \
+    target/release/capsule-serve --addr 127.0.0.1:0 --workers 2 --queue 8 >"$serve_log" 2>&1 &
 serve_pid=$!
 addr=""
 i=0
@@ -74,7 +77,7 @@ if [ -z "$addr" ]; then
     kill "$serve_pid" 2>/dev/null || true
     exit 1
 fi
-target/release/capsule-loadgen "$addr" --jobs 8 --threads 3
+target/release/capsule-loadgen "$addr" --jobs 8 --threads 3 --preempt-rate 3
 target/release/capsule-client "$addr" shutdown --compact
 wait "$serve_pid"
 rm -f "$serve_log"
@@ -157,5 +160,146 @@ target/release/capsule-client "$b1_addr" shutdown --compact
 target/release/capsule-client "$b2_addr" shutdown --compact
 wait "$fleet_pid" "$b1_pid" "$b2_pid"
 rm -f "$b1_log" "$b2_log" "$fleet_log"
+
+echo "==> checkpoint migration smoke test"
+# A preempted job must migrate, not restart (docs/CHECKPOINT.md): two
+# checkpointing backends behind a coordinator, preempt a long job
+# mid-run, kill the backend it was parked on, and the fleet must resume
+# it on the survivor from the carried checkpoint — with the final
+# report byte-identical to a direct uninterrupted run. The generous
+# --backoff-ms keeps the migrated retry parked long enough to kill the
+# victim between the checkpoint fetch and the resume.
+ref_log="$(mktemp)"
+c1_log="$(mktemp)"
+c2_log="$(mktemp)"
+cfleet_log="$(mktemp)"
+run_out="$(mktemp)"
+target/release/capsule-serve --addr 127.0.0.1:0 --workers 2 --queue 8 >"$ref_log" 2>&1 &
+ref_pid=$!
+CAPSULE_SERVE_CHECKPOINT_CYCLES=50000 CAPSULE_SERVE_CHECKPOINTS=8 \
+    target/release/capsule-serve --addr 127.0.0.1:0 --workers 2 --queue 8 >"$c1_log" 2>&1 &
+c1_pid=$!
+CAPSULE_SERVE_CHECKPOINT_CYCLES=50000 CAPSULE_SERVE_CHECKPOINTS=8 \
+    target/release/capsule-serve --addr 127.0.0.1:0 --workers 2 --queue 8 >"$c2_log" 2>&1 &
+c2_pid=$!
+ref_addr="$(wait_addr "$ref_log")"
+c1_addr="$(wait_addr "$c1_log")"
+c2_addr="$(wait_addr "$c2_log")"
+target/release/capsule-fleet --addr 127.0.0.1:0 \
+    --backend "$c1_addr" --backend "$c2_addr" \
+    --probe-ms 100 --backoff-ms 1000 >"$cfleet_log" 2>&1 &
+cfleet_pid=$!
+cfleet_addr="$(wait_addr "$cfleet_log")"
+# Baseline: the same job, uninterrupted, on a plain server. Its
+# response also yields the job's cache_key — the preempt/resume token.
+base_out="$(target/release/capsule-client "$ref_addr" run ablation_policies smoke --compact)"
+job_key="$(printf '%s' "$base_out" | sed -n 's/.*"cache_key":"\([0-9a-f]*\)".*/\1/p')"
+base_report="${base_out#*\"report\":}"
+if [ -z "$job_key" ] || [ "$base_report" = "$base_out" ]; then
+    echo "baseline run produced no cache_key/report:" >&2
+    echo "$base_out" >&2
+    exit 1
+fi
+base_report="${base_report%\}}"
+target/release/capsule-client "$cfleet_addr" run ablation_policies smoke --compact >"$run_out" &
+run_pid=$!
+# Preempt the in-flight job through the fleet. The first polls race the
+# backend admission and answer not-running; keep trying until one
+# lands or the job finishes.
+p_out=""
+i=0
+while [ $i -lt 300 ]; do
+    if p_out="$(target/release/capsule-client "$cfleet_addr" preempt "$job_key" --compact 2>/dev/null)"; then
+        break
+    fi
+    p_out=""
+    kill -0 "$run_pid" 2>/dev/null || break
+    sleep 0.02
+    i=$((i + 1))
+done
+if [ -z "$p_out" ]; then
+    echo "preempt never landed; the job finished first:" >&2
+    cat "$run_out" >&2
+    exit 1
+fi
+victim="$(printf '%s' "$p_out" | sed -n 's/.*"backend":"\(b[01]\)".*/\1/p')"
+if [ "$victim" = "b0" ]; then
+    victim_pid=$c1_pid
+    surv_name="b1"
+    surv_addr="$c2_addr"
+    surv_pid=$c2_pid
+elif [ "$victim" = "b1" ]; then
+    victim_pid=$c2_pid
+    surv_name="b0"
+    surv_addr="$c1_addr"
+    surv_pid=$c1_pid
+else
+    echo "preempt response names no backend: $p_out" >&2
+    exit 1
+fi
+# Wait for the coordinator to fetch the checkpoint off the victim, then
+# kill the victim — the resume must not need it.
+migrated=""
+i=0
+while [ $i -lt 100 ]; do
+    migrated="$(target/release/capsule-client "$cfleet_addr" stats --compact \
+        | sed -n 's/.*"jobs_migrated":\([0-9]*\).*/\1/p')"
+    [ "$migrated" = "1" ] && break
+    sleep 0.05
+    i=$((i + 1))
+done
+if [ "$migrated" != "1" ]; then
+    echo "fleet never fetched the checkpoint (jobs_migrated=$migrated)" >&2
+    exit 1
+fi
+kill -9 "$victim_pid" 2>/dev/null || true
+if ! wait "$run_pid"; then
+    echo "migrated run failed:" >&2
+    cat "$run_out" >&2
+    exit 1
+fi
+fleet_out="$(cat "$run_out")"
+if ! printf '%s' "$fleet_out" | grep -qF "\"backend\":\"$surv_name\""; then
+    echo "resumed job did not land on survivor $surv_name:" >&2
+    echo "$fleet_out" >&2
+    exit 1
+fi
+if ! printf '%s' "$fleet_out" | grep -qF "\"report\":$base_report"; then
+    echo "migrated report differs from the uninterrupted baseline" >&2
+    exit 1
+fi
+attempts="$(printf '%s' "$fleet_out" | sed -n 's/.*"attempts":\([0-9]*\).*/\1/p')"
+if [ "${attempts:-0}" -lt 2 ]; then
+    echo "expected a migration retry (attempts >= 2), got '$attempts'" >&2
+    exit 1
+fi
+resumed="$(target/release/capsule-client "$surv_addr" stats --compact \
+    | sed -n 's/.*"jobs_resumed":\([0-9]*\).*/\1/p')"
+if [ "$resumed" != "1" ]; then
+    echo "survivor reports jobs_resumed=$resumed, expected 1 (restart instead of resume?)" >&2
+    exit 1
+fi
+# The checkpoint counters must appear in both metrics expositions and
+# stay scrape-stable after the migration.
+fm1="$(target/release/capsule-client "$cfleet_addr" metrics --compact)"
+fm2="$(target/release/capsule-client "$cfleet_addr" metrics --compact)"
+sm1="$(target/release/capsule-client "$surv_addr" metrics --compact)"
+sm2="$(target/release/capsule-client "$surv_addr" metrics --compact)"
+if [ "$fm1" != "$fm2" ] || [ "$sm1" != "$sm2" ]; then
+    echo "checkpoint metrics are not scrape-stable" >&2
+    exit 1
+fi
+fleet_migrated="$(printf '%s' "$fm1" | sed -n 's/.*capsule_fleet_jobs_migrated_total \([0-9]*\).*/\1/p')"
+serve_resumed="$(printf '%s' "$sm1" | sed -n 's/.*capsule_serve_jobs_resumed_total \([0-9]*\).*/\1/p')"
+if [ "$fleet_migrated" != "1" ] || [ "$serve_resumed" != "1" ]; then
+    echo "checkpoint counters missing from metrics (migrated='$fleet_migrated' resumed='$serve_resumed')" >&2
+    exit 1
+fi
+target/release/capsule-client "$cfleet_addr" shutdown --compact
+target/release/capsule-client "$ref_addr" shutdown --compact
+target/release/capsule-client "$surv_addr" shutdown --compact
+wait "$cfleet_pid" "$ref_pid" "$surv_pid" 2>/dev/null || true
+wait "$victim_pid" 2>/dev/null || true
+rm -f "$ref_log" "$c1_log" "$c2_log" "$cfleet_log" "$run_out"
 
 echo "CI gate passed."
