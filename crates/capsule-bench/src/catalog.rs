@@ -115,7 +115,7 @@ pub fn names() -> Vec<&'static str> {
     ENTRIES.iter().map(|e| e.name).collect()
 }
 
-static ENTRIES: [CatalogEntry; 14] = [
+static ENTRIES: [CatalogEntry; 16] = [
     CatalogEntry {
         name: "fig3_dijkstra_dist",
         title: "Figure 3 — Dijkstra distribution",
@@ -199,6 +199,18 @@ static ENTRIES: [CatalogEntry; 14] = [
         title: "§3.2 — toolchain overhead per division",
         about: "software cost of the coworker lowering per division probe",
         build: toolchain_overhead,
+    },
+    CatalogEntry {
+        name: "fuzz_regress",
+        title: "Fuzzing — minimized corpus regression",
+        about: "replays the embedded capsule-fuzz corpus on the Table 1 machines",
+        build: crate::fuzz::fuzz_regress,
+    },
+    CatalogEntry {
+        name: "fuzz_gen",
+        title: "Fuzzing — seeded generated programs",
+        about: "seeded fuzz programs checked against the reference interpreter",
+        build: crate::fuzz::fuzz_gen,
     },
 ];
 

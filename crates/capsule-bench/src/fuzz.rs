@@ -1,0 +1,192 @@
+//! Catalog adapters for `capsule-fuzz` generated programs.
+//!
+//! Two entry families back the `fuzz_regress` and `fuzz_gen` catalog
+//! entries:
+//!
+//! * **regression** — every minimized artifact embedded in the
+//!   `capsule-fuzz` corpus, replayed on the Table 1 machines;
+//! * **generated** — a fixed seeded slice of the fuzzer's program space
+//!   (the seeds scale with [`Scale`], the programs are deterministic).
+//!
+//! Unlike [`crate::scenario::RawWorkload`], the checker is *not* a
+//! no-op: expected output is computed once by the functional reference
+//! interpreter, so a server- or bench-side run that disagrees with the
+//! reference semantics fails its batch loudly.
+
+use std::sync::Arc;
+
+use capsule_core::config::MachineConfig;
+use capsule_core::OutValue;
+use capsule_fuzz::{build, corpus, generate, GenParams, ProgramSpec};
+use capsule_isa::program::Program;
+use capsule_sim::{Interp, InterpConfig};
+use capsule_workloads::{Variant, Workload};
+
+use crate::catalog::Scale;
+use crate::Scenario;
+
+/// A fuzz-generated program as a checked workload: the program comes
+/// from the spec's deterministic lowering, the expected output from the
+/// reference interpreter.
+pub struct FuzzWorkload {
+    name: &'static str,
+    program: Program,
+    expected: Vec<OutValue>,
+}
+
+impl FuzzWorkload {
+    /// Lowers `spec` and computes its reference output.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the spec does not lower or the interpreter rejects
+    /// the program — corpus and seeded specs are validated by the
+    /// capsule-fuzz test suite, so this is a build defect.
+    pub fn new(name: &'static str, spec: &ProgramSpec) -> FuzzWorkload {
+        let program = build(spec).expect("fuzz spec must lower");
+        let mut interp = Interp::new(&program, InterpConfig::default())
+            .expect("fuzz program must be interpretable");
+        let outcome = interp.run(50_000_000).expect("fuzz program must terminate");
+        FuzzWorkload { name, program, expected: outcome.output }
+    }
+}
+
+impl Workload for FuzzWorkload {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+    fn supports(&self, _variant: Variant) -> bool {
+        true
+    }
+    fn program(&self, _variant: Variant) -> Program {
+        self.program.clone()
+    }
+    fn check(&self, output: &[OutValue]) -> Result<(), String> {
+        // Bit-level comparison (floats by bits) against the reference
+        // interpreter, mirroring the fuzz harness's digest check.
+        let bits = |vs: &[OutValue]| -> Vec<(u8, u64)> {
+            vs.iter()
+                .map(|v| match v {
+                    OutValue::Int(i) => (0u8, *i as u64),
+                    OutValue::Float(f) => (1u8, f.to_bits()),
+                })
+                .collect()
+        };
+        if bits(output) == bits(&self.expected) {
+            Ok(())
+        } else {
+            Err(format!(
+                "fuzz output disagrees with reference interpreter: got {} values, expected {}",
+                output.len(),
+                self.expected.len()
+            ))
+        }
+    }
+}
+
+/// The machines a fuzz program is swept over: every Table 1 preset whose
+/// context count can boot the program's loader threads.
+fn machines_for(spec: &ProgramSpec) -> Vec<(&'static str, MachineConfig)> {
+    let presets = [
+        ("superscalar", MachineConfig::table1_superscalar()),
+        ("smt", MachineConfig::table1_smt()),
+        ("somt", MachineConfig::table1_somt()),
+    ];
+    presets.into_iter().filter(|(_, cfg)| cfg.contexts >= spec.version.threads()).collect()
+}
+
+/// The same spec with the task count raised to at least 256: identical
+/// task code and join structure, but enough cycles that batch-level
+/// contracts measured in thousands of cycles (periodic checkpoints,
+/// preemption) actually engage. Minimized corpus programs finish in a
+/// few hundred cycles, which would otherwise dodge those paths.
+fn amplified(spec: &ProgramSpec) -> ProgramSpec {
+    let mut s = spec.clone();
+    s.ntasks = s.ntasks.max(256);
+    s
+}
+
+/// `fuzz_regress`: replays the embedded minimized corpus on the Table 1
+/// machines, plus an amplified (256-task) soak variant of each program
+/// on the SOMT. The corpus is identical at every scale — regressions
+/// must never be scaled away.
+pub fn fuzz_regress(_scale: Scale) -> Vec<Scenario> {
+    let mut out = Vec::new();
+    for (name, artifact) in corpus::load() {
+        let stem = name.strip_suffix(".json").unwrap_or(name);
+        let workload: Arc<FuzzWorkload> = Arc::new(FuzzWorkload::new("fuzz", &artifact.spec));
+        for (group, cfg) in machines_for(&artifact.spec) {
+            out.push(Scenario::new(group, stem, cfg, Variant::Sequential, workload.clone()));
+        }
+        let soak = Arc::new(FuzzWorkload::new("fuzz", &amplified(&artifact.spec)));
+        out.push(Scenario::new(
+            "somt-soak",
+            stem,
+            MachineConfig::table1_somt(),
+            Variant::Sequential,
+            soak,
+        ));
+    }
+    out
+}
+
+/// First seed of the `fuzz_gen` slice; far from the CI sweep range so
+/// the catalog exercises different programs than `ci.sh`'s sweep.
+pub const FUZZ_GEN_BASE_SEED: u64 = 9_000;
+
+/// Seed count per scale for [`fuzz_gen`].
+pub fn fuzz_gen_seeds(scale: Scale) -> u64 {
+    scale.pick(3, 12, 48)
+}
+
+/// `fuzz_gen`: a deterministic seeded slice of the fuzzer's program
+/// space, checked against the reference interpreter on every machine.
+pub fn fuzz_gen(scale: Scale) -> Vec<Scenario> {
+    let mut out = Vec::new();
+    for seed in FUZZ_GEN_BASE_SEED..FUZZ_GEN_BASE_SEED + fuzz_gen_seeds(scale) {
+        let spec = generate(seed, GenParams::default());
+        let workload: Arc<FuzzWorkload> = Arc::new(FuzzWorkload::new("fuzz", &spec));
+        let label = format!("seed{seed}-{}", spec.version.name());
+        for (group, cfg) in machines_for(&spec) {
+            out.push(Scenario::new(group, label.clone(), cfg, Variant::Sequential, {
+                workload.clone()
+            }));
+        }
+    }
+    let soak = generate(FUZZ_GEN_BASE_SEED, GenParams::default());
+    out.push(Scenario::new(
+        "somt-soak",
+        format!("seed{FUZZ_GEN_BASE_SEED}-amplified"),
+        MachineConfig::table1_somt(),
+        Variant::Sequential,
+        Arc::new(FuzzWorkload::new("fuzz", &amplified(&soak))),
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BatchRunner;
+
+    #[test]
+    fn fuzz_catalog_entries_run_clean_at_smoke_scale() {
+        let runner = BatchRunner::with_workers(2);
+        for build in [fuzz_regress, fuzz_gen] {
+            let scenarios = build(Scale::Smoke);
+            assert!(!scenarios.is_empty());
+            let report = runner.run("fuzz smoke", scenarios);
+            assert!(!report.records.is_empty());
+        }
+    }
+
+    #[test]
+    fn fuzz_checker_rejects_wrong_output() {
+        let spec = generate(FUZZ_GEN_BASE_SEED, GenParams::default());
+        let w = FuzzWorkload::new("fuzz", &spec);
+        assert!(w.check(&w.expected).is_ok());
+        let mut wrong = w.expected.clone();
+        wrong.push(OutValue::Int(424242));
+        assert!(w.check(&wrong).is_err());
+    }
+}

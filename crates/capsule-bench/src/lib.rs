@@ -15,6 +15,7 @@
 
 pub mod catalog;
 pub mod checkpoint;
+pub mod fuzz;
 pub mod scenario;
 pub mod trace_export;
 

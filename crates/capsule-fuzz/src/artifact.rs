@@ -1,0 +1,197 @@
+//! Replayable divergence artifacts.
+//!
+//! When the harness finds a divergence (or the near-miss generator
+//! pins an interesting edge case), the offending spec is serialized —
+//! together with the matrix, the disagreeing pair, the localized cycle
+//! and the disassembled CAP64 text — into a single JSON document that
+//! can be checked into `corpus/` and replayed byte-identically later.
+//!
+//! Replay semantics are uniform for fixed bugs and near misses alike:
+//! rebuild the program from the embedded spec, sweep the recorded
+//! matrix, and require **no** divergence. A replay that diverges means
+//! a fixed bug regressed (or a near-miss edge started misbehaving).
+
+use capsule_core::output::Json;
+use capsule_isa::text;
+
+use crate::codegen::{build, BuildError};
+use crate::harness::{Divergence, Harness};
+use crate::matrix::Matrix;
+use crate::spec::ProgramSpec;
+
+/// Artifact schema tag; bump on incompatible format changes.
+pub const SCHEMA: &str = "capsule-fuzz/1";
+
+/// A minimized, replayable fuzzing result.
+#[derive(Debug, Clone)]
+pub struct Artifact {
+    /// Seed of the originating sweep (provenance).
+    pub seed: u64,
+    /// The (minimized) program spec.
+    pub spec: ProgramSpec,
+    /// Matrix the divergence was observed on.
+    pub matrix: Matrix,
+    /// Divergence kind (`arch`, `checkpoint`, ... or `near-miss`).
+    pub kind: String,
+    /// The two disagreeing parties (empty strings for near misses).
+    pub pair: (String, String),
+    /// Human-readable description of what diverged / what edge the
+    /// near miss exercises.
+    pub detail: String,
+    /// First divergent trace cycle when localization succeeded.
+    pub first_divergent_cycle: Option<u64>,
+    /// True when this is a checked-in edge-case program rather than a
+    /// fixed bug.
+    pub near_miss: bool,
+}
+
+impl Artifact {
+    /// Packages a harness divergence for `spec`.
+    pub fn from_divergence(spec: &ProgramSpec, matrix: Matrix, d: &Divergence) -> Artifact {
+        Artifact {
+            seed: spec.seed,
+            spec: spec.clone(),
+            matrix,
+            kind: d.kind.clone(),
+            pair: (d.a.clone(), d.b.clone()),
+            detail: d.detail.clone(),
+            first_divergent_cycle: d.first_divergent_cycle,
+            near_miss: false,
+        }
+    }
+
+    /// Packages a near-miss edge-case program.
+    pub fn near_miss(spec: &ProgramSpec, matrix: Matrix, detail: &str) -> Artifact {
+        Artifact {
+            seed: spec.seed,
+            spec: spec.clone(),
+            matrix,
+            kind: "near-miss".into(),
+            pair: (String::new(), String::new()),
+            detail: detail.into(),
+            first_divergent_cycle: None,
+            near_miss: true,
+        }
+    }
+
+    /// Stable file name for the corpus directory.
+    pub fn file_name(&self) -> String {
+        let tag = if self.near_miss { "near-miss" } else { &self.kind };
+        format!("seed{}-{}.json", self.seed, sanitize(tag))
+    }
+
+    /// Serializes to the artifact JSON document.
+    ///
+    /// # Errors
+    ///
+    /// [`BuildError`] when the spec no longer lowers (the disassembled
+    /// text is part of the document).
+    pub fn to_json(&self) -> Result<Json, BuildError> {
+        let program = build(&self.spec)?;
+        let mut o = Json::object();
+        o.push("schema", SCHEMA)
+            .push("seed", self.seed)
+            .push("matrix", self.matrix.name())
+            .push("kind", self.kind.as_str())
+            .push(
+                "pair",
+                Json::Array(vec![self.pair.0.as_str().into(), self.pair.1.as_str().into()]),
+            )
+            .push("detail", self.detail.as_str());
+        match self.first_divergent_cycle {
+            Some(c) => o.push("first_divergent_cycle", c),
+            None => o.push("first_divergent_cycle", Json::Null),
+        };
+        o.push("near_miss", self.near_miss)
+            .push("spec", self.spec.to_json())
+            .push("text", text::disassemble(&program.text));
+        Ok(o)
+    }
+
+    /// Parses an artifact document produced by [`Artifact::to_json`].
+    pub fn from_json(j: &Json) -> Option<Artifact> {
+        if j.get("schema")?.as_str()? != SCHEMA {
+            return None;
+        }
+        let pair = j.get("pair")?.as_array()?;
+        Some(Artifact {
+            seed: j.get("seed")?.as_u64()?,
+            spec: ProgramSpec::from_json(j.get("spec")?)?,
+            matrix: Matrix::parse(j.get("matrix")?.as_str()?)?,
+            kind: j.get("kind")?.as_str()?.to_string(),
+            pair: (pair.first()?.as_str()?.to_string(), pair.get(1)?.as_str()?.to_string()),
+            detail: j.get("detail")?.as_str()?.to_string(),
+            first_divergent_cycle: j.get("first_divergent_cycle").and_then(Json::as_u64),
+            near_miss: j.get("near_miss")?.as_bool()?,
+        })
+    }
+
+    /// Parses an artifact from serialized JSON text.
+    pub fn parse(src: &str) -> Option<Artifact> {
+        Artifact::from_json(&Json::parse(src).ok()?)
+    }
+
+    /// Replays the artifact: rebuilds the program from the spec and
+    /// sweeps the recorded matrix. Returns the divergence if the sweep
+    /// disagrees — for checked-in corpus entries the expectation is
+    /// `Ok(None)`.
+    ///
+    /// # Errors
+    ///
+    /// [`BuildError`] when the embedded spec no longer lowers.
+    pub fn replay(&self) -> Result<Option<Divergence>, BuildError> {
+        Harness::new(self.matrix).run_spec(&self.spec)
+    }
+}
+
+fn sanitize(s: &str) -> String {
+    s.chars().map(|c| if c.is_ascii_alphanumeric() || c == '-' { c } else { '-' }).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{generate, GenParams};
+
+    #[test]
+    fn artifact_json_round_trips() {
+        let spec = generate(5, GenParams::default());
+        let d = Divergence {
+            kind: "arch".into(),
+            a: "smt+fresh".into(),
+            b: "somt-greedy+fresh".into(),
+            detail: "output mismatch at value 0".into(),
+            first_divergent_cycle: Some(1234),
+        };
+        let a = Artifact::from_divergence(&spec, Matrix::Reduced, &d);
+        let doc = a.to_json().unwrap().to_string_pretty();
+        let back = Artifact::parse(&doc).expect("artifact should parse back");
+        assert_eq!(back.spec, a.spec);
+        assert_eq!(back.kind, "arch");
+        assert_eq!(back.pair, a.pair);
+        assert_eq!(back.first_divergent_cycle, Some(1234));
+        assert_eq!(back.matrix, Matrix::Reduced);
+        assert!(!back.near_miss);
+        assert!(doc.contains("halt"), "document embeds disassembled text");
+    }
+
+    #[test]
+    fn near_miss_round_trips_with_null_cycle() {
+        let spec = generate(9, GenParams::default());
+        let a = Artifact::near_miss(&spec, Matrix::Reduced, "divisions granted under somt");
+        let doc = a.to_json().unwrap().to_string_compact();
+        let back = Artifact::parse(&doc).unwrap();
+        assert!(back.near_miss);
+        assert_eq!(back.first_divergent_cycle, None);
+        assert_eq!(back.file_name(), format!("seed{}-near-miss.json", spec.seed));
+    }
+
+    #[test]
+    fn schema_mismatch_is_rejected() {
+        let spec = generate(5, GenParams::default());
+        let a = Artifact::near_miss(&spec, Matrix::Reduced, "x");
+        let doc = a.to_json().unwrap().to_string_compact();
+        let tampered = doc.replace(SCHEMA, "capsule-fuzz/999");
+        assert!(Artifact::parse(&tampered).is_none());
+    }
+}

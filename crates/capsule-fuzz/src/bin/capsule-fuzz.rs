@@ -1,0 +1,285 @@
+//! Seeded differential fuzzing of the CAPSULE simulator.
+//!
+//! Usage:
+//!   capsule-fuzz [--seed S] [--count N] [--budget CYCLES]
+//!                [--matrix reduced|full] [--no-minimize] [--out DIR]
+//!   capsule-fuzz --replay PATH [--replay PATH ...]
+//!   capsule-fuzz --emit-near-misses DIR
+//!
+//! The default mode sweeps seeds `S..S+N`: each seed generates a
+//! well-formed CAP64 program that is run across every matrix point and
+//! the reference interpreter, requiring identical architectural
+//! results. Divergences are delta-debugged to a minimal spec and
+//! written as replayable JSON artifacts under `--out` (default
+//! `fuzz-artifacts/`); the exit code is 1 when any divergence was
+//! found, so CI fails loudly with the artifact path on stdout.
+//!
+//! `--replay` re-checks saved artifacts (files or directories);
+//! `--emit-near-misses` regenerates the checked-in near-miss corpus
+//! (minimized programs that pin matrix edge cases without diverging).
+
+use std::path::{Path, PathBuf};
+use std::process::exit;
+
+use capsule_core::config::{DivisionMode, MachineConfig};
+use capsule_fuzz::{
+    build, generate, minimize, Artifact, Harness, Matrix, ProgramSpec, SweepOptions, Version,
+};
+use capsule_sim::{Machine, SimOutcome};
+
+fn main() {
+    let mut opts = SweepOptions::new(1, 20);
+    let mut out = PathBuf::from("fuzz-artifacts");
+    let mut replays: Vec<PathBuf> = Vec::new();
+    let mut emit_dir: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{name} requires a value");
+                exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--seed" => opts.seed = parse_u64(&value("--seed"), "--seed"),
+            "--count" => opts.count = parse_u64(&value("--count"), "--count"),
+            "--budget" => opts.budget = parse_u64(&value("--budget"), "--budget").max(1),
+            "--matrix" => {
+                let v = value("--matrix");
+                opts.matrix = Matrix::parse(&v).unwrap_or_else(|| {
+                    eprintln!("unknown matrix {v:?} (reduced|full)");
+                    exit(2);
+                });
+            }
+            "--minimize" => opts.minimize = true,
+            "--no-minimize" => opts.minimize = false,
+            "--out" => out = PathBuf::from(value("--out")),
+            "--replay" => replays.push(PathBuf::from(value("--replay"))),
+            "--emit-near-misses" => emit_dir = Some(PathBuf::from(value("--emit-near-misses"))),
+            "--help" | "-h" => {
+                println!(
+                    "usage: capsule-fuzz [--seed S] [--count N] [--budget CYCLES] \
+                     [--matrix reduced|full] [--no-minimize] [--out DIR] | \
+                     --replay PATH ... | --emit-near-misses DIR"
+                );
+                return;
+            }
+            other => {
+                eprintln!("unknown argument {other:?} (try --help)");
+                exit(2);
+            }
+        }
+    }
+
+    if let Some(dir) = emit_dir {
+        emit_near_misses(&dir);
+        return;
+    }
+    if !replays.is_empty() {
+        replay(&replays);
+        return;
+    }
+
+    let report = capsule_fuzz::sweep(&opts, None);
+    let versions: Vec<String> =
+        report.version_counts.iter().map(|(n, c)| format!("{n} {c}")).collect();
+    println!(
+        "checked {} programs (seed {}..{}, matrix {}, {} points): {}",
+        report.programs,
+        opts.seed,
+        opts.seed + opts.count,
+        opts.matrix.name(),
+        opts.matrix.points().len(),
+        versions.join(", ")
+    );
+    if report.divergences.is_empty() {
+        println!("no divergences");
+        return;
+    }
+    if let Err(e) = std::fs::create_dir_all(&out) {
+        eprintln!("cannot create artifact dir {}: {e}", out.display());
+        exit(1);
+    }
+    for artifact in &report.divergences {
+        let path = out.join(artifact.file_name());
+        match artifact.to_json() {
+            Ok(doc) => {
+                if let Err(e) = std::fs::write(&path, doc.to_string_pretty() + "\n") {
+                    eprintln!("cannot write {}: {e}", path.display());
+                }
+            }
+            Err(e) => eprintln!("artifact for seed {} no longer builds: {e}", artifact.seed),
+        }
+        println!(
+            "DIVERGENCE seed {} [{}] {} vs {}: {} -> {}",
+            artifact.seed,
+            artifact.kind,
+            artifact.pair.0,
+            artifact.pair.1,
+            artifact.detail,
+            path.display()
+        );
+    }
+    exit(1);
+}
+
+fn parse_u64(s: &str, name: &str) -> u64 {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("{name} expects an unsigned integer, got {s:?}");
+        exit(2);
+    })
+}
+
+/// Replays saved artifacts (files or directories of `.json` files).
+fn replay(paths: &[PathBuf]) {
+    let mut files: Vec<PathBuf> = Vec::new();
+    for p in paths {
+        if p.is_dir() {
+            let mut entries: Vec<PathBuf> = match std::fs::read_dir(p) {
+                Ok(rd) => rd
+                    .filter_map(|e| e.ok().map(|e| e.path()))
+                    .filter(|p| p.extension().is_some_and(|e| e == "json"))
+                    .collect(),
+                Err(e) => {
+                    eprintln!("cannot read {}: {e}", p.display());
+                    exit(2);
+                }
+            };
+            entries.sort();
+            files.extend(entries);
+        } else {
+            files.push(p.clone());
+        }
+    }
+    let mut failed = false;
+    for file in &files {
+        let doc = std::fs::read_to_string(file).unwrap_or_else(|e| {
+            eprintln!("cannot read {}: {e}", file.display());
+            exit(2);
+        });
+        let artifact = Artifact::parse(&doc).unwrap_or_else(|| {
+            eprintln!("{} is not a capsule-fuzz artifact", file.display());
+            exit(2);
+        });
+        match artifact.replay() {
+            Ok(None) => println!("replay {}: ok", file.display()),
+            Ok(Some(d)) => {
+                println!(
+                    "replay {}: DIVERGENCE [{}] {} vs {}: {}",
+                    file.display(),
+                    d.kind,
+                    d.a,
+                    d.b,
+                    d.detail
+                );
+                failed = true;
+            }
+            Err(e) => {
+                println!("replay {}: BUILD ERROR {e}", file.display());
+                failed = true;
+            }
+        }
+    }
+    println!("replayed {} artifacts", files.len());
+    if failed {
+        exit(1);
+    }
+}
+
+// --- near-miss corpus generation -------------------------------------------
+
+fn somt(mode: DivisionMode) -> MachineConfig {
+    MachineConfig { division_mode: mode, ..MachineConfig::table1_somt() }
+}
+
+fn run_on(spec: &ProgramSpec, cfg: MachineConfig) -> Option<SimOutcome> {
+    let program = build(spec).ok()?;
+    let mut m = Machine::new(cfg, &program).ok()?;
+    m.run(capsule_fuzz::DEFAULT_BUDGET).ok()
+}
+
+/// Regenerates the three checked-in near-miss corpus entries: programs
+/// minimized while *preserving* a matrix edge (division grants, a
+/// multi-thread locked join, live workers at the checkpoint boundary)
+/// rather than a divergence. They replay clean and act as sentinels for
+/// the paths a future simulator bug would most plausibly break.
+fn emit_near_misses(dir: &Path) {
+    struct Edge {
+        file: &'static str,
+        detail: &'static str,
+        holds: fn(&ProgramSpec) -> bool,
+    }
+    let edges = [
+        Edge {
+            file: "near-miss-division.json",
+            detail: "component program whose nthr probes are granted under somt-greedy",
+            holds: |spec| {
+                spec.version == Version::Component
+                    && run_on(spec, somt(DivisionMode::Greedy))
+                        .is_some_and(|o| o.stats.divisions_granted() > 0)
+            },
+        },
+        Edge {
+            file: "near-miss-static-join.json",
+            detail: "static program joining >=2 loader threads through the locked counter",
+            holds: |spec| {
+                matches!(spec.version, Version::Static(n) if n >= 2)
+                    && spec.use_locks
+                    && run_on(spec, MachineConfig::table1_smt()).is_some_and(|o| {
+                        o.stats.max_live_workers >= 2 && o.stats.lock_acquires >= 2
+                    })
+            },
+        },
+        Edge {
+            file: "near-miss-checkpoint-live.json",
+            detail: "marked program with >=3 live workers at the ckpt1of2 snapshot boundary",
+            holds: |spec| {
+                spec.marks
+                    && run_on(spec, somt(DivisionMode::GreedyThrottled))
+                        .is_some_and(|o| o.tree.live_at(o.stats.cycles / 2) >= 3)
+            },
+        },
+    ];
+
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("cannot create {}: {e}", dir.display());
+        exit(1);
+    }
+    for edge in &edges {
+        let seed_spec = (0..500)
+            .map(|s| generate(s, capsule_fuzz::GenParams::default()))
+            .find(|spec| (edge.holds)(spec))
+            .unwrap_or_else(|| {
+                eprintln!("no seed in 0..500 exercises edge {:?}", edge.file);
+                exit(1);
+            });
+        let (min_spec, stats) = minimize(&seed_spec, &mut |c| (edge.holds)(c));
+        match Harness::new(Matrix::Reduced).run_spec(&min_spec) {
+            Ok(None) => {}
+            Ok(Some(d)) => {
+                eprintln!("near-miss {} DIVERGES (a real bug?): {d:?}", edge.file);
+                exit(1);
+            }
+            Err(e) => {
+                eprintln!("near-miss {} stopped building: {e}", edge.file);
+                exit(1);
+            }
+        }
+        let artifact = Artifact::near_miss(&min_spec, Matrix::Reduced, edge.detail);
+        let path = dir.join(edge.file);
+        let doc = artifact.to_json().expect("minimized spec must build").to_string_pretty();
+        if let Err(e) = std::fs::write(&path, doc + "\n") {
+            eprintln!("cannot write {}: {e}", path.display());
+            exit(1);
+        }
+        let instrs = build(&min_spec).map(|p| p.text.len()).unwrap_or(0);
+        println!(
+            "near-miss {} <- seed {} ({} instrs, {} shrink attempts)",
+            path.display(),
+            min_spec.seed,
+            instrs,
+            stats.attempts
+        );
+    }
+}

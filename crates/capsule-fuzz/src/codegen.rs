@@ -1,0 +1,527 @@
+//! Lowers a [`ProgramSpec`] to a loadable CAP64 [`Program`].
+//!
+//! All three program versions share one skeleton:
+//!
+//! ```text
+//! entry:     load region base addresses
+//! (split:)   component only — nthr range-splitting loop
+//! do_tasks:  for task in [lo, hi): call task_fn
+//! join:      counter -= (hi - lo) under mlock; last finisher falls through
+//! output:    emit every output word in task order, then the counter, halt
+//! die:       kthr (non-final workers)
+//! task_fn:   init value banks, run the spec body, store results
+//! ```
+//!
+//! The worker that drives the join counter to zero is the only one that
+//! reaches the output phase, so the `out` stream and the final memory
+//! image are identical across machine configurations, division policies
+//! and schedules — the property the differential harness checks.
+//!
+//! Register convention (task bodies only touch the value banks):
+//!
+//! | regs      | role                                            |
+//! |-----------|-------------------------------------------------|
+//! | r1, r2    | `lo`, `hi` task range (loader-set)              |
+//! | r3, r4    | span/mid scratch, task index                    |
+//! | r5, r6, r13 | per-task input/scratch/output base            |
+//! | r7, r8, r14 | `nthr` result, scratch                        |
+//! | r9..r12   | input/output/scratch/counter region bases       |
+//! | r16..r21  | integer value bank `v0..v5`                     |
+//! | r22, r23  | loop counters (one per nesting depth)           |
+//! | f0..f3    | FP value bank                                   |
+
+use capsule_isa::asm::{Asm, AsmError};
+use capsule_isa::instr::{BrCond, Instr};
+use capsule_isa::program::{DataBuilder, Program, ProgramError, ThreadSpec};
+use capsule_isa::reg::{FReg, Reg};
+
+use crate::spec::{Op, ProgramSpec, Version, FBANK, VBANK};
+
+const LO: Reg = Reg(1);
+const HI: Reg = Reg(2);
+const MID: Reg = Reg(3);
+const TASK: Reg = Reg(4);
+const IN_T: Reg = Reg(5);
+const SCR_T: Reg = Reg(6);
+const PROBE: Reg = Reg(7);
+const TMP: Reg = Reg(8);
+const IN_BASE: Reg = Reg(9);
+const OUT_BASE: Reg = Reg(10);
+const SCR_BASE: Reg = Reg(11);
+const CNT: Reg = Reg(12);
+const OUT_T: Reg = Reg(13);
+const TMP2: Reg = Reg(14);
+
+fn vr(i: u8) -> Reg {
+    Reg(16 + i % VBANK)
+}
+
+fn fr(i: u8) -> FReg {
+    FReg(i % FBANK)
+}
+
+/// Why a spec cannot be lowered.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BuildError {
+    /// A structural field is zero or inconsistent.
+    BadSpec(String),
+    /// Label bookkeeping failed (a codegen bug, not a spec problem).
+    Asm(AsmError),
+    /// The lowered program failed [`Program::validate`].
+    Program(ProgramError),
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::BadSpec(m) => write!(f, "bad spec: {m}"),
+            BuildError::Asm(e) => write!(f, "assembly failed: {e}"),
+            BuildError::Program(e) => write!(f, "lowered program invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+struct Usage {
+    vregs: [bool; VBANK as usize],
+    input: bool,
+    scratch: bool,
+}
+
+fn mark(u: &mut Usage, i: u8) {
+    u.vregs[(i % VBANK) as usize] = true;
+}
+
+fn scan_ops(ops: &[Op], u: &mut Usage) {
+    for op in ops {
+        match op {
+            Op::Alu { dst, a, b, .. } => {
+                mark(u, *dst);
+                mark(u, *a);
+                mark(u, *b);
+            }
+            Op::AluI { dst, a, .. } => {
+                mark(u, *dst);
+                mark(u, *a);
+            }
+            Op::LoadInput { dst, .. } => {
+                mark(u, *dst);
+                u.input = true;
+            }
+            Op::LoadScratch { dst, .. } | Op::LoadByte { dst, .. } => {
+                mark(u, *dst);
+                u.scratch = true;
+            }
+            Op::Store { src, .. } | Op::StoreByte { src, .. } => {
+                mark(u, *src);
+                u.scratch = true;
+            }
+            Op::FCmp { dst, .. } => mark(u, *dst),
+            Op::CvtIF { a, .. } => mark(u, *a),
+            Op::CvtFI { dst, .. } => mark(u, *dst),
+            Op::FAlu { .. } => {}
+            Op::Loop { body, .. } => scan_ops(body, u),
+            Op::If { a, b, then_ops, else_ops, .. } => {
+                mark(u, *a);
+                mark(u, *b);
+                scan_ops(then_ops, u);
+                scan_ops(else_ops, u);
+            }
+        }
+    }
+}
+
+fn usage(spec: &ProgramSpec) -> Usage {
+    let mut u = Usage { vregs: [false; VBANK as usize], input: false, scratch: false };
+    scan_ops(&spec.body, &mut u);
+    // The writeback folds v[j % VBANK] into output word j.
+    for j in 0..spec.outputs_per_task.min(VBANK as u32) {
+        u.vregs[(j as usize) % VBANK as usize] = true;
+    }
+    if spec.fp {
+        // The FP bank is seeded from v0..v2, and the fold reads it back.
+        u.vregs = [true; VBANK as usize];
+        u.input = true;
+    }
+    if u.vregs.iter().skip(1).any(|&b| b) {
+        u.input = true; // v1..v5 are seeded from the task's input words
+    }
+    u
+}
+
+fn branch(a: &mut Asm, cond: BrCond, rs1: Reg, rs2: Reg, label: &str) {
+    match cond {
+        BrCond::Eq => a.beq(rs1, rs2, label),
+        BrCond::Ne => a.bne(rs1, rs2, label),
+        BrCond::Lt => a.blt(rs1, rs2, label),
+        BrCond::Ge => a.bge(rs1, rs2, label),
+        BrCond::Ltu => a.bltu(rs1, rs2, label),
+        BrCond::Geu => a.bgeu(rs1, rs2, label),
+    }
+}
+
+struct Emitter<'s> {
+    spec: &'s ProgramSpec,
+    next_label: u32,
+}
+
+impl Emitter<'_> {
+    fn fresh(&mut self, stem: &str) -> String {
+        self.next_label += 1;
+        format!("{stem}{}", self.next_label)
+    }
+
+    fn emit_ops(&mut self, a: &mut Asm, ops: &[Op], depth: u8) {
+        for op in ops {
+            self.emit_op(a, op, depth);
+        }
+    }
+
+    fn emit_op(&mut self, a: &mut Asm, op: &Op, depth: u8) {
+        let spt = self.spec.scratch_per_task as i64;
+        let ipt = self.spec.inputs_per_task as i64;
+        match op {
+            Op::Alu { op, dst, a: x, b: y } => {
+                a.push(Instr::Alu { op: *op, rd: vr(*dst), rs1: vr(*x), rs2: vr(*y) });
+            }
+            Op::AluI { op, dst, a: x, imm } => {
+                a.push(Instr::AluI { op: *op, rd: vr(*dst), rs1: vr(*x), imm: *imm });
+            }
+            Op::LoadInput { dst, idx } => a.ld(vr(*dst), 8 * (*idx as i64 % ipt), IN_T),
+            Op::LoadScratch { dst, slot } => a.ld(vr(*dst), 8 * (*slot as i64 % spt), SCR_T),
+            Op::Store { src, slot } => a.st(vr(*src), 8 * (*slot as i64 % spt), SCR_T),
+            Op::StoreByte { src, slot, byte } => {
+                a.stb(vr(*src), 8 * (*slot as i64 % spt) + (*byte as i64 % 8), SCR_T);
+            }
+            Op::LoadByte { dst, slot, byte } => {
+                a.ldb(vr(*dst), 8 * (*slot as i64 % spt) + (*byte as i64 % 8), SCR_T);
+            }
+            Op::FAlu { op, dst, a: x, b: y } => {
+                a.push(Instr::FAlu { op: *op, fd: fr(*dst), fs1: fr(*x), fs2: fr(*y) });
+            }
+            Op::FCmp { op, dst, a: x, b: y } => a.fcmp(*op, vr(*dst), fr(*x), fr(*y)),
+            Op::CvtIF { dst, a: x } => a.cvtif(fr(*dst), vr(*x)),
+            Op::CvtFI { dst, a: x } => a.cvtfi(vr(*dst), fr(*x)),
+            Op::Loop { count, body } => {
+                if depth >= 2 {
+                    // Deeper nesting than the two loop-counter registers
+                    // support: degrade to a single inline iteration.
+                    self.emit_ops(a, body, depth);
+                    return;
+                }
+                let lc = Reg(22 + depth);
+                let start = self.fresh("fl");
+                a.li(lc, (*count).max(1) as i64);
+                a.bind(start.clone());
+                self.emit_ops(a, body, depth + 1);
+                a.addi(lc, lc, -1);
+                a.bne(lc, Reg::ZERO, &start);
+            }
+            Op::If { cond, a: x, b: y, then_ops, else_ops } => {
+                let then_l = self.fresh("ft");
+                let end_l = self.fresh("fe");
+                branch(a, *cond, vr(*x), vr(*y), &then_l);
+                self.emit_ops(a, else_ops, depth);
+                a.j(&end_l);
+                a.bind(then_l);
+                self.emit_ops(a, then_ops, depth);
+                a.bind(end_l);
+            }
+        }
+    }
+}
+
+/// Lowers `spec` to a validated program.
+///
+/// # Errors
+///
+/// [`BuildError::BadSpec`] on zero-sized fields or a static version with
+/// more threads than tasks; the other variants indicate codegen bugs.
+pub fn build(spec: &ProgramSpec) -> Result<Program, BuildError> {
+    if spec.ntasks == 0 {
+        return Err(BuildError::BadSpec("ntasks must be >= 1".into()));
+    }
+    if spec.inputs_per_task == 0 || spec.outputs_per_task == 0 || spec.scratch_per_task == 0 {
+        return Err(BuildError::BadSpec("per-task region sizes must be >= 1".into()));
+    }
+    if spec.grain == 0 {
+        return Err(BuildError::BadSpec("grain must be >= 1".into()));
+    }
+    if let Version::Static(n) = spec.version {
+        if n == 0 || n as u32 > spec.ntasks {
+            return Err(BuildError::BadSpec(format!(
+                "static version needs 1..=ntasks threads, got {n} for {} tasks",
+                spec.ntasks
+            )));
+        }
+    }
+
+    let n = spec.ntasks as i64;
+    let ipt = spec.inputs_per_task as i64;
+    let opt = spec.outputs_per_task as i64;
+    let spt = spec.scratch_per_task as i64;
+    let u = usage(spec);
+    // The join requires an atomic read-modify-write once several workers
+    // can finish concurrently; locks are optional only sequentially.
+    let lock = spec.use_locks || spec.parallel();
+
+    let mut d = DataBuilder::new();
+    d.label("counter");
+    d.word(n);
+    d.label("inputs");
+    d.words(&crate::spec::input_words(spec));
+    d.label("outputs");
+    d.zeros((n * opt) as usize * 8);
+    d.align(8);
+    d.label("scratch");
+    d.zeros((n * spt) as usize * 8);
+    d.align(8);
+    d.label("fconst");
+    let fc = (spec.seed % 61) as f64 / 4.0 + 0.5;
+    d.f64s(&[fc]);
+    let img = d.build();
+    let counter_addr = img.symbols["counter"] as i64;
+    let inputs_addr = img.symbols["inputs"] as i64;
+    let outputs_addr = img.symbols["outputs"] as i64;
+    let scratch_addr = img.symbols["scratch"] as i64;
+    let fconst_addr = img.symbols["fconst"] as i64;
+
+    let mut a = Asm::new();
+    let mut em = Emitter { spec, next_label: 0 };
+
+    // entry: region bases. lo/hi arrive in r1/r2 from the loader.
+    if u.input {
+        a.li(IN_BASE, inputs_addr);
+    }
+    a.li(OUT_BASE, outputs_addr);
+    if u.scratch {
+        a.li(SCR_BASE, scratch_addr);
+    }
+    a.li(CNT, counter_addr);
+
+    if spec.version == Version::Component {
+        // Range splitting: divide while the span exceeds the grain. The
+        // child resumes at `child` with a full register copy (its lo is
+        // the parent's mid); a denied probe runs the range undivided.
+        a.bind("split");
+        a.sub(MID, HI, LO);
+        a.li(TMP, spec.grain as i64);
+        a.bge(TMP, MID, "do_tasks");
+        a.srai(MID, MID, 1);
+        a.add(MID, LO, MID);
+        a.nthr(PROBE, "child");
+        a.bne(PROBE, Reg::ZERO, "do_tasks"); // denied: -1
+        a.mv(HI, MID); // parent keeps [lo, mid)
+        a.j("split");
+        a.bind("child");
+        a.mv(LO, MID); // child keeps [mid, hi)
+        a.j("split");
+    }
+
+    a.bind("do_tasks");
+    a.mv(TASK, LO);
+    a.bind("task_loop");
+    a.bge(TASK, HI, "join");
+    if u.input {
+        a.li(TMP, 8 * ipt);
+        a.mul(IN_T, TASK, TMP);
+        a.add(IN_T, IN_T, IN_BASE);
+    }
+    if u.scratch {
+        a.li(TMP, 8 * spt);
+        a.mul(SCR_T, TASK, TMP);
+        a.add(SCR_T, SCR_T, SCR_BASE);
+    }
+    a.li(TMP, 8 * opt);
+    a.mul(OUT_T, TASK, TMP);
+    a.add(OUT_T, OUT_T, OUT_BASE);
+    a.call("task_fn");
+    a.addi(TASK, TASK, 1);
+    a.j("task_loop");
+
+    // join: counter -= my span; the worker that reaches zero continues.
+    a.bind("join");
+    a.sub(MID, HI, LO);
+    if lock {
+        a.mlock(CNT);
+    }
+    a.ld(TMP, 0, CNT);
+    a.sub(TMP, TMP, MID);
+    a.st(TMP, 0, CNT);
+    if lock {
+        a.munlock(CNT);
+    }
+    a.bne(TMP, Reg::ZERO, "die");
+
+    // output: every result word in task order, then the drained counter.
+    let total_out = n * opt;
+    if total_out <= 4 {
+        for w in 0..total_out {
+            a.ld(TMP2, 8 * w, OUT_BASE);
+            a.out(TMP2);
+        }
+    } else {
+        a.li(TASK, 0);
+        a.li(HI, total_out);
+        a.bind("out_loop");
+        a.bge(TASK, HI, "out_done");
+        a.slli(TMP, TASK, 3);
+        a.add(TMP, TMP, OUT_BASE);
+        a.ld(TMP2, 0, TMP);
+        a.out(TMP2);
+        a.addi(TASK, TASK, 1);
+        a.j("out_loop");
+        a.bind("out_done");
+    }
+    if spec.fp {
+        a.li(TMP, fconst_addr);
+        a.fld(FReg(0), 0, TMP);
+        a.outf(FReg(0));
+    }
+    a.ld(TMP, 0, CNT);
+    a.out(TMP);
+    a.halt();
+    a.bind("die");
+    a.kthr();
+
+    // task_fn: banks from task-owned data, body, result writeback.
+    a.bind("task_fn");
+    if spec.marks {
+        a.mark_start(1);
+    }
+    for (k, used) in u.vregs.iter().enumerate() {
+        if !used {
+            continue;
+        }
+        if k == 0 {
+            a.mv(vr(0), TASK);
+        } else {
+            a.ld(vr(k as u8), 8 * ((k as i64 - 1) % ipt), IN_T);
+        }
+    }
+    if spec.fp {
+        for k in 0..FBANK {
+            if k == 2 {
+                a.fli(fr(2), fc);
+            } else {
+                a.cvtif(fr(k), vr(k % VBANK));
+            }
+        }
+    }
+    em.emit_ops(&mut a, &spec.body, 0);
+    for j in 0..opt {
+        a.mv(TMP, vr((j % VBANK as i64) as u8));
+        if spec.fp {
+            a.cvtfi(TMP2, fr((j % FBANK as i64) as u8));
+            a.xor(TMP, TMP, TMP2);
+        }
+        a.st(TMP, 8 * j, OUT_T);
+    }
+    if spec.marks {
+        a.mark_end(1);
+    }
+    a.ret();
+
+    let text = a.assemble().map_err(BuildError::Asm)?;
+    let mut program = Program::new(text, img, 4096);
+    match spec.version {
+        Version::Sequential | Version::Component => {
+            program = program.with_thread(ThreadSpec::at(0).with_reg(LO, 0).with_reg(HI, n));
+        }
+        Version::Static(k) => {
+            let k = k as i64;
+            for t in 0..k {
+                let lo = n * t / k;
+                let hi = n * (t + 1) / k;
+                program = program.with_thread(ThreadSpec::at(0).with_reg(LO, lo).with_reg(HI, hi));
+            }
+        }
+    }
+    program.validate().map_err(BuildError::Program)?;
+    Ok(program)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{generate, GenParams};
+    use capsule_sim::interp::{Interp, InterpConfig};
+
+    #[test]
+    fn generated_programs_build_and_validate() {
+        for seed in 0..150 {
+            let spec = generate(seed, GenParams::default());
+            let p = build(&spec).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert!(!p.text.is_empty());
+            assert_eq!(p.threads.len(), spec.version.threads());
+        }
+    }
+
+    #[test]
+    fn generated_programs_halt_on_the_reference_interpreter() {
+        for seed in 0..60 {
+            let spec = generate(seed, GenParams::default());
+            let p = build(&spec).unwrap();
+            let mut i = Interp::new(&p, InterpConfig::default()).unwrap();
+            let out = i.run(5_000_000).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            // output = all result words + (fp word) + drained counter.
+            let expect = (spec.ntasks * spec.outputs_per_task) as usize + 1 + usize::from(spec.fp);
+            assert_eq!(out.output.len(), expect, "seed {seed}");
+            assert_eq!(out.output.last().unwrap().as_int(), Some(0), "seed {seed}: counter");
+        }
+    }
+
+    #[test]
+    fn interp_output_is_division_invariant() {
+        // The component contract: results do not depend on whether any
+        // division was granted.
+        for seed in 0..40 {
+            let spec = generate(seed, GenParams::default());
+            let p = build(&spec).unwrap();
+            let a = Interp::new(&p, InterpConfig { max_workers: 8, allow_division: true })
+                .unwrap()
+                .run(5_000_000)
+                .unwrap();
+            let b = Interp::new(&p, InterpConfig { max_workers: 8, allow_division: false })
+                .unwrap()
+                .run(5_000_000)
+                .unwrap();
+            assert_eq!(a.output, b.output, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn minimal_sequential_skeleton_is_small() {
+        // The minimizer's floor: a trivial sequential spec must lower to
+        // a reproducer a human can eyeball (≤ 30 instructions).
+        let spec = ProgramSpec {
+            seed: 0,
+            version: Version::Sequential,
+            ntasks: 1,
+            grain: 1,
+            inputs_per_task: 1,
+            outputs_per_task: 1,
+            scratch_per_task: 1,
+            body: Vec::new(),
+            use_locks: false,
+            marks: false,
+            fp: false,
+        };
+        let p = build(&spec).unwrap();
+        assert!(p.text.len() <= 30, "minimal skeleton is {} instructions", p.text.len());
+    }
+
+    #[test]
+    fn bad_specs_are_rejected() {
+        let mut spec = generate(0, GenParams::default());
+        spec.ntasks = 0;
+        assert!(matches!(build(&spec), Err(BuildError::BadSpec(_))));
+        let mut spec = generate(0, GenParams::default());
+        spec.version = Version::Static(200);
+        assert!(matches!(build(&spec), Err(BuildError::BadSpec(_))));
+        let mut spec = generate(0, GenParams::default());
+        spec.outputs_per_task = 0;
+        assert!(matches!(build(&spec), Err(BuildError::BadSpec(_))));
+    }
+}

@@ -1,0 +1,63 @@
+//! The embedded regression corpus.
+//!
+//! Every minimized artifact checked into `crates/capsule-fuzz/corpus/`
+//! is compiled into the crate with `include_str!`, so corpus replay
+//! needs no filesystem access and runs identically in tests, the
+//! `fuzz_regress` bench entry and CI. Replay semantics: rebuild the
+//! program from the embedded spec, sweep the recorded matrix, and
+//! require no divergence.
+
+use crate::artifact::Artifact;
+use crate::harness::Divergence;
+
+/// Checked-in corpus entries as `(file name, JSON document)` pairs.
+pub const CORPUS: &[(&str, &str)] = &[
+    ("near-miss-division.json", include_str!("../corpus/near-miss-division.json")),
+    ("near-miss-static-join.json", include_str!("../corpus/near-miss-static-join.json")),
+    ("near-miss-checkpoint-live.json", include_str!("../corpus/near-miss-checkpoint-live.json")),
+];
+
+/// Parses every embedded corpus document.
+///
+/// # Panics
+///
+/// Panics on a malformed embedded document — the corpus is part of the
+/// source tree, so a parse failure is a build defect, not input error.
+pub fn load() -> Vec<(&'static str, Artifact)> {
+    CORPUS
+        .iter()
+        .map(|(name, doc)| {
+            let artifact =
+                Artifact::parse(doc).unwrap_or_else(|| panic!("corpus entry {name} is malformed"));
+            (*name, artifact)
+        })
+        .collect()
+}
+
+/// Replays the whole embedded corpus, returning any divergence per
+/// entry. A clean tree returns only `None`s.
+pub fn replay_all() -> Vec<(&'static str, Option<Divergence>)> {
+    load()
+        .into_iter()
+        .map(|(name, artifact)| {
+            let d = artifact
+                .replay()
+                .unwrap_or_else(|e| panic!("corpus entry {name} no longer builds: {e}"));
+            (name, d)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_parses_and_replays_clean() {
+        let entries = load();
+        assert!(!entries.is_empty(), "corpus must ship at least the near-miss programs");
+        for (name, d) in replay_all() {
+            assert!(d.is_none(), "corpus entry {name} diverged: {d:?}");
+        }
+    }
+}

@@ -1,0 +1,460 @@
+//! The differential harness.
+//!
+//! Runs one generated program across every applicable [`MatrixPoint`]
+//! and checks four properties:
+//!
+//! 1. **Toolchain round trip** — the program survives
+//!    text → disassemble → parse and text → encode → decode unchanged;
+//! 2. **Reference agreement** — every machine run reproduces the
+//!    functional interpreter's output and final memory image;
+//! 3. **Cross-point agreement** — all matrix points produce the same
+//!    architectural digest (output stream bits + memory hash), and
+//!    checkpoint legs reproduce their uninterrupted run *exactly*
+//!    (full [`SimOutcome`] equality);
+//! 4. **Stats invariants** — every outcome passes
+//!    [`crate::invariants::check_outcome`], and division-free pairs pass
+//!    [`crate::invariants::check_cross_config`].
+//!
+//! On a mismatch the harness reports a [`Divergence`] naming the two
+//! disagreeing points; for same-config pairs it re-runs both legs with
+//! tracing enabled and localizes the first divergent trace event.
+
+use capsule_core::codec::{fnv1a64, Writer};
+use capsule_isa::program::Program;
+use capsule_isa::{decode, encode, text};
+use capsule_sim::{
+    Interp, InterpConfig, Machine, Memory, OutValue, SimError, SimOutcome, WarmMachine,
+};
+
+use crate::codegen::{build, BuildError};
+use crate::invariants::{check_cross_config, check_outcome};
+use crate::matrix::{ExecMode, Matrix, MatrixPoint};
+use crate::spec::ProgramSpec;
+
+/// Default per-run cycle budget; generated programs finish orders of
+/// magnitude earlier, so hitting it means a scheduling bug (reported as
+/// a divergence, not a silent skip).
+pub const DEFAULT_BUDGET: u64 = 20_000_000;
+
+/// Architectural result of one run: the `out`/`outf` stream (floats as
+/// raw bits, so NaN compares deterministically) and an FNV-1a hash of
+/// the final data-memory image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArchDigest {
+    /// `(tag, bits)` per output value; tag 0 = int, 1 = float.
+    pub output: Vec<(u8, u64)>,
+    /// FNV-1a 64 over the final memory image.
+    pub mem_fnv: u64,
+}
+
+impl ArchDigest {
+    fn new(output: &[OutValue], mem: &Memory) -> ArchDigest {
+        let output = output
+            .iter()
+            .map(|v| match v {
+                OutValue::Int(i) => (0, *i as u64),
+                OutValue::Float(f) => (1, f.to_bits()),
+            })
+            .collect();
+        let mut w = Writer::new();
+        mem.encode(&mut w);
+        ArchDigest { output, mem_fnv: fnv1a64(&w.into_bytes()) }
+    }
+
+    fn describe_mismatch(&self, other: &ArchDigest) -> String {
+        if self.output != other.output {
+            let idx = self
+                .output
+                .iter()
+                .zip(&other.output)
+                .position(|(a, b)| a != b)
+                .unwrap_or_else(|| self.output.len().min(other.output.len()));
+            format!(
+                "output mismatch at value {idx}: {:?} vs {:?} (lengths {} / {})",
+                self.output.get(idx),
+                other.output.get(idx),
+                self.output.len(),
+                other.output.len()
+            )
+        } else {
+            format!("memory digest mismatch: {:016x} vs {:016x}", self.mem_fnv, other.mem_fnv)
+        }
+    }
+}
+
+/// A detected disagreement between two ways of running one program.
+#[derive(Debug, Clone)]
+pub struct Divergence {
+    /// What kind of property failed (`arch`, `checkpoint`, `invariant`,
+    /// `interp`, `roundtrip`, `sim-error`, `cross-config`).
+    pub kind: String,
+    /// First disagreeing party (a matrix-point name, or `interp` /
+    /// `roundtrip`).
+    pub a: String,
+    /// Second disagreeing party.
+    pub b: String,
+    /// Human-readable description.
+    pub detail: String,
+    /// Cycle of the first differing trace event, when the two parties
+    /// share a machine config and could be trace-diffed.
+    pub first_divergent_cycle: Option<u64>,
+}
+
+/// Test-only hook: corrupts a digest after a run, simulating a
+/// simulator bug visible in architectural results. Used to
+/// mutation-test the harness and minimizer without planting a bug in
+/// the simulator itself.
+pub type FaultFn = fn(&MatrixPoint, &mut ArchDigest);
+
+/// Differential runner over one [`Matrix`].
+pub struct Harness {
+    /// Cycle budget per run.
+    pub budget: u64,
+    /// The matrix to sweep.
+    pub matrix: Matrix,
+    /// Also compare against the functional reference interpreter.
+    pub check_interp: bool,
+    /// Digest-corruption hook for mutation tests.
+    pub fault: Option<FaultFn>,
+    warm: WarmMachine,
+}
+
+impl Harness {
+    /// A harness over `matrix` with default budget.
+    pub fn new(matrix: Matrix) -> Harness {
+        Harness {
+            budget: DEFAULT_BUDGET,
+            matrix,
+            check_interp: true,
+            fault: None,
+            warm: WarmMachine::new(),
+        }
+    }
+
+    /// Builds and checks one spec. `Ok(None)` means all points agreed.
+    ///
+    /// # Errors
+    ///
+    /// [`BuildError`] when the spec itself cannot be lowered (a
+    /// generator or minimizer bug, not a simulator one).
+    pub fn run_spec(&mut self, spec: &ProgramSpec) -> Result<Option<Divergence>, BuildError> {
+        let program = build(spec)?;
+
+        if let Some(detail) = round_trip_violation(&program) {
+            return Ok(Some(Divergence {
+                kind: "roundtrip".into(),
+                a: "asm".into(),
+                b: "text/encode".into(),
+                detail,
+                first_divergent_cycle: None,
+            }));
+        }
+
+        let reference = if self.check_interp {
+            match interp_digest(&program) {
+                Ok(d) => Some(d),
+                Err(e) => {
+                    return Ok(Some(Divergence {
+                        kind: "sim-error".into(),
+                        a: "interp".into(),
+                        b: String::new(),
+                        detail: e,
+                        first_divergent_cycle: None,
+                    }))
+                }
+            }
+        } else {
+            None
+        };
+
+        let points = self.matrix.points_for(spec);
+        let mut baseline: Option<(String, ArchDigest, SimOutcome)> = None;
+        for point in &points {
+            let (digest, outcome) = match self.run_point(&program, point) {
+                Ok(r) => r,
+                Err(d) => return Ok(Some(d)),
+            };
+            let mut digest = digest;
+            if let Some(fault) = self.fault {
+                fault(point, &mut digest);
+            }
+
+            let violations = check_outcome(&point.cfg, &outcome);
+            if !violations.is_empty() {
+                return Ok(Some(Divergence {
+                    kind: "invariant".into(),
+                    a: point.name.clone(),
+                    b: String::new(),
+                    detail: violations.join("; "),
+                    first_divergent_cycle: None,
+                }));
+            }
+
+            if let Some(reference) = &reference {
+                if digest != *reference {
+                    return Ok(Some(Divergence {
+                        kind: "interp".into(),
+                        a: point.name.clone(),
+                        b: "interp".into(),
+                        detail: reference.describe_mismatch(&digest),
+                        first_divergent_cycle: None,
+                    }));
+                }
+            }
+
+            match &baseline {
+                None => baseline = Some((point.name.clone(), digest, outcome)),
+                Some((base_name, base_digest, base_outcome)) => {
+                    if digest != *base_digest {
+                        let cycle = self.localize(&program, &points, point);
+                        return Ok(Some(Divergence {
+                            kind: "arch".into(),
+                            a: base_name.clone(),
+                            b: point.name.clone(),
+                            detail: base_digest.describe_mismatch(&digest),
+                            first_divergent_cycle: cycle,
+                        }));
+                    }
+                    let cross = check_cross_config(
+                        base_name,
+                        &base_outcome.stats,
+                        &point.name,
+                        &outcome.stats,
+                    );
+                    if !cross.is_empty() {
+                        return Ok(Some(Divergence {
+                            kind: "cross-config".into(),
+                            a: base_name.clone(),
+                            b: point.name.clone(),
+                            detail: cross.join("; "),
+                            first_divergent_cycle: None,
+                        }));
+                    }
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// Runs one matrix point, returning the digest and outcome.
+    fn run_point(
+        &mut self,
+        program: &Program,
+        point: &MatrixPoint,
+    ) -> Result<(ArchDigest, SimOutcome), Divergence> {
+        let sim_err = |e: SimError| Divergence {
+            kind: "sim-error".into(),
+            a: point.name.clone(),
+            b: String::new(),
+            detail: e.to_string(),
+            first_divergent_cycle: None,
+        };
+        match point.exec {
+            ExecMode::Fresh => {
+                let mut m = Machine::new(point.cfg.clone(), program).map_err(sim_err)?;
+                let outcome = m.run(self.budget).map_err(sim_err)?;
+                Ok((ArchDigest::new(&outcome.output, m.memory()), outcome))
+            }
+            ExecMode::Warm => {
+                let m = self.warm.prepare(point.cfg.clone(), program).map_err(sim_err)?;
+                let outcome = m.run(self.budget).map_err(sim_err)?;
+                Ok((ArchDigest::new(&outcome.output, m.memory()), outcome))
+            }
+            ExecMode::NoDecodeCache => {
+                decode::set_decode_cache_enabled(false);
+                let result = (|| {
+                    let mut m = Machine::new(point.cfg.clone(), program).map_err(sim_err)?;
+                    let outcome = m.run(self.budget).map_err(sim_err)?;
+                    Ok((ArchDigest::new(&outcome.output, m.memory()), outcome))
+                })();
+                decode::set_decode_cache_enabled(true);
+                result
+            }
+            ExecMode::Checkpoint { numer, denom } => {
+                // Learn the uninterrupted run, then replay with a pause
+                // at the requested fraction, snapshot, restore into a
+                // fresh machine and finish there. The resumed run must
+                // reproduce the uninterrupted outcome exactly.
+                let mut m = Machine::new(point.cfg.clone(), program).map_err(sim_err)?;
+                let uninterrupted = m.run(self.budget).map_err(sim_err)?;
+                let pause = (uninterrupted.stats.cycles * numer as u64 / denom as u64).max(1);
+                let mut m1 = Machine::new(point.cfg.clone(), program).map_err(sim_err)?;
+                let outcome = match m1.run_until(self.budget, pause).map_err(sim_err)? {
+                    Some(outcome) => outcome, // finished before the pause
+                    None => {
+                        let blob = m1.snapshot();
+                        let mut m2 = Machine::new(point.cfg.clone(), program).map_err(sim_err)?;
+                        m2.restore_snapshot(&blob).map_err(sim_err)?;
+                        let outcome = m2.run(self.budget).map_err(sim_err)?;
+                        let digest = ArchDigest::new(&outcome.output, m2.memory());
+                        if outcome != uninterrupted {
+                            return Err(Divergence {
+                                kind: "checkpoint".into(),
+                                a: format!("{}:uninterrupted", point.name),
+                                b: point.name.clone(),
+                                detail: describe_outcome_mismatch(&uninterrupted, &outcome),
+                                first_divergent_cycle: None,
+                            });
+                        }
+                        return Ok((digest, outcome));
+                    }
+                };
+                let digest = ArchDigest::new(&outcome.output, m1.memory());
+                Ok((digest, outcome))
+            }
+        }
+    }
+
+    /// Best-effort divergence localization: when `point` shares a
+    /// machine config with another matrix point, both runs should be
+    /// cycle-identical, so the first differing trace event marks where
+    /// they part ways.
+    fn localize(
+        &mut self,
+        program: &Program,
+        points: &[MatrixPoint],
+        point: &MatrixPoint,
+    ) -> Option<u64> {
+        let peer = points
+            .iter()
+            .find(|p| p.name != point.name && p.cfg == point.cfg && p.exec == ExecMode::Fresh)?;
+        let a = self.traced_events(program, peer)?;
+        let b = self.traced_events(program, point)?;
+        let idx = a.iter().zip(&b).position(|(x, y)| x != y)?;
+        Some(a[idx].cycle.min(b[idx].cycle))
+    }
+
+    fn traced_events(
+        &mut self,
+        program: &Program,
+        point: &MatrixPoint,
+    ) -> Option<Vec<capsule_sim::TraceEvent>> {
+        const TRACE_LIMIT: usize = 1 << 16;
+        match point.exec {
+            ExecMode::Fresh | ExecMode::Warm | ExecMode::NoDecodeCache => {
+                let disable = point.exec == ExecMode::NoDecodeCache;
+                if disable {
+                    decode::set_decode_cache_enabled(false);
+                }
+                let mut m = Machine::new(point.cfg.clone(), program).ok();
+                if disable {
+                    decode::set_decode_cache_enabled(true);
+                }
+                let m = m.as_mut()?;
+                m.enable_trace(TRACE_LIMIT);
+                let outcome = m.run(self.budget).ok()?;
+                Some(outcome.trace?.events().to_vec())
+            }
+            ExecMode::Checkpoint { numer, denom } => {
+                let mut probe = Machine::new(point.cfg.clone(), program).ok()?;
+                let total = probe.run(self.budget).ok()?.stats.cycles;
+                let pause = (total * numer as u64 / denom as u64).max(1);
+                let mut m1 = Machine::new(point.cfg.clone(), program).ok()?;
+                m1.enable_trace(TRACE_LIMIT);
+                match m1.run_until(self.budget, pause).ok()? {
+                    Some(outcome) => Some(outcome.trace?.events().to_vec()),
+                    None => {
+                        let mut events =
+                            m1.trace().map(|t| t.events().to_vec()).unwrap_or_default();
+                        let blob = m1.snapshot();
+                        let mut m2 = Machine::new(point.cfg.clone(), program).ok()?;
+                        m2.restore_snapshot(&blob).ok()?;
+                        m2.enable_trace(TRACE_LIMIT);
+                        let outcome = m2.run(self.budget).ok()?;
+                        if let Some(t) = outcome.trace {
+                            events.extend(t.events().iter().cloned());
+                        }
+                        Some(events)
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn describe_outcome_mismatch(a: &SimOutcome, b: &SimOutcome) -> String {
+    if a.stats != b.stats {
+        format!("stats differ: {:?} vs {:?}", a.stats, b.stats)
+    } else if a.output != b.output {
+        "output streams differ".into()
+    } else if a.tree != b.tree {
+        "division trees differ".into()
+    } else {
+        "outcomes differ (sections/caches/memory accounting)".into()
+    }
+}
+
+/// Runs the reference interpreter and digests its results.
+fn interp_digest(program: &Program) -> Result<ArchDigest, String> {
+    let mut i = Interp::new(program, InterpConfig::default())
+        .map_err(|e| format!("interp rejected program: {e}"))?;
+    let out = i.run(50_000_000).map_err(|e| format!("interp failed: {e}"))?;
+    Ok(ArchDigest::new(&out.output, i.memory()))
+}
+
+/// Satellite property: generator output must survive both toolchain
+/// round trips. Returns a description of the first asymmetry found.
+pub fn round_trip_violation(program: &Program) -> Option<String> {
+    let src = text::disassemble(&program.text);
+    match text::parse(&src) {
+        Err(e) => return Some(format!("disassembled text failed to parse: {e}")),
+        Ok(back) if back != program.text => {
+            let idx = program.text.iter().zip(&back).position(|(a, b)| a != b);
+            return Some(format!("text round trip changed instruction {idx:?}"));
+        }
+        Ok(_) => {}
+    }
+    match encode::encode_all(&program.text) {
+        Err(e) => return Some(format!("encode failed: {e}")),
+        Ok(words) => match encode::decode_all(&words) {
+            Err(e) => return Some(format!("decode failed: {e}")),
+            Ok(back) if back != program.text => {
+                let idx = program.text.iter().zip(&back).position(|(a, b)| a != b);
+                return Some(format!("binary round trip changed instruction {idx:?}"));
+            }
+            Ok(_) => {}
+        },
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{generate, GenParams};
+
+    #[test]
+    fn reduced_matrix_agrees_on_seeded_programs() {
+        let mut h = Harness::new(Matrix::Reduced);
+        for seed in 0..6 {
+            let spec = generate(seed, GenParams::default());
+            let d = h.run_spec(&spec).unwrap();
+            assert!(d.is_none(), "seed {seed} diverged: {d:?}");
+        }
+    }
+
+    #[test]
+    fn round_trip_holds_for_generated_programs() {
+        for seed in 0..40 {
+            let spec = generate(seed, GenParams::default());
+            let p = crate::codegen::build(&spec).unwrap();
+            assert_eq!(round_trip_violation(&p), None, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn injected_fault_is_detected() {
+        let mut h = Harness::new(Matrix::Reduced);
+        h.fault = Some(|point, digest| {
+            if point.name.contains("somt-greedy") {
+                digest.mem_fnv ^= 1;
+            }
+        });
+        let spec = generate(1, GenParams::default());
+        let d = h.run_spec(&spec).unwrap().expect("fault must surface as divergence");
+        // The interp reference is checked before the cross-point
+        // baseline, so a corrupted digest surfaces there first.
+        assert!(d.kind == "interp" || d.kind == "arch", "{d:?}");
+        assert!(d.a.contains("somt-greedy") || d.b.contains("somt-greedy"), "{d:?}");
+    }
+}

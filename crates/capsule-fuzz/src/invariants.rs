@@ -1,0 +1,241 @@
+//! Reusable [`SimStats`] / [`SimOutcome`] invariant checks.
+//!
+//! Two layers of checking, shared by the fuzz harness and unit tests:
+//!
+//! * [`check_outcome`] — internal consistency of one run against its
+//!   machine configuration (pipeline counter ordering, division
+//!   accounting, genealogy/stat agreement);
+//! * [`check_cross_config`] — what must agree between two runs of the
+//!   *same program* on *different* machines (division bookkeeping is
+//!   policy-dependent, architectural results are not; committed counts
+//!   only have a config-independent floor).
+//!
+//! Every violation is reported as a human-readable string so harness
+//! artifacts and test failures read the same.
+
+use capsule_core::config::{DivisionMode, MachineConfig};
+use capsule_core::stats::SimStats;
+use capsule_sim::SimOutcome;
+
+fn ensure(violations: &mut Vec<String>, ok: bool, msg: impl FnOnce() -> String) {
+    if !ok {
+        violations.push(msg());
+    }
+}
+
+/// Checks one outcome against the machine that produced it. Returns all
+/// violations found (empty = consistent).
+pub fn check_outcome(cfg: &MachineConfig, outcome: &SimOutcome) -> Vec<String> {
+    let s = &outcome.stats;
+    let mut v = Vec::new();
+
+    // Pipeline ordering: nothing retires without being dispatched, and
+    // nothing is dispatched without being fetched.
+    ensure(&mut v, s.committed <= s.dispatched, || {
+        format!("committed {} > dispatched {}", s.committed, s.dispatched)
+    });
+    ensure(&mut v, s.dispatched <= s.fetched, || {
+        format!("dispatched {} > fetched {}", s.dispatched, s.fetched)
+    });
+    ensure(&mut v, s.branch_mispredicts <= s.branches, || {
+        format!("mispredicts {} > branches {}", s.branch_mispredicts, s.branches)
+    });
+    ensure(&mut v, s.committed > 0, || "halted run committed nothing".into());
+
+    // Division accounting: every request is granted or denied, exactly
+    // once, and denial reasons match the configured policy.
+    let denied =
+        s.divisions_denied_no_resource + s.divisions_denied_throttled + s.divisions_denied_disabled;
+    ensure(&mut v, s.divisions_granted() + denied == s.divisions_requested, || {
+        format!(
+            "division requests {} != granted {} + denied {}",
+            s.divisions_requested,
+            s.divisions_granted(),
+            denied
+        )
+    });
+    match cfg.division_mode {
+        DivisionMode::Never => {
+            ensure(&mut v, s.divisions_granted() == 0, || {
+                format!("division disabled but {} grants", s.divisions_granted())
+            });
+            ensure(
+                &mut v,
+                s.divisions_denied_no_resource == 0 && s.divisions_denied_throttled == 0,
+                || "division disabled but saw resource/throttle denials".into(),
+            );
+        }
+        DivisionMode::Greedy => {
+            ensure(&mut v, s.divisions_denied_throttled == 0, || {
+                format!("greedy policy but {} throttle denials", s.divisions_denied_throttled)
+            });
+            ensure(&mut v, s.divisions_denied_disabled == 0, || {
+                "division enabled but saw disabled denials".into()
+            });
+        }
+        DivisionMode::GreedyThrottled => {
+            ensure(&mut v, s.divisions_denied_disabled == 0, || {
+                "division enabled but saw disabled denials".into()
+            });
+        }
+    }
+    if !cfg.allow_divide_to_stack {
+        ensure(&mut v, s.divisions_granted_stack == 0, || {
+            format!("divide-to-stack disabled but {} stack grants", s.divisions_granted_stack)
+        });
+    }
+
+    // Swap and occupancy bounds. A thread can only be swapped in after
+    // being swapped out — or after being *born* on the context stack.
+    ensure(&mut v, s.swaps_in <= s.swaps_out + s.divisions_granted_stack, || {
+        format!(
+            "swaps_in {} > swaps_out {} + stack births {}",
+            s.swaps_in, s.swaps_out, s.divisions_granted_stack
+        )
+    });
+    ensure(&mut v, s.active_context_cycles <= s.cycles.saturating_mul(cfg.contexts as u64), || {
+        format!(
+            "active_context_cycles {} > cycles {} x contexts {}",
+            s.active_context_cycles, s.cycles, cfg.contexts
+        )
+    });
+    let capacity = (cfg.contexts + cfg.context_stack_entries) as u64;
+    ensure(&mut v, s.max_live_workers <= capacity, || {
+        format!("max_live_workers {} > contexts+stack {capacity}", s.max_live_workers)
+    });
+    ensure(&mut v, s.lock_stalls > 0 || s.lock_stall_cycles == 0, || {
+        format!("{} lock-stall cycles without any lock stall", s.lock_stall_cycles)
+    });
+
+    // Genealogy must agree with the counters: every grant is a birth
+    // (plus the loader-created roots), every committed kthr a death.
+    let tree = &outcome.tree;
+    let roots = tree.nodes().iter().filter(|n| n.parent.is_none()).count() as u64;
+    let born = tree.len() as u64 - roots;
+    ensure(&mut v, born == s.divisions_granted(), || {
+        format!("tree has {born} non-root births, stats granted {}", s.divisions_granted())
+    });
+    let dead = tree.nodes().iter().filter(|n| n.death_cycle.is_some()).count() as u64;
+    ensure(&mut v, dead == s.deaths, || {
+        format!("tree has {dead} deaths, stats counted {}", s.deaths)
+    });
+    for n in tree.nodes() {
+        if let Some(p) = n.parent {
+            let parent = &tree.nodes()[p.index()];
+            ensure(&mut v, parent.birth_cycle <= n.birth_cycle, || {
+                format!("worker {:?} born at {} before parent at {}", n.id, n.birth_cycle, {
+                    parent.birth_cycle
+                })
+            });
+        }
+        if let Some(d) = n.death_cycle {
+            ensure(&mut v, n.birth_cycle <= d && d <= s.cycles, || {
+                format!("worker {:?} death cycle {d} outside [{}, {}]", n.id, n.birth_cycle, {
+                    s.cycles
+                })
+            });
+        }
+    }
+    ensure(&mut v, (s.max_live_workers as usize) <= tree.len().max(1), || {
+        format!("max_live_workers {} exceeds workers ever born {}", s.max_live_workers, tree.len())
+    });
+
+    v
+}
+
+/// Checks what two runs of the same program on different machines must
+/// agree on. `floor_committed` is the committed-instruction count of a
+/// division-free run (superscalar); machines that divide retire at least
+/// as much (division duplicates no useful work but denied probes rerun
+/// ranges undivided, never less).
+pub fn check_cross_config(label_a: &str, a: &SimStats, label_b: &str, b: &SimStats) -> Vec<String> {
+    let mut v = Vec::new();
+    // Neither machine may observe more division requests than the other
+    // executes nthr instructions... requests are per committed nthr, so
+    // a division-free program must agree exactly.
+    if a.divisions_requested == 0 && b.divisions_requested == 0 {
+        ensure(&mut v, a.committed == b.committed, || {
+            format!(
+                "division-free program retired {} on {label_a} but {} on {label_b}",
+                a.committed, b.committed
+            )
+        });
+    }
+    ensure(&mut v, (a.committed > 0) == (b.committed > 0), || {
+        format!("one of {label_a}/{label_b} retired nothing")
+    });
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codegen::build;
+    use crate::spec::{generate, GenParams, Version};
+    use capsule_sim::Machine;
+
+    fn run(cfg: MachineConfig, spec_seed: u64) -> (MachineConfig, SimOutcome) {
+        let spec = generate(spec_seed, GenParams::default());
+        let p = build(&spec).unwrap();
+        let mut m = Machine::new(cfg.clone(), &p).unwrap();
+        (cfg, m.run(200_000_000).unwrap())
+    }
+
+    #[test]
+    fn presets_satisfy_outcome_invariants() {
+        for seed in [2, 5, 11] {
+            let spec = generate(seed, GenParams::default());
+            let somt = run(MachineConfig::table1_somt(), seed);
+            assert_eq!(check_outcome(&somt.0, &somt.1), Vec::<String>::new(), "somt seed {seed}");
+            let smt = run(MachineConfig::table1_smt(), seed);
+            assert_eq!(check_outcome(&smt.0, &smt.1), Vec::<String>::new(), "smt seed {seed}");
+            if spec.version.threads() == 1 {
+                let ss = run(MachineConfig::table1_superscalar(), seed);
+                assert_eq!(check_outcome(&ss.0, &ss.1), Vec::<String>::new(), "ss seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn division_free_programs_retire_identically_across_machines() {
+        // Sequential programs run the same instruction stream under every
+        // machine; retired-instruction counts must agree exactly.
+        let mut checked = 0;
+        for seed in 0..40 {
+            let spec = generate(seed, GenParams::default());
+            if spec.version != Version::Sequential {
+                continue;
+            }
+            let ss = run(MachineConfig::table1_superscalar(), seed);
+            let smt = run(MachineConfig::table1_smt(), seed);
+            let somt = run(MachineConfig::table1_somt(), seed);
+            assert_eq!(
+                check_cross_config("superscalar", &ss.1.stats, "smt", &smt.1.stats),
+                Vec::<String>::new(),
+                "seed {seed}"
+            );
+            assert_eq!(
+                check_cross_config("smt", &smt.1.stats, "somt", &somt.1.stats),
+                Vec::<String>::new(),
+                "seed {seed}"
+            );
+            checked += 1;
+        }
+        assert!(checked >= 3, "generator produced too few sequential programs");
+    }
+
+    #[test]
+    fn violations_are_reported() {
+        let (cfg, mut outcome) = run(MachineConfig::table1_somt(), 2);
+        outcome.stats.dispatched = outcome.stats.committed.saturating_sub(1);
+        let v = check_outcome(&cfg, &outcome);
+        assert!(v.iter().any(|m| m.contains("committed")), "got {v:?}");
+
+        let mut a = SimStats::new();
+        a.committed = 10;
+        let mut b = SimStats::new();
+        b.committed = 12;
+        let v = check_cross_config("a", &a, "b", &b);
+        assert!(v.iter().any(|m| m.contains("retired")), "got {v:?}");
+    }
+}

@@ -1,0 +1,190 @@
+//! The differential config matrix.
+//!
+//! A [`MatrixPoint`] is one way to run a program: a machine
+//! configuration (superscalar / SMT / SOMT presets with division-policy
+//! variations) crossed with an execution mode (fresh machine, warmed
+//! [`capsule_sim::WarmMachine`] reuse, checkpoint/restore at a cycle
+//! boundary, decode cache disabled). All points of a matrix must agree
+//! on architectural results for every generated program.
+
+use capsule_core::config::{DivisionMode, MachineConfig};
+
+use crate::spec::{ProgramSpec, Version};
+
+/// How a matrix point executes the program, beyond its machine config.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// A fresh [`capsule_sim::Machine`] per run.
+    Fresh,
+    /// Reuse a warmed machine via `Machine::reset`.
+    Warm,
+    /// Pause at `numer/denom` of the baseline run's cycles, snapshot,
+    /// restore into a fresh machine, and finish there.
+    Checkpoint {
+        /// Fraction numerator.
+        numer: u32,
+        /// Fraction denominator.
+        denom: u32,
+    },
+    /// Run fresh with the global decode cache disabled.
+    NoDecodeCache,
+}
+
+impl ExecMode {
+    /// Short name used in point labels.
+    pub fn name(self) -> String {
+        match self {
+            ExecMode::Fresh => "fresh".into(),
+            ExecMode::Warm => "warm".into(),
+            ExecMode::Checkpoint { numer, denom } => format!("ckpt{numer}of{denom}"),
+            ExecMode::NoDecodeCache => "nodecode".into(),
+        }
+    }
+}
+
+/// One run configuration of the differential matrix.
+#[derive(Debug, Clone)]
+pub struct MatrixPoint {
+    /// Unique label, e.g. `somt-throttled+ckpt1of2`.
+    pub name: String,
+    /// Machine configuration.
+    pub cfg: MachineConfig,
+    /// Execution mode.
+    pub exec: ExecMode,
+}
+
+impl MatrixPoint {
+    fn new(base: &str, cfg: MachineConfig, exec: ExecMode) -> Self {
+        MatrixPoint { name: format!("{base}+{}", exec.name()), cfg, exec }
+    }
+}
+
+fn somt(mode: DivisionMode) -> MachineConfig {
+    MachineConfig { division_mode: mode, ..MachineConfig::table1_somt() }
+}
+
+/// Which matrix to sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Matrix {
+    /// CI-sized: the three presets plus one checkpoint, warm and
+    /// decode-cache leg.
+    Reduced,
+    /// Everything: division-policy variants, divide-to-stack off, both
+    /// checkpoint fractions, per-config warm legs.
+    Full,
+}
+
+impl Matrix {
+    /// Parses `reduced` / `full`.
+    pub fn parse(s: &str) -> Option<Matrix> {
+        match s {
+            "reduced" => Some(Matrix::Reduced),
+            "full" => Some(Matrix::Full),
+            _ => None,
+        }
+    }
+
+    /// Name for artifacts.
+    pub fn name(self) -> &'static str {
+        match self {
+            Matrix::Reduced => "reduced",
+            Matrix::Full => "full",
+        }
+    }
+
+    /// The points of this matrix.
+    pub fn points(self) -> Vec<MatrixPoint> {
+        let ss = MachineConfig::table1_superscalar;
+        let smt = MachineConfig::table1_smt;
+        let mut pts = vec![
+            MatrixPoint::new("superscalar", ss(), ExecMode::Fresh),
+            MatrixPoint::new("smt", smt(), ExecMode::Fresh),
+            MatrixPoint::new("somt-throttled", somt(DivisionMode::GreedyThrottled), {
+                ExecMode::Fresh
+            }),
+            MatrixPoint::new("somt-greedy", somt(DivisionMode::Greedy), ExecMode::Fresh),
+            MatrixPoint::new("somt-throttled", somt(DivisionMode::GreedyThrottled), {
+                ExecMode::Checkpoint { numer: 1, denom: 2 }
+            }),
+            MatrixPoint::new("somt-throttled", somt(DivisionMode::GreedyThrottled), {
+                ExecMode::Warm
+            }),
+            MatrixPoint::new("smt", smt(), ExecMode::NoDecodeCache),
+        ];
+        if self == Matrix::Full {
+            let nostack = MachineConfig {
+                allow_divide_to_stack: false,
+                ..somt(DivisionMode::GreedyThrottled)
+            };
+            let impatient =
+                MachineConfig { death_window: 16, ..somt(DivisionMode::GreedyThrottled) };
+            pts.extend([
+                MatrixPoint::new("somt-nostack", nostack, ExecMode::Fresh),
+                MatrixPoint::new("somt-window16", impatient, ExecMode::Fresh),
+                MatrixPoint::new("somt-greedy", somt(DivisionMode::Greedy), ExecMode::Warm),
+                MatrixPoint::new("somt-greedy", somt(DivisionMode::Greedy), {
+                    ExecMode::Checkpoint { numer: 1, denom: 3 }
+                }),
+                MatrixPoint::new("somt-throttled", somt(DivisionMode::GreedyThrottled), {
+                    ExecMode::Checkpoint { numer: 2, denom: 3 }
+                }),
+                MatrixPoint::new("somt-throttled", somt(DivisionMode::GreedyThrottled), {
+                    ExecMode::NoDecodeCache
+                }),
+                MatrixPoint::new("smt", smt(), ExecMode::Checkpoint { numer: 1, denom: 2 }),
+                MatrixPoint::new("superscalar", ss(), ExecMode::Warm),
+            ]);
+        }
+        pts
+    }
+
+    /// Matrix points applicable to `spec` (a static version with `n`
+    /// loader threads cannot boot on machines with fewer contexts).
+    pub fn points_for(self, spec: &ProgramSpec) -> Vec<MatrixPoint> {
+        let threads = match spec.version {
+            Version::Static(n) => n as usize,
+            _ => 1,
+        };
+        self.points().into_iter().filter(|p| p.cfg.contexts >= threads).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{generate, GenParams};
+
+    #[test]
+    fn matrices_have_unique_names_and_valid_configs() {
+        for m in [Matrix::Reduced, Matrix::Full] {
+            let pts = m.points();
+            for p in &pts {
+                p.cfg.validate().unwrap();
+            }
+            let mut names: Vec<&str> = pts.iter().map(|p| p.name.as_str()).collect();
+            names.sort_unstable();
+            let before = names.len();
+            names.dedup();
+            assert_eq!(before, names.len(), "duplicate point names in {m:?}");
+        }
+        assert!(Matrix::Full.points().len() > Matrix::Reduced.points().len());
+    }
+
+    #[test]
+    fn static_specs_skip_single_context_machines() {
+        let mut spec = generate(0, GenParams::default());
+        spec.version = Version::Static(4);
+        spec.ntasks = spec.ntasks.max(4);
+        let pts = Matrix::Reduced.points_for(&spec);
+        assert!(pts.iter().all(|p| p.cfg.contexts >= 4));
+        assert!(pts.len() < Matrix::Reduced.points().len());
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        assert_eq!(Matrix::parse("reduced"), Some(Matrix::Reduced));
+        assert_eq!(Matrix::parse("full"), Some(Matrix::Full));
+        assert_eq!(Matrix::parse("bogus"), None);
+        assert_eq!(Matrix::parse(Matrix::Full.name()), Some(Matrix::Full));
+    }
+}

@@ -1,0 +1,288 @@
+//! Spec-level delta debugging.
+//!
+//! Minimization works over the structured [`ProgramSpec`] AST, never
+//! over raw instruction bytes — every candidate is lowered by the same
+//! well-formed-by-construction codegen, so shrinking cannot introduce
+//! traps or unbounded loops that would confuse the triage of a real
+//! divergence.
+//!
+//! [`minimize`] takes a predicate ("does this spec still reproduce the
+//! interesting behaviour?") and greedily applies shrinking passes to a
+//! fixpoint: drop the program version down to sequential, shrink the
+//! task count, clear feature flags, shrink region sizes, and
+//! delta-reduce the body op tree (chunk removal, loop/if flattening,
+//! trip-count reduction, recursive shrinking of nested bodies).
+
+use crate::spec::{Op, ProgramSpec, Version};
+
+/// Counters reported by a minimization run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MinimizeStats {
+    /// Candidate specs tested.
+    pub attempts: u64,
+    /// Candidates accepted (still reproducing).
+    pub accepted: u64,
+}
+
+/// Shrinks `spec` while `still_fails` keeps returning `true` for the
+/// shrunk candidate. The input spec itself is assumed to fail; the
+/// result is a local minimum (no single pass can shrink it further).
+pub fn minimize(
+    spec: &ProgramSpec,
+    still_fails: &mut dyn FnMut(&ProgramSpec) -> bool,
+) -> (ProgramSpec, MinimizeStats) {
+    let mut stats = MinimizeStats::default();
+    let mut best = spec.clone();
+    let mut check = |cand: &ProgramSpec, stats: &mut MinimizeStats| -> bool {
+        stats.attempts += 1;
+        let ok = still_fails(cand);
+        if ok {
+            stats.accepted += 1;
+        }
+        ok
+    };
+
+    loop {
+        let mut changed = false;
+
+        // Program version: sequential is the simplest to triage.
+        if best.version != Version::Sequential {
+            let mut c = best.clone();
+            c.version = Version::Sequential;
+            if check(&c, &mut stats) {
+                best = c;
+                changed = true;
+            }
+        }
+
+        // Task count: jump to 1, then binary, then linear.
+        while best.ntasks > min_tasks(&best) {
+            let floor = min_tasks(&best);
+            let mut accepted = false;
+            for cand in [floor, best.ntasks / 2, best.ntasks - 1] {
+                if cand >= floor && cand < best.ntasks {
+                    let mut c = best.clone();
+                    c.ntasks = cand;
+                    if check(&c, &mut stats) {
+                        best = c;
+                        accepted = true;
+                        changed = true;
+                        break;
+                    }
+                }
+            }
+            if !accepted {
+                break;
+            }
+        }
+
+        // Feature flags and region sizes.
+        for field in [clear_fp, clear_marks, clear_locks] {
+            let mut c = best.clone();
+            if field(&mut c) && check(&c, &mut stats) {
+                best = c;
+                changed = true;
+            }
+        }
+        for field in [shrink_grain, shrink_inputs, shrink_outputs, shrink_scratch] {
+            let mut c = best.clone();
+            if field(&mut c) && check(&c, &mut stats) {
+                best = c;
+                changed = true;
+            }
+        }
+
+        // Body tree: accept the first single-step shrink that still
+        // fails, then rescan from the top.
+        let mut shrunk_body = true;
+        while shrunk_body {
+            shrunk_body = false;
+            for cand_body in shrink_ops(&best.body) {
+                let mut c = best.clone();
+                c.body = cand_body;
+                if check(&c, &mut stats) {
+                    best = c;
+                    shrunk_body = true;
+                    changed = true;
+                    break;
+                }
+            }
+        }
+
+        if !changed {
+            return (best, stats);
+        }
+    }
+}
+
+fn min_tasks(spec: &ProgramSpec) -> u32 {
+    match spec.version {
+        Version::Static(n) => (n as u32).max(1),
+        _ => 1,
+    }
+}
+
+fn clear_fp(s: &mut ProgramSpec) -> bool {
+    std::mem::replace(&mut s.fp, false)
+}
+fn clear_marks(s: &mut ProgramSpec) -> bool {
+    std::mem::replace(&mut s.marks, false)
+}
+fn clear_locks(s: &mut ProgramSpec) -> bool {
+    std::mem::replace(&mut s.use_locks, false)
+}
+fn shrink_grain(s: &mut ProgramSpec) -> bool {
+    shrink_dim(&mut s.grain)
+}
+fn shrink_inputs(s: &mut ProgramSpec) -> bool {
+    shrink_dim(&mut s.inputs_per_task)
+}
+fn shrink_outputs(s: &mut ProgramSpec) -> bool {
+    shrink_dim(&mut s.outputs_per_task)
+}
+fn shrink_scratch(s: &mut ProgramSpec) -> bool {
+    shrink_dim(&mut s.scratch_per_task)
+}
+fn shrink_dim(v: &mut u32) -> bool {
+    if *v > 1 {
+        *v = 1;
+        true
+    } else {
+        false
+    }
+}
+
+/// All single-step shrinks of an op list, largest removals first.
+fn shrink_ops(ops: &[Op]) -> Vec<Vec<Op>> {
+    let mut out = Vec::new();
+    let n = ops.len();
+
+    // Chunk removals: whole list, halves, quarters, ... singles.
+    let mut size = n;
+    while size >= 1 {
+        let mut start = 0;
+        while start + size <= n {
+            let mut c = ops.to_vec();
+            c.drain(start..start + size);
+            out.push(c);
+            start += size;
+        }
+        if size == 1 {
+            break;
+        }
+        size /= 2;
+    }
+
+    // Structural simplifications, one site at a time.
+    for (i, op) in ops.iter().enumerate() {
+        match op {
+            Op::Loop { count, body } => {
+                let mut c = ops.to_vec();
+                c.splice(i..=i, body.iter().cloned());
+                out.push(c);
+                if *count > 1 {
+                    let mut c = ops.to_vec();
+                    c[i] = Op::Loop { count: 1, body: body.clone() };
+                    out.push(c);
+                }
+                for sb in shrink_ops(body) {
+                    let mut c = ops.to_vec();
+                    c[i] = Op::Loop { count: *count, body: sb };
+                    out.push(c);
+                }
+            }
+            Op::If { cond, a, b, then_ops, else_ops } => {
+                for branch in [then_ops, else_ops] {
+                    let mut c = ops.to_vec();
+                    c.splice(i..=i, branch.iter().cloned());
+                    out.push(c);
+                }
+                for sb in shrink_ops(then_ops) {
+                    let mut c = ops.to_vec();
+                    c[i] = Op::If {
+                        cond: *cond,
+                        a: *a,
+                        b: *b,
+                        then_ops: sb,
+                        else_ops: else_ops.clone(),
+                    };
+                    out.push(c);
+                }
+                for sb in shrink_ops(else_ops) {
+                    let mut c = ops.to_vec();
+                    c[i] = Op::If {
+                        cond: *cond,
+                        a: *a,
+                        b: *b,
+                        then_ops: then_ops.clone(),
+                        else_ops: sb,
+                    };
+                    out.push(c);
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{generate, GenParams};
+    use capsule_isa::instr::AluOp;
+
+    fn contains_mul(ops: &[Op]) -> bool {
+        ops.iter().any(|op| match op {
+            Op::Alu { op: AluOp::Mul, .. } | Op::AluI { op: AluOp::Mul, .. } => true,
+            Op::Loop { body, .. } => contains_mul(body),
+            Op::If { then_ops, else_ops, .. } => contains_mul(then_ops) || contains_mul(else_ops),
+            _ => false,
+        })
+    }
+
+    #[test]
+    fn minimizer_isolates_the_interesting_op() {
+        // Find a generated spec whose body contains a multiply, then
+        // minimize with "still contains a multiply" as the oracle.
+        let spec = (0..200)
+            .map(|s| generate(s, GenParams::default()))
+            .find(|s| contains_mul(&s.body) && s.body_weight() > 3)
+            .expect("some seed must generate a multiply");
+        let (min, stats) = minimize(&spec, &mut |c| contains_mul(&c.body));
+        assert!(contains_mul(&min.body), "shrink lost the property");
+        assert_eq!(min.version, Version::Sequential);
+        assert_eq!(min.ntasks, 1);
+        assert_eq!(
+            (min.inputs_per_task, min.outputs_per_task, min.scratch_per_task, min.grain),
+            (1, 1, 1, 1)
+        );
+        assert!(!min.fp && !min.marks && !min.use_locks);
+        assert_eq!(min.body_weight(), 1, "exactly the multiply should remain: {:?}", min.body);
+        assert!(stats.accepted > 0 && stats.attempts >= stats.accepted);
+    }
+
+    #[test]
+    fn minimum_is_stable() {
+        let spec = generate(3, GenParams::default());
+        let (min, _) = minimize(&spec, &mut |_| true);
+        // An always-failing oracle shrinks to the absolute floor.
+        assert_eq!(min.body_weight(), 0);
+        assert_eq!(min.ntasks, 1);
+        let (again, stats) = minimize(&min, &mut |_| true);
+        assert_eq!(again, min);
+        assert_eq!(stats.accepted, 0, "re-minimizing a minimum must accept nothing");
+    }
+
+    #[test]
+    fn static_floor_respects_thread_count() {
+        let mut spec = generate(11, GenParams::default());
+        spec.version = Version::Static(3);
+        spec.ntasks = spec.ntasks.max(3);
+        // Oracle rejects sequential, so the version must stay static and
+        // ntasks must stop at the thread count.
+        let (min, _) = minimize(&spec, &mut |c| c.version == Version::Static(3));
+        assert_eq!(min.version, Version::Static(3));
+        assert_eq!(min.ntasks, 3);
+    }
+}

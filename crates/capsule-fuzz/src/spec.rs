@@ -1,0 +1,617 @@
+//! Structured program specs and the seeded generator.
+//!
+//! A [`ProgramSpec`] is a small AST describing a *component-contract*
+//! CAP64 program: `ntasks` independent tasks, each reading only its own
+//! slice of a read-only input region and writing only its own slice of
+//! the output (and scratch) regions, joined through a lock-protected
+//! countdown, with exactly one worker — the one that drives the counter
+//! to zero — emitting the results in task order and halting.
+//!
+//! Programs are *well formed by construction*:
+//!
+//! * all control flow is structured (bounded counted loops, forward
+//!   if/else, one backward task/split loop with a strictly decreasing
+//!   measure), so every program terminates;
+//! * all memory accesses land inside regions the spec sizes, and every
+//!   task touches only task-owned slices, so no run can trap and the
+//!   final memory image is schedule-independent;
+//! * every ALU op is total in CAP64 (division by zero yields −1,
+//!   shifts mask their amount), so arbitrary op sequences are safe.
+//!
+//! The same spec lowers to the paper's three program versions
+//! (sequential, statically parallelized, componentized with `nthr`),
+//! which lets the differential harness compare architectural results
+//! across machine configurations *and* across versions.
+
+use capsule_core::output::Json;
+use capsule_core::rng::{Rng, SplitMix64};
+use capsule_isa::instr::{AluOp, BrCond, FAluOp, FCmpOp};
+
+/// Number of virtual integer value registers a task body may use.
+pub const VBANK: u8 = 6;
+/// Number of virtual FP value registers a task body may use.
+pub const FBANK: u8 = 4;
+/// Maximum loop-nesting depth the generator emits.
+pub const MAX_LOOP_DEPTH: u8 = 2;
+
+/// Which of the paper's program versions the spec lowers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Version {
+    /// One worker runs every task.
+    Sequential,
+    /// `n` loader threads each run a static slice of the tasks.
+    Static(u8),
+    /// One ancestor worker splits the task range via `nthr`.
+    Component,
+}
+
+impl Version {
+    /// Short name used in artifacts and labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            Version::Sequential => "seq",
+            Version::Static(_) => "static",
+            Version::Component => "component",
+        }
+    }
+
+    /// Loader threads this version boots with.
+    pub fn threads(self) -> usize {
+        match self {
+            Version::Static(n) => n as usize,
+            _ => 1,
+        }
+    }
+}
+
+/// One operation of a task body over the virtual register banks.
+///
+/// Integer operands are indices into the `v0..v5` bank, FP operands
+/// into `f0..f3`; lowering reduces them modulo the bank size, so any
+/// byte is a valid operand. Memory operands name input words and
+/// scratch slots of the *current task* only.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// `v[dst] = v[a] <op> v[b]`.
+    Alu {
+        /// Operation.
+        op: AluOp,
+        /// Destination bank index.
+        dst: u8,
+        /// Left operand bank index.
+        a: u8,
+        /// Right operand bank index.
+        b: u8,
+    },
+    /// `v[dst] = v[a] <op> imm`.
+    AluI {
+        /// Operation.
+        op: AluOp,
+        /// Destination bank index.
+        dst: u8,
+        /// Operand bank index.
+        a: u8,
+        /// Immediate.
+        imm: i64,
+    },
+    /// `v[dst] = input[task][idx]` (read-only region).
+    LoadInput {
+        /// Destination bank index.
+        dst: u8,
+        /// Input word index (mod `inputs_per_task`).
+        idx: u8,
+    },
+    /// `v[dst] = scratch[task][slot]`.
+    LoadScratch {
+        /// Destination bank index.
+        dst: u8,
+        /// Scratch slot (mod `scratch_per_task`).
+        slot: u8,
+    },
+    /// `scratch[task][slot] = v[src]`.
+    Store {
+        /// Source bank index.
+        src: u8,
+        /// Scratch slot (mod `scratch_per_task`).
+        slot: u8,
+    },
+    /// `scratch[task][slot].byte[byte] = low8(v[src])` (`stb`).
+    StoreByte {
+        /// Source bank index.
+        src: u8,
+        /// Scratch slot (mod `scratch_per_task`).
+        slot: u8,
+        /// Byte offset inside the slot (mod 8).
+        byte: u8,
+    },
+    /// `v[dst] = zext(scratch[task][slot].byte[byte])` (`ldb`).
+    LoadByte {
+        /// Destination bank index.
+        dst: u8,
+        /// Scratch slot (mod `scratch_per_task`).
+        slot: u8,
+        /// Byte offset inside the slot (mod 8).
+        byte: u8,
+    },
+    /// `f[dst] = f[a] <op> f[b]`.
+    FAlu {
+        /// Operation.
+        op: FAluOp,
+        /// Destination FP bank index.
+        dst: u8,
+        /// Left operand FP bank index.
+        a: u8,
+        /// Right operand FP bank index.
+        b: u8,
+    },
+    /// `v[dst] = f[a] <op> f[b]` (FP comparison into the int bank).
+    FCmp {
+        /// Comparison.
+        op: FCmpOp,
+        /// Destination bank index (integer).
+        dst: u8,
+        /// Left operand FP bank index.
+        a: u8,
+        /// Right operand FP bank index.
+        b: u8,
+    },
+    /// `f[dst] = (f64) v[a]`.
+    CvtIF {
+        /// Destination FP bank index.
+        dst: u8,
+        /// Source bank index (integer).
+        a: u8,
+    },
+    /// `v[dst] = (i64) f[a]`.
+    CvtFI {
+        /// Destination bank index (integer).
+        dst: u8,
+        /// Source FP bank index.
+        a: u8,
+    },
+    /// A counted loop with a bounded trip count.
+    Loop {
+        /// Trip count (1..=8).
+        count: u8,
+        /// Loop body.
+        body: Vec<Op>,
+    },
+    /// Structured forward if/else on two bank registers.
+    If {
+        /// Branch condition.
+        cond: BrCond,
+        /// Left operand bank index.
+        a: u8,
+        /// Right operand bank index.
+        b: u8,
+        /// Taken when the condition holds.
+        then_ops: Vec<Op>,
+        /// Taken otherwise.
+        else_ops: Vec<Op>,
+    },
+}
+
+impl Op {
+    /// Number of ops in this subtree (itself included).
+    pub fn weight(&self) -> usize {
+        match self {
+            Op::Loop { body, .. } => 1 + body.iter().map(Op::weight).sum::<usize>(),
+            Op::If { then_ops, else_ops, .. } => {
+                1 + then_ops.iter().map(Op::weight).sum::<usize>()
+                    + else_ops.iter().map(Op::weight).sum::<usize>()
+            }
+            _ => 1,
+        }
+    }
+}
+
+/// A complete generated-program description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgramSpec {
+    /// Seed this spec was generated from (provenance only).
+    pub seed: u64,
+    /// Program version to lower to.
+    pub version: Version,
+    /// Number of independent tasks (≥ 1).
+    pub ntasks: u32,
+    /// Below this task-range span a component worker stops dividing.
+    pub grain: u32,
+    /// Read-only input words per task (≥ 1).
+    pub inputs_per_task: u32,
+    /// Result words per task (≥ 1).
+    pub outputs_per_task: u32,
+    /// Private scratch words per task (≥ 1).
+    pub scratch_per_task: u32,
+    /// Task body.
+    pub body: Vec<Op>,
+    /// Protect the join counter with `mlock`/`munlock`.
+    pub use_locks: bool,
+    /// Wrap each task in `mark.start`/`mark.end`.
+    pub marks: bool,
+    /// Seed the FP bank and fold it into the results.
+    pub fp: bool,
+}
+
+impl ProgramSpec {
+    /// Total ops in the task body (tree weight).
+    pub fn body_weight(&self) -> usize {
+        self.body.iter().map(Op::weight).sum()
+    }
+
+    /// True when more than one worker can ever run tasks.
+    pub fn parallel(&self) -> bool {
+        !matches!(self.version, Version::Sequential)
+    }
+}
+
+/// Tunables of the generator.
+#[derive(Debug, Clone, Copy)]
+pub struct GenParams {
+    /// Maximum tasks per program.
+    pub max_tasks: u32,
+    /// Maximum top-level ops in a task body.
+    pub max_body_ops: usize,
+}
+
+impl Default for GenParams {
+    fn default() -> Self {
+        GenParams { max_tasks: 24, max_body_ops: 10 }
+    }
+}
+
+/// Generates a well-formed spec from `seed`.
+///
+/// The same seed always yields the same spec; the program index of a
+/// sweep should be folded into the seed by the caller.
+pub fn generate(seed: u64, params: GenParams) -> ProgramSpec {
+    let mut rng = SplitMix64::new(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0xca95);
+    let version = match rng.u64_below(4) {
+        0 => Version::Sequential,
+        1 => Version::Static(2 + rng.u64_below(3) as u8),
+        _ => Version::Component,
+    };
+    // Static slices must all be non-empty so exactly one worker drives
+    // the join counter to zero (see codegen): keep ntasks ≥ threads.
+    let floor = version.threads() as u32;
+    let ntasks = floor.max(1 + rng.u64_below(params.max_tasks as u64) as u32);
+    let grain = 1 + rng.u64_below(4) as u32;
+    let inputs_per_task = 1 + rng.u64_below(4) as u32;
+    let outputs_per_task = 1 + rng.u64_below(3) as u32;
+    let scratch_per_task = 1 + rng.u64_below(4) as u32;
+    let fp = rng.u64_below(3) == 0;
+    let nops = 1 + rng.u64_below(params.max_body_ops as u64) as usize;
+    let mut body = Vec::with_capacity(nops);
+    for _ in 0..nops {
+        body.push(gen_op(&mut rng, 0, fp));
+    }
+    ProgramSpec {
+        seed,
+        version,
+        ntasks,
+        grain,
+        inputs_per_task,
+        outputs_per_task,
+        scratch_per_task,
+        body,
+        use_locks: rng.u64_below(8) != 0,
+        marks: rng.u64_below(2) == 0,
+        fp,
+    }
+}
+
+fn gen_op(rng: &mut SplitMix64, depth: u8, fp: bool) -> Op {
+    // Structured ops get rarer with depth; leaves dominate.
+    let kinds: u64 = if depth < MAX_LOOP_DEPTH { 13 } else { 11 };
+    let (dst, a, b) = (rng.u64_below(VBANK as u64) as u8, rng.u64_below(VBANK as u64) as u8, {
+        rng.u64_below(VBANK as u64) as u8
+    });
+    match rng.u64_below(kinds) {
+        0 | 1 => {
+            let op = AluOp::ALL[rng.u64_below(AluOp::ALL.len() as u64) as usize];
+            Op::Alu { op, dst, a, b }
+        }
+        2 => {
+            let op = AluOp::ALL[rng.u64_below(AluOp::ALL.len() as u64) as usize];
+            let imm = rng.next_u64() as i64 % 1000;
+            Op::AluI { op, dst, a, imm }
+        }
+        3 => Op::LoadInput { dst, idx: rng.u64_below(8) as u8 },
+        4 => Op::LoadScratch { dst, slot: rng.u64_below(8) as u8 },
+        5 => Op::Store { src: a, slot: rng.u64_below(8) as u8 },
+        6 => {
+            let (slot, byte) = (rng.u64_below(8) as u8, rng.u64_below(8) as u8);
+            if rng.u64_below(2) == 0 {
+                Op::StoreByte { src: a, slot, byte }
+            } else {
+                Op::LoadByte { dst, slot, byte }
+            }
+        }
+        7 if fp => {
+            let op = FAluOp::ALL[rng.u64_below(FAluOp::ALL.len() as u64) as usize];
+            let fd = rng.u64_below(FBANK as u64) as u8;
+            let (fa, fb) = (rng.u64_below(FBANK as u64) as u8, rng.u64_below(FBANK as u64) as u8);
+            Op::FAlu { op, dst: fd, a: fa, b: fb }
+        }
+        8 if fp => {
+            let op = FCmpOp::ALL[rng.u64_below(FCmpOp::ALL.len() as u64) as usize];
+            let (fa, fb) = (rng.u64_below(FBANK as u64) as u8, rng.u64_below(FBANK as u64) as u8);
+            Op::FCmp { op, dst, a: fa, b: fb }
+        }
+        9 if fp => {
+            if rng.u64_below(2) == 0 {
+                Op::CvtIF { dst: rng.u64_below(FBANK as u64) as u8, a }
+            } else {
+                Op::CvtFI { dst, a: rng.u64_below(FBANK as u64) as u8 }
+            }
+        }
+        7..=10 => {
+            let op = AluOp::ALL[rng.u64_below(AluOp::ALL.len() as u64) as usize];
+            Op::Alu { op, dst, a, b }
+        }
+        11 => {
+            let count = 1 + rng.u64_below(5) as u8;
+            let n = 1 + rng.u64_below(3) as usize;
+            let body = (0..n).map(|_| gen_op(rng, depth + 1, fp)).collect();
+            Op::Loop { count, body }
+        }
+        _ => {
+            let cond = BrCond::ALL[rng.u64_below(BrCond::ALL.len() as u64) as usize];
+            let nt = rng.u64_below(3) as usize;
+            let ne = rng.u64_below(3) as usize;
+            let then_ops = (0..nt).map(|_| gen_op(rng, depth + 1, fp)).collect();
+            let else_ops = (0..ne).map(|_| gen_op(rng, depth + 1, fp)).collect();
+            Op::If { cond, a, b, then_ops, else_ops }
+        }
+    }
+}
+
+/// Deterministic input words for a spec (seeded off the spec seed so
+/// replays reproduce the data image exactly).
+pub fn input_words(spec: &ProgramSpec) -> Vec<i64> {
+    let mut rng = SplitMix64::new(spec.seed.wrapping_mul(0xa076_1d64_78bd_642f) ^ 0x1234_5678);
+    (0..spec.ntasks as usize * spec.inputs_per_task as usize)
+        .map(|_| rng.next_u64() as i64 % 100_000)
+        .collect()
+}
+
+// --- JSON (de)serialization -------------------------------------------------
+
+fn alu_name(op: AluOp) -> &'static str {
+    match op {
+        AluOp::Add => "add",
+        AluOp::Sub => "sub",
+        AluOp::Mul => "mul",
+        AluOp::Div => "div",
+        AluOp::Rem => "rem",
+        AluOp::And => "and",
+        AluOp::Or => "or",
+        AluOp::Xor => "xor",
+        AluOp::Sll => "sll",
+        AluOp::Srl => "srl",
+        AluOp::Sra => "sra",
+        AluOp::Slt => "slt",
+        AluOp::Sltu => "sltu",
+    }
+}
+
+fn alu_from(name: &str) -> Option<AluOp> {
+    AluOp::ALL.into_iter().find(|&op| alu_name(op) == name)
+}
+
+fn op_to_json(op: &Op) -> Json {
+    let mut o = Json::object();
+    match op {
+        Op::Alu { op, dst, a, b } => {
+            o.push("k", "alu").push("op", alu_name(*op)).push("dst", *dst as u64);
+            o.push("a", *a as u64).push("b", *b as u64);
+        }
+        Op::AluI { op, dst, a, imm } => {
+            o.push("k", "alui").push("op", alu_name(*op)).push("dst", *dst as u64);
+            o.push("a", *a as u64).push("imm", *imm);
+        }
+        Op::LoadInput { dst, idx } => {
+            o.push("k", "ldin").push("dst", *dst as u64).push("idx", *idx as u64);
+        }
+        Op::LoadScratch { dst, slot } => {
+            o.push("k", "ldscr").push("dst", *dst as u64).push("slot", *slot as u64);
+        }
+        Op::Store { src, slot } => {
+            o.push("k", "st").push("src", *src as u64).push("slot", *slot as u64);
+        }
+        Op::StoreByte { src, slot, byte } => {
+            o.push("k", "stb").push("src", *src as u64).push("slot", *slot as u64);
+            o.push("byte", *byte as u64);
+        }
+        Op::LoadByte { dst, slot, byte } => {
+            o.push("k", "ldb").push("dst", *dst as u64).push("slot", *slot as u64);
+            o.push("byte", *byte as u64);
+        }
+        Op::FAlu { op, dst, a, b } => {
+            o.push("k", "falu").push("op", op.mnemonic()).push("dst", *dst as u64);
+            o.push("a", *a as u64).push("b", *b as u64);
+        }
+        Op::FCmp { op, dst, a, b } => {
+            o.push("k", "fcmp").push("op", op.mnemonic()).push("dst", *dst as u64);
+            o.push("a", *a as u64).push("b", *b as u64);
+        }
+        Op::CvtIF { dst, a } => {
+            o.push("k", "cvtif").push("dst", *dst as u64).push("a", *a as u64);
+        }
+        Op::CvtFI { dst, a } => {
+            o.push("k", "cvtfi").push("dst", *dst as u64).push("a", *a as u64);
+        }
+        Op::Loop { count, body } => {
+            o.push("k", "loop").push("count", *count as u64);
+            o.push("body", Json::Array(body.iter().map(op_to_json).collect()));
+        }
+        Op::If { cond, a, b, then_ops, else_ops } => {
+            o.push("k", "if").push("cond", cond.mnemonic());
+            o.push("a", *a as u64).push("b", *b as u64);
+            o.push("then", Json::Array(then_ops.iter().map(op_to_json).collect()));
+            o.push("else", Json::Array(else_ops.iter().map(op_to_json).collect()));
+        }
+    }
+    o
+}
+
+fn get_u8(j: &Json, key: &str) -> Option<u8> {
+    j.get(key)?.as_u64().map(|v| v as u8)
+}
+
+fn ops_from_json(j: &Json, key: &str) -> Option<Vec<Op>> {
+    j.get(key)?.as_array()?.iter().map(op_from_json).collect()
+}
+
+fn op_from_json(j: &Json) -> Option<Op> {
+    let kind = j.get("k")?.as_str()?;
+    Some(match kind {
+        "alu" => Op::Alu {
+            op: alu_from(j.get("op")?.as_str()?)?,
+            dst: get_u8(j, "dst")?,
+            a: get_u8(j, "a")?,
+            b: get_u8(j, "b")?,
+        },
+        "alui" => Op::AluI {
+            op: alu_from(j.get("op")?.as_str()?)?,
+            dst: get_u8(j, "dst")?,
+            a: get_u8(j, "a")?,
+            imm: j.get("imm")?.as_i64()?,
+        },
+        "ldin" => Op::LoadInput { dst: get_u8(j, "dst")?, idx: get_u8(j, "idx")? },
+        "ldscr" => Op::LoadScratch { dst: get_u8(j, "dst")?, slot: get_u8(j, "slot")? },
+        "st" => Op::Store { src: get_u8(j, "src")?, slot: get_u8(j, "slot")? },
+        "stb" => Op::StoreByte {
+            src: get_u8(j, "src")?,
+            slot: get_u8(j, "slot")?,
+            byte: get_u8(j, "byte")?,
+        },
+        "ldb" => Op::LoadByte {
+            dst: get_u8(j, "dst")?,
+            slot: get_u8(j, "slot")?,
+            byte: get_u8(j, "byte")?,
+        },
+        "falu" => {
+            let name = j.get("op")?.as_str()?;
+            Op::FAlu {
+                op: FAluOp::ALL.into_iter().find(|op| op.mnemonic() == name)?,
+                dst: get_u8(j, "dst")?,
+                a: get_u8(j, "a")?,
+                b: get_u8(j, "b")?,
+            }
+        }
+        "fcmp" => {
+            let name = j.get("op")?.as_str()?;
+            Op::FCmp {
+                op: FCmpOp::ALL.into_iter().find(|op| op.mnemonic() == name)?,
+                dst: get_u8(j, "dst")?,
+                a: get_u8(j, "a")?,
+                b: get_u8(j, "b")?,
+            }
+        }
+        "cvtif" => Op::CvtIF { dst: get_u8(j, "dst")?, a: get_u8(j, "a")? },
+        "cvtfi" => Op::CvtFI { dst: get_u8(j, "dst")?, a: get_u8(j, "a")? },
+        "loop" => Op::Loop { count: get_u8(j, "count")?, body: ops_from_json(j, "body")? },
+        "if" => {
+            let name = j.get("cond")?.as_str()?;
+            Op::If {
+                cond: BrCond::ALL.into_iter().find(|c| c.mnemonic() == name)?,
+                a: get_u8(j, "a")?,
+                b: get_u8(j, "b")?,
+                then_ops: ops_from_json(j, "then")?,
+                else_ops: ops_from_json(j, "else")?,
+            }
+        }
+        _ => return None,
+    })
+}
+
+impl ProgramSpec {
+    /// The spec as a JSON object (artifact format).
+    pub fn to_json(&self) -> Json {
+        let mut o = Json::object();
+        o.push("seed", self.seed);
+        match self.version {
+            Version::Sequential => o.push("version", "seq"),
+            Version::Static(n) => o.push("version", format!("static{n}")),
+            Version::Component => o.push("version", "component"),
+        };
+        o.push("ntasks", self.ntasks)
+            .push("grain", self.grain)
+            .push("inputs_per_task", self.inputs_per_task)
+            .push("outputs_per_task", self.outputs_per_task)
+            .push("scratch_per_task", self.scratch_per_task)
+            .push("use_locks", self.use_locks)
+            .push("marks", self.marks)
+            .push("fp", self.fp)
+            .push("body", Json::Array(self.body.iter().map(op_to_json).collect()));
+        o
+    }
+
+    /// Rebuilds a spec from [`ProgramSpec::to_json`] output.
+    pub fn from_json(j: &Json) -> Option<ProgramSpec> {
+        let vname = j.get("version")?.as_str()?;
+        let version = match vname {
+            "seq" => Version::Sequential,
+            "component" => Version::Component,
+            _ => Version::Static(vname.strip_prefix("static")?.parse().ok()?),
+        };
+        Some(ProgramSpec {
+            seed: j.get("seed")?.as_u64()?,
+            version,
+            ntasks: j.get("ntasks")?.as_u64()? as u32,
+            grain: j.get("grain")?.as_u64()? as u32,
+            inputs_per_task: j.get("inputs_per_task")?.as_u64()? as u32,
+            outputs_per_task: j.get("outputs_per_task")?.as_u64()? as u32,
+            scratch_per_task: j.get("scratch_per_task")?.as_u64()? as u32,
+            body: ops_from_json(j, "body")?,
+            use_locks: j.get("use_locks")?.as_bool()?,
+            marks: j.get("marks")?.as_bool()?,
+            fp: j.get("fp")?.as_bool()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(7, GenParams::default());
+        let b = generate(7, GenParams::default());
+        assert_eq!(a, b);
+        let c = generate(8, GenParams::default());
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn static_versions_never_outnumber_tasks() {
+        for seed in 0..200 {
+            let s = generate(seed, GenParams::default());
+            if let Version::Static(n) = s.version {
+                assert!(s.ntasks >= n as u32, "seed {seed}: {n} threads, {} tasks", s.ntasks);
+            }
+            assert!(s.ntasks >= 1);
+            assert!(s.body_weight() >= 1);
+        }
+    }
+
+    #[test]
+    fn spec_json_round_trips() {
+        for seed in 0..100 {
+            let s = generate(seed, GenParams::default());
+            let j = s.to_json();
+            let parsed = Json::parse(&j.to_string_compact()).unwrap();
+            let back = ProgramSpec::from_json(&parsed).expect("spec should parse back");
+            assert_eq!(s, back, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn input_words_match_spec_dimensions() {
+        let s = generate(3, GenParams::default());
+        let words = input_words(&s);
+        assert_eq!(words.len(), (s.ntasks * s.inputs_per_task) as usize);
+        assert_eq!(words, input_words(&s));
+    }
+}

@@ -2,7 +2,7 @@
 //!
 //! Usage: `capsule-loadgen ADDR [--jobs N] [--threads T] [--fleet]
 //!         [--parity ADDR2] [--trace] [--scrape FILE]
-//!         [--preempt-rate N]`
+//!         [--preempt-rate N] [--fuzz N]`
 //!
 //! Fires N `run` requests (default 12) from T connections (default 4),
 //! cycling the full scenario catalog at smoke scale, and classifies each
@@ -40,6 +40,15 @@
 //! already resumed. Requires checkpointing enabled on the backends
 //! (`CAPSULE_SERVE_CHECKPOINT_CYCLES`); without it the preempts answer
 //! `not-running` and the jobs simply complete.
+//!
+//! `--fuzz N` switches to the differential fuzz phase instead of the
+//! catalog mix: N `fuzz_gen` jobs with seeded machine-config overrides
+//! are sent to the endpoint, while the *same* scenario batch is executed
+//! in-process with the same overrides; the server's report must be
+//! byte-identical to the local run, the second submission of each job
+//! must be a cache hit with identical bytes, and one job runs under a
+//! preempt sidecar so a checkpointed/resumed server run is compared
+//! against the uninterrupted local one (docs/FUZZ.md).
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -58,7 +67,7 @@ fn main() {
     let Some(addr) = args.next() else {
         eprintln!(
             "usage: capsule-loadgen ADDR [--jobs N] [--threads T] [--fleet] [--parity ADDR2] \
-             [--trace] [--scrape FILE] [--preempt-rate N]"
+             [--trace] [--scrape FILE] [--preempt-rate N] [--fuzz N]"
         );
         std::process::exit(2);
     };
@@ -69,6 +78,7 @@ fn main() {
     let mut trace = false;
     let mut scrape: Option<String> = None;
     let mut preempt_rate = 0usize;
+    let mut fuzz = 0usize;
     while let Some(arg) = args.next() {
         let mut value = || {
             args.next().unwrap_or_else(|| {
@@ -90,11 +100,18 @@ fn main() {
             "--trace" => trace = true,
             "--scrape" => scrape = Some(value()),
             "--preempt-rate" => preempt_rate = int(value(), "--preempt-rate"),
+            "--fuzz" => fuzz = int(value(), "--fuzz").max(1),
             other => {
                 eprintln!("unknown argument {other:?}");
                 std::process::exit(2);
             }
         }
+    }
+    if fuzz > 0 {
+        if !fuzz_phase(&addr, fuzz) {
+            std::process::exit(1);
+        }
+        return;
     }
     // The job mix is the catalog itself, in figure/table order, at smoke
     // scale: every endpoint smoke sweep exercises every entry.
@@ -211,6 +228,118 @@ fn main() {
     if failed {
         std::process::exit(1);
     }
+}
+
+/// The differential fuzz phase (`--fuzz N`): seeded `fuzz_gen` jobs
+/// with machine-config overrides, each executed both through the
+/// endpoint and in-process with the identical scenario batch. Checks,
+/// per job: the server report is byte-identical to the local run, and a
+/// resubmission is a cache hit carrying the same bytes. Job 1 (when
+/// `n >= 2`) additionally runs under a preempt sidecar, so a server run
+/// that parks at a checkpoint and resumes must still match the local
+/// uninterrupted execution.
+fn fuzz_phase(addr: &str, n: usize) -> bool {
+    use capsule_bench::catalog::Scale;
+    use capsule_core::config::DivisionMode;
+    use capsule_serve::ConfigOverrides;
+
+    let entry = catalog::find("fuzz_gen").expect("fuzz_gen catalog entry exists");
+    let runner = capsule_bench::BatchRunner::with_workers(2);
+    let preempted = AtomicUsize::new(0);
+    let mut failures = 0usize;
+
+    for i in 0..n {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(0xf0_22ed ^ i as u64);
+        // Contexts never drop below 4 so static-variant fuzz programs
+        // (at most 4 loader threads) still boot everywhere.
+        let contexts = [4usize, 6, 8][rng.u64_below(3) as usize];
+        let (mode_name, mode) = [
+            ("greedy_throttled", DivisionMode::GreedyThrottled),
+            ("greedy", DivisionMode::Greedy),
+            ("never", DivisionMode::Never),
+        ][rng.u64_below(3) as usize];
+        let death_window = [16u64, 64, 128][rng.u64_below(3) as usize];
+        let overrides = ConfigOverrides {
+            contexts: Some(contexts),
+            death_window: Some(death_window),
+            swap_counter_threshold: None,
+            division_mode: Some(mode),
+        };
+
+        let mut cfg = Json::object();
+        cfg.push("contexts", contexts)
+            .push("death_window", death_window)
+            .push("division_mode", mode_name);
+        let mut req = Json::object();
+        req.push("op", "run")
+            .push("scenario", "fuzz_gen")
+            .push("scale", "smoke")
+            .push("config", cfg);
+        let line = req.to_string_compact();
+
+        // The local truth: the same batch the server will build, run
+        // in-process with the same overrides.
+        let mut scenarios = entry.scenarios(Scale::Smoke);
+        for sc in &mut scenarios {
+            overrides.apply(&mut sc.config);
+        }
+        let local = runner.run(entry.title, scenarios).to_json().to_string_compact();
+
+        let result = if i == 1 {
+            run_with_preempt(addr, &line, &preempted)
+        } else {
+            request_once(addr, &line).map_err(|e| e.to_string())
+        };
+        let tag = format!("fuzz job {i} (contexts {contexts}, {mode_name}, dw {death_window})");
+        let server = match result {
+            Ok(json) if json.get("ok").and_then(Json::as_bool) == Some(true) => json,
+            Ok(json) => {
+                eprintln!("{tag}: server error: {}", json.to_string_compact());
+                failures += 1;
+                continue;
+            }
+            Err(e) => {
+                eprintln!("{tag}: transport error: {e}");
+                failures += 1;
+                continue;
+            }
+        };
+        let server_report = server.get("report").map(Json::to_string_compact);
+        if server_report.as_deref() != Some(local.as_str()) {
+            eprintln!("{tag}: server report differs from the in-process run");
+            failures += 1;
+            continue;
+        }
+        // Resubmission must be answered from the cache, byte-identically.
+        match request_once(addr, &line) {
+            Ok(again) if again.get("ok").and_then(Json::as_bool) == Some(true) => {
+                if again.get("cache_hit").and_then(Json::as_bool) != Some(true) {
+                    eprintln!("{tag}: resubmission was not a cache hit");
+                    failures += 1;
+                } else if again.get("report").map(Json::to_string_compact).as_deref()
+                    != Some(local.as_str())
+                {
+                    eprintln!("{tag}: cached report differs from the in-process run");
+                    failures += 1;
+                }
+            }
+            Ok(json) => {
+                eprintln!("{tag}: resubmission failed: {}", json.to_string_compact());
+                failures += 1;
+            }
+            Err(e) => {
+                eprintln!("{tag}: resubmission transport error: {e}");
+                failures += 1;
+            }
+        }
+    }
+    println!(
+        "fuzz phase: {}/{n} jobs byte-identical to in-process runs ({} preempted-and-resumed){}",
+        n - failures,
+        preempted.load(Ordering::Relaxed),
+        if failures == 0 { "" } else { " [FAILED]" }
+    );
+    failures == 0
 }
 
 fn run_line(scenario: &str) -> String {

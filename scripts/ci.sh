@@ -52,6 +52,22 @@ if target/release/bench_sim --scale smoke --entries toolchain_overhead \
 fi
 rm -rf "$bench_dir"
 
+echo "==> capsule-fuzz differential smoke"
+# Fixed-seed, fixed-count sweep over the reduced config matrix: every
+# generated program must produce identical architectural results across
+# machine shapes, division policies, checkpoint/resume and the decode
+# cache (docs/FUZZ.md). On divergence the fuzzer exits non-zero after
+# writing a replayable artifact — surface its path loudly. Then replay
+# the checked-in minimized corpus, which must stay clean.
+fuzz_dir="$(mktemp -d)"
+if ! target/release/capsule-fuzz --seed 1 --count 200 --matrix reduced --out "$fuzz_dir"; then
+    echo "capsule-fuzz sweep diverged; replayable artifacts in $fuzz_dir:" >&2
+    ls "$fuzz_dir" >&2
+    exit 1
+fi
+target/release/capsule-fuzz --replay crates/capsule-fuzz/corpus
+rm -rf "$fuzz_dir"
+
 echo "==> capsule-serve smoke test"
 # Start the job server on an ephemeral port, drive it with the
 # deterministic load generator (which also asserts that a repeated
@@ -78,6 +94,11 @@ if [ -z "$addr" ]; then
     exit 1
 fi
 target/release/capsule-loadgen "$addr" --jobs 8 --threads 3 --preempt-rate 3
+# Differential leg: seeded fuzz-generated programs as server jobs, each
+# report compared byte-for-byte against an in-process run of the same
+# scenario set (docs/FUZZ.md) — the server path (cache keys, overrides,
+# checkpointed runs) must be invisible to results.
+target/release/capsule-loadgen "$addr" --fuzz 4
 target/release/capsule-client "$addr" shutdown --compact
 wait "$serve_pid"
 rm -f "$serve_log"
