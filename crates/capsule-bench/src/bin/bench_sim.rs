@@ -36,6 +36,7 @@
 
 use std::time::Instant;
 
+use capsule_bench::benchfile::{compare_field, read_entry_field, round3};
 use capsule_bench::catalog::{self, Scale};
 use capsule_bench::trace_export::export_batch;
 use capsule_bench::{BatchRunner, RunOptions, BUDGET};
@@ -113,70 +114,6 @@ fn parse_args() -> Args {
         }
     }
     args
-}
-
-/// Reads `entry -> <field>` out of a previous `BENCH_sim.json`.
-fn read_entry_field(path: &str, field: &str) -> Vec<(String, f64)> {
-    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
-        eprintln!("cannot read baseline {path}: {e}");
-        std::process::exit(2);
-    });
-    let json = Json::parse(&text).unwrap_or_else(|e| {
-        eprintln!("baseline {path} is not valid JSON: {e}");
-        std::process::exit(2);
-    });
-    let mut map = Vec::new();
-    if let Some(entries) = json.get("entries").and_then(Json::as_array) {
-        for e in entries {
-            if let (Some(name), Some(v)) =
-                (e.get("entry").and_then(Json::as_str), e.get(field).and_then(Json::as_f64))
-            {
-                map.push((name.to_string(), v));
-            }
-        }
-    }
-    map
-}
-
-/// The `--compare` gate: per-entry `sim_cycles_per_sec` speedup table
-/// against a previous `BENCH_sim.json`; returns the number of entries
-/// that regressed beyond the noise fraction.
-fn compare_throughput(path: &str, noise: f64, results: &[EntryResult]) -> usize {
-    let base = read_entry_field(path, "sim_cycles_per_sec");
-    println!("\ncomparison vs {path} (noise tolerance {:.0}%):", noise * 100.0);
-    println!(
-        "  {:<24} {:>14} {:>14} {:>9}  verdict",
-        "entry", "baseline c/s", "current c/s", "speedup"
-    );
-    let mut regressions = 0usize;
-    for r in results {
-        let cur = r.sim_cycles as f64 / (r.wall_ms / 1e3).max(1e-9);
-        let Some((_, base_cps)) = base.iter().find(|(n, _)| n == r.name) else {
-            println!("  {:<24} {:>14} {:>14.0} {:>9}  new", r.name, "-", cur, "-");
-            continue;
-        };
-        let speedup = cur / base_cps.max(1e-9);
-        let regressed = speedup < 1.0 - noise;
-        if regressed {
-            regressions += 1;
-        }
-        println!(
-            "  {:<24} {:>14.0} {:>14.0} {:>8.2}x  {}",
-            r.name,
-            base_cps,
-            cur,
-            speedup,
-            if regressed { "REGRESSED" } else { "ok" }
-        );
-    }
-    if regressions > 0 {
-        println!("\n{regressions} entries regressed beyond the noise tolerance");
-    }
-    regressions
-}
-
-fn round3(v: f64) -> f64 {
-    (v * 1000.0).round() / 1000.0
 }
 
 fn main() {
@@ -275,7 +212,11 @@ fn main() {
     println!("\nwrote {}", args.out);
 
     if let Some(path) = &args.compare {
-        if compare_throughput(path, args.noise, &results) > 0 {
+        let current: Vec<(String, f64)> = results
+            .iter()
+            .map(|r| (r.name.to_string(), r.sim_cycles as f64 / (r.wall_ms / 1e3).max(1e-9)))
+            .collect();
+        if compare_field(path, "sim_cycles_per_sec", "c/s", args.noise, &current) > 0 {
             std::process::exit(1);
         }
     }

@@ -13,6 +13,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod benchfile;
 pub mod catalog;
 pub mod checkpoint;
 pub mod fuzz;

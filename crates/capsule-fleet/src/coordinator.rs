@@ -36,7 +36,8 @@ use std::time::{Duration, Instant};
 use capsule_core::output::Json;
 use capsule_core::stats::Histogram;
 use capsule_core::{MetricsRegistry, SpanId, TraceRecorder, TraceStore};
-use capsule_serve::client::{self, ClientError, Connection};
+use capsule_serve::client::{self, ClientError, ConnectionPool, Proto};
+use capsule_serve::frame::{self, FrameFlow, ReplySink};
 use capsule_serve::protocol::{
     cache_key as protocol_cache_key, error_response, fnv1a64, hex_encode, list_response,
     response_head, Request, RunRequest,
@@ -169,6 +170,37 @@ struct Shared {
     counters: Counters,
     latencies: Mutex<Latencies>,
     traces: Mutex<TraceStore>,
+    /// Keep-alive `capsule-serve/2` connections toward the backends.
+    /// Every dispatch and forwarded op checks a connection out of here,
+    /// so the steady-state cost per job is one framed round-trip — not
+    /// a TCP connect plus a protocol preamble plus the round-trip.
+    pool: ConnectionPool,
+    /// Read handles of open client connections, severed on shutdown so
+    /// keep-alive clients see a closed socket instead of a zombie fleet
+    /// (mirrors the same registry in `capsule_serve::server`).
+    conns: Mutex<std::collections::HashMap<u64, TcpStream>>,
+    next_conn: AtomicU64,
+}
+
+/// Registers a connection for shutdown severing; deregisters on drop.
+struct ConnGuard<'a> {
+    shared: &'a Shared,
+    id: u64,
+}
+
+impl<'a> ConnGuard<'a> {
+    fn register(shared: &'a Shared, stream: &TcpStream) -> Option<ConnGuard<'a>> {
+        let handle = stream.try_clone().ok()?;
+        let id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
+        lock(&shared.conns).insert(id, handle);
+        Some(ConnGuard { shared, id })
+    }
+}
+
+impl Drop for ConnGuard<'_> {
+    fn drop(&mut self) {
+        lock(&self.shared.conns).remove(&self.id);
+    }
 }
 
 /// Per-job trace state at the fleet level: the coordinator's own span
@@ -253,6 +285,9 @@ impl Fleet {
             counters: Counters::default(),
             latencies: Mutex::new(Latencies::default()),
             traces: Mutex::new(TraceStore::new(opts.traces)),
+            pool: ConnectionPool::new(Proto::V2, Duration::from_millis(opts.connect_timeout_ms)),
+            conns: Mutex::new(std::collections::HashMap::new()),
+            next_conn: AtomicU64::new(0),
         });
         let probe = {
             let shared = Arc::clone(&shared);
@@ -303,6 +338,11 @@ fn initiate_shutdown(shared: &Shared) {
         // Wake slot-waiters so they answer `shutting-down`, and the
         // accept loop so it observes `running == false`.
         shared.slots.notify_all();
+        // Sever the read side of open client connections so keep-alive
+        // clients see EOF; pending responses still flush.
+        for conn in lock(&shared.conns).values() {
+            let _ = conn.shutdown(std::net::Shutdown::Read);
+        }
         let _ = TcpStream::connect(shared.addr);
     }
 }
@@ -318,9 +358,22 @@ fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener) {
     }
 }
 
-fn handle_connection(shared: &Shared, stream: TcpStream) {
+fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
     use std::io::{BufRead, BufReader, Write};
     shared.counters.connections.fetch_add(1, Ordering::Relaxed);
+    let _guard = ConnGuard::register(shared, &stream);
+    // Same first-byte negotiation as capsule-serve itself: a framed
+    // `capsule-serve/2` preamble starts with `C`, a v1 JSON line with
+    // `{`, so one peek routes the connection without consuming bytes.
+    let mut first = [0u8; 1];
+    match stream.peek(&mut first) {
+        Ok(0) | Err(_) => return,
+        Ok(_) => {}
+    }
+    if first[0] == frame::MAGIC[0] {
+        let _ = frame::serve_v2(stream, |f, sink| handle_frame(shared, f, sink));
+        return;
+    }
     let Ok(read_half) = stream.try_clone() else { return };
     let mut writer = stream;
     for line in BufReader::new(read_half).lines() {
@@ -342,6 +395,55 @@ fn handle_connection(shared: &Shared, stream: TcpStream) {
     }
 }
 
+/// One `capsule-serve/2` frame at the fleet. Control ops answer inline;
+/// a `run` moves to its own dispatcher thread (dispatch blocks on
+/// backend slots and round-trips, by design) replying through the
+/// connection's writer when it resolves — so one fleet connection can
+/// carry many concurrent jobs, completing out of submission order.
+fn handle_frame(shared: &Arc<Shared>, f: frame::Frame, sink: &ReplySink) -> FrameFlow {
+    shared.counters.requests.fetch_add(1, Ordering::Relaxed);
+    let Some(expected_op) = frame::tag_op(f.tag) else {
+        shared.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
+        sink.send_bad_frame(f.id, "unknown frame tag");
+        return FrameFlow::Continue;
+    };
+    let Ok(text) = std::str::from_utf8(&f.payload) else {
+        shared.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
+        sink.send_bad_frame(f.id, "frame payload is not UTF-8");
+        return FrameFlow::Continue;
+    };
+    let request = match Request::parse_line(text) {
+        Ok(r) => r,
+        Err(e) => {
+            shared.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
+            sink.send_json(f.id, f.tag, &error_response("?", "bad-request", Some(&e.message)));
+            return FrameFlow::Continue;
+        }
+    };
+    if request.op() != expected_op {
+        shared.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
+        sink.send_bad_frame(f.id, "frame tag does not match the payload op");
+        return FrameFlow::Continue;
+    }
+    if let Request::Run(run) = request {
+        let shared = Arc::clone(shared);
+        let sink = sink.clone();
+        let id = f.id;
+        std::thread::spawn(move || {
+            let response = handle_run(&shared, &run);
+            let _ = sink.send_str(id, frame::tag::RUN, &response.to_string_compact());
+        });
+        return FrameFlow::Continue;
+    }
+    let (response, shutdown) = answer(shared, request);
+    sink.send_json(f.id, f.tag, &response);
+    if shutdown {
+        initiate_shutdown(shared);
+        return FrameFlow::Close;
+    }
+    FrameFlow::Continue
+}
+
 fn handle_line(shared: &Shared, line: &str) -> (Json, bool) {
     let request = match Request::parse_line(line) {
         Ok(r) => r,
@@ -350,6 +452,11 @@ fn handle_line(shared: &Shared, line: &str) -> (Json, bool) {
             return (error_response("?", "bad-request", Some(&e.message)), false);
         }
     };
+    answer(shared, request)
+}
+
+/// Routes one parsed request; shared by both protocol front ends.
+fn answer(shared: &Shared, request: Request) -> (Json, bool) {
     match request {
         Request::Run(run) => (handle_run(shared, &run), false),
         Request::Cancel => (handle_cancel(shared), false),
@@ -821,21 +928,15 @@ fn release(shared: &Shared, idx: usize, success: bool, mark_dead: bool) {
 /// the result. Transport faults and load-shedding answers are backend
 /// faults ([`Outcome::Retry`]); job-level answers pass through.
 fn roundtrip(shared: &Shared, addr: &str, canonical: &str, generation: u64) -> Outcome {
-    let connect = Duration::from_millis(shared.opts.connect_timeout_ms);
-    let mut conn = match Connection::connect_timeout(addr, connect) {
-        Ok(c) => c,
-        // Connection refused: the process is gone — stop routing there
-        // until a probe revives it.
-        Err(e) => return Outcome::Retry { error: e.to_string(), mark_dead: true },
-    };
-    if shared.opts.job_timeout_ms > 0 {
-        let cap = Duration::from_millis(shared.opts.job_timeout_ms);
-        if let Err(e) = conn.set_read_timeout(Some(cap)) {
-            return Outcome::Retry { error: e.to_string(), mark_dead: false };
-        }
-    }
-    let json = match conn.request(canonical) {
+    let read_timeout =
+        (shared.opts.job_timeout_ms > 0).then(|| Duration::from_millis(shared.opts.job_timeout_ms));
+    // The pool reuses a keep-alive v2 connection when one is idle and
+    // transparently redials once when a reused connection turns out to
+    // be stale, so errors surfacing here are real backend faults.
+    let json = match shared.pool.request_timeout(addr, canonical, read_timeout) {
         Ok(j) => j,
+        // Connection refused, or the write path is gone: the process is
+        // unreachable — stop routing there until a probe revives it.
         Err(e @ (ClientError::Connect(_) | ClientError::Send(_))) => {
             return Outcome::Retry { error: e.to_string(), mark_dead: true }
         }
@@ -894,13 +995,10 @@ fn handle_cancel(shared: &Shared) -> Json {
     r
 }
 
-/// One short-deadline request to a backend; `None` on transport fault or
-/// an `ok:false` answer.
+/// One short-deadline request to a backend over a pooled keep-alive
+/// connection; `None` on transport fault or an `ok:false` answer.
 fn forward_op(shared: &Shared, addr: &str, line: &str) -> Option<Json> {
-    let connect = Duration::from_millis(shared.opts.connect_timeout_ms);
-    let mut conn = Connection::connect_timeout(addr, connect).ok()?;
-    conn.set_read_timeout(Some(Duration::from_secs(5))).ok()?;
-    let json = conn.request(line).ok()?;
+    let json = shared.pool.request_timeout(addr, line, Some(Duration::from_secs(5))).ok()?;
     (json.get("ok").and_then(Json::as_bool) == Some(true)).then_some(json)
 }
 

@@ -14,7 +14,7 @@ use std::time::{Duration, Instant};
 
 use capsule_core::output::Json;
 use capsule_fleet::{Fleet, FleetOptions};
-use capsule_serve::client::{request_once, Connection};
+use capsule_serve::client::{request_once, Connection, Proto};
 use capsule_serve::protocol::{cache_key, Request};
 use capsule_serve::{Server, ServerOptions};
 
@@ -618,4 +618,47 @@ fn dead_fleet_answers_control_ops_and_gives_up_on_runs() {
     assert!(ok(&reply));
     wait_for("fleet to stop", || !fleet.running());
     fleet.join();
+}
+
+/// The fleet accepts both wire protocols from its own clients and the
+/// answer is byte-identical: the frame layer is transport, not content.
+#[test]
+fn fleet_answers_v1_and_v2_clients_byte_identically() {
+    let backend = start_backend();
+    let fleet = start_fleet(&[&backend], fleet_opts());
+    let addr = fleet.local_addr().to_string();
+    let line = run_line("table1_config");
+
+    // Warm the backend cache so both probes observe identical state.
+    let warm = request(&fleet, &line);
+    assert!(ok(&warm), "warm run failed: {}", warm.to_string_compact());
+
+    let v1 = request_once(&addr, &line).expect("v1 request");
+    let mut framed = Connection::connect_with(&addr, Proto::V2).expect("v2 connect");
+    let v2 = framed.request(&line).expect("v2 request");
+    assert!(ok(&v1));
+    // Everything but the per-request host-timing field must match byte
+    // for byte — protocol choice is transport, not content.
+    let strip_wait = |j: &Json| {
+        let s = j.to_string_compact();
+        match s.find(",\"dispatch_wait_us\":") {
+            Some(at) => {
+                let rest = &s[at + 21..];
+                let end = rest.find(|c: char| !c.is_ascii_digit()).unwrap_or(rest.len());
+                format!("{}{}", &s[..at], &rest[end..])
+            }
+            None => s,
+        }
+    };
+    assert_eq!(strip_wait(&v1), strip_wait(&v2), "the fleet's v1 and v2 answers diverged");
+    assert_eq!(v2.get("cache_hit").and_then(Json::as_bool), Some(true));
+    assert_eq!(v2.get("backend").and_then(Json::as_str), Some("b0"));
+
+    // Control ops answer over v2 too, tagged with their own op.
+    let s = framed.request(r#"{"op":"stats"}"#).expect("v2 stats");
+    assert!(ok(&s));
+    assert!(s.get("fleet").is_some(), "fleet stats answered over v2");
+
+    fleet.shutdown();
+    backend.shutdown();
 }

@@ -1,0 +1,338 @@
+//! Server-throughput benchmark: offered-load legs over the v1 and v2
+//! wire protocols against a fresh in-process server, written to
+//! `BENCH_serve.json` (`capsule-bench-serve/1`), the tracked record of
+//! the serving-path perf trajectory. See docs/PERF.md.
+//!
+//! ```text
+//! bench_serve [--loads R1,R2] [--jobs N] [--connections N] [--zipf S]
+//!             [--seed N] [--out PATH] [--baseline PATH] [--compare PATH]
+//!             [--noise FRAC] [--overhead-probes N] [--deterministic]
+//! ```
+//!
+//! Each leg starts a fresh server, replays the same seeded Poisson/Zipf
+//! schedule (a fast four-scenario smoke mix) through
+//! [`capsule_serve::load`], and records throughput, latency percentiles
+//! and the queue-full rate. The v1 leg drives keep-alive newline-JSON
+//! connections; the v2 leg pipelines frames. `protocol_overhead_us` is
+//! measured separately against the leg's warmed cache, each protocol
+//! paying its own client model's per-job cost: v1 one connection per
+//! request (what one-shot clients pay), v2 one keep-alive framed
+//! connection — the per-job saving the v2 protocol exists to buy.
+//!
+//! - `--baseline PATH` folds a previous `BENCH_serve.json` in: each
+//!   entry gains `baseline_throughput_rps` and `speedup`.
+//! - `--compare PATH` gates on a previous `BENCH_serve.json`: prints a
+//!   per-entry `throughput_rps` speedup table and exits nonzero if any
+//!   entry regressed beyond the `--noise` fraction (default 0.15). The
+//!   output file is still written before the gate exits.
+//! - `--deterministic` omits every host-timing field so two runs produce
+//!   byte-identical JSON, sizes the queue to the job count so nothing is
+//!   rejected, and exits nonzero if any load's v1 and v2 report digests
+//!   disagree (the cross-protocol parity self-check).
+
+use capsule_bench::benchfile::{compare_field, read_entry_field, round3};
+use capsule_core::output::Json;
+use capsule_serve::client::{request_once, Connection, Proto};
+use capsule_serve::load::{self, DriveOptions, DriveOutcome};
+use capsule_serve::server::{Server, ServerOptions};
+use std::time::Instant;
+
+/// Fast catalog subset: every scenario finishes in milliseconds at smoke
+/// scale, so the legs measure the serving path rather than the simulator.
+const MIX: [&str; 4] =
+    ["table1_config", "toolchain_overhead", "fig6_division_tree", "table3_divisions"];
+
+struct Args {
+    loads: Vec<f64>,
+    jobs: usize,
+    connections: usize,
+    zipf: f64,
+    seed: u64,
+    out: String,
+    baseline: Option<String>,
+    compare: Option<String>,
+    noise: f64,
+    overhead_probes: usize,
+    deterministic: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        loads: vec![40.0, 160.0],
+        jobs: 60,
+        connections: 2,
+        zipf: 0.8,
+        seed: 1,
+        out: "BENCH_serve.json".to_string(),
+        baseline: None,
+        compare: None,
+        noise: 0.15,
+        overhead_probes: 100,
+        deterministic: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("{flag} needs a value");
+                std::process::exit(2);
+            })
+        };
+        let bad = |flag: &str, v: &str| -> ! {
+            eprintln!("{flag} got unparsable value {v:?}");
+            std::process::exit(2);
+        };
+        match a.as_str() {
+            "--loads" => {
+                let v = value("--loads");
+                args.loads = v
+                    .split(',')
+                    .map(|s| {
+                        let r: f64 = s.trim().parse().unwrap_or_else(|_| bad("--loads", &v));
+                        if r <= 0.0 {
+                            bad("--loads", &v);
+                        }
+                        r
+                    })
+                    .collect();
+            }
+            "--jobs" => {
+                let v = value("--jobs");
+                args.jobs = v.parse().unwrap_or_else(|_| bad("--jobs", &v));
+            }
+            "--connections" => {
+                let v = value("--connections");
+                args.connections = v.parse().unwrap_or_else(|_| bad("--connections", &v));
+            }
+            "--zipf" => {
+                let v = value("--zipf");
+                args.zipf = v.parse().unwrap_or_else(|_| bad("--zipf", &v));
+            }
+            "--seed" => {
+                let v = value("--seed");
+                args.seed = v.parse().unwrap_or_else(|_| bad("--seed", &v));
+            }
+            "--out" => args.out = value("--out"),
+            "--baseline" => args.baseline = Some(value("--baseline")),
+            "--compare" => args.compare = Some(value("--compare")),
+            "--noise" => {
+                let v = value("--noise");
+                args.noise = v.parse().unwrap_or_else(|_| bad("--noise", &v));
+            }
+            "--overhead-probes" => {
+                let v = value("--overhead-probes");
+                args.overhead_probes = v.parse().unwrap_or_else(|_| bad("--overhead-probes", &v));
+            }
+            "--deterministic" => args.deterministic = true,
+            other => {
+                eprintln!("unknown argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+struct Leg {
+    entry: String,
+    proto: Proto,
+    offered_rps: f64,
+    outcome: DriveOutcome,
+    overhead_us: Option<f64>,
+}
+
+fn run_line(scenario: &str) -> String {
+    format!(r#"{{"op":"run","scenario":"{scenario}","scale":"smoke"}}"#)
+}
+
+/// One offered-load leg against its own fresh server: replay the seeded
+/// schedule, then (timed mode) probe per-job protocol overhead against
+/// the now-warm cache.
+fn run_leg(args: &Args, rate: f64, proto: Proto) -> Leg {
+    let opts = ServerOptions {
+        // Deterministic legs must never hit backpressure: a queue-full
+        // rejection depends on host timing and would change the digest.
+        queue: if args.deterministic { args.jobs.max(16) } else { ServerOptions::default().queue },
+        ..ServerOptions::default()
+    };
+    let server = Server::start("127.0.0.1:0", opts).unwrap_or_else(|e| {
+        eprintln!("cannot start server: {e}");
+        std::process::exit(1);
+    });
+    let addr = server.local_addr().to_string();
+
+    let plan = load::schedule(args.seed, args.jobs, rate, args.zipf, MIX.len());
+    let lines: Vec<String> = plan.iter().map(|j| run_line(MIX[j.scenario_index])).collect();
+    let options = DriveOptions {
+        proto,
+        connections: args.connections,
+        deterministic: args.deterministic,
+        read_timeout: None,
+    };
+    let outcome = load::drive(&addr, &plan, &lines, &options).unwrap_or_else(|e| {
+        eprintln!("cannot connect to {addr}: {e}");
+        std::process::exit(1);
+    });
+
+    let overhead_us =
+        (!args.deterministic).then(|| measure_overhead(&addr, proto, args.overhead_probes));
+    server.shutdown();
+    Leg {
+        entry: format!("load{rate:.0}_{}", proto.name()),
+        proto,
+        offered_rps: rate,
+        outcome,
+        overhead_us,
+    }
+}
+
+/// Mean round-trip for a cache-hit request, each protocol paying its own
+/// client model's per-job cost (v1: fresh connection per request, v2:
+/// keep-alive framed connection).
+fn measure_overhead(addr: &str, proto: Proto, probes: usize) -> f64 {
+    let line = run_line(MIX[0]);
+    // Make sure the probe scenario is cached even if the Zipf draw
+    // skipped it, so every probe is a pure protocol round-trip.
+    let _ = request_once(addr, &line);
+    let mut conn = match proto {
+        Proto::V1 => None,
+        Proto::V2 => Some(Connection::connect_with(addr, proto).unwrap_or_else(|e| {
+            eprintln!("overhead probe cannot connect to {addr}: {e}");
+            std::process::exit(1);
+        })),
+    };
+    let start = Instant::now();
+    for _ in 0..probes {
+        let reply = match conn.as_mut() {
+            Some(c) => c.request(&line).map_err(|e| e.to_string()),
+            None => request_once(addr, &line).map_err(|e| e.to_string()),
+        };
+        match reply {
+            Ok(json) if json.get("ok").and_then(Json::as_bool) == Some(true) => {}
+            Ok(json) => {
+                eprintln!("overhead probe failed: {}", json.to_string_compact());
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("overhead probe failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    start.elapsed().as_secs_f64() * 1e6 / probes.max(1) as f64
+}
+
+fn main() {
+    let args = parse_args();
+    println!(
+        "server throughput, {} jobs/leg over {} scenario(s), zipf {}, seed {}\n",
+        args.jobs,
+        MIX.len(),
+        args.zipf,
+        args.seed
+    );
+    if args.deterministic {
+        println!(
+            "  {:<14} {:>9} {:>5} {:>7} {:>7}  digest",
+            "entry", "offered", "ok", "q-full", "errors"
+        );
+    } else {
+        println!(
+            "  {:<14} {:>9} {:>5} {:>7} {:>7} {:>9} {:>9} {:>9} {:>12}",
+            "entry", "offered", "ok", "q-full", "errors", "rps", "p50 us", "p99 us", "overhead us"
+        );
+    }
+
+    let mut legs: Vec<Leg> = Vec::new();
+    let mut parity_failures = 0usize;
+    for &rate in &args.loads {
+        let v1 = run_leg(&args, rate, Proto::V1);
+        let v2 = run_leg(&args, rate, Proto::V2);
+        if args.deterministic && v1.outcome.report_digest != v2.outcome.report_digest {
+            eprintln!(
+                "parity failure at load {rate}: v1 digest {:016x} != v2 digest {:016x}",
+                v1.outcome.report_digest, v2.outcome.report_digest
+            );
+            parity_failures += 1;
+        }
+        for leg in [v1, v2] {
+            let o = &leg.outcome;
+            if args.deterministic {
+                println!(
+                    "  {:<14} {:>9.0} {:>5} {:>7} {:>7}  {:016x}",
+                    leg.entry, leg.offered_rps, o.ok, o.queue_full, o.errors, o.report_digest
+                );
+            } else {
+                let secs = o.wall.as_secs_f64().max(1e-9);
+                println!(
+                    "  {:<14} {:>9.0} {:>5} {:>7} {:>7} {:>9.0} {:>9} {:>9} {:>12.1}",
+                    leg.entry,
+                    leg.offered_rps,
+                    o.ok,
+                    o.queue_full,
+                    o.errors,
+                    o.ok as f64 / secs,
+                    o.latency_percentile_us(50.0),
+                    o.latency_percentile_us(99.0),
+                    leg.overhead_us.unwrap_or(0.0)
+                );
+            }
+            legs.push(leg);
+        }
+    }
+
+    let baseline = args.baseline.as_deref().map(|p| read_entry_field(p, "throughput_rps"));
+    let mut root = Json::object();
+    root.push("schema", "capsule-bench-serve/1");
+    root.push("jobs", args.jobs).push("zipf", args.zipf).push("seed", args.seed);
+    let mut rows = Vec::with_capacity(legs.len());
+    for leg in &legs {
+        let o = &leg.outcome;
+        let mut row = Json::object();
+        row.push("entry", leg.entry.as_str())
+            .push("proto", leg.proto.name())
+            .push("offered_rps", leg.offered_rps)
+            .push("ok", o.ok)
+            .push("queue_full", o.queue_full)
+            .push("errors", o.errors);
+        if args.deterministic {
+            row.push("digest", format!("{:016x}", o.report_digest).as_str());
+        } else {
+            let secs = o.wall.as_secs_f64().max(1e-9);
+            row.push("wall_ms", round3(o.wall.as_secs_f64() * 1e3))
+                .push("throughput_rps", round3(o.ok as f64 / secs))
+                .push("p50_us", o.latency_percentile_us(50.0))
+                .push("p99_us", o.latency_percentile_us(99.0))
+                .push("queue_full_rate", round3(o.queue_full_rate()))
+                .push("protocol_overhead_us", round3(leg.overhead_us.unwrap_or(0.0)));
+            if let Some(base) = &baseline {
+                if let Some((_, base_rps)) = base.iter().find(|(n, _)| *n == leg.entry) {
+                    let rps = o.ok as f64 / secs;
+                    row.push("baseline_throughput_rps", round3(*base_rps))
+                        .push("speedup", round3(rps / base_rps.max(1e-9)));
+                }
+            }
+        }
+        rows.push(row);
+    }
+    root.push("entries", Json::Array(rows));
+    std::fs::write(&args.out, root.to_string_pretty()).expect("write BENCH_serve.json");
+    println!("\nwrote {}", args.out);
+
+    if parity_failures > 0 {
+        eprintln!("{parity_failures} load(s) failed v1/v2 digest parity");
+        std::process::exit(1);
+    }
+    if let Some(path) = &args.compare {
+        let current: Vec<(String, f64)> = legs
+            .iter()
+            .map(|l| {
+                let secs = l.outcome.wall.as_secs_f64().max(1e-9);
+                (l.entry.clone(), l.outcome.ok as f64 / secs)
+            })
+            .collect();
+        if compare_field(path, "throughput_rps", "rps", args.noise, &current) > 0 {
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,16 +1,19 @@
-//! One-shot `capsule-serve/1` client.
+//! One-shot capsule-serve client.
 //!
 //! Usage:
-//!   capsule-client ADDR '{"op":"run","scenario":"table1_config"}'
+//!   capsule-client [--proto v1|v2] ADDR '{"op":"run","scenario":"table1_config"}'
 //!   capsule-client ADDR run SCENARIO [SCALE] [BUDGET]
 //!   capsule-client ADDR trace TRACE_ID
 //!   capsule-client ADDR preempt CACHE_KEY
 //!   capsule-client ADDR resume TOKEN
 //!   capsule-client ADDR stats|list|cancel|shutdown|metrics
 //!
-//! Sends one request line and prints the server's response line
-//! (pretty-printed unless `--compact`). Exits nonzero when the server
-//! reports `ok: false`.
+//! Sends one request and prints the server's response (pretty-printed
+//! unless `--compact`). Exits nonzero when the server reports
+//! `ok: false`. `--proto` picks the wire protocol — `v1` newline JSON
+//! (default) or the framed `capsule-serve/2` (docs/SERVER.md); the
+//! response is byte-identical either way, which CI checks. The
+//! `CAPSULE_CLIENT_PROTO` environment variable sets the default.
 //!
 //! `preempt` parks the checkpointable job whose `cache_key` matches (the
 //! key is echoed by the parked job's `preempted` response and by
@@ -20,7 +23,8 @@
 //! (docs/CHECKPOINT.md).
 
 use capsule_core::output::Json;
-use capsule_serve::client::request_once;
+use capsule_serve::client::{request_once, request_once_with, Proto};
+use capsule_serve::env::env_parsed;
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -30,14 +34,27 @@ fn main() {
     } else {
         false
     };
+    let mut proto: Proto = env_parsed("CAPSULE_CLIENT_PROTO", Proto::V1);
+    if let Some(i) = args.iter().position(|a| a == "--proto") {
+        args.remove(i);
+        if i >= args.len() {
+            eprintln!("--proto expects a value (v1 or v2)");
+            std::process::exit(2);
+        }
+        let v = args.remove(i);
+        proto = Proto::parse(&v).unwrap_or_else(|| {
+            eprintln!("--proto expects v1 or v2, got {v:?}");
+            std::process::exit(2);
+        });
+    }
     if args.len() < 2 {
-        eprintln!("usage: capsule-client ADDR REQUEST... (see --help in docs/SERVER.md)");
+        eprintln!("usage: capsule-client [--proto v1|v2] ADDR REQUEST... (see docs/SERVER.md)");
         std::process::exit(2);
     }
     let addr = args.remove(0);
     let line = build_request(&addr, &args);
 
-    let json = request_once(&addr, &line).unwrap_or_else(|e| {
+    let json = request_once_with(&addr, &line, proto).unwrap_or_else(|e| {
         eprintln!("{addr}: {e}");
         std::process::exit(1);
     });

@@ -1,15 +1,35 @@
 //! Deterministic load generator for `capsule-serve` and `capsule-fleet`.
 //!
 //! Usage: `capsule-loadgen ADDR [--jobs N] [--threads T] [--fleet]
-//!         [--parity ADDR2] [--trace] [--scrape FILE]
+//!         [--proto v1|v2] [--open-loop RATE] [--zipf S] [--seed N]
+//!         [--deterministic] [--parity ADDR2] [--trace] [--scrape FILE]
 //!         [--preempt-rate N] [--fuzz N]`
 //!
-//! Fires N `run` requests (default 12) from T connections (default 4),
-//! cycling the full scenario catalog at smoke scale, and classifies each
-//! response as ok / queue-full / error. Queue-full rejections are an
-//! expected outcome of backpressure, not a failure. The end-of-run
-//! summary includes the observed p50/p90/p99 request latency (power-of-
-//! two bucket upper bounds from `capsule_core::stats::Histogram`).
+//! Fires N `run` requests (default 12) from T keep-alive connections
+//! (default 4), cycling the full scenario catalog at smoke scale, and
+//! classifies each response as ok / queue-full / error. Queue-full
+//! rejections are an expected outcome of backpressure, not a failure.
+//! The end-of-run summary includes the observed p50/p90/p99 request
+//! latency (power-of-two bucket upper bounds from
+//! `capsule_core::stats::Histogram`).
+//!
+//! `--proto v1|v2` selects the wire protocol (default v1); v2 uses the
+//! framed pipelined `capsule-serve/2` (docs/SERVER.md).
+//!
+//! `--open-loop RATE` switches from the closed loop above to Poisson
+//! arrivals at RATE requests/second, with scenario popularity drawn
+//! from a Zipf distribution (`--zipf S`, default 0 = uniform), seeded
+//! by `--seed` (default 1). Offered load is then independent of server
+//! completions — the shape that actually provokes queue-full
+//! backpressure. `--deterministic` drops pacing and timing from the run
+//! and the summary, leaving only counts and the order-insensitive
+//! report digest, so two runs of one seed print byte-identical
+//! summaries (CI compares them, over both protocols).
+//!
+//! Every flag in this paragraph has a `CAPSULE_LOADGEN_*` environment
+//! equivalent (`PROTO`, `OPEN_LOOP`, `ZIPF`, `SEED`) read through the
+//! warn-on-malformed parser in [`capsule_serve::env`]; explicit flags
+//! win over the environment.
 //!
 //! `--fleet` sizes the batch to exactly one job per catalog entry (the
 //! canonical fleet smoke sweep) unless `--jobs` is given explicitly.
@@ -59,14 +79,17 @@ use capsule_bench::catalog;
 use capsule_core::output::Json;
 use capsule_core::rng::{Rng, Xoshiro256StarStar};
 use capsule_core::stats::Histogram;
-use capsule_serve::client::request_once;
+use capsule_serve::client::{request_once, Connection, Proto};
+use capsule_serve::env::env_parsed;
+use capsule_serve::load::{self, DriveOptions};
 use capsule_serve::protocol::{cache_key, Request};
 
 fn main() {
     let mut args = std::env::args().skip(1);
     let Some(addr) = args.next() else {
         eprintln!(
-            "usage: capsule-loadgen ADDR [--jobs N] [--threads T] [--fleet] [--parity ADDR2] \
+            "usage: capsule-loadgen ADDR [--jobs N] [--threads T] [--fleet] [--proto v1|v2] \
+             [--open-loop RATE] [--zipf S] [--seed N] [--deterministic] [--parity ADDR2] \
              [--trace] [--scrape FILE] [--preempt-rate N] [--fuzz N]"
         );
         std::process::exit(2);
@@ -79,6 +102,12 @@ fn main() {
     let mut scrape: Option<String> = None;
     let mut preempt_rate = 0usize;
     let mut fuzz = 0usize;
+    // Environment defaults (warn-on-malformed); flags override below.
+    let mut proto: Proto = env_parsed("CAPSULE_LOADGEN_PROTO", Proto::V1);
+    let mut open_loop: f64 = env_parsed("CAPSULE_LOADGEN_OPEN_LOOP", 0.0);
+    let mut zipf: f64 = env_parsed("CAPSULE_LOADGEN_ZIPF", 0.0);
+    let mut seed: u64 = env_parsed("CAPSULE_LOADGEN_SEED", 1);
+    let mut deterministic = false;
     while let Some(arg) = args.next() {
         let mut value = || {
             args.next().unwrap_or_else(|| {
@@ -92,10 +121,27 @@ fn main() {
                 std::process::exit(2);
             })
         };
+        let float = |v: String, what: &str| {
+            v.parse::<f64>().unwrap_or_else(|_| {
+                eprintln!("{what} expects a number, got {v:?}");
+                std::process::exit(2);
+            })
+        };
         match arg.as_str() {
             "--jobs" => jobs = Some(int(value(), "--jobs").max(1)),
             "--threads" => threads = int(value(), "--threads").max(1),
             "--fleet" => fleet = true,
+            "--proto" => {
+                let v = value();
+                proto = Proto::parse(&v).unwrap_or_else(|| {
+                    eprintln!("--proto expects v1 or v2, got {v:?}");
+                    std::process::exit(2);
+                });
+            }
+            "--open-loop" => open_loop = float(value(), "--open-loop"),
+            "--zipf" => zipf = float(value(), "--zipf"),
+            "--seed" => seed = int(value(), "--seed") as u64,
+            "--deterministic" => deterministic = true,
             "--parity" => parity = Some(value()),
             "--trace" => trace = true,
             "--scrape" => scrape = Some(value()),
@@ -109,6 +155,13 @@ fn main() {
     }
     if fuzz > 0 {
         if !fuzz_phase(&addr, fuzz) {
+            std::process::exit(1);
+        }
+        return;
+    }
+    if open_loop > 0.0 {
+        let n = jobs.unwrap_or(64);
+        if !open_loop_phase(&addr, n, threads, proto, open_loop, zipf, seed, deterministic) {
             std::process::exit(1);
         }
         return;
@@ -139,60 +192,72 @@ fn main() {
                 (ok.clone(), queue_full.clone(), errors.clone(), next.clone());
             let (latency, reports, samples) = (latency.clone(), reports.clone(), samples.clone());
             let preempted = preempted.clone();
-            std::thread::spawn(move || loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= jobs {
-                    break;
-                }
-                let scenario = mix[i % mix.len()];
-                let trace_id = trace.then(|| format!("lg-{i}"));
-                let req = run_line_traced(scenario, trace_id.as_deref());
-                // Preempt selection is keyed by the job index alone, so
-                // the same jobs are swapped on every run of the same
-                // workload, whatever the thread interleaving.
-                let swap = preempt_rate > 0
-                    && Xoshiro256StarStar::seed_from_u64(0x10ad_6e5e ^ i as u64)
-                        .u64_below(preempt_rate as u64)
-                        == 0;
-                let started = Instant::now();
-                let result = if swap {
-                    run_with_preempt(&addr, &req, &preempted)
-                } else {
-                    request_once(&addr, &req).map_err(|e| e.to_string())
-                };
-                match result {
-                    Ok(json) => {
-                        if json.get("ok").and_then(Json::as_bool) == Some(true) {
-                            let us = started.elapsed().as_micros() as u64;
-                            latency.lock().unwrap().record(us);
-                            if let Some(id) = trace_id {
-                                samples.lock().unwrap().push((us, id));
-                            }
-                            ok.fetch_add(1, Ordering::Relaxed);
-                            if let Some(report) = json.get("report").map(Json::to_string_compact) {
-                                let mut seen = reports.lock().unwrap();
-                                if let Some(prev) = seen.get(scenario) {
-                                    if *prev != report {
-                                        eprintln!(
-                                            "job {i} ({scenario}): report differs from an \
-                                             earlier run of the same scenario"
-                                        );
-                                        errors.fetch_add(1, Ordering::Relaxed);
-                                    }
-                                } else {
-                                    seen.insert(scenario.to_string(), report);
+            std::thread::spawn(move || {
+                // One keep-alive connection per worker thread, redialed
+                // only after a transport fault: the steady-state cost
+                // per job is one round-trip, not connect + round-trip.
+                let mut conn: Option<Connection> = None;
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= jobs {
+                        break;
+                    }
+                    let scenario = mix[i % mix.len()];
+                    let trace_id = trace.then(|| format!("lg-{i}"));
+                    let req = run_line_traced(scenario, trace_id.as_deref());
+                    // Preempt selection is keyed by the job index alone,
+                    // so the same jobs are swapped on every run of the
+                    // same workload, whatever the thread interleaving.
+                    let swap = preempt_rate > 0
+                        && Xoshiro256StarStar::seed_from_u64(0x10ad_6e5e ^ i as u64)
+                            .u64_below(preempt_rate as u64)
+                            == 0;
+                    let started = Instant::now();
+                    let result = if swap {
+                        run_with_preempt(&addr, &req, &preempted)
+                    } else {
+                        request_keepalive(&addr, proto, &mut conn, &req)
+                    };
+                    match result {
+                        Ok(json) => {
+                            if json.get("ok").and_then(Json::as_bool) == Some(true) {
+                                let us = started.elapsed().as_micros() as u64;
+                                latency.lock().unwrap().record(us);
+                                if let Some(id) = trace_id {
+                                    samples.lock().unwrap().push((us, id));
                                 }
+                                ok.fetch_add(1, Ordering::Relaxed);
+                                if let Some(report) =
+                                    json.get("report").map(Json::to_string_compact)
+                                {
+                                    let mut seen = reports.lock().unwrap();
+                                    if let Some(prev) = seen.get(scenario) {
+                                        if *prev != report {
+                                            eprintln!(
+                                                "job {i} ({scenario}): report differs from an \
+                                                 earlier run of the same scenario"
+                                            );
+                                            errors.fetch_add(1, Ordering::Relaxed);
+                                        }
+                                    } else {
+                                        seen.insert(scenario.to_string(), report);
+                                    }
+                                }
+                            } else if json.get("error").and_then(Json::as_str) == Some("queue-full")
+                            {
+                                queue_full.fetch_add(1, Ordering::Relaxed);
+                            } else {
+                                eprintln!(
+                                    "job {i} ({scenario}) failed: {}",
+                                    json.to_string_compact()
+                                );
+                                errors.fetch_add(1, Ordering::Relaxed);
                             }
-                        } else if json.get("error").and_then(Json::as_str) == Some("queue-full") {
-                            queue_full.fetch_add(1, Ordering::Relaxed);
-                        } else {
-                            eprintln!("job {i} ({scenario}) failed: {}", json.to_string_compact());
+                        }
+                        Err(e) => {
+                            eprintln!("job {i} ({scenario}) failed: {e}");
                             errors.fetch_add(1, Ordering::Relaxed);
                         }
-                    }
-                    Err(e) => {
-                        eprintln!("job {i} ({scenario}) failed: {e}");
-                        errors.fetch_add(1, Ordering::Relaxed);
                     }
                 }
             })
@@ -344,6 +409,88 @@ fn fuzz_phase(addr: &str, n: usize) -> bool {
 
 fn run_line(scenario: &str) -> String {
     format!(r#"{{"op":"run","scenario":"{scenario}","scale":"smoke"}}"#)
+}
+
+/// One request over the thread's keep-alive connection, dialing (or
+/// redialing after a transport fault) at most once per call.
+fn request_keepalive(
+    addr: &str,
+    proto: Proto,
+    conn: &mut Option<Connection>,
+    line: &str,
+) -> Result<Json, String> {
+    let reused = conn.is_some();
+    if conn.is_none() {
+        *conn = Some(Connection::connect_with(addr, proto).map_err(|e| e.to_string())?);
+    }
+    match conn.as_mut().expect("connection just ensured").request(line) {
+        Ok(json) => Ok(json),
+        Err(first) => {
+            // A reused connection may simply have been closed by the
+            // server side while idle; one fresh dial gets the verdict.
+            *conn = None;
+            if !reused {
+                return Err(first.to_string());
+            }
+            let mut fresh = Connection::connect_with(addr, proto).map_err(|e| e.to_string())?;
+            let json = fresh.request(line).map_err(|e| e.to_string())?;
+            *conn = Some(fresh);
+            Ok(json)
+        }
+    }
+}
+
+/// The open-loop mode (`--open-loop RATE`): a seeded Poisson/Zipf
+/// schedule over the catalog, replayed by [`capsule_serve::load`].
+/// Returns false when any job hit a transport or structured error
+/// (queue-full rejections are backpressure working, not failures).
+#[allow(clippy::too_many_arguments)]
+fn open_loop_phase(
+    addr: &str,
+    jobs: usize,
+    threads: usize,
+    proto: Proto,
+    rate: f64,
+    zipf: f64,
+    seed: u64,
+    deterministic: bool,
+) -> bool {
+    let mix: Vec<&'static str> = catalog::names();
+    let plan = load::schedule(seed, jobs, rate, zipf, mix.len());
+    let lines: Vec<String> = plan.iter().map(|j| run_line(mix[j.scenario_index])).collect();
+    let options = DriveOptions { proto, connections: threads, deterministic, read_timeout: None };
+    let outcome = match load::drive(addr, &plan, &lines, &options) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("open-loop: cannot connect to {addr}: {e}");
+            return false;
+        }
+    };
+    if deterministic {
+        // Counts and digest only — byte-identical across runs of one
+        // seed (cache hits are excluded: a warmed server answers more
+        // of them without changing the work's bytes).
+        println!(
+            "open-loop[deterministic]: {} ok, {} queue-full, {} errors over {} jobs ({proto}, \
+             seed {seed}, zipf {zipf}) digest={:016x}",
+            outcome.ok, outcome.queue_full, outcome.errors, jobs, outcome.report_digest
+        );
+    } else {
+        let wall_s = outcome.wall.as_secs_f64().max(1e-9);
+        println!(
+            "open-loop: {} ok, {} queue-full, {} errors, {} cache-hits over {} jobs ({proto}, \
+             offered {rate:.0}/s, zipf {zipf}, seed {seed})",
+            outcome.ok, outcome.queue_full, outcome.errors, outcome.cache_hits, jobs
+        );
+        println!(
+            "open-loop: achieved {:.0}/s, p50 {}us, p99 {}us, queue-full rate {:.3}",
+            (outcome.ok + outcome.queue_full + outcome.errors) as f64 / wall_s,
+            outcome.latency_percentile_us(50.0),
+            outcome.latency_percentile_us(99.0),
+            outcome.queue_full_rate()
+        );
+    }
+    outcome.errors == 0
 }
 
 /// Sends a run while a sidecar thread fires `preempt` at its cache key

@@ -1,11 +1,14 @@
 //! LRU result cache keyed by the canonical run-request string, and the
 //! bounded checkpoint store behind preemptible jobs.
 //!
-//! The cached value is the rendered `capsule-bench-report/1` [`Json`]
-//! object; because the renderer is deterministic, a cache hit reproduces
-//! the original report byte for byte. Keys are the full canonical
-//! request strings (never the FNV hash the server reports as
-//! `cache_key`), so hash collisions cannot alias two different jobs.
+//! The cached value is the *serialized* `capsule-bench-report/1` object
+//! — the compact rendering, stored once as a shared string — so a cache
+//! hit splices the bytes straight into the response without touching
+//! the JSON renderer, on both the v1 and v2 paths. Because the renderer
+//! is deterministic, the spliced bytes reproduce the original report
+//! byte for byte. Keys are the full canonical request strings (never
+//! the FNV hash the server reports as `cache_key`), so hash collisions
+//! cannot alias two different jobs.
 //!
 //! The [`CheckpointStore`] is keyed by the 16-hex checkpoint token (the
 //! job's `cache_key`) but every entry also carries the full canonical
@@ -14,10 +17,10 @@
 //! `checkpoint-mismatch` instead of resuming the wrong job.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
-use capsule_core::output::Json;
-
-/// A bounded least-recently-used map from canonical request to report.
+/// A bounded least-recently-used map from canonical request to the
+/// serialized report bytes.
 #[derive(Debug)]
 pub struct ResultCache {
     capacity: usize,
@@ -27,7 +30,7 @@ pub struct ResultCache {
 
 #[derive(Debug)]
 struct Entry {
-    report: Json,
+    report: Arc<str>,
     last_used: u64,
 }
 
@@ -47,18 +50,20 @@ impl ResultCache {
         self.entries.is_empty()
     }
 
-    /// Looks up `key`, marking the entry most-recently used.
-    pub fn get(&mut self, key: &str) -> Option<Json> {
+    /// Looks up `key`, marking the entry most-recently used. The hit is
+    /// a shared handle to the serialized bytes — no re-rendering, no
+    /// copy.
+    pub fn get(&mut self, key: &str) -> Option<Arc<str>> {
         self.tick += 1;
         let tick = self.tick;
         let entry = self.entries.get_mut(key)?;
         entry.last_used = tick;
-        Some(entry.report.clone())
+        Some(Arc::clone(&entry.report))
     }
 
     /// Inserts (or refreshes) `key`, evicting the least-recently-used
     /// entry when the cache is full.
-    pub fn put(&mut self, key: String, report: Json) {
+    pub fn put(&mut self, key: String, report: Arc<str>) {
         if self.capacity == 0 {
             return;
         }
@@ -148,19 +153,47 @@ impl CheckpointStore {
 mod tests {
     use super::*;
 
-    fn report(tag: &str) -> Json {
-        let mut j = Json::object();
+    /// A rendered report, the way the server caches it: built as JSON,
+    /// stored as its compact serialization.
+    fn report(tag: &str) -> Arc<str> {
+        let mut j = capsule_core::output::Json::object();
         j.push("tag", tag);
-        j
+        Arc::from(j.to_string_compact())
     }
 
     #[test]
-    fn hit_returns_the_identical_rendering() {
+    fn hit_returns_the_identical_bytes() {
         let mut c = ResultCache::new(4);
         c.put("k".to_string(), report("r1"));
         let hit = c.get("k").expect("hit");
-        assert_eq!(hit.to_string_compact(), report("r1").to_string_compact());
+        assert_eq!(&*hit, &*report("r1"));
         assert!(c.get("other").is_none());
+    }
+
+    #[test]
+    fn hit_shares_the_stored_bytes_without_reserializing() {
+        // The whole point of caching the serialization: a hit is the
+        // *same allocation* that was stored, not a re-rendered copy.
+        let mut c = ResultCache::new(4);
+        let stored = report("r1");
+        c.put("k".to_string(), Arc::clone(&stored));
+        let hit = c.get("k").expect("hit");
+        assert!(Arc::ptr_eq(&stored, &hit), "a hit must share the stored bytes");
+    }
+
+    #[test]
+    fn serialized_bytes_round_trip_the_renderer() {
+        // Byte parity with the render path: parsing the cached bytes
+        // and re-rendering them is the identity, so splicing them into
+        // a response is indistinguishable from rendering the report.
+        let mut c = ResultCache::new(4);
+        let mut j = capsule_core::output::Json::object();
+        j.push("schema", "capsule-bench-report/1").push("cycles", 12345u64).push("ok", true);
+        let rendered = j.to_string_compact();
+        c.put("k".to_string(), Arc::from(rendered.clone()));
+        let hit = c.get("k").expect("hit");
+        let reparsed = capsule_core::output::Json::parse(&hit).expect("cached bytes parse");
+        assert_eq!(reparsed.to_string_compact(), rendered);
     }
 
     #[test]
@@ -183,7 +216,7 @@ mod tests {
         c.put("b".to_string(), report("b"));
         c.put("a".to_string(), report("a2"));
         assert_eq!(c.len(), 2);
-        assert_eq!(c.get("a").unwrap().to_string_compact(), report("a2").to_string_compact());
+        assert_eq!(&*c.get("a").unwrap(), &*report("a2"));
         assert!(c.get("b").is_some());
     }
 
@@ -233,7 +266,7 @@ mod tests {
         c.put("a".to_string(), report("a2"));
         c.put("c".to_string(), report("c")); // evicts b, not a
         assert!(c.get("b").is_none());
-        assert_eq!(c.get("a").unwrap().to_string_compact(), report("a2").to_string_compact());
+        assert_eq!(&*c.get("a").unwrap(), &*report("a2"));
         assert!(c.get("c").is_some());
     }
 

@@ -1,12 +1,20 @@
 //! `capsule-serve`: a long-running simulation job server over the shared
 //! scenario catalog.
 //!
-//! The server speaks `capsule-serve/1` — newline-delimited JSON over TCP
-//! (std::net only, no external dependencies). A request names a
-//! [`capsule_bench::catalog`] scenario plus optional machine-config
-//! overrides and a cycle budget; the response carries the same
-//! `capsule-bench-report/1` object the evaluation binaries emit, plus
-//! job metadata (queue wait, run time, cache hit).
+//! The server speaks two protocols over TCP (std::net only, no external
+//! dependencies), negotiated from the first byte on the wire:
+//!
+//! - `capsule-serve/1` — newline-delimited JSON, one request per
+//!   round-trip (fully preserved for backward compatibility);
+//! - `capsule-serve/2` — length-prefixed binary frames ([`frame`]) with
+//!   per-connection pipelining: many in-flight requests per socket,
+//!   responses tagged by id and allowed out of order.
+//!
+//! A request names a [`capsule_bench::catalog`] scenario plus optional
+//! machine-config overrides and a cycle budget; the response carries the
+//! same `capsule-bench-report/1` object the evaluation binaries emit,
+//! plus job metadata (queue wait, run time, cache hit), and renders
+//! byte-identically over both protocols.
 //!
 //! Three properties matter and are tested end to end:
 //!
@@ -26,10 +34,15 @@
 pub mod cache;
 pub mod client;
 pub mod env;
+pub mod frame;
+pub mod load;
 pub mod protocol;
 pub mod server;
 
 pub use cache::ResultCache;
-pub use client::{probe, request_once, ClientError, Connection, ServerProbe};
+pub use client::{
+    probe, request_once, request_once_with, ClientError, Connection, ConnectionPool, Proto,
+};
+pub use client::{PooledConnection, ServerProbe};
 pub use protocol::{ConfigOverrides, Request, RequestError, RunRequest, SCHEMA};
 pub use server::{Server, ServerOptions};

@@ -254,6 +254,26 @@ pub enum Request {
     },
 }
 
+impl Request {
+    /// The wire name of this request's op — what the request's `"op"`
+    /// field held. The v2 framing layer uses it to cross-check a
+    /// frame's op tag against its payload.
+    pub fn op(&self) -> &'static str {
+        match self {
+            Request::Run(_) => "run",
+            Request::Stats => "stats",
+            Request::List => "list",
+            Request::Cancel => "cancel",
+            Request::Shutdown => "shutdown",
+            Request::Trace { .. } => "trace",
+            Request::Metrics => "metrics",
+            Request::Preempt { .. } => "preempt",
+            Request::CheckpointFetch { .. } => "checkpoint-fetch",
+            Request::CheckpointPut { .. } => "checkpoint-put",
+        }
+    }
+}
+
 /// Validates a checkpoint token / cache key: exactly 16 lowercase hex
 /// digits, the rendering of [`fnv1a64`] the server reports.
 fn parse_token(field: &str, v: &Json) -> Result<String, RequestError> {

@@ -8,6 +8,15 @@
 //! `queue-full` rejection instead of an ever-growing backlog — the
 //! server-level analogue of the paper's death-rate division throttle
 //! (§4.2): admission control by refusal, not by queueing.
+//!
+//! The protocol is negotiated per connection from the first byte on the
+//! wire: `{` (or whitespace) opens a v1 newline-JSON line loop, the
+//! frame magic `C` opens a v2 framed connection ([`crate::frame`]). A
+//! v1 connection serves one request per round-trip, exactly as before;
+//! a v2 connection is pipelined — run jobs are admitted without
+//! blocking the reader, and each worker queues its rendered response
+//! (tagged with the request id) onto the connection's writer thread the
+//! moment it finishes, in whatever order that happens.
 
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
@@ -28,6 +37,7 @@ use capsule_sim::machine::WarmMachine;
 use capsule_sim::CancelToken;
 
 use crate::cache::{Checkpoint, CheckpointStore, ResultCache};
+use crate::frame::{self, FrameFlow, ReplySink};
 use crate::protocol::{
     cache_key, error_response, fnv1a64, hex_encode, list_response, response_head, Request,
     RunRequest,
@@ -116,13 +126,39 @@ impl JobTrace {
     }
 }
 
-/// One queued run job: the validated request plus the reply channel of
-/// the connection thread waiting for it.
+/// Where a finished job's rendered response goes: back to the blocking
+/// v1 connection thread, or onto a v2 connection's writer queue, tagged
+/// with the request id so completions may land out of submission order.
+enum JobReply {
+    /// v1: the connection thread blocks on the paired receiver.
+    V1(mpsc::Sender<String>),
+    /// v2: queue onto the connection's writer with the request id.
+    V2 { sink: ReplySink, id: u64 },
+}
+
+impl JobReply {
+    /// Routes the rendered response; the connection may already be gone
+    /// (a v1 client that hung up, a v2 writer that exited), which is
+    /// fine — the result is cached regardless.
+    fn send(&self, rendered: String) {
+        match self {
+            JobReply::V1(tx) => {
+                let _ = tx.send(rendered);
+            }
+            JobReply::V2 { sink, id } => {
+                let _ = sink.send_str(*id, frame::tag::RUN, &rendered);
+            }
+        }
+    }
+}
+
+/// One queued run job: the validated request plus the reply route of
+/// the connection waiting for it.
 struct Job {
     run: RunRequest,
     canonical: String,
     enqueued: Instant,
-    reply: mpsc::Sender<Json>,
+    reply: JobReply,
     trace: Option<JobTrace>,
     /// Checkpoint blob to resume from, pre-validated at admission.
     resume: Option<Vec<u8>>,
@@ -181,6 +217,36 @@ struct Shared {
     /// `preempt` op then reaches the newest job, which is the one still
     /// making progress.
     preempts: Mutex<HashMap<String, Arc<AtomicBool>>>,
+    /// Read handles of every open connection, so shutdown can sever
+    /// them. Keep-alive clients (the fleet's connection pool) otherwise
+    /// keep a "stopped" server reachable indefinitely: connection
+    /// threads block in `read` and would happily serve control ops
+    /// forever. Severing only the *read* side lets queued responses —
+    /// including the `shutdown` acknowledgement itself — still flush.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    next_conn: AtomicU64,
+}
+
+/// Registers a connection for shutdown severing; deregisters on drop so
+/// the registry tracks only live connections.
+struct ConnGuard<'a> {
+    shared: &'a Shared,
+    id: u64,
+}
+
+impl<'a> ConnGuard<'a> {
+    fn register(shared: &'a Shared, stream: &TcpStream) -> Option<ConnGuard<'a>> {
+        let handle = stream.try_clone().ok()?;
+        let id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
+        lock(&shared.conns).insert(id, handle);
+        Some(ConnGuard { shared, id })
+    }
+}
+
+impl Drop for ConnGuard<'_> {
+    fn drop(&mut self) {
+        lock(&self.shared.conns).remove(&self.id);
+    }
 }
 
 fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
@@ -218,6 +284,8 @@ impl Server {
             traces: Mutex::new(TraceStore::new(opts.traces)),
             checkpoints: Mutex::new(CheckpointStore::new(opts.checkpoints)),
             preempts: Mutex::new(HashMap::new()),
+            conns: Mutex::new(HashMap::new()),
+            next_conn: AtomicU64::new(0),
         });
 
         let mut workers = Vec::with_capacity(opts.workers);
@@ -276,6 +344,13 @@ fn initiate_shutdown(shared: &Shared) {
         *lock(&shared.jobs) = None;
         // Stop in-flight runs promptly.
         lock(&shared.cancel).cancel();
+        // Sever the read side of every open connection: blocked reads
+        // see EOF, connection threads drain their pending responses and
+        // exit, and keep-alive peers observe a closed socket instead of
+        // a zombie endpoint.
+        for conn in lock(&shared.conns).values() {
+            let _ = conn.shutdown(std::net::Shutdown::Read);
+        }
         // Unblock the accept loop so it observes `running == false`.
         let _ = TcpStream::connect(shared.addr);
     }
@@ -294,6 +369,19 @@ fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener) {
 
 fn handle_connection(shared: &Shared, stream: TcpStream) {
     shared.counters.connections.fetch_add(1, Ordering::Relaxed);
+    let _guard = ConnGuard::register(shared, &stream);
+    // Protocol negotiation happens on the first byte without consuming
+    // it: v1 request lines open with `{` (or whitespace), v2
+    // connections open with the frame magic `C`.
+    let mut first = [0u8; 1];
+    match stream.peek(&mut first) {
+        Ok(0) | Err(_) => return,
+        Ok(_) => {}
+    }
+    if first[0] == frame::MAGIC[0] {
+        let _ = frame::serve_v2(stream, |f, sink| handle_frame(shared, f, sink));
+        return;
+    }
     let Ok(read_half) = stream.try_clone() else { return };
     let mut writer = stream;
     for line in BufReader::new(read_half).lines() {
@@ -303,7 +391,7 @@ fn handle_connection(shared: &Shared, stream: TcpStream) {
         }
         shared.counters.requests.fetch_add(1, Ordering::Relaxed);
         let (response, shutdown) = handle_line(shared, &line);
-        let mut bytes = response.to_string_compact().into_bytes();
+        let mut bytes = response.into_bytes();
         bytes.push(b'\n');
         if writer.write_all(&bytes).and_then(|()| writer.flush()).is_err() {
             break;
@@ -315,35 +403,124 @@ fn handle_connection(shared: &Shared, stream: TcpStream) {
     }
 }
 
-/// Handles one request line; the bool asks the connection loop to start
-/// server shutdown after the response is written.
-fn handle_line(shared: &Shared, line: &str) -> (Json, bool) {
+/// Handles one v2 request frame. Runs are admitted without blocking the
+/// reader — the worker queues the rendered response by request id when
+/// the job finishes — so one v2 connection can keep many jobs in
+/// flight and collect completions out of order.
+fn handle_frame(shared: &Shared, f: frame::Frame, sink: &ReplySink) -> FrameFlow {
+    shared.counters.requests.fetch_add(1, Ordering::Relaxed);
+    let Some(op) = frame::tag_op(f.tag) else {
+        shared.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
+        sink.send_bad_frame(f.id, &format!("unknown op tag {}", f.tag));
+        return FrameFlow::Continue;
+    };
+    let Ok(line) = std::str::from_utf8(&f.payload) else {
+        shared.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
+        sink.send_bad_frame(f.id, "payload is not UTF-8");
+        return FrameFlow::Continue;
+    };
     let request = match Request::parse_line(line) {
         Ok(r) => r,
         Err(e) => {
             shared.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
-            return (error_response("?", "bad-request", Some(&e.message)), false);
+            sink.send_json(f.id, f.tag, &error_response("?", "bad-request", Some(&e.message)));
+            return FrameFlow::Continue;
         }
     };
+    if request.op() != op {
+        shared.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
+        sink.send_bad_frame(
+            f.id,
+            &format!("frame tag {op:?} does not match payload op {:?}", request.op()),
+        );
+        return FrameFlow::Continue;
+    }
+    match dispatch(shared, request, JobReply::V2 { sink: sink.clone(), id: f.id }) {
+        Dispatched::Done(rendered) => {
+            sink.send_str(f.id, f.tag, &rendered);
+            FrameFlow::Continue
+        }
+        Dispatched::Shutdown(rendered) => {
+            sink.send_str(f.id, f.tag, &rendered);
+            initiate_shutdown(shared);
+            FrameFlow::Close
+        }
+        Dispatched::Queued => FrameFlow::Continue,
+    }
+}
+
+/// Handles one v1 request line; the bool asks the connection loop to
+/// start server shutdown after the response is written. v1 keeps its
+/// one-request-per-round-trip shape by blocking on the reply channel of
+/// a queued run.
+fn handle_line(shared: &Shared, line: &str) -> (String, bool) {
+    let request = match Request::parse_line(line) {
+        Ok(r) => r,
+        Err(e) => {
+            shared.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
+            return (
+                error_response("?", "bad-request", Some(&e.message)).to_string_compact(),
+                false,
+            );
+        }
+    };
+    let (reply_tx, reply_rx) = mpsc::channel();
+    match dispatch(shared, request, JobReply::V1(reply_tx)) {
+        Dispatched::Done(rendered) => (rendered, false),
+        Dispatched::Shutdown(rendered) => (rendered, true),
+        Dispatched::Queued => {
+            let rendered = reply_rx.recv().unwrap_or_else(|_| {
+                error_response("run", "internal-error", Some("worker dropped the job"))
+                    .to_string_compact()
+            });
+            (rendered, false)
+        }
+    }
+}
+
+/// How a request resolved at dispatch: a rendered response (possibly
+/// one that asks the connection to start shutdown), or a queued run
+/// that replies later through its [`JobReply`].
+enum Dispatched {
+    Done(String),
+    Shutdown(String),
+    Queued,
+}
+
+/// Protocol-independent request dispatch: both the v1 line loop and the
+/// v2 frame handler funnel here, so every op behaves identically — and
+/// renders identically — over both wire formats.
+fn dispatch(shared: &Shared, request: Request, reply: JobReply) -> Dispatched {
     match request {
-        Request::Run(run) => (handle_run(shared, run), false),
+        Request::Run(run) => match submit_run(shared, run, reply) {
+            Some(rendered) => Dispatched::Done(rendered),
+            None => Dispatched::Queued,
+        },
         Request::Cancel => {
             shared.counters.cancel_requests.fetch_add(1, Ordering::Relaxed);
             let mut guard = lock(&shared.cancel);
             guard.cancel();
             *guard = CancelToken::new();
-            (response_head("cancel", true), false)
+            Dispatched::Done(response_head("cancel", true).to_string_compact())
         }
-        Request::Stats => (stats_response(shared), false),
-        Request::List => (list_response(), false),
-        Request::Metrics => (metrics_response(shared), false),
-        Request::Trace { trace_id } => (trace_response(shared, &trace_id), false),
-        Request::Preempt { cache_key } => (preempt_response(shared, &cache_key), false),
-        Request::CheckpointFetch { token } => (checkpoint_fetch_response(shared, &token), false),
-        Request::CheckpointPut { token, canonical, blob } => {
-            (checkpoint_put_response(shared, token, canonical, blob), false)
+        Request::Stats => Dispatched::Done(stats_response(shared).to_string_compact()),
+        Request::List => Dispatched::Done(list_response().to_string_compact()),
+        Request::Metrics => Dispatched::Done(metrics_response(shared).to_string_compact()),
+        Request::Trace { trace_id } => {
+            Dispatched::Done(trace_response(shared, &trace_id).to_string_compact())
         }
-        Request::Shutdown => (response_head("shutdown", true), true),
+        Request::Preempt { cache_key } => {
+            Dispatched::Done(preempt_response(shared, &cache_key).to_string_compact())
+        }
+        Request::CheckpointFetch { token } => {
+            Dispatched::Done(checkpoint_fetch_response(shared, &token).to_string_compact())
+        }
+        Request::CheckpointPut { token, canonical, blob } => Dispatched::Done(
+            checkpoint_put_response(shared, token, canonical, blob).to_string_compact(),
+        ),
+        Request::Shutdown => {
+            Dispatched::Shutdown(response_head("shutdown", true).to_string_compact())
+        }
     }
 }
 
@@ -424,7 +601,12 @@ fn checkpoint_put_response(
     r
 }
 
-fn handle_run(shared: &Shared, run: RunRequest) -> Json {
+/// Admits a `run` request: answers immediately (`Some`) on a cache
+/// hit, a validation failure, queue-full or shutdown; otherwise the job
+/// is queued (`None`) and the worker routes the rendered response
+/// through `reply` when it finishes — out of submission order on a
+/// pipelined v2 connection.
+fn submit_run(shared: &Shared, run: RunRequest, reply: JobReply) -> Option<String> {
     let canonical = run.canonical();
     let mut trace = JobTrace::start(&run);
     // A profiled request bypasses the cache lookup — the per-stage
@@ -437,9 +619,15 @@ fn handle_run(shared: &Shared, run: RunRequest) -> Json {
                 t.rec.event(t.root, "cache-hit", &[]);
                 t.store(shared);
             }
-            let mut r = run_ok_response(&canonical, report, true, 0, 0);
-            echo_trace_id(&mut r, &run);
-            return r;
+            return Some(render_run_ok(
+                &canonical,
+                &report,
+                true,
+                0,
+                0,
+                run.trace_id.as_deref(),
+                None,
+            ));
         }
         shared.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
         if let Some(t) = trace.as_mut() {
@@ -453,35 +641,43 @@ fn handle_run(shared: &Shared, run: RunRequest) -> Json {
     // must agree on the canonical — so a token can only resume the exact
     // job it was parked from.
     let key = cache_key(&canonical);
-    let resume = match &run.resume_from {
-        None => None,
-        Some(token) => {
-            if *token != key {
-                return error_response(
-                    "run",
-                    "checkpoint-mismatch",
-                    Some("resume_from is not this request's cache_key"),
-                );
-            }
-            match lock(&shared.checkpoints).get(token) {
-                None => {
-                    return error_response(
-                        "run",
-                        "unknown-checkpoint",
-                        Some("no stored checkpoint for this token (never parked, or evicted)"),
-                    )
+    let resume =
+        match &run.resume_from {
+            None => None,
+            Some(token) => {
+                if *token != key {
+                    return Some(
+                        error_response(
+                            "run",
+                            "checkpoint-mismatch",
+                            Some("resume_from is not this request's cache_key"),
+                        )
+                        .to_string_compact(),
+                    );
                 }
-                Some(cp) if cp.canonical != canonical => {
-                    return error_response(
-                        "run",
-                        "checkpoint-mismatch",
-                        Some("stored checkpoint belongs to a different job"),
-                    )
+                match lock(&shared.checkpoints).get(token) {
+                    None => return Some(
+                        error_response(
+                            "run",
+                            "unknown-checkpoint",
+                            Some("no stored checkpoint for this token (never parked, or evicted)"),
+                        )
+                        .to_string_compact(),
+                    ),
+                    Some(cp) if cp.canonical != canonical => {
+                        return Some(
+                            error_response(
+                                "run",
+                                "checkpoint-mismatch",
+                                Some("stored checkpoint belongs to a different job"),
+                            )
+                            .to_string_compact(),
+                        )
+                    }
+                    Some(cp) => Some(cp.blob),
                 }
-                Some(cp) => Some(cp.blob),
             }
-        }
-    };
+        };
 
     // A job is preemptible iff it runs on the checkpointed path: either
     // the server checkpoints periodically, or the job resumes a parked
@@ -502,14 +698,13 @@ fn handle_run(shared: &Shared, run: RunRequest) -> Json {
     // Clone the sender out so the jobs lock is not held while waiting.
     let Some(tx) = lock(&shared.jobs).clone() else {
         unregister(shared);
-        return error_response("run", "shutting-down", None);
+        return Some(error_response("run", "shutting-down", None).to_string_compact());
     };
-    let (reply_tx, reply_rx) = mpsc::channel();
     let job = Job {
         run,
         canonical,
         enqueued: Instant::now(),
-        reply: reply_tx,
+        reply,
         trace,
         resume,
         preempt: preempt.clone(),
@@ -517,9 +712,7 @@ fn handle_run(shared: &Shared, run: RunRequest) -> Json {
     match tx.try_send(job) {
         Ok(()) => {
             shared.counters.jobs_accepted.fetch_add(1, Ordering::Relaxed);
-            reply_rx.recv().unwrap_or_else(|_| {
-                error_response("run", "internal-error", Some("worker dropped the job"))
-            })
+            None
         }
         Err(TrySendError::Full(job)) => {
             unregister(shared);
@@ -530,11 +723,11 @@ fn handle_run(shared: &Shared, run: RunRequest) -> Json {
             }
             let mut r = error_response("run", "queue-full", None);
             r.push("queue_capacity", shared.opts.queue);
-            r
+            Some(r.to_string_compact())
         }
         Err(TrySendError::Disconnected(_)) => {
             unregister(shared);
-            error_response("run", "shutting-down", None)
+            Some(error_response("run", "shutting-down", None).to_string_compact())
         }
     }
 }
@@ -547,20 +740,44 @@ fn echo_trace_id(r: &mut Json, run: &RunRequest) {
     }
 }
 
-fn run_ok_response(
+/// Renders a `run` success response, splicing the already-serialized
+/// report bytes into place instead of re-rendering the report object.
+/// The field order — and every byte — matches what pushing the parsed
+/// report into the response object would have produced, so v1 lines,
+/// v2 payloads, cache hits and cache misses all render identically.
+fn render_run_ok(
     canonical: &str,
-    report: Json,
+    report: &str,
     cache_hit: bool,
     queue_wait_us: u64,
     run_us: u64,
-) -> Json {
-    let mut r = response_head("run", true);
-    r.push("cache_hit", cache_hit)
+    trace_id: Option<&str>,
+    profile: Option<Json>,
+) -> String {
+    let mut head = response_head("run", true);
+    head.push("cache_hit", cache_hit)
         .push("cache_key", format!("{:016x}", fnv1a64(canonical.as_bytes())))
         .push("queue_wait_us", queue_wait_us)
-        .push("run_us", run_us)
-        .push("report", report);
-    r
+        .push("run_us", run_us);
+    let mut out = head.to_string_compact();
+    out.pop(); // reopen the object to splice the remaining fields
+    out.push_str(",\"report\":");
+    out.push_str(report);
+    let mut tail = Json::object();
+    if let Some(id) = trace_id {
+        tail.push("trace_id", id);
+    }
+    if let Some(p) = profile {
+        tail.push("profile", p);
+    }
+    let tail = tail.to_string_compact();
+    if tail.len() > 2 {
+        out.push(',');
+        out.push_str(&tail[1..]);
+    } else {
+        out.push('}');
+    }
+    out
 }
 
 fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<Job>>) {
@@ -675,7 +892,7 @@ fn run_job(shared: &Shared, runner: &BatchRunner, warm: &mut WarmMachine, mut jo
                         .push("run_us", run_us);
                     echo_trace_id(&mut r, &job.run);
                     unregister_preempt(shared, &job);
-                    let _ = job.reply.send(r);
+                    job.reply.send(r.to_string_compact());
                     return;
                 }
                 Err(CheckpointFailure::Batch(e)) => Err(e),
@@ -693,7 +910,7 @@ fn run_job(shared: &Shared, runner: &BatchRunner, warm: &mut WarmMachine, mut jo
                     r.push("queue_wait_us", queue_wait_us).push("run_us", run_us);
                     echo_trace_id(&mut r, &job.run);
                     unregister_preempt(shared, &job);
-                    let _ = job.reply.send(r);
+                    job.reply.send(r.to_string_compact());
                     return;
                 }
             }
@@ -710,19 +927,26 @@ fn run_job(shared: &Shared, runner: &BatchRunner, warm: &mut WarmMachine, mut jo
 
     let response = match result {
         Ok(report) => {
-            let json = report.to_json();
-            // The cached report never carries observation data: profile
-            // arrays are rebuilt per response, so a later plain hit is
+            // The report is rendered exactly once; the cache stores the
+            // serialized bytes, so later hits splice them into their
+            // responses without touching the renderer. The cached
+            // report never carries observation data: profile arrays are
+            // rebuilt per response, so a later plain hit is
             // byte-identical to an untraced run's report.
-            lock(&shared.cache).put(job.canonical.clone(), json.clone());
+            let bytes: Arc<str> = Arc::from(report.to_json().to_string_compact());
+            lock(&shared.cache).put(job.canonical.clone(), Arc::clone(&bytes));
             shared.counters.jobs_completed.fetch_add(1, Ordering::Relaxed);
             finish_job_trace(shared, &mut job, exec, "completed");
-            let mut r = run_ok_response(&job.canonical, json, false, queue_wait_us, run_us);
-            echo_trace_id(&mut r, &job.run);
-            if job.run.profile {
-                r.push("profile", profile_json(&report));
-            }
-            r
+            let profile = job.run.profile.then(|| profile_json(&report));
+            render_run_ok(
+                &job.canonical,
+                &bytes,
+                false,
+                queue_wait_us,
+                run_us,
+                job.run.trace_id.as_deref(),
+                profile,
+            )
         }
         Err(e) => {
             let cancelled = e.failure.is_cancelled();
@@ -744,11 +968,11 @@ fn run_job(shared: &Shared, runner: &BatchRunner, warm: &mut WarmMachine, mut jo
             );
             r.push("queue_wait_us", queue_wait_us).push("run_us", run_us);
             echo_trace_id(&mut r, &job.run);
-            r
+            r.to_string_compact()
         }
     };
     // The connection may already be gone; the result is cached anyway.
-    let _ = job.reply.send(response);
+    job.reply.send(response);
 }
 
 /// Closes the execute span with its outcome and files the span tree.

@@ -1,9 +1,18 @@
 #!/usr/bin/env sh
-# Simulator-throughput benchmark: builds the workspace and runs the
-# catalog through capsule-bench's bench_sim mode, recording host
+# Tracked benchmarks: builds the workspace and runs one of the two bench
+# binaries.
+#
+# Default (no subcommand): capsule-bench's bench_sim mode, recording host
 # wall-clock and simulated-cycles-per-host-second per catalog entry in
-# BENCH_sim.json (schema capsule-bench-sim/1). See docs/PERF.md for how
-# to read the numbers and how to compare against a saved baseline.
+# BENCH_sim.json (schema capsule-bench-sim/1).
+#
+# `serve` subcommand: capsule-serve's bench_serve mode, recording
+# throughput, latency percentiles, queue-full rate and per-job protocol
+# overhead for v1 and v2 legs at fixed offered loads in BENCH_serve.json
+# (schema capsule-bench-serve/1).
+#
+# See docs/PERF.md for how to read the numbers and how to compare
+# against a saved baseline.
 #
 # Usage:
 #   scripts/bench.sh                         # quick scale -> BENCH_sim.json
@@ -11,10 +20,18 @@
 #   scripts/bench.sh --baseline old.json     # adds per-entry speedups
 #   scripts/bench.sh --compare old.json      # throughput gate (exit 1 on
 #                                            # regression beyond --noise)
-# All arguments are passed through to bench_sim.
+#   scripts/bench.sh serve                   # server legs -> BENCH_serve.json
+#   scripts/bench.sh serve --compare old.json
+# Remaining arguments are passed through to the selected binary.
 set -eu
 
 cd "$(dirname "$0")/.."
 
+bin=bench_sim
+if [ "${1:-}" = "serve" ]; then
+    bin=bench_serve
+    shift
+fi
+
 cargo build --release --offline --workspace
-exec target/release/bench_sim "$@"
+exec "target/release/$bin" "$@"

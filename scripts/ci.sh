@@ -52,6 +52,33 @@ if target/release/bench_sim --scale smoke --entries toolchain_overhead \
 fi
 rm -rf "$bench_dir"
 
+echo "==> bench_serve determinism + compare gate smoke"
+# The server benchmark must be doubly deterministic: two fixed-seed
+# --deterministic runs byte-identical, and each run self-checks that
+# the v1 and v2 legs of every load produce the same per-job report
+# digest (exit nonzero on a parity break). The throughput gate mirrors
+# bench_sim's: a near-zero synthetic baseline passes, an unreachably
+# fast one must fail — write-the-file-then-gate semantics included.
+sbench_dir="$(mktemp -d)"
+target/release/bench_serve --loads 30 --jobs 12 --deterministic \
+    --out "$sbench_dir/a.json" >/dev/null
+target/release/bench_serve --loads 30 --jobs 12 --deterministic \
+    --out "$sbench_dir/b.json" >/dev/null
+cmp "$sbench_dir/a.json" "$sbench_dir/b.json"
+printf '%s' '{"schema":"capsule-bench-serve/1","entries":[{"entry":"load30_v1","throughput_rps":0.001},{"entry":"load30_v2","throughput_rps":0.001}]}' \
+    >"$sbench_dir/base_slow.json"
+printf '%s' '{"schema":"capsule-bench-serve/1","entries":[{"entry":"load30_v1","throughput_rps":1e15}]}' \
+    >"$sbench_dir/base_fast.json"
+target/release/bench_serve --loads 30 --jobs 12 --overhead-probes 20 \
+    --out "$sbench_dir/cmp.json" --compare "$sbench_dir/base_slow.json" >/dev/null
+if target/release/bench_serve --loads 30 --jobs 12 --overhead-probes 20 \
+    --out "$sbench_dir/cmp.json" --compare "$sbench_dir/base_fast.json" >/dev/null; then
+    echo "bench_serve --compare failed to flag a regression" >&2
+    exit 1
+fi
+rm -rf "$sbench_dir"
+echo "bench_serve: deterministic runs byte-identical, compare gate passes and fails correctly"
+
 echo "==> capsule-fuzz differential smoke"
 # Fixed-seed, fixed-count sweep over the reduced config matrix: every
 # generated program must produce identical architectural results across
@@ -99,6 +126,37 @@ target/release/capsule-loadgen "$addr" --jobs 8 --threads 3 --preempt-rate 3
 # scenario set (docs/FUZZ.md) — the server path (cache keys, overrides,
 # checkpointed runs) must be invisible to results.
 target/release/capsule-loadgen "$addr" --fuzz 4
+# Open-loop determinism: two fixed-seed Poisson/Zipf replays per
+# protocol against the live server must print byte-identical summaries
+# (the digest covers every report byte of every job), and the v1 and
+# v2 digests must agree — the framed protocol cannot fork a result.
+# Jobs fit the workers+queue capacity so nothing races backpressure.
+ol_v1a="$(target/release/capsule-loadgen "$addr" --open-loop 30 --zipf 0.8 --seed 7 --jobs 8 --threads 2 --deterministic)"
+ol_v1b="$(target/release/capsule-loadgen "$addr" --open-loop 30 --zipf 0.8 --seed 7 --jobs 8 --threads 2 --deterministic)"
+ol_v2a="$(target/release/capsule-loadgen "$addr" --open-loop 30 --zipf 0.8 --seed 7 --jobs 8 --threads 2 --deterministic --proto v2)"
+ol_v2b="$(CAPSULE_LOADGEN_PROTO=v2 target/release/capsule-loadgen "$addr" --open-loop 30 --zipf 0.8 --seed 7 --jobs 8 --threads 2 --deterministic)"
+if [ "$ol_v1a" != "$ol_v1b" ] || [ "$ol_v2a" != "$ol_v2b" ]; then
+    echo "open-loop replay is not deterministic:" >&2
+    printf '%s\n%s\n%s\n%s\n' "$ol_v1a" "$ol_v1b" "$ol_v2a" "$ol_v2b" >&2
+    exit 1
+fi
+d_v1="$(printf '%s' "$ol_v1a" | sed -n 's/.*digest=\([0-9a-f]*\).*/\1/p')"
+d_v2="$(printf '%s' "$ol_v2a" | sed -n 's/.*digest=\([0-9a-f]*\).*/\1/p')"
+if [ -z "$d_v1" ] || [ "$d_v1" != "$d_v2" ]; then
+    echo "v1/v2 open-loop digests disagree: '$d_v1' vs '$d_v2'" >&2
+    exit 1
+fi
+# Protocol parity over one-shot clients: the same (warmed) job asked
+# over v1 and v2 must answer with byte-identical responses.
+target/release/capsule-client "$addr" run table3_divisions smoke --compact >/dev/null
+pv1="$(target/release/capsule-client "$addr" --proto v1 run table3_divisions smoke --compact)"
+pv2="$(target/release/capsule-client "$addr" --proto v2 run table3_divisions smoke --compact)"
+if [ "$pv1" != "$pv2" ]; then
+    echo "v1 and v2 client answers diverged:" >&2
+    printf '%s\n%s\n' "$pv1" "$pv2" >&2
+    exit 1
+fi
+echo "open-loop determinism + v1/v2 parity: ok (digest $d_v1)"
 target/release/capsule-client "$addr" shutdown --compact
 wait "$serve_pid"
 rm -f "$serve_log"
