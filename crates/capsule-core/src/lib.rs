@@ -49,7 +49,8 @@ pub mod stats;
 
 pub use config::MachineConfig;
 pub use ids::{ContextId, WorkerId};
-pub use obs::{MetricsRegistry, SpanId, SpanTree, TraceRecorder, TraceStore};
+pub use obs::flight::{FlightEvent, FlightKind, FlightRecorder, FlightSnapshot};
+pub use obs::{Ewma, MetricsRegistry, SpanId, SpanTree, TailPolicy, TraceRecorder, TraceStore};
 pub use output::OutValue;
 pub use policy::{DeathRateWindow, DivisionDecision, DivisionPolicy, DivisionRequest};
 pub use stats::{DivisionTree, SectionTracker, SimStats};

@@ -1,19 +1,27 @@
 //! Observability primitives shared by the job server and the fleet
-//! coordinator: a bounded span/event recorder for request-scoped tracing,
-//! a bounded store of finished traces, and a metrics registry with a
-//! deterministic text exposition.
+//! coordinator: the always-on [`flight`] recorder, a bounded span/event
+//! recorder for request-scoped tracing, a bounded store of finished
+//! traces with a tail-sampling [`TailPolicy`], EWMA health gauges, and
+//! a metrics registry with a deterministic text exposition.
 //!
-//! Everything here is off the hot path by design: a request records a
-//! trace only when the client attached a `trace_id`, and a metrics
-//! snapshot is built only when a `metrics` request arrives. Nothing in
-//! this module reads wall-clock time except [`TraceRecorder`], whose
-//! timestamps are microseconds relative to its own creation (monotonic,
-//! never absolute) — so neither traces nor metrics introduce
-//! nondeterminism into reports or exposition bodies.
+//! Everything here is cheap on the hot path by design: every `run` is
+//! traced internally, but a finished trace is *retained* only when the
+//! [`TailPolicy`] says it is interesting (slow beyond the rolling p99,
+//! failed, retried, migrated, or explicitly requested with a
+//! `trace_id`); the flight ring records one tiny event per decision
+//! under a short mutex hold; and a metrics snapshot is built only when
+//! a `metrics` request arrives. Nothing in this module reads wall-clock
+//! time except [`TraceRecorder`] and the flight ring, whose timestamps
+//! are microseconds relative to their own creation (monotonic, never
+//! absolute) — so neither traces nor metrics introduce nondeterminism
+//! into reports or exposition bodies.
 //!
 //! See `docs/OBSERVABILITY.md` for the wire formats built on top of this.
 
+pub mod flight;
+
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use crate::output::Json;
@@ -291,6 +299,110 @@ impl TraceStore {
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
+
+    /// Iterates the retained traces, oldest first — the `dump` op's
+    /// view of the store.
+    pub fn entries(&self) -> impl Iterator<Item = (&str, &Json)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+}
+
+/// Decides which finished traces the [`TraceStore`] keeps: the tail.
+///
+/// Every run is traced internally, but retaining every tree would make
+/// the bounded store useless under load — the interesting jobs (the
+/// p99 straggler, the retried dispatch) would be evicted by the boring
+/// ones within seconds. The policy keeps a [`Histogram`] of run
+/// durations and retains a trace when the caller flags it interesting
+/// (failed, retried, migrated, or explicitly requested) **or** when its
+/// duration is strictly above the rolling p99 bound of everything
+/// observed *before* it. The threshold is consulted before the sample
+/// is folded in, so the first observation is never self-retained and a
+/// burst of identical slow jobs retains only until the histogram
+/// catches up.
+#[derive(Debug, Default)]
+pub struct TailPolicy {
+    hist: Histogram,
+}
+
+impl TailPolicy {
+    /// A policy with no history (nothing is slow yet).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current retention threshold: the p99 upper bound of observed
+    /// durations, `None` before the first observation.
+    pub fn p99_bound(&self) -> Option<u64> {
+        self.hist.quantile_bound(0.99)
+    }
+
+    /// Durations observed so far.
+    pub fn observed(&self) -> u64 {
+        self.hist.count()
+    }
+
+    /// Folds one finished run into the history and decides retention:
+    /// true when `interesting` (the caller's fail/retry/migrate/
+    /// explicit flag) or when `run_us` lands strictly above the
+    /// pre-sample p99 bound.
+    pub fn observe(&mut self, run_us: u64, interesting: bool) -> bool {
+        let keep = interesting || self.p99_bound().is_some_and(|t| run_us > t);
+        self.hist.record(run_us);
+        keep
+    }
+}
+
+/// An exponentially weighted moving average gauge (α = 1/8) over `u64`
+/// samples, updatable without a lock.
+///
+/// `observe` is a load/compute/store (not a CAS loop): under heavy
+/// concurrent writes an update can be lost, which for a smoothing gauge
+/// is indistinguishable from a slightly smaller α. Integer division
+/// truncates toward zero, so the gauge settles within 7 units of a
+/// steady signal — microsecond-scale noise for the latency gauges built
+/// on it. A fresh gauge reads 0 and seeds itself with the first sample.
+#[derive(Debug)]
+pub struct Ewma {
+    bits: AtomicU64,
+}
+
+const EWMA_UNSEEDED: u64 = u64::MAX;
+
+impl Default for Ewma {
+    fn default() -> Self {
+        Ewma::new()
+    }
+}
+
+impl Ewma {
+    /// A gauge with no history (reads 0 until the first observation).
+    pub const fn new() -> Self {
+        Ewma { bits: AtomicU64::new(EWMA_UNSEEDED) }
+    }
+
+    /// Folds one sample into the average.
+    pub fn observe(&self, sample: u64) {
+        let sample = sample.min(EWMA_UNSEEDED - 1);
+        let cur = self.bits.load(Ordering::Relaxed);
+        let next = if cur == EWMA_UNSEEDED {
+            sample
+        } else {
+            let diff = (sample as i64).wrapping_sub(cur as i64) / 8;
+            cur.wrapping_add(diff as u64)
+        };
+        self.bits.store(next, Ordering::Relaxed);
+    }
+
+    /// The current average (0 when nothing has been observed).
+    pub fn get(&self) -> u64 {
+        let v = self.bits.load(Ordering::Relaxed);
+        if v == EWMA_UNSEEDED {
+            0
+        } else {
+            v
+        }
+    }
 }
 
 /// A point-in-time set of named samples rendered as deterministic
@@ -477,6 +589,55 @@ mod tests {
         let mut off = TraceStore::new(0);
         off.put("x", Json::Null);
         assert!(off.is_empty());
+    }
+
+    #[test]
+    fn tail_policy_keeps_failures_and_stragglers_only() {
+        let mut p = TailPolicy::new();
+        assert_eq!(p.p99_bound(), None);
+        // The very first sample cannot be self-retained: no history.
+        assert!(!p.observe(50_000, false));
+        // Interesting runs are kept regardless of speed.
+        assert!(p.observe(10, true));
+        // A fast run under the bound is dropped...
+        assert!(!p.observe(100, false));
+        // ...while a straggler above the pre-sample p99 is kept.
+        assert!(p.observe(80_000, false));
+        assert_eq!(p.observed(), 4);
+        // Once the straggler is in the history the p99 bound covers it,
+        // so an equally-slow follow-up is no longer tail-retained.
+        assert!(!p.observe(80_000, false));
+        assert!(p.p99_bound().unwrap() >= 80_000);
+    }
+
+    #[test]
+    fn tail_policy_threshold_is_the_pre_sample_p99() {
+        let mut p = TailPolicy::new();
+        for _ in 0..100 {
+            p.observe(1_000, false);
+        }
+        let bound = p.p99_bound().unwrap();
+        // quantile_bound caps at the observed max for a uniform bucket.
+        assert_eq!(bound, 1_000);
+        assert!(!p.observe(1_000, false), "equal to the bound is not above it");
+        assert!(p.observe(1_001, false), "strictly above the bound is kept");
+    }
+
+    #[test]
+    fn ewma_seeds_then_smooths() {
+        let g = Ewma::new();
+        assert_eq!(g.get(), 0);
+        g.observe(800);
+        assert_eq!(g.get(), 800, "first sample seeds the gauge");
+        g.observe(0);
+        assert_eq!(g.get(), 700, "800 + (0 - 800)/8");
+        g.observe(1500);
+        assert_eq!(g.get(), 800, "700 + (1500 - 700)/8");
+        // Converges toward a steady signal (within the truncation band).
+        for _ in 0..200 {
+            g.observe(100);
+        }
+        assert!(g.get() >= 100 && g.get() <= 107, "got {}", g.get());
     }
 
     #[test]

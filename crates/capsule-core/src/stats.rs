@@ -730,6 +730,85 @@ mod tests {
         assert!(!SimStats::default().to_string().is_empty());
     }
 
+    /// The reference the histogram's estimate is pinned against: sort
+    /// the raw samples, take the rank-`ceil(q*n)` order statistic, and
+    /// quantize it exactly as [`Histogram::quantile_bound`] promises —
+    /// the power-of-two bucket upper bound, capped at the observed max.
+    fn exact_quantile_bound(samples: &[u64], q: f64) -> u64 {
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+        let v = sorted[rank - 1];
+        let k = (64 - v.leading_zeros()) as usize;
+        bucket_hi(k).min(*sorted.last().unwrap())
+    }
+
+    #[test]
+    fn quantile_bounds_pin_exact_values_on_a_linear_ramp() {
+        // 1..=1000: every order statistic is known in closed form, so
+        // the expected bounds are hand-derivable literals.
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        // p50 rank 500 → sample 500 → bucket [256, 511].
+        assert_eq!(h.quantile_bound(0.50), Some(511));
+        // p90 rank 900 → sample 900 → bucket [512, 1023], capped at max.
+        assert_eq!(h.quantile_bound(0.90), Some(1000));
+        // p99 rank 990 → sample 990 → same bucket and cap.
+        assert_eq!(h.quantile_bound(0.99), Some(1000));
+        // Extremes: p0 clamps to rank 1 (the min bucket), p100 to max.
+        assert_eq!(h.quantile_bound(0.0), Some(1));
+        assert_eq!(h.quantile_bound(1.0), Some(1000));
+    }
+
+    #[test]
+    fn quantile_bounds_match_the_exact_order_statistics_on_seeded_draws() {
+        // Three seeded distributions with very different shapes; for
+        // each, the bucketed estimate must land exactly on the
+        // quantized order statistic and (being an upper bound) at or
+        // above the raw one.
+        use crate::rng::Rng;
+        for (seed, lo, hi) in [(7u64, 0u64, 4_096u64), (11, 100, 200), (42, 1, 1 << 20)] {
+            let mut rng = crate::rng::Xoshiro256StarStar::seed_from_u64(seed);
+            let samples: Vec<u64> = (0..1_000).map(|_| lo + rng.u64_below(hi - lo)).collect();
+            let mut h = Histogram::new();
+            for &v in &samples {
+                h.record(v);
+            }
+            for q in [0.5, 0.9, 0.99] {
+                let got = h.quantile_bound(q).unwrap();
+                assert_eq!(got, exact_quantile_bound(&samples, q), "seed {seed} q {q}");
+                let mut sorted = samples.clone();
+                sorted.sort_unstable();
+                let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+                assert!(got >= sorted[rank - 1], "seed {seed} q {q}: bound below the raw quantile");
+                assert!(got <= *sorted.last().unwrap(), "seed {seed} q {q}: bound above the max");
+            }
+        }
+    }
+
+    #[test]
+    fn quantile_bounds_survive_merging_shards() {
+        // Quantiles over a merged histogram equal quantiles over the
+        // concatenated samples — the property fleet stats aggregation
+        // relies on when it merges per-backend latency histograms.
+        use crate::rng::Rng;
+        let mut rng = crate::rng::Xoshiro256StarStar::seed_from_u64(3);
+        let all: Vec<u64> = (0..900).map(|_| rng.u64_below(50_000)).collect();
+        let mut merged = Histogram::new();
+        for chunk in all.chunks(300) {
+            let mut shard = Histogram::new();
+            for &v in chunk {
+                shard.record(v);
+            }
+            merged.merge(&shard);
+        }
+        for q in [0.5, 0.9, 0.99] {
+            assert_eq!(merged.quantile_bound(q).unwrap(), exact_quantile_bound(&all, q), "q {q}");
+        }
+    }
+
     #[test]
     fn section_tracker_basic_span() {
         let mut t = SectionTracker::new();

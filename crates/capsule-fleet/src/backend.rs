@@ -82,6 +82,11 @@ pub struct Backend {
     pub completed: u64,
     /// Dispatches that failed and were retried elsewhere.
     pub failures: u64,
+    /// Smoothed per-job round-trip in µs (α = 1/8), fed by
+    /// [`Backend::observe_job`] at every usable response. Plain integer
+    /// arithmetic — a `Backend` only lives under the coordinator's state
+    /// mutex. 0 until the first observation.
+    pub ewma_job_us: u64,
 }
 
 impl Backend {
@@ -97,7 +102,34 @@ impl Backend {
             dispatched: 0,
             completed: 0,
             failures: 0,
+            ewma_job_us: 0,
         }
+    }
+
+    /// Feeds one finished job's round-trip time into the smoothed
+    /// per-job estimate: the first sample seeds it, later samples move
+    /// it by 1/8 of the error (never below 1µs, so a seeded estimate is
+    /// distinguishable from the unseeded 0).
+    pub fn observe_job(&mut self, job_us: u64) {
+        if self.ewma_job_us == 0 {
+            self.ewma_job_us = job_us.max(1);
+        } else {
+            let cur = self.ewma_job_us as i64;
+            // Floored division so downward steps always make progress
+            // (truncation would stall small estimates above the samples).
+            let next = cur + (job_us as i64 - cur).div_euclid(8);
+            self.ewma_job_us = next.max(1) as u64;
+        }
+    }
+
+    /// Deterministic estimate of how long a new job would wait behind
+    /// this backend's current load: outstanding jobs times the smoothed
+    /// job time, divided across the worker pool. Pure arithmetic over
+    /// the coordinator's own bookkeeping — two calls with the same
+    /// history agree exactly, which is what lets `health` rank backends
+    /// reproducibly.
+    pub fn predicted_wait_us(&self) -> u64 {
+        (self.in_flight as u64).saturating_mul(self.ewma_job_us.max(1)) / self.workers.max(1) as u64
     }
 
     /// True when a new job can start on the backend right now: it is
@@ -163,5 +195,34 @@ mod tests {
         b.workers = 0; // unprobed geometry still admits one probe job
         b.in_flight = 0;
         assert!(b.has_free_slot());
+    }
+
+    #[test]
+    fn job_ewma_seeds_then_smooths_and_never_returns_to_zero() {
+        let mut b = Backend::new("127.0.0.1:9".into(), 0, Duration::from_secs(1), 3);
+        assert_eq!(b.ewma_job_us, 0, "unseeded");
+        b.observe_job(800);
+        assert_eq!(b.ewma_job_us, 800, "first sample seeds");
+        b.observe_job(0);
+        assert_eq!(b.ewma_job_us, 700, "moves by 1/8 of the error");
+        for _ in 0..200 {
+            b.observe_job(0);
+        }
+        assert_eq!(b.ewma_job_us, 1, "floors at 1µs once seeded");
+    }
+
+    #[test]
+    fn predicted_wait_scales_with_load_and_pool_size() {
+        let mut b = Backend::new("127.0.0.1:9".into(), 0, Duration::from_secs(1), 3);
+        b.alive = true;
+        b.workers = 2;
+        assert_eq!(b.predicted_wait_us(), 0, "idle backend predicts zero");
+        b.observe_job(8000);
+        b.in_flight = 3;
+        assert_eq!(b.predicted_wait_us(), 3 * 8000 / 2);
+        b.workers = 0; // unprobed geometry counts as one worker
+        assert_eq!(b.predicted_wait_us(), 3 * 8000);
+        b.ewma_job_us = 0; // unseeded estimate still ranks loaded > idle
+        assert_eq!(b.predicted_wait_us(), 3);
     }
 }

@@ -6,7 +6,7 @@
 //!   capsule-fleet [--addr HOST:PORT] --backend HOST:PORT [--backend ...]
 //!                 [--queue N] [--attempts N] [--backoff-ms N]
 //!                 [--fail-window-ms N] [--fail-threshold N] [--probe-ms N]
-//!                 [--traces N]
+//!                 [--traces N] [--flight N]
 //!
 //! Backends may also come from `CAPSULE_FLEET_BACKENDS` (comma-
 //! separated); the sizing flags default from the `CAPSULE_FLEET_*`
@@ -42,11 +42,12 @@ fn main() {
             }
             "--probe-ms" => opts.probe_ms = parse_u64(&value("--probe-ms"), "--probe-ms").max(10),
             "--traces" => opts.traces = parse_usize(&value("--traces"), "--traces"),
+            "--flight" => opts.flight = parse_usize(&value("--flight"), "--flight"),
             "--help" | "-h" => {
                 println!(
                     "usage: capsule-fleet [--addr HOST:PORT] --backend HOST:PORT [--backend ...] \
                      [--queue N] [--attempts N] [--backoff-ms N] [--fail-window-ms N] \
-                     [--fail-threshold N] [--probe-ms N] [--traces N]"
+                     [--fail-threshold N] [--probe-ms N] [--traces N] [--flight N]"
                 );
                 return;
             }

@@ -1,0 +1,216 @@
+//! `capsule-top`: a terminal snapshot of a fleet's (or a single
+//! server's) health, built from the `stats` and `health` ops
+//! (docs/OBSERVABILITY.md).
+//!
+//! Usage:
+//!   capsule-top [--once] [--interval MS] [--key KEY] ADDR
+//!
+//! Against a coordinator the table lists every backend in `health`
+//! rank order — rank 0 is where admission control would send the next
+//! job. Against a plain `capsule-serve` endpoint (whose `health` has no
+//! backend ranking) the snapshot is the server's own gauges. `--key`
+//! ranks for a specific cache key's rendezvous preference.
+//!
+//! `--once` prints a single snapshot and exits — the output is a pure
+//! function of the two responses, so CI can assert on it (scripts/ci.sh
+//! checks that the surviving backend of a kill ranks first). Without
+//! `--once` the snapshot repeats every `--interval` milliseconds
+//! (default 1000), redrawing in place when stdout is a terminal.
+
+use capsule_core::output::Json;
+use capsule_serve::client::request_once;
+use std::io::IsTerminal;
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let once = if let Some(i) = args.iter().position(|a| a == "--once") {
+        args.remove(i);
+        true
+    } else {
+        false
+    };
+    let mut interval_ms: u64 = 1000;
+    if let Some(i) = args.iter().position(|a| a == "--interval") {
+        args.remove(i);
+        if i >= args.len() {
+            eprintln!("--interval expects milliseconds");
+            std::process::exit(2);
+        }
+        let v = args.remove(i);
+        interval_ms = v.parse().unwrap_or_else(|_| {
+            eprintln!("--interval expects an integer, got {v:?}");
+            std::process::exit(2);
+        });
+    }
+    let mut key: Option<String> = None;
+    if let Some(i) = args.iter().position(|a| a == "--key") {
+        args.remove(i);
+        if i >= args.len() {
+            eprintln!("--key expects a value");
+            std::process::exit(2);
+        }
+        key = Some(args.remove(i));
+    }
+    if args.len() != 1 {
+        eprintln!("usage: capsule-top [--once] [--interval MS] [--key KEY] ADDR");
+        std::process::exit(2);
+    }
+    let addr = args.remove(0);
+
+    let redraw = !once && std::io::stdout().is_terminal();
+    loop {
+        let frame = snapshot(&addr, key.as_deref()).unwrap_or_else(|e| {
+            eprintln!("{addr}: {e}");
+            std::process::exit(1);
+        });
+        if redraw {
+            // Clear the screen and home the cursor so the table redraws
+            // in place like top(1).
+            print!("\x1b[2J\x1b[H");
+        }
+        print!("{frame}");
+        if once {
+            return;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+    }
+}
+
+/// One rendered snapshot: a header line of whole-endpoint gauges and,
+/// for a fleet, the ranked backend table.
+fn snapshot(addr: &str, key: Option<&str>) -> Result<String, String> {
+    let stats = request(addr, r#"{"op":"stats"}"#)?;
+    let health_req = match key {
+        Some(k) => {
+            let mut r = Json::object();
+            r.push("op", "health").push("key", k);
+            r.to_string_compact()
+        }
+        None => r#"{"op":"health"}"#.to_string(),
+    };
+    let health = request(addr, &health_req)?;
+    match health.get("backends").and_then(Json::as_array) {
+        Some(rows) => Ok(render_fleet(addr, &stats, &health, rows)),
+        None => Ok(render_serve(addr, &stats, &health)),
+    }
+}
+
+fn request(addr: &str, line: &str) -> Result<Json, String> {
+    let json = request_once(addr, line).map_err(|e| e.to_string())?;
+    if json.get("ok").and_then(Json::as_bool) != Some(true) {
+        return Err(format!("endpoint answered not-ok: {}", json.to_string_compact()));
+    }
+    Ok(json)
+}
+
+fn num(j: &Json, path: &[&str]) -> u64 {
+    let mut cur = j;
+    for p in path {
+        match cur.get(p) {
+            Some(next) => cur = next,
+            None => return 0,
+        }
+    }
+    cur.as_u64().unwrap_or(0)
+}
+
+/// The coordinator view: fleet gauges, then one row per backend in
+/// `health` rank order. Rank 0 is the next job's placement.
+fn render_fleet(addr: &str, stats: &Json, health: &Json, rows: &[Json]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "fleet {addr}  backends {} (alive {})  pending {}  in_flight {}  \
+         traces {}  flight {}/{}\n",
+        num(stats, &["fleet", "backends"]),
+        num(health, &["backends_alive"]),
+        num(stats, &["fleet", "pending"]),
+        num(stats, &["fleet", "jobs_in_flight"]),
+        num(stats, &["fleet", "traces_stored"]),
+        num(stats, &["fleet", "flight_recorded"]),
+        num(stats, &["fleet", "flight_capacity"]),
+    ));
+    out.push_str(&format!(
+        "jobs: accepted {}  completed {}  failed {}  cancelled {}  \
+         retries {}  migrated {}\n",
+        num(stats, &["fleet", "counters", "jobs_accepted"]),
+        num(stats, &["fleet", "counters", "jobs_completed"]),
+        num(stats, &["fleet", "counters", "jobs_failed"]),
+        num(stats, &["fleet", "counters", "jobs_cancelled"]),
+        num(stats, &["fleet", "counters", "retries"]),
+        num(stats, &["fleet", "counters", "jobs_migrated"]),
+    ));
+    if let Some(k) = health.get("key").and_then(Json::as_str) {
+        out.push_str(&format!("ranked for key {k}\n"));
+    }
+    let mut table: Vec<[String; 8]> = vec![[
+        "RANK".into(),
+        "NAME".into(),
+        "ADDR".into(),
+        "STATE".into(),
+        "WORKERS".into(),
+        "IN_FLIGHT".into(),
+        "EWMA_JOB_US".into(),
+        "PREDICTED_WAIT_US".into(),
+    ]];
+    for row in rows {
+        let state = if row.get("alive").and_then(Json::as_bool) != Some(true) {
+            "down"
+        } else if row.get("throttled").and_then(Json::as_bool) == Some(true) {
+            "throttled"
+        } else {
+            "up"
+        };
+        table.push([
+            num(row, &["rank"]).to_string(),
+            row.get("name").and_then(Json::as_str).unwrap_or("?").to_string(),
+            row.get("addr").and_then(Json::as_str).unwrap_or("?").to_string(),
+            state.to_string(),
+            num(row, &["workers"]).to_string(),
+            num(row, &["in_flight"]).to_string(),
+            num(row, &["ewma_job_us"]).to_string(),
+            num(row, &["predicted_wait_us"]).to_string(),
+        ]);
+    }
+    let mut widths = [0usize; 8];
+    for row in &table {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    for row in &table {
+        let mut line = String::new();
+        for (i, (cell, w)) in row.iter().zip(widths).enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{cell:<w$}"));
+        }
+        out.push_str(line.trim_end());
+        out.push('\n');
+    }
+    out
+}
+
+/// The single-server view: `health` carries the gauges directly.
+fn render_serve(addr: &str, stats: &Json, health: &Json) -> String {
+    format!(
+        "serve {addr}  workers {}  in_flight {}  queue_capacity {}  \
+         traces {}  flight {}/{}\n\
+         ewma_queue_wait_us {}  ewma_run_us {}  predicted_wait_us {}\n\
+         jobs: accepted {}  completed {}  failed {}  cancelled {}  cache_hits {}\n",
+        num(health, &["workers"]),
+        num(health, &["jobs_in_flight"]),
+        num(health, &["queue_capacity"]),
+        num(health, &["traces_stored"]),
+        num(stats, &["flight_recorded"]),
+        num(stats, &["flight_capacity"]),
+        num(health, &["ewma_queue_wait_us"]),
+        num(health, &["ewma_run_us"]),
+        num(health, &["predicted_wait_us"]),
+        num(stats, &["counters", "jobs_accepted"]),
+        num(stats, &["counters", "jobs_completed"]),
+        num(stats, &["counters", "jobs_failed"]),
+        num(stats, &["counters", "jobs_cancelled"]),
+        num(stats, &["counters", "cache_hits"]),
+    )
+}

@@ -35,7 +35,9 @@ use std::time::{Duration, Instant};
 
 use capsule_core::output::Json;
 use capsule_core::stats::Histogram;
-use capsule_core::{MetricsRegistry, SpanId, TraceRecorder, TraceStore};
+use capsule_core::{
+    FlightKind, FlightRecorder, MetricsRegistry, SpanId, TailPolicy, TraceRecorder, TraceStore,
+};
 use capsule_serve::client::{self, ClientError, ConnectionPool, Proto};
 use capsule_serve::frame::{self, FrameFlow, ReplySink};
 use capsule_serve::protocol::{
@@ -78,6 +80,9 @@ pub struct FleetOptions {
     /// Retained span trees for the `trace` op (`CAPSULE_FLEET_TRACES`);
     /// 0 disables request tracing entirely.
     pub traces: usize,
+    /// Flight-recorder ring capacity in events (`CAPSULE_FLEET_FLIGHT`);
+    /// 0 disables the always-on recorder.
+    pub flight: usize,
 }
 
 impl Default for FleetOptions {
@@ -93,6 +98,7 @@ impl Default for FleetOptions {
             job_timeout_ms: 600_000,
             dispatch_wait_ms: 60_000,
             traces: 64,
+            flight: 1024,
         }
     }
 }
@@ -116,24 +122,50 @@ impl FleetOptions {
             job_timeout_ms: env_u64("CAPSULE_FLEET_JOB_TIMEOUT_MS", d.job_timeout_ms),
             dispatch_wait_ms: env_u64("CAPSULE_FLEET_DISPATCH_WAIT_MS", d.dispatch_wait_ms).max(1),
             traces: env_usize("CAPSULE_FLEET_TRACES", d.traces),
+            flight: env_usize("CAPSULE_FLEET_FLIGHT", d.flight),
         }
     }
 }
 
+/// Fleet counters. Exact meanings are pinned in docs/FLEET.md; the two
+/// invariants that hold on both wire protocols (they share this very
+/// code path) are:
+///
+/// - every **accepted** run reaches exactly one final-outcome counter
+///   (`jobs_completed` / `jobs_failed` / `jobs_cancelled`), including
+///   dispatch give-ups and shutdown aborts, so when the fleet is
+///   quiescent `jobs_accepted == completed + failed + cancelled`;
+/// - `jobs_migrated` counts checkpoint migrations and is **orthogonal**
+///   to the final-outcome counters: a preempt-then-migrate job that then
+///   completes adds one to `jobs_migrated` *and* one to
+///   `jobs_completed` — migration describes the journey, not the end.
 #[derive(Default)]
 struct Counters {
     connections: AtomicU64,
     requests: AtomicU64,
     bad_requests: AtomicU64,
+    /// Runs admitted past the fleet queue check.
     jobs_accepted: AtomicU64,
+    /// Runs refused at admission (`queue-full`); never admitted, so
+    /// these reach no final-outcome counter.
     jobs_rejected: AtomicU64,
+    /// Accepted runs answered by a backend with `ok:true`.
     jobs_completed: AtomicU64,
+    /// Accepted runs that ended in any error other than `cancelled`:
+    /// job-level verdicts passed through, dispatch give-ups, and
+    /// shutdown aborts.
     jobs_failed: AtomicU64,
+    /// Accepted runs that ended `cancelled` by a client cancel.
     jobs_cancelled: AtomicU64,
+    /// Dispatch attempts after the first, whatever their reason
+    /// (backend fault, migration resume, bad checkpoint).
     retries: AtomicU64,
+    /// Dispatch attempts charged to a backend's failure window.
     backend_failures: AtomicU64,
     cancel_requests: AtomicU64,
     preempt_requests: AtomicU64,
+    /// Checkpoints successfully pulled off a preempting backend for
+    /// resumption elsewhere. Orthogonal to the final-outcome counters.
     jobs_migrated: AtomicU64,
     checkpoint_fetches: AtomicU64,
     checkpoint_puts: AtomicU64,
@@ -170,6 +202,13 @@ struct Shared {
     counters: Counters,
     latencies: Mutex<Latencies>,
     traces: Mutex<TraceStore>,
+    /// Always-on flight recorder: a bounded ring of job-lifecycle and
+    /// backend-liveness events, serialized by `dump`.
+    flight: FlightRecorder,
+    /// Tail-sampling policy for anonymous traces: every run is traced,
+    /// but only slow/failed/retried/migrated (or explicitly requested)
+    /// trees reach the bounded store.
+    tail: Mutex<TailPolicy>,
     /// Keep-alive `capsule-serve/2` connections toward the backends.
     /// Every dispatch and forwarded op checks a connection out of here,
     /// so the steady-state cost per job is one framed round-trip — not
@@ -209,6 +248,10 @@ impl Drop for ConnGuard<'_> {
 /// dispatch span that sent the job there.
 struct FleetTrace {
     id: String,
+    /// True when the client supplied the trace id. Explicit traces are
+    /// always retained; anonymous ones (filed under the job's cache-key
+    /// hex) only when tail sampling keeps them.
+    explicit: bool,
     rec: TraceRecorder,
     root: SpanId,
     /// `(name, addr, dispatch-span id)` per forwarded attempt.
@@ -216,13 +259,20 @@ struct FleetTrace {
 }
 
 impl FleetTrace {
-    fn start(run: &RunRequest) -> Option<FleetTrace> {
-        let id = run.trace_id.clone()?;
+    /// Every run is traced: under the client's id when one was sent,
+    /// otherwise anonymously under the cache-key hex (which the `trace`
+    /// op accepts), so a job that turns out slow or troubled is
+    /// reconstructable after the fact.
+    fn start(run: &RunRequest, key: u64) -> FleetTrace {
+        let (id, explicit) = match &run.trace_id {
+            Some(id) => (id.clone(), true),
+            None => (format!("{key:016x}"), false),
+        };
         let mut rec = TraceRecorder::new(64, 256);
         let root = rec.span("fleet.run", None);
         rec.attr(root, "scenario", &run.scenario);
         rec.attr(root, "scale", run.scale.name());
-        Some(FleetTrace { id, rec, root, backends: Vec::new() })
+        FleetTrace { id, explicit, rec, root, backends: Vec::new() }
     }
 
     /// Closes the root span and files the tree (with the backend list
@@ -285,10 +335,13 @@ impl Fleet {
             counters: Counters::default(),
             latencies: Mutex::new(Latencies::default()),
             traces: Mutex::new(TraceStore::new(opts.traces)),
+            flight: FlightRecorder::new(opts.flight),
+            tail: Mutex::new(TailPolicy::new()),
             pool: ConnectionPool::new(Proto::V2, Duration::from_millis(opts.connect_timeout_ms)),
             conns: Mutex::new(std::collections::HashMap::new()),
             next_conn: AtomicU64::new(0),
         });
+        install_dump_hooks(&shared);
         let probe = {
             let shared = Arc::clone(&shared);
             std::thread::spawn(move || probe_loop(&shared))
@@ -465,6 +518,8 @@ fn answer(shared: &Shared, request: Request) -> (Json, bool) {
         Request::Metrics => (metrics_response(shared), false),
         Request::Trace { trace_id } => (trace_response(shared, &trace_id), false),
         Request::Preempt { cache_key } => (handle_preempt(shared, &cache_key), false),
+        Request::Health { key } => (health_response(shared, key.as_deref()), false),
+        Request::Dump => (dump_response(shared), false),
         Request::CheckpointFetch { token } => (handle_checkpoint_fetch(shared, &token), false),
         Request::CheckpointPut { token, canonical, blob } => {
             (handle_checkpoint_put(shared, &token, &canonical, &blob), false)
@@ -582,6 +637,12 @@ enum Outcome {
     /// preempted it). The dispatcher migrates the checkpoint and resumes
     /// on the next-preferred backend instead of passing the park on.
     Preempted { json: Json },
+    /// The backend rejected the migrated checkpoint blob: the fault is
+    /// the coordinator's artifact, not the backend, so the dispatcher
+    /// drops the blob and retries from scratch *without* charging the
+    /// backend's failure window (a healthy backend must not be
+    /// throttled for a corrupt blob it was handed).
+    BadCheckpoint,
 }
 
 /// A checkpoint pulled off a preempting backend, ready to re-post to the
@@ -648,19 +709,25 @@ fn handle_run(shared: &Shared, run: &RunRequest) -> Json {
     let canonical = run.canonical();
     let key = fnv1a64(canonical.as_bytes());
     let forward = forward_line(run, &canonical);
-    let mut trace = FleetTrace::start(run);
+    let mut trace = Some(FleetTrace::start(run, key));
 
     {
         let mut st = lock(&shared.state);
         if !shared.running.load(Ordering::SeqCst) {
+            shared.flight.record(FlightKind::Deny, Some(key), None, "shutting-down");
             return error_response("run", "shutting-down", None);
         }
         if st.pending >= shared.opts.queue {
             shared.counters.jobs_rejected.fetch_add(1, Ordering::Relaxed);
             drop(st);
+            shared.flight.record(FlightKind::Deny, Some(key), None, "queue-full");
             if let Some(mut t) = trace.take() {
                 t.rec.event(t.root, "queue-full", &[]);
-                t.store(shared);
+                // A rejected job never ran, so there is no duration for
+                // the tail policy; keep only explicitly requested traces.
+                if t.explicit {
+                    t.store(shared);
+                }
             }
             let mut r = error_response("run", "queue-full", None);
             r.push("queue_capacity", shared.opts.queue);
@@ -670,10 +737,23 @@ fn handle_run(shared: &Shared, run: &RunRequest) -> Json {
         st.pending += 1;
     }
     shared.counters.jobs_accepted.fetch_add(1, Ordering::Relaxed);
+    shared.flight.record(FlightKind::Enqueue, Some(key), None, "");
 
+    let admitted = Instant::now();
     let mut response = dispatch_with_retries(shared, &forward, key, &mut trace);
     if let Some(t) = trace.take() {
-        t.store(shared);
+        // Tail retention: keep the tree when the client asked for it,
+        // when the job ended in anything but a clean first-attempt
+        // success (failures, retries, migrations all leave attempts > 1
+        // or ok:false), or when the end-to-end time lands above the
+        // rolling p99 of previously observed jobs.
+        let ok = response.get("ok").and_then(Json::as_bool) == Some(true);
+        let attempts = response.get("attempts").and_then(Json::as_u64).unwrap_or(1);
+        let interesting = t.explicit || !ok || attempts > 1;
+        let total_us = admitted.elapsed().as_micros() as u64;
+        if lock(&shared.tail).observe(total_us, interesting) {
+            t.store(shared);
+        }
     }
     // Successful passthroughs already echo the id (the backend does it);
     // fleet-generated errors must echo it themselves.
@@ -734,7 +814,15 @@ fn dispatch_with_retries(
         }
         let idx = match acquire_backend(shared, key, &mut attempted, deadline) {
             Acquire::Granted(i) => i,
-            Acquire::ShuttingDown => return error_response("run", "shutting-down", None),
+            Acquire::ShuttingDown => {
+                // The job was already accepted, so it must still reach a
+                // final-outcome counter (`jobs_accepted == completed +
+                // failed + cancelled` when quiescent); a shutdown abort
+                // is a fleet-side failure.
+                shared.counters.jobs_failed.fetch_add(1, Ordering::Relaxed);
+                shared.flight.record(FlightKind::Complete, Some(key), None, "shutting-down");
+                return error_response("run", "shutting-down", None);
+            }
             Acquire::TimedOut => break,
         };
         let (addr, name) = {
@@ -743,6 +831,7 @@ fn dispatch_with_retries(
         };
         let waited_us = admitted.elapsed().as_micros() as u64;
         lock(&shared.latencies).dispatch_wait_us.record(waited_us);
+        shared.flight.record(FlightKind::Dispatch, Some(key), Some(idx as u32), "");
 
         // One dispatch span per attempt; the backend's own span tree is
         // grafted under it later by the `trace` op.
@@ -760,6 +849,7 @@ fn dispatch_with_retries(
         // falls back to a from-scratch run (same bytes, more cycles).
         let forward_line = match &migration {
             Some(m) if push_checkpoint(shared, &addr, m) => {
+                shared.flight.record(FlightKind::Resume, Some(key), Some(idx as u32), "");
                 if let (Some(t), Some(s)) = (trace.as_mut(), dspan) {
                     t.rec.attr(s, "resume_from", &m.token);
                 }
@@ -776,7 +866,14 @@ fn dispatch_with_retries(
                 release(shared, idx, true, false);
                 let job_us = started.elapsed().as_micros() as u64;
                 lock(&shared.latencies).job_us.record(job_us);
+                lock(&shared.state).backends[idx].observe_job(job_us);
                 count_final(shared, &json);
+                let final_kind = match json.get("error").and_then(Json::as_str) {
+                    None => "completed",
+                    Some("cancelled") => "cancelled",
+                    Some(_) => "failed",
+                };
+                shared.flight.record(FlightKind::Complete, Some(key), Some(idx as u32), final_kind);
                 if let (Some(t), Some(s)) = (trace.as_mut(), dspan) {
                     let outcome = match json.get("error").and_then(Json::as_str) {
                         None => "completed",
@@ -793,6 +890,20 @@ fn dispatch_with_retries(
             }
             Outcome::Retry { error, mark_dead } => {
                 release(shared, idx, false, mark_dead);
+                shared.flight.record(
+                    FlightKind::Retry,
+                    Some(key),
+                    Some(idx as u32),
+                    "backend-fault",
+                );
+                if mark_dead {
+                    shared.flight.record(
+                        FlightKind::BackendDown,
+                        None,
+                        Some(idx as u32),
+                        "dispatch",
+                    );
+                }
                 if let (Some(t), Some(s)) = (trace.as_mut(), dspan) {
                     t.rec.attr(s, "outcome", "retry");
                     t.rec.attr(s, "error", &error);
@@ -801,11 +912,32 @@ fn dispatch_with_retries(
                 last_error = format!("{name} ({addr}): {error}");
                 attempted.push(idx);
             }
+            Outcome::BadCheckpoint => {
+                // A well-formed answer from a healthy backend: release
+                // the slot as a success so the failure window stays
+                // untouched, drop the bad blob, restart from scratch.
+                release(shared, idx, true, false);
+                shared.flight.record(
+                    FlightKind::Retry,
+                    Some(key),
+                    Some(idx as u32),
+                    "bad-checkpoint",
+                );
+                if let (Some(t), Some(s)) = (trace.as_mut(), dspan) {
+                    t.rec.attr(s, "outcome", "bad-checkpoint");
+                    t.rec.end(s);
+                }
+                migration = None;
+                last_error =
+                    format!("{name} ({addr}): rejected the migrated checkpoint; restarting");
+                attempted.push(idx);
+            }
             Outcome::Preempted { json } => {
                 // A park is a deliberate, well-formed answer — not a
                 // backend fault — so the slot releases as a success and
                 // the failure window stays untouched.
                 release(shared, idx, true, false);
+                shared.flight.record(FlightKind::Preempt, Some(key), Some(idx as u32), "migrating");
                 if let (Some(t), Some(s)) = (trace.as_mut(), dspan) {
                     t.rec.attr(s, "outcome", "preempted");
                     t.rec.end(s);
@@ -828,6 +960,7 @@ fn dispatch_with_retries(
     }
 
     shared.counters.jobs_failed.fetch_add(1, Ordering::Relaxed);
+    shared.flight.record(FlightKind::Complete, Some(key), None, "gave-up");
     let detail = format!(
         "dispatch gave up after {} attempt(s); last: {last_error}",
         shared.opts.attempts.max(1)
@@ -952,6 +1085,9 @@ fn roundtrip(shared: &Shared, addr: &str, canonical: &str, generation: u64) -> O
         // The backend parked the job at a checkpoint boundary: migrate
         // it instead of surfacing the park or treating it as a fault.
         Some("preempted") => Outcome::Preempted { json },
+        // The blob this dispatcher migrated in was rejected: retry from
+        // scratch without blaming (or throttling) the backend.
+        Some("bad-checkpoint") => Outcome::BadCheckpoint,
         // `cancelled` is the client's own doing only if a fleet cancel
         // arrived after this job was dispatched; otherwise the backend
         // died mid-job (shutdown cancels its in-flight runs) and the job
@@ -1014,6 +1150,35 @@ struct BackendSnap {
     dispatched: u64,
     completed: u64,
     failures: u64,
+    ewma_job_us: u64,
+    predicted_wait_us: u64,
+}
+
+/// The fleet's own counters as one JSON object (shared by `stats` and
+/// `dump`).
+fn counters_json(shared: &Shared) -> Json {
+    let c = &shared.counters;
+    let get = |a: &AtomicU64| a.load(Ordering::Relaxed);
+    let mut counters = Json::object();
+    counters
+        .push("connections", get(&c.connections))
+        .push("requests", get(&c.requests))
+        .push("bad_requests", get(&c.bad_requests))
+        .push("jobs_accepted", get(&c.jobs_accepted))
+        .push("jobs_rejected", get(&c.jobs_rejected))
+        .push("jobs_completed", get(&c.jobs_completed))
+        .push("jobs_failed", get(&c.jobs_failed))
+        .push("jobs_cancelled", get(&c.jobs_cancelled))
+        .push("retries", get(&c.retries))
+        .push("backend_failures", get(&c.backend_failures))
+        .push("cancel_requests", get(&c.cancel_requests))
+        .push("preempt_requests", get(&c.preempt_requests))
+        .push("jobs_migrated", get(&c.jobs_migrated))
+        .push("checkpoint_fetches", get(&c.checkpoint_fetches))
+        .push("checkpoint_puts", get(&c.checkpoint_puts))
+        .push("probes_ok", get(&c.probes_ok))
+        .push("probes_failed", get(&c.probes_failed));
+    counters
 }
 
 fn stats_response(shared: &Shared) -> Json {
@@ -1034,6 +1199,8 @@ fn stats_response(shared: &Shared) -> Json {
                 dispatched: b.dispatched,
                 completed: b.completed,
                 failures: b.failures,
+                ewma_job_us: b.ewma_job_us,
+                predicted_wait_us: b.predicted_wait_us(),
             })
             .collect();
         (snaps, st.pending)
@@ -1076,31 +1243,13 @@ fn stats_response(shared: &Shared) -> Json {
             .push("dispatched", s.dispatched)
             .push("completed", s.completed)
             .push("failures", s.failures)
+            .push("ewma_job_us", s.ewma_job_us)
+            .push("predicted_wait_us", s.predicted_wait_us)
             .push("stats", remote.unwrap_or(Json::Null));
         backends_json.push(b);
     }
 
-    let c = &shared.counters;
-    let get = |a: &AtomicU64| a.load(Ordering::Relaxed);
-    let mut counters = Json::object();
-    counters
-        .push("connections", get(&c.connections))
-        .push("requests", get(&c.requests))
-        .push("bad_requests", get(&c.bad_requests))
-        .push("jobs_accepted", get(&c.jobs_accepted))
-        .push("jobs_rejected", get(&c.jobs_rejected))
-        .push("jobs_completed", get(&c.jobs_completed))
-        .push("jobs_failed", get(&c.jobs_failed))
-        .push("jobs_cancelled", get(&c.jobs_cancelled))
-        .push("retries", get(&c.retries))
-        .push("backend_failures", get(&c.backend_failures))
-        .push("cancel_requests", get(&c.cancel_requests))
-        .push("preempt_requests", get(&c.preempt_requests))
-        .push("jobs_migrated", get(&c.jobs_migrated))
-        .push("checkpoint_fetches", get(&c.checkpoint_fetches))
-        .push("checkpoint_puts", get(&c.checkpoint_puts))
-        .push("probes_ok", get(&c.probes_ok))
-        .push("probes_failed", get(&c.probes_failed));
+    let counters = counters_json(shared);
     let (dispatch_wait, job) = {
         let lat = lock(&shared.latencies);
         (lat.dispatch_wait_us.to_json(), lat.job_us.to_json())
@@ -1112,6 +1261,9 @@ fn stats_response(shared: &Shared) -> Json {
         .push("queue_capacity", shared.opts.queue)
         .push("pending", pending)
         .push("jobs_in_flight", snaps.iter().map(|s| s.in_flight).sum::<usize>())
+        .push("traces_stored", lock(&shared.traces).len())
+        .push("flight_capacity", shared.flight.capacity())
+        .push("flight_recorded", shared.flight.recorded())
         .push("counters", counters)
         .push("dispatch_wait_us", dispatch_wait)
         .push("job_us", job);
@@ -1136,6 +1288,10 @@ fn stats_response(shared: &Shared) -> Json {
 /// `connections`/`requests` (each scrape is one of each) and
 /// `probes_ok`/`probes_failed` (bumped continuously by the prober), so
 /// that two back-to-back scrapes of an idle fleet are byte-identical.
+/// The pool and flight families stay scrape-stable too: a metrics
+/// scrape never touches the connection pool (only dispatch and `stats`
+/// forwarding do), and the flight ring only moves on job lifecycle and
+/// backend liveness transitions.
 fn metrics_response(shared: &Shared) -> Json {
     let c = &shared.counters;
     let get = |a: &AtomicU64| a.load(Ordering::Relaxed);
@@ -1155,6 +1311,13 @@ fn metrics_response(shared: &Shared) -> Json {
     m.set("capsule_fleet_checkpoint_puts_total", &[], get(&c.checkpoint_puts));
     m.set("capsule_fleet_queue_capacity", &[], shared.opts.queue as u64);
     m.set("capsule_fleet_traces_stored", &[], lock(&shared.traces).len() as u64);
+    m.set("capsule_fleet_flight_capacity", &[], shared.flight.capacity() as u64);
+    m.set("capsule_fleet_flight_recorded_total", &[], shared.flight.recorded());
+    let pool = shared.pool.counters();
+    m.set("capsule_fleet_pool_checkouts_total", &[], pool.checkouts);
+    m.set("capsule_fleet_pool_dials_total", &[], pool.dials);
+    m.set("capsule_fleet_pool_redials_total", &[], pool.redials);
+    m.set("capsule_fleet_pool_reuses_total", &[], pool.reuses);
     {
         let mut st = lock(&shared.state);
         let now = Instant::now();
@@ -1179,6 +1342,8 @@ fn metrics_response(shared: &Shared) -> Json {
             m.set("capsule_fleet_backend_dispatched_total", labels, b.dispatched);
             m.set("capsule_fleet_backend_completed_total", labels, b.completed);
             m.set("capsule_fleet_backend_failures_total", labels, b.failures);
+            m.set("capsule_fleet_backend_ewma_job_us", labels, b.ewma_job_us);
+            m.set("capsule_fleet_backend_predicted_wait_us", labels, b.predicted_wait_us());
         }
     }
     {
@@ -1189,6 +1354,197 @@ fn metrics_response(shared: &Shared) -> Json {
     let mut r = response_head("metrics", true);
     r.push("exposition", m.render());
     r
+}
+
+/// Interprets the optional `health` affinity key: a 16-hex cache key
+/// parses to its u64 (the exact value run routing uses), anything else
+/// is FNV-hashed so arbitrary labels still rank deterministically.
+fn health_key(key: &str) -> u64 {
+    if key.len() == 16 && key.bytes().all(|b| b.is_ascii_hexdigit()) {
+        u64::from_str_radix(key, 16).unwrap_or_else(|_| fnv1a64(key.as_bytes()))
+    } else {
+        fnv1a64(key.as_bytes())
+    }
+}
+
+/// One backend's health row plus its sort rank inputs.
+struct HealthRow {
+    dead: bool,
+    throttled: bool,
+    predicted: u64,
+    pref: usize,
+    name: String,
+    addr: String,
+    alive: bool,
+    workers: usize,
+    in_flight: usize,
+    ewma_job_us: u64,
+}
+
+/// The fleet `health` op: backends ranked best-first for a new job —
+/// routable ones (alive, unthrottled) before throttled before dead,
+/// lower deterministic `predicted_wait_us` first, ties broken by the
+/// rendezvous preference for the optional `key` (configuration order
+/// without one). Rank 0 is where admission control would send the next
+/// job; the gauges behind the ranking ride along so a `capsule-top`
+/// snapshot or a reject-early policy can show its work.
+fn health_response(shared: &Shared, key: Option<&str>) -> Json {
+    let rkey = key.map(health_key);
+    let mut rows: Vec<HealthRow> = {
+        let mut st = lock(&shared.state);
+        let now = Instant::now();
+        let addrs: Vec<String> = st.backends.iter().map(|b| b.addr.clone()).collect();
+        let pref: Vec<usize> = match rkey {
+            Some(k) => {
+                let order = preference_order(&addrs, k);
+                let mut pos = vec![0usize; addrs.len()];
+                for (p, &i) in order.iter().enumerate() {
+                    pos[i] = p;
+                }
+                pos
+            }
+            None => (0..addrs.len()).collect(),
+        };
+        st.backends
+            .iter_mut()
+            .enumerate()
+            .map(|(i, b)| HealthRow {
+                dead: !b.alive,
+                throttled: b.window.throttled(now),
+                predicted: b.predicted_wait_us(),
+                pref: pref[i],
+                name: b.name.clone(),
+                addr: b.addr.clone(),
+                alive: b.alive,
+                workers: b.workers,
+                in_flight: b.in_flight,
+                ewma_job_us: b.ewma_job_us,
+            })
+            .collect()
+    };
+    rows.sort_by(|a, b| {
+        (a.dead, a.throttled, a.predicted, a.pref, &a.name).cmp(&(
+            b.dead,
+            b.throttled,
+            b.predicted,
+            b.pref,
+            &b.name,
+        ))
+    });
+    let mut list = Vec::with_capacity(rows.len());
+    for (rank, r) in rows.iter().enumerate() {
+        let mut j = Json::object();
+        j.push("rank", rank)
+            .push("name", r.name.as_str())
+            .push("addr", r.addr.as_str())
+            .push("alive", r.alive)
+            .push("throttled", r.throttled)
+            .push("workers", r.workers)
+            .push("in_flight", r.in_flight)
+            .push("ewma_job_us", r.ewma_job_us)
+            .push("predicted_wait_us", r.predicted);
+        list.push(j);
+    }
+    let mut resp = response_head("health", true);
+    if let Some(k) = key {
+        resp.push("key", k);
+    }
+    resp.push("backends_alive", rows.iter().filter(|r| r.alive).count())
+        .push("backends", Json::Array(list));
+    resp
+}
+
+/// The fleet-level gauges snapshot included in a dump artifact.
+fn gauges_json(shared: &Shared) -> Json {
+    let mut st = lock(&shared.state);
+    let now = Instant::now();
+    let mut backends = Vec::with_capacity(st.backends.len());
+    let mut alive = 0usize;
+    let mut in_flight = 0usize;
+    for b in st.backends.iter_mut() {
+        alive += usize::from(b.alive);
+        in_flight += b.in_flight;
+        let mut j = Json::object();
+        j.push("name", b.name.as_str())
+            .push("alive", b.alive)
+            .push("throttled", b.window.throttled(now))
+            .push("workers", b.workers)
+            .push("in_flight", b.in_flight)
+            .push("ewma_job_us", b.ewma_job_us)
+            .push("predicted_wait_us", b.predicted_wait_us());
+        backends.push(j);
+    }
+    let pending = st.pending;
+    let total = st.backends.len();
+    drop(st);
+    let mut g = Json::object();
+    g.push("queue_capacity", shared.opts.queue)
+        .push("pending", pending)
+        .push("jobs_in_flight", in_flight)
+        .push("backends_total", total)
+        .push("backends_alive", alive)
+        .push("traces_stored", lock(&shared.traces).len())
+        .push("backends", Json::Array(backends));
+    g
+}
+
+/// The `capsule-dump/1` post-mortem artifact (docs/OBSERVABILITY.md):
+/// the flight ring, every retained trace, the gauges, and the counters
+/// in one versioned JSON object.
+fn dump_json(shared: &Shared) -> Json {
+    let mut d = Json::object();
+    d.push("schema", "capsule-dump/1")
+        .push("source", "fleet")
+        .push("flight", shared.flight.snapshot().to_json());
+    let traces = {
+        let store = lock(&shared.traces);
+        let mut list = Vec::new();
+        for (id, tree) in store.entries() {
+            let mut t = Json::object();
+            t.push("trace_id", id).push("trace", tree.clone());
+            list.push(t);
+        }
+        list
+    };
+    d.push("traces", Json::Array(traces))
+        .push("gauges", gauges_json(shared))
+        .push("counters", counters_json(shared));
+    d
+}
+
+fn dump_response(shared: &Shared) -> Json {
+    let mut r = response_head("dump", true);
+    r.push("dump", dump_json(shared));
+    r
+}
+
+/// Serializes the dump artifact to `path`, best effort: a post-mortem
+/// writer must never bring down the process it is trying to explain.
+fn write_dump_file(shared: &Shared, path: &str, reason: &str) {
+    let mut dump = dump_json(shared);
+    dump.push("reason", reason);
+    let mut bytes = dump.to_string_compact().into_bytes();
+    bytes.push(b'\n');
+    match std::fs::write(path, bytes) {
+        Ok(()) => eprintln!("capsule-fleet: wrote {reason} dump to {path}"),
+        Err(e) => eprintln!("capsule-fleet: failed to write {reason} dump to {path}: {e}"),
+    }
+}
+
+/// `CAPSULE_FLEET_DUMP_ON_PANIC=path`: chain a panic hook that writes
+/// the post-mortem artifact before the default handler runs, so a
+/// crashing coordinator leaves its last moments on disk.
+fn install_dump_hooks(shared: &Arc<Shared>) {
+    if let Ok(path) = std::env::var("CAPSULE_FLEET_DUMP_ON_PANIC") {
+        if !path.is_empty() {
+            let shared = Arc::clone(shared);
+            let previous = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                write_dump_file(&shared, &path, "panic");
+                previous(info);
+            }));
+        }
+    }
 }
 
 /// The fleet `trace` op: the coordinator's stored span tree for the id,
@@ -1322,11 +1678,22 @@ fn probe_loop(shared: &Shared) {
             let mut st = lock(&shared.state);
             match result {
                 Ok(p) => {
+                    if !st.backends[i].alive {
+                        shared.flight.record(FlightKind::BackendUp, None, Some(i as u32), "probe");
+                    }
                     st.backends[i].alive = true;
                     st.backends[i].workers = p.workers.max(1);
                     shared.counters.probes_ok.fetch_add(1, Ordering::Relaxed);
                 }
                 Err(_) => {
+                    if st.backends[i].alive {
+                        shared.flight.record(
+                            FlightKind::BackendDown,
+                            None,
+                            Some(i as u32),
+                            "probe",
+                        );
+                    }
                     st.backends[i].alive = false;
                     shared.counters.probes_failed.fetch_add(1, Ordering::Relaxed);
                 }

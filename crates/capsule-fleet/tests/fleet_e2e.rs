@@ -48,6 +48,7 @@ fn start_backend_with_checkpoints(checkpoint_cycles: u64) -> Server {
         traces: 16,
         checkpoint_cycles,
         checkpoints: 8,
+        flight: 64,
     };
     Server::start("127.0.0.1:0", opts).expect("bind backend")
 }
@@ -65,6 +66,7 @@ fn fleet_opts() -> FleetOptions {
         job_timeout_ms: 120_000,
         dispatch_wait_ms: 30_000,
         traces: 16,
+        flight: 64,
     }
 }
 
@@ -400,13 +402,19 @@ fn fleet_metrics_exposition_is_deterministic_and_golden_when_fresh() {
 
     // Golden: the full exposition of a fresh one-backend fleet, byte for
     // byte. Scrape-perturbed counters (connections, requests) and the
-    // continuously bumped probe counters are excluded by design.
+    // continuously bumped probe counters are excluded by design. The
+    // pool families are compared separately below: the alive-poll above
+    // runs an unpredictable number of `stats` forwards, each of which
+    // legitimately moves the pool counters. `flight_recorded_total` is 1:
+    // exactly one backend-up transition since boot.
     let expected = "capsule_fleet_backend_alive{backend=\"b0\"} 1\n\
                     capsule_fleet_backend_completed_total{backend=\"b0\"} 0\n\
                     capsule_fleet_backend_dispatched_total{backend=\"b0\"} 0\n\
+                    capsule_fleet_backend_ewma_job_us{backend=\"b0\"} 0\n\
                     capsule_fleet_backend_failures_total 0\n\
                     capsule_fleet_backend_failures_total{backend=\"b0\"} 0\n\
                     capsule_fleet_backend_in_flight{backend=\"b0\"} 0\n\
+                    capsule_fleet_backend_predicted_wait_us{backend=\"b0\"} 0\n\
                     capsule_fleet_backend_throttled{backend=\"b0\"} 0\n\
                     capsule_fleet_backends 1\n\
                     capsule_fleet_backends_alive 1\n\
@@ -417,6 +425,8 @@ fn fleet_metrics_exposition_is_deterministic_and_golden_when_fresh() {
                     capsule_fleet_dispatch_wait_us_bucket{le=\"+Inf\"} 0\n\
                     capsule_fleet_dispatch_wait_us_count 0\n\
                     capsule_fleet_dispatch_wait_us_sum 0\n\
+                    capsule_fleet_flight_capacity 64\n\
+                    capsule_fleet_flight_recorded_total 1\n\
                     capsule_fleet_job_us_bucket{le=\"+Inf\"} 0\n\
                     capsule_fleet_job_us_count 0\n\
                     capsule_fleet_job_us_sum 0\n\
@@ -434,7 +444,40 @@ fn fleet_metrics_exposition_is_deterministic_and_golden_when_fresh() {
                     capsule_fleet_traces_stored 0\n";
     let first = request(&fleet, r#"{"op":"metrics"}"#);
     assert!(ok(&first), "metrics failed: {}", first.to_string_compact());
-    assert_eq!(first.get("exposition").and_then(Json::as_str), Some(expected));
+    let split_pool = |text: &str| -> (String, Vec<(String, u64)>) {
+        let mut rest = String::new();
+        let mut pool = Vec::new();
+        for line in text.lines() {
+            match line.strip_prefix("capsule_fleet_pool_") {
+                Some(entry) => {
+                    let (name, value) = entry.split_once(' ').expect("pool line");
+                    pool.push((name.to_string(), value.parse().expect("pool value")));
+                }
+                None => {
+                    rest.push_str(line);
+                    rest.push('\n');
+                }
+            }
+        }
+        (rest, pool)
+    };
+    let exposition = first.get("exposition").and_then(Json::as_str).expect("exposition");
+    let (stable, pool) = split_pool(exposition);
+    assert_eq!(stable.as_str(), expected);
+    // The pool counters are present as a metrics family and satisfy the
+    // pool invariants even though their absolute values depend on how
+    // many stats polls the alive-wait above needed.
+    let pool_value = |name: &str| {
+        pool.iter().find(|(n, _)| n == name).map(|(_, v)| *v).unwrap_or_else(|| {
+            panic!("missing pool metric {name}");
+        })
+    };
+    assert_eq!(
+        pool_value("checkouts_total"),
+        pool_value("reuses_total") + pool_value("dials_total"),
+        "every checkout is either a reuse or a dial"
+    );
+    assert!(pool_value("redials_total") <= pool_value("dials_total"));
 
     // Two back-to-back scrapes are byte-identical, response and all.
     let second = request(&fleet, r#"{"op":"metrics"}"#);
@@ -658,6 +701,225 @@ fn fleet_answers_v1_and_v2_clients_byte_identically() {
     let s = framed.request(r#"{"op":"stats"}"#).expect("v2 stats");
     assert!(ok(&s));
     assert!(s.get("fleet").is_some(), "fleet stats answered over v2");
+
+    fleet.shutdown();
+    backend.shutdown();
+}
+
+/// A run that deterministically fails job-level on any backend: a
+/// 10-cycle budget overruns immediately (`scenario-failed` passthrough).
+const FAILING_RUN: &str = r#"{"op":"run","scenario":"table1_config","scale":"smoke","budget":10}"#;
+
+/// The canonical cache key (16-hex) of a run line — also the id its
+/// anonymous fleet trace files under.
+fn line_key(line: &str) -> String {
+    let Request::Run(run) = Request::parse_line(line).expect("parse run") else {
+        panic!("not a run line");
+    };
+    cache_key(&run.canonical())
+}
+
+#[test]
+fn health_ranks_backends_by_predicted_wait_with_rendezvous_tiebreak() {
+    let backends = [start_backend(), start_backend()];
+    let fleet = start_fleet(&[&backends[0], &backends[1]], fleet_opts());
+    wait_for("both backends alive", || backends_alive(&fleet) == 2);
+
+    // Fresh fleet, no key: both rows idle, ranked in configuration
+    // order, each carrying the gauges behind the ranking.
+    let fresh = request(&fleet, r#"{"op":"health"}"#);
+    assert!(ok(&fresh), "health failed: {}", fresh.to_string_compact());
+    assert_eq!(fresh.get("backends_alive").and_then(Json::as_u64), Some(2));
+    let rows = fresh.get("backends").and_then(Json::as_array).expect("rows");
+    assert_eq!(rows.len(), 2);
+    for (i, row) in rows.iter().enumerate() {
+        assert_eq!(row.get("rank").and_then(Json::as_u64), Some(i as u64));
+        assert_eq!(row.get("name").and_then(Json::as_str), Some(format!("b{i}").as_str()));
+        assert_eq!(row.get("alive").and_then(Json::as_bool), Some(true));
+        assert_eq!(row.get("predicted_wait_us").and_then(Json::as_u64), Some(0));
+        assert_eq!(row.get("ewma_job_us").and_then(Json::as_u64), Some(0));
+    }
+
+    // With the slow job's cache key, the idle tie breaks by the same
+    // rendezvous preference dispatch uses — so rank 0 must be exactly
+    // the backend the job then lands on.
+    let key = line_key(SLOW_RUN);
+    let keyed = request(&fleet, &format!(r#"{{"op":"health","key":"{key}"}}"#));
+    assert!(ok(&keyed));
+    assert_eq!(keyed.get("key").and_then(Json::as_str), Some(key.as_str()));
+    let predicted_first = keyed
+        .get("backends")
+        .and_then(Json::as_array)
+        .and_then(<[Json]>::first)
+        .and_then(|b| b.get("name").and_then(Json::as_str))
+        .expect("rank-0 name")
+        .to_string();
+
+    let mut slow = Connection::connect(&fleet.local_addr().to_string()).expect("connect");
+    slow.send(SLOW_RUN).expect("send slow job");
+    wait_for("slow job to reach a backend", || busy_backend(&fleet).is_some());
+    assert_eq!(busy_backend(&fleet).as_deref(), Some(predicted_first.as_str()));
+
+    // While one backend is loaded, the idle one ranks first: its
+    // deterministic predicted wait is strictly lower.
+    let loaded = request(&fleet, r#"{"op":"health"}"#);
+    let rows = loaded.get("backends").and_then(Json::as_array).expect("rows");
+    assert_eq!(
+        rows[0].get("in_flight").and_then(Json::as_u64),
+        Some(0),
+        "the idle backend must rank first: {}",
+        loaded.to_string_compact()
+    );
+    assert_eq!(rows[1].get("name").and_then(Json::as_str), Some(predicted_first.as_str()));
+    assert_eq!(rows[1].get("in_flight").and_then(Json::as_u64), Some(1));
+    let p0 = rows[0].get("predicted_wait_us").and_then(Json::as_u64).unwrap();
+    let p1 = rows[1].get("predicted_wait_us").and_then(Json::as_u64).unwrap();
+    assert!(p0 < p1, "ranking must follow predicted wait ({p0} vs {p1})");
+
+    let reply = slow.recv().expect("slow job response");
+    assert!(ok(&reply), "slow job failed: {}", reply.to_string_compact());
+    fleet.shutdown();
+    for b in backends {
+        b.shutdown();
+    }
+}
+
+/// Satellite pin: the full preempt-then-migrate flow books exactly the
+/// same counters whichever wire protocol the client spoke — both
+/// protocols funnel into one dispatch path — and `jobs_migrated` stays
+/// orthogonal to the final-outcome counters: the job counts once in
+/// `jobs_completed` AND once in `jobs_migrated`, never twice anywhere.
+#[test]
+fn preempt_then_migrate_books_identical_counters_on_both_protocols() {
+    fn migrate_and_snapshot(proto: Proto) -> BTreeMap<String, u64> {
+        let backends =
+            [start_backend_with_checkpoints(50_000), start_backend_with_checkpoints(50_000)];
+        let fleet = start_fleet(&[&backends[0], &backends[1]], fleet_opts());
+        wait_for("both backends alive", || backends_alive(&fleet) == 2);
+
+        let mut conn =
+            Connection::connect_with(&fleet.local_addr().to_string(), proto).expect("connect");
+        conn.send(SLOW_RUN).expect("send slow job");
+        wait_for("slow job to reach a backend", || busy_backend(&fleet).is_some());
+
+        let key = line_key(SLOW_RUN);
+        let preempt_line = format!(r#"{{"op":"preempt","cache_key":"{key}"}}"#);
+        wait_for("preempt to land", || ok(&request(&fleet, &preempt_line)));
+        wait_for("the checkpoint to migrate", || {
+            fleet_counter(&stats(&fleet), "jobs_migrated") >= 1
+        });
+
+        let reply = conn.recv().expect("migrated job response");
+        assert!(ok(&reply), "migrated job failed: {}", reply.to_string_compact());
+        assert!(reply.get("attempts").and_then(Json::as_u64).unwrap_or(0) >= 2);
+
+        // `preempt_requests` is deliberately not compared: landing the
+        // preempt takes an unpredictable number of polls while the
+        // backend is still admitting the job.
+        let s = stats(&fleet);
+        let mut snapshot = BTreeMap::new();
+        for name in [
+            "jobs_accepted",
+            "jobs_rejected",
+            "jobs_completed",
+            "jobs_failed",
+            "jobs_cancelled",
+            "jobs_migrated",
+            "retries",
+            "backend_failures",
+            "checkpoint_fetches",
+            "checkpoint_puts",
+        ] {
+            snapshot.insert(name.to_string(), fleet_counter(&s, name));
+        }
+        fleet.shutdown();
+        for b in backends {
+            b.shutdown();
+        }
+        snapshot
+    }
+
+    let v1 = migrate_and_snapshot(Proto::V1);
+    let v2 = migrate_and_snapshot(Proto::V2);
+    assert_eq!(v1, v2, "the two wire protocols must book identical counters");
+    assert_eq!(v1.get("jobs_accepted"), Some(&1));
+    assert_eq!(v1.get("jobs_completed"), Some(&1));
+    assert_eq!(v1.get("jobs_migrated"), Some(&1), "migration counted once, alongside completion");
+    assert_eq!(v1.get("jobs_failed"), Some(&0));
+    assert_eq!(v1.get("retries"), Some(&1), "the resume leg is the only retry");
+    assert_eq!(v1.get("backend_failures"), Some(&0), "a park is not a backend fault");
+    assert_eq!(v1.get("checkpoint_fetches"), Some(&1));
+    assert_eq!(v1.get("checkpoint_puts"), Some(&1));
+}
+
+#[test]
+fn fleet_tail_retention_and_dump_capture_troubled_jobs() {
+    let backend = start_backend();
+    let fleet = start_fleet(&[&backend], fleet_opts());
+    wait_for("backend alive", || backends_alive(&fleet) == 1);
+
+    // A clean first-attempt success with no slow history behind it: the
+    // tail policy drops its anonymous trace.
+    let fast = request(&fleet, &run_line("table1_config"));
+    assert!(ok(&fast), "fast run failed: {}", fast.to_string_compact());
+    let fast_key = line_key(&run_line("table1_config"));
+    let dropped = request(&fleet, &format!(r#"{{"op":"trace","trace_id":"{fast_key}"}}"#));
+    assert!(!ok(&dropped), "fast job's trace must have been dropped");
+    assert_eq!(error_code(&dropped), Some("unknown-trace"));
+
+    // A job-level failure is always retained, under its cache-key hex.
+    let failing = request(&fleet, FAILING_RUN);
+    assert!(!ok(&failing));
+    assert_eq!(error_code(&failing), Some("scenario-failed"));
+    let fail_key = line_key(FAILING_RUN);
+    let kept = request(&fleet, &format!(r#"{{"op":"trace","trace_id":"{fail_key}"}}"#));
+    assert!(ok(&kept), "failed job's trace must be tail-retained: {}", kept.to_string_compact());
+    let spans =
+        kept.get("trace").and_then(|t| t.get("spans")).and_then(Json::as_array).expect("spans");
+    assert!(
+        spans.iter().any(|s| s.get("name").and_then(Json::as_str) == Some("fleet.dispatch")),
+        "the retained tree must include the dispatch span"
+    );
+
+    // The dump artifact: versioned, with the flight ring, the retained
+    // trace (and only that one), the gauges, and the counters.
+    let dump = request(&fleet, r#"{"op":"dump"}"#);
+    assert!(ok(&dump), "dump failed: {}", dump.to_string_compact());
+    let d = dump.get("dump").expect("dump object");
+    assert_eq!(d.get("schema").and_then(Json::as_str), Some("capsule-dump/1"));
+    assert_eq!(d.get("source").and_then(Json::as_str), Some("fleet"));
+    let flight = d.get("flight").expect("flight ring");
+    assert_eq!(flight.get("capacity").and_then(Json::as_u64), Some(64));
+    let events = flight.get("events").and_then(Json::as_array).expect("events");
+    let kinds: Vec<&str> =
+        events.iter().filter_map(|e| e.get("kind").and_then(Json::as_str)).collect();
+    assert_eq!(kinds.first(), Some(&"backend-up"), "the boot transition leads the ring");
+    for kind in ["enqueue", "dispatch", "complete"] {
+        assert!(kinds.contains(&kind), "missing {kind} in {kinds:?}");
+    }
+    assert!(
+        events.iter().any(|e| {
+            e.get("cache_key").and_then(Json::as_str) == Some(fail_key.as_str())
+                && e.get("outcome").and_then(Json::as_str) == Some("failed")
+        }),
+        "the failing job's completion must be on the ring: {}",
+        flight.to_string_compact()
+    );
+    let trace_ids: Vec<&str> = d
+        .get("traces")
+        .and_then(Json::as_array)
+        .expect("traces")
+        .iter()
+        .filter_map(|t| t.get("trace_id").and_then(Json::as_str))
+        .collect();
+    assert!(trace_ids.contains(&fail_key.as_str()));
+    assert!(!trace_ids.contains(&fast_key.as_str()), "a dropped trace must not be in the dump");
+    let gauges = d.get("gauges").expect("gauges");
+    assert_eq!(gauges.get("backends_alive").and_then(Json::as_u64), Some(1));
+    assert_eq!(gauges.get("jobs_in_flight").and_then(Json::as_u64), Some(0));
+    let counters = d.get("counters").expect("counters");
+    assert_eq!(counters.get("jobs_completed").and_then(Json::as_u64), Some(1));
+    assert_eq!(counters.get("jobs_failed").and_then(Json::as_u64), Some(1));
 
     fleet.shutdown();
     backend.shutdown();

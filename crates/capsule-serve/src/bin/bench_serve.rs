@@ -7,6 +7,7 @@
 //! bench_serve [--loads R1,R2] [--jobs N] [--connections N] [--zipf S]
 //!             [--seed N] [--out PATH] [--baseline PATH] [--compare PATH]
 //!             [--noise FRAC] [--overhead-probes N] [--deterministic]
+//!             [--flight-off]
 //! ```
 //!
 //! Each leg starts a fresh server, replays the same seeded Poisson/Zipf
@@ -29,6 +30,12 @@
 //!   byte-identical JSON, sizes the queue to the job count so nothing is
 //!   rejected, and exits nonzero if any load's v1 and v2 report digests
 //!   disagree (the cross-protocol parity self-check).
+//! - `--flight-off` starts each leg's server with the flight recorder
+//!   disabled (`flight: 0`). The flag changes only what the server does,
+//!   never what the benchmark writes: the output file is byte-identical
+//!   in shape either way, so CI can gate the recorder's overhead by
+//!   running with and without it under the same `--compare`/`--noise`
+//!   settings (docs/OBSERVABILITY.md).
 
 use capsule_bench::benchfile::{compare_field, read_entry_field, round3};
 use capsule_core::output::Json;
@@ -54,6 +61,7 @@ struct Args {
     noise: f64,
     overhead_probes: usize,
     deterministic: bool,
+    flight_off: bool,
 }
 
 fn parse_args() -> Args {
@@ -69,6 +77,7 @@ fn parse_args() -> Args {
         noise: 0.15,
         overhead_probes: 100,
         deterministic: false,
+        flight_off: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -124,6 +133,7 @@ fn parse_args() -> Args {
                 args.overhead_probes = v.parse().unwrap_or_else(|_| bad("--overhead-probes", &v));
             }
             "--deterministic" => args.deterministic = true,
+            "--flight-off" => args.flight_off = true,
             other => {
                 eprintln!("unknown argument {other:?}");
                 std::process::exit(2);
@@ -153,6 +163,7 @@ fn run_leg(args: &Args, rate: f64, proto: Proto) -> Leg {
         // Deterministic legs must never hit backpressure: a queue-full
         // rejection depends on host timing and would change the digest.
         queue: if args.deterministic { args.jobs.max(16) } else { ServerOptions::default().queue },
+        flight: if args.flight_off { 0 } else { ServerOptions::default().flight },
         ..ServerOptions::default()
     };
     let server = Server::start("127.0.0.1:0", opts).unwrap_or_else(|e| {
@@ -225,11 +236,12 @@ fn measure_overhead(addr: &str, proto: Proto, probes: usize) -> f64 {
 fn main() {
     let args = parse_args();
     println!(
-        "server throughput, {} jobs/leg over {} scenario(s), zipf {}, seed {}\n",
+        "server throughput, {} jobs/leg over {} scenario(s), zipf {}, seed {}{}\n",
         args.jobs,
         MIX.len(),
         args.zipf,
-        args.seed
+        args.seed,
+        if args.flight_off { " (flight recorder off)" } else { "" }
     );
     if args.deterministic {
         println!(

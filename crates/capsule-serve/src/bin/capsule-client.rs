@@ -6,7 +6,8 @@
 //!   capsule-client ADDR trace TRACE_ID
 //!   capsule-client ADDR preempt CACHE_KEY
 //!   capsule-client ADDR resume TOKEN
-//!   capsule-client ADDR stats|list|cancel|shutdown|metrics
+//!   capsule-client ADDR health [KEY]
+//!   capsule-client ADDR stats|list|cancel|shutdown|metrics|dump
 //!
 //! Sends one request and prints the server's response (pretty-printed
 //! unless `--compact`). Exits nonzero when the server reports
@@ -72,8 +73,16 @@ fn build_request(addr: &str, args: &[String]) -> String {
         return args[0].clone();
     }
     match args[0].as_str() {
-        "stats" | "list" | "cancel" | "shutdown" | "metrics" => {
+        "stats" | "list" | "cancel" | "shutdown" | "metrics" | "dump" => {
             format!(r#"{{"op":"{}"}}"#, args[0])
+        }
+        "health" => {
+            let mut req = Json::object();
+            req.push("op", "health");
+            if let Some(key) = args.get(1) {
+                req.push("key", key.as_str());
+            }
+            req.to_string_compact()
         }
         "trace" => {
             let Some(id) = args.get(1) else {
@@ -143,8 +152,8 @@ fn build_request(addr: &str, args: &[String]) -> String {
         }
         other => {
             eprintln!(
-                "unknown request {other:?} (run, trace, preempt, resume, stats, list, cancel, \
-                 shutdown, metrics or raw json)"
+                "unknown request {other:?} (run, trace, preempt, resume, health, stats, list, \
+                 cancel, shutdown, metrics, dump or raw json)"
             );
             std::process::exit(2);
         }

@@ -45,10 +45,16 @@
 //! slowest requests of a load run can be pulled apart immediately with
 //! the server's `trace` op (docs/OBSERVABILITY.md).
 //!
-//! `--scrape FILE` polls the endpoint's `metrics` op during the run and
-//! writes one JSON object per scrape to FILE: `{"seq":N,"metrics":{..}}`.
-//! Lines carry sequence numbers, never wall-clock timestamps, so two
-//! runs of the same workload produce structurally identical series.
+//! `--scrape FILE` polls the `metrics` op during the run and writes one
+//! JSON object per scrape to FILE:
+//! `{"seq":N,"source":S,"metrics":{..}}`. Against a coordinator the
+//! scraper discovers the fleet's backends through `health` and each
+//! cycle scrapes the coordinator plus every backend — `source` is
+//! `"coordinator"` or the backend's stable name (`b0`, `b1`, ...), and
+//! all lines of one cycle share a `seq`; against a plain server the
+//! source is `"server"`. Lines carry sequence numbers, never wall-clock
+//! timestamps, so two runs of the same workload produce structurally
+//! identical series.
 //!
 //! `--preempt-rate N` preempts roughly one in N jobs mid-run (seeded
 //! in-tree rng keyed by the job index, so the *same jobs* are picked on
@@ -572,13 +578,41 @@ fn print_tail_traces(h: &Histogram, samples: &[(u64, String)]) {
     println!("p99-tail traces: {}", rendered.join(", "));
 }
 
-/// Background metrics scraper: polls the endpoint's `metrics` op until
-/// stopped, then writes one JSON object per scrape as JSONL. Sequence
-/// numbers, never timestamps, order the series.
+/// Background metrics scraper: polls the `metrics` op until stopped,
+/// then writes one JSON object per scrape as JSONL. Sequence numbers,
+/// never timestamps, order the series. A coordinator endpoint is fanned
+/// out: each cycle scrapes the coordinator and every backend the fleet's
+/// `health` op lists, tagging lines with a `source` so one file holds
+/// the whole fleet's series.
 struct Scraper {
     stop: Arc<std::sync::atomic::AtomicBool>,
     handle: std::thread::JoinHandle<Vec<Json>>,
     path: String,
+}
+
+/// The `(source, addr)` pairs one scrape cycle visits. A fleet is
+/// recognized by the backend ranking in its `health` answer; backends
+/// are scraped under their stable names, sorted so the per-cycle line
+/// order does not wobble with the live ranking. Anything else is a
+/// single `server` source.
+fn scrape_targets(addr: &str) -> Vec<(String, String)> {
+    if let Ok(health) = request_once(addr, r#"{"op":"health"}"#) {
+        if let Some(rows) = health.get("backends").and_then(Json::as_array) {
+            let mut named: Vec<(String, String)> = rows
+                .iter()
+                .filter_map(|r| {
+                    let name = r.get("name").and_then(Json::as_str)?;
+                    let baddr = r.get("addr").and_then(Json::as_str)?;
+                    Some((name.to_string(), baddr.to_string()))
+                })
+                .collect();
+            named.sort();
+            let mut targets = vec![("coordinator".to_string(), addr.to_string())];
+            targets.extend(named);
+            return targets;
+        }
+    }
+    vec![("server".to_string(), addr.to_string())]
 }
 
 fn start_scraper(addr: &str, path: String) -> Scraper {
@@ -587,14 +621,24 @@ fn start_scraper(addr: &str, path: String) -> Scraper {
         let addr = addr.to_string();
         let stop = stop.clone();
         std::thread::spawn(move || {
+            let targets = scrape_targets(&addr);
             let mut out = Vec::new();
+            let mut seq = 0usize;
             loop {
                 let done = stop.load(Ordering::SeqCst);
-                if let Some(metrics) = scrape_once(&addr) {
-                    let mut line = Json::object();
-                    line.push("seq", out.len()).push("metrics", metrics);
-                    out.push(line);
+                for (source, taddr) in &targets {
+                    // A backend that died mid-run simply stops answering;
+                    // its lines drop out while the rest of the cycle
+                    // keeps scraping.
+                    if let Some(metrics) = scrape_once(taddr) {
+                        let mut line = Json::object();
+                        line.push("seq", seq)
+                            .push("source", source.as_str())
+                            .push("metrics", metrics);
+                        out.push(line);
+                    }
                 }
+                seq += 1;
                 // One final scrape after the stop flag, so the series
                 // always ends with the workload's settled counters.
                 if done {

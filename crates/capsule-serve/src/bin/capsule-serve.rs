@@ -2,11 +2,13 @@
 //! `capsule-serve/1` requests until a `shutdown` request arrives.
 //!
 //! Usage: `capsule-serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
-//!         [--traces N]`
+//!         [--traces N] [--flight N]`
 //!
 //! Defaults come from `CAPSULE_SERVE_WORKERS` / `CAPSULE_SERVE_QUEUE` /
-//! `CAPSULE_SERVE_CACHE` / `CAPSULE_SERVE_TRACES`; `--addr 127.0.0.1:0`
-//! picks an ephemeral port.
+//! `CAPSULE_SERVE_CACHE` / `CAPSULE_SERVE_TRACES` /
+//! `CAPSULE_SERVE_FLIGHT`; `--addr 127.0.0.1:0` picks an ephemeral
+//! port. `--flight 0` disables the flight recorder
+//! (docs/OBSERVABILITY.md).
 //! The resolved address is printed as `listening on HOST:PORT` so
 //! scripts can scrape it.
 
@@ -29,10 +31,11 @@ fn main() {
             "--queue" => opts.queue = parse_usize(&value("--queue"), "--queue").max(1),
             "--cache" => opts.cache = parse_usize(&value("--cache"), "--cache"),
             "--traces" => opts.traces = parse_usize(&value("--traces"), "--traces"),
+            "--flight" => opts.flight = parse_usize(&value("--flight"), "--flight"),
             "--help" | "-h" => {
                 println!(
                     "usage: capsule-serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N] \
-                     [--traces N]"
+                     [--traces N] [--flight N]"
                 );
                 return;
             }

@@ -25,6 +25,7 @@ use std::sync::Arc;
 pub struct ResultCache {
     capacity: usize,
     tick: u64,
+    evictions: u64,
     entries: HashMap<String, Entry>,
 }
 
@@ -37,7 +38,17 @@ struct Entry {
 impl ResultCache {
     /// A cache holding at most `capacity` reports (0 disables caching).
     pub fn new(capacity: usize) -> ResultCache {
-        ResultCache { capacity, tick: 0, entries: HashMap::new() }
+        ResultCache { capacity, tick: 0, evictions: 0, entries: HashMap::new() }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Entries evicted to make room over the cache's lifetime.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
     }
 
     /// Number of cached reports.
@@ -73,6 +84,7 @@ impl ResultCache {
                 self.entries.iter().min_by_key(|(_, e)| e.last_used).map(|(k, _)| k.clone())
             {
                 self.entries.remove(&lru);
+                self.evictions += 1;
             }
         }
         self.entries.insert(key, Entry { report, last_used: self.tick });
@@ -98,13 +110,26 @@ pub struct Checkpoint {
 pub struct CheckpointStore {
     capacity: usize,
     tick: u64,
+    evictions: u64,
     entries: HashMap<String, (Checkpoint, u64)>,
 }
 
 impl CheckpointStore {
     /// A store holding at most `capacity` checkpoints.
     pub fn new(capacity: usize) -> CheckpointStore {
-        CheckpointStore { capacity, tick: 0, entries: HashMap::new() }
+        CheckpointStore { capacity, tick: 0, evictions: 0, entries: HashMap::new() }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Checkpoints evicted under capacity pressure over the store's
+    /// lifetime (explicit [`CheckpointStore::remove`] is not an
+    /// eviction).
+    pub fn evictions(&self) -> u64 {
+        self.evictions
     }
 
     /// Number of stored checkpoints.
@@ -138,6 +163,7 @@ impl CheckpointStore {
                 self.entries.iter().min_by_key(|(_, (_, used))| *used).map(|(k, _)| k.clone())
             {
                 self.entries.remove(&lru);
+                self.evictions += 1;
             }
         }
         self.entries.insert(token, (checkpoint, self.tick));
@@ -305,14 +331,34 @@ mod tests {
     #[test]
     fn checkpoint_store_evicts_least_recently_used() {
         let mut s = CheckpointStore::new(2);
+        assert_eq!(s.capacity(), 2);
         s.put("a".to_string(), ckpt("a", 1));
         s.put("b".to_string(), ckpt("b", 2));
+        assert_eq!(s.evictions(), 0);
         assert!(s.get("a").is_some()); // refresh a; b is now LRU
         s.put("c".to_string(), ckpt("c", 3));
         assert_eq!(s.len(), 2);
+        assert_eq!(s.evictions(), 1);
         assert!(s.get("b").is_none());
         assert!(s.get("a").is_some());
         assert!(s.get("c").is_some());
+        // Explicit removal is not an eviction.
+        s.remove("a");
+        assert_eq!(s.evictions(), 1);
+    }
+
+    #[test]
+    fn eviction_counters_track_capacity_pressure_only() {
+        let mut c = ResultCache::new(2);
+        assert_eq!(c.capacity(), 2);
+        c.put("a".to_string(), report("a"));
+        c.put("b".to_string(), report("b"));
+        // Refreshing an existing key never evicts.
+        c.put("a".to_string(), report("a2"));
+        assert_eq!(c.evictions(), 0);
+        c.put("c".to_string(), report("c"));
+        c.put("d".to_string(), report("d"));
+        assert_eq!(c.evictions(), 2);
     }
 
     #[test]

@@ -17,6 +17,7 @@
 use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
 
@@ -516,6 +517,25 @@ pub struct ConnectionPool {
     connect_timeout: Duration,
     max_idle_per_addr: usize,
     idle: Mutex<std::collections::HashMap<String, Vec<Connection>>>,
+    checkouts: AtomicU64,
+    reuses: AtomicU64,
+    dials: AtomicU64,
+    redials: AtomicU64,
+}
+
+/// A snapshot of a [`ConnectionPool`]'s lifetime counters, for the
+/// metrics exposition of whoever owns the pool (the fleet coordinator
+/// exports them as `capsule_fleet_pool_*` families).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolCounters {
+    /// Connections checked out (reused + freshly dialed).
+    pub checkouts: u64,
+    /// Checkouts satisfied by a pooled keep-alive connection.
+    pub reuses: u64,
+    /// Fresh TCP dials (includes redials).
+    pub dials: u64,
+    /// Dials forced by a reused connection that died mid-request.
+    pub redials: u64,
 }
 
 impl ConnectionPool {
@@ -527,6 +547,20 @@ impl ConnectionPool {
             connect_timeout,
             max_idle_per_addr: 8,
             idle: Mutex::new(std::collections::HashMap::new()),
+            checkouts: AtomicU64::new(0),
+            reuses: AtomicU64::new(0),
+            dials: AtomicU64::new(0),
+            redials: AtomicU64::new(0),
+        }
+    }
+
+    /// The pool's lifetime counters.
+    pub fn counters(&self) -> PoolCounters {
+        PoolCounters {
+            checkouts: self.checkouts.load(Ordering::Relaxed),
+            reuses: self.reuses.load(Ordering::Relaxed),
+            dials: self.dials.load(Ordering::Relaxed),
+            redials: self.redials.load(Ordering::Relaxed),
         }
     }
 
@@ -554,6 +588,7 @@ impl ConnectionPool {
     /// [`ClientError::Connect`] / [`ClientError::Proto`] from dialing
     /// when no pooled connection is usable.
     pub fn checkout(&self, addr: &str) -> Result<PooledConnection<'_>, ClientError> {
+        self.checkouts.fetch_add(1, Ordering::Relaxed);
         loop {
             let pooled = {
                 let mut idle = self.idle.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
@@ -561,18 +596,20 @@ impl ConnectionPool {
             };
             match pooled {
                 Some(conn) if conn.is_live() => {
+                    self.reuses.fetch_add(1, Ordering::Relaxed);
                     return Ok(PooledConnection {
                         pool: self,
                         addr: addr.to_string(),
                         conn: Some(conn),
                         reused: true,
                         poisoned: false,
-                    })
+                    });
                 }
                 Some(_dead) => continue,
                 None => break,
             }
         }
+        self.dials.fetch_add(1, Ordering::Relaxed);
         let conn = Connection::connect_timeout_with(addr, self.connect_timeout, self.proto)?;
         Ok(PooledConnection {
             pool: self,
@@ -625,6 +662,9 @@ impl ConnectionPool {
     /// Dials a fresh connection, bypassing the idle pool (the retry
     /// path after a stale reuse).
     fn checkout_fresh(&self, addr: &str) -> Result<PooledConnection<'_>, ClientError> {
+        self.checkouts.fetch_add(1, Ordering::Relaxed);
+        self.dials.fetch_add(1, Ordering::Relaxed);
+        self.redials.fetch_add(1, Ordering::Relaxed);
         let conn = Connection::connect_timeout_with(addr, self.connect_timeout, self.proto)?;
         Ok(PooledConnection {
             pool: self,
@@ -831,6 +871,16 @@ mod tests {
             .request("127.0.0.1:1", r#"{"op":"stats"}"#)
             .unwrap_err();
         assert!(matches!(err, ClientError::Connect(_)), "{err}");
+    }
+
+    #[test]
+    fn pool_counters_track_checkouts_and_dials() {
+        let pool = ConnectionPool::new(Proto::V1, Duration::from_millis(200));
+        assert_eq!(pool.counters(), PoolCounters { checkouts: 0, reuses: 0, dials: 0, redials: 0 });
+        // A failed dial still counts the checkout and the dial attempt.
+        let _ = pool.request("127.0.0.1:1", r#"{"op":"stats"}"#);
+        let c = pool.counters();
+        assert_eq!((c.checkouts, c.reuses, c.dials, c.redials), (1, 0, 1, 0));
     }
 
     #[test]

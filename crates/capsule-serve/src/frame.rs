@@ -74,6 +74,10 @@ pub mod tag {
     pub const CHECKPOINT_FETCH: u8 = 9;
     /// `checkpoint-put`
     pub const CHECKPOINT_PUT: u8 = 10;
+    /// `health`
+    pub const HEALTH: u8 = 11;
+    /// `dump`
+    pub const DUMP: u8 = 12;
 }
 
 /// The op name for a request tag, `None` for unknown tags (including
@@ -90,6 +94,8 @@ pub fn tag_op(t: u8) -> Option<&'static str> {
         tag::PREEMPT => "preempt",
         tag::CHECKPOINT_FETCH => "checkpoint-fetch",
         tag::CHECKPOINT_PUT => "checkpoint-put",
+        tag::HEALTH => "health",
+        tag::DUMP => "dump",
         _ => return None,
     })
 }
@@ -107,6 +113,8 @@ pub fn op_tag(op: &str) -> Option<u8> {
         "preempt" => tag::PREEMPT,
         "checkpoint-fetch" => tag::CHECKPOINT_FETCH,
         "checkpoint-put" => tag::CHECKPOINT_PUT,
+        "health" => tag::HEALTH,
+        "dump" => tag::DUMP,
         _ => return None,
     })
 }
@@ -485,6 +493,8 @@ mod tests {
             "preempt",
             "checkpoint-fetch",
             "checkpoint-put",
+            "health",
+            "dump",
         ];
         for op in ops {
             let t = op_tag(op).expect(op);

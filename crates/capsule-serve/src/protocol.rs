@@ -131,6 +131,23 @@ fn parse_trace_id(v: &Json) -> Result<String, RequestError> {
     Ok(s.to_string())
 }
 
+/// Validates a `health` affinity key: same shape rules as a trace id
+/// (non-empty, at most 128 visible characters). The key is only hashed
+/// for rendezvous ordering, so any printable string is meaningful.
+fn parse_health_key(v: &Json) -> Result<String, RequestError> {
+    let s = v.as_str().ok_or_else(|| bad("\"key\" must be a string"))?;
+    if s.is_empty() {
+        return Err(bad("\"key\" must not be empty"));
+    }
+    if s.chars().count() > 128 {
+        return Err(bad("\"key\" must be at most 128 characters"));
+    }
+    if s.chars().any(char::is_control) {
+        return Err(bad("\"key\" must not contain control characters"));
+    }
+    Ok(s.to_string())
+}
+
 fn parse_division_mode(s: &str) -> Option<DivisionMode> {
     match s {
         "never" => Some(DivisionMode::Never),
@@ -229,6 +246,17 @@ pub enum Request {
     },
     /// The deterministic metrics exposition (docs/OBSERVABILITY.md).
     Metrics,
+    /// Health gauges: EWMA latencies, occupancy and the deterministic
+    /// `predicted_wait_us` estimator. On the fleet coordinator this
+    /// ranks the backends (optionally rendezvous-adjusted for `key`).
+    Health {
+        /// Optional cache key / affinity key: the fleet breaks
+        /// predicted-wait ties by rendezvous preference for this key.
+        key: Option<String>,
+    },
+    /// The `capsule-dump/1` post-mortem artifact: flight ring, retained
+    /// traces, gauges and counters in one versioned JSON object.
+    Dump,
     /// Park the running job with this `cache_key` at its next checkpoint
     /// boundary; the parked blob lands in the server's checkpoint store
     /// under the same token.
@@ -267,6 +295,8 @@ impl Request {
             Request::Shutdown => "shutdown",
             Request::Trace { .. } => "trace",
             Request::Metrics => "metrics",
+            Request::Health { .. } => "health",
+            Request::Dump => "dump",
             Request::Preempt { .. } => "preempt",
             Request::CheckpointFetch { .. } => "checkpoint-fetch",
             Request::CheckpointPut { .. } => "checkpoint-put",
@@ -397,7 +427,19 @@ impl Request {
                     .ok_or_else(|| bad("checkpoint-put requires a hex string field \"blob\""))?;
                 Ok(Request::CheckpointPut { token, canonical, blob: hex_decode(blob)? })
             }
-            "stats" | "list" | "cancel" | "shutdown" | "metrics" => {
+            "health" => {
+                for (key, _) in obj {
+                    if key != "op" && key != "key" {
+                        return Err(bad(format!("unknown field {key:?} for op \"health\"")));
+                    }
+                }
+                let key = match json.get("key") {
+                    None => None,
+                    Some(v) => Some(parse_health_key(v)?),
+                };
+                Ok(Request::Health { key })
+            }
+            "stats" | "list" | "cancel" | "shutdown" | "metrics" | "dump" => {
                 for (key, _) in obj {
                     if key != "op" {
                         return Err(bad(format!("unknown field {key:?} for op {op:?}")));
@@ -408,12 +450,13 @@ impl Request {
                     "list" => Request::List,
                     "cancel" => Request::Cancel,
                     "metrics" => Request::Metrics,
+                    "dump" => Request::Dump,
                     _ => Request::Shutdown,
                 })
             }
             other => Err(bad(format!(
                 "unknown op {other:?} (expected run, stats, list, cancel, shutdown, trace, \
-                 metrics, preempt, checkpoint-fetch or checkpoint-put)"
+                 metrics, health, dump, preempt, checkpoint-fetch or checkpoint-put)"
             ))),
         }
     }
@@ -640,6 +683,30 @@ mod tests {
             Request::Trace { trace_id: "job-42".to_string() }
         );
         assert_eq!(Request::parse_line(r#"{"op":"metrics"}"#).unwrap(), Request::Metrics);
+    }
+
+    #[test]
+    fn parses_health_and_dump_ops() {
+        assert_eq!(
+            Request::parse_line(r#"{"op":"health"}"#).unwrap(),
+            Request::Health { key: None }
+        );
+        assert_eq!(
+            Request::parse_line(r#"{"op":"health","key":"b51742894a5ff828"}"#).unwrap(),
+            Request::Health { key: Some("b51742894a5ff828".to_string()) }
+        );
+        assert_eq!(Request::parse_line(r#"{"op":"dump"}"#).unwrap(), Request::Dump);
+        assert_eq!(Request::Health { key: None }.op(), "health");
+        assert_eq!(Request::Dump.op(), "dump");
+        for (line, needle) in [
+            (r#"{"op":"health","key":""}"#, "must not be empty"),
+            (r#"{"op":"health","key":7}"#, "must be a string"),
+            (r#"{"op":"health","cache_key":"x"}"#, "unknown field"),
+            (r#"{"op":"dump","deep":true}"#, "unknown field"),
+        ] {
+            let err = Request::parse_line(line).expect_err(line);
+            assert!(err.message.contains(needle), "{line}: {}", err.message);
+        }
     }
 
     #[test]

@@ -32,7 +32,10 @@ use capsule_bench::checkpoint::{run_checkpointed, CheckpointFailure, CheckpointO
 use capsule_bench::{BatchRunner, RunOptions};
 use capsule_core::output::Json;
 use capsule_core::stats::Histogram;
-use capsule_core::{MetricsRegistry, SpanId, TraceRecorder, TraceStore};
+use capsule_core::{
+    Ewma, FlightKind, FlightRecorder, MetricsRegistry, SpanId, TailPolicy, TraceRecorder,
+    TraceStore,
+};
 use capsule_sim::machine::WarmMachine;
 use capsule_sim::CancelToken;
 
@@ -65,6 +68,9 @@ pub struct ServerOptions {
     /// (`CAPSULE_SERVE_CHECKPOINTS`); 0 drops preempted jobs instead of
     /// parking them.
     pub checkpoints: usize,
+    /// Flight-recorder ring capacity in events
+    /// (`CAPSULE_SERVE_FLIGHT`); 0 disables the always-on recorder.
+    pub flight: usize,
 }
 
 impl Default for ServerOptions {
@@ -76,6 +82,7 @@ impl Default for ServerOptions {
             traces: 64,
             checkpoint_cycles: 0,
             checkpoints: 16,
+            flight: 1024,
         }
     }
 }
@@ -95,27 +102,38 @@ impl ServerOptions {
                 d.checkpoint_cycles,
             ),
             checkpoints: crate::env::env_usize("CAPSULE_SERVE_CHECKPOINTS", d.checkpoints),
+            flight: crate::env::env_usize("CAPSULE_SERVE_FLIGHT", d.flight),
         }
     }
 }
 
 /// Per-job trace state: the recorder travels with the job from admission
-/// through the queue to the worker, and the finished tree lands in the
-/// server's [`TraceStore`] under the client-chosen id.
+/// through the queue to the worker. Every run is traced; whether the
+/// finished tree is *retained* in the server's [`TraceStore`] is decided
+/// at completion by the tail-sampling policy — explicitly requested
+/// traces (a client `trace_id`) always land, anonymous ones (filed under
+/// the job's cache key) only when the job finished interestingly: above
+/// the rolling p99, or with a non-`completed` outcome.
 struct JobTrace {
     id: String,
+    /// True when the client chose the id via `trace_id` — such traces
+    /// bypass tail sampling and are always retained.
+    explicit: bool,
     rec: TraceRecorder,
     root: SpanId,
 }
 
 impl JobTrace {
-    fn start(run: &RunRequest) -> Option<JobTrace> {
-        let id = run.trace_id.clone()?;
+    fn start(run: &RunRequest, canonical: &str) -> JobTrace {
+        let (id, explicit) = match &run.trace_id {
+            Some(id) => (id.clone(), true),
+            None => (cache_key(canonical), false),
+        };
         let mut rec = TraceRecorder::new(16, 64);
         let root = rec.span("serve.run", None);
         rec.attr(root, "scenario", &run.scenario);
         rec.attr(root, "scale", run.scale.name());
-        Some(JobTrace { id, rec, root })
+        JobTrace { id, explicit, rec, root }
     }
 
     /// Closes the root span and files the tree under the trace id.
@@ -210,6 +228,15 @@ struct Shared {
     counters: Counters,
     latencies: Mutex<Latencies>,
     traces: Mutex<TraceStore>,
+    /// Always-on flight recorder: a bounded ring of job-lifecycle events
+    /// (enqueue/dequeue/complete/deny/preempt/…) for post-mortems.
+    flight: FlightRecorder,
+    /// Tail-sampling policy deciding which anonymous traces to retain.
+    tail: Mutex<TailPolicy>,
+    /// Smoothed queue-wait gauge feeding `predicted_wait_us`.
+    ewma_queue_wait: Ewma,
+    /// Smoothed run-time gauge feeding `predicted_wait_us`.
+    ewma_run: Ewma,
     /// Parked jobs by checkpoint token (= cache key).
     checkpoints: Mutex<CheckpointStore>,
     /// Preempt flags of admitted checkpointable jobs, by cache key. A
@@ -282,11 +309,17 @@ impl Server {
             counters: Counters::default(),
             latencies: Mutex::new(Latencies::default()),
             traces: Mutex::new(TraceStore::new(opts.traces)),
+            flight: FlightRecorder::new(opts.flight),
+            tail: Mutex::new(TailPolicy::new()),
+            ewma_queue_wait: Ewma::new(),
+            ewma_run: Ewma::new(),
             checkpoints: Mutex::new(CheckpointStore::new(opts.checkpoints)),
             preempts: Mutex::new(HashMap::new()),
             conns: Mutex::new(HashMap::new()),
             next_conn: AtomicU64::new(0),
         });
+
+        install_dump_hooks(&shared);
 
         let mut workers = Vec::with_capacity(opts.workers);
         for _ in 0..opts.workers {
@@ -506,6 +539,10 @@ fn dispatch(shared: &Shared, request: Request, reply: JobReply) -> Dispatched {
         Request::Stats => Dispatched::Done(stats_response(shared).to_string_compact()),
         Request::List => Dispatched::Done(list_response().to_string_compact()),
         Request::Metrics => Dispatched::Done(metrics_response(shared).to_string_compact()),
+        Request::Health { key } => {
+            Dispatched::Done(health_response(shared, key.as_deref()).to_string_compact())
+        }
+        Request::Dump => Dispatched::Done(dump_response(shared).to_string_compact()),
         Request::Trace { trace_id } => {
             Dispatched::Done(trace_response(shared, &trace_id).to_string_compact())
         }
@@ -608,16 +645,23 @@ fn checkpoint_put_response(
 /// pipelined v2 connection.
 fn submit_run(shared: &Shared, run: RunRequest, reply: JobReply) -> Option<String> {
     let canonical = run.canonical();
-    let mut trace = JobTrace::start(&run);
+    let keyn = fnv1a64(canonical.as_bytes());
+    let mut trace = Some(JobTrace::start(&run, &canonical));
     // A profiled request bypasses the cache lookup — the per-stage
     // profile has to come from a real run — but still stores its report,
     // so it neither perturbs the hit/miss counters nor goes uncached.
     if !run.profile {
         if let Some(report) = lock(&shared.cache).get(&canonical) {
             shared.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+            shared.flight.record(FlightKind::CacheHit, Some(keyn), None, "");
             if let Some(mut t) = trace.take() {
                 t.rec.event(t.root, "cache-hit", &[]);
-                t.store(shared);
+                // A hit is answered from memory — nothing ran, so the
+                // tail policy has no sample; keep the tree only when the
+                // client asked for it by id.
+                if t.explicit {
+                    t.store(shared);
+                }
             }
             return Some(render_run_ok(
                 &canonical,
@@ -698,6 +742,7 @@ fn submit_run(shared: &Shared, run: RunRequest, reply: JobReply) -> Option<Strin
     // Clone the sender out so the jobs lock is not held while waiting.
     let Some(tx) = lock(&shared.jobs).clone() else {
         unregister(shared);
+        shared.flight.record(FlightKind::Deny, Some(keyn), None, "shutting-down");
         return Some(error_response("run", "shutting-down", None).to_string_compact());
     };
     let job = Job {
@@ -712,14 +757,20 @@ fn submit_run(shared: &Shared, run: RunRequest, reply: JobReply) -> Option<Strin
     match tx.try_send(job) {
         Ok(()) => {
             shared.counters.jobs_accepted.fetch_add(1, Ordering::Relaxed);
+            shared.flight.record(FlightKind::Enqueue, Some(keyn), None, "");
             None
         }
         Err(TrySendError::Full(job)) => {
             unregister(shared);
             shared.counters.jobs_rejected.fetch_add(1, Ordering::Relaxed);
+            shared.flight.record(FlightKind::Deny, Some(keyn), None, "queue-full");
             if let Some(mut t) = job.trace {
                 t.rec.event(t.root, "queue-full", &[]);
-                t.store(shared);
+                // A rejected job never ran, so there is no tail sample;
+                // retain the tree only on explicit request.
+                if t.explicit {
+                    t.store(shared);
+                }
             }
             let mut r = error_response("run", "queue-full", None);
             r.push("queue_capacity", shared.opts.queue);
@@ -727,6 +778,7 @@ fn submit_run(shared: &Shared, run: RunRequest, reply: JobReply) -> Option<Strin
         }
         Err(TrySendError::Disconnected(_)) => {
             unregister(shared);
+            shared.flight.record(FlightKind::Deny, Some(keyn), None, "shutting-down");
             Some(error_response("run", "shutting-down", None).to_string_compact())
         }
     }
@@ -821,12 +873,26 @@ fn store_checkpoint(shared: &Shared, job: &Job, blob: &[u8]) {
     );
 }
 
+/// Records a finished dispatch in both latency histograms and the EWMA
+/// gauges behind `predicted_wait_us`.
+fn record_latency(shared: &Shared, queue_wait_us: u64, run_us: u64) {
+    {
+        let mut lat = lock(&shared.latencies);
+        lat.queue_wait_us.record(queue_wait_us);
+        lat.run_us.record(run_us);
+    }
+    shared.ewma_queue_wait.observe(queue_wait_us);
+    shared.ewma_run.observe(run_us);
+}
+
 fn run_job(shared: &Shared, runner: &BatchRunner, warm: &mut WarmMachine, mut job: Job) {
     let queue_wait_us = job.enqueued.elapsed().as_micros() as u64;
+    let keyn = fnv1a64(job.canonical.as_bytes());
     // The cancellation generation is sampled at dispatch: an operator
     // `cancel` stops jobs already running, not jobs still queued.
     let token = lock(&shared.cancel).clone();
     shared.counters.jobs_in_flight.fetch_add(1, Ordering::SeqCst);
+    shared.flight.record(FlightKind::Dequeue, Some(keyn), None, "");
     let started = Instant::now();
 
     // The queue span covers enqueue -> dispatch; the execute span opens
@@ -856,6 +922,7 @@ fn run_job(shared: &Shared, runner: &BatchRunner, warm: &mut WarmMachine, mut jo
         Some(flag) => {
             if job.resume.is_some() {
                 shared.counters.jobs_resumed.fetch_add(1, Ordering::Relaxed);
+                shared.flight.record(FlightKind::Resume, Some(keyn), None, "");
             }
             let checkpointed = run_checkpointed(
                 entry.title,
@@ -880,12 +947,9 @@ fn run_job(shared: &Shared, runner: &BatchRunner, warm: &mut WarmMachine, mut jo
                     shared.counters.jobs_preempted.fetch_add(1, Ordering::Relaxed);
                     let run_us = started.elapsed().as_micros() as u64;
                     shared.counters.jobs_in_flight.fetch_sub(1, Ordering::SeqCst);
-                    {
-                        let mut lat = lock(&shared.latencies);
-                        lat.queue_wait_us.record(queue_wait_us);
-                        lat.run_us.record(run_us);
-                    }
-                    finish_job_trace(shared, &mut job, exec, "preempted");
+                    shared.flight.record(FlightKind::Preempt, Some(keyn), None, "parked");
+                    record_latency(shared, queue_wait_us, run_us);
+                    finish_job_trace(shared, &mut job, exec, "preempted", run_us);
                     let mut r = error_response("run", "preempted", None);
                     r.push("cache_key", cache_key(&job.canonical))
                         .push("queue_wait_us", queue_wait_us)
@@ -900,12 +964,9 @@ fn run_job(shared: &Shared, runner: &BatchRunner, warm: &mut WarmMachine, mut jo
                     shared.counters.jobs_failed.fetch_add(1, Ordering::Relaxed);
                     let run_us = started.elapsed().as_micros() as u64;
                     shared.counters.jobs_in_flight.fetch_sub(1, Ordering::SeqCst);
-                    {
-                        let mut lat = lock(&shared.latencies);
-                        lat.queue_wait_us.record(queue_wait_us);
-                        lat.run_us.record(run_us);
-                    }
-                    finish_job_trace(shared, &mut job, exec, "bad-checkpoint");
+                    shared.flight.record(FlightKind::Complete, Some(keyn), None, "bad-checkpoint");
+                    record_latency(shared, queue_wait_us, run_us);
+                    finish_job_trace(shared, &mut job, exec, "bad-checkpoint", run_us);
                     let mut r = error_response("run", "bad-checkpoint", Some(&reason));
                     r.push("queue_wait_us", queue_wait_us).push("run_us", run_us);
                     echo_trace_id(&mut r, &job.run);
@@ -918,11 +979,7 @@ fn run_job(shared: &Shared, runner: &BatchRunner, warm: &mut WarmMachine, mut jo
     };
     let run_us = started.elapsed().as_micros() as u64;
     shared.counters.jobs_in_flight.fetch_sub(1, Ordering::SeqCst);
-    {
-        let mut lat = lock(&shared.latencies);
-        lat.queue_wait_us.record(queue_wait_us);
-        lat.run_us.record(run_us);
-    }
+    record_latency(shared, queue_wait_us, run_us);
     unregister_preempt(shared, &job);
 
     let response = match result {
@@ -936,7 +993,8 @@ fn run_job(shared: &Shared, runner: &BatchRunner, warm: &mut WarmMachine, mut jo
             let bytes: Arc<str> = Arc::from(report.to_json().to_string_compact());
             lock(&shared.cache).put(job.canonical.clone(), Arc::clone(&bytes));
             shared.counters.jobs_completed.fetch_add(1, Ordering::Relaxed);
-            finish_job_trace(shared, &mut job, exec, "completed");
+            shared.flight.record(FlightKind::Complete, Some(keyn), None, "completed");
+            finish_job_trace(shared, &mut job, exec, "completed", run_us);
             let profile = job.run.profile.then(|| profile_json(&report));
             render_run_ok(
                 &job.canonical,
@@ -950,17 +1008,14 @@ fn run_job(shared: &Shared, runner: &BatchRunner, warm: &mut WarmMachine, mut jo
         }
         Err(e) => {
             let cancelled = e.failure.is_cancelled();
+            let outcome = if cancelled { "cancelled" } else { "failed" };
             if cancelled {
                 shared.counters.jobs_cancelled.fetch_add(1, Ordering::Relaxed);
             } else {
                 shared.counters.jobs_failed.fetch_add(1, Ordering::Relaxed);
             }
-            finish_job_trace(
-                shared,
-                &mut job,
-                exec,
-                if cancelled { "cancelled" } else { "failed" },
-            );
+            shared.flight.record(FlightKind::Complete, Some(keyn), None, outcome);
+            finish_job_trace(shared, &mut job, exec, outcome, run_us);
             let mut r = error_response(
                 "run",
                 if cancelled { "cancelled" } else { "scenario-failed" },
@@ -975,11 +1030,26 @@ fn run_job(shared: &Shared, runner: &BatchRunner, warm: &mut WarmMachine, mut jo
     job.reply.send(response);
 }
 
-/// Closes the execute span with its outcome and files the span tree.
-fn finish_job_trace(shared: &Shared, job: &mut Job, exec: Option<SpanId>, outcome: &str) {
-    if let (Some(mut t), Some(exec)) = (job.trace.take(), exec) {
+/// Closes the execute span with its outcome, feeds the run time to the
+/// tail-sampling policy, and files the span tree iff the policy keeps
+/// it: always for explicit `trace_id` requests and non-`completed`
+/// outcomes, otherwise only when `run_us` lands above the rolling p99
+/// observed *before* this job (so retention is deterministic for a
+/// given request history).
+fn finish_job_trace(
+    shared: &Shared,
+    job: &mut Job,
+    exec: Option<SpanId>,
+    outcome: &str,
+    run_us: u64,
+) {
+    let Some(mut t) = job.trace.take() else { return };
+    if let Some(exec) = exec {
         t.rec.attr(exec, "outcome", outcome);
         t.rec.end(exec);
+    }
+    let interesting = t.explicit || outcome != "completed";
+    if lock(&shared.tail).observe(run_us, interesting) {
         t.store(shared);
     }
 }
@@ -999,7 +1069,7 @@ fn profile_json(report: &capsule_bench::BatchReport) -> Json {
     Json::Array(rows)
 }
 
-fn stats_response(shared: &Shared) -> Json {
+fn counters_json(shared: &Shared) -> Json {
     let c = &shared.counters;
     let get = |a: &AtomicU64| a.load(Ordering::Relaxed);
     let mut counters = Json::object();
@@ -1022,6 +1092,27 @@ fn stats_response(shared: &Shared) -> Json {
         .push("checkpoint_fetches", get(&c.checkpoint_fetches))
         .push("checkpoint_puts", get(&c.checkpoint_puts))
         .push("snapshot_bytes", get(&c.snapshot_bytes));
+    counters
+}
+
+/// The deterministic queue-pressure estimate exposed by `stats`,
+/// `metrics` and `health`: the smoothed queue wait plus how long the
+/// backlog beyond the worker pool will take to drain at the smoothed
+/// run time. Pure arithmetic over gauges — two calls with the same
+/// observation history agree exactly.
+fn predicted_wait_us(shared: &Shared) -> u64 {
+    let workers = shared.opts.workers.max(1) as u64;
+    let in_flight = shared.counters.jobs_in_flight.load(Ordering::SeqCst);
+    let backlog = in_flight.saturating_sub(shared.opts.workers as u64);
+    shared
+        .ewma_queue_wait
+        .get()
+        .saturating_add(backlog.saturating_mul(shared.ewma_run.get()) / workers)
+}
+
+fn stats_response(shared: &Shared) -> Json {
+    let c = &shared.counters;
+    let counters = counters_json(shared);
     let (queue_wait, run) = {
         let lat = lock(&shared.latencies);
         (lat.queue_wait_us.to_json(), lat.run_us.to_json())
@@ -1035,10 +1126,153 @@ fn stats_response(shared: &Shared) -> Json {
         .push("checkpoint_capacity", shared.opts.checkpoints)
         .push("checkpoint_entries", lock(&shared.checkpoints).len())
         .push("jobs_in_flight", c.jobs_in_flight.load(Ordering::SeqCst))
+        .push("traces_stored", lock(&shared.traces).len())
+        .push("flight_capacity", shared.flight.capacity())
+        .push("flight_recorded", shared.flight.recorded())
+        .push("ewma_queue_wait_us", shared.ewma_queue_wait.get())
+        .push("ewma_run_us", shared.ewma_run.get())
+        .push("predicted_wait_us", predicted_wait_us(shared))
         .push("counters", counters)
         .push("queue_wait_us", queue_wait)
         .push("run_us", run);
     r
+}
+
+/// The `health` op: the server's live load gauges in one small object,
+/// cheap enough to poll tightly. The optional `key` is echoed back so a
+/// fleet-side caller can correlate fan-out probes; a standalone server
+/// has no placement preference to derive from it.
+fn health_response(shared: &Shared, key: Option<&str>) -> Json {
+    let mut r = response_head("health", true);
+    if let Some(k) = key {
+        r.push("key", k);
+    }
+    r.push("workers", shared.opts.workers)
+        .push("queue_capacity", shared.opts.queue)
+        .push("jobs_in_flight", shared.counters.jobs_in_flight.load(Ordering::SeqCst))
+        .push("ewma_queue_wait_us", shared.ewma_queue_wait.get())
+        .push("ewma_run_us", shared.ewma_run.get())
+        .push("predicted_wait_us", predicted_wait_us(shared))
+        .push("traces_stored", lock(&shared.traces).len())
+        .push("flight_recorded", shared.flight.recorded());
+    r
+}
+
+/// The load gauges as embedded in the `capsule-dump/1` artifact.
+fn gauges_json(shared: &Shared) -> Json {
+    let mut g = Json::object();
+    g.push("workers", shared.opts.workers)
+        .push("queue_capacity", shared.opts.queue)
+        .push("jobs_in_flight", shared.counters.jobs_in_flight.load(Ordering::SeqCst))
+        .push("ewma_queue_wait_us", shared.ewma_queue_wait.get())
+        .push("ewma_run_us", shared.ewma_run.get())
+        .push("predicted_wait_us", predicted_wait_us(shared))
+        .push("cache_entries", lock(&shared.cache).len())
+        .push("checkpoint_entries", lock(&shared.checkpoints).len())
+        .push("traces_stored", lock(&shared.traces).len());
+    g
+}
+
+/// The versioned post-mortem artifact (`capsule-dump/1`): the flight
+/// ring, every retained trace, the live gauges and the counters, in one
+/// self-describing object shared by the `dump` op, the panic hook and
+/// the stall watchdog.
+fn dump_json(shared: &Shared) -> Json {
+    let mut d = Json::object();
+    d.push("schema", "capsule-dump/1")
+        .push("source", "serve")
+        .push("flight", shared.flight.snapshot().to_json());
+    let mut traces = Vec::new();
+    for (id, tree) in lock(&shared.traces).entries() {
+        let mut t = Json::object();
+        t.push("trace_id", id).push("trace", tree.clone());
+        traces.push(t);
+    }
+    d.push("traces", Json::Array(traces))
+        .push("gauges", gauges_json(shared))
+        .push("counters", counters_json(shared));
+    d
+}
+
+/// The `dump` op: the `capsule-dump/1` artifact inline in the response.
+fn dump_response(shared: &Shared) -> Json {
+    let mut r = response_head("dump", true);
+    r.push("dump", dump_json(shared));
+    r
+}
+
+/// Serializes the dump artifact to `path`, tagged with what triggered
+/// it. Never panics — a failing dump on the panic path must not mask
+/// the original panic.
+fn write_dump_file(shared: &Shared, path: &str, reason: &str) {
+    let mut d = dump_json(shared);
+    d.push("reason", reason);
+    let mut body = d.to_string_compact();
+    body.push('\n');
+    match std::fs::write(path, body) {
+        Ok(()) => eprintln!("capsule-serve: wrote dump ({reason}) to {path}"),
+        Err(e) => eprintln!("capsule-serve: failed to write dump to {path}: {e}"),
+    }
+}
+
+/// Post-mortem hooks, opt-in via the environment:
+///
+/// - `CAPSULE_SERVE_DUMP_ON_PANIC=<path>` chains a panic hook that
+///   writes the dump artifact before deferring to the previous hook;
+/// - `CAPSULE_SERVE_WATCHDOG_MS=<ms>` starts a stall watchdog that
+///   writes the dump to `CAPSULE_SERVE_WATCHDOG_DUMP` (default
+///   `capsule-dump.json`) whenever jobs stay in flight for a full
+///   interval without any job reaching a terminal state.
+fn install_dump_hooks(shared: &Arc<Shared>) {
+    if let Ok(path) = std::env::var("CAPSULE_SERVE_DUMP_ON_PANIC") {
+        if !path.is_empty() {
+            let shared = Arc::clone(shared);
+            let previous = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                write_dump_file(&shared, &path, "panic");
+                previous(info);
+            }));
+        }
+    }
+    let interval = crate::env::env_u64("CAPSULE_SERVE_WATCHDOG_MS", 0);
+    if interval > 0 {
+        let path = std::env::var("CAPSULE_SERVE_WATCHDOG_DUMP")
+            .unwrap_or_else(|_| "capsule-dump.json".to_string());
+        let shared = Arc::clone(shared);
+        std::thread::spawn(move || watchdog_loop(&shared, interval, &path));
+    }
+}
+
+/// Counts jobs that reached a terminal state — the watchdog's notion of
+/// forward progress.
+fn progress_mark(shared: &Shared) -> u64 {
+    let c = &shared.counters;
+    let get = |a: &AtomicU64| a.load(Ordering::Relaxed);
+    get(&c.jobs_completed) + get(&c.jobs_failed) + get(&c.jobs_cancelled) + get(&c.jobs_preempted)
+}
+
+fn watchdog_loop(shared: &Shared, interval_ms: u64, path: &str) {
+    let mut last = progress_mark(shared);
+    let mut stalled_since: Option<Instant> = None;
+    while shared.running.load(Ordering::SeqCst) {
+        // Sleep in short slices so shutdown is observed promptly even
+        // with a long stall interval.
+        std::thread::sleep(Duration::from_millis(interval_ms.clamp(1, 100)));
+        let in_flight = shared.counters.jobs_in_flight.load(Ordering::SeqCst);
+        let mark = progress_mark(shared);
+        if in_flight == 0 || mark != last {
+            last = mark;
+            stalled_since = None;
+            continue;
+        }
+        let since = *stalled_since.get_or_insert_with(Instant::now);
+        if since.elapsed() >= Duration::from_millis(interval_ms) {
+            write_dump_file(shared, path, "watchdog-stall");
+            // Re-arm: a persisting stall dumps again only after another
+            // full interval, not on every poll.
+            stalled_since = None;
+        }
+    }
 }
 
 /// The deterministic metrics exposition (docs/OBSERVABILITY.md): a
@@ -1075,6 +1309,13 @@ fn metrics_response(shared: &Shared) -> Json {
     m.set("capsule_serve_checkpoint_capacity", &[], shared.opts.checkpoints as u64);
     m.set("capsule_serve_checkpoint_entries", &[], lock(&shared.checkpoints).len() as u64);
     m.set("capsule_serve_traces_stored", &[], lock(&shared.traces).len() as u64);
+    m.set("capsule_serve_cache_evictions_total", &[], lock(&shared.cache).evictions());
+    m.set("capsule_serve_checkpoint_evictions_total", &[], lock(&shared.checkpoints).evictions());
+    m.set("capsule_serve_flight_capacity", &[], shared.flight.capacity() as u64);
+    m.set("capsule_serve_flight_recorded_total", &[], shared.flight.recorded());
+    m.set("capsule_serve_ewma_queue_wait_us", &[], shared.ewma_queue_wait.get());
+    m.set("capsule_serve_ewma_run_us", &[], shared.ewma_run.get());
+    m.set("capsule_serve_predicted_wait_us", &[], predicted_wait_us(shared));
     {
         let lat = lock(&shared.latencies);
         m.histogram("capsule_serve_queue_wait_us", &[], &lat.queue_wait_us);
@@ -1104,5 +1345,56 @@ fn trace_response(shared: &Shared, trace_id: &str) -> Json {
             r.push("trace_id", trace_id);
             r
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The dump writer is exercised directly (rather than through the
+    /// panic/watchdog env hooks — process-global state is racy under
+    /// the parallel test runner): it must produce a `capsule-dump/1`
+    /// artifact tagged with its trigger, and never panic.
+    #[test]
+    fn write_dump_file_emits_a_versioned_artifact() {
+        let server = Server::start("127.0.0.1:0", ServerOptions::default()).unwrap();
+        server.shared.flight.record(FlightKind::Enqueue, Some(0xb517_4289_4a5f_f828), None, "");
+        let path =
+            std::env::temp_dir().join(format!("capsule-dump-test-{}.json", std::process::id()));
+        let path = path.to_str().unwrap().to_string();
+        write_dump_file(&server.shared, &path, "unit-test");
+        let body = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert!(body.starts_with('{') && body.ends_with("}\n"));
+        assert!(body.contains("\"schema\":\"capsule-dump/1\""));
+        assert!(body.contains("\"source\":\"serve\""));
+        assert!(body.contains("\"reason\":\"unit-test\""));
+        assert!(body.contains("\"cache_key\":\"b51742894a5ff828\""));
+        assert!(body.contains("\"gauges\":"));
+        assert!(body.contains("\"counters\":"));
+
+        // A path that cannot be created reports instead of panicking.
+        write_dump_file(&server.shared, "/nonexistent-dir/x/dump.json", "unit-test");
+        server.shutdown();
+    }
+
+    /// `predicted_wait_us` is pure arithmetic over the gauges: with no
+    /// observations it is zero, and after seeding the EWMAs it follows
+    /// wait + backlog * run / workers exactly.
+    #[test]
+    fn predicted_wait_follows_the_gauges() {
+        let server = Server::start("127.0.0.1:0", ServerOptions::default()).unwrap();
+        let shared = &server.shared;
+        assert_eq!(predicted_wait_us(shared), 0);
+        shared.ewma_queue_wait.observe(500);
+        shared.ewma_run.observe(9000);
+        // No backlog beyond the worker pool: prediction is the queue wait.
+        assert_eq!(predicted_wait_us(shared), 500);
+        // Fake a backlog of 4 beyond the 2 workers: + 4 * 9000 / 2.
+        shared.counters.jobs_in_flight.store(6, Ordering::SeqCst);
+        assert_eq!(predicted_wait_us(shared), 500 + 4 * 9000 / 2);
+        shared.counters.jobs_in_flight.store(0, Ordering::SeqCst);
+        server.shutdown();
     }
 }

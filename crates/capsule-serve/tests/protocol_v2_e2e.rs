@@ -22,7 +22,15 @@ use capsule_serve::{Server, ServerOptions};
 fn start(workers: usize, queue: usize, cache: usize) -> Server {
     Server::start(
         "127.0.0.1:0",
-        ServerOptions { workers, queue, cache, traces: 16, checkpoint_cycles: 0, checkpoints: 8 },
+        ServerOptions {
+            workers,
+            queue,
+            cache,
+            traces: 16,
+            checkpoint_cycles: 0,
+            checkpoints: 8,
+            flight: 64,
+        },
     )
     .expect("bind ephemeral port")
 }

@@ -25,7 +25,15 @@ fn start_with_checkpoints(
 ) -> Server {
     Server::start(
         "127.0.0.1:0",
-        ServerOptions { workers, queue, cache, traces: 16, checkpoint_cycles, checkpoints: 8 },
+        ServerOptions {
+            workers,
+            queue,
+            cache,
+            traces: 16,
+            checkpoint_cycles,
+            checkpoints: 8,
+            flight: 64,
+        },
     )
     .expect("bind ephemeral port")
 }
@@ -368,15 +376,21 @@ fn metrics_exposition_is_deterministic_and_golden_on_a_fresh_server() {
     let expected = "capsule_serve_bad_requests_total 0\n\
                     capsule_serve_cache_capacity 8\n\
                     capsule_serve_cache_entries 0\n\
+                    capsule_serve_cache_evictions_total 0\n\
                     capsule_serve_cache_hits_total 0\n\
                     capsule_serve_cache_misses_total 0\n\
                     capsule_serve_cancel_requests_total 0\n\
                     capsule_serve_checkpoint_capacity 8\n\
                     capsule_serve_checkpoint_cycles 0\n\
                     capsule_serve_checkpoint_entries 0\n\
+                    capsule_serve_checkpoint_evictions_total 0\n\
                     capsule_serve_checkpoint_fetches_total 0\n\
                     capsule_serve_checkpoint_puts_total 0\n\
                     capsule_serve_checkpoints_stored_total 0\n\
+                    capsule_serve_ewma_queue_wait_us 0\n\
+                    capsule_serve_ewma_run_us 0\n\
+                    capsule_serve_flight_capacity 64\n\
+                    capsule_serve_flight_recorded_total 0\n\
                     capsule_serve_jobs_accepted_total 0\n\
                     capsule_serve_jobs_cancelled_total 0\n\
                     capsule_serve_jobs_completed_total 0\n\
@@ -385,6 +399,7 @@ fn metrics_exposition_is_deterministic_and_golden_on_a_fresh_server() {
                     capsule_serve_jobs_preempted_total 0\n\
                     capsule_serve_jobs_rejected_total 0\n\
                     capsule_serve_jobs_resumed_total 0\n\
+                    capsule_serve_predicted_wait_us 0\n\
                     capsule_serve_preempt_requests_total 0\n\
                     capsule_serve_queue_capacity 4\n\
                     capsule_serve_queue_wait_us_bucket{le=\"+Inf\"} 0\n\
@@ -608,4 +623,171 @@ fn shutdown_request_over_the_wire_stops_the_server() {
         }
     );
     server.join();
+}
+
+/// Smoke-scale job that runs for a few seconds in a debug build — an
+/// order of magnitude slower than `SMOKE_RUN`, so it reliably lands
+/// above a tail-policy p99 warmed on fast samples.
+const SLOW_RUN: &str = r#"{"op":"run","scenario":"ablation_policies","scale":"smoke"}"#;
+
+#[test]
+fn health_reports_gauges_and_predicted_wait() {
+    let server = start(1, 4, 8);
+
+    // Fresh server: every gauge reads zero and the prediction is zero.
+    let fresh = request(&server, r#"{"op":"health"}"#);
+    assert!(ok(&fresh), "health failed: {}", fresh.to_string_compact());
+    assert_eq!(fresh.get("workers").and_then(Json::as_i64), Some(1));
+    assert_eq!(fresh.get("queue_capacity").and_then(Json::as_i64), Some(4));
+    assert_eq!(fresh.get("jobs_in_flight").and_then(Json::as_i64), Some(0));
+    assert_eq!(fresh.get("ewma_queue_wait_us").and_then(Json::as_i64), Some(0));
+    assert_eq!(fresh.get("ewma_run_us").and_then(Json::as_i64), Some(0));
+    assert_eq!(fresh.get("predicted_wait_us").and_then(Json::as_i64), Some(0));
+    assert_eq!(fresh.get("flight_recorded").and_then(Json::as_i64), Some(0));
+    assert!(fresh.get("key").is_none(), "no key was sent, none must echo");
+
+    // An optional key is echoed back for fan-out correlation.
+    let keyed = request(&server, r#"{"op":"health","key":"abc123"}"#);
+    assert!(ok(&keyed));
+    assert_eq!(keyed.get("key").and_then(Json::as_str), Some("abc123"));
+
+    // After one run the EWMAs are seeded and the always-on flight ring
+    // has seen the whole job lifecycle (enqueue, dequeue, complete).
+    let run = request(&server, SMOKE_RUN);
+    assert!(ok(&run), "run failed: {}", run.to_string_compact());
+    let after = request(&server, r#"{"op":"health"}"#);
+    assert!(after.get("ewma_run_us").and_then(Json::as_u64).expect("ewma_run_us") > 0);
+    assert!(after.get("flight_recorded").and_then(Json::as_u64).expect("flight_recorded") >= 3);
+
+    server.shutdown();
+}
+
+/// Tail-based retention: every run is traced internally under its cache
+/// key, but only interesting finishes survive — slower than the rolling
+/// p99, failed, or explicitly requested. Fast clean jobs are provably
+/// dropped, before and after the policy has history.
+#[test]
+fn tail_sampling_retains_slow_and_failed_traces_and_drops_fast_ones() {
+    let server = start(1, 8, 16);
+
+    // The very first job has no p99 history, so retention falls back to
+    // "interesting only" and this clean fast job's tree is dropped.
+    let first = request(&server, SMOKE_RUN);
+    assert!(ok(&first), "first run failed: {}", first.to_string_compact());
+    let first_key = first.get("cache_key").and_then(Json::as_str).expect("cache_key").to_string();
+    let gone = request(&server, &format!(r#"{{"op":"trace","trace_id":"{first_key}"}}"#));
+    assert_eq!(error_code(&gone), Some("unknown-trace"), "fast first job must not be retained");
+
+    // Warm the policy with more fast samples. Distinct budgets keep the
+    // result cache out of the way — cache hits never feed the policy.
+    for budget in [500000000001u64, 500000000002, 500000000003, 500000000004] {
+        let r = request(
+            &server,
+            &format!(
+                r#"{{"op":"run","scenario":"table1_config","scale":"smoke","budget":{budget}}}"#
+            ),
+        );
+        assert!(ok(&r), "warmup failed: {}", r.to_string_compact());
+    }
+
+    // A job an order of magnitude slower than every sample so far lands
+    // above the pre-sample p99 and is tail-retained under its cache key.
+    let slow = request(&server, SLOW_RUN);
+    assert!(ok(&slow), "slow run failed: {}", slow.to_string_compact());
+    let slow_key = slow.get("cache_key").and_then(Json::as_str).expect("cache_key").to_string();
+    let kept = request(&server, &format!(r#"{{"op":"trace","trace_id":"{slow_key}"}}"#));
+    assert!(ok(&kept), "slow job's trace was not tail-retained: {}", kept.to_string_compact());
+    let spans = kept.get("trace").and_then(|t| t.get("spans")).and_then(Json::as_array).unwrap();
+    let names: Vec<&str> =
+        spans.iter().filter_map(|s| s.get("name").and_then(Json::as_str)).collect();
+    assert_eq!(names, ["serve.run", "serve.queue", "serve.execute"], "retained tree is complete");
+
+    // With the slow sample now in the histogram, a late fast job is
+    // below the p99 again — provably evicted from retention.
+    let late = request(
+        &server,
+        r#"{"op":"run","scenario":"table1_config","scale":"smoke","budget":500000000005}"#,
+    );
+    assert!(ok(&late), "late run failed: {}", late.to_string_compact());
+    let late_key = late.get("cache_key").and_then(Json::as_str).expect("cache_key").to_string();
+    let dropped = request(&server, &format!(r#"{{"op":"trace","trace_id":"{late_key}"}}"#));
+    assert_eq!(error_code(&dropped), Some("unknown-trace"), "late fast job must be dropped");
+
+    // A failed job is always retained, however fast it failed.
+    const FAILING: &str = r#"{"op":"run","scenario":"table1_config","scale":"smoke","budget":10}"#;
+    let failed = request(&server, FAILING);
+    assert_eq!(error_code(&failed), Some("scenario-failed"));
+    let failed_key = run_cache_key(FAILING);
+    let kept_fail = request(&server, &format!(r#"{{"op":"trace","trace_id":"{failed_key}"}}"#));
+    assert!(ok(&kept_fail), "failed job's trace missing: {}", kept_fail.to_string_compact());
+    let fail_spans =
+        kept_fail.get("trace").and_then(|t| t.get("spans")).and_then(Json::as_array).unwrap();
+    let outcome = fail_spans
+        .iter()
+        .find(|s| s.get("name").and_then(Json::as_str) == Some("serve.execute"))
+        .and_then(|s| s.get("attrs"))
+        .and_then(|a| a.get("outcome"))
+        .and_then(Json::as_str);
+    assert_eq!(outcome, Some("failed"));
+
+    server.shutdown();
+}
+
+#[test]
+fn dump_returns_a_versioned_post_mortem_artifact() {
+    let server = start(1, 4, 8);
+
+    // One explicitly traced success, one failure (tail-retained).
+    let run = request(
+        &server,
+        r#"{"op":"run","scenario":"table1_config","scale":"smoke","trace_id":"pm-1"}"#,
+    );
+    assert!(ok(&run), "run failed: {}", run.to_string_compact());
+    const FAILING: &str = r#"{"op":"run","scenario":"table1_config","scale":"smoke","budget":10}"#;
+    let failed = request(&server, FAILING);
+    assert_eq!(error_code(&failed), Some("scenario-failed"));
+
+    let reply = request(&server, r#"{"op":"dump"}"#);
+    assert!(ok(&reply), "dump failed: {}", reply.to_string_compact());
+    let dump = reply.get("dump").expect("dump object");
+    assert_eq!(dump.get("schema").and_then(Json::as_str), Some("capsule-dump/1"));
+    assert_eq!(dump.get("source").and_then(Json::as_str), Some("serve"));
+
+    // The flight ring replays both jobs' lifecycles, in order, each
+    // event stamped with the job's cache key and a monotone seq.
+    let flight = dump.get("flight").expect("flight ring");
+    assert_eq!(flight.get("capacity").and_then(Json::as_u64), Some(64));
+    let events = flight.get("events").and_then(Json::as_array).expect("events");
+    assert_eq!(flight.get("recorded").and_then(Json::as_u64), Some(events.len() as u64));
+    assert_eq!(flight.get("overwritten").and_then(Json::as_u64), Some(0));
+    let kinds: Vec<&str> =
+        events.iter().filter_map(|e| e.get("kind").and_then(Json::as_str)).collect();
+    assert_eq!(kinds, ["enqueue", "dequeue", "complete", "enqueue", "dequeue", "complete"]);
+    assert_eq!(events[2].get("outcome").and_then(Json::as_str), Some("completed"));
+    assert_eq!(events[5].get("outcome").and_then(Json::as_str), Some("failed"));
+    assert_eq!(
+        events[0].get("cache_key").and_then(Json::as_str),
+        run.get("cache_key").and_then(Json::as_str)
+    );
+    let seqs: Vec<u64> =
+        events.iter().filter_map(|e| e.get("seq").and_then(Json::as_u64)).collect();
+    assert!(seqs.windows(2).all(|w| w[0] < w[1]), "seq must be strictly increasing: {seqs:?}");
+
+    // Both retained traces are embedded by id.
+    let traces = dump.get("traces").and_then(Json::as_array).expect("traces");
+    let ids: Vec<&str> =
+        traces.iter().filter_map(|t| t.get("trace_id").and_then(Json::as_str)).collect();
+    assert!(ids.contains(&"pm-1"), "explicit trace missing from dump: {ids:?}");
+    let failed_key = run_cache_key(FAILING);
+    assert!(ids.contains(&failed_key.as_str()), "failed job's trace missing from dump: {ids:?}");
+
+    // Gauges and counters round out the artifact.
+    let gauges = dump.get("gauges").expect("gauges");
+    assert_eq!(gauges.get("jobs_in_flight").and_then(Json::as_i64), Some(0));
+    assert!(gauges.get("ewma_run_us").and_then(Json::as_u64).expect("ewma_run_us") > 0);
+    let counters = dump.get("counters").expect("counters");
+    assert_eq!(counters.get("jobs_completed").and_then(Json::as_i64), Some(1));
+    assert_eq!(counters.get("jobs_failed").and_then(Json::as_i64), Some(1));
+
+    server.shutdown();
 }

@@ -76,8 +76,21 @@ if target/release/bench_serve --loads 30 --jobs 12 --overhead-probes 20 \
     echo "bench_serve --compare failed to flag a regression" >&2
     exit 1
 fi
+# The flight recorder must be invisible to the benchmark's bytes and
+# cheap enough to leave on: a --flight-off deterministic run is
+# byte-identical to the recorder-on run above, and a timed recorder-on
+# run must pass the throughput gate against a recorder-off baseline
+# within the default noise fraction (docs/OBSERVABILITY.md).
+target/release/bench_serve --loads 30 --jobs 12 --deterministic --flight-off \
+    --out "$sbench_dir/c.json" >/dev/null
+cmp "$sbench_dir/a.json" "$sbench_dir/c.json"
+target/release/bench_serve --loads 30 --jobs 12 --overhead-probes 20 --flight-off \
+    --out "$sbench_dir/flight_off.json" >/dev/null
+target/release/bench_serve --loads 30 --jobs 12 --overhead-probes 20 \
+    --out "$sbench_dir/flight_on.json" \
+    --compare "$sbench_dir/flight_off.json" --noise 0.15 >/dev/null
 rm -rf "$sbench_dir"
-echo "bench_serve: deterministic runs byte-identical, compare gate passes and fails correctly"
+echo "bench_serve: deterministic runs byte-identical, compare gate passes and fails correctly, flight recorder within noise"
 
 echo "==> capsule-fuzz differential smoke"
 # Fixed-seed, fixed-count sweep over the reduced config matrix: every
@@ -239,6 +252,140 @@ target/release/capsule-client "$b1_addr" shutdown --compact
 target/release/capsule-client "$b2_addr" shutdown --compact
 wait "$fleet_pid" "$b1_pid" "$b2_pid"
 rm -f "$b1_log" "$b2_log" "$fleet_log"
+
+echo "==> fleet observability soak"
+# The three observability tiers, end to end, with no timing races
+# (docs/OBSERVABILITY.md): a huge --probe-ms means the prober runs its
+# immediate startup round and then never again, so a killed backend is
+# discovered by a live dispatch fault — a guaranteed retry event in the
+# flight ring. The soak pins: (1) tail sampling drops the first fast
+# anonymous job's trace and keeps the forced-slow one, (2) killing a
+# backend and replaying the exact request it served produces a retry
+# onto the survivor, (3) capsule-top --once ranks the survivor first
+# and shows the victim down, (4) the dump op carries the retry and
+# backend-death events.
+o1_log="$(mktemp)"
+o2_log="$(mktemp)"
+ofleet_log="$(mktemp)"
+target/release/capsule-serve --addr 127.0.0.1:0 --workers 2 --queue 8 >"$o1_log" 2>&1 &
+o1_pid=$!
+target/release/capsule-serve --addr 127.0.0.1:0 --workers 2 --queue 8 >"$o2_log" 2>&1 &
+o2_pid=$!
+o1_addr="$(wait_addr "$o1_log")"
+o2_addr="$(wait_addr "$o2_log")"
+target/release/capsule-fleet --addr 127.0.0.1:0 \
+    --backend "$o1_addr" --backend "$o2_addr" \
+    --probe-ms 600000 --backoff-ms 10 >"$ofleet_log" 2>&1 &
+ofleet_pid=$!
+ofleet_addr="$(wait_addr "$ofleet_log")"
+alive=""
+i=0
+while [ $i -lt 100 ]; do
+    alive="$(target/release/capsule-client "$ofleet_addr" stats --compact \
+        | sed -n 's/.*"backends_alive":\([0-9]*\).*/\1/p')"
+    [ "$alive" = "2" ] && break
+    sleep 0.1
+    i=$((i + 1))
+done
+if [ "$alive" != "2" ]; then
+    echo "startup probe round never marked both backends alive (alive='$alive')" >&2
+    exit 1
+fi
+# Fast job 1 is the fleet's first tail sample: anonymous and quick,
+# with no rolling p99 yet to beat, its trace must be dropped.
+f1_out="$(target/release/capsule-client "$ofleet_addr" --compact \
+    '{"op":"run","scenario":"toolchain_overhead","scale":"smoke","budget":191000000000}')"
+f1_key="$(printf '%s' "$f1_out" | sed -n 's/.*"cache_key":"\([0-9a-f]*\)".*/\1/p')"
+if [ -z "$f1_key" ]; then
+    echo "fast job 1 returned no cache_key: $f1_out" >&2
+    exit 1
+fi
+# Fast job 2's response names the backend rendezvous picked for it.
+# Kill that backend and replay the byte-identical request: the same
+# canonical form prefers the same (now dead, still unprobed) backend,
+# so the dispatch must fault, record a retry, and land on the survivor.
+f2_line='{"op":"run","scenario":"toolchain_overhead","scale":"smoke","budget":192000000000}'
+f2_out="$(target/release/capsule-client "$ofleet_addr" --compact "$f2_line")"
+ovictim="$(printf '%s' "$f2_out" | sed -n 's/.*"backend":"\(b[01]\)".*/\1/p')"
+if [ "$ovictim" = "b0" ]; then
+    ovictim_pid=$o1_pid
+    osurv_name="b1"
+    osurv_addr="$o2_addr"
+    osurv_pid=$o2_pid
+elif [ "$ovictim" = "b1" ]; then
+    ovictim_pid=$o2_pid
+    osurv_name="b0"
+    osurv_addr="$o1_addr"
+    osurv_pid=$o1_pid
+else
+    echo "fast job 2 names no backend: $f2_out" >&2
+    exit 1
+fi
+kill -9 "$ovictim_pid" 2>/dev/null || true
+retry_out="$(target/release/capsule-client "$ofleet_addr" --compact "$f2_line")"
+oattempts="$(printf '%s' "$retry_out" | sed -n 's/.*"attempts":\([0-9]*\).*/\1/p')"
+if [ "${oattempts:-0}" -lt 2 ]; then
+    echo "replay onto the killed backend did not retry (attempts='$oattempts'): $retry_out" >&2
+    exit 1
+fi
+if ! printf '%s' "$retry_out" | grep -qF "\"backend\":\"$osurv_name\""; then
+    echo "replayed job did not land on survivor $osurv_name: $retry_out" >&2
+    exit 1
+fi
+# Forced-slow job: a full-scale run dwarfs every smoke sample above, so
+# it finishes far beyond the rolling p99 and its trace must be kept.
+slow_out="$(target/release/capsule-client "$ofleet_addr" --compact \
+    '{"op":"run","scenario":"fig6_division_tree","scale":"full"}')"
+slow_key="$(printf '%s' "$slow_out" | sed -n 's/.*"cache_key":"\([0-9a-f]*\)".*/\1/p')"
+if [ -z "$slow_key" ]; then
+    echo "slow job returned no cache_key: $slow_out" >&2
+    exit 1
+fi
+# capsule-top --once must rank the survivor first and show the victim
+# down (table columns: RANK NAME ADDR STATE ...).
+top_out="$(target/release/capsule-top --once "$ofleet_addr")"
+rank0="$(printf '%s\n' "$top_out" | awk '$1 == "0" { print $2 }')"
+victim_state="$(printf '%s\n' "$top_out" | awk '$1 == "1" { print $4 }')"
+if [ "$rank0" != "$osurv_name" ] || [ "$victim_state" != "down" ]; then
+    echo "capsule-top ranking is wrong (rank0='$rank0' expected '$osurv_name', victim state='$victim_state'):" >&2
+    printf '%s\n' "$top_out" >&2
+    exit 1
+fi
+# The dump artifact must carry the dispatch-fault story in its flight
+# ring: the retry leg and the backend going down.
+dump_out="$(target/release/capsule-client "$ofleet_addr" dump --compact)"
+for ev in '"kind":"retry"' '"kind":"backend-down"' '"schema":"capsule-dump/1"'; do
+    case "$dump_out" in
+        *"$ev"*) ;;
+        *)
+            echo "dump is missing $ev" >&2
+            exit 1
+            ;;
+    esac
+done
+# Tail retention: the slow job's distributed tree is queryable by its
+# cache key; the first fast job's was dropped.
+oslow_trace="$(target/release/capsule-client "$ofleet_addr" trace "$slow_key" --compact)"
+for span in '"name":"fleet.dispatch"' '"name":"serve.execute"'; do
+    case "$oslow_trace" in
+        *"$span"*) ;;
+        *)
+            echo "slow job's trace is missing $span:" >&2
+            echo "$oslow_trace" >&2
+            exit 1
+            ;;
+    esac
+done
+if target/release/capsule-client "$ofleet_addr" trace "$f1_key" --compact >/dev/null 2>&1; then
+    echo "fast job 1's anonymous trace should have been tail-dropped" >&2
+    exit 1
+fi
+echo "observability soak: survivor ranked first, retry dumped, tail sampling kept slow/dropped fast"
+target/release/capsule-client "$ofleet_addr" shutdown --compact
+target/release/capsule-client "$osurv_addr" shutdown --compact
+wait "$ofleet_pid" "$osurv_pid" 2>/dev/null || true
+wait "$ovictim_pid" 2>/dev/null || true
+rm -f "$o1_log" "$o2_log" "$ofleet_log"
 
 echo "==> checkpoint migration smoke test"
 # A preempted job must migrate, not restart (docs/CHECKPOINT.md): two
